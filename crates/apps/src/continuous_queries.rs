@@ -1,0 +1,137 @@
+//! Continuous Queries topology (paper Figure 3).
+//!
+//! `Spout → Query bolt → File bolt`: randomly generated speed queries scan
+//! an in-memory vehicle table; matching records are written to a file.
+//! The query bolt's table scan dominates service time; only matching
+//! records (the speeders fraction) flow to the file bolt.
+//!
+//! Executor layouts are the paper's exactly (§4.1):
+//!
+//! | scale  | total | spout | query | file |
+//! |--------|-------|-------|-------|------|
+//! | small  | 20    | 2     | 9     | 9    |
+//! | medium | 50    | 5     | 25    | 20   |
+//! | large  | 100   | 10    | 45    | 45   |
+
+use dss_sim::{Grouping, TopologyBuilder, Workload};
+
+use crate::App;
+
+/// The paper's three experimental scales for this topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqScale {
+    /// 20 executors (2/9/9).
+    Small,
+    /// 50 executors (5/25/20).
+    Medium,
+    /// 100 executors (10/45/45).
+    Large,
+}
+
+impl CqScale {
+    /// `(spout, query, file)` parallelism.
+    pub fn parallelism(self) -> (usize, usize, usize) {
+        match self {
+            CqScale::Small => (2, 9, 9),
+            CqScale::Medium => (5, 25, 20),
+            CqScale::Large => (10, 45, 45),
+        }
+    }
+
+    /// Nominal workload (queries/s). Scaled with the executor count so the
+    /// cluster "undertakes heavier workload but has not been overloaded"
+    /// (§4.2's description of the large case).
+    pub fn nominal_rate(self) -> f64 {
+        match self {
+            CqScale::Small => 1000.0,
+            CqScale::Medium => 2200.0,
+            CqScale::Large => 4200.0,
+        }
+    }
+
+    /// Lowercase label for file names.
+    pub fn label(self) -> &'static str {
+        match self {
+            CqScale::Small => "small",
+            CqScale::Medium => "medium",
+            CqScale::Large => "large",
+        }
+    }
+}
+
+/// Fraction of queried rows that match (speeders hit rate; see
+/// `datagen::VehicleDb::speeders`).
+pub const QUERY_HIT_RATE: f64 = 0.2;
+
+/// Builds the topology and nominal workload at a given scale.
+pub fn continuous_queries(scale: CqScale) -> App {
+    let (sp, qp, fp) = scale.parallelism();
+    let mut b = TopologyBuilder::new(format!("continuous-queries-{}", scale.label()));
+    // Spout: deserialize a query and emit it (~40 µs).
+    let spout = b.spout("query-spout", sp, 0.04);
+    // Query bolt: scan the in-memory table (the dominant cost).
+    let query = b.bolt("query-bolt", qp, 0.9);
+    // File bolt: append matching records to the output file.
+    let file = b.bolt("file-bolt", fp, 0.45);
+    b.service_cv(query, 0.6);
+    b.service_cv(file, 0.4);
+    // Queries are small; matched records carry owner info.
+    b.edge(spout, query, Grouping::Shuffle, 1.0, 96);
+    b.edge(query, file, Grouping::Shuffle, QUERY_HIT_RATE, 320);
+    let topology = b.build().expect("static topology is valid");
+    let workload = Workload::uniform(&topology, scale.nominal_rate());
+    App {
+        name: match scale {
+            CqScale::Small => "cq_small",
+            CqScale::Medium => "cq_medium",
+            CqScale::Large => "cq_large",
+        },
+        topology,
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_counts_match_paper() {
+        assert_eq!(continuous_queries(CqScale::Small).topology.n_executors(), 20);
+        assert_eq!(
+            continuous_queries(CqScale::Medium).topology.n_executors(),
+            50
+        );
+        assert_eq!(continuous_queries(CqScale::Large).topology.n_executors(), 100);
+    }
+
+    #[test]
+    fn structure_is_a_chain() {
+        let app = continuous_queries(CqScale::Large);
+        let t = &app.topology;
+        assert_eq!(t.components().len(), 3);
+        assert_eq!(t.edges().len(), 2);
+        assert_eq!(t.spouts(), vec![0]);
+        // Only hits flow to the file bolt.
+        let rates = t.component_rates(app.workload.rates());
+        assert!((rates[1] - 4200.0).abs() < 1e-9);
+        assert!((rates[2] - 4200.0 * QUERY_HIT_RATE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_fits_cluster_but_not_one_machine() {
+        // Large scale must need >1 machine (so packing everything is wrong)
+        // but « 10 machines (so round-robin wastes locality).
+        let app = continuous_queries(CqScale::Large);
+        let rates = app.topology.component_rates(app.workload.rates());
+        let cores_needed: f64 = app
+            .topology
+            .components()
+            .iter()
+            .enumerate()
+            .map(|(c, spec)| rates[c] * spec.service_mean_ms / 1000.0)
+            .sum();
+        assert!(cores_needed > 4.0, "demand {cores_needed} cores");
+        assert!(cores_needed < 40.0 * 0.8, "demand {cores_needed} cores");
+    }
+}

@@ -1,0 +1,351 @@
+//! Synthetic data generators replacing the paper's external inputs.
+//!
+//! The simulator only consumes statistical properties (tuple sizes, key
+//! skew, selectivities), but the examples exercise realistic payloads; the
+//! byte sizes configured on topology edges are derived from these
+//! generators' output (see the `avg_len` tests).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use dss_sim::rng::Zipf;
+
+/// A row of the continuous-queries in-memory table: a vehicle plate with
+/// owner data and an attached speed (§4.1: "a database table with vehicle
+/// plates and their owners' information including their names and SSNs ...
+/// vehicle speeds were randomly generated and attached to every entry").
+#[derive(Debug, Clone, PartialEq)]
+pub struct VehicleRecord {
+    /// License plate, e.g. `ABC-1234`.
+    pub plate: String,
+    /// Owner name.
+    pub owner: String,
+    /// Owner SSN (synthetic).
+    pub ssn: String,
+    /// Speed in mph.
+    pub speed_mph: f64,
+}
+
+/// Generator for the in-memory vehicle table.
+#[derive(Debug)]
+pub struct VehicleDb {
+    records: Vec<VehicleRecord>,
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Heidi", "Ivan", "Judy",
+    "Karl", "Laura", "Mallory", "Niaj", "Olivia", "Peggy", "Quentin", "Rupert", "Sybil",
+    "Trent",
+];
+const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas",
+];
+
+impl VehicleDb {
+    /// Generates `n` random records.
+    pub fn generate(n: usize, rng: &mut StdRng) -> Self {
+        let records = (0..n)
+            .map(|_| {
+                let plate = format!(
+                    "{}{}{}-{:04}",
+                    random_upper(rng),
+                    random_upper(rng),
+                    random_upper(rng),
+                    rng.random_range(0..10_000)
+                );
+                let owner = format!(
+                    "{} {}",
+                    FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())],
+                    LAST_NAMES[rng.random_range(0..LAST_NAMES.len())]
+                );
+                let ssn = format!(
+                    "{:03}-{:02}-{:04}",
+                    rng.random_range(100..999),
+                    rng.random_range(10..99),
+                    rng.random_range(1000..9999)
+                );
+                let speed_mph = rng.random_range(25.0..95.0);
+                VehicleRecord {
+                    plate,
+                    owner,
+                    ssn,
+                    speed_mph,
+                }
+            })
+            .collect();
+        Self { records }
+    }
+
+    /// The table rows.
+    pub fn records(&self) -> &[VehicleRecord] {
+        &self.records
+    }
+
+    /// Rows with speed above `threshold` (the query bolt's scan).
+    pub fn speeders(&self, threshold: f64) -> impl Iterator<Item = &VehicleRecord> {
+        self.records.iter().filter(move |r| r.speed_mph > threshold)
+    }
+}
+
+/// Generator of "find owners of speeding vehicles" queries.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryGen {
+    /// Minimum threshold sampled.
+    pub min_mph: f64,
+    /// Maximum threshold sampled.
+    pub max_mph: f64,
+}
+
+impl Default for QueryGen {
+    fn default() -> Self {
+        Self {
+            min_mph: 60.0,
+            max_mph: 90.0,
+        }
+    }
+}
+
+impl QueryGen {
+    /// One random query: a speed threshold.
+    pub fn next_query(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.min_mph..self.max_mph)
+    }
+}
+
+/// IIS-style log line generator. Entry types (URL paths) follow a Zipf
+/// popularity, matching the skew the LogRules→Counter fields grouping sees.
+#[derive(Debug)]
+pub struct LogLineGen {
+    paths: Vec<String>,
+    zipf: Zipf,
+    statuses: Vec<(u32, f64)>,
+}
+
+impl LogLineGen {
+    /// A generator with `n_paths` distinct request paths and Zipf skew `s`.
+    pub fn new(n_paths: usize, skew: f64) -> Self {
+        let paths = (0..n_paths)
+            .map(|i| match i % 5 {
+                0 => format!("/index_{i}.html"),
+                1 => format!("/api/v1/resource/{i}"),
+                2 => format!("/static/img_{i}.png"),
+                3 => format!("/login?session={i}"),
+                _ => format!("/dept/pages/{i}.aspx"),
+            })
+            .collect();
+        Self {
+            paths,
+            zipf: Zipf::new(n_paths, skew),
+            statuses: vec![(200, 0.9), (304, 0.05), (404, 0.04), (500, 0.01)],
+        }
+    }
+
+    /// Number of distinct paths (the Counter's key universe).
+    pub fn n_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// One W3C/IIS-format log line.
+    pub fn next_line(&self, t_seconds: u64, rng: &mut StdRng) -> String {
+        let path_idx = self.zipf.sample(rng);
+        let mut u: f64 = rng.random_range(0.0..1.0);
+        let mut status = 200;
+        for &(code, p) in &self.statuses {
+            if u < p {
+                status = code;
+                break;
+            }
+            u -= p;
+        }
+        let ip = format!(
+            "128.230.{}.{}",
+            rng.random_range(0..256),
+            rng.random_range(1..255)
+        );
+        let bytes = rng.random_range(200..40_000);
+        let ms = rng.random_range(1..900);
+        format!(
+            "2017-10-{:02} {:02}:{:02}:{:02} {} GET {} - 80 - {} Mozilla/5.0 {} {} {}",
+            1 + (t_seconds / 86_400) % 28,
+            (t_seconds / 3600) % 24,
+            (t_seconds / 60) % 60,
+            t_seconds % 60,
+            "W3SVC1",
+            self.paths[path_idx],
+            ip,
+            status,
+            bytes,
+            ms
+        )
+    }
+}
+
+/// Zipf-vocabulary text generator, statistically matching natural-language
+/// word frequencies (the substitute for *Alice's Adventures in
+/// Wonderland*).
+#[derive(Debug)]
+pub struct TextGen {
+    vocab: Vec<String>,
+    zipf: Zipf,
+    words_per_line_min: usize,
+    words_per_line_max: usize,
+}
+
+impl TextGen {
+    /// A generator over `vocab_size` synthetic words with Zipf exponent
+    /// `skew` (natural text ≈ 1.0); lines hold 5–15 words like the paper's
+    /// input prose.
+    pub fn new(vocab_size: usize, skew: f64) -> Self {
+        const SYLLABLES: &[&str] = &[
+            "al", "ice", "won", "der", "land", "rab", "bit", "queen", "hat", "ter", "mad",
+            "tea", "card", "rose", "march", "hare", "cat", "grin", "key", "door",
+        ];
+        let vocab = (0..vocab_size)
+            .map(|i| {
+                let a = SYLLABLES[i % SYLLABLES.len()];
+                let b = SYLLABLES[(i / SYLLABLES.len()) % SYLLABLES.len()];
+                if i < SYLLABLES.len() {
+                    a.to_string()
+                } else {
+                    format!("{a}{b}")
+                }
+            })
+            .collect();
+        Self {
+            vocab,
+            zipf: Zipf::new(vocab_size, skew),
+            words_per_line_min: 5,
+            words_per_line_max: 15,
+        }
+    }
+
+    /// Vocabulary size (the WordCount fields-grouping key universe).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// One line of text.
+    pub fn next_line(&self, rng: &mut StdRng) -> String {
+        let n = rng.random_range(self.words_per_line_min..=self.words_per_line_max);
+        let mut line = String::new();
+        for i in 0..n {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&self.vocab[self.zipf.sample(rng)]);
+        }
+        line
+    }
+
+    /// Average words per line (the split bolt's selectivity).
+    pub fn avg_words_per_line(&self) -> f64 {
+        (self.words_per_line_min + self.words_per_line_max) as f64 / 2.0
+    }
+}
+
+fn random_upper(rng: &mut StdRng) -> char {
+    (b'A' + rng.random_range(0..26u8)) as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn vehicle_db_shape() {
+        let db = VehicleDb::generate(500, &mut rng());
+        assert_eq!(db.records().len(), 500);
+        for r in db.records().iter().take(20) {
+            assert_eq!(r.plate.len(), 8);
+            assert!(r.ssn.len() == 11 && r.ssn.chars().filter(|&c| c == '-').count() == 2);
+            assert!((25.0..95.0).contains(&r.speed_mph));
+        }
+    }
+
+    #[test]
+    fn speeders_filter_matches_threshold() {
+        let db = VehicleDb::generate(1000, &mut rng());
+        let threshold = 70.0;
+        let hits = db.speeders(threshold).count();
+        assert!(hits > 0 && hits < 1000);
+        assert!(db.speeders(threshold).all(|r| r.speed_mph > threshold));
+        // ~(95-70)/(95-25) ≈ 36% expected hit rate.
+        let frac = hits as f64 / 1000.0;
+        assert!((frac - 0.357).abs() < 0.08, "{frac}");
+    }
+
+    #[test]
+    fn query_gen_in_range() {
+        let q = QueryGen::default();
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = q.next_query(&mut r);
+            assert!((60.0..90.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_lines_look_like_iis() {
+        let g = LogLineGen::new(50, 1.0);
+        let mut r = rng();
+        let line = g.next_line(3_600, &mut r);
+        assert!(line.starts_with("2017-10-"), "{line}");
+        assert!(line.contains("GET /"), "{line}");
+        assert!(line.contains("128.230."), "{line}");
+        // Average length informs the topology's tuple_bytes.
+        let avg: f64 = (0..200)
+            .map(|i| g.next_line(i, &mut r).len() as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!((80.0..200.0).contains(&avg), "avg IIS line len {avg}");
+    }
+
+    #[test]
+    fn log_paths_are_zipf_skewed() {
+        let g = LogLineGen::new(50, 1.0);
+        let mut r = rng();
+        let mut top = 0usize;
+        let n = 5000;
+        for i in 0..n {
+            let line = g.next_line(i, &mut r);
+            if line.contains("/index_0.html") {
+                top += 1;
+            }
+        }
+        // Rank-1 path under Zipf(1.0, 50) has mass ~ 1/H_50 ≈ 0.22.
+        let frac = top as f64 / n as f64;
+        assert!(frac > 0.15, "top path share {frac}");
+    }
+
+    #[test]
+    fn text_gen_statistics() {
+        let g = TextGen::new(3000, 1.0);
+        let mut r = rng();
+        let mut total_words = 0usize;
+        let lines = 500;
+        for _ in 0..lines {
+            total_words += g.next_line(&mut r).split(' ').count();
+        }
+        let avg = total_words as f64 / lines as f64;
+        assert!(
+            (avg - g.avg_words_per_line()).abs() < 1.0,
+            "avg words {avg}"
+        );
+        assert_eq!(g.vocab_size(), 3000);
+    }
+
+    #[test]
+    fn generators_deterministic_per_seed() {
+        let g = TextGen::new(100, 1.0);
+        let a = g.next_line(&mut StdRng::seed_from_u64(5));
+        let b = g.next_line(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,140 @@
+//! Log Stream Processing topology (paper Figure 4).
+//!
+//! `Spout → LogRules → {Indexer → Database, Counter → Database}`: LogStash
+//! submits IIS log lines through Redis; the LogRules bolt runs rule-based
+//! analysis and delivers results *simultaneously* to an Indexer branch and
+//! a Counter branch, each ending in a Mongo database writer (the paper
+//! added the two Database bolts for verification).
+//!
+//! Executor layout (§4.1, 100 executors): 10 spout / 20 LogRules /
+//! 20 Indexer / 20 Counter / 15 + 15 Database.
+//!
+//! The Counter branch is fields-grouped by log entry type; entry-type
+//! popularity is Zipf-skewed (see `datagen::LogLineGen`), creating the hot
+//! executors a good scheduler must place carefully.
+
+use dss_sim::{Grouping, TopologyBuilder, Workload};
+
+use crate::App;
+
+/// Distinct log entry types (request paths) for the Counter's fields
+/// grouping — matches `LogLineGen::new(50, 1.0)`.
+pub const N_ENTRY_TYPES: usize = 50;
+/// Zipf skew of entry-type popularity.
+pub const ENTRY_TYPE_SKEW: f64 = 1.0;
+/// Nominal log lines per second.
+pub const NOMINAL_RATE: f64 = 2200.0;
+
+/// Builds the 100-executor log-stream topology with its nominal workload.
+pub fn log_stream() -> App {
+    let mut b = TopologyBuilder::new("log-stream-processing");
+    // Spout: pull a JSON log line from the Redis queue.
+    let spout = b.spout("redis-spout", 10, 0.05);
+    // LogRules: rule-based analysis of each line (regex-heavy).
+    let rules = b.bolt("logrules-bolt", 20, 1.4);
+    // Indexer: build index actions for the matched entries.
+    let indexer = b.bolt("indexer-bolt", 20, 1.1);
+    // Counter: increment per-entry-type counters.
+    let counter = b.bolt("counter-bolt", 20, 0.7);
+    // Database writers (Mongo inserts; the slowest per-tuple step).
+    let db_index = b.bolt("db-indexer", 15, 1.6);
+    let db_count = b.bolt("db-counter", 15, 1.2);
+    b.service_cv(rules, 0.6);
+    b.service_cv(db_index, 0.7);
+    b.service_cv(db_count, 0.7);
+    // IIS lines ~150 B as JSON ~ 400 B; analysis results smaller.
+    b.edge(spout, rules, Grouping::Shuffle, 1.0, 420);
+    // "results are simultaneously delivered to two separate bolts".
+    b.edge(rules, indexer, Grouping::Shuffle, 1.0, 320);
+    b.edge(
+        rules,
+        counter,
+        Grouping::Fields {
+            n_keys: N_ENTRY_TYPES,
+            skew: ENTRY_TYPE_SKEW,
+        },
+        1.0,
+        160,
+    );
+    // Index writes per entry; counter flushes aggregates (1 in 4 tuples).
+    b.edge(indexer, db_index, Grouping::Shuffle, 0.9, 380);
+    b.edge(counter, db_count, Grouping::Shuffle, 0.25, 120);
+    let topology = b.build().expect("static topology is valid");
+    let workload = Workload::uniform(&topology, NOMINAL_RATE);
+    App {
+        name: "log_stream",
+        topology,
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_counts_match_paper() {
+        let app = log_stream();
+        assert_eq!(app.topology.n_executors(), 100);
+        let p: Vec<usize> = app
+            .topology
+            .components()
+            .iter()
+            .map(|c| c.parallelism)
+            .collect();
+        assert_eq!(p, vec![10, 20, 20, 20, 15, 15]);
+    }
+
+    #[test]
+    fn both_branches_fed_simultaneously() {
+        let app = log_stream();
+        let rates = app.topology.component_rates(app.workload.rates());
+        // Indexer and Counter both see the full LogRules output.
+        assert!((rates[2] - NOMINAL_RATE).abs() < 1e-6);
+        assert!((rates[3] - NOMINAL_RATE).abs() < 1e-6);
+        // The DB branches see filtered flows.
+        assert!(rates[4] < rates[2]);
+        assert!(rates[5] < rates[3]);
+    }
+
+    #[test]
+    fn counter_branch_is_skewed() {
+        let app = log_stream();
+        let counter_edge = app
+            .topology
+            .edges()
+            .iter()
+            .position(|e| matches!(e.grouping, Grouping::Fields { .. }))
+            .expect("fields edge exists");
+        let shares = app.topology.fields_shares(counter_edge).unwrap();
+        let max = shares.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = shares.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > 2.0 * min, "entry-type skew expected: {shares:?}");
+    }
+
+    #[test]
+    fn heavier_than_continuous_queries() {
+        // The paper: "This topology is more complicated than the previous
+        // continuous queries topology, which leads to a longer average
+        // tuple processing time no matter which method is used."
+        let app = log_stream();
+        let rates = app.topology.component_rates(app.workload.rates());
+        let service_sum: f64 = app
+            .topology
+            .components()
+            .iter()
+            .enumerate()
+            .map(|(c, s)| rates[c] / NOMINAL_RATE * s.service_mean_ms)
+            .sum();
+        let cq = crate::continuous_queries(crate::CqScale::Large);
+        let cq_rates = cq.topology.component_rates(cq.workload.rates());
+        let cq_sum: f64 = cq
+            .topology
+            .components()
+            .iter()
+            .enumerate()
+            .map(|(c, s)| cq_rates[c] / 4500.0 * s.service_mean_ms)
+            .sum();
+        assert!(service_sum > 2.0 * cq_sum, "{service_sum} vs {cq_sum}");
+    }
+}

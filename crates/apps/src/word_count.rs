@@ -1,0 +1,138 @@
+//! Word Count topology, stream version (paper Figure 5).
+//!
+//! `Spout → SplitSentence → WordCount → Database`: LogStash pushes text
+//! lines through Redis; the split bolt breaks lines into words; the count
+//! bolt tallies appearances using **fields grouping** (the paper names the
+//! grouping explicitly for this topology); the database bolt persists
+//! results to Mongo.
+//!
+//! Executor layout (§4.1, 100 executors): 10 spout / 30 split / 30 count /
+//! 30 database.
+//!
+//! Word frequencies follow Zipf (natural text), so a handful of count
+//! executors receive most of the traffic — the load-balancing challenge
+//! this topology contributes to the evaluation.
+
+use dss_sim::{Grouping, TopologyBuilder, Workload};
+
+use crate::App;
+
+/// Vocabulary size for the fields grouping (matches `TextGen::new(3000, 1.0)`).
+pub const VOCAB_SIZE: usize = 3000;
+/// Zipf exponent of word frequency (natural language ≈ 1).
+pub const WORD_SKEW: f64 = 1.0;
+/// Average words per input line (the split bolt's selectivity; matches
+/// `TextGen::avg_words_per_line`).
+pub const WORDS_PER_LINE: f64 = 10.0;
+/// Nominal input lines per second.
+pub const NOMINAL_RATE: f64 = 900.0;
+
+/// Builds the 100-executor word-count topology with its nominal workload.
+pub fn word_count() -> App {
+    let mut b = TopologyBuilder::new("word-count-stream");
+    // Spout: pull a text line from the Redis queue.
+    let spout = b.spout("line-spout", 10, 0.05);
+    // Split: tokenize the line (cheap per line, emits one tuple per word).
+    let split = b.bolt("split-bolt", 30, 0.35);
+    // Count: hash-map increment per word (cheap, but hot-key skewed).
+    let count = b.bolt("count-bolt", 30, 0.18);
+    // Database: periodic count flushes to Mongo.
+    let db = b.bolt("db-bolt", 30, 1.1);
+    b.service_cv(split, 0.4);
+    b.service_cv(count, 0.5);
+    b.service_cv(db, 0.7);
+    // Text lines ~70 B; words ~8 B (+framing); flushed counts small.
+    b.edge(spout, split, Grouping::Shuffle, 1.0, 96);
+    b.edge(
+        split,
+        count,
+        Grouping::Fields {
+            n_keys: VOCAB_SIZE,
+            skew: WORD_SKEW,
+        },
+        WORDS_PER_LINE,
+        40,
+    );
+    // Counts are flushed periodically, not per word.
+    b.edge(count, db, Grouping::Shuffle, 0.05, 64);
+    let topology = b.build().expect("static topology is valid");
+    let workload = Workload::uniform(&topology, NOMINAL_RATE);
+    App {
+        name: "word_count",
+        topology,
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_counts_match_paper() {
+        let app = word_count();
+        assert_eq!(app.topology.n_executors(), 100);
+        let p: Vec<usize> = app
+            .topology
+            .components()
+            .iter()
+            .map(|c| c.parallelism)
+            .collect();
+        assert_eq!(p, vec![10, 30, 30, 30]);
+    }
+
+    #[test]
+    fn split_fans_out_words() {
+        let app = word_count();
+        let rates = app.topology.component_rates(app.workload.rates());
+        assert!((rates[1] - NOMINAL_RATE).abs() < 1e-6);
+        assert!((rates[2] - NOMINAL_RATE * WORDS_PER_LINE).abs() < 1e-6);
+        assert!(rates[3] < rates[2] * 0.1);
+    }
+
+    #[test]
+    fn count_bolt_uses_fields_grouping_with_zipf_skew() {
+        let app = word_count();
+        let edge = &app.topology.edges()[1];
+        assert!(matches!(
+            edge.grouping,
+            Grouping::Fields {
+                n_keys: VOCAB_SIZE,
+                ..
+            }
+        ));
+        let shares = app.topology.fields_shares(1).unwrap();
+        let max = shares.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max > 2.0 / 30.0,
+            "hot word executor should exceed 2x uniform: {max}"
+        );
+    }
+
+    #[test]
+    fn complexity_comparable_to_continuous_queries() {
+        // The paper: "the complexity of this topology is similar to that of
+        // the continuous queries topology" (both stabilize in the 1.5-3.5ms
+        // band). Per-root-tuple service demand should be within ~2x.
+        let app = word_count();
+        let rates = app.topology.component_rates(app.workload.rates());
+        let per_line_ms: f64 = app
+            .topology
+            .components()
+            .iter()
+            .enumerate()
+            .map(|(c, s)| rates[c] / NOMINAL_RATE * s.service_mean_ms)
+            .sum();
+        let cq = crate::continuous_queries(crate::CqScale::Large);
+        let cq_rates = cq.topology.component_rates(cq.workload.rates());
+        let cq_ms: f64 = cq
+            .topology
+            .components()
+            .iter()
+            .enumerate()
+            .map(|(c, s)| cq_rates[c] / 4500.0 * s.service_mean_ms)
+            .sum();
+        let ratio = per_line_ms / cq_ms;
+        assert!((0.5..4.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Criterion micro/meso benchmarks for every performance-relevant
+//! component: DES throughput, analytic evaluation, NN training, MIQP-NN
+//! mapping, SVR fitting, replay buffer, and per-epoch scheduler decisions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dss_apps::{continuous_queries, log_stream, word_count, CqScale};
+use dss_core::{ActorCriticScheduler, ControlConfig, Scheduler, SchedState};
+use dss_nn::{mse_loss_grad, Activation, Adam, Matrix, Mlp};
+use dss_rl::{ActionMapper, KBestMapper, ReplayBuffer, Transition};
+use dss_sim::{AnalyticModel, Assignment, ClusterSpec, SimConfig, SimEngine};
+use dss_svr::{LinearSvr, SvrConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for (label, app) in [
+        ("cq_small", continuous_queries(CqScale::Small)),
+        ("cq_large", continuous_queries(CqScale::Large)),
+        ("log_stream", log_stream()),
+        ("word_count", word_count()),
+    ] {
+        group.bench_function(format!("{label}_10s"), |b| {
+            b.iter_batched(
+                || {
+                    let cluster = ClusterSpec::homogeneous(10);
+                    let mut eng = SimEngine::new(
+                        app.topology.clone(),
+                        cluster.clone(),
+                        app.workload.clone(),
+                        SimConfig::steady_state(1),
+                    )
+                    .unwrap();
+                    let rr = Assignment::round_robin(&app.topology, &cluster);
+                    eng.deploy(rr).unwrap();
+                    eng
+                },
+                |mut eng| {
+                    eng.run_until(10.0);
+                    black_box(eng.events_processed())
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytic_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic_eval");
+    for (label, app) in [
+        ("cq_small", continuous_queries(CqScale::Small)),
+        ("cq_large", continuous_queries(CqScale::Large)),
+        ("log_stream", log_stream()),
+    ] {
+        let cluster = ClusterSpec::homogeneous(10);
+        let mut model =
+            AnalyticModel::new(app.topology.clone(), cluster.clone(), SimConfig::steady_state(1))
+                .unwrap();
+        let rr = Assignment::round_robin(&app.topology, &cluster);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(model.evaluate(black_box(&rr), &app.workload)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn");
+    // The paper's critic shape at CQ-large scale: 2001 inputs, 64/32 tanh.
+    let mut net = Mlp::new(
+        &[2001, 64, 32, 1],
+        &[Activation::Tanh, Activation::Tanh, Activation::Identity],
+        7,
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Matrix::from_fn(32, 2001, |_, _| rng.random_range(0.0..1.0));
+    let y = Matrix::from_fn(32, 1, |_, _| rng.random_range(-1.0..0.0));
+    group.bench_function("critic_infer_batch32", |b| {
+        b.iter(|| black_box(net.infer(black_box(&x))));
+    });
+    let mut opt = Adam::new(1e-3);
+    group.bench_function("critic_train_step_batch32", |b| {
+        b.iter(|| {
+            let pred = net.forward(&x);
+            let (_, grad) = mse_loss_grad(&pred, &y);
+            net.zero_grad();
+            net.backward(&grad);
+            net.apply_gradients(&mut opt);
+        });
+    });
+    group.finish();
+}
+
+fn bench_knn_mapper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_mapper");
+    let mut rng = StdRng::seed_from_u64(3);
+    for (n, m) in [(20usize, 10usize), (100, 10), (200, 20)] {
+        let proto: Vec<f64> = (0..n * m).map(|_| rng.random_range(0.0..1.0)).collect();
+        let mut mapper = KBestMapper::new(n, m);
+        group.bench_function(format!("kbest_n{n}_m{m}_k8"), |b| {
+            b.iter(|| black_box(mapper.nearest(black_box(&proto), 8)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_svr(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let xs: Vec<Vec<f64>> = (0..500)
+        .map(|_| (0..5).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>()).collect();
+    c.bench_function("svr_fit_500x5", |b| {
+        b.iter(|| {
+            black_box(LinearSvr::fit(
+                black_box(&xs),
+                &ys,
+                SvrConfig {
+                    epochs: 30,
+                    ..SvrConfig::default()
+                },
+            ))
+        });
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut buf: ReplayBuffer<usize> = ReplayBuffer::new(1000);
+    for i in 0..1000 {
+        buf.push(Transition::new(vec![0.0; 128], i % 10, -1.0, vec![0.0; 128]));
+    }
+    let mut rng = StdRng::seed_from_u64(9);
+    c.bench_function("replay_sample_h32", |b| {
+        b.iter(|| black_box(buf.sample(32, &mut rng)));
+    });
+}
+
+fn bench_scheduler_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_decision");
+    group.sample_size(10);
+    let app = continuous_queries(CqScale::Large);
+    let cluster = ClusterSpec::homogeneous(10);
+    let cfg = ControlConfig::test();
+    let mut ac = ActorCriticScheduler::new(100, 10, 1, &cfg);
+    ac.freeze();
+    let state = SchedState::new(
+        Assignment::round_robin(&app.topology, &cluster),
+        app.workload.clone(),
+    );
+    group.bench_function("actor_critic_epoch_n100_m10", |b| {
+        b.iter(|| black_box(ac.schedule(black_box(&state))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_throughput,
+    bench_analytic_eval,
+    bench_nn,
+    bench_knn_mapper,
+    bench_svr,
+    bench_replay,
+    bench_scheduler_decision
+);
+criterion_main!(benches);

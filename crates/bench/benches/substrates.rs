@@ -1,0 +1,187 @@
+//! Criterion benchmarks for the control-plane substrates: coordination
+//! service, wire codec, and the transition database.
+//!
+//! These bound the control overhead of the framework outside the
+//! decision-making path: the paper's "low control overhead" claim rests on
+//! the per-epoch cost being dominated by measurement, not plumbing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dss_coord::{CoordConfig, CoordService, CreateMode};
+use dss_proto::{decode_frame, encode_frame, Message};
+use dss_store::{LogConfig, TransitionDb, TransitionRecord};
+
+fn bench_coord(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coord");
+
+    group.bench_function("set_get_assignment_znode", |b| {
+        let svc = CoordService::new(CoordConfig::default());
+        let s = svc.connect();
+        s.ensure_path("/storm/assignments/bench", b"init").unwrap();
+        let payload = dss_coord::storm::encode_assignment(&vec![3usize; 100], 10);
+        b.iter(|| {
+            s.set_data("/storm/assignments/bench", &payload, None).unwrap();
+            black_box(s.get_data("/storm/assignments/bench").unwrap().0.len())
+        });
+    });
+
+    group.bench_function("create_delete_ephemeral", |b| {
+        let svc = CoordService::new(CoordConfig::default());
+        let s = svc.connect();
+        s.ensure_path("/beats", b"").unwrap();
+        b.iter(|| {
+            s.create("/beats/w", b"", CreateMode::Ephemeral).unwrap();
+            s.delete("/beats/w", None).unwrap();
+        });
+    });
+
+    group.bench_function("children_watch_fire", |b| {
+        let svc = CoordService::new(CoordConfig::default());
+        let s = svc.connect();
+        s.ensure_path("/parent", b"").unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let (_, watcher) = s.get_children_watch("/parent").unwrap();
+            let path = format!("/parent/n{i}");
+            i += 1;
+            s.create(&path, b"", CreateMode::Persistent).unwrap();
+            black_box(watcher.drain().len())
+        });
+    });
+
+    group.bench_function("session_expiry_100_supervisors", |b| {
+        b.iter_batched(
+            || {
+                let svc = CoordService::new(CoordConfig {
+                    session_timeout_ms: 10,
+                });
+                let master = svc.connect();
+                master.ensure_path("/storm/supervisors", b"").unwrap();
+                for m in 0..100 {
+                    let sess = svc.connect();
+                    sess.create(
+                        &dss_coord::StormPaths::supervisor(m),
+                        b"",
+                        CreateMode::Ephemeral,
+                    )
+                    .unwrap();
+                    std::mem::forget(sess); // crash: never heartbeats again
+                }
+                svc
+            },
+            |svc| black_box(svc.advance_to(1_000).len()),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn state_report(n: usize, m: usize) -> Message {
+    Message::StateReport {
+        epoch: 42,
+        machine_of: (0..n).map(|i| i % m).collect(),
+        n_machines: m,
+        source_rates: vec![(0, 250.0), (1, 250.0)],
+    }
+}
+
+fn bench_proto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proto");
+
+    for (label, n) in [("state_report_20", 20), ("state_report_100", 100)] {
+        let msg = state_report(n, 10);
+        group.bench_function(format!("encode_{label}"), |b| {
+            b.iter(|| black_box(encode_frame(&msg).len()));
+        });
+        let frame = encode_frame(&msg);
+        group.bench_function(format!("decode_{label}"), |b| {
+            b.iter(|| black_box(decode_frame(&frame).unwrap()));
+        });
+    }
+
+    group.bench_function("roundtrip_reward_report", |b| {
+        let msg = Message::RewardReport {
+            epoch: 7,
+            avg_tuple_ms: 1.72,
+            measurements: vec![1.7, 1.71, 1.74, 1.73, 1.72],
+        };
+        b.iter(|| {
+            let frame = encode_frame(&msg);
+            black_box(decode_frame(&frame).unwrap())
+        });
+    });
+
+    group.finish();
+}
+
+fn record(n: usize, m: usize, epoch: u64) -> TransitionRecord {
+    TransitionRecord {
+        epoch,
+        machine_of: (0..n).map(|i| i % m).collect(),
+        n_machines: m,
+        source_rates: vec![(0, 500.0)],
+        action_machine_of: (0..n).map(|i| (i + 1) % m).collect(),
+        reward: -1.5,
+        next_machine_of: (0..n).map(|i| (i + 1) % m).collect(),
+        next_source_rates: vec![(0, 500.0)],
+    }
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(20);
+
+    group.bench_function("append_100_executor_sample", |b| {
+        let dir = std::env::temp_dir().join(format!("dss-bench-append-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let db = TransitionDb::open(&dir).unwrap();
+        let mut epoch = 0;
+        b.iter(|| {
+            epoch += 1;
+            db.append(&record(100, 10, epoch)).unwrap()
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    });
+
+    group.bench_function("scan_1000_samples", |b| {
+        let dir = std::env::temp_dir().join(format!("dss-bench-scan-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let db = TransitionDb::open(&dir).unwrap();
+        for e in 0..1000 {
+            db.append(&record(100, 10, e)).unwrap();
+        }
+        b.iter(|| black_box(db.scan().unwrap().len()));
+        std::fs::remove_dir_all(&dir).ok();
+    });
+
+    group.bench_function("recovery_open_1000_samples", |b| {
+        let dir = std::env::temp_dir().join(format!("dss-bench-recover-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = TransitionDb::open_with(
+                &dir,
+                LogConfig {
+                    max_segment_bytes: 256 << 10,
+                    sync_every_append: false,
+                },
+            )
+            .unwrap();
+            for e in 0..1000 {
+                db.append(&record(100, 10, e)).unwrap();
+            }
+            db.sync().unwrap();
+        }
+        b.iter(|| {
+            let db = TransitionDb::open(&dir).unwrap();
+            black_box(db.len())
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_coord, bench_proto, bench_store);
+criterion_main!(benches);

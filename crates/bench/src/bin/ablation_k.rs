@@ -1,0 +1,57 @@
+//! Ablation: the K in the MIQP-NN K-nearest-neighbour action mapping.
+//!
+//! The paper leaves K unstated; DESIGN.md calls this choice out for
+//! ablation. Small K starves the critic of choices; large K costs MIQP
+//! time per decision. This sweep reports the deployed solution quality and
+//! decision latency for K ∈ {1, 2, 4, 8, 16, 32}.
+
+use std::time::Instant;
+
+use dss_apps::{continuous_queries, CqScale};
+use dss_bench::{emit_records, RunOptions};
+use dss_core::experiment::{deployment_curve, stable_ms, train_method, Method};
+use dss_metrics::{ExperimentRecord, ShapeCheck};
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let app = continuous_queries(CqScale::Small);
+    let cluster = opts.cluster();
+    let mut records = Vec::new();
+    let mut stable_by_k = Vec::new();
+
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        eprintln!("[ablation_k] K = {k}");
+        let mut cfg = opts.config;
+        cfg.k = k;
+        let t0 = Instant::now();
+        let outcome = train_method(Method::ActorCritic, &app, &cluster, &cfg);
+        let train_s = t0.elapsed().as_secs_f64();
+        let curve = deployment_curve(&app, &cluster, &cfg, &outcome.solution, 12.0, 30.0);
+        let ms = stable_ms(&curve);
+        stable_by_k.push((k, ms));
+        records.push(ExperimentRecord::new(
+            "ablation_k",
+            format!("stable avg tuple time at K={k} (ms)"),
+            None,
+            ms,
+        ));
+        records.push(ExperimentRecord::new(
+            "ablation_k",
+            format!("train+decide wall time at K={k} (s)"),
+            None,
+            train_s,
+        ));
+    }
+    let best_multi = stable_by_k
+        .iter()
+        .filter(|&&(k, _)| k >= 4)
+        .map(|&(_, ms)| ms)
+        .fold(f64::INFINITY, f64::min);
+    let k1 = stable_by_k[0].1;
+    let checks = vec![ShapeCheck::new(
+        "ablation_k",
+        "some K >= 4 does at least as well as K = 1 (critic choice helps)",
+        best_multi <= k1 * 1.05,
+    )];
+    emit_records(&opts, "ablation_k", &records, &checks);
+}

@@ -1,0 +1,75 @@
+//! Ablation: the workload `w` in the state.
+//!
+//! The paper: "Workload is included in the state to achieve better
+//! adaptivity and sensitivity to the incoming workload, which has been
+//! validated by our experimental results." This ablation re-runs the
+//! Figure 12 adaptation with a state-blinded agent: the workload feature
+//! is pinned to the nominal rate during decisions, so the agent cannot
+//! react to the +50% step.
+
+use dss_apps::{continuous_queries, CqScale};
+use dss_bench::{emit_records, emit_series, RunOptions};
+use dss_core::experiment::{train_method, workload_shift_curve, Method};
+use dss_core::Scheduler;
+use dss_metrics::{ExperimentRecord, ShapeCheck, TimeSeries};
+use dss_sim::Assignment;
+
+/// Wraps a trained scheduler but pins the workload its state reports.
+struct WorkloadBlind {
+    inner: Box<dyn Scheduler>,
+    nominal: dss_sim::Workload,
+}
+
+impl Scheduler for WorkloadBlind {
+    fn name(&self) -> &'static str {
+        "workload-blind"
+    }
+    fn schedule(&mut self, state: &dss_core::SchedState) -> Assignment {
+        let blinded = dss_core::SchedState::new(state.assignment.clone(), self.nominal.clone());
+        self.inner.schedule(&blinded)
+    }
+}
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let app = continuous_queries(CqScale::Large);
+    let cluster = opts.cluster();
+    let total_min = opts.minutes_or(40.0);
+    let shift_min = total_min * 0.4;
+
+    eprintln!("[ablation_state] training actor-critic twice (aware / blind)");
+    let mut aware = train_method(Method::ActorCritic, &app, &cluster, &opts.config);
+    let aware_curve = workload_shift_curve(
+        &app, &cluster, &opts.config, &mut aware, shift_min, total_min, 30.0,
+    );
+
+    let mut blind_outcome = train_method(Method::ActorCritic, &app, &cluster, &opts.config);
+    blind_outcome.scheduler = Box::new(WorkloadBlind {
+        inner: blind_outcome.scheduler,
+        nominal: app.workload.clone(),
+    });
+    let blind_curve = workload_shift_curve(
+        &app, &cluster, &opts.config, &mut blind_outcome, shift_min, total_min, 30.0,
+    );
+
+    let labelled: Vec<(&str, &TimeSeries)> = vec![
+        ("workload-aware", &aware_curve),
+        ("workload-blind", &blind_curve),
+    ];
+    emit_series(&opts, "ablation_state", &labelled);
+
+    let tail = |s: &TimeSeries| {
+        s.window_mean(total_min * 60.0 * 0.85, total_min * 60.0 + 1.0)
+            .unwrap_or(f64::NAN)
+    };
+    let records = vec![
+        ExperimentRecord::new("ablation_state", "restabilized ms, workload-aware", None, tail(&aware_curve)),
+        ExperimentRecord::new("ablation_state", "restabilized ms, workload-blind", None, tail(&blind_curve)),
+    ];
+    let checks = vec![ShapeCheck::new(
+        "ablation_state",
+        "workload-aware restabilizes at or below workload-blind",
+        tail(&aware_curve) <= tail(&blind_curve) * 1.02,
+    )];
+    emit_records(&opts, "ablation_state", &records, &checks);
+}

@@ -1,0 +1,190 @@
+//! Extension experiment: failure detection and repair (paper §2.1).
+//!
+//! The paper's evaluation never kills a machine, but its system model
+//! specifies what must happen when one dies: *"The master monitors
+//! heartbeat signals from all worker processes periodically. It
+//! re-schedules them when it discovers a failure."* This experiment
+//! quantifies that path on the simulated cluster:
+//!
+//! * a machine crashes at t = 120 s while the word-count topology runs;
+//! * **with repair**: Nimbus notices after the session timeout and moves
+//!   the stranded executors to live machines;
+//! * **without repair** (control): the executors stay assigned to the
+//!   dead machine and its share of tuples keeps failing.
+//!
+//! Reported: completed-tuple throughput and cumulative failed trees over
+//! time for both runs, plus the detection latency (crash -> repair).
+
+use dss_apps::word_count;
+use dss_bench::{emit_records, emit_series, RunOptions};
+use dss_coord::{CoordConfig, CoordService};
+use dss_metrics::{ExperimentRecord, ShapeCheck, TimeSeries};
+use dss_nimbus::{Nimbus, NimbusConfig, SupervisorSet};
+use dss_sim::{Assignment, ClusterSpec, SimConfig, SimEngine};
+
+const CRASH_AT_S: f64 = 120.0;
+const END_S: f64 = 480.0;
+const SAMPLE_S: f64 = 10.0;
+const SESSION_TIMEOUT_MS: u64 = 30_000;
+const CRASH_MACHINE: usize = 3;
+
+struct RunResult {
+    throughput: TimeSeries,
+    cum_failed: TimeSeries,
+    detection_s: Option<f64>,
+}
+
+fn run(repair: bool) -> RunResult {
+    let app = word_count();
+    let cluster = ClusterSpec::homogeneous(10);
+    let coord = CoordService::new(CoordConfig {
+        session_timeout_ms: SESSION_TIMEOUT_MS,
+    });
+    let initial = Assignment::round_robin(&app.topology, &cluster);
+    let engine = SimEngine::new(
+        app.topology.clone(),
+        cluster.clone(),
+        app.workload.clone(),
+        SimConfig::steady_state(17),
+    )
+    .expect("engine");
+    let mut nimbus = Nimbus::launch(
+        engine,
+        app.workload.clone(),
+        initial,
+        &coord,
+        NimbusConfig {
+            stabilize_s: 0.0,
+            ident: "fault-recovery".into(),
+            heartbeat_interval_s: 5.0,
+        },
+    )
+    .expect("launch");
+    let supervisors = SupervisorSet::register(&coord, 10).expect("supervisors");
+    nimbus.attach_supervisors(supervisors);
+
+    let mut throughput = TimeSeries::new();
+    let mut cum_failed = TimeSeries::new();
+    let mut detection_s = None;
+    let mut crashed = false;
+    let mut last_completed = 0u64;
+
+    let mut t = 0.0;
+    while t < END_S {
+        t += SAMPLE_S;
+        if !crashed && t >= CRASH_AT_S {
+            nimbus.crash_machine(CRASH_MACHINE);
+            crashed = true;
+        }
+        nimbus.advance(t);
+        if repair && detection_s.is_none() {
+            if let Some(_outcome) = nimbus.detect_and_repair().expect("repair") {
+                detection_s = Some(nimbus.engine().now() - CRASH_AT_S);
+            }
+        }
+        let (_, completed, failed, _) = nimbus.engine().tuple_counts();
+        throughput.push(t, (completed - last_completed) as f64 / SAMPLE_S);
+        last_completed = completed;
+        cum_failed.push(t, failed as f64);
+    }
+    RunResult {
+        throughput,
+        cum_failed,
+        detection_s,
+    }
+}
+
+fn main() {
+    let opts = RunOptions::from_env();
+    eprintln!("[fault_recovery] running with repair...");
+    let with = run(true);
+    eprintln!("[fault_recovery] running without repair (control)...");
+    let without = run(false);
+
+    emit_series(
+        &opts,
+        "fault_recovery_throughput",
+        &[
+            ("with_repair_tps", &with.throughput),
+            ("without_repair_tps", &without.throughput),
+        ],
+    );
+    emit_series(
+        &opts,
+        "fault_recovery_failures",
+        &[
+            ("with_repair_failed", &with.cum_failed),
+            ("without_repair_failed", &without.cum_failed),
+        ],
+    );
+
+    let detection = with.detection_s.unwrap_or(f64::NAN);
+    let final_failed_with = with.cum_failed.values().last().copied().unwrap_or(0.0);
+    let final_failed_without = without.cum_failed.values().last().copied().unwrap_or(0.0);
+    let late_tps_with = mean_tail(&with.throughput, 6);
+    let late_tps_without = mean_tail(&without.throughput, 6);
+
+    let records = vec![
+        ExperimentRecord::new(
+            "fault_recovery",
+            "failure detection latency (s; bounded by the 30 s session timeout + beat period)",
+            None,
+            detection,
+        ),
+        ExperimentRecord::new(
+            "fault_recovery",
+            "cumulative failed trees, with repair",
+            None,
+            final_failed_with,
+        ),
+        ExperimentRecord::new(
+            "fault_recovery",
+            "cumulative failed trees, without repair",
+            None,
+            final_failed_without,
+        ),
+        ExperimentRecord::new(
+            "fault_recovery",
+            "steady throughput after crash, with repair (tuples/s)",
+            None,
+            late_tps_with,
+        ),
+        ExperimentRecord::new(
+            "fault_recovery",
+            "steady throughput after crash, without repair (tuples/s)",
+            None,
+            late_tps_without,
+        ),
+    ];
+    let checks = vec![
+        ShapeCheck::new(
+            "fault_recovery",
+            "detection happens within session timeout + 2 heartbeat periods",
+            with.detection_s.is_some_and(|d| d <= 45.0),
+        ),
+        ShapeCheck::new(
+            "fault_recovery",
+            "repair restores at least 95% of pre-crash throughput",
+            late_tps_with >= 0.95 * mean_head(&with.throughput, 6),
+        ),
+        ShapeCheck::new(
+            "fault_recovery",
+            "repair strictly reduces cumulative failures",
+            final_failed_with < final_failed_without,
+        ),
+    ];
+    emit_records(&opts, "fault_recovery", &records, &checks);
+}
+
+fn mean_tail(s: &TimeSeries, n: usize) -> f64 {
+    let v = s.values();
+    let k = v.len().saturating_sub(n);
+    let tail = &v[k..];
+    tail.iter().sum::<f64>() / tail.len().max(1) as f64
+}
+
+fn mean_head(s: &TimeSeries, n: usize) -> f64 {
+    let v = s.values();
+    let head = &v[..n.min(v.len())];
+    head.iter().sum::<f64>() / head.len().max(1) as f64
+}

@@ -1,0 +1,42 @@
+//! Figure 10: average tuple processing time over the word count topology
+//! (stream version, large scale), four methods, 20 minutes.
+
+use dss_apps::word_count;
+use dss_bench::{emit_records, emit_series, RunOptions};
+use dss_core::experiment::{figure_deployment, stable_ms, Method};
+use dss_metrics::{ExperimentRecord, ShapeCheck, TimeSeries};
+
+/// Paper stable values: default, model-based, DQN, actor-critic (ms).
+const PAPER: [f64; 4] = [3.10, 2.16, 2.29, 1.70];
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let minutes = opts.minutes_or(20.0);
+    let app = word_count();
+    eprintln!("[fig10] training 4 methods on {}", app.name);
+    let results = figure_deployment(&app, &opts.cluster(), &opts.config, minutes, 30.0);
+    let labelled: Vec<(&str, &TimeSeries)> =
+        results.iter().map(|(m, s, _)| (m.label(), s)).collect();
+    emit_series(&opts, "fig10", &labelled);
+
+    let mut records = Vec::new();
+    let mut stable = std::collections::HashMap::new();
+    for ((method, series, _), paper_ms) in results.iter().zip(PAPER) {
+        let ms = stable_ms(series);
+        stable.insert(*method, ms);
+        records.push(ExperimentRecord::new(
+            "fig10",
+            format!("stable avg tuple time, {} (ms)", method.label()),
+            Some(paper_ms),
+            ms,
+        ));
+    }
+    let checks = vec![ShapeCheck::new(
+        "fig10",
+        "actor-critic wins",
+        stable[&Method::ActorCritic] < stable[&Method::ModelBased]
+            && stable[&Method::ActorCritic] < stable[&Method::Default]
+            && stable[&Method::ActorCritic] < stable[&Method::Dqn],
+    )];
+    emit_records(&opts, "fig10", &records, &checks);
+}

@@ -1,0 +1,49 @@
+//! Figure 8: average tuple processing time over the log stream processing
+//! topology (large scale), four methods, 20 minutes after deployment.
+
+use dss_apps::log_stream;
+use dss_bench::{emit_records, emit_series, RunOptions};
+use dss_core::experiment::{figure_deployment, stable_ms, Method};
+use dss_metrics::{ExperimentRecord, ShapeCheck, TimeSeries};
+
+/// Paper stable values: default, model-based, DQN, actor-critic (ms).
+const PAPER: [f64; 4] = [9.61, 7.91, 8.19, 7.20];
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let minutes = opts.minutes_or(20.0);
+    let app = log_stream();
+    eprintln!("[fig8] training 4 methods on {}", app.name);
+    let results = figure_deployment(&app, &opts.cluster(), &opts.config, minutes, 30.0);
+    let labelled: Vec<(&str, &TimeSeries)> =
+        results.iter().map(|(m, s, _)| (m.label(), s)).collect();
+    emit_series(&opts, "fig8", &labelled);
+
+    let mut records = Vec::new();
+    let mut stable = std::collections::HashMap::new();
+    for ((method, series, _), paper_ms) in results.iter().zip(PAPER) {
+        let ms = stable_ms(series);
+        stable.insert(*method, ms);
+        records.push(ExperimentRecord::new(
+            "fig8",
+            format!("stable avg tuple time, {} (ms)", method.label()),
+            Some(paper_ms),
+            ms,
+        ));
+    }
+    let checks = vec![
+        ShapeCheck::new(
+            "fig8",
+            "actor-critic wins",
+            stable[&Method::ActorCritic] < stable[&Method::ModelBased]
+                && stable[&Method::ActorCritic] < stable[&Method::Default]
+                && stable[&Method::ActorCritic] < stable[&Method::Dqn],
+        ),
+        ShapeCheck::new(
+            "fig8",
+            "log stream slower than continuous queries (paper: 'more complicated ... longer')",
+            stable[&Method::Default] > 4.0,
+        ),
+    ];
+    emit_records(&opts, "fig8", &records, &checks);
+}

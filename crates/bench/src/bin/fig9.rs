@@ -1,0 +1,35 @@
+//! Figure 9: normalized smoothed reward over online learning on the log
+//! stream processing topology (T = 1500 in the paper).
+
+use dss_apps::log_stream;
+use dss_bench::{emit_records, emit_series, RunOptions};
+use dss_core::experiment::figure_rewards;
+use dss_metrics::{ExperimentRecord, ShapeCheck, TimeSeries};
+
+fn main() {
+    let mut opts = RunOptions::from_env();
+    // Paper: T = 1500 for this topology (vs 2000 for fig7).
+    if opts.preset == "paper" {
+        opts.config.online_epochs = 1500;
+    }
+    let app = log_stream();
+    eprintln!("[fig9] online learning on {} (T = {})", app.name, opts.config.online_epochs);
+    let curves = figure_rewards(&app, &opts.cluster(), &opts.config);
+    let labelled: Vec<(&str, &TimeSeries)> =
+        curves.iter().map(|(m, s)| (m.label(), s)).collect();
+    emit_series(&opts, "fig9", &labelled);
+
+    let ac = &curves[0].1;
+    let dqn = &curves[1].1;
+    let tail = |s: &TimeSeries| s.tail_mean(s.len() / 10 + 1).unwrap();
+    let records = vec![
+        ExperimentRecord::new("fig9", "final normalized reward, actor-critic", None, tail(ac)),
+        ExperimentRecord::new("fig9", "final normalized reward, dqn", None, tail(dqn)),
+    ];
+    let checks = vec![ShapeCheck::new(
+        "fig9",
+        "actor-critic ends above dqn",
+        tail(ac) > tail(dqn),
+    )];
+    emit_records(&opts, "fig9", &records, &checks);
+}

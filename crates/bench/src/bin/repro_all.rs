@@ -1,0 +1,38 @@
+//! Runs the entire evaluation — every figure plus the headline summary and
+//! ablations — writing CSVs to the output directory. `--preset fast`
+//! (default) reproduces shapes in tens of minutes; `--preset paper` uses
+//! the paper's full budgets.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "summary_table", "ablation_k", "ablation_state", "ablation_mapper",
+        "ablation_replay", "ablation_noise", "fault_recovery",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in bins {
+        eprintln!("==> {bin}");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("!! {bin} exited with {status}");
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("all experiments completed");
+    } else {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

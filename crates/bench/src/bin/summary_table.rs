@@ -1,0 +1,95 @@
+//! The paper's headline summary: stable average tuple processing times for
+//! every topology, with the improvement percentages of the actor-critic
+//! method over the default scheduler and the model-based method
+//! ("reduces average tuple processing by 33.5% and 14.0% respectively on
+//! average").
+
+use dss_apps::{continuous_queries, log_stream, word_count, App, CqScale};
+use dss_bench::{emit_records, RunOptions};
+use dss_core::experiment::{figure_deployment, stable_ms, Method};
+use dss_metrics::stats::improvement;
+use dss_metrics::{ExperimentRecord, ShapeCheck};
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let minutes = opts.minutes_or(20.0);
+    let apps: Vec<App> = vec![
+        continuous_queries(CqScale::Small),
+        continuous_queries(CqScale::Medium),
+        continuous_queries(CqScale::Large),
+        log_stream(),
+        word_count(),
+    ];
+    // Paper stable values per app: [default, model-based, dqn, actor-critic].
+    let paper: [[f64; 4]; 5] = [
+        [1.96, 1.46, 1.54, 1.33],
+        [2.08, 1.61, 1.59, 1.43],
+        [2.64, 2.12, 2.45, 1.72],
+        [9.61, 7.91, 8.19, 7.20],
+        [3.10, 2.16, 2.29, 1.70],
+    ];
+
+    let mut records = Vec::new();
+    let mut checks = Vec::new();
+    let mut imp_default = Vec::new();
+    let mut imp_model = Vec::new();
+
+    for (app, paper_row) in apps.iter().zip(paper) {
+        eprintln!("[summary] {}", app.name);
+        let results = figure_deployment(app, &opts.cluster(), &opts.config, minutes, 30.0);
+        let mut stable = std::collections::HashMap::new();
+        for ((method, series, _), paper_ms) in results.iter().zip(paper_row) {
+            let ms = stable_ms(series);
+            stable.insert(*method, ms);
+            records.push(ExperimentRecord::new(
+                app.name,
+                format!("stable avg tuple time, {} (ms)", method.label()),
+                Some(paper_ms),
+                ms,
+            ));
+        }
+        let ac = stable[&Method::ActorCritic];
+        let mb = stable[&Method::ModelBased];
+        let df = stable[&Method::Default];
+        let dq = stable[&Method::Dqn];
+        imp_default.push(improvement(df, ac));
+        imp_model.push(improvement(mb, ac));
+        checks.push(ShapeCheck::new(
+            app.name,
+            "actor-critic wins (within 2% of best)",
+            ac <= mb * 1.02 && ac < df && ac <= dq * 1.02,
+        ));
+        checks.push(ShapeCheck::new(app.name, "model-based < default", mb < df));
+        checks.push(ShapeCheck::new(
+            app.name,
+            "dqn does not beat the actor-critic",
+            ac <= dq * 1.02,
+        ));
+    }
+
+    let avg_def = imp_default.iter().sum::<f64>() / imp_default.len() as f64;
+    let avg_mb = imp_model.iter().sum::<f64>() / imp_model.len() as f64;
+    records.push(ExperimentRecord::new(
+        "headline",
+        "avg improvement of actor-critic over default (%)",
+        Some(33.5),
+        avg_def * 100.0,
+    ));
+    records.push(ExperimentRecord::new(
+        "headline",
+        "avg improvement of actor-critic over model-based (%)",
+        Some(14.0),
+        avg_mb * 100.0,
+    ));
+    checks.push(ShapeCheck::new(
+        "headline",
+        "avg improvement over default >= 12% (paper: 33.5%)",
+        avg_def >= 0.12,
+    ));
+    checks.push(ShapeCheck::new(
+        "headline",
+        "avg improvement over model-based >= 3% (paper: 14.0%)",
+        avg_mb >= 0.03,
+    ));
+    emit_records(&opts, "summary", &records, &checks);
+}

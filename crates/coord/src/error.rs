@@ -1,0 +1,94 @@
+//! Error type mirroring ZooKeeper's client-visible error codes.
+
+use std::fmt;
+
+/// Errors returned by coordination operations.
+///
+/// These correspond one-to-one to the ZooKeeper error codes Storm's control
+/// plane handles (`NONODE`, `NODEEXISTS`, `BADVERSION`, `NOTEMPTY`, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// The target znode does not exist.
+    NoNode(String),
+    /// A znode already exists at the creation path.
+    NodeExists(String),
+    /// Conditional update failed: expected version did not match.
+    BadVersion {
+        /// Path of the znode.
+        path: String,
+        /// Version the caller expected.
+        expected: u64,
+        /// Version actually stored.
+        actual: u64,
+    },
+    /// Delete refused because the znode still has children.
+    NotEmpty(String),
+    /// Path is syntactically invalid (must be absolute, no empty or
+    /// `.`/`..` components, no trailing slash except root).
+    InvalidPath(String),
+    /// The session performing the operation has expired.
+    SessionExpired,
+    /// Ephemeral znodes cannot have children (ZooKeeper semantics).
+    NoChildrenForEphemerals(String),
+    /// A `multi` transaction failed; no sub-operation was applied.
+    MultiFailed {
+        /// Index of the first failing operation.
+        op_index: usize,
+        /// The underlying error.
+        cause: Box<CoordError>,
+    },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::NoNode(p) => write!(f, "no node: {p}"),
+            CoordError::NodeExists(p) => write!(f, "node exists: {p}"),
+            CoordError::BadVersion {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "bad version for {path}: expected {expected}, actual {actual}"
+            ),
+            CoordError::NotEmpty(p) => write!(f, "node not empty: {p}"),
+            CoordError::InvalidPath(p) => write!(f, "invalid path: {p:?}"),
+            CoordError::SessionExpired => write!(f, "session expired"),
+            CoordError::NoChildrenForEphemerals(p) => {
+                write!(f, "ephemeral node cannot have children: {p}")
+            }
+            CoordError::MultiFailed { op_index, cause } => {
+                write!(f, "multi failed at op {op_index}: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path_and_versions() {
+        let e = CoordError::BadVersion {
+            path: "/a".into(),
+            expected: 3,
+            actual: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("/a") && s.contains('3') && s.contains('5'));
+    }
+
+    #[test]
+    fn multi_failed_reports_inner_cause() {
+        let e = CoordError::MultiFailed {
+            op_index: 2,
+            cause: Box::new(CoordError::NoNode("/x".into())),
+        };
+        assert!(e.to_string().contains("op 2"));
+        assert!(e.to_string().contains("/x"));
+    }
+}

@@ -1,0 +1,65 @@
+//! A ZooKeeper-like coordination service — the substrate Storm (and hence
+//! the reproduced paper's framework) relies on for mutable configuration.
+//!
+//! Paper §2.2: *"Storm uses ZooKeeper as a coordination service to maintain
+//! its own mutable configuration (such as scheduling solution), naming, and
+//! distributed synchronization among machines. All configurations stored in
+//! ZooKeeper are organized in a tree structure. Nimbus provides interfaces
+//! to fetch or update Storm's mutable configurations."*
+//!
+//! This crate implements the subset of ZooKeeper semantics that Storm's
+//! control plane exercises, faithfully enough that the Nimbus substitute
+//! (`dss-nimbus`) can be written against it exactly as Storm is written
+//! against ZooKeeper:
+//!
+//! * a hierarchical **znode tree** with per-node byte payloads and
+//!   [`Stat`] metadata (create/modify zxids, data version, child count);
+//! * **conditional updates**: `set_data` / `delete` take an expected
+//!   version and fail with [`CoordError::BadVersion`] on mismatch, giving
+//!   the optimistic concurrency Storm uses for assignment updates;
+//! * **create modes**: persistent, ephemeral, and their `-Sequential`
+//!   variants (monotonic suffix counters per parent);
+//! * **sessions with expiry**: ephemerals are owned by a session and are
+//!   deleted (firing watches) when the session times out — this is how
+//!   worker heartbeat liveness is modelled, mirroring §2.1's *"The master
+//!   monitors heartbeat signals from all worker processes periodically"*;
+//! * **one-shot watches** on data, existence, and children, delivered over
+//!   crossbeam channels in the order the triggering writes committed;
+//! * **multi** (atomic transaction) so a scheduling solution and its
+//!   metadata commit together or not at all.
+//!
+//! Time is logical: the embedding (simulator or tests) drives expiry via
+//! [`CoordService::advance_to`], keeping the whole stack deterministic.
+//!
+//! ```
+//! use dss_coord::{CoordService, CreateMode};
+//!
+//! let svc = CoordService::new(Default::default());
+//! let session = svc.connect();
+//! session.create("/storm", b"", CreateMode::Persistent).unwrap();
+//! session.create("/storm/assignments", b"", CreateMode::Persistent).unwrap();
+//! let stat = session
+//!     .create("/storm/assignments/wordcount", b"v0", CreateMode::Persistent)
+//!     .unwrap();
+//! // Optimistic concurrency: the expected version must match.
+//! session.set_data("/storm/assignments/wordcount", b"v1", Some(stat.version)).unwrap();
+//! assert_eq!(session.get_data("/storm/assignments/wordcount").unwrap().0, b"v1");
+//! ```
+
+pub mod error;
+pub mod path;
+pub mod recipes;
+pub mod service;
+pub mod stat;
+pub mod storm;
+pub mod tree;
+pub mod watch;
+
+pub use error::CoordError;
+pub use path::{parse_path, validate_path};
+pub use recipes::{ElectionState, LeaderElection};
+pub use service::{CoordConfig, CoordService, Session, SessionId};
+pub use stat::Stat;
+pub use storm::StormPaths;
+pub use tree::{CreateMode, ZnodeTree};
+pub use watch::{WatchEvent, WatchKind, Watcher};

@@ -1,0 +1,99 @@
+//! Znode path validation and manipulation (ZooKeeper path rules).
+
+use crate::error::CoordError;
+
+/// Validate a znode path and return its components.
+///
+/// Rules (the subset of ZooKeeper's that matter here): the path must be
+/// absolute (`/`-prefixed); the root is `"/"`; components must be non-empty
+/// and must not be `.` or `..`; no trailing slash except for the root
+/// itself; no embedded NUL.
+pub fn parse_path(path: &str) -> Result<Vec<&str>, CoordError> {
+    validate_path(path)?;
+    if path == "/" {
+        return Ok(Vec::new());
+    }
+    Ok(path[1..].split('/').collect())
+}
+
+/// Validate a znode path without splitting it.
+pub fn validate_path(path: &str) -> Result<(), CoordError> {
+    let invalid = || CoordError::InvalidPath(path.to_string());
+    if !path.starts_with('/') || path.contains('\0') {
+        return Err(invalid());
+    }
+    if path == "/" {
+        return Ok(());
+    }
+    if path.ends_with('/') {
+        return Err(invalid());
+    }
+    for comp in path[1..].split('/') {
+        if comp.is_empty() || comp == "." || comp == ".." {
+            return Err(invalid());
+        }
+    }
+    Ok(())
+}
+
+/// Parent path of a validated non-root path (`/a/b` -> `/a`, `/a` -> `/`).
+pub fn parent_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) => "/",
+        Some(i) => &path[..i],
+        None => "/",
+    }
+}
+
+/// Final component of a validated non-root path (`/a/b` -> `b`).
+pub fn basename_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(i) => &path[i + 1..],
+        None => path,
+    }
+}
+
+/// Join a parent path and a child component.
+pub fn join(parent: &str, child: &str) -> String {
+    if parent == "/" {
+        format!("/{child}")
+    } else {
+        format!("{parent}/{child}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_valid_and_empty() {
+        assert!(parse_path("/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn nested_path_splits_into_components() {
+        assert_eq!(parse_path("/storm/assignments/wc").unwrap(), vec![
+            "storm",
+            "assignments",
+            "wc"
+        ]);
+    }
+
+    #[test]
+    fn rejects_relative_empty_and_dot_components() {
+        for bad in ["", "a/b", "/a//b", "/a/", "/a/./b", "/a/../b", "/\0"] {
+            assert!(validate_path(bad).is_err(), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn parent_and_basename_roundtrip() {
+        assert_eq!(parent_of("/a/b/c"), "/a/b");
+        assert_eq!(parent_of("/a"), "/");
+        assert_eq!(basename_of("/a/b/c"), "c");
+        assert_eq!(join("/", "a"), "/a");
+        assert_eq!(join("/a", "b"), "/a/b");
+        assert_eq!(join(parent_of("/a/b"), basename_of("/a/b")), "/a/b");
+    }
+}

@@ -1,0 +1,217 @@
+//! Coordination recipes: leader election (Nimbus HA).
+//!
+//! Storm runs multiple Nimbus instances and elects a leader through
+//! ZooKeeper so the master itself is not a single point of failure. The
+//! standard recipe, reproduced here: each candidate creates an
+//! ephemeral-sequential znode under an election parent; the candidate
+//! owning the *lowest* sequence number is the leader; every other
+//! candidate watches its immediate predecessor (not the leader — that
+//! would stampede the whole herd on every change) and re-checks when the
+//! predecessor disappears.
+
+use crate::error::CoordError;
+use crate::path::{basename_of, join};
+use crate::service::Session;
+use crate::tree::CreateMode;
+use crate::watch::Watcher;
+
+/// A participant in a leader election.
+///
+/// The candidate's znode lives exactly as long as its session: a crashed
+/// candidate (session expiry) silently leaves the election, promoting its
+/// successor.
+#[derive(Debug)]
+pub struct LeaderElection {
+    session: Session,
+    parent: String,
+    /// This candidate's ephemeral-sequential znode path.
+    me: String,
+}
+
+/// The outcome of an election check.
+#[derive(Debug)]
+pub enum ElectionState {
+    /// This candidate owns the lowest sequence number.
+    Leader,
+    /// Not the leader; the watcher fires when the watched predecessor
+    /// changes (deletion being the interesting case), after which the
+    /// candidate must call [`LeaderElection::check`] again.
+    Following {
+        /// Name of the predecessor being watched.
+        predecessor: String,
+        /// One-shot watch on the predecessor.
+        watch: Watcher,
+    },
+}
+
+impl LeaderElection {
+    /// Join the election under `parent` (created if missing), identified
+    /// by `ident` (stored as the znode payload, e.g. a host:port).
+    pub fn join(session: Session, parent: &str, ident: &[u8]) -> Result<Self, CoordError> {
+        session.ensure_path(parent, b"")?;
+        let (me, _) = session.create_seq(
+            &join(parent, "candidate-"),
+            ident,
+            CreateMode::EphemeralSequential,
+        )?;
+        Ok(LeaderElection {
+            session,
+            parent: parent.to_string(),
+            me,
+        })
+    }
+
+    /// This candidate's znode path.
+    pub fn candidate_path(&self) -> &str {
+        &self.me
+    }
+
+    /// Determine the current state: leader, or following a predecessor.
+    pub fn check(&self) -> Result<ElectionState, CoordError> {
+        let mut children = self.session.get_children(&self.parent)?;
+        children.sort();
+        let my_name = basename_of(&self.me);
+        let my_pos = children
+            .iter()
+            .position(|c| c == my_name)
+            .ok_or_else(|| CoordError::NoNode(self.me.clone()))?;
+        if my_pos == 0 {
+            return Ok(ElectionState::Leader);
+        }
+        // Watch only the immediate predecessor: when it dies, either we
+        // lead or we watch the next-lowest survivor.
+        let predecessor = children[my_pos - 1].clone();
+        let pred_path = join(&self.parent, &predecessor);
+        let (stat, watch) = self.session.exists_watch(&pred_path)?;
+        if stat.is_none() {
+            // Predecessor vanished between listing and watching; re-check.
+            return self.check();
+        }
+        Ok(ElectionState::Following { predecessor, watch })
+    }
+
+    /// Read the current leader's identification payload, if any candidate
+    /// is registered.
+    pub fn leader_ident(&self) -> Result<Option<Vec<u8>>, CoordError> {
+        let mut children = self.session.get_children(&self.parent)?;
+        children.sort();
+        match children.first() {
+            Some(first) => {
+                let (data, _) = self.session.get_data(&join(&self.parent, first))?;
+                Ok(Some(data))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Withdraw from the election (deletes the candidate znode).
+    pub fn resign(&self) -> Result<(), CoordError> {
+        match self.session.delete(&self.me, None) {
+            Ok(()) | Err(CoordError::NoNode(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{CoordConfig, CoordService};
+
+    fn svc(timeout_ms: u64) -> CoordService {
+        CoordService::new(CoordConfig {
+            session_timeout_ms: timeout_ms,
+        })
+    }
+
+    #[test]
+    fn first_candidate_leads() {
+        let svc = svc(30_000);
+        let e = LeaderElection::join(svc.connect(), "/election", b"nimbus-a").unwrap();
+        assert!(matches!(e.check().unwrap(), ElectionState::Leader));
+        assert_eq!(e.leader_ident().unwrap().unwrap(), b"nimbus-a");
+    }
+
+    #[test]
+    fn followers_watch_their_immediate_predecessor() {
+        let svc = svc(30_000);
+        let a = LeaderElection::join(svc.connect(), "/election", b"a").unwrap();
+        let b = LeaderElection::join(svc.connect(), "/election", b"b").unwrap();
+        let c = LeaderElection::join(svc.connect(), "/election", b"c").unwrap();
+        assert!(matches!(a.check().unwrap(), ElectionState::Leader));
+        match b.check().unwrap() {
+            ElectionState::Following { predecessor, .. } => {
+                assert_eq!(join("/election", &predecessor), a.candidate_path());
+            }
+            other => panic!("b should follow a, got {other:?}"),
+        }
+        match c.check().unwrap() {
+            ElectionState::Following { predecessor, .. } => {
+                assert_eq!(join("/election", &predecessor), b.candidate_path());
+            }
+            other => panic!("c should follow b, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resignation_promotes_the_successor() {
+        let svc = svc(30_000);
+        let a = LeaderElection::join(svc.connect(), "/election", b"a").unwrap();
+        let b = LeaderElection::join(svc.connect(), "/election", b"b").unwrap();
+        let ElectionState::Following { watch, .. } = b.check().unwrap() else {
+            panic!("b must start as follower");
+        };
+        a.resign().unwrap();
+        // The predecessor watch fires...
+        assert_eq!(watch.drain().len(), 1);
+        // ...and re-checking shows b leading.
+        assert!(matches!(b.check().unwrap(), ElectionState::Leader));
+        assert_eq!(b.leader_ident().unwrap().unwrap(), b"b");
+    }
+
+    #[test]
+    fn leader_crash_promotes_via_session_expiry() {
+        let svc = svc(1_000);
+        let leader_session = svc.connect();
+        let _a = LeaderElection::join(leader_session, "/election", b"a").unwrap();
+        let b_session = svc.connect();
+        let b = LeaderElection::join(b_session.clone(), "/election", b"b").unwrap();
+        assert!(matches!(b.check().unwrap(), ElectionState::Following { .. }));
+
+        // The leader's process dies: no heartbeats; b stays alive.
+        for t in [400, 800, 1_200] {
+            svc.advance_to(t);
+            b_session.heartbeat().unwrap();
+        }
+        assert!(matches!(b.check().unwrap(), ElectionState::Leader));
+    }
+
+    #[test]
+    fn middle_crash_does_not_disturb_the_leader() {
+        let svc = svc(1_000);
+        let a = LeaderElection::join(svc.connect(), "/election", b"a").unwrap();
+        let b = LeaderElection::join(svc.connect(), "/election", b"b").unwrap();
+        let c = LeaderElection::join(svc.connect(), "/election", b"c").unwrap();
+        b.resign().unwrap();
+        assert!(matches!(a.check().unwrap(), ElectionState::Leader));
+        // c now follows a directly.
+        match c.check().unwrap() {
+            ElectionState::Following { predecessor, .. } => {
+                assert_eq!(join("/election", &predecessor), a.candidate_path());
+            }
+            other => panic!("c should follow a, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejoining_after_resign_gets_a_fresh_sequence() {
+        let svc = svc(30_000);
+        let session = svc.connect();
+        let e1 = LeaderElection::join(session.clone(), "/election", b"x").unwrap();
+        let p1 = e1.candidate_path().to_string();
+        e1.resign().unwrap();
+        let e2 = LeaderElection::join(session, "/election", b"x").unwrap();
+        assert!(e2.candidate_path() > p1.as_str(), "sequence numbers never reuse");
+        assert!(matches!(e2.check().unwrap(), ElectionState::Leader));
+    }
+}

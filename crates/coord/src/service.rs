@@ -1,0 +1,523 @@
+//! Thread-safe, session-aware coordination service.
+//!
+//! [`CoordService`] wraps the [`ZnodeTree`] with a lock, a watch registry,
+//! and session lifecycle: clients [`CoordService::connect`] to obtain a
+//! [`Session`], keep it alive with [`Session::heartbeat`], and lose their
+//! ephemeral nodes when the embedding's logical clock
+//! ([`CoordService::advance_to`]) passes their expiry deadline. This is the
+//! mechanism the Nimbus substitute uses to detect dead workers, mirroring
+//! the paper's §2.1 heartbeat monitoring.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::CoordError;
+use crate::stat::Stat;
+use crate::tree::{Change, CreateMode, Op, OpResult, ZnodeTree};
+use crate::watch::{WatchKind, WatchRegistry, Watcher};
+
+/// Identifier of a client session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordConfig {
+    /// A session expires when no heartbeat arrives for this long.
+    pub session_timeout_ms: u64,
+}
+
+impl Default for CoordConfig {
+    fn default() -> Self {
+        // Storm's default nimbus.task.timeout is 30 s.
+        CoordConfig {
+            session_timeout_ms: 30_000,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SessionState {
+    id: SessionId,
+    last_heartbeat_ms: u64,
+    expired: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    tree: ZnodeTree,
+    watches: WatchRegistry,
+    sessions: Vec<SessionState>,
+    next_session: u64,
+    now_ms: u64,
+}
+
+impl Inner {
+    fn session_mut(&mut self, id: SessionId) -> Option<&mut SessionState> {
+        self.sessions.iter_mut().find(|s| s.id == id)
+    }
+
+    fn check_live(&mut self, id: SessionId) -> Result<(), CoordError> {
+        match self.session_mut(id) {
+            Some(s) if !s.expired => Ok(()),
+            _ => Err(CoordError::SessionExpired),
+        }
+    }
+
+    fn commit(&mut self, changes: Vec<Change>) {
+        self.watches.dispatch(&changes);
+    }
+
+    /// Expire one session: mark it dead and delete its ephemerals,
+    /// firing watches for each deletion.
+    fn expire(&mut self, id: SessionId) {
+        if let Some(s) = self.session_mut(id) {
+            if s.expired {
+                return;
+            }
+            s.expired = true;
+        } else {
+            return;
+        }
+        for path in self.tree.ephemerals_of(id) {
+            if let Ok(changes) = self.tree.delete(&path, None) {
+                self.commit(changes);
+            }
+        }
+    }
+}
+
+/// The coordination service; cheap to clone (shared state).
+#[derive(Debug, Clone)]
+pub struct CoordService {
+    inner: Arc<Mutex<Inner>>,
+    config: CoordConfig,
+}
+
+impl CoordService {
+    /// New service with an empty tree at logical time 0.
+    pub fn new(config: CoordConfig) -> Self {
+        CoordService {
+            inner: Arc::new(Mutex::new(Inner {
+                tree: ZnodeTree::new(),
+                watches: WatchRegistry::default(),
+                sessions: Vec::new(),
+                next_session: 1,
+                now_ms: 0,
+            })),
+            config,
+        }
+    }
+
+    /// Open a new session stamped at the current logical time.
+    pub fn connect(&self) -> Session {
+        let mut inner = self.inner.lock();
+        let id = SessionId(inner.next_session);
+        inner.next_session += 1;
+        let now = inner.now_ms;
+        inner.sessions.push(SessionState {
+            id,
+            last_heartbeat_ms: now,
+            expired: false,
+        });
+        Session {
+            svc: self.clone(),
+            id,
+        }
+    }
+
+    /// Advance the logical clock, expiring sessions whose last heartbeat is
+    /// older than the configured timeout. Returns the ids expired now.
+    pub fn advance_to(&self, now_ms: u64) -> Vec<SessionId> {
+        let mut inner = self.inner.lock();
+        let now = inner.now_ms.max(now_ms);
+        inner.now_ms = now;
+        inner.tree.set_now_ms(now);
+        let deadline_ms = self.config.session_timeout_ms;
+        let now = inner.now_ms;
+        let stale: Vec<SessionId> = inner
+            .sessions
+            .iter()
+            .filter(|s| !s.expired && now.saturating_sub(s.last_heartbeat_ms) >= deadline_ms)
+            .map(|s| s.id)
+            .collect();
+        for id in &stale {
+            inner.expire(*id);
+        }
+        stale
+    }
+
+    /// Current logical time.
+    pub fn now_ms(&self) -> u64 {
+        self.inner.lock().now_ms
+    }
+
+    /// Number of znodes, including the root.
+    pub fn node_count(&self) -> usize {
+        self.inner.lock().tree.len()
+    }
+
+    /// Number of live (non-expired) sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.inner.lock().sessions.iter().filter(|s| !s.expired).count()
+    }
+
+    /// Number of armed (registered, unfired) watches.
+    pub fn armed_watches(&self) -> usize {
+        self.inner.lock().watches.pending_len()
+    }
+
+    /// Last committed write-transaction id.
+    pub fn last_zxid(&self) -> u64 {
+        self.inner.lock().tree.last_zxid()
+    }
+}
+
+/// A client session; all namespace operations go through one of these.
+#[derive(Debug, Clone)]
+pub struct Session {
+    svc: CoordService,
+    id: SessionId,
+}
+
+impl Session {
+    /// This session's id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Refresh the session's liveness deadline.
+    pub fn heartbeat(&self) -> Result<(), CoordError> {
+        let mut inner = self.svc.inner.lock();
+        let now = inner.now_ms;
+        match inner.session_mut(self.id) {
+            Some(s) if !s.expired => {
+                s.last_heartbeat_ms = now;
+                Ok(())
+            }
+            _ => Err(CoordError::SessionExpired),
+        }
+    }
+
+    /// True until the session expires or is closed.
+    pub fn is_live(&self) -> bool {
+        let mut inner = self.svc.inner.lock();
+        inner.check_live(self.id).is_ok()
+    }
+
+    /// Close the session explicitly, deleting its ephemerals immediately.
+    pub fn close(&self) {
+        let mut inner = self.svc.inner.lock();
+        inner.expire(self.id);
+    }
+
+    /// Create a znode. Returns its stat; for `-Sequential` modes use
+    /// [`Session::create_seq`] to obtain the assigned path.
+    pub fn create(&self, path: &str, data: &[u8], mode: CreateMode) -> Result<Stat, CoordError> {
+        self.create_seq(path, data, mode).map(|(_, stat)| stat)
+    }
+
+    /// Create a znode and return the actual path (with sequence suffix).
+    pub fn create_seq(
+        &self,
+        path: &str,
+        data: &[u8],
+        mode: CreateMode,
+    ) -> Result<(String, Stat), CoordError> {
+        let mut inner = self.svc.inner.lock();
+        inner.check_live(self.id)?;
+        let (actual, stat, changes) = inner.tree.create(path, data, mode, Some(self.id))?;
+        inner.commit(changes);
+        Ok((actual, stat))
+    }
+
+    /// Create every missing ancestor of `path` (persistent, empty data)
+    /// and then `path` itself with `data`. Idempotent like `mkdir -p`; if
+    /// the leaf already exists its data is left untouched.
+    pub fn ensure_path(&self, path: &str, data: &[u8]) -> Result<Stat, CoordError> {
+        let comps = crate::path::parse_path(path)?;
+        let mut cur = String::new();
+        let mut last_stat = None;
+        for (i, comp) in comps.iter().enumerate() {
+            cur.push('/');
+            cur.push_str(comp);
+            let payload: &[u8] = if i + 1 == comps.len() { data } else { b"" };
+            match self.create(&cur, payload, CreateMode::Persistent) {
+                Ok(stat) => last_stat = Some(stat),
+                Err(CoordError::NodeExists(_)) => {
+                    last_stat = Some(self.stat(&cur)?);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        last_stat.ok_or_else(|| CoordError::InvalidPath(path.to_string()))
+    }
+
+    /// Read data and stat.
+    pub fn get_data(&self, path: &str) -> Result<(Vec<u8>, Stat), CoordError> {
+        let mut inner = self.svc.inner.lock();
+        inner.check_live(self.id)?;
+        inner.tree.get(path)
+    }
+
+    /// Read data and stat, arming a one-shot data watch.
+    pub fn get_data_watch(&self, path: &str) -> Result<(Vec<u8>, Stat, Watcher), CoordError> {
+        let mut inner = self.svc.inner.lock();
+        inner.check_live(self.id)?;
+        let (data, stat) = inner.tree.get(path)?;
+        let watcher = inner.watches.register(path, WatchKind::Data);
+        Ok((data, stat, watcher))
+    }
+
+    /// Stat without data.
+    pub fn stat(&self, path: &str) -> Result<Stat, CoordError> {
+        self.exists(path)?
+            .ok_or_else(|| CoordError::NoNode(path.to_string()))
+    }
+
+    /// Stat if the node exists.
+    pub fn exists(&self, path: &str) -> Result<Option<Stat>, CoordError> {
+        let mut inner = self.svc.inner.lock();
+        inner.check_live(self.id)?;
+        inner.tree.exists(path)
+    }
+
+    /// Existence check that also arms a one-shot exists watch (fires on
+    /// creation, data change, or deletion of `path`).
+    pub fn exists_watch(&self, path: &str) -> Result<(Option<Stat>, Watcher), CoordError> {
+        let mut inner = self.svc.inner.lock();
+        inner.check_live(self.id)?;
+        let stat = inner.tree.exists(path)?;
+        let watcher = inner.watches.register(path, WatchKind::Exists);
+        Ok((stat, watcher))
+    }
+
+    /// Conditional (or unconditional, with `None`) data overwrite.
+    pub fn set_data(
+        &self,
+        path: &str,
+        data: &[u8],
+        expected_version: Option<u64>,
+    ) -> Result<Stat, CoordError> {
+        let mut inner = self.svc.inner.lock();
+        inner.check_live(self.id)?;
+        let (stat, changes) = inner.tree.set_data(path, data, expected_version)?;
+        inner.commit(changes);
+        Ok(stat)
+    }
+
+    /// Conditional delete.
+    pub fn delete(&self, path: &str, expected_version: Option<u64>) -> Result<(), CoordError> {
+        let mut inner = self.svc.inner.lock();
+        inner.check_live(self.id)?;
+        let changes = inner.tree.delete(path, expected_version)?;
+        inner.commit(changes);
+        Ok(())
+    }
+
+    /// Sorted child names.
+    pub fn get_children(&self, path: &str) -> Result<Vec<String>, CoordError> {
+        let mut inner = self.svc.inner.lock();
+        inner.check_live(self.id)?;
+        inner.tree.children(path)
+    }
+
+    /// Sorted child names, arming a one-shot children watch.
+    pub fn get_children_watch(&self, path: &str) -> Result<(Vec<String>, Watcher), CoordError> {
+        let mut inner = self.svc.inner.lock();
+        inner.check_live(self.id)?;
+        let names = inner.tree.children(path)?;
+        let watcher = inner.watches.register(path, WatchKind::Children);
+        Ok((names, watcher))
+    }
+
+    /// Atomic transaction (all operations applied, or none).
+    pub fn multi(&self, ops: &[Op]) -> Result<Vec<OpResult>, CoordError> {
+        let mut inner = self.svc.inner.lock();
+        inner.check_live(self.id)?;
+        let (results, changes) = inner.tree.multi(ops)?;
+        inner.commit(changes);
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::watch::WatchEvent;
+
+    fn svc_with_timeout(ms: u64) -> CoordService {
+        CoordService::new(CoordConfig {
+            session_timeout_ms: ms,
+        })
+    }
+
+    #[test]
+    fn connect_create_get_roundtrip() {
+        let svc = CoordService::new(Default::default());
+        let s = svc.connect();
+        s.create("/a", b"x", CreateMode::Persistent).unwrap();
+        assert_eq!(s.get_data("/a").unwrap().0, b"x");
+        assert_eq!(svc.node_count(), 2);
+    }
+
+    #[test]
+    fn ensure_path_creates_all_ancestors_and_is_idempotent() {
+        let svc = CoordService::new(Default::default());
+        let s = svc.connect();
+        s.ensure_path("/storm/assignments/wc", b"v").unwrap();
+        assert_eq!(s.get_data("/storm/assignments/wc").unwrap().0, b"v");
+        // Second call must not error and must not clobber data.
+        s.ensure_path("/storm/assignments/wc", b"other").unwrap();
+        assert_eq!(s.get_data("/storm/assignments/wc").unwrap().0, b"v");
+    }
+
+    #[test]
+    fn session_expiry_deletes_ephemerals_and_fires_watches() {
+        let svc = svc_with_timeout(1_000);
+        let worker = svc.connect();
+        let master = svc.connect();
+        master.ensure_path("/beats", b"").unwrap();
+        worker.create("/beats/w1", b"", CreateMode::Ephemeral).unwrap();
+
+        let (kids, watcher) = master.get_children_watch("/beats").unwrap();
+        assert_eq!(kids, vec!["w1"]);
+
+        // Master heartbeats; the worker goes silent. (Expiry is `>=` the
+        // timeout, so the master heartbeat at t=500 survives t=1400.)
+        svc.advance_to(500);
+        master.heartbeat().unwrap();
+        let expired = svc.advance_to(1_400);
+        assert_eq!(expired, vec![worker.id()]);
+
+        assert!(!worker.is_live());
+        assert!(worker.heartbeat().is_err());
+        assert_eq!(master.get_children("/beats").unwrap(), Vec::<String>::new());
+        assert_eq!(
+            watcher.drain(),
+            vec![WatchEvent::NodeChildrenChanged("/beats".into())]
+        );
+    }
+
+    #[test]
+    fn heartbeat_keeps_session_alive() {
+        let svc = svc_with_timeout(1_000);
+        let s = svc.connect();
+        for t in [400, 800, 1_200, 1_600] {
+            svc.advance_to(t);
+            s.heartbeat().unwrap();
+        }
+        assert!(s.is_live());
+        assert_eq!(svc.live_sessions(), 1);
+    }
+
+    #[test]
+    fn expired_session_cannot_operate() {
+        let svc = svc_with_timeout(10);
+        let s = svc.connect();
+        svc.advance_to(100);
+        assert_eq!(
+            s.create("/x", b"", CreateMode::Persistent).unwrap_err(),
+            CoordError::SessionExpired
+        );
+        assert_eq!(s.get_data("/").unwrap_err(), CoordError::SessionExpired);
+    }
+
+    #[test]
+    fn close_releases_ephemerals_immediately() {
+        let svc = CoordService::new(Default::default());
+        let a = svc.connect();
+        let b = svc.connect();
+        a.ensure_path("/locks", b"").unwrap();
+        a.create("/locks/holder", b"", CreateMode::Ephemeral).unwrap();
+        assert!(b.exists("/locks/holder").unwrap().is_some());
+        a.close();
+        assert!(b.exists("/locks/holder").unwrap().is_none());
+        assert_eq!(svc.live_sessions(), 1);
+    }
+
+    #[test]
+    fn data_watch_fires_once_on_write_from_other_session() {
+        let svc = CoordService::new(Default::default());
+        let writer = svc.connect();
+        let reader = svc.connect();
+        writer.create("/cfg", b"v0", CreateMode::Persistent).unwrap();
+        let (_, _, watcher) = reader.get_data_watch("/cfg").unwrap();
+        assert_eq!(svc.armed_watches(), 1);
+        writer.set_data("/cfg", b"v1", None).unwrap();
+        writer.set_data("/cfg", b"v2", None).unwrap();
+        assert_eq!(watcher.drain(), vec![WatchEvent::NodeDataChanged("/cfg".into())]);
+        assert_eq!(svc.armed_watches(), 0);
+    }
+
+    #[test]
+    fn exists_watch_fires_on_creation() {
+        let svc = CoordService::new(Default::default());
+        let s = svc.connect();
+        let (stat, watcher) = s.exists_watch("/pending").unwrap();
+        assert!(stat.is_none());
+        s.create("/pending", b"", CreateMode::Persistent).unwrap();
+        assert_eq!(watcher.drain(), vec![WatchEvent::NodeCreated("/pending".into())]);
+    }
+
+    #[test]
+    fn multi_through_session_is_atomic() {
+        let svc = CoordService::new(Default::default());
+        let s = svc.connect();
+        s.create("/a", b"v0", CreateMode::Persistent).unwrap();
+        let err = s
+            .multi(&[
+                Op::SetData("/a".into(), b"v1".to_vec(), Some(0)),
+                Op::Delete("/missing".into(), None),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, CoordError::MultiFailed { op_index: 1, .. }));
+        assert_eq!(s.get_data("/a").unwrap().0, b"v0");
+    }
+
+    #[test]
+    fn sequential_create_via_session_returns_path() {
+        let svc = CoordService::new(Default::default());
+        let s = svc.connect();
+        s.create("/q", b"", CreateMode::Persistent).unwrap();
+        let (p, _) = s
+            .create_seq("/q/n-", b"", CreateMode::EphemeralSequential)
+            .unwrap();
+        assert_eq!(p, "/q/n-0000000000");
+        s.close();
+        let s2 = svc.connect();
+        assert!(s2.exists(&p).unwrap().is_none(), "ephemeral gone after close");
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let svc = CoordService::new(Default::default());
+        svc.advance_to(100);
+        svc.advance_to(50);
+        assert_eq!(svc.now_ms(), 100);
+    }
+
+    #[test]
+    fn service_is_shareable_across_threads() {
+        let svc = CoordService::new(Default::default());
+        let root = svc.connect();
+        root.create("/t", b"", CreateMode::Persistent).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let svc = svc.clone();
+                std::thread::spawn(move || {
+                    let s = svc.connect();
+                    for j in 0..25 {
+                        s.create(&format!("/t/n{i}-{j}"), b"", CreateMode::Persistent)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(svc.connect().get_children("/t").unwrap().len(), 100);
+    }
+}

@@ -1,0 +1,76 @@
+//! Per-znode metadata, mirroring ZooKeeper's `Stat`.
+
+use crate::service::SessionId;
+
+/// Metadata attached to every znode.
+///
+/// `zxid`s are global, monotonically increasing write-transaction ids — the
+/// total order coordination clients reason about. `version` counts data
+/// writes to this node only, and is what conditional `set_data`/`delete`
+/// check against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    /// zxid of the transaction that created the node.
+    pub czxid: u64,
+    /// zxid of the transaction that last modified the node's data.
+    pub mzxid: u64,
+    /// Logical time at creation (the embedding's clock, in milliseconds).
+    pub ctime_ms: u64,
+    /// Logical time of the last data modification.
+    pub mtime_ms: u64,
+    /// Number of data writes since creation.
+    pub version: u64,
+    /// Number of child-list changes since creation.
+    pub cversion: u64,
+    /// Owning session if the node is ephemeral.
+    pub ephemeral_owner: Option<SessionId>,
+    /// Length of the payload in bytes.
+    pub data_length: usize,
+    /// Number of direct children.
+    pub num_children: usize,
+}
+
+impl Stat {
+    /// Stat of a freshly created node.
+    pub(crate) fn created(zxid: u64, now_ms: u64, owner: Option<SessionId>, len: usize) -> Self {
+        Stat {
+            czxid: zxid,
+            mzxid: zxid,
+            ctime_ms: now_ms,
+            mtime_ms: now_ms,
+            version: 0,
+            cversion: 0,
+            ephemeral_owner: owner,
+            data_length: len,
+            num_children: 0,
+        }
+    }
+
+    /// True if the node is ephemeral (owned by a live session).
+    pub fn is_ephemeral(&self) -> bool {
+        self.ephemeral_owner.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn created_stat_has_zero_versions_and_matching_zxids() {
+        let s = Stat::created(7, 100, None, 3);
+        assert_eq!(s.czxid, 7);
+        assert_eq!(s.mzxid, 7);
+        assert_eq!(s.version, 0);
+        assert_eq!(s.cversion, 0);
+        assert_eq!(s.data_length, 3);
+        assert!(!s.is_ephemeral());
+    }
+
+    #[test]
+    fn ephemeral_owner_marks_node_ephemeral() {
+        let s = Stat::created(1, 0, Some(SessionId(42)), 0);
+        assert!(s.is_ephemeral());
+        assert_eq!(s.ephemeral_owner, Some(SessionId(42)));
+    }
+}

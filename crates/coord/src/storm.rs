@@ -1,0 +1,184 @@
+//! The Storm znode layout and assignment codec.
+//!
+//! Storm keeps its mutable control state in a well-known ZooKeeper subtree;
+//! the Nimbus substitute (`dss-nimbus`) reads and writes exactly these
+//! paths. The layout mirrors Storm's:
+//!
+//! ```text
+//! /storm
+//!   /storms/<topology>          topology registration (config payload)
+//!   /assignments/<topology>     current scheduling solution
+//!   /supervisors/<machine>      ephemeral: one per live worker machine
+//!   /workerbeats/<topology>     parent of per-worker heartbeat ephemerals
+//!   /errors/<topology>          component error reports
+//! ```
+
+use crate::error::CoordError;
+use crate::service::Session;
+use crate::tree::CreateMode;
+
+/// Well-known path helpers for the Storm subtree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StormPaths;
+
+impl StormPaths {
+    /// Root of the Storm subtree.
+    pub const ROOT: &'static str = "/storm";
+
+    /// Registration node of a topology.
+    pub fn storm(topology: &str) -> String {
+        format!("/storm/storms/{topology}")
+    }
+
+    /// Assignment node of a topology.
+    pub fn assignment(topology: &str) -> String {
+        format!("/storm/assignments/{topology}")
+    }
+
+    /// Supervisor liveness node of a machine.
+    pub fn supervisor(machine: usize) -> String {
+        format!("/storm/supervisors/machine-{machine:04}")
+    }
+
+    /// Heartbeat parent of a topology.
+    pub fn workerbeats(topology: &str) -> String {
+        format!("/storm/workerbeats/{topology}")
+    }
+
+    /// Heartbeat node of one worker process (one per machine per topology).
+    pub fn workerbeat(topology: &str, machine: usize) -> String {
+        format!("/storm/workerbeats/{topology}/machine-{machine:04}")
+    }
+
+    /// Error-report node of a topology.
+    pub fn errors(topology: &str) -> String {
+        format!("/storm/errors/{topology}")
+    }
+
+    /// Create the static skeleton (`/storm/...` parents). Idempotent.
+    pub fn bootstrap(session: &Session) -> Result<(), CoordError> {
+        for p in [
+            "/storm",
+            "/storm/storms",
+            "/storm/assignments",
+            "/storm/supervisors",
+            "/storm/workerbeats",
+            "/storm/errors",
+        ] {
+            match session.create(p, b"", CreateMode::Persistent) {
+                Ok(_) | Err(CoordError::NodeExists(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Encode a thread-to-machine assignment (`machine_of[i]` = machine of
+/// executor `i`, plus the machine count) as the znode payload.
+///
+/// Format: `u32` magic, `u32` machine count, `u32` executor count, then one
+/// `u32` per executor — all little-endian. Small, versioned, and
+/// self-validating on decode.
+pub fn encode_assignment(machine_of: &[usize], n_machines: usize) -> Vec<u8> {
+    const MAGIC: u32 = 0x5354_4131; // "STA1"
+    let mut out = Vec::with_capacity(12 + machine_of.len() * 4);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(n_machines as u32).to_le_bytes());
+    out.extend_from_slice(&(machine_of.len() as u32).to_le_bytes());
+    for &m in machine_of {
+        out.extend_from_slice(&(m as u32).to_le_bytes());
+    }
+    out
+}
+
+/// Decode an assignment payload written by [`encode_assignment`].
+///
+/// Returns `(machine_of, n_machines)` or `None` if the payload is
+/// malformed (wrong magic, truncated, or machine index out of range).
+pub fn decode_assignment(data: &[u8]) -> Option<(Vec<usize>, usize)> {
+    const MAGIC: u32 = 0x5354_4131;
+    let word = |i: usize| -> Option<u32> {
+        data.get(i * 4..i * 4 + 4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    };
+    if word(0)? != MAGIC {
+        return None;
+    }
+    let n_machines = word(1)? as usize;
+    let n_exec = word(2)? as usize;
+    if data.len() != 12 + n_exec * 4 {
+        return None;
+    }
+    let mut machine_of = Vec::with_capacity(n_exec);
+    for i in 0..n_exec {
+        let m = word(3 + i)? as usize;
+        if m >= n_machines {
+            return None;
+        }
+        machine_of.push(m);
+    }
+    Some((machine_of, n_machines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{CoordConfig, CoordService};
+
+    #[test]
+    fn bootstrap_is_idempotent() {
+        let svc = CoordService::new(CoordConfig::default());
+        let s = svc.connect();
+        StormPaths::bootstrap(&s).unwrap();
+        StormPaths::bootstrap(&s).unwrap();
+        assert!(s.exists("/storm/assignments").unwrap().is_some());
+        assert!(s.exists("/storm/supervisors").unwrap().is_some());
+    }
+
+    #[test]
+    fn paths_are_distinct_per_topology_and_machine() {
+        assert_ne!(StormPaths::assignment("a"), StormPaths::assignment("b"));
+        assert_ne!(StormPaths::supervisor(1), StormPaths::supervisor(2));
+        assert_eq!(
+            StormPaths::workerbeat("wc", 3),
+            "/storm/workerbeats/wc/machine-0003"
+        );
+    }
+
+    #[test]
+    fn assignment_codec_roundtrips() {
+        let machine_of = vec![0, 3, 2, 2, 9, 1];
+        let data = encode_assignment(&machine_of, 10);
+        let (decoded, m) = decode_assignment(&data).unwrap();
+        assert_eq!(decoded, machine_of);
+        assert_eq!(m, 10);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let good = encode_assignment(&[0, 1, 2], 4);
+        assert!(decode_assignment(&[]).is_none(), "empty");
+        assert!(decode_assignment(&good[..good.len() - 1]).is_none(), "truncated");
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(decode_assignment(&bad_magic).is_none(), "magic");
+        // Machine index out of range.
+        let bad_range = encode_assignment(&[5], 4);
+        assert!(decode_assignment(&bad_range).is_none(), "range");
+    }
+
+    #[test]
+    fn assignment_stored_and_read_through_service() {
+        let svc = CoordService::new(CoordConfig::default());
+        let s = svc.connect();
+        StormPaths::bootstrap(&s).unwrap();
+        let payload = encode_assignment(&[1, 0, 1], 2);
+        let path = StormPaths::assignment("wc");
+        s.create(&path, &payload, crate::tree::CreateMode::Persistent)
+            .unwrap();
+        let (data, stat) = s.get_data(&path).unwrap();
+        assert_eq!(decode_assignment(&data).unwrap().0, vec![1, 0, 1]);
+        assert_eq!(stat.version, 0);
+    }
+}

@@ -1,0 +1,555 @@
+//! The znode tree: single-threaded core of the coordination service.
+//!
+//! [`ZnodeTree`] holds the hierarchical namespace and implements every
+//! operation's semantics (versioning, sequentials, ephemerals, zxid
+//! assignment). The thread-safe, watch-firing, session-aware layer lives in
+//! [`crate::service`]; keeping the core single-threaded makes the semantics
+//! directly testable.
+
+use std::collections::BTreeMap;
+
+use crate::error::CoordError;
+use crate::path::{basename_of, join, parent_of, parse_path, validate_path};
+use crate::service::SessionId;
+use crate::stat::Stat;
+
+/// ZooKeeper create modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateMode {
+    /// Survives session end; deleted only explicitly.
+    Persistent,
+    /// Deleted automatically when the owning session expires or closes.
+    Ephemeral,
+    /// Persistent with a monotonic 10-digit suffix assigned by the parent.
+    PersistentSequential,
+    /// Ephemeral with a monotonic suffix.
+    EphemeralSequential,
+}
+
+impl CreateMode {
+    /// Whether nodes created in this mode are ephemeral.
+    pub fn is_ephemeral(self) -> bool {
+        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+    }
+
+    /// Whether the parent assigns a sequence suffix.
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            CreateMode::PersistentSequential | CreateMode::EphemeralSequential
+        )
+    }
+}
+
+/// One operation of an atomic `multi` transaction.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Create a node (path, data, mode).
+    Create(String, Vec<u8>, CreateMode),
+    /// Set data (path, data, expected version or `None` for unconditional).
+    SetData(String, Vec<u8>, Option<u64>),
+    /// Delete (path, expected version or `None`).
+    Delete(String, Option<u64>),
+    /// Assert existence and (optionally) version without modifying.
+    Check(String, Option<u64>),
+}
+
+/// Result of one `multi` sub-operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// Created node's actual path (sequence suffix included).
+    Created(String),
+    /// New stat after a data write.
+    SetData(Stat),
+    /// Node deleted.
+    Deleted,
+    /// Check passed.
+    Checked,
+}
+
+/// A change committed by a write, reported to the service layer so it can
+/// fire the matching watches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Change {
+    /// Node created at path.
+    Created(String),
+    /// Node's data changed.
+    DataChanged(String),
+    /// Node deleted.
+    Deleted(String),
+}
+
+#[derive(Debug, Clone)]
+struct Znode {
+    data: Vec<u8>,
+    stat: Stat,
+    children: BTreeMap<String, Znode>,
+    /// Counter for `-Sequential` children of this node.
+    seq_counter: u64,
+}
+
+impl Znode {
+    fn new(data: Vec<u8>, stat: Stat) -> Self {
+        Znode {
+            data,
+            stat,
+            children: BTreeMap::new(),
+            seq_counter: 0,
+        }
+    }
+}
+
+/// The hierarchical namespace with a global write-transaction counter.
+#[derive(Debug, Clone)]
+pub struct ZnodeTree {
+    root: Znode,
+    zxid: u64,
+    now_ms: u64,
+}
+
+impl Default for ZnodeTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ZnodeTree {
+    /// Empty tree containing only the root node `/`.
+    pub fn new() -> Self {
+        ZnodeTree {
+            root: Znode::new(Vec::new(), Stat::created(0, 0, None, 0)),
+            zxid: 0,
+            now_ms: 0,
+        }
+    }
+
+    /// Advance the logical clock used for `ctime`/`mtime` stamps.
+    pub fn set_now_ms(&mut self, now_ms: u64) {
+        self.now_ms = now_ms;
+    }
+
+    /// Last committed write-transaction id.
+    pub fn last_zxid(&self) -> u64 {
+        self.zxid
+    }
+
+    fn node(&self, path: &str) -> Result<&Znode, CoordError> {
+        let comps = parse_path(path)?;
+        let mut cur = &self.root;
+        for c in comps {
+            cur = cur
+                .children
+                .get(c)
+                .ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        }
+        Ok(cur)
+    }
+
+    fn node_mut(&mut self, path: &str) -> Result<&mut Znode, CoordError> {
+        let comps = parse_path(path)?;
+        let mut cur = &mut self.root;
+        for c in comps {
+            cur = cur
+                .children
+                .get_mut(c)
+                .ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        }
+        Ok(cur)
+    }
+
+    /// Create a node. Returns the actual path (with any sequence suffix)
+    /// and the created stat, plus the change record for watch dispatch.
+    pub fn create(
+        &mut self,
+        path: &str,
+        data: &[u8],
+        mode: CreateMode,
+        owner: Option<SessionId>,
+    ) -> Result<(String, Stat, Vec<Change>), CoordError> {
+        validate_path(path)?;
+        if path == "/" {
+            return Err(CoordError::NodeExists("/".to_string()));
+        }
+        let parent_path = parent_of(path).to_string();
+        let now = self.now_ms;
+        let next_zxid = self.zxid + 1;
+        let parent = self.node_mut(&parent_path)?;
+        if parent.stat.is_ephemeral() {
+            return Err(CoordError::NoChildrenForEphemerals(parent_path));
+        }
+        let name = if mode.is_sequential() {
+            let n = format!("{}{:010}", basename_of(path), parent.seq_counter);
+            parent.seq_counter += 1;
+            n
+        } else {
+            basename_of(path).to_string()
+        };
+        let actual = join(&parent_path, &name);
+        if parent.children.contains_key(&name) {
+            return Err(CoordError::NodeExists(actual));
+        }
+        let eph_owner = if mode.is_ephemeral() { owner } else { None };
+        let stat = Stat::created(next_zxid, now, eph_owner, data.len());
+        parent.children.insert(name, Znode::new(data.to_vec(), stat));
+        parent.stat.num_children = parent.children.len();
+        parent.stat.cversion += 1;
+        self.zxid = next_zxid;
+        Ok((actual.clone(), stat, vec![Change::Created(actual)]))
+    }
+
+    /// Read a node's data and stat.
+    pub fn get(&self, path: &str) -> Result<(Vec<u8>, Stat), CoordError> {
+        let n = self.node(path)?;
+        Ok((n.data.clone(), n.stat))
+    }
+
+    /// Stat only, or `None` if the node does not exist.
+    pub fn exists(&self, path: &str) -> Result<Option<Stat>, CoordError> {
+        validate_path(path)?;
+        match self.node(path) {
+            Ok(n) => Ok(Some(n.stat)),
+            Err(CoordError::NoNode(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Overwrite a node's data, optionally checking the expected version.
+    pub fn set_data(
+        &mut self,
+        path: &str,
+        data: &[u8],
+        expected_version: Option<u64>,
+    ) -> Result<(Stat, Vec<Change>), CoordError> {
+        let next_zxid = self.zxid + 1;
+        let now = self.now_ms;
+        let node = self.node_mut(path)?;
+        if let Some(v) = expected_version {
+            if node.stat.version != v {
+                return Err(CoordError::BadVersion {
+                    path: path.to_string(),
+                    expected: v,
+                    actual: node.stat.version,
+                });
+            }
+        }
+        node.data = data.to_vec();
+        node.stat.version += 1;
+        node.stat.mzxid = next_zxid;
+        node.stat.mtime_ms = now;
+        node.stat.data_length = data.len();
+        let stat = node.stat;
+        self.zxid = next_zxid;
+        Ok((stat, vec![Change::DataChanged(path.to_string())]))
+    }
+
+    /// Delete a childless node, optionally checking the expected version.
+    pub fn delete(
+        &mut self,
+        path: &str,
+        expected_version: Option<u64>,
+    ) -> Result<Vec<Change>, CoordError> {
+        validate_path(path)?;
+        if path == "/" {
+            return Err(CoordError::InvalidPath("/".to_string()));
+        }
+        {
+            let node = self.node(path)?;
+            if !node.children.is_empty() {
+                return Err(CoordError::NotEmpty(path.to_string()));
+            }
+            if let Some(v) = expected_version {
+                if node.stat.version != v {
+                    return Err(CoordError::BadVersion {
+                        path: path.to_string(),
+                        expected: v,
+                        actual: node.stat.version,
+                    });
+                }
+            }
+        }
+        let parent_path = parent_of(path).to_string();
+        let name = basename_of(path).to_string();
+        let next_zxid = self.zxid + 1;
+        let parent = self.node_mut(&parent_path)?;
+        parent.children.remove(&name);
+        parent.stat.num_children = parent.children.len();
+        parent.stat.cversion += 1;
+        self.zxid = next_zxid;
+        Ok(vec![Change::Deleted(path.to_string())])
+    }
+
+    /// Sorted names of a node's direct children.
+    pub fn children(&self, path: &str) -> Result<Vec<String>, CoordError> {
+        Ok(self.node(path)?.children.keys().cloned().collect())
+    }
+
+    /// Paths of every ephemeral node owned by `session`, deepest first so
+    /// they can be deleted in order.
+    pub fn ephemerals_of(&self, session: SessionId) -> Vec<String> {
+        let mut found = Vec::new();
+        let mut stack = vec![(String::from("/"), &self.root)];
+        while let Some((p, node)) = stack.pop() {
+            if node.stat.ephemeral_owner == Some(session) {
+                found.push(p.clone());
+            }
+            for (name, child) in &node.children {
+                stack.push((join(&p, name), child));
+            }
+        }
+        // Deepest paths first: an ephemeral cannot have children, but this
+        // keeps deletion order robust regardless.
+        found.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        found
+    }
+
+    /// Atomic transaction: apply all operations or none.
+    ///
+    /// The tree is config-sized (Storm stores kilobytes), so all-or-nothing
+    /// is implemented by staging on a clone and committing by swap.
+    pub fn multi(&mut self, ops: &[Op]) -> Result<(Vec<OpResult>, Vec<Change>), CoordError> {
+        let mut staged = self.clone();
+        let mut results = Vec::with_capacity(ops.len());
+        let mut changes = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let fail = |cause: CoordError| CoordError::MultiFailed {
+                op_index: i,
+                cause: Box::new(cause),
+            };
+            match op {
+                Op::Create(path, data, mode) => {
+                    let (actual, _, ch) =
+                        staged.create(path, data, *mode, None).map_err(fail)?;
+                    changes.extend(ch);
+                    results.push(OpResult::Created(actual));
+                }
+                Op::SetData(path, data, ver) => {
+                    let (stat, ch) = staged.set_data(path, data, *ver).map_err(fail)?;
+                    changes.extend(ch);
+                    results.push(OpResult::SetData(stat));
+                }
+                Op::Delete(path, ver) => {
+                    let ch = staged.delete(path, *ver).map_err(fail)?;
+                    changes.extend(ch);
+                    results.push(OpResult::Deleted);
+                }
+                Op::Check(path, ver) => {
+                    let node = staged.node(path).map_err(fail)?;
+                    if let Some(v) = ver {
+                        if node.stat.version != *v {
+                            return Err(fail(CoordError::BadVersion {
+                                path: path.clone(),
+                                expected: *v,
+                                actual: node.stat.version,
+                            }));
+                        }
+                    }
+                    results.push(OpResult::Checked);
+                }
+            }
+        }
+        // Commit: a multi is one transaction, so it consumes one zxid.
+        staged.zxid = self.zxid + 1;
+        *self = staged;
+        Ok((results, changes))
+    }
+
+    /// Total number of znodes (including the root).
+    pub fn len(&self) -> usize {
+        fn count(n: &Znode) -> usize {
+            1 + n.children.values().map(count).sum::<usize>()
+        }
+        count(&self.root)
+    }
+
+    /// True if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.root.children.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> ZnodeTree {
+        ZnodeTree::new()
+    }
+
+    #[test]
+    fn create_then_get_roundtrips_data() {
+        let mut t = tree();
+        t.create("/a", b"hello", CreateMode::Persistent, None).unwrap();
+        let (data, stat) = t.get("/a").unwrap();
+        assert_eq!(data, b"hello");
+        assert_eq!(stat.version, 0);
+        assert_eq!(stat.data_length, 5);
+    }
+
+    #[test]
+    fn create_requires_existing_parent() {
+        let mut t = tree();
+        let err = t
+            .create("/a/b", b"", CreateMode::Persistent, None)
+            .unwrap_err();
+        assert!(matches!(err, CoordError::NoNode(_)));
+    }
+
+    #[test]
+    fn duplicate_create_is_node_exists() {
+        let mut t = tree();
+        t.create("/a", b"", CreateMode::Persistent, None).unwrap();
+        let err = t.create("/a", b"", CreateMode::Persistent, None).unwrap_err();
+        assert_eq!(err, CoordError::NodeExists("/a".into()));
+    }
+
+    #[test]
+    fn set_data_bumps_version_and_mzxid() {
+        let mut t = tree();
+        t.create("/a", b"v0", CreateMode::Persistent, None).unwrap();
+        let (stat, _) = t.set_data("/a", b"v1", None).unwrap();
+        assert_eq!(stat.version, 1);
+        assert!(stat.mzxid > stat.czxid);
+        assert_eq!(t.get("/a").unwrap().0, b"v1");
+    }
+
+    #[test]
+    fn conditional_set_rejects_stale_version() {
+        let mut t = tree();
+        t.create("/a", b"v0", CreateMode::Persistent, None).unwrap();
+        t.set_data("/a", b"v1", Some(0)).unwrap();
+        let err = t.set_data("/a", b"v2", Some(0)).unwrap_err();
+        assert!(matches!(err, CoordError::BadVersion { actual: 1, .. }));
+    }
+
+    #[test]
+    fn delete_refuses_non_empty_and_respects_version() {
+        let mut t = tree();
+        t.create("/a", b"", CreateMode::Persistent, None).unwrap();
+        t.create("/a/b", b"", CreateMode::Persistent, None).unwrap();
+        assert!(matches!(t.delete("/a", None), Err(CoordError::NotEmpty(_))));
+        t.delete("/a/b", Some(0)).unwrap();
+        assert!(matches!(
+            t.delete("/a", Some(9)),
+            Err(CoordError::BadVersion { .. })
+        ));
+        t.delete("/a", Some(0)).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sequential_names_are_monotonic_per_parent() {
+        let mut t = tree();
+        t.create("/q", b"", CreateMode::Persistent, None).unwrap();
+        let (p0, _, _) = t
+            .create("/q/item-", b"", CreateMode::PersistentSequential, None)
+            .unwrap();
+        let (p1, _, _) = t
+            .create("/q/item-", b"", CreateMode::PersistentSequential, None)
+            .unwrap();
+        assert_eq!(p0, "/q/item-0000000000");
+        assert_eq!(p1, "/q/item-0000000001");
+        assert!(p0 < p1, "sequence order must be lexicographic");
+        // Counter survives deletion: no reuse of suffixes.
+        t.delete(&p0, None).unwrap();
+        let (p2, _, _) = t
+            .create("/q/item-", b"", CreateMode::PersistentSequential, None)
+            .unwrap();
+        assert_eq!(p2, "/q/item-0000000002");
+    }
+
+    #[test]
+    fn ephemerals_cannot_have_children() {
+        let mut t = tree();
+        t.create("/e", b"", CreateMode::Ephemeral, Some(SessionId(1)))
+            .unwrap();
+        let err = t
+            .create("/e/c", b"", CreateMode::Persistent, None)
+            .unwrap_err();
+        assert!(matches!(err, CoordError::NoChildrenForEphemerals(_)));
+    }
+
+    #[test]
+    fn ephemerals_of_lists_only_owned_nodes() {
+        let mut t = tree();
+        t.create("/p", b"", CreateMode::Persistent, None).unwrap();
+        t.create("/p/e1", b"", CreateMode::Ephemeral, Some(SessionId(1)))
+            .unwrap();
+        t.create("/p/e2", b"", CreateMode::Ephemeral, Some(SessionId(2)))
+            .unwrap();
+        assert_eq!(t.ephemerals_of(SessionId(1)), vec!["/p/e1".to_string()]);
+        assert_eq!(t.ephemerals_of(SessionId(2)), vec!["/p/e2".to_string()]);
+        assert!(t.ephemerals_of(SessionId(3)).is_empty());
+    }
+
+    #[test]
+    fn children_are_sorted() {
+        let mut t = tree();
+        t.create("/p", b"", CreateMode::Persistent, None).unwrap();
+        for name in ["c", "a", "b"] {
+            t.create(&format!("/p/{name}"), b"", CreateMode::Persistent, None)
+                .unwrap();
+        }
+        assert_eq!(t.children("/p").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(t.get("/p").unwrap().1.num_children, 3);
+    }
+
+    #[test]
+    fn zxid_increases_once_per_write() {
+        let mut t = tree();
+        let z0 = t.last_zxid();
+        t.create("/a", b"", CreateMode::Persistent, None).unwrap();
+        assert_eq!(t.last_zxid(), z0 + 1);
+        t.set_data("/a", b"x", None).unwrap();
+        assert_eq!(t.last_zxid(), z0 + 2);
+        t.delete("/a", None).unwrap();
+        assert_eq!(t.last_zxid(), z0 + 3);
+    }
+
+    #[test]
+    fn multi_applies_all_or_nothing() {
+        let mut t = tree();
+        t.create("/a", b"v0", CreateMode::Persistent, None).unwrap();
+        // Failing multi: second op has a bad version.
+        let err = t
+            .multi(&[
+                Op::Create("/b".into(), b"".to_vec(), CreateMode::Persistent),
+                Op::SetData("/a".into(), b"v1".to_vec(), Some(99)),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, CoordError::MultiFailed { op_index: 1, .. }));
+        assert!(t.exists("/b").unwrap().is_none(), "create must be rolled back");
+        assert_eq!(t.get("/a").unwrap().0, b"v0");
+
+        // Succeeding multi commits everything under one zxid.
+        let z = t.last_zxid();
+        let (results, _) = t
+            .multi(&[
+                Op::Check("/a".into(), Some(0)),
+                Op::SetData("/a".into(), b"v1".to_vec(), Some(0)),
+                Op::Create("/b".into(), b"".to_vec(), CreateMode::Persistent),
+            ])
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(t.last_zxid(), z + 1);
+        assert_eq!(t.get("/a").unwrap().0, b"v1");
+        assert!(t.exists("/b").unwrap().is_some());
+    }
+
+    #[test]
+    fn multi_check_verifies_existence_and_version() {
+        let mut t = tree();
+        t.create("/a", b"", CreateMode::Persistent, None).unwrap();
+        assert!(t.multi(&[Op::Check("/a".into(), None)]).is_ok());
+        assert!(t.multi(&[Op::Check("/missing".into(), None)]).is_err());
+        assert!(t.multi(&[Op::Check("/a".into(), Some(5))]).is_err());
+    }
+
+    #[test]
+    fn len_counts_all_nodes() {
+        let mut t = tree();
+        assert_eq!(t.len(), 1);
+        t.create("/a", b"", CreateMode::Persistent, None).unwrap();
+        t.create("/a/b", b"", CreateMode::Persistent, None).unwrap();
+        assert_eq!(t.len(), 3);
+    }
+}

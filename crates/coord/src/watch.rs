@@ -1,0 +1,249 @@
+//! One-shot watches, matching ZooKeeper's notification model.
+//!
+//! A watch is registered by a read (`get_data` / `exists` / `get_children`
+//! with a watch flag), fires **at most once** on the next matching write,
+//! and must be re-registered by the client after delivery. Events carry the
+//! path and what happened, not the new data — clients re-read, exactly as
+//! ZooKeeper clients do.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::path::parent_of;
+use crate::tree::Change;
+
+/// What a registered watch is interested in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchKind {
+    /// Data writes and deletion of the node (`get_data` watch).
+    Data,
+    /// Creation, data writes and deletion (`exists` watch).
+    Exists,
+    /// Child creation/deletion under the node, and deletion of the node
+    /// itself (`get_children` watch).
+    Children,
+}
+
+/// A delivered notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchEvent {
+    /// The watched path was created.
+    NodeCreated(String),
+    /// The watched path's data changed.
+    NodeDataChanged(String),
+    /// The watched path was deleted.
+    NodeDeleted(String),
+    /// The watched path's child list changed.
+    NodeChildrenChanged(String),
+}
+
+impl WatchEvent {
+    /// Path the event refers to.
+    pub fn path(&self) -> &str {
+        match self {
+            WatchEvent::NodeCreated(p)
+            | WatchEvent::NodeDataChanged(p)
+            | WatchEvent::NodeDeleted(p)
+            | WatchEvent::NodeChildrenChanged(p) => p,
+        }
+    }
+}
+
+/// Client handle on which fired events are received.
+///
+/// Backed by an unbounded channel: the service never blocks on slow
+/// watchers, mirroring ZooKeeper's server-side queueing.
+#[derive(Debug)]
+pub struct Watcher {
+    rx: Receiver<WatchEvent>,
+}
+
+impl Watcher {
+    /// Next event if one has fired.
+    pub fn try_next(&self) -> Option<WatchEvent> {
+        match self.rx.try_recv() {
+            Ok(e) => Some(e),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Drain all fired events.
+    pub fn drain(&self) -> Vec<WatchEvent> {
+        let mut out = Vec::new();
+        while let Some(e) = self.try_next() {
+            out.push(e);
+        }
+        out
+    }
+}
+
+/// One registered, not-yet-fired watch.
+#[derive(Debug)]
+struct Registration {
+    path: String,
+    kind: WatchKind,
+    tx: Sender<WatchEvent>,
+}
+
+/// Registry of pending watches; owned by the service, protected by its lock.
+#[derive(Debug, Default)]
+pub(crate) struct WatchRegistry {
+    pending: Vec<Registration>,
+}
+
+impl WatchRegistry {
+    /// Register a watch; returns the receiver handle.
+    pub(crate) fn register(&mut self, path: &str, kind: WatchKind) -> Watcher {
+        let (tx, rx) = unbounded();
+        self.pending.push(Registration {
+            path: path.to_string(),
+            kind,
+            tx,
+        });
+        Watcher { rx }
+    }
+
+    /// Number of watches still armed.
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Fire every watch matching any of `changes`, removing fired watches
+    /// (one-shot). Events are delivered in commit order.
+    pub(crate) fn dispatch(&mut self, changes: &[Change]) {
+        if self.pending.is_empty() {
+            return;
+        }
+        for change in changes {
+            // A registration can fire for at most one event per change;
+            // retain the ones that did not match.
+            self.pending.retain(|reg| {
+                if let Some(event) = event_for(reg, change) {
+                    // A dropped Watcher just means nobody is listening.
+                    let _ = reg.tx.send(event);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+}
+
+/// The event `reg` receives for `change`, if it matches.
+fn event_for(reg: &Registration, change: &Change) -> Option<WatchEvent> {
+    let (changed, is_create, is_delete, is_data) = match change {
+        Change::Created(p) => (p.as_str(), true, false, false),
+        Change::Deleted(p) => (p.as_str(), false, true, false),
+        Change::DataChanged(p) => (p.as_str(), false, false, true),
+    };
+    match reg.kind {
+        WatchKind::Data => {
+            if reg.path == changed && (is_data || is_delete) {
+                return Some(if is_delete {
+                    WatchEvent::NodeDeleted(changed.to_string())
+                } else {
+                    WatchEvent::NodeDataChanged(changed.to_string())
+                });
+            }
+        }
+        WatchKind::Exists => {
+            if reg.path == changed {
+                return Some(if is_create {
+                    WatchEvent::NodeCreated(changed.to_string())
+                } else if is_delete {
+                    WatchEvent::NodeDeleted(changed.to_string())
+                } else {
+                    WatchEvent::NodeDataChanged(changed.to_string())
+                });
+            }
+        }
+        WatchKind::Children => {
+            if reg.path == changed && is_delete {
+                return Some(WatchEvent::NodeDeleted(changed.to_string()));
+            }
+            if (is_create || is_delete) && parent_of(changed) == reg.path {
+                return Some(WatchEvent::NodeChildrenChanged(reg.path.clone()));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fire(reg_path: &str, kind: WatchKind, changes: &[Change]) -> Vec<WatchEvent> {
+        let mut r = WatchRegistry::default();
+        let w = r.register(reg_path, kind);
+        r.dispatch(changes);
+        w.drain()
+    }
+
+    #[test]
+    fn data_watch_fires_on_change_and_delete_not_create() {
+        assert_eq!(
+            fire("/a", WatchKind::Data, &[Change::DataChanged("/a".into())]),
+            vec![WatchEvent::NodeDataChanged("/a".into())]
+        );
+        assert_eq!(
+            fire("/a", WatchKind::Data, &[Change::Deleted("/a".into())]),
+            vec![WatchEvent::NodeDeleted("/a".into())]
+        );
+        assert!(fire("/a", WatchKind::Data, &[Change::Created("/a".into())]).is_empty());
+    }
+
+    #[test]
+    fn exists_watch_fires_on_create() {
+        assert_eq!(
+            fire("/a", WatchKind::Exists, &[Change::Created("/a".into())]),
+            vec![WatchEvent::NodeCreated("/a".into())]
+        );
+    }
+
+    #[test]
+    fn children_watch_fires_on_direct_children_only() {
+        assert_eq!(
+            fire("/p", WatchKind::Children, &[Change::Created("/p/c".into())]),
+            vec![WatchEvent::NodeChildrenChanged("/p".into())]
+        );
+        assert!(
+            fire(
+                "/p",
+                WatchKind::Children,
+                &[Change::Created("/p/c/grandchild".into())]
+            )
+            .is_empty(),
+            "grandchild changes must not fire a children watch"
+        );
+        assert!(
+            fire("/p", WatchKind::Children, &[Change::DataChanged("/p/c".into())]).is_empty(),
+            "child data changes must not fire a children watch"
+        );
+    }
+
+    #[test]
+    fn watches_are_one_shot() {
+        let mut r = WatchRegistry::default();
+        let w = r.register("/a", WatchKind::Data);
+        r.dispatch(&[Change::DataChanged("/a".into())]);
+        r.dispatch(&[Change::DataChanged("/a".into())]);
+        assert_eq!(w.drain().len(), 1, "a watch fires at most once");
+        assert_eq!(r.pending_len(), 0);
+    }
+
+    #[test]
+    fn unrelated_paths_do_not_fire() {
+        assert!(fire("/a", WatchKind::Data, &[Change::DataChanged("/b".into())]).is_empty());
+        assert_eq!(fire("/a", WatchKind::Data, &[Change::DataChanged("/b".into())]), vec![]);
+    }
+
+    #[test]
+    fn dropped_watcher_does_not_poison_dispatch() {
+        let mut r = WatchRegistry::default();
+        let w = r.register("/a", WatchKind::Data);
+        drop(w);
+        r.dispatch(&[Change::DataChanged("/a".into())]);
+        assert_eq!(r.pending_len(), 0);
+    }
+}

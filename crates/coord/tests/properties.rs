@@ -1,0 +1,182 @@
+//! Property tests: the znode tree against a flat reference model.
+
+use std::collections::BTreeMap;
+
+use dss_coord::tree::{CreateMode, ZnodeTree};
+use dss_coord::CoordError;
+use proptest::prelude::*;
+
+/// Random operation against a small fixed namespace.
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Create(String, Vec<u8>),
+    SetData(String, Vec<u8>),
+    Delete(String),
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    // Small namespace so collisions and parent/child relations occur often.
+    prop::sample::select(vec![
+        "/a".to_string(),
+        "/b".to_string(),
+        "/a/x".to_string(),
+        "/a/y".to_string(),
+        "/b/x".to_string(),
+        "/a/x/deep".to_string(),
+    ])
+}
+
+fn op_strategy() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (path_strategy(), prop::collection::vec(any::<u8>(), 0..8))
+            .prop_map(|(p, d)| TreeOp::Create(p, d)),
+        (path_strategy(), prop::collection::vec(any::<u8>(), 0..8))
+            .prop_map(|(p, d)| TreeOp::SetData(p, d)),
+        path_strategy().prop_map(TreeOp::Delete),
+    ]
+}
+
+fn parent(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) => "/".to_string(),
+        Some(i) => path[..i].to_string(),
+        None => "/".to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tree behaves like a map of paths -> (data, version) with
+    /// parent-existence and no-children-on-delete rules.
+    #[test]
+    fn tree_matches_flat_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut tree = ZnodeTree::new();
+        let mut model: BTreeMap<String, (Vec<u8>, u64)> = BTreeMap::new();
+        let mut last_zxid = tree.last_zxid();
+
+        for op in ops {
+            match op {
+                TreeOp::Create(path, data) => {
+                    let parent_exists = parent(&path) == "/" || model.contains_key(&parent(&path));
+                    let exists = model.contains_key(&path);
+                    let got = tree.create(&path, &data, CreateMode::Persistent, None);
+                    if !parent_exists {
+                        prop_assert!(matches!(got, Err(CoordError::NoNode(_))));
+                    } else if exists {
+                        prop_assert!(matches!(got, Err(CoordError::NodeExists(_))));
+                    } else {
+                        prop_assert!(got.is_ok());
+                        model.insert(path, (data, 0));
+                    }
+                }
+                TreeOp::SetData(path, data) => {
+                    let got = tree.set_data(&path, &data, None);
+                    match model.get_mut(&path) {
+                        Some(entry) => {
+                            prop_assert!(got.is_ok());
+                            entry.0 = data;
+                            entry.1 += 1;
+                        }
+                        None => prop_assert!(matches!(got, Err(CoordError::NoNode(_)))),
+                    }
+                }
+                TreeOp::Delete(path) => {
+                    let has_children = model
+                        .keys()
+                        .any(|k| k != &path && k.starts_with(&format!("{path}/")));
+                    let got = tree.delete(&path, None);
+                    if !model.contains_key(&path) {
+                        prop_assert!(matches!(got, Err(CoordError::NoNode(_))));
+                    } else if has_children {
+                        prop_assert!(matches!(got, Err(CoordError::NotEmpty(_))));
+                    } else {
+                        prop_assert!(got.is_ok());
+                        model.remove(&path);
+                    }
+                }
+            }
+            // zxid is monotone and only advances on successful writes.
+            let z = tree.last_zxid();
+            prop_assert!(z >= last_zxid);
+            prop_assert!(z - last_zxid <= 1);
+            last_zxid = z;
+        }
+
+        // Final state agreement: every model node exists with the right
+        // data and version; total node count matches (+1 for the root).
+        for (path, (data, version)) in &model {
+            let (got_data, stat) = tree.get(path).unwrap();
+            prop_assert_eq!(&got_data, data);
+            prop_assert_eq!(stat.version, *version);
+        }
+        prop_assert_eq!(tree.len(), model.len() + 1);
+    }
+
+    /// Sequential creates under one parent produce strictly increasing,
+    /// lexicographically sorted names, even interleaved with deletions.
+    #[test]
+    fn sequential_names_strictly_increase(n_creates in 1usize..30, delete_mask in any::<u32>()) {
+        let mut tree = ZnodeTree::new();
+        tree.create("/q", b"", CreateMode::Persistent, None).unwrap();
+        let mut names = Vec::new();
+        for i in 0..n_creates {
+            let (path, _, _) = tree
+                .create("/q/item-", b"", CreateMode::PersistentSequential, None)
+                .unwrap();
+            if delete_mask & (1 << (i % 32)) != 0 {
+                tree.delete(&path, None).unwrap();
+            }
+            names.push(path);
+        }
+        for pair in names.windows(2) {
+            prop_assert!(pair[0] < pair[1], "{} !< {}", pair[0], pair[1]);
+        }
+    }
+
+    /// multi == the same ops applied serially, when all succeed; and a
+    /// no-op when any fails.
+    #[test]
+    fn multi_equals_serial_or_nothing(ops in prop::collection::vec(op_strategy(), 1..8)) {
+        use dss_coord::tree::Op;
+        let mut base = ZnodeTree::new();
+        base.create("/a", b"", CreateMode::Persistent, None).unwrap();
+
+        let multi_ops: Vec<Op> = ops
+            .iter()
+            .map(|op| match op {
+                TreeOp::Create(p, d) => Op::Create(p.clone(), d.clone(), CreateMode::Persistent),
+                TreeOp::SetData(p, d) => Op::SetData(p.clone(), d.clone(), None),
+                TreeOp::Delete(p) => Op::Delete(p.clone(), None),
+            })
+            .collect();
+
+        let mut serial = base.clone();
+        let mut serial_ok = true;
+        for op in &multi_ops {
+            let r = match op {
+                Op::Create(p, d, m) => serial.create(p, d, *m, None).map(|_| ()),
+                Op::SetData(p, d, v) => serial.set_data(p, d, *v).map(|_| ()),
+                Op::Delete(p, v) => serial.delete(p, *v).map(|_| ()),
+                Op::Check(..) => Ok(()),
+            };
+            if r.is_err() {
+                serial_ok = false;
+                break;
+            }
+        }
+
+        let mut txn = base.clone();
+        let got = txn.multi(&multi_ops);
+        if serial_ok {
+            prop_assert!(got.is_ok());
+            // Same namespace contents as the serial run.
+            prop_assert_eq!(txn.len(), serial.len());
+        } else {
+            prop_assert!(got.is_err());
+            // Unchanged on failure.
+            prop_assert_eq!(txn.len(), base.len());
+            prop_assert_eq!(txn.last_zxid(), base.last_zxid());
+        }
+    }
+}

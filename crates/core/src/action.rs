@@ -1,0 +1,80 @@
+//! The paper's action spaces (§3.2).
+//!
+//! * Actor-critic: an action is a **full assignment** `a = <a_ij>` with
+//!   one-hot rows (`|A| = M^N`), encoded as the flat `N·M` vector the
+//!   critic consumes.
+//! * DQN baseline: an action **moves one thread to one machine**
+//!   (`|A| = N·M`), indexed as `executor · M + machine`.
+
+use dss_sim::{Assignment, SimError};
+
+/// Decodes a DQN move-action index into `(executor, machine)`.
+///
+/// # Panics
+/// Panics when the index is out of range.
+pub fn decode_move(index: usize, n_executors: usize, n_machines: usize) -> (usize, usize) {
+    assert!(index < n_executors * n_machines, "action index out of range");
+    (index / n_machines, index % n_machines)
+}
+
+/// Encodes `(executor, machine)` as a DQN action index.
+///
+/// # Panics
+/// Panics when arguments are out of range.
+pub fn encode_move(
+    executor: usize,
+    machine: usize,
+    n_executors: usize,
+    n_machines: usize,
+) -> usize {
+    assert!(executor < n_executors && machine < n_machines, "out of range");
+    executor * n_machines + machine
+}
+
+/// Applies a DQN move action to an assignment.
+pub fn apply_move(assignment: &Assignment, index: usize) -> Assignment {
+    let (e, m) = decode_move(index, assignment.n_executors(), assignment.n_machines());
+    assignment.with_move(e, m)
+}
+
+/// Converts a full-assignment choice vector (machine per executor) into an
+/// [`Assignment`].
+pub fn choice_to_assignment(choice: &[usize], n_machines: usize) -> Result<Assignment, SimError> {
+    Assignment::new(choice.to_vec(), n_machines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_codec_round_trips() {
+        for e in 0..5 {
+            for m in 0..3 {
+                let idx = encode_move(e, m, 5, 3);
+                assert_eq!(decode_move(idx, 5, 3), (e, m));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_move_changes_one_executor() {
+        let a = Assignment::new(vec![0, 1, 2], 3).unwrap();
+        let idx = encode_move(1, 0, 3, 3);
+        let b = apply_move(&a, idx);
+        assert_eq!(b.as_slice(), &[0, 0, 2]);
+        assert_eq!(a.diff(&b), vec![1]);
+    }
+
+    #[test]
+    fn choice_conversion_validates() {
+        assert!(choice_to_assignment(&[0, 1], 2).is_ok());
+        assert!(choice_to_assignment(&[0, 5], 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_checks_bounds() {
+        let _ = decode_move(100, 5, 3);
+    }
+}

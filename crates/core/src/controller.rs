@@ -1,0 +1,320 @@
+//! The control loop: offline training and online learning.
+//!
+//! Offline (paper §3.2.1): "we first collected 10,000 transition samples
+//! with random actions for each experimental setup and then pre-trained the
+//! actor and critic networks offline." Workload multipliers are varied
+//! across samples so agents learn the `w`-dependence their state includes
+//! (what makes them "sensitive to the workload change" in Figure 12).
+//!
+//! Online (Algorithm 1): at each decision epoch the scheduler proposes an
+//! assignment, the environment deploys and measures it, the reward is the
+//! negative average tuple processing time, and the transition is both
+//! stored in the [`TransitionStore`] and fed back to the scheduler.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use dss_metrics::TimeSeries;
+use dss_rl::Transition;
+use dss_sim::{Assignment, RuntimeStats, Workload};
+
+use crate::config::ControlConfig;
+use crate::env::{Environment, StoredTransition, TransitionStore};
+use crate::reward::RewardScale;
+use crate::scheduler::Scheduler;
+use crate::state::SchedState;
+
+/// One offline sample: `prev` was deployed, `action` replaced it under
+/// `workload`, and the system measured `latency_ms` (with the rich `stats`
+/// the model-based baseline needs).
+#[derive(Debug, Clone)]
+pub struct RawSample {
+    /// Assignment before the action.
+    pub prev: Assignment,
+    /// Deployed assignment (the action).
+    pub action: Assignment,
+    /// Workload in effect.
+    pub workload: Workload,
+    /// Measured average tuple processing time.
+    pub latency_ms: f64,
+    /// Detailed statistics snapshot.
+    pub stats: RuntimeStats,
+}
+
+/// The offline transition dataset plus the conversions each learner needs.
+#[derive(Debug, Clone, Default)]
+pub struct OfflineDataset {
+    /// Collected samples, in chain order.
+    pub samples: Vec<RawSample>,
+}
+
+impl OfflineDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Actor-critic transitions: `((X_prev, w), a_onehot, r, (a, w))`.
+    pub fn ddpg_transitions(
+        &self,
+        rate_scale: f64,
+        reward: RewardScale,
+    ) -> Vec<Transition<Vec<f64>>> {
+        self.samples
+            .iter()
+            .map(|s| {
+                let state = SchedState::new(s.prev.clone(), s.workload.clone());
+                let next = SchedState::new(s.action.clone(), s.workload.clone());
+                Transition::new(
+                    state.features(rate_scale),
+                    s.action.to_onehot(),
+                    reward.reward(s.latency_ms),
+                    next.features(rate_scale),
+                )
+            })
+            .collect()
+    }
+
+    /// DQN transitions: only samples whose action is a *single move*
+    /// relative to `prev` fit the restricted action space; others are
+    /// skipped (a random-walk collection produces almost exclusively
+    /// single-move samples).
+    pub fn dqn_transitions(&self, rate_scale: f64, reward: RewardScale) -> Vec<Transition<usize>> {
+        self.samples
+            .iter()
+            .filter_map(|s| {
+                let diff = s.prev.diff(&s.action);
+                let e = match diff.as_slice() {
+                    // A no-op move re-selects the executor's current machine;
+                    // encode it against executor 0 deterministically.
+                    [] => 0,
+                    [e] => *e,
+                    _ => return None,
+                };
+                let m = s.action.machine_of(e);
+                let idx = crate::action::encode_move(
+                    e,
+                    m,
+                    s.action.n_executors(),
+                    s.action.n_machines(),
+                );
+                let state = SchedState::new(s.prev.clone(), s.workload.clone());
+                let next = SchedState::new(s.action.clone(), s.workload.clone());
+                Some(Transition::new(
+                    state.features(rate_scale),
+                    idx,
+                    reward.reward(s.latency_ms),
+                    next.features(rate_scale),
+                ))
+            })
+            .collect()
+    }
+}
+
+/// Drives offline collection and online learning for any [`Scheduler`].
+pub struct Controller {
+    config: ControlConfig,
+    reward: RewardScale,
+    store: TransitionStore,
+}
+
+impl Controller {
+    /// A controller with the given configuration.
+    pub fn new(config: ControlConfig) -> Self {
+        Self {
+            reward: RewardScale {
+                per_ms: config.reward_per_ms,
+            },
+            config,
+            store: TransitionStore::new(),
+        }
+    }
+
+    /// The framework's transition database.
+    pub fn store(&self) -> &TransitionStore {
+        &self.store
+    }
+
+    /// The reward scale in force.
+    pub fn reward_scale(&self) -> RewardScale {
+        self.reward
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ControlConfig {
+        &self.config
+    }
+
+    /// Collects `config.offline_samples` random-action samples.
+    ///
+    /// `collector` decides the action distribution ([`RandomScheduler`] in
+    /// either mode). Workload multipliers are drawn from `[0.6, 1.8]` per
+    /// sample so learners see the workload dimension of the state space.
+    ///
+    /// [`RandomScheduler`]: crate::scheduler::RandomScheduler
+    pub fn collect_offline(
+        &self,
+        env: &mut dyn Environment,
+        base_workload: &Workload,
+        collector: &mut dyn Scheduler,
+        initial: Assignment,
+        rng: &mut StdRng,
+    ) -> OfflineDataset {
+        let mut samples = Vec::with_capacity(self.config.offline_samples);
+        let mut current = initial;
+        for _ in 0..self.config.offline_samples {
+            let mult: f64 = rng.random_range(0.6..1.8);
+            let workload = base_workload.scaled(mult);
+            let state = SchedState::new(current.clone(), workload.clone());
+            let action = collector.schedule(&state);
+            let (latency_ms, stats) = env.deploy_and_measure_stats(&action, &workload);
+            samples.push(RawSample {
+                prev: current.clone(),
+                action: action.clone(),
+                workload,
+                latency_ms,
+                stats,
+            });
+            current = action;
+        }
+        OfflineDataset { samples }
+    }
+
+    /// Online learning (Algorithm 1's decision-epoch loop): runs
+    /// `epochs` epochs of schedule → deploy → measure → observe, starting
+    /// from `initial`. Returns `(per-epoch rewards, final assignment)`.
+    pub fn online_learn(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        env: &mut dyn Environment,
+        workload: &Workload,
+        initial: Assignment,
+        epochs: usize,
+    ) -> (TimeSeries, Assignment) {
+        let mut rewards = TimeSeries::new();
+        let mut current = initial;
+        for t in 0..epochs {
+            let state = SchedState::new(current.clone(), workload.clone());
+            let action = scheduler.schedule(&state);
+            let latency_ms = env.deploy_and_measure(&action, workload);
+            let r = self.reward.reward(latency_ms);
+            let next_state = SchedState::new(action.clone(), workload.clone());
+            scheduler.observe(&state, &action, r, &next_state);
+            self.store.push(StoredTransition {
+                state: state.features(self.config.rate_scale),
+                action: action.to_onehot(),
+                reward: r,
+                next_state: next_state.features(self.config.rate_scale),
+            });
+            rewards.push(t as f64, r);
+            current = action;
+        }
+        (rewards, current)
+    }
+
+    /// Greedy (no-learning) decision: what the trained scheduler deploys.
+    pub fn decide(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        current: &Assignment,
+        workload: &Workload,
+    ) -> Assignment {
+        scheduler.schedule(&SchedState::new(current.clone(), workload.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::AnalyticEnv;
+    use crate::scheduler::{RandomScheduler, RoundRobinScheduler};
+    use crate::scheduler::random::RandomMode;
+    use dss_sim::{AnalyticModel, ClusterSpec, Grouping, SimConfig, TopologyBuilder, Topology};
+    use rand::SeedableRng;
+
+    fn topo() -> Topology {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 4, 0.4);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+        b.build().unwrap()
+    }
+
+    fn env() -> AnalyticEnv {
+        AnalyticEnv::new(
+            AnalyticModel::new(topo(), ClusterSpec::homogeneous(3), SimConfig::steady_state(1))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn offline_collection_fills_dataset() {
+        let ctl = Controller::new(ControlConfig::test());
+        let mut env = env();
+        let w = Workload::uniform(&topo(), 300.0);
+        let mut collector =
+            RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(1));
+        let init = Assignment::round_robin(&topo(), &ClusterSpec::homogeneous(3));
+        let data = ctl.collect_offline(
+            &mut env,
+            &w,
+            &mut collector,
+            init,
+            &mut StdRng::seed_from_u64(2),
+        );
+        assert_eq!(data.len(), ControlConfig::test().offline_samples);
+        assert!(data.samples.iter().all(|s| s.latency_ms > 0.0));
+        // Chain property: each prev is the previous action.
+        for pair in data.samples.windows(2) {
+            assert_eq!(pair[0].action, pair[1].prev);
+        }
+        // Workload variation present.
+        let rates: Vec<f64> = data.samples.iter().map(|s| s.workload.total_rate()).collect();
+        assert!(rates.iter().any(|&r| r < 300.0));
+        assert!(rates.iter().any(|&r| r > 300.0));
+    }
+
+    #[test]
+    fn ddpg_and_dqn_conversions() {
+        let ctl = Controller::new(ControlConfig::test());
+        let mut env = env();
+        let w = Workload::uniform(&topo(), 300.0);
+        let init = Assignment::round_robin(&topo(), &ClusterSpec::homogeneous(3));
+        let mut walk = RandomScheduler::new(RandomMode::RandomWalk, StdRng::seed_from_u64(3));
+        let data = ctl.collect_offline(
+            &mut env,
+            &w,
+            &mut walk,
+            init,
+            &mut StdRng::seed_from_u64(4),
+        );
+        let ddpg = data.ddpg_transitions(1000.0, RewardScale::default());
+        assert_eq!(ddpg.len(), data.len());
+        assert_eq!(ddpg[0].state.len(), 6 * 3 + 1);
+        assert_eq!(ddpg[0].action.len(), 18);
+        let dqn = data.dqn_transitions(1000.0, RewardScale::default());
+        // Random-walk actions are all single moves (or no-ops).
+        assert_eq!(dqn.len(), data.len());
+        assert!(dqn.iter().all(|t| t.action < 18));
+    }
+
+    #[test]
+    fn online_learn_records_rewards() {
+        let ctl = Controller::new(ControlConfig::test());
+        let mut env = env();
+        let w = Workload::uniform(&topo(), 300.0);
+        let cluster = ClusterSpec::homogeneous(3);
+        let mut sched = RoundRobinScheduler::new(&topo(), &cluster);
+        let init = Assignment::round_robin(&topo(), &cluster);
+        let (rewards, fin) = ctl.online_learn(&mut sched, &mut env, &w, init, 10);
+        assert_eq!(rewards.len(), 10);
+        assert!(rewards.values().iter().all(|&r| r < 0.0));
+        assert_eq!(fin.as_slice(), &[0, 1, 2, 0, 1, 2]);
+        assert_eq!(ctl.store().len(), 10);
+    }
+}

@@ -1,0 +1,174 @@
+//! The environment the controller drives, and the transition "database".
+//!
+//! [`Environment`] is what the framework sees of the DSDPS: deploy a
+//! scheduling solution under a workload, get back the measured average
+//! tuple processing time (and, for the model-based baseline only, richer
+//! component statistics). [`AnalyticEnv`] backs it with `dss-sim`'s fast
+//! steady-state evaluator — the training loops' environment — while the
+//! figure runners measure final solutions on the tuple-level engine
+//! directly (see `experiment`).
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+use dss_sim::{AnalyticModel, Assignment, RuntimeStats, Workload};
+
+/// A DSDPS that can be scheduled and measured.
+pub trait Environment {
+    /// Number of executors `N`.
+    fn n_executors(&self) -> usize;
+    /// Number of machines `M`.
+    fn n_machines(&self) -> usize;
+    /// Deploys `assignment` under `workload`; returns the measured average
+    /// end-to-end tuple processing time in ms.
+    fn deploy_and_measure(&mut self, assignment: &Assignment, workload: &Workload) -> f64;
+    /// Like [`Environment::deploy_and_measure`] but with the detailed
+    /// statistics the model-based baseline trains on.
+    fn deploy_and_measure_stats(
+        &mut self,
+        assignment: &Assignment,
+        workload: &Workload,
+    ) -> (f64, RuntimeStats);
+}
+
+/// Training environment over the analytic evaluator (with measurement
+/// noise, mirroring the jitter of real 5×10 s measurements).
+pub struct AnalyticEnv {
+    model: AnalyticModel,
+}
+
+impl AnalyticEnv {
+    /// Wraps an analytic model.
+    pub fn new(model: AnalyticModel) -> Self {
+        Self { model }
+    }
+
+    /// The underlying model.
+    pub fn model_mut(&mut self) -> &mut AnalyticModel {
+        &mut self.model
+    }
+}
+
+impl Environment for AnalyticEnv {
+    fn n_executors(&self) -> usize {
+        self.model.topology().n_executors()
+    }
+
+    fn n_machines(&self) -> usize {
+        self.model.cluster().n_machines()
+    }
+
+    fn deploy_and_measure(&mut self, assignment: &Assignment, workload: &Workload) -> f64 {
+        self.model.evaluate(assignment, workload)
+    }
+
+    fn deploy_and_measure_stats(
+        &mut self,
+        assignment: &Assignment,
+        workload: &Workload,
+    ) -> (f64, RuntimeStats) {
+        self.model.evaluate_with_stats(assignment, workload)
+    }
+}
+
+/// One stored transition row of the paper's database component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredTransition {
+    /// State features at the decision epoch.
+    pub state: Vec<f64>,
+    /// One-hot action encoding.
+    pub action: Vec<f64>,
+    /// Reward.
+    pub reward: f64,
+    /// Next-state features.
+    pub next_state: Vec<f64>,
+}
+
+/// The paper's "Database" box (Figure 1): stores transition samples for
+/// (re)training. Thread-safe so a trainer can read while a collector
+/// appends (the hot-swapping deployment mode).
+#[derive(Debug, Clone, Default)]
+pub struct TransitionStore {
+    inner: Arc<RwLock<Vec<StoredTransition>>>,
+}
+
+impl TransitionStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a transition.
+    pub fn push(&self, t: StoredTransition) {
+        self.inner.write().push(t);
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Snapshot of all transitions.
+    pub fn snapshot(&self) -> Vec<StoredTransition> {
+        self.inner.read().clone()
+    }
+
+    /// Drops everything (e.g. after an algorithm hot-swap).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_sim::{ClusterSpec, Grouping, SimConfig, TopologyBuilder};
+
+    fn env() -> AnalyticEnv {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 3, 0.3);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+        let topo = b.build().unwrap();
+        let model =
+            AnalyticModel::new(topo, ClusterSpec::homogeneous(4), SimConfig::steady_state(3))
+                .unwrap();
+        AnalyticEnv::new(model)
+    }
+
+    #[test]
+    fn analytic_env_measures() {
+        let mut e = env();
+        assert_eq!(e.n_executors(), 5);
+        assert_eq!(e.n_machines(), 4);
+        let a = Assignment::new(vec![0; 5], 4).unwrap();
+        let w = Workload::new(vec![(0, 100.0)], e.model_mut().topology()).unwrap();
+        let ms = e.deploy_and_measure(&a, &w);
+        assert!(ms > 0.0);
+        let (ms2, stats) = e.deploy_and_measure_stats(&a, &w);
+        assert_eq!(ms, ms2);
+        assert_eq!(stats.executor_rates.len(), 5);
+    }
+
+    #[test]
+    fn store_push_snapshot_clear() {
+        let store = TransitionStore::new();
+        assert!(store.is_empty());
+        store.push(StoredTransition {
+            state: vec![1.0],
+            action: vec![0.0],
+            reward: -1.0,
+            next_state: vec![0.0],
+        });
+        let clone = store.clone(); // shares the same backing storage
+        assert_eq!(clone.len(), 1);
+        assert_eq!(store.snapshot()[0].reward, -1.0);
+        clone.clear();
+        assert!(store.is_empty());
+    }
+}

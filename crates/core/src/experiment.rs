@@ -1,0 +1,417 @@
+//! Experiment runners that regenerate the paper's evaluation (§4).
+//!
+//! Pipeline per figure, mirroring the paper's procedure:
+//!
+//! 1. **Train** each method: offline collection (random actions, varied
+//!    workload multipliers) + pre-training, then online learning for `T`
+//!    decision epochs against the (noisy) analytic environment.
+//! 2. **Deploy** each trained method's solution on a *fresh tuple-level
+//!    engine* and record the sliding-window average tuple processing time
+//!    over simulated minutes — Figures 6, 8, 10 ("time 0 is the time when
+//!    a scheduling solution given by a well-trained DRL agent is deployed",
+//!    and the curves decay as the system warms up and stabilizes).
+//! 3. For Figures 7/9/11, report the per-epoch online rewards, min-max
+//!    normalized and forward-backward filtered as in the paper.
+//! 4. For Figure 12, run 50 simulated minutes with a +50% workload step at
+//!    minute 20; the deployed agent reacts to the observed workload change
+//!    by re-scheduling (the spike, then restabilization).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dss_apps::App;
+use dss_metrics::{filter, normalize, TimeSeries};
+use dss_sim::{
+    AnalyticModel, Assignment, ClusterSpec, RateSchedule, SimConfig, SimEngine, Workload,
+};
+
+use crate::config::ControlConfig;
+use crate::controller::Controller;
+use crate::env::AnalyticEnv;
+use crate::scheduler::random::RandomMode;
+use crate::scheduler::{
+    ActorCriticScheduler, DqnScheduler, ModelBasedScheduler, RandomScheduler,
+    RoundRobinScheduler, Scheduler,
+};
+use crate::state::SchedState;
+
+/// The four compared methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Storm's default round-robin scheduler.
+    Default,
+    /// The SVR model-based baseline.
+    ModelBased,
+    /// The DQN-based DRL method.
+    Dqn,
+    /// The paper's actor-critic DRL method.
+    ActorCritic,
+}
+
+impl Method {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Default => "default",
+            Method::ModelBased => "model-based",
+            Method::Dqn => "dqn",
+            Method::ActorCritic => "actor-critic",
+        }
+    }
+
+    /// All four, in the paper's ordering.
+    pub fn all() -> [Method; 4] {
+        [
+            Method::Default,
+            Method::ModelBased,
+            Method::Dqn,
+            Method::ActorCritic,
+        ]
+    }
+}
+
+/// A trained method ready for deployment.
+pub struct TrainOutcome {
+    /// Which method this is.
+    pub method: Method,
+    /// The trained (frozen for DRL methods) scheduler.
+    pub scheduler: Box<dyn Scheduler>,
+    /// Online-learning reward series (DRL methods only).
+    pub rewards: Option<TimeSeries>,
+    /// The solution the method deploys at nominal workload.
+    pub solution: Assignment,
+}
+
+fn sim_config(cfg: &ControlConfig) -> SimConfig {
+    SimConfig {
+        seed: cfg.seed,
+        ..SimConfig::default()
+    }
+}
+
+fn training_env(app: &App, cluster: &ClusterSpec, cfg: &ControlConfig) -> AnalyticEnv {
+    let model = AnalyticModel::new(
+        app.topology.clone(),
+        cluster.clone(),
+        SimConfig::steady_state(cfg.seed),
+    )
+    .expect("valid app/cluster")
+    .with_noise(cfg.measurement_noise);
+    AnalyticEnv::new(model)
+}
+
+/// Trains one method on an application (offline + online phases) and
+/// extracts its deployable solution.
+pub fn train_method(
+    method: Method,
+    app: &App,
+    cluster: &ClusterSpec,
+    cfg: &ControlConfig,
+) -> TrainOutcome {
+    let controller = Controller::new(*cfg);
+    let n = app.topology.n_executors();
+    let m = cluster.n_machines();
+    let n_sources = app.workload.rates().len();
+    let rr = Assignment::round_robin(&app.topology, cluster);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0);
+
+    match method {
+        Method::Default => {
+            let mut sched = RoundRobinScheduler::new(&app.topology, cluster);
+            let solution =
+                controller.decide(&mut sched, &rr, &app.workload);
+            TrainOutcome {
+                method,
+                scheduler: Box::new(sched),
+                rewards: None,
+                solution,
+            }
+        }
+        Method::ModelBased => {
+            let mut env = training_env(app, cluster, cfg);
+            let mut collector =
+                RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(cfg.seed));
+            let data =
+                controller.collect_offline(&mut env, &app.workload, &mut collector, rr.clone(), &mut rng);
+            let cores = cluster.machines[0].cores;
+            let mut sched = ModelBasedScheduler::new(app.topology.clone(), m, cores, cfg.seed);
+            sched.pretrain(&data);
+            let solution = controller.decide(&mut sched, &rr, &app.workload);
+            TrainOutcome {
+                method,
+                scheduler: Box::new(sched),
+                rewards: None,
+                solution,
+            }
+        }
+        Method::Dqn => {
+            let mut env = training_env(app, cluster, cfg);
+            // Offline: random walk through the single-move action space.
+            let mut collector =
+                RandomScheduler::new(RandomMode::RandomWalk, StdRng::seed_from_u64(cfg.seed));
+            let data =
+                controller.collect_offline(&mut env, &app.workload, &mut collector, rr.clone(), &mut rng);
+            let mut sched = DqnScheduler::new(n, m, n_sources, cfg);
+            sched.pretrain(&data);
+            let (rewards, last) = controller.online_learn(
+                &mut sched,
+                &mut env,
+                &app.workload,
+                rr.clone(),
+                cfg.online_epochs,
+            );
+            sched.freeze();
+            // Deployable solution: greedy single-move rollout from the
+            // online endpoint (each greedy decision moves one thread).
+            let mut current = last;
+            for _ in 0..(2 * n) {
+                current = controller.decide(&mut sched, &current, &app.workload);
+            }
+            TrainOutcome {
+                method,
+                scheduler: Box::new(sched),
+                rewards: Some(rewards),
+                solution: current,
+            }
+        }
+        Method::ActorCritic => {
+            let mut env = training_env(app, cluster, cfg);
+            let mut collector =
+                RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(cfg.seed));
+            let data =
+                controller.collect_offline(&mut env, &app.workload, &mut collector, rr.clone(), &mut rng);
+            let mut sched = ActorCriticScheduler::new(n, m, n_sources, cfg);
+            sched.pretrain(&data);
+            let (rewards, last) = controller.online_learn(
+                &mut sched,
+                &mut env,
+                &app.workload,
+                rr.clone(),
+                cfg.online_epochs,
+            );
+            sched.freeze();
+            let solution = controller.decide(&mut sched, &last, &app.workload);
+            TrainOutcome {
+                method,
+                scheduler: Box::new(sched),
+                rewards: Some(rewards),
+                solution,
+            }
+        }
+    }
+}
+
+/// Runs a deployed solution on a fresh tuple-level engine for
+/// `minutes` simulated minutes, sampling the window-averaged tuple
+/// processing time every `sample_s` seconds — one curve of Figures 6/8/10.
+pub fn deployment_curve(
+    app: &App,
+    cluster: &ClusterSpec,
+    cfg: &ControlConfig,
+    solution: &Assignment,
+    minutes: f64,
+    sample_s: f64,
+) -> TimeSeries {
+    let mut engine = SimEngine::new(
+        app.topology.clone(),
+        cluster.clone(),
+        app.workload.clone(),
+        sim_config(cfg),
+    )
+    .expect("valid app/cluster");
+    engine.deploy(solution.clone()).expect("valid solution");
+    let mut series = TimeSeries::new();
+    let mut t = sample_s;
+    while t <= minutes * 60.0 + 1e-9 {
+        engine.run_until(t);
+        if let Some(ms) = engine.window_avg_latency_ms() {
+            series.push(t, ms);
+        }
+        t += sample_s;
+    }
+    series
+}
+
+/// Figures 6/8/10: trains all four methods and returns their deployment
+/// curves, in `Method::all()` order.
+pub fn figure_deployment(
+    app: &App,
+    cluster: &ClusterSpec,
+    cfg: &ControlConfig,
+    minutes: f64,
+    sample_s: f64,
+) -> Vec<(Method, TimeSeries, TrainOutcome)> {
+    Method::all()
+        .into_iter()
+        .map(|method| {
+            let outcome = train_method(method, app, cluster, cfg);
+            let curve = deployment_curve(app, cluster, cfg, &outcome.solution, minutes, sample_s);
+            (method, curve, outcome)
+        })
+        .collect()
+}
+
+/// Figures 7/9/11: online-learning reward curves for the two DRL methods,
+/// min-max normalized and forward-backward filtered as in the paper.
+pub fn figure_rewards(
+    app: &App,
+    cluster: &ClusterSpec,
+    cfg: &ControlConfig,
+) -> Vec<(Method, TimeSeries)> {
+    [Method::ActorCritic, Method::Dqn]
+        .into_iter()
+        .map(|method| {
+            let outcome = train_method(method, app, cluster, cfg);
+            let raw = outcome.rewards.expect("DRL methods produce rewards");
+            (method, normalize_rewards(&raw))
+        })
+        .collect()
+}
+
+/// The paper's reward post-processing: `(r − r_min)/(r_max − r_min)`, then
+/// zero-phase smoothing.
+pub fn normalize_rewards(raw: &TimeSeries) -> TimeSeries {
+    let normalized = normalize::min_max(raw.values());
+    let window = (raw.len() / 20).clamp(5, 80);
+    let smoothed = filter::forward_backward(&normalized, filter::alpha_for_window(window));
+    TimeSeries::from_parts(raw.times().to_vec(), smoothed)
+}
+
+/// Figure 12: deploy a trained method, step the workload +50% at
+/// `shift_min`, let the scheduler react `reaction_s` later, and record the
+/// curve out to `total_min`.
+pub fn workload_shift_curve(
+    app: &App,
+    cluster: &ClusterSpec,
+    cfg: &ControlConfig,
+    outcome: &mut TrainOutcome,
+    shift_min: f64,
+    total_min: f64,
+    sample_s: f64,
+) -> TimeSeries {
+    let controller = Controller::new(*cfg);
+    let shift_s = shift_min * 60.0;
+    let multiplier = 1.5;
+    let reaction_s = 60.0;
+
+    let mut engine = SimEngine::new(
+        app.topology.clone(),
+        cluster.clone(),
+        app.workload.clone(),
+        sim_config(cfg),
+    )
+    .expect("valid app/cluster");
+    engine.set_rate_schedule(RateSchedule::step_at(shift_s, multiplier));
+    engine.deploy(outcome.solution.clone()).expect("valid solution");
+
+    let mut series = TimeSeries::new();
+    let mut rescheduled = false;
+    let mut t = sample_s;
+    while t <= total_min * 60.0 + 1e-9 {
+        engine.run_until(t);
+        if !rescheduled && t >= shift_s + reaction_s {
+            // The agent observes the new workload in its state and adjusts
+            // its scheduling solution accordingly.
+            let shifted = app.workload.scaled(multiplier);
+            let next = controller.decide(
+                outcome.scheduler.as_mut(),
+                engine.assignment(),
+                &shifted,
+            );
+            engine.deploy(next).expect("valid re-deployment");
+            rescheduled = true;
+        }
+        if let Some(ms) = engine.window_avg_latency_ms() {
+            series.push(t, ms);
+        }
+        t += sample_s;
+    }
+    series
+}
+
+/// Stable level of a deployment curve: the mean over its final quarter
+/// (the paper reads stable values off the flat tail of each curve).
+pub fn stable_ms(series: &TimeSeries) -> f64 {
+    series
+        .tail_mean((series.len() / 4).max(1))
+        .expect("non-empty curve")
+}
+
+/// Convenience: the greedy decision a trained outcome makes for a given
+/// workload (used by ablation benches).
+pub fn decide_for_workload(
+    outcome: &mut TrainOutcome,
+    cfg: &ControlConfig,
+    current: &Assignment,
+    workload: &Workload,
+) -> Assignment {
+    Controller::new(*cfg).decide(outcome.scheduler.as_mut(), current, workload)
+}
+
+/// Smoke-level state access for tests.
+pub fn initial_state(app: &App, cluster: &ClusterSpec) -> SchedState {
+    SchedState::new(
+        Assignment::round_robin(&app.topology, cluster),
+        app.workload.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_apps::{continuous_queries, CqScale};
+
+    fn tiny_cfg() -> ControlConfig {
+        ControlConfig {
+            offline_samples: 60,
+            offline_steps: 40,
+            online_epochs: 20,
+            eps_decay_epochs: 10,
+            measurement_noise: 0.0,
+            ..ControlConfig::test()
+        }
+    }
+
+    #[test]
+    fn default_method_returns_round_robin() {
+        let app = continuous_queries(CqScale::Small);
+        let cluster = ClusterSpec::homogeneous(10);
+        let out = train_method(Method::Default, &app, &cluster, &tiny_cfg());
+        assert_eq!(
+            out.solution,
+            Assignment::round_robin(&app.topology, &cluster)
+        );
+        assert!(out.rewards.is_none());
+    }
+
+    #[test]
+    fn actor_critic_trains_and_decides() {
+        let app = continuous_queries(CqScale::Small);
+        let cluster = ClusterSpec::homogeneous(10);
+        let out = train_method(Method::ActorCritic, &app, &cluster, &tiny_cfg());
+        let rewards = out.rewards.as_ref().unwrap();
+        assert_eq!(rewards.len(), tiny_cfg().online_epochs);
+        assert_eq!(out.solution.n_executors(), 20);
+    }
+
+    #[test]
+    fn deployment_curve_has_samples_and_decays() {
+        let app = continuous_queries(CqScale::Small);
+        let cluster = ClusterSpec::homogeneous(10);
+        let rr = Assignment::round_robin(&app.topology, &cluster);
+        let curve = deployment_curve(&app, &cluster, &tiny_cfg(), &rr, 10.0, 30.0);
+        assert!(curve.len() >= 18, "len {}", curve.len());
+        // Warm-up decay: early window above late window.
+        let early = curve.window_mean(0.0, 120.0).unwrap();
+        let late = curve.window_mean(480.0, 600.0).unwrap();
+        assert!(early > late, "{early} -> {late}");
+    }
+
+    #[test]
+    fn normalized_rewards_in_unit_interval() {
+        let raw = TimeSeries::from_sampled(0.0, 1.0, vec![-3.0, -1.0, -2.0, -0.5, -1.5]);
+        let n = normalize_rewards(&raw);
+        assert_eq!(n.len(), 5);
+        assert!(n.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

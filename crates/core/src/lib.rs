@@ -1,0 +1,44 @@
+//! The paper's contribution: a **DRL-based model-free control framework**
+//! for scheduling in Distributed Stream Data Processing Systems.
+//!
+//! Architecture (paper Figure 1): a *DRL agent* consumes the state
+//! `s = (X, w)` — the current executor assignment plus per-data-source
+//! arrival rates — and produces a scheduling solution that a *custom
+//! scheduler* deploys on the DSDPS with minimal impact (only moved
+//! executors are reassigned); the measured average end-to-end tuple
+//! processing time becomes the (negative) reward; transition samples are
+//! stored in a *database* for experience-replay training.
+//!
+//! The crate provides:
+//!
+//! * [`state`] / [`action`] / [`reward`] — the paper's §3.2 formulation;
+//! * [`env`](mod@env) — the [`env::Environment`] abstraction over the DSDPS
+//!   (`dss-sim`'s analytic evaluator for training loops, the tuple-level
+//!   engine for figure-quality measurements) and the transition store;
+//! * [`scheduler`] — the four compared methods: Storm's default
+//!   round-robin, a random scheduler (offline data collection), the
+//!   model-based SVR baseline of Li et al. (TBD'16), the DQN-based DRL
+//!   method, and the paper's actor-critic DRL method;
+//! * [`controller`] — offline training (10,000 random-action samples) and
+//!   online learning (Algorithm 1) loops;
+//! * [`experiment`] — runners that regenerate every evaluation figure
+//!   (6–12) and the headline summary table.
+
+pub mod action;
+pub mod config;
+pub mod controller;
+pub mod env;
+pub mod experiment;
+pub mod reward;
+pub mod scheduler;
+pub mod state;
+
+pub use config::ControlConfig;
+pub use controller::{Controller, OfflineDataset, RawSample};
+pub use env::{AnalyticEnv, Environment, TransitionStore};
+pub use reward::RewardScale;
+pub use scheduler::{
+    ActorCriticScheduler, DqnScheduler, ModelBasedScheduler, RandomScheduler,
+    RoundRobinScheduler, Scheduler,
+};
+pub use state::SchedState;

@@ -1,0 +1,49 @@
+//! The paper's reward (§3.2): "simply defined to be the negative average
+//! tuple processing time so that the objective of the DRL agent is to
+//! maximize the reward."
+
+/// Converts measured latencies to rewards with a scale factor that keeps
+/// Q-value magnitudes comfortable for the 64/32-unit networks
+/// (`Q ≈ r/(1−γ)` in a continuing task, so raw milliseconds at γ = 0.99
+/// would put targets in the hundreds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardScale {
+    /// Multiplier applied to milliseconds before negation.
+    pub per_ms: f64,
+}
+
+impl Default for RewardScale {
+    fn default() -> Self {
+        Self { per_ms: 0.1 }
+    }
+}
+
+impl RewardScale {
+    /// Reward for a measured average tuple processing time.
+    ///
+    /// # Panics
+    /// Panics on negative latency.
+    pub fn reward(&self, avg_latency_ms: f64) -> f64 {
+        assert!(avg_latency_ms >= 0.0, "negative latency");
+        -avg_latency_ms * self.per_ms
+    }
+
+    /// Inverse mapping (for reporting).
+    pub fn latency_ms(&self, reward: f64) -> f64 {
+        -reward / self.per_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reward_is_negative_scaled_latency() {
+        let rs = RewardScale::default();
+        assert_eq!(rs.reward(2.5), -0.25);
+        assert_eq!(rs.latency_ms(rs.reward(7.0)), 7.0);
+        // Lower latency => higher reward.
+        assert!(rs.reward(1.0) > rs.reward(2.0));
+    }
+}

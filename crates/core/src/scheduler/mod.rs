@@ -1,0 +1,54 @@
+//! The four scheduling methods the paper compares, behind one trait.
+//!
+//! | Label in the paper's figures | Implementation |
+//! |---|---|
+//! | "Default" | [`RoundRobinScheduler`] — Storm's even round-robin spread |
+//! | "Model-based" | [`ModelBasedScheduler`] — SVR per-component delay prediction + search (Li et al., TBD'16) |
+//! | "DQN-based DRL" | [`DqnScheduler`] — single-move action space, ε-greedy DQN |
+//! | "Actor-critic-based DRL" | [`ActorCriticScheduler`] — the paper's method (Algorithm 1) |
+//!
+//! [`RandomScheduler`] is the offline-training data collector ("deploys a
+//! randomly-generated scheduling solution").
+
+mod actor_critic;
+mod dqn;
+mod model_based;
+pub mod random;
+mod round_robin;
+
+pub use actor_critic::ActorCriticScheduler;
+pub use dqn::DqnScheduler;
+pub use model_based::ModelBasedScheduler;
+pub use random::{RandomMode, RandomScheduler};
+pub use round_robin::RoundRobinScheduler;
+
+use dss_sim::Assignment;
+
+use crate::controller::OfflineDataset;
+use crate::state::SchedState;
+
+/// A scheduling method: proposes assignments and (optionally) learns from
+/// deployed outcomes.
+pub trait Scheduler {
+    /// Label used in figures and CSV headers.
+    fn name(&self) -> &'static str;
+
+    /// One decision epoch: propose the next assignment for `state`.
+    fn schedule(&mut self, state: &SchedState) -> Assignment;
+
+    /// Learns from an executed transition. Default: not a learner.
+    fn observe(
+        &mut self,
+        state: &SchedState,
+        action: &Assignment,
+        reward: f64,
+        next_state: &SchedState,
+    ) {
+        let _ = (state, action, reward, next_state);
+    }
+
+    /// Offline pre-training on collected samples. Default: no-op.
+    fn pretrain(&mut self, dataset: &OfflineDataset) {
+        let _ = dataset;
+    }
+}

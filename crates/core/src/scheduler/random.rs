@@ -1,0 +1,118 @@
+//! Random scheduling — the offline data collector.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use dss_sim::Assignment;
+
+use crate::scheduler::Scheduler;
+use crate::state::SchedState;
+
+/// How random proposals relate to the current assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandomMode {
+    /// A fresh random assignment each epoch (the paper's offline collection
+    /// for the actor-critic method: "deploys a randomly-generated
+    /// scheduling solution").
+    ///
+    /// Sampling is stratified by consolidation level: first draw the number
+    /// of machines to use uniformly from `1..=M`, pick that many machines,
+    /// then assign executors uniformly among them. Plain elementwise-uniform
+    /// sampling would visit consolidated assignments with probability
+    /// `~(k/M)^N ≈ 0`, leaving the transition database blind to the most
+    /// interesting region of the action space; stratification covers every
+    /// consolidation level equally.
+    FullRandom,
+    /// One uniformly random single-thread move per epoch — a random walk
+    /// through the DQN baseline's restricted action space.
+    RandomWalk,
+}
+
+/// Proposes random assignments; used to fill the transition database.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    mode: RandomMode,
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// A collector in the given mode.
+    pub fn new(mode: RandomMode, rng: StdRng) -> Self {
+        Self { mode, rng }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            RandomMode::FullRandom => "random",
+            RandomMode::RandomWalk => "random-walk",
+        }
+    }
+
+    fn schedule(&mut self, state: &SchedState) -> Assignment {
+        let n = state.assignment.n_executors();
+        let m = state.assignment.n_machines();
+        match self.mode {
+            RandomMode::FullRandom => {
+                // Stratified: pick a consolidation level, then machines.
+                let k = self.rng.random_range(1..=m);
+                let mut machines: Vec<usize> = (0..m).collect();
+                for i in 0..k {
+                    let j = self.rng.random_range(i..m);
+                    machines.swap(i, j);
+                }
+                let chosen = &machines[..k];
+                let mapping = (0..n)
+                    .map(|_| chosen[self.rng.random_range(0..k)])
+                    .collect();
+                Assignment::new(mapping, m).expect("in-range by construction")
+            }
+            RandomMode::RandomWalk => {
+                let e = self.rng.random_range(0..n);
+                let j = self.rng.random_range(0..m);
+                state.assignment.with_move(e, j)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_sim::{ClusterSpec, Grouping, TopologyBuilder, Workload};
+    use rand::SeedableRng;
+
+    fn state() -> SchedState {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 6, 0.1);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 10);
+        let topo = b.build().unwrap();
+        let cluster = ClusterSpec::homogeneous(4);
+        SchedState::new(
+            Assignment::round_robin(&topo, &cluster),
+            Workload::uniform(&topo, 10.0),
+        )
+    }
+
+    #[test]
+    fn full_random_varies() {
+        let mut sched = RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(1));
+        let st = state();
+        let a = sched.schedule(&st);
+        let b = sched.schedule(&st);
+        assert_ne!(a, b);
+        assert_eq!(a.n_executors(), 8);
+    }
+
+    #[test]
+    fn random_walk_moves_at_most_one() {
+        let mut sched = RandomScheduler::new(RandomMode::RandomWalk, StdRng::seed_from_u64(2));
+        let st = state();
+        for _ in 0..20 {
+            let a = sched.schedule(&st);
+            assert!(st.assignment.diff(&a).len() <= 1);
+        }
+    }
+}

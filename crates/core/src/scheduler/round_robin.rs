@@ -1,0 +1,58 @@
+//! Storm's default scheduler.
+
+use dss_sim::{Assignment, ClusterSpec, Topology};
+
+use crate::scheduler::Scheduler;
+use crate::state::SchedState;
+
+/// The paper's "Default" baseline: "assigns threads to pre-configured
+/// processes and then assigns those processes to machines both in a
+/// round-robin manner", yielding an almost even spread of workload over all
+/// machines regardless of traffic patterns.
+#[derive(Debug, Clone)]
+pub struct RoundRobinScheduler {
+    assignment: Assignment,
+}
+
+impl RoundRobinScheduler {
+    /// Builds the (static) round-robin solution for a topology/cluster.
+    pub fn new(topology: &Topology, cluster: &ClusterSpec) -> Self {
+        Self {
+            assignment: Assignment::round_robin(topology, cluster),
+        }
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn name(&self) -> &'static str {
+        "default"
+    }
+
+    fn schedule(&mut self, _state: &SchedState) -> Assignment {
+        self.assignment.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_sim::{Grouping, TopologyBuilder, Workload};
+
+    #[test]
+    fn always_returns_round_robin() {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 3, 0.1);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 10);
+        let topo = b.build().unwrap();
+        let cluster = ClusterSpec::homogeneous(2);
+        let mut sched = RoundRobinScheduler::new(&topo, &cluster);
+        let state = SchedState::new(
+            Assignment::new(vec![1, 1, 1, 1, 1], 2).unwrap(),
+            Workload::uniform(&topo, 10.0),
+        );
+        let a = sched.schedule(&state);
+        assert_eq!(a.as_slice(), &[0, 1, 0, 1, 0]);
+        assert_eq!(sched.name(), "default");
+    }
+}

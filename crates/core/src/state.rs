@@ -1,0 +1,76 @@
+//! The paper's state space (§3.2): `s = (X, w)`.
+//!
+//! `X` is the current scheduling solution (the one-hot executor-to-machine
+//! matrix) and `w` the tuple arrival rate of each data source. The paper
+//! found this deliberately minimal state sufficient: "We tried to add
+//! additional system runtime information into the state but found that it
+//! does not necessarily lead to performance improvement."
+
+use dss_sim::{Assignment, Workload};
+
+/// A scheduling state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedState {
+    /// Current assignment `X`.
+    pub assignment: Assignment,
+    /// Current workload `w` (per-data-source arrival rates).
+    pub workload: Workload,
+}
+
+impl SchedState {
+    /// Bundles an assignment and workload.
+    pub fn new(assignment: Assignment, workload: Workload) -> Self {
+        Self {
+            assignment,
+            workload,
+        }
+    }
+
+    /// Flat NN feature vector: one-hot `X` (`N·M` entries) followed by the
+    /// workload rates normalized by `rate_scale`.
+    pub fn features(&self, rate_scale: f64) -> Vec<f64> {
+        let mut f = self.assignment.to_onehot();
+        f.extend(self.workload.feature_vector(rate_scale));
+        f
+    }
+
+    /// Feature-vector width for a given problem shape.
+    pub fn feature_dim(n_executors: usize, n_machines: usize, n_sources: usize) -> usize {
+        n_executors * n_machines + n_sources
+    }
+
+    /// The action-space dimensionality `N·M` of the full-assignment
+    /// (actor-critic) encoding.
+    pub fn action_dim(&self) -> usize {
+        self.assignment.n_executors() * self.assignment.n_machines()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_sim::{ClusterSpec, Grouping, TopologyBuilder};
+
+    fn state() -> SchedState {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 2, 0.1);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 10);
+        let topo = b.build().unwrap();
+        let cluster = ClusterSpec::homogeneous(3);
+        let a = Assignment::round_robin(&topo, &cluster);
+        let w = Workload::uniform(&topo, 500.0);
+        SchedState::new(a, w)
+    }
+
+    #[test]
+    fn features_concatenate_onehot_and_rates() {
+        let s = state();
+        let f = s.features(1000.0);
+        assert_eq!(f.len(), 4 * 3 + 1);
+        assert_eq!(f.iter().take(12).sum::<f64>(), 4.0); // one-hot rows
+        assert_eq!(f[12], 0.5); // 500/1000
+        assert_eq!(SchedState::feature_dim(4, 3, 1), 13);
+        assert_eq!(s.action_dim(), 12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal CSV writing (no external csv crate; fields here never need
+//! quoting beyond commas in free-text labels, which are escaped).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::series::TimeSeries;
+
+/// Buffered CSV builder.
+///
+/// ```
+/// use dss_metrics::CsvWriter;
+/// let mut w = CsvWriter::new(vec!["t".into(), "value".into()]);
+/// w.row(&[0.0, 1.5]);
+/// assert_eq!(w.to_string(), "t,value\n0,1.5\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsvWriter {
+    header: Vec<String>,
+    buf: String,
+    rows: usize,
+}
+
+impl CsvWriter {
+    /// Starts a CSV document with the given column names.
+    pub fn new(header: Vec<String>) -> Self {
+        let mut buf = String::new();
+        for (i, h) in header.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push_str(&escape(h));
+        }
+        buf.push('\n');
+        Self {
+            header,
+            buf,
+            rows: 0,
+        }
+    }
+
+    /// Appends a numeric row.
+    ///
+    /// # Panics
+    /// Panics when the arity does not match the header.
+    pub fn row(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.header.len(), "row arity mismatch");
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push('\n');
+        self.rows += 1;
+    }
+
+    /// Appends a row of free-text fields (escaped).
+    ///
+    /// # Panics
+    /// Panics when the arity does not match the header.
+    pub fn text_row(&mut self, values: &[&str]) {
+        assert_eq!(values.len(), self.header.len(), "row arity mismatch");
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&escape(v));
+        }
+        self.buf.push('\n');
+        self.rows += 1;
+    }
+
+    /// Number of data rows written so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Writes the document to `path`, creating parent directories.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, &self.buf)
+    }
+}
+
+impl std::fmt::Display for CsvWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.buf)
+    }
+}
+
+/// Writes several labelled series sharing a time axis as one CSV
+/// (`t,label1,label2,...`), resampling nothing: series must already share
+/// their time grid (the figure runners guarantee this).
+///
+/// # Panics
+/// Panics when series lengths or time axes disagree.
+pub fn write_series_table(
+    path: impl AsRef<Path>,
+    labelled: &[(&str, &TimeSeries)],
+) -> io::Result<()> {
+    assert!(!labelled.is_empty(), "no series to write");
+    let n = labelled[0].1.len();
+    for (label, s) in labelled {
+        assert_eq!(s.len(), n, "series `{label}` length mismatch");
+        for (a, b) in s.times().iter().zip(labelled[0].1.times()) {
+            assert!((a - b).abs() < 1e-9, "series `{label}` time-grid mismatch");
+        }
+    }
+    let mut header = vec!["t".to_string()];
+    header.extend(labelled.iter().map(|(l, _)| l.to_string()));
+    let mut w = CsvWriter::new(header);
+    for i in 0..n {
+        let mut row = Vec::with_capacity(labelled.len() + 1);
+        row.push(labelled[0].1.times()[i]);
+        row.extend(labelled.iter().map(|(_, s)| s.values()[i]));
+        w.row(&row);
+    }
+    w.save(path)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_rows() {
+        let mut w = CsvWriter::new(vec!["a".into(), "b".into()]);
+        w.row(&[1.0, 2.5]);
+        w.row(&[-3.0, 0.0]);
+        assert_eq!(w.to_string(), "a,b\n1,2.5\n-3,0\n");
+        assert_eq!(w.rows(), 2);
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        let mut w = CsvWriter::new(vec!["label".into()]);
+        w.text_row(&["hello, \"world\""]);
+        assert_eq!(w.to_string(), "label\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut w = CsvWriter::new(vec!["a".into()]);
+        w.row(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn series_table_roundtrip() {
+        let dir = std::env::temp_dir().join("dss_metrics_csv_test");
+        let path = dir.join("out.csv");
+        let s1 = TimeSeries::from_sampled(0.0, 1.0, vec![1.0, 2.0]);
+        let s2 = TimeSeries::from_sampled(0.0, 1.0, vec![3.0, 4.0]);
+        write_series_table(&path, &[("a", &s1), ("b", &s2)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "t,a,b\n0,1,3\n1,2,4\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,122 @@
+//! Forward-backward (zero-phase) smoothing.
+//!
+//! The paper smooths reward curves with "the well-known forward-backward
+//! filtering algorithm" (Gustafsson, IEEE TSP 1996 — the algorithm behind
+//! MATLAB/SciPy `filtfilt`). We implement `filtfilt` for a single-pole IIR
+//! low-pass filter: running it forward and then backward doubles the
+//! attenuation and cancels the phase shift, so smoothed curves stay aligned
+//! with the raw epochs — exactly the property needed when overlaying two
+//! learning curves as in Figures 7, 9 and 11.
+
+/// Single exponential (one-pole IIR) smoothing pass:
+/// `y[n] = alpha * x[n] + (1 - alpha) * y[n-1]`, with `y[0] = x[0]`.
+///
+/// `alpha` must lie in `(0, 1]`; `alpha = 1` is the identity.
+pub fn ewma(x: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let mut y = Vec::with_capacity(x.len());
+    let mut state = match x.first() {
+        Some(&v) => v,
+        None => return y,
+    };
+    for &v in x {
+        state = alpha * v + (1.0 - alpha) * state;
+        y.push(state);
+    }
+    y
+}
+
+/// Zero-phase forward-backward filtering with a one-pole low-pass filter.
+///
+/// Applies [`ewma`] forward, reverses, applies it again, and reverses back.
+/// Initializing each pass at the first sample of that pass approximates
+/// Gustafsson's initial-state matching well enough for plotting purposes and
+/// keeps the ends from swinging toward zero.
+pub fn forward_backward(x: &[f64], alpha: f64) -> Vec<f64> {
+    let mut y = ewma(x, alpha);
+    y.reverse();
+    let mut z = ewma(&y, alpha);
+    z.reverse();
+    z
+}
+
+/// Chooses a smoothing coefficient so a curve of `n` points keeps roughly
+/// `n / window` independent wiggles — the heuristic the figure binaries use
+/// to mimic the paper's visibly smoothed reward curves.
+pub fn alpha_for_window(window: usize) -> f64 {
+    assert!(window > 0, "window must be positive");
+    2.0 / (window as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_identity_at_alpha_one() {
+        let x = [1.0, -2.0, 3.5, 0.0];
+        assert_eq!(ewma(&x, 1.0), x.to_vec());
+    }
+
+    #[test]
+    fn ewma_empty() {
+        assert!(ewma(&[], 0.5).is_empty());
+        assert!(forward_backward(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let x = vec![5.0; 100];
+        let y = ewma(&x, 0.3);
+        assert!(y.iter().all(|&v| (v - 5.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn forward_backward_preserves_constant() {
+        let x = vec![2.5; 50];
+        let y = forward_backward(&x, 0.2);
+        assert!(y.iter().all(|&v| (v - 2.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn forward_backward_reduces_variance() {
+        // Alternating signal: smoothing must reduce the spread around the mean.
+        let x: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y = forward_backward(&x, 0.2);
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&y) < 0.1 * var(&x), "var {} vs {}", var(&y), var(&x));
+    }
+
+    #[test]
+    fn forward_backward_stays_within_input_range() {
+        // Each EWMA output is a convex combination of inputs, so both passes
+        // keep values inside [min, max] of the raw signal.
+        let x = [0.0, 1.0, 4.0, 9.0, 4.0, 1.0, 0.0];
+        let y = forward_backward(&x, 0.4);
+        for &v in &y {
+            assert!((0.0..=9.0).contains(&v), "{y:?}");
+        }
+    }
+
+    #[test]
+    fn forward_backward_tracks_trend() {
+        // A smoothed ramp must stay monotone and close to the ramp.
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y = forward_backward(&x, 0.3);
+        assert!(y.windows(2).all(|w| w[1] >= w[0]));
+        // Interior points stay within a couple of samples of the ramp.
+        for i in 10..90 {
+            assert!((y[i] - x[i]).abs() < 5.0, "i={i} y={} x={}", y[i], x[i]);
+        }
+    }
+
+    #[test]
+    fn alpha_for_window_bounds() {
+        assert!((alpha_for_window(1) - 1.0).abs() < 1e-12);
+        let a = alpha_for_window(99);
+        assert!(a > 0.0 && a < 0.03);
+    }
+}

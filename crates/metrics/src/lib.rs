@@ -1,0 +1,27 @@
+//! Measurement post-processing utilities shared across the workspace.
+//!
+//! The paper reports two kinds of series:
+//!
+//! * **deployment curves** — average end-to-end tuple processing time sampled
+//!   over wall-clock minutes after a scheduling solution is deployed
+//!   (Figures 6, 8, 10 and 12), and
+//! * **reward curves** — per-epoch rewards during online learning, min-max
+//!   normalized and smoothed with a forward-backward filter
+//!   (Figures 7, 9 and 11; the paper cites Gustafsson's forward-backward
+//!   filtering, i.e. `filtfilt`).
+//!
+//! This crate provides the [`TimeSeries`] container, the
+//! [`filter::forward_backward`] smoother, [`normalize`] helpers, summary
+//! statistics, and a dependency-free CSV writer used by the figure binaries.
+
+pub mod csv;
+pub mod filter;
+pub mod normalize;
+pub mod series;
+pub mod stats;
+pub mod summary;
+
+pub use csv::CsvWriter;
+pub use series::TimeSeries;
+pub use stats::Summary;
+pub use summary::{ExperimentRecord, ShapeCheck};

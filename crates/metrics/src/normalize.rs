@@ -1,0 +1,81 @@
+//! Reward normalization helpers.
+//!
+//! The paper normalizes rewards for plotting with
+//! `(r - r_min) / (r_max - r_min)` where `r_min`/`r_max` are the extreme
+//! rewards observed during online learning.
+
+/// Min-max normalization onto `[0, 1]`.
+///
+/// A constant (or empty) input maps to all `0.5`, matching the convention
+/// that a flat curve sits mid-axis rather than dividing by zero.
+pub fn min_max(values: &[f64]) -> Vec<f64> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        if v.is_nan() {
+            continue;
+        }
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() || (hi - lo).abs() < f64::EPSILON {
+        return vec![0.5; values.len()];
+    }
+    let span = hi - lo;
+    values.iter().map(|&v| (v - lo) / span).collect()
+}
+
+/// Standard (z-score) normalization: zero mean, unit variance.
+///
+/// A constant input maps to all zeros.
+pub fn z_score(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd < f64::EPSILON {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|&v| (v - mean) / sd).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_spans_unit_interval() {
+        let y = min_max(&[2.0, 4.0, 6.0]);
+        assert_eq!(y, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn min_max_constant_input() {
+        assert_eq!(min_max(&[3.0, 3.0]), vec![0.5, 0.5]);
+        assert!(min_max(&[]).is_empty());
+    }
+
+    #[test]
+    fn min_max_ignores_nan_for_bounds() {
+        let y = min_max(&[0.0, f64::NAN, 10.0]);
+        assert_eq!(y[0], 0.0);
+        assert_eq!(y[2], 1.0);
+        assert!(y[1].is_nan());
+    }
+
+    #[test]
+    fn z_score_moments() {
+        let y = z_score(&[1.0, 2.0, 3.0, 4.0]);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_score_constant() {
+        assert_eq!(z_score(&[7.0; 5]), vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Timestamped sample series with resampling and windowed aggregation.
+
+use std::fmt;
+
+/// A series of `(time, value)` samples ordered by time.
+///
+/// Times are in arbitrary units (the simulator uses seconds); values are
+/// typically milliseconds of average tuple processing time or rewards.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a series from parallel `times`/`values` vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different lengths or times are not
+    /// non-decreasing.
+    pub fn from_parts(times: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(times.len(), values.len(), "times/values length mismatch");
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "times must be non-decreasing"
+        );
+        Self { times, values }
+    }
+
+    /// Creates a series from values sampled at a fixed interval starting at
+    /// `start`.
+    pub fn from_sampled(start: f64, interval: f64, values: Vec<f64>) -> Self {
+        let times = (0..values.len())
+            .map(|i| start + interval * i as f64)
+            .collect();
+        Self { times, values }
+    }
+
+    /// Appends a sample. Times must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the last recorded time.
+    pub fn push(&mut self, t: f64, v: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "push out of order: {t} < {last}");
+        }
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Returns the last sample, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        match (self.times.last(), self.values.last()) {
+            (Some(&t), Some(&v)) => Some((t, v)),
+            _ => None,
+        }
+    }
+
+    /// Mean of the values within the half-open time window `[from, to)`.
+    ///
+    /// Returns `None` when the window contains no samples.
+    pub fn window_mean(&self, from: f64, to: f64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (t, v) in self.iter() {
+            if t >= from && t < to {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Mean of the final `n` values (or all values if fewer exist).
+    ///
+    /// The paper reports "stable" latencies as the level a curve settles at;
+    /// the figure harness uses the tail mean for that purpose.
+    pub fn tail_mean(&self, n: usize) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let k = n.min(self.values.len());
+        let tail = &self.values[self.values.len() - k..];
+        Some(tail.iter().sum::<f64>() / k as f64)
+    }
+
+    /// Resamples onto a fixed grid `[start, end]` with step `dt` using
+    /// zero-order hold (last observed value carries forward).
+    ///
+    /// Grid points before the first sample take the first sample's value.
+    /// Returns an empty series when the input is empty or the grid is empty.
+    pub fn resample(&self, start: f64, end: f64, dt: f64) -> TimeSeries {
+        assert!(dt > 0.0, "resample step must be positive");
+        let mut out = TimeSeries::new();
+        if self.is_empty() || end < start {
+            return out;
+        }
+        let mut idx = 0usize;
+        let mut t = start;
+        // Tolerance keeps the final grid point when `end` is an exact
+        // multiple of `dt` despite floating-point accumulation.
+        while t <= end + dt * 1e-9 {
+            while idx + 1 < self.times.len() && self.times[idx + 1] <= t {
+                idx += 1;
+            }
+            let v = if self.times[idx] > t && idx == 0 {
+                self.values[0]
+            } else {
+                self.values[idx]
+            };
+            out.push(t, v);
+            t += dt;
+        }
+        out
+    }
+
+    /// Applies `f` to every value, keeping timestamps.
+    pub fn map_values(&self, mut f: impl FnMut(f64) -> f64) -> TimeSeries {
+        TimeSeries {
+            times: self.times.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Minimum value, ignoring NaNs. `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+    }
+
+    /// Maximum value, ignoring NaNs. `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "t,value")?;
+        for (t, v) in self.iter() {
+            writeln!(f, "{t},{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 1.0);
+        s.push(1.0, 2.0);
+        s.push(1.0, 3.0); // equal times allowed
+        assert_eq!(s.len(), 3);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![(0.0, 1.0), (1.0, 2.0), (1.0, 3.0)]);
+        assert_eq!(s.last(), Some((1.0, 3.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn push_out_of_order_panics() {
+        let mut s = TimeSeries::new();
+        s.push(1.0, 1.0);
+        s.push(0.5, 2.0);
+    }
+
+    #[test]
+    fn window_mean_half_open() {
+        let s = TimeSeries::from_sampled(0.0, 1.0, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.window_mean(1.0, 3.0), Some(2.5));
+        assert_eq!(s.window_mean(10.0, 20.0), None);
+        // `to` is exclusive.
+        assert_eq!(s.window_mean(0.0, 1.0), Some(1.0));
+    }
+
+    #[test]
+    fn tail_mean_clamps() {
+        let s = TimeSeries::from_sampled(0.0, 1.0, vec![1.0, 3.0]);
+        assert_eq!(s.tail_mean(1), Some(3.0));
+        assert_eq!(s.tail_mean(10), Some(2.0));
+        assert_eq!(TimeSeries::new().tail_mean(3), None);
+    }
+
+    #[test]
+    fn resample_zero_order_hold() {
+        let s = TimeSeries::from_parts(vec![0.0, 2.0, 5.0], vec![10.0, 20.0, 30.0]);
+        let r = s.resample(0.0, 6.0, 1.0);
+        assert_eq!(r.values(), &[10.0, 10.0, 20.0, 20.0, 20.0, 30.0, 30.0]);
+        assert_eq!(r.times().len(), 7);
+    }
+
+    #[test]
+    fn resample_before_first_sample_uses_first_value() {
+        let s = TimeSeries::from_parts(vec![5.0], vec![42.0]);
+        let r = s.resample(0.0, 10.0, 5.0);
+        assert_eq!(r.values(), &[42.0, 42.0, 42.0]);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let s = TimeSeries::from_sampled(0.0, 1.0, vec![3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(TimeSeries::new().min(), None);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let s = TimeSeries::from_parts(vec![0.0, 1.0], vec![5.0, 6.0]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_parts_rejects_unordered() {
+        let _ = TimeSeries::from_parts(vec![1.0, 0.0], vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn map_values_keeps_times() {
+        let s = TimeSeries::from_sampled(0.0, 2.0, vec![1.0, 2.0]);
+        let m = s.map_values(|v| v * 10.0);
+        assert_eq!(m.times(), s.times());
+        assert_eq!(m.values(), &[10.0, 20.0]);
+    }
+}

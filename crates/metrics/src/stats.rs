@@ -1,0 +1,134 @@
+//! Summary statistics over samples.
+
+/// Descriptive statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// 95th percentile (linear interpolation).
+    pub p95: f64,
+    /// 99th percentile (linear interpolation).
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / n;
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Some(Self {
+            count: values.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+        })
+    }
+
+    /// Half-width of an approximate 95% confidence interval on the mean
+    /// (normal approximation; fine for the sample counts used here).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+/// Linear-interpolation percentile of an already-sorted slice.
+///
+/// `p` is in percent (0–100).
+///
+/// # Panics
+/// Panics when the slice is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Relative improvement of `new` over `baseline`, as a fraction.
+///
+/// The paper quotes e.g. "reduces average tuple processing time by 33.5%":
+/// `improvement(baseline, new) = (baseline - new) / baseline`.
+pub fn improvement(baseline: f64, new: f64) -> f64 {
+    assert!(baseline.abs() > f64::EPSILON, "baseline must be non-zero");
+    (baseline - new) / baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = Summary::of(&[5.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p99, 5.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert!((percentile_sorted(&sorted, 50.0) - 5.0).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 10.0);
+    }
+
+    #[test]
+    fn improvement_matches_paper_convention() {
+        // Default 1.96 ms -> actor-critic 1.33 ms is a 32% reduction.
+        let imp = improvement(1.96, 1.33);
+        assert!((imp - 0.3214).abs() < 1e-3, "{imp}");
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        let many = Summary::of(&[1.0, 2.0, 3.0].repeat(100)).unwrap();
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+}

@@ -1,0 +1,126 @@
+//! Paper-versus-measured experiment records.
+//!
+//! `EXPERIMENTS.md` is generated from these records: each figure run
+//! produces one or more [`ExperimentRecord`]s plus the [`ShapeCheck`]s the
+//! reproduction asserts (who wins, by roughly what factor).
+
+use serde::{Deserialize, Serialize};
+
+/// One paper-vs-measured data point.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentRecord {
+    /// Figure or table identifier, e.g. `"fig6a"`.
+    pub experiment: String,
+    /// What is measured, e.g. `"stable avg tuple time, default (ms)"`.
+    pub quantity: String,
+    /// The value the paper reports, if it reports one.
+    pub paper: Option<f64>,
+    /// The value this reproduction measured.
+    pub measured: f64,
+}
+
+impl ExperimentRecord {
+    /// Convenience constructor.
+    pub fn new(
+        experiment: impl Into<String>,
+        quantity: impl Into<String>,
+        paper: Option<f64>,
+        measured: f64,
+    ) -> Self {
+        Self {
+            experiment: experiment.into(),
+            quantity: quantity.into(),
+            paper,
+            measured,
+        }
+    }
+
+    /// Markdown table row (`| experiment | quantity | paper | measured |`).
+    pub fn markdown_row(&self) -> String {
+        let paper = self
+            .paper
+            .map_or_else(|| "—".to_string(), |p| format!("{p:.3}"));
+        format!(
+            "| {} | {} | {} | {:.3} |",
+            self.experiment, self.quantity, paper, self.measured
+        )
+    }
+}
+
+/// A qualitative claim the reproduction checks (e.g. "actor-critic beats
+/// default by ≥ 20%"). Collected per figure and summarized at the end of a
+/// reproduction run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ShapeCheck {
+    /// Figure the claim belongs to.
+    pub experiment: String,
+    /// Human-readable statement of the claim.
+    pub claim: String,
+    /// Whether the measured data satisfies it.
+    pub passed: bool,
+}
+
+impl ShapeCheck {
+    /// Records the outcome of a claim.
+    pub fn new(experiment: impl Into<String>, claim: impl Into<String>, passed: bool) -> Self {
+        Self {
+            experiment: experiment.into(),
+            claim: claim.into(),
+            passed,
+        }
+    }
+
+    /// Markdown table row.
+    pub fn markdown_row(&self) -> String {
+        format!(
+            "| {} | {} | {} |",
+            self.experiment,
+            self.claim,
+            if self.passed { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Renders records and checks as the Markdown fragment EXPERIMENTS.md embeds.
+pub fn markdown_report(records: &[ExperimentRecord], checks: &[ShapeCheck]) -> String {
+    let mut out = String::new();
+    out.push_str("| experiment | quantity | paper | measured |\n|---|---|---|---|\n");
+    for r in records {
+        out.push_str(&r.markdown_row());
+        out.push('\n');
+    }
+    if !checks.is_empty() {
+        out.push_str("\n| experiment | shape claim | result |\n|---|---|---|\n");
+        for c in checks {
+            out.push_str(&c.markdown_row());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_row_formats() {
+        let r = ExperimentRecord::new("fig6a", "default (ms)", Some(1.96), 2.01);
+        assert_eq!(r.markdown_row(), "| fig6a | default (ms) | 1.960 | 2.010 |");
+        let r2 = ExperimentRecord::new("fig7", "final reward", None, 0.62);
+        assert!(r2.markdown_row().contains("| — |"));
+    }
+
+    #[test]
+    fn report_contains_all_rows() {
+        let recs = vec![
+            ExperimentRecord::new("fig6a", "x", Some(1.0), 1.1),
+            ExperimentRecord::new("fig6b", "y", None, 2.2),
+        ];
+        let checks = vec![ShapeCheck::new("fig6a", "ac < default", true)];
+        let md = markdown_report(&recs, &checks);
+        assert!(md.contains("fig6a"));
+        assert!(md.contains("fig6b"));
+        assert!(md.contains("PASS"));
+    }
+}

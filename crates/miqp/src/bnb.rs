@@ -1,0 +1,198 @@
+//! Best-first branch-and-bound with per-machine capacity constraints.
+//!
+//! Extends the MIQP-NN problem with `Σ_i a_ij ≤ cap_j` — useful when a
+//! machine's worker can hold only so many executor threads (slots). The
+//! plain problem (all capacities ≥ N) reduces to [`crate::kbest`], which is
+//! faster; this solver exists for the constrained variant and as an
+//! independent oracle in tests.
+//!
+//! Search: nodes fix choices for a prefix of rows. The admissible bound adds
+//! each remaining row's cheapest *currently-feasible* column (capacity
+//! counted only for fixed rows, so the bound never overestimates). Because
+//! expansion is best-first on the bound and leaf costs equal their bounds,
+//! leaves pop from the queue in exact ascending cost order, which yields the
+//! K best solutions directly.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::cost::CostMatrix;
+use crate::Solution;
+
+struct Node {
+    bound: f64,
+    fixed: Vec<usize>,
+    used: Vec<usize>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on bound; deeper nodes first on ties to reach leaves fast.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .expect("NaN bound")
+            .then_with(|| self.fixed.len().cmp(&other.fixed.len()))
+    }
+}
+
+/// Returns up to `k` cheapest assignments subject to per-machine capacities,
+/// in ascending cost order. Returns fewer when the constraints admit fewer
+/// solutions (including zero when `Σ cap < N`).
+///
+/// # Panics
+/// Panics when `k == 0` or `caps.len() != costs.m()`.
+pub fn solve_capacitated(costs: &CostMatrix, caps: &[usize], k: usize) -> Vec<Solution> {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(caps.len(), costs.m(), "one capacity per machine");
+
+    let n = costs.n();
+    let m = costs.m();
+    let mut heap = BinaryHeap::new();
+    let mut out = Vec::with_capacity(k);
+
+    let root_used = vec![0usize; m];
+    if let Some(bound) = bound_from(costs, 0, 0.0, &root_used, caps) {
+        heap.push(Node {
+            bound,
+            fixed: Vec::new(),
+            used: root_used,
+        });
+    }
+
+    while let Some(node) = heap.pop() {
+        let depth = node.fixed.len();
+        if depth == n {
+            out.push(Solution {
+                cost: node.bound,
+                choice: node.fixed,
+            });
+            if out.len() == k {
+                break;
+            }
+            continue;
+        }
+        let fixed_cost: f64 = node
+            .fixed
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| costs.cost(i, j))
+            .sum();
+        for j in 0..m {
+            if node.used[j] >= caps[j] {
+                continue;
+            }
+            let mut used = node.used.clone();
+            used[j] += 1;
+            let cost_here = fixed_cost + costs.cost(depth, j);
+            if let Some(bound) = bound_from(costs, depth + 1, cost_here, &used, caps) {
+                let mut fixed = node.fixed.clone();
+                fixed.push(j);
+                heap.push(Node { bound, fixed, used });
+            }
+        }
+    }
+    out
+}
+
+/// Admissible lower bound: fixed cost plus, for each remaining row, the
+/// cheapest column that still has *any* spare capacity given only the fixed
+/// usage. Returns `None` when remaining rows outnumber total spare capacity
+/// (the subtree is infeasible).
+fn bound_from(
+    costs: &CostMatrix,
+    from_row: usize,
+    fixed_cost: f64,
+    used: &[usize],
+    caps: &[usize],
+) -> Option<f64> {
+    let spare: usize = caps.iter().zip(used).map(|(&c, &u)| c - u).sum();
+    let remaining = costs.n() - from_row;
+    if remaining > spare {
+        return None;
+    }
+    let mut bound = fixed_cost;
+    for i in from_row..costs.n() {
+        let mut best = f64::INFINITY;
+        for j in 0..costs.m() {
+            if caps[j] > used[j] {
+                best = best.min(costs.cost(i, j));
+            }
+        }
+        bound += best;
+    }
+    Some(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kbest::k_best_assignments;
+
+    #[test]
+    fn unconstrained_matches_kbest() {
+        let proto = vec![0.9, 0.1, 0.2, 0.8, 0.5, 0.5];
+        let c = CostMatrix::from_proto_action(&proto, 3, 2);
+        let caps = vec![3, 3];
+        let a = solve_capacitated(&c, &caps, 5);
+        let b = k_best_assignments(&c, 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.cost - y.cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn capacity_forces_spreading() {
+        // Both rows prefer machine 0, but it can hold only one thread.
+        let c = CostMatrix::new(2, 2, vec![0.0, 5.0, 0.0, 5.0]);
+        let sols = solve_capacitated(&c, &[1, 1], 2);
+        assert_eq!(sols.len(), 2);
+        // Optimal under capacity: one thread on each machine, cost 5.
+        assert_eq!(sols[0].cost, 5.0);
+        let choice = &sols[0].choice;
+        assert_ne!(choice[0], choice[1]);
+    }
+
+    #[test]
+    fn infeasible_returns_empty() {
+        let c = CostMatrix::new(3, 2, vec![0.0; 6]);
+        assert!(solve_capacitated(&c, &[1, 1], 1).is_empty());
+    }
+
+    #[test]
+    fn exactly_tight_capacity_is_a_permutation() {
+        let c = CostMatrix::new(3, 3, vec![
+            1.0, 2.0, 3.0, //
+            2.0, 4.0, 6.0, //
+            3.0, 6.0, 9.0,
+        ]);
+        let sols = solve_capacitated(&c, &[1, 1, 1], 1);
+        assert_eq!(sols.len(), 1);
+        let mut seen = sols[0].choice.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        // Optimal permutation assigns the most cost-sensitive row (2) to the
+        // cheapest column: choices (2,1,0) => 3 + 4 + 3 = 10.
+        assert_eq!(sols[0].cost, 10.0);
+    }
+
+    #[test]
+    fn ascending_order() {
+        let proto = vec![0.4, 0.6, 0.5, 0.5, 0.7, 0.3, 0.2, 0.8];
+        let c = CostMatrix::from_proto_action(&proto, 4, 2);
+        let sols = solve_capacitated(&c, &[3, 3], 8);
+        assert!(sols.windows(2).all(|w| w[0].cost <= w[1].cost + 1e-12));
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-row choice costs derived from a proto-action.
+
+/// Row-separable costs: `cost(i, j)` is the price of assigning thread `i`
+/// to machine `j`. For the MIQP-NN problem this is `‖e_j − â_i‖²`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMatrix {
+    n: usize,
+    m: usize,
+    costs: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Builds from explicit per-row costs (row-major `n × m`).
+    ///
+    /// # Panics
+    /// Panics when the buffer size disagrees with `n·m`, when `n` or `m`
+    /// is zero, or when any cost is NaN.
+    pub fn new(n: usize, m: usize, costs: Vec<f64>) -> Self {
+        assert!(n > 0 && m > 0, "empty cost matrix");
+        assert_eq!(costs.len(), n * m, "cost buffer size");
+        assert!(costs.iter().all(|c| !c.is_nan()), "NaN cost");
+        Self { n, m, costs }
+    }
+
+    /// Builds MIQP-NN costs from a flattened proto-action
+    /// (`proto[i * m + j] = â_ij`):
+    /// `c_i(j) = 1 − 2·â_ij + Σ_j' â_ij'²`.
+    ///
+    /// # Panics
+    /// Panics when `proto.len() != n * m`.
+    pub fn from_proto_action(proto: &[f64], n: usize, m: usize) -> Self {
+        assert_eq!(proto.len(), n * m, "proto-action size");
+        let mut costs = Vec::with_capacity(n * m);
+        for i in 0..n {
+            let row = &proto[i * m..(i + 1) * m];
+            let sq: f64 = row.iter().map(|v| v * v).sum();
+            for &v in row {
+                costs.push(1.0 - 2.0 * v + sq);
+            }
+        }
+        Self::new(n, m, costs)
+    }
+
+    /// Number of threads (rows).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of machines (columns).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The cost of assigning thread `i` to machine `j`.
+    pub fn cost(&self, i: usize, j: usize) -> f64 {
+        self.costs[i * self.m + j]
+    }
+
+    /// Row `i`'s costs.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.costs[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Total cost of a complete choice vector.
+    ///
+    /// # Panics
+    /// Panics when `choice.len() != n` or a choice is out of range.
+    pub fn total(&self, choice: &[usize]) -> f64 {
+        assert_eq!(choice.len(), self.n, "choice length");
+        choice
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| {
+                assert!(j < self.m, "choice out of range");
+                self.cost(i, j)
+            })
+            .sum()
+    }
+
+    /// For each row, column indices sorted by ascending cost (ties by index,
+    /// making enumeration deterministic).
+    pub fn sorted_columns(&self) -> Vec<Vec<usize>> {
+        (0..self.n)
+            .map(|i| {
+                let row = self.row(i);
+                let mut idx: Vec<usize> = (0..self.m).collect();
+                idx.sort_by(|&a, &b| {
+                    row[a]
+                        .partial_cmp(&row[b])
+                        .expect("NaN cost")
+                        .then(a.cmp(&b))
+                });
+                idx
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proto_action_costs_match_distance() {
+        // â = [[0.9, 0.1], [0.4, 0.6]]
+        let proto = vec![0.9, 0.1, 0.4, 0.6];
+        let c = CostMatrix::from_proto_action(&proto, 2, 2);
+        // c_0(0) = ||(1,0) - (0.9,0.1)||² = 0.01 + 0.01 = 0.02
+        assert!((c.cost(0, 0) - 0.02).abs() < 1e-12);
+        // c_0(1) = ||(0,1) - (0.9,0.1)||² = 0.81 + 0.81 = 1.62
+        assert!((c.cost(0, 1) - 1.62).abs() < 1e-12);
+        // c_1(1) = 0.16 + 0.16 = 0.32
+        assert!((c.cost(1, 1) - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_choice_maximizes_proto_entries() {
+        let proto = vec![0.2, 0.7, 0.1, 0.05, 0.05, 0.9];
+        let c = CostMatrix::from_proto_action(&proto, 2, 3);
+        let sorted = c.sorted_columns();
+        assert_eq!(sorted[0][0], 1);
+        assert_eq!(sorted[1][0], 2);
+    }
+
+    #[test]
+    fn total_sums_rows() {
+        let c = CostMatrix::new(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.total(&[0, 1]), 5.0);
+        assert_eq!(c.total(&[1, 0]), 5.0);
+    }
+
+    #[test]
+    fn sorted_columns_breaks_ties_by_index() {
+        let c = CostMatrix::new(1, 3, vec![5.0, 5.0, 1.0]);
+        assert_eq!(c.sorted_columns()[0], vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        let _ = CostMatrix::new(1, 2, vec![0.0, f64::NAN]);
+    }
+}

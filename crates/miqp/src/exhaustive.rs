@@ -1,0 +1,110 @@
+//! Brute-force enumeration over all `M^N` actions — the ground-truth oracle
+//! the exact solvers are validated against in tests. Guarded against use on
+//! anything large.
+
+use crate::cost::CostMatrix;
+use crate::Solution;
+
+/// All assignments sorted by ascending cost (ties broken lexicographically
+/// by choice), truncated to `k`.
+///
+/// # Panics
+/// Panics when `M^N > 1_000_000` (this is a test oracle, not a solver) or
+/// `k == 0`.
+pub fn brute_force_k_best(costs: &CostMatrix, k: usize) -> Vec<Solution> {
+    assert!(k > 0, "k must be positive");
+    let space = (costs.m() as f64).powi(costs.n() as i32);
+    assert!(
+        space <= 1_000_000.0,
+        "action space too large for brute force: {space}"
+    );
+    let mut all: Vec<Solution> = Vec::with_capacity(space as usize);
+    let mut choice = vec![0usize; costs.n()];
+    loop {
+        all.push(Solution {
+            cost: costs.total(&choice),
+            choice: choice.clone(),
+        });
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == costs.n() {
+                all.sort_by(|a, b| {
+                    a.cost
+                        .partial_cmp(&b.cost)
+                        .expect("NaN cost")
+                        .then_with(|| a.choice.cmp(&b.choice))
+                });
+                all.truncate(k);
+                return all;
+            }
+            choice[i] += 1;
+            if choice[i] < costs.m() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kbest::k_best_assignments;
+    use proptest::prelude::*;
+
+    #[test]
+    fn enumerates_full_space() {
+        let c = CostMatrix::new(2, 3, vec![0.0; 6]);
+        let all = brute_force_k_best(&c, 100);
+        assert_eq!(all.len(), 9);
+    }
+
+    proptest! {
+        /// The heap-based k-best enumeration must agree with brute force on
+        /// cost for every rank, for arbitrary small proto-actions.
+        #[test]
+        fn kbest_matches_brute_force(
+            n in 1usize..4,
+            m in 1usize..4,
+            k in 1usize..10,
+            seed in 0u64..1000,
+        ) {
+            use rand::{RngExt, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let proto: Vec<f64> = (0..n * m).map(|_| rng.random_range(-1.0..2.0)).collect();
+            let costs = CostMatrix::from_proto_action(&proto, n, m);
+            let fast = k_best_assignments(&costs, k);
+            let slow = brute_force_k_best(&costs, k);
+            prop_assert_eq!(fast.len(), slow.len());
+            for (f, s) in fast.iter().zip(&slow) {
+                // Ties may order differently; costs must match exactly rank
+                // by rank.
+                prop_assert!((f.cost - s.cost).abs() < 1e-9,
+                    "rank cost mismatch: {} vs {}", f.cost, s.cost);
+            }
+        }
+
+        /// Capacitated B&B with slack capacities equals the unconstrained
+        /// brute force.
+        #[test]
+        fn bnb_matches_brute_force_when_uncapacitated(
+            n in 1usize..4,
+            m in 2usize..4,
+            seed in 0u64..500,
+        ) {
+            use rand::{RngExt, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let proto: Vec<f64> = (0..n * m).map(|_| rng.random_range(0.0..1.0)).collect();
+            let costs = CostMatrix::from_proto_action(&proto, n, m);
+            let caps = vec![n; m];
+            let a = crate::bnb::solve_capacitated(&costs, &caps, 5);
+            let b = brute_force_k_best(&costs, 5);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x.cost - y.cost).abs() < 1e-9);
+            }
+        }
+    }
+}

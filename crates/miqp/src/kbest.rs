@@ -1,0 +1,177 @@
+//! Exact K-best assignment enumeration.
+//!
+//! Folds rows one at a time, keeping only the K cheapest partial
+//! assignments. Correctness of the pruning: per-row costs are added
+//! independently, so if a prefix is not among the K cheapest prefixes, no
+//! completion of it can be among the K cheapest full assignments (every one
+//! of the K cheaper prefixes admits the same completion at the same added
+//! cost).
+//!
+//! Each fold step merges the ≤K sorted partial costs with a row's M sorted
+//! choice costs using the classic "K smallest pairwise sums of two sorted
+//! arrays" frontier heap, so the whole enumeration runs in
+//! `O(N · K · log K)` after an `O(N · M log M)` sort — polynomial, unlike
+//! the `M^N` action space it searches.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::cost::CostMatrix;
+use crate::Solution;
+
+/// Heap entry for the pairwise-sum merge, ordered by ascending cost.
+struct Frontier {
+    cost: f64,
+    partial_idx: usize,
+    rank: usize,
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the cheapest first.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("NaN cost")
+            .then_with(|| other.partial_idx.cmp(&self.partial_idx))
+            .then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+
+/// Returns the `k` cheapest complete assignments in ascending cost order.
+///
+/// Fewer than `k` solutions are returned only when the action space itself
+/// is smaller (`M^N < k`). Solutions are distinct by construction.
+///
+/// # Panics
+/// Panics when `k == 0`.
+pub fn k_best_assignments(costs: &CostMatrix, k: usize) -> Vec<Solution> {
+    assert!(k > 0, "k must be positive");
+    let sorted = costs.sorted_columns();
+
+    // Partial assignments over the first `i` rows, cost-ascending.
+    let mut partials: Vec<Solution> = vec![Solution {
+        cost: 0.0,
+        choice: Vec::new(),
+    }];
+
+    for (i, row_order) in sorted.iter().enumerate() {
+        // Merge: partial costs (sorted) × row choice costs (sorted).
+        let mut heap = BinaryHeap::new();
+        heap.push(Frontier {
+            cost: partials[0].cost + costs.cost(i, row_order[0]),
+            partial_idx: 0,
+            rank: 0,
+        });
+        let mut next: Vec<Solution> = Vec::with_capacity(k.min(partials.len() * costs.m()));
+        // Frontier invariant: (p, r) is pushed when either (p, r-1) or
+        // (p-1, r) with r == 0 was popped, so every cell enters exactly once.
+        while next.len() < k {
+            let Some(top) = heap.pop() else { break };
+            let p = &partials[top.partial_idx];
+            let mut choice = Vec::with_capacity(i + 1);
+            choice.extend_from_slice(&p.choice);
+            choice.push(row_order[top.rank]);
+            next.push(Solution {
+                cost: top.cost,
+                choice,
+            });
+            if top.rank + 1 < costs.m() {
+                heap.push(Frontier {
+                    cost: p.cost + costs.cost(i, row_order[top.rank + 1]),
+                    partial_idx: top.partial_idx,
+                    rank: top.rank + 1,
+                });
+            }
+            if top.rank == 0 && top.partial_idx + 1 < partials.len() {
+                heap.push(Frontier {
+                    cost: partials[top.partial_idx + 1].cost + costs.cost(i, row_order[0]),
+                    partial_idx: top.partial_idx + 1,
+                    rank: 0,
+                });
+            }
+        }
+        partials = next;
+    }
+    partials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_row_orders_by_cost() {
+        let c = CostMatrix::new(1, 3, vec![3.0, 1.0, 2.0]);
+        let sols = k_best_assignments(&c, 3);
+        assert_eq!(sols.len(), 3);
+        assert_eq!(sols[0].choice, vec![1]);
+        assert_eq!(sols[1].choice, vec![2]);
+        assert_eq!(sols[2].choice, vec![0]);
+        assert_eq!(sols[0].cost, 1.0);
+    }
+
+    #[test]
+    fn two_rows_known_order() {
+        // Row costs: r0 = [0, 10], r1 = [1, 2].
+        let c = CostMatrix::new(2, 2, vec![0.0, 10.0, 1.0, 2.0]);
+        let sols = k_best_assignments(&c, 4);
+        let got: Vec<(Vec<usize>, f64)> =
+            sols.iter().map(|s| (s.choice.clone(), s.cost)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (vec![0, 0], 1.0),
+                (vec![0, 1], 2.0),
+                (vec![1, 0], 11.0),
+                (vec![1, 1], 12.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn caps_at_action_space_size() {
+        let c = CostMatrix::new(2, 2, vec![0.0, 1.0, 0.0, 1.0]);
+        let sols = k_best_assignments(&c, 100);
+        assert_eq!(sols.len(), 4);
+    }
+
+    #[test]
+    fn costs_nondecreasing() {
+        let proto = vec![0.9, 0.05, 0.05, 0.1, 0.8, 0.1, 0.3, 0.3, 0.4];
+        let c = CostMatrix::from_proto_action(&proto, 3, 3);
+        let sols = k_best_assignments(&c, 10);
+        assert!(sols.windows(2).all(|w| w[0].cost <= w[1].cost + 1e-12));
+    }
+
+    #[test]
+    fn solutions_distinct() {
+        let proto = vec![0.5; 12];
+        let c = CostMatrix::from_proto_action(&proto, 4, 3);
+        let sols = k_best_assignments(&c, 20);
+        let mut seen = std::collections::HashSet::new();
+        for s in &sols {
+            assert!(seen.insert(s.choice.clone()), "duplicate {:?}", s.choice);
+        }
+    }
+
+    #[test]
+    fn best_matches_greedy_argmax_of_proto() {
+        // The single nearest neighbour is the row-wise argmax of â.
+        let proto = vec![0.1, 0.7, 0.2, 0.6, 0.3, 0.1];
+        let c = CostMatrix::from_proto_action(&proto, 2, 3);
+        let sols = k_best_assignments(&c, 1);
+        assert_eq!(sols[0].choice, vec![1, 0]);
+    }
+}

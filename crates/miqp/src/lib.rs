@@ -1,0 +1,58 @@
+//! Solvers for the paper's **MIQP-NN** problem (§3.2.1) — the component the
+//! paper delegates to the Gurobi optimizer.
+//!
+//! The problem: given a continuous proto-action `â ∈ R^{N×M}` produced by
+//! the actor network, find the feasible action
+//!
+//! ```text
+//! min_a ‖a − â‖²   s.t.  Σ_j a_ij = 1 ∀i,   a_ij ∈ {0, 1}
+//! ```
+//!
+//! and, iterating K times with previous optima excluded, the K nearest
+//! feasible neighbours (K-NN) of `â`.
+//!
+//! Because the rows of `a` are independent one-hot vectors, the objective
+//! separates per thread:
+//!
+//! ```text
+//! ‖a − â‖² = Σ_i c_i(j_i),    c_i(j) = ‖e_j − â_i‖² = 1 − 2·â_ij + ‖â_i‖²
+//! ```
+//!
+//! so the K nearest actions are the K cheapest combinations of per-row
+//! column choices. This crate provides:
+//!
+//! * [`kbest`] — an exact, polynomial K-best enumeration (the default);
+//! * [`bnb`] — exact best-first branch-and-bound that also supports
+//!   per-machine **capacity constraints** (an extension beyond the paper);
+//! * [`relax`] — the paper's fallback for very large cases: continuous
+//!   relaxation (per-row Euclidean projection onto the simplex) plus
+//!   randomized rounding;
+//! * [`exhaustive`] — brute force over all `M^N` actions, for validation.
+//!
+//! All solvers consume a [`CostMatrix`]; [`CostMatrix::from_proto_action`]
+//! builds one from a flattened proto-action.
+
+pub mod bnb;
+pub mod cost;
+pub mod exhaustive;
+pub mod kbest;
+pub mod relax;
+
+pub use bnb::solve_capacitated;
+pub use cost::CostMatrix;
+pub use exhaustive::brute_force_k_best;
+pub use kbest::k_best_assignments;
+pub use relax::{project_row_simplex, relax_and_round};
+
+/// A feasible action: `choice[i]` is the machine index thread `i` is
+/// assigned to.
+pub type Choice = Vec<usize>;
+
+/// A solution with its objective value (`‖a − â‖²` for MIQP-NN costs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Total cost `Σ_i c_i(choice[i])`.
+    pub cost: f64,
+    /// Per-thread machine choices.
+    pub choice: Choice,
+}

@@ -1,0 +1,178 @@
+//! Continuous relaxation + randomized rounding.
+//!
+//! The paper: "For very large cases, the MIQP-NN problem can be relaxed to a
+//! convex programming problem and a rounding algorithm can be used to obtain
+//! approximate solutions." Relaxing `a_ij ∈ {0,1}` to `a_ij ∈ [0,1]` with the
+//! row-sum constraint turns each row into an independent Euclidean
+//! projection of `â_i` onto the probability simplex (a classic
+//! sort-and-threshold projection). Rounding then samples machine choices
+//! from the projected rows, yielding candidate feasible actions near `â`.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::cost::CostMatrix;
+use crate::Solution;
+
+/// Euclidean projection of `v` onto the probability simplex
+/// `{x : x_i ≥ 0, Σ x_i = 1}` (Held/Wolfe/Crowder; O(M log M)).
+pub fn project_row_simplex(v: &[f64]) -> Vec<f64> {
+    assert!(!v.is_empty(), "empty row");
+    let mut sorted = v.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("NaN in projection"));
+    let mut cumulative = 0.0;
+    let mut rho = 0usize;
+    let mut theta = 0.0;
+    for (k, &u) in sorted.iter().enumerate() {
+        cumulative += u;
+        let candidate = (cumulative - 1.0) / (k + 1) as f64;
+        if u - candidate > 0.0 {
+            rho = k + 1;
+            theta = candidate;
+        }
+    }
+    debug_assert!(rho > 0);
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+/// Relaxes the proto-action, then samples `k` rounded feasible actions and
+/// returns them deduplicated and sorted by true cost (ascending). The
+/// first sample is the deterministic row-wise argmax (the relaxation's own
+/// rounding), so the exact nearest neighbour is always included.
+///
+/// # Panics
+/// Panics when `proto.len() != n * m` or `k == 0`.
+pub fn relax_and_round(
+    proto: &[f64],
+    n: usize,
+    m: usize,
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<Solution> {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(proto.len(), n * m, "proto-action size");
+    let costs = CostMatrix::from_proto_action(proto, n, m);
+    let probs: Vec<Vec<f64>> = (0..n)
+        .map(|i| project_row_simplex(&proto[i * m..(i + 1) * m]))
+        .collect();
+
+    let mut seen = std::collections::HashSet::new();
+    let mut out: Vec<Solution> = Vec::with_capacity(k);
+
+    // Deterministic argmax rounding first.
+    let argmax: Vec<usize> = probs
+        .iter()
+        .map(|p| {
+            p.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN prob"))
+                .map(|(j, _)| j)
+                .expect("non-empty row")
+        })
+        .collect();
+    seen.insert(argmax.clone());
+    out.push(Solution {
+        cost: costs.total(&argmax),
+        choice: argmax,
+    });
+
+    // Randomized rounding for diversity; bounded tries to avoid spinning
+    // when the distribution is nearly deterministic.
+    let mut tries = 0usize;
+    let max_tries = 20 * k;
+    while out.len() < k && tries < max_tries {
+        tries += 1;
+        let choice: Vec<usize> = probs.iter().map(|p| sample_categorical(p, rng)).collect();
+        if seen.insert(choice.clone()) {
+            out.push(Solution {
+                cost: costs.total(&choice),
+                choice,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("NaN cost"));
+    out
+}
+
+fn sample_categorical(p: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = p.iter().sum();
+    let mut u = rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (j, &w) in p.iter().enumerate() {
+        if u < w {
+            return j;
+        }
+        u -= w;
+    }
+    p.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn projection_is_on_simplex() {
+        for v in [
+            vec![0.2, 0.3, 0.9],
+            vec![-1.0, 2.0, 0.5, 0.0],
+            vec![10.0, -10.0],
+            vec![0.25, 0.25, 0.25, 0.25],
+        ] {
+            let p = project_row_simplex(&v);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{p:?}");
+            assert!(p.iter().all(|&x| x >= 0.0), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn projection_fixed_point_on_simplex_points() {
+        let v = vec![0.1, 0.6, 0.3];
+        let p = project_row_simplex(&v);
+        for (a, b) in v.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_minimizes_distance_vs_vertices() {
+        // Projection must be at least as close as any simplex vertex.
+        let v = vec![0.9, 0.4, -0.2];
+        let p = project_row_simplex(&v);
+        let d = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+        };
+        let dp = d(&v, &p);
+        for j in 0..3 {
+            let mut vertex = vec![0.0; 3];
+            vertex[j] = 1.0;
+            assert!(dp <= d(&v, &vertex) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rounding_includes_argmax_and_is_sorted() {
+        let proto = vec![0.8, 0.1, 0.1, 0.1, 0.1, 0.8];
+        let sols = relax_and_round(&proto, 2, 3, 5, &mut rng());
+        assert!(!sols.is_empty());
+        // Exact nearest neighbour must be present and first after sorting.
+        assert_eq!(sols[0].choice, vec![0, 2]);
+        assert!(sols.windows(2).all(|w| w[0].cost <= w[1].cost + 1e-12));
+    }
+
+    #[test]
+    fn rounding_solutions_distinct_and_feasible() {
+        let proto = vec![0.5; 8];
+        let sols = relax_and_round(&proto, 2, 4, 6, &mut rng());
+        let mut seen = std::collections::HashSet::new();
+        for s in &sols {
+            assert_eq!(s.choice.len(), 2);
+            assert!(s.choice.iter().all(|&j| j < 4));
+            assert!(seen.insert(s.choice.clone()));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The agent side of the socket protocol.
+//!
+//! The paper's DRL agent runs outside the DSDPS ("hot swapping of control
+//! algorithms"). [`AgentClient`] implements its half of the exchange: it
+//! receives state reports, asks a pluggable decision function for a
+//! scheduling solution, and returns the measured reward — so any scheduler
+//! (`dss-core`'s actor-critic, DQN, or a baseline) can drive a remote
+//! Nimbus without knowing about sockets.
+
+use dss_proto::{Message, ProtoError, Transport};
+
+use crate::error::NimbusError;
+
+/// The state `s = (X, w)` as seen by the agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateView {
+    /// Decision epoch (echo it in the solution).
+    pub epoch: u64,
+    /// Current executor-to-machine assignment.
+    pub machine_of: Vec<usize>,
+    /// Cluster size.
+    pub n_machines: usize,
+    /// Per-data-source arrival rates.
+    pub source_rates: Vec<(u32, f64)>,
+}
+
+/// The reward the scheduler measured for a deployed solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewardView {
+    /// Epoch the reward answers.
+    pub epoch: u64,
+    /// Average end-to-end tuple processing time (ms).
+    pub avg_tuple_ms: f64,
+    /// The individual measurement samples behind the average.
+    pub measurements: Vec<f64>,
+}
+
+/// Agent-side protocol driver.
+#[derive(Debug)]
+pub struct AgentClient<T: Transport> {
+    transport: T,
+    ident: String,
+}
+
+impl<T: Transport> AgentClient<T> {
+    /// Wrap a connected transport.
+    pub fn new(transport: T, ident: impl Into<String>) -> Self {
+        AgentClient {
+            transport,
+            ident: ident.into(),
+        }
+    }
+
+    /// Perform the handshake; returns the scheduler's identification.
+    pub fn handshake(&self) -> Result<String, NimbusError> {
+        self.transport.send(&Message::Hello {
+            role: dss_proto::message::Role::Agent,
+            ident: self.ident.clone(),
+        })?;
+        match self.transport.recv()? {
+            Message::Hello {
+                role: dss_proto::message::Role::Scheduler,
+                ident,
+            } => Ok(ident),
+            _ => Err(NimbusError::UnexpectedMessage("awaiting scheduler hello")),
+        }
+    }
+
+    /// Run one decision epoch: receive the state, decide, send the
+    /// solution, and wait for the measured reward.
+    ///
+    /// Returns `Ok(None)` if the scheduler disconnected.
+    pub fn run_epoch<F>(&self, mut decide: F) -> Result<Option<RewardView>, NimbusError>
+    where
+        F: FnMut(&StateView) -> Vec<usize>,
+    {
+        let state = match self.transport.recv() {
+            Ok(Message::StateReport {
+                epoch,
+                machine_of,
+                n_machines,
+                source_rates,
+            }) => StateView {
+                epoch,
+                machine_of,
+                n_machines,
+                source_rates,
+            },
+            Ok(Message::Bye) | Err(ProtoError::Disconnected) => return Ok(None),
+            Ok(_) => return Err(NimbusError::UnexpectedMessage("awaiting state report")),
+            Err(e) => return Err(e.into()),
+        };
+        let solution = decide(&state);
+        self.transport.send(&Message::SchedulingSolution {
+            epoch: state.epoch,
+            machine_of: solution,
+            n_machines: state.n_machines,
+        })?;
+        loop {
+            match self.transport.recv() {
+                Ok(Message::RewardReport {
+                    epoch,
+                    avg_tuple_ms,
+                    measurements,
+                }) => {
+                    return Ok(Some(RewardView {
+                        epoch,
+                        avg_tuple_ms,
+                        measurements,
+                    }))
+                }
+                Ok(Message::Error { code, detail }) => {
+                    return Err(NimbusError::InvalidSolution(format!(
+                        "scheduler rejected solution (code {code}): {detail}"
+                    )))
+                }
+                Ok(Message::Heartbeat { .. }) => continue,
+                Ok(Message::Bye) | Err(ProtoError::Disconnected) => return Ok(None),
+                Ok(_) => return Err(NimbusError::UnexpectedMessage("awaiting reward")),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Orderly shutdown.
+    pub fn bye(&self) -> Result<(), NimbusError> {
+        self.transport.send(&Message::Bye)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_proto::ChannelTransport;
+
+    /// Fake scheduler speaking the server side over a channel pair.
+    fn fake_scheduler(peer: ChannelTransport, epochs: u64) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            // Handshake.
+            match peer.recv().unwrap() {
+                Message::Hello { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+            peer.send(&Message::Hello {
+                role: dss_proto::message::Role::Scheduler,
+                ident: "fake-nimbus".into(),
+            })
+            .unwrap();
+            for epoch in 0..epochs {
+                peer.send(&Message::StateReport {
+                    epoch,
+                    machine_of: vec![0, 0, 1],
+                    n_machines: 2,
+                    source_rates: vec![(0, 10.0)],
+                })
+                .unwrap();
+                match peer.recv().unwrap() {
+                    Message::SchedulingSolution {
+                        epoch: e,
+                        machine_of,
+                        ..
+                    } => {
+                        assert_eq!(e, epoch);
+                        assert_eq!(machine_of.len(), 3);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                peer.send(&Message::RewardReport {
+                    epoch,
+                    avg_tuple_ms: 2.0 - epoch as f64 * 0.1,
+                    measurements: vec![2.0],
+                })
+                .unwrap();
+            }
+            peer.send(&Message::Bye).unwrap();
+        })
+    }
+
+    #[test]
+    fn agent_completes_handshake_and_epochs() {
+        let (mine, theirs) = ChannelTransport::pair();
+        let server = fake_scheduler(theirs, 3);
+        let agent = AgentClient::new(mine, "test-agent");
+        assert_eq!(agent.handshake().unwrap(), "fake-nimbus");
+        let mut rewards = Vec::new();
+        while let Some(r) = agent
+            .run_epoch(|state| {
+                // Trivial policy: move everything to machine 0.
+                vec![0; state.machine_of.len()]
+            })
+            .unwrap()
+        {
+            rewards.push(r.avg_tuple_ms);
+        }
+        assert_eq!(rewards.len(), 3);
+        assert!(rewards[2] < rewards[0]);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn error_report_surfaces_as_invalid_solution() {
+        let (mine, theirs) = ChannelTransport::pair();
+        let server = std::thread::spawn(move || {
+            theirs
+                .send(&Message::StateReport {
+                    epoch: 0,
+                    machine_of: vec![0],
+                    n_machines: 1,
+                    source_rates: vec![],
+                })
+                .unwrap();
+            let _ = theirs.recv().unwrap();
+            theirs
+                .send(&Message::Error {
+                    code: 2,
+                    detail: "bad shape".into(),
+                })
+                .unwrap();
+        });
+        let agent = AgentClient::new(mine, "test-agent");
+        let err = agent.run_epoch(|_| vec![0]).unwrap_err();
+        assert!(matches!(err, NimbusError::InvalidSolution(_)));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_mid_epoch_returns_none() {
+        let (mine, theirs) = ChannelTransport::pair();
+        drop(theirs);
+        let agent = AgentClient::new(mine, "test-agent");
+        assert!(agent.run_epoch(|_| vec![]).unwrap().is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Master error type: unifies substrate failures.
+
+use std::fmt;
+
+use dss_coord::CoordError;
+use dss_proto::ProtoError;
+use dss_sim::SimError;
+
+/// Errors surfaced by the Nimbus control plane.
+#[derive(Debug)]
+pub enum NimbusError {
+    /// Coordination-service failure.
+    Coord(CoordError),
+    /// Socket/protocol failure.
+    Proto(ProtoError),
+    /// Simulator rejected a deployment.
+    Sim(SimError),
+    /// Peer sent a message that violates the expected exchange.
+    UnexpectedMessage(&'static str),
+    /// A proposed scheduling solution is structurally invalid.
+    InvalidSolution(String),
+    /// No live machine remains to host executors.
+    NoLiveMachines,
+}
+
+impl fmt::Display for NimbusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NimbusError::Coord(e) => write!(f, "coordination error: {e}"),
+            NimbusError::Proto(e) => write!(f, "protocol error: {e}"),
+            NimbusError::Sim(e) => write!(f, "simulator error: {e}"),
+            NimbusError::UnexpectedMessage(ctx) => write!(f, "unexpected message while {ctx}"),
+            NimbusError::InvalidSolution(why) => write!(f, "invalid scheduling solution: {why}"),
+            NimbusError::NoLiveMachines => write!(f, "no live machines available"),
+        }
+    }
+}
+
+impl std::error::Error for NimbusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NimbusError::Coord(e) => Some(e),
+            NimbusError::Proto(e) => Some(e),
+            NimbusError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoordError> for NimbusError {
+    fn from(e: CoordError) -> Self {
+        NimbusError::Coord(e)
+    }
+}
+
+impl From<ProtoError> for NimbusError {
+    fn from(e: ProtoError) -> Self {
+        NimbusError::Proto(e)
+    }
+}
+
+impl From<SimError> for NimbusError {
+    fn from(e: SimError) -> Self {
+        NimbusError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: NimbusError = CoordError::NoNode("/x".into()).into();
+        assert!(e.to_string().contains("/x"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(NimbusError::NoLiveMachines.to_string().contains("live"));
+    }
+}

@@ -1,0 +1,38 @@
+//! A Nimbus-like master for the simulated Storm cluster.
+//!
+//! Storm's architecture (paper §2.1–2.2) puts a *master* (Nimbus) in charge
+//! of distributing work: it stores the scheduling solution in ZooKeeper,
+//! monitors heartbeats from worker machines, and re-schedules executors
+//! when it discovers a failure. The paper's custom scheduler *"runs within
+//! Nimbus"* and talks to the external DRL agent over a socket.
+//!
+//! This crate reproduces that control plane against the simulated cluster:
+//!
+//! * [`supervisor::SupervisorSet`] — one coordination session per worker
+//!   machine, each holding an ephemeral `/storm/supervisors/machine-NNNN`
+//!   znode and heartbeating until the machine is crashed;
+//! * [`master::Nimbus`] — topology registration, versioned assignment
+//!   storage in the coordination service, the minimal-impact deployment
+//!   path onto the simulator, the paper's reward-measurement protocol,
+//!   failure detection (supervisor session expiry) and repair scheduling;
+//! * [`agent::AgentClient`] — the agent side of the socket protocol, with
+//!   a pluggable decision function, so any `dss-core` scheduler can drive
+//!   a remote Nimbus exactly as the paper's external DRL agent does.
+//!
+//! Machine failure is modelled at the control plane: a crashed machine
+//! stops heartbeating, its coordination session expires, and Nimbus moves
+//! its executors to live machines. The latency cost of the repair shows up
+//! through the simulator's migration pause and warm-up — the same
+//! mechanism behind the paper's Figure 12 redeployment spikes. Mid-flight
+//! tuple loss on the dead machine is already covered by the simulator's
+//! tuple-failure path (Storm would replay those trees from the spout).
+
+pub mod agent;
+pub mod error;
+pub mod master;
+pub mod supervisor;
+
+pub use agent::AgentClient;
+pub use error::NimbusError;
+pub use master::{DeployOutcome, Nimbus, NimbusConfig};
+pub use supervisor::SupervisorSet;

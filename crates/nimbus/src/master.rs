@@ -1,0 +1,570 @@
+//! The Nimbus master: assignment storage, deployment, measurement,
+//! failure detection and repair.
+
+use dss_coord::{storm, CoordService, CreateMode, Session, StormPaths};
+use dss_proto::{Message, ProtoError, Transport};
+use dss_sim::{Assignment, SimEngine, Workload};
+
+use crate::error::NimbusError;
+use crate::supervisor::SupervisorSet;
+
+/// Master tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NimbusConfig {
+    /// Wait after a deployment before measuring, so the system
+    /// re-stabilizes (paper §3.1 waits "a few minutes"; simulated seconds).
+    pub stabilize_s: f64,
+    /// Identification string sent in the protocol handshake.
+    pub ident: String,
+    /// How often daemons heartbeat as simulated time advances (seconds).
+    /// Must be well below the coordination session timeout.
+    pub heartbeat_interval_s: f64,
+}
+
+impl Default for NimbusConfig {
+    fn default() -> Self {
+        NimbusConfig {
+            stabilize_s: 120.0,
+            ident: "dss-nimbus/0.1".into(),
+            heartbeat_interval_s: 5.0,
+        }
+    }
+}
+
+/// Result of deploying a scheduling solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeployOutcome {
+    /// Executors whose machine changed (the rest were untouched —
+    /// the paper's minimal-impact deployment).
+    pub moved: usize,
+    /// Version of the assignment znode after the update.
+    pub assignment_version: u64,
+}
+
+/// The master: owns the simulated cluster, keeps the authoritative
+/// scheduling solution in the coordination service, and serves the
+/// external DRL agent over the socket protocol.
+pub struct Nimbus {
+    coord: CoordService,
+    session: Session,
+    engine: SimEngine,
+    workload: Workload,
+    config: NimbusConfig,
+    epoch: u64,
+    assignment_version: u64,
+    /// Supervisor daemons driven by this master's clock advancement
+    /// (attach with [`Nimbus::attach_supervisors`]).
+    supervisors: Option<SupervisorSet>,
+}
+
+impl Nimbus {
+    /// Register the topology, store the initial assignment, and deploy it.
+    pub fn launch(
+        mut engine: SimEngine,
+        workload: Workload,
+        initial: Assignment,
+        coord: &CoordService,
+        config: NimbusConfig,
+    ) -> Result<Self, NimbusError> {
+        let session = coord.connect();
+        StormPaths::bootstrap(&session)?;
+        let name = engine.topology().name().to_string();
+        session.ensure_path(&StormPaths::storm(&name), name.as_bytes())?;
+        let payload = storm::encode_assignment(initial.as_slice(), initial.n_machines());
+        let assign_path = StormPaths::assignment(&name);
+        let stat = match session.create(&assign_path, &payload, CreateMode::Persistent) {
+            Ok(stat) => stat,
+            Err(dss_coord::CoordError::NodeExists(_)) => {
+                session.set_data(&assign_path, &payload, None)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        session.ensure_path(&StormPaths::workerbeats(&name), b"")?;
+        engine.set_workload(workload.clone());
+        engine.deploy(initial)?;
+        Ok(Nimbus {
+            coord: coord.clone(),
+            session,
+            engine,
+            workload,
+            config,
+            epoch: 0,
+            assignment_version: stat.version,
+            supervisors: None,
+        })
+    }
+
+    /// Attach the supervisor daemons so they heartbeat whenever this
+    /// master advances simulated time (real daemons beat on their own
+    /// timers; in the discrete-event embedding, clock advancement is the
+    /// timer).
+    pub fn attach_supervisors(&mut self, supervisors: SupervisorSet) {
+        self.supervisors = Some(supervisors);
+    }
+
+    /// Crash a machine: the simulated hardware stops processing (queues
+    /// feeding its executors back up and overflow) and its supervisor
+    /// daemon goes silent (its session expires after the coordination
+    /// timeout, at which point [`Nimbus::detect_and_repair`] sees it).
+    ///
+    /// # Panics
+    /// Panics if no supervisors are attached.
+    pub fn crash_machine(&mut self, machine: usize) {
+        self.engine.fail_machine(machine);
+        self.supervisors
+            .as_mut()
+            .expect("no supervisors attached")
+            .crash(machine);
+    }
+
+    /// Restart a crashed machine: hardware resumes and its supervisor
+    /// daemon re-registers.
+    ///
+    /// # Panics
+    /// Panics if no supervisors are attached.
+    pub fn restart_machine(&mut self, machine: usize) -> Result<(), NimbusError> {
+        self.engine.recover_machine(machine);
+        let coord = self.coord.clone();
+        self.supervisors
+            .as_mut()
+            .expect("no supervisors attached")
+            .restart(&coord, machine)?;
+        Ok(())
+    }
+
+    /// Advance simulated time to `t_end`, heartbeating the master session
+    /// and any attached supervisors every `heartbeat_interval_s` — the
+    /// liveness cadence of a healthy cluster.
+    pub fn advance(&mut self, t_end: f64) {
+        let step = self.config.heartbeat_interval_s.max(1e-3);
+        while self.engine.now() < t_end {
+            let next = (self.engine.now() + step).min(t_end);
+            self.engine.run_until(next);
+            self.sync_clock();
+            if let Some(sup) = &self.supervisors {
+                sup.heartbeat_all();
+            }
+            let _ = self.session.heartbeat();
+        }
+    }
+
+    /// Topology name.
+    pub fn topology_name(&self) -> &str {
+        self.engine.topology().name()
+    }
+
+    /// Current decision epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The simulated cluster (read access).
+    pub fn engine(&self) -> &SimEngine {
+        &self.engine
+    }
+
+    /// The simulated cluster (mutable, e.g. to advance time externally).
+    pub fn engine_mut(&mut self) -> &mut SimEngine {
+        &mut self.engine
+    }
+
+    /// Replace the workload (e.g. the Fig. 12 +50% step) and inform the
+    /// engine.
+    pub fn set_workload(&mut self, workload: Workload) {
+        self.engine.set_workload(workload.clone());
+        self.workload = workload;
+    }
+
+    /// Propagate simulated time into the coordination service so session
+    /// expiry follows the cluster clock. Returns expired session count.
+    pub fn sync_clock(&self) -> usize {
+        let now_ms = (self.engine.now() * 1000.0) as u64;
+        self.coord.advance_to(now_ms).len()
+    }
+
+    /// Keep the master's own coordination session alive.
+    pub fn heartbeat(&self) -> Result<(), NimbusError> {
+        self.session.heartbeat()?;
+        Ok(())
+    }
+
+    /// The state message `s = (X, w)` for the current epoch.
+    pub fn state_message(&self) -> Message {
+        Message::StateReport {
+            epoch: self.epoch,
+            machine_of: self.engine.assignment().as_slice().to_vec(),
+            n_machines: self.engine.cluster().n_machines(),
+            source_rates: self
+                .workload
+                .rates()
+                .iter()
+                .map(|&(comp, rate)| (comp as u32, rate))
+                .collect(),
+        }
+    }
+
+    /// Validate and deploy a scheduling solution, updating the assignment
+    /// znode with a conditional write (version CAS) and advancing the
+    /// epoch.
+    pub fn apply_solution(&mut self, machine_of: &[usize]) -> Result<DeployOutcome, NimbusError> {
+        let n = self.engine.topology().n_executors();
+        let m = self.engine.cluster().n_machines();
+        if machine_of.len() != n {
+            return Err(NimbusError::InvalidSolution(format!(
+                "expected {n} executors, got {}",
+                machine_of.len()
+            )));
+        }
+        if let Some(&bad) = machine_of.iter().find(|&&mm| mm >= m) {
+            return Err(NimbusError::InvalidSolution(format!(
+                "machine index {bad} out of range (cluster has {m})"
+            )));
+        }
+        let next = Assignment::new(machine_of.to_vec(), m)
+            .map_err(|e| NimbusError::InvalidSolution(e.to_string()))?;
+        let moved = self.engine.assignment().diff(&next).len();
+        self.engine.deploy(next)?;
+        let payload = storm::encode_assignment(machine_of, m);
+        let path = StormPaths::assignment(self.topology_name());
+        let stat = self
+            .session
+            .set_data(&path, &payload, Some(self.assignment_version))?;
+        self.assignment_version = stat.version;
+        self.epoch += 1;
+        Ok(DeployOutcome {
+            moved,
+            assignment_version: stat.version,
+        })
+    }
+
+    /// Read back the authoritative assignment from the coordination
+    /// service (what a recovering master would do).
+    pub fn stored_assignment(&self) -> Result<Assignment, NimbusError> {
+        let path = StormPaths::assignment(self.topology_name());
+        let (data, _) = self.session.get_data(&path)?;
+        let (machine_of, m) = storm::decode_assignment(&data).ok_or_else(|| {
+            NimbusError::InvalidSolution("stored assignment payload corrupt".into())
+        })?;
+        Assignment::new(machine_of, m).map_err(|e| NimbusError::InvalidSolution(e.to_string()))
+    }
+
+    /// The paper's measurement protocol: let the system re-stabilize, then
+    /// average 5 consecutive window measurements. Returns the individual
+    /// samples and their mean, or `None` if no tuple completed.
+    pub fn measure_reward(&mut self) -> Option<(Vec<f64>, f64)> {
+        let t = self.engine.now() + self.config.stabilize_s;
+        self.advance(t);
+        // Mirror SimEngine::measure_avg_latency_ms but keep the samples,
+        // since the protocol's RewardReport carries them.
+        let mut samples = Vec::new();
+        let interval = self.engine_measure_interval();
+        let n_samples = self.engine_measure_samples();
+        for _ in 0..n_samples {
+            let t = self.engine.now() + interval;
+            self.advance(t);
+            if let Some(v) = self.engine.window_avg_latency_ms() {
+                samples.push(v);
+            }
+        }
+        if samples.is_empty() {
+            return None;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        Some((samples, mean))
+    }
+
+    fn engine_measure_interval(&self) -> f64 {
+        // The paper: 10-second intervals.
+        10.0
+    }
+
+    fn engine_measure_samples(&self) -> usize {
+        // The paper: 5 consecutive measurements.
+        5
+    }
+
+    /// Server-side handshake: announce ourselves, expect the agent.
+    pub fn handshake(&self, transport: &dyn Transport) -> Result<String, NimbusError> {
+        transport.send(&Message::Hello {
+            role: dss_proto::message::Role::Scheduler,
+            ident: self.config.ident.clone(),
+        })?;
+        match transport.recv()? {
+            Message::Hello {
+                role: dss_proto::message::Role::Agent,
+                ident,
+            } => Ok(ident),
+            _ => Err(NimbusError::UnexpectedMessage("awaiting agent hello")),
+        }
+    }
+
+    /// Serve one decision epoch over the socket: send the state, apply the
+    /// returned solution, measure, and report the reward. Returns `false`
+    /// if the agent said goodbye.
+    pub fn serve_epoch(&mut self, transport: &dyn Transport) -> Result<bool, NimbusError> {
+        match transport.send(&self.state_message()) {
+            Ok(()) => {}
+            // An agent that already left is an orderly end of service.
+            Err(ProtoError::Disconnected) => return Ok(false),
+            Err(e) => return Err(e.into()),
+        }
+        loop {
+            match transport.recv() {
+                Ok(Message::SchedulingSolution {
+                    epoch,
+                    machine_of,
+                    n_machines,
+                }) => {
+                    if epoch != self.epoch {
+                        transport.send(&Message::Error {
+                            code: 1,
+                            detail: format!("stale epoch {epoch}, expected {}", self.epoch),
+                        })?;
+                        continue;
+                    }
+                    if n_machines != self.engine.cluster().n_machines() {
+                        return Err(NimbusError::InvalidSolution(format!(
+                            "agent believes cluster has {n_machines} machines"
+                        )));
+                    }
+                    match self.apply_solution(&machine_of) {
+                        Ok(_) => {}
+                        Err(NimbusError::InvalidSolution(why)) => {
+                            transport.send(&Message::Error {
+                                code: 2,
+                                detail: why.clone(),
+                            })?;
+                            return Err(NimbusError::InvalidSolution(why));
+                        }
+                        Err(e) => return Err(e),
+                    }
+                    let (measurements, mean) =
+                        self.measure_reward().unwrap_or((Vec::new(), 0.0));
+                    transport.send(&Message::RewardReport {
+                        // The reward answers the *previous* epoch's state.
+                        epoch: self.epoch - 1,
+                        avg_tuple_ms: mean,
+                        measurements,
+                    })?;
+                    return Ok(true);
+                }
+                Ok(Message::Heartbeat { .. }) => {
+                    transport.send(&Message::Heartbeat {
+                        now_ms: (self.engine.now() * 1000.0) as u64,
+                    })?;
+                }
+                Ok(Message::Bye) => return Ok(false),
+                Ok(_) => return Err(NimbusError::UnexpectedMessage("awaiting solution")),
+                Err(ProtoError::Disconnected) => return Ok(false),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Which machines currently have a live supervisor znode.
+    pub fn live_machines(&self) -> Result<Vec<bool>, NimbusError> {
+        let m = self.engine.cluster().n_machines();
+        let mut live = vec![false; m];
+        for name in self.session.get_children("/storm/supervisors")? {
+            if let Some(idx) = name
+                .strip_prefix("machine-")
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                if idx < m {
+                    live[idx] = true;
+                }
+            }
+        }
+        Ok(live)
+    }
+
+    /// Compute a repair assignment: executors on dead machines move to the
+    /// live machine currently hosting the fewest executors (balancing the
+    /// displaced load); everything else stays put (minimal impact).
+    pub fn repair_assignment(&self, live: &[bool]) -> Result<Option<Vec<usize>>, NimbusError> {
+        if live.iter().all(|&l| l) {
+            return Ok(None);
+        }
+        if !live.iter().any(|&l| l) {
+            return Err(NimbusError::NoLiveMachines);
+        }
+        let current = self.engine.assignment().as_slice();
+        if current.iter().all(|&m| live[m]) {
+            return Ok(None);
+        }
+        let mut loads = vec![0usize; live.len()];
+        for &m in current {
+            loads[m] += 1;
+        }
+        let mut repaired = current.to_vec();
+        for slot in repaired.iter_mut() {
+            if !live[*slot] {
+                let target = (0..live.len())
+                    .filter(|&m| live[m])
+                    .min_by_key(|&m| loads[m])
+                    .expect("at least one live machine");
+                loads[*slot] -= 1;
+                loads[target] += 1;
+                *slot = target;
+            }
+        }
+        Ok(Some(repaired))
+    }
+
+    /// Failure-handling tick: detect dead machines via the coordination
+    /// service and redeploy their executors onto live machines. Returns
+    /// the deployment outcome if a repair was needed.
+    pub fn detect_and_repair(&mut self) -> Result<Option<DeployOutcome>, NimbusError> {
+        self.sync_clock();
+        let live = self.live_machines()?;
+        match self.repair_assignment(&live)? {
+            Some(repaired) => Ok(Some(self.apply_solution(&repaired)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_coord::CoordConfig;
+    use dss_sim::{ClusterSpec, SimConfig, TopologyBuilder};
+
+    fn small_engine() -> (SimEngine, Workload, Assignment) {
+        let mut b = TopologyBuilder::new("test-topo");
+        let spout = b.spout("spout", 2, 0.05);
+        let bolt = b.bolt("bolt", 4, 0.2);
+        b.edge(spout, bolt, dss_sim::Grouping::Shuffle, 1.0, 64);
+        let topology = b.build().unwrap();
+        let cluster = ClusterSpec::homogeneous(4);
+        let workload = Workload::uniform(&topology, 50.0);
+        let assignment = Assignment::round_robin(&topology, &cluster);
+        let engine =
+            SimEngine::new(topology, cluster, workload.clone(), SimConfig::default()).unwrap();
+        (engine, workload, assignment)
+    }
+
+    fn launch() -> (Nimbus, CoordService) {
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: 5_000,
+        });
+        let (engine, workload, assignment) = small_engine();
+        let nimbus = Nimbus::launch(
+            engine,
+            workload,
+            assignment,
+            &coord,
+            NimbusConfig {
+                stabilize_s: 5.0,
+                ident: "test".into(),
+                heartbeat_interval_s: 1.0,
+            },
+        )
+        .unwrap();
+        (nimbus, coord)
+    }
+
+    #[test]
+    fn launch_registers_topology_and_assignment() {
+        let (nimbus, coord) = launch();
+        let probe = coord.connect();
+        assert!(probe.exists("/storm/storms/test-topo").unwrap().is_some());
+        let stored = nimbus.stored_assignment().unwrap();
+        assert_eq!(stored.as_slice(), nimbus.engine().assignment().as_slice());
+    }
+
+    #[test]
+    fn apply_solution_moves_executors_and_bumps_version() {
+        let (mut nimbus, _coord) = launch();
+        let mut solution = nimbus.engine().assignment().as_slice().to_vec();
+        solution[0] = (solution[0] + 1) % 4;
+        solution[1] = (solution[1] + 1) % 4;
+        let outcome = nimbus.apply_solution(&solution).unwrap();
+        assert_eq!(outcome.moved, 2);
+        assert_eq!(nimbus.epoch(), 1);
+        assert_eq!(nimbus.stored_assignment().unwrap().as_slice(), &solution[..]);
+    }
+
+    #[test]
+    fn apply_solution_validates_shape() {
+        let (mut nimbus, _coord) = launch();
+        assert!(matches!(
+            nimbus.apply_solution(&[0, 1]),
+            Err(NimbusError::InvalidSolution(_))
+        ));
+        let n = nimbus.engine().topology().n_executors();
+        assert!(matches!(
+            nimbus.apply_solution(&vec![99; n]),
+            Err(NimbusError::InvalidSolution(_))
+        ));
+    }
+
+    #[test]
+    fn measure_reward_returns_paper_protocol_samples() {
+        let (mut nimbus, _coord) = launch();
+        let (samples, mean) = nimbus.measure_reward().unwrap();
+        assert_eq!(samples.len(), 5);
+        assert!(mean > 0.0);
+        let expect = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repair_moves_executors_off_dead_machines_only() {
+        let (nimbus, _coord) = launch();
+        let current = nimbus.engine().assignment().as_slice().to_vec();
+        let live = vec![true, false, true, true];
+        let repaired = nimbus.repair_assignment(&live).unwrap().unwrap();
+        for (i, (&old, &new)) in current.iter().zip(&repaired).enumerate() {
+            if old == 1 {
+                assert_ne!(new, 1, "executor {i} must leave the dead machine");
+            } else {
+                assert_eq!(new, old, "executor {i} must not move");
+            }
+        }
+        // All-live needs no repair; all-dead is an error.
+        assert!(nimbus.repair_assignment(&[true; 4]).unwrap().is_none());
+        assert!(matches!(
+            nimbus.repair_assignment(&[false; 4]),
+            Err(NimbusError::NoLiveMachines)
+        ));
+    }
+
+    #[test]
+    fn detect_and_repair_after_supervisor_crash() {
+        let (mut nimbus, coord) = launch();
+        let sup = crate::supervisor::SupervisorSet::register(&coord, 4).unwrap();
+        nimbus.attach_supervisors(sup);
+        // Everything healthy: no repair.
+        nimbus.advance(1.0);
+        assert!(nimbus.detect_and_repair().unwrap().is_none());
+
+        // Crash machine 2 and let its session expire on the sim clock;
+        // `advance` keeps the live daemons heartbeating.
+        nimbus.crash_machine(2);
+        nimbus.advance(11.0); // 10 s of silence > the 5 s session timeout
+        let outcome = nimbus.detect_and_repair().unwrap().unwrap();
+        assert!(outcome.moved > 0);
+        assert!(nimbus
+            .engine()
+            .assignment()
+            .as_slice()
+            .iter()
+            .all(|&m| m != 2));
+    }
+
+    #[test]
+    fn restart_rejoins_the_cluster() {
+        let (mut nimbus, coord) = launch();
+        let sup = crate::supervisor::SupervisorSet::register(&coord, 4).unwrap();
+        nimbus.attach_supervisors(sup);
+        nimbus.crash_machine(1);
+        nimbus.advance(11.0);
+        assert_eq!(
+            nimbus.live_machines().unwrap(),
+            vec![true, false, true, true]
+        );
+        nimbus.restart_machine(1).unwrap();
+        assert_eq!(nimbus.live_machines().unwrap(), vec![true; 4]);
+    }
+}

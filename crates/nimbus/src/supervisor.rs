@@ -1,0 +1,163 @@
+//! Per-machine supervisor daemons: liveness via coordination ephemerals.
+//!
+//! Paper §2.1: *"Each machine also runs a daemon that listens for any work
+//! assigned to it by the master"* and *"The master monitors heartbeat
+//! signals from all worker processes periodically. It re-schedules them
+//! when it discovers a failure."* Each supervisor holds a coordination
+//! session with an ephemeral `/storm/supervisors/machine-NNNN` znode; a
+//! crashed machine simply goes silent, its session expires, the znode
+//! disappears, and the master observes the failure through the children
+//! list (or a children watch).
+
+use dss_coord::{CoordError, CoordService, CreateMode, Session, StormPaths};
+
+/// The set of supervisor daemons for a cluster.
+#[derive(Debug)]
+pub struct SupervisorSet {
+    /// `sessions[m]` is `Some` while machine `m` is up.
+    sessions: Vec<Option<Session>>,
+}
+
+impl SupervisorSet {
+    /// Start one supervisor per machine: open a session and register the
+    /// ephemeral supervisor znode. Requires `StormPaths::bootstrap` to have
+    /// run (the master does it).
+    pub fn register(svc: &CoordService, n_machines: usize) -> Result<Self, CoordError> {
+        let mut sessions = Vec::with_capacity(n_machines);
+        for m in 0..n_machines {
+            let session = svc.connect();
+            session.create(&StormPaths::supervisor(m), b"", CreateMode::Ephemeral)?;
+            sessions.push(Some(session));
+        }
+        Ok(SupervisorSet { sessions })
+    }
+
+    /// Number of machines this set was built for.
+    pub fn n_machines(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Heartbeat every machine that is up. Call once per control tick,
+    /// *before* advancing the coordination clock past the session timeout.
+    pub fn heartbeat_all(&self) {
+        for s in self.sessions.iter().flatten() {
+            // A session the service already expired cannot heartbeat; the
+            // master will observe the missing supervisor znode.
+            let _ = s.heartbeat();
+        }
+    }
+
+    /// Crash a machine: its supervisor goes silent (the session is dropped
+    /// without closing, exactly like a power failure — the ephemeral znode
+    /// lingers until the session times out).
+    pub fn crash(&mut self, machine: usize) {
+        self.sessions[machine] = None;
+    }
+
+    /// Restart a crashed machine's supervisor: new session, re-registered
+    /// znode. No-op if the machine is up.
+    pub fn restart(&mut self, svc: &CoordService, machine: usize) -> Result<(), CoordError> {
+        if self.sessions[machine].is_some() {
+            return Ok(());
+        }
+        let session = svc.connect();
+        match session.create(&StormPaths::supervisor(machine), b"", CreateMode::Ephemeral) {
+            Ok(_) | Err(CoordError::NodeExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+        self.sessions[machine] = Some(session);
+        Ok(())
+    }
+
+    /// Whether the supervisor process for `machine` is running (this says
+    /// nothing about what the master has *observed* yet).
+    pub fn is_up(&self, machine: usize) -> bool {
+        self.sessions[machine].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_coord::CoordConfig;
+
+    fn svc() -> CoordService {
+        CoordService::new(CoordConfig {
+            session_timeout_ms: 1_000,
+        })
+    }
+
+    fn bootstrap(svc: &CoordService) -> Session {
+        let master = svc.connect();
+        StormPaths::bootstrap(&master).unwrap();
+        master
+    }
+
+    #[test]
+    fn register_creates_one_znode_per_machine() {
+        let svc = svc();
+        let master = bootstrap(&svc);
+        let set = SupervisorSet::register(&svc, 4).unwrap();
+        assert_eq!(set.n_machines(), 4);
+        let kids = master.get_children("/storm/supervisors").unwrap();
+        assert_eq!(kids.len(), 4);
+        assert_eq!(kids[0], "machine-0000");
+    }
+
+    #[test]
+    fn heartbeats_keep_supervisors_alive_across_timeouts() {
+        let svc = svc();
+        let master = bootstrap(&svc);
+        let set = SupervisorSet::register(&svc, 2).unwrap();
+        for t in [400, 800, 1_200, 1_600, 2_000] {
+            set.heartbeat_all();
+            master.heartbeat().unwrap();
+            svc.advance_to(t);
+        }
+        assert_eq!(master.get_children("/storm/supervisors").unwrap().len(), 2);
+    }
+
+    /// Advance the clock in sub-timeout steps, heartbeating live parties —
+    /// the cadence a healthy control plane maintains.
+    fn tick_until(svc: &CoordService, set: &SupervisorSet, master: &Session, t_end: u64) {
+        let mut t = svc.now_ms();
+        while t < t_end {
+            t = (t + 400).min(t_end);
+            svc.advance_to(t);
+            set.heartbeat_all();
+            let _ = master.heartbeat();
+        }
+    }
+
+    #[test]
+    fn crashed_machine_disappears_after_session_timeout() {
+        let svc = svc();
+        let master = bootstrap(&svc);
+        let mut set = SupervisorSet::register(&svc, 3).unwrap();
+        set.crash(1);
+        assert!(!set.is_up(1));
+        // Before the timeout the znode lingers (failure not yet visible).
+        tick_until(&svc, &set, &master, 500);
+        assert_eq!(master.get_children("/storm/supervisors").unwrap().len(), 3);
+        // After the timeout only the live machines remain.
+        tick_until(&svc, &set, &master, 1_600);
+        let kids = master.get_children("/storm/supervisors").unwrap();
+        assert_eq!(kids, vec!["machine-0000", "machine-0002"]);
+    }
+
+    #[test]
+    fn restart_reregisters_the_supervisor() {
+        let svc = svc();
+        let master = bootstrap(&svc);
+        let mut set = SupervisorSet::register(&svc, 2).unwrap();
+        set.crash(0);
+        tick_until(&svc, &set, &master, 2_000);
+        assert_eq!(master.get_children("/storm/supervisors").unwrap().len(), 1);
+        set.restart(&svc, 0).unwrap();
+        assert!(set.is_up(0));
+        assert_eq!(master.get_children("/storm/supervisors").unwrap().len(), 2);
+        // Restart of a live machine is a no-op.
+        set.restart(&svc, 0).unwrap();
+        assert_eq!(master.get_children("/storm/supervisors").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the master's repair scheduling.
+
+use dss_coord::{CoordConfig, CoordService};
+use dss_nimbus::{Nimbus, NimbusConfig, NimbusError};
+use dss_sim::{Assignment, ClusterSpec, Grouping, SimConfig, SimEngine, TopologyBuilder, Workload};
+use proptest::prelude::*;
+
+fn build_nimbus(machine_of: Vec<usize>, n_machines: usize) -> Nimbus {
+    let n = machine_of.len();
+    let mut b = TopologyBuilder::new("prop-topo");
+    let spout = b.spout("spout", 1, 0.05);
+    let bolt = b.bolt("bolt", n.max(2) - 1, 0.2);
+    b.edge(spout, bolt, Grouping::Shuffle, 1.0, 64);
+    let topology = b.build().unwrap();
+    let cluster = ClusterSpec::homogeneous(n_machines);
+    let workload = Workload::uniform(&topology, 20.0);
+    let assignment = Assignment::new(machine_of, n_machines).unwrap();
+    let engine =
+        SimEngine::new(topology, cluster, workload.clone(), SimConfig::default()).unwrap();
+    let coord = CoordService::new(CoordConfig::default());
+    Nimbus::launch(engine, workload, assignment, &coord, NimbusConfig::default()).unwrap()
+}
+
+fn scenario() -> impl Strategy<Value = (Vec<usize>, usize, Vec<bool>)> {
+    (2usize..8).prop_flat_map(|m| {
+        (
+            prop::collection::vec(0..m, 2..12),
+            Just(m),
+            prop::collection::vec(any::<bool>(), m..=m),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Repair moves exactly the executors on dead machines, targets only
+    /// live machines, and is a no-op when nothing is placed on a dead one.
+    #[test]
+    fn repair_is_minimal_and_lands_on_live_machines(
+        (machine_of, n_machines, live) in scenario()
+    ) {
+        let nimbus = build_nimbus(machine_of.clone(), n_machines);
+        match nimbus.repair_assignment(&live) {
+            Err(NimbusError::NoLiveMachines) => {
+                prop_assert!(live.iter().all(|&l| !l));
+            }
+            Ok(None) => {
+                prop_assert!(machine_of.iter().all(|&m| live[m]));
+            }
+            Ok(Some(repaired)) => {
+                prop_assert_eq!(repaired.len(), machine_of.len());
+                for (i, (&old, &new)) in machine_of.iter().zip(&repaired).enumerate() {
+                    if live[old] {
+                        prop_assert_eq!(new, old, "executor {} moved needlessly", i);
+                    } else {
+                        prop_assert!(live[new], "executor {} placed on dead machine", i);
+                    }
+                }
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+
+    /// Repair balances displaced executors: after repair, live-machine
+    /// loads differ by at most the pre-repair spread plus one.
+    #[test]
+    fn repair_does_not_pile_onto_one_machine(
+        (machine_of, n_machines, mut live) in scenario()
+    ) {
+        // Ensure at least one live machine and at least one dead one with
+        // executors, so repair actually runs.
+        live[0] = true;
+        let nimbus = build_nimbus(machine_of.clone(), n_machines);
+        if let Ok(Some(repaired)) = nimbus.repair_assignment(&live) {
+            let mut loads = vec![0usize; n_machines];
+            for &m in &repaired {
+                loads[m] += 1;
+            }
+            let live_loads: Vec<usize> = (0..n_machines).filter(|&m| live[m]).map(|m| loads[m]).collect();
+            let max = *live_loads.iter().max().unwrap();
+            let min = *live_loads.iter().min().unwrap();
+            // Greedy least-loaded placement keeps the spread within the
+            // original spread + 1.
+            let mut orig = vec![0usize; n_machines];
+            for &m in &machine_of {
+                orig[m] += 1;
+            }
+            let orig_live: Vec<usize> = (0..n_machines).filter(|&m| live[m]).map(|m| orig[m]).collect();
+            let orig_spread = orig_live.iter().max().unwrap() - orig_live.iter().min().unwrap();
+            prop_assert!(max - min <= orig_spread + 1,
+                "spread {} exceeds original {} + 1", max - min, orig_spread);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Contract tests for the scheduler↔agent exchange: every path of
+//! `Nimbus::serve_epoch` against a scripted peer.
+
+use dss_coord::{CoordConfig, CoordService};
+use dss_nimbus::{Nimbus, NimbusConfig, NimbusError};
+use dss_proto::message::Role;
+use dss_proto::{ChannelTransport, Message, Transport};
+use dss_sim::{Assignment, ClusterSpec, Grouping, SimConfig, SimEngine, TopologyBuilder, Workload};
+
+fn nimbus() -> Nimbus {
+    let mut b = TopologyBuilder::new("contract");
+    let s = b.spout("s", 1, 0.05);
+    let x = b.bolt("x", 3, 0.2);
+    b.edge(s, x, Grouping::Shuffle, 1.0, 64);
+    let topology = b.build().unwrap();
+    let cluster = ClusterSpec::homogeneous(3);
+    let workload = Workload::uniform(&topology, 30.0);
+    let initial = Assignment::round_robin(&topology, &cluster);
+    let engine =
+        SimEngine::new(topology, cluster, workload.clone(), SimConfig::default()).unwrap();
+    let coord = CoordService::new(CoordConfig::default());
+    Nimbus::launch(
+        engine,
+        workload,
+        initial,
+        &coord,
+        NimbusConfig {
+            stabilize_s: 2.0,
+            ident: "contract-nimbus".into(),
+            heartbeat_interval_s: 5.0,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn handshake_rejects_wrong_role() {
+    let nimbus = nimbus();
+    let (server_side, client_side) = ChannelTransport::pair();
+    let peer = std::thread::spawn(move || {
+        // A scheduler should not be greeted by another scheduler.
+        let _hello = client_side.recv().unwrap();
+        client_side
+            .send(&Message::Hello {
+                role: Role::Scheduler,
+                ident: "impostor".into(),
+            })
+            .unwrap();
+    });
+    let err = nimbus.handshake(&server_side).unwrap_err();
+    assert!(matches!(err, NimbusError::UnexpectedMessage(_)));
+    peer.join().unwrap();
+}
+
+#[test]
+fn stale_epoch_gets_error_then_fresh_solution_is_accepted() {
+    let mut nimbus = nimbus();
+    let (server_side, client_side) = ChannelTransport::pair();
+    let n = nimbus.engine().topology().n_executors();
+    let peer = std::thread::spawn(move || {
+        let state = client_side.recv().unwrap();
+        let Message::StateReport { epoch, .. } = state else {
+            panic!("expected state report, got {state:?}");
+        };
+        // First answer with a stale epoch: must be rejected with Error.
+        client_side
+            .send(&Message::SchedulingSolution {
+                epoch: epoch + 99,
+                machine_of: vec![0; n],
+                n_machines: 3,
+            })
+            .unwrap();
+        match client_side.recv().unwrap() {
+            Message::Error { code: 1, detail } => assert!(detail.contains("stale")),
+            other => panic!("expected stale-epoch error, got {other:?}"),
+        }
+        // Then the correct epoch: accepted, reward comes back.
+        client_side
+            .send(&Message::SchedulingSolution {
+                epoch,
+                machine_of: vec![0; n],
+                n_machines: 3,
+            })
+            .unwrap();
+        match client_side.recv().unwrap() {
+            Message::RewardReport { epoch: e, .. } => assert_eq!(e, epoch),
+            other => panic!("expected reward, got {other:?}"),
+        }
+    });
+    assert!(nimbus.serve_epoch(&server_side).unwrap());
+    peer.join().unwrap();
+}
+
+#[test]
+fn invalid_solution_shape_is_an_error_for_both_sides() {
+    let mut nimbus = nimbus();
+    let (server_side, client_side) = ChannelTransport::pair();
+    let peer = std::thread::spawn(move || {
+        let Message::StateReport { epoch, .. } = client_side.recv().unwrap() else {
+            panic!("expected state report");
+        };
+        client_side
+            .send(&Message::SchedulingSolution {
+                epoch,
+                machine_of: vec![0, 0], // wrong executor count
+                n_machines: 3,
+            })
+            .unwrap();
+        match client_side.recv().unwrap() {
+            Message::Error { code: 2, .. } => {}
+            other => panic!("expected shape error, got {other:?}"),
+        }
+    });
+    let err = nimbus.serve_epoch(&server_side).unwrap_err();
+    assert!(matches!(err, NimbusError::InvalidSolution(_)));
+    peer.join().unwrap();
+}
+
+#[test]
+fn heartbeats_are_answered_mid_epoch() {
+    let mut nimbus = nimbus();
+    let (server_side, client_side) = ChannelTransport::pair();
+    let n = nimbus.engine().topology().n_executors();
+    let peer = std::thread::spawn(move || {
+        let Message::StateReport { epoch, .. } = client_side.recv().unwrap() else {
+            panic!("expected state report");
+        };
+        client_side.send(&Message::Heartbeat { now_ms: 1 }).unwrap();
+        match client_side.recv().unwrap() {
+            Message::Heartbeat { .. } => {}
+            other => panic!("expected heartbeat echo, got {other:?}"),
+        }
+        client_side
+            .send(&Message::SchedulingSolution {
+                epoch,
+                machine_of: vec![1; n],
+                n_machines: 3,
+            })
+            .unwrap();
+        let _ = client_side.recv().unwrap(); // reward
+    });
+    assert!(nimbus.serve_epoch(&server_side).unwrap());
+    peer.join().unwrap();
+}
+
+#[test]
+fn bye_and_disconnect_end_service_cleanly() {
+    // Bye.
+    let mut n1 = nimbus();
+    let (server_side, client_side) = ChannelTransport::pair();
+    let peer = std::thread::spawn(move || {
+        let _ = client_side.recv().unwrap();
+        client_side.send(&Message::Bye).unwrap();
+    });
+    assert!(!n1.serve_epoch(&server_side).unwrap());
+    peer.join().unwrap();
+
+    // Hard disconnect.
+    let mut n2 = nimbus();
+    let (server_side, client_side) = ChannelTransport::pair();
+    drop(client_side);
+    assert!(!n2.serve_epoch(&server_side).unwrap());
+}
+
+#[test]
+fn epoch_advances_only_on_accepted_solutions() {
+    let mut nimbus = nimbus();
+    assert_eq!(nimbus.epoch(), 0);
+    let n = nimbus.engine().topology().n_executors();
+    // Invalid solution: epoch unchanged.
+    assert!(nimbus.apply_solution(&vec![9; n]).is_err());
+    assert_eq!(nimbus.epoch(), 0);
+    // Valid solution: epoch advances, assignment stored.
+    nimbus.apply_solution(&vec![1; n]).unwrap();
+    assert_eq!(nimbus.epoch(), 1);
+    assert_eq!(
+        nimbus.stored_assignment().unwrap().as_slice(),
+        &vec![1; n][..]
+    );
+}

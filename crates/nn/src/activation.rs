@@ -1,0 +1,128 @@
+//! Activation functions.
+//!
+//! The paper uses `tanh` for hidden layers of both the actor and the critic
+//! ("we chose this activation function because our empirical testing showed
+//! it works better than the other commonly-used activation functions").
+//! Sigmoid is used on the actor's output so proto-action entries land in
+//! `[0, 1]`, matching the uniform-`[0, 1]` exploration noise; Identity is
+//! used for the critic's scalar output.
+
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Hyperbolic tangent (the paper's hidden-layer choice).
+    Tanh,
+    /// Logistic sigmoid, output in `(0, 1)`.
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+    /// No-op (linear output layer).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    pub fn apply(self, z: f64) -> f64 {
+        match self {
+            Activation::Tanh => z.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+            Activation::Relu => z.max(0.0),
+            Activation::Identity => z,
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `a = apply(z)`.
+    ///
+    /// All four supported activations admit this form, which lets layers
+    /// cache only their outputs:
+    /// `tanh' = 1 − a²`, `σ' = a(1 − a)`, `relu' = [a > 0]`, `id' = 1`.
+    pub fn derivative_from_output(self, a: f64) -> f64 {
+        match self {
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Sigmoid => a * (1.0 - a),
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Stable tag for serialization.
+    pub fn tag(self) -> u8 {
+        match self {
+            Activation::Tanh => 0,
+            Activation::Sigmoid => 1,
+            Activation::Relu => 2,
+            Activation::Identity => 3,
+        }
+    }
+
+    /// Inverse of [`Activation::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Activation::Tanh,
+            1 => Activation::Sigmoid,
+            2 => Activation::Relu,
+            3 => Activation::Identity,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Activation; 4] = [
+        Activation::Tanh,
+        Activation::Sigmoid,
+        Activation::Relu,
+        Activation::Identity,
+    ];
+
+    #[test]
+    fn values_at_zero() {
+        assert_eq!(Activation::Tanh.apply(0.0), 0.0);
+        assert_eq!(Activation::Sigmoid.apply(0.0), 0.5);
+        assert_eq!(Activation::Relu.apply(0.0), 0.0);
+        assert_eq!(Activation::Identity.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in ALL {
+            for &z in &[-2.0, -0.5, 0.3, 1.7] {
+                let a = act.apply(z);
+                let numeric = (act.apply(z + h) - act.apply(z - h)) / (2.0 * h);
+                let analytic = act.derivative_from_output(a);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {z}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_bounded() {
+        for &z in &[-50.0, -1.0, 0.0, 1.0, 50.0] {
+            let a = Activation::Sigmoid.apply(z);
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        for act in ALL {
+            assert_eq!(Activation::from_tag(act.tag()), Some(act));
+        }
+        assert_eq!(Activation::from_tag(99), None);
+    }
+}

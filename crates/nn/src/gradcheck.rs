@@ -1,0 +1,112 @@
+//! Numerical gradient checking.
+//!
+//! Used by tests to validate the hand-written backprop: perturb every
+//! parameter, measure the loss difference, and compare with the analytic
+//! gradient.
+
+use crate::loss::mse_loss;
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+
+/// Result of a gradient check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f64,
+    /// Largest relative difference (`|a-n| / max(|a|,|n|,1e-8)`).
+    pub max_rel_err: f64,
+    /// Number of parameters checked.
+    pub checked: usize,
+}
+
+/// Checks the analytic MSE gradient of `net` on `(x, target)` against central
+/// finite differences with step `h`.
+///
+/// Every scalar parameter is perturbed, so keep the network small in tests.
+pub fn check_mlp_gradients(net: &mut Mlp, x: &Matrix, target: &Matrix, h: f64) -> GradCheckReport {
+    // Analytic gradients.
+    let pred = net.forward(x);
+    let (_, grad_out) = crate::loss::mse_loss_grad(&pred, target);
+    net.zero_grad();
+    net.backward(&grad_out);
+
+    let analytic: Vec<f64> = {
+        let mut v = Vec::new();
+        for layer in net.layers_mut() {
+            for (_, g) in layer.params_and_grads() {
+                v.extend_from_slice(g);
+            }
+        }
+        v
+    };
+
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let mut idx = 0usize;
+    let n_layers = net.layers().len();
+    for li in 0..n_layers {
+        for pi in 0..2 {
+            let len = net.layers()[li].params()[pi].len();
+            for k in 0..len {
+                let orig = read_param(net, li, pi, k);
+                write_param(net, li, pi, k, orig + h);
+                let lp = mse_loss(&net.infer(x), target);
+                write_param(net, li, pi, k, orig - h);
+                let lm = mse_loss(&net.infer(x), target);
+                write_param(net, li, pi, k, orig);
+                let numeric = (lp - lm) / (2.0 * h);
+                let a = analytic[idx];
+                let abs = (a - numeric).abs();
+                let rel = abs / a.abs().max(numeric.abs()).max(1e-8);
+                max_abs = max_abs.max(abs);
+                max_rel = max_rel.max(rel);
+                idx += 1;
+            }
+        }
+    }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        checked: idx,
+    }
+}
+
+fn read_param(net: &Mlp, li: usize, pi: usize, k: usize) -> f64 {
+    net.layers()[li].params()[pi][k]
+}
+
+fn write_param(net: &mut Mlp, li: usize, pi: usize, k: usize, v: f64) {
+    net.layers_mut()[li].params_mut()[pi][k] = v;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+
+    #[test]
+    fn backprop_matches_numeric_gradients() {
+        let mut net = Mlp::new(
+            &[3, 5, 4, 2],
+            &[Activation::Tanh, Activation::Sigmoid, Activation::Identity],
+            13,
+        );
+        let x = Matrix::from_rows(&[&[0.2, -0.1, 0.4], &[0.9, 0.3, -0.7]]);
+        let t = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let report = check_mlp_gradients(&mut net, &x, &t, 1e-6);
+        assert!(report.checked > 50);
+        assert!(
+            report.max_rel_err < 1e-4,
+            "gradient check failed: {report:?}"
+        );
+    }
+
+    #[test]
+    fn relu_network_gradients() {
+        let mut net = Mlp::new(&[2, 6, 1], &[Activation::Relu, Activation::Identity], 21);
+        let x = Matrix::from_rows(&[&[0.5, 0.25]]);
+        let t = Matrix::from_rows(&[&[0.3]]);
+        let report = check_mlp_gradients(&mut net, &x, &t, 1e-6);
+        assert!(report.max_rel_err < 1e-4, "{report:?}");
+    }
+}

@@ -1,0 +1,249 @@
+//! A fully-connected layer with cached forward state for backprop.
+
+use rand::rngs::StdRng;
+
+use crate::activation::Activation;
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+
+/// Dense layer `a = act(x Wᵀ + b)`.
+///
+/// * `w` is `out × in` (each row is one output unit's weights),
+/// * `b` is `out`,
+/// * `forward` caches the input batch and the activated output so that
+///   `backward` can produce parameter gradients and the input gradient.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    activation: Activation,
+    grad_w: Matrix,
+    grad_b: Vec<f64>,
+    cached_input: Option<Matrix>,
+    cached_output: Option<Matrix>,
+}
+
+impl Dense {
+    /// A new Xavier-initialized layer.
+    pub fn new(input: usize, output: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        Self {
+            w: xavier_uniform(output, input, rng),
+            b: vec![0.0; output],
+            activation,
+            grad_w: Matrix::zeros(output, input),
+            grad_b: vec![0.0; output],
+            cached_input: None,
+            cached_output: None,
+        }
+    }
+
+    /// Rebuilds a layer from raw parts (deserialization).
+    pub fn from_parts(w: Matrix, b: Vec<f64>, activation: Activation) -> Self {
+        assert_eq!(w.rows(), b.len(), "bias/weight row mismatch");
+        let grad_w = Matrix::zeros(w.rows(), w.cols());
+        let grad_b = vec![0.0; b.len()];
+        Self {
+            w,
+            b,
+            activation,
+            grad_w,
+            grad_b,
+            cached_input: None,
+            cached_output: None,
+        }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// This layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Weight matrix (out × in).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Bias vector.
+    pub fn bias(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Forward pass over a batch (`batch × in` → `batch × out`), caching
+    /// state for [`Dense::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.input_size(), "layer input width");
+        let mut z = x.matmul_transpose_b(&self.w);
+        z.add_row_broadcast(&self.b);
+        z.map_inplace(|v| self.activation.apply(v));
+        self.cached_input = Some(x.clone());
+        self.cached_output = Some(z.clone());
+        z
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.input_size(), "layer input width");
+        let mut z = x.matmul_transpose_b(&self.w);
+        z.add_row_broadcast(&self.b);
+        z.map_inplace(|v| self.activation.apply(v));
+        z
+    }
+
+    /// Backward pass: given `dL/da` (`batch × out`), accumulates `dL/dW` and
+    /// `dL/db` into this layer's gradient buffers and returns `dL/dx`.
+    ///
+    /// # Panics
+    /// Panics when called before [`Dense::forward`].
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        let output = self.cached_output.as_ref().expect("missing cache");
+        assert_eq!(grad_output.rows(), input.rows(), "batch mismatch");
+        assert_eq!(grad_output.cols(), self.output_size(), "grad width");
+
+        // dz = da ⊙ act'(z), with act' computed from the cached output.
+        let act = self.activation;
+        let dz = Matrix::from_fn(grad_output.rows(), grad_output.cols(), |r, c| {
+            grad_output[(r, c)] * act.derivative_from_output(output[(r, c)])
+        });
+
+        // dW += dzᵀ x  (out × in); db += column sums of dz.
+        let dw = dz.matmul_transpose_a(input);
+        for (g, d) in self.grad_w.data_mut().iter_mut().zip(dw.data()) {
+            *g += d;
+        }
+        for (g, d) in self.grad_b.iter_mut().zip(dz.column_sums()) {
+            *g += d;
+        }
+
+        // dx = dz W  (batch × in).
+        dz.matmul(&self.w)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w.data_mut().fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+
+    /// (parameters, gradients) flat views — weights then bias.
+    pub fn params_and_grads(&mut self) -> [(&mut [f64], &[f64]); 2] {
+        [
+            (self.w.data_mut(), self.grad_w.data()),
+            (self.b.as_mut_slice(), self.grad_b.as_slice()),
+        ]
+    }
+
+    /// Read-only flat parameter views (weights then bias).
+    pub fn params(&self) -> [&[f64]; 2] {
+        [self.w.data(), &self.b]
+    }
+
+    /// Mutable flat gradient views (weights then bias).
+    pub fn grads_mut(&mut self) -> [&mut [f64]; 2] {
+        [self.grad_w.data_mut(), self.grad_b.as_mut_slice()]
+    }
+
+    /// Mutable flat parameter views (weights then bias).
+    pub fn params_mut(&mut self) -> [&mut [f64]; 2] {
+        [self.w.data_mut(), self.b.as_mut_slice()]
+    }
+
+    /// Soft update toward `source`: `θ := τ·θ_src + (1−τ)·θ`.
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    pub fn soft_update_from(&mut self, source: &Dense, tau: f64) {
+        assert_eq!(self.w.rows(), source.w.rows(), "soft update shape");
+        assert_eq!(self.w.cols(), source.w.cols(), "soft update shape");
+        for (t, &s) in self.w.data_mut().iter_mut().zip(source.w.data()) {
+            *t = tau * s + (1.0 - tau) * *t;
+        }
+        for (t, &s) in self.b.iter_mut().zip(&source.b) {
+            *t = tau * s + (1.0 - tau) * *t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut rng = seeded_rng(3);
+        let mut layer = Dense::new(4, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3, 0.4], &[0.5, 0.6, 0.7, 0.8]]);
+        let y1 = layer.forward(&x);
+        let y2 = layer.infer(&x);
+        assert_eq!(y1.rows(), 2);
+        assert_eq!(y1.cols(), 2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn identity_layer_is_affine() {
+        let mut rng = seeded_rng(3);
+        let mut layer = Dense::new(2, 1, Activation::Identity, &mut rng);
+        // Set known weights.
+        layer.params_mut()[0].copy_from_slice(&[2.0, -1.0]);
+        layer.params_mut()[1].copy_from_slice(&[0.5]);
+        let y = layer.forward(&Matrix::row_vector(&[3.0, 4.0]));
+        assert!((y[(0, 0)] - (2.0 * 3.0 - 4.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_accumulates_until_zeroed() {
+        let mut rng = seeded_rng(9);
+        let mut layer = Dense::new(3, 2, Activation::Identity, &mut rng);
+        let x = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        let g = Matrix::row_vector(&[1.0, 1.0]);
+        layer.forward(&x);
+        layer.backward(&g);
+        let first: Vec<f64> = layer.params_and_grads()[0].1.to_vec();
+        layer.forward(&x);
+        layer.backward(&g);
+        let second: Vec<f64> = layer.params_and_grads()[0].1.to_vec();
+        for (a, b) in first.iter().zip(&second) {
+            assert!((b - 2.0 * a).abs() < 1e-12);
+        }
+        layer.zero_grad();
+        assert!(layer.params_and_grads()[0].1.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn soft_update_blends() {
+        let mut rng = seeded_rng(1);
+        let mut target = Dense::new(2, 2, Activation::Tanh, &mut rng);
+        let source = Dense::new(2, 2, Activation::Tanh, &mut rng);
+        let before = target.weights().clone();
+        target.soft_update_from(&source, 0.25);
+        for i in 0..4 {
+            let expect = 0.25 * source.weights().data()[i] + 0.75 * before.data()[i];
+            assert!((target.weights().data()[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn input_gradient_for_identity_layer_is_w() {
+        let mut rng = seeded_rng(5);
+        let mut layer = Dense::new(2, 1, Activation::Identity, &mut rng);
+        layer.params_mut()[0].copy_from_slice(&[3.0, -2.0]);
+        layer.forward(&Matrix::row_vector(&[1.0, 1.0]));
+        let dx = layer.backward(&Matrix::row_vector(&[1.0]));
+        assert_eq!(dx.row(0), &[3.0, -2.0]);
+    }
+}

@@ -1,0 +1,55 @@
+//! From-scratch dense neural networks — the deep-learning substrate of the
+//! reproduction (the paper used TensorFlow).
+//!
+//! The paper's networks are small fully-connected MLPs:
+//!
+//! * **actor** `f(s; θπ)`: two hidden layers of 64 and 32 `tanh` units,
+//!   mapping a state to a proto-action `â ∈ R^{N·M}`;
+//! * **critic** `Q(s, a; θQ)`: same hidden structure, mapping a
+//!   state-action pair to a scalar Q value.
+//!
+//! Everything those networks need is implemented here with no external
+//! numerics: row-major [`Matrix`] ops, manual backpropagation through
+//! [`Mlp`], Xavier initialization, SGD and Adam optimizers, MSE loss, target
+//! network soft updates (`θ' := τθ + (1−τ)θ'`), **input gradients**
+//! (`∇_a Q(s, a)` for the deterministic policy gradient), numerical
+//! gradient checking, and compact binary serialization.
+//!
+//! # Example
+//!
+//! ```
+//! use dss_nn::{Activation, Adam, Matrix, Mlp, mse_loss_grad};
+//!
+//! // Learn y = x1 + x2 on a tiny net.
+//! let mut net = Mlp::new(&[2, 8, 1], &[Activation::Tanh, Activation::Identity], 42);
+//! let mut opt = Adam::new(0.01);
+//! let x = Matrix::from_rows(&[&[0.1, 0.4], &[0.3, 0.2], &[0.5, 0.5], &[0.9, 0.0]]);
+//! let y = Matrix::from_rows(&[&[0.5], &[0.5], &[1.0], &[0.9]]);
+//! for _ in 0..500 {
+//!     let pred = net.forward(&x);
+//!     let (_, grad) = mse_loss_grad(&pred, &y);
+//!     net.zero_grad();
+//!     net.backward(&grad);
+//!     net.apply_gradients(&mut opt);
+//! }
+//! let pred = net.forward(&x);
+//! let (loss, _) = mse_loss_grad(&pred, &y);
+//! assert!(loss < 1e-2);
+//! ```
+
+pub mod activation;
+pub mod gradcheck;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod optimizer;
+pub mod serialize;
+
+pub use activation::Activation;
+pub use layer::Dense;
+pub use loss::{mse_loss, mse_loss_grad};
+pub use matrix::Matrix;
+pub use mlp::Mlp;
+pub use optimizer::{Adam, Optimizer, Sgd};

@@ -1,0 +1,111 @@
+//! Loss functions.
+//!
+//! The paper trains the critic with the standard squared loss
+//! `L(θQ) = (1/H) Σ [y_i − Q(s_i, a_i)]²` (Algorithm 1, line 16).
+
+use crate::matrix::Matrix;
+
+/// Mean-squared-error loss over a batch, averaged over *rows* (samples),
+/// matching the paper's `1/H` factor. Returns the scalar loss.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn mse_loss(pred: &Matrix, target: &Matrix) -> f64 {
+    mse_loss_grad(pred, target).0
+}
+
+/// MSE loss plus its gradient w.r.t. `pred`.
+///
+/// Gradient: `dL/dpred = 2 (pred − target) / batch`.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn mse_loss_grad(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(pred.rows(), target.rows(), "loss batch mismatch");
+    assert_eq!(pred.cols(), target.cols(), "loss width mismatch");
+    let batch = pred.rows() as f64;
+    let mut loss = 0.0;
+    let grad = Matrix::from_fn(pred.rows(), pred.cols(), |r, c| {
+        let d = pred[(r, c)] - target[(r, c)];
+        loss += d * d;
+        2.0 * d / batch
+    });
+    (loss / batch, grad)
+}
+
+/// Huber (smooth-L1) loss and gradient, averaged over rows. Not used by the
+/// paper's Algorithm 1 but provided for robustness experiments: quadratic
+/// within `delta` of the target, linear outside.
+///
+/// # Panics
+/// Panics on shape mismatch or non-positive `delta`.
+pub fn huber_loss_grad(pred: &Matrix, target: &Matrix, delta: f64) -> (f64, Matrix) {
+    assert!(delta > 0.0, "delta must be positive");
+    assert_eq!(pred.rows(), target.rows(), "loss batch mismatch");
+    assert_eq!(pred.cols(), target.cols(), "loss width mismatch");
+    let batch = pred.rows() as f64;
+    let mut loss = 0.0;
+    let grad = Matrix::from_fn(pred.rows(), pred.cols(), |r, c| {
+        let d = pred[(r, c)] - target[(r, c)];
+        if d.abs() <= delta {
+            loss += 0.5 * d * d;
+            d / batch
+        } else {
+            loss += delta * (d.abs() - 0.5 * delta);
+            delta * d.signum() / batch
+        }
+    });
+    (loss / batch, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let p = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let (loss, grad) = mse_loss_grad(&p, &p);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_rows(&[&[1.0], &[3.0]]);
+        let t = Matrix::from_rows(&[&[0.0], &[0.0]]);
+        // (1 + 9) / 2 = 5
+        assert_eq!(mse_loss(&p, &t), 5.0);
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let t = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]);
+        let p = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let (_, grad) = mse_loss_grad(&p, &t);
+        let h = 1e-6;
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut pp = p.clone();
+                let mut pm = p.clone();
+                pp[(r, c)] += h;
+                pm[(r, c)] -= h;
+                let numeric = (mse_loss(&pp, &t) - mse_loss(&pm, &t)) / (2.0 * h);
+                assert!((grad[(r, c)] - numeric).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn huber_quadratic_inside_linear_outside() {
+        let t = Matrix::from_rows(&[&[0.0]]);
+        let small = Matrix::from_rows(&[&[0.5]]);
+        let big = Matrix::from_rows(&[&[10.0]]);
+        let (l_small, g_small) = huber_loss_grad(&small, &t, 1.0);
+        let (l_big, g_big) = huber_loss_grad(&big, &t, 1.0);
+        assert!((l_small - 0.125).abs() < 1e-12);
+        assert!((g_small[(0, 0)] - 0.5).abs() < 1e-12);
+        assert!((l_big - (10.0 - 0.5)).abs() < 1e-12);
+        assert_eq!(g_big[(0, 0)], 1.0); // clipped gradient
+    }
+}

@@ -1,0 +1,357 @@
+//! Multi-layer perceptron with manual backprop.
+
+use rand::rngs::StdRng;
+
+use crate::activation::Activation;
+use crate::init::seeded_rng;
+use crate::layer::Dense;
+use crate::matrix::Matrix;
+use crate::optimizer::Optimizer;
+
+/// A feed-forward network: a stack of [`Dense`] layers.
+///
+/// The paper's actor and critic are both `Mlp`s with hidden sizes
+/// `[64, 32]` and `tanh` activations.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds a network with the given layer widths.
+    ///
+    /// `sizes = [in, h1, ..., out]`, `activations.len() == sizes.len() - 1`.
+    ///
+    /// # Panics
+    /// Panics on inconsistent arguments.
+    pub fn new(sizes: &[usize], activations: &[Activation], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output widths");
+        assert_eq!(
+            activations.len(),
+            sizes.len() - 1,
+            "one activation per layer"
+        );
+        let mut rng = seeded_rng(seed);
+        Self::with_rng(sizes, activations, &mut rng)
+    }
+
+    /// Like [`Mlp::new`] but drawing weights from a caller-owned RNG, so
+    /// several networks can be initialized from one reproducible stream.
+    pub fn with_rng(sizes: &[usize], activations: &[Activation], rng: &mut StdRng) -> Self {
+        let layers = sizes
+            .windows(2)
+            .zip(activations)
+            .map(|(w, &act)| Dense::new(w[0], w[1], act, rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Rebuilds from layers (deserialization).
+    ///
+    /// # Panics
+    /// Panics when consecutive layer widths do not chain.
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "empty network");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_size(),
+                pair[1].input_size(),
+                "layer widths must chain"
+            );
+        }
+        Self { layers }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.layers[0].input_size()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.layers[self.layers.len() - 1].output_size()
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable layer access (in-crate only; used by gradient checking).
+    pub(crate) fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Forward pass over a batch, caching per-layer state for
+    /// [`Mlp::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.infer(&h);
+        }
+        h
+    }
+
+    /// Convenience single-sample inference.
+    pub fn infer_one(&self, x: &[f64]) -> Vec<f64> {
+        self.infer(&Matrix::row_vector(x)).data().to_vec()
+    }
+
+    /// Backward pass from `dL/d(output)`; accumulates parameter gradients
+    /// and returns `dL/d(input)` — the quantity the DDPG actor update needs
+    /// when this network is the critic and part of the input is the action.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Gradient of the summed output w.r.t. the input, without touching
+    /// accumulated parameter gradients (they are saved and restored).
+    ///
+    /// For a scalar-output critic this is `∇_x Q(x)` per batch row.
+    pub fn input_gradient(&mut self, x: &Matrix) -> Matrix {
+        let saved = self.snapshot_grads();
+        self.forward(&x.clone());
+        let ones = Matrix::from_fn(x.rows(), self.output_size(), |_, _| 1.0);
+        let gx = self.backward(&ones);
+        self.restore_grads(saved);
+        gx
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Applies accumulated gradients with `opt` (gradient *descent*).
+    pub fn apply_gradients(&mut self, opt: &mut impl Optimizer) {
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (pi, (params, grads)) in layer.params_and_grads().into_iter().enumerate() {
+                opt.update(li * 2 + pi, params, grads);
+            }
+        }
+    }
+
+    /// Clip accumulated gradients to a global L2 norm of `max_norm`;
+    /// returns the pre-clip norm. Call between `backward` and
+    /// `apply_gradients`. Standard stabilizer for TD training, where one
+    /// bad bootstrapped target can produce an outlier gradient.
+    ///
+    /// # Panics
+    /// Panics if `max_norm` is not positive.
+    pub fn clip_gradients(&mut self, max_norm: f64) -> f64 {
+        assert!(max_norm > 0.0, "max_norm must be positive");
+        let mut sq = 0.0;
+        for layer in &mut self.layers {
+            for grads in layer.grads_mut() {
+                sq += grads.iter().map(|g| g * g).sum::<f64>();
+            }
+        }
+        let norm = sq.sqrt();
+        if norm > max_norm {
+            let scale = max_norm / norm;
+            for layer in &mut self.layers {
+                for grads in layer.grads_mut() {
+                    for g in grads.iter_mut() {
+                        *g *= scale;
+                    }
+                }
+            }
+        }
+        norm
+    }
+
+    /// Soft target update: `θ := τ·θ_src + (1−τ)·θ` (paper: τ = 0.01).
+    ///
+    /// # Panics
+    /// Panics when architectures differ.
+    pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
+        assert_eq!(self.layers.len(), source.layers.len(), "depth mismatch");
+        for (t, s) in self.layers.iter_mut().zip(&source.layers) {
+            t.soft_update_from(s, tau);
+        }
+    }
+
+    /// Copies parameters from `source` (hard update; used to initialize
+    /// target networks as exact clones).
+    pub fn copy_params_from(&mut self, source: &Mlp) {
+        self.soft_update_from(source, 1.0);
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.input_size() * l.output_size() + l.output_size())
+            .sum()
+    }
+
+    fn snapshot_grads(&mut self) -> Vec<Vec<f64>> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| {
+                l.params_and_grads()
+                    .into_iter()
+                    .map(|(_, g)| g.to_vec())
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    fn restore_grads(&mut self, saved: Vec<Vec<f64>>) {
+        let mut it = saved.into_iter();
+        for layer in &mut self.layers {
+            for grads in layer.grads_mut() {
+                let snapshot = it.next().expect("grad snapshot arity");
+                grads.copy_from_slice(&snapshot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse_loss_grad;
+    use crate::optimizer::Sgd;
+
+    fn xor_data() -> (Matrix, Matrix) {
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        (x, y)
+    }
+
+    #[test]
+    fn shapes_chain() {
+        let net = Mlp::new(
+            &[5, 64, 32, 3],
+            &[Activation::Tanh, Activation::Tanh, Activation::Identity],
+            1,
+        );
+        assert_eq!(net.input_size(), 5);
+        assert_eq!(net.output_size(), 3);
+        assert_eq!(net.param_count(), 5 * 64 + 64 + 64 * 32 + 32 + 32 * 3 + 3);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut net = Mlp::new(
+            &[2, 8, 1],
+            &[Activation::Tanh, Activation::Sigmoid],
+            7,
+        );
+        let mut opt = Sgd::new(0.5, 0.9);
+        let mut last = f64::INFINITY;
+        for _ in 0..2000 {
+            let pred = net.forward(&x);
+            let (loss, grad) = mse_loss_grad(&pred, &y);
+            last = loss;
+            net.zero_grad();
+            net.backward(&grad);
+            net.apply_gradients(&mut opt);
+        }
+        assert!(last < 0.02, "failed to learn XOR: loss {last}");
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let net = Mlp::new(&[3, 4, 2], &[Activation::Tanh, Activation::Identity], 11);
+        let x = Matrix::row_vector(&[0.3, -0.2, 0.9]);
+        let mut net2 = net.clone();
+        assert_eq!(net.infer(&x), net2.forward(&x));
+        assert_eq!(net.infer_one(&[0.3, -0.2, 0.9]), net.infer(&x).data());
+    }
+
+    #[test]
+    fn hard_copy_then_soft_update() {
+        let src = Mlp::new(&[2, 4, 1], &[Activation::Tanh, Activation::Identity], 1);
+        let mut tgt = Mlp::new(&[2, 4, 1], &[Activation::Tanh, Activation::Identity], 2);
+        tgt.copy_params_from(&src);
+        let x = Matrix::row_vector(&[0.5, -0.5]);
+        assert_eq!(src.infer(&x), tgt.infer(&x));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut net = Mlp::new(&[3, 6, 1], &[Activation::Tanh, Activation::Identity], 4);
+        let x = vec![0.2, -0.4, 0.7];
+        let gx = net.input_gradient(&Matrix::row_vector(&x));
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp[i] += h;
+            xm[i] -= h;
+            let numeric = (net.infer_one(&xp)[0] - net.infer_one(&xm)[0]) / (2.0 * h);
+            assert!(
+                (gx[(0, i)] - numeric).abs() < 1e-5,
+                "dim {i}: {} vs {numeric}",
+                gx[(0, i)]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_preserves_param_grads() {
+        let mut net = Mlp::new(&[2, 4, 1], &[Activation::Tanh, Activation::Identity], 4);
+        // Accumulate some parameter gradients first.
+        let x = Matrix::row_vector(&[0.1, 0.2]);
+        net.forward(&x);
+        net.backward(&Matrix::row_vector(&[1.0]));
+        let before: Vec<f64> = net.layers[0].params_and_grads()[0].1.to_vec();
+        let _ = net.input_gradient(&x);
+        let after: Vec<f64> = net.layers[0].params_and_grads()[0].1.to_vec();
+        assert_eq!(before, after);
+    }
+
+    fn grad_norm(net: &mut Mlp) -> f64 {
+        let mut sq = 0.0;
+        for layer in &mut net.layers {
+            for grads in layer.grads_mut() {
+                sq += grads.iter().map(|g| g * g).sum::<f64>();
+            }
+        }
+        sq.sqrt()
+    }
+
+    #[test]
+    fn clip_gradients_scales_down_to_max_norm() {
+        let mut net = Mlp::new(&[2, 4, 1], &[Activation::Tanh, Activation::Identity], 4);
+        let x = Matrix::row_vector(&[0.3, -0.4]);
+        net.forward(&x);
+        net.backward(&Matrix::row_vector(&[100.0])); // huge loss gradient
+        let before = grad_norm(&mut net);
+        assert!(before > 0.5);
+        let reported = net.clip_gradients(0.5);
+        assert!((reported - before).abs() < 1e-9, "returns pre-clip norm");
+        let after = grad_norm(&mut net);
+        assert!((after - 0.5).abs() < 1e-9, "norm clipped to max, got {after}");
+    }
+
+    #[test]
+    fn clip_gradients_is_identity_under_threshold() {
+        let mut net = Mlp::new(&[2, 4, 1], &[Activation::Tanh, Activation::Identity], 4);
+        let x = Matrix::row_vector(&[0.3, -0.4]);
+        net.forward(&x);
+        net.backward(&Matrix::row_vector(&[1e-3]));
+        let before = grad_norm(&mut net);
+        net.clip_gradients(1e9);
+        let after = grad_norm(&mut net);
+        assert_eq!(before, after);
+    }
+}

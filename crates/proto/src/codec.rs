@@ -1,0 +1,222 @@
+//! Frame codec: header, checksum, and an incremental stream decoder.
+//!
+//! Wire layout of one frame (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        0x44535031 ("DSP1")
+//!      4     1  version      currently 1
+//!      5     1  tag          message type (see Message::tag)
+//!      6     2  reserved     zero
+//!      8     4  payload_len
+//!     12     4  payload_crc  CRC-32 (IEEE) of the payload bytes
+//!     16   len  payload
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::crc32::crc32;
+use crate::error::ProtoError;
+use crate::message::Message;
+
+/// Frame magic ("DSP1").
+pub const MAGIC: u32 = 0x4453_5031;
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Upper bound on payload size; state reports scale with `N`, which the
+/// paper caps at 100 executors, so 16 MiB is generous headroom.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Encode a message into a complete frame.
+pub fn encode_frame(msg: &Message) -> Bytes {
+    let mut payload = BytesMut::new();
+    msg.encode_payload(&mut payload);
+    let mut frame = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    frame.put_u32_le(MAGIC);
+    frame.put_u8(VERSION);
+    frame.put_u8(msg.tag());
+    frame.put_u16_le(0);
+    frame.put_u32_le(payload.len() as u32);
+    frame.put_u32_le(crc32(&payload));
+    frame.put_slice(&payload);
+    frame.freeze()
+}
+
+/// Decode one complete frame; the input must be exactly one frame.
+pub fn decode_frame(frame: &[u8]) -> Result<Message, ProtoError> {
+    let mut dec = FrameDecoder::new();
+    dec.feed(frame);
+    match dec.next()? {
+        Some(msg) if dec.buffered() == 0 => Ok(msg),
+        Some(_) => Err(ProtoError::Malformed("trailing bytes")),
+        None => Err(ProtoError::Truncated),
+    }
+}
+
+/// Incremental decoder for a byte stream carrying back-to-back frames.
+///
+/// Feed arbitrarily chunked bytes with [`FrameDecoder::feed`]; pop complete
+/// messages with [`FrameDecoder::next`]. This is what the TCP transport
+/// runs over its read buffer.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw bytes from the stream.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed. On error the decoder
+    /// must be discarded: stream framing is lost after corruption.
+    /// (Named like `Iterator::next` deliberately; it cannot *be* an
+    /// `Iterator` because decoding is fallible and pull-based.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Message>, ProtoError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header = &self.buf[..HEADER_LEN];
+        let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        if magic != MAGIC {
+            return Err(ProtoError::BadMagic(magic));
+        }
+        let version = header[4];
+        if version != VERSION {
+            return Err(ProtoError::BadVersion(version));
+        }
+        let tag = header[5];
+        let payload_len =
+            u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+        if payload_len > MAX_FRAME_LEN {
+            return Err(ProtoError::FrameTooLarge(payload_len));
+        }
+        let expected_crc =
+            u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+        if self.buf.len() < HEADER_LEN + payload_len {
+            return Ok(None);
+        }
+        self.buf.advance(HEADER_LEN);
+        let payload = self.buf.split_to(payload_len).freeze();
+        let actual_crc = crc32(&payload);
+        if actual_crc != expected_crc {
+            return Err(ProtoError::BadChecksum {
+                expected: expected_crc,
+                actual: actual_crc,
+            });
+        }
+        Message::decode_payload(tag, &mut payload.clone()).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Role;
+
+    fn sample() -> Message {
+        Message::StateReport {
+            epoch: 9,
+            machine_of: vec![0, 1, 2, 2, 1],
+            n_machines: 3,
+            source_rates: vec![(0, 55.0)],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let frame = encode_frame(&sample());
+        assert_eq!(decode_frame(&frame).unwrap(), sample());
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time_delivery() {
+        let frame = encode_frame(&sample());
+        let mut dec = FrameDecoder::new();
+        for (i, b) in frame.iter().enumerate() {
+            dec.feed(&[*b]);
+            let got = dec.next().unwrap();
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "premature decode at byte {i}");
+            } else {
+                assert_eq!(got, Some(sample()));
+            }
+        }
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_handles_back_to_back_frames_in_one_chunk() {
+        let m1 = sample();
+        let m2 = Message::Heartbeat { now_ms: 5 };
+        let mut stream = encode_frame(&m1).to_vec();
+        stream.extend_from_slice(&encode_frame(&m2));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        assert_eq!(dec.next().unwrap(), Some(m1));
+        assert_eq!(dec.next().unwrap(), Some(m2));
+        assert_eq!(dec.next().unwrap(), None);
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected_by_checksum() {
+        let mut frame = encode_frame(&sample()).to_vec();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        assert!(matches!(dec.next(), Err(ProtoError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut frame = encode_frame(&Message::Bye).to_vec();
+        frame[0] ^= 0xff;
+        assert!(matches!(decode_frame(&frame), Err(ProtoError::BadMagic(_))));
+
+        let mut frame = encode_frame(&Message::Bye).to_vec();
+        frame[4] = 99;
+        assert!(matches!(decode_frame(&frame), Err(ProtoError::BadVersion(99))));
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_buffering() {
+        let mut frame = encode_frame(&Message::Bye).to_vec();
+        frame[8..12].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        assert!(matches!(dec.next(), Err(ProtoError::FrameTooLarge(_))));
+    }
+
+    #[test]
+    fn empty_payload_frame_roundtrips() {
+        let frame = encode_frame(&Message::Bye);
+        assert_eq!(frame.len(), HEADER_LEN);
+        assert_eq!(decode_frame(&frame).unwrap(), Message::Bye);
+    }
+
+    #[test]
+    fn hello_frame_roundtrips_utf8_ident() {
+        let m = Message::Hello {
+            role: Role::Scheduler,
+            ident: "nimbus-σχεδιαστής".into(),
+        };
+        assert_eq!(decode_frame(&encode_frame(&m)).unwrap(), m);
+    }
+}

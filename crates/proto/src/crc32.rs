@@ -1,0 +1,70 @@
+//! CRC-32 (IEEE 802.3) — payload checksums for frames and log records.
+//!
+//! Implemented in-repo to stay within the approved dependency set. Uses the
+//! standard reflected polynomial `0xEDB88320` with a lazily built 256-entry
+//! table, matching zlib's `crc32()` so values are externally checkable.
+
+/// Compute the CRC-32 of `data` (IEEE, reflected, init `!0`, final xor `!0`).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0, data)
+}
+
+/// Continue a CRC-32 computation: `crc32_update(crc32(a), b) == crc32(a ++ b)`.
+pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
+    let table = table();
+    let mut c = !crc;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors_match_zlib() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"hello, streaming world";
+        let (a, b) = data.split_at(7);
+        assert_eq!(crc32_update(crc32(a), b), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"sensitive payload".to_vec();
+        let good = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), good, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Protocol error type.
+
+use std::fmt;
+
+/// Errors arising while encoding, decoding, or transporting frames.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Frame header magic did not match.
+    BadMagic(u32),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown message-type tag.
+    BadTag(u8),
+    /// Payload checksum mismatch (corruption on the wire).
+    BadChecksum {
+        /// Checksum carried in the header.
+        expected: u32,
+        /// Checksum computed over the received payload.
+        actual: u32,
+    },
+    /// Declared frame length exceeds [`crate::codec::MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// Payload ended before the declared structure was complete.
+    Truncated,
+    /// Payload contains an invalid value (e.g. machine index out of range).
+    Malformed(&'static str),
+    /// The peer closed the connection.
+    Disconnected,
+    /// Underlying socket error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            ProtoError::BadChecksum { expected, actual } => {
+                write!(f, "checksum mismatch: header {expected:#010x}, payload {actual:#010x}")
+            }
+            ProtoError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            ProtoError::Truncated => write!(f, "payload truncated"),
+            ProtoError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            ProtoError::Disconnected => write!(f, "peer disconnected"),
+            ProtoError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ProtoError::BadMagic(0xdead_beef).to_string().contains("0xdeadbeef"));
+        assert!(ProtoError::BadTag(99).to_string().contains("99"));
+        let e = ProtoError::BadChecksum {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
+        let e: ProtoError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,450 @@
+//! The message set exchanged between the DRL agent and the custom scheduler.
+//!
+//! Payloads are encoded with a hand-rolled binary format (little-endian,
+//! length-prefixed vectors) on top of [`bytes`]; framing, versioning and
+//! checksums live in [`crate::codec`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::ProtoError;
+
+/// Which side of the socket a peer is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The external DRL agent process.
+    Agent,
+    /// The custom scheduler running inside Nimbus.
+    Scheduler,
+}
+
+/// A protocol message.
+///
+/// The set covers the full control loop of the paper's Figure 1: the
+/// scheduler reports state `(X, w)` and measured rewards; the agent pushes
+/// scheduling solutions; both sides heartbeat.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Handshake, first message from each side.
+    Hello {
+        /// Peer role.
+        role: Role,
+        /// Free-form peer identification (software/version).
+        ident: String,
+    },
+    /// Scheduler -> agent: current state `s = (X, w)`.
+    StateReport {
+        /// Decision epoch the state belongs to.
+        epoch: u64,
+        /// Current executor-to-machine assignment.
+        machine_of: Vec<usize>,
+        /// Number of machines in the cluster.
+        n_machines: usize,
+        /// Per-data-source tuple arrival rates `(component id, tuples/s)`.
+        source_rates: Vec<(u32, f64)>,
+    },
+    /// Agent -> scheduler: the action translated to a deployable solution.
+    SchedulingSolution {
+        /// Decision epoch the solution answers.
+        epoch: u64,
+        /// Proposed executor-to-machine assignment.
+        machine_of: Vec<usize>,
+        /// Number of machines in the cluster.
+        n_machines: usize,
+    },
+    /// Scheduler -> agent: measured reward after redeployment stabilizes.
+    RewardReport {
+        /// Decision epoch the measurement belongs to.
+        epoch: u64,
+        /// Average end-to-end tuple processing time (ms) — the paper's
+        /// reward is its negation.
+        avg_tuple_ms: f64,
+        /// The 5 consecutive 10-second-interval measurements averaged
+        /// into `avg_tuple_ms` (paper §3.1 measurement protocol).
+        measurements: Vec<f64>,
+    },
+    /// Liveness signal, both directions.
+    Heartbeat {
+        /// Sender's clock (ms).
+        now_ms: u64,
+    },
+    /// Recoverable error report.
+    Error {
+        /// Numeric code (application-defined).
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Orderly shutdown.
+    Bye,
+}
+
+impl Message {
+    /// Wire tag identifying the variant.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::StateReport { .. } => 2,
+            Message::SchedulingSolution { .. } => 3,
+            Message::RewardReport { .. } => 4,
+            Message::Heartbeat { .. } => 5,
+            Message::Error { .. } => 6,
+            Message::Bye => 7,
+        }
+    }
+
+    /// Encode the payload (everything after the frame header).
+    pub fn encode_payload(&self, buf: &mut BytesMut) {
+        match self {
+            Message::Hello { role, ident } => {
+                buf.put_u8(match role {
+                    Role::Agent => 0,
+                    Role::Scheduler => 1,
+                });
+                put_str(buf, ident);
+            }
+            Message::StateReport {
+                epoch,
+                machine_of,
+                n_machines,
+                source_rates,
+            } => {
+                buf.put_u64_le(*epoch);
+                buf.put_u32_le(*n_machines as u32);
+                put_assign(buf, machine_of);
+                buf.put_u32_le(source_rates.len() as u32);
+                for (comp, rate) in source_rates {
+                    buf.put_u32_le(*comp);
+                    buf.put_f64_le(*rate);
+                }
+            }
+            Message::SchedulingSolution {
+                epoch,
+                machine_of,
+                n_machines,
+            } => {
+                buf.put_u64_le(*epoch);
+                buf.put_u32_le(*n_machines as u32);
+                put_assign(buf, machine_of);
+            }
+            Message::RewardReport {
+                epoch,
+                avg_tuple_ms,
+                measurements,
+            } => {
+                buf.put_u64_le(*epoch);
+                buf.put_f64_le(*avg_tuple_ms);
+                buf.put_u32_le(measurements.len() as u32);
+                for m in measurements {
+                    buf.put_f64_le(*m);
+                }
+            }
+            Message::Heartbeat { now_ms } => buf.put_u64_le(*now_ms),
+            Message::Error { code, detail } => {
+                buf.put_u16_le(*code);
+                put_str(buf, detail);
+            }
+            Message::Bye => {}
+        }
+    }
+
+    /// Decode a payload previously produced by [`Message::encode_payload`].
+    pub fn decode_payload(tag: u8, buf: &mut Bytes) -> Result<Message, ProtoError> {
+        let msg = match tag {
+            1 => {
+                let role = match get_u8(buf)? {
+                    0 => Role::Agent,
+                    1 => Role::Scheduler,
+                    _ => return Err(ProtoError::Malformed("role")),
+                };
+                Message::Hello {
+                    role,
+                    ident: get_str(buf)?,
+                }
+            }
+            2 => {
+                let epoch = get_u64(buf)?;
+                let n_machines = get_u32(buf)? as usize;
+                let machine_of = get_assign(buf, n_machines)?;
+                let n = get_u32(buf)? as usize;
+                check_remaining(buf, n.checked_mul(12).ok_or(ProtoError::Truncated)?)?;
+                let mut source_rates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let comp = get_u32(buf)?;
+                    let rate = get_f64(buf)?;
+                    if !rate.is_finite() || rate < 0.0 {
+                        return Err(ProtoError::Malformed("source rate"));
+                    }
+                    source_rates.push((comp, rate));
+                }
+                Message::StateReport {
+                    epoch,
+                    machine_of,
+                    n_machines,
+                    source_rates,
+                }
+            }
+            3 => {
+                let epoch = get_u64(buf)?;
+                let n_machines = get_u32(buf)? as usize;
+                let machine_of = get_assign(buf, n_machines)?;
+                Message::SchedulingSolution {
+                    epoch,
+                    machine_of,
+                    n_machines,
+                }
+            }
+            4 => {
+                let epoch = get_u64(buf)?;
+                let avg_tuple_ms = get_f64(buf)?;
+                if !avg_tuple_ms.is_finite() {
+                    return Err(ProtoError::Malformed("avg_tuple_ms"));
+                }
+                let n = get_u32(buf)? as usize;
+                check_remaining(buf, n.checked_mul(8).ok_or(ProtoError::Truncated)?)?;
+                let mut measurements = Vec::with_capacity(n);
+                for _ in 0..n {
+                    measurements.push(get_f64(buf)?);
+                }
+                Message::RewardReport {
+                    epoch,
+                    avg_tuple_ms,
+                    measurements,
+                }
+            }
+            5 => Message::Heartbeat {
+                now_ms: get_u64(buf)?,
+            },
+            6 => Message::Error {
+                code: get_u16(buf)?,
+                detail: get_str(buf)?,
+            },
+            7 => Message::Bye,
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        if buf.has_remaining() {
+            return Err(ProtoError::Malformed("trailing bytes"));
+        }
+        Ok(msg)
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_assign(buf: &mut BytesMut, machine_of: &[usize]) {
+    buf.put_u32_le(machine_of.len() as u32);
+    for &m in machine_of {
+        buf.put_u32_le(m as u32);
+    }
+}
+
+fn check_remaining(buf: &Bytes, need: usize) -> Result<(), ProtoError> {
+    if buf.remaining() < need {
+        Err(ProtoError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, ProtoError> {
+    check_remaining(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut Bytes) -> Result<u16, ProtoError> {
+    check_remaining(buf, 2)?;
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, ProtoError> {
+    check_remaining(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, ProtoError> {
+    check_remaining(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64, ProtoError> {
+    check_remaining(buf, 8)?;
+    Ok(buf.get_f64_le())
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, ProtoError> {
+    let len = get_u32(buf)? as usize;
+    check_remaining(buf, len)?;
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| ProtoError::Malformed("utf-8"))
+}
+
+fn get_assign(buf: &mut Bytes, n_machines: usize) -> Result<Vec<usize>, ProtoError> {
+    let n = get_u32(buf)? as usize;
+    check_remaining(buf, n.checked_mul(4).ok_or(ProtoError::Truncated)?)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = get_u32(buf)? as usize;
+        if m >= n_machines {
+            return Err(ProtoError::Malformed("machine index out of range"));
+        }
+        out.push(m);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &Message) -> Message {
+        let mut buf = BytesMut::new();
+        msg.encode_payload(&mut buf);
+        Message::decode_payload(msg.tag(), &mut buf.freeze()).unwrap()
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let msgs = [
+            Message::Hello {
+                role: Role::Agent,
+                ident: "dss-agent/0.1".into(),
+            },
+            Message::Hello {
+                role: Role::Scheduler,
+                ident: String::new(),
+            },
+            Message::StateReport {
+                epoch: 42,
+                machine_of: vec![0, 9, 3, 3],
+                n_machines: 10,
+                source_rates: vec![(0, 120.5), (3, 0.0)],
+            },
+            Message::SchedulingSolution {
+                epoch: 43,
+                machine_of: vec![1, 1, 0],
+                n_machines: 2,
+            },
+            Message::RewardReport {
+                epoch: 43,
+                avg_tuple_ms: 1.72,
+                measurements: vec![1.7, 1.71, 1.74, 1.73, 1.72],
+            },
+            Message::Heartbeat { now_ms: 123_456 },
+            Message::Error {
+                code: 7,
+                detail: "deploy failed".into(),
+            },
+            Message::Bye,
+        ];
+        for m in &msgs {
+            assert_eq!(&roundtrip(m), m);
+        }
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let tags: Vec<u8> = [
+            Message::Hello {
+                role: Role::Agent,
+                ident: String::new(),
+            },
+            Message::StateReport {
+                epoch: 0,
+                machine_of: vec![],
+                n_machines: 1,
+                source_rates: vec![],
+            },
+            Message::SchedulingSolution {
+                epoch: 0,
+                machine_of: vec![],
+                n_machines: 1,
+            },
+            Message::RewardReport {
+                epoch: 0,
+                avg_tuple_ms: 0.0,
+                measurements: vec![],
+            },
+            Message::Heartbeat { now_ms: 0 },
+            Message::Error {
+                code: 0,
+                detail: String::new(),
+            },
+            Message::Bye,
+        ]
+        .iter()
+        .map(Message::tag)
+        .collect();
+        let mut uniq = tags.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), tags.len());
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_machine_index() {
+        let msg = Message::SchedulingSolution {
+            epoch: 0,
+            machine_of: vec![5],
+            n_machines: 10,
+        };
+        let mut buf = BytesMut::new();
+        msg.encode_payload(&mut buf);
+        let mut bytes = buf.freeze().to_vec();
+        // Patch n_machines down to 2 so index 5 becomes invalid.
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let err = Message::decode_payload(3, &mut Bytes::from(bytes)).unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed(_)));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let msg = Message::StateReport {
+            epoch: 1,
+            machine_of: vec![0, 1, 2],
+            n_machines: 4,
+            source_rates: vec![(0, 10.0)],
+        };
+        let mut buf = BytesMut::new();
+        msg.encode_payload(&mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(..cut);
+            assert!(
+                Message::decode_payload(2, &mut partial).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut buf = BytesMut::new();
+        Message::Bye.encode_payload(&mut buf);
+        buf.put_u8(0xAA);
+        let err = Message::decode_payload(7, &mut buf.freeze()).unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed("trailing bytes")));
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag_and_bad_role() {
+        assert!(matches!(
+            Message::decode_payload(200, &mut Bytes::new()),
+            Err(ProtoError::BadTag(200))
+        ));
+        let mut buf = BytesMut::new();
+        buf.put_u8(9); // invalid role
+        buf.put_u32_le(0);
+        assert!(Message::decode_payload(1, &mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_non_finite_reward() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_f64_le(f64::NAN);
+        buf.put_u32_le(0);
+        assert!(Message::decode_payload(4, &mut buf.freeze()).is_err());
+    }
+}

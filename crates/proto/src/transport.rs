@@ -1,0 +1,322 @@
+//! Message transports: real TCP sockets and in-process channel pairs.
+//!
+//! Both transports move **encoded frames**, so the codec path is exercised
+//! identically whether the agent runs out-of-process (TCP, as the paper
+//! deploys it) or in-process (tests and simulation embedding).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::codec::{encode_frame, FrameDecoder};
+use crate::error::ProtoError;
+use crate::message::Message;
+
+/// A bidirectional, message-oriented connection.
+pub trait Transport {
+    /// Send one message.
+    fn send(&self, msg: &Message) -> Result<(), ProtoError>;
+
+    /// Block until the next message arrives.
+    fn recv(&self) -> Result<Message, ProtoError>;
+
+    /// Wait up to `timeout` for the next message; `Ok(None)` on timeout.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, ProtoError>;
+}
+
+/// In-process transport: a pair of crossbeam channels carrying frames.
+///
+/// Frames are encoded on send and decoded on receive, so checksum and
+/// framing behave exactly as on a socket.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl ChannelTransport {
+    /// Create a connected pair (like `socketpair(2)`).
+    pub fn pair() -> (ChannelTransport, ChannelTransport) {
+        let (a_tx, a_rx) = unbounded();
+        let (b_tx, b_rx) = unbounded();
+        (
+            ChannelTransport { tx: a_tx, rx: b_rx },
+            ChannelTransport { tx: b_tx, rx: a_rx },
+        )
+    }
+
+    fn decode(frame: Vec<u8>) -> Result<Message, ProtoError> {
+        crate::codec::decode_frame(&frame)
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&self, msg: &Message) -> Result<(), ProtoError> {
+        self.tx
+            .send(encode_frame(msg).to_vec())
+            .map_err(|_| ProtoError::Disconnected)
+    }
+
+    fn recv(&self) -> Result<Message, ProtoError> {
+        let frame = self.rx.recv().map_err(|_| ProtoError::Disconnected)?;
+        Self::decode(frame)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, ProtoError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Self::decode(frame).map(Some),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(ProtoError::Disconnected),
+        }
+    }
+}
+
+/// TCP transport: length-prefixed frames over a stream socket.
+///
+/// The socket is cloned so send and receive sides can be used from
+/// different threads; receive state (the incremental decoder) is owned by
+/// an internal mutex.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: parking_lot_stub::Mutex<TcpStream>,
+    reader: parking_lot_stub::Mutex<ReadState>,
+}
+
+#[derive(Debug)]
+struct ReadState {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+/// Minimal internal mutex so this crate does not need `parking_lot`
+/// (std's poisoning is unhelpful here: a panicked sender should not brick
+/// the connection for the receiver).
+mod parking_lot_stub {
+    use std::sync::Mutex as StdMutex;
+
+    #[derive(Debug)]
+    pub struct Mutex<T>(StdMutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Self {
+            Mutex(StdMutex::new(v))
+        }
+
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            match self.0.lock() {
+                Ok(g) => g,
+                Err(poison) => poison.into_inner(),
+            }
+        }
+    }
+}
+
+impl TcpTransport {
+    /// Wrap an established stream.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, ProtoError> {
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(TcpTransport {
+            stream: parking_lot_stub::Mutex::new(stream),
+            reader: parking_lot_stub::Mutex::new(ReadState {
+                stream: read_half,
+                decoder: FrameDecoder::new(),
+            }),
+        })
+    }
+
+    /// Connect to a listening peer.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ProtoError> {
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Bind an ephemeral localhost listener; returns the listener and its
+    /// bound address for the peer to connect to.
+    pub fn listen_localhost() -> Result<(TcpListener, SocketAddr), ProtoError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        Ok((listener, addr))
+    }
+
+    /// Accept one connection from a listener.
+    pub fn accept(listener: &TcpListener) -> Result<Self, ProtoError> {
+        let (stream, _) = listener.accept()?;
+        Self::from_stream(stream)
+    }
+
+    fn recv_inner(&self, timeout: Option<Duration>) -> Result<Option<Message>, ProtoError> {
+        let mut state = self.reader.lock();
+        state.stream.set_read_timeout(timeout)?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(msg) = state.decoder.next()? {
+                return Ok(Some(msg));
+            }
+            let n = match state.stream.read(&mut chunk) {
+                Ok(0) => return Err(ProtoError::Disconnected),
+                Ok(n) => n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e.into()),
+            };
+            state.decoder.feed(&chunk[..n]);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, msg: &Message) -> Result<(), ProtoError> {
+        let frame = encode_frame(msg);
+        let mut stream = self.stream.lock();
+        stream.write_all(&frame)?;
+        stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Message, ProtoError> {
+        match self.recv_inner(None)? {
+            Some(m) => Ok(m),
+            None => Err(ProtoError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, ProtoError> {
+        self.recv_inner(Some(timeout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Role;
+
+    #[test]
+    fn channel_pair_exchanges_messages_both_ways() {
+        let (a, b) = ChannelTransport::pair();
+        a.send(&Message::Heartbeat { now_ms: 1 }).unwrap();
+        b.send(&Message::Heartbeat { now_ms: 2 }).unwrap();
+        assert_eq!(b.recv().unwrap(), Message::Heartbeat { now_ms: 1 });
+        assert_eq!(a.recv().unwrap(), Message::Heartbeat { now_ms: 2 });
+    }
+
+    #[test]
+    fn channel_recv_timeout_returns_none_when_idle() {
+        let (a, _b) = ChannelTransport::pair();
+        assert!(a
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn channel_disconnect_is_reported() {
+        let (a, b) = ChannelTransport::pair();
+        drop(b);
+        assert!(matches!(a.recv(), Err(ProtoError::Disconnected)));
+        assert!(matches!(
+            a.send(&Message::Bye),
+            Err(ProtoError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn tcp_roundtrip_over_localhost() {
+        let (listener, addr) = TcpTransport::listen_localhost().unwrap();
+        let server = std::thread::spawn(move || {
+            let t = TcpTransport::accept(&listener).unwrap();
+            let hello = t.recv().unwrap();
+            assert!(matches!(hello, Message::Hello { role: Role::Agent, .. }));
+            t.send(&Message::Hello {
+                role: Role::Scheduler,
+                ident: "nimbus".into(),
+            })
+            .unwrap();
+            // Echo a large state report back as a solution.
+            if let Message::StateReport {
+                epoch,
+                machine_of,
+                n_machines,
+                ..
+            } = t.recv().unwrap()
+            {
+                t.send(&Message::SchedulingSolution {
+                    epoch,
+                    machine_of,
+                    n_machines,
+                })
+                .unwrap();
+            }
+        });
+
+        let client = TcpTransport::connect(addr).unwrap();
+        client
+            .send(&Message::Hello {
+                role: Role::Agent,
+                ident: "agent".into(),
+            })
+            .unwrap();
+        assert!(matches!(
+            client.recv().unwrap(),
+            Message::Hello { role: Role::Scheduler, .. }
+        ));
+        let machine_of: Vec<usize> = (0..100).map(|i| i % 10).collect();
+        client
+            .send(&Message::StateReport {
+                epoch: 3,
+                machine_of: machine_of.clone(),
+                n_machines: 10,
+                source_rates: vec![(0, 250.0)],
+            })
+            .unwrap();
+        match client.recv().unwrap() {
+            Message::SchedulingSolution {
+                epoch,
+                machine_of: got,
+                n_machines,
+            } => {
+                assert_eq!(epoch, 3);
+                assert_eq!(got, machine_of);
+                assert_eq!(n_machines, 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_recv_timeout_expires_cleanly() {
+        let (listener, addr) = TcpTransport::listen_localhost().unwrap();
+        let _client = TcpTransport::connect(addr).unwrap();
+        let server = TcpTransport::accept(&listener).unwrap();
+        let got = server.recv_timeout(Duration::from_millis(30)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn tcp_peer_close_yields_disconnected() {
+        let (listener, addr) = TcpTransport::listen_localhost().unwrap();
+        let client = TcpTransport::connect(addr).unwrap();
+        let server = TcpTransport::accept(&listener).unwrap();
+        drop(client);
+        assert!(matches!(server.recv(), Err(ProtoError::Disconnected)));
+    }
+
+    #[test]
+    fn many_messages_preserve_order() {
+        let (a, b) = ChannelTransport::pair();
+        for i in 0..500u64 {
+            a.send(&Message::Heartbeat { now_ms: i }).unwrap();
+        }
+        for i in 0..500u64 {
+            assert_eq!(b.recv().unwrap(), Message::Heartbeat { now_ms: i });
+        }
+    }
+}

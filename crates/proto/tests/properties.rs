@@ -1,0 +1,153 @@
+//! Property tests for the wire codec: roundtrips, rechunking, corruption.
+
+use bytes::Bytes;
+use dss_proto::message::Role;
+use dss_proto::{decode_frame, encode_frame, FrameDecoder, Message, ProtoError};
+use proptest::prelude::*;
+
+fn assignment_strategy() -> impl Strategy<Value = (Vec<usize>, usize)> {
+    (1usize..12).prop_flat_map(|m| {
+        (prop::collection::vec(0..m, 0..40), Just(m))
+    })
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<bool>(), ".{0,24}").prop_map(|(agent, ident)| Message::Hello {
+            role: if agent { Role::Agent } else { Role::Scheduler },
+            ident,
+        }),
+        (
+            any::<u64>(),
+            assignment_strategy(),
+            prop::collection::vec((any::<u32>(), 0.0..1e6f64), 0..6),
+        )
+            .prop_map(|(epoch, (machine_of, n_machines), source_rates)| {
+                Message::StateReport {
+                    epoch,
+                    machine_of,
+                    n_machines,
+                    source_rates,
+                }
+            }),
+        (any::<u64>(), assignment_strategy()).prop_map(
+            |(epoch, (machine_of, n_machines))| Message::SchedulingSolution {
+                epoch,
+                machine_of,
+                n_machines,
+            }
+        ),
+        (
+            any::<u64>(),
+            0.0..1e4f64,
+            prop::collection::vec(-1e6..1e6f64, 0..8),
+        )
+            .prop_map(|(epoch, avg_tuple_ms, measurements)| Message::RewardReport {
+                epoch,
+                avg_tuple_ms,
+                measurements,
+            }),
+        any::<u64>().prop_map(|now_ms| Message::Heartbeat { now_ms }),
+        (any::<u16>(), ".{0,24}").prop_map(|(code, detail)| Message::Error { code, detail }),
+        Just(Message::Bye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every message survives encode -> decode unchanged.
+    #[test]
+    fn frame_roundtrip(msg in message_strategy()) {
+        let frame = encode_frame(&msg);
+        prop_assert_eq!(decode_frame(&frame).unwrap(), msg);
+    }
+
+    /// A stream of frames decodes to the same messages regardless of how
+    /// the bytes are chunked in transit.
+    #[test]
+    fn rechunking_is_invisible(
+        msgs in prop::collection::vec(message_strategy(), 1..6),
+        cuts in prop::collection::vec(1usize..64, 0..12),
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut off = 0;
+        let mut cuts = cuts.into_iter();
+        while off < stream.len() {
+            let step = cuts.next().unwrap_or(17).min(stream.len() - off);
+            decoder.feed(&stream[off..off + step]);
+            off += step;
+            while let Some(m) = decoder.next().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    /// Any single-bit flip in the payload region is detected (checksum).
+    #[test]
+    fn payload_bit_flips_are_detected(msg in message_strategy(), flip in any::<u16>()) {
+        let frame = encode_frame(&msg).to_vec();
+        const HEADER: usize = 16;
+        prop_assume!(frame.len() > HEADER); // needs a payload to corrupt
+        let payload_len = frame.len() - HEADER;
+        let byte = HEADER + (flip as usize / 8) % payload_len;
+        let bit = flip % 8;
+        let mut bad = frame;
+        bad[byte] ^= 1 << bit;
+        let detected = matches!(decode_frame(&bad), Err(ProtoError::BadChecksum { .. }));
+        prop_assert!(detected, "flip at byte {} bit {} undetected", byte, bit);
+    }
+
+    /// Any single-bit flip in the checksum field itself is detected.
+    #[test]
+    fn checksum_field_flips_are_detected(msg in message_strategy(), flip in 0u8..32) {
+        let mut frame = encode_frame(&msg).to_vec();
+        let byte = 12 + (flip as usize / 8);
+        frame[byte] ^= 1 << (flip % 8);
+        prop_assert!(decode_frame(&frame).is_err());
+    }
+
+    /// Truncated frames never decode to a message: the decoder just waits.
+    #[test]
+    fn truncation_never_yields_a_message(msg in message_strategy(), keep_frac in 0.0..1.0f64) {
+        let frame = encode_frame(&msg);
+        let keep = ((frame.len() as f64 * keep_frac) as usize).min(frame.len() - 1);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame[..keep]);
+        prop_assert_eq!(decoder.next().unwrap(), None);
+    }
+
+    /// The stream decoder is total: arbitrary garbage bytes never panic,
+    /// they either wait for more input or produce a decode error.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        loop {
+            match dec.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Payload decoding rejects any strict prefix of a valid payload.
+    #[test]
+    fn payload_prefixes_rejected(msg in message_strategy()) {
+        let mut buf = bytes::BytesMut::new();
+        msg.encode_payload(&mut buf);
+        let full = buf.freeze();
+        prop_assume!(!full.is_empty());
+        for cut in 0..full.len() {
+            let mut part = Bytes::copy_from_slice(&full[..cut]);
+            prop_assert!(Message::decode_payload(msg.tag(), &mut part).is_err());
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! The paper's actor-critic method (Algorithm 1).
+//!
+//! Actor `f(s; θπ)` → proto-action; MIQP-NN mapper → K nearest feasible
+//! actions; critic `Q(s, a; θQ)` picks the best. Training uses experience
+//! replay, target networks with soft updates, the critic MSE target
+//! `y_i = r_i + γ · max_{a ∈ A_{i+1,K}} Q'(s_{i+1}, a)`, and the
+//! deterministic policy gradient `∇_â Q(s, â)|_{â=f(s)} · ∇_θπ f(s)`.
+
+use rand::rngs::StdRng;
+
+use dss_nn::{mse_loss_grad, Activation, Adam, Matrix, Mlp};
+
+use crate::explore::perturb_proto;
+use crate::mapper::{ActionMapper, CandidateAction};
+use crate::replay::ReplayBuffer;
+use crate::transition::Transition;
+
+/// Hyperparameters (defaults are the paper's where it states them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdpgConfig {
+    /// Discount factor γ (paper: 0.99).
+    pub gamma: f64,
+    /// Target soft-update rate τ (paper: 0.01).
+    pub tau: f64,
+    /// Replay capacity |B| (paper: 1000).
+    pub replay_capacity: usize,
+    /// Mini-batch size H (paper: 32).
+    pub batch: usize,
+    /// Nearest neighbours K consulted per decision (paper leaves K
+    /// unstated; 8 balances decision quality and MIQP time — see the
+    /// `fig_ablation_k` bench).
+    pub k: usize,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Hidden layer widths (paper: 64 and 32, tanh).
+    pub hidden: [usize; 2],
+    /// Weight-init / sampling seed.
+    pub seed: u64,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.99,
+            tau: 0.01,
+            replay_capacity: 1000,
+            batch: 32,
+            k: 8,
+            actor_lr: 1e-2,
+            critic_lr: 3e-3,
+            hidden: [64, 32],
+            seed: 42,
+        }
+    }
+}
+
+/// The actor-critic agent.
+pub struct DdpgAgent {
+    actor: Mlp,
+    critic: Mlp,
+    target_actor: Mlp,
+    target_critic: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    replay: ReplayBuffer<Vec<f64>>,
+    config: DdpgConfig,
+    state_dim: usize,
+    action_dim: usize,
+    train_steps: u64,
+}
+
+impl DdpgAgent {
+    /// Builds an agent for `state_dim`-dimensional states and
+    /// `action_dim`-dimensional one-hot action encodings (`N·M`).
+    ///
+    /// Actor: `state → [64 tanh, 32 tanh] → action_dim sigmoid` (sigmoid
+    /// keeps proto-entries in `[0, 1]`, matching the uniform-`[0, 1]`
+    /// exploration noise). Critic: `[state ‖ action] → [64 tanh, 32 tanh]
+    /// → 1 linear`.
+    pub fn new(state_dim: usize, action_dim: usize, config: DdpgConfig) -> Self {
+        assert!(state_dim > 0 && action_dim > 0, "degenerate dimensions");
+        let [h1, h2] = config.hidden;
+        let actor = Mlp::new(
+            &[state_dim, h1, h2, action_dim],
+            &[Activation::Tanh, Activation::Tanh, Activation::Sigmoid],
+            config.seed,
+        );
+        let critic = Mlp::new(
+            &[state_dim + action_dim, h1, h2, 1],
+            &[Activation::Tanh, Activation::Tanh, Activation::Identity],
+            config.seed.wrapping_add(1),
+        );
+        let mut target_actor = actor.clone();
+        target_actor.copy_params_from(&actor);
+        let mut target_critic = critic.clone();
+        target_critic.copy_params_from(&critic);
+        Self {
+            actor_opt: Adam::new(config.actor_lr),
+            critic_opt: Adam::new(config.critic_lr),
+            replay: ReplayBuffer::new(config.replay_capacity),
+            actor,
+            critic,
+            target_actor,
+            target_critic,
+            config,
+            state_dim,
+            action_dim,
+            train_steps: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DdpgConfig {
+        &self.config
+    }
+
+    /// Number of stored transitions.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Training steps performed.
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
+    }
+
+    /// Read access to the actor (serialization, inspection).
+    pub fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+
+    /// Read access to the critic.
+    pub fn critic(&self) -> &Mlp {
+        &self.critic
+    }
+
+    /// The raw proto-action `f(s)` for a state.
+    pub fn proto_action(&self, state: &[f64]) -> Vec<f64> {
+        assert_eq!(state.len(), self.state_dim, "state width");
+        self.actor.infer_one(state)
+    }
+
+    /// Critic value `Q(s, a)`.
+    pub fn q_value(&self, state: &[f64], action: &[f64]) -> f64 {
+        assert_eq!(action.len(), self.action_dim, "action width");
+        let mut input = Vec::with_capacity(self.state_dim + self.action_dim);
+        input.extend_from_slice(state);
+        input.extend_from_slice(action);
+        self.critic.infer_one(&input)[0]
+    }
+
+    /// Full decision step (Algorithm 1, lines 8–11): proto-action,
+    /// exploration noise with probability `eps`, K-NN mapping, critic
+    /// argmax. Returns the selected candidate.
+    ///
+    /// # Panics
+    /// Panics if the mapper returns no candidates.
+    pub fn select_action(
+        &self,
+        state: &[f64],
+        mapper: &mut dyn ActionMapper,
+        eps: f64,
+        rng: &mut StdRng,
+    ) -> CandidateAction {
+        self.select_action_with_extras(state, mapper, eps, rng, Vec::new())
+    }
+
+    /// Like [`DdpgAgent::select_action`] but with extra caller-supplied
+    /// candidates (e.g. elite actions remembered from the transition
+    /// database) competing in the critic argmax alongside the K-NN of the
+    /// proto-action.
+    ///
+    /// # Panics
+    /// Panics if both the mapper and `extras` yield no candidates.
+    pub fn select_action_with_extras(
+        &self,
+        state: &[f64],
+        mapper: &mut dyn ActionMapper,
+        eps: f64,
+        rng: &mut StdRng,
+        extras: Vec<CandidateAction>,
+    ) -> CandidateAction {
+        let proto = self.proto_action(state);
+        let explored = perturb_proto(&proto, eps, rng);
+        let mut candidates = mapper.nearest(&explored, self.config.k);
+        candidates.extend(extras);
+        assert!(!candidates.is_empty(), "no candidates to select from");
+        self.best_by_critic(&self.critic, state, candidates)
+    }
+
+    /// Stores an experience sample.
+    pub fn store(&mut self, t: Transition<Vec<f64>>) {
+        assert_eq!(t.state.len(), self.state_dim, "state width");
+        assert_eq!(t.action.len(), self.action_dim, "action width");
+        self.replay.push(t);
+    }
+
+    /// One training step (Algorithm 1, lines 14–18). Returns the critic
+    /// loss, or `None` when the replay buffer is still empty.
+    pub fn train_step(&mut self, mapper: &mut dyn ActionMapper, rng: &mut StdRng) -> Option<f64> {
+        if self.replay.is_empty() {
+            return None;
+        }
+        let batch: Vec<Transition<Vec<f64>>> = self
+            .replay
+            .sample(self.config.batch, rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        let h = batch.len();
+
+        // Targets: y_i = r_i + γ max_{a ∈ A_{i+1,K}} Q'(s_{i+1}, a), with
+        // A_{i+1,K} the K-NN of the *target* actor's proto-action (line 15).
+        let mut targets = Vec::with_capacity(h);
+        for t in &batch {
+            let proto = self.target_actor.infer_one(&t.next_state);
+            let candidates = mapper.nearest(&proto, self.config.k);
+            let best = candidates
+                .iter()
+                .map(|c| self.q_of(&self.target_critic, &t.next_state, &c.onehot))
+                .fold(f64::NEG_INFINITY, f64::max);
+            targets.push(t.reward + self.config.gamma * best);
+        }
+
+        // Critic update (line 16).
+        let critic_in = Matrix::from_fn(h, self.state_dim + self.action_dim, |r, c| {
+            if c < self.state_dim {
+                batch[r].state[c]
+            } else {
+                batch[r].action[c - self.state_dim]
+            }
+        });
+        let target_mat = Matrix::from_fn(h, 1, |r, _| targets[r]);
+        let pred = self.critic.forward(&critic_in);
+        let (loss, grad) = mse_loss_grad(&pred, &target_mat);
+        self.critic.zero_grad();
+        self.critic.backward(&grad);
+        self.critic.apply_gradients(&mut self.critic_opt);
+
+        // Actor update (line 17): ascend Q by the chain rule through the
+        // critic's action input.
+        let states = Matrix::from_fn(h, self.state_dim, |r, c| batch[r].state[c]);
+        let protos = self.actor.forward(&states);
+        let critic_in2 = Matrix::from_fn(h, self.state_dim + self.action_dim, |r, c| {
+            if c < self.state_dim {
+                batch[r].state[c]
+            } else {
+                protos[(r, c - self.state_dim)]
+            }
+        });
+        let full_grad = self.critic.input_gradient(&critic_in2);
+        // −dQ/da, averaged over the batch (descent on −Q = ascent on Q).
+        let actor_grad = Matrix::from_fn(h, self.action_dim, |r, c| {
+            -full_grad[(r, self.state_dim + c)] / h as f64
+        });
+        self.actor.zero_grad();
+        self.actor.backward(&actor_grad);
+        self.actor.apply_gradients(&mut self.actor_opt);
+
+        // Target soft updates (line 18).
+        self.target_critic
+            .soft_update_from(&self.critic, self.config.tau);
+        self.target_actor
+            .soft_update_from(&self.actor, self.config.tau);
+        self.train_steps += 1;
+        Some(loss)
+    }
+
+    /// Offline pre-training (Algorithm 1, line 4): trains on the full
+    /// historical sample set (the paper collects 10,000 random-action
+    /// samples), then seeds the bounded online replay buffer with the most
+    /// recent `|B|` of them.
+    pub fn pretrain(
+        &mut self,
+        samples: Vec<Transition<Vec<f64>>>,
+        steps: usize,
+        mapper: &mut dyn ActionMapper,
+        rng: &mut StdRng,
+    ) {
+        if samples.is_empty() {
+            return;
+        }
+        // Swap in a buffer big enough for the whole historical set.
+        let online = std::mem::replace(
+            &mut self.replay,
+            ReplayBuffer::new(samples.len().max(1)),
+        );
+        drop(online);
+        for s in samples {
+            self.store(s);
+        }
+        for _ in 0..steps {
+            self.train_step(mapper, rng);
+        }
+        // Restore the paper's bounded online buffer, keeping the freshest
+        // samples as its initial contents.
+        let mut online = ReplayBuffer::new(self.config.replay_capacity);
+        let skip = self
+            .replay
+            .len()
+            .saturating_sub(self.config.replay_capacity);
+        for t in self.replay.iter().skip(skip) {
+            online.push(t.clone());
+        }
+        self.replay = online;
+    }
+
+    fn q_of(&self, critic: &Mlp, state: &[f64], action: &[f64]) -> f64 {
+        let mut input = Vec::with_capacity(self.state_dim + self.action_dim);
+        input.extend_from_slice(state);
+        input.extend_from_slice(action);
+        critic.infer_one(&input)[0]
+    }
+
+    fn best_by_critic(
+        &self,
+        critic: &Mlp,
+        state: &[f64],
+        candidates: Vec<CandidateAction>,
+    ) -> CandidateAction {
+        let mut best_idx = 0;
+        let mut best_q = f64::NEG_INFINITY;
+        for (i, c) in candidates.iter().enumerate() {
+            let q = self.q_of(critic, state, &c.onehot);
+            if q > best_q {
+                best_q = q;
+                best_idx = i;
+            }
+        }
+        candidates.into_iter().nth(best_idx).expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::KBestMapper;
+    use rand::SeedableRng;
+
+    /// A 2-thread / 2-machine toy problem where co-locating both threads on
+    /// machine 0 yields reward 0 and anything else −1. State: the current
+    /// one-hot assignment.
+    fn toy_reward(choice: &[usize]) -> f64 {
+        if choice == [0, 0] {
+            0.0
+        } else {
+            -1.0
+        }
+    }
+
+    fn toy_config() -> DdpgConfig {
+        DdpgConfig {
+            replay_capacity: 256,
+            batch: 16,
+            k: 2,
+            actor_lr: 1e-2,
+            critic_lr: 5e-3,
+            hidden: [16, 8],
+            seed: 3,
+            ..DdpgConfig::default()
+        }
+    }
+
+    #[test]
+    fn dimensions_and_determinism() {
+        let agent = DdpgAgent::new(6, 4, toy_config());
+        let proto = agent.proto_action(&[0.0, 1.0, 0.5, 0.2, 0.1, 0.9]);
+        assert_eq!(proto.len(), 4);
+        assert!(proto.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let agent2 = DdpgAgent::new(6, 4, toy_config());
+        assert_eq!(
+            agent2.proto_action(&[0.0, 1.0, 0.5, 0.2, 0.1, 0.9]),
+            proto
+        );
+    }
+
+    #[test]
+    fn select_action_returns_feasible_candidate() {
+        let agent = DdpgAgent::new(4, 4, toy_config());
+        let mut mapper = KBestMapper::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = agent.select_action(&[1.0, 0.0, 0.0, 1.0], &mut mapper, 0.5, &mut rng);
+        assert_eq!(c.choice.len(), 2);
+        assert!(c.choice.iter().all(|&j| j < 2));
+    }
+
+    #[test]
+    fn learns_toy_preference() {
+        // Train on random transitions of the toy problem; the greedy policy
+        // must end up selecting the rewarded assignment.
+        let mut agent = DdpgAgent::new(4, 4, toy_config());
+        let mut mapper = KBestMapper::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        use rand::RngExt;
+        for _ in 0..300 {
+            let choice = [rng.random_range(0..2), rng.random_range(0..2)];
+            // One-hot: row i, machine j -> index i*2+j.
+            let mut a = vec![0.0; 4];
+            a[choice[0]] = 1.0;
+            a[2 + choice[1]] = 1.0;
+            let state = a.clone(); // state = current assignment
+            let reward = toy_reward(&choice);
+            agent.store(Transition::new(state.clone(), a, reward, state));
+            agent.train_step(&mut mapper, &mut rng);
+        }
+        assert!(agent.train_steps() > 0);
+        // Greedy decision from any state should pick [0, 0].
+        let state = vec![0.0, 1.0, 0.0, 1.0];
+        let action = agent.select_action(&state, &mut mapper, 0.0, &mut rng);
+        assert_eq!(action.choice, vec![0, 0], "learned the rewarded action");
+    }
+
+    #[test]
+    fn critic_loss_decreases_on_fixed_target() {
+        let mut agent = DdpgAgent::new(2, 4, toy_config());
+        let mut mapper = KBestMapper::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Constant reward everywhere: Q should converge to r/(1-γ)-ish and
+        // loss should drop substantially.
+        for _ in 0..50 {
+            agent.store(Transition::new(
+                vec![0.5, 0.5],
+                vec![1.0, 0.0, 1.0, 0.0],
+                -2.0,
+                vec![0.5, 0.5],
+            ));
+        }
+        let first = agent.train_step(&mut mapper, &mut rng).unwrap();
+        let mut last = first;
+        for _ in 0..400 {
+            last = agent.train_step(&mut mapper, &mut rng).unwrap();
+        }
+        assert!(
+            last < first * 0.5,
+            "critic loss should shrink: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn train_step_without_data_is_none() {
+        let mut agent = DdpgAgent::new(2, 4, toy_config());
+        let mut mapper = KBestMapper::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(agent.train_step(&mut mapper, &mut rng), None);
+    }
+}

@@ -1,0 +1,346 @@
+//! The DQN-based baseline (§3.2).
+//!
+//! To make the assignment problem's `M^N` action space DQN-tractable, the
+//! paper restricts each action to *assigning one thread to one machine*
+//! (`|A| = N·M`). The Q-network maps a state to one Q-value per such move;
+//! ε-greedy selects among them; training is classic DQN with experience
+//! replay and a periodically synchronized target network. The paper's point
+//! — and this reproduction's Figures 6c/7 — is that this restriction
+//! explores the full space poorly at scale.
+
+use rand::rngs::StdRng;
+
+use dss_nn::{mse_loss_grad, Activation, Adam, Matrix, Mlp};
+
+use crate::explore::epsilon_greedy;
+use crate::replay::ReplayBuffer;
+use crate::transition::Transition;
+
+/// DQN hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DqnConfig {
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Replay capacity |B|.
+    pub replay_capacity: usize,
+    /// Mini-batch size H.
+    pub batch: usize,
+    /// Target-network hard-sync period in train steps (the paper's
+    /// "updated every C > 1 epochs").
+    pub target_sync_every: u64,
+    /// Learning rate.
+    pub lr: f64,
+    /// Hidden widths (64/32 as in the actor-critic nets).
+    pub hidden: [usize; 2],
+    /// Seed.
+    pub seed: u64,
+    /// Double DQN (the paper's reference \[23\]): evaluate the *online*
+    /// network's argmax with the *target* network, curbing the max
+    /// operator's overestimation bias. Off by default — the paper's
+    /// baseline is plain DQN — and exercised by the `double-dqn` ablation.
+    pub double: bool,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.99,
+            replay_capacity: 1000,
+            batch: 32,
+            target_sync_every: 25,
+            lr: 1e-3,
+            hidden: [64, 32],
+            seed: 42,
+            double: false,
+        }
+    }
+}
+
+/// The DQN agent over single-move actions.
+pub struct DqnAgent {
+    q: Mlp,
+    target_q: Mlp,
+    opt: Adam,
+    replay: ReplayBuffer<usize>,
+    config: DqnConfig,
+    state_dim: usize,
+    n_actions: usize,
+    train_steps: u64,
+}
+
+impl DqnAgent {
+    /// Builds an agent with `n_actions = N·M` single-move actions.
+    pub fn new(state_dim: usize, n_actions: usize, config: DqnConfig) -> Self {
+        assert!(state_dim > 0 && n_actions > 0, "degenerate dimensions");
+        let [h1, h2] = config.hidden;
+        let q = Mlp::new(
+            &[state_dim, h1, h2, n_actions],
+            &[Activation::Tanh, Activation::Tanh, Activation::Identity],
+            config.seed,
+        );
+        let mut target_q = q.clone();
+        target_q.copy_params_from(&q);
+        Self {
+            opt: Adam::new(config.lr),
+            replay: ReplayBuffer::new(config.replay_capacity),
+            q,
+            target_q,
+            config,
+            state_dim,
+            n_actions,
+            train_steps: 0,
+        }
+    }
+
+    /// Number of discrete actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// Stored transitions.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Training steps performed.
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
+    }
+
+    /// Q-values for all actions in `state`.
+    pub fn q_values(&self, state: &[f64]) -> Vec<f64> {
+        assert_eq!(state.len(), self.state_dim, "state width");
+        self.q.infer_one(state)
+    }
+
+    /// ε-greedy action selection.
+    pub fn select_action(&self, state: &[f64], eps: f64, rng: &mut StdRng) -> usize {
+        epsilon_greedy(&self.q_values(state), eps, rng)
+    }
+
+    /// Stores an experience sample.
+    pub fn store(&mut self, t: Transition<usize>) {
+        assert_eq!(t.state.len(), self.state_dim, "state width");
+        assert!(t.action < self.n_actions, "action index out of range");
+        self.replay.push(t);
+    }
+
+    /// One DQN training step; returns the TD loss, or `None` when no data.
+    pub fn train_step(&mut self, rng: &mut StdRng) -> Option<f64> {
+        if self.replay.is_empty() {
+            return None;
+        }
+        let batch: Vec<Transition<usize>> = self
+            .replay
+            .sample(self.config.batch, rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        let h = batch.len();
+
+        // TD targets from the frozen target network. Plain DQN takes the
+        // target net's own max; double DQN selects with the online net and
+        // evaluates with the target net.
+        let next_states = Matrix::from_fn(h, self.state_dim, |r, c| batch[r].next_state[c]);
+        let next_q_target = self.target_q.infer(&next_states);
+        let next_q_online = self
+            .config
+            .double
+            .then(|| self.q.infer(&next_states));
+        let targets: Vec<f64> = batch
+            .iter()
+            .enumerate()
+            .map(|(r, t)| {
+                let best = match &next_q_online {
+                    Some(online) => {
+                        let row = online.row(r);
+                        let argmax = (0..row.len())
+                            .max_by(|&a, &b| row[a].partial_cmp(&row[b]).expect("NaN Q"))
+                            .expect("non-empty action set");
+                        next_q_target[(r, argmax)]
+                    }
+                    None => next_q_target
+                        .row(r)
+                        .iter()
+                        .copied()
+                        .fold(f64::NEG_INFINITY, f64::max),
+                };
+                t.reward + self.config.gamma * best
+            })
+            .collect();
+
+        // Forward, then build a gradient that touches only chosen actions.
+        let states = Matrix::from_fn(h, self.state_dim, |r, c| batch[r].state[c]);
+        let pred = self.q.forward(&states);
+        let pred_chosen = Matrix::from_fn(h, 1, |r, _| pred[(r, batch[r].action)]);
+        let target_mat = Matrix::from_fn(h, 1, |r, _| targets[r]);
+        let (loss, grad_chosen) = mse_loss_grad(&pred_chosen, &target_mat);
+        let mut grad_full = Matrix::zeros(h, self.n_actions);
+        for (r, t) in batch.iter().enumerate() {
+            grad_full[(r, t.action)] = grad_chosen[(r, 0)];
+        }
+        self.q.zero_grad();
+        self.q.backward(&grad_full);
+        self.q.apply_gradients(&mut self.opt);
+
+        self.train_steps += 1;
+        if self.train_steps.is_multiple_of(self.config.target_sync_every) {
+            self.target_q.copy_params_from(&self.q);
+        }
+        Some(loss)
+    }
+
+    /// Offline pre-training on the full historical sample set, then seeds
+    /// the bounded online buffer with the most recent `|B|` samples.
+    pub fn pretrain(&mut self, samples: Vec<Transition<usize>>, steps: usize, rng: &mut StdRng) {
+        if samples.is_empty() {
+            return;
+        }
+        self.replay = ReplayBuffer::new(samples.len().max(1));
+        for s in samples {
+            self.store(s);
+        }
+        for _ in 0..steps {
+            self.train_step(rng);
+        }
+        let mut online = ReplayBuffer::new(self.config.replay_capacity);
+        let skip = self
+            .replay
+            .len()
+            .saturating_sub(self.config.replay_capacity);
+        for t in self.replay.iter().skip(skip) {
+            online.push(t.clone());
+        }
+        self.replay = online;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    fn config() -> DqnConfig {
+        DqnConfig {
+            replay_capacity: 512,
+            batch: 16,
+            lr: 5e-3,
+            hidden: [16, 8],
+            seed: 5,
+            ..DqnConfig::default()
+        }
+    }
+
+    #[test]
+    fn q_values_shape() {
+        let agent = DqnAgent::new(3, 6, config());
+        assert_eq!(agent.q_values(&[0.1, 0.2, 0.3]).len(), 6);
+        assert_eq!(agent.n_actions(), 6);
+    }
+
+    #[test]
+    fn learns_bandit_preference() {
+        // Contextual bandit: action 2 always pays 1, others 0.
+        let mut agent = DqnAgent::new(2, 4, config());
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..400 {
+            let a = rng.random_range(0..4);
+            let r = if a == 2 { 1.0 } else { 0.0 };
+            agent.store(Transition::new(vec![0.3, 0.7], a, r, vec![0.3, 0.7]));
+            agent.train_step(&mut rng);
+        }
+        let q = agent.q_values(&[0.3, 0.7]);
+        let best = q
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 2, "Q-values {q:?}");
+    }
+
+    #[test]
+    fn epsilon_one_explores() {
+        let agent = DqnAgent::new(2, 8, config());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(agent.select_action(&[0.0, 0.0], 1.0, &mut rng));
+        }
+        assert!(seen.len() >= 6, "explored {seen:?}");
+    }
+
+    #[test]
+    fn target_sync_counts_steps() {
+        let mut agent = DqnAgent::new(1, 2, config());
+        let mut rng = StdRng::seed_from_u64(3);
+        agent.store(Transition::new(vec![0.0], 0, 1.0, vec![0.0]));
+        for _ in 0..30 {
+            agent.train_step(&mut rng);
+        }
+        assert_eq!(agent.train_steps(), 30);
+    }
+
+    #[test]
+    fn double_dqn_learns_the_same_bandit() {
+        let mut agent = DqnAgent::new(2, 4, DqnConfig {
+            double: true,
+            ..config()
+        });
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..400 {
+            let a = rng.random_range(0..4);
+            let r = if a == 1 { 1.0 } else { 0.0 };
+            agent.store(Transition::new(vec![0.3, 0.7], a, r, vec![0.3, 0.7]));
+            agent.train_step(&mut rng);
+        }
+        let q = agent.q_values(&[0.3, 0.7]);
+        let best = q
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 1, "Q-values {q:?}");
+    }
+
+    #[test]
+    fn double_dqn_overestimates_less_on_noisy_rewards() {
+        // All actions pay noisy zero-mean rewards; max-Q overestimates,
+        // and double-Q should overestimate no more than plain DQN.
+        let estimate = |double: bool| -> f64 {
+            let mut agent = DqnAgent::new(1, 8, DqnConfig {
+                double,
+                gamma: 0.9,
+                ..config()
+            });
+            let mut rng = StdRng::seed_from_u64(77);
+            for _ in 0..600 {
+                let a = rng.random_range(0..8);
+                let r = rng.random_range(-1.0..1.0); // zero mean
+                agent.store(Transition::new(vec![0.0], a, r, vec![0.0]));
+                agent.train_step(&mut rng);
+            }
+            agent
+                .q_values(&[0.0])
+                .into_iter()
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let plain = estimate(false);
+        let double = estimate(true);
+        // True value is 0; both overshoot, double should not overshoot more.
+        assert!(
+            double <= plain + 0.05,
+            "double {double} vs plain {plain}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_action_index() {
+        let mut agent = DqnAgent::new(1, 2, config());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            agent.store(Transition::new(vec![0.0], 5, 0.0, vec![0.0]));
+        }));
+        assert!(result.is_err());
+    }
+}

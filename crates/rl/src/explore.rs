@@ -1,0 +1,259 @@
+//! Exploration policies.
+//!
+//! The paper's online exploration (Algorithm 1, line 9) is
+//! `R(â) = â + εI`, where ε "determines the probability to add a random
+//! noise to the proto-action rather than take the derived action", ε decays
+//! with the decision epoch, and `I` is uniform noise with each element in
+//! `[0, 1]`. The DQN baseline uses classic ε-greedy over its discrete
+//! action space.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Linearly decaying ε schedule: `start` at epoch 0 down to `end` at
+/// `decay_epochs`, constant afterwards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonSchedule {
+    /// Initial ε.
+    pub start: f64,
+    /// Final ε.
+    pub end: f64,
+    /// Epochs over which ε decays linearly.
+    pub decay_epochs: usize,
+}
+
+impl EpsilonSchedule {
+    /// Builds a schedule.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ end ≤ start ≤ 1` and `decay_epochs > 0`.
+    pub fn new(start: f64, end: f64, decay_epochs: usize) -> Self {
+        assert!((0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end));
+        assert!(end <= start, "epsilon must decay");
+        assert!(decay_epochs > 0, "decay epochs must be positive");
+        Self {
+            start,
+            end,
+            decay_epochs,
+        }
+    }
+
+    /// The paper-flavoured default: heavy early exploration decaying over
+    /// the first half of a 2000-epoch run.
+    pub fn standard() -> Self {
+        Self::new(0.8, 0.05, 1000)
+    }
+
+    /// ε at epoch `t`.
+    pub fn value(&self, t: usize) -> f64 {
+        if t >= self.decay_epochs {
+            return self.end;
+        }
+        let frac = t as f64 / self.decay_epochs as f64;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+/// Applies the paper's proto-action exploration `R(â) = â + εI`: with
+/// probability `eps`, adds elementwise uniform `[0, 1]` noise scaled by
+/// `eps`; otherwise returns the proto-action unchanged.
+pub fn perturb_proto(proto: &[f64], eps: f64, rng: &mut StdRng) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&eps), "eps must be a probability");
+    if eps == 0.0 || rng.random_range(0.0..1.0) >= eps {
+        return proto.to_vec();
+    }
+    proto
+        .iter()
+        .map(|&v| v + eps * rng.random_range(0.0..1.0))
+        .collect()
+}
+
+/// Ornstein-Uhlenbeck exploration noise — the temporally correlated
+/// process the original DDPG paper (the paper's reference \[26\]) adds to
+/// actor outputs for continuous control.
+///
+/// Each call to [`OuNoise::sample`] advances
+/// `x <- x + θ(μ - x) + σ ξ`, `ξ ~ U(-1, 1)` per element, so consecutive
+/// perturbations are correlated (unlike the paper's memoryless `εI`).
+/// The `exploration-noise` ablation compares the two.
+#[derive(Debug, Clone)]
+pub struct OuNoise {
+    state: Vec<f64>,
+    /// Mean-reversion target μ.
+    pub mu: f64,
+    /// Mean-reversion rate θ.
+    pub theta: f64,
+    /// Noise scale σ.
+    pub sigma: f64,
+}
+
+impl OuNoise {
+    /// Process of dimension `dim` with DDPG's customary θ=0.15, σ=0.2.
+    pub fn new(dim: usize) -> Self {
+        Self::with_params(dim, 0.0, 0.15, 0.2)
+    }
+
+    /// Fully parameterized process.
+    ///
+    /// # Panics
+    /// Panics if `theta` is outside `[0, 1]` or `sigma` is negative.
+    pub fn with_params(dim: usize, mu: f64, theta: f64, sigma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&theta), "theta must be in [0, 1]");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        OuNoise {
+            state: vec![mu; dim],
+            mu,
+            theta,
+            sigma,
+        }
+    }
+
+    /// Advance the process one step and return the current noise vector.
+    pub fn sample(&mut self, rng: &mut StdRng) -> &[f64] {
+        for x in &mut self.state {
+            let xi = rng.random_range(-1.0..1.0);
+            *x += self.theta * (self.mu - *x) + self.sigma * xi;
+        }
+        &self.state
+    }
+
+    /// Reset to the mean (start of an episode).
+    pub fn reset(&mut self) {
+        self.state.fill(self.mu);
+    }
+
+    /// Add the next noise step to a proto-action, scaled by `scale`.
+    pub fn perturb(&mut self, proto: &[f64], scale: f64, rng: &mut StdRng) -> Vec<f64> {
+        assert_eq!(proto.len(), self.state.len(), "dimension mismatch");
+        let noise = self.sample(rng).to_vec();
+        proto
+            .iter()
+            .zip(noise)
+            .map(|(&v, n)| v + scale * n)
+            .collect()
+    }
+}
+
+/// Classic ε-greedy index selection for the DQN baseline: random action
+/// with probability `eps`, otherwise the argmax of `q_values`.
+///
+/// # Panics
+/// Panics on empty `q_values`.
+pub fn epsilon_greedy(q_values: &[f64], eps: f64, rng: &mut StdRng) -> usize {
+    assert!(!q_values.is_empty(), "no actions to choose from");
+    if rng.random_range(0.0..1.0) < eps {
+        return rng.random_range(0..q_values.len());
+    }
+    q_values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN Q value"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schedule_decays_linearly() {
+        let s = EpsilonSchedule::new(1.0, 0.0, 100);
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(50) - 0.5).abs() < 1e-12);
+        assert_eq!(s.value(100), 0.0);
+        assert_eq!(s.value(10_000), 0.0);
+    }
+
+    #[test]
+    fn zero_eps_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let proto = vec![0.2, 0.8];
+        assert_eq!(perturb_proto(&proto, 0.0, &mut rng), proto);
+    }
+
+    #[test]
+    fn full_eps_always_perturbs_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let proto = vec![0.5; 16];
+        let out = perturb_proto(&proto, 1.0, &mut rng);
+        assert_ne!(out, proto);
+        for (o, p) in out.iter().zip(&proto) {
+            assert!(*o >= *p && *o <= *p + 1.0);
+        }
+    }
+
+    #[test]
+    fn perturbation_probability_matches_eps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let proto = vec![0.5];
+        let n = 20_000;
+        let perturbed = (0..n)
+            .filter(|_| perturb_proto(&proto, 0.3, &mut rng) != proto)
+            .count();
+        let frac = perturbed as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn greedy_picks_argmax_at_zero_eps() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(epsilon_greedy(&[0.1, 0.9, 0.5], 0.0, &mut rng), 1);
+    }
+
+    #[test]
+    fn full_eps_explores_all_actions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[epsilon_greedy(&[0.0, 0.0, 1.0], 1.0, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ou_noise_reverts_to_mean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ou = OuNoise::with_params(1, 0.0, 0.2, 0.0); // no randomness
+        ou.state[0] = 10.0;
+        for _ in 0..200 {
+            ou.sample(&mut rng);
+        }
+        assert!(ou.state[0].abs() < 1e-12, "deterministic OU must decay");
+    }
+
+    #[test]
+    fn ou_noise_is_temporally_correlated() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ou = OuNoise::new(1);
+        let xs: Vec<f64> = (0..2_000).map(|_| ou.sample(&mut rng)[0]).collect();
+        // Lag-1 autocorrelation of an OU process with theta=0.15 is ~0.85;
+        // iid noise would be ~0.
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+        let cov: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+        let rho = cov / var;
+        assert!(rho > 0.5, "lag-1 autocorrelation {rho} too low for OU");
+    }
+
+    #[test]
+    fn ou_reset_returns_to_mu() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ou = OuNoise::with_params(3, 0.5, 0.15, 0.3);
+        ou.sample(&mut rng);
+        ou.reset();
+        assert_eq!(ou.state, vec![0.5; 3]);
+    }
+
+    #[test]
+    fn ou_perturb_adds_scaled_noise() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ou = OuNoise::new(2);
+        let proto = vec![0.3, 0.7];
+        let zero_scale = ou.clone().perturb(&proto, 0.0, &mut rng);
+        assert_eq!(zero_scale, proto);
+        let perturbed = ou.perturb(&proto, 1.0, &mut rng);
+        assert_ne!(perturbed, proto);
+    }
+}

@@ -1,0 +1,157 @@
+//! Proto-action → feasible-action mapping (the paper's "optimizer" box in
+//! Figure 2).
+//!
+//! The actor emits `â ∈ R^{N·M}`; an [`ActionMapper`] returns the K nearest
+//! feasible assignments. [`KBestMapper`] is the exact MIQP-NN solution
+//! (what the paper obtains from Gurobi); [`RelaxMapper`] is the paper's
+//! suggested relaxation + rounding fallback for very large cases.
+
+use rand::rngs::StdRng;
+
+use dss_miqp::{k_best_assignments, relax_and_round, CostMatrix};
+
+/// A feasible action candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateAction {
+    /// Machine index per thread.
+    pub choice: Vec<usize>,
+    /// Flat one-hot encoding (`N·M`), the critic's action input.
+    pub onehot: Vec<f64>,
+    /// Distance-to-proto cost (`‖a − â‖²` up to a per-proto constant).
+    pub cost: f64,
+}
+
+/// Maps a proto-action to its K nearest feasible actions.
+pub trait ActionMapper {
+    /// Returns up to `k` candidates, cheapest (nearest) first.
+    fn nearest(&mut self, proto: &[f64], k: usize) -> Vec<CandidateAction>;
+
+    /// Problem shape `(n_threads, n_machines)`.
+    fn shape(&self) -> (usize, usize);
+}
+
+fn to_onehot(choice: &[usize], m: usize) -> Vec<f64> {
+    let mut x = vec![0.0; choice.len() * m];
+    for (i, &j) in choice.iter().enumerate() {
+        x[i * m + j] = 1.0;
+    }
+    x
+}
+
+/// Exact K-NN via the k-best enumeration in `dss-miqp`.
+#[derive(Debug, Clone)]
+pub struct KBestMapper {
+    n: usize,
+    m: usize,
+}
+
+impl KBestMapper {
+    /// A mapper for `n` threads over `m` machines.
+    ///
+    /// # Panics
+    /// Panics on a degenerate shape.
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n > 0 && m > 0, "degenerate action space");
+        Self { n, m }
+    }
+}
+
+impl ActionMapper for KBestMapper {
+    fn nearest(&mut self, proto: &[f64], k: usize) -> Vec<CandidateAction> {
+        let costs = CostMatrix::from_proto_action(proto, self.n, self.m);
+        k_best_assignments(&costs, k)
+            .into_iter()
+            .map(|s| CandidateAction {
+                onehot: to_onehot(&s.choice, self.m),
+                cost: s.cost,
+                choice: s.choice,
+            })
+            .collect()
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.n, self.m)
+    }
+}
+
+/// Approximate K-NN via continuous relaxation + randomized rounding — the
+/// paper's fallback for very large instances.
+#[derive(Debug)]
+pub struct RelaxMapper {
+    n: usize,
+    m: usize,
+    rng: StdRng,
+}
+
+impl RelaxMapper {
+    /// A mapper for `n` threads over `m` machines; `rng` drives the
+    /// randomized rounding.
+    ///
+    /// # Panics
+    /// Panics on a degenerate shape.
+    pub fn new(n: usize, m: usize, rng: StdRng) -> Self {
+        assert!(n > 0 && m > 0, "degenerate action space");
+        Self { n, m, rng }
+    }
+}
+
+impl ActionMapper for RelaxMapper {
+    fn nearest(&mut self, proto: &[f64], k: usize) -> Vec<CandidateAction> {
+        relax_and_round(proto, self.n, self.m, k, &mut self.rng)
+            .into_iter()
+            .map(|s| CandidateAction {
+                onehot: to_onehot(&s.choice, self.m),
+                cost: s.cost,
+                choice: s.choice,
+            })
+            .collect()
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.n, self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kbest_candidates_are_feasible_and_sorted() {
+        let mut mapper = KBestMapper::new(3, 2);
+        let proto = vec![0.9, 0.1, 0.4, 0.6, 0.5, 0.5];
+        let c = mapper.nearest(&proto, 4);
+        assert_eq!(c.len(), 4);
+        assert!(c.windows(2).all(|w| w[0].cost <= w[1].cost + 1e-12));
+        for cand in &c {
+            assert_eq!(cand.choice.len(), 3);
+            assert_eq!(cand.onehot.iter().sum::<f64>(), 3.0);
+            for (i, &j) in cand.choice.iter().enumerate() {
+                assert_eq!(cand.onehot[i * 2 + j], 1.0);
+            }
+        }
+        // Nearest = row-wise argmax of the proto.
+        assert_eq!(c[0].choice, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn relax_mapper_first_is_argmax() {
+        let mut mapper = RelaxMapper::new(2, 3, StdRng::seed_from_u64(1));
+        let proto = vec![0.1, 0.8, 0.1, 0.2, 0.2, 0.6];
+        let c = mapper.nearest(&proto, 3);
+        assert!(!c.is_empty());
+        assert_eq!(c[0].choice, vec![1, 2]);
+    }
+
+    #[test]
+    fn mappers_agree_on_nearest() {
+        let proto: Vec<f64> = (0..12).map(|i| ((i * 7) % 12) as f64 / 12.0).collect();
+        let mut exact = KBestMapper::new(4, 3);
+        let mut approx = RelaxMapper::new(4, 3, StdRng::seed_from_u64(2));
+        let a = exact.nearest(&proto, 1);
+        let b = approx.nearest(&proto, 1);
+        assert_eq!(a[0].choice, b[0].choice);
+        assert_eq!(exact.shape(), (4, 3));
+    }
+}

@@ -1,0 +1,352 @@
+//! Prioritized experience replay (proportional variant).
+//!
+//! The paper samples its replay buffer uniformly (§2.3, §3.2.1). This
+//! module provides the standard proportional-prioritization alternative —
+//! `P(i) ∝ p_i^α` with importance-sampling weights `w_i = (N·P(i))^{-β}` —
+//! used by the `replay-priority` ablation bench to quantify how much the
+//! choice matters for this control problem.
+//!
+//! Priorities live in a **sum tree**: a complete binary tree whose leaves
+//! hold `p_i^α` and whose internal nodes hold subtree sums, giving `O(log
+//! n)` sampling by prefix-sum descent and `O(log n)` priority updates.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::transition::Transition;
+
+/// A fixed-capacity sum tree over `f64` priorities.
+#[derive(Debug, Clone)]
+pub struct SumTree {
+    /// Node storage: `nodes[0]` is the root; leaf `i` lives at
+    /// `leaf_base + i`.
+    nodes: Vec<f64>,
+    leaf_base: usize,
+    capacity: usize,
+}
+
+impl SumTree {
+    /// Tree with `capacity` leaves, all zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sum tree needs at least one leaf");
+        let leaf_base = capacity.next_power_of_two() - 1;
+        SumTree {
+            nodes: vec![0.0; leaf_base + capacity.next_power_of_two()],
+            leaf_base,
+            capacity,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total priority mass (the root).
+    pub fn total(&self) -> f64 {
+        self.nodes[0]
+    }
+
+    /// Current priority of leaf `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        assert!(i < self.capacity, "leaf index out of range");
+        self.nodes[self.leaf_base + i]
+    }
+
+    /// Set leaf `i` to `priority`, updating ancestor sums.
+    pub fn set(&mut self, i: usize, priority: f64) {
+        assert!(i < self.capacity, "leaf index out of range");
+        assert!(priority >= 0.0 && priority.is_finite(), "bad priority");
+        let mut node = self.leaf_base + i;
+        let delta = priority - self.nodes[node];
+        self.nodes[node] = priority;
+        while node > 0 {
+            node = (node - 1) / 2;
+            self.nodes[node] += delta;
+        }
+    }
+
+    /// Find the leaf whose cumulative-priority interval contains `prefix`
+    /// (`0 <= prefix < total`). Ties break toward the left leaf.
+    pub fn find(&self, mut prefix: f64) -> usize {
+        debug_assert!(prefix >= 0.0);
+        let mut node = 0usize;
+        while node < self.leaf_base {
+            let left = 2 * node + 1;
+            let left_sum = self.nodes.get(left).copied().unwrap_or(0.0);
+            if prefix < left_sum {
+                node = left;
+            } else {
+                prefix -= left_sum;
+                node = left + 1;
+            }
+        }
+        (node - self.leaf_base).min(self.capacity - 1)
+    }
+}
+
+/// Tuning for prioritized replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityConfig {
+    /// Priority exponent α (0 = uniform, 1 = fully proportional).
+    pub alpha: f64,
+    /// Importance-sampling exponent β.
+    pub beta: f64,
+    /// Small constant keeping every sample reachable.
+    pub epsilon: f64,
+}
+
+impl Default for PriorityConfig {
+    fn default() -> Self {
+        PriorityConfig {
+            alpha: 0.6,
+            beta: 0.4,
+            epsilon: 1e-3,
+        }
+    }
+}
+
+/// A sampled batch entry: index (for priority updates after the TD step),
+/// importance-sampling weight, and the transition itself.
+#[derive(Debug, Clone)]
+pub struct PrioritizedSample<A> {
+    /// Slot index to pass back to [`PrioritizedReplay::update_priority`].
+    pub index: usize,
+    /// Importance-sampling weight, normalized so `max w == 1`.
+    pub weight: f64,
+    /// The stored transition.
+    pub transition: Transition<A>,
+}
+
+/// Fixed-capacity prioritized replay buffer (proportional variant).
+#[derive(Debug, Clone)]
+pub struct PrioritizedReplay<A> {
+    items: Vec<Option<Transition<A>>>,
+    tree: SumTree,
+    config: PriorityConfig,
+    /// Next slot to overwrite (ring order, like the paper's buffer).
+    head: usize,
+    len: usize,
+    max_priority: f64,
+}
+
+impl<A: Clone> PrioritizedReplay<A> {
+    /// Empty buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize, config: PriorityConfig) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        PrioritizedReplay {
+            items: vec![None; capacity],
+            tree: SumTree::new(capacity),
+            config,
+            head: 0,
+            len: 0,
+            max_priority: 1.0,
+        }
+    }
+
+    /// Stored transitions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Insert with maximal priority (new samples should be seen soon),
+    /// evicting the oldest when full.
+    pub fn push(&mut self, t: Transition<A>) {
+        let i = self.head;
+        self.items[i] = Some(t);
+        let p = self.max_priority.powf(self.config.alpha).max(self.config.epsilon);
+        self.tree.set(i, p);
+        self.head = (self.head + 1) % self.items.len();
+        self.len = (self.len + 1).min(self.items.len());
+    }
+
+    /// Sample `h` transitions by priority mass (with replacement), with
+    /// normalized importance weights.
+    pub fn sample(&self, h: usize, rng: &mut StdRng) -> Vec<PrioritizedSample<A>> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let total = self.tree.total();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        let n = self.len as f64;
+        let mut out = Vec::with_capacity(h);
+        let mut max_w: f64 = 0.0;
+        for _ in 0..h {
+            let prefix = rng.random_range(0.0..total);
+            let index = self.tree.find(prefix);
+            let Some(t) = &self.items[index] else {
+                continue; // numerically possible only for zero-priority holes
+            };
+            let p = self.tree.get(index) / total;
+            let w = (n * p).powf(-self.config.beta);
+            max_w = max_w.max(w);
+            out.push(PrioritizedSample {
+                index,
+                weight: w,
+                transition: t.clone(),
+            });
+        }
+        if max_w > 0.0 {
+            for s in &mut out {
+                s.weight /= max_w;
+            }
+        }
+        out
+    }
+
+    /// Feed back a sample's TD error to reshape the distribution.
+    pub fn update_priority(&mut self, index: usize, td_error: f64) {
+        let p = (td_error.abs() + self.config.epsilon).powf(self.config.alpha);
+        self.max_priority = self.max_priority.max(td_error.abs() + self.config.epsilon);
+        self.tree.set(index, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sum_tree_total_tracks_sets() {
+        let mut t = SumTree::new(5);
+        t.set(0, 1.0);
+        t.set(3, 2.5);
+        assert!((t.total() - 3.5).abs() < 1e-12);
+        t.set(0, 0.5);
+        assert!((t.total() - 3.0).abs() < 1e-12);
+        assert_eq!(t.get(3), 2.5);
+    }
+
+    #[test]
+    fn sum_tree_find_respects_intervals() {
+        let mut t = SumTree::new(4);
+        // Intervals: [0,1) -> 0, [1,3) -> 1, [3,6) -> 2, [6,10) -> 3.
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 3.0);
+        t.set(3, 4.0);
+        assert_eq!(t.find(0.0), 0);
+        assert_eq!(t.find(0.999), 0);
+        assert_eq!(t.find(1.0), 1);
+        assert_eq!(t.find(2.999), 1);
+        assert_eq!(t.find(3.0), 2);
+        assert_eq!(t.find(5.999), 2);
+        assert_eq!(t.find(6.0), 3);
+        assert_eq!(t.find(9.999), 3);
+    }
+
+    #[test]
+    fn sum_tree_works_for_non_power_of_two() {
+        let mut t = SumTree::new(3);
+        t.set(0, 1.0);
+        t.set(1, 1.0);
+        t.set(2, 1.0);
+        assert!((t.total() - 3.0).abs() < 1e-12);
+        assert_eq!(t.find(2.5), 2);
+    }
+
+    fn tr(v: f64) -> Transition<usize> {
+        Transition::new(vec![v], 0, v, vec![v])
+    }
+
+    #[test]
+    fn push_evicts_oldest_in_ring_order() {
+        let mut buf = PrioritizedReplay::new(3, PriorityConfig::default());
+        for i in 0..5 {
+            buf.push(tr(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rewards: std::collections::HashSet<i64> = buf
+            .sample(64, &mut rng)
+            .into_iter()
+            .map(|s| s.transition.reward as i64)
+            .collect();
+        // Only 2, 3, 4 survive.
+        assert!(rewards.iter().all(|&r| r >= 2));
+    }
+
+    #[test]
+    fn high_priority_samples_dominate() {
+        let mut buf = PrioritizedReplay::new(8, PriorityConfig {
+            alpha: 1.0,
+            beta: 0.0,
+            epsilon: 1e-6,
+        });
+        for i in 0..8 {
+            buf.push(tr(i as f64));
+        }
+        // Give slot 5 a hundredfold priority.
+        for i in 0..8 {
+            buf.update_priority(i, if i == 5 { 100.0 } else { 1.0 });
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let hits = buf
+            .sample(1000, &mut rng)
+            .into_iter()
+            .filter(|s| s.index == 5)
+            .count();
+        assert!(hits > 800, "slot 5 drew only {hits}/1000");
+    }
+
+    #[test]
+    fn importance_weights_are_normalized_and_downweight_frequent() {
+        let mut buf = PrioritizedReplay::new(4, PriorityConfig {
+            alpha: 1.0,
+            beta: 1.0,
+            epsilon: 1e-6,
+        });
+        for i in 0..4 {
+            buf.push(tr(i as f64));
+        }
+        buf.update_priority(0, 10.0);
+        for i in 1..4 {
+            buf.update_priority(i, 1.0);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = buf.sample(500, &mut rng);
+        let max_w = samples.iter().map(|s| s.weight).fold(0.0, f64::max);
+        assert!((max_w - 1.0).abs() < 1e-9, "weights must be normalized");
+        let w0: Vec<f64> = samples.iter().filter(|s| s.index == 0).map(|s| s.weight).collect();
+        let w1: Vec<f64> = samples.iter().filter(|s| s.index == 1).map(|s| s.weight).collect();
+        if let (Some(&a), Some(&b)) = (w0.first(), w1.first()) {
+            assert!(a < b, "frequent sample must carry a smaller weight");
+        }
+    }
+
+    #[test]
+    fn uniform_alpha_zero_behaves_uniformly() {
+        let mut buf = PrioritizedReplay::new(4, PriorityConfig {
+            alpha: 0.0,
+            beta: 0.0,
+            epsilon: 1e-6,
+        });
+        for i in 0..4 {
+            buf.push(tr(i as f64));
+        }
+        for i in 0..4 {
+            buf.update_priority(i, (i + 1) as f64 * 10.0);
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 4];
+        for s in buf.sample(4000, &mut rng) {
+            counts[s.index] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?} not uniform");
+        }
+    }
+}

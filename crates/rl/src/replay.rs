@@ -1,0 +1,132 @@
+//! Experience replay buffer (§2.3 / Algorithm 1 line 13–14).
+//!
+//! Bounded FIFO: "since the size of B is limited, the oldest sample will be
+//! discarded when B is full". Uniform sampling breaks the correlation
+//! between consecutive samples (the property the paper cites for stable
+//! SGD training). Paper sizes: `|B| = 1000`, mini-batch `H = 32`.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::transition::Transition;
+
+/// Bounded uniform-replay buffer.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer<A> {
+    buf: VecDeque<Transition<A>>,
+    capacity: usize,
+}
+
+impl<A: Clone> ReplayBuffer<A> {
+    /// A buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Stores a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition<A>) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(t);
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Uniformly samples `h` transitions with replacement (standard DQN
+    /// practice; with-replacement keeps sampling O(h) and is statistically
+    /// indistinguishable for `h << len`).
+    ///
+    /// Returns an empty vec when the buffer is empty.
+    pub fn sample(&self, h: usize, rng: &mut StdRng) -> Vec<&Transition<A>> {
+        if self.buf.is_empty() {
+            return Vec::new();
+        }
+        (0..h)
+            .map(|_| &self.buf[rng.random_range(0..self.buf.len())])
+            .collect()
+    }
+
+    /// Iterates over the stored transitions, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Transition<A>> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(reward: f64) -> Transition<usize> {
+        Transition::new(vec![reward], 0, reward, vec![reward])
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(t(i as f64));
+        }
+        assert_eq!(b.len(), 3);
+        let rewards: Vec<f64> = b.iter().map(|x| x.reward).collect();
+        assert_eq!(rewards, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sample_size_and_membership() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..10 {
+            b.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = b.sample(32, &mut rng);
+        assert_eq!(s.len(), 32);
+        assert!(s.iter().all(|x| (0.0..10.0).contains(&x.reward)));
+    }
+
+    #[test]
+    fn sample_from_empty_is_empty() {
+        let b: ReplayBuffer<usize> = ReplayBuffer::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(b.sample(4, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let mut b = ReplayBuffer::new(4);
+        for i in 0..4 {
+            b.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        for s in b.sample(40_000, &mut rng) {
+            counts[s.reward as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 40_000.0 - 0.25).abs() < 0.02, "{counts:?}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! State-transition samples — the rows of the paper's transition
+//! "database".
+
+/// One experience sample `(s_t, a_t, r_t, s_{t+1})`.
+///
+/// States are flat feature vectors (the paper's `(X, w)` encoding); the
+/// action type is generic: the actor-critic stores the one-hot assignment
+/// vector, the DQN stores a discrete action index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition<A> {
+    /// State at the decision epoch.
+    pub state: Vec<f64>,
+    /// Action taken.
+    pub action: A,
+    /// Immediate reward (negative average tuple processing time).
+    pub reward: f64,
+    /// Observed next state.
+    pub next_state: Vec<f64>,
+}
+
+impl<A> Transition<A> {
+    /// Convenience constructor.
+    pub fn new(state: Vec<f64>, action: A, reward: f64, next_state: Vec<f64>) -> Self {
+        Self {
+            state,
+            action,
+            reward,
+            next_state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_generic_actions() {
+        let t1: Transition<usize> = Transition::new(vec![0.0], 3, -1.5, vec![1.0]);
+        assert_eq!(t1.action, 3);
+        let t2: Transition<Vec<f64>> =
+            Transition::new(vec![0.0], vec![1.0, 0.0], -2.0, vec![1.0]);
+        assert_eq!(t2.action.len(), 2);
+    }
+}

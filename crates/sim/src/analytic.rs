@@ -1,0 +1,475 @@
+//! Fast analytic steady-state evaluator.
+//!
+//! Estimates the stable average end-to-end tuple processing time of an
+//! assignment without running the tuple-level engine, using the same
+//! structural parameters (service times, selectivities, routing shares,
+//! transfer tiers, CPU contention). Three stages:
+//!
+//! 1. **Flows** — per-executor arrival rates from the workload, propagated
+//!    through edge selectivities and grouping routing shares (fields
+//!    grouping uses the same precomputed Zipf key shares as the engine, so
+//!    skew-induced hot executors match).
+//! 2. **Delays** — per-executor sojourn from an M/G/1
+//!    (Pollaczek–Khinchine) approximation with machine CPU contention
+//!    inflating service times, smoothly penalized past saturation; per-edge
+//!    expected transfer delay from the co-location pattern plus a NIC
+//!    congestion term.
+//! 3. **Composition** — tree-completion latency in reverse topological
+//!    order: a component's remaining latency is its sojourn plus the
+//!    slowest downstream branch (weighted by the probability the branch is
+//!    taken), matching the acker semantics that a tuple finishes when its
+//!    whole tree finishes.
+//!
+//! Optional multiplicative measurement noise makes it a drop-in stochastic
+//! environment for RL training. Consistency with the tuple-level engine is
+//! asserted by integration tests (`tests/sim_consistency.rs`).
+
+use rand::rngs::StdRng;
+
+use crate::assignment::Assignment;
+use crate::cluster::ClusterSpec;
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::rng::{sample_lognormal_noise, stream};
+use crate::stats::RuntimeStats;
+use crate::topology::{ComponentKind, Topology};
+use crate::workload::Workload;
+
+/// Utilization beyond which the P-K term is linearized (keeps the estimate
+/// finite and strongly increasing instead of exploding at ρ → 1).
+const RHO_CAP: f64 = 0.95;
+/// Extra penalty slope per unit of over-saturation.
+const OVERLOAD_SLOPE: f64 = 60.0;
+
+/// The analytic evaluator. Create once per (topology, cluster) pair and
+/// evaluate many assignments cheaply.
+pub struct AnalyticModel {
+    topology: Topology,
+    cluster: ClusterSpec,
+    config: SimConfig,
+    noise_sigma: f64,
+    noise_rng: StdRng,
+}
+
+impl AnalyticModel {
+    /// Builds a noiseless evaluator.
+    pub fn new(
+        topology: Topology,
+        cluster: ClusterSpec,
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        cluster.validate()?;
+        let noise_rng = stream(config.seed, 0xA11A);
+        Ok(Self {
+            topology,
+            cluster,
+            config,
+            noise_sigma: 0.0,
+            noise_rng,
+        })
+    }
+
+    /// Enables multiplicative lognormal measurement noise (log-std sigma).
+    pub fn with_noise(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "noise sigma must be non-negative");
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// The topology being modeled.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The cluster being modeled.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Estimated stable average tuple processing time (ms) for an
+    /// assignment under a workload. Stochastic when noise is enabled.
+    pub fn evaluate(&mut self, assignment: &Assignment, workload: &Workload) -> f64 {
+        self.evaluate_with_stats(assignment, workload).0
+    }
+
+    /// Like [`AnalyticModel::evaluate`] but also returns the full stats
+    /// snapshot (the model-based baseline trains its SVRs on these).
+    pub fn evaluate_with_stats(
+        &mut self,
+        assignment: &Assignment,
+        workload: &Workload,
+    ) -> (f64, RuntimeStats) {
+        assignment
+            .validate_for(&self.topology, &self.cluster)
+            .expect("assignment consistent with model");
+
+        let n = self.topology.n_executors();
+        let m = self.cluster.n_machines();
+
+        // --- Stage 1: flows ------------------------------------------
+        let comp_rates = self.topology.component_rates(workload.rates());
+        let mut exec_rate = vec![0.0; n];
+        for &(c, r) in workload.rates() {
+            let p = self.topology.components()[c].parallelism as f64;
+            for e in self.topology.executors_of(c) {
+                exec_rate[e] += r / p;
+            }
+        }
+        for (ei, edge) in self.topology.edges().iter().enumerate() {
+            let flow = comp_rates[edge.from] * edge.selectivity;
+            let base = self.topology.executor_base(edge.to);
+            let p = self.topology.components()[edge.to].parallelism;
+            for d in 0..p {
+                exec_rate[base + d] += flow * self.topology.routing_share(ei, d);
+            }
+        }
+
+        // --- Stage 2a: remote traffic per executor -------------------
+        // Remote arrivals pay deserialization CPU; remote sends pay
+        // serialization CPU at the source executor. Both depend on the
+        // assignment's co-location pattern.
+        let mut remote_in_rate = vec![0.0; n];
+        let mut remote_out_rate = vec![0.0; n];
+        for (ei, edge) in self.topology.edges().iter().enumerate() {
+            let flow = comp_rates[edge.from] * edge.selectivity;
+            let src_base = self.topology.executor_base(edge.from);
+            let src_p = self.topology.components()[edge.from].parallelism;
+            let dst_base = self.topology.executor_base(edge.to);
+            let dst_p = self.topology.components()[edge.to].parallelism;
+            let src_total: f64 = (0..src_p).map(|u| exec_rate[src_base + u]).sum();
+            for u in 0..src_p {
+                let u_share = if src_total > 0.0 {
+                    exec_rate[src_base + u] / src_total
+                } else {
+                    1.0 / src_p as f64
+                };
+                let mu = assignment.machine_of(src_base + u);
+                for d in 0..dst_p {
+                    let share = self.topology.routing_share(ei, d);
+                    if share == 0.0 {
+                        continue;
+                    }
+                    let md = assignment.machine_of(dst_base + d);
+                    if mu != md {
+                        let rate = flow * u_share * share;
+                        remote_out_rate[src_base + u] += rate;
+                        remote_in_rate[dst_base + d] += rate;
+                    }
+                }
+            }
+        }
+
+        // --- Stage 2b: machine contention ----------------------------
+        // Effective per-tuple service includes deserialization of remote
+        // inputs and serialization of remote outputs.
+        let ser = self.cluster.network.serialize_ms;
+        let deser = self.cluster.network.deserialize_ms;
+        let mut service_eff = vec![0.0; n];
+        for e in 0..n {
+            let comp = &self.topology.components()[self.topology.component_of(e)];
+            let rate = exec_rate[e].max(1e-12);
+            service_eff[e] = comp.service_mean_ms
+                + deser * (remote_in_rate[e] / rate).min(1.0)
+                + ser * remote_out_rate[e] / rate;
+        }
+        let mut machine_cpu = vec![0.0; m];
+        for e in 0..n {
+            machine_cpu[assignment.machine_of(e)] += exec_rate[e] * service_eff[e] / 1000.0;
+        }
+        let slowdown: Vec<f64> = (0..m)
+            .map(|j| {
+                let cores = self.cluster.machines[j].cores as f64;
+                let u = machine_cpu[j] / cores;
+                // Past ~85% machine utilization the processor-sharing tail
+                // blows up; the convex penalty mirrors the tuple-level
+                // engine's queue explosion without going infinite.
+                let base = u.max(1.0);
+                // Near u = 1 the machine diverges in the tuple-level
+                // engine; ramp hard past 95% and explosively past 100%.
+                let penalty = if u > 0.95 {
+                    30.0 * (u - 0.95) + 400.0 * (u - 1.0).max(0.0).powi(2)
+                } else {
+                    0.0
+                };
+                base + penalty
+            })
+            .collect();
+
+        // --- Stage 2c: per-executor sojourn (M/G/1 P-K) --------------
+        let mut sojourn = vec![0.0; n];
+        for e in 0..n {
+            let comp = &self.topology.components()[self.topology.component_of(e)];
+            let s_eff = service_eff[e] * slowdown[assignment.machine_of(e)];
+            let rho = exec_rate[e] * s_eff / 1000.0;
+            let cv2 = comp.service_cv * comp.service_cv;
+            sojourn[e] = if rho < RHO_CAP {
+                s_eff * (1.0 + rho * (1.0 + cv2) / (2.0 * (1.0 - rho)))
+            } else {
+                let at_cap = 1.0 + RHO_CAP * (1.0 + cv2) / (2.0 * (1.0 - RHO_CAP));
+                s_eff * (at_cap + OVERLOAD_SLOPE * (rho - RHO_CAP))
+            };
+        }
+
+        // --- Stage 2c: per-edge expected transfer delay --------------
+        // Cross-machine traffic for the congestion term.
+        let mut cross_kib = vec![0.0; m];
+        for (ei, edge) in self.topology.edges().iter().enumerate() {
+            let flow = comp_rates[edge.from] * edge.selectivity;
+            let src_base = self.topology.executor_base(edge.from);
+            let src_p = self.topology.components()[edge.from].parallelism;
+            let dst_base = self.topology.executor_base(edge.to);
+            let dst_p = self.topology.components()[edge.to].parallelism;
+            let src_total: f64 = (0..src_p).map(|u| exec_rate[src_base + u]).sum();
+            for u in 0..src_p {
+                let u_share = if src_total > 0.0 {
+                    exec_rate[src_base + u] / src_total
+                } else {
+                    1.0 / src_p as f64
+                };
+                let mu = assignment.machine_of(src_base + u);
+                for d in 0..dst_p {
+                    let share = self.topology.routing_share(ei, d);
+                    let md = assignment.machine_of(dst_base + d);
+                    if mu != md {
+                        cross_kib[mu] +=
+                            flow * u_share * share * edge.tuple_bytes as f64 / 1024.0;
+                    }
+                }
+            }
+        }
+        let congestion_mult: Vec<f64> = (0..m)
+            .map(|j| {
+                let util = (cross_kib[j] / self.cluster.network.nic_kib_per_s).min(3.0);
+                1.0 + self.cluster.network.congestion * util
+            })
+            .collect();
+
+        let mut edge_transfer = vec![0.0; self.topology.edges().len()];
+        for (ei, edge) in self.topology.edges().iter().enumerate() {
+            let src_base = self.topology.executor_base(edge.from);
+            let src_p = self.topology.components()[edge.from].parallelism;
+            let dst_base = self.topology.executor_base(edge.to);
+            let dst_p = self.topology.components()[edge.to].parallelism;
+            let src_total: f64 = (0..src_p).map(|u| exec_rate[src_base + u]).sum();
+            let mut expected = 0.0;
+            for u in 0..src_p {
+                let u_share = if src_total > 0.0 {
+                    exec_rate[src_base + u] / src_total
+                } else {
+                    1.0 / src_p as f64
+                };
+                let mu = assignment.machine_of(src_base + u);
+                for d in 0..dst_p {
+                    let share = self.topology.routing_share(ei, d);
+                    if share == 0.0 {
+                        continue;
+                    }
+                    let md = assignment.machine_of(dst_base + d);
+                    let mut delay = self.cluster.base_transfer_ms(mu, md, edge.tuple_bytes);
+                    if mu != md {
+                        delay *= congestion_mult[mu];
+                    }
+                    // `All` grouping replicates to every executor: the share
+                    // sums to dst_p; normalize to a per-copy average.
+                    expected += u_share * share * delay;
+                }
+            }
+            if matches!(edge.grouping, crate::topology::Grouping::All) {
+                expected /= dst_p as f64;
+            }
+            edge_transfer[ei] = expected;
+        }
+
+        // --- Stage 3: tree-completion composition --------------------
+        // Weighted per-component sojourn (hot executors dominate).
+        let n_comps = self.topology.components().len();
+        let mut comp_sojourn = vec![0.0; n_comps];
+        for (c, slot) in comp_sojourn.iter_mut().enumerate() {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for e in self.topology.executors_of(c) {
+                num += exec_rate[e] * sojourn[e];
+                den += exec_rate[e];
+            }
+            *slot = if den > 0.0 {
+                num / den
+            } else {
+                self.topology.components()[c].service_mean_ms
+            };
+        }
+        let mut remaining = vec![0.0; n_comps];
+        for &c in self.topology.topo_order().iter().rev() {
+            let mut downstream: f64 = 0.0;
+            for &ei in self.topology.out_edges_of(c) {
+                let edge = &self.topology.edges()[ei];
+                let branch_prob = edge.selectivity.min(1.0);
+                downstream =
+                    downstream.max(branch_prob * (edge_transfer[ei] + remaining[edge.to]));
+            }
+            remaining[c] = comp_sojourn[c] + downstream;
+        }
+        let mut total = 0.0;
+        let mut total_rate = 0.0;
+        for &(c, r) in workload.rates() {
+            debug_assert_eq!(
+                self.topology.components()[c].kind,
+                ComponentKind::Spout
+            );
+            total += r * remaining[c];
+            total_rate += r;
+        }
+        let mut latency = if total_rate > 0.0 {
+            total / total_rate
+        } else {
+            0.0
+        } + self.config.ack_overhead_ms;
+
+        if self.noise_sigma > 0.0 {
+            latency *= sample_lognormal_noise(&mut self.noise_rng, self.noise_sigma);
+        }
+
+        let stats = RuntimeStats {
+            avg_latency_ms: latency,
+            executor_rates: exec_rate,
+            executor_sojourn_ms: sojourn,
+            machine_cpu_cores: machine_cpu,
+            machine_cross_kib_s: cross_kib,
+            edge_transfer_ms: edge_transfer,
+            completed: 0,
+            failed: 0,
+        };
+        (latency, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Grouping, TopologyBuilder};
+
+    fn chain() -> Topology {
+        let mut b = TopologyBuilder::new("chain");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 4, 0.3);
+        let y = b.bolt("y", 2, 0.1);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 256);
+        b.edge(x, y, Grouping::Shuffle, 0.5, 128);
+        b.build().unwrap()
+    }
+
+    fn model() -> AnalyticModel {
+        AnalyticModel::new(
+            chain(),
+            ClusterSpec::homogeneous(4),
+            SimConfig::steady_state(1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn latency_positive_and_deterministic() {
+        let mut m = model();
+        let w = Workload::uniform(m.topology(), 200.0);
+        let a = Assignment::round_robin(m.topology(), m.cluster());
+        let l1 = m.evaluate(&a, &w);
+        let l2 = m.evaluate(&a, &w);
+        assert!(l1 > 0.0);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn higher_workload_higher_latency() {
+        let mut m = model();
+        let a = Assignment::round_robin(m.topology(), m.cluster());
+        let low = m.evaluate(&a, &Workload::uniform(m.topology(), 100.0));
+        let high = m.evaluate(&a, &Workload::uniform(m.topology(), 2000.0));
+        assert!(high > low, "{high} vs {low}");
+    }
+
+    #[test]
+    fn colocated_beats_scattered_at_light_load() {
+        let mut m = model();
+        let w = Workload::uniform(m.topology(), 100.0);
+        let packed = Assignment::new(vec![0, 0, 0, 0, 1, 1, 0, 1], 4).unwrap();
+        let scattered = Assignment::round_robin(m.topology(), m.cluster());
+        let lp = m.evaluate(&packed, &w);
+        let ls = m.evaluate(&scattered, &w);
+        assert!(lp < ls, "packed {lp} vs scattered {ls}");
+    }
+
+    #[test]
+    fn single_machine_overload_is_penalized() {
+        // 12k tuples/s => ~4.8 cores of demand on the packed machine
+        // (4 cores), while round-robin spreads ~1.2 cores per machine.
+        let mut m = model();
+        let w = Workload::uniform(m.topology(), 12_000.0);
+        let all_one = Assignment::new(vec![0; 8], 4).unwrap();
+        let spread = Assignment::round_robin(m.topology(), m.cluster());
+        let packed = m.evaluate(&all_one, &w);
+        let balanced = m.evaluate(&spread, &w);
+        assert!(
+            packed > balanced,
+            "overloading one machine must hurt: {packed} vs {balanced}"
+        );
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let mut m = model().with_noise(0.05);
+        let w = Workload::uniform(m.topology(), 200.0);
+        let a = Assignment::round_robin(m.topology(), m.cluster());
+        let vals: Vec<f64> = (0..50).map(|_| m.evaluate(&a, &w)).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(vals.iter().any(|&v| (v - vals[0]).abs() > 1e-12));
+        for v in &vals {
+            assert!((v / mean - 1.0).abs() < 0.3);
+        }
+    }
+
+    #[test]
+    fn stats_flows_conserve_rates() {
+        let mut m = model();
+        let w = Workload::uniform(m.topology(), 200.0);
+        let a = Assignment::round_robin(m.topology(), m.cluster());
+        let (_, stats) = m.evaluate_with_stats(&a, &w);
+        // Spout executors: 100 each; x: 50 each; y: 50 each (selectivity .5).
+        let topo = chain();
+        let spout_sum: f64 = topo.executors_of(0).map(|e| stats.executor_rates[e]).sum();
+        let x_sum: f64 = topo.executors_of(1).map(|e| stats.executor_rates[e]).sum();
+        let y_sum: f64 = topo.executors_of(2).map(|e| stats.executor_rates[e]).sum();
+        assert!((spout_sum - 200.0).abs() < 1e-9);
+        assert!((x_sum - 200.0).abs() < 1e-9);
+        assert!((y_sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fields_skew_creates_hot_executors() {
+        let mut b = TopologyBuilder::new("skew");
+        let s = b.spout("s", 1, 0.05);
+        let x = b.bolt("x", 8, 0.2);
+        b.edge(
+            s,
+            x,
+            Grouping::Fields {
+                n_keys: 500,
+                skew: 1.2,
+            },
+            1.0,
+            64,
+        );
+        let topo = b.build().unwrap();
+        let mut m = AnalyticModel::new(
+            topo,
+            ClusterSpec::homogeneous(4),
+            SimConfig::steady_state(2),
+        )
+        .unwrap();
+        let w = Workload::uniform(m.topology(), 400.0);
+        let a = Assignment::round_robin(m.topology(), m.cluster());
+        let (_, stats) = m.evaluate_with_stats(&a, &w);
+        let rates = &stats.executor_rates[1..9];
+        let max = rates.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let min = rates.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(max > 1.5 * min, "skew expected: {rates:?}");
+    }
+}

@@ -1,0 +1,265 @@
+//! Scheduling solutions: the `N -> M` executor-to-machine mapping.
+//!
+//! Following the paper (§3.2), the two Storm-level mappings
+//! (threads -> processes, processes -> machines) are merged into one —
+//! every machine runs at most one worker process per topology, and all of a
+//! topology's threads on that machine live in it.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterSpec;
+use crate::error::SimError;
+use crate::topology::Topology;
+
+/// A scheduling solution: `machine_of[e]` is the machine executor `e` runs
+/// on. Equivalent to the paper's binary matrix `X = <x_ij>` with
+/// `x_ij = 1 ⇔ machine_of[i] == j`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Assignment {
+    machine_of: Vec<usize>,
+    n_machines: usize,
+}
+
+impl Assignment {
+    /// Builds from an explicit mapping.
+    ///
+    /// # Errors
+    /// Rejects out-of-range machine indices or an empty mapping.
+    pub fn new(machine_of: Vec<usize>, n_machines: usize) -> Result<Self, SimError> {
+        if machine_of.is_empty() {
+            return Err(SimError::InvalidAssignment("no executors".into()));
+        }
+        if n_machines == 0 {
+            return Err(SimError::InvalidAssignment("no machines".into()));
+        }
+        if let Some(&bad) = machine_of.iter().find(|&&m| m >= n_machines) {
+            return Err(SimError::InvalidAssignment(format!(
+                "machine index {bad} out of range (M = {n_machines})"
+            )));
+        }
+        Ok(Self {
+            machine_of,
+            n_machines,
+        })
+    }
+
+    /// Storm's default scheduling: executors dealt to machines round-robin,
+    /// yielding the near-even spread the paper calls "the current practice".
+    pub fn round_robin(topology: &Topology, cluster: &ClusterSpec) -> Self {
+        let m = cluster.n_machines();
+        let machine_of = (0..topology.n_executors()).map(|e| e % m).collect();
+        Self {
+            machine_of,
+            n_machines: m,
+        }
+    }
+
+    /// Uniformly random assignment — the paper's offline-training data
+    /// collector ("deploys a randomly-generated scheduling solution").
+    pub fn random(topology: &Topology, cluster: &ClusterSpec, rng: &mut StdRng) -> Self {
+        let m = cluster.n_machines();
+        let machine_of = (0..topology.n_executors())
+            .map(|_| rng.random_range(0..m))
+            .collect();
+        Self {
+            machine_of,
+            n_machines: m,
+        }
+    }
+
+    /// Number of executors `N`.
+    pub fn n_executors(&self) -> usize {
+        self.machine_of.len()
+    }
+
+    /// Number of machines `M`.
+    pub fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+
+    /// Machine of executor `e`.
+    pub fn machine_of(&self, executor: usize) -> usize {
+        self.machine_of[executor]
+    }
+
+    /// The raw mapping.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.machine_of
+    }
+
+    /// Returns a copy with executor `e` moved to `machine` (the DQN method's
+    /// single-thread action).
+    ///
+    /// # Panics
+    /// Panics on out-of-range arguments.
+    pub fn with_move(&self, executor: usize, machine: usize) -> Self {
+        assert!(executor < self.n_executors(), "executor out of range");
+        assert!(machine < self.n_machines, "machine out of range");
+        let mut next = self.clone();
+        next.machine_of[executor] = machine;
+        next
+    }
+
+    /// Executors whose machine differs from `other` — the set the custom
+    /// scheduler actually re-assigns (the paper's minimal-impact deployment
+    /// frees and re-adds only these).
+    ///
+    /// # Panics
+    /// Panics when executor counts differ.
+    pub fn diff(&self, other: &Assignment) -> Vec<usize> {
+        assert_eq!(
+            self.n_executors(),
+            other.n_executors(),
+            "diff requires same executor count"
+        );
+        (0..self.n_executors())
+            .filter(|&e| self.machine_of[e] != other.machine_of[e])
+            .collect()
+    }
+
+    /// Executors per machine.
+    pub fn machine_loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.n_machines];
+        for &m in &self.machine_of {
+            loads[m] += 1;
+        }
+        loads
+    }
+
+    /// Number of machines hosting at least one executor.
+    pub fn machines_used(&self) -> usize {
+        self.machine_loads().iter().filter(|&&l| l > 0).count()
+    }
+
+    /// Flattened one-hot encoding `x_ij` (row-major `N × M`) — the `X` part
+    /// of the paper's state `s = (X, w)` and of its action encoding.
+    pub fn to_onehot(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.n_executors() * self.n_machines];
+        for (e, &m) in self.machine_of.iter().enumerate() {
+            x[e * self.n_machines + m] = 1.0;
+        }
+        x
+    }
+
+    /// Decodes a one-hot (or argmax-able) encoding back to an assignment.
+    ///
+    /// # Errors
+    /// Rejects size mismatches.
+    pub fn from_onehot(x: &[f64], n: usize, m: usize) -> Result<Self, SimError> {
+        if x.len() != n * m {
+            return Err(SimError::InvalidAssignment(format!(
+                "one-hot size {} != {n} x {m}",
+                x.len()
+            )));
+        }
+        let machine_of = (0..n)
+            .map(|e| {
+                let row = &x[e * m..(e + 1) * m];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in one-hot"))
+                    .map(|(j, _)| j)
+                    .expect("non-empty row")
+            })
+            .collect();
+        Self::new(machine_of, m)
+    }
+
+    /// Checks compatibility with a topology/cluster pair.
+    pub fn validate_for(
+        &self,
+        topology: &Topology,
+        cluster: &ClusterSpec,
+    ) -> Result<(), SimError> {
+        if self.n_executors() != topology.n_executors() {
+            return Err(SimError::InvalidAssignment(format!(
+                "assignment has {} executors, topology has {}",
+                self.n_executors(),
+                topology.n_executors()
+            )));
+        }
+        if self.n_machines != cluster.n_machines() {
+            return Err(SimError::InvalidAssignment(format!(
+                "assignment spans {} machines, cluster has {}",
+                self.n_machines,
+                cluster.n_machines()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Grouping, TopologyBuilder};
+    use rand::SeedableRng;
+
+    fn small_topology() -> Topology {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 3, 0.2);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 100);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let t = small_topology();
+        let c = ClusterSpec::homogeneous(2);
+        let a = Assignment::round_robin(&t, &c);
+        assert_eq!(a.as_slice(), &[0, 1, 0, 1, 0]);
+        assert_eq!(a.machine_loads(), vec![3, 2]);
+        assert_eq!(a.machines_used(), 2);
+    }
+
+    #[test]
+    fn onehot_round_trip() {
+        let t = small_topology();
+        let c = ClusterSpec::homogeneous(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Assignment::random(&t, &c, &mut rng);
+        let x = a.to_onehot();
+        assert_eq!(x.len(), 15);
+        assert_eq!(x.iter().sum::<f64>(), 5.0);
+        let b = Assignment::from_onehot(&x, 5, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diff_and_move() {
+        let a = Assignment::new(vec![0, 0, 1], 2).unwrap();
+        let b = a.with_move(0, 1);
+        assert_eq!(a.diff(&b), vec![0]);
+        assert_eq!(b.machine_of(0), 1);
+        assert_eq!(a.diff(&a), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Assignment::new(vec![0, 3], 2).is_err());
+        assert!(Assignment::new(vec![], 2).is_err());
+        assert!(Assignment::new(vec![0], 0).is_err());
+    }
+
+    #[test]
+    fn validate_for_checks_sizes() {
+        let t = small_topology();
+        let c = ClusterSpec::homogeneous(2);
+        let a = Assignment::round_robin(&t, &c);
+        assert!(a.validate_for(&t, &c).is_ok());
+        let wrong_cluster = ClusterSpec::homogeneous(5);
+        assert!(a.validate_for(&t, &wrong_cluster).is_err());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let t = small_topology();
+        let c = ClusterSpec::homogeneous(4);
+        let a = Assignment::random(&t, &c, &mut StdRng::seed_from_u64(9));
+        let b = Assignment::random(&t, &c, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

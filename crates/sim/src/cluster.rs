@@ -1,0 +1,188 @@
+//! Cluster and network models — the physical layer.
+//!
+//! The paper's testbed: 10 worker machines (plus Nimbus), each an Intel
+//! Xeon quad-core with 10 slots, on a 1 Gbps network. Transfer cost is
+//! three-tier, as in the paper and its baseline \[52\]: threads in the same
+//! worker process exchange tuples essentially for free, separate processes
+//! on one machine pay an IPC cost, and machine-to-machine transfers pay
+//! serialization + network latency + a bandwidth share.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// One worker machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Physical cores shared by the executors on this machine.
+    pub cores: usize,
+    /// Worker-process slots (Storm: configured per machine; the paper
+    /// uses 10).
+    pub slots: usize,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        // The paper's worker nodes: quad-core Xeon, 10 slots.
+        Self { cores: 4, slots: 10 }
+    }
+}
+
+/// Tuple transfer cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Thread-to-thread transfer within one worker process (ms). Storm:
+    /// an in-memory queue hop.
+    pub intra_process_ms: f64,
+    /// Process-to-process on one machine (ms). Unused for tuple traffic
+    /// under the paper's one-worker-per-machine rule but kept in the model
+    /// (control messages, ablations with multiple workers).
+    pub inter_process_ms: f64,
+    /// Base machine-to-machine latency (ms): serialization + NIC + switch.
+    pub inter_machine_ms: f64,
+    /// Added machine-to-machine cost per KiB of tuple payload (ms). 1 Gbps
+    /// ≈ 0.008 ms/KiB; real Storm pays more due to framing and kryo.
+    pub per_kib_ms: f64,
+    /// Congestion sensitivity: multiplies the machine-to-machine cost by
+    /// `1 + congestion * (nic_utilization)` where utilization is the
+    /// machine's cross-traffic share of `nic_kib_per_s`.
+    pub congestion: f64,
+    /// NIC capacity per machine in KiB/s.
+    pub nic_kib_per_s: f64,
+    /// Sender-side CPU time (ms) to serialize one tuple leaving the
+    /// machine. In Storm this — kryo serialization plus the transfer
+    /// thread — dominates the cost of inter-machine traffic and is why
+    /// traffic-aware schedulers (\[52\]) win; local deliveries skip it.
+    pub serialize_ms: f64,
+    /// Receiver-side CPU time (ms) to deserialize one tuple that arrived
+    /// from another machine.
+    pub deserialize_ms: f64,
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        Self {
+            intra_process_ms: 0.02,
+            inter_process_ms: 0.12,
+            inter_machine_ms: 0.6,
+            per_kib_ms: 0.03,
+            congestion: 2.0,
+            nic_kib_per_s: 120_000.0, // ~1 Gbps in KiB/s
+            serialize_ms: 0.35,
+            deserialize_ms: 0.35,
+        }
+    }
+}
+
+/// The whole cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Worker machines (the paper's `M`). Nimbus is not modeled — it only
+    /// hosts the scheduler, which is this workspace itself.
+    pub machines: Vec<MachineSpec>,
+    /// Transfer cost model.
+    pub network: NetworkParams,
+}
+
+impl ClusterSpec {
+    /// A homogeneous cluster of `n` default machines (the paper's setup is
+    /// `ClusterSpec::homogeneous(10)`).
+    pub fn homogeneous(n: usize) -> Self {
+        Self {
+            machines: vec![MachineSpec::default(); n],
+            network: NetworkParams::default(),
+        }
+    }
+
+    /// Number of machines (the paper's `M`).
+    pub fn n_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Validates the specification.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.machines.is_empty() {
+            return Err(SimError::InvalidCluster("no machines".into()));
+        }
+        for (i, m) in self.machines.iter().enumerate() {
+            if m.cores == 0 {
+                return Err(SimError::InvalidCluster(format!("machine {i} has 0 cores")));
+            }
+            if m.slots == 0 {
+                return Err(SimError::InvalidCluster(format!("machine {i} has 0 slots")));
+            }
+        }
+        let n = &self.network;
+        if n.intra_process_ms < 0.0
+            || n.inter_process_ms < 0.0
+            || n.inter_machine_ms < 0.0
+            || n.per_kib_ms < 0.0
+            || n.congestion < 0.0
+            || n.nic_kib_per_s <= 0.0
+            || n.serialize_ms < 0.0
+            || n.deserialize_ms < 0.0
+        {
+            return Err(SimError::InvalidCluster("negative network parameter".into()));
+        }
+        Ok(())
+    }
+
+    /// Base transfer delay in ms for a tuple of `bytes` from machine `a` to
+    /// machine `b` (no congestion term; the engine and analytic model add
+    /// congestion from their own traffic accounting).
+    ///
+    /// Same machine means same worker process under the paper's merged
+    /// mapping, so it costs the intra-process hop.
+    pub fn base_transfer_ms(&self, a: usize, b: usize, bytes: usize) -> f64 {
+        if a == b {
+            self.network.intra_process_ms
+        } else {
+            self.network.inter_machine_ms + self.network.per_kib_ms * (bytes as f64 / 1024.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_matches_paper_defaults() {
+        let c = ClusterSpec::homogeneous(10);
+        assert_eq!(c.n_machines(), 10);
+        assert_eq!(c.machines[0].cores, 4);
+        assert_eq!(c.machines[0].slots, 10);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn transfer_cost_tiers() {
+        let c = ClusterSpec::homogeneous(2);
+        let local = c.base_transfer_ms(0, 0, 1024);
+        let remote = c.base_transfer_ms(0, 1, 1024);
+        assert!(local < remote);
+        assert!((remote - (0.6 + 0.03)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payload_size_matters_remotely_only() {
+        let c = ClusterSpec::homogeneous(2);
+        assert_eq!(c.base_transfer_ms(0, 0, 10), c.base_transfer_ms(0, 0, 10_000));
+        assert!(c.base_transfer_ms(0, 1, 10_240) > c.base_transfer_ms(0, 1, 1024));
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut c = ClusterSpec::homogeneous(1);
+        c.machines[0].cores = 0;
+        assert!(c.validate().is_err());
+        let empty = ClusterSpec {
+            machines: vec![],
+            network: NetworkParams::default(),
+        };
+        assert!(empty.validate().is_err());
+        let mut bad_net = ClusterSpec::homogeneous(1);
+        bad_net.network.per_kib_ms = -1.0;
+        assert!(bad_net.validate().is_err());
+    }
+}

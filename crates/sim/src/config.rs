@@ -1,0 +1,98 @@
+//! Simulation configuration knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the tuple-level engine's behavioural model.
+///
+/// Defaults are calibrated so the paper's topologies land in the paper's
+/// latency range (§4.2): a freshly (re)deployed system starts high and
+/// stabilizes within ~8–10 simulated minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master RNG seed; every stochastic stream in the engine derives from
+    /// it, so runs are exactly reproducible.
+    pub seed: u64,
+    /// Post-(re)start service-time inflation: a just-(re)started executor
+    /// serves at `(1 + warmup_amplitude · exp(−age/warmup_tau_s))` times its
+    /// nominal service time (JIT warm-up, cold caches, connection setup).
+    pub warmup_amplitude: f64,
+    /// Warm-up decay time constant in seconds.
+    pub warmup_tau_s: f64,
+    /// Pause imposed on an executor that is migrated by a re-deployment
+    /// (state hand-off); its queue buffers meanwhile.
+    pub migration_pause_s: f64,
+    /// Sliding window (seconds) for the measured average tuple processing
+    /// time.
+    pub latency_window_s: f64,
+    /// Constant acker round-trip added to every complete latency (ms).
+    pub ack_overhead_ms: f64,
+    /// Cap on tuples an executor queue holds before new arrivals are
+    /// dropped and replayed (fault-tolerance timeout path). Keeps overload
+    /// from consuming unbounded memory.
+    pub max_queue_len: usize,
+    /// Measurement-protocol parameters (§3.1: "takes the average of 5
+    /// consecutive measurements with a 10-second interval").
+    pub measure_samples: usize,
+    /// Interval between measurement samples, seconds.
+    pub measure_interval_s: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xD5D9_5EED,
+            warmup_amplitude: 1.6,
+            warmup_tau_s: 150.0,
+            migration_pause_s: 8.0,
+            latency_window_s: 30.0,
+            ack_overhead_ms: 0.25,
+            max_queue_len: 20_000,
+            measure_samples: 5,
+            measure_interval_s: 10.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with warm-up and migration transients disabled —
+    /// useful for steady-state tests that should not wait out the ramp.
+    pub fn steady_state(seed: u64) -> Self {
+        Self {
+            seed,
+            warmup_amplitude: 0.0,
+            warmup_tau_s: 1.0,
+            migration_pause_s: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Warm-up service multiplier for an executor (re)started `age_s` ago.
+    pub fn warmup_multiplier(&self, age_s: f64) -> f64 {
+        if self.warmup_amplitude == 0.0 || age_s < 0.0 {
+            return 1.0;
+        }
+        1.0 + self.warmup_amplitude * (-age_s / self.warmup_tau_s).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_decays_to_one() {
+        let c = SimConfig::default();
+        let early = c.warmup_multiplier(0.0);
+        let later = c.warmup_multiplier(c.warmup_tau_s * 3.0);
+        assert!((early - (1.0 + c.warmup_amplitude)).abs() < 1e-12);
+        assert!(later < 1.1);
+        assert!(c.warmup_multiplier(1e9) - 1.0 < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_disables_transients() {
+        let c = SimConfig::steady_state(1);
+        assert_eq!(c.warmup_multiplier(0.0), 1.0);
+        assert_eq!(c.migration_pause_s, 0.0);
+    }
+}

@@ -1,0 +1,894 @@
+//! The tuple-level discrete-event simulator of the DSDPS.
+//!
+//! Faithful to the runtime behaviour the paper's scheduler experiences on
+//! Storm:
+//!
+//! * spout executors emit root tuples as Poisson processes at the workload
+//!   rate (scaled by the [`RateSchedule`]);
+//! * every executor is a FIFO queue + server; service times follow the
+//!   component's distribution, inflated by machine CPU contention
+//!   (executors sharing a machine's cores) and by post-(re)start warm-up;
+//! * processed tuples spawn children along outgoing edges (probabilistic
+//!   rounding of the edge selectivity) routed by the edge grouping, paying
+//!   intra-process or inter-machine transfer delay (plus a congestion term
+//!   driven by the machine's measured cross-traffic);
+//! * tuple trees are acked exactly like Storm's acker; the complete latency
+//!   feeds a sliding-window average — the paper's "average tuple processing
+//!   time";
+//! * re-deployments pause only the moved executors (the paper's
+//!   minimal-impact custom scheduler) and restart their warm-up, producing
+//!   the transient spike-then-stabilize curves of Figures 6–12.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::assignment::Assignment;
+use crate::cluster::ClusterSpec;
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::event::{EventKind, EventQueue};
+use crate::latency::LatencyTracker;
+use crate::rng::{self, sample_count, sample_exponential, sample_service_time, Zipf};
+use crate::stats::RuntimeStats;
+use crate::topology::{key_to_executor, Grouping, Topology};
+use crate::tuple::{AckOutcome, TupleTracker};
+use crate::workload::{RateSchedule, Workload};
+
+/// EWMA time constant for the per-machine cross-traffic estimate (s).
+const TRAFFIC_TAU_S: f64 = 5.0;
+
+#[derive(Debug)]
+struct ExecutorState {
+    /// Queued tuples: `(root id, arrived-remote)`.
+    queue: VecDeque<(u64, bool)>,
+    /// `(root id, machine service started on)` — the machine is recorded
+    /// because a re-deployment may move the executor mid-service, and the
+    /// busy count must be released on the machine that acquired it.
+    in_service: Option<(u64, usize)>,
+    started_at: f64,
+    paused_until: f64,
+    processed: u64,
+    arrived: u64,
+}
+
+impl ExecutorState {
+    fn new(now: f64) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            in_service: None,
+            started_at: now,
+            paused_until: now,
+            processed: 0,
+            arrived: 0,
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.in_service.is_none()
+    }
+
+    fn paused(&self, now: f64) -> bool {
+        now < self.paused_until
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct MachineState {
+    busy_executors: usize,
+    cross_kib_rate: f64,
+    last_traffic_at: f64,
+    /// A failed machine stops emitting and serving; tuples routed to its
+    /// executors queue up and overflow (Storm's timeout/replay path).
+    failed: bool,
+}
+
+impl MachineState {
+    /// Decays then bumps the outbound cross-traffic EWMA (KiB/s).
+    fn note_cross_traffic(&mut self, now: f64, kib: f64) {
+        self.decay(now);
+        self.cross_kib_rate += kib / TRAFFIC_TAU_S;
+    }
+
+    fn decay(&mut self, now: f64) {
+        let dt = (now - self.last_traffic_at).max(0.0);
+        if dt > 0.0 {
+            self.cross_kib_rate *= (-dt / TRAFFIC_TAU_S).exp();
+            self.last_traffic_at = now;
+        }
+    }
+
+    fn cross_rate(&mut self, now: f64) -> f64 {
+        self.decay(now);
+        self.cross_kib_rate
+    }
+}
+
+/// The discrete-event DSDPS engine. See the module docs for the model.
+pub struct SimEngine {
+    topology: Topology,
+    cluster: ClusterSpec,
+    config: SimConfig,
+    workload: Workload,
+    schedule: RateSchedule,
+    assignment: Assignment,
+    clock: f64,
+    events: EventQueue,
+    executors: Vec<ExecutorState>,
+    machines: Vec<MachineState>,
+    tracker: TupleTracker,
+    latency: LatencyTracker,
+    arrival_rng: StdRng,
+    service_rng: StdRng,
+    routing_rng: StdRng,
+    fields_keys: Vec<Option<Zipf>>,
+    events_processed: u64,
+    started: bool,
+}
+
+impl SimEngine {
+    /// Builds an engine; call [`SimEngine::deploy`] to start processing.
+    pub fn new(
+        topology: Topology,
+        cluster: ClusterSpec,
+        workload: Workload,
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        cluster.validate()?;
+        let n = topology.n_executors();
+        let fields_keys = topology
+            .edges()
+            .iter()
+            .map(|e| match e.grouping {
+                Grouping::Fields { n_keys, skew } => Some(Zipf::new(n_keys, skew)),
+                _ => None,
+            })
+            .collect();
+        Ok(Self {
+            executors: (0..n).map(|_| ExecutorState::new(0.0)).collect(),
+            machines: vec![MachineState::default(); cluster.n_machines()],
+            tracker: TupleTracker::new(),
+            latency: LatencyTracker::new(config.latency_window_s),
+            arrival_rng: rng::stream(config.seed, 1),
+            service_rng: rng::stream(config.seed, 2),
+            routing_rng: rng::stream(config.seed, 3),
+            fields_keys,
+            events: EventQueue::new(),
+            clock: 0.0,
+            events_processed: 0,
+            started: false,
+            // Placeholder until the first deploy.
+            assignment: Assignment::round_robin(&topology, &cluster),
+            schedule: RateSchedule::constant(),
+            workload,
+            topology,
+            cluster,
+            config,
+        })
+    }
+
+    /// Sets the workload multiplier schedule (call before or between runs).
+    pub fn set_rate_schedule(&mut self, schedule: RateSchedule) {
+        self.schedule = schedule;
+    }
+
+    /// Replaces the base workload (rates take effect from the current
+    /// simulated time onward).
+    pub fn set_workload(&mut self, workload: Workload) {
+        self.workload = workload;
+    }
+
+    /// Deploys a scheduling solution.
+    ///
+    /// The first call starts the topology (all executors begin their
+    /// warm-up; spouts start emitting). Subsequent calls re-deploy: only
+    /// executors whose machine changed are paused for
+    /// `config.migration_pause_s` and restart their warm-up, mirroring the
+    /// paper's minimal-impact deployment.
+    pub fn deploy(&mut self, assignment: Assignment) -> Result<(), SimError> {
+        assignment.validate_for(&self.topology, &self.cluster)?;
+        if !self.started {
+            self.started = true;
+            self.assignment = assignment;
+            for e in 0..self.topology.n_executors() {
+                self.executors[e].started_at = self.clock;
+            }
+            for spout_comp in self.topology.spouts() {
+                for e in self.topology.executors_of(spout_comp) {
+                    self.schedule_next_emit(e);
+                }
+            }
+            return Ok(());
+        }
+        let moved = self.assignment.diff(&assignment);
+        for &e in &moved {
+            let ex = &mut self.executors[e];
+            ex.paused_until = self.clock + self.config.migration_pause_s;
+            ex.started_at = self.clock; // warm-up restarts on the new machine
+            self.events.push(
+                ex.paused_until,
+                EventKind::MigrationDone { executor: e },
+            );
+        }
+        self.assignment = assignment;
+        Ok(())
+    }
+
+    /// Advances simulated time to `t_end` (seconds), processing all events.
+    ///
+    /// # Panics
+    /// Panics if `t_end` is behind the current clock.
+    pub fn run_until(&mut self, t_end: f64) {
+        assert!(
+            t_end >= self.clock,
+            "cannot run backwards: {t_end} < {}",
+            self.clock
+        );
+        while let Some(t) = self.events.peek_time() {
+            if t > t_end {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked event");
+            self.clock = ev.time;
+            self.events_processed += 1;
+            match ev.kind {
+                EventKind::SpoutEmit { executor } => self.on_spout_emit(executor),
+                EventKind::TupleArrival {
+                    executor,
+                    root,
+                    remote,
+                } => self.enqueue_tuple(executor, root, remote),
+                EventKind::ServiceComplete { executor, root } => {
+                    self.on_service_complete(executor, root)
+                }
+                EventKind::MigrationDone { executor } => self.try_start_service(executor),
+            }
+        }
+        self.clock = t_end;
+    }
+
+    /// Current simulated time (s).
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// The deployed assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The cluster spec.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Events processed since construction (throughput metric for benches).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Sliding-window average tuple processing time at the current clock.
+    pub fn window_avg_latency_ms(&mut self) -> Option<f64> {
+        let now = self.clock;
+        self.latency.window_avg_ms(now)
+    }
+
+    /// The paper's measurement protocol: run on, sampling the window
+    /// average `config.measure_samples` times at `config.measure_interval_s`
+    /// spacing, and return the mean of the non-empty samples.
+    pub fn measure_avg_latency_ms(&mut self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for _ in 0..self.config.measure_samples {
+            let t = self.clock + self.config.measure_interval_s;
+            self.run_until(t);
+            if let Some(v) = self.window_avg_latency_ms() {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Snapshot of runtime statistics at the current clock. Executor rates
+    /// are lifetime averages (arrivals / elapsed); sojourn estimates are not
+    /// tracked per-executor by the engine (the analytic model provides
+    /// them), so they are reported as zeros here.
+    pub fn stats(&mut self) -> RuntimeStats {
+        let elapsed = self.clock.max(1e-9);
+        let executor_rates = self
+            .executors
+            .iter()
+            .map(|e| e.arrived as f64 / elapsed)
+            .collect();
+        let mut machine_cpu = vec![0.0; self.cluster.n_machines()];
+        for e in 0..self.topology.n_executors() {
+            let comp = &self.topology.components()[self.topology.component_of(e)];
+            let rate = self.executors[e].arrived as f64 / elapsed;
+            machine_cpu[self.assignment.machine_of(e)] +=
+                rate * comp.service_mean_ms / 1000.0;
+        }
+        let now = self.clock;
+        let cross: Vec<f64> = self
+            .machines
+            .iter_mut()
+            .map(|m| m.cross_rate(now))
+            .collect();
+        RuntimeStats {
+            avg_latency_ms: self.latency.window_avg_ms(now).unwrap_or(0.0),
+            executor_rates,
+            executor_sojourn_ms: vec![0.0; self.topology.n_executors()],
+            machine_cpu_cores: machine_cpu,
+            machine_cross_kib_s: cross,
+            edge_transfer_ms: vec![0.0; self.topology.edges().len()],
+            completed: self.tracker.completed(),
+            failed: self.tracker.failed(),
+        }
+    }
+
+    /// Fail a machine: its executors stop emitting and serving from this
+    /// instant. Tuples already queued there stay queued; tuples still
+    /// routed there accumulate until the queue overflows and the tree is
+    /// failed — exactly the back-pressure-then-timeout behaviour a dead
+    /// Storm worker causes. In-flight service completes (a tuple being
+    /// processed at the instant of death is a coin flip; completing it
+    /// keeps the accounting conservative).
+    pub fn fail_machine(&mut self, machine: usize) {
+        assert!(machine < self.cluster.n_machines(), "machine out of range");
+        self.machines[machine].failed = true;
+    }
+
+    /// Recover a failed machine: executors still assigned to it resume
+    /// serving their queues.
+    pub fn recover_machine(&mut self, machine: usize) {
+        assert!(machine < self.cluster.n_machines(), "machine out of range");
+        if !std::mem::replace(&mut self.machines[machine].failed, false) {
+            return;
+        }
+        for e in 0..self.topology.n_executors() {
+            if self.assignment.machine_of(e) == machine {
+                self.try_start_service(e);
+            }
+        }
+    }
+
+    /// Whether a machine is currently failed.
+    pub fn machine_failed(&self, machine: usize) -> bool {
+        self.machines[machine].failed
+    }
+
+    /// Tuple trees emitted / completed / failed / in flight.
+    pub fn tuple_counts(&self) -> (u64, u64, u64, usize) {
+        (
+            self.tracker.emitted(),
+            self.tracker.completed(),
+            self.tracker.failed(),
+            self.tracker.in_flight(),
+        )
+    }
+
+    // ----- event handlers ---------------------------------------------
+
+    fn on_spout_emit(&mut self, executor: usize) {
+        // Schedule the next emission first so rate changes apply smoothly
+        // (and so emission resumes if the executor later moves off a
+        // failed machine).
+        let alive = !self.machines[self.assignment.machine_of(executor)].failed;
+        let emitting = alive && self.current_rate(executor) > 1e-9;
+        self.schedule_next_emit(executor);
+        if emitting {
+            let root = self.tracker.emit_root(self.clock);
+            self.enqueue_tuple(executor, root, false);
+        }
+    }
+
+    /// Current per-executor emission rate (tuples/s) for a spout executor.
+    fn current_rate(&self, executor: usize) -> f64 {
+        let comp = self.topology.component_of(executor);
+        let parallelism = self.topology.components()[comp].parallelism as f64;
+        let base_rate: f64 = self
+            .workload
+            .rates()
+            .iter()
+            .filter(|&&(c, _)| c == comp)
+            .map(|&(_, r)| r)
+            .sum();
+        base_rate * self.schedule.multiplier_at(self.clock) / parallelism
+    }
+
+    fn enqueue_tuple(&mut self, executor: usize, root: u64, remote: bool) {
+        let ex = &mut self.executors[executor];
+        ex.arrived += 1;
+        if ex.queue.len() >= self.config.max_queue_len {
+            // Overflow: Storm would time the tuple out and replay; the
+            // simulator records the failure and drops the tree.
+            self.tracker.fail_tree(root);
+            return;
+        }
+        ex.queue.push_back((root, remote));
+        self.try_start_service(executor);
+    }
+
+    fn try_start_service(&mut self, executor: usize) {
+        let now = self.clock;
+        if !self.executors[executor].idle()
+            || self.executors[executor].paused(now)
+            || self.executors[executor].queue.is_empty()
+            || self.machines[self.assignment.machine_of(executor)].failed
+        {
+            return;
+        }
+        let (root, remote) = self.executors[executor]
+            .queue
+            .pop_front()
+            .expect("non-empty queue");
+        let machine = self.assignment.machine_of(executor);
+        self.machines[machine].busy_executors += 1;
+        let busy = self.machines[machine].busy_executors;
+        let cores = self.cluster.machines[machine].cores;
+        let slowdown = (busy as f64 / cores as f64).max(1.0);
+
+        let comp = &self.topology.components()[self.topology.component_of(executor)];
+        let warmup = self
+            .config
+            .warmup_multiplier(now - self.executors[executor].started_at);
+        // Remote arrivals pay deserialization CPU before user code runs.
+        let deser = if remote {
+            self.cluster.network.deserialize_ms
+        } else {
+            0.0
+        };
+        let service_ms = (sample_service_time(
+            &mut self.service_rng,
+            comp.service_mean_ms,
+            comp.service_cv,
+        ) + deser)
+            * warmup
+            * slowdown;
+        self.executors[executor].in_service = Some((root, machine));
+        self.events.push(
+            now + service_ms / 1000.0,
+            EventKind::ServiceComplete { executor, root },
+        );
+    }
+
+    fn on_service_complete(&mut self, executor: usize, root: u64) {
+        let (taken_root, machine) = self.executors[executor]
+            .in_service
+            .take()
+            .expect("completion without service");
+        debug_assert_eq!(taken_root, root);
+        debug_assert!(self.machines[machine].busy_executors > 0);
+        self.machines[machine].busy_executors -= 1;
+        self.executors[executor].processed += 1;
+
+        // Route children along every outgoing edge.
+        let comp_idx = self.topology.component_of(executor);
+        let out_edges: Vec<usize> = self.topology.out_edges_of(comp_idx).to_vec();
+        let mut children = 0u64;
+        let mut remote_children = 0u64;
+        for ei in out_edges {
+            let (sent, remote) = self.route_edge(ei, executor, root);
+            children += sent;
+            remote_children += remote;
+        }
+        // Serialization CPU: the executor stays busy while kryo-encoding
+        // the tuples it just sent off-machine.
+        if remote_children > 0 {
+            let ser_ms = self.cluster.network.serialize_ms * remote_children as f64;
+            if ser_ms > 0.0 {
+                let until = self.clock + ser_ms / 1000.0;
+                let ex = &mut self.executors[executor];
+                if until > ex.paused_until {
+                    ex.paused_until = until;
+                    self.events
+                        .push(until, EventKind::MigrationDone { executor });
+                }
+            }
+        }
+        match self.tracker.complete_one(root, children) {
+            AckOutcome::Completed { emitted_at } => {
+                let latency_ms =
+                    (self.clock - emitted_at) * 1000.0 + self.config.ack_overhead_ms;
+                self.latency.record(self.clock, latency_ms);
+            }
+            AckOutcome::Pending | AckOutcome::Unknown => {}
+        }
+        self.try_start_service(executor);
+    }
+
+    /// Emits this tuple's children on edge `ei`; returns
+    /// `(total sent, sent off-machine)`.
+    fn route_edge(&mut self, ei: usize, src_executor: usize, root: u64) -> (u64, u64) {
+        let edge = self.topology.edges()[ei].clone();
+        let dst_parallelism = self.topology.components()[edge.to].parallelism;
+        let dst_base = self.topology.executor_base(edge.to);
+        let count = sample_count(&mut self.routing_rng, edge.selectivity);
+        let mut sent = 0u64;
+        let mut remote = 0u64;
+        for _ in 0..count {
+            match edge.grouping {
+                Grouping::Shuffle => {
+                    let d = self.routing_rng.random_range(0..dst_parallelism);
+                    remote += self.send_tuple(src_executor, dst_base + d, edge.tuple_bytes, root);
+                    sent += 1;
+                }
+                Grouping::Fields { .. } => {
+                    let zipf = self.fields_keys[ei].as_ref().expect("fields zipf");
+                    let key = zipf.sample(&mut self.routing_rng);
+                    let d = key_to_executor(key, dst_parallelism);
+                    remote += self.send_tuple(src_executor, dst_base + d, edge.tuple_bytes, root);
+                    sent += 1;
+                }
+                Grouping::All => {
+                    for d in 0..dst_parallelism {
+                        remote +=
+                            self.send_tuple(src_executor, dst_base + d, edge.tuple_bytes, root);
+                        sent += 1;
+                    }
+                }
+                Grouping::Global => {
+                    remote += self.send_tuple(src_executor, dst_base, edge.tuple_bytes, root);
+                    sent += 1;
+                }
+            }
+        }
+        (sent, remote)
+    }
+
+    /// Sends one tuple; returns 1 when it crossed machines, 0 otherwise.
+    fn send_tuple(&mut self, src: usize, dst: usize, bytes: usize, root: u64) -> u64 {
+        let is_remote =
+            self.assignment.machine_of(src) != self.assignment.machine_of(dst);
+        let ms = self.transfer_delay_ms(src, dst, bytes);
+        self.events.push(
+            self.clock + ms / 1000.0,
+            EventKind::TupleArrival {
+                executor: dst,
+                root,
+                remote: is_remote,
+            },
+        );
+        u64::from(is_remote)
+    }
+
+    fn transfer_delay_ms(&mut self, src: usize, dst: usize, bytes: usize) -> f64 {
+        let a = self.assignment.machine_of(src);
+        let b = self.assignment.machine_of(dst);
+        let base = self.cluster.base_transfer_ms(a, b, bytes);
+        if a == b {
+            return base;
+        }
+        let now = self.clock;
+        self.machines[a].note_cross_traffic(now, bytes as f64 / 1024.0);
+        let util =
+            (self.machines[a].cross_rate(now) / self.cluster.network.nic_kib_per_s).min(3.0);
+        base * (1.0 + self.cluster.network.congestion * util)
+    }
+
+    fn schedule_next_emit(&mut self, executor: usize) {
+        let rate = self.current_rate(executor);
+        let gap = if rate > 1e-9 {
+            sample_exponential(&mut self.arrival_rng, 1.0 / rate)
+        } else {
+            // Idle spout: poll for a rate change once a second.
+            1.0
+        };
+        self.events
+            .push(self.clock + gap, EventKind::SpoutEmit { executor });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn chain_topology() -> Topology {
+        let mut b = TopologyBuilder::new("chain");
+        let s = b.spout("spout", 2, 0.05);
+        let x = b.bolt("worker", 4, 0.3);
+        let y = b.bolt("sink", 2, 0.1);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 256);
+        b.edge(x, y, Grouping::Shuffle, 0.5, 128);
+        b.build().unwrap()
+    }
+
+    fn engine(seed: u64) -> SimEngine {
+        let topo = chain_topology();
+        let cluster = ClusterSpec::homogeneous(4);
+        let workload = Workload::uniform(&topo, 200.0);
+        SimEngine::new(topo, cluster, workload, SimConfig::steady_state(seed)).unwrap()
+    }
+
+    #[test]
+    fn processes_tuples_and_measures_latency() {
+        let mut eng = engine(1);
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        eng.run_until(30.0);
+        let (emitted, completed, failed, _inflight) = eng.tuple_counts();
+        assert!(emitted > 4000, "emitted {emitted}");
+        assert!(completed > 4000, "completed {completed}");
+        assert_eq!(failed, 0);
+        let avg = eng.window_avg_latency_ms().expect("latency measured");
+        // Chain of ~0.45ms service + transfers: sane range.
+        assert!(avg > 0.3 && avg < 10.0, "avg {avg}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut eng = engine(seed);
+            let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+            eng.deploy(rr).unwrap();
+            eng.run_until(20.0);
+            let counts = eng.tuple_counts();
+            (counts, eng.window_avg_latency_ms())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn tuple_conservation_holds() {
+        let mut eng = engine(2);
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        eng.run_until(15.0);
+        let (emitted, completed, failed, in_flight) = eng.tuple_counts();
+        assert_eq!(emitted, completed + failed + in_flight as u64);
+    }
+
+    #[test]
+    fn emission_rate_matches_workload() {
+        let mut eng = engine(3);
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        eng.run_until(50.0);
+        let (emitted, ..) = eng.tuple_counts();
+        let rate = emitted as f64 / 50.0;
+        assert!((rate - 200.0).abs() < 20.0, "rate {rate}");
+    }
+
+    #[test]
+    fn rate_schedule_scales_emission() {
+        let mut eng = engine(4);
+        eng.set_rate_schedule(RateSchedule::step_at(25.0, 2.0));
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        eng.run_until(25.0);
+        let (before, ..) = eng.tuple_counts();
+        eng.run_until(50.0);
+        let (after, ..) = eng.tuple_counts();
+        let first_half = before as f64 / 25.0;
+        let second_half = (after - before) as f64 / 25.0;
+        assert!(
+            second_half / first_half > 1.7,
+            "{first_half} -> {second_half}"
+        );
+    }
+
+    #[test]
+    fn redeploy_pauses_only_moved_executors() {
+        let topo = chain_topology();
+        let cluster = ClusterSpec::homogeneous(4);
+        let workload = Workload::uniform(&topo, 100.0);
+        let mut cfg = SimConfig::steady_state(5);
+        cfg.migration_pause_s = 5.0;
+        let mut eng = SimEngine::new(topo, cluster, workload, cfg).unwrap();
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr.clone()).unwrap();
+        eng.run_until(20.0);
+        let moved = rr.with_move(0, (rr.machine_of(0) + 1) % 4);
+        eng.deploy(moved).unwrap();
+        // The system keeps processing through the migration.
+        let (_, before, ..) = eng.tuple_counts();
+        eng.run_until(40.0);
+        let (_, after, ..) = eng.tuple_counts();
+        assert!(after > before);
+    }
+
+    #[test]
+    fn warmup_inflates_initial_latency() {
+        let topo = chain_topology();
+        let cluster = ClusterSpec::homogeneous(4);
+        let workload = Workload::uniform(&topo, 100.0);
+        let mut cfg = SimConfig::steady_state(6);
+        cfg.warmup_amplitude = 2.0;
+        cfg.warmup_tau_s = 60.0;
+        let mut eng = SimEngine::new(topo, cluster, workload, cfg).unwrap();
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        eng.run_until(30.0);
+        let early = eng.window_avg_latency_ms().unwrap();
+        eng.run_until(600.0);
+        let late = eng.window_avg_latency_ms().unwrap();
+        assert!(
+            early > late * 1.3,
+            "warm-up should inflate early latency: {early} vs {late}"
+        );
+    }
+
+    #[test]
+    fn overload_drops_instead_of_exploding() {
+        let mut b = TopologyBuilder::new("hot");
+        let s = b.spout("s", 1, 0.05);
+        let x = b.bolt("x", 1, 10.0); // 10 ms service, can do ~100/s
+        b.edge(s, x, Grouping::Shuffle, 1.0, 64);
+        let topo = b.build().unwrap();
+        let cluster = ClusterSpec::homogeneous(1);
+        let workload = Workload::uniform(&topo, 500.0); // 5x overload
+        let mut cfg = SimConfig::steady_state(7);
+        cfg.max_queue_len = 100;
+        let mut eng = SimEngine::new(topo, cluster, workload, cfg).unwrap();
+        let a = Assignment::new(vec![0, 0], 1).unwrap();
+        eng.deploy(a).unwrap();
+        eng.run_until(30.0);
+        let (_, completed, failed, in_flight) = eng.tuple_counts();
+        assert!(failed > 0, "overload must shed load");
+        assert!(completed > 0);
+        assert!(in_flight < 500, "bounded in-flight, got {in_flight}");
+    }
+
+    #[test]
+    fn measure_protocol_averages_five_samples() {
+        let mut eng = engine(8);
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        eng.run_until(10.0);
+        let t0 = eng.now();
+        let m = eng.measure_avg_latency_ms().unwrap();
+        assert!((eng.now() - t0 - 50.0).abs() < 1e-9, "5 x 10s samples");
+        assert!(m > 0.0);
+    }
+
+    #[test]
+    fn colocated_chain_beats_scattered_when_lightly_loaded() {
+        // With light load, transfer delay dominates: packing the pipeline
+        // on few machines must beat maximal spread.
+        let topo = chain_topology();
+        let cluster = ClusterSpec::homogeneous(8);
+        let workload = Workload::uniform(&topo, 100.0);
+
+        let run = |assignment: Assignment| {
+            let topo = chain_topology();
+            let cluster = ClusterSpec::homogeneous(8);
+            let workload = Workload::uniform(&topo, 100.0);
+            let mut eng =
+                SimEngine::new(topo, cluster, workload, SimConfig::steady_state(9)).unwrap();
+            eng.deploy(assignment).unwrap();
+            eng.run_until(60.0);
+            eng.window_avg_latency_ms().unwrap()
+        };
+
+        let packed = Assignment::new(vec![0, 0, 0, 0, 1, 1, 0, 1], 8).unwrap();
+        let scattered = Assignment::round_robin(&topo, &cluster);
+        drop((topo, cluster, workload));
+        let packed_ms = run(packed);
+        let scattered_ms = run(scattered);
+        assert!(
+            packed_ms < scattered_ms,
+            "packed {packed_ms} should beat scattered {scattered_ms}"
+        );
+    }
+
+    #[test]
+    fn failed_machine_sheds_tuples_until_recovered() {
+        // Small queues so the outage overflows within the test window.
+        let topo = chain_topology();
+        let cluster = ClusterSpec::homogeneous(4);
+        let workload = Workload::uniform(&topo, 200.0);
+        let config = SimConfig {
+            max_queue_len: 200,
+            ..SimConfig::steady_state(21)
+        };
+        let mut eng = SimEngine::new(topo, cluster, workload, config).unwrap();
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        eng.run_until(20.0);
+        let (_, _, failed_before, _) = eng.tuple_counts();
+        assert_eq!(failed_before, 0, "healthy cluster fails nothing");
+
+        // Kill a machine hosting bolt executors; the queues feeding them
+        // overflow and trees start failing.
+        eng.fail_machine(1);
+        assert!(eng.machine_failed(1));
+        eng.run_until(60.0);
+        let (_, _, failed_during, _) = eng.tuple_counts();
+        assert!(failed_during > 0, "dead machine must shed load");
+
+        // Recovery drains the backlog; failure count stops growing.
+        eng.recover_machine(1);
+        assert!(!eng.machine_failed(1));
+        eng.run_until(90.0);
+        let (_, _, failed_at_recovery, _) = eng.tuple_counts();
+        eng.run_until(140.0);
+        let (emitted, completed, failed_end, in_flight) = eng.tuple_counts();
+        assert_eq!(emitted, completed + failed_end + in_flight as u64);
+        let late_failures = failed_end - failed_at_recovery;
+        let during_failures = failed_during - failed_before;
+        assert!(
+            late_failures < during_failures / 4,
+            "failures should taper after recovery: {late_failures} vs {during_failures}"
+        );
+    }
+
+    #[test]
+    fn rescheduling_off_a_dead_machine_restores_service() {
+        let mut eng = engine(22);
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr.clone()).unwrap();
+        eng.run_until(20.0);
+        eng.fail_machine(0);
+        eng.run_until(40.0);
+
+        // Move everything off machine 0 (what Nimbus's repair does).
+        let repaired: Vec<usize> = rr
+            .as_slice()
+            .iter()
+            .map(|&m| if m == 0 { 1 } else { m })
+            .collect();
+        eng.deploy(Assignment::new(repaired, 4).unwrap()).unwrap();
+        let (_, completed_at_repair, failed_at_repair, _) = {
+            let c = eng.tuple_counts();
+            (c.0, c.1, c.2, c.3)
+        };
+        eng.run_until(120.0);
+        let (_, completed_end, failed_end, _) = {
+            let c = eng.tuple_counts();
+            (c.0, c.1, c.2, c.3)
+        };
+        assert!(
+            completed_end > completed_at_repair,
+            "throughput must resume after repair"
+        );
+        // New failures after the repair settle to (near) zero.
+        let new_failures = failed_end - failed_at_repair;
+        assert!(
+            new_failures < 50,
+            "repair should stop the bleeding, saw {new_failures} new failures"
+        );
+    }
+
+    #[test]
+    fn spouts_on_failed_machines_stop_emitting() {
+        let mut eng = engine(23);
+        // Pack every spout executor onto machine 3.
+        let topo = eng.topology().clone();
+        let mut assign = Assignment::round_robin(&topo, eng.cluster())
+            .as_slice()
+            .to_vec();
+        for comp in topo.spouts() {
+            for e in topo.executors_of(comp) {
+                assign[e] = 3;
+            }
+        }
+        eng.deploy(Assignment::new(assign, 4).unwrap()).unwrap();
+        eng.run_until(10.0);
+        let (emitted_before, ..) = eng.tuple_counts();
+        assert!(emitted_before > 0);
+        eng.fail_machine(3);
+        eng.run_until(30.0);
+        let (emitted_during, ..) = eng.tuple_counts();
+        // Emission stops within one inter-arrival gap of the failure.
+        assert!(
+            emitted_during - emitted_before < 10,
+            "spouts kept emitting from a dead machine: {} new",
+            emitted_during - emitted_before
+        );
+        eng.recover_machine(3);
+        eng.run_until(50.0);
+        let (emitted_after, ..) = eng.tuple_counts();
+        assert!(
+            emitted_after > emitted_during + 100,
+            "emission must resume on recovery"
+        );
+    }
+}

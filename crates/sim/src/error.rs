@@ -1,0 +1,42 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors raised when building or driving a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The topology failed validation (cycle, dangling edge, zero
+    /// parallelism, ...).
+    InvalidTopology(String),
+    /// An assignment is inconsistent with the topology/cluster it is
+    /// deployed on.
+    InvalidAssignment(String),
+    /// A workload referenced a component that is not a spout.
+    InvalidWorkload(String),
+    /// A cluster specification is unusable (no machines, zero cores, ...).
+    InvalidCluster(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            SimError::InvalidAssignment(msg) => write!(f, "invalid assignment: {msg}"),
+            SimError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            SimError::InvalidCluster(msg) => write!(f, "invalid cluster: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_context() {
+        let e = SimError::InvalidTopology("cycle detected".into());
+        assert_eq!(e.to_string(), "invalid topology: cycle detected");
+    }
+}

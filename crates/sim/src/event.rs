@@ -1,0 +1,160 @@
+//! The discrete-event core: timestamped events with deterministic ordering.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens at an event's timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A spout executor emits its next root tuple (and schedules the one
+    /// after).
+    SpoutEmit {
+        /// Global executor index of the spout thread.
+        executor: usize,
+    },
+    /// A tuple arrives at an executor's input queue.
+    TupleArrival {
+        /// Destination executor.
+        executor: usize,
+        /// Root id of the tuple's tree.
+        root: u64,
+        /// Whether the tuple crossed machines (and must be deserialized).
+        remote: bool,
+    },
+    /// The tuple at the head of an executor's queue finishes service.
+    ServiceComplete {
+        /// Executor finishing service.
+        executor: usize,
+        /// Root id of the serviced tuple.
+        root: u64,
+    },
+    /// A migrated executor finishes its pause and may resume.
+    MigrationDone {
+        /// Executor resuming.
+        executor: usize,
+    },
+}
+
+/// A scheduled event. Ordering: time ascending, then insertion sequence —
+/// simultaneous events fire in the order they were scheduled, which makes
+/// runs bit-for-bit reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Simulated time in seconds.
+    pub time: f64,
+    /// Tie-breaking sequence number (assigned by [`EventQueue::push`]).
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for BinaryHeap (max-heap) -> earliest event pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("NaN event time")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    ///
+    /// # Panics
+    /// Panics on NaN or negative time.
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::SpoutEmit { executor: 0 });
+        q.push(1.0, EventKind::SpoutEmit { executor: 1 });
+        q.push(3.0, EventKind::SpoutEmit { executor: 2 });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.time)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::SpoutEmit { executor: 7 });
+        q.push(1.0, EventKind::SpoutEmit { executor: 8 });
+        match (q.pop().unwrap().kind, q.pop().unwrap().kind) {
+            (EventKind::SpoutEmit { executor: a }, EventKind::SpoutEmit { executor: b }) => {
+                assert_eq!((a, b), (7, 8));
+            }
+            other => panic!("unexpected kinds {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::MigrationDone { executor: 0 });
+        assert_eq!(q.peek_time(), Some(5.0));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad event time")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, EventKind::MigrationDone { executor: 0 });
+    }
+}

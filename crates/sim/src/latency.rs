@@ -1,0 +1,130 @@
+//! Complete-latency measurement.
+//!
+//! Implements the paper's measurement protocol: a sliding-window average of
+//! end-to-end tuple processing times, sampled as "the average of 5
+//! consecutive measurements with a 10-second interval" after stabilization.
+
+use std::collections::VecDeque;
+
+/// Sliding-window recorder of `(ack time, latency ms)` samples.
+#[derive(Debug, Clone)]
+pub struct LatencyTracker {
+    window_s: f64,
+    samples: VecDeque<(f64, f64)>,
+    window_sum: f64,
+    total_count: u64,
+    total_sum: f64,
+}
+
+impl LatencyTracker {
+    /// A tracker averaging over the trailing `window_s` seconds.
+    ///
+    /// # Panics
+    /// Panics on non-positive window.
+    pub fn new(window_s: f64) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        Self {
+            window_s,
+            samples: VecDeque::new(),
+            window_sum: 0.0,
+            total_count: 0,
+            total_sum: 0.0,
+        }
+    }
+
+    /// Records a completed tuple: acked at `now` (s) with end-to-end
+    /// latency `latency_ms`.
+    ///
+    /// # Panics
+    /// Panics on negative latency (a simulator bug, not a data condition).
+    pub fn record(&mut self, now: f64, latency_ms: f64) {
+        assert!(latency_ms >= 0.0, "negative latency {latency_ms}");
+        self.samples.push_back((now, latency_ms));
+        self.window_sum += latency_ms;
+        self.total_count += 1;
+        self.total_sum += latency_ms;
+        self.evict(now);
+    }
+
+    /// Average latency over the trailing window ending at `now`; `None`
+    /// when no tuple completed in the window.
+    pub fn window_avg_ms(&mut self, now: f64) -> Option<f64> {
+        self.evict(now);
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.window_sum / self.samples.len() as f64)
+        }
+    }
+
+    /// Lifetime average latency.
+    pub fn lifetime_avg_ms(&self) -> Option<f64> {
+        (self.total_count > 0).then(|| self.total_sum / self.total_count as f64)
+    }
+
+    /// Tuples acked in the current window.
+    pub fn window_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Tuples acked over the tracker's lifetime.
+    pub fn total_count(&self) -> u64 {
+        self.total_count
+    }
+
+    fn evict(&mut self, now: f64) {
+        while let Some(&(t, v)) = self.samples.front() {
+            if now - t > self.window_s {
+                self.window_sum -= v;
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Guard against drift from float accumulation on long runs.
+        if self.samples.is_empty() {
+            self.window_sum = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_average_tracks_recent_only() {
+        let mut t = LatencyTracker::new(10.0);
+        t.record(0.0, 100.0);
+        t.record(5.0, 50.0);
+        assert_eq!(t.window_avg_ms(5.0), Some(75.0));
+        // At t = 12 the first sample (age 12) falls out.
+        assert_eq!(t.window_avg_ms(12.0), Some(50.0));
+        // At t = 20 everything is gone.
+        assert_eq!(t.window_avg_ms(20.0), None);
+    }
+
+    #[test]
+    fn lifetime_average_is_cumulative() {
+        let mut t = LatencyTracker::new(1.0);
+        t.record(0.0, 10.0);
+        t.record(100.0, 20.0);
+        assert_eq!(t.lifetime_avg_ms(), Some(15.0));
+        assert_eq!(t.total_count(), 2);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let mut t = LatencyTracker::new(5.0);
+        assert_eq!(t.window_avg_ms(0.0), None);
+        assert_eq!(t.lifetime_avg_ms(), None);
+        assert_eq!(t.window_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative latency")]
+    fn rejects_negative_latency() {
+        let mut t = LatencyTracker::new(5.0);
+        t.record(0.0, -1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Runtime statistics snapshots.
+//!
+//! The paper's framework deliberately collects "very limited statistics
+//! data, i.e., just the average tuple processing time" for the DRL agent;
+//! the *model-based baseline* it compares against needs much richer
+//! per-component statistics (\[25\]). Both kinds are exposed here so each
+//! scheduler can consume exactly what its paper version used.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of system runtime state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeStats {
+    /// Average end-to-end tuple processing time (ms) — the only statistic
+    /// the DRL agent sees (its negative is the reward).
+    pub avg_latency_ms: f64,
+    /// Per-executor input rate, tuples/s.
+    pub executor_rates: Vec<f64>,
+    /// Per-executor mean sojourn time (queueing + service), ms.
+    pub executor_sojourn_ms: Vec<f64>,
+    /// Per-machine CPU demand in cores (Σ rate × service).
+    pub machine_cpu_cores: Vec<f64>,
+    /// Per-machine outbound cross-machine traffic, KiB/s.
+    pub machine_cross_kib_s: Vec<f64>,
+    /// Per-edge expected transfer delay, ms.
+    pub edge_transfer_ms: Vec<f64>,
+    /// Tuples fully acked during the observation.
+    pub completed: u64,
+    /// Tuple trees dropped (overflow / timeout path).
+    pub failed: u64,
+}
+
+impl RuntimeStats {
+    /// Fraction of emitted trees that failed.
+    pub fn failure_rate(&self) -> f64 {
+        let total = self.completed + self.failed;
+        if total == 0 {
+            0.0
+        } else {
+            self.failed as f64 / total as f64
+        }
+    }
+
+    /// The most loaded machine's CPU demand divided by the least loaded
+    /// (∞ when some machine is idle) — a quick skew diagnostic.
+    pub fn cpu_imbalance(&self) -> f64 {
+        let max = self
+            .machine_cpu_cores
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let min = self
+            .machine_cpu_cores
+            .iter()
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RuntimeStats {
+        RuntimeStats {
+            avg_latency_ms: 2.0,
+            executor_rates: vec![10.0, 20.0],
+            executor_sojourn_ms: vec![0.5, 0.7],
+            machine_cpu_cores: vec![1.0, 2.0],
+            machine_cross_kib_s: vec![100.0, 50.0],
+            edge_transfer_ms: vec![0.3],
+            completed: 90,
+            failed: 10,
+        }
+    }
+
+    #[test]
+    fn failure_rate_and_imbalance() {
+        let s = sample();
+        assert!((s.failure_rate() - 0.1).abs() < 1e-12);
+        assert!((s.cpu_imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let mut s = sample();
+        s.completed = 0;
+        s.failed = 0;
+        assert_eq!(s.failure_rate(), 0.0);
+        s.machine_cpu_cores = vec![0.0, 1.0];
+        assert!(s.cpu_imbalance().is_infinite());
+    }
+}

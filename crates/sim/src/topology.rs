@@ -1,0 +1,589 @@
+//! Application topologies: directed graphs of spouts and bolts.
+//!
+//! Mirrors Storm's logical layer (§2.1/2.2 of the paper): a *component* is
+//! a spout (data source) or bolt (processing unit); each runs as
+//! `parallelism` executor threads; directed edges carry tuples between
+//! components under a grouping policy.
+
+use crate::error::SimError;
+use crate::rng::Zipf;
+
+/// Spout (data source) or bolt (processing unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// Emits root tuples into the topology.
+    Spout,
+    /// Consumes tuples, optionally emitting derived tuples downstream.
+    Bolt,
+}
+
+/// How tuples are distributed among a downstream component's executors
+/// (§2.1: "Typical grouping policies include ...").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Grouping {
+    /// Random (uniform) choice of destination executor.
+    Shuffle,
+    /// Key-based: destination = hash(key) mod parallelism. Keys are drawn
+    /// from a Zipf distribution over `n_keys` ranks with exponent `skew`,
+    /// so popular keys concentrate load on a few executors.
+    Fields {
+        /// Size of the key universe.
+        n_keys: usize,
+        /// Zipf exponent of key popularity (0 = uniform).
+        skew: f64,
+    },
+    /// One-to-all: every downstream executor receives a copy.
+    All,
+    /// All-to-one: everything goes to executor 0 of the destination.
+    Global,
+}
+
+/// A component declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSpec {
+    /// Human-readable name (unique within a topology).
+    pub name: String,
+    /// Spout or bolt.
+    pub kind: ComponentKind,
+    /// Number of executor threads.
+    pub parallelism: usize,
+    /// Mean tuple service time in milliseconds.
+    pub service_mean_ms: f64,
+    /// Coefficient of variation of the service time (0 = deterministic).
+    pub service_cv: f64,
+}
+
+/// A directed edge between components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeSpec {
+    /// Source component index.
+    pub from: usize,
+    /// Destination component index.
+    pub to: usize,
+    /// Tuple routing policy.
+    pub grouping: Grouping,
+    /// Average tuples emitted downstream per tuple processed (may be
+    /// fractional — e.g. a filter with 10% hit rate has selectivity 0.1 —
+    /// or greater than one — e.g. a sentence splitter).
+    pub selectivity: f64,
+    /// Bytes per transferred tuple (drives network transfer cost).
+    pub tuple_bytes: usize,
+}
+
+/// A validated application topology.
+///
+/// Executors are numbered globally `0..n_executors()`, component by
+/// component in declaration order — executor `e` belongs to
+/// [`Topology::component_of`]`(e)`.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    components: Vec<ComponentSpec>,
+    edges: Vec<EdgeSpec>,
+    executor_component: Vec<usize>,
+    component_executor_base: Vec<usize>,
+    out_edges: Vec<Vec<usize>>,
+    /// Per fields-grouped edge: destination-executor routing shares
+    /// (precomputed from the Zipf key popularity so the discrete-event
+    /// engine and the analytic model route identically).
+    fields_shares: Vec<Option<Vec<f64>>>,
+}
+
+impl Topology {
+    /// Topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Component declarations.
+    pub fn components(&self) -> &[ComponentSpec] {
+        &self.components
+    }
+
+    /// Edge declarations.
+    pub fn edges(&self) -> &[EdgeSpec] {
+        &self.edges
+    }
+
+    /// Total number of executors (the paper's `N`).
+    pub fn n_executors(&self) -> usize {
+        self.executor_component.len()
+    }
+
+    /// The component executor `e` belongs to.
+    pub fn component_of(&self, executor: usize) -> usize {
+        self.executor_component[executor]
+    }
+
+    /// Global index of the first executor of component `c`.
+    pub fn executor_base(&self, component: usize) -> usize {
+        self.component_executor_base[component]
+    }
+
+    /// Global executor indices of component `c`.
+    pub fn executors_of(&self, component: usize) -> std::ops::Range<usize> {
+        let base = self.component_executor_base[component];
+        base..base + self.components[component].parallelism
+    }
+
+    /// Indices (into [`Topology::edges`]) of edges leaving component `c`.
+    pub fn out_edges_of(&self, component: usize) -> &[usize] {
+        &self.out_edges[component]
+    }
+
+    /// Spout component indices.
+    pub fn spouts(&self) -> Vec<usize> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind == ComponentKind::Spout)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// For a fields-grouped edge, the per-destination-executor routing
+    /// shares (summing to 1); `None` for other groupings.
+    pub fn fields_shares(&self, edge: usize) -> Option<&[f64]> {
+        self.fields_shares[edge].as_deref()
+    }
+
+    /// Expected routing share of destination executor `d` (local index
+    /// within the destination component) for edge `e`. Shuffle: `1/P`;
+    /// fields: precomputed Zipf share; all: `1`; global: `1` for executor 0.
+    pub fn routing_share(&self, edge: usize, dst_local: usize) -> f64 {
+        let e = &self.edges[edge];
+        let p = self.components[e.to].parallelism;
+        debug_assert!(dst_local < p);
+        match e.grouping {
+            Grouping::Shuffle => 1.0 / p as f64,
+            Grouping::Fields { .. } => self.fields_shares[edge]
+                .as_ref()
+                .map(|s| s[dst_local])
+                .unwrap_or(0.0),
+            Grouping::All => 1.0,
+            Grouping::Global => {
+                if dst_local == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Components in topological order (spouts first).
+    pub fn topo_order(&self) -> Vec<usize> {
+        let n = self.components.len();
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            indegree[e.to] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(c) = stack.pop() {
+            order.push(c);
+            for &ei in &self.out_edges[c] {
+                let to = self.edges[ei].to;
+                indegree[to] -= 1;
+                if indegree[to] == 0 {
+                    stack.push(to);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "validated topology must be acyclic");
+        order
+    }
+
+    /// Per-component expected input rate (tuples/s) given per-spout
+    /// *component* emission rates, propagated through edge selectivities.
+    /// `spout_rates` maps spout component index -> rate.
+    pub fn component_rates(&self, spout_rates: &[(usize, f64)]) -> Vec<f64> {
+        let mut rates = vec![0.0; self.components.len()];
+        for &(c, r) in spout_rates {
+            rates[c] += r;
+        }
+        for c in self.topo_order() {
+            let out = rates[c];
+            for &ei in &self.out_edges[c] {
+                let e = &self.edges[ei];
+                // `All` grouping replicates the tuple to every destination
+                // executor, multiplying the downstream tuple count.
+                let fanout = match e.grouping {
+                    Grouping::All => self.components[e.to].parallelism as f64,
+                    _ => 1.0,
+                };
+                rates[e.to] += out * e.selectivity * fanout;
+            }
+        }
+        rates
+    }
+}
+
+/// Builder for [`Topology`].
+#[derive(Debug, Clone, Default)]
+pub struct TopologyBuilder {
+    name: String,
+    components: Vec<ComponentSpec>,
+    edges: Vec<EdgeSpec>,
+}
+
+impl TopologyBuilder {
+    /// Starts a topology with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            components: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a spout; returns its component index.
+    pub fn spout(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: usize,
+        service_mean_ms: f64,
+    ) -> usize {
+        self.components.push(ComponentSpec {
+            name: name.into(),
+            kind: ComponentKind::Spout,
+            parallelism,
+            service_mean_ms,
+            service_cv: 0.5,
+        });
+        self.components.len() - 1
+    }
+
+    /// Adds a bolt; returns its component index.
+    pub fn bolt(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: usize,
+        service_mean_ms: f64,
+    ) -> usize {
+        self.components.push(ComponentSpec {
+            name: name.into(),
+            kind: ComponentKind::Bolt,
+            parallelism,
+            service_mean_ms,
+            service_cv: 0.5,
+        });
+        self.components.len() - 1
+    }
+
+    /// Overrides the service-time coefficient of variation of a component.
+    pub fn service_cv(&mut self, component: usize, cv: f64) -> &mut Self {
+        self.components[component].service_cv = cv;
+        self
+    }
+
+    /// Connects two components.
+    pub fn edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        grouping: Grouping,
+        selectivity: f64,
+        tuple_bytes: usize,
+    ) -> &mut Self {
+        self.edges.push(EdgeSpec {
+            from,
+            to,
+            grouping,
+            selectivity,
+            tuple_bytes,
+        });
+        self
+    }
+
+    /// Validates and builds the topology.
+    pub fn build(self) -> Result<Topology, SimError> {
+        let n = self.components.len();
+        if n == 0 {
+            return Err(SimError::InvalidTopology("no components".into()));
+        }
+        let mut names = std::collections::HashSet::new();
+        for c in &self.components {
+            if c.parallelism == 0 {
+                return Err(SimError::InvalidTopology(format!(
+                    "component `{}` has zero parallelism",
+                    c.name
+                )));
+            }
+            if c.service_mean_ms <= 0.0 {
+                return Err(SimError::InvalidTopology(format!(
+                    "component `{}` has non-positive service time",
+                    c.name
+                )));
+            }
+            if c.service_cv < 0.0 {
+                return Err(SimError::InvalidTopology(format!(
+                    "component `{}` has negative service cv",
+                    c.name
+                )));
+            }
+            if !names.insert(c.name.clone()) {
+                return Err(SimError::InvalidTopology(format!(
+                    "duplicate component name `{}`",
+                    c.name
+                )));
+            }
+        }
+        let mut has_spout = false;
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            if e.from >= n || e.to >= n {
+                return Err(SimError::InvalidTopology(format!(
+                    "edge {} -> {} out of range",
+                    e.from, e.to
+                )));
+            }
+            if e.selectivity < 0.0 {
+                return Err(SimError::InvalidTopology("negative selectivity".into()));
+            }
+            if self.components[e.to].kind == ComponentKind::Spout {
+                return Err(SimError::InvalidTopology(format!(
+                    "edge into spout `{}`",
+                    self.components[e.to].name
+                )));
+            }
+            if let Grouping::Fields { n_keys, skew } = e.grouping {
+                if n_keys == 0 || skew < 0.0 {
+                    return Err(SimError::InvalidTopology(
+                        "fields grouping needs n_keys > 0 and skew >= 0".into(),
+                    ));
+                }
+            }
+            indegree[e.to] += 1;
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            match c.kind {
+                ComponentKind::Spout => has_spout = true,
+                ComponentKind::Bolt => {
+                    if indegree[i] == 0 {
+                        return Err(SimError::InvalidTopology(format!(
+                            "bolt `{}` has no input edge",
+                            c.name
+                        )));
+                    }
+                }
+            }
+        }
+        if !has_spout {
+            return Err(SimError::InvalidTopology("no spout".into()));
+        }
+
+        // Cycle check (Kahn).
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ei, e) in self.edges.iter().enumerate() {
+            out_edges[e.from].push(ei);
+        }
+        {
+            let mut indeg = indegree.clone();
+            let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+            let mut visited = 0usize;
+            while let Some(c) = stack.pop() {
+                visited += 1;
+                for &ei in &out_edges[c] {
+                    let to = self.edges[ei].to;
+                    indeg[to] -= 1;
+                    if indeg[to] == 0 {
+                        stack.push(to);
+                    }
+                }
+            }
+            if visited != n {
+                return Err(SimError::InvalidTopology("cycle detected".into()));
+            }
+        }
+
+        // Executor numbering.
+        let mut executor_component = Vec::new();
+        let mut component_executor_base = Vec::with_capacity(n);
+        for (ci, c) in self.components.iter().enumerate() {
+            component_executor_base.push(executor_component.len());
+            executor_component.extend(std::iter::repeat_n(ci, c.parallelism));
+        }
+
+        // Precompute fields-grouping routing shares.
+        let fields_shares = self
+            .edges
+            .iter()
+            .map(|e| match e.grouping {
+                Grouping::Fields { n_keys, skew } => {
+                    let p = self.components[e.to].parallelism;
+                    let zipf = Zipf::new(n_keys, skew);
+                    let mut shares = vec![0.0; p];
+                    for k in 0..n_keys {
+                        shares[key_to_executor(k, p)] += zipf.pmf(k);
+                    }
+                    Some(shares)
+                }
+                _ => None,
+            })
+            .collect();
+
+        Ok(Topology {
+            name: self.name,
+            components: self.components,
+            edges: self.edges,
+            executor_component,
+            component_executor_base,
+            out_edges,
+            fields_shares,
+        })
+    }
+}
+
+/// The deterministic key-to-executor hash used by fields grouping
+/// (Fibonacci hashing of the key rank; shared by the engine and the
+/// analytic model so they route identically).
+pub fn key_to_executor(key: usize, parallelism: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % parallelism
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Topology {
+        let mut b = TopologyBuilder::new("chain");
+        let s = b.spout("spout", 2, 0.05);
+        let x = b.bolt("x", 3, 0.2);
+        let y = b.bolt("y", 4, 0.1);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 100);
+        b.edge(x, y, Grouping::Shuffle, 0.5, 50);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn executor_numbering() {
+        let t = chain();
+        assert_eq!(t.n_executors(), 9);
+        assert_eq!(t.component_of(0), 0);
+        assert_eq!(t.component_of(1), 0);
+        assert_eq!(t.component_of(2), 1);
+        assert_eq!(t.component_of(8), 2);
+        assert_eq!(t.executors_of(1), 2..5);
+        assert_eq!(t.executor_base(2), 5);
+    }
+
+    #[test]
+    fn rates_propagate_through_selectivity() {
+        let t = chain();
+        let rates = t.component_rates(&[(0, 100.0)]);
+        assert_eq!(rates, vec![100.0, 100.0, 50.0]);
+    }
+
+    #[test]
+    fn all_grouping_multiplies_rate_by_parallelism() {
+        let mut b = TopologyBuilder::new("fan");
+        let s = b.spout("s", 1, 0.05);
+        let x = b.bolt("x", 4, 0.1);
+        b.edge(s, x, Grouping::All, 1.0, 10);
+        let t = b.build().unwrap();
+        let rates = t.component_rates(&[(0, 10.0)]);
+        assert_eq!(rates[1], 40.0);
+    }
+
+    #[test]
+    fn routing_shares_sum_to_one() {
+        let mut b = TopologyBuilder::new("fields");
+        let s = b.spout("s", 1, 0.05);
+        let x = b.bolt("x", 5, 0.1);
+        b.edge(
+            s,
+            x,
+            Grouping::Fields {
+                n_keys: 1000,
+                skew: 1.0,
+            },
+            1.0,
+            10,
+        );
+        let t = b.build().unwrap();
+        let total: f64 = (0..5).map(|d| t.routing_share(0, d)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Skewed keys mean shares are not uniform.
+        let shares: Vec<f64> = (0..5).map(|d| t.routing_share(0, d)).collect();
+        let spread = shares
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            - shares.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(spread > 0.01, "{shares:?}");
+    }
+
+    #[test]
+    fn shuffle_share_uniform() {
+        let t = chain();
+        assert!((t.routing_share(0, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let t = chain();
+        let order = t.topo_order();
+        let pos = |c: usize| order.iter().position(|&x| x == c).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = TopologyBuilder::new("bad");
+        let s = b.spout("s", 1, 0.1);
+        let x = b.bolt("x", 1, 0.1);
+        let y = b.bolt("y", 1, 0.1);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 10);
+        b.edge(x, y, Grouping::Shuffle, 1.0, 10);
+        b.edge(y, x, Grouping::Shuffle, 1.0, 10);
+        assert!(matches!(b.build(), Err(SimError::InvalidTopology(_))));
+    }
+
+    #[test]
+    fn rejects_orphan_bolt_and_edge_into_spout() {
+        let mut b = TopologyBuilder::new("bad");
+        b.spout("s", 1, 0.1);
+        b.bolt("x", 1, 0.1);
+        assert!(b.clone().build().is_err()); // orphan bolt
+
+        let mut b2 = TopologyBuilder::new("bad2");
+        let s = b2.spout("s", 1, 0.1);
+        let x = b2.bolt("x", 1, 0.1);
+        b2.edge(s, x, Grouping::Shuffle, 1.0, 10);
+        b2.edge(x, s, Grouping::Shuffle, 1.0, 10);
+        assert!(b2.build().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_parallelism_and_duplicates() {
+        let mut b = TopologyBuilder::new("bad");
+        b.spout("s", 0, 0.1);
+        assert!(b.build().is_err());
+
+        let mut b2 = TopologyBuilder::new("bad2");
+        b2.spout("s", 1, 0.1);
+        b2.spout("s", 1, 0.1);
+        assert!(b2.build().is_err());
+    }
+
+    #[test]
+    fn global_routes_to_executor_zero() {
+        let mut b = TopologyBuilder::new("g");
+        let s = b.spout("s", 1, 0.05);
+        let x = b.bolt("x", 3, 0.1);
+        b.edge(s, x, Grouping::Global, 1.0, 10);
+        let t = b.build().unwrap();
+        assert_eq!(t.routing_share(0, 0), 1.0);
+        assert_eq!(t.routing_share(0, 1), 0.0);
+    }
+
+    #[test]
+    fn key_to_executor_stable_and_in_range() {
+        for k in 0..100 {
+            let e = key_to_executor(k, 7);
+            assert!(e < 7);
+            assert_eq!(e, key_to_executor(k, 7));
+        }
+    }
+}

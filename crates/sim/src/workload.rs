@@ -1,0 +1,190 @@
+//! Incoming workload: per-spout tuple arrival rates and their evolution.
+//!
+//! The paper's state includes "the workload `w`, which includes the tuple
+//! arrival rate (i.e., the number of tuples per second) of each data
+//! source"; its Figure 12 experiment steps the workload up by 50% at the
+//! 20-minute mark.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::topology::{ComponentKind, Topology};
+
+/// Per-spout-component arrival rates (tuples per second).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// `(spout component index, tuples/s)` pairs.
+    rates: Vec<(usize, f64)>,
+}
+
+impl Workload {
+    /// Builds a workload; every referenced component must be a spout.
+    pub fn new(rates: Vec<(usize, f64)>, topology: &Topology) -> Result<Self, SimError> {
+        if rates.is_empty() {
+            return Err(SimError::InvalidWorkload("no spout rates".into()));
+        }
+        for &(c, r) in &rates {
+            let Some(spec) = topology.components().get(c) else {
+                return Err(SimError::InvalidWorkload(format!(
+                    "component {c} out of range"
+                )));
+            };
+            if spec.kind != ComponentKind::Spout {
+                return Err(SimError::InvalidWorkload(format!(
+                    "component `{}` is not a spout",
+                    spec.name
+                )));
+            }
+            if r < 0.0 {
+                return Err(SimError::InvalidWorkload("negative rate".into()));
+            }
+        }
+        Ok(Self { rates })
+    }
+
+    /// Uniform rate on every spout of the topology.
+    pub fn uniform(topology: &Topology, rate: f64) -> Self {
+        let rates = topology.spouts().into_iter().map(|c| (c, rate)).collect();
+        Self { rates }
+    }
+
+    /// `(spout component, rate)` pairs.
+    pub fn rates(&self) -> &[(usize, f64)] {
+        &self.rates
+    }
+
+    /// Total tuples/s entering the system.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().map(|&(_, r)| r).sum()
+    }
+
+    /// This workload scaled by `factor` (the Figure 12 step uses 1.5).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            rates: self.rates.iter().map(|&(c, r)| (c, r * factor)).collect(),
+        }
+    }
+
+    /// The paper's state-vector workload features: one rate per data
+    /// source, normalized by `rate_scale` so NN inputs stay O(1).
+    pub fn feature_vector(&self, rate_scale: f64) -> Vec<f64> {
+        assert!(rate_scale > 0.0, "rate scale must be positive");
+        self.rates.iter().map(|&(_, r)| r / rate_scale).collect()
+    }
+}
+
+/// A piecewise-constant multiplier on a base workload over simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSchedule {
+    /// `(start time in seconds, multiplier)` steps, sorted by time; the
+    /// multiplier before the first step is 1.
+    steps: Vec<(f64, f64)>,
+}
+
+impl RateSchedule {
+    /// Constant workload (multiplier 1 forever).
+    pub fn constant() -> Self {
+        Self { steps: Vec::new() }
+    }
+
+    /// A single step to `multiplier` at time `at_s` — Figure 12's
+    /// "+50% at 20 minutes" is `RateSchedule::step_at(1200.0, 1.5)`.
+    ///
+    /// # Panics
+    /// Panics on negative time or multiplier.
+    pub fn step_at(at_s: f64, multiplier: f64) -> Self {
+        assert!(at_s >= 0.0 && multiplier >= 0.0);
+        Self {
+            steps: vec![(at_s, multiplier)],
+        }
+    }
+
+    /// Adds a step, keeping the schedule sorted.
+    ///
+    /// # Panics
+    /// Panics on negative time or multiplier.
+    pub fn with_step(mut self, at_s: f64, multiplier: f64) -> Self {
+        assert!(at_s >= 0.0 && multiplier >= 0.0);
+        self.steps.push((at_s, multiplier));
+        self.steps
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN time"));
+        self
+    }
+
+    /// Multiplier in effect at time `t`.
+    pub fn multiplier_at(&self, t: f64) -> f64 {
+        self.steps
+            .iter()
+            .rev()
+            .find(|&&(at, _)| t >= at)
+            .map_or(1.0, |&(_, m)| m)
+    }
+
+    /// Times at which the multiplier changes.
+    pub fn change_points(&self) -> Vec<f64> {
+        self.steps.iter().map(|&(t, _)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Grouping, TopologyBuilder};
+
+    fn topo() -> Topology {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 2, 0.1);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 10);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_covers_all_spouts() {
+        let t = topo();
+        let w = Workload::uniform(&t, 100.0);
+        assert_eq!(w.rates(), &[(0, 100.0)]);
+        assert_eq!(w.total_rate(), 100.0);
+    }
+
+    #[test]
+    fn rejects_bolt_rate() {
+        let t = topo();
+        assert!(Workload::new(vec![(1, 10.0)], &t).is_err());
+        assert!(Workload::new(vec![(5, 10.0)], &t).is_err());
+        assert!(Workload::new(vec![(0, -1.0)], &t).is_err());
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let t = topo();
+        let w = Workload::uniform(&t, 100.0).scaled(1.5);
+        assert_eq!(w.total_rate(), 150.0);
+    }
+
+    #[test]
+    fn features_normalized() {
+        let t = topo();
+        let w = Workload::uniform(&t, 500.0);
+        assert_eq!(w.feature_vector(1000.0), vec![0.5]);
+    }
+
+    #[test]
+    fn schedule_steps() {
+        let s = RateSchedule::step_at(1200.0, 1.5);
+        assert_eq!(s.multiplier_at(0.0), 1.0);
+        assert_eq!(s.multiplier_at(1199.9), 1.0);
+        assert_eq!(s.multiplier_at(1200.0), 1.5);
+        assert_eq!(s.multiplier_at(5000.0), 1.5);
+        assert_eq!(s.change_points(), vec![1200.0]);
+    }
+
+    #[test]
+    fn multi_step_schedule_sorted() {
+        let s = RateSchedule::constant()
+            .with_step(100.0, 2.0)
+            .with_step(50.0, 1.5);
+        assert_eq!(s.multiplier_at(75.0), 1.5);
+        assert_eq!(s.multiplier_at(150.0), 2.0);
+    }
+}

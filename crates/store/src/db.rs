@@ -1,0 +1,209 @@
+//! The typed, thread-safe transition database used by the control framework.
+
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::error::StoreError;
+use crate::log::{Log, LogConfig};
+use crate::record::TransitionRecord;
+
+/// Durable store of `(s, a, r, s')` samples — the "Database" of Figure 1.
+///
+/// Appends are cheap (buffered log writes); scans decode and validate every
+/// record. A record that fails *payload* decoding after passing the log's
+/// checksum indicates a writer bug, so scans surface it as corruption
+/// instead of skipping it.
+#[derive(Debug)]
+pub struct TransitionDb {
+    log: Mutex<Log>,
+}
+
+impl TransitionDb {
+    /// Open (or create) the database in `dir` with default tuning.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        Self::open_with(dir, LogConfig::default())
+    }
+
+    /// Open with explicit log tuning.
+    pub fn open_with(dir: &Path, config: LogConfig) -> Result<Self, StoreError> {
+        Ok(TransitionDb {
+            log: Mutex::new(Log::open(dir, config)?),
+        })
+    }
+
+    /// Append one sample.
+    pub fn append(&self, record: &TransitionRecord) -> Result<(), StoreError> {
+        self.log.lock().append(&record.encode())
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> u64 {
+        self.log.lock().len()
+    }
+
+    /// True if no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.log.lock().is_empty()
+    }
+
+    /// Read every sample in append order.
+    pub fn scan(&self) -> Result<Vec<TransitionRecord>, StoreError> {
+        let mut log = self.log.lock();
+        let dir = log.dir().to_path_buf();
+        log.iter()?
+            .enumerate()
+            .map(|(i, payload)| {
+                TransitionRecord::decode(payload.into()).ok_or(StoreError::Corrupt {
+                    path: dir.clone(),
+                    offset: i as u64,
+                    detail: "record payload failed to decode",
+                })
+            })
+            .collect()
+    }
+
+    /// Read the most recent `k` samples (fewer if the store is smaller).
+    pub fn tail(&self, k: usize) -> Result<Vec<TransitionRecord>, StoreError> {
+        let mut all = self.scan()?;
+        let skip = all.len().saturating_sub(k);
+        Ok(all.split_off(skip))
+    }
+
+    /// Drop the oldest sealed segments down to `keep_segments`; returns
+    /// the number of samples discarded.
+    pub fn compact_to(&self, keep_segments: usize) -> Result<u64, StoreError> {
+        self.log.lock().compact_to(keep_segments)
+    }
+
+    /// Number of on-disk segment files.
+    pub fn n_segments(&self) -> usize {
+        self.log.lock().n_segments()
+    }
+
+    /// Force buffered appends to disk.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.log.lock().sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "dss-db-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn rec(epoch: u64, reward: f64) -> TransitionRecord {
+        TransitionRecord {
+            epoch,
+            machine_of: vec![0, 1, 0],
+            n_machines: 2,
+            source_rates: vec![(0, 50.0)],
+            action_machine_of: vec![1, 1, 0],
+            reward,
+            next_machine_of: vec![1, 1, 0],
+            next_source_rates: vec![(0, 50.0)],
+        }
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let dir = tmpdir("rt");
+        let db = TransitionDb::open(&dir).unwrap();
+        for i in 0..50 {
+            db.append(&rec(i, -(i as f64))).unwrap();
+        }
+        let all = db.scan().unwrap();
+        assert_eq!(all.len(), 50);
+        assert_eq!(all[17], rec(17, -17.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn survives_restart() {
+        let dir = tmpdir("restart");
+        {
+            let db = TransitionDb::open(&dir).unwrap();
+            for i in 0..10 {
+                db.append(&rec(i, 0.0)).unwrap();
+            }
+            db.sync().unwrap();
+        }
+        let db = TransitionDb::open(&dir).unwrap();
+        assert_eq!(db.len(), 10);
+        assert_eq!(db.scan().unwrap()[9].epoch, 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_returns_most_recent() {
+        let dir = tmpdir("tail");
+        let db = TransitionDb::open(&dir).unwrap();
+        for i in 0..20 {
+            db.append(&rec(i, 0.0)).unwrap();
+        }
+        let last5 = db.tail(5).unwrap();
+        assert_eq!(last5.iter().map(|r| r.epoch).collect::<Vec<_>>(), vec![
+            15, 16, 17, 18, 19
+        ]);
+        assert_eq!(db.tail(100).unwrap().len(), 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_keeps_recent_history() {
+        let dir = tmpdir("compact");
+        let db = TransitionDb::open_with(&dir, LogConfig {
+            max_segment_bytes: 256,
+            sync_every_append: false,
+        })
+        .unwrap();
+        for i in 0..100 {
+            db.append(&rec(i, 0.0)).unwrap();
+        }
+        assert!(db.n_segments() > 2);
+        let dropped = db.compact_to(1).unwrap();
+        assert!(dropped > 0);
+        let remaining = db.scan().unwrap();
+        assert_eq!(remaining.len() as u64, 100 - dropped);
+        // What's left is a contiguous most-recent suffix.
+        assert_eq!(remaining.last().unwrap().epoch, 99);
+        let first = remaining.first().unwrap().epoch;
+        assert_eq!(
+            remaining.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            (first..=99).collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_appends_are_all_stored() {
+        let dir = tmpdir("concurrent");
+        let db = std::sync::Arc::new(TransitionDb::open(&dir).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        db.append(&rec(t * 1000 + i, 0.0)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.len(), 200);
+        assert_eq!(db.scan().unwrap().len(), 200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

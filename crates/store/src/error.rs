@@ -1,0 +1,81 @@
+//! Storage error type.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors from the transition database.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io {
+        /// Operation context (e.g. file path).
+        context: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A record failed checksum or structural validation while decoding.
+    Corrupt {
+        /// Which file.
+        path: PathBuf,
+        /// Byte offset of the bad record.
+        offset: u64,
+        /// What failed.
+        detail: &'static str,
+    },
+    /// A record exceeds the configured maximum size.
+    RecordTooLarge(usize),
+    /// A segment file name does not follow the `segment-NNNNNNNN.log` scheme.
+    BadSegmentName(PathBuf),
+}
+
+impl StoreError {
+    pub(crate) fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "io error ({context}): {source}"),
+            StoreError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(f, "corrupt record in {} at {offset}: {detail}", path.display()),
+            StoreError::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds limit"),
+            StoreError::BadSegmentName(p) => {
+                write!(f, "unrecognized segment file name: {}", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = StoreError::io("open /tmp/x", std::io::Error::other("boom"));
+        assert!(e.to_string().contains("open /tmp/x"));
+        let c = StoreError::Corrupt {
+            path: "/tmp/seg".into(),
+            offset: 128,
+            detail: "crc",
+        };
+        assert!(c.to_string().contains("128"));
+    }
+}

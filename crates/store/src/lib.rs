@@ -1,0 +1,55 @@
+//! The transition-sample database (the "Database" of the paper's Figure 1).
+//!
+//! Paper §3.1: the framework's architecture has three components — the DRL
+//! agent, the custom scheduler, and a *database* that "stores transition
+//! samples including state, action and reward information for training".
+//! The offline phase accumulates 10,000 random-action samples per setup;
+//! the online phase appends one sample per decision epoch. Training jobs
+//! re-read the whole history (the paper pre-trains the actor/critic from
+//! the historical samples), so durability across agent restarts is the
+//! point of the component.
+//!
+//! This crate implements that database as a storage engine appropriate for
+//! the workload (append-mostly, scan-mostly, modest volume):
+//!
+//! * [`record::TransitionRecord`] — the `(s, a, r, s')` sample with a
+//!   self-validating binary encoding;
+//! * [`segment`] — a single append-only log file: `[len | crc32 | payload]`
+//!   records, torn-tail truncation on open;
+//! * [`log`] — a directory of rotating segments with monotonically
+//!   increasing record sequence numbers and crash recovery;
+//! * [`db::TransitionDb`] — the typed, thread-safe API the control
+//!   framework uses: append, scan, tail, and compaction (drop the oldest
+//!   segments once the history exceeds a budget — the durable analogue of
+//!   the replay buffer's eviction).
+//!
+//! ```
+//! use dss_store::{TransitionDb, TransitionRecord};
+//!
+//! let dir = std::env::temp_dir().join(format!("dss-store-doc-{}", std::process::id()));
+//! let db = TransitionDb::open(&dir).unwrap();
+//! db.append(&TransitionRecord {
+//!     epoch: 0,
+//!     machine_of: vec![0, 1],
+//!     n_machines: 2,
+//!     source_rates: vec![(0, 100.0)],
+//!     action_machine_of: vec![1, 1],
+//!     reward: -1.96,
+//!     next_machine_of: vec![1, 1],
+//!     next_source_rates: vec![(0, 100.0)],
+//! }).unwrap();
+//! assert_eq!(db.len(), 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod log;
+pub mod record;
+pub mod segment;
+
+pub use db::TransitionDb;
+pub use error::StoreError;
+pub use log::{Log, LogConfig};
+pub use record::TransitionRecord;
+pub use segment::{Segment, SegmentReader};

@@ -1,0 +1,223 @@
+//! The stored `(s, a, r, s')` transition sample and its binary codec.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One transition sample as the paper defines it: state `s = (X, w)`,
+/// action `a` (the deployed assignment), reward `r` (negative average
+/// tuple processing time), next state `s' = (X', w')`.
+///
+/// `X'` always equals the deployed action's assignment, but `w'` can
+/// differ from `w` when the workload shifts between epochs — keeping both
+/// is what lets the state include the workload (paper §3.2, validated by
+/// the Fig. 12 adaptivity experiment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionRecord {
+    /// Decision epoch that produced the sample.
+    pub epoch: u64,
+    /// State: executor-to-machine assignment before the action.
+    pub machine_of: Vec<usize>,
+    /// Number of machines (shared by all assignment fields).
+    pub n_machines: usize,
+    /// State: per-data-source arrival rates `(component, tuples/s)`.
+    pub source_rates: Vec<(u32, f64)>,
+    /// Action: the assignment that was deployed.
+    pub action_machine_of: Vec<usize>,
+    /// Reward observed after redeployment stabilized.
+    pub reward: f64,
+    /// Next state: assignment after the action (== action's assignment).
+    pub next_machine_of: Vec<usize>,
+    /// Next state: arrival rates at the next epoch.
+    pub next_source_rates: Vec<(u32, f64)>,
+}
+
+impl TransitionRecord {
+    /// Encode into a self-contained payload (no framing or checksum; the
+    /// segment layer adds those).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(self.epoch);
+        buf.put_u32_le(self.n_machines as u32);
+        put_assign(&mut buf, &self.machine_of);
+        put_rates(&mut buf, &self.source_rates);
+        put_assign(&mut buf, &self.action_machine_of);
+        buf.put_f64_le(self.reward);
+        put_assign(&mut buf, &self.next_machine_of);
+        put_rates(&mut buf, &self.next_source_rates);
+        buf.freeze()
+    }
+
+    /// Decode a payload produced by [`TransitionRecord::encode`].
+    ///
+    /// Returns `None` on any structural problem (truncation, machine index
+    /// out of range, non-finite reward, trailing bytes) — the segment layer
+    /// translates that into a corruption error with file context.
+    pub fn decode(mut buf: Bytes) -> Option<TransitionRecord> {
+        let epoch = get_u64(&mut buf)?;
+        let n_machines = get_u32(&mut buf)? as usize;
+        let machine_of = get_assign(&mut buf, n_machines)?;
+        let source_rates = get_rates(&mut buf)?;
+        let action_machine_of = get_assign(&mut buf, n_machines)?;
+        let reward = get_f64(&mut buf)?;
+        if !reward.is_finite() {
+            return None;
+        }
+        let next_machine_of = get_assign(&mut buf, n_machines)?;
+        let next_source_rates = get_rates(&mut buf)?;
+        if buf.has_remaining() {
+            return None;
+        }
+        Some(TransitionRecord {
+            epoch,
+            machine_of,
+            n_machines,
+            source_rates,
+            action_machine_of,
+            reward,
+            next_machine_of,
+            next_source_rates,
+        })
+    }
+}
+
+fn put_assign(buf: &mut BytesMut, a: &[usize]) {
+    buf.put_u32_le(a.len() as u32);
+    for &m in a {
+        buf.put_u32_le(m as u32);
+    }
+}
+
+fn put_rates(buf: &mut BytesMut, rates: &[(u32, f64)]) {
+    buf.put_u32_le(rates.len() as u32);
+    for (c, r) in rates {
+        buf.put_u32_le(*c);
+        buf.put_f64_le(*r);
+    }
+}
+
+fn get_u32(buf: &mut Bytes) -> Option<u32> {
+    (buf.remaining() >= 4).then(|| buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Option<u64> {
+    (buf.remaining() >= 8).then(|| buf.get_u64_le())
+}
+
+fn get_f64(buf: &mut Bytes) -> Option<f64> {
+    (buf.remaining() >= 8).then(|| buf.get_f64_le())
+}
+
+fn get_assign(buf: &mut Bytes, n_machines: usize) -> Option<Vec<usize>> {
+    let n = get_u32(buf)? as usize;
+    if buf.remaining() < n.checked_mul(4)? {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = buf.get_u32_le() as usize;
+        if m >= n_machines {
+            return None;
+        }
+        out.push(m);
+    }
+    Some(out)
+}
+
+fn get_rates(buf: &mut Bytes) -> Option<Vec<(u32, f64)>> {
+    let n = get_u32(buf)? as usize;
+    if buf.remaining() < n.checked_mul(12)? {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = buf.get_u32_le();
+        let r = buf.get_f64_le();
+        if !r.is_finite() || r < 0.0 {
+            return None;
+        }
+        out.push((c, r));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(epoch: u64) -> TransitionRecord {
+        TransitionRecord {
+            epoch,
+            machine_of: vec![0, 1, 2, 2],
+            n_machines: 3,
+            source_rates: vec![(0, 120.0)],
+            action_machine_of: vec![2, 2, 2, 0],
+            reward: -1.46,
+            next_machine_of: vec![2, 2, 2, 0],
+            next_source_rates: vec![(0, 180.0)],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_all_fields() {
+        let r = sample(7);
+        assert_eq!(TransitionRecord::decode(r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_vectors_roundtrip() {
+        let r = TransitionRecord {
+            epoch: 0,
+            machine_of: vec![],
+            n_machines: 1,
+            source_rates: vec![],
+            action_machine_of: vec![],
+            reward: 0.0,
+            next_machine_of: vec![],
+            next_source_rates: vec![],
+        };
+        assert_eq!(TransitionRecord::decode(r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_rejects_every_truncation() {
+        let enc = sample(1).encode();
+        for cut in 0..enc.len() {
+            assert!(
+                TransitionRecord::decode(enc.slice(..cut)).is_none(),
+                "cut at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut v = sample(1).encode().to_vec();
+        v.push(0);
+        assert!(TransitionRecord::decode(Bytes::from(v)).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_machine_index_out_of_range() {
+        let mut r = sample(1);
+        r.n_machines = 3;
+        let mut v = r.encode().to_vec();
+        // n_machines sits at offset 8..12; shrink it to 1 so indexes 1,2
+        // become invalid.
+        v[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert!(TransitionRecord::decode(Bytes::from(v)).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_nan_reward() {
+        let r = sample(1);
+        let enc = r.encode().to_vec();
+        // Find the reward: it follows epoch(8) + n_machines(4) +
+        // assign(4+16) + rates(4+12) + assign(4+16) = 68.
+        let mut v = enc.clone();
+        v[68..76].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(TransitionRecord::decode(Bytes::from(v)).is_none());
+        // Sanity: the offset really is the reward field.
+        let mut w = enc;
+        w[68..76].copy_from_slice(&(-9.5f64).to_le_bytes());
+        assert_eq!(TransitionRecord::decode(Bytes::from(w)).unwrap().reward, -9.5);
+    }
+}

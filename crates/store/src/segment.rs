@@ -1,0 +1,415 @@
+//! A single append-only log file.
+//!
+//! Record framing: `[len: u32][crc: u32][payload: len bytes]`, all
+//! little-endian. On open, the segment is scanned; a torn tail (partial
+//! header, partial payload, or checksum mismatch in the **final** record —
+//! the signature of a crash mid-append) is truncated away. Corruption
+//! anywhere *before* the tail is a hard error: it means bytes were damaged
+//! after being durably written, which recovery must not paper over.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+
+/// Per-record header size: length + checksum.
+pub const RECORD_HEADER: usize = 8;
+/// Maximum payload size accepted (1 MiB; transition samples are ~1 KiB).
+pub const MAX_RECORD_LEN: usize = 1 << 20;
+
+/// CRC-32 (IEEE), kept byte-compatible with `dss-proto::crc32` so tooling
+/// can validate either format.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// An open, appendable segment.
+#[derive(Debug)]
+pub struct Segment {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// Bytes durably framed so far (after recovery truncation).
+    len_bytes: u64,
+    /// Records in the segment.
+    n_records: u64,
+}
+
+impl Segment {
+    /// Open (creating if missing) and recover the segment: scan records,
+    /// truncate a torn tail, position for append.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::io(format!("open {}", path.display()), e))?;
+        let (valid_len, n_records) = scan(path, &mut file)?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| StoreError::io(format!("stat {}", path.display()), e))?
+            .len();
+        if valid_len < file_len {
+            // Torn tail from a crash mid-append: cut it off. Reopen in
+            // write mode because append-mode files cannot truncate on all
+            // platforms.
+            drop(file);
+            let f = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| StoreError::io(format!("reopen {}", path.display()), e))?;
+            f.set_len(valid_len)
+                .map_err(|e| StoreError::io(format!("truncate {}", path.display()), e))?;
+            let file = OpenOptions::new()
+                .read(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| StoreError::io(format!("reopen {}", path.display()), e))?;
+            return Ok(Segment {
+                path: path.to_path_buf(),
+                writer: BufWriter::new(file),
+                len_bytes: valid_len,
+                n_records,
+            });
+        }
+        Ok(Segment {
+            path: path.to_path_buf(),
+            writer: BufWriter::new(file),
+            len_bytes: valid_len,
+            n_records,
+        })
+    }
+
+    /// Append one payload; returns its byte offset.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(StoreError::RecordTooLarge(payload.len()));
+        }
+        let offset = self.len_bytes;
+        let mut header = [0u8; RECORD_HEADER];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+        self.writer
+            .write_all(&header)
+            .and_then(|()| self.writer.write_all(payload))
+            .map_err(|e| StoreError::io(format!("append {}", self.path.display()), e))?;
+        self.len_bytes += (RECORD_HEADER + payload.len()) as u64;
+        self.n_records += 1;
+        Ok(offset)
+    }
+
+    /// Flush buffered appends to the OS.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.writer
+            .flush()
+            .map_err(|e| StoreError::io(format!("flush {}", self.path.display()), e))
+    }
+
+    /// Flush and fsync.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.flush()?;
+        self.writer
+            .get_ref()
+            .sync_data()
+            .map_err(|e| StoreError::io(format!("sync {}", self.path.display()), e))
+    }
+
+    /// Framed bytes in the segment.
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// Records in the segment.
+    pub fn n_records(&self) -> u64 {
+        self.n_records
+    }
+
+    /// The segment's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Scan a segment, returning `(valid_prefix_len, n_records)`.
+///
+/// A bad **final** record is treated as a torn tail (valid prefix ends
+/// before it); a bad record followed by more bytes is hard corruption.
+fn scan(path: &Path, file: &mut File) -> Result<(u64, u64), StoreError> {
+    file.seek(SeekFrom::Start(0))
+        .map_err(|e| StoreError::io(format!("seek {}", path.display()), e))?;
+    let mut data = Vec::new();
+    file.read_to_end(&mut data)
+        .map_err(|e| StoreError::io(format!("read {}", path.display()), e))?;
+    let mut off = 0usize;
+    let mut n = 0u64;
+    while off < data.len() {
+        let bad_tail = |detail: &'static str, off: usize| -> Result<(u64, u64), StoreError> {
+            // Only acceptable as the *last* thing in the file.
+            Err(StoreError::Corrupt {
+                path: path.to_path_buf(),
+                offset: off as u64,
+                detail,
+            })
+        };
+        if off + RECORD_HEADER > data.len() {
+            return Ok((off as u64, n)); // partial header: torn tail
+        }
+        let len = u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]])
+            as usize;
+        let expected_crc = u32::from_le_bytes([
+            data[off + 4],
+            data[off + 5],
+            data[off + 6],
+            data[off + 7],
+        ]);
+        if len > MAX_RECORD_LEN {
+            // A nonsense length field can only be trusted as a torn tail
+            // if nothing follows that could have been a valid record.
+            return if data.len() - off <= RECORD_HEADER + MAX_RECORD_LEN {
+                Ok((off as u64, n))
+            } else {
+                bad_tail("length out of range", off)
+            };
+        }
+        let end = off + RECORD_HEADER + len;
+        if end > data.len() {
+            return Ok((off as u64, n)); // partial payload: torn tail
+        }
+        if crc32(&data[off + RECORD_HEADER..end]) != expected_crc {
+            if end == data.len() {
+                return Ok((off as u64, n)); // bad checksum on final record
+            }
+            return bad_tail("checksum mismatch mid-file", off);
+        }
+        off = end;
+        n += 1;
+    }
+    Ok((off as u64, n))
+}
+
+/// Sequential reader over a segment's validated records.
+#[derive(Debug)]
+pub struct SegmentReader {
+    data: Vec<u8>,
+    off: usize,
+    path: PathBuf,
+}
+
+impl SegmentReader {
+    /// Read and validate the whole segment for iteration.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let mut file = File::open(path)
+            .map_err(|e| StoreError::io(format!("open {}", path.display()), e))?;
+        let (valid_len, _) = scan(path, &mut file)?;
+        let mut data = Vec::with_capacity(valid_len as usize);
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| StoreError::io(format!("seek {}", path.display()), e))?;
+        file.take(valid_len)
+            .read_to_end(&mut data)
+            .map_err(|e| StoreError::io(format!("read {}", path.display()), e))?;
+        Ok(SegmentReader {
+            data,
+            off: 0,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The segment's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Iterator for SegmentReader {
+    type Item = Vec<u8>;
+
+    fn next(&mut self) -> Option<Vec<u8>> {
+        if self.off + RECORD_HEADER > self.data.len() {
+            return None;
+        }
+        let len = u32::from_le_bytes([
+            self.data[self.off],
+            self.data[self.off + 1],
+            self.data[self.off + 2],
+            self.data[self.off + 3],
+        ]) as usize;
+        let start = self.off + RECORD_HEADER;
+        let end = start + len;
+        if end > self.data.len() {
+            return None;
+        }
+        self.off = end;
+        Some(self.data[start..end].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "dss-seg-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn append_flush_read_roundtrip() {
+        let dir = tmpdir("rt");
+        let path = dir.join("segment-00000001.log");
+        let mut seg = Segment::open(&path).unwrap();
+        seg.append(b"one").unwrap();
+        seg.append(b"two").unwrap();
+        seg.append(b"").unwrap();
+        seg.flush().unwrap();
+        let records: Vec<Vec<u8>> = SegmentReader::open(&path).unwrap().collect();
+        assert_eq!(records, vec![b"one".to_vec(), b"two".to_vec(), vec![]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_resumes_counts_and_appends() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("segment-00000001.log");
+        {
+            let mut seg = Segment::open(&path).unwrap();
+            seg.append(b"a").unwrap();
+            seg.flush().unwrap();
+        }
+        let mut seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.n_records(), 1);
+        seg.append(b"b").unwrap();
+        seg.flush().unwrap();
+        let records: Vec<Vec<u8>> = SegmentReader::open(&path).unwrap().collect();
+        assert_eq!(records.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_partial_payload_is_truncated_on_open() {
+        let dir = tmpdir("torn");
+        let path = dir.join("segment-00000001.log");
+        {
+            let mut seg = Segment::open(&path).unwrap();
+            seg.append(b"intact").unwrap();
+            seg.append(b"will be torn").unwrap();
+            seg.flush().unwrap();
+        }
+        // Tear the last record: drop its final 3 bytes.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let mut seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.n_records(), 1, "torn record discarded");
+        seg.append(b"after-recovery").unwrap();
+        seg.flush().unwrap();
+        let records: Vec<Vec<u8>> = SegmentReader::open(&path).unwrap().collect();
+        assert_eq!(records, vec![b"intact".to_vec(), b"after-recovery".to_vec()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_partial_header_is_truncated() {
+        let dir = tmpdir("tornhdr");
+        let path = dir.join("segment-00000001.log");
+        {
+            let mut seg = Segment::open(&path).unwrap();
+            seg.append(b"keep").unwrap();
+            seg.flush().unwrap();
+        }
+        // Append 5 junk bytes (less than a header).
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[1, 2, 3, 4, 5]).unwrap();
+        drop(f);
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.n_records(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_checksum_on_final_record_is_torn_tail() {
+        let dir = tmpdir("crc-final");
+        let path = dir.join("segment-00000001.log");
+        {
+            let mut seg = Segment::open(&path).unwrap();
+            seg.append(b"good").unwrap();
+            seg.append(b"flipped").unwrap();
+            seg.flush().unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.n_records(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let dir = tmpdir("crc-mid");
+        let path = dir.join("segment-00000001.log");
+        {
+            let mut seg = Segment::open(&path).unwrap();
+            seg.append(b"first-record-payload").unwrap();
+            seg.append(b"second").unwrap();
+            seg.flush().unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        data[RECORD_HEADER + 2] ^= 0xff; // inside the first payload
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            Segment::open(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_at_append() {
+        let dir = tmpdir("big");
+        let path = dir.join("segment-00000001.log");
+        let mut seg = Segment::open(&path).unwrap();
+        let huge = vec![0u8; MAX_RECORD_LEN + 1];
+        assert!(matches!(
+            seg.append(&huge),
+            Err(StoreError::RecordTooLarge(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_segment_opens_cleanly() {
+        let dir = tmpdir("empty");
+        let path = dir.join("segment-00000001.log");
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.n_records(), 0);
+        assert_eq!(seg.len_bytes(), 0);
+        assert_eq!(SegmentReader::open(&path).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests: record codec totality, log recovery, compaction safety.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dss_store::{Log, LogConfig, TransitionDb, TransitionRecord};
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "dss-store-prop-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn record_strategy() -> impl Strategy<Value = TransitionRecord> {
+    (1usize..8).prop_flat_map(|m| {
+        (
+            any::<u64>(),
+            prop::collection::vec(0..m, 0..20),
+            Just(m),
+            prop::collection::vec((any::<u32>(), 0.0..1e5f64), 0..4),
+            prop::collection::vec(0..m, 0..20),
+            -1e6..1e6f64,
+            prop::collection::vec(0..m, 0..20),
+            prop::collection::vec((any::<u32>(), 0.0..1e5f64), 0..4),
+        )
+            .prop_map(
+                |(
+                    epoch,
+                    machine_of,
+                    n_machines,
+                    source_rates,
+                    action_machine_of,
+                    reward,
+                    next_machine_of,
+                    next_source_rates,
+                )| TransitionRecord {
+                    epoch,
+                    machine_of,
+                    n_machines,
+                    source_rates,
+                    action_machine_of,
+                    reward,
+                    next_machine_of,
+                    next_source_rates,
+                },
+            )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode/decode is the identity on valid records.
+    #[test]
+    fn record_roundtrip(rec in record_strategy()) {
+        prop_assert_eq!(TransitionRecord::decode(rec.encode()).unwrap(), rec);
+    }
+
+    /// decode never panics on arbitrary bytes and never fabricates
+    /// out-of-range machine indexes.
+    #[test]
+    fn decode_is_total_and_validating(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Some(rec) = TransitionRecord::decode(bytes::Bytes::from(bytes)) {
+            for &m in rec
+                .machine_of
+                .iter()
+                .chain(&rec.action_machine_of)
+                .chain(&rec.next_machine_of)
+            {
+                prop_assert!(m < rec.n_machines);
+            }
+            prop_assert!(rec.reward.is_finite());
+        }
+    }
+
+    /// Whatever is appended is scanned back in order, across restarts and
+    /// arbitrary segment sizes.
+    #[test]
+    fn db_roundtrip_across_restart(
+        recs in prop::collection::vec(record_strategy(), 1..40),
+        seg_bytes in 64u64..4096,
+    ) {
+        let dir = fresh_dir("rt");
+        {
+            let db = TransitionDb::open_with(&dir, LogConfig {
+                max_segment_bytes: seg_bytes,
+                sync_every_append: false,
+            }).unwrap();
+            for r in &recs {
+                db.append(r).unwrap();
+            }
+            db.sync().unwrap();
+        }
+        let db = TransitionDb::open_with(&dir, LogConfig {
+            max_segment_bytes: seg_bytes,
+            sync_every_append: false,
+        }).unwrap();
+        prop_assert_eq!(db.scan().unwrap(), recs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Truncating the tail of the newest segment loses at most a suffix:
+    /// recovery yields a prefix of what was written, and the log stays
+    /// appendable.
+    #[test]
+    fn truncation_recovers_a_prefix(
+        payload_count in 2usize..20,
+        cut_bytes in 1u64..64,
+    ) {
+        let dir = fresh_dir("trunc");
+        let payloads: Vec<Vec<u8>> =
+            (0..payload_count).map(|i| format!("payload-{i:04}").into_bytes()).collect();
+        {
+            let mut log = Log::open(&dir, LogConfig::default()).unwrap();
+            for p in &payloads {
+                log.append(p).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        // Tear off the last `cut_bytes` of the single segment.
+        let seg = dir.join("segment-00000001.log");
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let keep = len.saturating_sub(cut_bytes);
+        let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(keep).unwrap();
+        drop(f);
+
+        let mut log = Log::open(&dir, LogConfig::default()).unwrap();
+        let recovered: Vec<Vec<u8>> = log.iter().unwrap().collect();
+        prop_assert!(recovered.len() <= payloads.len());
+        prop_assert_eq!(&recovered[..], &payloads[..recovered.len()]);
+        // Still appendable after recovery.
+        log.append(b"post-recovery").unwrap();
+        let after: Vec<Vec<u8>> = log.iter().unwrap().collect();
+        prop_assert_eq!(after.last().unwrap(), &b"post-recovery".to_vec());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Compaction only ever removes a prefix; the surviving records are a
+    /// contiguous, most-recent suffix.
+    #[test]
+    fn compaction_keeps_a_suffix(
+        n in 10usize..80,
+        keep_segments in 0usize..4,
+    ) {
+        let dir = fresh_dir("compact");
+        let db = TransitionDb::open_with(&dir, LogConfig {
+            max_segment_bytes: 512,
+            sync_every_append: false,
+        }).unwrap();
+        let mut recs = Vec::new();
+        for i in 0..n {
+            let mut r = TransitionRecord {
+                epoch: i as u64,
+                machine_of: vec![0, 1],
+                n_machines: 2,
+                source_rates: vec![(0, 1.0)],
+                action_machine_of: vec![1, 0],
+                reward: -(i as f64),
+                next_machine_of: vec![1, 0],
+                next_source_rates: vec![(0, 1.0)],
+            };
+            r.epoch = i as u64;
+            db.append(&r).unwrap();
+            recs.push(r);
+        }
+        let dropped = db.compact_to(keep_segments).unwrap() as usize;
+        let remaining = db.scan().unwrap();
+        prop_assert_eq!(remaining.len(), n - dropped);
+        prop_assert_eq!(&remaining[..], &recs[dropped..]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,37 @@
+//! Kernels (used directly in tests and approximated by RFF in training).
+
+/// RBF (Gaussian) kernel `k(x, y) = exp(−γ‖x − y‖²)`.
+///
+/// # Panics
+/// Panics on dimension mismatch or non-positive `gamma`.
+pub fn rbf_kernel(x: &[f64], y: &[f64], gamma: f64) -> f64 {
+    assert_eq!(x.len(), y.len(), "kernel dimension mismatch");
+    assert!(gamma > 0.0, "gamma must be positive");
+    let sq: f64 = x.iter().zip(y).map(|(&a, &b)| (a - b) * (a - b)).sum();
+    (-gamma * sq).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_same_point() {
+        assert_eq!(rbf_kernel(&[1.0, 2.0], &[1.0, 2.0], 0.5), 1.0);
+    }
+
+    #[test]
+    fn decays_with_distance() {
+        let near = rbf_kernel(&[0.0], &[0.1], 1.0);
+        let far = rbf_kernel(&[0.0], &[2.0], 1.0);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.3, -1.2];
+        let b = [2.0, 0.7];
+        assert_eq!(rbf_kernel(&a, &b, 0.7), rbf_kernel(&b, &a, 0.7));
+    }
+}

@@ -1,0 +1,218 @@
+//! ε-insensitive linear SVR trained on the primal by subgradient descent.
+//!
+//! Objective (soft-margin SVR, Drucker et al. 1996, primal form):
+//!
+//! ```text
+//! min_w,b  0.5·λ‖w‖² + (1/n) Σ_i max(0, |y_i − (w·x_i + b)| − ε)
+//! ```
+//!
+//! Subgradient SGD with a decaying step size. Training is deterministic
+//! given the seed (sample order is shuffled per epoch from a seeded RNG).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyperparameters for [`LinearSvr`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvrConfig {
+    /// Insensitive-tube half-width ε.
+    pub epsilon: f64,
+    /// L2 regularization strength λ.
+    pub lambda: f64,
+    /// Initial learning rate (decays as `lr / (1 + t/decay)`).
+    pub learning_rate: f64,
+    /// Step-decay time constant, in update counts.
+    pub lr_decay: f64,
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// RNG seed for per-epoch shuffling.
+    pub seed: u64,
+}
+
+impl Default for SvrConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.01,
+            lambda: 1e-4,
+            learning_rate: 0.05,
+            lr_decay: 5_000.0,
+            epochs: 60,
+            seed: 7,
+        }
+    }
+}
+
+/// A fitted linear SVR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvr {
+    weights: Vec<f64>,
+    bias: f64,
+    config: SvrConfig,
+}
+
+impl LinearSvr {
+    /// Fits on `(xs, ys)`.
+    ///
+    /// # Panics
+    /// Panics on empty or ragged input, or length mismatch.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], config: SvrConfig) -> Self {
+        assert!(!xs.is_empty(), "no training samples");
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        let dim = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == dim), "ragged samples");
+
+        let mut w = vec![0.0; dim];
+        let mut b = 0.0;
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut t = 0u64;
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let lr = config.learning_rate / (1.0 + t as f64 / config.lr_decay);
+                t += 1;
+                let pred = dot(&w, &xs[i]) + b;
+                let r = ys[i] - pred;
+                // Subgradient of the ε-insensitive loss w.r.t. prediction:
+                // 0 inside the tube, ∓1 outside.
+                let g = if r > config.epsilon {
+                    -1.0
+                } else if r < -config.epsilon {
+                    1.0
+                } else {
+                    0.0
+                };
+                for (wj, &xj) in w.iter_mut().zip(&xs[i]) {
+                    *wj -= lr * (config.lambda * *wj + g * xj);
+                }
+                b -= lr * g;
+            }
+        }
+        Self {
+            weights: w,
+            bias: b,
+            config,
+        }
+    }
+
+    /// Predicts one sample.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "predict dimension mismatch");
+        dot(&self.weights, x) + self.bias
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Fitted weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The configuration used to fit.
+    pub fn config(&self) -> &SvrConfig {
+        &self.config
+    }
+}
+
+/// Coefficient of determination R² of predictions against targets.
+///
+/// Returns 1 for a perfect fit; can be negative for fits worse than the
+/// mean predictor. A constant target with perfect predictions scores 1.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn r_squared(preds: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(preds.len(), ys.len(), "length mismatch");
+    assert!(!ys.is_empty(), "empty input");
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|&y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = preds.iter().zip(ys).map(|(&p, &y)| (y - p).powi(2)).sum();
+    if ss_tot < 1e-12 {
+        return if ss_res < 1e-9 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    fn linear_data(n: usize, noise: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)];
+            let y = 3.0 * x[0] - 2.0 * x[1] + 0.5 + noise * rng.random_range(-1.0..1.0);
+            xs.push(x);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_linear_relationship() {
+        let (xs, ys) = linear_data(400, 0.0, 1);
+        let svr = LinearSvr::fit(&xs, &ys, SvrConfig::default());
+        assert!((svr.weights()[0] - 3.0).abs() < 0.15, "{:?}", svr.weights());
+        assert!((svr.weights()[1] + 2.0).abs() < 0.15, "{:?}", svr.weights());
+        assert!((svr.bias() - 0.5).abs() < 0.15, "{}", svr.bias());
+        let r2 = r_squared(&svr.predict_all(&xs), &ys);
+        assert!(r2 > 0.98, "R² = {r2}");
+    }
+
+    #[test]
+    fn robust_to_moderate_noise() {
+        let (xs, ys) = linear_data(600, 0.3, 2);
+        let svr = LinearSvr::fit(&xs, &ys, SvrConfig::default());
+        let r2 = r_squared(&svr.predict_all(&xs), &ys);
+        assert!(r2 > 0.9, "R² = {r2}");
+    }
+
+    #[test]
+    fn epsilon_tube_tolerates_small_residuals() {
+        // With a huge ε everything sits inside the tube: no fitting signal,
+        // weights stay ~0 (only decayed by regularization).
+        let (xs, ys) = linear_data(100, 0.0, 3);
+        let cfg = SvrConfig {
+            epsilon: 100.0,
+            ..SvrConfig::default()
+        };
+        let svr = LinearSvr::fit(&xs, &ys, cfg);
+        assert!(svr.weights().iter().all(|w| w.abs() < 1e-6));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = linear_data(50, 0.1, 4);
+        let a = LinearSvr::fit(&xs, &ys, SvrConfig::default());
+        let b = LinearSvr::fit(&xs, &ys, SvrConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn r_squared_edge_cases() {
+        assert_eq!(r_squared(&[1.0, 2.0], &[1.0, 2.0]), 1.0);
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        // Mean predictor scores 0.
+        let r2 = r_squared(&[2.0, 2.0], &[1.0, 3.0]);
+        assert!(r2.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! RBF-kernel SVR via Random Fourier Features (Rahimi & Recht, 2007).
+//!
+//! `φ(x) = sqrt(2/D) · cos(Ω x + β)` with `Ω ~ N(0, 2γ)` and
+//! `β ~ U[0, 2π)` satisfies `E[φ(x)·φ(y)] = exp(−γ‖x−y‖²)`, so a linear SVR
+//! on `φ(x)` approximates an RBF-kernel SVR while training in
+//! O(samples · D) — no QP, no kernel matrix.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::linear::{LinearSvr, SvrConfig};
+
+/// An RBF-approximating SVR: random Fourier feature map + [`LinearSvr`].
+#[derive(Debug, Clone)]
+pub struct RffSvr {
+    omega: Vec<Vec<f64>>, // D × dim
+    beta: Vec<f64>,       // D
+    scale: f64,
+    linear: LinearSvr,
+}
+
+impl RffSvr {
+    /// Fits with `n_features` random features and kernel width `gamma`.
+    ///
+    /// # Panics
+    /// Panics on empty/ragged input, `n_features == 0`, or bad `gamma`.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        gamma: f64,
+        n_features: usize,
+        config: SvrConfig,
+    ) -> Self {
+        assert!(!xs.is_empty(), "no training samples");
+        assert!(n_features > 0, "need at least one random feature");
+        assert!(gamma > 0.0, "gamma must be positive");
+        let dim = xs[0].len();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed_f0f0);
+        // Ω rows ~ N(0, 2γ I): std dev per entry is sqrt(2γ).
+        let sd = (2.0 * gamma).sqrt();
+        let omega: Vec<Vec<f64>> = (0..n_features)
+            .map(|_| (0..dim).map(|_| sd * sample_standard_normal(&mut rng)).collect())
+            .collect();
+        let beta: Vec<f64> = (0..n_features)
+            .map(|_| rng.random_range(0.0..std::f64::consts::TAU))
+            .collect();
+        let scale = (2.0 / n_features as f64).sqrt();
+
+        let mapped: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| feature_map(x, &omega, &beta, scale))
+            .collect();
+        let linear = LinearSvr::fit(&mapped, ys, config);
+        Self {
+            omega,
+            beta,
+            scale,
+            linear,
+        }
+    }
+
+    /// Predicts one sample.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.linear
+            .predict(&feature_map(x, &self.omega, &self.beta, self.scale))
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Number of random features.
+    pub fn n_features(&self) -> usize {
+        self.omega.len()
+    }
+}
+
+fn feature_map(x: &[f64], omega: &[Vec<f64>], beta: &[f64], scale: f64) -> Vec<f64> {
+    omega
+        .iter()
+        .zip(beta)
+        .map(|(w, &b)| {
+            let z: f64 = w.iter().zip(x).map(|(&wi, &xi)| wi * xi).sum();
+            scale * (z + b).cos()
+        })
+        .collect()
+}
+
+/// Standard normal via Box-Muller.
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::rbf_kernel;
+    use crate::linear::r_squared;
+
+    #[test]
+    fn feature_map_approximates_rbf_kernel() {
+        // Build a map with many features and compare inner products with the
+        // true kernel on a few point pairs.
+        let gamma: f64 = 0.5;
+        let d = 4096;
+        let mut rng = StdRng::seed_from_u64(99);
+        let sd = (2.0 * gamma).sqrt();
+        let dim = 3;
+        let omega: Vec<Vec<f64>> = (0..d)
+            .map(|_| (0..dim).map(|_| sd * sample_standard_normal(&mut rng)).collect())
+            .collect();
+        let beta: Vec<f64> = (0..d)
+            .map(|_| rng.random_range(0.0..std::f64::consts::TAU))
+            .collect();
+        let scale = (2.0 / d as f64).sqrt();
+        let pairs = [
+            (vec![0.0, 0.0, 0.0], vec![0.1, 0.0, -0.1]),
+            (vec![1.0, -1.0, 0.5], vec![0.8, -0.7, 0.4]),
+            (vec![0.0, 0.0, 0.0], vec![2.0, 2.0, 2.0]),
+        ];
+        for (x, y) in &pairs {
+            let fx = feature_map(x, &omega, &beta, scale);
+            let fy = feature_map(y, &omega, &beta, scale);
+            let approx: f64 = fx.iter().zip(&fy).map(|(&a, &b)| a * b).sum();
+            let exact = rbf_kernel(x, y, gamma);
+            assert!(
+                (approx - exact).abs() < 0.05,
+                "kernel approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn fits_nonlinear_function_better_than_linear() {
+        // y = sin(3x): linear SVR can't fit it, RFF SVR can.
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rng.random_range(-1.5..1.5)])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+
+        let cfg = SvrConfig {
+            epochs: 120,
+            ..SvrConfig::default()
+        };
+        let lin = crate::linear::LinearSvr::fit(&xs, &ys, cfg);
+        let rff = RffSvr::fit(&xs, &ys, 2.0, 256, cfg);
+        let r2_lin = r_squared(&lin.predict_all(&xs), &ys);
+        let r2_rff = r_squared(&rff.predict_all(&xs), &ys);
+        assert!(r2_rff > 0.9, "RFF R² = {r2_rff}");
+        assert!(r2_rff > r2_lin + 0.2, "lin {r2_lin} vs rff {r2_rff}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs = vec![vec![0.1], vec![0.5], vec![0.9]];
+        let ys = vec![1.0, 2.0, 3.0];
+        let cfg = SvrConfig::default();
+        let a = RffSvr::fit(&xs, &ys, 1.0, 32, cfg);
+        let b = RffSvr::fit(&xs, &ys, 1.0, 32, cfg);
+        assert_eq!(a.predict(&[0.3]), b.predict(&[0.3]));
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

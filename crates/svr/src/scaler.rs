@@ -1,0 +1,100 @@
+//! Feature standardization.
+
+/// Per-feature standardization to zero mean and unit variance, fitted on a
+/// training set and then applied to any sample. Constant features are left
+/// centered but unscaled (divisor clamped to 1) so they cannot blow up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits on rows of samples.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set or ragged rows.
+    pub fn fit(samples: &[Vec<f64>]) -> Self {
+        assert!(!samples.is_empty(), "cannot fit scaler on no samples");
+        let dim = samples[0].len();
+        let n = samples.len() as f64;
+        let mut means = vec![0.0; dim];
+        for s in samples {
+            assert_eq!(s.len(), dim, "ragged sample rows");
+            for (m, &v) in means.iter_mut().zip(s) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for s in samples {
+            for ((sd, &v), &m) in stds.iter_mut().zip(s).zip(&means) {
+                *sd += (v - m) * (v - m);
+            }
+        }
+        for sd in &mut stds {
+            *sd = (*sd / n).sqrt();
+            if *sd < 1e-12 {
+                *sd = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one sample.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "scaler dimension mismatch");
+        x.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a batch.
+    pub fn transform_all(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.transform(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let data = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let sc = StandardScaler::fit(&data);
+        let t = sc.transform_all(&data);
+        for d in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[d] * r[d]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_survives() {
+        let data = vec![vec![7.0], vec![7.0]];
+        let sc = StandardScaler::fit(&data);
+        assert_eq!(sc.transform(&[7.0]), vec![0.0]);
+        assert_eq!(sc.transform(&[8.0]), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dim_checked() {
+        let sc = StandardScaler::fit(&[vec![1.0, 2.0]]);
+        let _ = sc.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Failure handling: a worker machine dies mid-run and Nimbus repairs.
+//!
+//! Paper §2.1: *"The master monitors heartbeat signals from all worker
+//! processes periodically. It re-schedules them when it discovers a
+//! failure."* This example crashes one of the cluster's machines while a
+//! topology is running, watches its coordination session expire, and shows
+//! the master moving the stranded executors to live machines — with the
+//! latency spike and re-stabilization the redeployment causes.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use dsdps_drl::coord::{CoordConfig, CoordService};
+use dsdps_drl::nimbus::{Nimbus, NimbusConfig, SupervisorSet};
+use dsdps_drl::sim::{
+    Assignment, ClusterSpec, Grouping, SimConfig, SimEngine, TopologyBuilder, Workload,
+};
+
+fn main() {
+    // A word-count-like pipeline on 6 machines.
+    let mut b = TopologyBuilder::new("fault-demo");
+    let spout = b.spout("lines", 3, 0.05);
+    let split = b.bolt("split", 9, 0.3);
+    let count = b.bolt("count", 9, 0.25);
+    b.edge(spout, split, Grouping::Shuffle, 1.0, 256);
+    b.edge(
+        split,
+        count,
+        Grouping::Fields {
+            n_keys: 1000,
+            skew: 1.05,
+        },
+        3.0,
+        64,
+    );
+    let topology = b.build().expect("valid topology");
+    let cluster = ClusterSpec::homogeneous(6);
+    let workload = Workload::uniform(&topology, 300.0);
+
+    // Launch the control plane: coordination service (30 s session
+    // timeout, like Storm's nimbus.task.timeout), master, supervisors.
+    let coord = CoordService::new(CoordConfig {
+        session_timeout_ms: 30_000,
+    });
+    let initial = Assignment::round_robin(&topology, &cluster);
+    let engine = SimEngine::new(topology, cluster, workload.clone(), SimConfig::default())
+        .expect("engine");
+    let mut nimbus = Nimbus::launch(engine, workload, initial, &coord, NimbusConfig::default())
+        .expect("launch");
+    let supervisors = SupervisorSet::register(&coord, 6).expect("supervisors");
+    nimbus.attach_supervisors(supervisors);
+
+    println!("time(s) | live machines | avg tuple time (ms) | note");
+    let report = |nimbus: &mut Nimbus, note: &str| {
+        let live = nimbus
+            .live_machines()
+            .expect("live machines")
+            .iter()
+            .filter(|&&l| l)
+            .count();
+        let ms = nimbus
+            .engine_mut()
+            .window_avg_latency_ms()
+            .unwrap_or(f64::NAN);
+        let t = nimbus.engine().now();
+        println!("{t:>7.0} | {live:>13} | {ms:>19.3} | {note}");
+    };
+
+    // Healthy warm-up.
+    nimbus.advance(120.0);
+    report(&mut nimbus, "warmed up");
+
+    // Machine 4 dies: its supervisor daemon goes silent.
+    nimbus.crash_machine(4);
+    report(&mut nimbus, "machine 4 crashed (not yet visible)");
+
+    // Its session expires after 30 s of silence; until then the master
+    // still sees 6 supervisors.
+    nimbus.advance(nimbus.engine().now() + 45.0);
+    report(&mut nimbus, "session expired");
+
+    // The master discovers the failure and repairs the assignment.
+    let outcome = nimbus
+        .detect_and_repair()
+        .expect("repair")
+        .expect("a repair was needed");
+    report(
+        &mut nimbus,
+        &format!("repaired: moved {} executors", outcome.moved),
+    );
+    assert!(nimbus
+        .engine()
+        .assignment()
+        .as_slice()
+        .iter()
+        .all(|&m| m != 4));
+
+    // Redeployment causes a transient spike, then the system re-stabilizes
+    // on 5 machines.
+    for _ in 0..4 {
+        nimbus.advance(nimbus.engine().now() + 60.0);
+        report(&mut nimbus, "re-stabilizing");
+    }
+
+    // The machine comes back; its supervisor re-registers.
+    nimbus.restart_machine(4).expect("restart");
+    report(&mut nimbus, "machine 4 back online");
+    println!(
+        "\nstored assignment version in coordination service: {:?}",
+        nimbus.stored_assignment().map(|a| a.machines_used())
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a Storm-like topology, run the default scheduler and
+//! the paper's actor-critic DRL scheduler, and compare average end-to-end
+//! tuple processing times.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dsdps_drl::control::experiment::{deployment_curve, stable_ms, train_method, Method};
+use dsdps_drl::control::ControlConfig;
+use dsdps_drl::sim::{ClusterSpec, Grouping, TopologyBuilder, Workload};
+
+fn main() {
+    // 1. Describe an application as a topology: a spout feeding a two-bolt
+    //    pipeline, exactly like a small Storm topology.
+    let mut b = TopologyBuilder::new("quickstart");
+    let spout = b.spout("events", 2, 0.05); // 2 executors, 0.05 ms/tuple
+    let parse = b.bolt("parse", 6, 0.4);
+    let sink = b.bolt("sink", 4, 0.3);
+    b.edge(spout, parse, Grouping::Shuffle, 1.0, 256);
+    b.edge(parse, sink, Grouping::Shuffle, 0.5, 128);
+    let topology = b.build().expect("valid topology");
+
+    // 2. Describe the cluster (the paper uses 10 quad-core workers) and the
+    //    incoming workload.
+    let cluster = ClusterSpec::homogeneous(6);
+    let workload = Workload::uniform(&topology, 800.0); // tuples/s
+
+    let app = dsdps_drl::apps::App {
+        name: "quickstart",
+        topology,
+        workload,
+    };
+
+    // 3. Train the paper's actor-critic scheduler (offline random samples +
+    //    online learning) and compare with Storm's default round-robin.
+    let cfg = ControlConfig::test(); // tiny budget: seconds, not minutes
+    println!("training actor-critic scheduler (tiny demo budget)...");
+    let default = train_method(Method::Default, &app, &cluster, &cfg);
+    let drl = train_method(Method::ActorCritic, &app, &cluster, &cfg);
+
+    // 4. Deploy both solutions on the tuple-level simulator for 10 minutes
+    //    of simulated time and read the stable latency off the curves.
+    let default_curve = deployment_curve(&app, &cluster, &cfg, &default.solution, 10.0, 30.0);
+    let drl_curve = deployment_curve(&app, &cluster, &cfg, &drl.solution, 10.0, 30.0);
+    let d = stable_ms(&default_curve);
+    let a = stable_ms(&drl_curve);
+    println!("default (round-robin) stable avg tuple time: {d:.3} ms");
+    println!("actor-critic DRL      stable avg tuple time: {a:.3} ms");
+    println!("improvement: {:.1}%", (d - a) / d * 100.0);
+    println!(
+        "machines used: default {} -> actor-critic {}",
+        default.solution.machines_used(),
+        drl.solution.machines_used()
+    );
+}

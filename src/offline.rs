@@ -1,0 +1,225 @@
+//! Bridge from the durable transition database to offline training.
+//!
+//! The whole point of Figure 1's "Database" is that the framework
+//! pre-trains its networks from historical samples (paper §3.2.1: "The
+//! actor and critic networks can be pre-trained by the historical
+//! transition samples"). This module reads a [`TransitionDb`] back into
+//! the [`OfflineDataset`] the `dss-core` learners pretrain from, so an
+//! agent restarted after a crash resumes from everything it ever measured
+//! instead of starting cold.
+//!
+//! Records are validated against the topology and cluster the agent is
+//! being trained for: a database written for a different setup is a usage
+//! error surfaced as [`OfflineLoadError::ShapeMismatch`], not silently
+//! mistrained on.
+
+use dss_core::{OfflineDataset, RawSample, RewardScale};
+use dss_sim::{Assignment, RuntimeStats, Topology, Workload};
+use dss_store::{StoreError, TransitionDb, TransitionRecord};
+
+/// Errors loading a transition database into an offline dataset.
+#[derive(Debug)]
+pub enum OfflineLoadError {
+    /// The underlying store failed.
+    Store(StoreError),
+    /// A record does not fit the given topology/cluster shape.
+    ShapeMismatch {
+        /// Index of the offending record in scan order.
+        index: usize,
+        /// What did not line up.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for OfflineLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OfflineLoadError::Store(e) => write!(f, "store: {e}"),
+            OfflineLoadError::ShapeMismatch { index, detail } => {
+                write!(f, "record {index} does not match this setup: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OfflineLoadError {}
+
+impl From<StoreError> for OfflineLoadError {
+    fn from(e: StoreError) -> Self {
+        OfflineLoadError::Store(e)
+    }
+}
+
+/// Read every sample in `db` into an [`OfflineDataset`] for `topology` on
+/// a cluster of `n_machines`.
+///
+/// The DRL learners only consume the `(s, a, r, s')` view, so the rich
+/// [`RuntimeStats`] (which the model-based baseline needs and the paper's
+/// database never stored) is reconstructed minimally: the measured
+/// latency, with per-component fields empty.
+pub fn dataset_from_db(
+    db: &TransitionDb,
+    topology: &Topology,
+    n_machines: usize,
+    reward: RewardScale,
+) -> Result<OfflineDataset, OfflineLoadError> {
+    let records = db.scan()?;
+    let mut samples = Vec::with_capacity(records.len());
+    for (index, rec) in records.into_iter().enumerate() {
+        samples.push(sample_from_record(rec, topology, n_machines, reward).map_err(
+            |detail| OfflineLoadError::ShapeMismatch { index, detail },
+        )?);
+    }
+    Ok(OfflineDataset { samples })
+}
+
+fn sample_from_record(
+    rec: TransitionRecord,
+    topology: &Topology,
+    n_machines: usize,
+    reward: RewardScale,
+) -> Result<RawSample, String> {
+    let n = topology.n_executors();
+    if rec.machine_of.len() != n || rec.action_machine_of.len() != n {
+        return Err(format!(
+            "expected {n} executors, record has {} / {}",
+            rec.machine_of.len(),
+            rec.action_machine_of.len()
+        ));
+    }
+    if rec.n_machines != n_machines {
+        return Err(format!(
+            "expected {n_machines} machines, record has {}",
+            rec.n_machines
+        ));
+    }
+    let prev = Assignment::new(rec.machine_of, n_machines).map_err(|e| e.to_string())?;
+    let action =
+        Assignment::new(rec.action_machine_of, n_machines).map_err(|e| e.to_string())?;
+    let rates: Vec<(usize, f64)> = rec
+        .source_rates
+        .iter()
+        .map(|&(c, r)| (c as usize, r))
+        .collect();
+    let workload = Workload::new(rates, topology).map_err(|e| e.to_string())?;
+    let latency_ms = reward.latency_ms(rec.reward);
+    if !latency_ms.is_finite() || latency_ms < 0.0 {
+        return Err(format!("reward {} is not a scaled latency", rec.reward));
+    }
+    Ok(RawSample {
+        prev,
+        action,
+        workload,
+        latency_ms,
+        stats: minimal_stats(latency_ms, topology, n_machines),
+    })
+}
+
+/// The paper's database stores only `(s, a, r, s')`; reconstruct the
+/// minimal stats snapshot the dataset type carries.
+fn minimal_stats(avg_latency_ms: f64, topology: &Topology, n_machines: usize) -> RuntimeStats {
+    RuntimeStats {
+        avg_latency_ms,
+        executor_rates: vec![0.0; topology.n_executors()],
+        executor_sojourn_ms: vec![0.0; topology.n_executors()],
+        machine_cpu_cores: vec![0.0; n_machines],
+        machine_cross_kib_s: vec![0.0; n_machines],
+        edge_transfer_ms: vec![0.0; topology.edges().len()],
+        completed: 0,
+        failed: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_sim::{Grouping, TopologyBuilder};
+    use std::path::PathBuf;
+
+    fn topo() -> Topology {
+        let mut b = TopologyBuilder::new("offline-test");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 2, 0.3);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 64);
+        b.build().unwrap()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dss-offline-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn record(reward: f64) -> TransitionRecord {
+        TransitionRecord {
+            epoch: 0,
+            machine_of: vec![0, 1, 2, 3],
+            n_machines: 4,
+            source_rates: vec![(0, 100.0)],
+            action_machine_of: vec![0, 0, 1, 1],
+            reward,
+            next_machine_of: vec![0, 0, 1, 1],
+            next_source_rates: vec![(0, 100.0)],
+        }
+    }
+
+    #[test]
+    fn roundtrip_db_to_dataset() {
+        let dir = tmpdir("rt");
+        let db = TransitionDb::open(&dir).unwrap();
+        let scale = RewardScale::default();
+        for i in 0..5 {
+            db.append(&record(scale.reward(1.0 + i as f64))).unwrap();
+        }
+        let topology = topo();
+        let ds = dataset_from_db(&db, &topology, 4, scale).unwrap();
+        assert_eq!(ds.len(), 5);
+        assert!((ds.samples[2].latency_ms - 3.0).abs() < 1e-9);
+        assert_eq!(ds.samples[0].action.as_slice(), &[0, 0, 1, 1]);
+        // The DDPG view is directly trainable.
+        let transitions = ds.ddpg_transitions(1000.0, scale);
+        assert_eq!(transitions.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_shape_is_rejected_with_context() {
+        let dir = tmpdir("shape");
+        let db = TransitionDb::open(&dir).unwrap();
+        db.append(&record(-0.1)).unwrap();
+        let topology = topo();
+        // Wrong machine count.
+        let err = dataset_from_db(&db, &topology, 7, RewardScale::default()).unwrap_err();
+        assert!(matches!(err, OfflineLoadError::ShapeMismatch { index: 0, .. }));
+        // Wrong executor count: a bigger topology.
+        let mut b = TopologyBuilder::new("bigger");
+        let s = b.spout("s", 4, 0.05);
+        let x = b.bolt("x", 4, 0.3);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 64);
+        let bigger = b.build().unwrap();
+        let err = dataset_from_db(&db, &bigger, 4, RewardScale::default()).unwrap_err();
+        assert!(matches!(err, OfflineLoadError::ShapeMismatch { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn positive_rewards_are_rejected() {
+        // A positive reward decodes to a negative latency: corrupt usage.
+        let dir = tmpdir("posr");
+        let db = TransitionDb::open(&dir).unwrap();
+        db.append(&record(0.5)).unwrap();
+        let err =
+            dataset_from_db(&db, &topo(), 4, RewardScale::default()).unwrap_err();
+        assert!(matches!(err, OfflineLoadError::ShapeMismatch { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_db_gives_empty_dataset() {
+        let dir = tmpdir("empty");
+        let db = TransitionDb::open(&dir).unwrap();
+        let ds = dataset_from_db(&db, &topo(), 4, RewardScale::default()).unwrap();
+        assert!(ds.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,101 @@
+//! Smoke tests for the figure runners: miniature versions of every
+//! experiment the paper's evaluation reports, checking structure rather
+//! than magnitudes.
+
+use dsdps_drl::apps::{continuous_queries, log_stream, word_count, CqScale};
+use dsdps_drl::control::experiment::{
+    deployment_curve, normalize_rewards, train_method, workload_shift_curve, Method,
+};
+use dsdps_drl::control::ControlConfig;
+use dsdps_drl::metrics::TimeSeries;
+use dsdps_drl::sim::{Assignment, ClusterSpec};
+
+fn tiny() -> ControlConfig {
+    ControlConfig {
+        offline_samples: 80,
+        offline_steps: 50,
+        online_epochs: 20,
+        eps_decay_epochs: 10,
+        ..ControlConfig::test()
+    }
+}
+
+#[test]
+fn deployment_curves_decay_for_all_three_topologies() {
+    let cluster = ClusterSpec::homogeneous(10);
+    let cfg = tiny();
+    for app in [
+        continuous_queries(CqScale::Small),
+        log_stream(),
+        word_count(),
+    ] {
+        let rr = Assignment::round_robin(&app.topology, &cluster);
+        let curve = deployment_curve(&app, &cluster, &cfg, &rr, 8.0, 30.0);
+        assert!(curve.len() >= 14, "{}: {} samples", app.name, curve.len());
+        let early = curve.window_mean(0.0, 90.0).unwrap();
+        let late = curve.window_mean(360.0, 480.0 + 1.0).unwrap();
+        assert!(
+            early > late,
+            "{}: deployment curve should decay ({early} -> {late})",
+            app.name
+        );
+        assert!(late > 0.1, "{}: positive stable latency", app.name);
+    }
+}
+
+#[test]
+fn log_stream_is_slowest_topology() {
+    // Paper: the log topology "leads to a longer average tuple processing
+    // time no matter which method is used".
+    let cluster = ClusterSpec::homogeneous(10);
+    let cfg = tiny();
+    let stable = |app: &dsdps_drl::apps::App| {
+        let rr = Assignment::round_robin(&app.topology, &cluster);
+        let c = deployment_curve(app, &cluster, &cfg, &rr, 8.0, 30.0);
+        c.tail_mean(4).unwrap()
+    };
+    let cq = stable(&continuous_queries(CqScale::Large));
+    let log = stable(&log_stream());
+    let wc = stable(&word_count());
+    assert!(log > cq, "log {log} should exceed cq {cq}");
+    assert!(log > wc, "log {log} should exceed wc {wc}");
+}
+
+#[test]
+fn workload_shift_produces_spike_and_restabilization() {
+    let app = continuous_queries(CqScale::Small);
+    let cluster = ClusterSpec::homogeneous(10);
+    let cfg = tiny();
+    let mut outcome = train_method(Method::ActorCritic, &app, &cluster, &cfg);
+    let curve = workload_shift_curve(&app, &cluster, &cfg, &mut outcome, 8.0, 20.0, 30.0);
+    assert!(curve.last().unwrap().0 >= 20.0 * 60.0 - 1.0);
+    // The curve must have data both sides of the shift.
+    assert!(curve.window_mean(300.0, 480.0).is_some());
+    assert!(curve.window_mean(1000.0, 1200.0 + 1.0).is_some());
+}
+
+#[test]
+fn normalized_reward_curves_stay_in_unit_interval() {
+    let raw = TimeSeries::from_sampled(
+        0.0,
+        1.0,
+        (0..100)
+            .map(|i| -2.0 + (i as f64 / 100.0) + if i % 7 == 0 { -0.3 } else { 0.0 })
+            .collect(),
+    );
+    let n = normalize_rewards(&raw);
+    assert_eq!(n.len(), raw.len());
+    assert!(n.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    // Smoothed upward trend survives.
+    assert!(n.tail_mean(10).unwrap() > n.window_mean(0.0, 10.0).unwrap());
+}
+
+#[test]
+fn dqn_trains_and_produces_rewards_series() {
+    let app = continuous_queries(CqScale::Small);
+    let cluster = ClusterSpec::homogeneous(10);
+    let outcome = train_method(Method::Dqn, &app, &cluster, &tiny());
+    let rewards = outcome.rewards.expect("DQN is a DRL method");
+    assert_eq!(rewards.len(), tiny().online_epochs);
+    assert!(rewards.values().iter().all(|&r| r < 0.0));
+}

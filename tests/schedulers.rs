@@ -1,0 +1,83 @@
+//! Scheduler-level integration: every method produces valid assignments on
+//! every paper topology, and the DQN's restricted action space behaves as
+//! §3.2 describes.
+
+use dsdps_drl::apps::{all_large_scale, continuous_queries, CqScale};
+use dsdps_drl::control::experiment::initial_state;
+use dsdps_drl::control::{
+    ActorCriticScheduler, ControlConfig, DqnScheduler, ModelBasedScheduler, RandomScheduler,
+    RoundRobinScheduler, Scheduler,
+};
+use dsdps_drl::control::scheduler::RandomMode;
+use dsdps_drl::sim::ClusterSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn every_scheduler_produces_valid_assignments_on_every_topology() {
+    let cluster = ClusterSpec::homogeneous(10);
+    let cfg = ControlConfig::test();
+    for app in all_large_scale() {
+        let n = app.topology.n_executors();
+        let sources = app.workload.rates().len();
+        let state = initial_state(&app, &cluster);
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(RoundRobinScheduler::new(&app.topology, &cluster)),
+            Box::new(RandomScheduler::new(
+                RandomMode::FullRandom,
+                StdRng::seed_from_u64(1),
+            )),
+            Box::new(RandomScheduler::new(
+                RandomMode::RandomWalk,
+                StdRng::seed_from_u64(2),
+            )),
+            Box::new(ModelBasedScheduler::new(app.topology.clone(), 10, 4, 3)),
+            Box::new(DqnScheduler::new(n, 10, sources, &cfg)),
+            Box::new(ActorCriticScheduler::new(n, 10, sources, &cfg)),
+        ];
+        for sched in &mut schedulers {
+            let a = sched.schedule(&state);
+            assert_eq!(a.n_executors(), n, "{} on {}", sched.name(), app.name);
+            assert_eq!(a.n_machines(), 10);
+            a.validate_for(&app.topology, &cluster)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", sched.name(), app.name));
+        }
+    }
+}
+
+#[test]
+fn dqn_moves_one_thread_per_epoch() {
+    let app = continuous_queries(CqScale::Small);
+    let cluster = ClusterSpec::homogeneous(10);
+    let cfg = ControlConfig::test();
+    let mut dqn = DqnScheduler::new(20, 10, 1, &cfg);
+    let state = initial_state(&app, &cluster);
+    for _ in 0..10 {
+        let next = dqn.schedule(&state);
+        assert!(
+            state.assignment.diff(&next).len() <= 1,
+            "DQN action space is single moves"
+        );
+    }
+}
+
+#[test]
+fn learning_schedulers_ignore_observations_when_frozen() {
+    let app = continuous_queries(CqScale::Small);
+    let cluster = ClusterSpec::homogeneous(10);
+    let cfg = ControlConfig::test();
+    let state = initial_state(&app, &cluster);
+
+    let mut ac = ActorCriticScheduler::new(20, 10, 1, &cfg);
+    ac.freeze();
+    let a1 = ac.schedule(&state);
+    ac.observe(&state, &a1, -99.0, &state.clone());
+    assert_eq!(ac.agent().train_steps(), 0);
+    assert_eq!(ac.schedule(&state), a1);
+
+    let mut dqn = DqnScheduler::new(20, 10, 1, &cfg);
+    dqn.freeze();
+    let d1 = dqn.schedule(&state);
+    dqn.observe(&state, &d1, -99.0, &state.clone());
+    assert_eq!(dqn.agent().train_steps(), 0);
+}

@@ -1,0 +1,106 @@
+//! Cross-crate consistency: the fast analytic evaluator must rank
+//! assignments the same way as the tuple-level discrete-event engine,
+//! since agents train on the former and are judged on the latter.
+
+use dsdps_drl::apps::{continuous_queries, CqScale};
+use dsdps_drl::sim::{AnalyticModel, Assignment, ClusterSpec, SimConfig, SimEngine};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn des_stable_ms(app: &dsdps_drl::apps::App, a: &Assignment) -> f64 {
+    let cluster = ClusterSpec::homogeneous(10);
+    let mut eng = SimEngine::new(
+        app.topology.clone(),
+        cluster,
+        app.workload.clone(),
+        SimConfig::steady_state(42),
+    )
+    .unwrap();
+    eng.deploy(a.clone()).unwrap();
+    eng.run_until(90.0);
+    eng.measure_avg_latency_ms().expect("tuples completed")
+}
+
+#[test]
+fn analytic_and_des_agree_on_pack_level_ordering() {
+    let app = continuous_queries(CqScale::Small);
+    let cluster = ClusterSpec::homogeneous(10);
+    let mut model = AnalyticModel::new(
+        app.topology.clone(),
+        cluster.clone(),
+        SimConfig::steady_state(1),
+    )
+    .unwrap();
+    let n = app.topology.n_executors();
+    let mut analytic = Vec::new();
+    let mut des = Vec::new();
+    for k in [1usize, 2, 4, 10] {
+        let a = Assignment::new((0..n).map(|e| e % k).collect(), 10).unwrap();
+        analytic.push(model.evaluate(&a, &app.workload));
+        des.push(des_stable_ms(&app, &a));
+    }
+    // Both strictly increasing in spread for this light workload.
+    for i in 1..analytic.len() {
+        assert!(
+            analytic[i] > analytic[i - 1],
+            "analytic not monotone: {analytic:?}"
+        );
+        assert!(des[i] > des[i - 1], "DES not monotone: {des:?}");
+    }
+    // Levels agree within 25% at every point.
+    for (a, d) in analytic.iter().zip(&des) {
+        assert!((a / d - 1.0).abs() < 0.25, "analytic {a} vs DES {d}");
+    }
+}
+
+#[test]
+fn analytic_correlates_with_des_on_random_assignments() {
+    let app = continuous_queries(CqScale::Small);
+    let cluster = ClusterSpec::homogeneous(10);
+    let mut model = AnalyticModel::new(
+        app.topology.clone(),
+        cluster.clone(),
+        SimConfig::steady_state(2),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = app.topology.n_executors();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..12 {
+        // Random pack level, then random machines — spans the space.
+        let k = rng.random_range(1..=10usize);
+        let a = Assignment::new((0..n).map(|_| rng.random_range(0..k)).collect(), 10).unwrap();
+        xs.push(model.evaluate(&a, &app.workload));
+        ys.push(des_stable_ms(&app, &a));
+    }
+    let nf = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let cov: f64 = xs.iter().zip(&ys).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let vx: f64 = xs.iter().map(|a| (a - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|b| (b - my).powi(2)).sum();
+    let corr = cov / (vx.sqrt() * vy.sqrt()).max(1e-12);
+    assert!(corr > 0.8, "correlation {corr}: {xs:?} vs {ys:?}");
+}
+
+#[test]
+fn overloaded_machine_is_catastrophic_in_both_models() {
+    let app = continuous_queries(CqScale::Large);
+    let cluster = ClusterSpec::homogeneous(10);
+    let mut model = AnalyticModel::new(
+        app.topology.clone(),
+        cluster.clone(),
+        SimConfig::steady_state(3),
+    )
+    .unwrap();
+    let n = app.topology.n_executors();
+    let packed = Assignment::new(vec![0; n], 10).unwrap();
+    let spread = Assignment::round_robin(&app.topology, &cluster);
+    let a_packed = model.evaluate(&packed, &app.workload);
+    let a_spread = model.evaluate(&spread, &app.workload);
+    assert!(
+        a_packed > 3.0 * a_spread,
+        "analytic must heavily penalize saturation: {a_packed} vs {a_spread}"
+    );
+}

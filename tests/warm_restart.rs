@@ -1,0 +1,138 @@
+//! Agent warm restart: the Figure-1 database actually feeds training.
+//!
+//! Runs the integrated control plane (agent ↔ socket ↔ Nimbus ↔ simulated
+//! cluster), then simulates an agent restart: reopen the durable
+//! transition database, load it into an offline dataset, and pretrain a
+//! fresh actor-critic scheduler from it — the paper's "pre-trained by the
+//! historical transition samples" path, across a process boundary.
+
+use dsdps_drl::control::experiment::{initial_state, train_method, Method};
+use dsdps_drl::control::{ActorCriticScheduler, ControlConfig, RewardScale, Scheduler};
+use dsdps_drl::offline::dataset_from_db;
+use dsdps_drl::sim::{ClusterSpec, Grouping, SimConfig, TopologyBuilder, Workload};
+use dsdps_drl::store::TransitionDb;
+use dsdps_drl::{run_control_plane, ControlPlaneConfig};
+
+fn setup() -> (dsdps_drl::sim::Topology, ClusterSpec, Workload) {
+    let mut b = TopologyBuilder::new("warm-restart");
+    let s = b.spout("s", 2, 0.05);
+    let x = b.bolt("x", 4, 0.3);
+    let y = b.bolt("y", 2, 0.2);
+    b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+    b.edge(x, y, Grouping::Shuffle, 0.5, 64);
+    let topology = b.build().unwrap();
+    let cluster = ClusterSpec::homogeneous(5);
+    let workload = Workload::uniform(&topology, 100.0);
+    (topology, cluster, workload)
+}
+
+#[test]
+fn control_plane_samples_warm_start_a_fresh_agent() {
+    let (topology, cluster, workload) = setup();
+    let db_dir = std::env::temp_dir().join(format!(
+        "dss-warm-restart-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&db_dir).ok();
+
+    // Phase 1: a first agent (round-robin is fine — any policy produces
+    // valid samples) runs the distributed control plane; every epoch's
+    // sample lands in the database.
+    let mut first_agent =
+        dsdps_drl::control::RoundRobinScheduler::new(&topology, &cluster);
+    let reward = RewardScale::default();
+    let report = run_control_plane(
+        topology.clone(),
+        cluster.clone(),
+        workload.clone(),
+        SimConfig::default(),
+        &mut first_agent,
+        &ControlPlaneConfig {
+            epochs: 4,
+            stabilize_s: 5.0,
+            db_dir: Some(db_dir.clone()),
+            reward,
+            ..ControlPlaneConfig::default()
+        },
+    )
+    .expect("control plane run");
+    assert_eq!(report.transitions_stored, 4);
+
+    // Phase 2: the agent process "restarts". A fresh scheduler pretrains
+    // from the recovered history.
+    let db = TransitionDb::open(&db_dir).expect("reopen db");
+    let dataset = dataset_from_db(&db, &topology, cluster.n_machines(), reward)
+        .expect("load offline dataset");
+    assert_eq!(dataset.len(), 4);
+    for s in &dataset.samples {
+        assert!(s.latency_ms > 0.0, "latencies survive the roundtrip");
+    }
+
+    let cfg = ControlConfig::test();
+    let mut fresh = ActorCriticScheduler::new(
+        topology.n_executors(),
+        cluster.n_machines(),
+        workload.rates().len(),
+        &cfg,
+    );
+    fresh.pretrain(&dataset);
+
+    // The pretrained scheduler produces a valid assignment for the
+    // current state.
+    let state = dsdps_drl::control::SchedState::new(
+        dsdps_drl::sim::Assignment::round_robin(&topology, &cluster),
+        workload.clone(),
+    );
+    let proposal = fresh.schedule(&state);
+    assert_eq!(proposal.n_executors(), topology.n_executors());
+    assert!(proposal
+        .as_slice()
+        .iter()
+        .all(|&m| m < cluster.n_machines()));
+    std::fs::remove_dir_all(&db_dir).ok();
+}
+
+#[test]
+fn trained_agent_improves_over_the_control_plane() {
+    // Train an actor-critic on the analytic model, then verify its
+    // distributed deployment beats round-robin through the full socket +
+    // Nimbus + DES pipeline — the cross-substrate version of Fig. 6's
+    // comparison.
+    let (topology, cluster, workload) = setup();
+    let app = dsdps_drl::apps::App {
+        name: "warm-restart-cmp",
+        topology: topology.clone(),
+        workload: workload.clone(),
+    };
+    let cfg = ControlConfig::test();
+    let mut trained = train_method(Method::ActorCritic, &app, &cluster, &cfg);
+    let _ = initial_state(&app, &cluster);
+
+    let run = |sched: &mut dyn Scheduler| {
+        let report = run_control_plane(
+            topology.clone(),
+            cluster.clone(),
+            workload.clone(),
+            SimConfig::default(),
+            sched,
+            &ControlPlaneConfig {
+                epochs: 3,
+                stabilize_s: 30.0,
+                ..ControlPlaneConfig::default()
+            },
+        )
+        .expect("control plane run");
+        *report
+            .epoch_latency_ms
+            .last()
+            .expect("at least one epoch")
+    };
+
+    let mut rr = dsdps_drl::control::RoundRobinScheduler::new(&topology, &cluster);
+    let rr_ms = run(&mut rr);
+    let ac_ms = run(trained.scheduler.as_mut());
+    assert!(
+        ac_ms < rr_ms * 1.02,
+        "trained agent ({ac_ms:.3} ms) should not lose to round-robin ({rr_ms:.3} ms)"
+    );
+}
