@@ -97,12 +97,18 @@ mod tests {
 
     #[test]
     fn executor_counts_match_paper() {
-        assert_eq!(continuous_queries(CqScale::Small).topology.n_executors(), 20);
+        assert_eq!(
+            continuous_queries(CqScale::Small).topology.n_executors(),
+            20
+        );
         assert_eq!(
             continuous_queries(CqScale::Medium).topology.n_executors(),
             50
         );
-        assert_eq!(continuous_queries(CqScale::Large).topology.n_executors(), 100);
+        assert_eq!(
+            continuous_queries(CqScale::Large).topology.n_executors(),
+            100
+        );
     }
 
     #[test]

@@ -33,13 +33,25 @@ pub struct VehicleDb {
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Heidi", "Ivan", "Judy",
-    "Karl", "Laura", "Mallory", "Niaj", "Olivia", "Peggy", "Quentin", "Rupert", "Sybil",
-    "Trent",
+    "Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Heidi", "Ivan", "Judy", "Karl",
+    "Laura", "Mallory", "Niaj", "Olivia", "Peggy", "Quentin", "Rupert", "Sybil", "Trent",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
-    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
     "Thomas",
 ];
 
@@ -199,8 +211,8 @@ impl TextGen {
     /// input prose.
     pub fn new(vocab_size: usize, skew: f64) -> Self {
         const SYLLABLES: &[&str] = &[
-            "al", "ice", "won", "der", "land", "rab", "bit", "queen", "hat", "ter", "mad",
-            "tea", "card", "rose", "march", "hare", "cat", "grin", "key", "door",
+            "al", "ice", "won", "der", "land", "rab", "bit", "queen", "hat", "ter", "mad", "tea",
+            "card", "rose", "march", "hare", "cat", "grin", "key", "door",
         ];
         let vocab = (0..vocab_size)
             .map(|i| {

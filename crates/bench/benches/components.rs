@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use dss_apps::{continuous_queries, log_stream, word_count, CqScale};
-use dss_core::{ActorCriticScheduler, ControlConfig, Scheduler, SchedState};
+use dss_core::{ActorCriticScheduler, ControlConfig, SchedState, Scheduler};
 use dss_nn::{mse_loss_grad, Activation, Adam, Matrix, Mlp};
 use dss_rl::{ActionMapper, KBestMapper, ReplayBuffer, Transition};
 use dss_sim::{AnalyticModel, Assignment, ClusterSpec, SimConfig, SimEngine};
@@ -57,9 +57,12 @@ fn bench_analytic_eval(c: &mut Criterion) {
         ("log_stream", log_stream()),
     ] {
         let cluster = ClusterSpec::homogeneous(10);
-        let mut model =
-            AnalyticModel::new(app.topology.clone(), cluster.clone(), SimConfig::steady_state(1))
-                .unwrap();
+        let mut model = AnalyticModel::new(
+            app.topology.clone(),
+            cluster.clone(),
+            SimConfig::steady_state(1),
+        )
+        .unwrap();
         let rr = Assignment::round_robin(&app.topology, &cluster);
         group.bench_function(label, |b| {
             b.iter(|| black_box(model.evaluate(black_box(&rr), &app.workload)));
@@ -86,7 +89,7 @@ fn bench_nn(c: &mut Criterion) {
     group.bench_function("critic_train_step_batch32", |b| {
         b.iter(|| {
             let pred = net.forward(&x);
-            let (_, grad) = mse_loss_grad(&pred, &y);
+            let (_, grad) = mse_loss_grad(pred, &y);
             net.zero_grad();
             net.backward(&grad);
             net.apply_gradients(&mut opt);
@@ -131,7 +134,12 @@ fn bench_svr(c: &mut Criterion) {
 fn bench_replay(c: &mut Criterion) {
     let mut buf: ReplayBuffer<usize> = ReplayBuffer::new(1000);
     for i in 0..1000 {
-        buf.push(Transition::new(vec![0.0; 128], i % 10, -1.0, vec![0.0; 128]));
+        buf.push(Transition::new(
+            vec![0.0; 128],
+            i % 10,
+            -1.0,
+            vec![0.0; 128],
+        ));
     }
     let mut rng = StdRng::seed_from_u64(9);
     c.bench_function("replay_sample_h32", |b| {

@@ -21,7 +21,8 @@ fn bench_coord(c: &mut Criterion) {
         s.ensure_path("/storm/assignments/bench", b"init").unwrap();
         let payload = dss_coord::storm::encode_assignment(&vec![3usize; 100], 10);
         b.iter(|| {
-            s.set_data("/storm/assignments/bench", &payload, None).unwrap();
+            s.set_data("/storm/assignments/bench", &payload, None)
+                .unwrap();
             black_box(s.get_data("/storm/assignments/bench").unwrap().0.len())
         });
     });

@@ -1,0 +1,135 @@
+//! Criterion benchmarks for the DRL training hot path at the paper's
+//! sizes (|B| = 1000, H = 32, hidden 64/32): blocked GEMM kernels, the
+//! scratch-buffer MLP step, agent train steps, and replay sampling.
+//!
+//! The machine-readable counterpart (with naive-baseline pairs and the
+//! `BENCH_nn.json` artifact) is the `bench_json` binary; these benches are
+//! for interactive `cargo bench` comparisons while iterating.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dss_nn::{mse_loss_grad, Activation, Adam, Matrix, Mlp};
+use dss_rl::{DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, KBestMapper, ReplayBuffer, Transition};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const REPLAY_B: usize = 1000;
+const BATCH_H: usize = 32;
+const STATE_DIM: usize = 128;
+const N_ACTIONS: usize = 100;
+
+fn random_transition(rng: &mut StdRng) -> Transition<usize> {
+    let state: Vec<f64> = (0..STATE_DIM).map(|_| rng.random_range(0.0..1.0)).collect();
+    let next: Vec<f64> = (0..STATE_DIM).map(|_| rng.random_range(0.0..1.0)).collect();
+    Transition::new(
+        state,
+        rng.random_range(0..N_ACTIONS),
+        rng.random_range(-2.0..0.0),
+        next,
+    )
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for (m, k, n) in [(32usize, 64usize, 32usize), (32, 2001, 64), (128, 128, 128)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::from_fn(m, k, |_, _| rng.random_range(-1.0..1.0));
+        let b = Matrix::from_fn(k, n, |_, _| rng.random_range(-1.0..1.0));
+        let bt = Matrix::from_fn(n, k, |r, c| b[(c, r)]);
+        let mut out = Matrix::zeros(m, n);
+        group.bench_function(format!("matmul_into_{m}x{k}x{n}"), |bch| {
+            bch.iter(|| a.matmul_into(black_box(&b), &mut out));
+        });
+        group.bench_function(format!("matmul_t_b_into_{m}x{k}x{n}"), |bch| {
+            bch.iter(|| a.matmul_transpose_b_into(black_box(&bt), &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mlp_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_train");
+    let sizes = [STATE_DIM + N_ACTIONS, 64, 32, 1];
+    let acts = [Activation::Tanh, Activation::Tanh, Activation::Identity];
+    let mut net = Mlp::new(&sizes, &acts, 7);
+    let mut opt = Adam::new(1e-3);
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Matrix::from_fn(BATCH_H, sizes[0], |_, _| rng.random_range(-1.0..1.0));
+    let y = Matrix::from_fn(BATCH_H, 1, |_, _| rng.random_range(-1.0..0.0));
+    group.bench_function("fwd_bwd_apply_h32", |bch| {
+        bch.iter(|| {
+            let pred = net.forward(black_box(&x));
+            let (_, grad) = mse_loss_grad(pred, &y);
+            net.zero_grad();
+            net.backward(&grad);
+            net.apply_gradients(&mut opt);
+        });
+    });
+    group.finish();
+}
+
+fn bench_agents(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_loop");
+    {
+        let mut agent = DqnAgent::new(
+            STATE_DIM,
+            N_ACTIONS,
+            DqnConfig {
+                replay_capacity: REPLAY_B,
+                batch: BATCH_H,
+                ..DqnConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..REPLAY_B {
+            agent.store(random_transition(&mut rng));
+        }
+        group.bench_function("dqn_train_step_b1000_h32", |bch| {
+            bch.iter(|| agent.train_step(&mut rng));
+        });
+    }
+    {
+        let (n, m) = (10, 10);
+        let mut agent = DdpgAgent::new(
+            STATE_DIM,
+            n * m,
+            DdpgConfig {
+                replay_capacity: REPLAY_B,
+                batch: BATCH_H,
+                ..DdpgConfig::default()
+            },
+        );
+        let mut mapper = KBestMapper::new(n, m);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..REPLAY_B {
+            let t = random_transition(&mut rng);
+            let mut onehot = vec![0.0; n * m];
+            for i in 0..n {
+                onehot[i * m + rng.random_range(0..m)] = 1.0;
+            }
+            agent.store(Transition::new(t.state, onehot, t.reward, t.next_state));
+        }
+        group.bench_function("ddpg_train_step_b1000_h32", |bch| {
+            bch.iter(|| agent.train_step(&mut mapper, &mut rng));
+        });
+    }
+    {
+        let mut buf: ReplayBuffer<usize> = ReplayBuffer::new(REPLAY_B);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..REPLAY_B {
+            buf.push(random_transition(&mut rng));
+        }
+        let mut idx = Vec::new();
+        group.bench_function("replay_sample_indices_h32", |bch| {
+            bch.iter(|| {
+                buf.sample_indices_into(BATCH_H, &mut rng, &mut idx);
+                black_box(&idx);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_mlp_step, bench_agents);
+criterion_main!(benches);

@@ -62,9 +62,8 @@ fn main() {
 
     // OU noise at a scale chosen to match the paper's mean drift.
     let mut ou = OuNoise::new(n * m);
-    let (ou_distinct, ou_drift) = explore_stats(n, m, steps, |proto, rng| {
-        ou.perturb(proto, eps, rng)
-    });
+    let (ou_distinct, ou_drift) =
+        explore_stats(n, m, steps, |proto, rng| ou.perturb(proto, eps, rng));
 
     let records = vec![
         ExperimentRecord::new(

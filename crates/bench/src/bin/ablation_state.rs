@@ -40,7 +40,13 @@ fn main() {
     eprintln!("[ablation_state] training actor-critic twice (aware / blind)");
     let mut aware = train_method(Method::ActorCritic, &app, &cluster, &opts.config);
     let aware_curve = workload_shift_curve(
-        &app, &cluster, &opts.config, &mut aware, shift_min, total_min, 30.0,
+        &app,
+        &cluster,
+        &opts.config,
+        &mut aware,
+        shift_min,
+        total_min,
+        30.0,
     );
 
     let mut blind_outcome = train_method(Method::ActorCritic, &app, &cluster, &opts.config);
@@ -49,7 +55,13 @@ fn main() {
         nominal: app.workload.clone(),
     });
     let blind_curve = workload_shift_curve(
-        &app, &cluster, &opts.config, &mut blind_outcome, shift_min, total_min, 30.0,
+        &app,
+        &cluster,
+        &opts.config,
+        &mut blind_outcome,
+        shift_min,
+        total_min,
+        30.0,
     );
 
     let labelled: Vec<(&str, &TimeSeries)> = vec![
@@ -63,8 +75,18 @@ fn main() {
             .unwrap_or(f64::NAN)
     };
     let records = vec![
-        ExperimentRecord::new("ablation_state", "restabilized ms, workload-aware", None, tail(&aware_curve)),
-        ExperimentRecord::new("ablation_state", "restabilized ms, workload-blind", None, tail(&blind_curve)),
+        ExperimentRecord::new(
+            "ablation_state",
+            "restabilized ms, workload-aware",
+            None,
+            tail(&aware_curve),
+        ),
+        ExperimentRecord::new(
+            "ablation_state",
+            "restabilized ms, workload-blind",
+            None,
+            tail(&blind_curve),
+        ),
     ];
     let checks = vec![ShapeCheck::new(
         "ablation_state",

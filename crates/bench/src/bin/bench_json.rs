@@ -1,0 +1,565 @@
+//! Machine-readable NN/RL hot-path benchmarks → `BENCH_nn.json`.
+//!
+//! Times the training hot path at the paper's sizes (replay |B| = 1000,
+//! mini-batch H = 32, hidden 64/32) and writes ns/iter for every probe to
+//! a JSON artifact, so each PR records a point of the performance
+//! trajectory and later PRs can regress against it.
+//!
+//! Every "after" probe is paired with a faithfully reconstructed "before"
+//! implementation — the seed's naive triple-loop matmul, clone-caching
+//! layers, and per-sample target evaluation — compiled *in this binary*
+//! (the production crates keep the naive kernels only as a test oracle).
+//! The headline `speedups` section is computed from those pairs.
+//!
+//! ```text
+//! bench_json [--quick] [--out PATH]
+//!
+//! --quick    tiny measurement budget (CI smoke; numbers still emitted)
+//! --out      output path (default: BENCH_nn.json)
+//! ```
+
+use std::time::Instant;
+
+use dss_nn::{mse_loss_grad, Activation, Adam, Matrix, Mlp, Optimizer};
+use dss_rl::{DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, KBestMapper, ReplayBuffer, Transition};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Paper sizes: |B| = 1000 replay, H = 32 minibatch, 64/32 hidden units.
+const REPLAY_B: usize = 1000;
+const BATCH_H: usize = 32;
+/// A 10-thread × 10-machine assignment problem: N·M = 100 actions, and a
+/// state of the one-hot assignment plus load features.
+const STATE_DIM: usize = 128;
+const N_ACTIONS: usize = 100;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_nn.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            other => panic!("unknown flag `{other}`; expected --quick/--out"),
+        }
+    }
+    let budget_ms = if quick { 3 } else { 60 };
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, ns: f64| {
+        println!("{name:<44} {ns:>14.1} ns/iter");
+        results.push((name.to_string(), ns));
+    };
+
+    // ---- matmul kernels: blocked vs the seed's naive loops ------------
+    // (m, k, n) shapes from the training path: hidden layers at H=32, the
+    // CQ-large critic input layer, and a square stress shape.
+    for &(m, k, n) in &[(32usize, 64usize, 32usize), (32, 2001, 64), (128, 128, 128)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::from_fn(m, k, |_, _| rng.random_range(-1.0..1.0));
+        let b = Matrix::from_fn(k, n, |_, _| rng.random_range(-1.0..1.0));
+        let mut out = Matrix::zeros(m, n);
+        record(
+            &format!("matmul_{m}x{k}x{n}_blocked"),
+            bench_ns(budget_ms, || a.matmul_into(&b, &mut out)),
+        );
+        record(
+            &format!("matmul_{m}x{k}x{n}_naive"),
+            bench_ns(budget_ms, || {
+                std::hint::black_box(reference::matmul(&a, &b));
+            }),
+        );
+        let bt = Matrix::from_fn(n, k, |r, c| b[(c, r)]);
+        record(
+            &format!("matmul_t_b_{m}x{k}x{n}_blocked"),
+            bench_ns(budget_ms, || a.matmul_transpose_b_into(&bt, &mut out)),
+        );
+        record(
+            &format!("matmul_t_b_{m}x{k}x{n}_naive"),
+            bench_ns(budget_ms, || {
+                std::hint::black_box(reference::matmul_transpose_b(&a, &bt));
+            }),
+        );
+    }
+
+    // ---- MLP forward+backward at the paper's critic shape -------------
+    // state ‖ action input → 64/32 tanh → scalar Q, batch H = 32.
+    let sizes = [STATE_DIM + N_ACTIONS, 64, 32, 1];
+    let acts = [Activation::Tanh, Activation::Tanh, Activation::Identity];
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Matrix::from_fn(BATCH_H, sizes[0], |_, _| rng.random_range(-1.0..1.0));
+    let y = Matrix::from_fn(BATCH_H, 1, |_, _| rng.random_range(-1.0..0.0));
+    {
+        let mut net = Mlp::new(&sizes, &acts, 7);
+        let mut opt = Adam::new(1e-3);
+        record(
+            "mlp_fwd_bwd_h32_scratch",
+            bench_ns(budget_ms, || {
+                let pred = net.forward(&x);
+                let (_, grad) = mse_loss_grad(pred, &y);
+                net.zero_grad();
+                net.backward(&grad);
+                net.apply_gradients(&mut opt);
+            }),
+        );
+    }
+    {
+        let donor = Mlp::new(&sizes, &acts, 7);
+        let mut net = reference::RefMlp::from_mlp(&donor);
+        let mut opt = Adam::new(1e-3);
+        record(
+            "mlp_fwd_bwd_h32_clone_naive",
+            bench_ns(budget_ms, || {
+                let pred = net.forward(&x);
+                let (_, grad) = mse_loss_grad(&pred, &y);
+                net.zero_grad();
+                net.backward(&grad);
+                net.apply_gradients(&mut opt);
+            }),
+        );
+    }
+
+    // ---- DQN train step at paper sizes --------------------------------
+    {
+        let mut agent = DqnAgent::new(
+            STATE_DIM,
+            N_ACTIONS,
+            DqnConfig {
+                replay_capacity: REPLAY_B,
+                batch: BATCH_H,
+                ..DqnConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..REPLAY_B {
+            agent.store(random_transition(&mut rng));
+        }
+        record(
+            "dqn_train_step_batched",
+            bench_ns(budget_ms, || {
+                agent.train_step(&mut rng);
+            }),
+        );
+    }
+    {
+        let mut agent = reference::OldDqn::new(STATE_DIM, N_ACTIONS, REPLAY_B, BATCH_H);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..REPLAY_B {
+            agent.replay.push(random_transition(&mut rng));
+        }
+        record(
+            "dqn_train_step_per_sample",
+            bench_ns(budget_ms, || {
+                agent.train_step(&mut rng);
+            }),
+        );
+    }
+
+    // ---- DDPG train step (batched candidate scoring) -------------------
+    {
+        let (n, m) = (10, 10);
+        let mut agent = DdpgAgent::new(
+            STATE_DIM,
+            n * m,
+            DdpgConfig {
+                replay_capacity: REPLAY_B,
+                batch: BATCH_H,
+                ..DdpgConfig::default()
+            },
+        );
+        let mut mapper = KBestMapper::new(n, m);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..REPLAY_B {
+            let t = random_transition(&mut rng);
+            let mut onehot = vec![0.0; n * m];
+            for i in 0..n {
+                onehot[i * m + rng.random_range(0..m)] = 1.0;
+            }
+            agent.store(Transition::new(t.state, onehot, t.reward, t.next_state));
+        }
+        record(
+            "ddpg_train_step_batched",
+            bench_ns(budget_ms, || {
+                agent.train_step(&mut mapper, &mut rng);
+            }),
+        );
+    }
+
+    // ---- replay sampling: clone-free indices vs reference Vec ----------
+    {
+        let mut buf: ReplayBuffer<usize> = ReplayBuffer::new(REPLAY_B);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..REPLAY_B {
+            let t = random_transition(&mut rng);
+            buf.push(t);
+        }
+        let mut idx = Vec::new();
+        record(
+            "replay_sample_indices_h32",
+            bench_ns(budget_ms, || {
+                buf.sample_indices_into(BATCH_H, &mut rng, &mut idx);
+                std::hint::black_box(&idx);
+            }),
+        );
+        record(
+            "replay_sample_clone_h32",
+            bench_ns(budget_ms, || {
+                let batch: Vec<Transition<usize>> =
+                    buf.sample(BATCH_H, &mut rng).into_iter().cloned().collect();
+                std::hint::black_box(&batch);
+            }),
+        );
+    }
+
+    // ---- emit -----------------------------------------------------------
+    let json = to_json(&results, quick);
+    std::fs::write(&out_path, &json).expect("write BENCH_nn.json");
+    println!("# wrote {out_path}");
+    for (name, speedup) in speedups(&results) {
+        println!("# speedup {name}: {speedup:.2}x");
+    }
+}
+
+fn random_transition(rng: &mut StdRng) -> Transition<usize> {
+    let state: Vec<f64> = (0..STATE_DIM).map(|_| rng.random_range(0.0..1.0)).collect();
+    let next: Vec<f64> = (0..STATE_DIM).map(|_| rng.random_range(0.0..1.0)).collect();
+    Transition::new(
+        state,
+        rng.random_range(0..N_ACTIONS),
+        rng.random_range(-2.0..0.0),
+        next,
+    )
+}
+
+/// Median-of-samples timer: calibrates how many iterations fill one
+/// sample window, then reports the median sample's ns/iter.
+fn bench_ns(budget_ms: u64, mut f: impl FnMut()) -> f64 {
+    const SAMPLES: usize = 7;
+    let window = std::time::Duration::from_millis(budget_ms.max(1)) / SAMPLES as u32;
+    let t0 = Instant::now();
+    let mut calib = 0u64;
+    while t0.elapsed() < window {
+        f();
+        calib += 1;
+    }
+    let per_sample = calib.max(1);
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let s = Instant::now();
+        for _ in 0..per_sample {
+            f();
+        }
+        samples.push(s.elapsed().as_nanos() as f64 / per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Before/after pairs appearing in the `speedups` section.
+const PAIRS: &[(&str, &str, &str)] = &[
+    (
+        "matmul_32x2001x64",
+        "matmul_32x2001x64_naive",
+        "matmul_32x2001x64_blocked",
+    ),
+    (
+        "matmul_128x128x128",
+        "matmul_128x128x128_naive",
+        "matmul_128x128x128_blocked",
+    ),
+    (
+        "mlp_fwd_bwd",
+        "mlp_fwd_bwd_h32_clone_naive",
+        "mlp_fwd_bwd_h32_scratch",
+    ),
+    (
+        "dqn_train_step",
+        "dqn_train_step_per_sample",
+        "dqn_train_step_batched",
+    ),
+    (
+        "replay_sample",
+        "replay_sample_clone_h32",
+        "replay_sample_indices_h32",
+    ),
+];
+
+fn speedups(results: &[(String, f64)]) -> Vec<(String, f64)> {
+    let get = |name: &str| results.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    PAIRS
+        .iter()
+        .filter_map(|(label, before, after)| Some((label.to_string(), get(before)? / get(after)?)))
+        .collect()
+}
+
+fn to_json(results: &[(String, f64)], quick: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"dss-bench/nn-v1\",\n");
+    s.push_str(&format!(
+        "  \"config\": {{\"replay_b\": {REPLAY_B}, \"batch_h\": {BATCH_H}, \"state_dim\": {STATE_DIM}, \"n_actions\": {N_ACTIONS}, \"quick\": {quick}}},\n"
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"ns_per_iter\": {ns:.1}}}{comma}\n"
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"speedups\": {\n");
+    let sp = speedups(results);
+    for (i, (name, x)) in sp.iter().enumerate() {
+        let comma = if i + 1 < sp.len() { "," } else { "" };
+        s.push_str(&format!("    \"{name}\": {x:.3}{comma}\n"));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// The seed's pre-optimization implementations, reconstructed verbatim in
+/// spirit: naive triple-loop matmul (with the one-hot zero-skip branch),
+/// clone-per-forward layer caching, per-sample target evaluation, and
+/// clone-collected minibatches. Kept here — not in the production crates —
+/// purely as the "before" side of the emitted speedups.
+mod reference {
+    use super::*;
+
+    /// Naive `a * b` with the seed's zero-skip branch.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul dims");
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            let a_row = a.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k);
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive `a * bᵀ`.
+    pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_t_b dims");
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            let a_row = a.row(i);
+            for j in 0..b.rows() {
+                let b_row = b.row(j);
+                let mut acc = 0.0;
+                for (&x, &w) in a_row.iter().zip(b_row) {
+                    acc += x * w;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Naive `aᵀ * b`.
+    pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "matmul_t_a dims");
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        for r in 0..a.rows() {
+            let a_row = a.row(r);
+            let b_row = b.row(r);
+            for (k, &a_rk) in a_row.iter().enumerate() {
+                if a_rk == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(k);
+                for (o, &v) in out_row.iter_mut().zip(b_row) {
+                    *o += a_rk * v;
+                }
+            }
+        }
+        out
+    }
+
+    /// The seed's clone-caching dense layer.
+    pub struct RefDense {
+        w: Matrix,
+        b: Vec<f64>,
+        activation: Activation,
+        grad_w: Matrix,
+        grad_b: Vec<f64>,
+        cached_input: Option<Matrix>,
+        cached_output: Option<Matrix>,
+    }
+
+    impl RefDense {
+        pub fn forward(&mut self, x: &Matrix) -> Matrix {
+            let mut z = matmul_transpose_b(x, &self.w);
+            z.add_row_broadcast(&self.b);
+            z.map_inplace(|v| self.activation.apply(v));
+            self.cached_input = Some(x.clone());
+            self.cached_output = Some(z.clone());
+            z
+        }
+
+        pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+            let input = self.cached_input.as_ref().expect("backward before forward");
+            let output = self.cached_output.as_ref().expect("missing cache");
+            let act = self.activation;
+            let dz = Matrix::from_fn(grad_output.rows(), grad_output.cols(), |r, c| {
+                grad_output[(r, c)] * act.derivative_from_output(output[(r, c)])
+            });
+            let dw = matmul_transpose_a(&dz, input);
+            for (g, d) in self.grad_w.data_mut().iter_mut().zip(dw.data()) {
+                *g += d;
+            }
+            for (g, d) in self.grad_b.iter_mut().zip(dz.column_sums()) {
+                *g += d;
+            }
+            matmul(&dz, &self.w)
+        }
+    }
+
+    /// The seed's Mlp, over [`RefDense`].
+    pub struct RefMlp {
+        layers: Vec<RefDense>,
+    }
+
+    impl RefMlp {
+        /// Clones architecture and weights from a production [`Mlp`].
+        pub fn from_mlp(net: &Mlp) -> Self {
+            let layers = net
+                .layers()
+                .iter()
+                .map(|l| RefDense {
+                    w: l.weights().clone(),
+                    b: l.bias().to_vec(),
+                    activation: l.activation(),
+                    grad_w: Matrix::zeros(l.output_size(), l.input_size()),
+                    grad_b: vec![0.0; l.output_size()],
+                    cached_input: None,
+                    cached_output: None,
+                })
+                .collect();
+            Self { layers }
+        }
+
+        pub fn forward(&mut self, x: &Matrix) -> Matrix {
+            let mut h = x.clone();
+            for layer in &mut self.layers {
+                h = layer.forward(&h);
+            }
+            h
+        }
+
+        /// The seed's cache-free inference: allocates one output per layer.
+        pub fn infer(&self, x: &Matrix) -> Matrix {
+            let mut h = x.clone();
+            for layer in &self.layers {
+                let mut z = matmul_transpose_b(&h, &layer.w);
+                z.add_row_broadcast(&layer.b);
+                z.map_inplace(|v| layer.activation.apply(v));
+                h = z;
+            }
+            h
+        }
+
+        pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+            let mut g = grad_output.clone();
+            for layer in self.layers.iter_mut().rev() {
+                g = layer.backward(&g);
+            }
+            g
+        }
+
+        pub fn zero_grad(&mut self) {
+            for layer in &mut self.layers {
+                layer.grad_w.data_mut().fill(0.0);
+                layer.grad_b.fill(0.0);
+            }
+        }
+
+        pub fn apply_gradients(&mut self, opt: &mut Adam) {
+            for (li, layer) in self.layers.iter_mut().enumerate() {
+                opt.update(li * 2, layer.w.data_mut(), layer.grad_w.data());
+                opt.update(li * 2 + 1, layer.b.as_mut_slice(), layer.grad_b.as_slice());
+            }
+        }
+    }
+
+    /// The seed's DQN step: clone-collected minibatch, per-transition
+    /// matrices built with `from_fn`, allocating forward, full-width
+    /// gradient matrix built per step.
+    pub struct OldDqn {
+        pub q: RefMlp,
+        pub target_q: RefMlp,
+        pub opt: Adam,
+        pub replay: ReplayBuffer<usize>,
+        pub batch: usize,
+        state_dim: usize,
+        n_actions: usize,
+        gamma: f64,
+    }
+
+    impl OldDqn {
+        pub fn new(state_dim: usize, n_actions: usize, replay: usize, batch: usize) -> Self {
+            let sizes = [state_dim, 64, 32, n_actions];
+            let acts = [Activation::Tanh, Activation::Tanh, Activation::Identity];
+            let donor = Mlp::new(&sizes, &acts, 42);
+            Self {
+                q: RefMlp::from_mlp(&donor),
+                target_q: RefMlp::from_mlp(&donor),
+                opt: Adam::new(1e-3),
+                replay: ReplayBuffer::new(replay),
+                batch,
+                state_dim,
+                n_actions,
+                gamma: 0.99,
+            }
+        }
+
+        pub fn train_step(&mut self, rng: &mut StdRng) -> Option<f64> {
+            if self.replay.is_empty() {
+                return None;
+            }
+            let batch: Vec<Transition<usize>> = self
+                .replay
+                .sample(self.batch, rng)
+                .into_iter()
+                .cloned()
+                .collect();
+            let h = batch.len();
+            // Seed-faithful target evaluation: a `from_fn`-built matrix and
+            // an allocating cache-free inference, then a per-row max.
+            let next_states = Matrix::from_fn(h, self.state_dim, |r, c| batch[r].next_state[c]);
+            let next_q = self.target_q.infer(&next_states);
+            let targets: Vec<f64> = batch
+                .iter()
+                .enumerate()
+                .map(|(r, t)| {
+                    let best = next_q
+                        .row(r)
+                        .iter()
+                        .copied()
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    t.reward + self.gamma * best
+                })
+                .collect();
+            let states = Matrix::from_fn(h, self.state_dim, |r, c| batch[r].state[c]);
+            let pred = self.q.forward(&states);
+            let pred_chosen = Matrix::from_fn(h, 1, |r, _| pred[(r, batch[r].action)]);
+            let target_mat = Matrix::from_fn(h, 1, |r, _| targets[r]);
+            let (loss, grad_chosen) = mse_loss_grad(&pred_chosen, &target_mat);
+            let mut grad_full = Matrix::zeros(h, self.n_actions);
+            for (r, t) in batch.iter().enumerate() {
+                grad_full[(r, t.action)] = grad_chosen[(r, 0)];
+            }
+            self.q.zero_grad();
+            self.q.backward(&grad_full);
+            self.q.apply_gradients(&mut self.opt);
+            Some(loss)
+        }
+    }
+}

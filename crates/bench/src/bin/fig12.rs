@@ -54,8 +54,7 @@ fn main() {
             after.insert(method, post);
             curves.push((method.label(), curve));
         }
-        let labelled: Vec<(&str, &TimeSeries)> =
-            curves.iter().map(|(l, s)| (*l, s)).collect();
+        let labelled: Vec<(&str, &TimeSeries)> = curves.iter().map(|(l, s)| (*l, s)).collect();
         emit_series(&opts, sub, &labelled);
 
         let mb = after[&Method::ModelBased];

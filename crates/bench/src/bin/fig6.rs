@@ -27,13 +27,14 @@ fn main() {
             CqScale::Medium => "fig6b",
             CqScale::Large => "fig6c",
         };
-        eprintln!("[{sub}] training 4 methods on continuous queries ({})", scale.label());
+        eprintln!(
+            "[{sub}] training 4 methods on continuous queries ({})",
+            scale.label()
+        );
         let app = continuous_queries(scale);
         let results = figure_deployment(&app, &opts.cluster(), &opts.config, minutes, 30.0);
-        let labelled: Vec<(&str, &dss_metrics::TimeSeries)> = results
-            .iter()
-            .map(|(m, s, _)| (m.label(), s))
-            .collect();
+        let labelled: Vec<(&str, &dss_metrics::TimeSeries)> =
+            results.iter().map(|(m, s, _)| (m.label(), s)).collect();
         emit_series(&opts, sub, &labelled);
 
         let mut stable = std::collections::HashMap::new();
@@ -62,7 +63,10 @@ fn main() {
         checks.push(ShapeCheck::new(sub, "model-based < default", mb < df));
         checks.push(ShapeCheck::new(
             sub,
-            format!("actor-critic beats default by >= {:.0}%", (1.0 - margin) * 100.0),
+            format!(
+                "actor-critic beats default by >= {:.0}%",
+                (1.0 - margin) * 100.0
+            ),
             ac < margin * df,
         ));
     }

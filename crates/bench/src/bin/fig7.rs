@@ -10,10 +10,12 @@ use dss_metrics::{ExperimentRecord, ShapeCheck, TimeSeries};
 fn main() {
     let opts = RunOptions::from_env();
     let app = continuous_queries(CqScale::Large);
-    eprintln!("[fig7] online learning on {} (T = {})", app.name, opts.config.online_epochs);
+    eprintln!(
+        "[fig7] online learning on {} (T = {})",
+        app.name, opts.config.online_epochs
+    );
     let curves = figure_rewards(&app, &opts.cluster(), &opts.config);
-    let labelled: Vec<(&str, &TimeSeries)> =
-        curves.iter().map(|(m, s)| (m.label(), s)).collect();
+    let labelled: Vec<(&str, &TimeSeries)> = curves.iter().map(|(m, s)| (m.label(), s)).collect();
     emit_series(&opts, "fig7", &labelled);
 
     let ac = &curves[0].1;
@@ -23,8 +25,18 @@ fn main() {
     let head = |s: &TimeSeries| s.window_mean(0.0, (s.len() / 10 + 1) as f64).unwrap();
     // The paper reads the DQN's end-of-run average off the curve: 0.44.
     let records = vec![
-        ExperimentRecord::new("fig7", "final normalized reward, actor-critic", None, tail(ac)),
-        ExperimentRecord::new("fig7", "final normalized reward, dqn", Some(0.44), tail(dqn)),
+        ExperimentRecord::new(
+            "fig7",
+            "final normalized reward, actor-critic",
+            None,
+            tail(ac),
+        ),
+        ExperimentRecord::new(
+            "fig7",
+            "final normalized reward, dqn",
+            Some(0.44),
+            tail(dqn),
+        ),
     ];
     let checks = vec![
         ShapeCheck::new(
@@ -32,11 +44,7 @@ fn main() {
             "actor-critic climbs during online learning",
             tail(ac) > head(ac),
         ),
-        ShapeCheck::new(
-            "fig7",
-            "actor-critic ends above dqn",
-            tail(ac) > tail(dqn),
-        ),
+        ShapeCheck::new("fig7", "actor-critic ends above dqn", tail(ac) > tail(dqn)),
     ];
     emit_records(&opts, "fig7", &records, &checks);
 }

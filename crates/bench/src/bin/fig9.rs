@@ -13,17 +13,24 @@ fn main() {
         opts.config.online_epochs = 1500;
     }
     let app = log_stream();
-    eprintln!("[fig9] online learning on {} (T = {})", app.name, opts.config.online_epochs);
+    eprintln!(
+        "[fig9] online learning on {} (T = {})",
+        app.name, opts.config.online_epochs
+    );
     let curves = figure_rewards(&app, &opts.cluster(), &opts.config);
-    let labelled: Vec<(&str, &TimeSeries)> =
-        curves.iter().map(|(m, s)| (m.label(), s)).collect();
+    let labelled: Vec<(&str, &TimeSeries)> = curves.iter().map(|(m, s)| (m.label(), s)).collect();
     emit_series(&opts, "fig9", &labelled);
 
     let ac = &curves[0].1;
     let dqn = &curves[1].1;
     let tail = |s: &TimeSeries| s.tail_mean(s.len() / 10 + 1).unwrap();
     let records = vec![
-        ExperimentRecord::new("fig9", "final normalized reward, actor-critic", None, tail(ac)),
+        ExperimentRecord::new(
+            "fig9",
+            "final normalized reward, actor-critic",
+            None,
+            tail(ac),
+        ),
         ExperimentRecord::new("fig9", "final normalized reward, dqn", None, tail(dqn)),
     ];
     let checks = vec![ShapeCheck::new(

@@ -8,9 +8,20 @@ use std::process::Command;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
-        "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "summary_table", "ablation_k", "ablation_state", "ablation_mapper",
-        "ablation_replay", "ablation_noise", "fault_recovery",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "summary_table",
+        "ablation_k",
+        "ablation_state",
+        "ablation_mapper",
+        "ablation_replay",
+        "ablation_noise",
+        "fault_recovery",
     ];
     let exe_dir = std::env::current_exe()
         .expect("own path")

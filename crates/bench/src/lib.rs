@@ -65,9 +65,7 @@ impl RunOptions {
                             .expect("--seed must be an integer"),
                     )
                 }
-                other => panic!(
-                    "unknown flag `{other}`; expected --preset/--minutes/--out/--seed"
-                ),
+                other => panic!("unknown flag `{other}`; expected --preset/--minutes/--out/--seed"),
             }
         }
         let mut config = match preset.as_str() {
@@ -165,7 +163,10 @@ mod tests {
     fn parses_defaults() {
         let o = RunOptions::parse(args(""));
         assert_eq!(o.preset, "fast");
-        assert_eq!(o.config.offline_samples, ControlConfig::fast().offline_samples);
+        assert_eq!(
+            o.config.offline_samples,
+            ControlConfig::fast().offline_samples
+        );
         assert_eq!(o.minutes_or(20.0), 20.0);
         assert_eq!(o.cluster().n_machines(), 10);
     }
@@ -173,7 +174,10 @@ mod tests {
     #[test]
     fn parses_overrides() {
         let o = RunOptions::parse(args("--preset test --minutes 5 --out /tmp/x --seed 9"));
-        assert_eq!(o.config.offline_samples, ControlConfig::test().offline_samples);
+        assert_eq!(
+            o.config.offline_samples,
+            ControlConfig::test().offline_samples
+        );
         assert_eq!(o.config.seed, 9);
         assert_eq!(o.minutes_or(20.0), 5.0);
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));

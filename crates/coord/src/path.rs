@@ -73,11 +73,10 @@ mod tests {
 
     #[test]
     fn nested_path_splits_into_components() {
-        assert_eq!(parse_path("/storm/assignments/wc").unwrap(), vec![
-            "storm",
-            "assignments",
-            "wc"
-        ]);
+        assert_eq!(
+            parse_path("/storm/assignments/wc").unwrap(),
+            vec!["storm", "assignments", "wc"]
+        );
     }
 
     #[test]

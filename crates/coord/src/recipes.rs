@@ -176,7 +176,10 @@ mod tests {
         let _a = LeaderElection::join(leader_session, "/election", b"a").unwrap();
         let b_session = svc.connect();
         let b = LeaderElection::join(b_session.clone(), "/election", b"b").unwrap();
-        assert!(matches!(b.check().unwrap(), ElectionState::Following { .. }));
+        assert!(matches!(
+            b.check().unwrap(),
+            ElectionState::Following { .. }
+        ));
 
         // The leader's process dies: no heartbeats; b stays alive.
         for t in [400, 800, 1_200] {
@@ -211,7 +214,10 @@ mod tests {
         let p1 = e1.candidate_path().to_string();
         e1.resign().unwrap();
         let e2 = LeaderElection::join(session, "/election", b"x").unwrap();
-        assert!(e2.candidate_path() > p1.as_str(), "sequence numbers never reuse");
+        assert!(
+            e2.candidate_path() > p1.as_str(),
+            "sequence numbers never reuse"
+        );
         assert!(matches!(e2.check().unwrap(), ElectionState::Leader));
     }
 }

@@ -160,7 +160,12 @@ impl CoordService {
 
     /// Number of live (non-expired) sessions.
     pub fn live_sessions(&self) -> usize {
-        self.inner.lock().sessions.iter().filter(|s| !s.expired).count()
+        self.inner
+            .lock()
+            .sessions
+            .iter()
+            .filter(|s| !s.expired)
+            .count()
     }
 
     /// Number of armed (registered, unfired) watches.
@@ -379,7 +384,9 @@ mod tests {
         let worker = svc.connect();
         let master = svc.connect();
         master.ensure_path("/beats", b"").unwrap();
-        worker.create("/beats/w1", b"", CreateMode::Ephemeral).unwrap();
+        worker
+            .create("/beats/w1", b"", CreateMode::Ephemeral)
+            .unwrap();
 
         let (kids, watcher) = master.get_children_watch("/beats").unwrap();
         assert_eq!(kids, vec!["w1"]);
@@ -430,7 +437,8 @@ mod tests {
         let a = svc.connect();
         let b = svc.connect();
         a.ensure_path("/locks", b"").unwrap();
-        a.create("/locks/holder", b"", CreateMode::Ephemeral).unwrap();
+        a.create("/locks/holder", b"", CreateMode::Ephemeral)
+            .unwrap();
         assert!(b.exists("/locks/holder").unwrap().is_some());
         a.close();
         assert!(b.exists("/locks/holder").unwrap().is_none());
@@ -442,12 +450,17 @@ mod tests {
         let svc = CoordService::new(Default::default());
         let writer = svc.connect();
         let reader = svc.connect();
-        writer.create("/cfg", b"v0", CreateMode::Persistent).unwrap();
+        writer
+            .create("/cfg", b"v0", CreateMode::Persistent)
+            .unwrap();
         let (_, _, watcher) = reader.get_data_watch("/cfg").unwrap();
         assert_eq!(svc.armed_watches(), 1);
         writer.set_data("/cfg", b"v1", None).unwrap();
         writer.set_data("/cfg", b"v2", None).unwrap();
-        assert_eq!(watcher.drain(), vec![WatchEvent::NodeDataChanged("/cfg".into())]);
+        assert_eq!(
+            watcher.drain(),
+            vec![WatchEvent::NodeDataChanged("/cfg".into())]
+        );
         assert_eq!(svc.armed_watches(), 0);
     }
 
@@ -458,7 +471,10 @@ mod tests {
         let (stat, watcher) = s.exists_watch("/pending").unwrap();
         assert!(stat.is_none());
         s.create("/pending", b"", CreateMode::Persistent).unwrap();
-        assert_eq!(watcher.drain(), vec![WatchEvent::NodeCreated("/pending".into())]);
+        assert_eq!(
+            watcher.drain(),
+            vec![WatchEvent::NodeCreated("/pending".into())]
+        );
     }
 
     #[test]
@@ -487,7 +503,10 @@ mod tests {
         assert_eq!(p, "/q/n-0000000000");
         s.close();
         let s2 = svc.connect();
-        assert!(s2.exists(&p).unwrap().is_none(), "ephemeral gone after close");
+        assert!(
+            s2.exists(&p).unwrap().is_none(),
+            "ephemeral gone after close"
+        );
     }
 
     #[test]

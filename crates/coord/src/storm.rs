@@ -159,7 +159,10 @@ mod tests {
     fn decode_rejects_corruption() {
         let good = encode_assignment(&[0, 1, 2], 4);
         assert!(decode_assignment(&[]).is_none(), "empty");
-        assert!(decode_assignment(&good[..good.len() - 1]).is_none(), "truncated");
+        assert!(
+            decode_assignment(&good[..good.len() - 1]).is_none(),
+            "truncated"
+        );
         let mut bad_magic = good.clone();
         bad_magic[0] ^= 0xff;
         assert!(decode_assignment(&bad_magic).is_none(), "magic");

@@ -29,7 +29,10 @@ pub enum CreateMode {
 impl CreateMode {
     /// Whether nodes created in this mode are ephemeral.
     pub fn is_ephemeral(self) -> bool {
-        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+        matches!(
+            self,
+            CreateMode::Ephemeral | CreateMode::EphemeralSequential
+        )
     }
 
     /// Whether the parent assigns a sequence suffix.
@@ -190,7 +193,9 @@ impl ZnodeTree {
         }
         let eph_owner = if mode.is_ephemeral() { owner } else { None };
         let stat = Stat::created(next_zxid, now, eph_owner, data.len());
-        parent.children.insert(name, Znode::new(data.to_vec(), stat));
+        parent
+            .children
+            .insert(name, Znode::new(data.to_vec(), stat));
         parent.stat.num_children = parent.children.len();
         parent.stat.cversion += 1;
         self.zxid = next_zxid;
@@ -317,8 +322,7 @@ impl ZnodeTree {
             };
             match op {
                 Op::Create(path, data, mode) => {
-                    let (actual, _, ch) =
-                        staged.create(path, data, *mode, None).map_err(fail)?;
+                    let (actual, _, ch) = staged.create(path, data, *mode, None).map_err(fail)?;
                     changes.extend(ch);
                     results.push(OpResult::Created(actual));
                 }
@@ -378,7 +382,8 @@ mod tests {
     #[test]
     fn create_then_get_roundtrips_data() {
         let mut t = tree();
-        t.create("/a", b"hello", CreateMode::Persistent, None).unwrap();
+        t.create("/a", b"hello", CreateMode::Persistent, None)
+            .unwrap();
         let (data, stat) = t.get("/a").unwrap();
         assert_eq!(data, b"hello");
         assert_eq!(stat.version, 0);
@@ -398,7 +403,9 @@ mod tests {
     fn duplicate_create_is_node_exists() {
         let mut t = tree();
         t.create("/a", b"", CreateMode::Persistent, None).unwrap();
-        let err = t.create("/a", b"", CreateMode::Persistent, None).unwrap_err();
+        let err = t
+            .create("/a", b"", CreateMode::Persistent, None)
+            .unwrap_err();
         assert_eq!(err, CoordError::NodeExists("/a".into()));
     }
 
@@ -517,7 +524,10 @@ mod tests {
             ])
             .unwrap_err();
         assert!(matches!(err, CoordError::MultiFailed { op_index: 1, .. }));
-        assert!(t.exists("/b").unwrap().is_none(), "create must be rolled back");
+        assert!(
+            t.exists("/b").unwrap().is_none(),
+            "create must be rolled back"
+        );
         assert_eq!(t.get("/a").unwrap().0, b"v0");
 
         // Succeeding multi commits everything under one zxid.

@@ -217,7 +217,12 @@ mod tests {
             "grandchild changes must not fire a children watch"
         );
         assert!(
-            fire("/p", WatchKind::Children, &[Change::DataChanged("/p/c".into())]).is_empty(),
+            fire(
+                "/p",
+                WatchKind::Children,
+                &[Change::DataChanged("/p/c".into())]
+            )
+            .is_empty(),
             "child data changes must not fire a children watch"
         );
     }
@@ -235,7 +240,10 @@ mod tests {
     #[test]
     fn unrelated_paths_do_not_fire() {
         assert!(fire("/a", WatchKind::Data, &[Change::DataChanged("/b".into())]).is_empty());
-        assert_eq!(fire("/a", WatchKind::Data, &[Change::DataChanged("/b".into())]), vec![]);
+        assert_eq!(
+            fire("/a", WatchKind::Data, &[Change::DataChanged("/b".into())]),
+            vec![]
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@ use dss_sim::{Assignment, SimError};
 /// # Panics
 /// Panics when the index is out of range.
 pub fn decode_move(index: usize, n_executors: usize, n_machines: usize) -> (usize, usize) {
-    assert!(index < n_executors * n_machines, "action index out of range");
+    assert!(
+        index < n_executors * n_machines,
+        "action index out of range"
+    );
     (index / n_machines, index % n_machines)
 }
 
@@ -27,7 +30,10 @@ pub fn encode_move(
     n_executors: usize,
     n_machines: usize,
 ) -> usize {
-    assert!(executor < n_executors && machine < n_machines, "out of range");
+    assert!(
+        executor < n_executors && machine < n_machines,
+        "out of range"
+    );
     executor * n_machines + machine
 }
 

@@ -116,8 +116,14 @@ mod tests {
 
     #[test]
     fn paper_epochs_per_topology() {
-        assert_eq!(ControlConfig::paper_epochs_for("continuous-queries-large"), 2000);
-        assert_eq!(ControlConfig::paper_epochs_for("log-stream-processing"), 1500);
+        assert_eq!(
+            ControlConfig::paper_epochs_for("continuous-queries-large"),
+            2000
+        );
+        assert_eq!(
+            ControlConfig::paper_epochs_for("log-stream-processing"),
+            1500
+        );
         assert_eq!(ControlConfig::paper_epochs_for("word-count-stream"), 1500);
     }
 }

@@ -97,12 +97,8 @@ impl OfflineDataset {
                     _ => return None,
                 };
                 let m = s.action.machine_of(e);
-                let idx = crate::action::encode_move(
-                    e,
-                    m,
-                    s.action.n_executors(),
-                    s.action.n_machines(),
-                );
+                let idx =
+                    crate::action::encode_move(e, m, s.action.n_executors(), s.action.n_machines());
                 let state = SchedState::new(s.prev.clone(), s.workload.clone());
                 let next = SchedState::new(s.action.clone(), s.workload.clone());
                 Some(Transition::new(
@@ -232,9 +228,9 @@ impl Controller {
 mod tests {
     use super::*;
     use crate::env::AnalyticEnv;
-    use crate::scheduler::{RandomScheduler, RoundRobinScheduler};
     use crate::scheduler::random::RandomMode;
-    use dss_sim::{AnalyticModel, ClusterSpec, Grouping, SimConfig, TopologyBuilder, Topology};
+    use crate::scheduler::{RandomScheduler, RoundRobinScheduler};
+    use dss_sim::{AnalyticModel, ClusterSpec, Grouping, SimConfig, Topology, TopologyBuilder};
     use rand::SeedableRng;
 
     fn topo() -> Topology {
@@ -247,8 +243,12 @@ mod tests {
 
     fn env() -> AnalyticEnv {
         AnalyticEnv::new(
-            AnalyticModel::new(topo(), ClusterSpec::homogeneous(3), SimConfig::steady_state(1))
-                .unwrap(),
+            AnalyticModel::new(
+                topo(),
+                ClusterSpec::homogeneous(3),
+                SimConfig::steady_state(1),
+            )
+            .unwrap(),
         )
     }
 
@@ -257,8 +257,7 @@ mod tests {
         let ctl = Controller::new(ControlConfig::test());
         let mut env = env();
         let w = Workload::uniform(&topo(), 300.0);
-        let mut collector =
-            RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(1));
+        let mut collector = RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(1));
         let init = Assignment::round_robin(&topo(), &ClusterSpec::homogeneous(3));
         let data = ctl.collect_offline(
             &mut env,
@@ -274,7 +273,11 @@ mod tests {
             assert_eq!(pair[0].action, pair[1].prev);
         }
         // Workload variation present.
-        let rates: Vec<f64> = data.samples.iter().map(|s| s.workload.total_rate()).collect();
+        let rates: Vec<f64> = data
+            .samples
+            .iter()
+            .map(|s| s.workload.total_rate())
+            .collect();
         assert!(rates.iter().any(|&r| r < 300.0));
         assert!(rates.iter().any(|&r| r > 300.0));
     }
@@ -286,13 +289,8 @@ mod tests {
         let w = Workload::uniform(&topo(), 300.0);
         let init = Assignment::round_robin(&topo(), &ClusterSpec::homogeneous(3));
         let mut walk = RandomScheduler::new(RandomMode::RandomWalk, StdRng::seed_from_u64(3));
-        let data = ctl.collect_offline(
-            &mut env,
-            &w,
-            &mut walk,
-            init,
-            &mut StdRng::seed_from_u64(4),
-        );
+        let data =
+            ctl.collect_offline(&mut env, &w, &mut walk, init, &mut StdRng::seed_from_u64(4));
         let ddpg = data.ddpg_transitions(1000.0, RewardScale::default());
         assert_eq!(ddpg.len(), data.len());
         assert_eq!(ddpg[0].state.len(), 6 * 3 + 1);

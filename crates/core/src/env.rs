@@ -135,9 +135,12 @@ mod tests {
         let x = b.bolt("x", 3, 0.3);
         b.edge(s, x, Grouping::Shuffle, 1.0, 128);
         let topo = b.build().unwrap();
-        let model =
-            AnalyticModel::new(topo, ClusterSpec::homogeneous(4), SimConfig::steady_state(3))
-                .unwrap();
+        let model = AnalyticModel::new(
+            topo,
+            ClusterSpec::homogeneous(4),
+            SimConfig::steady_state(3),
+        )
+        .unwrap();
         AnalyticEnv::new(model)
     }
 

@@ -30,8 +30,8 @@ use crate::controller::Controller;
 use crate::env::AnalyticEnv;
 use crate::scheduler::random::RandomMode;
 use crate::scheduler::{
-    ActorCriticScheduler, DqnScheduler, ModelBasedScheduler, RandomScheduler,
-    RoundRobinScheduler, Scheduler,
+    ActorCriticScheduler, DqnScheduler, ModelBasedScheduler, RandomScheduler, RoundRobinScheduler,
+    Scheduler,
 };
 use crate::state::SchedState;
 
@@ -118,8 +118,7 @@ pub fn train_method(
     match method {
         Method::Default => {
             let mut sched = RoundRobinScheduler::new(&app.topology, cluster);
-            let solution =
-                controller.decide(&mut sched, &rr, &app.workload);
+            let solution = controller.decide(&mut sched, &rr, &app.workload);
             TrainOutcome {
                 method,
                 scheduler: Box::new(sched),
@@ -131,8 +130,13 @@ pub fn train_method(
             let mut env = training_env(app, cluster, cfg);
             let mut collector =
                 RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(cfg.seed));
-            let data =
-                controller.collect_offline(&mut env, &app.workload, &mut collector, rr.clone(), &mut rng);
+            let data = controller.collect_offline(
+                &mut env,
+                &app.workload,
+                &mut collector,
+                rr.clone(),
+                &mut rng,
+            );
             let cores = cluster.machines[0].cores;
             let mut sched = ModelBasedScheduler::new(app.topology.clone(), m, cores, cfg.seed);
             sched.pretrain(&data);
@@ -149,8 +153,13 @@ pub fn train_method(
             // Offline: random walk through the single-move action space.
             let mut collector =
                 RandomScheduler::new(RandomMode::RandomWalk, StdRng::seed_from_u64(cfg.seed));
-            let data =
-                controller.collect_offline(&mut env, &app.workload, &mut collector, rr.clone(), &mut rng);
+            let data = controller.collect_offline(
+                &mut env,
+                &app.workload,
+                &mut collector,
+                rr.clone(),
+                &mut rng,
+            );
             let mut sched = DqnScheduler::new(n, m, n_sources, cfg);
             sched.pretrain(&data);
             let (rewards, last) = controller.online_learn(
@@ -178,8 +187,13 @@ pub fn train_method(
             let mut env = training_env(app, cluster, cfg);
             let mut collector =
                 RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(cfg.seed));
-            let data =
-                controller.collect_offline(&mut env, &app.workload, &mut collector, rr.clone(), &mut rng);
+            let data = controller.collect_offline(
+                &mut env,
+                &app.workload,
+                &mut collector,
+                rr.clone(),
+                &mut rng,
+            );
             let mut sched = ActorCriticScheduler::new(n, m, n_sources, cfg);
             sched.pretrain(&data);
             let (rewards, last) = controller.online_learn(
@@ -302,7 +316,9 @@ pub fn workload_shift_curve(
     )
     .expect("valid app/cluster");
     engine.set_rate_schedule(RateSchedule::step_at(shift_s, multiplier));
-    engine.deploy(outcome.solution.clone()).expect("valid solution");
+    engine
+        .deploy(outcome.solution.clone())
+        .expect("valid solution");
 
     let mut series = TimeSeries::new();
     let mut rescheduled = false;
@@ -313,11 +329,7 @@ pub fn workload_shift_curve(
             // The agent observes the new workload in its state and adjusts
             // its scheduling solution accordingly.
             let shifted = app.workload.scaled(multiplier);
-            let next = controller.decide(
-                outcome.scheduler.as_mut(),
-                engine.assignment(),
-                &shifted,
-            );
+            let next = controller.decide(outcome.scheduler.as_mut(), engine.assignment(), &shifted);
             engine.deploy(next).expect("valid re-deployment");
             rescheduled = true;
         }

@@ -38,7 +38,7 @@ pub use controller::{Controller, OfflineDataset, RawSample};
 pub use env::{AnalyticEnv, Environment, TransitionStore};
 pub use reward::RewardScale;
 pub use scheduler::{
-    ActorCriticScheduler, DqnScheduler, ModelBasedScheduler, RandomScheduler,
-    RoundRobinScheduler, Scheduler,
+    ActorCriticScheduler, DqnScheduler, ModelBasedScheduler, RandomScheduler, RoundRobinScheduler,
+    Scheduler,
 };
 pub use state::SchedState;

@@ -85,16 +85,10 @@ impl ActorCriticScheduler {
 
     /// Records an action/reward pair in the elite memory.
     fn remember_elite(&mut self, reward: f64, assignment: &Assignment) {
-        if self
-            .elite
-            .iter()
-            .any(|(_, a)| a == assignment)
-        {
+        if self.elite.iter().any(|(_, a)| a == assignment) {
             return;
         }
-        let pos = self
-            .elite
-            .partition_point(|(r, _)| *r < reward);
+        let pos = self.elite.partition_point(|(r, _)| *r < reward);
         self.elite.insert(pos, (reward, assignment.clone()));
         if self.elite.len() > ELITE_SIZE {
             self.elite.remove(0);
@@ -191,7 +185,7 @@ impl Scheduler for ActorCriticScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dss_sim::{ClusterSpec, Grouping, TopologyBuilder, Topology, Workload};
+    use dss_sim::{ClusterSpec, Grouping, Topology, TopologyBuilder, Workload};
 
     fn topo() -> Topology {
         let mut b = TopologyBuilder::new("t");
@@ -248,8 +242,7 @@ mod tests {
             AnalyticModel::new(topo(), cluster.clone(), SimConfig::steady_state(2)).unwrap(),
         );
         let ctl = Controller::new(ControlConfig::test());
-        let mut collector =
-            RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(1));
+        let mut collector = RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(1));
         let w = Workload::uniform(&topo(), 100.0);
         let init = Assignment::round_robin(&topo(), &cluster);
         let data: OfflineDataset = ctl.collect_offline(

@@ -135,7 +135,7 @@ impl Scheduler for DqnScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dss_sim::{ClusterSpec, Grouping, TopologyBuilder, Topology, Workload};
+    use dss_sim::{ClusterSpec, Grouping, Topology, TopologyBuilder, Workload};
 
     fn topo() -> Topology {
         let mut b = TopologyBuilder::new("t");

@@ -101,7 +101,11 @@ impl ModelBasedScheduler {
             total += r * remaining[c];
             total_rate += r;
         }
-        (if total_rate > 0.0 { total / total_rate } else { 0.0 }) + self.bias_ms
+        (if total_rate > 0.0 {
+            total / total_rate
+        } else {
+            0.0
+        }) + self.bias_ms
     }
 
     /// Per-component and per-edge feature vectors for a candidate — the
@@ -362,8 +366,7 @@ mod tests {
             offline_samples: 500,
             ..ControlConfig::test()
         });
-        let mut collector =
-            RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(5));
+        let mut collector = RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(5));
         let init = Assignment::round_robin(&topo(), &cluster);
         let data = ctl.collect_offline(
             &mut env,

@@ -81,7 +81,9 @@ mod tests {
     #[test]
     fn forward_backward_reduces_variance() {
         // Alternating signal: smoothing must reduce the spread around the mean.
-        let x: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let y = forward_backward(&x, 0.2);
         let var = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len() as f64;

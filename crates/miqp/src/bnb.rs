@@ -173,11 +173,15 @@ mod tests {
 
     #[test]
     fn exactly_tight_capacity_is_a_permutation() {
-        let c = CostMatrix::new(3, 3, vec![
-            1.0, 2.0, 3.0, //
-            2.0, 4.0, 6.0, //
-            3.0, 6.0, 9.0,
-        ]);
+        let c = CostMatrix::new(
+            3,
+            3,
+            vec![
+                1.0, 2.0, 3.0, //
+                2.0, 4.0, 6.0, //
+                3.0, 6.0, 9.0,
+            ],
+        );
         let sols = solve_capacitated(&c, &[1, 1, 1], 1);
         assert_eq!(sols.len(), 1);
         let mut seen = sols[0].choice.clone();

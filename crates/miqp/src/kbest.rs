@@ -127,8 +127,7 @@ mod tests {
         // Row costs: r0 = [0, 10], r1 = [1, 2].
         let c = CostMatrix::new(2, 2, vec![0.0, 10.0, 1.0, 2.0]);
         let sols = k_best_assignments(&c, 4);
-        let got: Vec<(Vec<usize>, f64)> =
-            sols.iter().map(|s| (s.choice.clone(), s.cost)).collect();
+        let got: Vec<(Vec<usize>, f64)> = sols.iter().map(|s| (s.choice.clone(), s.cost)).collect();
         assert_eq!(
             got,
             vec![

@@ -143,9 +143,8 @@ mod tests {
         // Projection must be at least as close as any simplex vertex.
         let v = vec![0.9, 0.4, -0.2];
         let p = project_row_simplex(&v);
-        let d = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
-        };
+        let d =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum() };
         let dp = d(&v, &p);
         for j in 0..3 {
             let mut vertex = vec![0.0; 3];

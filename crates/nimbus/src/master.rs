@@ -338,8 +338,7 @@ impl Nimbus {
                         }
                         Err(e) => return Err(e),
                     }
-                    let (measurements, mean) =
-                        self.measure_reward().unwrap_or((Vec::new(), 0.0));
+                    let (measurements, mean) = self.measure_reward().unwrap_or((Vec::new(), 0.0));
                     transport.send(&Message::RewardReport {
                         // The reward answers the *previous* epoch's state.
                         epoch: self.epoch - 1,
@@ -482,7 +481,10 @@ mod tests {
         let outcome = nimbus.apply_solution(&solution).unwrap();
         assert_eq!(outcome.moved, 2);
         assert_eq!(nimbus.epoch(), 1);
-        assert_eq!(nimbus.stored_assignment().unwrap().as_slice(), &solution[..]);
+        assert_eq!(
+            nimbus.stored_assignment().unwrap().as_slice(),
+            &solution[..]
+        );
     }
 
     #[test]

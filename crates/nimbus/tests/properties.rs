@@ -15,10 +15,16 @@ fn build_nimbus(machine_of: Vec<usize>, n_machines: usize) -> Nimbus {
     let cluster = ClusterSpec::homogeneous(n_machines);
     let workload = Workload::uniform(&topology, 20.0);
     let assignment = Assignment::new(machine_of, n_machines).unwrap();
-    let engine =
-        SimEngine::new(topology, cluster, workload.clone(), SimConfig::default()).unwrap();
+    let engine = SimEngine::new(topology, cluster, workload.clone(), SimConfig::default()).unwrap();
     let coord = CoordService::new(CoordConfig::default());
-    Nimbus::launch(engine, workload, assignment, &coord, NimbusConfig::default()).unwrap()
+    Nimbus::launch(
+        engine,
+        workload,
+        assignment,
+        &coord,
+        NimbusConfig::default(),
+    )
+    .unwrap()
 }
 
 fn scenario() -> impl Strategy<Value = (Vec<usize>, usize, Vec<bool>)> {

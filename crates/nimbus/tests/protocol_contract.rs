@@ -16,8 +16,7 @@ fn nimbus() -> Nimbus {
     let cluster = ClusterSpec::homogeneous(3);
     let workload = Workload::uniform(&topology, 30.0);
     let initial = Assignment::round_robin(&topology, &cluster);
-    let engine =
-        SimEngine::new(topology, cluster, workload.clone(), SimConfig::default()).unwrap();
+    let engine = SimEngine::new(topology, cluster, workload.clone(), SimConfig::default()).unwrap();
     let coord = CoordService::new(CoordConfig::default());
     Nimbus::launch(
         engine,

@@ -26,7 +26,7 @@ pub struct GradCheckReport {
 pub fn check_mlp_gradients(net: &mut Mlp, x: &Matrix, target: &Matrix, h: f64) -> GradCheckReport {
     // Analytic gradients.
     let pred = net.forward(x);
-    let (_, grad_out) = crate::loss::mse_loss_grad(&pred, target);
+    let (_, grad_out) = crate::loss::mse_loss_grad(pred, target);
     net.zero_grad();
     net.backward(&grad_out);
 

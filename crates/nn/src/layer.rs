@@ -1,4 +1,10 @@
-//! A fully-connected layer with cached forward state for backprop.
+//! A fully-connected layer with persistent scratch for backprop.
+//!
+//! Earlier revisions cloned the input and output batches on every
+//! `forward` call; training at the paper's sizes spent a large share of
+//! its time in those allocations. The layer now owns per-layer scratch
+//! matrices (`input`, `output`, `dz`, `dx`) that are resized in place, so
+//! a steady-state `forward` + `backward` pair allocates nothing.
 
 use rand::rngs::StdRng;
 
@@ -10,8 +16,9 @@ use crate::matrix::Matrix;
 ///
 /// * `w` is `out × in` (each row is one output unit's weights),
 /// * `b` is `out`,
-/// * `forward` caches the input batch and the activated output so that
-///   `backward` can produce parameter gradients and the input gradient.
+/// * `forward` copies the input batch and the activated output into
+///   layer-owned scratch so that `backward` can produce parameter
+///   gradients and the input gradient without reallocating.
 #[derive(Debug, Clone)]
 pub struct Dense {
     w: Matrix,
@@ -19,8 +26,32 @@ pub struct Dense {
     activation: Activation,
     grad_w: Matrix,
     grad_b: Vec<f64>,
-    cached_input: Option<Matrix>,
-    cached_output: Option<Matrix>,
+    /// Cached `Wᵀ` (in × out) in the GEMM kernel's layout, rebuilt lazily
+    /// after any weight mutation, so the forward product `x · Wᵀ` packs
+    /// nothing per call. Target networks, which only change on (soft)
+    /// updates, reuse one pack across every forward in between.
+    w_packed: Matrix,
+    w_packed_stale: bool,
+    scratch: Scratch,
+}
+
+/// Per-layer training scratch. All four matrices hold their allocation
+/// across steps; `live` records whether `forward` has populated them and
+/// `grad_live` whether `backward` has populated `dx`.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Input batch of the last `forward` (batch × in).
+    input: Matrix,
+    /// Activated output of the last `forward` (batch × out).
+    output: Matrix,
+    /// Pre-activation gradient workspace (batch × out).
+    dz: Matrix,
+    /// Input-gradient output (batch × in).
+    dx: Matrix,
+    /// Whether `input`/`output` hold a forward pass.
+    live: bool,
+    /// Whether `dx` holds the gradient of the last forward pass.
+    grad_live: bool,
 }
 
 impl Dense {
@@ -32,8 +63,9 @@ impl Dense {
             activation,
             grad_w: Matrix::zeros(output, input),
             grad_b: vec![0.0; output],
-            cached_input: None,
-            cached_output: None,
+            w_packed: Matrix::zeros(0, 0),
+            w_packed_stale: true,
+            scratch: Scratch::default(),
         }
     }
 
@@ -48,8 +80,9 @@ impl Dense {
             activation,
             grad_w,
             grad_b,
-            cached_input: None,
-            cached_output: None,
+            w_packed: Matrix::zeros(0, 0),
+            w_packed_stale: true,
+            scratch: Scratch::default(),
         }
     }
 
@@ -78,58 +111,105 @@ impl Dense {
         &self.b
     }
 
-    /// Forward pass over a batch (`batch × in` → `batch × out`), caching
-    /// state for [`Dense::backward`].
-    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+    /// Forward pass over a batch (`batch × in` → `batch × out`), keeping
+    /// the input and activated output in layer scratch for
+    /// [`Dense::backward`]. Returns the output; no allocation once shapes
+    /// are warm.
+    pub fn forward(&mut self, x: &Matrix) -> &Matrix {
         assert_eq!(x.cols(), self.input_size(), "layer input width");
-        let mut z = x.matmul_transpose_b(&self.w);
-        z.add_row_broadcast(&self.b);
-        z.map_inplace(|v| self.activation.apply(v));
-        self.cached_input = Some(x.clone());
-        self.cached_output = Some(z.clone());
-        z
+        self.refresh_packed_weights();
+        self.scratch.input.copy_from(x);
+        x.matmul_into(&self.w_packed, &mut self.scratch.output);
+        let act = self.activation;
+        self.scratch
+            .output
+            .add_row_activate(&self.b, |v| act.apply(v));
+        self.scratch.live = true;
+        self.scratch.grad_live = false;
+        &self.scratch.output
     }
 
-    /// Forward pass without caching (inference only).
+    /// Rebuilds the cached `Wᵀ` if a weight mutation invalidated it.
+    fn refresh_packed_weights(&mut self) {
+        if self.w_packed_stale {
+            self.w_packed.resize(self.w.cols(), self.w.rows());
+            for r in 0..self.w.rows() {
+                for (c, &v) in self.w.row(r).iter().enumerate() {
+                    self.w_packed[(c, r)] = v;
+                }
+            }
+            self.w_packed_stale = false;
+        }
+    }
+
+    /// The activated output of the last [`Dense::forward`].
+    ///
+    /// # Panics
+    /// Panics when called before `forward`.
+    pub fn output(&self) -> &Matrix {
+        assert!(self.scratch.live, "output before forward");
+        &self.scratch.output
+    }
+
+    /// The input gradient computed by the last [`Dense::backward`].
+    ///
+    /// # Panics
+    /// Panics when no `backward` has run since the last `forward`.
+    pub fn input_grad(&self) -> &Matrix {
+        assert!(self.scratch.grad_live, "input_grad before backward");
+        &self.scratch.dx
+    }
+
+    /// Forward pass without caching (inference only; allocates its
+    /// result — decision-time paths that need zero allocation route
+    /// through `forward` instead).
     pub fn infer(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.input_size(), "layer input width");
         let mut z = x.matmul_transpose_b(&self.w);
-        z.add_row_broadcast(&self.b);
-        z.map_inplace(|v| self.activation.apply(v));
+        z.add_row_activate(&self.b, |v| self.activation.apply(v));
         z
     }
 
-    /// Backward pass: given `dL/da` (`batch × out`), accumulates `dL/dW` and
-    /// `dL/db` into this layer's gradient buffers and returns `dL/dx`.
+    /// Backward pass: given `dL/da` (`batch × out`), accumulates `dL/dW`
+    /// and `dL/db` into this layer's gradient buffers and returns `dL/dx`
+    /// (borrowed from layer scratch; valid until the next `backward`).
     ///
     /// # Panics
     /// Panics when called before [`Dense::forward`].
-    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
-        let output = self.cached_output.as_ref().expect("missing cache");
+    pub fn backward(&mut self, grad_output: &Matrix) -> &Matrix {
+        assert!(self.scratch.live, "backward before forward");
+        let input = &self.scratch.input;
+        let output = &self.scratch.output;
         assert_eq!(grad_output.rows(), input.rows(), "batch mismatch");
         assert_eq!(grad_output.cols(), self.output_size(), "grad width");
 
         // dz = da ⊙ act'(z), with act' computed from the cached output.
         let act = self.activation;
-        let dz = Matrix::from_fn(grad_output.rows(), grad_output.cols(), |r, c| {
-            grad_output[(r, c)] * act.derivative_from_output(output[(r, c)])
-        });
+        self.scratch
+            .dz
+            .resize(grad_output.rows(), grad_output.cols());
+        for ((d, &g), &o) in self
+            .scratch
+            .dz
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(output.data())
+        {
+            *d = g * act.derivative_from_output(o);
+        }
 
-        // dW += dzᵀ x  (out × in); db += column sums of dz.
-        let dw = dz.matmul_transpose_a(input);
-        for (g, d) in self.grad_w.data_mut().iter_mut().zip(dw.data()) {
-            *g += d;
-        }
-        for (g, d) in self.grad_b.iter_mut().zip(dz.column_sums()) {
-            *g += d;
-        }
+        // dW += dzᵀ x  (out × in); db += column sums of dz. Both accumulate
+        // straight into the gradient buffers — no temporaries.
+        self.scratch
+            .dz
+            .matmul_transpose_a_acc(input, &mut self.grad_w);
+        self.scratch.dz.add_column_sums_to(&mut self.grad_b);
 
         // dx = dz W  (batch × in).
-        dz.matmul(&self.w)
+        self.scratch.dz.matmul_into(&self.w, &mut self.scratch.dx);
+        self.scratch.grad_live = true;
+        &self.scratch.dx
     }
 
     /// Clears accumulated gradients.
@@ -138,8 +218,10 @@ impl Dense {
         self.grad_b.fill(0.0);
     }
 
-    /// (parameters, gradients) flat views — weights then bias.
+    /// (parameters, gradients) flat views — weights then bias. Handing out
+    /// mutable weights invalidates the packed-`Wᵀ` cache.
     pub fn params_and_grads(&mut self) -> [(&mut [f64], &[f64]); 2] {
+        self.w_packed_stale = true;
         [
             (self.w.data_mut(), self.grad_w.data()),
             (self.b.as_mut_slice(), self.grad_b.as_slice()),
@@ -156,8 +238,10 @@ impl Dense {
         [self.grad_w.data_mut(), self.grad_b.as_mut_slice()]
     }
 
-    /// Mutable flat parameter views (weights then bias).
+    /// Mutable flat parameter views (weights then bias). Invalidates the
+    /// packed-`Wᵀ` cache.
     pub fn params_mut(&mut self) -> [&mut [f64]; 2] {
+        self.w_packed_stale = true;
         [self.w.data_mut(), self.b.as_mut_slice()]
     }
 
@@ -168,6 +252,7 @@ impl Dense {
     pub fn soft_update_from(&mut self, source: &Dense, tau: f64) {
         assert_eq!(self.w.rows(), source.w.rows(), "soft update shape");
         assert_eq!(self.w.cols(), source.w.cols(), "soft update shape");
+        self.w_packed_stale = true;
         for (t, &s) in self.w.data_mut().iter_mut().zip(source.w.data()) {
             *t = tau * s + (1.0 - tau) * *t;
         }
@@ -187,7 +272,7 @@ mod tests {
         let mut rng = seeded_rng(3);
         let mut layer = Dense::new(4, 2, Activation::Tanh, &mut rng);
         let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3, 0.4], &[0.5, 0.6, 0.7, 0.8]]);
-        let y1 = layer.forward(&x);
+        let y1 = layer.forward(&x).clone();
         let y2 = layer.infer(&x);
         assert_eq!(y1.rows(), 2);
         assert_eq!(y1.cols(), 2);
@@ -245,5 +330,26 @@ mod tests {
         layer.forward(&Matrix::row_vector(&[1.0, 1.0]));
         let dx = layer.backward(&Matrix::row_vector(&[1.0]));
         assert_eq!(dx.row(0), &[3.0, -2.0]);
+    }
+
+    #[test]
+    fn batch_size_changes_are_handled() {
+        let mut rng = seeded_rng(8);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let big = Matrix::from_fn(16, 3, |r, c| (r * 3 + c) as f64 * 0.01);
+        let small = Matrix::row_vector(&[0.3, -0.1, 0.2]);
+        assert_eq!(layer.forward(&big).rows(), 16);
+        layer.backward(&Matrix::from_fn(16, 2, |_, _| 1.0));
+        assert_eq!(layer.forward(&small).rows(), 1);
+        let dx = layer.backward(&Matrix::row_vector(&[1.0, 1.0]));
+        assert_eq!((dx.rows(), dx.cols()), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut rng = seeded_rng(2);
+        let mut layer = Dense::new(2, 2, Activation::Tanh, &mut rng);
+        layer.backward(&Matrix::row_vector(&[1.0, 1.0]));
     }
 }

@@ -9,11 +9,14 @@
 //!   state-action pair to a scalar Q value.
 //!
 //! Everything those networks need is implemented here with no external
-//! numerics: row-major [`Matrix`] ops, manual backpropagation through
-//! [`Mlp`], Xavier initialization, SGD and Adam optimizers, MSE loss, target
-//! network soft updates (`θ' := τθ + (1−τ)θ'`), **input gradients**
-//! (`∇_a Q(s, a)` for the deterministic policy gradient), numerical
-//! gradient checking, and compact binary serialization.
+//! numerics: row-major [`Matrix`] ops over blocked, register-tiled GEMM
+//! kernels (see [`matrix`] for the scheme), manual backpropagation through
+//! [`Mlp`] with persistent per-layer scratch (zero heap allocations per
+//! training step once shapes are warm), Xavier initialization, SGD and
+//! Adam optimizers, MSE loss, target network soft updates
+//! (`θ' := τθ + (1−τ)θ'`), **input gradients** (`∇_a Q(s, a)` for the
+//! deterministic policy gradient), numerical gradient checking, and
+//! compact binary serialization.
 //!
 //! # Example
 //!

@@ -1,4 +1,10 @@
 //! Multi-layer perceptron with manual backprop.
+//!
+//! Training-path calls (`forward`, `backward`, `input_gradient`) return
+//! references into per-layer scratch owned by the network, so one full
+//! forward + backward step allocates nothing once shapes are warm — the
+//! property the DRL training loop's throughput rests on. Allocation is
+//! confined to the convenience inference API (`infer`, `infer_one`).
 
 use rand::rngs::StdRng;
 
@@ -15,6 +21,10 @@ use crate::optimizer::Optimizer;
 #[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Dense>,
+    /// Flat parameter-gradient snapshot reused by [`Mlp::input_gradient`].
+    grad_snapshot: Vec<f64>,
+    /// All-ones seed gradient reused by [`Mlp::input_gradient`].
+    ones: Matrix,
 }
 
 impl Mlp {
@@ -43,7 +53,11 @@ impl Mlp {
             .zip(activations)
             .map(|(w, &act)| Dense::new(w[0], w[1], act, rng))
             .collect();
-        Self { layers }
+        Self {
+            layers,
+            grad_snapshot: Vec::new(),
+            ones: Matrix::zeros(0, 0),
+        }
     }
 
     /// Rebuilds from layers (deserialization).
@@ -59,7 +73,11 @@ impl Mlp {
                 "layer widths must chain"
             );
         }
-        Self { layers }
+        Self {
+            layers,
+            grad_snapshot: Vec::new(),
+            ones: Matrix::zeros(0, 0),
+        }
     }
 
     /// Input width.
@@ -82,17 +100,19 @@ impl Mlp {
         &mut self.layers
     }
 
-    /// Forward pass over a batch, caching per-layer state for
-    /// [`Mlp::backward`].
-    pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
-            h = layer.forward(&h);
+    /// Forward pass over a batch, keeping per-layer state for
+    /// [`Mlp::backward`]. The returned batch is borrowed from the last
+    /// layer's scratch; zero allocations once shapes are warm.
+    pub fn forward(&mut self, x: &Matrix) -> &Matrix {
+        for i in 0..self.layers.len() {
+            let (done, rest) = self.layers.split_at_mut(i);
+            let input = if i == 0 { x } else { done[i - 1].output() };
+            rest[0].forward(input);
         }
-        h
+        self.layers.last().expect("non-empty network").output()
     }
 
-    /// Forward pass without caching (inference).
+    /// Forward pass without caching (inference; allocates its result).
     pub fn infer(&self, x: &Matrix) -> Matrix {
         let mut h = x.clone();
         for layer in &self.layers {
@@ -109,25 +129,37 @@ impl Mlp {
     /// Backward pass from `dL/d(output)`; accumulates parameter gradients
     /// and returns `dL/d(input)` — the quantity the DDPG actor update needs
     /// when this network is the critic and part of the input is the action.
-    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+    /// Borrowed from the first layer's scratch.
+    pub fn backward(&mut self, grad_output: &Matrix) -> &Matrix {
+        for i in (0..self.layers.len()).rev() {
+            let (head, tail) = self.layers.split_at_mut(i + 1);
+            let grad = if tail.is_empty() {
+                grad_output
+            } else {
+                tail[0].input_grad()
+            };
+            head[i].backward(grad);
         }
-        g
+        self.layers[0].input_grad()
     }
 
     /// Gradient of the summed output w.r.t. the input, without touching
-    /// accumulated parameter gradients (they are saved and restored).
+    /// accumulated parameter gradients (they are saved and restored through
+    /// a persistent flat snapshot buffer — no allocation once warm).
     ///
     /// For a scalar-output critic this is `∇_x Q(x)` per batch row.
-    pub fn input_gradient(&mut self, x: &Matrix) -> Matrix {
-        let saved = self.snapshot_grads();
-        self.forward(&x.clone());
-        let ones = Matrix::from_fn(x.rows(), self.output_size(), |_, _| 1.0);
-        let gx = self.backward(&ones);
-        self.restore_grads(saved);
-        gx
+    pub fn input_gradient(&mut self, x: &Matrix) -> &Matrix {
+        self.snapshot_grads();
+        self.forward(x);
+        // Temporarily move the ones-matrix out so `backward(&mut self)` can
+        // borrow it; an empty `Matrix` placeholder does not allocate.
+        let mut ones = std::mem::replace(&mut self.ones, Matrix::zeros(0, 0));
+        ones.resize(x.rows(), self.output_size());
+        ones.data_mut().fill(1.0);
+        self.backward(&ones);
+        self.ones = ones;
+        self.restore_grads();
+        self.layers[0].input_grad()
     }
 
     /// Clears all accumulated gradients.
@@ -200,24 +232,24 @@ impl Mlp {
             .sum()
     }
 
-    fn snapshot_grads(&mut self) -> Vec<Vec<f64>> {
-        self.layers
-            .iter_mut()
-            .flat_map(|l| {
-                l.params_and_grads()
-                    .into_iter()
-                    .map(|(_, g)| g.to_vec())
-                    .collect::<Vec<_>>()
-            })
-            .collect()
+    fn snapshot_grads(&mut self) {
+        let total = self.param_count();
+        self.grad_snapshot.resize(total, 0.0);
+        let mut off = 0;
+        for layer in &mut self.layers {
+            for (_, g) in layer.params_and_grads() {
+                self.grad_snapshot[off..off + g.len()].copy_from_slice(g);
+                off += g.len();
+            }
+        }
     }
 
-    fn restore_grads(&mut self, saved: Vec<Vec<f64>>) {
-        let mut it = saved.into_iter();
+    fn restore_grads(&mut self) {
+        let mut off = 0;
         for layer in &mut self.layers {
             for grads in layer.grads_mut() {
-                let snapshot = it.next().expect("grad snapshot arity");
-                grads.copy_from_slice(&snapshot);
+                grads.copy_from_slice(&self.grad_snapshot[off..off + grads.len()]);
+                off += grads.len();
             }
         }
     }
@@ -250,16 +282,12 @@ mod tests {
     #[test]
     fn learns_xor() {
         let (x, y) = xor_data();
-        let mut net = Mlp::new(
-            &[2, 8, 1],
-            &[Activation::Tanh, Activation::Sigmoid],
-            7,
-        );
+        let mut net = Mlp::new(&[2, 8, 1], &[Activation::Tanh, Activation::Sigmoid], 7);
         let mut opt = Sgd::new(0.5, 0.9);
         let mut last = f64::INFINITY;
         for _ in 0..2000 {
             let pred = net.forward(&x);
-            let (loss, grad) = mse_loss_grad(&pred, &y);
+            let (loss, grad) = mse_loss_grad(pred, &y);
             last = loss;
             net.zero_grad();
             net.backward(&grad);
@@ -273,7 +301,7 @@ mod tests {
         let net = Mlp::new(&[3, 4, 2], &[Activation::Tanh, Activation::Identity], 11);
         let x = Matrix::row_vector(&[0.3, -0.2, 0.9]);
         let mut net2 = net.clone();
-        assert_eq!(net.infer(&x), net2.forward(&x));
+        assert_eq!(&net.infer(&x), net2.forward(&x));
         assert_eq!(net.infer_one(&[0.3, -0.2, 0.9]), net.infer(&x).data());
     }
 
@@ -290,7 +318,7 @@ mod tests {
     fn input_gradient_matches_finite_difference() {
         let mut net = Mlp::new(&[3, 6, 1], &[Activation::Tanh, Activation::Identity], 4);
         let x = vec![0.2, -0.4, 0.7];
-        let gx = net.input_gradient(&Matrix::row_vector(&x));
+        let gx = net.input_gradient(&Matrix::row_vector(&x)).clone();
         let h = 1e-6;
         for i in 0..3 {
             let mut xp = x.clone();
@@ -340,7 +368,10 @@ mod tests {
         let reported = net.clip_gradients(0.5);
         assert!((reported - before).abs() < 1e-9, "returns pre-clip norm");
         let after = grad_norm(&mut net);
-        assert!((after - 0.5).abs() < 1e-9, "norm clipped to max, got {after}");
+        assert!(
+            (after - 0.5).abs() < 1e-9,
+            "norm clipped to max, got {after}"
+        );
     }
 
     #[test]

@@ -96,7 +96,8 @@ pub fn decode_mlp(mut bytes: &[u8]) -> Result<Mlp, DecodeError> {
         let input = bytes.get_u32_le() as usize;
         let output = bytes.get_u32_le() as usize;
         let act_tag = bytes.get_u8();
-        let activation = Activation::from_tag(act_tag).ok_or(DecodeError::BadActivation(act_tag))?;
+        let activation =
+            Activation::from_tag(act_tag).ok_or(DecodeError::BadActivation(act_tag))?;
         if input == 0 || output == 0 {
             return Err(DecodeError::BadShape);
         }

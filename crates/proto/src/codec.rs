@@ -107,8 +107,7 @@ impl FrameDecoder {
         if payload_len > MAX_FRAME_LEN {
             return Err(ProtoError::FrameTooLarge(payload_len));
         }
-        let expected_crc =
-            u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+        let expected_crc = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
         if self.buf.len() < HEADER_LEN + payload_len {
             return Ok(None);
         }
@@ -192,7 +191,10 @@ mod tests {
 
         let mut frame = encode_frame(&Message::Bye).to_vec();
         frame[4] = 99;
-        assert!(matches!(decode_frame(&frame), Err(ProtoError::BadVersion(99))));
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(ProtoError::BadVersion(99))
+        ));
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl fmt::Display for ProtoError {
             ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
             ProtoError::BadChecksum { expected, actual } => {
-                write!(f, "checksum mismatch: header {expected:#010x}, payload {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: header {expected:#010x}, payload {actual:#010x}"
+                )
             }
             ProtoError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
             ProtoError::Truncated => write!(f, "payload truncated"),
@@ -69,7 +72,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(ProtoError::BadMagic(0xdead_beef).to_string().contains("0xdeadbeef"));
+        assert!(ProtoError::BadMagic(0xdead_beef)
+            .to_string()
+            .contains("0xdeadbeef"));
         assert!(ProtoError::BadTag(99).to_string().contains("99"));
         let e = ProtoError::BadChecksum {
             expected: 1,

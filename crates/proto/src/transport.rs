@@ -210,10 +210,7 @@ mod tests {
     #[test]
     fn channel_recv_timeout_returns_none_when_idle() {
         let (a, _b) = ChannelTransport::pair();
-        assert!(a
-            .recv_timeout(Duration::from_millis(10))
-            .unwrap()
-            .is_none());
+        assert!(a.recv_timeout(Duration::from_millis(10)).unwrap().is_none());
     }
 
     #[test]
@@ -233,7 +230,13 @@ mod tests {
         let server = std::thread::spawn(move || {
             let t = TcpTransport::accept(&listener).unwrap();
             let hello = t.recv().unwrap();
-            assert!(matches!(hello, Message::Hello { role: Role::Agent, .. }));
+            assert!(matches!(
+                hello,
+                Message::Hello {
+                    role: Role::Agent,
+                    ..
+                }
+            ));
             t.send(&Message::Hello {
                 role: Role::Scheduler,
                 ident: "nimbus".into(),
@@ -265,7 +268,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             client.recv().unwrap(),
-            Message::Hello { role: Role::Scheduler, .. }
+            Message::Hello {
+                role: Role::Scheduler,
+                ..
+            }
         ));
         let machine_of: Vec<usize> = (0..100).map(|i| i % 10).collect();
         client

@@ -6,9 +6,7 @@ use dss_proto::{decode_frame, encode_frame, FrameDecoder, Message, ProtoError};
 use proptest::prelude::*;
 
 fn assignment_strategy() -> impl Strategy<Value = (Vec<usize>, usize)> {
-    (1usize..12).prop_flat_map(|m| {
-        (prop::collection::vec(0..m, 0..40), Just(m))
-    })
+    (1usize..12).prop_flat_map(|m| (prop::collection::vec(0..m, 0..40), Just(m)))
 }
 
 fn message_strategy() -> impl Strategy<Value = Message> {
@@ -30,23 +28,25 @@ fn message_strategy() -> impl Strategy<Value = Message> {
                     source_rates,
                 }
             }),
-        (any::<u64>(), assignment_strategy()).prop_map(
-            |(epoch, (machine_of, n_machines))| Message::SchedulingSolution {
+        (any::<u64>(), assignment_strategy()).prop_map(|(epoch, (machine_of, n_machines))| {
+            Message::SchedulingSolution {
                 epoch,
                 machine_of,
                 n_machines,
             }
-        ),
+        }),
         (
             any::<u64>(),
             0.0..1e4f64,
             prop::collection::vec(-1e6..1e6f64, 0..8),
         )
-            .prop_map(|(epoch, avg_tuple_ms, measurements)| Message::RewardReport {
-                epoch,
-                avg_tuple_ms,
-                measurements,
-            }),
+            .prop_map(
+                |(epoch, avg_tuple_ms, measurements)| Message::RewardReport {
+                    epoch,
+                    avg_tuple_ms,
+                    measurements,
+                }
+            ),
         any::<u64>().prop_map(|now_ms| Message::Heartbeat { now_ms }),
         (any::<u16>(), ".{0,24}").prop_map(|(code, detail)| Message::Error { code, detail }),
         Just(Message::Bye),
@@ -130,12 +130,7 @@ proptest! {
     fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         let mut dec = FrameDecoder::new();
         dec.feed(&bytes);
-        loop {
-            match dec.next() {
-                Ok(Some(_)) => continue,
-                Ok(None) | Err(_) => break,
-            }
-        }
+        while let Ok(Some(_)) = dec.next() {}
     }
 
     /// Payload decoding rejects any strict prefix of a valid payload.

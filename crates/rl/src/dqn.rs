@@ -7,10 +7,19 @@
 //! replay and a periodically synchronized target network. The paper's point
 //! — and this reproduction's Figures 6c/7 — is that this restriction
 //! explores the full space poorly at scale.
+//!
+//! # Hot-path layout
+//!
+//! [`DqnAgent::train_step`] is the throughput-critical loop of online
+//! retraining. It samples slot *indices* from the ring-buffer replay (no
+//! transition clones), assembles the minibatch directly into preallocated
+//! state/next-state matrices, evaluates all `H` target-Q rows in one
+//! batched forward pass, and folds the masked MSE loss/gradient in place —
+//! zero heap allocations per step once shapes are warm.
 
 use rand::rngs::StdRng;
 
-use dss_nn::{mse_loss_grad, Activation, Adam, Matrix, Mlp};
+use dss_nn::{Activation, Adam, Matrix, Mlp};
 
 use crate::explore::epsilon_greedy;
 use crate::replay::ReplayBuffer;
@@ -56,6 +65,24 @@ impl Default for DqnConfig {
     }
 }
 
+/// Persistent per-agent minibatch workspace; every buffer is resized in
+/// place each step, so steady-state training allocates nothing.
+#[derive(Debug, Default)]
+struct TrainScratch {
+    /// Sampled replay slot indices.
+    idx: Vec<usize>,
+    /// Minibatch states (H × state_dim).
+    states: Matrix,
+    /// Minibatch next-states (H × state_dim).
+    next_states: Matrix,
+    /// Per-row argmax of the online net (double DQN only).
+    online_argmax: Vec<usize>,
+    /// TD targets y_i.
+    targets: Vec<f64>,
+    /// Loss gradient, nonzero only at chosen actions (H × |A|).
+    grad: Matrix,
+}
+
 /// The DQN agent over single-move actions.
 pub struct DqnAgent {
     q: Mlp,
@@ -66,6 +93,7 @@ pub struct DqnAgent {
     state_dim: usize,
     n_actions: usize,
     train_steps: u64,
+    scratch: TrainScratch,
 }
 
 impl DqnAgent {
@@ -89,6 +117,7 @@ impl DqnAgent {
             state_dim,
             n_actions,
             train_steps: 0,
+            scratch: TrainScratch::default(),
         }
     }
 
@@ -126,65 +155,86 @@ impl DqnAgent {
     }
 
     /// One DQN training step; returns the TD loss, or `None` when no data.
+    ///
+    /// Allocation-free once warm: index-based replay sampling, minibatch
+    /// assembly into persistent matrices, and a single batched forward for
+    /// all `H` target-Q evaluations.
     pub fn train_step(&mut self, rng: &mut StdRng) -> Option<f64> {
         if self.replay.is_empty() {
             return None;
         }
-        let batch: Vec<Transition<usize>> = self
-            .replay
-            .sample(self.config.batch, rng)
-            .into_iter()
-            .cloned()
-            .collect();
-        let h = batch.len();
+        let scratch = &mut self.scratch;
+        self.replay
+            .sample_indices_into(self.config.batch, rng, &mut scratch.idx);
+        let h = scratch.idx.len();
 
-        // TD targets from the frozen target network. Plain DQN takes the
-        // target net's own max; double DQN selects with the online net and
-        // evaluates with the target net.
-        let next_states = Matrix::from_fn(h, self.state_dim, |r, c| batch[r].next_state[c]);
-        let next_q_target = self.target_q.infer(&next_states);
-        let next_q_online = self
-            .config
-            .double
-            .then(|| self.q.infer(&next_states));
-        let targets: Vec<f64> = batch
-            .iter()
-            .enumerate()
-            .map(|(r, t)| {
-                let best = match &next_q_online {
-                    Some(online) => {
-                        let row = online.row(r);
-                        let argmax = (0..row.len())
-                            .max_by(|&a, &b| row[a].partial_cmp(&row[b]).expect("NaN Q"))
-                            .expect("non-empty action set");
-                        next_q_target[(r, argmax)]
-                    }
-                    None => next_q_target
-                        .row(r)
-                        .iter()
-                        .copied()
-                        .fold(f64::NEG_INFINITY, f64::max),
-                };
-                t.reward + self.config.gamma * best
-            })
-            .collect();
-
-        // Forward, then build a gradient that touches only chosen actions.
-        let states = Matrix::from_fn(h, self.state_dim, |r, c| batch[r].state[c]);
-        let pred = self.q.forward(&states);
-        let pred_chosen = Matrix::from_fn(h, 1, |r, _| pred[(r, batch[r].action)]);
-        let target_mat = Matrix::from_fn(h, 1, |r, _| targets[r]);
-        let (loss, grad_chosen) = mse_loss_grad(&pred_chosen, &target_mat);
-        let mut grad_full = Matrix::zeros(h, self.n_actions);
-        for (r, t) in batch.iter().enumerate() {
-            grad_full[(r, t.action)] = grad_chosen[(r, 0)];
+        // Assemble the minibatch straight into the persistent matrices.
+        scratch.states.resize(h, self.state_dim);
+        scratch.next_states.resize(h, self.state_dim);
+        for (r, &slot) in scratch.idx.iter().enumerate() {
+            let t = self.replay.get(slot);
+            scratch.states.row_mut(r).copy_from_slice(&t.state);
+            scratch
+                .next_states
+                .row_mut(r)
+                .copy_from_slice(&t.next_state);
         }
+
+        // TD targets from the frozen target network — one batched forward
+        // for the whole minibatch. Plain DQN takes the target net's own
+        // max; double DQN selects with the online net and evaluates with
+        // the target net (two batched forwards, still no per-sample calls).
+        if self.config.double {
+            let online = self.q.forward(&scratch.next_states);
+            scratch.online_argmax.clear();
+            scratch.online_argmax.extend((0..h).map(|r| {
+                let row = online.row(r);
+                (0..row.len())
+                    .max_by(|&a, &b| row[a].partial_cmp(&row[b]).expect("NaN Q"))
+                    .expect("non-empty action set")
+            }));
+        }
+        let next_q = self.target_q.forward(&scratch.next_states);
+        scratch.targets.clear();
+        for r in 0..h {
+            let best = if self.config.double {
+                next_q[(r, scratch.online_argmax[r])]
+            } else {
+                next_q
+                    .row(r)
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max)
+            };
+            let reward = self.replay.get(scratch.idx[r]).reward;
+            scratch.targets.push(reward + self.config.gamma * best);
+        }
+
+        // Forward on the online net, then fold the masked MSE in place:
+        // only the chosen action's Q contributes, so the full gradient is
+        // zero except at (r, action_r). Matches `mse_loss_grad` over the
+        // H×1 chosen-Q column: loss = Σd²/H, grad = 2d/H.
+        let pred = self.q.forward(&scratch.states);
+        scratch.grad.resize(h, self.n_actions);
+        scratch.grad.data_mut().fill(0.0);
+        let mut loss = 0.0;
+        for r in 0..h {
+            let action = self.replay.get(scratch.idx[r]).action;
+            let d = pred[(r, action)] - scratch.targets[r];
+            loss += d * d;
+            scratch.grad[(r, action)] = 2.0 * d / h as f64;
+        }
+        loss /= h as f64;
+
         self.q.zero_grad();
-        self.q.backward(&grad_full);
+        self.q.backward(&scratch.grad);
         self.q.apply_gradients(&mut self.opt);
 
         self.train_steps += 1;
-        if self.train_steps.is_multiple_of(self.config.target_sync_every) {
+        if self
+            .train_steps
+            .is_multiple_of(self.config.target_sync_every)
+        {
             self.target_q.copy_params_from(&self.q);
         }
         Some(loss)
@@ -283,10 +333,14 @@ mod tests {
 
     #[test]
     fn double_dqn_learns_the_same_bandit() {
-        let mut agent = DqnAgent::new(2, 4, DqnConfig {
-            double: true,
-            ..config()
-        });
+        let mut agent = DqnAgent::new(
+            2,
+            4,
+            DqnConfig {
+                double: true,
+                ..config()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(12);
         for _ in 0..400 {
             let a = rng.random_range(0..4);
@@ -309,11 +363,15 @@ mod tests {
         // All actions pay noisy zero-mean rewards; max-Q overestimates,
         // and double-Q should overestimate no more than plain DQN.
         let estimate = |double: bool| -> f64 {
-            let mut agent = DqnAgent::new(1, 8, DqnConfig {
-                double,
-                gamma: 0.9,
-                ..config()
-            });
+            let mut agent = DqnAgent::new(
+                1,
+                8,
+                DqnConfig {
+                    double,
+                    gamma: 0.9,
+                    ..config()
+                },
+            );
             let mut rng = StdRng::seed_from_u64(77);
             for _ in 0..600 {
                 let a = rng.random_range(0..8);
@@ -329,10 +387,7 @@ mod tests {
         let plain = estimate(false);
         let double = estimate(true);
         // True value is 0; both overshoot, double should not overshoot more.
-        assert!(
-            double <= plain + 0.05,
-            "double {double} vs plain {plain}"
-        );
+        assert!(double <= plain + 0.05, "double {double} vs plain {plain}");
     }
 
     #[test]

@@ -164,7 +164,10 @@ impl<A: Clone> PrioritizedReplay<A> {
     pub fn push(&mut self, t: Transition<A>) {
         let i = self.head;
         self.items[i] = Some(t);
-        let p = self.max_priority.powf(self.config.alpha).max(self.config.epsilon);
+        let p = self
+            .max_priority
+            .powf(self.config.alpha)
+            .max(self.config.epsilon);
         self.tree.set(i, p);
         self.head = (self.head + 1) % self.items.len();
         self.len = (self.len + 1).min(self.items.len());
@@ -281,11 +284,14 @@ mod tests {
 
     #[test]
     fn high_priority_samples_dominate() {
-        let mut buf = PrioritizedReplay::new(8, PriorityConfig {
-            alpha: 1.0,
-            beta: 0.0,
-            epsilon: 1e-6,
-        });
+        let mut buf = PrioritizedReplay::new(
+            8,
+            PriorityConfig {
+                alpha: 1.0,
+                beta: 0.0,
+                epsilon: 1e-6,
+            },
+        );
         for i in 0..8 {
             buf.push(tr(i as f64));
         }
@@ -304,11 +310,14 @@ mod tests {
 
     #[test]
     fn importance_weights_are_normalized_and_downweight_frequent() {
-        let mut buf = PrioritizedReplay::new(4, PriorityConfig {
-            alpha: 1.0,
-            beta: 1.0,
-            epsilon: 1e-6,
-        });
+        let mut buf = PrioritizedReplay::new(
+            4,
+            PriorityConfig {
+                alpha: 1.0,
+                beta: 1.0,
+                epsilon: 1e-6,
+            },
+        );
         for i in 0..4 {
             buf.push(tr(i as f64));
         }
@@ -320,8 +329,16 @@ mod tests {
         let samples = buf.sample(500, &mut rng);
         let max_w = samples.iter().map(|s| s.weight).fold(0.0, f64::max);
         assert!((max_w - 1.0).abs() < 1e-9, "weights must be normalized");
-        let w0: Vec<f64> = samples.iter().filter(|s| s.index == 0).map(|s| s.weight).collect();
-        let w1: Vec<f64> = samples.iter().filter(|s| s.index == 1).map(|s| s.weight).collect();
+        let w0: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.index == 0)
+            .map(|s| s.weight)
+            .collect();
+        let w1: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.index == 1)
+            .map(|s| s.weight)
+            .collect();
         if let (Some(&a), Some(&b)) = (w0.first(), w1.first()) {
             assert!(a < b, "frequent sample must carry a smaller weight");
         }
@@ -329,11 +346,14 @@ mod tests {
 
     #[test]
     fn uniform_alpha_zero_behaves_uniformly() {
-        let mut buf = PrioritizedReplay::new(4, PriorityConfig {
-            alpha: 0.0,
-            beta: 0.0,
-            epsilon: 1e-6,
-        });
+        let mut buf = PrioritizedReplay::new(
+            4,
+            PriorityConfig {
+                alpha: 0.0,
+                beta: 0.0,
+                epsilon: 1e-6,
+            },
+        );
         for i in 0..4 {
             buf.push(tr(i as f64));
         }

@@ -4,19 +4,27 @@
 //! discarded when B is full". Uniform sampling breaks the correlation
 //! between consecutive samples (the property the paper cites for stable
 //! SGD training). Paper sizes: `|B| = 1000`, mini-batch `H = 32`.
-
-use std::collections::VecDeque;
+//!
+//! Implemented as a fixed ring over a `Vec`: a full buffer overwrites the
+//! slot at `head` in place (no pop/push shuffling, no reallocation ever),
+//! and the sampling path hands out *slot indices* so the training loop can
+//! read transitions by reference while assembling its minibatch — zero
+//! transition clones per step.
 
 use rand::rngs::StdRng;
 use rand::RngExt;
 
 use crate::transition::Transition;
 
-/// Bounded uniform-replay buffer.
+/// Bounded uniform-replay ring buffer.
 #[derive(Debug, Clone)]
 pub struct ReplayBuffer<A> {
-    buf: VecDeque<Transition<A>>,
+    /// Ring storage; `len() < capacity` while filling, then constant.
+    buf: Vec<Transition<A>>,
     capacity: usize,
+    /// Slot holding the *oldest* transition once the ring is full
+    /// (always 0 before the first wrap).
+    head: usize,
 }
 
 impl<A: Clone> ReplayBuffer<A> {
@@ -27,17 +35,20 @@ impl<A: Clone> ReplayBuffer<A> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         Self {
-            buf: VecDeque::with_capacity(capacity),
+            buf: Vec::with_capacity(capacity),
             capacity,
+            head: 0,
         }
     }
 
-    /// Stores a transition, evicting the oldest when full.
+    /// Stores a transition, overwriting the oldest slot when full.
     pub fn push(&mut self, t: Transition<A>) {
-        if self.buf.len() == self.capacity {
-            self.buf.pop_front();
+        if self.buf.len() < self.capacity {
+            self.buf.push(t);
+        } else {
+            self.buf[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
         }
-        self.buf.push_back(t);
     }
 
     /// Number of stored transitions.
@@ -55,6 +66,25 @@ impl<A: Clone> ReplayBuffer<A> {
         self.capacity
     }
 
+    /// The transition in ring slot `i` (`i < len()`). Slot order is
+    /// arbitrary with respect to insertion age; uniform sampling over
+    /// slots is uniform over stored transitions.
+    pub fn get(&self, i: usize) -> &Transition<A> {
+        &self.buf[i]
+    }
+
+    /// Uniformly samples `h` slot indices with replacement into `out`
+    /// (cleared first) — the allocation-free sampling path used by the
+    /// training loops: callers read each transition in place via
+    /// [`ReplayBuffer::get`]. No-op when the buffer is empty.
+    pub fn sample_indices_into(&self, h: usize, rng: &mut StdRng, out: &mut Vec<usize>) {
+        out.clear();
+        if self.buf.is_empty() {
+            return;
+        }
+        out.extend((0..h).map(|_| rng.random_range(0..self.buf.len())));
+    }
+
     /// Uniformly samples `h` transitions with replacement (standard DQN
     /// practice; with-replacement keeps sampling O(h) and is statistically
     /// indistinguishable for `h << len`).
@@ -69,9 +99,10 @@ impl<A: Clone> ReplayBuffer<A> {
             .collect()
     }
 
-    /// Iterates over the stored transitions, oldest first.
+    /// Iterates over the stored transitions, oldest first (wrap-aware).
     pub fn iter(&self) -> impl Iterator<Item = &Transition<A>> {
-        self.buf.iter()
+        let (older, newer) = self.buf.split_at(self.head);
+        newer.iter().chain(older)
     }
 }
 
@@ -96,6 +127,50 @@ mod tests {
     }
 
     #[test]
+    fn wrap_around_eviction_order_is_fifo() {
+        // Capacity 4, 11 pushes: the ring wraps twice; iteration must
+        // always present the 4 newest, oldest first.
+        let mut b = ReplayBuffer::new(4);
+        for i in 0..11usize {
+            b.push(t(i as f64));
+            let got: Vec<f64> = b.iter().map(|x| x.reward).collect();
+            let lo = (i + 1).saturating_sub(4);
+            let want: Vec<f64> = (lo..=i).map(|v| v as f64).collect();
+            assert_eq!(got, want, "after push {i}");
+        }
+    }
+
+    #[test]
+    fn len_and_is_empty_across_the_wrap_boundary() {
+        let mut b = ReplayBuffer::new(3);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        for i in 0..3 {
+            b.push(t(i as f64));
+            assert_eq!(b.len(), i + 1);
+        }
+        for i in 3..10 {
+            b.push(t(i as f64)); // wrapping overwrites; len pinned at cap
+            assert_eq!(b.len(), 3);
+            assert!(!b.is_empty());
+        }
+        assert_eq!(b.capacity(), 3);
+    }
+
+    #[test]
+    fn push_never_reallocates_after_fill() {
+        let mut b = ReplayBuffer::new(8);
+        for i in 0..8 {
+            b.push(t(i as f64));
+        }
+        let ptr = b.buf.as_ptr();
+        for i in 8..100 {
+            b.push(t(i as f64));
+        }
+        assert_eq!(b.buf.as_ptr(), ptr, "ring storage moved");
+    }
+
+    #[test]
     fn sample_size_and_membership() {
         let mut b = ReplayBuffer::new(10);
         for i in 0..10 {
@@ -112,6 +187,9 @@ mod tests {
         let b: ReplayBuffer<usize> = ReplayBuffer::new(5);
         let mut rng = StdRng::seed_from_u64(1);
         assert!(b.sample(4, &mut rng).is_empty());
+        let mut idx = vec![1, 2, 3];
+        b.sample_indices_into(4, &mut rng, &mut idx);
+        assert!(idx.is_empty(), "stale indices must be cleared");
     }
 
     #[test]
@@ -128,5 +206,28 @@ mod tests {
         for &c in &counts {
             assert!((c as f64 / 40_000.0 - 0.25).abs() < 0.02, "{counts:?}");
         }
+    }
+
+    #[test]
+    fn index_sampling_is_roughly_uniform_after_wrap() {
+        // Push 2.5× capacity so head sits mid-ring, then check the
+        // index-based path is still uniform over live slots.
+        let mut b = ReplayBuffer::new(4);
+        for i in 0..10 {
+            b.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut idx = Vec::new();
+        b.sample_indices_into(40_000, &mut rng, &mut idx);
+        assert_eq!(idx.len(), 40_000);
+        let mut counts = [0usize; 4];
+        for &i in &idx {
+            counts[i] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 40_000.0 - 0.25).abs() < 0.02, "{counts:?}");
+        }
+        // Every sampled slot dereferences to a live transition.
+        assert!(idx.iter().all(|&i| b.get(i).reward >= 6.0));
     }
 }

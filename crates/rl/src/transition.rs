@@ -38,8 +38,7 @@ mod tests {
     fn holds_generic_actions() {
         let t1: Transition<usize> = Transition::new(vec![0.0], 3, -1.5, vec![1.0]);
         assert_eq!(t1.action, 3);
-        let t2: Transition<Vec<f64>> =
-            Transition::new(vec![0.0], vec![1.0, 0.0], -2.0, vec![1.0]);
+        let t2: Transition<Vec<f64>> = Transition::new(vec![0.0], vec![1.0, 0.0], -2.0, vec![1.0]);
         assert_eq!(t2.action.len(), 2);
     }
 }

@@ -231,8 +231,7 @@ impl AnalyticModel {
                     let share = self.topology.routing_share(ei, d);
                     let md = assignment.machine_of(dst_base + d);
                     if mu != md {
-                        cross_kib[mu] +=
-                            flow * u_share * share * edge.tuple_bytes as f64 / 1024.0;
+                        cross_kib[mu] += flow * u_share * share * edge.tuple_bytes as f64 / 1024.0;
                     }
                 }
             }
@@ -303,18 +302,14 @@ impl AnalyticModel {
             for &ei in self.topology.out_edges_of(c) {
                 let edge = &self.topology.edges()[ei];
                 let branch_prob = edge.selectivity.min(1.0);
-                downstream =
-                    downstream.max(branch_prob * (edge_transfer[ei] + remaining[edge.to]));
+                downstream = downstream.max(branch_prob * (edge_transfer[ei] + remaining[edge.to]));
             }
             remaining[c] = comp_sojourn[c] + downstream;
         }
         let mut total = 0.0;
         let mut total_rate = 0.0;
         for &(c, r) in workload.rates() {
-            debug_assert_eq!(
-                self.topology.components()[c].kind,
-                ComponentKind::Spout
-            );
+            debug_assert_eq!(self.topology.components()[c].kind, ComponentKind::Spout);
             total += r * remaining[c];
             total_rate += r;
         }

@@ -168,11 +168,7 @@ impl Assignment {
     }
 
     /// Checks compatibility with a topology/cluster pair.
-    pub fn validate_for(
-        &self,
-        topology: &Topology,
-        cluster: &ClusterSpec,
-    ) -> Result<(), SimError> {
+    pub fn validate_for(&self, topology: &Topology, cluster: &ClusterSpec) -> Result<(), SimError> {
         if self.n_executors() != topology.n_executors() {
             return Err(SimError::InvalidAssignment(format!(
                 "assignment has {} executors, topology has {}",

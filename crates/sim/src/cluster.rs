@@ -24,7 +24,10 @@ pub struct MachineSpec {
 impl Default for MachineSpec {
     fn default() -> Self {
         // The paper's worker nodes: quad-core Xeon, 10 slots.
-        Self { cores: 4, slots: 10 }
+        Self {
+            cores: 4,
+            slots: 10,
+        }
     }
 }
 
@@ -122,7 +125,9 @@ impl ClusterSpec {
             || n.serialize_ms < 0.0
             || n.deserialize_ms < 0.0
         {
-            return Err(SimError::InvalidCluster("negative network parameter".into()));
+            return Err(SimError::InvalidCluster(
+                "negative network parameter".into(),
+            ));
         }
         Ok(())
     }
@@ -167,7 +172,10 @@ mod tests {
     #[test]
     fn payload_size_matters_remotely_only() {
         let c = ClusterSpec::homogeneous(2);
-        assert_eq!(c.base_transfer_ms(0, 0, 10), c.base_transfer_ms(0, 0, 10_000));
+        assert_eq!(
+            c.base_transfer_ms(0, 0, 10),
+            c.base_transfer_ms(0, 0, 10_000)
+        );
         assert!(c.base_transfer_ms(0, 1, 10_240) > c.base_transfer_ms(0, 1, 1024));
     }
 

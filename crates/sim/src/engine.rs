@@ -206,10 +206,8 @@ impl SimEngine {
             let ex = &mut self.executors[e];
             ex.paused_until = self.clock + self.config.migration_pause_s;
             ex.started_at = self.clock; // warm-up restarts on the new machine
-            self.events.push(
-                ex.paused_until,
-                EventKind::MigrationDone { executor: e },
-            );
+            self.events
+                .push(ex.paused_until, EventKind::MigrationDone { executor: e });
         }
         self.assignment = assignment;
         Ok(())
@@ -311,8 +309,7 @@ impl SimEngine {
         for e in 0..self.topology.n_executors() {
             let comp = &self.topology.components()[self.topology.component_of(e)];
             let rate = self.executors[e].arrived as f64 / elapsed;
-            machine_cpu[self.assignment.machine_of(e)] +=
-                rate * comp.service_mean_ms / 1000.0;
+            machine_cpu[self.assignment.machine_of(e)] += rate * comp.service_mean_ms / 1000.0;
         }
         let now = self.clock;
         let cross: Vec<f64> = self
@@ -444,13 +441,11 @@ impl SimEngine {
         } else {
             0.0
         };
-        let service_ms = (sample_service_time(
-            &mut self.service_rng,
-            comp.service_mean_ms,
-            comp.service_cv,
-        ) + deser)
-            * warmup
-            * slowdown;
+        let service_ms =
+            (sample_service_time(&mut self.service_rng, comp.service_mean_ms, comp.service_cv)
+                + deser)
+                * warmup
+                * slowdown;
         self.executors[executor].in_service = Some((root, machine));
         self.events.push(
             now + service_ms / 1000.0,
@@ -494,8 +489,7 @@ impl SimEngine {
         }
         match self.tracker.complete_one(root, children) {
             AckOutcome::Completed { emitted_at } => {
-                let latency_ms =
-                    (self.clock - emitted_at) * 1000.0 + self.config.ack_overhead_ms;
+                let latency_ms = (self.clock - emitted_at) * 1000.0 + self.config.ack_overhead_ms;
                 self.latency.record(self.clock, latency_ms);
             }
             AckOutcome::Pending | AckOutcome::Unknown => {}
@@ -544,8 +538,7 @@ impl SimEngine {
 
     /// Sends one tuple; returns 1 when it crossed machines, 0 otherwise.
     fn send_tuple(&mut self, src: usize, dst: usize, bytes: usize, root: u64) -> u64 {
-        let is_remote =
-            self.assignment.machine_of(src) != self.assignment.machine_of(dst);
+        let is_remote = self.assignment.machine_of(src) != self.assignment.machine_of(dst);
         let ms = self.transfer_delay_ms(src, dst, bytes);
         self.events.push(
             self.clock + ms / 1000.0,
@@ -567,8 +560,7 @@ impl SimEngine {
         }
         let now = self.clock;
         self.machines[a].note_cross_traffic(now, bytes as f64 / 1024.0);
-        let util =
-            (self.machines[a].cross_rate(now) / self.cluster.network.nic_kib_per_s).min(3.0);
+        let util = (self.machines[a].cross_rate(now) / self.cluster.network.nic_kib_per_s).min(3.0);
         base * (1.0 + self.cluster.network.congestion * util)
     }
 

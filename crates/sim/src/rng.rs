@@ -9,8 +9,8 @@ use rand::{RngExt, SeedableRng};
 /// SplitMix64-style mixing keeps streams decorrelated even for adjacent
 /// labels, so e.g. per-executor arrival processes don't share structure.
 pub fn stream(master_seed: u64, label: u64) -> StdRng {
-    let mut z = master_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(label.wrapping_add(1)));
+    let mut z =
+        master_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(label.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
@@ -245,7 +245,9 @@ mod tests {
     fn lognormal_noise_median_one() {
         let mut rng = stream(8, 0);
         let n = 20_001;
-        let mut v: Vec<f64> = (0..n).map(|_| sample_lognormal_noise(&mut rng, 0.3)).collect();
+        let mut v: Vec<f64> = (0..n)
+            .map(|_| sample_lognormal_noise(&mut rng, 0.3))
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = v[n / 2];
         assert!((median - 1.0).abs() < 0.03, "median {median}");

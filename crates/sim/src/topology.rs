@@ -506,9 +506,7 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-9);
         // Skewed keys mean shares are not uniform.
         let shares: Vec<f64> = (0..5).map(|d| t.routing_share(0, d)).collect();
-        let spread = shares
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        let spread = shares.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
             - shares.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         assert!(spread > 0.01, "{shares:?}");
     }

@@ -152,9 +152,10 @@ mod tests {
             db.append(&rec(i, 0.0)).unwrap();
         }
         let last5 = db.tail(5).unwrap();
-        assert_eq!(last5.iter().map(|r| r.epoch).collect::<Vec<_>>(), vec![
-            15, 16, 17, 18, 19
-        ]);
+        assert_eq!(
+            last5.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![15, 16, 17, 18, 19]
+        );
         assert_eq!(db.tail(100).unwrap().len(), 20);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -162,10 +163,13 @@ mod tests {
     #[test]
     fn compaction_keeps_recent_history() {
         let dir = tmpdir("compact");
-        let db = TransitionDb::open_with(&dir, LogConfig {
-            max_segment_bytes: 256,
-            sync_every_append: false,
-        })
+        let db = TransitionDb::open_with(
+            &dir,
+            LogConfig {
+                max_segment_bytes: 256,
+                sync_every_append: false,
+            },
+        )
         .unwrap();
         for i in 0..100 {
             db.append(&rec(i, 0.0)).unwrap();

@@ -45,7 +45,11 @@ impl fmt::Display for StoreError {
                 path,
                 offset,
                 detail,
-            } => write!(f, "corrupt record in {} at {offset}: {detail}", path.display()),
+            } => write!(
+                f,
+                "corrupt record in {} at {offset}: {detail}",
+                path.display()
+            ),
             StoreError::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds limit"),
             StoreError::BadSegmentName(p) => {
                 write!(f, "unrecognized segment file name: {}", p.display())

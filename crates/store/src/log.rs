@@ -100,9 +100,7 @@ impl Log {
 
     /// Append one payload, rotating first if the active segment is full.
     pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
-        if self.active.len_bytes() >= self.config.max_segment_bytes
-            && self.active.n_records() > 0
-        {
+        if self.active.len_bytes() >= self.config.max_segment_bytes && self.active.n_records() > 0 {
             self.rotate()?;
         }
         self.active.append(payload)?;
@@ -278,7 +276,10 @@ mod tests {
 
     #[test]
     fn segment_names_parse_strictly() {
-        assert_eq!(parse_segment_name(Path::new("segment-00000001.log")), Some(1));
+        assert_eq!(
+            parse_segment_name(Path::new("segment-00000001.log")),
+            Some(1)
+        );
         assert_eq!(parse_segment_name(Path::new("segment-1.log")), None);
         assert_eq!(parse_segment_name(Path::new("segment-abcdefgh.log")), None);
         assert_eq!(parse_segment_name(Path::new("other.log")), None);

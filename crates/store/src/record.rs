@@ -218,6 +218,9 @@ mod tests {
         // Sanity: the offset really is the reward field.
         let mut w = enc;
         w[68..76].copy_from_slice(&(-9.5f64).to_le_bytes());
-        assert_eq!(TransitionRecord::decode(Bytes::from(w)).unwrap().reward, -9.5);
+        assert_eq!(
+            TransitionRecord::decode(Bytes::from(w)).unwrap().reward,
+            -9.5
+        );
     }
 }

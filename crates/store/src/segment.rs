@@ -28,7 +28,11 @@ pub(crate) fn crc32(data: &[u8]) -> u32 {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -172,14 +176,10 @@ fn scan(path: &Path, file: &mut File) -> Result<(u64, u64), StoreError> {
         if off + RECORD_HEADER > data.len() {
             return Ok((off as u64, n)); // partial header: torn tail
         }
-        let len = u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]])
-            as usize;
-        let expected_crc = u32::from_le_bytes([
-            data[off + 4],
-            data[off + 5],
-            data[off + 6],
-            data[off + 7],
-        ]);
+        let len =
+            u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]) as usize;
+        let expected_crc =
+            u32::from_le_bytes([data[off + 4], data[off + 5], data[off + 6], data[off + 7]]);
         if len > MAX_RECORD_LEN {
             // A nonsense length field can only be trusted as a torn tail
             // if nothing follows that could have been a valid record.
@@ -216,8 +216,8 @@ pub struct SegmentReader {
 impl SegmentReader {
     /// Read and validate the whole segment for iteration.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
-        let mut file = File::open(path)
-            .map_err(|e| StoreError::io(format!("open {}", path.display()), e))?;
+        let mut file =
+            File::open(path).map_err(|e| StoreError::io(format!("open {}", path.display()), e))?;
         let (valid_len, _) = scan(path, &mut file)?;
         let mut data = Vec::with_capacity(valid_len as usize);
         file.seek(SeekFrom::Start(0))
@@ -328,7 +328,10 @@ mod tests {
         seg.append(b"after-recovery").unwrap();
         seg.flush().unwrap();
         let records: Vec<Vec<u8>> = SegmentReader::open(&path).unwrap().collect();
-        assert_eq!(records, vec![b"intact".to_vec(), b"after-recovery".to_vec()]);
+        assert_eq!(
+            records,
+            vec![b"intact".to_vec(), b"after-recovery".to_vec()]
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -39,7 +39,11 @@ impl RffSvr {
         // Ω rows ~ N(0, 2γ I): std dev per entry is sqrt(2γ).
         let sd = (2.0 * gamma).sqrt();
         let omega: Vec<Vec<f64>> = (0..n_features)
-            .map(|_| (0..dim).map(|_| sd * sample_standard_normal(&mut rng)).collect())
+            .map(|_| {
+                (0..dim)
+                    .map(|_| sd * sample_standard_normal(&mut rng))
+                    .collect()
+            })
             .collect();
         let beta: Vec<f64> = (0..n_features)
             .map(|_| rng.random_range(0.0..std::f64::consts::TAU))
@@ -110,7 +114,11 @@ mod tests {
         let sd = (2.0 * gamma).sqrt();
         let dim = 3;
         let omega: Vec<Vec<f64>> = (0..d)
-            .map(|_| (0..dim).map(|_| sd * sample_standard_normal(&mut rng)).collect())
+            .map(|_| {
+                (0..dim)
+                    .map(|_| sd * sample_standard_normal(&mut rng))
+                    .collect()
+            })
             .collect();
         let beta: Vec<f64> = (0..d)
             .map(|_| rng.random_range(0.0..std::f64::consts::TAU))

@@ -44,10 +44,10 @@ fn main() {
         session_timeout_ms: 30_000,
     });
     let initial = Assignment::round_robin(&topology, &cluster);
-    let engine = SimEngine::new(topology, cluster, workload.clone(), SimConfig::default())
-        .expect("engine");
-    let mut nimbus = Nimbus::launch(engine, workload, initial, &coord, NimbusConfig::default())
-        .expect("launch");
+    let engine =
+        SimEngine::new(topology, cluster, workload.clone(), SimConfig::default()).expect("engine");
+    let mut nimbus =
+        Nimbus::launch(engine, workload, initial, &coord, NimbusConfig::default()).expect("launch");
     let supervisors = SupervisorSet::register(&coord, 6).expect("supervisors");
     nimbus.attach_supervisors(supervisors);
 

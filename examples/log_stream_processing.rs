@@ -39,8 +39,13 @@ fn main() {
     engine.run_until(300.0);
 
     let (emitted, completed, failed, in_flight) = engine.tuple_counts();
-    println!("\nafter 5 simulated minutes at {} lines/s:", app.workload.total_rate());
-    println!("  trees emitted {emitted}, completed {completed}, failed {failed}, in flight {in_flight}");
+    println!(
+        "\nafter 5 simulated minutes at {} lines/s:",
+        app.workload.total_rate()
+    );
+    println!(
+        "  trees emitted {emitted}, completed {completed}, failed {failed}, in flight {in_flight}"
+    );
     println!(
         "  avg end-to-end tuple processing time: {:.2} ms",
         engine.window_avg_latency_ms().unwrap_or(f64::NAN)
@@ -48,11 +53,7 @@ fn main() {
     let stats = engine.stats();
     println!(
         "  busiest machine demand: {:.2} cores; cross-machine traffic {:.0} KiB/s total",
-        stats
-            .machine_cpu_cores
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max),
+        stats.machine_cpu_cores.iter().cloned().fold(0.0, f64::max),
         stats.machine_cross_kib_s.iter().sum::<f64>()
     );
     println!("\n(figure-quality comparison: cargo run --release -p dss-bench --bin fig8)");

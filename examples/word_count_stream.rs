@@ -42,9 +42,14 @@ fn main() {
     let max = rates.iter().cloned().fold(0.0, f64::max);
     let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
     println!("\ncount-bolt executor input rates after 2 simulated minutes:");
-    println!("  hottest {max:.1} tuples/s, coldest {min:.1} tuples/s (skew x{:.1})", max / min.max(1e-9));
+    println!(
+        "  hottest {max:.1} tuples/s, coldest {min:.1} tuples/s (skew x{:.1})",
+        max / min.max(1e-9)
+    );
     let (emitted, completed, failed, in_flight) = engine.tuple_counts();
-    println!("tuples: emitted {emitted}, completed {completed}, failed {failed}, in flight {in_flight}");
+    println!(
+        "tuples: emitted {emitted}, completed {completed}, failed {failed}, in flight {in_flight}"
+    );
     println!(
         "avg end-to-end tuple processing time: {:.3} ms",
         engine.window_avg_latency_ms().unwrap_or(f64::NAN)

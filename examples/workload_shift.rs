@@ -24,8 +24,12 @@ fn main() {
     for (t, v) in curve.iter() {
         println!("{:.1},{v:.3}", t / 60.0);
     }
-    let before = curve.window_mean(6.0 * 60.0, 10.0 * 60.0).unwrap_or(f64::NAN);
-    let after = curve.window_mean(21.0 * 60.0, 25.0 * 60.0 + 1.0).unwrap_or(f64::NAN);
+    let before = curve
+        .window_mean(6.0 * 60.0, 10.0 * 60.0)
+        .unwrap_or(f64::NAN);
+    let after = curve
+        .window_mean(21.0 * 60.0, 25.0 * 60.0 + 1.0)
+        .unwrap_or(f64::NAN);
     println!("\nstable before shift: {before:.3} ms");
     println!("restabilized after +50% workload and re-scheduling: {after:.3} ms");
 }

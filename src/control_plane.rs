@@ -152,7 +152,12 @@ pub fn run_control_plane(
         session_timeout_ms: config.session_timeout_ms,
     });
     let initial = Assignment::round_robin(&topology, &cluster);
-    let engine = SimEngine::new(topology.clone(), cluster.clone(), workload.clone(), sim_config)?;
+    let engine = SimEngine::new(
+        topology.clone(),
+        cluster.clone(),
+        workload.clone(),
+        sim_config,
+    )?;
     let mut nimbus = Nimbus::launch(
         engine,
         workload.clone(),
@@ -178,17 +183,32 @@ pub fn run_control_plane(
     let db = TransitionDb::open(&db_dir)?;
 
     if config.use_tcp {
-        let (listener, addr) =
-            TcpTransport::listen_localhost().map_err(NimbusError::Proto)?;
+        let (listener, addr) = TcpTransport::listen_localhost().map_err(NimbusError::Proto)?;
         let cluster_thread = spawn_cluster(nimbus, config, move || {
             TcpTransport::accept(&listener).map_err(NimbusError::Proto)
         });
         let transport = TcpTransport::connect(addr).map_err(NimbusError::Proto)?;
-        drive_agent(transport, scheduler, &topology, config, &db, db_dir, cluster_thread)
+        drive_agent(
+            transport,
+            scheduler,
+            &topology,
+            config,
+            &db,
+            db_dir,
+            cluster_thread,
+        )
     } else {
         let (agent_side, cluster_side) = ChannelTransport::pair();
         let cluster_thread = spawn_cluster(nimbus, config, move || Ok(cluster_side));
-        drive_agent(agent_side, scheduler, &topology, config, &db, db_dir, cluster_thread)
+        drive_agent(
+            agent_side,
+            scheduler,
+            &topology,
+            config,
+            &db,
+            db_dir,
+            cluster_thread,
+        )
     }
 }
 
@@ -333,10 +353,7 @@ mod tests {
     }
 
     fn fresh_db_dir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "dss-cp-test-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("dss-cp-test-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&d).ok();
         d
     }

@@ -66,9 +66,10 @@ pub fn dataset_from_db(
     let records = db.scan()?;
     let mut samples = Vec::with_capacity(records.len());
     for (index, rec) in records.into_iter().enumerate() {
-        samples.push(sample_from_record(rec, topology, n_machines, reward).map_err(
-            |detail| OfflineLoadError::ShapeMismatch { index, detail },
-        )?);
+        samples.push(
+            sample_from_record(rec, topology, n_machines, reward)
+                .map_err(|detail| OfflineLoadError::ShapeMismatch { index, detail })?,
+        );
     }
     Ok(OfflineDataset { samples })
 }
@@ -94,8 +95,7 @@ fn sample_from_record(
         ));
     }
     let prev = Assignment::new(rec.machine_of, n_machines).map_err(|e| e.to_string())?;
-    let action =
-        Assignment::new(rec.action_machine_of, n_machines).map_err(|e| e.to_string())?;
+    let action = Assignment::new(rec.action_machine_of, n_machines).map_err(|e| e.to_string())?;
     let rates: Vec<(usize, f64)> = rec
         .source_rates
         .iter()
@@ -190,7 +190,10 @@ mod tests {
         let topology = topo();
         // Wrong machine count.
         let err = dataset_from_db(&db, &topology, 7, RewardScale::default()).unwrap_err();
-        assert!(matches!(err, OfflineLoadError::ShapeMismatch { index: 0, .. }));
+        assert!(matches!(
+            err,
+            OfflineLoadError::ShapeMismatch { index: 0, .. }
+        ));
         // Wrong executor count: a bigger topology.
         let mut b = TopologyBuilder::new("bigger");
         let s = b.spout("s", 4, 0.05);
@@ -208,8 +211,7 @@ mod tests {
         let dir = tmpdir("posr");
         let db = TransitionDb::open(&dir).unwrap();
         db.append(&record(0.5)).unwrap();
-        let err =
-            dataset_from_db(&db, &topo(), 4, RewardScale::default()).unwrap_err();
+        let err = dataset_from_db(&db, &topo(), 4, RewardScale::default()).unwrap_err();
         assert!(matches!(err, OfflineLoadError::ShapeMismatch { .. }));
         std::fs::remove_dir_all(&dir).ok();
     }

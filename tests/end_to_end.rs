@@ -28,8 +28,22 @@ fn actor_critic_beats_default_scheduler_on_des() {
     let default = train_method(Method::Default, &app, &cluster, &cfg);
     let ac = train_method(Method::ActorCritic, &app, &cluster, &cfg);
 
-    let d = stable_ms(&deployment_curve(&app, &cluster, &cfg, &default.solution, 10.0, 30.0));
-    let a = stable_ms(&deployment_curve(&app, &cluster, &cfg, &ac.solution, 10.0, 30.0));
+    let d = stable_ms(&deployment_curve(
+        &app,
+        &cluster,
+        &cfg,
+        &default.solution,
+        10.0,
+        30.0,
+    ));
+    let a = stable_ms(&deployment_curve(
+        &app,
+        &cluster,
+        &cfg,
+        &ac.solution,
+        10.0,
+        30.0,
+    ));
     assert!(
         a < d * 0.9,
         "actor-critic ({a:.3} ms) should beat default ({d:.3} ms) by >10%"
@@ -43,8 +57,22 @@ fn model_based_beats_default_scheduler_on_des() {
     let cfg = cfg();
     let default = train_method(Method::Default, &app, &cluster, &cfg);
     let mb = train_method(Method::ModelBased, &app, &cluster, &cfg);
-    let d = stable_ms(&deployment_curve(&app, &cluster, &cfg, &default.solution, 10.0, 30.0));
-    let m = stable_ms(&deployment_curve(&app, &cluster, &cfg, &mb.solution, 10.0, 30.0));
+    let d = stable_ms(&deployment_curve(
+        &app,
+        &cluster,
+        &cfg,
+        &default.solution,
+        10.0,
+        30.0,
+    ));
+    let m = stable_ms(&deployment_curve(
+        &app,
+        &cluster,
+        &cfg,
+        &mb.solution,
+        10.0,
+        30.0,
+    ));
     assert!(
         m < d,
         "model-based ({m:.3} ms) should beat default ({d:.3} ms)"

@@ -4,11 +4,11 @@
 
 use dsdps_drl::apps::{all_large_scale, continuous_queries, CqScale};
 use dsdps_drl::control::experiment::initial_state;
+use dsdps_drl::control::scheduler::RandomMode;
 use dsdps_drl::control::{
     ActorCriticScheduler, ControlConfig, DqnScheduler, ModelBasedScheduler, RandomScheduler,
     RoundRobinScheduler, Scheduler,
 };
-use dsdps_drl::control::scheduler::RandomMode;
 use dsdps_drl::sim::ClusterSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

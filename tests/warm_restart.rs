@@ -29,17 +29,13 @@ fn setup() -> (dsdps_drl::sim::Topology, ClusterSpec, Workload) {
 #[test]
 fn control_plane_samples_warm_start_a_fresh_agent() {
     let (topology, cluster, workload) = setup();
-    let db_dir = std::env::temp_dir().join(format!(
-        "dss-warm-restart-{}",
-        std::process::id()
-    ));
+    let db_dir = std::env::temp_dir().join(format!("dss-warm-restart-{}", std::process::id()));
     std::fs::remove_dir_all(&db_dir).ok();
 
     // Phase 1: a first agent (round-robin is fine — any policy produces
     // valid samples) runs the distributed control plane; every epoch's
     // sample lands in the database.
-    let mut first_agent =
-        dsdps_drl::control::RoundRobinScheduler::new(&topology, &cluster);
+    let mut first_agent = dsdps_drl::control::RoundRobinScheduler::new(&topology, &cluster);
     let reward = RewardScale::default();
     let report = run_control_plane(
         topology.clone(),
@@ -122,10 +118,7 @@ fn trained_agent_improves_over_the_control_plane() {
             },
         )
         .expect("control plane run");
-        *report
-            .epoch_latency_ms
-            .last()
-            .expect("at least one epoch")
+        *report.epoch_latency_ms.last().expect("at least one epoch")
     };
 
     let mut rr = dsdps_drl::control::RoundRobinScheduler::new(&topology, &cluster);

@@ -1,0 +1,158 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the API the workspace benches use (`benchmark_group`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, the
+//! `criterion_group!` / `criterion_main!` macros) with a simple timer:
+//! after one warm-up batch, each benchmark runs enough iterations to fill
+//! a ~50 ms measurement window (several samples) and reports the median
+//! sample's ns/iter on stdout. No statistics machinery, no reports on
+//! disk — the workspace's perf artifacts come from `dss-bench`'s
+//! `bench_json` binary instead.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(50);
+/// Samples taken within the budget.
+const SAMPLES: usize = 7;
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// stand-in times one routine call per setup call regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark's closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up + calibration: how many iters fit one sample window?
+        let t0 = Instant::now();
+        let mut calib_iters = 0u64;
+        while t0.elapsed() < MEASURE_BUDGET / (SAMPLES as u32 * 2) {
+            std::hint::black_box(routine());
+            calib_iters += 1;
+        }
+        let per_sample = calib_iters.max(1);
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let s = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(s.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup time excluded).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        std::hint::black_box(routine(input)); // warm-up
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let s = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(s.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stand-in's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    println!("bench {label:<60} {:>14.1} ns/iter", b.ns_per_iter);
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

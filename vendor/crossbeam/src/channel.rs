@@ -1,0 +1,188 @@
+//! Multi-producer multi-consumer channels over `std::sync::mpsc`.
+//!
+//! crossbeam's `Receiver` is cloneable (MPMC); std's is not, so the
+//! receiver wraps the std endpoint in an `Arc<Mutex<…>>`. Contention is a
+//! non-issue at the workspace's message rates (coordination watches and
+//! control-plane frames, not data tuples).
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Sender { tx },
+        Receiver {
+            rx: Arc::new(Mutex::new(rx)),
+        },
+    )
+}
+
+/// Sending half (cloneable).
+#[derive(Debug)]
+pub struct Sender<T> {
+    tx: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message; fails only when all receivers are gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.tx
+            .send(value)
+            .map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+/// Receiving half (cloneable; receivers share one queue).
+#[derive(Debug)]
+pub struct Receiver<T> {
+    rx: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Self {
+            rx: Arc::clone(&self.rx),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.rx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .recv()
+            .map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.rx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .try_recv()
+            .map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.rx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+    }
+
+    /// Blocking iterator until all senders disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    /// Non-blocking iterator over currently queued messages.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+}
+
+/// Blocking iterator over received messages.
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Non-blocking iterator over queued messages.
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// All receivers disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// All senders disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Why `try_recv` returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty.
+    Empty,
+    /// All senders disconnected and the queue is drained.
+    Disconnected,
+}
+
+/// Why `recv_timeout` returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// All senders disconnected and the queue is drained.
+    Disconnected,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_visible() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(7).unwrap();
+        assert_eq!(rx2.recv(), Ok(7));
+        assert_eq!(rx1.try_recv(), Err(TryRecvError::Empty));
+    }
+}

@@ -1,0 +1,3 @@
+//! Offline stand-in for `crossbeam`, exposing only [`channel`].
+
+pub mod channel;

@@ -1,0 +1,8 @@
+//! Everything a property-test module needs in scope.
+
+pub use crate as prop;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Arbitrary,
+    ProptestConfig, TestCaseError, TestCaseResult,
+};

@@ -1,0 +1,28 @@
+//! Sampling from fixed sets.
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+use crate::strategy::Strategy;
+
+/// A strategy choosing uniformly from `options`.
+///
+/// # Panics
+/// Panics when `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+/// Output of [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.options[(rng.next_u64() % self.options.len() as u64) as usize].clone()
+    }
+}

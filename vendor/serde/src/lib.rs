@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no serializer is
+//! ever invoked — binary persistence uses the hand-rolled codecs), so the
+//! traits are markers and the derives are no-ops from
+//! [`serde_derive`].
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of serde's `Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of serde's `Deserialize`.
+pub trait Deserialize<'de> {}

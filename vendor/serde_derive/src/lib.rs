@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and stats
+//! types but never feeds them to a serializer (persistence goes through the
+//! hand-rolled binary codecs in `dss-proto` / `dss-store` / `dss-nn`), so
+//! the derives only need to exist, not generate code.
+
+use proc_macro::TokenStream;
+
+/// Accepts the input and emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input and emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
