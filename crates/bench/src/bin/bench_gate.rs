@@ -1,0 +1,129 @@
+//! Bench-regression gate over a `bench_json` artifact.
+//!
+//! Reads the `speedups` section of a `BENCH_nn.json`-format file and fails
+//! (exit 1) when any **serial-baseline** speedup ratio drops below the
+//! threshold — i.e. when an optimized kernel stops beating the
+//! reconstructed "before" implementation it is paired with. Keys with a
+//! `par_` prefix compare multi-thread against serial runs of the *same*
+//! kernel; they depend on how many cores the runner has (a 1-core CI
+//! machine legitimately measures ≈ 1.0 or below), so they are reported
+//! but never gated.
+//!
+//! ```text
+//! bench_gate [PATH] [--min RATIO]
+//!
+//! PATH     bench_json artifact to check (default: BENCH_nn.json)
+//! --min    minimum acceptable serial speedup ratio (default: 1.0)
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut path = "BENCH_nn.json".to_string();
+    let mut min = 1.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min" => {
+                min = args
+                    .next()
+                    .expect("--min needs a value")
+                    .parse()
+                    .expect("--min needs a number");
+            }
+            other if !other.starts_with('-') => path = other.to_string(),
+            other => panic!("unknown flag `{other}`; expected [PATH] [--min RATIO]"),
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let speedups = parse_speedups(&text);
+    if speedups.is_empty() {
+        eprintln!("bench_gate: no speedups section found in {path}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for (name, ratio) in &speedups {
+        let gated = !name.starts_with("par_");
+        let ok = !gated || *ratio >= min;
+        let tag = match (gated, ok) {
+            (false, _) => "ungated",
+            (true, true) => "ok",
+            (true, false) => "FAIL",
+        };
+        println!("{tag:<8} {name:<32} {ratio:>8.3}x");
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!("bench_gate: serial-baseline speedup regressed below {min:.2}x");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: all serial-baseline speedups >= {min:.2}x");
+    ExitCode::SUCCESS
+}
+
+/// Extracts `name -> ratio` entries from the artifact's `"speedups"`
+/// object. The format is the fixed machine-written subset `bench_json`
+/// emits, so line-oriented scanning is enough — no JSON dependency.
+fn parse_speedups(text: &str) -> Vec<(String, f64)> {
+    let Some(start) = text.find("\"speedups\"") else {
+        return Vec::new();
+    };
+    let body = &text[start..];
+    let Some(open) = body.find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = body.find('}') else {
+        return Vec::new();
+    };
+    body[open + 1..close]
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            let (name, value) = line.split_once(':')?;
+            let name = name.trim().trim_matches('"');
+            let value: f64 = value.trim().parse().ok()?;
+            (!name.is_empty()).then(|| (name.to_string(), value))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_speedups;
+
+    #[test]
+    fn parses_the_emitted_format() {
+        let json = r#"{
+  "schema": "dss-bench/nn-v1",
+  "results": [
+    {"name": "x", "ns_per_iter": 1.0}
+  ],
+  "speedups": {
+    "matmul_128x128x128": 2.138,
+    "par_rollout_4x": 0.970
+  }
+}
+"#;
+        let got = parse_speedups(json);
+        assert_eq!(
+            got,
+            vec![
+                ("matmul_128x128x128".to_string(), 2.138),
+                ("par_rollout_4x".to_string(), 0.970),
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_section_is_empty() {
+        assert!(parse_speedups("{}").is_empty());
+    }
+}

@@ -11,19 +11,40 @@
 //! (the production crates keep the naive kernels only as a test oracle).
 //! The headline `speedups` section is computed from those pairs.
 //!
+//! Parallel probes (`*_par`, `rollout_*`) run the same code under a
+//! multi-thread `workpool` pool and pair against the serial-pool run of
+//! the *same* kernel; their speedup keys carry a `par_` prefix, flagging
+//! them as machine-parallelism-dependent — `bench_gate` exempts them from
+//! the regression gate, since a 1-core CI runner cannot show multi-core
+//! wins. Serial probes are pinned to a 1-thread pool so their numbers
+//! stay comparable with earlier committed artifacts regardless of
+//! machine size.
+//!
 //! ```text
 //! bench_json [--quick] [--out PATH]
 //!
 //! --quick    tiny measurement budget (CI smoke; numbers still emitted)
 //! --out      output path (default: BENCH_nn.json)
+//!
+//! DSS_THREADS   parallelism for the parallel probes (also the knob the
+//!               production pool honors); defaults to the machine's
+//!               available parallelism, floored at 2 here so the sharded
+//!               code path is exercised even on 1-core runners
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use dss_core::{ControlConfig, ParallelCollector, SchedState};
 use dss_nn::{mse_loss_grad, Activation, Adam, Matrix, Mlp, Optimizer};
-use dss_rl::{DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, KBestMapper, ReplayBuffer, Transition};
+use dss_rl::{
+    DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, KBestMapper, ReplayBuffer, ShardedReplayBuffer,
+    Transition,
+};
+use dss_sim::{ClusterSpec, Grouping, TopologyBuilder, Workload};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use workpool::{with_pool, Pool};
 
 /// Paper sizes: |B| = 1000 replay, H = 32 minibatch, 64/32 hidden units.
 const REPLAY_B: usize = 1000;
@@ -33,6 +54,19 @@ const BATCH_H: usize = 32;
 const STATE_DIM: usize = 128;
 const N_ACTIONS: usize = 100;
 
+const USAGE: &str = "\
+bench_json [--quick] [--out PATH]
+
+  --quick    tiny measurement budget (CI smoke; numbers still emitted)
+  --out      output path (default: BENCH_nn.json)
+
+Environment:
+  DSS_THREADS   pool size for the parallel probes (and for the production
+                workpool everywhere else); defaults to the machine's
+                available parallelism, floored at 2 here so the sharded
+                code path is always exercised. Serial probes are pinned
+                to a 1-thread pool regardless.";
+
 fn main() {
     let mut quick = false;
     let mut out_path = "BENCH_nn.json".to_string();
@@ -41,10 +75,22 @@ fn main() {
         match flag.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = args.next().expect("--out needs a value"),
-            other => panic!("unknown flag `{other}`; expected --quick/--out"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => panic!("unknown flag `{other}`; expected --quick/--out/--help"),
         }
     }
     let budget_ms = if quick { 3 } else { 60 };
+
+    // Serial probes are pinned to a 1-thread pool (numbers comparable with
+    // PR 1's artifact on any machine); parallel probes run under this one.
+    let serial = Arc::new(Pool::new(1));
+    // Same DSS_THREADS semantics as the production pool, floored at 2 so
+    // the sharded code path is exercised even on 1-core runners.
+    let par_threads = workpool::default_threads().max(2);
+    let par = Arc::new(Pool::new(par_threads));
 
     let mut results: Vec<(String, f64)> = Vec::new();
     let mut record = |name: &str, ns: f64| {
@@ -52,7 +98,8 @@ fn main() {
         results.push((name.to_string(), ns));
     };
 
-    // ---- matmul kernels: blocked vs the seed's naive loops ------------
+    // ---- matmul kernels: blocked vs the seed's naive loops, and the
+    // row-sharded parallel path vs the serial blocked kernel ------------
     // (m, k, n) shapes from the training path: hidden layers at H=32, the
     // CQ-large critic input layer, and a square stress shape.
     for &(m, k, n) in &[(32usize, 64usize, 32usize), (32, 2001, 64), (128, 128, 128)] {
@@ -62,7 +109,15 @@ fn main() {
         let mut out = Matrix::zeros(m, n);
         record(
             &format!("matmul_{m}x{k}x{n}_blocked"),
-            bench_ns(budget_ms, || a.matmul_into(&b, &mut out)),
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || a.matmul_into(&b, &mut out))
+            }),
+        );
+        record(
+            &format!("matmul_{m}x{k}x{n}_par"),
+            with_pool(par.clone(), || {
+                bench_ns(budget_ms, || a.matmul_into(&b, &mut out))
+            }),
         );
         record(
             &format!("matmul_{m}x{k}x{n}_naive"),
@@ -73,7 +128,15 @@ fn main() {
         let bt = Matrix::from_fn(n, k, |r, c| b[(c, r)]);
         record(
             &format!("matmul_t_b_{m}x{k}x{n}_blocked"),
-            bench_ns(budget_ms, || a.matmul_transpose_b_into(&bt, &mut out)),
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || a.matmul_transpose_b_into(&bt, &mut out))
+            }),
+        );
+        record(
+            &format!("matmul_t_b_{m}x{k}x{n}_par"),
+            with_pool(par.clone(), || {
+                bench_ns(budget_ms, || a.matmul_transpose_b_into(&bt, &mut out))
+            }),
         );
         record(
             &format!("matmul_t_b_{m}x{k}x{n}_naive"),
@@ -95,12 +158,26 @@ fn main() {
         let mut opt = Adam::new(1e-3);
         record(
             "mlp_fwd_bwd_h32_scratch",
-            bench_ns(budget_ms, || {
-                let pred = net.forward(&x);
-                let (_, grad) = mse_loss_grad(pred, &y);
-                net.zero_grad();
-                net.backward(&grad);
-                net.apply_gradients(&mut opt);
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || {
+                    let pred = net.forward(&x);
+                    let (_, grad) = mse_loss_grad(pred, &y);
+                    net.zero_grad();
+                    net.backward(&grad);
+                    net.apply_gradients(&mut opt);
+                })
+            }),
+        );
+        record(
+            "mlp_fwd_bwd_h32_par",
+            with_pool(par.clone(), || {
+                bench_ns(budget_ms, || {
+                    let pred = net.forward(&x);
+                    let (_, grad) = mse_loss_grad(pred, &y);
+                    net.zero_grad();
+                    net.backward(&grad);
+                    net.apply_gradients(&mut opt);
+                })
             }),
         );
     }
@@ -137,8 +214,18 @@ fn main() {
         }
         record(
             "dqn_train_step_batched",
-            bench_ns(budget_ms, || {
-                agent.train_step(&mut rng);
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || {
+                    agent.train_step(&mut rng);
+                })
+            }),
+        );
+        record(
+            "dqn_train_step_par",
+            with_pool(par.clone(), || {
+                bench_ns(budget_ms, || {
+                    agent.train_step(&mut rng);
+                })
             }),
         );
     }
@@ -180,8 +267,10 @@ fn main() {
         }
         record(
             "ddpg_train_step_batched",
-            bench_ns(budget_ms, || {
-                agent.train_step(&mut mapper, &mut rng);
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || {
+                    agent.train_step(&mut mapper, &mut rng);
+                })
             }),
         );
     }
@@ -212,8 +301,92 @@ fn main() {
         );
     }
 
+    // ---- sharded replay under writer contention -------------------------
+    // One probe iteration = WRITERS × PUSHES transitions. The serial
+    // baseline pushes the same total into a single ring on one thread; the
+    // sharded probe fans the writers out over the pool (actor i → shard i),
+    // which is the parallel collector's write pattern.
+    {
+        const WRITERS: usize = 4;
+        const PUSHES: usize = 250;
+        let total = (WRITERS * PUSHES) as f64;
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut single: ReplayBuffer<usize> = ReplayBuffer::new(REPLAY_B);
+        let mut seq = 0usize;
+        record(
+            "replay_push_serial_1k",
+            bench_ns(budget_ms, || {
+                for _ in 0..WRITERS * PUSHES {
+                    seq = seq.wrapping_add(1);
+                    single.push(Transition::new(vec![seq as f64], 0, 0.0, vec![0.0]));
+                }
+            }) / total,
+        );
+        let sharded: ShardedReplayBuffer<usize> = ShardedReplayBuffer::new(WRITERS, REPLAY_B / 4);
+        record(
+            "replay_push_sharded_4w_1k",
+            bench_ns(budget_ms, || {
+                // One chunk per writer, self-scheduled over the pool;
+                // chunk index = shard, matching the collector's pattern.
+                par.for_each_chunk(WRITERS * PUSHES, PUSHES, |range| {
+                    let shard = range.start / PUSHES;
+                    for i in range {
+                        sharded.push(shard, Transition::new(vec![i as f64], 0, 0.0, vec![0.0]));
+                    }
+                });
+            }) / total,
+        );
+        let mut idx = Vec::new();
+        record(
+            "replay_sample_sharded_h32",
+            bench_ns(budget_ms, || {
+                sharded.sample_indices_into(BATCH_H, &mut rng, &mut idx);
+                std::hint::black_box(&idx);
+            }),
+        );
+    }
+
+    // ---- end-to-end rollout throughput at 1/2/4/8 actors ----------------
+    // ns per collected transition of the parallel experience-collection
+    // driver (tiny 4-executor topology, analytic environment, frozen
+    // agent): the scaling headline for Rapid-style actor parallelism.
+    {
+        let mut b = TopologyBuilder::new("bench");
+        let spout = b.spout("s", 1, 0.05);
+        let bolt = b.bolt("x", 3, 0.2);
+        b.edge(spout, bolt, Grouping::Shuffle, 1.0, 64);
+        let topology = b.build().expect("valid bench topology");
+        let cluster = ClusterSpec::homogeneous(2);
+        let workload = Workload::uniform(&topology, 100.0);
+        let cfg = ControlConfig::test();
+        let n = topology.n_executors();
+        let m = cluster.n_machines();
+        let agent = DdpgAgent::new(
+            SchedState::feature_dim(n, m, 1),
+            n * m,
+            DdpgConfig {
+                k: 4,
+                hidden: [16, 8],
+                seed: cfg.seed,
+                ..DdpgConfig::default()
+            },
+        );
+        const STEPS: usize = 8;
+        for &actors in &[1usize, 2, 4, 8] {
+            let mut col = ParallelCollector::new(&topology, &cluster, &workload, &cfg, actors, 512);
+            record(
+                &format!("rollout_{actors}actors_per_transition"),
+                with_pool(par.clone(), || {
+                    bench_ns(budget_ms, || {
+                        col.collect_round(&agent, 0.3, STEPS);
+                    })
+                }) / (actors * STEPS) as f64,
+            );
+        }
+    }
+
     // ---- emit -----------------------------------------------------------
-    let json = to_json(&results, quick);
+    let json = to_json(&results, quick, par_threads);
     std::fs::write(&out_path, &json).expect("write BENCH_nn.json");
     println!("# wrote {out_path}");
     for (name, speedup) in speedups(&results) {
@@ -256,7 +429,10 @@ fn bench_ns(budget_ms: u64, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Before/after pairs appearing in the `speedups` section.
+/// Before/after pairs appearing in the `speedups` section. Keys with a
+/// `par_` prefix compare a multi-thread run against the serial run of the
+/// *same* optimized kernel — they measure machine parallelism, not code
+/// quality, so `bench_gate` exempts them from the regression gate.
 const PAIRS: &[(&str, &str, &str)] = &[
     (
         "matmul_32x2001x64",
@@ -283,6 +459,41 @@ const PAIRS: &[(&str, &str, &str)] = &[
         "replay_sample_clone_h32",
         "replay_sample_indices_h32",
     ),
+    (
+        "par_matmul_128x128x128",
+        "matmul_128x128x128_blocked",
+        "matmul_128x128x128_par",
+    ),
+    (
+        "par_matmul_32x2001x64",
+        "matmul_32x2001x64_blocked",
+        "matmul_32x2001x64_par",
+    ),
+    (
+        "par_matmul_t_b_32x2001x64",
+        "matmul_t_b_32x2001x64_blocked",
+        "matmul_t_b_32x2001x64_par",
+    ),
+    (
+        "par_mlp_fwd_bwd",
+        "mlp_fwd_bwd_h32_scratch",
+        "mlp_fwd_bwd_h32_par",
+    ),
+    (
+        "par_dqn_train_step",
+        "dqn_train_step_batched",
+        "dqn_train_step_par",
+    ),
+    (
+        "par_replay_push_4w",
+        "replay_push_serial_1k",
+        "replay_push_sharded_4w_1k",
+    ),
+    (
+        "par_rollout_4x",
+        "rollout_1actors_per_transition",
+        "rollout_4actors_per_transition",
+    ),
 ];
 
 fn speedups(results: &[(String, f64)]) -> Vec<(String, f64)> {
@@ -293,11 +504,11 @@ fn speedups(results: &[(String, f64)]) -> Vec<(String, f64)> {
         .collect()
 }
 
-fn to_json(results: &[(String, f64)], quick: bool) -> String {
+fn to_json(results: &[(String, f64)], quick: bool, par_threads: usize) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"schema\": \"dss-bench/nn-v1\",\n");
     s.push_str(&format!(
-        "  \"config\": {{\"replay_b\": {REPLAY_B}, \"batch_h\": {BATCH_H}, \"state_dim\": {STATE_DIM}, \"n_actions\": {N_ACTIONS}, \"quick\": {quick}}},\n"
+        "  \"config\": {{\"replay_b\": {REPLAY_B}, \"batch_h\": {BATCH_H}, \"state_dim\": {STATE_DIM}, \"n_actions\": {N_ACTIONS}, \"quick\": {quick}, \"par_threads\": {par_threads}}},\n"
     ));
     s.push_str("  \"results\": [\n");
     for (i, (name, ns)) in results.iter().enumerate() {

@@ -29,6 +29,7 @@ pub mod config;
 pub mod controller;
 pub mod env;
 pub mod experiment;
+pub mod parallel;
 pub mod reward;
 pub mod scheduler;
 pub mod state;
@@ -36,6 +37,7 @@ pub mod state;
 pub use config::ControlConfig;
 pub use controller::{Controller, OfflineDataset, RawSample};
 pub use env::{AnalyticEnv, Environment, TransitionStore};
+pub use parallel::{ParallelCollector, RoundPlan};
 pub use reward::RewardScale;
 pub use scheduler::{
     ActorCriticScheduler, DqnScheduler, ModelBasedScheduler, RandomScheduler, RoundRobinScheduler,

@@ -30,15 +30,36 @@ impl CostMatrix {
     /// Panics when `proto.len() != n * m`.
     pub fn from_proto_action(proto: &[f64], n: usize, m: usize) -> Self {
         assert_eq!(proto.len(), n * m, "proto-action size");
-        let mut costs = Vec::with_capacity(n * m);
-        for i in 0..n {
-            let row = &proto[i * m..(i + 1) * m];
+        let mut this = Self::new(n, m, vec![0.0; n * m]);
+        this.set_proto_action(proto);
+        this
+    }
+
+    /// Refills this matrix from a new proto-action of the same shape,
+    /// reusing the cost buffer — the allocation-free path for callers
+    /// (e.g. the K-NN mapper on the DDPG training hot path) that solve
+    /// many proto-actions of one fixed `n × m` shape back to back.
+    ///
+    /// # Panics
+    /// Panics when `proto.len() != n * m` or any entry is not finite
+    /// (an infinite `â_ij` would produce `∞ − ∞ = NaN` costs, silently
+    /// breaking the no-NaN invariant [`CostMatrix::new`] enforces).
+    pub fn set_proto_action(&mut self, proto: &[f64]) {
+        assert_eq!(proto.len(), self.n * self.m, "proto-action size");
+        assert!(
+            proto.iter().all(|v| v.is_finite()),
+            "non-finite proto entry"
+        );
+        for (cost_row, row) in self
+            .costs
+            .chunks_exact_mut(self.m)
+            .zip(proto.chunks_exact(self.m))
+        {
             let sq: f64 = row.iter().map(|v| v * v).sum();
-            for &v in row {
-                costs.push(1.0 - 2.0 * v + sq);
+            for (c, &v) in cost_row.iter_mut().zip(row) {
+                *c = 1.0 - 2.0 * v + sq;
             }
         }
-        Self::new(n, m, costs)
     }
 
     /// Number of threads (rows).
@@ -80,19 +101,27 @@ impl CostMatrix {
     /// For each row, column indices sorted by ascending cost (ties by index,
     /// making enumeration deterministic).
     pub fn sorted_columns(&self) -> Vec<Vec<usize>> {
-        (0..self.n)
-            .map(|i| {
-                let row = self.row(i);
-                let mut idx: Vec<usize> = (0..self.m).collect();
-                idx.sort_by(|&a, &b| {
-                    row[a]
-                        .partial_cmp(&row[b])
-                        .expect("NaN cost")
-                        .then(a.cmp(&b))
-                });
-                idx
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.sorted_columns_into(&mut out);
+        out
+    }
+
+    /// [`CostMatrix::sorted_columns`] into a caller-owned buffer, reusing
+    /// both the outer vector and each row's index vector (the amortized
+    /// companion of [`CostMatrix::set_proto_action`]).
+    pub fn sorted_columns_into(&self, out: &mut Vec<Vec<usize>>) {
+        out.resize_with(self.n, Vec::new);
+        for (i, idx) in out.iter_mut().enumerate() {
+            let row = self.row(i);
+            idx.clear();
+            idx.extend(0..self.m);
+            idx.sort_by(|&a, &b| {
+                row[a]
+                    .partial_cmp(&row[b])
+                    .expect("NaN cost")
+                    .then(a.cmp(&b))
+            });
+        }
     }
 }
 
@@ -139,5 +168,29 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn rejects_nan() {
         let _ = CostMatrix::new(1, 2, vec![0.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite proto entry")]
+    fn rejects_infinite_proto() {
+        let _ = CostMatrix::from_proto_action(&[0.5, f64::INFINITY], 1, 2);
+    }
+
+    #[test]
+    fn set_proto_action_matches_fresh_build() {
+        let first = vec![0.9, 0.1, 0.4, 0.6];
+        let second = vec![0.2, 0.7, 0.5, 0.5];
+        let mut reused = CostMatrix::from_proto_action(&first, 2, 2);
+        reused.set_proto_action(&second);
+        assert_eq!(reused, CostMatrix::from_proto_action(&second, 2, 2));
+    }
+
+    #[test]
+    fn sorted_columns_into_reuses_and_matches() {
+        let c = CostMatrix::new(2, 3, vec![3.0, 1.0, 2.0, 0.5, 2.5, 1.5]);
+        let mut buf = vec![vec![9usize; 8]; 5]; // wrong shape on purpose
+        c.sorted_columns_into(&mut buf);
+        assert_eq!(buf, c.sorted_columns());
+        assert_eq!(buf, vec![vec![1, 2, 0], vec![0, 2, 1]]);
     }
 }

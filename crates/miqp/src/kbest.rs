@@ -57,8 +57,28 @@ impl Ord for Frontier {
 /// # Panics
 /// Panics when `k == 0`.
 pub fn k_best_assignments(costs: &CostMatrix, k: usize) -> Vec<Solution> {
-    assert!(k > 0, "k must be positive");
     let sorted = costs.sorted_columns();
+    k_best_assignments_with(costs, k, &sorted)
+}
+
+/// [`k_best_assignments`] with caller-precomputed sorted column orders
+/// (`sorted[i]` = row `i`'s columns, cost-ascending — what
+/// [`CostMatrix::sorted_columns_into`] produces). Batch callers that solve
+/// many proto-actions of one shape reuse the order buffers across calls.
+///
+/// # Panics
+/// Panics when `k == 0` or `sorted` does not cover every row's columns.
+pub fn k_best_assignments_with(
+    costs: &CostMatrix,
+    k: usize,
+    sorted: &[Vec<usize>],
+) -> Vec<Solution> {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(sorted.len(), costs.n(), "one column order per row");
+    assert!(
+        sorted.iter().all(|idx| idx.len() == costs.m()),
+        "column order width"
+    );
 
     // Partial assignments over the first `i` rows, cost-ascending.
     let mut partials: Vec<Solution> = vec![Solution {

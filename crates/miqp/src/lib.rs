@@ -41,7 +41,7 @@ pub mod relax;
 pub use bnb::solve_capacitated;
 pub use cost::CostMatrix;
 pub use exhaustive::brute_force_k_best;
-pub use kbest::k_best_assignments;
+pub use kbest::{k_best_assignments, k_best_assignments_with};
 pub use relax::{project_row_simplex, relax_and_round};
 
 /// A feasible action: `choice[i]` is the machine index thread `i` is

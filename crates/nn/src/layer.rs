@@ -119,11 +119,13 @@ impl Dense {
         assert_eq!(x.cols(), self.input_size(), "layer input width");
         self.refresh_packed_weights();
         self.scratch.input.copy_from(x);
-        x.matmul_into(&self.w_packed, &mut self.scratch.output);
         let act = self.activation;
-        self.scratch
-            .output
-            .add_row_activate(&self.b, |v| act.apply(v));
+        x.matmul_bias_act_into(
+            &self.w_packed,
+            &self.b,
+            |v| act.apply(v),
+            &mut self.scratch.output,
+        );
         self.scratch.live = true;
         self.scratch.grad_live = false;
         &self.scratch.output
@@ -165,8 +167,9 @@ impl Dense {
     /// through `forward` instead).
     pub fn infer(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.input_size(), "layer input width");
-        let mut z = x.matmul_transpose_b(&self.w);
-        z.add_row_activate(&self.b, |v| self.activation.apply(v));
+        let mut z = Matrix::default();
+        let act = self.activation;
+        x.matmul_transpose_b_bias_act_into(&self.w, &self.b, |v| act.apply(v), &mut z);
         z
     }
 

@@ -34,10 +34,29 @@
 //!   a training loop) the whole GEMM path performs **zero heap
 //!   allocations**.
 //!
+//! * **Row sharding.** The `MR`-row register-tile bands are independent,
+//!   so large products are sharded across the [`workpool`] pool: the
+//!   output (and, for the untransposed kernel, the LHS) splits into
+//!   disjoint contiguous row bands via `split_at_mut`, one scoped task per
+//!   band, each running the unchanged serial kernel. A size heuristic
+//!   ([`PAR_MIN_FLOPS`]) keeps small products on the serial path — at the
+//!   paper's hidden sizes a whole layer forward is cheaper than waking a
+//!   worker — and every worker thread has its *own* thread-local pack
+//!   scratch, so parallel actors running independent products never
+//!   contend. Transposed-RHS packing stays on the calling thread (the
+//!   packed buffer is then shared read-only by the bands).
+//!
+//! * **Fused bias + activation.** [`Matrix::matmul_bias_act_into`] and
+//!   [`Matrix::matmul_transpose_b_bias_act_into`] apply the broadcast bias
+//!   add and the activation inside each band task right after its rows are
+//!   produced — the epilogue runs in parallel and touches the output while
+//!   it is still cache-hot, instead of a separate serial sweep.
+//!
 //! The original naive triple loops survive only as a `#[cfg(test)]`
 //! reference oracle; property tests check the blocked kernels against them
 //! over hundreds of random shapes (including empty and 1×n edge cases) to
-//! a 1e-12 tolerance.
+//! a 1e-12 tolerance, and check the parallel shards against the serial
+//! kernel on both sides of the size cutoff.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -49,6 +68,12 @@ const MR: usize = 4;
 /// 4×16 f64 accumulator block in vector registers across the whole
 /// reduction loop (wider tiles spill and fall off a cliff).
 const TJ: usize = 16;
+
+/// Products below this many multiply-adds (`m·k·n`) stay on the serial
+/// path: the paper's per-layer products at `H = 32` (32·64·32 ≈ 65k) are
+/// cheaper than a pool wake-up, while the square stress shape (128³ ≈ 2M)
+/// and the CQ-large input layer (32·2001·64 ≈ 4M) shard profitably.
+const PAR_MIN_FLOPS: usize = 128 * 1024;
 
 thread_local! {
     /// Pack buffer for transposed operands, reused across calls.
@@ -195,7 +220,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         out.resize(self.rows, other.cols);
-        gemm_stream(
+        gemm_dispatch(
             &self.data,
             self.rows,
             self.cols,
@@ -203,6 +228,41 @@ impl Matrix {
             other.cols,
             &mut out.data,
             false,
+            NO_EPILOGUE,
+        );
+    }
+
+    /// Fused `act(self * other + bias)` into `out` — the layer-forward
+    /// epilogue folded into the GEMM: each row band applies the broadcast
+    /// bias add and the activation right after it is produced (in
+    /// parallel, while the band is cache-hot).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or when
+    /// `bias.len() != other.cols()`.
+    pub fn matmul_bias_act_into(
+        &self,
+        other: &Matrix,
+        bias: &[f64],
+        act: impl Fn(f64) -> f64 + Sync,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dims {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(bias.len(), other.cols, "bias width");
+        out.resize(self.rows, other.cols);
+        gemm_dispatch(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+            false,
+            Some((bias, &act)),
         );
     }
 
@@ -223,21 +283,55 @@ impl Matrix {
     /// # Panics
     /// Panics when column counts differ.
     pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.t_b_kernel(other, out, NO_EPILOGUE);
+    }
+
+    /// Fused `act(self * otherᵀ + bias)` into `out` — like
+    /// [`Matrix::matmul_bias_act_into`] over the packed-RHS product.
+    ///
+    /// # Panics
+    /// Panics when column counts differ or `bias.len() != other.rows()`.
+    pub fn matmul_transpose_b_bias_act_into(
+        &self,
+        other: &Matrix,
+        bias: &[f64],
+        act: impl Fn(f64) -> f64 + Sync,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(bias.len(), other.rows, "bias width");
+        self.t_b_kernel(other, out, Some((bias, &act)));
+    }
+
+    /// Shared core of the `self * otherᵀ` variants: packs `otherᵀ` into
+    /// thread-local scratch on the calling thread, then dispatches with
+    /// the pack shared read-only across row bands.
+    fn t_b_kernel<F: Fn(f64) -> f64 + Sync>(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        epilogue: Epilogue<'_, F>,
+    ) {
         assert_eq!(self.cols, other.cols, "matmul_t_b dims");
         out.resize(self.rows, other.rows);
-        PACK.with(|pack| {
-            let mut pack = pack.borrow_mut();
-            pack_transpose(other, &mut pack);
-            gemm_stream(
-                &self.data,
-                self.rows,
-                self.cols,
-                &pack,
-                other.rows,
-                &mut out.data,
-                false,
-            );
-        });
+        // Move the pack buffer *out* of the thread-local for the duration
+        // of the dispatch: the parallel path's helping caller can pick up
+        // a foreign task that itself packs on this thread (e.g. an actor
+        // rollout running `Dense::infer` while the learner waits on a
+        // sharded product), and holding the RefCell borrow across the
+        // scope would make that re-entry panic.
+        let mut pack = PACK.take();
+        pack_transpose(other, &mut pack);
+        gemm_dispatch(
+            &self.data,
+            self.rows,
+            self.cols,
+            &pack,
+            other.rows,
+            &mut out.data,
+            false,
+            epilogue,
+        );
+        PACK.set(pack);
     }
 
     /// `selfᵀ * other` — (m×k)ᵀ·(m×n) → k×n, freshly allocated.
@@ -278,7 +372,7 @@ impl Matrix {
     /// no packing is needed and accumulation lands straight in `out`.
     fn transpose_a_kernel(&self, other: &Matrix, out: &mut Matrix, accumulate: bool) {
         assert_eq!(self.rows, other.rows, "matmul_t_a dims");
-        gemm_stream_at(
+        gemm_at_dispatch(
             &self.data,
             self.rows,
             self.cols,
@@ -389,6 +483,149 @@ fn transpose_into(src: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
     }
 }
 
+/// Optional fused epilogue: broadcast bias plus element-wise activation,
+/// applied per row band immediately after the band's GEMM. Generic over
+/// the activation so the per-element call stays statically dispatched
+/// (a `dyn Fn` here costs an indirect call per output element — measured
+/// at ~15% on `dqn_train_step`).
+type Epilogue<'a, F> = Option<(&'a [f64], &'a F)>;
+
+/// Marker for the epilogue-free dispatch calls (monomorphizes the
+/// activation parameter to a plain fn pointer that is never called).
+const NO_EPILOGUE: Epilogue<'static, fn(f64) -> f64> = None;
+
+/// Applies the fused epilogue to a band of rows (`band.len() = rows·n`).
+fn apply_epilogue<F: Fn(f64) -> f64 + Sync>(band: &mut [f64], n: usize, bias: &[f64], act: &F) {
+    for row in band.chunks_exact_mut(n) {
+        for (v, &b) in row.iter_mut().zip(bias) {
+            *v = act(*v + b);
+        }
+    }
+}
+
+/// Whether a product of `rows` output rows and `flops = m·k·n`
+/// multiply-adds is worth sharding across `threads` workers.
+fn worth_sharding(threads: usize, rows: usize, flops: usize) -> bool {
+    threads > 1 && rows >= 2 * MR && flops >= PAR_MIN_FLOPS
+}
+
+/// Untransposed-kernel entry point: routes to [`gemm_parallel`] when the
+/// current pool and the product size justify it, else runs the serial
+/// kernel (plus epilogue) inline.
+#[allow(clippy::too_many_arguments)]
+fn gemm_dispatch<F: Fn(f64) -> f64 + Sync>(
+    a: &[f64],
+    m: usize,
+    k: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+    accumulate: bool,
+    epilogue: Epilogue<'_, F>,
+) {
+    let flops = m.saturating_mul(k).saturating_mul(n);
+    workpool::with_current(|pool| {
+        if worth_sharding(pool.threads(), m, flops) {
+            gemm_parallel(pool, a, m, k, b, n, out, accumulate, epilogue);
+        } else {
+            gemm_stream(a, m, k, b, n, out, accumulate);
+            if let Some((bias, act)) = epilogue {
+                apply_epilogue(out, n, bias, act);
+            }
+        }
+    });
+}
+
+/// Row-sharded `out[m×n] (+)= a[m×k] · b[k×n]`: splits `a` and `out` into
+/// disjoint contiguous bands of whole `MR`-row tiles (only the last band
+/// carries tail rows), one scoped task per band, each running the serial
+/// kernel — and, when fused, its epilogue — on its own slice. Safe Rust
+/// throughout: the bands come from `split_at`/`split_at_mut`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_parallel<F: Fn(f64) -> f64 + Sync>(
+    pool: &workpool::Pool,
+    a: &[f64],
+    m: usize,
+    k: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+    accumulate: bool,
+    epilogue: Epilogue<'_, F>,
+) {
+    let bands = pool.threads().min(m.div_ceil(MR)).max(1);
+    let rows_per = m.div_ceil(bands).div_ceil(MR) * MR;
+    pool.scope(|s| {
+        let mut a_rest = a;
+        let mut out_rest = &mut *out;
+        let mut i = 0;
+        while i < m {
+            let take = rows_per.min(m - i);
+            let (a_band, a_tail) = a_rest.split_at(take * k);
+            let (o_band, o_tail) = out_rest.split_at_mut(take * n);
+            a_rest = a_tail;
+            out_rest = o_tail;
+            s.spawn(move || {
+                gemm_stream(a_band, take, k, b, n, o_band, accumulate);
+                if let Some((bias, act)) = epilogue {
+                    apply_epilogue(o_band, n, bias, act);
+                }
+            });
+            i += take;
+        }
+    });
+}
+
+/// Transposed-A entry point: same routing as [`gemm_dispatch`] for
+/// `out[p×n] (+)= aᵀ · b` (output rows are `a`'s columns).
+fn gemm_at_dispatch(
+    a: &[f64],
+    m: usize,
+    p: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+    accumulate: bool,
+) {
+    let flops = m.saturating_mul(p).saturating_mul(n);
+    workpool::with_current(|pool| {
+        if worth_sharding(pool.threads(), p, flops) {
+            gemm_at_parallel(pool, a, m, p, b, n, out, accumulate);
+        } else {
+            gemm_stream_at(a, m, p, b, n, out, accumulate);
+        }
+    });
+}
+
+/// Row-sharded transposed-A product: output rows `q0..q1` correspond to
+/// *columns* of `a`, so only `out` is banded (each task reads all of `a`
+/// and `b`, strided by its column range).
+#[allow(clippy::too_many_arguments)]
+fn gemm_at_parallel(
+    pool: &workpool::Pool,
+    a: &[f64],
+    m: usize,
+    p: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+    accumulate: bool,
+) {
+    let bands = pool.threads().min(p.div_ceil(MR)).max(1);
+    let rows_per = p.div_ceil(bands).div_ceil(MR) * MR;
+    pool.scope(|s| {
+        let mut out_rest = &mut *out;
+        let mut q = 0;
+        while q < p {
+            let take = rows_per.min(p - q);
+            let (o_band, o_tail) = out_rest.split_at_mut(take * n);
+            out_rest = o_tail;
+            s.spawn(move || gemm_stream_at_range(a, m, p, b, n, q, q + take, o_band, accumulate));
+            q += take;
+        }
+    });
+}
+
 /// The blocked accumulation kernel: `out[m×n] (+)= a[m×k] · b[k×n]`, all
 /// row-major. An `MR × TJ` accumulator block lives in vector registers
 /// across the entire reduction loop — each iteration broadcasts four `A`
@@ -481,17 +718,39 @@ fn gemm_stream_at(
     out: &mut [f64],
     accumulate: bool,
 ) {
+    debug_assert_eq!(out.len(), p * n);
+    gemm_stream_at_range(a, m, p, b, n, 0, p, out, accumulate);
+}
+
+/// Column-range form of the transposed-A kernel: computes output rows
+/// `q0..q1` (columns `q0..q1` of `a`) into `out_band`, a `(q1−q0)×n`
+/// slice. This is the unit the parallel path shards on — bands touch
+/// disjoint `out` slices while reading `a` and `b` shared.
+#[allow(clippy::too_many_arguments)]
+fn gemm_stream_at_range(
+    a: &[f64],
+    m: usize,
+    p: usize,
+    b: &[f64],
+    n: usize,
+    q0: usize,
+    q1: usize,
+    out_band: &mut [f64],
+    accumulate: bool,
+) {
     debug_assert_eq!(a.len(), m * p);
     debug_assert_eq!(b.len(), m * n);
-    debug_assert_eq!(out.len(), p * n);
+    debug_assert!(q0 <= q1 && q1 <= p);
+    debug_assert_eq!(out_band.len(), (q1 - q0) * n);
     if !accumulate {
-        out.fill(0.0);
+        out_band.fill(0.0);
     }
-    if m == 0 || n == 0 || p == 0 {
+    if m == 0 || n == 0 || q0 == q1 {
         return;
     }
-    let mut q = 0;
-    while q + MR <= p {
+    let row = |q: usize| (q - q0) * n;
+    let mut q = q0;
+    while q + MR <= q1 {
         let mut jt = 0;
         while jt + TJ <= n {
             let mut acc = [[0.0f64; TJ]; MR];
@@ -505,7 +764,7 @@ fn gemm_stream_at(
                 }
             }
             for (r, acc_row) in acc.iter().enumerate() {
-                let o = &mut out[(q + r) * n + jt..(q + r) * n + jt + TJ];
+                let o = &mut out_band[row(q + r) + jt..row(q + r) + jt + TJ];
                 for (ov, &av) in o.iter_mut().zip(acc_row) {
                     *ov += av;
                 }
@@ -522,14 +781,14 @@ fn gemm_stream_at(
                 }
             }
             for (r, &av) in acc.iter().enumerate() {
-                out[(q + r) * n + jt] += av;
+                out_band[row(q + r) + jt] += av;
             }
             jt += 1;
         }
         q += MR;
     }
-    while q < p {
-        let o = &mut out[q * n..(q + 1) * n];
+    while q < q1 {
+        let o = &mut out_band[row(q)..row(q) + n];
         for l in 0..m {
             let av = a[l * p + q];
             let b_row = &b[l * n..(l + 1) * n];
@@ -817,6 +1076,161 @@ mod property_tests {
             let a = random_matrix(m, k, 11);
             let b = random_matrix(k, n, 12);
             assert_close(&a.matmul(&b), &reference::matmul(&a, &b))?;
+        }
+    }
+}
+
+/// Parallel ≡ serial: the sharded paths must reproduce the serial kernels
+/// bit-for-bit-close (1e-12) on both sides of the size heuristic — via the
+/// public dispatch under a forced multi-thread pool (shapes spanning the
+/// cutoff), and via the band splitter directly on shapes *below* the
+/// cutoff, which the heuristic would never shard on its own.
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use std::sync::{Arc, OnceLock};
+
+    fn pool() -> Arc<workpool::Pool> {
+        static POOL: OnceLock<Arc<workpool::Pool>> = OnceLock::new();
+        Arc::clone(POOL.get_or_init(|| Arc::new(workpool::Pool::new(4))))
+    }
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.random_range(-2.0..2.0))
+    }
+
+    fn assert_close(got: &[f64], want: &[f64]) -> Result<(), TestCaseError> {
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            prop_assert!(
+                (g - w).abs() <= 1e-12,
+                "parallel/serial mismatch: {g} vs {w}"
+            );
+        }
+        Ok(())
+    }
+
+    /// The size heuristic must shard the bench shapes and keep the
+    /// paper's per-layer products serial — a regression here would
+    /// silently turn the "parallel" path into always-serial (or shard
+    /// products too small to profit) without failing any equality test.
+    #[test]
+    fn heuristic_shards_large_and_keeps_small_serial() {
+        assert!(worth_sharding(4, 128, 128 * 128 * 128));
+        assert!(worth_sharding(2, 32, 32 * 2001 * 64));
+        assert!(!worth_sharding(4, 32, 32 * 64 * 32), "paper layer shape");
+        assert!(!worth_sharding(1, 128, 128 * 128 * 128), "serial pool");
+        assert!(!worth_sharding(4, 4, 4 * 4096 * 4096), "too few rows");
+    }
+
+    /// Regression: a sharded `x · Wᵀ` product's helping caller may pop a
+    /// foreign task that itself packs on this thread (actor rollouts
+    /// running small forwards while the learner waits on its bands).
+    /// Packing scratch must therefore not stay borrowed across the scope.
+    #[test]
+    fn helping_caller_can_reenter_packing_kernel() {
+        let p = pool();
+        let big_a = random_matrix(96, 64, 1);
+        let big_b = random_matrix(96, 64, 2); // 96·64·96 ≈ 590k ≥ cutoff
+        let small_a = random_matrix(8, 8, 3);
+        let small_b = random_matrix(8, 8, 4);
+        let want_big = big_a.matmul_transpose_b(&big_b);
+        let want_small = small_a.matmul_transpose_b(&small_b);
+        std::thread::scope(|ts| {
+            for _ in 0..2 {
+                let p = Arc::clone(&p);
+                let (sa, sb, ws) = (&small_a, &small_b, &want_small);
+                ts.spawn(move || {
+                    p.scope(|s| {
+                        for _ in 0..200 {
+                            s.spawn(move || {
+                                assert_eq!(&sa.matmul_transpose_b(sb), ws);
+                            });
+                        }
+                    });
+                });
+            }
+            workpool::with_pool(Arc::clone(&p), || {
+                let mut out = Matrix::default();
+                for _ in 0..100 {
+                    big_a.matmul_transpose_b_into(&big_b, &mut out);
+                }
+                assert_eq!(out, want_big);
+            });
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(60))]
+
+        /// Public dispatch under a 4-thread pool: shapes from tiny
+        /// (serial path) to ~90³ (well past the cutoff).
+        #[test]
+        fn dispatch_parallel_matches_serial((m, k, n, seed) in (0usize..90, 0usize..90, 0usize..90, 0u64..1 << 32)) {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed ^ 0x11);
+            let bt = random_matrix(n, k, seed ^ 0x22);
+            let c = random_matrix(m, n, seed ^ 0x33);
+            let (mut par, mut par_tb, mut par_ta) = (Matrix::default(), Matrix::default(), Matrix::default());
+            workpool::with_pool(pool(), || {
+                a.matmul_into(&b, &mut par);
+                a.matmul_transpose_b_into(&bt, &mut par_tb);
+                a.matmul_transpose_a_into(&c, &mut par_ta);
+            });
+            let serial = workpool::with_pool(Arc::new(workpool::Pool::new(1)), || {
+                (a.matmul(&b), a.matmul_transpose_b(&bt), a.matmul_transpose_a(&c))
+            });
+            assert_close(par.data(), serial.0.data())?;
+            assert_close(par_tb.data(), serial.1.data())?;
+            assert_close(par_ta.data(), serial.2.data())?;
+        }
+
+        /// Band splitter forced on sub-cutoff shapes (the heuristic would
+        /// keep all of these serial), both overwrite and accumulate.
+        #[test]
+        fn forced_sharding_matches_serial_below_cutoff((m, k, n, seed) in (0usize..24, 0usize..24, 0usize..24, 0u64..1 << 32)) {
+            let p = pool();
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed ^ 0x44);
+            let mut par = vec![0.0; m * n];
+            let mut ser = vec![0.0; m * n];
+            gemm_parallel(&p, a.data(), m, k, b.data(), n, &mut par, false, NO_EPILOGUE);
+            gemm_stream(a.data(), m, k, b.data(), n, &mut ser, false);
+            assert_close(&par, &ser)?;
+
+            // Transposed-A, accumulating into a non-zero output.
+            let c = random_matrix(m, n, seed ^ 0x55);
+            let init = random_matrix(k, n, seed ^ 0x66);
+            let mut par_at = init.data().to_vec();
+            let mut ser_at = init.data().to_vec();
+            gemm_at_parallel(&p, a.data(), m, k, c.data(), n, &mut par_at, true);
+            gemm_stream_at(a.data(), m, k, c.data(), n, &mut ser_at, true);
+            assert_close(&par_at, &ser_at)?;
+        }
+
+        /// Fused bias+activation epilogue ≡ separate GEMM + sweep, on both
+        /// the plain and the packed-RHS product, under the parallel pool.
+        #[test]
+        fn fused_epilogue_matches_two_pass((m, k, n, seed) in (1usize..70, 1usize..70, 1usize..70, 0u64..1 << 32)) {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed ^ 0x77);
+            let bt = random_matrix(n, k, seed ^ 0x88);
+            let bias: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let (mut fused, mut fused_tb) = (Matrix::default(), Matrix::default());
+            workpool::with_pool(pool(), || {
+                a.matmul_bias_act_into(&b, &bias, f64::tanh, &mut fused);
+                a.matmul_transpose_b_bias_act_into(&bt, &bias, f64::tanh, &mut fused_tb);
+            });
+            let mut two_pass = a.matmul(&b);
+            two_pass.add_row_activate(&bias, f64::tanh);
+            let mut two_pass_tb = a.matmul_transpose_b(&bt);
+            two_pass_tb.add_row_activate(&bias, f64::tanh);
+            assert_close(fused.data(), two_pass.data())?;
+            assert_close(fused_tb.data(), two_pass_tb.data())?;
         }
     }
 }

@@ -23,7 +23,7 @@ use dss_nn::{Activation, Adam, Matrix, Mlp};
 
 use crate::explore::perturb_proto;
 use crate::mapper::{ActionMapper, CandidateAction};
-use crate::replay::ReplayBuffer;
+use crate::replay::{ReplayBuffer, ShardSlot, ShardedReplayBuffer};
 use crate::transition::Transition;
 
 /// Hyperparameters (defaults are the paper's where it states them).
@@ -68,21 +68,24 @@ impl Default for DdpgConfig {
 }
 
 /// Persistent minibatch workspace; resized in place every step so
-/// steady-state training avoids reallocation (the mapper's candidate
-/// vectors are the one data-dependent exception).
+/// steady-state training avoids reallocation.
 #[derive(Debug, Default)]
 struct TrainScratch {
-    /// Sampled replay slot indices.
+    /// Sampled replay slot indices (own ring buffer).
     idx: Vec<usize>,
+    /// Sampled `(shard, slot)` addresses (external sharded replay).
+    shard_idx: Vec<ShardSlot>,
     /// Minibatch states (H × state_dim).
     states: Matrix,
     /// Minibatch next-states (H × state_dim).
     next_states: Matrix,
+    /// Minibatch rewards (so the update core never re-reads the replay).
+    rewards: Vec<f64>,
+    /// Per-row K-NN candidate sets, buffers reused across steps.
+    cands: Vec<Vec<CandidateAction>>,
     /// All candidate `[next_state ‖ onehot]` rows across the batch
     /// (Σ candidates × (state_dim + action_dim)).
     cand_rows: Matrix,
-    /// Candidate count per batch row (prefix bookkeeping for the max).
-    cand_counts: Vec<usize>,
     /// TD targets y_i.
     targets: Vec<f64>,
     /// Critic training input `[state ‖ action]` (H × (state+action)).
@@ -238,8 +241,9 @@ impl DdpgAgent {
         self.replay.push(t);
     }
 
-    /// One training step (Algorithm 1, lines 14–18). Returns the critic
-    /// loss, or `None` when the replay buffer is still empty.
+    /// One training step (Algorithm 1, lines 14–18) over the agent's own
+    /// replay buffer. Returns the critic loss, or `None` when the replay
+    /// buffer is still empty.
     pub fn train_step(&mut self, mapper: &mut dyn ActionMapper, rng: &mut StdRng) -> Option<f64> {
         if self.replay.is_empty() {
             return None;
@@ -254,6 +258,7 @@ impl DdpgAgent {
         scratch.states.resize(h, self.state_dim);
         scratch.next_states.resize(h, self.state_dim);
         scratch.critic_in.resize(h, in_dim);
+        scratch.rewards.clear();
         for (r, &slot) in scratch.idx.iter().enumerate() {
             let t = self.replay.get(slot);
             scratch.states.row_mut(r).copy_from_slice(&t.state);
@@ -264,20 +269,71 @@ impl DdpgAgent {
             let row = scratch.critic_in.row_mut(r);
             row[..self.state_dim].copy_from_slice(&t.state);
             row[self.state_dim..].copy_from_slice(&t.action);
+            scratch.rewards.push(t.reward);
         }
+        Some(self.train_on_minibatch(mapper))
+    }
+
+    /// One training step sampling from an external [`ShardedReplayBuffer`]
+    /// — the learner side of parallel-actor collection: N actors push into
+    /// their shards while this consumes uniform cross-shard minibatches.
+    /// Returns `None` while the sharded buffer is empty.
+    pub fn train_step_from(
+        &mut self,
+        replay: &ShardedReplayBuffer<Vec<f64>>,
+        mapper: &mut dyn ActionMapper,
+        rng: &mut StdRng,
+    ) -> Option<f64> {
+        let scratch = &mut self.scratch;
+        replay.sample_indices_into(self.config.batch, rng, &mut scratch.shard_idx);
+        let h = scratch.shard_idx.len();
+        if h == 0 {
+            return None;
+        }
+        let in_dim = self.state_dim + self.action_dim;
+        scratch.states.resize(h, self.state_dim);
+        scratch.next_states.resize(h, self.state_dim);
+        scratch.critic_in.resize(h, in_dim);
+        scratch.rewards.clear();
+        for (r, &slot) in scratch.shard_idx.iter().enumerate() {
+            replay.with(slot, |t| {
+                assert_eq!(t.state.len(), self.state_dim, "state width");
+                assert_eq!(t.action.len(), self.action_dim, "action width");
+                scratch.states.row_mut(r).copy_from_slice(&t.state);
+                scratch
+                    .next_states
+                    .row_mut(r)
+                    .copy_from_slice(&t.next_state);
+                let row = scratch.critic_in.row_mut(r);
+                row[..self.state_dim].copy_from_slice(&t.state);
+                row[self.state_dim..].copy_from_slice(&t.action);
+                scratch.rewards.push(t.reward);
+            });
+        }
+        Some(self.train_on_minibatch(mapper))
+    }
+
+    /// The shared update core: consumes the assembled minibatch
+    /// (`states`, `next_states`, `critic_in`, `rewards` in scratch) and
+    /// runs Algorithm 1's critic/actor/target updates. Returns the critic
+    /// loss.
+    fn train_on_minibatch(&mut self, mapper: &mut dyn ActionMapper) -> f64 {
+        let scratch = &mut self.scratch;
+        let h = scratch.states.rows();
+        let in_dim = self.state_dim + self.action_dim;
 
         // Targets (line 15): proto-actions for all H next-states in one
-        // batched target-actor forward; then every row's K-NN candidates
-        // are stacked into one matrix and scored by a single batched
-        // target-critic forward — H·K Q-values per call instead of per
-        // sample.
+        // batched target-actor forward; their K-NN candidate sets from
+        // one batched mapper query over the proto matrix (cost-matrix
+        // setup amortized across the batch through mapper state,
+        // candidate buffers reused); then every candidate stacked into
+        // one matrix and scored by a single batched target-critic
+        // forward — H·K Q-values per call instead of per sample.
         let protos_next = self.target_actor.forward(&scratch.next_states);
-        scratch.cand_counts.clear();
+        mapper.nearest_batch_into(protos_next, self.config.k, &mut scratch.cands);
         let mut total = 0usize;
         scratch.cand_rows.resize(0, in_dim);
-        for r in 0..h {
-            let candidates = mapper.nearest(protos_next.row(r), self.config.k);
-            scratch.cand_counts.push(candidates.len());
+        for (r, candidates) in scratch.cands.iter().enumerate() {
             scratch.cand_rows.resize(total + candidates.len(), in_dim);
             for (c, cand) in candidates.iter().enumerate() {
                 let row = scratch.cand_rows.row_mut(total + c);
@@ -290,13 +346,14 @@ impl DdpgAgent {
         scratch.targets.clear();
         let mut offset = 0;
         for r in 0..h {
-            let n_cand = scratch.cand_counts[r];
+            let n_cand = scratch.cands[r].len();
             let best = (offset..offset + n_cand)
                 .map(|i| cand_q[(i, 0)])
                 .fold(f64::NEG_INFINITY, f64::max);
             offset += n_cand;
-            let reward = self.replay.get(scratch.idx[r]).reward;
-            scratch.targets.push(reward + self.config.gamma * best);
+            scratch
+                .targets
+                .push(scratch.rewards[r] + self.config.gamma * best);
         }
 
         // Critic update (line 16): MSE against the TD targets, with loss
@@ -344,7 +401,7 @@ impl DdpgAgent {
         self.target_actor
             .soft_update_from(&self.actor, self.config.tau);
         self.train_steps += 1;
-        Some(loss)
+        loss
     }
 
     /// Offline pre-training (Algorithm 1, line 4): trains on the full
@@ -519,6 +576,38 @@ mod tests {
             last < first * 0.5,
             "critic loss should shrink: {first} -> {last}"
         );
+    }
+
+    #[test]
+    fn train_step_from_sharded_replay_learns_fixed_target() {
+        use crate::replay::ShardedReplayBuffer;
+        let mut agent = DdpgAgent::new(2, 4, toy_config());
+        let mut mapper = KBestMapper::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let replay: ShardedReplayBuffer<Vec<f64>> = ShardedReplayBuffer::new(2, 64);
+        assert_eq!(agent.train_step_from(&replay, &mut mapper, &mut rng), None);
+        for i in 0..40 {
+            replay.push(
+                i % 2,
+                Transition::new(
+                    vec![0.5, 0.5],
+                    vec![1.0, 0.0, 1.0, 0.0],
+                    -2.0,
+                    vec![0.5, 0.5],
+                ),
+            );
+        }
+        let first = agent
+            .train_step_from(&replay, &mut mapper, &mut rng)
+            .unwrap();
+        let mut last = first;
+        for _ in 0..400 {
+            last = agent
+                .train_step_from(&replay, &mut mapper, &mut rng)
+                .unwrap();
+        }
+        assert!(last < first * 0.5, "loss should shrink: {first} -> {last}");
+        assert_eq!(agent.train_steps(), 401);
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub use dqn::{DqnAgent, DqnConfig};
 pub use explore::{EpsilonSchedule, OuNoise};
 pub use mapper::{ActionMapper, CandidateAction, KBestMapper, RelaxMapper};
 pub use priority::{PrioritizedReplay, PrioritizedSample, PriorityConfig, SumTree};
-pub use replay::ReplayBuffer;
+pub use replay::{ReplayBuffer, ShardSlot, ShardedReplayBuffer};
 pub use transition::Transition;

@@ -8,7 +8,8 @@
 
 use rand::rngs::StdRng;
 
-use dss_miqp::{k_best_assignments, relax_and_round, CostMatrix};
+use dss_miqp::{k_best_assignments_with, relax_and_round, CostMatrix, Solution};
+use dss_nn::Matrix;
 
 /// A feasible action candidate.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,27 +23,100 @@ pub struct CandidateAction {
 }
 
 /// Maps a proto-action to its K nearest feasible actions.
+///
+/// The required method is the buffer-reusing [`ActionMapper::nearest_into`];
+/// allocating and batched forms are provided on top of it. Implementations
+/// with per-shape setup (cost matrices, sorted column orders) keep it as
+/// mapper state so back-to-back queries — in particular the `H` per-batch
+/// queries of `DdpgAgent::train_step` via
+/// [`ActionMapper::nearest_batch_into`] — amortize it instead of
+/// rebuilding per transition.
 pub trait ActionMapper {
-    /// Returns up to `k` candidates, cheapest (nearest) first.
-    fn nearest(&mut self, proto: &[f64], k: usize) -> Vec<CandidateAction>;
+    /// Writes up to `k` candidates, cheapest (nearest) first, into `out`,
+    /// reusing its existing `CandidateAction` allocations (the one-hot and
+    /// choice buffers) where possible.
+    fn nearest_into(&mut self, proto: &[f64], k: usize, out: &mut Vec<CandidateAction>);
 
     /// Problem shape `(n_threads, n_machines)`.
     fn shape(&self) -> (usize, usize);
-}
 
-fn to_onehot(choice: &[usize], m: usize) -> Vec<f64> {
-    let mut x = vec![0.0; choice.len() * m];
-    for (i, &j) in choice.iter().enumerate() {
-        x[i * m + j] = 1.0;
+    /// Returns up to `k` candidates, cheapest first (allocating form).
+    fn nearest(&mut self, proto: &[f64], k: usize) -> Vec<CandidateAction> {
+        let mut out = Vec::new();
+        self.nearest_into(proto, k, &mut out);
+        out
     }
-    x
+
+    /// Batched K-NN: candidate sets for every row of a proto-action batch
+    /// (one proto per matrix row — exactly what a batched actor forward
+    /// produces), into reused per-row buffers. Taking the `Matrix`
+    /// directly keeps the DDPG hot path allocation-free (a slice-of-rows
+    /// signature would force callers to build a `Vec<&[f64]>` per step).
+    /// The default is the straightforward per-row loop — correct for any
+    /// mapper — which already amortizes whatever per-shape state
+    /// `nearest_into` keeps across the whole batch.
+    fn nearest_batch_into(
+        &mut self,
+        protos: &Matrix,
+        k: usize,
+        out: &mut Vec<Vec<CandidateAction>>,
+    ) {
+        out.resize_with(protos.rows(), Vec::new);
+        for (r, row) in out.iter_mut().enumerate() {
+            self.nearest_into(protos.row(r), k, row);
+        }
+    }
+
+    /// Batched K-NN, allocating form.
+    fn nearest_batch(&mut self, protos: &Matrix, k: usize) -> Vec<Vec<CandidateAction>> {
+        let mut out = Vec::new();
+        self.nearest_batch_into(protos, k, &mut out);
+        out
+    }
 }
 
-/// Exact K-NN via the k-best enumeration in `dss-miqp`.
+/// Writes the one-hot encoding of `choice` into `out` (cleared and
+/// zero-filled in place — no allocation once capacity suffices).
+fn write_onehot(choice: &[usize], m: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(choice.len() * m, 0.0);
+    for (i, &j) in choice.iter().enumerate() {
+        out[i * m + j] = 1.0;
+    }
+}
+
+/// Rewrites `out` from solver solutions, reusing each slot's one-hot
+/// buffer (the `K` per-transition `Vec<f64>` allocations this replaces
+/// were the mapper's share of the DDPG hot-path allocation profile).
+fn fill_candidates(sols: Vec<Solution>, m: usize, out: &mut Vec<CandidateAction>) {
+    out.truncate(sols.len());
+    for (i, s) in sols.into_iter().enumerate() {
+        if let Some(slot) = out.get_mut(i) {
+            write_onehot(&s.choice, m, &mut slot.onehot);
+            slot.cost = s.cost;
+            slot.choice = s.choice;
+        } else {
+            let mut onehot = Vec::new();
+            write_onehot(&s.choice, m, &mut onehot);
+            out.push(CandidateAction {
+                onehot,
+                cost: s.cost,
+                choice: s.choice,
+            });
+        }
+    }
+}
+
+/// Exact K-NN via the k-best enumeration in `dss-miqp`, with the cost
+/// matrix and per-row sorted column orders kept as reusable state.
 #[derive(Debug, Clone)]
 pub struct KBestMapper {
     n: usize,
     m: usize,
+    /// Reused MIQP-NN cost matrix (refilled per query in place).
+    costs: CostMatrix,
+    /// Reused per-row column orders for the enumeration.
+    sorted: Vec<Vec<usize>>,
 }
 
 impl KBestMapper {
@@ -52,21 +126,21 @@ impl KBestMapper {
     /// Panics on a degenerate shape.
     pub fn new(n: usize, m: usize) -> Self {
         assert!(n > 0 && m > 0, "degenerate action space");
-        Self { n, m }
+        Self {
+            n,
+            m,
+            costs: CostMatrix::new(n, m, vec![0.0; n * m]),
+            sorted: Vec::new(),
+        }
     }
 }
 
 impl ActionMapper for KBestMapper {
-    fn nearest(&mut self, proto: &[f64], k: usize) -> Vec<CandidateAction> {
-        let costs = CostMatrix::from_proto_action(proto, self.n, self.m);
-        k_best_assignments(&costs, k)
-            .into_iter()
-            .map(|s| CandidateAction {
-                onehot: to_onehot(&s.choice, self.m),
-                cost: s.cost,
-                choice: s.choice,
-            })
-            .collect()
+    fn nearest_into(&mut self, proto: &[f64], k: usize, out: &mut Vec<CandidateAction>) {
+        self.costs.set_proto_action(proto);
+        self.costs.sorted_columns_into(&mut self.sorted);
+        let sols = k_best_assignments_with(&self.costs, k, &self.sorted);
+        fill_candidates(sols, self.m, out);
     }
 
     fn shape(&self) -> (usize, usize) {
@@ -96,15 +170,9 @@ impl RelaxMapper {
 }
 
 impl ActionMapper for RelaxMapper {
-    fn nearest(&mut self, proto: &[f64], k: usize) -> Vec<CandidateAction> {
-        relax_and_round(proto, self.n, self.m, k, &mut self.rng)
-            .into_iter()
-            .map(|s| CandidateAction {
-                onehot: to_onehot(&s.choice, self.m),
-                cost: s.cost,
-                choice: s.choice,
-            })
-            .collect()
+    fn nearest_into(&mut self, proto: &[f64], k: usize, out: &mut Vec<CandidateAction>) {
+        let sols = relax_and_round(proto, self.n, self.m, k, &mut self.rng);
+        fill_candidates(sols, self.m, out);
     }
 
     fn shape(&self) -> (usize, usize) {
@@ -142,6 +210,40 @@ mod tests {
         let c = mapper.nearest(&proto, 3);
         assert!(!c.is_empty());
         assert_eq!(c[0].choice, vec![1, 2]);
+    }
+
+    #[test]
+    fn nearest_into_reuses_buffers_and_matches_nearest() {
+        let mut mapper = KBestMapper::new(3, 2);
+        let proto_a = vec![0.9, 0.1, 0.4, 0.6, 0.5, 0.5];
+        let proto_b = vec![0.1, 0.9, 0.7, 0.3, 0.2, 0.8];
+        let mut out = Vec::new();
+        mapper.nearest_into(&proto_a, 4, &mut out);
+        let onehot_ptrs: Vec<*const f64> = out.iter().map(|c| c.onehot.as_ptr()).collect();
+        mapper.nearest_into(&proto_b, 4, &mut out);
+        // Same answer as a fresh mapper's allocating path...
+        assert_eq!(out, KBestMapper::new(3, 2).nearest(&proto_b, 4));
+        // ...through the same one-hot allocations.
+        for (cand, ptr) in out.iter().zip(&onehot_ptrs) {
+            assert_eq!(cand.onehot.as_ptr(), *ptr, "one-hot buffer reallocated");
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_call_for_both_mappers() {
+        let protos = Matrix::from_fn(5, 6, |r, c| ((r * 6 + c) * 7 % 13) as f64 / 13.0);
+        let batch = KBestMapper::new(3, 2).nearest_batch(&protos, 3);
+        assert_eq!(batch.len(), 5);
+        for (r, row) in batch.iter().enumerate() {
+            assert_eq!(row, &KBestMapper::new(3, 2).nearest(protos.row(r), 3));
+        }
+        // RelaxMapper's rounding consumes RNG stream, so per-call parity
+        // needs identically seeded mappers.
+        let batch = RelaxMapper::new(3, 2, StdRng::seed_from_u64(5)).nearest_batch(&protos, 3);
+        let mut fresh = RelaxMapper::new(3, 2, StdRng::seed_from_u64(5));
+        for (r, row) in batch.iter().enumerate() {
+            assert_eq!(row, &fresh.nearest(protos.row(r), 3));
+        }
     }
 
     #[test]

@@ -10,11 +10,26 @@
 //! and the sampling path hands out *slot indices* so the training loop can
 //! read transitions by reference while assembling its minibatch — zero
 //! transition clones per step.
+//!
+//! [`ShardedReplayBuffer`] scales the same ring to N parallel actors
+//! feeding one learner (Rapid-style): one mutex-striped ring per actor
+//! shard, so concurrent pushes contend only within a shard (never across
+//! actors writing their own shards), and uniform cross-shard index
+//! sampling on the learner side.
 
+use std::cell::RefCell;
+
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
 use crate::transition::Transition;
+
+thread_local! {
+    /// Per-shard length snapshot reused across sampling calls, keeping
+    /// the learner's minibatch sampling allocation-free.
+    static SHARD_LENS: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Bounded uniform-replay ring buffer.
 #[derive(Debug, Clone)]
@@ -103,6 +118,114 @@ impl<A: Clone> ReplayBuffer<A> {
     pub fn iter(&self) -> impl Iterator<Item = &Transition<A>> {
         let (older, newer) = self.buf.split_at(self.head);
         newer.iter().chain(older)
+    }
+}
+
+/// A slot address in a [`ShardedReplayBuffer`]: `(shard, ring slot)`.
+pub type ShardSlot = (u32, u32);
+
+/// Mutex-striped sharded replay: one bounded FIFO ring per actor shard.
+///
+/// Writers push through `&self` (each actor to its own shard, so the
+/// common case is an uncontended lock); the learner samples uniformly over
+/// *all* stored transitions by weighting shards by their current lengths
+/// and reads minibatch rows in place via [`ShardedReplayBuffer::with`].
+/// Sampled slot addresses stay valid across concurrent pushes: a ring's
+/// length never shrinks and its slots are overwritten, never removed (a
+/// racing push can at worst make a sampled slot refer to a *newer*
+/// transition, which is indistinguishable from having sampled later).
+#[derive(Debug)]
+pub struct ShardedReplayBuffer<A> {
+    shards: Vec<Mutex<ReplayBuffer<A>>>,
+    shard_capacity: usize,
+}
+
+impl<A: Clone> ShardedReplayBuffer<A> {
+    /// `n_shards` rings of `shard_capacity` transitions each.
+    ///
+    /// # Panics
+    /// Panics when `n_shards == 0` or `shard_capacity == 0`.
+    pub fn new(n_shards: usize, shard_capacity: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        Self {
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(ReplayBuffer::new(shard_capacity)))
+                .collect(),
+            shard_capacity,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard ring capacity.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Total capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shard_capacity
+    }
+
+    /// Total stored transitions (snapshot; other threads may be pushing).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Stored transitions in one shard.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard % self.shards.len()].lock().len()
+    }
+
+    /// Stores `t` in `shard` (wrapped modulo the shard count), evicting
+    /// that ring's oldest transition when full.
+    pub fn push(&self, shard: usize, t: Transition<A>) {
+        self.shards[shard % self.shards.len()].lock().push(t);
+    }
+
+    /// Uniformly samples `h` slot addresses with replacement over all
+    /// stored transitions — shards weighted by length, slots uniform
+    /// within a shard — into `out` (cleared first). No-op when empty.
+    pub fn sample_indices_into(&self, h: usize, rng: &mut StdRng, out: &mut Vec<ShardSlot>) {
+        out.clear();
+        SHARD_LENS.with(|lens| {
+            let mut lens = lens.borrow_mut();
+            lens.clear();
+            lens.extend(self.shards.iter().map(|s| s.lock().len()));
+            let total: usize = lens.iter().sum();
+            if total == 0 {
+                return;
+            }
+            out.extend((0..h).map(|_| {
+                let mut r = rng.random_range(0..total);
+                let shard = lens
+                    .iter()
+                    .position(|&len| {
+                        if r < len {
+                            true
+                        } else {
+                            r -= len;
+                            false
+                        }
+                    })
+                    .expect("r < total");
+                (shard as u32, r as u32)
+            }));
+        });
+    }
+
+    /// Reads the transition at `slot` in place (the shard stays locked for
+    /// the duration of `f` — keep it short: copy the rows you need out).
+    pub fn with<R>(&self, (shard, slot): ShardSlot, f: impl FnOnce(&Transition<A>) -> R) -> R {
+        f(self.shards[shard as usize].lock().get(slot as usize))
     }
 }
 
@@ -229,5 +352,134 @@ mod tests {
         }
         // Every sampled slot dereferences to a live transition.
         assert!(idx.iter().all(|&i| b.get(i).reward >= 6.0));
+    }
+
+    #[test]
+    fn sharded_concurrent_pushes_lose_and_duplicate_nothing() {
+        // 4 writer tasks × 500 pushes of globally unique ids into their
+        // own shards, through the workpool the production collector uses.
+        // Capacity is ample, so every id must be present exactly once.
+        const WRITERS: usize = 4;
+        const PER_WRITER: usize = 500;
+        let buf: ShardedReplayBuffer<usize> = ShardedReplayBuffer::new(WRITERS, PER_WRITER);
+        let pool = workpool::Pool::new(WRITERS);
+        pool.scope(|s| {
+            let buf = &buf;
+            for w in 0..WRITERS {
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        buf.push(w, t((w * PER_WRITER + i) as f64));
+                    }
+                });
+            }
+        });
+        assert_eq!(buf.len(), WRITERS * PER_WRITER);
+        let mut seen = std::collections::HashSet::new();
+        for shard in 0..WRITERS {
+            assert_eq!(buf.shard_len(shard), PER_WRITER);
+            for slot in 0..PER_WRITER {
+                let id = buf.with((shard as u32, slot as u32), |t| t.reward as usize);
+                assert!(seen.insert(id), "duplicated transition {id}");
+            }
+        }
+        assert_eq!(seen.len(), WRITERS * PER_WRITER, "lost transitions");
+    }
+
+    #[test]
+    fn sharded_concurrent_sampling_while_pushing_stays_valid() {
+        // Readers sample while writers push: every address handed out must
+        // dereference without panicking (slots never disappear).
+        let buf: ShardedReplayBuffer<usize> = ShardedReplayBuffer::new(2, 64);
+        buf.push(0, t(0.0));
+        buf.push(1, t(1.0));
+        let pool = workpool::Pool::new(4);
+        pool.scope(|s| {
+            let buf = &buf;
+            for w in 0..2usize {
+                s.spawn(move || {
+                    for i in 0..2000 {
+                        buf.push(w, t(i as f64));
+                    }
+                });
+            }
+            for r in 0..2u64 {
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(r);
+                    let mut idx = Vec::new();
+                    for _ in 0..200 {
+                        buf.sample_indices_into(16, &mut rng, &mut idx);
+                        for &slot in &idx {
+                            buf.with(slot, |t| assert!(t.reward >= 0.0));
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sharded_sampling_is_uniform_within_and_across_shards() {
+        // 3 shards with unequal fill (8 / 16 / 32): cross-shard sampling
+        // must weight shards by length, and a χ² test per shard must not
+        // reject within-shard uniformity.
+        let buf: ShardedReplayBuffer<usize> = ShardedReplayBuffer::new(3, 32);
+        let fills = [8usize, 16, 32];
+        for (shard, &fill) in fills.iter().enumerate() {
+            for i in 0..fill {
+                buf.push(shard, t(i as f64));
+            }
+        }
+        let total: usize = fills.iter().sum();
+        let draws = 56_000usize;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut idx = Vec::new();
+        buf.sample_indices_into(draws, &mut rng, &mut idx);
+        assert_eq!(idx.len(), draws);
+
+        let mut shard_counts = [0usize; 3];
+        let mut slot_counts = vec![vec![0usize; 32]; 3];
+        for &(shard, slot) in &idx {
+            shard_counts[shard as usize] += 1;
+            slot_counts[shard as usize][slot as usize] += 1;
+        }
+        // Across shards: proportional to fill within 3 σ.
+        for (shard, &fill) in fills.iter().enumerate() {
+            let p = fill as f64 / total as f64;
+            let expect = draws as f64 * p;
+            let sigma = (draws as f64 * p * (1.0 - p)).sqrt();
+            let dev = (shard_counts[shard] as f64 - expect).abs();
+            assert!(dev < 3.0 * sigma, "shard {shard}: {shard_counts:?}");
+        }
+        // Within each shard: Pearson χ² against uniform. 99.9th-percentile
+        // critical values for df = fill − 1.
+        let chi_crit = [24.32, 37.70, 61.10];
+        for (shard, &fill) in fills.iter().enumerate() {
+            let expect = shard_counts[shard] as f64 / fill as f64;
+            let chi2: f64 = slot_counts[shard][..fill]
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - expect;
+                    d * d / expect
+                })
+                .sum();
+            assert!(
+                chi2 < chi_crit[shard],
+                "shard {shard} χ² = {chi2:.1} (crit {})",
+                chi_crit[shard]
+            );
+            // And no slot above the fill is ever produced.
+            assert!(slot_counts[shard][fill..].iter().all(|&c| c == 0));
+        }
+    }
+
+    #[test]
+    fn sharded_empty_sample_is_noop() {
+        let buf: ShardedReplayBuffer<usize> = ShardedReplayBuffer::new(2, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut idx = vec![(7u32, 7u32)];
+        buf.sample_indices_into(5, &mut rng, &mut idx);
+        assert!(idx.is_empty(), "stale indices must be cleared");
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), 8);
     }
 }

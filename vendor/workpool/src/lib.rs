@@ -1,0 +1,528 @@
+//! A minimal work-stealing scoped thread pool — the workspace's offline
+//! stand-in for rayon.
+//!
+//! # Why this exists instead of rayon
+//!
+//! The build environment has no network access, so crates.io dependencies
+//! are out; everything external is vendored as a minimal stand-in (see
+//! `vendor/`). The training hot path only needs two parallel shapes —
+//! *fork-join over borrowed data* (shard a GEMM's independent row blocks)
+//! and *self-scheduled chunk loops* (uneven per-item work) — so this crate
+//! implements exactly those on top of `std::sync`, in a few hundred lines:
+//!
+//! * [`Pool::scope`] — rayon-alike fork-join: spawn closures that borrow
+//!   from the caller's stack; the call returns only after every spawned
+//!   task has finished, which is what makes the borrows sound. The caller
+//!   *helps*: while waiting it pops and runs queued tasks itself, so a
+//!   `Pool::new(1)` scope degenerates to plain inline execution and never
+//!   deadlocks.
+//! * **Work stealing** — each worker owns a deque; spawns are distributed
+//!   round-robin, workers pop their own deque LIFO (cache-warm) and steal
+//!   FIFO from others when empty. Deques are mutex-striped rather than
+//!   lock-free: tasks here are coarse (a band of GEMM rows, an actor
+//!   rollout), so queue operations are nowhere near the contention point.
+//! * [`Pool::for_each_chunk`] — a parallel index loop with atomic
+//!   self-scheduling: workers grab the next chunk as they finish, which
+//!   load-balances uneven chunks without rayon's splitter machinery.
+//!
+//! # Pool selection and the `DSS_THREADS` knob
+//!
+//! Kernels call [`with_current`], which resolves, in order: the serial
+//! pool when already running *inside* a pool task (no nested parallelism —
+//! a worker that re-entered `scope` could deadlock the pool and would
+//! oversubscribe the machine); a [`with_pool`] override on this thread
+//! (how benches pin serial-vs-parallel comparisons); else the process-wide
+//! [`global`] pool, sized by the `DSS_THREADS` environment variable when
+//! set (clamped to ≥ 1) or `std::thread::available_parallelism`.
+//!
+//! # Panics
+//!
+//! A panicking task does not poison the pool: the panic is caught, the
+//! scope still waits for every sibling task, and the first payload is
+//! re-thrown from `scope` on the caller's thread.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A queued task. Lifetimes are erased on the way in ([`Scope::spawn`]);
+/// soundness comes from `scope` not returning until the count of spawned
+/// tasks reaches zero.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Set while this thread is executing a pool task (worker or helping
+    /// caller); makes [`with_current`] resolve to the serial pool so
+    /// nested kernels run inline instead of re-entering the pool.
+    static IN_TASK: Cell<bool> = const { Cell::new(false) };
+    /// Thread-local [`with_pool`] override stack.
+    static OVERRIDE: RefCell<Vec<Arc<Pool>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// One deque per parallelism slot (workers plus the helping caller).
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Total queued jobs across all deques (sleep/wake bookkeeping).
+    queued: AtomicUsize,
+    /// Guards the sleep decision so a push-then-notify cannot slip between
+    /// a worker's empty-queue check and its wait.
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn push(&self, slot: usize, job: Job) {
+        let n = self.queues.len();
+        self.queues[slot % n].lock().unwrap().push_back(job);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        let _g = self.sleep_lock.lock().unwrap();
+        self.wake.notify_one();
+    }
+
+    /// Pops from `home`'s deque LIFO, else steals FIFO from the others.
+    fn try_pop(&self, home: usize) -> Option<Job> {
+        let n = self.queues.len();
+        if let Some(job) = self.queues[home % n].lock().unwrap().pop_back() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        for i in 1..n {
+            if let Some(job) = self.queues[(home + i) % n].lock().unwrap().pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// Runs one job with the in-task marker set (restoring the previous value,
+/// so a helping caller that was already in a task stays marked).
+fn run_job(job: Job) {
+    IN_TASK.with(|flag| {
+        let prev = flag.replace(true);
+        job();
+        flag.set(prev);
+    });
+}
+
+/// A fixed-size work-stealing thread pool. `Pool::new(n)` provides
+/// parallelism degree `n`: `n - 1` background workers plus the calling
+/// thread, which participates while blocked in [`Pool::scope`].
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Round-robin spawn distribution cursor.
+    spawn_cursor: AtomicUsize,
+}
+
+impl Pool {
+    /// A pool of parallelism degree `threads` (≥ 1). `Pool::new(1)` spawns
+    /// no workers; every task runs inline on the caller during `scope`.
+    ///
+    /// # Panics
+    /// Panics when `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads - 1)
+            .map(|home| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("workpool-{home}"))
+                    .spawn(move || worker_loop(&shared, home))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            threads,
+            spawn_cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// The pool's parallelism degree (workers + helping caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Fork-join over borrowed data: `f` spawns tasks via [`Scope::spawn`];
+    /// the call returns (or re-throws a task panic) only after every
+    /// spawned task has completed. The caller executes queued tasks while
+    /// it waits.
+    pub fn scope<'s, R>(&'s self, f: impl FnOnce(&Scope<'s>) -> R) -> R {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: AtomicUsize::new(0),
+                lock: Mutex::new(()),
+                done: Condvar::new(),
+                panic: Mutex::new(None),
+            }),
+            _invariant: PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        self.help_until_done(&scope.state);
+        let task_panic = scope.state.panic.lock().unwrap().take();
+        match result {
+            // A panic in the scope body itself outranks task panics (it is
+            // the earlier, causal failure) — but tasks were still waited on.
+            Err(body_panic) => panic::resume_unwind(body_panic),
+            Ok(r) => match task_panic {
+                Some(p) => panic::resume_unwind(p),
+                None => r,
+            },
+        }
+    }
+
+    /// Self-scheduled parallel loop over `0..len`: `f` receives disjoint
+    /// index ranges of at most `chunk` elements, claimed atomically by
+    /// whichever thread frees up first. Runs inline when the pool is
+    /// serial or one chunk covers the range.
+    pub fn for_each_chunk(&self, len: usize, chunk: usize, f: impl Fn(Range<usize>) + Sync) {
+        let chunk = chunk.max(1);
+        if self.threads == 1 || len <= chunk {
+            if len > 0 {
+                f(0..len);
+            }
+            return;
+        }
+        let n_chunks = len.div_ceil(chunk);
+        let next = AtomicUsize::new(0);
+        let (next, f) = (&next, &f);
+        self.scope(|s| {
+            for _ in 0..self.threads.min(n_chunks) {
+                s.spawn(move || loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    let start = c * chunk;
+                    if start >= len {
+                        break;
+                    }
+                    f(start..(start + chunk).min(len));
+                });
+            }
+        });
+    }
+
+    /// Runs this scope's remaining tasks (and any other queued work — the
+    /// helping caller is just another worker) until the scope's count hits
+    /// zero, then sleeps on the scope condvar for in-flight stragglers.
+    fn help_until_done(&self, state: &ScopeState) {
+        let helper_slot = self.threads - 1;
+        while state.pending.load(Ordering::SeqCst) > 0 {
+            if let Some(job) = self.shared.try_pop(helper_slot) {
+                run_job(job);
+                continue;
+            }
+            let guard = state.lock.lock().unwrap();
+            if state.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            // All of this scope's tasks are running on workers (nothing is
+            // queued and, with no spawns after the scope body, nothing new
+            // can appear); the last one to finish notifies `done`.
+            drop(state.done.wait(guard).unwrap());
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self.shared.sleep_lock.lock().unwrap();
+            self.shared.wake.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, home: usize) {
+    loop {
+        if let Some(job) = shared.try_pop(home) {
+            run_job(job);
+            continue;
+        }
+        let guard = shared.sleep_lock.lock().unwrap();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if shared.queued.load(Ordering::SeqCst) > 0 {
+            continue; // work appeared between the pop attempt and the lock
+        }
+        drop(shared.wake.wait(guard).unwrap());
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Per-`scope` completion accounting shared by its tasks.
+struct ScopeState {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    done: Condvar,
+    /// First task panic, re-thrown by `scope`.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Spawn handle passed to the closure of [`Pool::scope`]. Tasks may borrow
+/// anything that outlives the `scope` call; they must not capture the
+/// `Scope` itself (tasks do not spawn — the completion wait relies on the
+/// task count being final once the scope body returns).
+pub struct Scope<'s> {
+    pool: &'s Pool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'s` so the borrow the tasks hold cannot be shrunk.
+    _invariant: PhantomData<fn(&'s ()) -> &'s ()>,
+}
+
+impl<'s> Scope<'s> {
+    /// Queues `f` for execution on the pool. Panics in `f` are caught and
+    /// re-thrown by the enclosing [`Pool::scope`] after all tasks finish.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 's) {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 's> = Box::new(move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _g = state.lock.lock().unwrap();
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: only the lifetime is erased. `Pool::scope` does not
+        // return before `pending` reaches zero, i.e. before this closure
+        // (and the borrows it captures, all outliving `'s`) has run to
+        // completion; the invariant `'s` ties those borrows to frames
+        // still on the caller's stack at that point.
+        let task: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 's>, Box<dyn FnOnce() + Send + 'static>>(
+                task,
+            )
+        };
+        let slot = self.pool.spawn_cursor.fetch_add(1, Ordering::Relaxed);
+        self.pool.shared.push(slot, task);
+    }
+}
+
+/// Parallelism degree requested via `DSS_THREADS` (clamped to ≥ 1; an
+/// unparseable value falls back to 1), else the machine's available
+/// parallelism. Public so tools that build their own pools (benches)
+/// honor the exact same knob as [`global`] instead of re-parsing it.
+pub fn default_threads() -> usize {
+    match std::env::var("DSS_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// The process-wide pool, created on first use with [`default_threads`].
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::new(default_threads()))
+}
+
+/// A degree-1 pool: `scope` runs everything inline on the caller.
+pub fn serial() -> &'static Pool {
+    static SERIAL: OnceLock<Pool> = OnceLock::new();
+    SERIAL.get_or_init(|| Pool::new(1))
+}
+
+/// Resolves the pool the current context should use (see the module docs
+/// for the precedence) and passes it to `f`. This is the entry point the
+/// GEMM kernels use, so overriding the pool via [`with_pool`] retargets
+/// every kernel dispatched from the closure's thread.
+pub fn with_current<R>(f: impl FnOnce(&Pool) -> R) -> R {
+    if IN_TASK.with(Cell::get) {
+        return f(serial());
+    }
+    let overridden = OVERRIDE.with(|stack| stack.borrow().last().cloned());
+    match overridden {
+        Some(pool) => f(&pool),
+        None => f(global()),
+    }
+}
+
+/// Runs `f` with `pool` as this thread's [`with_current`] pool (stacked;
+/// restored on exit, including on panic).
+pub fn with_pool<R>(pool: Arc<Pool>, f: impl FnOnce() -> R) -> R {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    OVERRIDE.with(|stack| stack.borrow_mut().push(pool));
+    let _restore = Restore;
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_all_tasks_and_borrows_stack_data() {
+        let pool = Pool::new(4);
+        let mut results = vec![0usize; 64];
+        pool.scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * i);
+            }
+        });
+        for (i, &v) in results.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = Pool::new(2);
+        let sum = pool.scope(|s| {
+            s.spawn(|| {});
+            41 + 1
+        });
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn for_each_chunk_covers_range_exactly_once() {
+        let pool = Pool::new(3);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.for_each_chunk(1000, 17, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn for_each_chunk_empty_and_tiny() {
+        let pool = Pool::new(2);
+        pool.for_each_chunk(0, 8, |_| panic!("no chunks for an empty range"));
+        let count = AtomicU64::new(0);
+        pool.for_each_chunk(3, 8, |r| {
+            count.fetch_add(r.len() as u64, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_siblings_finish() {
+        let pool = Pool::new(2);
+        let finished = Arc::new(AtomicU64::new(0));
+        let fin = Arc::clone(&finished);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task failure"));
+                for _ in 0..8 {
+                    let fin = Arc::clone(&fin);
+                    s.spawn(move || {
+                        fin.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        assert_eq!(finished.load(Ordering::SeqCst), 8, "siblings still ran");
+        // Pool is not poisoned.
+        let ok = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_kernels_resolve_to_serial_inside_tasks() {
+        let pool = Pool::new(3);
+        let all_serial = AtomicBool::new(true);
+        pool.scope(|s| {
+            for _ in 0..6 {
+                s.spawn(|| {
+                    with_current(|inner| {
+                        if inner.threads() != 1 {
+                            all_serial.store(false, Ordering::SeqCst);
+                        }
+                    });
+                });
+            }
+        });
+        assert!(all_serial.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn with_pool_overrides_current_and_restores() {
+        let four = Arc::new(Pool::new(4));
+        let seen = with_pool(Arc::clone(&four), || with_current(|p| p.threads()));
+        assert_eq!(seen, 4);
+        // After the override is popped, current is the global again.
+        with_current(|p| assert_eq!(p.threads(), global().threads()));
+    }
+
+    #[test]
+    fn many_concurrent_scopes_from_many_threads() {
+        let pool = Arc::new(Pool::new(4));
+        let total = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|ts| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                ts.spawn(move || {
+                    for _ in 0..20 {
+                        pool.scope(|s| {
+                            for _ in 0..8 {
+                                let total = Arc::clone(&total);
+                                s.spawn(move || {
+                                    total.fetch_add(1, Ordering::SeqCst);
+                                });
+                            }
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 20 * 8);
+    }
+}
