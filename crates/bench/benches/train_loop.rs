@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use dss_nn::{mse_loss_grad, Activation, Adam, Matrix, Mlp};
-use dss_rl::{DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, KBestMapper, ReplayBuffer, Transition};
+use dss_rl::{
+    DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, Elem, KBestMapper, ReplayBuffer, Transition,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -20,8 +22,8 @@ const STATE_DIM: usize = 128;
 const N_ACTIONS: usize = 100;
 
 fn random_transition(rng: &mut StdRng) -> Transition<usize> {
-    let state: Vec<f64> = (0..STATE_DIM).map(|_| rng.random_range(0.0..1.0)).collect();
-    let next: Vec<f64> = (0..STATE_DIM).map(|_| rng.random_range(0.0..1.0)).collect();
+    let state: Vec<Elem> = (0..STATE_DIM).map(|_| rng.random_range(0.0..1.0)).collect();
+    let next: Vec<Elem> = (0..STATE_DIM).map(|_| rng.random_range(0.0..1.0)).collect();
     Transition::new(
         state,
         rng.random_range(0..N_ACTIONS),

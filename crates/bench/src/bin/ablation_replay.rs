@@ -24,7 +24,7 @@ use rand::{RngExt, SeedableRng};
 fn buffer_microbench() -> (f64, f64) {
     let mut rng = StdRng::seed_from_u64(7);
     // 1000 samples; 5% carry a large TD error (rare but informative).
-    let transitions: Vec<Transition<usize>> = (0..1000)
+    let transitions: Vec<Transition<usize, f64>> = (0..1000)
         .map(|i| {
             let rare = i % 20 == 0;
             let reward = if rare { 10.0 } else { 0.1 };
@@ -59,6 +59,8 @@ fn buffer_microbench() -> (f64, f64) {
     for (i, t) in transitions.iter().enumerate() {
         pri.update_priority(i, t.reward);
     }
+    // (The synthetic task stays on the f64 instantiation — the discipline
+    // comparison is precision-independent bookkeeping.)
     let mut pri_hits = 0usize;
     let mut pri_total = 0usize;
     for _ in 0..100 {

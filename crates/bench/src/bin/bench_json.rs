@@ -20,6 +20,15 @@
 //! stay comparable with earlier committed artifacts regardless of
 //! machine size.
 //!
+//! Precision pairs: the production stack trains in `Elem` (f32) since the
+//! generic-scalar refactor; every core probe also runs an explicit `f64`
+//! instantiation of the *same* code (`*_f64*` probes), and the
+//! `f32_over_f64_*` speedup keys record the single-precision win on the
+//! serial-pinned pairs. These are serial-gated by `bench_gate` (≥ 1.0×),
+//! so the f32 default can never silently regress below double precision.
+//! The dispatched GEMM microkernel (`avx2_fma` / `scalar` — see
+//! `DSS_NO_SIMD`) is recorded in `config.microkernel`.
+//!
 //! ```text
 //! bench_json [--quick] [--out PATH]
 //!
@@ -36,10 +45,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dss_core::{ControlConfig, ParallelCollector, SchedState};
-use dss_nn::{mse_loss_grad, Activation, Adam, Matrix, Mlp, Optimizer};
+use dss_nn::{
+    microkernel_name, mse_loss_grad, Activation, Adam, Elem, Matrix, Mlp, Optimizer, Scalar,
+};
 use dss_rl::{
-    DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, KBestMapper, ReplayBuffer, ShardedReplayBuffer,
-    Transition,
+    ActScratch, DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, KBestMapper, ReplayBuffer,
+    ShardedReplayBuffer, Transition,
 };
 use dss_sim::{ClusterSpec, Grouping, TopologyBuilder, Workload};
 use rand::rngs::StdRng;
@@ -98,15 +109,16 @@ fn main() {
         results.push((name.to_string(), ns));
     };
 
-    // ---- matmul kernels: blocked vs the seed's naive loops, and the
-    // row-sharded parallel path vs the serial blocked kernel ------------
+    // ---- matmul kernels: blocked (Elem = f32) vs the seed's naive
+    // loops, the row-sharded parallel path vs the serial blocked kernel,
+    // and the f64 instantiation of the same blocked kernel -------------
     // (m, k, n) shapes from the training path: hidden layers at H=32, the
     // CQ-large critic input layer, and a square stress shape.
     for &(m, k, n) in &[(32usize, 64usize, 32usize), (32, 2001, 64), (128, 128, 128)] {
         let mut rng = StdRng::seed_from_u64(1);
-        let a = Matrix::from_fn(m, k, |_, _| rng.random_range(-1.0..1.0));
-        let b = Matrix::from_fn(k, n, |_, _| rng.random_range(-1.0..1.0));
-        let mut out = Matrix::zeros(m, n);
+        let a: Matrix = Matrix::from_fn(m, k, |_, _| rng.random_range(-1.0..1.0));
+        let b: Matrix = Matrix::from_fn(k, n, |_, _| rng.random_range(-1.0..1.0));
+        let mut out = Matrix::default();
         record(
             &format!("matmul_{m}x{k}x{n}_blocked"),
             with_pool(serial.clone(), || {
@@ -125,7 +137,7 @@ fn main() {
                 std::hint::black_box(reference::matmul(&a, &b));
             }),
         );
-        let bt = Matrix::from_fn(n, k, |r, c| b[(c, r)]);
+        let bt: Matrix = Matrix::from_fn(n, k, |r, c| b[(c, r)]);
         record(
             &format!("matmul_t_b_{m}x{k}x{n}_blocked"),
             with_pool(serial.clone(), || {
@@ -144,44 +156,47 @@ fn main() {
                 std::hint::black_box(reference::matmul_transpose_b(&a, &bt));
             }),
         );
+        // Same blocked kernel, f64 elements — the denominator of the
+        // `f32_over_f64_matmul_*` precision pairs (serial-pinned).
+        let a64: Matrix<f64> = Matrix::from_fn(m, k, |r, c| a[(r, c)] as f64);
+        let b64: Matrix<f64> = Matrix::from_fn(k, n, |r, c| b[(r, c)] as f64);
+        let mut out64 = Matrix::default();
+        record(
+            &format!("matmul_{m}x{k}x{n}_f64_blocked"),
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || a64.matmul_into(&b64, &mut out64))
+            }),
+        );
+        let bt64: Matrix<f64> = Matrix::from_fn(n, k, |r, c| bt[(r, c)] as f64);
+        record(
+            &format!("matmul_t_b_{m}x{k}x{n}_f64_blocked"),
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || a64.matmul_transpose_b_into(&bt64, &mut out64))
+            }),
+        );
     }
 
     // ---- MLP forward+backward at the paper's critic shape -------------
-    // state ‖ action input → 64/32 tanh → scalar Q, batch H = 32.
-    let sizes = [STATE_DIM + N_ACTIONS, 64, 32, 1];
-    let acts = [Activation::Tanh, Activation::Tanh, Activation::Identity];
-    let mut rng = StdRng::seed_from_u64(2);
-    let x = Matrix::from_fn(BATCH_H, sizes[0], |_, _| rng.random_range(-1.0..1.0));
-    let y = Matrix::from_fn(BATCH_H, 1, |_, _| rng.random_range(-1.0..0.0));
+    // state ‖ action input → 64/32 tanh → scalar Q, batch H = 32, run for
+    // both scalar instantiations of the same training step.
+    record(
+        "mlp_fwd_bwd_h32_scratch",
+        with_pool(serial.clone(), || mlp_step_probe::<Elem>(budget_ms)),
+    );
+    record(
+        "mlp_fwd_bwd_h32_par",
+        with_pool(par.clone(), || mlp_step_probe::<Elem>(budget_ms)),
+    );
+    record(
+        "mlp_fwd_bwd_h32_f64",
+        with_pool(serial.clone(), || mlp_step_probe::<f64>(budget_ms)),
+    );
     {
-        let mut net = Mlp::new(&sizes, &acts, 7);
-        let mut opt = Adam::new(1e-3);
-        record(
-            "mlp_fwd_bwd_h32_scratch",
-            with_pool(serial.clone(), || {
-                bench_ns(budget_ms, || {
-                    let pred = net.forward(&x);
-                    let (_, grad) = mse_loss_grad(pred, &y);
-                    net.zero_grad();
-                    net.backward(&grad);
-                    net.apply_gradients(&mut opt);
-                })
-            }),
-        );
-        record(
-            "mlp_fwd_bwd_h32_par",
-            with_pool(par.clone(), || {
-                bench_ns(budget_ms, || {
-                    let pred = net.forward(&x);
-                    let (_, grad) = mse_loss_grad(pred, &y);
-                    net.zero_grad();
-                    net.backward(&grad);
-                    net.apply_gradients(&mut opt);
-                })
-            }),
-        );
-    }
-    {
+        let sizes = [STATE_DIM + N_ACTIONS, 64, 32, 1];
+        let acts = [Activation::Tanh, Activation::Tanh, Activation::Identity];
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Matrix = Matrix::from_fn(BATCH_H, sizes[0], |_, _| rng.random_range(-1.0..1.0));
+        let y: Matrix = Matrix::from_fn(BATCH_H, 1, |_, _| rng.random_range(-1.0..0.0));
         let donor = Mlp::new(&sizes, &acts, 7);
         let mut net = reference::RefMlp::from_mlp(&donor);
         let mut opt = Adam::new(1e-3);
@@ -197,38 +212,19 @@ fn main() {
         );
     }
 
-    // ---- DQN train step at paper sizes --------------------------------
-    {
-        let mut agent = DqnAgent::new(
-            STATE_DIM,
-            N_ACTIONS,
-            DqnConfig {
-                replay_capacity: REPLAY_B,
-                batch: BATCH_H,
-                ..DqnConfig::default()
-            },
-        );
-        let mut rng = StdRng::seed_from_u64(3);
-        for _ in 0..REPLAY_B {
-            agent.store(random_transition(&mut rng));
-        }
-        record(
-            "dqn_train_step_batched",
-            with_pool(serial.clone(), || {
-                bench_ns(budget_ms, || {
-                    agent.train_step(&mut rng);
-                })
-            }),
-        );
-        record(
-            "dqn_train_step_par",
-            with_pool(par.clone(), || {
-                bench_ns(budget_ms, || {
-                    agent.train_step(&mut rng);
-                })
-            }),
-        );
-    }
+    // ---- DQN train step at paper sizes, both scalar instantiations ----
+    record(
+        "dqn_train_step_batched",
+        with_pool(serial.clone(), || dqn_step_probe::<Elem>(budget_ms)),
+    );
+    record(
+        "dqn_train_step_par",
+        with_pool(par.clone(), || dqn_step_probe::<Elem>(budget_ms)),
+    );
+    record(
+        "dqn_train_step_f64",
+        with_pool(serial.clone(), || dqn_step_probe::<f64>(budget_ms)),
+    );
     {
         let mut agent = reference::OldDqn::new(STATE_DIM, N_ACTIONS, REPLAY_B, BATCH_H);
         let mut rng = StdRng::seed_from_u64(3);
@@ -242,6 +238,19 @@ fn main() {
             }),
         );
     }
+
+    // ---- rollout act path (select_action_into), both scalars ----------
+    // The per-decision kernel every collector actor runs: actor infer →
+    // ε-noise → K-NN mapping → batched critic argmax, all through reused
+    // scratch. Serial-pinned so the f32/f64 pair is machine-independent.
+    record(
+        "rollout_act_f32",
+        with_pool(serial.clone(), || act_path_probe::<Elem>(budget_ms)),
+    );
+    record(
+        "rollout_act_f64",
+        with_pool(serial.clone(), || act_path_probe::<f64>(budget_ms)),
+    );
 
     // ---- DDPG train step (batched candidate scoring) -------------------
     {
@@ -258,8 +267,8 @@ fn main() {
         let mut mapper = KBestMapper::new(n, m);
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..REPLAY_B {
-            let t = random_transition(&mut rng);
-            let mut onehot = vec![0.0; n * m];
+            let t = random_transition::<Elem>(&mut rng);
+            let mut onehot = vec![0.0 as Elem; n * m];
             for i in 0..n {
                 onehot[i * m + rng.random_range(0..m)] = 1.0;
             }
@@ -277,7 +286,7 @@ fn main() {
 
     // ---- replay sampling: clone-free indices vs reference Vec ----------
     {
-        let mut buf: ReplayBuffer<usize> = ReplayBuffer::new(REPLAY_B);
+        let mut buf: ReplayBuffer<usize, Elem> = ReplayBuffer::new(REPLAY_B);
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..REPLAY_B {
             let t = random_transition(&mut rng);
@@ -294,7 +303,7 @@ fn main() {
         record(
             "replay_sample_clone_h32",
             bench_ns(budget_ms, || {
-                let batch: Vec<Transition<usize>> =
+                let batch: Vec<Transition<usize, Elem>> =
                     buf.sample(BATCH_H, &mut rng).into_iter().cloned().collect();
                 std::hint::black_box(&batch);
             }),
@@ -311,18 +320,19 @@ fn main() {
         const PUSHES: usize = 250;
         let total = (WRITERS * PUSHES) as f64;
         let mut rng = StdRng::seed_from_u64(6);
-        let mut single: ReplayBuffer<usize> = ReplayBuffer::new(REPLAY_B);
+        let mut single: ReplayBuffer<usize, Elem> = ReplayBuffer::new(REPLAY_B);
         let mut seq = 0usize;
         record(
             "replay_push_serial_1k",
             bench_ns(budget_ms, || {
                 for _ in 0..WRITERS * PUSHES {
                     seq = seq.wrapping_add(1);
-                    single.push(Transition::new(vec![seq as f64], 0, 0.0, vec![0.0]));
+                    single.push(Transition::new(vec![seq as Elem], 0, 0.0, vec![0.0]));
                 }
             }) / total,
         );
-        let sharded: ShardedReplayBuffer<usize> = ShardedReplayBuffer::new(WRITERS, REPLAY_B / 4);
+        let sharded: ShardedReplayBuffer<usize, Elem> =
+            ShardedReplayBuffer::new(WRITERS, REPLAY_B / 4);
         record(
             "replay_push_sharded_4w_1k",
             bench_ns(budget_ms, || {
@@ -331,7 +341,7 @@ fn main() {
                 par.for_each_chunk(WRITERS * PUSHES, PUSHES, |range| {
                     let shard = range.start / PUSHES;
                     for i in range {
-                        sharded.push(shard, Transition::new(vec![i as f64], 0, 0.0, vec![0.0]));
+                        sharded.push(shard, Transition::new(vec![i as Elem], 0, 0.0, vec![0.0]));
                     }
                 });
             }) / total,
@@ -394,15 +404,93 @@ fn main() {
     }
 }
 
-fn random_transition(rng: &mut StdRng) -> Transition<usize> {
-    let state: Vec<f64> = (0..STATE_DIM).map(|_| rng.random_range(0.0..1.0)).collect();
-    let next: Vec<f64> = (0..STATE_DIM).map(|_| rng.random_range(0.0..1.0)).collect();
+fn random_transition<S: Scalar>(rng: &mut StdRng) -> Transition<usize, S> {
+    let state: Vec<S> = (0..STATE_DIM)
+        .map(|_| S::from_f64(rng.random_range(0.0..1.0)))
+        .collect();
+    let next: Vec<S> = (0..STATE_DIM)
+        .map(|_| S::from_f64(rng.random_range(0.0..1.0)))
+        .collect();
     Transition::new(
         state,
         rng.random_range(0..N_ACTIONS),
-        rng.random_range(-2.0..0.0),
+        S::from_f64(rng.random_range(-2.0..0.0)),
         next,
     )
+}
+
+/// One full MLP training step (forward, MSE, backward, Adam) at the
+/// paper's critic shape, generic over the element type — the body the
+/// `mlp_fwd_bwd_h32_*` probes time.
+fn mlp_step_probe<S: Scalar>(budget_ms: u64) -> f64 {
+    let sizes = [STATE_DIM + N_ACTIONS, 64, 32, 1];
+    let acts = [Activation::Tanh, Activation::Tanh, Activation::Identity];
+    let mut rng = StdRng::seed_from_u64(2);
+    let x: Matrix<S> = Matrix::from_fn(BATCH_H, sizes[0], |_, _| {
+        S::from_f64(rng.random_range(-1.0..1.0))
+    });
+    let y: Matrix<S> = Matrix::from_fn(BATCH_H, 1, |_, _| S::from_f64(rng.random_range(-1.0..0.0)));
+    let mut net: Mlp<S> = Mlp::new(&sizes, &acts, 7);
+    let mut opt: Adam<S> = Adam::new(1e-3);
+    bench_ns(budget_ms, || {
+        let pred = net.forward(&x);
+        let (_, grad) = mse_loss_grad(pred, &y);
+        net.zero_grad();
+        net.backward(&grad);
+        net.apply_gradients(&mut opt);
+    })
+}
+
+/// One production `DqnAgent::train_step` at paper sizes, generic over
+/// the element type — the body of the `dqn_train_step_*` probes.
+fn dqn_step_probe<S: Scalar>(budget_ms: u64) -> f64 {
+    let mut agent: DqnAgent<S> = DqnAgent::new(
+        STATE_DIM,
+        N_ACTIONS,
+        DqnConfig {
+            replay_capacity: REPLAY_B,
+            batch: BATCH_H,
+            ..DqnConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..REPLAY_B {
+        agent.store(random_transition(&mut rng));
+    }
+    bench_ns(budget_ms, || {
+        agent.train_step(&mut rng);
+    })
+}
+
+/// One allocation-free rollout decision (`select_action_into`) on a
+/// 10-thread × 10-machine problem, generic over the element type — the
+/// body of the `rollout_act_*` probes.
+fn act_path_probe<S: Scalar>(budget_ms: u64) -> f64 {
+    let (n, m) = (10usize, 10usize);
+    let agent: DdpgAgent<S> = DdpgAgent::new(
+        STATE_DIM,
+        n * m,
+        DdpgConfig {
+            replay_capacity: 64,
+            batch: BATCH_H,
+            ..DdpgConfig::default()
+        },
+    );
+    let mut mapper: KBestMapper<S> = KBestMapper::new(n, m);
+    let mut scratch: ActScratch<S> = ActScratch::default();
+    let mut rng = StdRng::seed_from_u64(9);
+    let state: Vec<S> = (0..STATE_DIM)
+        .map(|_| S::from_f64(rng.random_range(0.0..1.0)))
+        .collect();
+    bench_ns(budget_ms, || {
+        std::hint::black_box(agent.select_action_into(
+            &state,
+            &mut mapper,
+            0.3,
+            &mut rng,
+            &mut scratch,
+        ));
+    })
 }
 
 /// Median-of-samples timer: calibrates how many iterations fill one
@@ -494,6 +582,38 @@ const PAIRS: &[(&str, &str, &str)] = &[
         "rollout_1actors_per_transition",
         "rollout_4actors_per_transition",
     ),
+    // Precision pairs: f64 instantiation over the f32 default of the SAME
+    // serial-pinned code. Gated (no par_ prefix): f32 must stay >= 1.0x.
+    (
+        "f32_over_f64_matmul_32x64x32",
+        "matmul_32x64x32_f64_blocked",
+        "matmul_32x64x32_blocked",
+    ),
+    (
+        "f32_over_f64_matmul_32x2001x64",
+        "matmul_32x2001x64_f64_blocked",
+        "matmul_32x2001x64_blocked",
+    ),
+    (
+        "f32_over_f64_matmul_128x128x128",
+        "matmul_128x128x128_f64_blocked",
+        "matmul_128x128x128_blocked",
+    ),
+    (
+        "f32_over_f64_mlp_fwd_bwd",
+        "mlp_fwd_bwd_h32_f64",
+        "mlp_fwd_bwd_h32_scratch",
+    ),
+    (
+        "f32_over_f64_dqn_train_step",
+        "dqn_train_step_f64",
+        "dqn_train_step_batched",
+    ),
+    (
+        "f32_over_f64_rollout_act",
+        "rollout_act_f64",
+        "rollout_act_f32",
+    ),
 ];
 
 fn speedups(results: &[(String, f64)]) -> Vec<(String, f64)> {
@@ -507,8 +627,10 @@ fn speedups(results: &[(String, f64)]) -> Vec<(String, f64)> {
 fn to_json(results: &[(String, f64)], quick: bool, par_threads: usize) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"schema\": \"dss-bench/nn-v1\",\n");
+    let elem = <Elem as Scalar>::NAME;
+    let kernel = microkernel_name();
     s.push_str(&format!(
-        "  \"config\": {{\"replay_b\": {REPLAY_B}, \"batch_h\": {BATCH_H}, \"state_dim\": {STATE_DIM}, \"n_actions\": {N_ACTIONS}, \"quick\": {quick}, \"par_threads\": {par_threads}}},\n"
+        "  \"config\": {{\"replay_b\": {REPLAY_B}, \"batch_h\": {BATCH_H}, \"state_dim\": {STATE_DIM}, \"n_actions\": {N_ACTIONS}, \"quick\": {quick}, \"par_threads\": {par_threads}, \"elem\": \"{elem}\", \"microkernel\": \"{kernel}\"}},\n"
     ));
     s.push_str("  \"results\": [\n");
     for (i, (name, ns)) in results.iter().enumerate() {
@@ -537,6 +659,7 @@ mod reference {
     use super::*;
 
     /// Naive `a * b` with the seed's zero-skip branch.
+    #[allow(clippy::needless_range_loop)]
     pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         assert_eq!(a.cols(), b.rows(), "matmul dims");
         let mut out = Matrix::zeros(a.rows(), b.cols());
@@ -594,13 +717,14 @@ mod reference {
         out
     }
 
-    /// The seed's clone-caching dense layer.
+    /// The seed's clone-caching dense layer (over the production element
+    /// type, so before/after pairs isolate the *structural* win).
     pub struct RefDense {
         w: Matrix,
-        b: Vec<f64>,
+        b: Vec<Elem>,
         activation: Activation,
         grad_w: Matrix,
-        grad_b: Vec<f64>,
+        grad_b: Vec<Elem>,
         cached_input: Option<Matrix>,
         cached_output: Option<Matrix>,
     }
@@ -649,7 +773,7 @@ mod reference {
                     b: l.bias().to_vec(),
                     activation: l.activation(),
                     grad_w: Matrix::zeros(l.output_size(), l.input_size()),
-                    grad_b: vec![0.0; l.output_size()],
+                    grad_b: vec![0.0 as Elem; l.output_size()],
                     cached_input: None,
                     cached_output: None,
                 })
@@ -707,11 +831,11 @@ mod reference {
         pub q: RefMlp,
         pub target_q: RefMlp,
         pub opt: Adam,
-        pub replay: ReplayBuffer<usize>,
+        pub replay: ReplayBuffer<usize, Elem>,
         pub batch: usize,
         state_dim: usize,
         n_actions: usize,
-        gamma: f64,
+        gamma: Elem,
     }
 
     impl OldDqn {
@@ -735,7 +859,7 @@ mod reference {
             if self.replay.is_empty() {
                 return None;
             }
-            let batch: Vec<Transition<usize>> = self
+            let batch: Vec<Transition<usize, Elem>> = self
                 .replay
                 .sample(self.batch, rng)
                 .into_iter()
@@ -746,7 +870,7 @@ mod reference {
             // an allocating cache-free inference, then a per-row max.
             let next_states = Matrix::from_fn(h, self.state_dim, |r, c| batch[r].next_state[c]);
             let next_q = self.target_q.infer(&next_states);
-            let targets: Vec<f64> = batch
+            let targets: Vec<Elem> = batch
                 .iter()
                 .enumerate()
                 .map(|(r, t)| {
@@ -754,7 +878,7 @@ mod reference {
                         .row(r)
                         .iter()
                         .copied()
-                        .fold(f64::NEG_INFINITY, f64::max);
+                        .fold(Elem::NEG_INFINITY, Elem::max) as Elem;
                     t.reward + self.gamma * best
                 })
                 .collect();

@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 
 use dss_metrics::TimeSeries;
-use dss_rl::Transition;
+use dss_rl::{Elem, Scalar, Transition};
 use dss_sim::{Assignment, RuntimeStats, Workload};
 
 use crate::config::ControlConfig;
@@ -64,7 +64,7 @@ impl OfflineDataset {
         &self,
         rate_scale: f64,
         reward: RewardScale,
-    ) -> Vec<Transition<Vec<f64>>> {
+    ) -> Vec<Transition<Vec<Elem>>> {
         self.samples
             .iter()
             .map(|s| {
@@ -72,8 +72,8 @@ impl OfflineDataset {
                 let next = SchedState::new(s.action.clone(), s.workload.clone());
                 Transition::new(
                     state.features(rate_scale),
-                    s.action.to_onehot(),
-                    reward.reward(s.latency_ms),
+                    crate::state::onehot_elems(&s.action),
+                    Elem::from_f64(reward.reward(s.latency_ms)),
                     next.features(rate_scale),
                 )
             })
@@ -104,7 +104,7 @@ impl OfflineDataset {
                 Some(Transition::new(
                     state.features(rate_scale),
                     idx,
-                    reward.reward(s.latency_ms),
+                    Elem::from_f64(reward.reward(s.latency_ms)),
                     next.features(rate_scale),
                 ))
             })
@@ -203,7 +203,7 @@ impl Controller {
             scheduler.observe(&state, &action, r, &next_state);
             self.store.push(StoredTransition {
                 state: state.features(self.config.rate_scale),
-                action: action.to_onehot(),
+                action: crate::state::onehot_elems(&action),
                 reward: r,
                 next_state: next_state.features(self.config.rate_scale),
             });

@@ -11,6 +11,7 @@
 use parking_lot::RwLock;
 use std::sync::Arc;
 
+use dss_rl::Elem;
 use dss_sim::{AnalyticModel, Assignment, RuntimeStats, Workload};
 
 /// A DSDPS that can be scheduled and measured.
@@ -71,17 +72,19 @@ impl Environment for AnalyticEnv {
     }
 }
 
-/// One stored transition row of the paper's database component.
+/// One stored transition row of the paper's database component. Feature
+/// and action rows are stored in the training element type ([`Elem`]);
+/// the scalar reward stays `f64` for reporting fidelity.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoredTransition {
     /// State features at the decision epoch.
-    pub state: Vec<f64>,
+    pub state: Vec<Elem>,
     /// One-hot action encoding.
-    pub action: Vec<f64>,
+    pub action: Vec<Elem>,
     /// Reward.
     pub reward: f64,
     /// Next-state features.
-    pub next_state: Vec<f64>,
+    pub next_state: Vec<Elem>,
 }
 
 /// The paper's "Database" box (Figure 1): stores transition samples for

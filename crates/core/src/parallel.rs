@@ -22,14 +22,14 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dss_rl::{DdpgAgent, KBestMapper, ShardedReplayBuffer, Transition};
+use dss_rl::{ActScratch, DdpgAgent, Elem, KBestMapper, Scalar, ShardedReplayBuffer, Transition};
 use dss_sim::{AnalyticModel, Assignment, ClusterSpec, SimConfig, Topology, Workload};
 
 use crate::action::choice_to_assignment;
 use crate::config::ControlConfig;
 use crate::env::{AnalyticEnv, Environment};
 use crate::reward::RewardScale;
-use crate::state::SchedState;
+use crate::state::featurize_into;
 
 /// Compile-time proof that the simulation stack crosses threads: the
 /// collector moves environments into pool tasks, so everything an actor
@@ -42,18 +42,30 @@ fn assert_thread_safe() {
     send::<dss_sim::SimEngine>();
     send::<KBestMapper>();
     send::<StdRng>();
+    send::<ActScratch>();
     sync::<DdpgAgent>();
-    sync::<ShardedReplayBuffer<Vec<f64>>>();
+    sync::<ShardedReplayBuffer<Vec<Elem>>>();
 }
 
 /// One actor: a private environment plus everything needed to run the
-/// agent's decision loop without touching shared mutable state.
+/// agent's decision loop without touching shared mutable state — the
+/// decision half of a step (featurize → actor infer → noise → K-NN →
+/// critic argmax) runs entirely through per-actor reused buffers
+/// ([`ActScratch`], the feature vectors, the mapper's k-best workspace),
+/// so a warm rollout step allocates only the owned rows the replay ring
+/// stores.
 struct Actor {
     env: AnalyticEnv,
     mapper: KBestMapper,
     rng: StdRng,
     current: Assignment,
     workload: Workload,
+    /// Reused state-feature buffer (this step's `(X, w)`).
+    features: Vec<Elem>,
+    /// Reused next-state-feature buffer.
+    next_features: Vec<Elem>,
+    /// Reused act-path scratch (`DdpgAgent::select_action_into`).
+    act: ActScratch,
     /// Sum of rewards collected in the last round.
     round_reward: f64,
 }
@@ -62,7 +74,7 @@ struct Actor {
 /// transitions into a [`ShardedReplayBuffer`] (shard `i` ← actor `i`).
 pub struct ParallelCollector {
     actors: Vec<Actor>,
-    replay: ShardedReplayBuffer<Vec<f64>>,
+    replay: ShardedReplayBuffer<Vec<Elem>>,
     rate_scale: f64,
     reward: RewardScale,
     n_machines: usize,
@@ -103,6 +115,9 @@ impl ParallelCollector {
                     rng: StdRng::seed_from_u64(cfg.seed ^ (0xAC70 + i as u64)),
                     current: Assignment::round_robin(topology, cluster),
                     workload: workload.clone(),
+                    features: Vec::new(),
+                    next_features: Vec::new(),
+                    act: ActScratch::default(),
                     round_reward: 0.0,
                 }
             })
@@ -125,7 +140,7 @@ impl ParallelCollector {
 
     /// The sharded replay the actors feed (hand this to
     /// [`DdpgAgent::train_step_from`]).
-    pub fn replay(&self) -> &ShardedReplayBuffer<Vec<f64>> {
+    pub fn replay(&self) -> &ShardedReplayBuffer<Vec<Elem>> {
         &self.replay
     }
 
@@ -144,27 +159,43 @@ impl ParallelCollector {
                     s.spawn(move || {
                         actor.round_reward = 0.0;
                         for _ in 0..steps {
-                            let state =
-                                SchedState::new(actor.current.clone(), actor.workload.clone());
-                            let features = state.features(rate_scale);
-                            let cand = agent.select_action(
-                                &features,
+                            // Decision half — allocation-free once warm:
+                            // featurize into the actor's buffer, then run
+                            // the whole act path through its scratch.
+                            featurize_into(
+                                &actor.current,
+                                &actor.workload,
+                                rate_scale,
+                                &mut actor.features,
+                            );
+                            let best = agent.select_action_into(
+                                &actor.features,
                                 &mut actor.mapper,
                                 eps,
                                 &mut actor.rng,
+                                &mut actor.act,
                             );
+                            let cand = &actor.act.cands[best];
                             let action = choice_to_assignment(&cand.choice, n_machines)
                                 .expect("mapper candidates are feasible");
                             let latency = actor.env.deploy_and_measure(&action, &actor.workload);
                             let r = reward.reward(latency);
-                            let next = SchedState::new(action.clone(), actor.workload.clone());
+                            featurize_into(
+                                &action,
+                                &actor.workload,
+                                rate_scale,
+                                &mut actor.next_features,
+                            );
+                            // Storage half: the ring owns its rows, so
+                            // these clones are the transition's backing
+                            // buffers, not per-step waste.
                             replay.push(
                                 shard,
                                 Transition::new(
-                                    features,
-                                    action.to_onehot(),
-                                    r,
-                                    next.features(rate_scale),
+                                    actor.features.clone(),
+                                    cand.onehot.clone(),
+                                    Elem::from_f64(r),
+                                    actor.next_features.clone(),
                                 ),
                             );
                             actor.current = action;
@@ -215,6 +246,7 @@ pub struct RoundPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::SchedState;
     use dss_rl::DdpgConfig;
     use dss_sim::{Grouping, TopologyBuilder};
 

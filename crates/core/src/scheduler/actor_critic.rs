@@ -4,7 +4,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dss_rl::{CandidateAction, DdpgAgent, DdpgConfig, EpsilonSchedule, KBestMapper, Transition};
+use dss_rl::{
+    CandidateAction, DdpgAgent, DdpgConfig, Elem, EpsilonSchedule, KBestMapper, Scalar, Transition,
+};
 use dss_sim::Assignment;
 
 use crate::action::choice_to_assignment;
@@ -100,8 +102,8 @@ impl ActorCriticScheduler {
             .iter()
             .map(|(_, a)| CandidateAction {
                 choice: a.as_slice().to_vec(),
-                onehot: a.to_onehot(),
-                cost: 0.0,
+                onehot: crate::state::onehot_elems(a),
+                cost: Elem::ZERO,
             })
             .collect()
     }
@@ -158,8 +160,8 @@ impl Scheduler for ActorCriticScheduler {
         self.remember_elite(reward, action);
         self.agent.store(Transition::new(
             state.features(self.rate_scale),
-            action.to_onehot(),
-            reward,
+            crate::state::onehot_elems(action),
+            Elem::from_f64(reward),
             next_state.features(self.rate_scale),
         ));
         self.agent.train_step(&mut self.mapper, &mut self.rng);

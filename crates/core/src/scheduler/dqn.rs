@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dss_rl::{DqnAgent, DqnConfig, EpsilonSchedule, Transition};
+use dss_rl::{DqnAgent, DqnConfig, Elem, EpsilonSchedule, Scalar, Transition};
 use dss_sim::Assignment;
 
 use crate::action::{apply_move, encode_move};
@@ -118,7 +118,7 @@ impl Scheduler for DqnScheduler {
         self.agent.store(Transition::new(
             state.features(self.rate_scale),
             idx,
-            reward,
+            Elem::from_f64(reward),
             next_state.features(self.rate_scale),
         ));
         self.agent.train_step(&mut self.rng);

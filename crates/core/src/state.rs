@@ -6,6 +6,7 @@
 //! additional system runtime information into the state but found that it
 //! does not necessarily lead to performance improvement."
 
+use dss_rl::{Elem, Scalar};
 use dss_sim::{Assignment, Workload};
 
 /// A scheduling state.
@@ -26,11 +27,12 @@ impl SchedState {
         }
     }
 
-    /// Flat NN feature vector: one-hot `X` (`N·M` entries) followed by the
-    /// workload rates normalized by `rate_scale`.
-    pub fn features(&self, rate_scale: f64) -> Vec<f64> {
-        let mut f = self.assignment.to_onehot();
-        f.extend(self.workload.feature_vector(rate_scale));
+    /// Flat NN feature vector in the training element type: one-hot `X`
+    /// (`N·M` entries) followed by the workload rates normalized by
+    /// `rate_scale`.
+    pub fn features(&self, rate_scale: f64) -> Vec<Elem> {
+        let mut f = Vec::new();
+        featurize_into(&self.assignment, &self.workload, rate_scale, &mut f);
         f
     }
 
@@ -44,6 +46,49 @@ impl SchedState {
     pub fn action_dim(&self) -> usize {
         self.assignment.n_executors() * self.assignment.n_machines()
     }
+}
+
+/// Writes the `(X, w)` feature vector straight from an assignment and a
+/// workload into a reused buffer — the allocation-free featurization the
+/// rollout act path uses (no `SchedState` clone, no `to_onehot`
+/// temporary, no `feature_vector` temporary).
+///
+/// The simulator speaks `f64`; features are narrowed to the training
+/// element at this boundary.
+pub fn featurize_into(
+    assignment: &Assignment,
+    workload: &Workload,
+    rate_scale: f64,
+    out: &mut Vec<Elem>,
+) {
+    assert!(rate_scale > 0.0, "rate scale must be positive");
+    onehot_into(assignment, out);
+    out.extend(
+        workload
+            .rates()
+            .iter()
+            .map(|&(_, r)| Elem::from_f64(r / rate_scale)),
+    );
+}
+
+/// Writes the assignment's flat one-hot encoding in training elements
+/// into a reused buffer (the `Elem` counterpart of
+/// `Assignment::to_onehot`, which speaks `f64`).
+pub fn onehot_into(assignment: &Assignment, out: &mut Vec<Elem>) {
+    let m = assignment.n_machines();
+    out.clear();
+    out.resize(assignment.n_executors() * m, Elem::ZERO);
+    for (e, &machine) in assignment.as_slice().iter().enumerate() {
+        out[e * m + machine] = Elem::ONE;
+    }
+}
+
+/// Allocating convenience form of [`onehot_into`] (the training element
+/// counterpart of `Assignment::to_onehot`).
+pub fn onehot_elems(assignment: &Assignment) -> Vec<Elem> {
+    let mut out = Vec::new();
+    onehot_into(assignment, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -68,9 +113,29 @@ mod tests {
         let s = state();
         let f = s.features(1000.0);
         assert_eq!(f.len(), 4 * 3 + 1);
-        assert_eq!(f.iter().take(12).sum::<f64>(), 4.0); // one-hot rows
+        assert_eq!(f.iter().take(12).sum::<Elem>(), 4.0); // one-hot rows
         assert_eq!(f[12], 0.5); // 500/1000
         assert_eq!(SchedState::feature_dim(4, 3, 1), 13);
         assert_eq!(s.action_dim(), 12);
+    }
+
+    #[test]
+    fn featurize_into_matches_features_and_reuses_buffer() {
+        let s = state();
+        let mut buf = vec![9.0; 3]; // stale garbage on purpose
+        featurize_into(&s.assignment, &s.workload, 1000.0, &mut buf);
+        assert_eq!(buf, s.features(1000.0));
+        let ptr = buf.as_ptr();
+        featurize_into(&s.assignment, &s.workload, 1000.0, &mut buf);
+        assert_eq!(ptr, buf.as_ptr(), "buffer must be reused");
+        // One-hot helper agrees with the simulator's f64 encoding.
+        let mut onehot = Vec::new();
+        onehot_into(&s.assignment, &mut onehot);
+        let sim_onehot = s.assignment.to_onehot();
+        assert_eq!(onehot.len(), sim_onehot.len());
+        for (a, b) in onehot.iter().zip(&sim_onehot) {
+            assert_eq!(a.to_f64(), *b);
+        }
+        assert_eq!(onehot, onehot_elems(&s.assignment));
     }
 }

@@ -17,26 +17,26 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::cost::CostMatrix;
-use crate::Solution;
+use crate::{Scalar, Solution};
 
-struct Node {
-    bound: f64,
+struct Node<S> {
+    bound: S,
     fixed: Vec<usize>,
     used: Vec<usize>,
 }
 
-impl PartialEq for Node {
+impl<S: Scalar> PartialEq for Node<S> {
     fn eq(&self, other: &Self) -> bool {
         self.bound == other.bound
     }
 }
-impl Eq for Node {}
-impl PartialOrd for Node {
+impl<S: Scalar> Eq for Node<S> {}
+impl<S: Scalar> PartialOrd for Node<S> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Node {
+impl<S: Scalar> Ord for Node<S> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on bound; deeper nodes first on ties to reach leaves fast.
         other
@@ -53,7 +53,11 @@ impl Ord for Node {
 ///
 /// # Panics
 /// Panics when `k == 0` or `caps.len() != costs.m()`.
-pub fn solve_capacitated(costs: &CostMatrix, caps: &[usize], k: usize) -> Vec<Solution> {
+pub fn solve_capacitated<S: Scalar>(
+    costs: &CostMatrix<S>,
+    caps: &[usize],
+    k: usize,
+) -> Vec<Solution<S>> {
     assert!(k > 0, "k must be positive");
     assert_eq!(caps.len(), costs.m(), "one capacity per machine");
 
@@ -63,7 +67,7 @@ pub fn solve_capacitated(costs: &CostMatrix, caps: &[usize], k: usize) -> Vec<So
     let mut out = Vec::with_capacity(k);
 
     let root_used = vec![0usize; m];
-    if let Some(bound) = bound_from(costs, 0, 0.0, &root_used, caps) {
+    if let Some(bound) = bound_from(costs, 0, S::ZERO, &root_used, caps) {
         heap.push(Node {
             bound,
             fixed: Vec::new(),
@@ -83,7 +87,7 @@ pub fn solve_capacitated(costs: &CostMatrix, caps: &[usize], k: usize) -> Vec<So
             }
             continue;
         }
-        let fixed_cost: f64 = node
+        let fixed_cost: S = node
             .fixed
             .iter()
             .enumerate()
@@ -110,13 +114,13 @@ pub fn solve_capacitated(costs: &CostMatrix, caps: &[usize], k: usize) -> Vec<So
 /// cheapest column that still has *any* spare capacity given only the fixed
 /// usage. Returns `None` when remaining rows outnumber total spare capacity
 /// (the subtree is infeasible).
-fn bound_from(
-    costs: &CostMatrix,
+fn bound_from<S: Scalar>(
+    costs: &CostMatrix<S>,
     from_row: usize,
-    fixed_cost: f64,
+    fixed_cost: S,
     used: &[usize],
     caps: &[usize],
-) -> Option<f64> {
+) -> Option<S> {
     let spare: usize = caps.iter().zip(used).map(|(&c, &u)| c - u).sum();
     let remaining = costs.n() - from_row;
     if remaining > spare {
@@ -124,7 +128,7 @@ fn bound_from(
     }
     let mut bound = fixed_cost;
     for i in from_row..costs.n() {
-        let mut best = f64::INFINITY;
+        let mut best = S::INFINITY;
         for j in 0..costs.m() {
             if caps[j] > used[j] {
                 best = best.min(costs.cost(i, j));

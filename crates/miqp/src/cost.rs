@@ -1,21 +1,25 @@
 //! Per-row choice costs derived from a proto-action.
 
+use crate::{Elem, Scalar};
+
 /// Row-separable costs: `cost(i, j)` is the price of assigning thread `i`
 /// to machine `j`. For the MIQP-NN problem this is `‖e_j − â_i‖²`.
+/// Generic over the [`Scalar`] cost element (default: the workspace
+/// training element [`Elem`], so actor proto-actions feed in directly).
 #[derive(Debug, Clone, PartialEq)]
-pub struct CostMatrix {
+pub struct CostMatrix<S: Scalar = Elem> {
     n: usize,
     m: usize,
-    costs: Vec<f64>,
+    costs: Vec<S>,
 }
 
-impl CostMatrix {
+impl<S: Scalar> CostMatrix<S> {
     /// Builds from explicit per-row costs (row-major `n × m`).
     ///
     /// # Panics
     /// Panics when the buffer size disagrees with `n·m`, when `n` or `m`
     /// is zero, or when any cost is NaN.
-    pub fn new(n: usize, m: usize, costs: Vec<f64>) -> Self {
+    pub fn new(n: usize, m: usize, costs: Vec<S>) -> Self {
         assert!(n > 0 && m > 0, "empty cost matrix");
         assert_eq!(costs.len(), n * m, "cost buffer size");
         assert!(costs.iter().all(|c| !c.is_nan()), "NaN cost");
@@ -28,9 +32,9 @@ impl CostMatrix {
     ///
     /// # Panics
     /// Panics when `proto.len() != n * m`.
-    pub fn from_proto_action(proto: &[f64], n: usize, m: usize) -> Self {
+    pub fn from_proto_action(proto: &[S], n: usize, m: usize) -> Self {
         assert_eq!(proto.len(), n * m, "proto-action size");
-        let mut this = Self::new(n, m, vec![0.0; n * m]);
+        let mut this = Self::new(n, m, vec![S::ZERO; n * m]);
         this.set_proto_action(proto);
         this
     }
@@ -44,20 +48,21 @@ impl CostMatrix {
     /// Panics when `proto.len() != n * m` or any entry is not finite
     /// (an infinite `â_ij` would produce `∞ − ∞ = NaN` costs, silently
     /// breaking the no-NaN invariant [`CostMatrix::new`] enforces).
-    pub fn set_proto_action(&mut self, proto: &[f64]) {
+    pub fn set_proto_action(&mut self, proto: &[S]) {
         assert_eq!(proto.len(), self.n * self.m, "proto-action size");
         assert!(
             proto.iter().all(|v| v.is_finite()),
             "non-finite proto entry"
         );
+        let two = S::from_f64(2.0);
         for (cost_row, row) in self
             .costs
             .chunks_exact_mut(self.m)
             .zip(proto.chunks_exact(self.m))
         {
-            let sq: f64 = row.iter().map(|v| v * v).sum();
+            let sq: S = row.iter().map(|&v| v * v).sum();
             for (c, &v) in cost_row.iter_mut().zip(row) {
-                *c = 1.0 - 2.0 * v + sq;
+                *c = S::ONE - two * v + sq;
             }
         }
     }
@@ -73,12 +78,12 @@ impl CostMatrix {
     }
 
     /// The cost of assigning thread `i` to machine `j`.
-    pub fn cost(&self, i: usize, j: usize) -> f64 {
+    pub fn cost(&self, i: usize, j: usize) -> S {
         self.costs[i * self.m + j]
     }
 
     /// Row `i`'s costs.
-    pub fn row(&self, i: usize) -> &[f64] {
+    pub fn row(&self, i: usize) -> &[S] {
         &self.costs[i * self.m..(i + 1) * self.m]
     }
 
@@ -86,7 +91,7 @@ impl CostMatrix {
     ///
     /// # Panics
     /// Panics when `choice.len() != n` or a choice is out of range.
-    pub fn total(&self, choice: &[usize]) -> f64 {
+    pub fn total(&self, choice: &[usize]) -> S {
         assert_eq!(choice.len(), self.n, "choice length");
         choice
             .iter()

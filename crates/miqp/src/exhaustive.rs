@@ -3,7 +3,7 @@
 //! anything large.
 
 use crate::cost::CostMatrix;
-use crate::Solution;
+use crate::{Scalar, Solution};
 
 /// All assignments sorted by ascending cost (ties broken lexicographically
 /// by choice), truncated to `k`.
@@ -11,14 +11,14 @@ use crate::Solution;
 /// # Panics
 /// Panics when `M^N > 1_000_000` (this is a test oracle, not a solver) or
 /// `k == 0`.
-pub fn brute_force_k_best(costs: &CostMatrix, k: usize) -> Vec<Solution> {
+pub fn brute_force_k_best<S: Scalar>(costs: &CostMatrix<S>, k: usize) -> Vec<Solution<S>> {
     assert!(k > 0, "k must be positive");
     let space = (costs.m() as f64).powi(costs.n() as i32);
     assert!(
         space <= 1_000_000.0,
         "action space too large for brute force: {space}"
     );
-    let mut all: Vec<Solution> = Vec::with_capacity(space as usize);
+    let mut all: Vec<Solution<S>> = Vec::with_capacity(space as usize);
     let mut choice = vec![0usize; costs.n()];
     loop {
         all.push(Solution {

@@ -12,32 +12,40 @@
 //! arrays" frontier heap, so the whole enumeration runs in
 //! `O(N · K · log K)` after an `O(N · M log M)` sort — polynomial, unlike
 //! the `M^N` action space it searches.
+//!
+//! The core is [`k_best_assignments_into`], which runs the fold through a
+//! caller-owned [`KBestWorkspace`] — every partial solution's choice
+//! vector, the frontier heap, and the output solutions reuse their
+//! allocations across calls. That is what makes the rollout act path
+//! (`DdpgAgent::select_action_into` → `KBestMapper::nearest_into`)
+//! allocation-free once warm. The allocating entry points are thin
+//! wrappers.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::cost::CostMatrix;
-use crate::Solution;
+use crate::{Elem, Scalar, Solution};
 
 /// Heap entry for the pairwise-sum merge, ordered by ascending cost.
-struct Frontier {
-    cost: f64,
+struct Frontier<S> {
+    cost: S,
     partial_idx: usize,
     rank: usize,
 }
 
-impl PartialEq for Frontier {
+impl<S: Scalar> PartialEq for Frontier<S> {
     fn eq(&self, other: &Self) -> bool {
         self.cost == other.cost
     }
 }
-impl Eq for Frontier {}
-impl PartialOrd for Frontier {
+impl<S: Scalar> Eq for Frontier<S> {}
+impl<S: Scalar> PartialOrd for Frontier<S> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Frontier {
+impl<S: Scalar> Ord for Frontier<S> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the cheapest first.
         other
@@ -49,6 +57,42 @@ impl Ord for Frontier {
     }
 }
 
+/// Reusable fold state for [`k_best_assignments_into`]: partial-solution
+/// double buffer plus the frontier heap. Capacities grow to the problem's
+/// steady-state `(k, m)` and are then reused forever.
+pub struct KBestWorkspace<S: Scalar = Elem> {
+    partials: Vec<Solution<S>>,
+    next: Vec<Solution<S>>,
+    heap: BinaryHeap<Frontier<S>>,
+}
+
+impl<S: Scalar> Default for KBestWorkspace<S> {
+    fn default() -> Self {
+        Self {
+            partials: Vec::new(),
+            next: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<S: Scalar> std::fmt::Debug for KBestWorkspace<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KBestWorkspace")
+            .field("partials", &self.partials.len())
+            .field("heap", &self.heap.len())
+            .finish()
+    }
+}
+
+impl<S: Scalar> Clone for KBestWorkspace<S> {
+    /// Workspaces carry no logical state between calls; cloning one just
+    /// starts a sibling with cold buffers.
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
 /// Returns the `k` cheapest complete assignments in ascending cost order.
 ///
 /// Fewer than `k` solutions are returned only when the action space itself
@@ -56,23 +100,66 @@ impl Ord for Frontier {
 ///
 /// # Panics
 /// Panics when `k == 0`.
-pub fn k_best_assignments(costs: &CostMatrix, k: usize) -> Vec<Solution> {
+pub fn k_best_assignments<S: Scalar>(costs: &CostMatrix<S>, k: usize) -> Vec<Solution<S>> {
     let sorted = costs.sorted_columns();
     k_best_assignments_with(costs, k, &sorted)
 }
 
 /// [`k_best_assignments`] with caller-precomputed sorted column orders
 /// (`sorted[i]` = row `i`'s columns, cost-ascending — what
-/// [`CostMatrix::sorted_columns_into`] produces). Batch callers that solve
-/// many proto-actions of one shape reuse the order buffers across calls.
+/// [`CostMatrix::sorted_columns_into`] produces).
 ///
 /// # Panics
 /// Panics when `k == 0` or `sorted` does not cover every row's columns.
-pub fn k_best_assignments_with(
-    costs: &CostMatrix,
+pub fn k_best_assignments_with<S: Scalar>(
+    costs: &CostMatrix<S>,
     k: usize,
     sorted: &[Vec<usize>],
-) -> Vec<Solution> {
+) -> Vec<Solution<S>> {
+    let mut ws = KBestWorkspace::default();
+    let mut out = Vec::new();
+    k_best_assignments_into(costs, k, sorted, &mut ws, &mut out);
+    out
+}
+
+/// Writes `cost` and `prefix ‖ tail` into `slots[idx]`, reusing the
+/// slot's choice buffer (appending a fresh slot only while the workspace
+/// is still growing to its steady-state size).
+fn write_solution<S: Scalar>(
+    slots: &mut Vec<Solution<S>>,
+    idx: usize,
+    cost: S,
+    prefix: &[usize],
+    tail: Option<usize>,
+) {
+    if slots.len() <= idx {
+        slots.push(Solution {
+            cost: S::ZERO,
+            choice: Vec::new(),
+        });
+    }
+    let slot = &mut slots[idx];
+    slot.cost = cost;
+    slot.choice.clear();
+    slot.choice.extend_from_slice(prefix);
+    if let Some(j) = tail {
+        slot.choice.push(j);
+    }
+}
+
+/// The buffer-reusing core: K-best enumeration into `out` (truncated and
+/// rewritten in place) through `ws`. Zero heap allocations once the
+/// workspace and `out` have reached the problem's steady-state shapes.
+///
+/// # Panics
+/// Panics when `k == 0` or `sorted` does not cover every row's columns.
+pub fn k_best_assignments_into<S: Scalar>(
+    costs: &CostMatrix<S>,
+    k: usize,
+    sorted: &[Vec<usize>],
+    ws: &mut KBestWorkspace<S>,
+    out: &mut Vec<Solution<S>>,
+) {
     assert!(k > 0, "k must be positive");
     assert_eq!(sorted.len(), costs.n(), "one column order per row");
     assert!(
@@ -80,51 +167,62 @@ pub fn k_best_assignments_with(
         "column order width"
     );
 
-    // Partial assignments over the first `i` rows, cost-ascending.
-    let mut partials: Vec<Solution> = vec![Solution {
-        cost: 0.0,
-        choice: Vec::new(),
-    }];
+    // Seed: the single empty prefix at cost zero. `live` tracks the
+    // logical length of `ws.partials` (physical slots beyond it are
+    // retained purely as spare capacity).
+    write_solution(&mut ws.partials, 0, S::ZERO, &[], None);
+    let mut live = 1usize;
 
     for (i, row_order) in sorted.iter().enumerate() {
         // Merge: partial costs (sorted) × row choice costs (sorted).
-        let mut heap = BinaryHeap::new();
-        heap.push(Frontier {
-            cost: partials[0].cost + costs.cost(i, row_order[0]),
+        ws.heap.clear();
+        ws.heap.push(Frontier {
+            cost: ws.partials[0].cost + costs.cost(i, row_order[0]),
             partial_idx: 0,
             rank: 0,
         });
-        let mut next: Vec<Solution> = Vec::with_capacity(k.min(partials.len() * costs.m()));
+        let mut produced = 0usize;
         // Frontier invariant: (p, r) is pushed when either (p, r-1) or
         // (p-1, r) with r == 0 was popped, so every cell enters exactly once.
-        while next.len() < k {
-            let Some(top) = heap.pop() else { break };
-            let p = &partials[top.partial_idx];
-            let mut choice = Vec::with_capacity(i + 1);
-            choice.extend_from_slice(&p.choice);
-            choice.push(row_order[top.rank]);
-            next.push(Solution {
-                cost: top.cost,
-                choice,
-            });
+        while produced < k {
+            let Some(top) = ws.heap.pop() else { break };
+            {
+                let (partials, next) = (&ws.partials, &mut ws.next);
+                let prefix = &partials[top.partial_idx].choice;
+                write_solution(next, produced, top.cost, prefix, Some(row_order[top.rank]));
+            }
+            produced += 1;
             if top.rank + 1 < costs.m() {
-                heap.push(Frontier {
-                    cost: p.cost + costs.cost(i, row_order[top.rank + 1]),
+                ws.heap.push(Frontier {
+                    cost: ws.partials[top.partial_idx].cost
+                        + costs.cost(i, row_order[top.rank + 1]),
                     partial_idx: top.partial_idx,
                     rank: top.rank + 1,
                 });
             }
-            if top.rank == 0 && top.partial_idx + 1 < partials.len() {
-                heap.push(Frontier {
-                    cost: partials[top.partial_idx + 1].cost + costs.cost(i, row_order[0]),
+            if top.rank == 0 && top.partial_idx + 1 < live {
+                ws.heap.push(Frontier {
+                    cost: ws.partials[top.partial_idx + 1].cost + costs.cost(i, row_order[0]),
                     partial_idx: top.partial_idx + 1,
                     rank: 0,
                 });
             }
         }
-        partials = next;
+        std::mem::swap(&mut ws.partials, &mut ws.next);
+        live = produced;
     }
-    partials
+
+    // Publish the fold result, reusing `out`'s solution buffers.
+    out.truncate(live);
+    for (idx, sol) in ws.partials[..live].iter().enumerate() {
+        if let Some(slot) = out.get_mut(idx) {
+            slot.cost = sol.cost;
+            slot.choice.clear();
+            slot.choice.extend_from_slice(&sol.choice);
+        } else {
+            out.push(sol.clone());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +290,46 @@ mod tests {
         let c = CostMatrix::from_proto_action(&proto, 2, 3);
         let sols = k_best_assignments(&c, 1);
         assert_eq!(sols[0].choice, vec![1, 0]);
+    }
+
+    #[test]
+    fn f32_instantiation_agrees_with_f64_on_choices() {
+        let proto64 = vec![0.9, 0.05, 0.05, 0.1, 0.8, 0.1, 0.3, 0.3, 0.4];
+        let proto32: Vec<f32> = proto64.iter().map(|&v| v as f32).collect();
+        let sols64 = k_best_assignments(&CostMatrix::from_proto_action(&proto64, 3, 3), 8);
+        let sols32 = k_best_assignments(&CostMatrix::from_proto_action(&proto32, 3, 3), 8);
+        assert_eq!(sols64.len(), sols32.len());
+        for (a, b) in sols64.iter().zip(&sols32) {
+            assert_eq!(
+                a.choice, b.choice,
+                "choice order must match across precisions"
+            );
+            assert!((a.cost - b.cost as f64).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs_without_reallocating() {
+        let mut ws = KBestWorkspace::default();
+        let mut out = Vec::new();
+        let protos = [
+            vec![0.9, 0.05, 0.05, 0.1, 0.8, 0.1, 0.3, 0.3, 0.4],
+            vec![0.2, 0.3, 0.5, 0.6, 0.2, 0.2, 0.1, 0.1, 0.8],
+            vec![0.5, 0.5, 0.0, 0.0, 0.5, 0.5, 0.25, 0.5, 0.25],
+        ];
+        // Warm up on the first proto, then record buffer identities.
+        let c = CostMatrix::from_proto_action(&protos[0], 3, 3);
+        let sorted = c.sorted_columns();
+        k_best_assignments_into(&c, 5, &sorted, &mut ws, &mut out);
+        let out_ptrs: Vec<*const usize> = out.iter().map(|s| s.choice.as_ptr()).collect();
+        for proto in &protos[1..] {
+            let c = CostMatrix::from_proto_action(proto, 3, 3);
+            let sorted = c.sorted_columns();
+            k_best_assignments_into(&c, 5, &sorted, &mut ws, &mut out);
+            assert_eq!(out, k_best_assignments(&c, 5), "reused workspace diverged");
+            for (sol, ptr) in out.iter().zip(&out_ptrs) {
+                assert_eq!(sol.choice.as_ptr(), *ptr, "choice buffer reallocated");
+            }
+        }
     }
 }

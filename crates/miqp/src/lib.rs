@@ -41,8 +41,17 @@ pub mod relax;
 pub use bnb::solve_capacitated;
 pub use cost::CostMatrix;
 pub use exhaustive::brute_force_k_best;
-pub use kbest::{k_best_assignments, k_best_assignments_with};
+pub use kbest::{
+    k_best_assignments, k_best_assignments_into, k_best_assignments_with, KBestWorkspace,
+};
 pub use relax::{project_row_simplex, relax_and_round};
+
+/// The numeric cost type: every solver is generic over `dss-nn`'s sealed
+/// [`Scalar`] trait and defaults to the workspace training element
+/// [`Elem`] (f32), so proto-actions flow from the actor network into the
+/// MIQP-NN solvers without conversion. Instantiate with `f64` for
+/// higher-precision debugging — the test oracles do.
+pub use dss_nn::{Elem, Scalar};
 
 /// A feasible action: `choice[i]` is the machine index thread `i` is
 /// assigned to.
@@ -50,9 +59,9 @@ pub type Choice = Vec<usize>;
 
 /// A solution with its objective value (`‖a − â‖²` for MIQP-NN costs).
 #[derive(Debug, Clone, PartialEq)]
-pub struct Solution {
+pub struct Solution<S: Scalar = Elem> {
     /// Total cost `Σ_i c_i(choice[i])`.
-    pub cost: f64,
+    pub cost: S,
     /// Per-thread machine choices.
     pub choice: Choice,
 }

@@ -12,27 +12,27 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 
 use crate::cost::CostMatrix;
-use crate::Solution;
+use crate::{Scalar, Solution};
 
 /// Euclidean projection of `v` onto the probability simplex
 /// `{x : x_i ≥ 0, Σ x_i = 1}` (Held/Wolfe/Crowder; O(M log M)).
-pub fn project_row_simplex(v: &[f64]) -> Vec<f64> {
+pub fn project_row_simplex<S: Scalar>(v: &[S]) -> Vec<S> {
     assert!(!v.is_empty(), "empty row");
     let mut sorted = v.to_vec();
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("NaN in projection"));
-    let mut cumulative = 0.0;
+    let mut cumulative = S::ZERO;
     let mut rho = 0usize;
-    let mut theta = 0.0;
+    let mut theta = S::ZERO;
     for (k, &u) in sorted.iter().enumerate() {
         cumulative += u;
-        let candidate = (cumulative - 1.0) / (k + 1) as f64;
-        if u - candidate > 0.0 {
+        let candidate = (cumulative - S::ONE) / S::from_f64((k + 1) as f64);
+        if u - candidate > S::ZERO {
             rho = k + 1;
             theta = candidate;
         }
     }
     debug_assert!(rho > 0);
-    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+    v.iter().map(|&x| (x - theta).max(S::ZERO)).collect()
 }
 
 /// Relaxes the proto-action, then samples `k` rounded feasible actions and
@@ -42,22 +42,22 @@ pub fn project_row_simplex(v: &[f64]) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics when `proto.len() != n * m` or `k == 0`.
-pub fn relax_and_round(
-    proto: &[f64],
+pub fn relax_and_round<S: Scalar>(
+    proto: &[S],
     n: usize,
     m: usize,
     k: usize,
     rng: &mut StdRng,
-) -> Vec<Solution> {
+) -> Vec<Solution<S>> {
     assert!(k > 0, "k must be positive");
     assert_eq!(proto.len(), n * m, "proto-action size");
     let costs = CostMatrix::from_proto_action(proto, n, m);
-    let probs: Vec<Vec<f64>> = (0..n)
+    let probs: Vec<Vec<S>> = (0..n)
         .map(|i| project_row_simplex(&proto[i * m..(i + 1) * m]))
         .collect();
 
     let mut seen = std::collections::HashSet::new();
-    let mut out: Vec<Solution> = Vec::with_capacity(k);
+    let mut out: Vec<Solution<S>> = Vec::with_capacity(k);
 
     // Deterministic argmax rounding first.
     let argmax: Vec<usize> = probs
@@ -94,14 +94,16 @@ pub fn relax_and_round(
     out
 }
 
-fn sample_categorical(p: &[f64], rng: &mut StdRng) -> usize {
-    let total: f64 = p.iter().sum();
+fn sample_categorical<S: Scalar>(p: &[S], rng: &mut StdRng) -> usize {
+    // Draw in f64 regardless of the cost element type so the RNG stream
+    // (and therefore rounding diversity) is precision-independent.
+    let total: f64 = p.iter().map(|w| w.to_f64()).sum();
     let mut u = rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
     for (j, &w) in p.iter().enumerate() {
-        if u < w {
+        if u < w.to_f64() {
             return j;
         }
-        u -= w;
+        u -= w.to_f64();
     }
     p.len() - 1
 }

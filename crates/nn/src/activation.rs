@@ -9,6 +9,16 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::scalar::Scalar;
+
+/// Logistic sigmoid over any [`Scalar`] — shared between
+/// [`Activation::apply`] and the monomorphized GEMM epilogue in
+/// [`crate::matrix`] so the formula lives in one place.
+#[inline(always)]
+pub(crate) fn sigmoid<S: Scalar>(z: S) -> S {
+    S::ONE / (S::ONE + (-z).exp())
+}
+
 /// Element-wise activation applied after a dense layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Activation {
@@ -23,12 +33,12 @@ pub enum Activation {
 }
 
 impl Activation {
-    /// Applies the activation to one value.
-    pub fn apply(self, z: f64) -> f64 {
+    /// Applies the activation to one value (any [`Scalar`] element type).
+    pub fn apply<S: Scalar>(self, z: S) -> S {
         match self {
             Activation::Tanh => z.tanh(),
-            Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
-            Activation::Relu => z.max(0.0),
+            Activation::Sigmoid => sigmoid(z),
+            Activation::Relu => z.max(S::ZERO),
             Activation::Identity => z,
         }
     }
@@ -38,18 +48,18 @@ impl Activation {
     /// All four supported activations admit this form, which lets layers
     /// cache only their outputs:
     /// `tanh' = 1 − a²`, `σ' = a(1 − a)`, `relu' = [a > 0]`, `id' = 1`.
-    pub fn derivative_from_output(self, a: f64) -> f64 {
+    pub fn derivative_from_output<S: Scalar>(self, a: S) -> S {
         match self {
-            Activation::Tanh => 1.0 - a * a,
-            Activation::Sigmoid => a * (1.0 - a),
+            Activation::Tanh => S::ONE - a * a,
+            Activation::Sigmoid => a * (S::ONE - a),
             Activation::Relu => {
-                if a > 0.0 {
-                    1.0
+                if a > S::ZERO {
+                    S::ONE
                 } else {
-                    0.0
+                    S::ZERO
                 }
             }
-            Activation::Identity => 1.0,
+            Activation::Identity => S::ONE,
         }
     }
 

@@ -4,13 +4,18 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 
 /// Xavier/Glorot uniform initialization: `W ~ U(-b, b)` with
 /// `b = sqrt(6 / (fan_in + fan_out))`. Keeps tanh pre-activations in the
-/// linear regime at the start of training.
-pub fn xavier_uniform(fan_out: usize, fan_in: usize, rng: &mut StdRng) -> Matrix {
+/// linear regime at the start of training. Draws in `f64` and narrows to
+/// the element type, so every `Scalar` instantiation consumes the same
+/// RNG stream (seed-for-seed comparable runs across precisions).
+pub fn xavier_uniform<S: Scalar>(fan_out: usize, fan_in: usize, rng: &mut StdRng) -> Matrix<S> {
     let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
-    Matrix::from_fn(fan_out, fan_in, |_, _| rng.random_range(-bound..bound))
+    Matrix::from_fn(fan_out, fan_in, |_, _| {
+        S::from_f64(rng.random_range(-bound..bound))
+    })
 }
 
 /// Deterministic RNG for a given seed (all weight init in the workspace
@@ -25,14 +30,14 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let a = xavier_uniform(4, 3, &mut seeded_rng(7));
-        let b = xavier_uniform(4, 3, &mut seeded_rng(7));
+        let a = xavier_uniform::<f64>(4, 3, &mut seeded_rng(7));
+        let b = xavier_uniform::<f64>(4, 3, &mut seeded_rng(7));
         assert_eq!(a, b);
     }
 
     #[test]
     fn respects_bound() {
-        let m = xavier_uniform(64, 32, &mut seeded_rng(1));
+        let m = xavier_uniform::<f64>(64, 32, &mut seeded_rng(1));
         let bound = (6.0_f64 / 96.0).sqrt();
         assert!(m.data().iter().all(|&v| v.abs() <= bound));
         // Not all-zero.
@@ -41,8 +46,17 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = xavier_uniform(4, 4, &mut seeded_rng(1));
-        let b = xavier_uniform(4, 4, &mut seeded_rng(2));
+        let a = xavier_uniform::<f64>(4, 4, &mut seeded_rng(1));
+        let b = xavier_uniform::<f64>(4, 4, &mut seeded_rng(2));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn precisions_draw_the_same_stream() {
+        let a = xavier_uniform::<f64>(4, 4, &mut seeded_rng(5));
+        let b = xavier_uniform::<f32>(4, 4, &mut seeded_rng(5));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(*x as f32, *y, "f32 init must narrow the f64 draw");
+        }
     }
 }

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use crate::activation::Activation;
 use crate::init::xavier_uniform;
 use crate::matrix::Matrix;
+use crate::scalar::{Elem, Scalar};
 
 /// Dense layer `a = act(x Wᵀ + b)`.
 ///
@@ -20,49 +21,49 @@ use crate::matrix::Matrix;
 ///   layer-owned scratch so that `backward` can produce parameter
 ///   gradients and the input gradient without reallocating.
 #[derive(Debug, Clone)]
-pub struct Dense {
-    w: Matrix,
-    b: Vec<f64>,
+pub struct Dense<S: Scalar = Elem> {
+    w: Matrix<S>,
+    b: Vec<S>,
     activation: Activation,
-    grad_w: Matrix,
-    grad_b: Vec<f64>,
+    grad_w: Matrix<S>,
+    grad_b: Vec<S>,
     /// Cached `Wᵀ` (in × out) in the GEMM kernel's layout, rebuilt lazily
     /// after any weight mutation, so the forward product `x · Wᵀ` packs
     /// nothing per call. Target networks, which only change on (soft)
     /// updates, reuse one pack across every forward in between.
-    w_packed: Matrix,
+    w_packed: Matrix<S>,
     w_packed_stale: bool,
-    scratch: Scratch,
+    scratch: Scratch<S>,
 }
 
 /// Per-layer training scratch. All four matrices hold their allocation
 /// across steps; `live` records whether `forward` has populated them and
 /// `grad_live` whether `backward` has populated `dx`.
 #[derive(Debug, Clone, Default)]
-struct Scratch {
+struct Scratch<S: Scalar> {
     /// Input batch of the last `forward` (batch × in).
-    input: Matrix,
+    input: Matrix<S>,
     /// Activated output of the last `forward` (batch × out).
-    output: Matrix,
+    output: Matrix<S>,
     /// Pre-activation gradient workspace (batch × out).
-    dz: Matrix,
+    dz: Matrix<S>,
     /// Input-gradient output (batch × in).
-    dx: Matrix,
+    dx: Matrix<S>,
     /// Whether `input`/`output` hold a forward pass.
     live: bool,
     /// Whether `dx` holds the gradient of the last forward pass.
     grad_live: bool,
 }
 
-impl Dense {
+impl<S: Scalar> Dense<S> {
     /// A new Xavier-initialized layer.
     pub fn new(input: usize, output: usize, activation: Activation, rng: &mut StdRng) -> Self {
         Self {
             w: xavier_uniform(output, input, rng),
-            b: vec![0.0; output],
+            b: vec![S::ZERO; output],
             activation,
             grad_w: Matrix::zeros(output, input),
-            grad_b: vec![0.0; output],
+            grad_b: vec![S::ZERO; output],
             w_packed: Matrix::zeros(0, 0),
             w_packed_stale: true,
             scratch: Scratch::default(),
@@ -70,10 +71,10 @@ impl Dense {
     }
 
     /// Rebuilds a layer from raw parts (deserialization).
-    pub fn from_parts(w: Matrix, b: Vec<f64>, activation: Activation) -> Self {
+    pub fn from_parts(w: Matrix<S>, b: Vec<S>, activation: Activation) -> Self {
         assert_eq!(w.rows(), b.len(), "bias/weight row mismatch");
         let grad_w = Matrix::zeros(w.rows(), w.cols());
-        let grad_b = vec![0.0; b.len()];
+        let grad_b = vec![S::ZERO; b.len()];
         Self {
             w,
             b,
@@ -102,12 +103,12 @@ impl Dense {
     }
 
     /// Weight matrix (out × in).
-    pub fn weights(&self) -> &Matrix {
+    pub fn weights(&self) -> &Matrix<S> {
         &self.w
     }
 
     /// Bias vector.
-    pub fn bias(&self) -> &[f64] {
+    pub fn bias(&self) -> &[S] {
         &self.b
     }
 
@@ -115,15 +116,14 @@ impl Dense {
     /// the input and activated output in layer scratch for
     /// [`Dense::backward`]. Returns the output; no allocation once shapes
     /// are warm.
-    pub fn forward(&mut self, x: &Matrix) -> &Matrix {
+    pub fn forward(&mut self, x: &Matrix<S>) -> &Matrix<S> {
         assert_eq!(x.cols(), self.input_size(), "layer input width");
         self.refresh_packed_weights();
         self.scratch.input.copy_from(x);
-        let act = self.activation;
         x.matmul_bias_act_into(
             &self.w_packed,
             &self.b,
-            |v| act.apply(v),
+            self.activation,
             &mut self.scratch.output,
         );
         self.scratch.live = true;
@@ -148,7 +148,7 @@ impl Dense {
     ///
     /// # Panics
     /// Panics when called before `forward`.
-    pub fn output(&self) -> &Matrix {
+    pub fn output(&self) -> &Matrix<S> {
         assert!(self.scratch.live, "output before forward");
         &self.scratch.output
     }
@@ -157,20 +157,27 @@ impl Dense {
     ///
     /// # Panics
     /// Panics when no `backward` has run since the last `forward`.
-    pub fn input_grad(&self) -> &Matrix {
+    pub fn input_grad(&self) -> &Matrix<S> {
         assert!(self.scratch.grad_live, "input_grad before backward");
         &self.scratch.dx
     }
 
     /// Forward pass without caching (inference only; allocates its
-    /// result — decision-time paths that need zero allocation route
-    /// through `forward` instead).
-    pub fn infer(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.input_size(), "layer input width");
+    /// result). Decision-time paths that need zero allocation use
+    /// [`Dense::infer_into`] over caller-owned scratch instead.
+    pub fn infer(&self, x: &Matrix<S>) -> Matrix<S> {
         let mut z = Matrix::default();
-        let act = self.activation;
-        x.matmul_transpose_b_bias_act_into(&self.w, &self.b, |v| act.apply(v), &mut z);
+        self.infer_into(x, &mut z);
         z
+    }
+
+    /// Cache-free forward into a caller-owned output matrix: the
+    /// shared-`&self` inference the allocation-free act path is built on
+    /// (the per-call `Wᵀ` pack lands in thread-local scratch, so once
+    /// shapes and the pack buffer are warm this allocates nothing).
+    pub fn infer_into(&self, x: &Matrix<S>, out: &mut Matrix<S>) {
+        assert_eq!(x.cols(), self.input_size(), "layer input width");
+        x.matmul_transpose_b_bias_act_into(&self.w, &self.b, self.activation, out);
     }
 
     /// Backward pass: given `dL/da` (`batch × out`), accumulates `dL/dW`
@@ -179,7 +186,7 @@ impl Dense {
     ///
     /// # Panics
     /// Panics when called before [`Dense::forward`].
-    pub fn backward(&mut self, grad_output: &Matrix) -> &Matrix {
+    pub fn backward(&mut self, grad_output: &Matrix<S>) -> &Matrix<S> {
         assert!(self.scratch.live, "backward before forward");
         let input = &self.scratch.input;
         let output = &self.scratch.output;
@@ -217,13 +224,13 @@ impl Dense {
 
     /// Clears accumulated gradients.
     pub fn zero_grad(&mut self) {
-        self.grad_w.data_mut().fill(0.0);
-        self.grad_b.fill(0.0);
+        self.grad_w.data_mut().fill(S::ZERO);
+        self.grad_b.fill(S::ZERO);
     }
 
     /// (parameters, gradients) flat views — weights then bias. Handing out
     /// mutable weights invalidates the packed-`Wᵀ` cache.
-    pub fn params_and_grads(&mut self) -> [(&mut [f64], &[f64]); 2] {
+    pub fn params_and_grads(&mut self) -> [(&mut [S], &[S]); 2] {
         self.w_packed_stale = true;
         [
             (self.w.data_mut(), self.grad_w.data()),
@@ -232,18 +239,18 @@ impl Dense {
     }
 
     /// Read-only flat parameter views (weights then bias).
-    pub fn params(&self) -> [&[f64]; 2] {
+    pub fn params(&self) -> [&[S]; 2] {
         [self.w.data(), &self.b]
     }
 
     /// Mutable flat gradient views (weights then bias).
-    pub fn grads_mut(&mut self) -> [&mut [f64]; 2] {
+    pub fn grads_mut(&mut self) -> [&mut [S]; 2] {
         [self.grad_w.data_mut(), self.grad_b.as_mut_slice()]
     }
 
     /// Mutable flat parameter views (weights then bias). Invalidates the
     /// packed-`Wᵀ` cache.
-    pub fn params_mut(&mut self) -> [&mut [f64]; 2] {
+    pub fn params_mut(&mut self) -> [&mut [S]; 2] {
         self.w_packed_stale = true;
         [self.w.data_mut(), self.b.as_mut_slice()]
     }
@@ -252,15 +259,17 @@ impl Dense {
     ///
     /// # Panics
     /// Panics when shapes differ.
-    pub fn soft_update_from(&mut self, source: &Dense, tau: f64) {
+    pub fn soft_update_from(&mut self, source: &Dense<S>, tau: f64) {
         assert_eq!(self.w.rows(), source.w.rows(), "soft update shape");
         assert_eq!(self.w.cols(), source.w.cols(), "soft update shape");
         self.w_packed_stale = true;
+        let tau = S::from_f64(tau);
+        let keep = S::ONE - tau;
         for (t, &s) in self.w.data_mut().iter_mut().zip(source.w.data()) {
-            *t = tau * s + (1.0 - tau) * *t;
+            *t = tau * s + keep * *t;
         }
         for (t, &s) in self.b.iter_mut().zip(&source.b) {
-            *t = tau * s + (1.0 - tau) * *t;
+            *t = tau * s + keep * *t;
         }
     }
 }
@@ -315,8 +324,8 @@ mod tests {
     #[test]
     fn soft_update_blends() {
         let mut rng = seeded_rng(1);
-        let mut target = Dense::new(2, 2, Activation::Tanh, &mut rng);
-        let source = Dense::new(2, 2, Activation::Tanh, &mut rng);
+        let mut target: Dense<f64> = Dense::new(2, 2, Activation::Tanh, &mut rng);
+        let source: Dense<f64> = Dense::new(2, 2, Activation::Tanh, &mut rng);
         let before = target.weights().clone();
         target.soft_update_from(&source, 0.25);
         for i in 0..4 {

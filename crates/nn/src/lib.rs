@@ -10,13 +10,32 @@
 //!
 //! Everything those networks need is implemented here with no external
 //! numerics: row-major [`Matrix`] ops over blocked, register-tiled GEMM
-//! kernels (see [`matrix`] for the scheme), manual backpropagation through
-//! [`Mlp`] with persistent per-layer scratch (zero heap allocations per
-//! training step once shapes are warm), Xavier initialization, SGD and
-//! Adam optimizers, MSE loss, target network soft updates
+//! kernels with explicit AVX2+FMA microkernels (see [`matrix`] and
+//! [`scalar`] for the scheme), manual backpropagation through [`Mlp`]
+//! with persistent per-layer scratch (zero heap allocations per training
+//! step once shapes are warm), Xavier initialization, SGD and Adam
+//! optimizers, MSE loss, target network soft updates
 //! (`θ' := τθ + (1−τ)θ'`), **input gradients** (`∇_a Q(s, a)` for the
 //! deterministic policy gradient), numerical gradient checking, and
 //! compact binary serialization.
+//!
+//! # Element types: the [`Scalar`] trait and [`Elem`]
+//!
+//! Every numeric type in this crate — and in the agents, solvers and
+//! control loop built on it — is generic over the sealed [`Scalar`]
+//! trait (`f32` | `f64`) and defaults to the workspace-wide training
+//! element [`Elem`]` = f32`: the paper's small MLPs gain nothing from
+//! f64, and single precision doubles SIMD lane width while halving
+//! memory traffic (the `f32_over_f64_*` pairs in `BENCH_nn.json`
+//! quantify it). The f32 tolerances are justified by measurement — see
+//! the gradient-check tolerance sweep in [`gradcheck`].
+//!
+//! To debug a numerical question in double precision, instantiate
+//! explicitly — `Matrix::<f64>`, `Mlp::<f64>`, `DdpgAgent::<f64>` and
+//! friends all stay fully functional and property-tested — or rebind
+//! `pub type Elem` in [`scalar`] to rebuild the whole stack in f64 (all
+//! literal plumbing goes through `Scalar::from_f64`, so nothing else
+//! changes).
 //!
 //! # Example
 //!
@@ -48,11 +67,13 @@ pub mod loss;
 pub mod matrix;
 pub mod mlp;
 pub mod optimizer;
+pub mod scalar;
 pub mod serialize;
 
 pub use activation::Activation;
 pub use layer::Dense;
 pub use loss::{mse_loss, mse_loss_grad};
 pub use matrix::Matrix;
-pub use mlp::Mlp;
+pub use mlp::{InferScratch, Mlp};
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use scalar::{microkernel_name, Elem, Microkernel, Scalar};

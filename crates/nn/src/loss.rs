@@ -4,13 +4,16 @@
 //! `L(θQ) = (1/H) Σ [y_i − Q(s_i, a_i)]²` (Algorithm 1, line 16).
 
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 
 /// Mean-squared-error loss over a batch, averaged over *rows* (samples),
-/// matching the paper's `1/H` factor. Returns the scalar loss.
+/// matching the paper's `1/H` factor. The scalar loss is reported in
+/// `f64` regardless of the element type (it is a diagnostic, not a hot
+/// value).
 ///
 /// # Panics
 /// Panics on shape mismatch.
-pub fn mse_loss(pred: &Matrix, target: &Matrix) -> f64 {
+pub fn mse_loss<S: Scalar>(pred: &Matrix<S>, target: &Matrix<S>) -> f64 {
     mse_loss_grad(pred, target).0
 }
 
@@ -20,15 +23,16 @@ pub fn mse_loss(pred: &Matrix, target: &Matrix) -> f64 {
 ///
 /// # Panics
 /// Panics on shape mismatch.
-pub fn mse_loss_grad(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+pub fn mse_loss_grad<S: Scalar>(pred: &Matrix<S>, target: &Matrix<S>) -> (f64, Matrix<S>) {
     assert_eq!(pred.rows(), target.rows(), "loss batch mismatch");
     assert_eq!(pred.cols(), target.cols(), "loss width mismatch");
     let batch = pred.rows() as f64;
-    let mut loss = 0.0;
+    let scale = S::from_f64(2.0 / batch);
+    let mut loss = 0.0f64;
     let grad = Matrix::from_fn(pred.rows(), pred.cols(), |r, c| {
         let d = pred[(r, c)] - target[(r, c)];
-        loss += d * d;
-        2.0 * d / batch
+        loss += d.to_f64() * d.to_f64();
+        scale * d
     });
     (loss / batch, grad)
 }
@@ -39,20 +43,28 @@ pub fn mse_loss_grad(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
 ///
 /// # Panics
 /// Panics on shape mismatch or non-positive `delta`.
-pub fn huber_loss_grad(pred: &Matrix, target: &Matrix, delta: f64) -> (f64, Matrix) {
+pub fn huber_loss_grad<S: Scalar>(
+    pred: &Matrix<S>,
+    target: &Matrix<S>,
+    delta: f64,
+) -> (f64, Matrix<S>) {
     assert!(delta > 0.0, "delta must be positive");
     assert_eq!(pred.rows(), target.rows(), "loss batch mismatch");
     assert_eq!(pred.cols(), target.cols(), "loss width mismatch");
     let batch = pred.rows() as f64;
-    let mut loss = 0.0;
+    let inv_batch = S::from_f64(1.0 / batch);
+    let delta_s = S::from_f64(delta);
+    let mut loss = 0.0f64;
     let grad = Matrix::from_fn(pred.rows(), pred.cols(), |r, c| {
         let d = pred[(r, c)] - target[(r, c)];
-        if d.abs() <= delta {
-            loss += 0.5 * d * d;
-            d / batch
+        let df = d.to_f64();
+        if df.abs() <= delta {
+            loss += 0.5 * df * df;
+            d * inv_batch
         } else {
-            loss += delta * (d.abs() - 0.5 * delta);
-            delta * d.signum() / batch
+            loss += delta * (df.abs() - 0.5 * delta);
+            let signed = if df >= 0.0 { delta_s } else { -delta_s };
+            signed * inv_batch
         }
     });
     (loss / batch, grad)

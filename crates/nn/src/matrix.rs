@@ -1,4 +1,6 @@
-//! Row-major dense matrices over `f64`, with blocked GEMM kernels.
+//! Row-major dense matrices, generic over the [`Scalar`] element type
+//! (`f32` by default — see [`crate::scalar`]), with blocked GEMM kernels
+//! over explicit SIMD microkernels.
 //!
 //! # Kernel design
 //!
@@ -7,16 +9,23 @@
 //! innermost loop runs over contiguous output columns `j`. Unlike a
 //! dot-product formulation — whose serial reduction chains cannot be
 //! SIMD-vectorized under strict IEEE semantics — every `j` iteration here
-//! is independent, so the compiler vectorizes the row update.
+//! is independent, so the row update vectorizes.
 //!
-//! * **Register blocking.** The kernel works one `MR × TJ` (4 × 16)
-//!   output tile at a time, holding the whole tile in vector registers
-//!   across the entire reduction loop: per step it broadcasts four `A`
-//!   scalars against one 16-wide `B` stripe — 8 independent FMA streams,
-//!   4× register reuse of every `B` element — and stores the tile back
+//! * **Register blocking.** The kernel works one `MR × TJ` output tile at
+//!   a time (4 × 16 for f32, 4 × 8 for f64 — two AVX2 vectors per row
+//!   either way), holding the whole tile in vector registers across the
+//!   entire reduction loop: per step it broadcasts four `A` scalars
+//!   against one `TJ`-wide `B` stripe — 8 independent FMA streams, 4×
+//!   register reuse of every `B` element — and stores the tile back
 //!   exactly once. This is what removes the store-port bottleneck of the
-//!   row-streaming form (which re-stores output rows on every reduction
-//!   step); widening the tile past 4×16 spills registers and collapses.
+//!   row-streaming form; widening the tile spills registers and collapses.
+//!
+//! * **Explicit microkernels.** The inner tile is no longer left to LLVM
+//!   autovectorization: [`Scalar::gemm_tile`] dispatches to hand-written
+//!   AVX2+FMA intrinsics on `x86_64` (runtime-detected) with a portable
+//!   `mul_add` fallback that is **bit-identical** to the SIMD kernel —
+//!   see [`crate::scalar`] for the dispatch rules and `DSS_NO_SIMD`.
+//!   Tail rows and columns (shared by both kernels) use `mul_add` too.
 //!
 //! * **Packing.** The kernel wants the RHS row-major with rows indexed by
 //!   the reduction dimension. [`Matrix::matmul_into`] already has that and
@@ -25,49 +34,41 @@
 //!   into a thread-local scratch buffer — `W`'s columns become contiguous
 //!   kernel rows. [`Matrix::matmul_transpose_a_into`] needs no packing
 //!   either: transposing `A` just means the register tile runs over `A`'s
-//!   *columns* (strided scalar loads, contiguous everything else), which
-//!   [`gemm_stream_at`] does directly.
+//!   *columns* (contiguous 4-wide loads, contiguous everything else),
+//!   which [`gemm_stream_at`] does directly.
 //!
 //! * **Scratch reuse.** All `_into` variants write into caller-provided
 //!   output matrices, resizing in place; the pack buffer is thread-local
-//!   and grows monotonically. After shapes stabilize (one warm-up step of
-//!   a training loop) the whole GEMM path performs **zero heap
-//!   allocations**.
+//!   (one per scalar type) and grows monotonically. After shapes
+//!   stabilize the whole GEMM path performs **zero heap allocations**.
 //!
 //! * **Row sharding.** The `MR`-row register-tile bands are independent,
-//!   so large products are sharded across the [`workpool`] pool: the
-//!   output (and, for the untransposed kernel, the LHS) splits into
-//!   disjoint contiguous row bands via `split_at_mut`, one scoped task per
-//!   band, each running the unchanged serial kernel. A size heuristic
-//!   ([`PAR_MIN_FLOPS`]) keeps small products on the serial path — at the
-//!   paper's hidden sizes a whole layer forward is cheaper than waking a
-//!   worker — and every worker thread has its *own* thread-local pack
-//!   scratch, so parallel actors running independent products never
-//!   contend. Transposed-RHS packing stays on the calling thread (the
-//!   packed buffer is then shared read-only by the bands).
+//!   so large products are sharded across the [`workpool`] pool exactly as
+//!   before (disjoint contiguous row bands via `split_at_mut`, a
+//!   [`PAR_MIN_FLOPS`] size heuristic, per-thread pack scratch).
 //!
 //! * **Fused bias + activation.** [`Matrix::matmul_bias_act_into`] and
 //!   [`Matrix::matmul_transpose_b_bias_act_into`] apply the broadcast bias
 //!   add and the activation inside each band task right after its rows are
-//!   produced — the epilogue runs in parallel and touches the output while
-//!   it is still cache-hot, instead of a separate serial sweep.
+//!   produced. The activation is passed as the [`Activation`] *enum* and
+//!   matched **once per band**, monomorphizing the per-element call —
+//!   the earlier closure-based epilogue cost ~15% of `dqn_train_step` in
+//!   indirect calls.
 //!
 //! The original naive triple loops survive only as a `#[cfg(test)]`
 //! reference oracle; property tests check the blocked kernels against them
-//! over hundreds of random shapes (including empty and 1×n edge cases) to
-//! a 1e-12 tolerance, and check the parallel shards against the serial
-//! kernel on both sides of the size cutoff.
+//! over hundreds of random shapes for **both** scalar types, check the
+//! parallel shards against the serial kernel on both sides of the size
+//! cutoff, and check the AVX2 and scalar microkernels against each other
+//! bit for bit.
 
-use std::cell::RefCell;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-/// Register tile height: A rows advanced together, sharing each B row.
-const MR: usize = 4;
-/// Register tile width in output columns: with `MR = 4` this keeps the
-/// 4×16 f64 accumulator block in vector registers across the whole
-/// reduction loop (wider tiles spill and fall off a cliff).
-const TJ: usize = 16;
+use crate::activation::Activation;
+use crate::scalar::{active_microkernel, Elem, Scalar, MR};
+
+pub use crate::scalar::{avx2_available, microkernel_name, with_microkernel};
 
 /// Products below this many multiply-adds (`m·k·n`) stay on the serial
 /// path: the paper's per-layer products at `H = 32` (32·64·32 ≈ 65k) are
@@ -75,31 +76,27 @@ const TJ: usize = 16;
 /// and the CQ-large input layer (32·2001·64 ≈ 4M) shard profitably.
 const PAR_MIN_FLOPS: usize = 128 * 1024;
 
-thread_local! {
-    /// Pack buffer for transposed operands, reused across calls.
-    static PACK: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
-}
-
-/// A dense row-major matrix.
+/// A dense row-major matrix over scalar type `S` (default: the
+/// workspace-wide training element [`Elem`]).
 #[derive(Clone, PartialEq)]
-pub struct Matrix {
+pub struct Matrix<S: Scalar = Elem> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl Matrix {
+impl<S: Scalar> Matrix<S> {
     /// An all-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![S::ZERO; rows * cols],
         }
     }
 
     /// Builds from a closure over `(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -113,7 +110,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics when rows have differing lengths or no rows are given.
-    pub fn from_rows(rows: &[&[f64]]) -> Self {
+    pub fn from_rows(rows: &[&[S]]) -> Self {
         assert!(!rows.is_empty(), "from_rows needs at least one row");
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
@@ -129,7 +126,7 @@ impl Matrix {
     }
 
     /// A 1×n matrix holding `row`.
-    pub fn row_vector(row: &[f64]) -> Self {
+    pub fn row_vector(row: &[S]) -> Self {
         Self {
             rows: 1,
             cols: row.len(),
@@ -141,7 +138,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics when `data.len() != rows * cols`.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer size mismatch");
         Self { rows, cols, data }
     }
@@ -157,22 +154,22 @@ impl Matrix {
     }
 
     /// The underlying row-major buffer.
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[S] {
         &self.data
     }
 
     /// Mutable access to the underlying buffer.
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [S] {
         &mut self.data
     }
 
     /// Borrows row `r` as a slice.
-    pub fn row(&self, r: usize) -> &[f64] {
+    pub fn row(&self, r: usize) -> &[S] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutably borrows row `r`.
-    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, r: usize) -> &mut [S] {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -187,12 +184,12 @@ impl Matrix {
     pub fn resize(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
-        self.data.resize(rows * cols, 0.0);
+        self.data.resize(rows * cols, S::ZERO);
     }
 
     /// Makes `self` a same-shaped copy of `src` (no allocation once
     /// capacity suffices).
-    pub fn copy_from(&mut self, src: &Matrix) {
+    pub fn copy_from(&mut self, src: &Matrix<S>) {
         self.resize(src.rows, src.cols);
         self.data.copy_from_slice(&src.data);
     }
@@ -201,7 +198,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
-    pub fn matmul(&self, other: &Matrix) -> Matrix {
+    pub fn matmul(&self, other: &Matrix<S>) -> Matrix<S> {
         let mut out = Matrix::zeros(0, 0);
         self.matmul_into(other, &mut out);
         out
@@ -213,7 +210,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
-    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+    pub fn matmul_into(&self, other: &Matrix<S>, out: &mut Matrix<S>) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dims {}x{} * {}x{}",
@@ -228,24 +225,25 @@ impl Matrix {
             other.cols,
             &mut out.data,
             false,
-            NO_EPILOGUE,
+            None,
         );
     }
 
     /// Fused `act(self * other + bias)` into `out` — the layer-forward
     /// epilogue folded into the GEMM: each row band applies the broadcast
     /// bias add and the activation right after it is produced (in
-    /// parallel, while the band is cache-hot).
+    /// parallel, while the band is cache-hot). The activation is matched
+    /// once per band, so the per-element call is statically dispatched.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch or when
     /// `bias.len() != other.cols()`.
     pub fn matmul_bias_act_into(
         &self,
-        other: &Matrix,
-        bias: &[f64],
-        act: impl Fn(f64) -> f64 + Sync,
-        out: &mut Matrix,
+        other: &Matrix<S>,
+        bias: &[S],
+        act: Activation,
+        out: &mut Matrix<S>,
     ) {
         assert_eq!(
             self.cols, other.rows,
@@ -262,7 +260,7 @@ impl Matrix {
             other.cols,
             &mut out.data,
             false,
-            Some((bias, &act)),
+            Some((bias, act)),
         );
     }
 
@@ -270,7 +268,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics when column counts differ.
-    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+    pub fn matmul_transpose_b(&self, other: &Matrix<S>) -> Matrix<S> {
         let mut out = Matrix::zeros(0, 0);
         self.matmul_transpose_b_into(other, &mut out);
         out
@@ -282,8 +280,8 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics when column counts differ.
-    pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
-        self.t_b_kernel(other, out, NO_EPILOGUE);
+    pub fn matmul_transpose_b_into(&self, other: &Matrix<S>, out: &mut Matrix<S>) {
+        self.t_b_kernel(other, out, None);
     }
 
     /// Fused `act(self * otherᵀ + bias)` into `out` — like
@@ -293,24 +291,19 @@ impl Matrix {
     /// Panics when column counts differ or `bias.len() != other.rows()`.
     pub fn matmul_transpose_b_bias_act_into(
         &self,
-        other: &Matrix,
-        bias: &[f64],
-        act: impl Fn(f64) -> f64 + Sync,
-        out: &mut Matrix,
+        other: &Matrix<S>,
+        bias: &[S],
+        act: Activation,
+        out: &mut Matrix<S>,
     ) {
         assert_eq!(bias.len(), other.rows, "bias width");
-        self.t_b_kernel(other, out, Some((bias, &act)));
+        self.t_b_kernel(other, out, Some((bias, act)));
     }
 
     /// Shared core of the `self * otherᵀ` variants: packs `otherᵀ` into
     /// thread-local scratch on the calling thread, then dispatches with
     /// the pack shared read-only across row bands.
-    fn t_b_kernel<F: Fn(f64) -> f64 + Sync>(
-        &self,
-        other: &Matrix,
-        out: &mut Matrix,
-        epilogue: Epilogue<'_, F>,
-    ) {
+    fn t_b_kernel(&self, other: &Matrix<S>, out: &mut Matrix<S>, epilogue: Epilogue<'_, S>) {
         assert_eq!(self.cols, other.cols, "matmul_t_b dims");
         out.resize(self.rows, other.rows);
         // Move the pack buffer *out* of the thread-local for the duration
@@ -319,7 +312,7 @@ impl Matrix {
         // rollout running `Dense::infer` while the learner waits on a
         // sharded product), and holding the RefCell borrow across the
         // scope would make that re-entry panic.
-        let mut pack = PACK.take();
+        let mut pack = S::take_pack();
         pack_transpose(other, &mut pack);
         gemm_dispatch(
             &self.data,
@@ -331,14 +324,14 @@ impl Matrix {
             false,
             epilogue,
         );
-        PACK.set(pack);
+        S::put_pack(pack);
     }
 
     /// `selfᵀ * other` — (m×k)ᵀ·(m×n) → k×n, freshly allocated.
     ///
     /// # Panics
     /// Panics when row counts differ.
-    pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
+    pub fn matmul_transpose_a(&self, other: &Matrix<S>) -> Matrix<S> {
         let mut out = Matrix::zeros(0, 0);
         self.matmul_transpose_a_into(other, &mut out);
         out
@@ -348,7 +341,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics when row counts differ.
-    pub fn matmul_transpose_a_into(&self, other: &Matrix, out: &mut Matrix) {
+    pub fn matmul_transpose_a_into(&self, other: &Matrix<S>, out: &mut Matrix<S>) {
         out.resize(self.cols, other.cols);
         self.transpose_a_kernel(other, out, false);
     }
@@ -358,7 +351,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics when row counts differ or `out` is not k×n.
-    pub fn matmul_transpose_a_acc(&self, other: &Matrix, out: &mut Matrix) {
+    pub fn matmul_transpose_a_acc(&self, other: &Matrix<S>, out: &mut Matrix<S>) {
         assert_eq!(
             (out.rows, out.cols),
             (self.cols, other.cols),
@@ -368,9 +361,9 @@ impl Matrix {
     }
 
     /// Shared core of the `selfᵀ * other` variants: the transposed-A
-    /// kernel walks `self`'s columns directly (strided scalar loads), so
-    /// no packing is needed and accumulation lands straight in `out`.
-    fn transpose_a_kernel(&self, other: &Matrix, out: &mut Matrix, accumulate: bool) {
+    /// kernel walks `self`'s columns directly (contiguous 4-wide loads),
+    /// so no packing is needed and accumulation lands straight in `out`.
+    fn transpose_a_kernel(&self, other: &Matrix<S>, out: &mut Matrix<S>, accumulate: bool) {
         assert_eq!(self.rows, other.rows, "matmul_t_a dims");
         gemm_at_dispatch(
             &self.data,
@@ -387,7 +380,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics when `row.len() != self.cols()`.
-    pub fn add_row_broadcast(&mut self, row: &[f64]) {
+    pub fn add_row_broadcast(&mut self, row: &[S]) {
         self.add_row_activate(row, |v| v);
     }
 
@@ -397,7 +390,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics when `row.len() != self.cols()`.
-    pub fn add_row_activate(&mut self, row: &[f64], mut f: impl FnMut(f64) -> f64) {
+    pub fn add_row_activate(&mut self, row: &[S], mut f: impl FnMut(S) -> S) {
         assert_eq!(row.len(), self.cols, "broadcast width mismatch");
         for r in 0..self.rows {
             for (v, &b) in self.row_mut(r).iter_mut().zip(row) {
@@ -407,7 +400,7 @@ impl Matrix {
     }
 
     /// Element-wise in-place map.
-    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+    pub fn map_inplace(&mut self, mut f: impl FnMut(S) -> S) {
         for v in &mut self.data {
             *v = f(*v);
         }
@@ -417,7 +410,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+    pub fn hadamard(&self, other: &Matrix<S>) -> Matrix<S> {
         assert_eq!(
             (self.rows, self.cols),
             (other.rows, other.cols),
@@ -437,8 +430,8 @@ impl Matrix {
     }
 
     /// Sum over rows, producing one value per column.
-    pub fn column_sums(&self) -> Vec<f64> {
-        let mut sums = vec![0.0; self.cols];
+    pub fn column_sums(&self) -> Vec<S> {
+        let mut sums = vec![S::ZERO; self.cols];
         self.add_column_sums_to(&mut sums);
         sums
     }
@@ -448,7 +441,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics when `acc.len() != self.cols()`.
-    pub fn add_column_sums_to(&self, acc: &mut [f64]) {
+    pub fn add_column_sums_to(&self, acc: &mut [S]) {
         assert_eq!(acc.len(), self.cols, "column sum width");
         for r in 0..self.rows {
             for (s, &v) in acc.iter_mut().zip(self.row(r)) {
@@ -457,22 +450,27 @@ impl Matrix {
         }
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (accumulated and reported in `f64` regardless of
+    /// the element type).
     pub fn norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|v| v.to_f64() * v.to_f64())
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
 /// Packs `m`'s transpose into `pack` (resized to cols×rows, row-major).
-fn pack_transpose(m: &Matrix, pack: &mut Vec<f64>) {
-    pack.resize(m.data.len(), 0.0);
+fn pack_transpose<S: Scalar>(m: &Matrix<S>, pack: &mut Vec<S>) {
+    pack.resize(m.data.len(), S::ZERO);
     transpose_into(&m.data, m.rows, m.cols, pack);
 }
 
 /// Writes the transpose of a rows×cols row-major buffer into `out`
 /// (cols×rows row-major). Iterates the *source* row-major so reads stream;
 /// writes stride by `rows`, which stays cheap at this workspace's sizes.
-fn transpose_into(src: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+fn transpose_into<S: Scalar>(src: &[S], rows: usize, cols: usize, out: &mut [S]) {
     debug_assert_eq!(src.len(), rows * cols);
     debug_assert_eq!(out.len(), rows * cols);
     for r in 0..rows {
@@ -483,23 +481,28 @@ fn transpose_into(src: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
     }
 }
 
-/// Optional fused epilogue: broadcast bias plus element-wise activation,
-/// applied per row band immediately after the band's GEMM. Generic over
-/// the activation so the per-element call stays statically dispatched
-/// (a `dyn Fn` here costs an indirect call per output element — measured
-/// at ~15% on `dqn_train_step`).
-type Epilogue<'a, F> = Option<(&'a [f64], &'a F)>;
+/// Optional fused epilogue: broadcast bias plus the activation *enum*.
+/// Carrying the enum (rather than a closure or `dyn Fn`) lets
+/// [`apply_epilogue`] match once per band and run a monomorphized loop
+/// per variant — the `dyn Fn` epilogue this replaces cost ~15% of
+/// `dqn_train_step` in per-element indirect calls.
+type Epilogue<'a, S> = Option<(&'a [S], Activation)>;
 
-/// Marker for the epilogue-free dispatch calls (monomorphizes the
-/// activation parameter to a plain fn pointer that is never called).
-const NO_EPILOGUE: Epilogue<'static, fn(f64) -> f64> = None;
-
-/// Applies the fused epilogue to a band of rows (`band.len() = rows·n`).
-fn apply_epilogue<F: Fn(f64) -> f64 + Sync>(band: &mut [f64], n: usize, bias: &[f64], act: &F) {
-    for row in band.chunks_exact_mut(n) {
-        for (v, &b) in row.iter_mut().zip(bias) {
-            *v = act(*v + b);
+/// Applies the fused epilogue to a band of rows (`band.len() = rows·n`):
+/// one `match` on the activation, then a tight statically-dispatched loop.
+fn apply_epilogue<S: Scalar>(band: &mut [S], n: usize, bias: &[S], act: Activation) {
+    fn sweep<S: Scalar>(band: &mut [S], n: usize, bias: &[S], f: impl Fn(S) -> S) {
+        for row in band.chunks_exact_mut(n) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v = f(*v + b);
+            }
         }
+    }
+    match act {
+        Activation::Tanh => sweep(band, n, bias, |v: S| v.tanh()),
+        Activation::Sigmoid => sweep(band, n, bias, crate::activation::sigmoid::<S>),
+        Activation::Relu => sweep(band, n, bias, |v: S| v.max(S::ZERO)),
+        Activation::Identity => sweep(band, n, bias, |v| v),
     }
 }
 
@@ -513,15 +516,15 @@ fn worth_sharding(threads: usize, rows: usize, flops: usize) -> bool {
 /// current pool and the product size justify it, else runs the serial
 /// kernel (plus epilogue) inline.
 #[allow(clippy::too_many_arguments)]
-fn gemm_dispatch<F: Fn(f64) -> f64 + Sync>(
-    a: &[f64],
+fn gemm_dispatch<S: Scalar>(
+    a: &[S],
     m: usize,
     k: usize,
-    b: &[f64],
+    b: &[S],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
     accumulate: bool,
-    epilogue: Epilogue<'_, F>,
+    epilogue: Epilogue<'_, S>,
 ) {
     let flops = m.saturating_mul(k).saturating_mul(n);
     workpool::with_current(|pool| {
@@ -542,16 +545,16 @@ fn gemm_dispatch<F: Fn(f64) -> f64 + Sync>(
 /// kernel — and, when fused, its epilogue — on its own slice. Safe Rust
 /// throughout: the bands come from `split_at`/`split_at_mut`.
 #[allow(clippy::too_many_arguments)]
-fn gemm_parallel<F: Fn(f64) -> f64 + Sync>(
+fn gemm_parallel<S: Scalar>(
     pool: &workpool::Pool,
-    a: &[f64],
+    a: &[S],
     m: usize,
     k: usize,
-    b: &[f64],
+    b: &[S],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
     accumulate: bool,
-    epilogue: Epilogue<'_, F>,
+    epilogue: Epilogue<'_, S>,
 ) {
     let bands = pool.threads().min(m.div_ceil(MR)).max(1);
     let rows_per = m.div_ceil(bands).div_ceil(MR) * MR;
@@ -578,13 +581,13 @@ fn gemm_parallel<F: Fn(f64) -> f64 + Sync>(
 
 /// Transposed-A entry point: same routing as [`gemm_dispatch`] for
 /// `out[p×n] (+)= aᵀ · b` (output rows are `a`'s columns).
-fn gemm_at_dispatch(
-    a: &[f64],
+fn gemm_at_dispatch<S: Scalar>(
+    a: &[S],
     m: usize,
     p: usize,
-    b: &[f64],
+    b: &[S],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
     accumulate: bool,
 ) {
     let flops = m.saturating_mul(p).saturating_mul(n);
@@ -601,14 +604,14 @@ fn gemm_at_dispatch(
 /// *columns* of `a`, so only `out` is banded (each task reads all of `a`
 /// and `b`, strided by its column range).
 #[allow(clippy::too_many_arguments)]
-fn gemm_at_parallel(
+fn gemm_at_parallel<S: Scalar>(
     pool: &workpool::Pool,
-    a: &[f64],
+    a: &[S],
     m: usize,
     p: usize,
-    b: &[f64],
+    b: &[S],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
     accumulate: bool,
 ) {
     let bands = pool.threads().min(p.div_ceil(MR)).max(1);
@@ -627,62 +630,43 @@ fn gemm_at_parallel(
 }
 
 /// The blocked accumulation kernel: `out[m×n] (+)= a[m×k] · b[k×n]`, all
-/// row-major. An `MR × TJ` accumulator block lives in vector registers
-/// across the entire reduction loop — each iteration broadcasts four `A`
-/// scalars against one 16-wide `B` stripe (8 independent FMA streams), and
-/// the block is written back to `out` exactly once per tile. Tail rows and
-/// columns fall back to simple streamed updates.
-fn gemm_stream(
-    a: &[f64],
+/// row-major. Full `MR × TJ` tiles run through the dispatched microkernel
+/// ([`Scalar::gemm_tile`] — AVX2+FMA or the bit-identical `mul_add`
+/// fallback); tail rows and columns fall back to simple streamed updates
+/// shared by both kernels.
+fn gemm_stream<S: Scalar>(
+    a: &[S],
     m: usize,
     k: usize,
-    b: &[f64],
+    b: &[S],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
     accumulate: bool,
 ) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     if !accumulate {
-        out.fill(0.0);
+        out.fill(S::ZERO);
     }
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let kernel = active_microkernel();
+    let tj = S::TJ;
     let mut i = 0;
     while i + MR <= m {
         let mut jt = 0;
-        while jt + TJ <= n {
-            let mut acc = [[0.0f64; TJ]; MR];
-            for l in 0..k {
-                let bt = &b[l * n + jt..l * n + jt + TJ];
-                let ar = [
-                    a[i * k + l],
-                    a[(i + 1) * k + l],
-                    a[(i + 2) * k + l],
-                    a[(i + 3) * k + l],
-                ];
-                for r in 0..MR {
-                    for x in 0..TJ {
-                        acc[r][x] += ar[r] * bt[x];
-                    }
-                }
-            }
-            for (r, acc_row) in acc.iter().enumerate() {
-                let o = &mut out[(i + r) * n + jt..(i + r) * n + jt + TJ];
-                for (ov, &av) in o.iter_mut().zip(acc_row) {
-                    *ov += av;
-                }
-            }
-            jt += TJ;
+        while jt + tj <= n {
+            S::gemm_tile(kernel, &a[i * k..], k, b, n, jt, &mut out[i * n..]);
+            jt += tj;
         }
         while jt < n {
-            let mut acc = [0.0f64; MR];
+            let mut acc = [S::ZERO; MR];
             for l in 0..k {
                 let bv = b[l * n + jt];
                 for (r, av) in acc.iter_mut().enumerate() {
-                    *av += a[(i + r) * k + l] * bv;
+                    *av = a[(i + r) * k + l].mul_add(bv, *av);
                 }
             }
             for (r, &av) in acc.iter().enumerate() {
@@ -698,7 +682,7 @@ fn gemm_stream(
             let av = a[i * k + l];
             let b_row = &b[l * n..(l + 1) * n];
             for (ov, &bv) in o.iter_mut().zip(b_row) {
-                *ov += av * bv;
+                *ov = av.mul_add(bv, *ov);
             }
         }
         i += 1;
@@ -709,13 +693,13 @@ fn gemm_stream(
 /// untransposed (m×p row-major). Identical tiling; the four broadcast
 /// scalars per step are four *adjacent columns* of `a` — one contiguous
 /// 4-element load per reduction index — so no packing is needed.
-fn gemm_stream_at(
-    a: &[f64],
+fn gemm_stream_at<S: Scalar>(
+    a: &[S],
     m: usize,
     p: usize,
-    b: &[f64],
+    b: &[S],
     n: usize,
-    out: &mut [f64],
+    out: &mut [S],
     accumulate: bool,
 ) {
     debug_assert_eq!(out.len(), p * n);
@@ -727,15 +711,15 @@ fn gemm_stream_at(
 /// slice. This is the unit the parallel path shards on — bands touch
 /// disjoint `out` slices while reading `a` and `b` shared.
 #[allow(clippy::too_many_arguments)]
-fn gemm_stream_at_range(
-    a: &[f64],
+fn gemm_stream_at_range<S: Scalar>(
+    a: &[S],
     m: usize,
     p: usize,
-    b: &[f64],
+    b: &[S],
     n: usize,
     q0: usize,
     q1: usize,
-    out_band: &mut [f64],
+    out_band: &mut [S],
     accumulate: bool,
 ) {
     debug_assert_eq!(a.len(), m * p);
@@ -743,41 +727,28 @@ fn gemm_stream_at_range(
     debug_assert!(q0 <= q1 && q1 <= p);
     debug_assert_eq!(out_band.len(), (q1 - q0) * n);
     if !accumulate {
-        out_band.fill(0.0);
+        out_band.fill(S::ZERO);
     }
     if m == 0 || n == 0 || q0 == q1 {
         return;
     }
+    let kernel = active_microkernel();
+    let tj = S::TJ;
     let row = |q: usize| (q - q0) * n;
     let mut q = q0;
     while q + MR <= q1 {
         let mut jt = 0;
-        while jt + TJ <= n {
-            let mut acc = [[0.0f64; TJ]; MR];
-            for l in 0..m {
-                let bt = &b[l * n + jt..l * n + jt + TJ];
-                let ar = &a[l * p + q..l * p + q + MR];
-                for r in 0..MR {
-                    for x in 0..TJ {
-                        acc[r][x] += ar[r] * bt[x];
-                    }
-                }
-            }
-            for (r, acc_row) in acc.iter().enumerate() {
-                let o = &mut out_band[row(q + r) + jt..row(q + r) + jt + TJ];
-                for (ov, &av) in o.iter_mut().zip(acc_row) {
-                    *ov += av;
-                }
-            }
-            jt += TJ;
+        while jt + tj <= n {
+            S::gemm_tile_at(kernel, a, m, p, q, b, n, jt, &mut out_band[row(q)..]);
+            jt += tj;
         }
         while jt < n {
-            let mut acc = [0.0f64; MR];
+            let mut acc = [S::ZERO; MR];
             for l in 0..m {
                 let bv = b[l * n + jt];
                 let ar = &a[l * p + q..l * p + q + MR];
                 for (av, &aval) in acc.iter_mut().zip(ar) {
-                    *av += aval * bv;
+                    *av = aval.mul_add(bv, *av);
                 }
             }
             for (r, &av) in acc.iter().enumerate() {
@@ -793,14 +764,14 @@ fn gemm_stream_at_range(
             let av = a[l * p + q];
             let b_row = &b[l * n..(l + 1) * n];
             for (ov, &bv) in o.iter_mut().zip(b_row) {
-                *ov += av * bv;
+                *ov = av.mul_add(bv, *ov);
             }
         }
         q += 1;
     }
 }
 
-impl Default for Matrix {
+impl<S: Scalar> Default for Matrix<S> {
     /// An empty 0×0 matrix (no allocation) — the idiomatic initial state
     /// for scratch buffers that `resize` on first use.
     fn default() -> Self {
@@ -808,24 +779,24 @@ impl Default for Matrix {
     }
 }
 
-impl Index<(usize, usize)> for Matrix {
-    type Output = f64;
-    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+impl<S: Scalar> Index<(usize, usize)> for Matrix<S> {
+    type Output = S;
+    fn index(&self, (r, c): (usize, usize)) -> &S {
         debug_assert!(r < self.rows && c < self.cols);
         &self.data[r * self.cols + c]
     }
 }
 
-impl IndexMut<(usize, usize)> for Matrix {
-    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+impl<S: Scalar> IndexMut<(usize, usize)> for Matrix<S> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut S {
         debug_assert!(r < self.rows && c < self.cols);
         &mut self.data[r * self.cols + c]
     }
 }
 
-impl fmt::Debug for Matrix {
+impl<S: Scalar> fmt::Debug for Matrix<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        writeln!(f, "Matrix<{}> {}x{} [", S::NAME, self.rows, self.cols)?;
         for r in 0..self.rows.min(8) {
             writeln!(f, "  {:?}", self.row(r))?;
         }
@@ -838,13 +809,13 @@ impl fmt::Debug for Matrix {
 
 /// Naive triple-loop reference kernels: the pre-blocking implementations,
 /// kept solely as the oracle the property tests compare the blocked
-/// kernels against.
+/// kernels against (for both scalar instantiations).
 #[cfg(test)]
 pub(crate) mod reference {
-    use super::Matrix;
+    use super::{Matrix, Scalar};
 
     /// Naive `a * b`.
-    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    pub fn matmul<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>) -> Matrix<S> {
         assert_eq!(a.cols(), b.rows(), "matmul dims");
         let mut out = Matrix::zeros(a.rows(), b.cols());
         for i in 0..a.rows() {
@@ -859,12 +830,12 @@ pub(crate) mod reference {
     }
 
     /// Naive `a * bᵀ`.
-    pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
+    pub fn matmul_transpose_b<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>) -> Matrix<S> {
         assert_eq!(a.cols(), b.cols(), "matmul_t_b dims");
         let mut out = Matrix::zeros(a.rows(), b.rows());
         for i in 0..a.rows() {
             for j in 0..b.rows() {
-                let mut acc = 0.0;
+                let mut acc = S::ZERO;
                 for k in 0..a.cols() {
                     acc += a[(i, k)] * b[(j, k)];
                 }
@@ -875,7 +846,7 @@ pub(crate) mod reference {
     }
 
     /// Naive `aᵀ * b`.
-    pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
+    pub fn matmul_transpose_a<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>) -> Matrix<S> {
         assert_eq!(a.rows(), b.rows(), "matmul_t_a dims");
         let mut out = Matrix::zeros(a.cols(), b.cols());
         for r in 0..a.rows() {
@@ -893,6 +864,7 @@ pub(crate) mod reference {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scalar::Microkernel;
 
     #[test]
     fn matmul_known_product() {
@@ -901,6 +873,15 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.row(0), &[19.0, 22.0]);
         assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn f32_instantiation_computes_the_same_product() {
+        let a = Matrix::<f32>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::<f32>::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0f32, 22.0]);
+        assert_eq!(c.row(1), &[43.0f32, 50.0]);
     }
 
     #[test]
@@ -955,7 +936,7 @@ mod tests {
 
     #[test]
     fn broadcast_and_sums() {
-        let mut m = Matrix::zeros(3, 2);
+        let mut m = Matrix::<f64>::zeros(3, 2);
         m.add_row_broadcast(&[1.0, -2.0]);
         assert_eq!(m.column_sums(), vec![3.0, -6.0]);
         let mut acc = vec![1.0, 1.0];
@@ -982,11 +963,13 @@ mod tests {
     fn norm_of_unit_rows() {
         let m = Matrix::from_rows(&[&[3.0, 4.0]]);
         assert!((m.norm() - 5.0).abs() < 1e-12);
+        let m32 = Matrix::<f32>::from_rows(&[&[3.0, 4.0]]);
+        assert!((m32.norm() - 5.0).abs() < 1e-6);
     }
 
     #[test]
     fn resize_reuses_allocation() {
-        let mut m = Matrix::zeros(8, 8);
+        let mut m = Matrix::<f64>::zeros(8, 8);
         let cap = m.data.capacity();
         m.resize(4, 4);
         m.resize(8, 8);
@@ -996,39 +979,119 @@ mod tests {
     #[test]
     #[should_panic(expected = "matmul dims")]
     fn matmul_shape_checked() {
-        let a = Matrix::zeros(2, 3);
-        let b = Matrix::zeros(2, 3);
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// The AVX2 and scalar microkernels must agree **bit for bit** on the
+    /// full blocked GEMM — tiles, tails and packing included — for both
+    /// scalar types (acceptance criterion of the SIMD refactor).
+    #[test]
+    fn full_gemm_bit_identical_across_microkernels() {
+        if !avx2_available() {
+            eprintln!("skipping: no AVX2+FMA on this host");
+            return;
+        }
+        fn case<S: Scalar>() {
+            use rand::rngs::StdRng;
+            use rand::{RngExt, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(99);
+            for &(m, k, n) in &[(9usize, 37usize, 21usize), (32, 64, 32), (5, 7, 3)] {
+                let a = Matrix::<S>::from_fn(m, k, |_, _| S::from_f64(rng.random_range(-1.0..1.0)));
+                let b = Matrix::<S>::from_fn(k, n, |_, _| S::from_f64(rng.random_range(-1.0..1.0)));
+                let bt =
+                    Matrix::<S>::from_fn(n, k, |_, _| S::from_f64(rng.random_range(-1.0..1.0)));
+                let c = Matrix::<S>::from_fn(m, n, |_, _| S::from_f64(rng.random_range(-1.0..1.0)));
+                let (avx, avx_tb, avx_ta) = with_microkernel(Microkernel::Avx2Fma, || {
+                    (
+                        a.matmul(&b),
+                        a.matmul_transpose_b(&bt),
+                        a.matmul_transpose_a(&c),
+                    )
+                });
+                let (sca, sca_tb, sca_ta) = with_microkernel(Microkernel::Scalar, || {
+                    (
+                        a.matmul(&b),
+                        a.matmul_transpose_b(&bt),
+                        a.matmul_transpose_a(&c),
+                    )
+                });
+                assert_eq!(avx, sca, "{} {m}x{k}x{n} matmul", S::NAME);
+                assert_eq!(avx_tb, sca_tb, "{} {m}x{k}x{n} matmul_t_b", S::NAME);
+                assert_eq!(avx_ta, sca_ta, "{} {m}x{k}x{n} matmul_t_a", S::NAME);
+            }
+        }
+        case::<f32>();
+        case::<f64>();
     }
 }
 
 /// Property tests: the blocked/packed kernels must match the naive
 /// reference oracle over random shapes — including empty (0-dim) and 1×n
-/// degenerate cases — to 1e-12.
+/// degenerate cases — for **both** scalar instantiations (f64 to 1e-12,
+/// f32 to a relative 1e-4, commensurate with its 24-bit mantissa over
+/// reductions up to k = 64).
 #[cfg(test)]
 mod property_tests {
     use super::reference;
-    use super::Matrix;
+    use super::{Matrix, Scalar};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
-    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    fn random_matrix<S: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<S> {
         let mut rng = StdRng::seed_from_u64(seed);
-        Matrix::from_fn(rows, cols, |_, _| rng.random_range(-2.0..2.0))
+        Matrix::from_fn(rows, cols, |_, _| S::from_f64(rng.random_range(-2.0..2.0)))
     }
 
-    fn assert_close(got: &Matrix, want: &Matrix) -> Result<(), TestCaseError> {
+    /// Per-scalar oracle tolerance: absolute for f64 (1e-12), relative to
+    /// `max(1, |want|)` for f32 (1e-4).
+    fn tol<S: Scalar>() -> f64 {
+        if S::NAME == "f32" {
+            1e-4
+        } else {
+            1e-12
+        }
+    }
+
+    fn assert_close<S: Scalar>(got: &Matrix<S>, want: &Matrix<S>) -> Result<(), TestCaseError> {
         prop_assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()));
+        let tol = tol::<S>();
         for (g, w) in got.data().iter().zip(want.data()) {
+            let (g, w) = (g.to_f64(), w.to_f64());
+            let bound = tol * w.abs().max(1.0);
             prop_assert!(
-                (g - w).abs() <= 1e-12,
-                "kernel mismatch: {} vs {} (diff {:e})",
+                (g - w).abs() <= bound,
+                "{} kernel mismatch: {} vs {} (diff {:e})",
+                S::NAME,
                 g,
                 w,
                 (g - w).abs()
             );
         }
+        Ok(())
+    }
+
+    fn check_all_products<S: Scalar>(
+        m: usize,
+        k: usize,
+        n: usize,
+        seed: u64,
+    ) -> Result<(), TestCaseError> {
+        let a = random_matrix::<S>(m, k, seed);
+        let b = random_matrix::<S>(k, n, seed ^ 0xA5A5);
+        assert_close(&a.matmul(&b), &reference::matmul(&a, &b))?;
+        let bt = random_matrix::<S>(n, k, seed ^ 0x5A5A);
+        assert_close(
+            &a.matmul_transpose_b(&bt),
+            &reference::matmul_transpose_b(&a, &bt),
+        )?;
+        let c = random_matrix::<S>(m, n, seed ^ 0x3C3C);
+        assert_close(
+            &a.matmul_transpose_a(&c),
+            &reference::matmul_transpose_a(&a, &c),
+        )?;
         Ok(())
     }
 
@@ -1042,30 +1105,13 @@ mod property_tests {
         #![proptest_config(ProptestConfig::with_cases(200))]
 
         #[test]
-        fn blocked_matmul_matches_naive((m, k, n, seed) in (dim(), dim(), dim(), 0u64..1 << 32)) {
-            let a = random_matrix(m, k, seed);
-            let b = random_matrix(k, n, seed ^ 0xA5A5);
-            assert_close(&a.matmul(&b), &reference::matmul(&a, &b))?;
+        fn blocked_kernels_match_naive_f64((m, k, n, seed) in (dim(), dim(), dim(), 0u64..1 << 32)) {
+            check_all_products::<f64>(m, k, n, seed)?;
         }
 
         #[test]
-        fn blocked_matmul_t_b_matches_naive((m, k, n, seed) in (dim(), dim(), dim(), 0u64..1 << 32)) {
-            let a = random_matrix(m, k, seed);
-            let b = random_matrix(n, k, seed ^ 0x5A5A);
-            assert_close(
-                &a.matmul_transpose_b(&b),
-                &reference::matmul_transpose_b(&a, &b),
-            )?;
-        }
-
-        #[test]
-        fn blocked_matmul_t_a_matches_naive((m, k, n, seed) in (dim(), dim(), dim(), 0u64..1 << 32)) {
-            let a = random_matrix(m, k, seed);
-            let b = random_matrix(m, n, seed ^ 0x3C3C);
-            assert_close(
-                &a.matmul_transpose_a(&b),
-                &reference::matmul_transpose_a(&a, &b),
-            )?;
+        fn blocked_kernels_match_naive_f32((m, k, n, seed) in (dim(), dim(), dim(), 0u64..1 << 32)) {
+            check_all_products::<f32>(m, k, n, seed)?;
         }
 
         #[test]
@@ -1073,18 +1119,33 @@ mod property_tests {
             // Shapes straddling the MR×TJ register tile (m around 4·MR,
             // n around 2·TJ) with a long reduction dimension.
             let (m, n, k) = (dm + 13, dn + 25, 1037);
-            let a = random_matrix(m, k, 11);
-            let b = random_matrix(k, n, 12);
+            let a = random_matrix::<f64>(m, k, 11);
+            let b = random_matrix::<f64>(k, n, 12);
             assert_close(&a.matmul(&b), &reference::matmul(&a, &b))?;
+        }
+
+        #[test]
+        fn tile_boundaries_and_long_reductions_f32((dm, dn) in (0usize..9, 0usize..19)) {
+            let (m, n, k) = (dm + 13, dn + 25, 517);
+            let a = random_matrix::<f32>(m, k, 13);
+            let b = random_matrix::<f32>(k, n, 14);
+            // Long f32 reductions accumulate more rounding than the short
+            // shapes; widen the relative bound accordingly (k·eps ≈ 6e-5).
+            let got = a.matmul(&b);
+            let want = reference::matmul(&a, &b);
+            for (g, w) in got.data().iter().zip(want.data()) {
+                let (g, w) = (g.to_f64(), w.to_f64());
+                prop_assert!((g - w).abs() <= 2e-3 * w.abs().max(1.0));
+            }
         }
     }
 }
 
 /// Parallel ≡ serial: the sharded paths must reproduce the serial kernels
-/// bit-for-bit-close (1e-12) on both sides of the size heuristic — via the
-/// public dispatch under a forced multi-thread pool (shapes spanning the
-/// cutoff), and via the band splitter directly on shapes *below* the
-/// cutoff, which the heuristic would never shard on its own.
+/// on both sides of the size heuristic — via the public dispatch under a
+/// forced multi-thread pool (shapes spanning the cutoff), and via the band
+/// splitter directly on shapes *below* the cutoff, which the heuristic
+/// would never shard on its own. Run for both scalar instantiations.
 #[cfg(test)]
 mod parallel_tests {
     use super::*;
@@ -1098,16 +1159,17 @@ mod parallel_tests {
         Arc::clone(POOL.get_or_init(|| Arc::new(workpool::Pool::new(4))))
     }
 
-    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    fn random_matrix<S: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<S> {
         let mut rng = StdRng::seed_from_u64(seed);
-        Matrix::from_fn(rows, cols, |_, _| rng.random_range(-2.0..2.0))
+        Matrix::from_fn(rows, cols, |_, _| S::from_f64(rng.random_range(-2.0..2.0)))
     }
 
-    fn assert_close(got: &[f64], want: &[f64]) -> Result<(), TestCaseError> {
+    fn assert_close<S: Scalar>(got: &[S], want: &[S]) -> Result<(), TestCaseError> {
         prop_assert_eq!(got.len(), want.len());
         for (g, w) in got.iter().zip(want) {
+            let (g, w) = (g.to_f64(), w.to_f64());
             prop_assert!(
-                (g - w).abs() <= 1e-12,
+                (g - w).abs() <= 1e-12 * w.abs().max(1.0) + 1e-12,
                 "parallel/serial mismatch: {g} vs {w}"
             );
         }
@@ -1134,10 +1196,10 @@ mod parallel_tests {
     #[test]
     fn helping_caller_can_reenter_packing_kernel() {
         let p = pool();
-        let big_a = random_matrix(96, 64, 1);
-        let big_b = random_matrix(96, 64, 2); // 96·64·96 ≈ 590k ≥ cutoff
-        let small_a = random_matrix(8, 8, 3);
-        let small_b = random_matrix(8, 8, 4);
+        let big_a = random_matrix::<f64>(96, 64, 1);
+        let big_b = random_matrix::<f64>(96, 64, 2); // 96·64·96 ≈ 590k ≥ cutoff
+        let small_a = random_matrix::<f64>(8, 8, 3);
+        let small_b = random_matrix::<f64>(8, 8, 4);
         let want_big = big_a.matmul_transpose_b(&big_b);
         let want_small = small_a.matmul_transpose_b(&small_b);
         std::thread::scope(|ts| {
@@ -1164,29 +1226,49 @@ mod parallel_tests {
         });
     }
 
+    fn dispatch_case<S: Scalar>(
+        m: usize,
+        k: usize,
+        n: usize,
+        seed: u64,
+    ) -> Result<(), TestCaseError> {
+        let a = random_matrix::<S>(m, k, seed);
+        let b = random_matrix::<S>(k, n, seed ^ 0x11);
+        let bt = random_matrix::<S>(n, k, seed ^ 0x22);
+        let c = random_matrix::<S>(m, n, seed ^ 0x33);
+        let (mut par, mut par_tb, mut par_ta) =
+            (Matrix::default(), Matrix::default(), Matrix::default());
+        workpool::with_pool(pool(), || {
+            a.matmul_into(&b, &mut par);
+            a.matmul_transpose_b_into(&bt, &mut par_tb);
+            a.matmul_transpose_a_into(&c, &mut par_ta);
+        });
+        let serial = workpool::with_pool(Arc::new(workpool::Pool::new(1)), || {
+            (
+                a.matmul(&b),
+                a.matmul_transpose_b(&bt),
+                a.matmul_transpose_a(&c),
+            )
+        });
+        assert_close(par.data(), serial.0.data())?;
+        assert_close(par_tb.data(), serial.1.data())?;
+        assert_close(par_ta.data(), serial.2.data())?;
+        Ok(())
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(60))]
 
         /// Public dispatch under a 4-thread pool: shapes from tiny
-        /// (serial path) to ~90³ (well past the cutoff).
+        /// (serial path) to ~90³ (well past the cutoff), both scalars.
         #[test]
-        fn dispatch_parallel_matches_serial((m, k, n, seed) in (0usize..90, 0usize..90, 0usize..90, 0u64..1 << 32)) {
-            let a = random_matrix(m, k, seed);
-            let b = random_matrix(k, n, seed ^ 0x11);
-            let bt = random_matrix(n, k, seed ^ 0x22);
-            let c = random_matrix(m, n, seed ^ 0x33);
-            let (mut par, mut par_tb, mut par_ta) = (Matrix::default(), Matrix::default(), Matrix::default());
-            workpool::with_pool(pool(), || {
-                a.matmul_into(&b, &mut par);
-                a.matmul_transpose_b_into(&bt, &mut par_tb);
-                a.matmul_transpose_a_into(&c, &mut par_ta);
-            });
-            let serial = workpool::with_pool(Arc::new(workpool::Pool::new(1)), || {
-                (a.matmul(&b), a.matmul_transpose_b(&bt), a.matmul_transpose_a(&c))
-            });
-            assert_close(par.data(), serial.0.data())?;
-            assert_close(par_tb.data(), serial.1.data())?;
-            assert_close(par_ta.data(), serial.2.data())?;
+        fn dispatch_parallel_matches_serial_f64((m, k, n, seed) in (0usize..90, 0usize..90, 0usize..90, 0u64..1 << 32)) {
+            dispatch_case::<f64>(m, k, n, seed)?;
+        }
+
+        #[test]
+        fn dispatch_parallel_matches_serial_f32((m, k, n, seed) in (0usize..90, 0usize..90, 0usize..90, 0u64..1 << 32)) {
+            dispatch_case::<f32>(m, k, n, seed)?;
         }
 
         /// Band splitter forced on sub-cutoff shapes (the heuristic would
@@ -1194,17 +1276,17 @@ mod parallel_tests {
         #[test]
         fn forced_sharding_matches_serial_below_cutoff((m, k, n, seed) in (0usize..24, 0usize..24, 0usize..24, 0u64..1 << 32)) {
             let p = pool();
-            let a = random_matrix(m, k, seed);
-            let b = random_matrix(k, n, seed ^ 0x44);
+            let a = random_matrix::<f64>(m, k, seed);
+            let b = random_matrix::<f64>(k, n, seed ^ 0x44);
             let mut par = vec![0.0; m * n];
             let mut ser = vec![0.0; m * n];
-            gemm_parallel(&p, a.data(), m, k, b.data(), n, &mut par, false, NO_EPILOGUE);
+            gemm_parallel(&p, a.data(), m, k, b.data(), n, &mut par, false, None);
             gemm_stream(a.data(), m, k, b.data(), n, &mut ser, false);
             assert_close(&par, &ser)?;
 
             // Transposed-A, accumulating into a non-zero output.
-            let c = random_matrix(m, n, seed ^ 0x55);
-            let init = random_matrix(k, n, seed ^ 0x66);
+            let c = random_matrix::<f64>(m, n, seed ^ 0x55);
+            let init = random_matrix::<f64>(k, n, seed ^ 0x66);
             let mut par_at = init.data().to_vec();
             let mut ser_at = init.data().to_vec();
             gemm_at_parallel(&p, a.data(), m, k, c.data(), n, &mut par_at, true);
@@ -1216,14 +1298,14 @@ mod parallel_tests {
         /// the plain and the packed-RHS product, under the parallel pool.
         #[test]
         fn fused_epilogue_matches_two_pass((m, k, n, seed) in (1usize..70, 1usize..70, 1usize..70, 0u64..1 << 32)) {
-            let a = random_matrix(m, k, seed);
-            let b = random_matrix(k, n, seed ^ 0x77);
-            let bt = random_matrix(n, k, seed ^ 0x88);
+            let a = random_matrix::<f64>(m, k, seed);
+            let b = random_matrix::<f64>(k, n, seed ^ 0x77);
+            let bt = random_matrix::<f64>(n, k, seed ^ 0x88);
             let bias: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
             let (mut fused, mut fused_tb) = (Matrix::default(), Matrix::default());
             workpool::with_pool(pool(), || {
-                a.matmul_bias_act_into(&b, &bias, f64::tanh, &mut fused);
-                a.matmul_transpose_b_bias_act_into(&bt, &bias, f64::tanh, &mut fused_tb);
+                a.matmul_bias_act_into(&b, &bias, Activation::Tanh, &mut fused);
+                a.matmul_transpose_b_bias_act_into(&bt, &bias, Activation::Tanh, &mut fused_tb);
             });
             let mut two_pass = a.matmul(&b);
             two_pass.add_row_activate(&bias, f64::tanh);
@@ -1231,6 +1313,20 @@ mod parallel_tests {
             two_pass_tb.add_row_activate(&bias, f64::tanh);
             assert_close(fused.data(), two_pass.data())?;
             assert_close(fused_tb.data(), two_pass_tb.data())?;
+        }
+
+        /// The f32 fused epilogue over the monomorphized enum must match
+        /// the closure-based two-pass sweep exactly (same `tanh` calls).
+        #[test]
+        fn fused_epilogue_matches_two_pass_f32((m, k, n, seed) in (1usize..40, 1usize..40, 1usize..40, 0u64..1 << 32)) {
+            let a = random_matrix::<f32>(m, k, seed);
+            let bt = random_matrix::<f32>(n, k, seed ^ 0x99);
+            let bias: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+            let mut fused = Matrix::default();
+            a.matmul_transpose_b_bias_act_into(&bt, &bias, Activation::Tanh, &mut fused);
+            let mut two_pass = a.matmul_transpose_b(&bt);
+            two_pass.add_row_activate(&bias, f32::tanh);
+            prop_assert_eq!(fused, two_pass);
         }
     }
 }

@@ -13,21 +13,32 @@ use crate::init::seeded_rng;
 use crate::layer::Dense;
 use crate::matrix::Matrix;
 use crate::optimizer::Optimizer;
+use crate::scalar::{Elem, Scalar};
 
 /// A feed-forward network: a stack of [`Dense`] layers.
 ///
 /// The paper's actor and critic are both `Mlp`s with hidden sizes
 /// `[64, 32]` and `tanh` activations.
 #[derive(Debug, Clone)]
-pub struct Mlp {
-    layers: Vec<Dense>,
+pub struct Mlp<S: Scalar = Elem> {
+    layers: Vec<Dense<S>>,
     /// Flat parameter-gradient snapshot reused by [`Mlp::input_gradient`].
-    grad_snapshot: Vec<f64>,
+    grad_snapshot: Vec<S>,
     /// All-ones seed gradient reused by [`Mlp::input_gradient`].
-    ones: Matrix,
+    ones: Matrix<S>,
 }
 
-impl Mlp {
+/// Ping-pong scratch for [`Mlp::infer_with`]: two matrices alternately
+/// holding layer inputs and outputs, so a shared-`&self` inference
+/// allocates nothing once shapes are warm. One instance per concurrent
+/// caller (e.g. per rollout actor).
+#[derive(Debug, Clone, Default)]
+pub struct InferScratch<S: Scalar = Elem> {
+    ping: Matrix<S>,
+    pong: Matrix<S>,
+}
+
+impl<S: Scalar> Mlp<S> {
     /// Builds a network with the given layer widths.
     ///
     /// `sizes = [in, h1, ..., out]`, `activations.len() == sizes.len() - 1`.
@@ -64,7 +75,7 @@ impl Mlp {
     ///
     /// # Panics
     /// Panics when consecutive layer widths do not chain.
-    pub fn from_layers(layers: Vec<Dense>) -> Self {
+    pub fn from_layers(layers: Vec<Dense<S>>) -> Self {
         assert!(!layers.is_empty(), "empty network");
         for pair in layers.windows(2) {
             assert_eq!(
@@ -91,19 +102,19 @@ impl Mlp {
     }
 
     /// The layer stack.
-    pub fn layers(&self) -> &[Dense] {
+    pub fn layers(&self) -> &[Dense<S>] {
         &self.layers
     }
 
     /// Mutable layer access (in-crate only; used by gradient checking).
-    pub(crate) fn layers_mut(&mut self) -> &mut [Dense] {
+    pub(crate) fn layers_mut(&mut self) -> &mut [Dense<S>] {
         &mut self.layers
     }
 
     /// Forward pass over a batch, keeping per-layer state for
     /// [`Mlp::backward`]. The returned batch is borrowed from the last
     /// layer's scratch; zero allocations once shapes are warm.
-    pub fn forward(&mut self, x: &Matrix) -> &Matrix {
+    pub fn forward(&mut self, x: &Matrix<S>) -> &Matrix<S> {
         for i in 0..self.layers.len() {
             let (done, rest) = self.layers.split_at_mut(i);
             let input = if i == 0 { x } else { done[i - 1].output() };
@@ -113,7 +124,7 @@ impl Mlp {
     }
 
     /// Forward pass without caching (inference; allocates its result).
-    pub fn infer(&self, x: &Matrix) -> Matrix {
+    pub fn infer(&self, x: &Matrix<S>) -> Matrix<S> {
         let mut h = x.clone();
         for layer in &self.layers {
             h = layer.infer(&h);
@@ -121,8 +132,31 @@ impl Mlp {
         h
     }
 
+    /// Cache-free forward through caller-owned ping-pong scratch — the
+    /// shared-`&self` inference of the allocation-free act path: layer
+    /// outputs alternate between the two scratch matrices, which resize
+    /// in place, so once shapes are warm nothing allocates. The returned
+    /// batch borrows from `scratch`.
+    pub fn infer_with<'a>(&self, x: &Matrix<S>, scratch: &'a mut InferScratch<S>) -> &'a Matrix<S> {
+        let n = self.layers.len();
+        self.layers[0].infer_into(x, &mut scratch.ping);
+        for i in 1..n {
+            let (src, dst) = if i % 2 == 1 {
+                (&scratch.ping, &mut scratch.pong)
+            } else {
+                (&scratch.pong, &mut scratch.ping)
+            };
+            self.layers[i].infer_into(src, dst);
+        }
+        if n % 2 == 1 {
+            &scratch.ping
+        } else {
+            &scratch.pong
+        }
+    }
+
     /// Convenience single-sample inference.
-    pub fn infer_one(&self, x: &[f64]) -> Vec<f64> {
+    pub fn infer_one(&self, x: &[S]) -> Vec<S> {
         self.infer(&Matrix::row_vector(x)).data().to_vec()
     }
 
@@ -130,7 +164,7 @@ impl Mlp {
     /// and returns `dL/d(input)` — the quantity the DDPG actor update needs
     /// when this network is the critic and part of the input is the action.
     /// Borrowed from the first layer's scratch.
-    pub fn backward(&mut self, grad_output: &Matrix) -> &Matrix {
+    pub fn backward(&mut self, grad_output: &Matrix<S>) -> &Matrix<S> {
         for i in (0..self.layers.len()).rev() {
             let (head, tail) = self.layers.split_at_mut(i + 1);
             let grad = if tail.is_empty() {
@@ -148,14 +182,14 @@ impl Mlp {
     /// a persistent flat snapshot buffer — no allocation once warm).
     ///
     /// For a scalar-output critic this is `∇_x Q(x)` per batch row.
-    pub fn input_gradient(&mut self, x: &Matrix) -> &Matrix {
+    pub fn input_gradient(&mut self, x: &Matrix<S>) -> &Matrix<S> {
         self.snapshot_grads();
         self.forward(x);
         // Temporarily move the ones-matrix out so `backward(&mut self)` can
         // borrow it; an empty `Matrix` placeholder does not allocate.
         let mut ones = std::mem::replace(&mut self.ones, Matrix::zeros(0, 0));
         ones.resize(x.rows(), self.output_size());
-        ones.data_mut().fill(1.0);
+        ones.data_mut().fill(S::ONE);
         self.backward(&ones);
         self.ones = ones;
         self.restore_grads();
@@ -170,7 +204,7 @@ impl Mlp {
     }
 
     /// Applies accumulated gradients with `opt` (gradient *descent*).
-    pub fn apply_gradients(&mut self, opt: &mut impl Optimizer) {
+    pub fn apply_gradients(&mut self, opt: &mut impl Optimizer<S>) {
         for (li, layer) in self.layers.iter_mut().enumerate() {
             for (pi, (params, grads)) in layer.params_and_grads().into_iter().enumerate() {
                 opt.update(li * 2 + pi, params, grads);
@@ -187,15 +221,15 @@ impl Mlp {
     /// Panics if `max_norm` is not positive.
     pub fn clip_gradients(&mut self, max_norm: f64) -> f64 {
         assert!(max_norm > 0.0, "max_norm must be positive");
-        let mut sq = 0.0;
+        let mut sq = 0.0f64;
         for layer in &mut self.layers {
             for grads in layer.grads_mut() {
-                sq += grads.iter().map(|g| g * g).sum::<f64>();
+                sq += grads.iter().map(|g| g.to_f64() * g.to_f64()).sum::<f64>();
             }
         }
         let norm = sq.sqrt();
         if norm > max_norm {
-            let scale = max_norm / norm;
+            let scale = S::from_f64(max_norm / norm);
             for layer in &mut self.layers {
                 for grads in layer.grads_mut() {
                     for g in grads.iter_mut() {
@@ -211,7 +245,7 @@ impl Mlp {
     ///
     /// # Panics
     /// Panics when architectures differ.
-    pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
+    pub fn soft_update_from(&mut self, source: &Mlp<S>, tau: f64) {
         assert_eq!(self.layers.len(), source.layers.len(), "depth mismatch");
         for (t, s) in self.layers.iter_mut().zip(&source.layers) {
             t.soft_update_from(s, tau);
@@ -220,7 +254,7 @@ impl Mlp {
 
     /// Copies parameters from `source` (hard update; used to initialize
     /// target networks as exact clones).
-    pub fn copy_params_from(&mut self, source: &Mlp) {
+    pub fn copy_params_from(&mut self, source: &Mlp<S>) {
         self.soft_update_from(source, 1.0);
     }
 
@@ -234,7 +268,7 @@ impl Mlp {
 
     fn snapshot_grads(&mut self) {
         let total = self.param_count();
-        self.grad_snapshot.resize(total, 0.0);
+        self.grad_snapshot.resize(total, S::ZERO);
         let mut off = 0;
         for layer in &mut self.layers {
             for (_, g) in layer.params_and_grads() {
@@ -269,7 +303,7 @@ mod tests {
 
     #[test]
     fn shapes_chain() {
-        let net = Mlp::new(
+        let net: Mlp<f64> = Mlp::new(
             &[5, 64, 32, 3],
             &[Activation::Tanh, Activation::Tanh, Activation::Identity],
             1,
@@ -303,6 +337,28 @@ mod tests {
         let mut net2 = net.clone();
         assert_eq!(&net.infer(&x), net2.forward(&x));
         assert_eq!(net.infer_one(&[0.3, -0.2, 0.9]), net.infer(&x).data());
+    }
+
+    #[test]
+    fn infer_with_scratch_matches_infer_for_both_scalars() {
+        fn case<S: crate::scalar::Scalar>(depths: &[usize], acts: &[Activation]) {
+            let net: Mlp<S> = Mlp::new(depths, acts, 11);
+            let x = Matrix::from_fn(3, depths[0], |r, c| {
+                S::from_f64((r * depths[0] + c) as f64 * 0.01 - 0.3)
+            });
+            let mut scratch = InferScratch::default();
+            assert_eq!(net.infer_with(&x, &mut scratch), &net.infer(&x));
+            // A second call through the same scratch (shape change) too.
+            let y = Matrix::from_fn(1, depths[0], |_, c| S::from_f64(c as f64 * 0.1));
+            assert_eq!(net.infer_with(&y, &mut scratch), &net.infer(&y));
+        }
+        // Odd and even layer counts exercise both ping-pong endings.
+        let acts3 = [Activation::Tanh, Activation::Tanh, Activation::Identity];
+        let acts2 = [Activation::Tanh, Activation::Sigmoid];
+        case::<f64>(&[4, 6, 5, 2], &acts3);
+        case::<f64>(&[4, 6, 2], &acts2);
+        case::<f32>(&[4, 6, 5, 2], &acts3);
+        case::<f32>(&[4, 6, 2], &acts2);
     }
 
     #[test]
@@ -347,7 +403,7 @@ mod tests {
         assert_eq!(before, after);
     }
 
-    fn grad_norm(net: &mut Mlp) -> f64 {
+    fn grad_norm(net: &mut Mlp<f64>) -> f64 {
         let mut sq = 0.0;
         for layer in &mut net.layers {
             for grads in layer.grads_mut() {

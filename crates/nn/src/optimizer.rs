@@ -6,13 +6,17 @@
 
 use std::collections::HashMap;
 
-/// A gradient-descent update rule over flat parameter blocks.
-pub trait Optimizer {
+use crate::scalar::{Elem, Scalar};
+
+/// A gradient-descent update rule over flat parameter blocks of element
+/// type `S` (hyperparameters stay `f64`; they are converted once per
+/// block update, never per element).
+pub trait Optimizer<S: Scalar = Elem> {
     /// Applies one descent step to `params` given `grads`.
     ///
     /// `key` identifies the parameter block so stateful optimizers can keep
     /// per-block moments.
-    fn update(&mut self, key: usize, params: &mut [f64], grads: &[f64]);
+    fn update(&mut self, key: usize, params: &mut [S], grads: &[S]);
 
     /// Resets all optimizer state (moments, step counters).
     fn reset(&mut self);
@@ -20,13 +24,13 @@ pub trait Optimizer {
 
 /// Stochastic gradient descent with classical momentum.
 #[derive(Debug, Clone)]
-pub struct Sgd {
+pub struct Sgd<S: Scalar = Elem> {
     lr: f64,
     momentum: f64,
-    velocity: HashMap<usize, Vec<f64>>,
+    velocity: HashMap<usize, Vec<S>>,
 }
 
-impl Sgd {
+impl<S: Scalar> Sgd<S> {
     /// `lr` is the learning rate; `momentum` in `[0, 1)` (0 disables it).
     ///
     /// # Panics
@@ -52,23 +56,25 @@ impl Sgd {
     }
 }
 
-impl Optimizer for Sgd {
-    fn update(&mut self, key: usize, params: &mut [f64], grads: &[f64]) {
+impl<S: Scalar> Optimizer<S> for Sgd<S> {
+    fn update(&mut self, key: usize, params: &mut [S], grads: &[S]) {
         assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        let lr = S::from_f64(self.lr);
         if self.momentum == 0.0 {
             for (p, &g) in params.iter_mut().zip(grads) {
-                *p -= self.lr * g;
+                *p -= lr * g;
             }
             return;
         }
+        let momentum = S::from_f64(self.momentum);
         let v = self
             .velocity
             .entry(key)
-            .or_insert_with(|| vec![0.0; params.len()]);
+            .or_insert_with(|| vec![S::ZERO; params.len()]);
         assert_eq!(v.len(), params.len(), "block size changed under key");
         for ((p, &g), vel) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
-            *vel = self.momentum * *vel + g;
-            *p -= self.lr * *vel;
+            *vel = momentum * *vel + g;
+            *p -= lr * *vel;
         }
     }
 
@@ -79,22 +85,22 @@ impl Optimizer for Sgd {
 
 /// Adam (Kingma & Ba). Step counts are tracked per block.
 #[derive(Debug, Clone)]
-pub struct Adam {
+pub struct Adam<S: Scalar = Elem> {
     lr: f64,
     beta1: f64,
     beta2: f64,
     eps: f64,
-    state: HashMap<usize, AdamState>,
+    state: HashMap<usize, AdamState<S>>,
 }
 
 #[derive(Debug, Clone)]
-struct AdamState {
-    m: Vec<f64>,
-    v: Vec<f64>,
+struct AdamState<S: Scalar> {
+    m: Vec<S>,
+    v: Vec<S>,
     t: u64,
 }
 
-impl Adam {
+impl<S: Scalar> Adam<S> {
     /// Adam with standard betas (0.9, 0.999) and `eps = 1e-8`.
     ///
     /// # Panics
@@ -126,25 +132,33 @@ impl Adam {
     }
 }
 
-impl Optimizer for Adam {
-    fn update(&mut self, key: usize, params: &mut [f64], grads: &[f64]) {
+impl<S: Scalar> Optimizer<S> for Adam<S> {
+    fn update(&mut self, key: usize, params: &mut [S], grads: &[S]) {
         assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
         let st = self.state.entry(key).or_insert_with(|| AdamState {
-            m: vec![0.0; params.len()],
-            v: vec![0.0; params.len()],
+            m: vec![S::ZERO; params.len()],
+            v: vec![S::ZERO; params.len()],
             t: 0,
         });
         assert_eq!(st.m.len(), params.len(), "block size changed under key");
         st.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(st.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(st.t as i32);
+        // Bias corrections stay in f64 (powi over a u64 step count); the
+        // per-element loop runs entirely in `S`.
+        let lr = S::from_f64(self.lr);
+        let beta1 = S::from_f64(self.beta1);
+        let beta2 = S::from_f64(self.beta2);
+        let c1 = S::ONE - beta1;
+        let c2 = S::ONE - beta2;
+        let eps = S::from_f64(self.eps);
+        let bc1 = S::from_f64(1.0 - self.beta1.powi(st.t as i32));
+        let bc2 = S::from_f64(1.0 - self.beta2.powi(st.t as i32));
         for i in 0..params.len() {
             let g = grads[i];
-            st.m[i] = self.beta1 * st.m[i] + (1.0 - self.beta1) * g;
-            st.v[i] = self.beta2 * st.v[i] + (1.0 - self.beta2) * g * g;
+            st.m[i] = beta1 * st.m[i] + c1 * g;
+            st.v[i] = beta2 * st.v[i] + c2 * g * g;
             let m_hat = st.m[i] / bc1;
             let v_hat = st.v[i] / bc2;
-            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
         }
     }
 
@@ -158,7 +172,7 @@ mod tests {
     use super::*;
 
     /// Minimize f(x) = (x - 3)^2 with each optimizer.
-    fn descend(opt: &mut impl Optimizer, steps: usize) -> f64 {
+    fn descend(opt: &mut impl Optimizer<f64>, steps: usize) -> f64 {
         let mut x = [0.0f64];
         for _ in 0..steps {
             let g = [2.0 * (x[0] - 3.0)];

@@ -1,0 +1,635 @@
+//! The numeric element type of the NN substrate: a sealed [`Scalar`]
+//! trait over `f32` and `f64`, plus the explicit SIMD microkernels the
+//! GEMM path dispatches to.
+//!
+//! # Why generic, and why f32 by default
+//!
+//! The paper's networks are small fully-connected MLPs; nothing in them
+//! needs f64 precision, and single precision doubles SIMD lane width
+//! while halving memory traffic. [`Elem`] — the workspace-wide training
+//! element type every downstream crate (`dss-rl`, `dss-miqp`, `dss-core`)
+//! defaults to — is therefore `f32`. The `f64` instantiation stays fully
+//! alive: every kernel, layer and agent is generic over [`Scalar`], the
+//! property oracles and gradient checks run for both types, and swapping
+//! one line (`pub type Elem = f64`) rebuilds the whole stack in double
+//! precision for numerical debugging.
+//!
+//! # Microkernels
+//!
+//! The register-tile inner loop of the blocked GEMM (see
+//! [`crate::matrix`]) used to rely on LLVM autovectorization plus
+//! `target-cpu=native`. That made throughput depend on build-host luck.
+//! The tile is now an explicit per-scalar microkernel:
+//!
+//! * **`avx2_fma`** (`x86_64` with AVX2+FMA, detected at runtime via
+//!   `is_x86_feature_detected!`): `MR × TJ` accumulators held in `__m256`
+//!   /`__m256d` registers, one broadcast + two fused multiply-adds per
+//!   `A`-row per reduction step. f32 runs 8 lanes per vector (`TJ = 16`),
+//!   f64 runs 4 (`TJ = 8`).
+//! * **`scalar`** (every other arch, or `DSS_NO_SIMD=1`): the same tile
+//!   walked with `mul_add` in the same association order, so the two
+//!   kernels produce **bit-identical** results — asserted by tests, which
+//!   is what lets CI exercise the fallback without separate tolerances.
+//!
+//! The kernel is picked once per process (first GEMM call) from CPU
+//! features and the `DSS_NO_SIMD` environment variable; tests and
+//! benches can pin a kernel for the current thread with
+//! [`with_microkernel`].
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Register tile height shared by every kernel: `A` rows advanced
+/// together, each broadcast against the same `B` stripe.
+pub(crate) const MR: usize = 4;
+
+/// The workspace-wide default training element type. See the module docs
+/// for why this is `f32` and how to rebuild in `f64`.
+pub type Elem = f32;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// Which GEMM inner-tile implementation is in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Microkernel {
+    /// Explicit AVX2 + FMA intrinsics (x86_64, detected at runtime).
+    Avx2Fma,
+    /// Portable `mul_add` tile, bit-identical to the AVX2 kernel.
+    Scalar,
+}
+
+impl Microkernel {
+    /// Stable name recorded in bench artifacts (`avx2_fma` / `scalar`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Microkernel::Avx2Fma => "avx2_fma",
+            Microkernel::Scalar => "scalar",
+        }
+    }
+}
+
+/// Process-wide kernel choice: 0 = undetected, 1 = AVX2+FMA, 2 = scalar.
+static KERNEL: AtomicU8 = AtomicU8::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`with_microkernel`] (tests and
+    /// benches); `None` defers to the process-wide detection.
+    static KERNEL_OVERRIDE: Cell<Option<Microkernel>> = const { Cell::new(None) };
+}
+
+fn detect() -> Microkernel {
+    if std::env::var_os("DSS_NO_SIMD").is_some_and(|v| v != "0") {
+        return Microkernel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        return Microkernel::Avx2Fma;
+    }
+    Microkernel::Scalar
+}
+
+/// The microkernel GEMM calls on this thread will use: the thread's
+/// [`with_microkernel`] override if one is installed, else the cached
+/// process-wide detection (CPU features + `DSS_NO_SIMD`).
+pub fn active_microkernel() -> Microkernel {
+    if let Some(k) = KERNEL_OVERRIDE.with(Cell::get) {
+        return k;
+    }
+    match KERNEL.load(Ordering::Relaxed) {
+        1 => Microkernel::Avx2Fma,
+        2 => Microkernel::Scalar,
+        _ => {
+            let k = detect();
+            KERNEL.store(
+                match k {
+                    Microkernel::Avx2Fma => 1,
+                    Microkernel::Scalar => 2,
+                },
+                Ordering::Relaxed,
+            );
+            k
+        }
+    }
+}
+
+/// The active microkernel's stable name (`avx2_fma` / `scalar`) —
+/// recorded in bench artifacts so measurements are attributable.
+pub fn microkernel_name() -> &'static str {
+    active_microkernel().name()
+}
+
+/// Whether this build/host can run the AVX2+FMA kernel at all (used by
+/// tests to skip the bit-identity assertion on non-x86 hardware).
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Runs `f` with every GEMM on the *current thread* pinned to kernel `k`
+/// (pool workers are unaffected — pin shapes below the sharding cutoff or
+/// run under a 1-thread pool when exact kernel control matters).
+///
+/// # Panics
+/// Panics when `k` is [`Microkernel::Avx2Fma`] on hardware without
+/// AVX2+FMA.
+pub fn with_microkernel<R>(k: Microkernel, f: impl FnOnce() -> R) -> R {
+    assert!(
+        k != Microkernel::Avx2Fma || avx2_available(),
+        "AVX2+FMA kernel unavailable on this host"
+    );
+    let prev = KERNEL_OVERRIDE.with(|c| c.replace(Some(k)));
+    struct Restore(Option<Microkernel>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            KERNEL_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The numeric element type of matrices, networks and agents: `f32` or
+/// `f64`, selected statically. Sealed — the GEMM microkernels, pack
+/// scratch and math surface are written per type and the rest of the
+/// workspace is generic over this trait (defaulted to [`Elem`]).
+pub trait Scalar:
+    sealed::Sealed
+    + Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + std::fmt::Debug
+    + std::fmt::Display
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+    + std::ops::MulAssign
+    + std::iter::Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// `-∞`, the fold seed for maxima.
+    const NEG_INFINITY: Self;
+    /// `+∞`, the fold seed for minima.
+    const INFINITY: Self;
+    /// Register tile width in output columns for this type's microkernel
+    /// (two AVX2 vectors per tile row: 16 for f32, 8 for f64).
+    const TJ: usize;
+    /// Type name recorded in bench artifacts ("f32" / "f64").
+    const NAME: &'static str;
+
+    /// Lossy conversion from `f64` (exact for in-range integers and every
+    /// `f32`). All scalar-literal plumbing funnels through this so the
+    /// workspace still compiles when [`Elem`] is rebound.
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (exact).
+    fn to_f64(self) -> f64;
+    /// Fused multiply-add `self * a + b` (single rounding — matches the
+    /// FMA intrinsics, which is what keeps the scalar and AVX2 kernels
+    /// bit-identical).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Hyperbolic tangent.
+    fn tanh(self) -> Self;
+    /// Exponential.
+    fn exp(self) -> Self;
+    /// IEEE maximum of two values.
+    fn max(self, other: Self) -> Self;
+    /// IEEE minimum of two values.
+    fn min(self, other: Self) -> Self;
+    /// NaN check.
+    fn is_nan(self) -> bool;
+    /// Finiteness check.
+    fn is_finite(self) -> bool;
+
+    /// Takes this thread's pack scratch buffer for transposed GEMM
+    /// operands (moved out so a helping caller re-entering the kernel on
+    /// the same thread cannot alias it); return it with
+    /// [`Scalar::put_pack`].
+    fn take_pack() -> Vec<Self>;
+    /// Returns the pack scratch taken by [`Scalar::take_pack`].
+    fn put_pack(buf: Vec<Self>);
+
+    /// Broadcast-A register tile:
+    /// `out[r·n + jt + x] += Σ_l a[r·k + l] · b[l·n + jt + x]`
+    /// for `r ∈ 0..MR`, `x ∈ 0..TJ` — `a` is pre-sliced at the tile's
+    /// first row, `out` at the tile's first output row.
+    ///
+    /// # Panics
+    /// Debug-asserts the slice extents; release callers must uphold them.
+    fn gemm_tile(
+        kernel: Microkernel,
+        a: &[Self],
+        k: usize,
+        b: &[Self],
+        n: usize,
+        jt: usize,
+        out: &mut [Self],
+    );
+
+    /// Transposed-A register tile:
+    /// `out[r·n + jt + x] += Σ_l a[l·p + q + r] · b[l·n + jt + x]` — the
+    /// four broadcast scalars per step are four *adjacent columns* of the
+    /// untransposed `a` (m×p row-major), so no packing is needed.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_tile_at(
+        kernel: Microkernel,
+        a: &[Self],
+        m: usize,
+        p: usize,
+        q: usize,
+        b: &[Self],
+        n: usize,
+        jt: usize,
+        out: &mut [Self],
+    );
+}
+
+macro_rules! impl_scalar {
+    (
+        $t:ty, $name:literal, $tj:literal, $pack:ident, $kern:ident,
+        $vec:ident, $lanes:literal, $loadu:ident, $storeu:ident, $set1:ident, $fmadd:ident, $add:ident, $setzero:ident
+    ) => {
+        thread_local! {
+            static $pack: RefCell<Vec<$t>> = const { RefCell::new(Vec::new()) };
+        }
+
+        /// Per-type tile kernels (scalar fallback + AVX2, same association
+        /// order so their results are bit-identical).
+        mod $kern {
+            use super::MR;
+            const TJ: usize = $tj;
+
+            /// Portable tile: `mul_add` per lane in the exact order the
+            /// FMA intrinsics accumulate.
+            pub fn tile(a: &[$t], k: usize, b: &[$t], n: usize, jt: usize, out: &mut [$t]) {
+                debug_assert!(a.len() >= MR * k);
+                debug_assert!(b.len() >= (k - 1) * n + jt + TJ);
+                debug_assert!(out.len() >= (MR - 1) * n + jt + TJ);
+                let mut acc = [[0.0 as $t; TJ]; MR];
+                for l in 0..k {
+                    let bt = &b[l * n + jt..l * n + jt + TJ];
+                    for r in 0..MR {
+                        let ar = a[r * k + l];
+                        for x in 0..TJ {
+                            acc[r][x] = ar.mul_add(bt[x], acc[r][x]);
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let o = &mut out[r * n + jt..r * n + jt + TJ];
+                    for (ov, &av) in o.iter_mut().zip(acc_row) {
+                        *ov += av;
+                    }
+                }
+            }
+
+            /// Portable transposed-A tile, same order as the AVX2 variant.
+            #[allow(clippy::too_many_arguments)]
+            pub fn tile_at(
+                a: &[$t],
+                m: usize,
+                p: usize,
+                q: usize,
+                b: &[$t],
+                n: usize,
+                jt: usize,
+                out: &mut [$t],
+            ) {
+                debug_assert!(a.len() >= (m - 1) * p + q + MR);
+                debug_assert!(b.len() >= (m - 1) * n + jt + TJ);
+                debug_assert!(out.len() >= (MR - 1) * n + jt + TJ);
+                let mut acc = [[0.0 as $t; TJ]; MR];
+                for l in 0..m {
+                    let bt = &b[l * n + jt..l * n + jt + TJ];
+                    let ar = &a[l * p + q..l * p + q + MR];
+                    for r in 0..MR {
+                        for x in 0..TJ {
+                            acc[r][x] = ar[r].mul_add(bt[x], acc[r][x]);
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let o = &mut out[r * n + jt..r * n + jt + TJ];
+                    for (ov, &av) in o.iter_mut().zip(acc_row) {
+                        *ov += av;
+                    }
+                }
+            }
+
+            /// AVX2+FMA tile: MR rows × 2 vectors of accumulators live in
+            /// registers across the whole reduction; one broadcast and two
+            /// fused multiply-adds per row per step; the tile is added
+            /// into `out` exactly once.
+            ///
+            /// # Safety
+            /// Caller must ensure AVX2+FMA are available and the slice
+            /// extents debug-asserted in [`tile`] hold.
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2,fma")]
+            pub unsafe fn tile_avx2(
+                a: &[$t],
+                k: usize,
+                b: &[$t],
+                n: usize,
+                jt: usize,
+                out: &mut [$t],
+            ) {
+                use std::arch::x86_64::*;
+                debug_assert!(a.len() >= MR * k);
+                debug_assert!(b.len() >= (k - 1) * n + jt + TJ);
+                debug_assert!(out.len() >= (MR - 1) * n + jt + TJ);
+                let mut acc = [[$setzero(); 2]; MR];
+                let ap = a.as_ptr();
+                let bp = b.as_ptr();
+                for l in 0..k {
+                    let b0 = $loadu(bp.add(l * n + jt));
+                    let b1 = $loadu(bp.add(l * n + jt + $lanes));
+                    for r in 0..MR {
+                        let ar = $set1(*ap.add(r * k + l));
+                        acc[r][0] = $fmadd(ar, b0, acc[r][0]);
+                        acc[r][1] = $fmadd(ar, b1, acc[r][1]);
+                    }
+                }
+                let op = out.as_mut_ptr();
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let o = op.add(r * n + jt);
+                    $storeu(o, $add($loadu(o), acc_row[0]));
+                    let o1 = o.add($lanes);
+                    $storeu(o1, $add($loadu(o1), acc_row[1]));
+                }
+            }
+
+            /// AVX2+FMA transposed-A tile (contiguous 4-column `A` loads).
+            ///
+            /// # Safety
+            /// Same contract as [`tile_avx2`].
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2,fma")]
+            #[allow(clippy::too_many_arguments)]
+            pub unsafe fn tile_at_avx2(
+                a: &[$t],
+                m: usize,
+                p: usize,
+                q: usize,
+                b: &[$t],
+                n: usize,
+                jt: usize,
+                out: &mut [$t],
+            ) {
+                use std::arch::x86_64::*;
+                debug_assert!(a.len() >= (m - 1) * p + q + MR);
+                debug_assert!(b.len() >= (m - 1) * n + jt + TJ);
+                debug_assert!(out.len() >= (MR - 1) * n + jt + TJ);
+                let mut acc = [[$setzero(); 2]; MR];
+                let ap = a.as_ptr();
+                let bp = b.as_ptr();
+                for l in 0..m {
+                    let b0 = $loadu(bp.add(l * n + jt));
+                    let b1 = $loadu(bp.add(l * n + jt + $lanes));
+                    let arp = ap.add(l * p + q);
+                    for r in 0..MR {
+                        let ar = $set1(*arp.add(r));
+                        acc[r][0] = $fmadd(ar, b0, acc[r][0]);
+                        acc[r][1] = $fmadd(ar, b1, acc[r][1]);
+                    }
+                }
+                let op = out.as_mut_ptr();
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let o = op.add(r * n + jt);
+                    $storeu(o, $add($loadu(o), acc_row[0]));
+                    let o1 = o.add($lanes);
+                    $storeu(o1, $add($loadu(o1), acc_row[1]));
+                }
+            }
+        }
+
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const NEG_INFINITY: Self = <$t>::NEG_INFINITY;
+            const INFINITY: Self = <$t>::INFINITY;
+            const TJ: usize = $tj;
+            const NAME: &'static str = $name;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn tanh(self) -> Self {
+                <$t>::tanh(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn is_nan(self) -> bool {
+                <$t>::is_nan(self)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+
+            fn take_pack() -> Vec<Self> {
+                $pack.take()
+            }
+            fn put_pack(buf: Vec<Self>) {
+                $pack.set(buf);
+            }
+
+            #[inline]
+            fn gemm_tile(
+                kernel: Microkernel,
+                a: &[Self],
+                k: usize,
+                b: &[Self],
+                n: usize,
+                jt: usize,
+                out: &mut [Self],
+            ) {
+                match kernel {
+                    #[cfg(target_arch = "x86_64")]
+                    Microkernel::Avx2Fma => unsafe { $kern::tile_avx2(a, k, b, n, jt, out) },
+                    #[cfg(not(target_arch = "x86_64"))]
+                    Microkernel::Avx2Fma => unreachable!("AVX2 kernel selected off x86_64"),
+                    Microkernel::Scalar => $kern::tile(a, k, b, n, jt, out),
+                }
+            }
+
+            #[inline]
+            fn gemm_tile_at(
+                kernel: Microkernel,
+                a: &[Self],
+                m: usize,
+                p: usize,
+                q: usize,
+                b: &[Self],
+                n: usize,
+                jt: usize,
+                out: &mut [Self],
+            ) {
+                match kernel {
+                    #[cfg(target_arch = "x86_64")]
+                    Microkernel::Avx2Fma => unsafe {
+                        $kern::tile_at_avx2(a, m, p, q, b, n, jt, out)
+                    },
+                    #[cfg(not(target_arch = "x86_64"))]
+                    Microkernel::Avx2Fma => unreachable!("AVX2 kernel selected off x86_64"),
+                    Microkernel::Scalar => $kern::tile_at(a, m, p, q, b, n, jt, out),
+                }
+            }
+        }
+    };
+}
+
+impl_scalar!(
+    f32,
+    "f32",
+    16,
+    PACK_F32,
+    kern_f32,
+    __m256,
+    8,
+    _mm256_loadu_ps,
+    _mm256_storeu_ps,
+    _mm256_set1_ps,
+    _mm256_fmadd_ps,
+    _mm256_add_ps,
+    _mm256_setzero_ps
+);
+impl_scalar!(
+    f64,
+    "f64",
+    8,
+    PACK_F64,
+    kern_f64,
+    __m256d,
+    4,
+    _mm256_loadu_pd,
+    _mm256_storeu_pd,
+    _mm256_set1_pd,
+    _mm256_fmadd_pd,
+    _mm256_add_pd,
+    _mm256_setzero_pd
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(Microkernel::Avx2Fma.name(), "avx2_fma");
+        assert_eq!(Microkernel::Scalar.name(), "scalar");
+        assert_eq!(<f32 as Scalar>::NAME, "f32");
+        assert_eq!(<f64 as Scalar>::NAME, "f64");
+    }
+
+    #[test]
+    fn override_is_scoped_to_thread_and_restored() {
+        let outer = active_microkernel();
+        with_microkernel(Microkernel::Scalar, || {
+            assert_eq!(active_microkernel(), Microkernel::Scalar);
+        });
+        assert_eq!(active_microkernel(), outer);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(<f32 as Scalar>::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(<f64 as Scalar>::from_f64(1.5), 1.5);
+        assert!(<f32 as Scalar>::NEG_INFINITY < <f32 as Scalar>::from_f64(-1e30));
+    }
+
+    /// The scalar and AVX2 tiles must agree **bit for bit** — same FMA
+    /// contraction, same association order — for both element types.
+    #[test]
+    fn tiles_bit_identical_across_kernels() {
+        if !avx2_available() {
+            eprintln!("skipping: no AVX2+FMA on this host");
+            return;
+        }
+        fn case<S: Scalar>() {
+            let k = 37;
+            let n = S::TJ + 5;
+            let mk = |seed: u64, len: usize| -> Vec<S> {
+                (0..len)
+                    .map(|i| {
+                        let x = ((i as u64)
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(seed)
+                            >> 33) as f64;
+                        S::from_f64(x / (1u64 << 31) as f64 - 0.5)
+                    })
+                    .collect()
+            };
+            let a = mk(1, MR * k);
+            let b = mk(2, k * n);
+            let mut scalar_out = vec![S::ZERO; MR * n];
+            let mut avx_out = vec![S::ZERO; MR * n];
+            S::gemm_tile(Microkernel::Scalar, &a, k, &b, n, 0, &mut scalar_out);
+            S::gemm_tile(Microkernel::Avx2Fma, &a, k, &b, n, 0, &mut avx_out);
+            assert_eq!(scalar_out, avx_out, "{} broadcast tile diverged", S::NAME);
+
+            // Transposed-A form: a is m×p, tile reads columns q..q+MR.
+            let (m, p, q) = (k, MR + 3, 2);
+            let at = mk(3, m * p);
+            let mut scalar_at = vec![S::ZERO; MR * n];
+            let mut avx_at = vec![S::ZERO; MR * n];
+            S::gemm_tile_at(Microkernel::Scalar, &at, m, p, q, &b, n, 0, &mut scalar_at);
+            S::gemm_tile_at(Microkernel::Avx2Fma, &at, m, p, q, &b, n, 0, &mut avx_at);
+            assert_eq!(scalar_at, avx_at, "{} transposed-A tile diverged", S::NAME);
+        }
+        case::<f32>();
+        case::<f64>();
+    }
+}

@@ -17,6 +17,7 @@ use crate::activation::Activation;
 use crate::layer::Dense;
 use crate::matrix::Matrix;
 use crate::mlp::Mlp;
+use crate::scalar::Scalar;
 
 const MAGIC: &[u8; 4] = b"DSSN";
 const VERSION: u16 = 1;
@@ -50,8 +51,11 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Encodes a network to bytes.
-pub fn encode_mlp(net: &Mlp) -> Bytes {
+/// Encodes a network to bytes. The wire format stores `f64` parameters
+/// regardless of the in-memory element type — widening is exact, so an
+/// f32-trained network round-trips bit-for-bit and stays loadable by
+/// either instantiation.
+pub fn encode_mlp<S: Scalar>(net: &Mlp<S>) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + net.param_count() * 8);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
@@ -61,17 +65,18 @@ pub fn encode_mlp(net: &Mlp) -> Bytes {
         buf.put_u32_le(layer.output_size() as u32);
         buf.put_u8(layer.activation().tag());
         for &v in layer.weights().data() {
-            buf.put_f64_le(v);
+            buf.put_f64_le(v.to_f64());
         }
         for &v in layer.bias() {
-            buf.put_f64_le(v);
+            buf.put_f64_le(v.to_f64());
         }
     }
     buf.freeze()
 }
 
-/// Decodes a network from bytes produced by [`encode_mlp`].
-pub fn decode_mlp(mut bytes: &[u8]) -> Result<Mlp, DecodeError> {
+/// Decodes a network from bytes produced by [`encode_mlp`], narrowing
+/// the stored `f64` parameters to the requested element type.
+pub fn decode_mlp<S: Scalar>(mut bytes: &[u8]) -> Result<Mlp<S>, DecodeError> {
     if bytes.remaining() < 8 {
         return Err(DecodeError::Truncated);
     }
@@ -107,11 +112,11 @@ pub fn decode_mlp(mut bytes: &[u8]) -> Result<Mlp, DecodeError> {
         }
         let mut w = Vec::with_capacity(n_w);
         for _ in 0..n_w {
-            w.push(bytes.get_f64_le());
+            w.push(S::from_f64(bytes.get_f64_le()));
         }
         let mut b = Vec::with_capacity(output);
         for _ in 0..output {
-            b.push(bytes.get_f64_le());
+            b.push(S::from_f64(bytes.get_f64_le()));
         }
         layers.push(Dense::from_parts(
             Matrix::from_vec(output, input, w),
@@ -134,7 +139,7 @@ pub fn decode_mlp(mut bytes: &[u8]) -> Result<Mlp, DecodeError> {
 mod tests {
     use super::*;
 
-    fn sample_net() -> Mlp {
+    fn sample_net() -> Mlp<f64> {
         Mlp::new(
             &[3, 8, 4, 2],
             &[Activation::Tanh, Activation::Tanh, Activation::Sigmoid],
@@ -146,16 +151,38 @@ mod tests {
     fn round_trip_preserves_inference() {
         let net = sample_net();
         let bytes = encode_mlp(&net);
-        let decoded = decode_mlp(&bytes).unwrap();
+        let decoded: Mlp<f64> = decode_mlp(&bytes).unwrap();
         let x = [0.1, -0.9, 0.5];
         assert_eq!(net.infer_one(&x), decoded.infer_one(&x));
     }
 
     #[test]
+    fn f32_round_trip_is_exact_and_cross_loadable() {
+        // f32 → f64 widening is lossless, so an f32 net round-trips
+        // bit-for-bit through the f64 wire format...
+        let net: Mlp<f32> = Mlp::new(&[3, 6, 2], &[Activation::Tanh, Activation::Sigmoid], 9);
+        let bytes = encode_mlp(&net);
+        let decoded: Mlp<f32> = decode_mlp(&bytes).unwrap();
+        let x = [0.1f32, -0.9, 0.5];
+        assert_eq!(net.infer_one(&x), decoded.infer_one(&x));
+        // ...and the same bytes load as an f64 network for debugging.
+        let wide: Mlp<f64> = decode_mlp(&bytes).unwrap();
+        assert_eq!(wide.param_count(), net.param_count());
+        for (l32, l64) in net.layers().iter().zip(wide.layers()) {
+            for (a, b) in l32.weights().data().iter().zip(l64.weights().data()) {
+                assert_eq!(*a as f64, *b);
+            }
+        }
+    }
+
+    #[test]
     fn rejects_garbage() {
-        assert_eq!(decode_mlp(b"nope").unwrap_err(), DecodeError::Truncated);
         assert_eq!(
-            decode_mlp(b"XXXX\x01\x00\x01\x00").unwrap_err(),
+            decode_mlp::<f64>(b"nope").unwrap_err(),
+            DecodeError::Truncated
+        );
+        assert_eq!(
+            decode_mlp::<f64>(b"XXXX\x01\x00\x01\x00").unwrap_err(),
             DecodeError::BadMagic
         );
     }
@@ -165,7 +192,7 @@ mod tests {
         let bytes = encode_mlp(&sample_net());
         for cut in [5, 9, 20, bytes.len() - 1] {
             assert!(
-                decode_mlp(&bytes[..cut]).is_err(),
+                decode_mlp::<f64>(&bytes[..cut]).is_err(),
                 "cut at {cut} should fail"
             );
         }
@@ -175,7 +202,10 @@ mod tests {
     fn rejects_bad_version() {
         let mut bytes = encode_mlp(&sample_net()).to_vec();
         bytes[4] = 99;
-        assert_eq!(decode_mlp(&bytes).unwrap_err(), DecodeError::BadVersion(99));
+        assert_eq!(
+            decode_mlp::<f64>(&bytes).unwrap_err(),
+            DecodeError::BadVersion(99)
+        );
     }
 
     #[test]

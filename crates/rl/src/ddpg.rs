@@ -19,9 +19,9 @@
 
 use rand::rngs::StdRng;
 
-use dss_nn::{Activation, Adam, Matrix, Mlp};
+use dss_nn::{Activation, Adam, Elem, InferScratch, Matrix, Mlp, Scalar};
 
-use crate::explore::perturb_proto;
+use crate::explore::{perturb_proto, perturb_proto_into};
 use crate::mapper::{ActionMapper, CandidateAction};
 use crate::replay::{ReplayBuffer, ShardSlot, ShardedReplayBuffer};
 use crate::transition::Transition;
@@ -70,51 +70,72 @@ impl Default for DdpgConfig {
 /// Persistent minibatch workspace; resized in place every step so
 /// steady-state training avoids reallocation.
 #[derive(Debug, Default)]
-struct TrainScratch {
+struct TrainScratch<S: Scalar> {
     /// Sampled replay slot indices (own ring buffer).
     idx: Vec<usize>,
     /// Sampled `(shard, slot)` addresses (external sharded replay).
     shard_idx: Vec<ShardSlot>,
     /// Minibatch states (H × state_dim).
-    states: Matrix,
+    states: Matrix<S>,
     /// Minibatch next-states (H × state_dim).
-    next_states: Matrix,
+    next_states: Matrix<S>,
     /// Minibatch rewards (so the update core never re-reads the replay).
-    rewards: Vec<f64>,
+    rewards: Vec<S>,
     /// Per-row K-NN candidate sets, buffers reused across steps.
-    cands: Vec<Vec<CandidateAction>>,
+    cands: Vec<Vec<CandidateAction<S>>>,
     /// All candidate `[next_state ‖ onehot]` rows across the batch
     /// (Σ candidates × (state_dim + action_dim)).
-    cand_rows: Matrix,
+    cand_rows: Matrix<S>,
     /// TD targets y_i.
-    targets: Vec<f64>,
+    targets: Vec<S>,
     /// Critic training input `[state ‖ action]` (H × (state+action)).
-    critic_in: Matrix,
+    critic_in: Matrix<S>,
     /// Critic input at the *current* actor's protos (actor update).
-    critic_in2: Matrix,
+    critic_in2: Matrix<S>,
     /// Deterministic-policy-gradient signal for the actor (H × action).
-    actor_grad: Matrix,
+    actor_grad: Matrix<S>,
     /// Critic MSE gradient column (H × 1).
-    critic_grad: Matrix,
+    critic_grad: Matrix<S>,
 }
 
-/// The actor-critic agent.
-pub struct DdpgAgent {
-    actor: Mlp,
-    critic: Mlp,
-    target_actor: Mlp,
-    target_critic: Mlp,
-    actor_opt: Adam,
-    critic_opt: Adam,
-    replay: ReplayBuffer<Vec<f64>>,
+/// Per-actor scratch for [`DdpgAgent::select_action_into`] — everything a
+/// rollout decision touches, owned by the caller so the shared-`&self`
+/// agent can serve many actors concurrently with **zero allocations once
+/// warm** (asserted by the counting-allocator test in
+/// `tests/alloc_free.rs`).
+#[derive(Debug, Default)]
+pub struct ActScratch<S: Scalar = Elem> {
+    /// 1×state_dim staging row for the actor forward.
+    state_row: Matrix<S>,
+    /// Ping-pong layer scratch shared by the actor and critic inferences.
+    infer: InferScratch<S>,
+    /// Explored proto-action (`R(â) = â + εI`).
+    proto: Vec<S>,
+    /// Candidate set of the last query; [`DdpgAgent::select_action_into`]
+    /// returns an index into this.
+    pub cands: Vec<CandidateAction<S>>,
+    /// Batched `[state ‖ onehot]` rows for the critic argmax.
+    rows: Matrix<S>,
+}
+
+/// The actor-critic agent, generic over the training element type
+/// (default [`Elem`] = f32; see `dss-nn`'s crate docs).
+pub struct DdpgAgent<S: Scalar = Elem> {
+    actor: Mlp<S>,
+    critic: Mlp<S>,
+    target_actor: Mlp<S>,
+    target_critic: Mlp<S>,
+    actor_opt: Adam<S>,
+    critic_opt: Adam<S>,
+    replay: ReplayBuffer<Vec<S>, S>,
     config: DdpgConfig,
     state_dim: usize,
     action_dim: usize,
     train_steps: u64,
-    scratch: TrainScratch,
+    scratch: TrainScratch<S>,
 }
 
-impl DdpgAgent {
+impl<S: Scalar> DdpgAgent<S> {
     /// Builds an agent for `state_dim`-dimensional states and
     /// `action_dim`-dimensional one-hot action encodings (`N·M`).
     ///
@@ -171,23 +192,23 @@ impl DdpgAgent {
     }
 
     /// Read access to the actor (serialization, inspection).
-    pub fn actor(&self) -> &Mlp {
+    pub fn actor(&self) -> &Mlp<S> {
         &self.actor
     }
 
     /// Read access to the critic.
-    pub fn critic(&self) -> &Mlp {
+    pub fn critic(&self) -> &Mlp<S> {
         &self.critic
     }
 
     /// The raw proto-action `f(s)` for a state.
-    pub fn proto_action(&self, state: &[f64]) -> Vec<f64> {
+    pub fn proto_action(&self, state: &[S]) -> Vec<S> {
         assert_eq!(state.len(), self.state_dim, "state width");
         self.actor.infer_one(state)
     }
 
     /// Critic value `Q(s, a)`.
-    pub fn q_value(&self, state: &[f64], action: &[f64]) -> f64 {
+    pub fn q_value(&self, state: &[S], action: &[S]) -> S {
         assert_eq!(action.len(), self.action_dim, "action width");
         let mut input = Vec::with_capacity(self.state_dim + self.action_dim);
         input.extend_from_slice(state);
@@ -203,12 +224,66 @@ impl DdpgAgent {
     /// Panics if the mapper returns no candidates.
     pub fn select_action(
         &self,
-        state: &[f64],
-        mapper: &mut dyn ActionMapper,
+        state: &[S],
+        mapper: &mut dyn ActionMapper<S>,
         eps: f64,
         rng: &mut StdRng,
-    ) -> CandidateAction {
+    ) -> CandidateAction<S> {
         self.select_action_with_extras(state, mapper, eps, rng, Vec::new())
+    }
+
+    /// Allocation-free decision step over caller-owned [`ActScratch`]:
+    /// actor inference, exploration noise, K-NN mapping and the batched
+    /// critic argmax all run through reused buffers (zero allocations
+    /// once scratch is warm). Returns the index of the selected candidate
+    /// in `scratch.cands`. Consumes the RNG stream identically to
+    /// [`DdpgAgent::select_action`] and selects the same candidate.
+    ///
+    /// # Panics
+    /// Panics if the mapper returns no candidates.
+    pub fn select_action_into(
+        &self,
+        state: &[S],
+        mapper: &mut dyn ActionMapper<S>,
+        eps: f64,
+        rng: &mut StdRng,
+        scratch: &mut ActScratch<S>,
+    ) -> usize {
+        assert_eq!(state.len(), self.state_dim, "state width");
+        let ActScratch {
+            state_row,
+            infer,
+            proto,
+            cands,
+            rows,
+        } = scratch;
+        state_row.resize(1, self.state_dim);
+        state_row.data_mut().copy_from_slice(state);
+        let proto_out = self.actor.infer_with(state_row, infer);
+        perturb_proto_into(proto_out.row(0), eps, rng, proto);
+        mapper.nearest_into(proto, self.config.k, cands);
+        assert!(!cands.is_empty(), "no candidates to select from");
+        // Score every candidate in one batched critic inference (the
+        // per-row results are bitwise identical to one-at-a-time scoring:
+        // the GEMM reduces each output element in the same FMA order
+        // regardless of batch height).
+        let in_dim = self.state_dim + self.action_dim;
+        rows.resize(cands.len(), in_dim);
+        for (r, cand) in cands.iter().enumerate() {
+            let row = rows.row_mut(r);
+            row[..self.state_dim].copy_from_slice(state);
+            row[self.state_dim..].copy_from_slice(&cand.onehot);
+        }
+        let q = self.critic.infer_with(rows, infer);
+        let mut best = 0;
+        let mut best_q = S::NEG_INFINITY;
+        for r in 0..cands.len() {
+            if q[(r, 0)] > best_q {
+                best_q = q[(r, 0)];
+                best = r;
+            }
+        }
+        best
     }
 
     /// Like [`DdpgAgent::select_action`] but with extra caller-supplied
@@ -220,12 +295,12 @@ impl DdpgAgent {
     /// Panics if both the mapper and `extras` yield no candidates.
     pub fn select_action_with_extras(
         &self,
-        state: &[f64],
-        mapper: &mut dyn ActionMapper,
+        state: &[S],
+        mapper: &mut dyn ActionMapper<S>,
         eps: f64,
         rng: &mut StdRng,
-        extras: Vec<CandidateAction>,
-    ) -> CandidateAction {
+        extras: Vec<CandidateAction<S>>,
+    ) -> CandidateAction<S> {
         let proto = self.proto_action(state);
         let explored = perturb_proto(&proto, eps, rng);
         let mut candidates = mapper.nearest(&explored, self.config.k);
@@ -235,7 +310,7 @@ impl DdpgAgent {
     }
 
     /// Stores an experience sample.
-    pub fn store(&mut self, t: Transition<Vec<f64>>) {
+    pub fn store(&mut self, t: Transition<Vec<S>, S>) {
         assert_eq!(t.state.len(), self.state_dim, "state width");
         assert_eq!(t.action.len(), self.action_dim, "action width");
         self.replay.push(t);
@@ -244,7 +319,11 @@ impl DdpgAgent {
     /// One training step (Algorithm 1, lines 14–18) over the agent's own
     /// replay buffer. Returns the critic loss, or `None` when the replay
     /// buffer is still empty.
-    pub fn train_step(&mut self, mapper: &mut dyn ActionMapper, rng: &mut StdRng) -> Option<f64> {
+    pub fn train_step(
+        &mut self,
+        mapper: &mut dyn ActionMapper<S>,
+        rng: &mut StdRng,
+    ) -> Option<f64> {
         if self.replay.is_empty() {
             return None;
         }
@@ -280,8 +359,8 @@ impl DdpgAgent {
     /// Returns `None` while the sharded buffer is empty.
     pub fn train_step_from(
         &mut self,
-        replay: &ShardedReplayBuffer<Vec<f64>>,
-        mapper: &mut dyn ActionMapper,
+        replay: &ShardedReplayBuffer<Vec<S>, S>,
+        mapper: &mut dyn ActionMapper<S>,
         rng: &mut StdRng,
     ) -> Option<f64> {
         let scratch = &mut self.scratch;
@@ -317,7 +396,7 @@ impl DdpgAgent {
     /// (`states`, `next_states`, `critic_in`, `rewards` in scratch) and
     /// runs Algorithm 1's critic/actor/target updates. Returns the critic
     /// loss.
-    fn train_on_minibatch(&mut self, mapper: &mut dyn ActionMapper) -> f64 {
+    fn train_on_minibatch(&mut self, mapper: &mut dyn ActionMapper<S>) -> f64 {
         let scratch = &mut self.scratch;
         let h = scratch.states.rows();
         let in_dim = self.state_dim + self.action_dim;
@@ -344,16 +423,15 @@ impl DdpgAgent {
         }
         let cand_q = self.target_critic.forward(&scratch.cand_rows);
         scratch.targets.clear();
+        let gamma = S::from_f64(self.config.gamma);
         let mut offset = 0;
         for r in 0..h {
             let n_cand = scratch.cands[r].len();
             let best = (offset..offset + n_cand)
                 .map(|i| cand_q[(i, 0)])
-                .fold(f64::NEG_INFINITY, f64::max);
+                .fold(S::NEG_INFINITY, S::max);
             offset += n_cand;
-            scratch
-                .targets
-                .push(scratch.rewards[r] + self.config.gamma * best);
+            scratch.targets.push(scratch.rewards[r] + gamma * best);
         }
 
         // Critic update (line 16): MSE against the TD targets, with loss
@@ -361,11 +439,12 @@ impl DdpgAgent {
         // H×1 prediction column: loss = Σd²/H, grad = 2d/H).
         let pred = self.critic.forward(&scratch.critic_in);
         scratch.critic_grad.resize(h, 1);
-        let mut loss = 0.0;
+        let grad_scale = S::from_f64(2.0 / h as f64);
+        let mut loss = 0.0f64;
         for r in 0..h {
             let d = pred[(r, 0)] - scratch.targets[r];
-            loss += d * d;
-            scratch.critic_grad[(r, 0)] = 2.0 * d / h as f64;
+            loss += d.to_f64() * d.to_f64();
+            scratch.critic_grad[(r, 0)] = grad_scale * d;
         }
         loss /= h as f64;
         self.critic.zero_grad();
@@ -385,10 +464,11 @@ impl DdpgAgent {
         let full_grad = self.critic.input_gradient(&scratch.critic_in2);
         // −dQ/da, averaged over the batch (descent on −Q = ascent on Q).
         scratch.actor_grad.resize(h, self.action_dim);
+        let inv_h = S::from_f64(1.0 / h as f64);
         for r in 0..h {
             let src = &full_grad.row(r)[self.state_dim..];
             for (g, &d) in scratch.actor_grad.row_mut(r).iter_mut().zip(src) {
-                *g = -d / h as f64;
+                *g = -(d * inv_h);
             }
         }
         self.actor.zero_grad();
@@ -410,9 +490,9 @@ impl DdpgAgent {
     /// recent `|B|` of them.
     pub fn pretrain(
         &mut self,
-        samples: Vec<Transition<Vec<f64>>>,
+        samples: Vec<Transition<Vec<S>, S>>,
         steps: usize,
-        mapper: &mut dyn ActionMapper,
+        mapper: &mut dyn ActionMapper<S>,
         rng: &mut StdRng,
     ) {
         if samples.is_empty() {
@@ -440,7 +520,7 @@ impl DdpgAgent {
         self.replay = online;
     }
 
-    fn q_of(&self, critic: &Mlp, state: &[f64], action: &[f64]) -> f64 {
+    fn q_of(&self, critic: &Mlp<S>, state: &[S], action: &[S]) -> S {
         let mut input = Vec::with_capacity(self.state_dim + self.action_dim);
         input.extend_from_slice(state);
         input.extend_from_slice(action);
@@ -449,12 +529,12 @@ impl DdpgAgent {
 
     fn best_by_critic(
         &self,
-        critic: &Mlp,
-        state: &[f64],
-        candidates: Vec<CandidateAction>,
-    ) -> CandidateAction {
+        critic: &Mlp<S>,
+        state: &[S],
+        candidates: Vec<CandidateAction<S>>,
+    ) -> CandidateAction<S> {
         let mut best_idx = 0;
-        let mut best_q = f64::NEG_INFINITY;
+        let mut best_q = S::NEG_INFINITY;
         for (i, c) in candidates.iter().enumerate() {
             let q = self.q_of(critic, state, &c.onehot);
             if q > best_q {
@@ -584,7 +664,7 @@ mod tests {
         let mut agent = DdpgAgent::new(2, 4, toy_config());
         let mut mapper = KBestMapper::new(2, 2);
         let mut rng = StdRng::seed_from_u64(11);
-        let replay: ShardedReplayBuffer<Vec<f64>> = ShardedReplayBuffer::new(2, 64);
+        let replay: ShardedReplayBuffer<Vec<f64>, f64> = ShardedReplayBuffer::new(2, 64);
         assert_eq!(agent.train_step_from(&replay, &mut mapper, &mut rng), None);
         for i in 0..40 {
             replay.push(
@@ -611,8 +691,24 @@ mod tests {
     }
 
     #[test]
+    fn select_action_into_matches_allocating_path() {
+        use crate::ddpg::ActScratch;
+        let agent: DdpgAgent<f64> = DdpgAgent::new(4, 4, toy_config());
+        let mut mapper = KBestMapper::new(2, 2);
+        let mut scratch = ActScratch::default();
+        for (seed, eps) in [(1u64, 0.0), (2, 0.5), (3, 1.0), (4, 0.9)] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let state = [0.3, 0.7, 0.1, 0.9];
+            let want = agent.select_action(&state, &mut mapper, eps, &mut rng_a);
+            let idx = agent.select_action_into(&state, &mut mapper, eps, &mut rng_b, &mut scratch);
+            assert_eq!(scratch.cands[idx], want, "seed {seed} eps {eps}");
+        }
+    }
+
+    #[test]
     fn train_step_without_data_is_none() {
-        let mut agent = DdpgAgent::new(2, 4, toy_config());
+        let mut agent: DdpgAgent<f64> = DdpgAgent::new(2, 4, toy_config());
         let mut mapper = KBestMapper::new(2, 2);
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(agent.train_step(&mut mapper, &mut rng), None);

@@ -19,7 +19,7 @@
 
 use rand::rngs::StdRng;
 
-use dss_nn::{Activation, Adam, Matrix, Mlp};
+use dss_nn::{Activation, Adam, Elem, Matrix, Mlp, Scalar};
 
 use crate::explore::epsilon_greedy;
 use crate::replay::ReplayBuffer;
@@ -68,35 +68,36 @@ impl Default for DqnConfig {
 /// Persistent per-agent minibatch workspace; every buffer is resized in
 /// place each step, so steady-state training allocates nothing.
 #[derive(Debug, Default)]
-struct TrainScratch {
+struct TrainScratch<S: Scalar> {
     /// Sampled replay slot indices.
     idx: Vec<usize>,
     /// Minibatch states (H × state_dim).
-    states: Matrix,
+    states: Matrix<S>,
     /// Minibatch next-states (H × state_dim).
-    next_states: Matrix,
+    next_states: Matrix<S>,
     /// Per-row argmax of the online net (double DQN only).
     online_argmax: Vec<usize>,
     /// TD targets y_i.
-    targets: Vec<f64>,
+    targets: Vec<S>,
     /// Loss gradient, nonzero only at chosen actions (H × |A|).
-    grad: Matrix,
+    grad: Matrix<S>,
 }
 
-/// The DQN agent over single-move actions.
-pub struct DqnAgent {
-    q: Mlp,
-    target_q: Mlp,
-    opt: Adam,
-    replay: ReplayBuffer<usize>,
+/// The DQN agent over single-move actions, generic over the training
+/// element type (default [`Elem`] = f32).
+pub struct DqnAgent<S: Scalar = Elem> {
+    q: Mlp<S>,
+    target_q: Mlp<S>,
+    opt: Adam<S>,
+    replay: ReplayBuffer<usize, S>,
     config: DqnConfig,
     state_dim: usize,
     n_actions: usize,
     train_steps: u64,
-    scratch: TrainScratch,
+    scratch: TrainScratch<S>,
 }
 
-impl DqnAgent {
+impl<S: Scalar> DqnAgent<S> {
     /// Builds an agent with `n_actions = N·M` single-move actions.
     pub fn new(state_dim: usize, n_actions: usize, config: DqnConfig) -> Self {
         assert!(state_dim > 0 && n_actions > 0, "degenerate dimensions");
@@ -137,18 +138,18 @@ impl DqnAgent {
     }
 
     /// Q-values for all actions in `state`.
-    pub fn q_values(&self, state: &[f64]) -> Vec<f64> {
+    pub fn q_values(&self, state: &[S]) -> Vec<S> {
         assert_eq!(state.len(), self.state_dim, "state width");
         self.q.infer_one(state)
     }
 
     /// ε-greedy action selection.
-    pub fn select_action(&self, state: &[f64], eps: f64, rng: &mut StdRng) -> usize {
+    pub fn select_action(&self, state: &[S], eps: f64, rng: &mut StdRng) -> usize {
         epsilon_greedy(&self.q_values(state), eps, rng)
     }
 
     /// Stores an experience sample.
-    pub fn store(&mut self, t: Transition<usize>) {
+    pub fn store(&mut self, t: Transition<usize, S>) {
         assert_eq!(t.state.len(), self.state_dim, "state width");
         assert!(t.action < self.n_actions, "action index out of range");
         self.replay.push(t);
@@ -196,18 +197,15 @@ impl DqnAgent {
         }
         let next_q = self.target_q.forward(&scratch.next_states);
         scratch.targets.clear();
+        let gamma = S::from_f64(self.config.gamma);
         for r in 0..h {
             let best = if self.config.double {
                 next_q[(r, scratch.online_argmax[r])]
             } else {
-                next_q
-                    .row(r)
-                    .iter()
-                    .copied()
-                    .fold(f64::NEG_INFINITY, f64::max)
+                next_q.row(r).iter().copied().fold(S::NEG_INFINITY, S::max)
             };
             let reward = self.replay.get(scratch.idx[r]).reward;
-            scratch.targets.push(reward + self.config.gamma * best);
+            scratch.targets.push(reward + gamma * best);
         }
 
         // Forward on the online net, then fold the masked MSE in place:
@@ -216,13 +214,14 @@ impl DqnAgent {
         // H×1 chosen-Q column: loss = Σd²/H, grad = 2d/H.
         let pred = self.q.forward(&scratch.states);
         scratch.grad.resize(h, self.n_actions);
-        scratch.grad.data_mut().fill(0.0);
-        let mut loss = 0.0;
+        scratch.grad.data_mut().fill(S::ZERO);
+        let grad_scale = S::from_f64(2.0 / h as f64);
+        let mut loss = 0.0f64;
         for r in 0..h {
             let action = self.replay.get(scratch.idx[r]).action;
             let d = pred[(r, action)] - scratch.targets[r];
-            loss += d * d;
-            scratch.grad[(r, action)] = 2.0 * d / h as f64;
+            loss += d.to_f64() * d.to_f64();
+            scratch.grad[(r, action)] = grad_scale * d;
         }
         loss /= h as f64;
 
@@ -242,7 +241,7 @@ impl DqnAgent {
 
     /// Offline pre-training on the full historical sample set, then seeds
     /// the bounded online buffer with the most recent `|B|` samples.
-    pub fn pretrain(&mut self, samples: Vec<Transition<usize>>, steps: usize, rng: &mut StdRng) {
+    pub fn pretrain(&mut self, samples: Vec<Transition<usize, S>>, steps: usize, rng: &mut StdRng) {
         if samples.is_empty() {
             return;
         }

@@ -7,6 +7,7 @@
 //! `[0, 1]`. The DQN baseline uses classic ε-greedy over its discrete
 //! action space.
 
+use dss_nn::{Elem, Scalar};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -56,16 +57,30 @@ impl EpsilonSchedule {
 
 /// Applies the paper's proto-action exploration `R(â) = â + εI`: with
 /// probability `eps`, adds elementwise uniform `[0, 1]` noise scaled by
-/// `eps`; otherwise returns the proto-action unchanged.
-pub fn perturb_proto(proto: &[f64], eps: f64, rng: &mut StdRng) -> Vec<f64> {
+/// `eps`; otherwise returns the proto-action unchanged. Noise is drawn
+/// in `f64` whatever the element type, so the decision stream is
+/// precision-independent.
+pub fn perturb_proto<S: Scalar>(proto: &[S], eps: f64, rng: &mut StdRng) -> Vec<S> {
+    let mut out = Vec::new();
+    perturb_proto_into(proto, eps, rng, &mut out);
+    out
+}
+
+/// [`perturb_proto`] into a caller-owned buffer (cleared and refilled in
+/// place) — the allocation-free form the rollout act path uses. Consumes
+/// the RNG stream identically to the allocating form.
+pub fn perturb_proto_into<S: Scalar>(proto: &[S], eps: f64, rng: &mut StdRng, out: &mut Vec<S>) {
     assert!((0.0..=1.0).contains(&eps), "eps must be a probability");
+    out.clear();
     if eps == 0.0 || rng.random_range(0.0..1.0) >= eps {
-        return proto.to_vec();
+        out.extend_from_slice(proto);
+        return;
     }
-    proto
-        .iter()
-        .map(|&v| v + eps * rng.random_range(0.0..1.0))
-        .collect()
+    out.extend(
+        proto
+            .iter()
+            .map(|&v| v + S::from_f64(eps * rng.random_range(0.0..1.0))),
+    );
 }
 
 /// Ornstein-Uhlenbeck exploration noise — the temporally correlated
@@ -77,8 +92,8 @@ pub fn perturb_proto(proto: &[f64], eps: f64, rng: &mut StdRng) -> Vec<f64> {
 /// perturbations are correlated (unlike the paper's memoryless `εI`).
 /// The `exploration-noise` ablation compares the two.
 #[derive(Debug, Clone)]
-pub struct OuNoise {
-    state: Vec<f64>,
+pub struct OuNoise<S: Scalar = Elem> {
+    state: Vec<S>,
     /// Mean-reversion target μ.
     pub mu: f64,
     /// Mean-reversion rate θ.
@@ -87,7 +102,7 @@ pub struct OuNoise {
     pub sigma: f64,
 }
 
-impl OuNoise {
+impl<S: Scalar> OuNoise<S> {
     /// Process of dimension `dim` with DDPG's customary θ=0.15, σ=0.2.
     pub fn new(dim: usize) -> Self {
         Self::with_params(dim, 0.0, 0.15, 0.2)
@@ -101,7 +116,7 @@ impl OuNoise {
         assert!((0.0..=1.0).contains(&theta), "theta must be in [0, 1]");
         assert!(sigma >= 0.0, "sigma must be non-negative");
         OuNoise {
-            state: vec![mu; dim],
+            state: vec![S::from_f64(mu); dim],
             mu,
             theta,
             sigma,
@@ -109,22 +124,26 @@ impl OuNoise {
     }
 
     /// Advance the process one step and return the current noise vector.
-    pub fn sample(&mut self, rng: &mut StdRng) -> &[f64] {
+    pub fn sample(&mut self, rng: &mut StdRng) -> &[S] {
+        let mu = S::from_f64(self.mu);
+        let theta = S::from_f64(self.theta);
+        let sigma = S::from_f64(self.sigma);
         for x in &mut self.state {
-            let xi = rng.random_range(-1.0..1.0);
-            *x += self.theta * (self.mu - *x) + self.sigma * xi;
+            let xi = S::from_f64(rng.random_range(-1.0..1.0));
+            *x += theta * (mu - *x) + sigma * xi;
         }
         &self.state
     }
 
     /// Reset to the mean (start of an episode).
     pub fn reset(&mut self) {
-        self.state.fill(self.mu);
+        self.state.fill(S::from_f64(self.mu));
     }
 
     /// Add the next noise step to a proto-action, scaled by `scale`.
-    pub fn perturb(&mut self, proto: &[f64], scale: f64, rng: &mut StdRng) -> Vec<f64> {
+    pub fn perturb(&mut self, proto: &[S], scale: f64, rng: &mut StdRng) -> Vec<S> {
         assert_eq!(proto.len(), self.state.len(), "dimension mismatch");
+        let scale = S::from_f64(scale);
         let noise = self.sample(rng).to_vec();
         proto
             .iter()
@@ -139,7 +158,7 @@ impl OuNoise {
 ///
 /// # Panics
 /// Panics on empty `q_values`.
-pub fn epsilon_greedy(q_values: &[f64], eps: f64, rng: &mut StdRng) -> usize {
+pub fn epsilon_greedy<S: Scalar>(q_values: &[S], eps: f64, rng: &mut StdRng) -> usize {
     assert!(!q_values.is_empty(), "no actions to choose from");
     if rng.random_range(0.0..1.0) < eps {
         return rng.random_range(0..q_values.len());
@@ -215,7 +234,7 @@ mod tests {
     #[test]
     fn ou_noise_reverts_to_mean() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut ou = OuNoise::with_params(1, 0.0, 0.2, 0.0); // no randomness
+        let mut ou: OuNoise<f64> = OuNoise::with_params(1, 0.0, 0.2, 0.0); // no randomness
         ou.state[0] = 10.0;
         for _ in 0..200 {
             ou.sample(&mut rng);
@@ -226,7 +245,7 @@ mod tests {
     #[test]
     fn ou_noise_is_temporally_correlated() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut ou = OuNoise::new(1);
+        let mut ou: OuNoise<f64> = OuNoise::new(1);
         let xs: Vec<f64> = (0..2_000).map(|_| ou.sample(&mut rng)[0]).collect();
         // Lag-1 autocorrelation of an OU process with theta=0.15 is ~0.85;
         // iid noise would be ~0.
@@ -240,7 +259,7 @@ mod tests {
     #[test]
     fn ou_reset_returns_to_mu() {
         let mut rng = StdRng::seed_from_u64(8);
-        let mut ou = OuNoise::with_params(3, 0.5, 0.15, 0.3);
+        let mut ou: OuNoise<f64> = OuNoise::with_params(3, 0.5, 0.15, 0.3);
         ou.sample(&mut rng);
         ou.reset();
         assert_eq!(ou.state, vec![0.5; 3]);
@@ -249,7 +268,7 @@ mod tests {
     #[test]
     fn ou_perturb_adds_scaled_noise() {
         let mut rng = StdRng::seed_from_u64(9);
-        let mut ou = OuNoise::new(2);
+        let mut ou: OuNoise<f64> = OuNoise::new(2);
         let proto = vec![0.3, 0.7];
         let zero_scale = ou.clone().perturb(&proto, 0.0, &mut rng);
         assert_eq!(zero_scale, proto);

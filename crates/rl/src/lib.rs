@@ -26,10 +26,15 @@ pub mod priority;
 pub mod replay;
 pub mod transition;
 
-pub use ddpg::{DdpgAgent, DdpgConfig};
+pub use ddpg::{ActScratch, DdpgAgent, DdpgConfig};
 pub use dqn::{DqnAgent, DqnConfig};
 pub use explore::{EpsilonSchedule, OuNoise};
 pub use mapper::{ActionMapper, CandidateAction, KBestMapper, RelaxMapper};
 pub use priority::{PrioritizedReplay, PrioritizedSample, PriorityConfig, SumTree};
 pub use replay::{ReplayBuffer, ShardSlot, ShardedReplayBuffer};
 pub use transition::Transition;
+
+/// The workspace training element type (re-exported from `dss-nn`): every
+/// agent, mapper and buffer here defaults to it. Instantiate the generic
+/// types with `f64` explicitly for double-precision debugging.
+pub use dss_nn::{Elem, Scalar};

@@ -8,18 +8,18 @@
 
 use rand::rngs::StdRng;
 
-use dss_miqp::{k_best_assignments_with, relax_and_round, CostMatrix, Solution};
-use dss_nn::Matrix;
+use dss_miqp::{k_best_assignments_into, relax_and_round, CostMatrix, KBestWorkspace, Solution};
+use dss_nn::{Elem, Matrix, Scalar};
 
 /// A feasible action candidate.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CandidateAction {
+pub struct CandidateAction<S: Scalar = Elem> {
     /// Machine index per thread.
     pub choice: Vec<usize>,
     /// Flat one-hot encoding (`N·M`), the critic's action input.
-    pub onehot: Vec<f64>,
+    pub onehot: Vec<S>,
     /// Distance-to-proto cost (`‖a − â‖²` up to a per-proto constant).
-    pub cost: f64,
+    pub cost: S,
 }
 
 /// Maps a proto-action to its K nearest feasible actions.
@@ -31,17 +31,17 @@ pub struct CandidateAction {
 /// queries of `DdpgAgent::train_step` via
 /// [`ActionMapper::nearest_batch_into`] — amortize it instead of
 /// rebuilding per transition.
-pub trait ActionMapper {
+pub trait ActionMapper<S: Scalar = Elem> {
     /// Writes up to `k` candidates, cheapest (nearest) first, into `out`,
     /// reusing its existing `CandidateAction` allocations (the one-hot and
     /// choice buffers) where possible.
-    fn nearest_into(&mut self, proto: &[f64], k: usize, out: &mut Vec<CandidateAction>);
+    fn nearest_into(&mut self, proto: &[S], k: usize, out: &mut Vec<CandidateAction<S>>);
 
     /// Problem shape `(n_threads, n_machines)`.
     fn shape(&self) -> (usize, usize);
 
     /// Returns up to `k` candidates, cheapest first (allocating form).
-    fn nearest(&mut self, proto: &[f64], k: usize) -> Vec<CandidateAction> {
+    fn nearest(&mut self, proto: &[S], k: usize) -> Vec<CandidateAction<S>> {
         let mut out = Vec::new();
         self.nearest_into(proto, k, &mut out);
         out
@@ -57,9 +57,9 @@ pub trait ActionMapper {
     /// `nearest_into` keeps across the whole batch.
     fn nearest_batch_into(
         &mut self,
-        protos: &Matrix,
+        protos: &Matrix<S>,
         k: usize,
-        out: &mut Vec<Vec<CandidateAction>>,
+        out: &mut Vec<Vec<CandidateAction<S>>>,
     ) {
         out.resize_with(protos.rows(), Vec::new);
         for (r, row) in out.iter_mut().enumerate() {
@@ -68,7 +68,7 @@ pub trait ActionMapper {
     }
 
     /// Batched K-NN, allocating form.
-    fn nearest_batch(&mut self, protos: &Matrix, k: usize) -> Vec<Vec<CandidateAction>> {
+    fn nearest_batch(&mut self, protos: &Matrix<S>, k: usize) -> Vec<Vec<CandidateAction<S>>> {
         let mut out = Vec::new();
         self.nearest_batch_into(protos, k, &mut out);
         out
@@ -77,49 +77,56 @@ pub trait ActionMapper {
 
 /// Writes the one-hot encoding of `choice` into `out` (cleared and
 /// zero-filled in place — no allocation once capacity suffices).
-fn write_onehot(choice: &[usize], m: usize, out: &mut Vec<f64>) {
+fn write_onehot<S: Scalar>(choice: &[usize], m: usize, out: &mut Vec<S>) {
     out.clear();
-    out.resize(choice.len() * m, 0.0);
+    out.resize(choice.len() * m, S::ZERO);
     for (i, &j) in choice.iter().enumerate() {
-        out[i * m + j] = 1.0;
+        out[i * m + j] = S::ONE;
     }
 }
 
-/// Rewrites `out` from solver solutions, reusing each slot's one-hot
-/// buffer (the `K` per-transition `Vec<f64>` allocations this replaces
-/// were the mapper's share of the DDPG hot-path allocation profile).
-fn fill_candidates(sols: Vec<Solution>, m: usize, out: &mut Vec<CandidateAction>) {
+/// Rewrites `out` from borrowed solver solutions, reusing each slot's
+/// one-hot *and* choice buffers (with the solver's own solutions living
+/// in mapper-held workspace, a warm `nearest_into` allocates nothing).
+fn fill_candidates<S: Scalar>(sols: &[Solution<S>], m: usize, out: &mut Vec<CandidateAction<S>>) {
     out.truncate(sols.len());
-    for (i, s) in sols.into_iter().enumerate() {
+    for (i, s) in sols.iter().enumerate() {
         if let Some(slot) = out.get_mut(i) {
             write_onehot(&s.choice, m, &mut slot.onehot);
             slot.cost = s.cost;
-            slot.choice = s.choice;
+            slot.choice.clear();
+            slot.choice.extend_from_slice(&s.choice);
         } else {
             let mut onehot = Vec::new();
             write_onehot(&s.choice, m, &mut onehot);
             out.push(CandidateAction {
                 onehot,
                 cost: s.cost,
-                choice: s.choice,
+                choice: s.choice.clone(),
             });
         }
     }
 }
 
 /// Exact K-NN via the k-best enumeration in `dss-miqp`, with the cost
-/// matrix and per-row sorted column orders kept as reusable state.
+/// matrix, per-row sorted column orders, the enumeration workspace and
+/// the solution buffer all kept as reusable state — a warm query
+/// allocates nothing.
 #[derive(Debug, Clone)]
-pub struct KBestMapper {
+pub struct KBestMapper<S: Scalar = Elem> {
     n: usize,
     m: usize,
     /// Reused MIQP-NN cost matrix (refilled per query in place).
-    costs: CostMatrix,
+    costs: CostMatrix<S>,
     /// Reused per-row column orders for the enumeration.
     sorted: Vec<Vec<usize>>,
+    /// Reused k-best fold state (partials double buffer + frontier heap).
+    ws: KBestWorkspace<S>,
+    /// Reused solution buffer the enumeration publishes into.
+    sols: Vec<Solution<S>>,
 }
 
-impl KBestMapper {
+impl<S: Scalar> KBestMapper<S> {
     /// A mapper for `n` threads over `m` machines.
     ///
     /// # Panics
@@ -129,18 +136,20 @@ impl KBestMapper {
         Self {
             n,
             m,
-            costs: CostMatrix::new(n, m, vec![0.0; n * m]),
+            costs: CostMatrix::new(n, m, vec![S::ZERO; n * m]),
             sorted: Vec::new(),
+            ws: KBestWorkspace::default(),
+            sols: Vec::new(),
         }
     }
 }
 
-impl ActionMapper for KBestMapper {
-    fn nearest_into(&mut self, proto: &[f64], k: usize, out: &mut Vec<CandidateAction>) {
+impl<S: Scalar> ActionMapper<S> for KBestMapper<S> {
+    fn nearest_into(&mut self, proto: &[S], k: usize, out: &mut Vec<CandidateAction<S>>) {
         self.costs.set_proto_action(proto);
         self.costs.sorted_columns_into(&mut self.sorted);
-        let sols = k_best_assignments_with(&self.costs, k, &self.sorted);
-        fill_candidates(sols, self.m, out);
+        k_best_assignments_into(&self.costs, k, &self.sorted, &mut self.ws, &mut self.sols);
+        fill_candidates(&self.sols, self.m, out);
     }
 
     fn shape(&self) -> (usize, usize) {
@@ -151,13 +160,14 @@ impl ActionMapper for KBestMapper {
 /// Approximate K-NN via continuous relaxation + randomized rounding — the
 /// paper's fallback for very large instances.
 #[derive(Debug)]
-pub struct RelaxMapper {
+pub struct RelaxMapper<S: Scalar = Elem> {
     n: usize,
     m: usize,
     rng: StdRng,
+    _marker: std::marker::PhantomData<fn() -> S>,
 }
 
-impl RelaxMapper {
+impl<S: Scalar> RelaxMapper<S> {
     /// A mapper for `n` threads over `m` machines; `rng` drives the
     /// randomized rounding.
     ///
@@ -165,14 +175,19 @@ impl RelaxMapper {
     /// Panics on a degenerate shape.
     pub fn new(n: usize, m: usize, rng: StdRng) -> Self {
         assert!(n > 0 && m > 0, "degenerate action space");
-        Self { n, m, rng }
+        Self {
+            n,
+            m,
+            rng,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
-impl ActionMapper for RelaxMapper {
-    fn nearest_into(&mut self, proto: &[f64], k: usize, out: &mut Vec<CandidateAction>) {
+impl<S: Scalar> ActionMapper<S> for RelaxMapper<S> {
+    fn nearest_into(&mut self, proto: &[S], k: usize, out: &mut Vec<CandidateAction<S>>) {
         let sols = relax_and_round(proto, self.n, self.m, k, &mut self.rng);
-        fill_candidates(sols, self.m, out);
+        fill_candidates(&sols, self.m, out);
     }
 
     fn shape(&self) -> (usize, usize) {
@@ -187,7 +202,7 @@ mod tests {
 
     #[test]
     fn kbest_candidates_are_feasible_and_sorted() {
-        let mut mapper = KBestMapper::new(3, 2);
+        let mut mapper: KBestMapper<f64> = KBestMapper::new(3, 2);
         let proto = vec![0.9, 0.1, 0.4, 0.6, 0.5, 0.5];
         let c = mapper.nearest(&proto, 4);
         assert_eq!(c.len(), 4);
@@ -222,7 +237,7 @@ mod tests {
         let onehot_ptrs: Vec<*const f64> = out.iter().map(|c| c.onehot.as_ptr()).collect();
         mapper.nearest_into(&proto_b, 4, &mut out);
         // Same answer as a fresh mapper's allocating path...
-        assert_eq!(out, KBestMapper::new(3, 2).nearest(&proto_b, 4));
+        assert_eq!(out, KBestMapper::<f64>::new(3, 2).nearest(&proto_b, 4));
         // ...through the same one-hot allocations.
         for (cand, ptr) in out.iter().zip(&onehot_ptrs) {
             assert_eq!(cand.onehot.as_ptr(), *ptr, "one-hot buffer reallocated");
@@ -232,10 +247,13 @@ mod tests {
     #[test]
     fn batch_matches_per_call_for_both_mappers() {
         let protos = Matrix::from_fn(5, 6, |r, c| ((r * 6 + c) * 7 % 13) as f64 / 13.0);
-        let batch = KBestMapper::new(3, 2).nearest_batch(&protos, 3);
+        let batch = KBestMapper::<f64>::new(3, 2).nearest_batch(&protos, 3);
         assert_eq!(batch.len(), 5);
         for (r, row) in batch.iter().enumerate() {
-            assert_eq!(row, &KBestMapper::new(3, 2).nearest(protos.row(r), 3));
+            assert_eq!(
+                row,
+                &KBestMapper::<f64>::new(3, 2).nearest(protos.row(r), 3)
+            );
         }
         // RelaxMapper's rounding consumes RNG stream, so per-call parity
         // needs identically seeded mappers.

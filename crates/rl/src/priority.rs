@@ -10,6 +10,7 @@
 //! hold `p_i^α` and whose internal nodes hold subtree sums, giving `O(log
 //! n)` sampling by prefix-sum descent and `O(log n)` priority updates.
 
+use dss_nn::{Elem, Scalar};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -109,19 +110,21 @@ impl Default for PriorityConfig {
 /// A sampled batch entry: index (for priority updates after the TD step),
 /// importance-sampling weight, and the transition itself.
 #[derive(Debug, Clone)]
-pub struct PrioritizedSample<A> {
+pub struct PrioritizedSample<A, S: Scalar = Elem> {
     /// Slot index to pass back to [`PrioritizedReplay::update_priority`].
     pub index: usize,
     /// Importance-sampling weight, normalized so `max w == 1`.
     pub weight: f64,
     /// The stored transition.
-    pub transition: Transition<A>,
+    pub transition: Transition<A, S>,
 }
 
 /// Fixed-capacity prioritized replay buffer (proportional variant).
+/// Priorities and weights stay `f64` — they are scalar bookkeeping, not
+/// bulk storage; only the transitions themselves carry the element type.
 #[derive(Debug, Clone)]
-pub struct PrioritizedReplay<A> {
-    items: Vec<Option<Transition<A>>>,
+pub struct PrioritizedReplay<A, S: Scalar = Elem> {
+    items: Vec<Option<Transition<A, S>>>,
     tree: SumTree,
     config: PriorityConfig,
     /// Next slot to overwrite (ring order, like the paper's buffer).
@@ -130,7 +133,7 @@ pub struct PrioritizedReplay<A> {
     max_priority: f64,
 }
 
-impl<A: Clone> PrioritizedReplay<A> {
+impl<A: Clone, S: Scalar> PrioritizedReplay<A, S> {
     /// Empty buffer holding at most `capacity` transitions.
     pub fn new(capacity: usize, config: PriorityConfig) -> Self {
         assert!(capacity > 0, "capacity must be positive");
@@ -161,7 +164,7 @@ impl<A: Clone> PrioritizedReplay<A> {
 
     /// Insert with maximal priority (new samples should be seen soon),
     /// evicting the oldest when full.
-    pub fn push(&mut self, t: Transition<A>) {
+    pub fn push(&mut self, t: Transition<A, S>) {
         let i = self.head;
         self.items[i] = Some(t);
         let p = self
@@ -175,7 +178,7 @@ impl<A: Clone> PrioritizedReplay<A> {
 
     /// Sample `h` transitions by priority mass (with replacement), with
     /// normalized importance weights.
-    pub fn sample(&self, h: usize, rng: &mut StdRng) -> Vec<PrioritizedSample<A>> {
+    pub fn sample(&self, h: usize, rng: &mut StdRng) -> Vec<PrioritizedSample<A, S>> {
         if self.is_empty() {
             return Vec::new();
         }
@@ -261,7 +264,7 @@ mod tests {
         assert_eq!(t.find(2.5), 2);
     }
 
-    fn tr(v: f64) -> Transition<usize> {
+    fn tr(v: f64) -> Transition<usize, f64> {
         Transition::new(vec![v], 0, v, vec![v])
     }
 

@@ -19,6 +19,7 @@
 
 use std::cell::RefCell;
 
+use dss_nn::{Elem, Scalar};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -33,16 +34,16 @@ thread_local! {
 
 /// Bounded uniform-replay ring buffer.
 #[derive(Debug, Clone)]
-pub struct ReplayBuffer<A> {
+pub struct ReplayBuffer<A, S: Scalar = Elem> {
     /// Ring storage; `len() < capacity` while filling, then constant.
-    buf: Vec<Transition<A>>,
+    buf: Vec<Transition<A, S>>,
     capacity: usize,
     /// Slot holding the *oldest* transition once the ring is full
     /// (always 0 before the first wrap).
     head: usize,
 }
 
-impl<A: Clone> ReplayBuffer<A> {
+impl<A: Clone, S: Scalar> ReplayBuffer<A, S> {
     /// A buffer holding at most `capacity` transitions.
     ///
     /// # Panics
@@ -57,7 +58,7 @@ impl<A: Clone> ReplayBuffer<A> {
     }
 
     /// Stores a transition, overwriting the oldest slot when full.
-    pub fn push(&mut self, t: Transition<A>) {
+    pub fn push(&mut self, t: Transition<A, S>) {
         if self.buf.len() < self.capacity {
             self.buf.push(t);
         } else {
@@ -84,7 +85,7 @@ impl<A: Clone> ReplayBuffer<A> {
     /// The transition in ring slot `i` (`i < len()`). Slot order is
     /// arbitrary with respect to insertion age; uniform sampling over
     /// slots is uniform over stored transitions.
-    pub fn get(&self, i: usize) -> &Transition<A> {
+    pub fn get(&self, i: usize) -> &Transition<A, S> {
         &self.buf[i]
     }
 
@@ -105,7 +106,7 @@ impl<A: Clone> ReplayBuffer<A> {
     /// indistinguishable for `h << len`).
     ///
     /// Returns an empty vec when the buffer is empty.
-    pub fn sample(&self, h: usize, rng: &mut StdRng) -> Vec<&Transition<A>> {
+    pub fn sample(&self, h: usize, rng: &mut StdRng) -> Vec<&Transition<A, S>> {
         if self.buf.is_empty() {
             return Vec::new();
         }
@@ -115,7 +116,7 @@ impl<A: Clone> ReplayBuffer<A> {
     }
 
     /// Iterates over the stored transitions, oldest first (wrap-aware).
-    pub fn iter(&self) -> impl Iterator<Item = &Transition<A>> {
+    pub fn iter(&self) -> impl Iterator<Item = &Transition<A, S>> {
         let (older, newer) = self.buf.split_at(self.head);
         newer.iter().chain(older)
     }
@@ -135,12 +136,12 @@ pub type ShardSlot = (u32, u32);
 /// racing push can at worst make a sampled slot refer to a *newer*
 /// transition, which is indistinguishable from having sampled later).
 #[derive(Debug)]
-pub struct ShardedReplayBuffer<A> {
-    shards: Vec<Mutex<ReplayBuffer<A>>>,
+pub struct ShardedReplayBuffer<A, S: Scalar = Elem> {
+    shards: Vec<Mutex<ReplayBuffer<A, S>>>,
     shard_capacity: usize,
 }
 
-impl<A: Clone> ShardedReplayBuffer<A> {
+impl<A: Clone, S: Scalar> ShardedReplayBuffer<A, S> {
     /// `n_shards` rings of `shard_capacity` transitions each.
     ///
     /// # Panics
@@ -187,7 +188,7 @@ impl<A: Clone> ShardedReplayBuffer<A> {
 
     /// Stores `t` in `shard` (wrapped modulo the shard count), evicting
     /// that ring's oldest transition when full.
-    pub fn push(&self, shard: usize, t: Transition<A>) {
+    pub fn push(&self, shard: usize, t: Transition<A, S>) {
         self.shards[shard % self.shards.len()].lock().push(t);
     }
 
@@ -224,7 +225,7 @@ impl<A: Clone> ShardedReplayBuffer<A> {
 
     /// Reads the transition at `slot` in place (the shard stays locked for
     /// the duration of `f` — keep it short: copy the rows you need out).
-    pub fn with<R>(&self, (shard, slot): ShardSlot, f: impl FnOnce(&Transition<A>) -> R) -> R {
+    pub fn with<R>(&self, (shard, slot): ShardSlot, f: impl FnOnce(&Transition<A, S>) -> R) -> R {
         f(self.shards[shard as usize].lock().get(slot as usize))
     }
 }
@@ -234,7 +235,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    fn t(reward: f64) -> Transition<usize> {
+    fn t(reward: f64) -> Transition<usize, f64> {
         Transition::new(vec![reward], 0, reward, vec![reward])
     }
 
@@ -307,7 +308,7 @@ mod tests {
 
     #[test]
     fn sample_from_empty_is_empty() {
-        let b: ReplayBuffer<usize> = ReplayBuffer::new(5);
+        let b: ReplayBuffer<usize, f64> = ReplayBuffer::new(5);
         let mut rng = StdRng::seed_from_u64(1);
         assert!(b.sample(4, &mut rng).is_empty());
         let mut idx = vec![1, 2, 3];
@@ -361,7 +362,7 @@ mod tests {
         // Capacity is ample, so every id must be present exactly once.
         const WRITERS: usize = 4;
         const PER_WRITER: usize = 500;
-        let buf: ShardedReplayBuffer<usize> = ShardedReplayBuffer::new(WRITERS, PER_WRITER);
+        let buf: ShardedReplayBuffer<usize, f64> = ShardedReplayBuffer::new(WRITERS, PER_WRITER);
         let pool = workpool::Pool::new(WRITERS);
         pool.scope(|s| {
             let buf = &buf;
@@ -389,7 +390,7 @@ mod tests {
     fn sharded_concurrent_sampling_while_pushing_stays_valid() {
         // Readers sample while writers push: every address handed out must
         // dereference without panicking (slots never disappear).
-        let buf: ShardedReplayBuffer<usize> = ShardedReplayBuffer::new(2, 64);
+        let buf: ShardedReplayBuffer<usize, f64> = ShardedReplayBuffer::new(2, 64);
         buf.push(0, t(0.0));
         buf.push(1, t(1.0));
         let pool = workpool::Pool::new(4);
@@ -422,7 +423,7 @@ mod tests {
         // 3 shards with unequal fill (8 / 16 / 32): cross-shard sampling
         // must weight shards by length, and a χ² test per shard must not
         // reject within-shard uniformity.
-        let buf: ShardedReplayBuffer<usize> = ShardedReplayBuffer::new(3, 32);
+        let buf: ShardedReplayBuffer<usize, f64> = ShardedReplayBuffer::new(3, 32);
         let fills = [8usize, 16, 32];
         for (shard, &fill) in fills.iter().enumerate() {
             for i in 0..fill {
@@ -474,7 +475,7 @@ mod tests {
 
     #[test]
     fn sharded_empty_sample_is_noop() {
-        let buf: ShardedReplayBuffer<usize> = ShardedReplayBuffer::new(2, 4);
+        let buf: ShardedReplayBuffer<usize, f64> = ShardedReplayBuffer::new(2, 4);
         let mut rng = StdRng::seed_from_u64(1);
         let mut idx = vec![(7u32, 7u32)];
         buf.sample_indices_into(5, &mut rng, &mut idx);

@@ -1,26 +1,30 @@
 //! State-transition samples — the rows of the paper's transition
 //! "database".
 
+use dss_nn::{Elem, Scalar};
+
 /// One experience sample `(s_t, a_t, r_t, s_{t+1})`.
 ///
-/// States are flat feature vectors (the paper's `(X, w)` encoding); the
-/// action type is generic: the actor-critic stores the one-hot assignment
-/// vector, the DQN stores a discrete action index.
+/// States are flat feature vectors (the paper's `(X, w)` encoding) in the
+/// training element type `S` (default [`Elem`] = f32 — replay storage is
+/// the largest resident buffer of a training run, so halving its width
+/// matters); the action type is generic: the actor-critic stores the
+/// one-hot assignment vector, the DQN stores a discrete action index.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Transition<A> {
+pub struct Transition<A, S: Scalar = Elem> {
     /// State at the decision epoch.
-    pub state: Vec<f64>,
+    pub state: Vec<S>,
     /// Action taken.
     pub action: A,
     /// Immediate reward (negative average tuple processing time).
-    pub reward: f64,
+    pub reward: S,
     /// Observed next state.
-    pub next_state: Vec<f64>,
+    pub next_state: Vec<S>,
 }
 
-impl<A> Transition<A> {
+impl<A, S: Scalar> Transition<A, S> {
     /// Convenience constructor.
-    pub fn new(state: Vec<f64>, action: A, reward: f64, next_state: Vec<f64>) -> Self {
+    pub fn new(state: Vec<S>, action: A, reward: S, next_state: Vec<S>) -> Self {
         Self {
             state,
             action,
@@ -35,10 +39,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn holds_generic_actions() {
+    fn holds_generic_actions_and_scalars() {
         let t1: Transition<usize> = Transition::new(vec![0.0], 3, -1.5, vec![1.0]);
         assert_eq!(t1.action, 3);
-        let t2: Transition<Vec<f64>> = Transition::new(vec![0.0], vec![1.0, 0.0], -2.0, vec![1.0]);
+        let t2: Transition<Vec<Elem>> = Transition::new(vec![0.0], vec![1.0, 0.0], -2.0, vec![1.0]);
         assert_eq!(t2.action.len(), 2);
+        let t3: Transition<usize, f64> = Transition::new(vec![0.5], 1, -0.25, vec![0.5]);
+        assert_eq!(t3.reward, -0.25f64);
     }
 }
