@@ -27,7 +27,11 @@
 //! serial-pinned pairs. These are serial-gated by `bench_gate` (≥ 1.0×),
 //! so the f32 default can never silently regress below double precision.
 //! The dispatched GEMM microkernel (`avx2_fma` / `scalar` — see
-//! `DSS_NO_SIMD`) is recorded in `config.microkernel`.
+//! `DSS_NO_SIMD`) is recorded in `config.microkernel`, and the measuring
+//! host's physical parallelism in `config.host_cores` (so a `par_* ≈ 1.0`
+//! ratio from a 1-core container is self-describing). The ungated
+//! `sim_env_step_cq_small` probe records the cost of one decision epoch
+//! against the tuple-level training backend (`SimEnv`).
 //!
 //! ```text
 //! bench_json [--quick] [--out PATH]
@@ -44,7 +48,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dss_core::{ControlConfig, ParallelCollector, SchedState};
+use dss_core::{ControlConfig, Environment, ParallelCollector, Scenario, SchedState};
 use dss_nn::{
     microkernel_name, mse_loss_grad, Activation, Adam, Elem, Matrix, Mlp, Optimizer, Scalar,
 };
@@ -312,9 +316,10 @@ fn main() {
 
     // ---- sharded replay under writer contention -------------------------
     // One probe iteration = WRITERS × PUSHES transitions. The serial
-    // baseline pushes the same total into a single ring on one thread; the
-    // sharded probe fans the writers out over the pool (actor i → shard i),
-    // which is the parallel collector's write pattern.
+    // baseline pushes the same total into a single AoS ring on one thread
+    // (per-transition row Vecs and all); the sharded probe copies rows
+    // into the structure-of-arrays slabs, fanned out over the pool
+    // (actor i → shard i) — the parallel collector's write pattern.
     {
         const WRITERS: usize = 4;
         const PUSHES: usize = 250;
@@ -331,8 +336,8 @@ fn main() {
                 }
             }) / total,
         );
-        let sharded: ShardedReplayBuffer<usize, Elem> =
-            ShardedReplayBuffer::new(WRITERS, REPLAY_B / 4);
+        let sharded: ShardedReplayBuffer<Elem> =
+            ShardedReplayBuffer::new(WRITERS, REPLAY_B / 4, 1, 1);
         record(
             "replay_push_sharded_4w_1k",
             bench_ns(budget_ms, || {
@@ -341,7 +346,7 @@ fn main() {
                 par.for_each_chunk(WRITERS * PUSHES, PUSHES, |range| {
                     let shard = range.start / PUSHES;
                     for i in range {
-                        sharded.push(shard, Transition::new(vec![i as Elem], 0, 0.0, vec![0.0]));
+                        sharded.push_rows(shard, &[i as Elem], &[0.0], 0.0, &[0.0]);
                     }
                 });
             }) / total,
@@ -352,6 +357,30 @@ fn main() {
             bench_ns(budget_ms, || {
                 sharded.sample_indices_into(BATCH_H, &mut rng, &mut idx);
                 std::hint::black_box(&idx);
+            }),
+        );
+    }
+
+    // ---- tuple-level training backend: SimEnv step throughput -----------
+    // ns per deploy-and-measure decision epoch against the live engine on
+    // the small continuous-queries scenario (1 s epochs). Ungated: the
+    // cost scales with simulated tuple traffic, not with code quality
+    // alone — this records the price of high-fidelity training.
+    {
+        let scenario = Scenario::by_name("cq-small-steady").expect("registry scenario");
+        let cfg = ControlConfig {
+            sim_epoch_s: 1.0,
+            ..ControlConfig::test()
+        };
+        let mut env = scenario.sim_env(&cfg, 7);
+        let workload = scenario.app.workload.clone();
+        let solution = scenario.initial_assignment();
+        // Warm the engine past the empty-window cold start.
+        env.deploy_and_measure(&solution, &workload);
+        record(
+            "sim_env_step_cq_small",
+            bench_ns(budget_ms, || {
+                std::hint::black_box(env.deploy_and_measure(&solution, &workload));
             }),
         );
     }
@@ -629,8 +658,12 @@ fn to_json(results: &[(String, f64)], quick: bool, par_threads: usize) -> String
     s.push_str("  \"schema\": \"dss-bench/nn-v1\",\n");
     let elem = <Elem as Scalar>::NAME;
     let kernel = microkernel_name();
+    // Physical parallelism of the measuring host: the par_* ratios are
+    // meaningless without it (a 1-core container measures ≈ 1.0), so the
+    // artifact carries it and is self-describing.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     s.push_str(&format!(
-        "  \"config\": {{\"replay_b\": {REPLAY_B}, \"batch_h\": {BATCH_H}, \"state_dim\": {STATE_DIM}, \"n_actions\": {N_ACTIONS}, \"quick\": {quick}, \"par_threads\": {par_threads}, \"elem\": \"{elem}\", \"microkernel\": \"{kernel}\"}},\n"
+        "  \"config\": {{\"replay_b\": {REPLAY_B}, \"batch_h\": {BATCH_H}, \"state_dim\": {STATE_DIM}, \"n_actions\": {N_ACTIONS}, \"quick\": {quick}, \"par_threads\": {par_threads}, \"host_cores\": {host_cores}, \"elem\": \"{elem}\", \"microkernel\": \"{kernel}\"}},\n"
     ));
     s.push_str("  \"results\": [\n");
     for (i, (name, ns)) in results.iter().enumerate() {

@@ -1,0 +1,98 @@
+//! Cross-backend end-to-end smoke: a tiny train + deploy on **both**
+//! environment backends across registry scenarios.
+//!
+//! For every requested scenario × backend pair this runs the full
+//! pipeline at a tiny budget — offline random-action collection, DQN
+//! pre-training + online learning against that backend, then deployment
+//! of the trained solution on a fresh tuple-level engine under the
+//! scenario's rate schedule — and asserts the run is sane (rewards
+//! recorded, deployment curve non-empty, latency finite and positive).
+//!
+//! CI runs this as the `backend-smoke` job, so a change that breaks the
+//! `Environment` seam for either backend (or any registry scenario it
+//! exercises) fails fast with a named scenario/backend in the log.
+//!
+//! ```text
+//! smoke_backends [--scenarios a,b,...] [--epochs N]
+//!
+//! --scenarios  comma-separated registry names
+//!              (default: cq-small-steady,cq-small-bursty)
+//! --epochs     online epochs per method (default: 6)
+//! ```
+
+use dss_core::experiment::{
+    scenario_deployment_curve, stable_ms, train_method_on, Backend, Method,
+};
+use dss_core::{ControlConfig, Scenario};
+
+fn main() {
+    let mut scenarios = vec!["cq-small-steady".to_string(), "cq-small-bursty".to_string()];
+    let mut epochs = 6usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scenarios" => {
+                scenarios = args
+                    .next()
+                    .expect("--scenarios needs a value")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--epochs" => {
+                epochs = args
+                    .next()
+                    .expect("--epochs needs a value")
+                    .parse()
+                    .expect("--epochs must be a number");
+            }
+            other => panic!("unknown flag `{other}`; expected --scenarios/--epochs"),
+        }
+    }
+
+    let cfg = ControlConfig {
+        offline_samples: 30,
+        offline_steps: 25,
+        online_epochs: epochs,
+        eps_decay_epochs: epochs.max(2) / 2,
+        sim_epoch_s: 1.0,
+        ..ControlConfig::test()
+    };
+
+    for name in &scenarios {
+        let scenario = Scenario::by_name(name)
+            .unwrap_or_else(|| panic!("`{name}` is not a registry scenario"));
+        for backend in Backend::all() {
+            let t0 = std::time::Instant::now();
+            let out = train_method_on(backend, Method::Dqn, &scenario, &cfg);
+            let rewards = out.rewards.as_ref().expect("DQN records rewards");
+            assert_eq!(
+                rewards.len(),
+                cfg.online_epochs,
+                "{name}/{}",
+                backend.label()
+            );
+            assert!(
+                rewards.values().iter().all(|r| r.is_finite() && *r < 0.0),
+                "{name}/{}: rewards must be finite negative latencies",
+                backend.label()
+            );
+            let curve = scenario_deployment_curve(&scenario, &cfg, &out.solution, 2.0, 10.0);
+            assert!(!curve.is_empty(), "{name}/{}: empty curve", backend.label());
+            let ms = stable_ms(&curve);
+            assert!(
+                ms.is_finite() && ms > 0.0,
+                "{name}/{}: bad stable latency {ms}",
+                backend.label()
+            );
+            println!(
+                "ok {name:<24} backend={:<8} trained {} epochs, deployed: {:.3} ms stable ({:.1}s)",
+                backend.label(),
+                cfg.online_epochs,
+                ms,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+    println!("smoke_backends: all scenario x backend pairs passed");
+}

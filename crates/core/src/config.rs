@@ -32,6 +32,13 @@ pub struct ControlConfig {
     pub gamma: f64,
     /// Master seed.
     pub seed: u64,
+    /// Decision-epoch length in simulated seconds for the tuple-level
+    /// training backend (`SimEnv`): how much engine time one
+    /// deploy-and-measure advances. The paper measures "5 consecutive
+    /// measurements with a 10-second interval" per decision on the real
+    /// cluster; shorter epochs trade measurement stability for training
+    /// throughput.
+    pub sim_epoch_s: f64,
     /// Exploration schedule start.
     pub eps_start: f64,
     /// Exploration schedule end.
@@ -53,6 +60,7 @@ impl ControlConfig {
             measurement_noise: 0.03,
             gamma: 0.4,
             seed: 17,
+            sim_epoch_s: 50.0,
             eps_start: 0.8,
             eps_end: 0.05,
             eps_decay_epochs: 1_000,
@@ -67,6 +75,7 @@ impl ControlConfig {
             offline_steps: 800,
             online_epochs: 400,
             eps_decay_epochs: 200,
+            sim_epoch_s: 10.0,
             ..Self::paper()
         }
     }
@@ -79,6 +88,7 @@ impl ControlConfig {
             online_epochs: 40,
             eps_decay_epochs: 20,
             measurement_noise: 0.0,
+            sim_epoch_s: 2.0,
             ..Self::paper()
         }
     }

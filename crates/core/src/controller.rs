@@ -146,16 +146,20 @@ impl Controller {
         &self.config
     }
 
-    /// Collects `config.offline_samples` random-action samples.
+    /// Collects `config.offline_samples` random-action samples, against
+    /// any backend (`E` — for the tuple-level [`SimEnv`] backend each
+    /// sample is a decision epoch of the *running* engine, workload
+    /// mutations applied mid-run).
     ///
     /// `collector` decides the action distribution ([`RandomScheduler`] in
     /// either mode). Workload multipliers are drawn from `[0.6, 1.8]` per
     /// sample so learners see the workload dimension of the state space.
     ///
     /// [`RandomScheduler`]: crate::scheduler::RandomScheduler
-    pub fn collect_offline(
+    /// [`SimEnv`]: crate::env::SimEnv
+    pub fn collect_offline<E: Environment + ?Sized>(
         &self,
-        env: &mut dyn Environment,
+        env: &mut E,
         base_workload: &Workload,
         collector: &mut dyn Scheduler,
         initial: Assignment,
@@ -166,13 +170,18 @@ impl Controller {
         for _ in 0..self.config.offline_samples {
             let mult: f64 = rng.random_range(0.6..1.8);
             let workload = base_workload.scaled(mult);
-            let state = SchedState::new(current.clone(), workload.clone());
+            // A schedule-aware backend measures under its own multiplier
+            // on top of the base handed to it; the stored sample must
+            // carry the load the latency was actually measured under, or
+            // learners would fit labels to mislabeled workload features.
+            let observed = workload.scaled(env.workload_multiplier());
+            let state = SchedState::new(current.clone(), observed.clone());
             let action = collector.schedule(&state);
             let (latency_ms, stats) = env.deploy_and_measure_stats(&action, &workload);
             samples.push(RawSample {
                 prev: current.clone(),
                 action: action.clone(),
-                workload,
+                workload: observed,
                 latency_ms,
                 stats,
             });
@@ -182,12 +191,16 @@ impl Controller {
     }
 
     /// Online learning (Algorithm 1's decision-epoch loop): runs
-    /// `epochs` epochs of schedule → deploy → measure → observe, starting
-    /// from `initial`. Returns `(per-epoch rewards, final assignment)`.
-    pub fn online_learn(
+    /// `epochs` epochs of schedule → deploy → measure → observe against
+    /// any backend, starting from `initial`. Schedule-aware backends are
+    /// honoured: the state the scheduler sees carries the workload scaled
+    /// by [`Environment::workload_multiplier`], while `workload` stays the
+    /// base rate handed to the backend. Returns `(per-epoch rewards,
+    /// final assignment)`.
+    pub fn online_learn<E: Environment + ?Sized>(
         &self,
         scheduler: &mut dyn Scheduler,
-        env: &mut dyn Environment,
+        env: &mut E,
         workload: &Workload,
         initial: Assignment,
         epochs: usize,
@@ -195,11 +208,17 @@ impl Controller {
         let mut rewards = TimeSeries::new();
         let mut current = initial;
         for t in 0..epochs {
-            let state = SchedState::new(current.clone(), workload.clone());
+            let observed = workload.scaled(env.workload_multiplier());
+            let state = SchedState::new(current.clone(), observed);
             let action = scheduler.schedule(&state);
             let latency_ms = env.deploy_and_measure(&action, workload);
             let r = self.reward.reward(latency_ms);
-            let next_state = SchedState::new(action.clone(), workload.clone());
+            // Re-read the multiplier: the epoch just advanced, so s' must
+            // carry the load the *next* decision will be made under, or
+            // TD targets bootstrap at a stale workload exactly when the
+            // schedule moves.
+            let next_observed = workload.scaled(env.workload_multiplier());
+            let next_state = SchedState::new(action.clone(), next_observed);
             scheduler.observe(&state, &action, r, &next_state);
             self.store.push(StoredTransition {
                 state: state.features(self.config.rate_scale),

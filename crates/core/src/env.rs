@@ -1,27 +1,55 @@
 //! The environment the controller drives, and the transition "database".
 //!
-//! [`Environment`] is what the framework sees of the DSDPS: deploy a
-//! scheduling solution under a workload, get back the measured average
-//! tuple processing time (and, for the model-based baseline only, richer
-//! component statistics). [`AnalyticEnv`] backs it with `dss-sim`'s fast
-//! steady-state evaluator — the training loops' environment — while the
-//! figure runners measure final solutions on the tuple-level engine
-//! directly (see `experiment`).
+//! [`Environment`] is the **backend seam** of the whole control stack:
+//! everything that trains or evaluates an agent — [`Controller`],
+//! [`ParallelCollector`], the experiment runners — is generic over it, so
+//! a scheduler trained against one backend runs unchanged against any
+//! other. A backend is "a DSDPS you can deploy a scheduling solution on
+//! and measure": it exposes the problem shape (`N` executors, `M`
+//! machines) and one core operation, *deploy-and-measure* (apply an
+//! assignment under a base workload, return the observed average tuple
+//! processing time for one decision epoch).
+//!
+//! Two backends ship today:
+//!
+//! * [`AnalyticEnv`] — `dss-sim`'s fast steady-state evaluator (with
+//!   optional measurement noise and an optional [`RateSchedule`]-driven
+//!   virtual clock). Cheap enough for the paper's 10,000-sample offline
+//!   phase and for large parallel actor fleets.
+//! * [`SimEnv`] — the tuple-level discrete-event engine itself: each
+//!   `deploy_and_measure` is a *minimal-impact re-deployment* (only moved
+//!   executors pause, exactly like the paper's custom Storm scheduler),
+//!   one decision epoch of simulated time, and a read of the
+//!   sliding-window average tuple processing time. This is the
+//!   high-fidelity backend: agents can now train against the same engine
+//!   the figures are measured on.
+//!
+//! **Adding a backend** (e.g. a live cluster through `dss-nimbus` /
+//! `dss-coord`) means implementing the four `Environment` methods —
+//! deploy the assignment, wait an epoch, return the measured latency —
+//! plus `workload_multiplier` if the backend's offered load varies on its
+//! own. Scenario-driven construction hooks live in [`crate::scenario`].
+//!
+//! [`Controller`]: crate::controller::Controller
+//! [`ParallelCollector`]: crate::parallel::ParallelCollector
 
 use parking_lot::RwLock;
 use std::sync::Arc;
 
 use dss_rl::Elem;
-use dss_sim::{AnalyticModel, Assignment, RuntimeStats, Workload};
+use dss_sim::{AnalyticModel, Assignment, RateSchedule, RuntimeStats, SimEngine, Workload};
 
-/// A DSDPS that can be scheduled and measured.
+/// A DSDPS that can be scheduled and measured — the backend seam every
+/// training and evaluation layer is generic over (see the module docs).
 pub trait Environment {
     /// Number of executors `N`.
     fn n_executors(&self) -> usize;
     /// Number of machines `M`.
     fn n_machines(&self) -> usize;
-    /// Deploys `assignment` under `workload`; returns the measured average
-    /// end-to-end tuple processing time in ms.
+    /// Deploys `assignment` under base `workload`; returns the measured
+    /// average end-to-end tuple processing time in ms for one decision
+    /// epoch. Backends with an internal [`RateSchedule`] apply their own
+    /// multiplier on top of the base workload.
     fn deploy_and_measure(&mut self, assignment: &Assignment, workload: &Workload) -> f64;
     /// Like [`Environment::deploy_and_measure`] but with the detailed
     /// statistics the model-based baseline trains on.
@@ -30,23 +58,65 @@ pub trait Environment {
         assignment: &Assignment,
         workload: &Workload,
     ) -> (f64, RuntimeStats);
+    /// The rate-schedule multiplier this backend currently applies to base
+    /// workloads (1.0 for unscheduled backends). Schedule-aware training
+    /// loops fold this into the observed workload so the agent's state
+    /// sees the load it is actually being measured under.
+    fn workload_multiplier(&self) -> f64 {
+        1.0
+    }
 }
 
 /// Training environment over the analytic evaluator (with measurement
 /// noise, mirroring the jitter of real 5×10 s measurements).
+///
+/// Optionally schedule-driven: [`AnalyticEnv::with_schedule`] attaches a
+/// [`RateSchedule`] and a virtual clock that advances one decision epoch
+/// per measurement, so the evaluator sees the same diurnal/bursty/step
+/// load evolution the tuple-level engine would — the cheap half of
+/// scenario-diverse training.
 pub struct AnalyticEnv {
     model: AnalyticModel,
+    schedule: Option<RateSchedule>,
+    epoch_s: f64,
+    clock: f64,
+    /// Reused buffer for the schedule-scaled workload.
+    scaled: Option<Workload>,
 }
 
 impl AnalyticEnv {
     /// Wraps an analytic model.
     pub fn new(model: AnalyticModel) -> Self {
-        Self { model }
+        Self {
+            model,
+            schedule: None,
+            epoch_s: 0.0,
+            clock: 0.0,
+            scaled: None,
+        }
+    }
+
+    /// Attaches a workload multiplier schedule. Each `deploy_and_measure`
+    /// evaluates under `base × schedule(t)` and then advances the virtual
+    /// clock by `epoch_s` (the real-time length of a decision epoch).
+    ///
+    /// # Panics
+    /// Panics when `epoch_s` is not positive.
+    pub fn with_schedule(mut self, schedule: RateSchedule, epoch_s: f64) -> Self {
+        assert!(epoch_s > 0.0, "epoch length must be positive");
+        self.schedule = Some(schedule);
+        self.epoch_s = epoch_s;
+        self
     }
 
     /// The underlying model.
     pub fn model_mut(&mut self) -> &mut AnalyticModel {
         &mut self.model
+    }
+
+    /// Virtual time (s) under an attached schedule (0 without one).
+    pub fn now(&self) -> f64 {
+        self.clock
     }
 }
 
@@ -60,7 +130,7 @@ impl Environment for AnalyticEnv {
     }
 
     fn deploy_and_measure(&mut self, assignment: &Assignment, workload: &Workload) -> f64 {
-        self.model.evaluate(assignment, workload)
+        self.deploy_and_measure_stats(assignment, workload).0
     }
 
     fn deploy_and_measure_stats(
@@ -68,7 +138,169 @@ impl Environment for AnalyticEnv {
         assignment: &Assignment,
         workload: &Workload,
     ) -> (f64, RuntimeStats) {
-        self.model.evaluate_with_stats(assignment, workload)
+        match &self.schedule {
+            None => self.model.evaluate_with_stats(assignment, workload),
+            Some(s) => {
+                let mult = s.multiplier_at(self.clock);
+                let scaled = self.scaled.get_or_insert_with(|| workload.clone());
+                scaled.copy_scaled_from(workload, mult);
+                let out = self.model.evaluate_with_stats(assignment, scaled);
+                self.clock += self.epoch_s;
+                out
+            }
+        }
+    }
+
+    fn workload_multiplier(&self) -> f64 {
+        self.schedule
+            .as_ref()
+            .map_or(1.0, |s| s.multiplier_at(self.clock))
+    }
+}
+
+/// Latency reported when the engine's sliding window is still empty after
+/// the catch-up epochs — only reachable when the system is so stalled (or
+/// the workload so tiny) that *no* tuple tree completed in several epochs;
+/// a pessimistic constant keeps the reward signal well-defined and
+/// strongly negative there.
+const EMPTY_WINDOW_PENALTY_MS: f64 = 10_000.0;
+
+/// High-fidelity training environment over the tuple-level discrete-event
+/// engine ([`SimEngine`]).
+///
+/// One [`Environment::deploy_and_measure`] call is one decision epoch of
+/// Algorithm 1 against the *running* system, exactly as the paper's agent
+/// experiences Storm:
+///
+/// 1. the assignment is applied as a **minimal-impact re-deployment**
+///    (only executors whose machine changed pause and restart warm-up;
+///    the first call starts the topology);
+/// 2. the event loop advances `epoch_s` simulated seconds
+///    ([`SimEngine::step_epoch`]) — tuples keep flowing through the
+///    migration transient;
+/// 3. the sliding-window average tuple processing time at the new clock is
+///    the measurement (so the agent pays for the latency spikes its own
+///    re-deployments cause — the dynamics the analytic evaluator cannot
+///    show).
+///
+/// Right after a cold start the window can be empty (nothing completed
+/// yet); the *first* measurement steps up to [`SimEnv::catchup_epochs`]
+/// extra epochs before falling back to a large penalty value. A warm-run
+/// empty window (total stall under a bad assignment) earns the penalty
+/// after a single epoch — decision cadence never degrades mid-run.
+///
+/// A changed base `workload` argument is forwarded to the engine mid-run
+/// ([`SimEngine::set_workload`]); an attached [`RateSchedule`] (set on the
+/// engine, see [`crate::scenario`]) additionally modulates the offered
+/// load over simulated time and is surfaced through
+/// [`Environment::workload_multiplier`].
+pub struct SimEnv {
+    engine: SimEngine,
+    epoch_s: f64,
+    catchup_epochs: usize,
+    /// Whether this env has issued its first deploy (the engine may also
+    /// have been started by whoever handed it in).
+    deployed_once: bool,
+    /// Whether the first measurement (with cold-start catch-up) happened.
+    measured_once: bool,
+}
+
+impl SimEnv {
+    /// Wraps an engine; decisions advance it `epoch_s` simulated seconds
+    /// each. The engine may be fresh or already running (hot-swapping a
+    /// controller onto a live system).
+    ///
+    /// # Panics
+    /// Panics when `epoch_s` is not positive.
+    pub fn new(engine: SimEngine, epoch_s: f64) -> Self {
+        assert!(epoch_s > 0.0, "epoch length must be positive");
+        Self {
+            engine,
+            epoch_s,
+            catchup_epochs: 8,
+            deployed_once: false,
+            measured_once: false,
+        }
+    }
+
+    /// The decision-epoch length in simulated seconds.
+    pub fn epoch_s(&self) -> f64 {
+        self.epoch_s
+    }
+
+    /// Extra epochs the *first* measurement steps while the latency
+    /// window is still empty after a cold start (default 8).
+    pub fn catchup_epochs(&self) -> usize {
+        self.catchup_epochs
+    }
+
+    /// The wrapped engine (read access: clocks, counts, schedules).
+    pub fn engine(&self) -> &SimEngine {
+        &self.engine
+    }
+
+    /// The wrapped engine (mutable: fault injection, schedule changes).
+    pub fn engine_mut(&mut self) -> &mut SimEngine {
+        &mut self.engine
+    }
+
+    fn measure_epoch(&mut self, assignment: &Assignment, workload: &Workload) -> f64 {
+        if self.engine.workload() != workload {
+            self.engine.set_workload(workload.clone());
+        }
+        // Re-deploy only on change: the first call must always go through
+        // (it starts the topology), but a repeated assignment afterwards
+        // is a no-op move set — skipping it keeps a warm rollout step
+        // free of the per-epoch Assignment clone.
+        if !self.deployed_once || self.engine.assignment() != assignment {
+            self.engine
+                .deploy(assignment.clone())
+                .expect("assignment valid for this environment's topology/cluster");
+            self.deployed_once = true;
+        }
+        let mut ms = self.engine.step_epoch(self.epoch_s);
+        // Catch-up applies to the COLD START only: before the first
+        // measurement, nothing may have completed yet through no fault of
+        // the assignment. A warm-run empty window is the assignment's
+        // fault (total stall) and earns the penalty after one epoch —
+        // extra epochs here would silently slow the decision cadence
+        // exactly during overload.
+        if !self.measured_once {
+            let mut catchup = 0;
+            while ms.is_none() && catchup < self.catchup_epochs {
+                ms = self.engine.step_epoch(self.epoch_s);
+                catchup += 1;
+            }
+        }
+        self.measured_once = true;
+        ms.unwrap_or(EMPTY_WINDOW_PENALTY_MS)
+    }
+}
+
+impl Environment for SimEnv {
+    fn n_executors(&self) -> usize {
+        self.engine.topology().n_executors()
+    }
+
+    fn n_machines(&self) -> usize {
+        self.engine.cluster().n_machines()
+    }
+
+    fn deploy_and_measure(&mut self, assignment: &Assignment, workload: &Workload) -> f64 {
+        self.measure_epoch(assignment, workload)
+    }
+
+    fn deploy_and_measure_stats(
+        &mut self,
+        assignment: &Assignment,
+        workload: &Workload,
+    ) -> (f64, RuntimeStats) {
+        let ms = self.measure_epoch(assignment, workload);
+        (ms, self.engine.stats())
+    }
+
+    fn workload_multiplier(&self) -> f64 {
+        self.engine.rate_schedule().multiplier_at(self.engine.now())
     }
 }
 
@@ -159,6 +391,133 @@ mod tests {
         let (ms2, stats) = e.deploy_and_measure_stats(&a, &w);
         assert_eq!(ms, ms2);
         assert_eq!(stats.executor_rates.len(), 5);
+    }
+
+    fn sim_env(seed: u64, epoch_s: f64) -> SimEnv {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 3, 0.3);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+        let topo = b.build().unwrap();
+        let workload = Workload::uniform(&topo, 200.0);
+        let engine = SimEngine::new(
+            topo,
+            ClusterSpec::homogeneous(4),
+            workload,
+            dss_sim::SimConfig::steady_state(seed),
+        )
+        .unwrap();
+        SimEnv::new(engine, epoch_s)
+    }
+
+    #[test]
+    fn sim_env_steps_one_epoch_per_measure() {
+        let mut e = sim_env(3, 5.0);
+        assert_eq!(e.n_executors(), 5);
+        assert_eq!(e.n_machines(), 4);
+        let a = Assignment::new(vec![0; 5], 4).unwrap();
+        let w = Workload::new(vec![(0, 200.0)], e.engine().topology()).unwrap();
+        let ms = e.deploy_and_measure(&a, &w);
+        assert!(ms > 0.0 && ms < EMPTY_WINDOW_PENALTY_MS);
+        assert!((e.engine().now() - 5.0).abs() < 1e-9, "one epoch stepped");
+        let before = e.engine().now();
+        let (ms2, stats) = e.deploy_and_measure_stats(&a, &w);
+        assert!((e.engine().now() - before - 5.0).abs() < 1e-9);
+        assert!(ms2 > 0.0);
+        assert_eq!(stats.executor_rates.len(), 5);
+        assert!(stats.completed > 0);
+    }
+
+    #[test]
+    fn sim_env_redeploys_minimally_and_keeps_processing() {
+        let mut e = sim_env(4, 5.0);
+        let a = Assignment::new(vec![0, 1, 2, 3, 0], 4).unwrap();
+        let w = Workload::new(vec![(0, 200.0)], e.engine().topology()).unwrap();
+        e.deploy_and_measure(&a, &w);
+        let completed_before = e.engine().tuple_counts().1;
+        // Move one executor: a minimal-impact re-deployment, not a restart.
+        let moved = a.with_move(0, 1);
+        let ms = e.deploy_and_measure(&moved, &w);
+        assert!(ms > 0.0);
+        assert_eq!(e.engine().assignment(), &moved);
+        assert!(
+            e.engine().tuple_counts().1 > completed_before,
+            "system keeps processing through the migration"
+        );
+    }
+
+    #[test]
+    fn sim_env_mid_run_workload_change_applies() {
+        let mut e = sim_env(5, 10.0);
+        let a = Assignment::new(vec![0, 1, 2, 3, 0], 4).unwrap();
+        let base = Workload::new(vec![(0, 200.0)], e.engine().topology()).unwrap();
+        e.deploy_and_measure(&a, &base);
+        let emitted_low = e.engine().tuple_counts().0;
+        let heavy = base.scaled(3.0);
+        e.deploy_and_measure(&a, &heavy);
+        let emitted_high = e.engine().tuple_counts().0 - emitted_low;
+        assert_eq!(e.engine().workload(), &heavy);
+        assert!(
+            emitted_high as f64 > emitted_low as f64 * 2.0,
+            "tripled workload must show up in emission: {emitted_low} -> {emitted_high}"
+        );
+    }
+
+    #[test]
+    fn sim_env_schedule_surfaces_multiplier() {
+        let mut e = sim_env(6, 5.0);
+        e.engine_mut()
+            .set_rate_schedule(dss_sim::RateSchedule::step_at(5.0, 2.0));
+        assert_eq!(e.workload_multiplier(), 1.0);
+        let a = Assignment::new(vec![0, 1, 2, 3, 0], 4).unwrap();
+        let w = Workload::new(vec![(0, 200.0)], e.engine().topology()).unwrap();
+        e.deploy_and_measure(&a, &w); // clock reaches 5.0
+        assert_eq!(e.workload_multiplier(), 2.0);
+    }
+
+    #[test]
+    fn analytic_env_schedule_advances_virtual_clock() {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 3, 0.3);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+        let topo = b.build().unwrap();
+        let w = Workload::uniform(&topo, 100.0);
+        let model = AnalyticModel::new(
+            topo,
+            ClusterSpec::homogeneous(4),
+            SimConfig::steady_state(3),
+        )
+        .unwrap();
+        let mut e =
+            AnalyticEnv::new(model).with_schedule(dss_sim::RateSchedule::step_at(30.0, 2.0), 30.0);
+        let a = Assignment::new(vec![0, 1, 2, 3, 0], 4).unwrap();
+        assert_eq!(e.workload_multiplier(), 1.0);
+        let before = e.deploy_and_measure(&a, &w);
+        assert_eq!(e.now(), 30.0);
+        assert_eq!(e.workload_multiplier(), 2.0);
+        let after = e.deploy_and_measure(&a, &w);
+        assert!(
+            after > before,
+            "doubled load must cost latency: {before} -> {after}"
+        );
+        // The noiseless analytic model agrees with evaluating the scaled
+        // workload directly.
+        let mut plain = AnalyticEnv::new(
+            AnalyticModel::new(
+                {
+                    let mut b = TopologyBuilder::new("t");
+                    let s = b.spout("s", 2, 0.05);
+                    let x = b.bolt("x", 3, 0.3);
+                    b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+                    b.build().unwrap()
+                },
+                ClusterSpec::homogeneous(4),
+                SimConfig::steady_state(3),
+            )
+            .unwrap(),
+        );
+        assert_eq!(after, plain.deploy_and_measure(&a, &w.scaled(2.0)));
     }
 
     #[test]

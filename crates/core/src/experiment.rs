@@ -27,7 +27,8 @@ use dss_sim::{
 
 use crate::config::ControlConfig;
 use crate::controller::Controller;
-use crate::env::AnalyticEnv;
+use crate::env::{AnalyticEnv, Environment};
+use crate::scenario::Scenario;
 use crate::scheduler::random::RandomMode;
 use crate::scheduler::{
     ActorCriticScheduler, DqnScheduler, ModelBasedScheduler, RandomScheduler, RoundRobinScheduler,
@@ -70,6 +71,32 @@ impl Method {
     }
 }
 
+/// Which [`Environment`] backend a training run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The fast steady-state analytic evaluator (training default).
+    Analytic,
+    /// The tuple-level discrete-event engine: training shares the exact
+    /// dynamics (migration pauses, warm-up, queueing transients) the
+    /// deployment figures measure.
+    Sim,
+}
+
+impl Backend {
+    /// Label used in CSV headers and CI logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Analytic => "analytic",
+            Backend::Sim => "sim",
+        }
+    }
+
+    /// Both backends, analytic first.
+    pub fn all() -> [Backend; 2] {
+        [Backend::Analytic, Backend::Sim]
+    }
+}
+
 /// A trained method ready for deployment.
 pub struct TrainOutcome {
     /// Which method this is.
@@ -100,13 +127,57 @@ fn training_env(app: &App, cluster: &ClusterSpec, cfg: &ControlConfig) -> Analyt
     AnalyticEnv::new(model)
 }
 
-/// Trains one method on an application (offline + online phases) and
-/// extracts its deployable solution.
+/// Trains one method on an application (offline + online phases) against
+/// the analytic backend and extracts its deployable solution. Shorthand
+/// for [`train_method_with`] over [`AnalyticEnv`].
 pub fn train_method(
     method: Method,
     app: &App,
     cluster: &ClusterSpec,
     cfg: &ControlConfig,
+) -> TrainOutcome {
+    train_method_with(method, app, cluster, cfg, || {
+        training_env(app, cluster, cfg)
+    })
+}
+
+/// Trains one method on a **named scenario** against the chosen backend —
+/// the entry point the CI smoke job and cross-backend tests drive. The
+/// scenario's rate schedule is installed on the environment, so training
+/// sees the scenario's traffic shape.
+pub fn train_method_on(
+    backend: Backend,
+    method: Method,
+    scenario: &Scenario,
+    cfg: &ControlConfig,
+) -> TrainOutcome {
+    match backend {
+        Backend::Analytic => {
+            train_method_with(method, &scenario.app, &scenario.cluster, cfg, || {
+                scenario.analytic_env(cfg, cfg.seed)
+            })
+        }
+        Backend::Sim => train_method_with(method, &scenario.app, &scenario.cluster, cfg, || {
+            scenario.sim_env(cfg, cfg.seed)
+        }),
+    }
+}
+
+/// Trains one method on an application (offline + online phases) against
+/// any backend and extracts its deployable solution. `make_env` builds
+/// the method's training environment (called once per method; the online
+/// phase continues on the same environment the offline phase drove — for
+/// a stateful backend like `SimEnv` that means the engine's clock,
+/// schedule position and backlog carry over, exactly as they would on a
+/// live cluster). It is a factory rather than a value so the entry
+/// points above can describe *how* to build an env without building one
+/// for methods that never measure (`Method::Default`).
+pub fn train_method_with<E: Environment>(
+    method: Method,
+    app: &App,
+    cluster: &ClusterSpec,
+    cfg: &ControlConfig,
+    make_env: impl Fn() -> E,
 ) -> TrainOutcome {
     let controller = Controller::new(*cfg);
     let n = app.topology.n_executors();
@@ -127,7 +198,7 @@ pub fn train_method(
             }
         }
         Method::ModelBased => {
-            let mut env = training_env(app, cluster, cfg);
+            let mut env = make_env();
             let mut collector =
                 RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(cfg.seed));
             let data = controller.collect_offline(
@@ -149,7 +220,7 @@ pub fn train_method(
             }
         }
         Method::Dqn => {
-            let mut env = training_env(app, cluster, cfg);
+            let mut env = make_env();
             // Offline: random walk through the single-move action space.
             let mut collector =
                 RandomScheduler::new(RandomMode::RandomWalk, StdRng::seed_from_u64(cfg.seed));
@@ -184,7 +255,7 @@ pub fn train_method(
             }
         }
         Method::ActorCritic => {
-            let mut env = training_env(app, cluster, cfg);
+            let mut env = make_env();
             let mut collector =
                 RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(cfg.seed));
             let data = controller.collect_offline(
@@ -226,13 +297,39 @@ pub fn deployment_curve(
     minutes: f64,
     sample_s: f64,
 ) -> TimeSeries {
-    let mut engine = SimEngine::new(
+    let engine = SimEngine::new(
         app.topology.clone(),
         cluster.clone(),
         app.workload.clone(),
         sim_config(cfg),
     )
     .expect("valid app/cluster");
+    sampled_curve(engine, solution, minutes, sample_s)
+}
+
+/// [`deployment_curve`] for a named scenario: the solution runs on a
+/// fresh tuple-level engine with the scenario's rate schedule installed,
+/// so the curve reflects the scenario's traffic shape (step/diurnal/burst
+/// transients included).
+pub fn scenario_deployment_curve(
+    scenario: &Scenario,
+    cfg: &ControlConfig,
+    solution: &Assignment,
+    minutes: f64,
+    sample_s: f64,
+) -> TimeSeries {
+    sampled_curve(scenario.sim_engine(cfg.seed), solution, minutes, sample_s)
+}
+
+/// Deploys `solution` on `engine` and samples the window-averaged latency
+/// every `sample_s` seconds out to `minutes` — the shared measurement loop
+/// behind every deployment curve.
+fn sampled_curve(
+    mut engine: SimEngine,
+    solution: &Assignment,
+    minutes: f64,
+    sample_s: f64,
+) -> TimeSeries {
     engine.deploy(solution.clone()).expect("valid solution");
     let mut series = TimeSeries::new();
     let mut t = sample_s;
@@ -417,6 +514,39 @@ mod tests {
         let early = curve.window_mean(0.0, 120.0).unwrap();
         let late = curve.window_mean(480.0, 600.0).unwrap();
         assert!(early > late, "{early} -> {late}");
+    }
+
+    #[test]
+    fn sim_backend_trains_dqn_on_registry_scenario() {
+        // A tiny budget, but end to end: offline collection and online
+        // learning both run against the live tuple-level engine.
+        let cfg = ControlConfig {
+            offline_samples: 25,
+            offline_steps: 20,
+            online_epochs: 8,
+            eps_decay_epochs: 4,
+            sim_epoch_s: 1.0,
+            ..ControlConfig::test()
+        };
+        let sc = Scenario::by_name("cq-small-steady").unwrap();
+        let out = train_method_on(Backend::Sim, Method::Dqn, &sc, &cfg);
+        let rewards = out.rewards.as_ref().unwrap();
+        assert_eq!(rewards.len(), cfg.online_epochs);
+        assert!(rewards.values().iter().all(|&r| r < 0.0));
+        assert_eq!(out.solution.n_executors(), sc.n_executors());
+        // And the analytic arm of the same entry point still works.
+        let out2 = train_method_on(Backend::Analytic, Method::Default, &sc, &cfg);
+        assert_eq!(out2.solution, sc.initial_assignment());
+        assert_eq!(Backend::all().map(Backend::label), ["analytic", "sim"]);
+    }
+
+    #[test]
+    fn scenario_curve_reflects_schedule() {
+        // The bursty scenario's deployment curve must exist and sample.
+        let sc = Scenario::by_name("cq-small-bursty").unwrap();
+        let rr = sc.initial_assignment();
+        let curve = scenario_deployment_curve(&sc, &tiny_cfg(), &rr, 3.0, 15.0);
+        assert!(curve.len() >= 10, "len {}", curve.len());
     }
 
     #[test]

@@ -12,17 +12,30 @@
 //! The crate provides:
 //!
 //! * [`state`] / [`action`] / [`reward`] — the paper's §3.2 formulation;
-//! * [`env`](mod@env) — the [`env::Environment`] abstraction over the DSDPS
-//!   (`dss-sim`'s analytic evaluator for training loops, the tuple-level
-//!   engine for figure-quality measurements) and the transition store;
+//! * [`env`](mod@env) — the [`env::Environment`] **backend seam**: every
+//!   training and evaluation layer ([`controller`], [`parallel`],
+//!   [`experiment`]) is generic over it. Two backends ship:
+//!   [`env::AnalyticEnv`] (the fast steady-state evaluator, optionally
+//!   schedule-driven) and [`env::SimEnv`] (the tuple-level engine — each
+//!   decision is a minimal-impact re-deployment plus one epoch of
+//!   simulated time, so agents train against the same dynamics the
+//!   figures measure). The module docs explain how to add a backend
+//!   (e.g. a live cluster via `dss-nimbus`/`dss-coord`);
+//! * [`scenario`] — the registry of named scenarios (application × scale
+//!   × cluster × rate schedule) that experiments, benches and collector
+//!   fleets build environments from, on either backend — including
+//!   domain-randomized heterogeneous fleets;
 //! * [`scheduler`] — the four compared methods: Storm's default
 //!   round-robin, a random scheduler (offline data collection), the
 //!   model-based SVR baseline of Li et al. (TBD'16), the DQN-based DRL
 //!   method, and the paper's actor-critic DRL method;
 //! * [`controller`] — offline training (10,000 random-action samples) and
-//!   online learning (Algorithm 1) loops;
+//!   online learning (Algorithm 1) loops, backend-generic;
+//! * [`parallel`] — the backend-generic parallel-actor collector (N
+//!   private environments, one learner, sharded replay);
 //! * [`experiment`] — runners that regenerate every evaluation figure
-//!   (6–12) and the headline summary table.
+//!   (6–12) and the headline summary table, plus backend-selectable
+//!   training ([`experiment::Backend`]).
 
 pub mod action;
 pub mod config;
@@ -31,14 +44,16 @@ pub mod env;
 pub mod experiment;
 pub mod parallel;
 pub mod reward;
+pub mod scenario;
 pub mod scheduler;
 pub mod state;
 
 pub use config::ControlConfig;
 pub use controller::{Controller, OfflineDataset, RawSample};
-pub use env::{AnalyticEnv, Environment, TransitionStore};
-pub use parallel::{ParallelCollector, RoundPlan};
+pub use env::{AnalyticEnv, Environment, SimEnv, TransitionStore};
+pub use parallel::{ActorSetup, ParallelCollector, RoundPlan};
 pub use reward::RewardScale;
+pub use scenario::{analytic_fleet, sim_fleet, Scenario};
 pub use scheduler::{
     ActorCriticScheduler, DqnScheduler, ModelBasedScheduler, RandomScheduler, RoundRobinScheduler,
     Scheduler,

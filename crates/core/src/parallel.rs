@@ -4,9 +4,26 @@
 //! This is the Rapid-style layout (see PAPERS.md) the ROADMAP queued
 //! behind "Replay at scale": the frozen-for-the-round agent is shared
 //! read-only across actor tasks on the [`workpool`] pool, each actor owns
-//! its *own* analytic environment, K-NN mapper, exploration RNG and replay
-//! shard, and the learner consumes uniform cross-shard minibatches via
+//! its *own* environment, K-NN mapper, exploration RNG and replay shard,
+//! and the learner consumes uniform cross-shard minibatches via
 //! [`DdpgAgent::train_step_from`].
+//!
+//! # Backend-generic
+//!
+//! The collector is generic over `E:`[`Environment`] — the same loop
+//! trains against the analytic evaluator ([`AnalyticEnv`], cheap, the
+//! default) or the tuple-level engine ([`SimEnv`], high-fidelity), or any
+//! future backend. Construction goes through an **env factory**
+//! ([`ParallelCollector::from_factory`]): the factory builds actor `i`'s
+//! private environment, base workload and starting assignment, so a fleet
+//! can be homogeneous (N copies of one scenario, differently seeded) or
+//! heterogeneous (domain randomization: each actor a different scenario —
+//! see [`crate::scenario`]).
+//!
+//! Schedule-aware backends evolve their offered load over (virtual or
+//! simulated) time; each actor refreshes its *observed* workload from
+//! [`Environment::workload_multiplier`] every epoch, so the state the
+//! agent trains on tracks the load it is measured under.
 //!
 //! # Reproducibility
 //!
@@ -18,11 +35,13 @@
 //! scheduling cannot reorder anything an actor observes. The same layout
 //! is what lets a 2-actor rollout reproduce bit-identical rewards across
 //! runs (see the determinism test).
+//!
+//! [`SimEnv`]: crate::env::SimEnv
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dss_rl::{ActScratch, DdpgAgent, Elem, KBestMapper, Scalar, ShardedReplayBuffer, Transition};
+use dss_rl::{ActScratch, DdpgAgent, Elem, KBestMapper, Scalar, ShardedReplayBuffer};
 use dss_sim::{AnalyticModel, Assignment, ClusterSpec, SimConfig, Topology, Workload};
 
 use crate::action::choice_to_assignment;
@@ -39,12 +58,27 @@ fn assert_thread_safe() {
     fn send<T: Send>() {}
     fn sync<T: Sync>() {}
     send::<AnalyticEnv>();
+    send::<crate::env::SimEnv>();
     send::<dss_sim::SimEngine>();
     send::<KBestMapper>();
     send::<StdRng>();
     send::<ActScratch>();
     sync::<DdpgAgent>();
-    sync::<ShardedReplayBuffer<Vec<Elem>>>();
+    sync::<ShardedReplayBuffer<Elem>>();
+}
+
+/// What the env factory hands the collector for one actor: a private
+/// backend instance plus the actor's base workload and starting
+/// assignment. All actors of one fleet must agree on the problem shape
+/// (`N`, `M`, number of data sources) — that is what makes their
+/// transitions poolable in one replay and trainable by one agent.
+pub struct ActorSetup<E> {
+    /// The actor's private environment (moved into its pool task).
+    pub env: E,
+    /// Base workload (the schedule-unscaled `w` of the actor's scenario).
+    pub workload: Workload,
+    /// Assignment deployed before the first decision.
+    pub initial: Assignment,
 }
 
 /// One actor: a private environment plus everything needed to run the
@@ -52,14 +86,18 @@ fn assert_thread_safe() {
 /// decision half of a step (featurize → actor infer → noise → K-NN →
 /// critic argmax) runs entirely through per-actor reused buffers
 /// ([`ActScratch`], the feature vectors, the mapper's k-best workspace),
-/// so a warm rollout step allocates only the owned rows the replay ring
-/// stores.
-struct Actor {
-    env: AnalyticEnv,
+/// and the storage half copies rows straight into the replay's
+/// structure-of-arrays slabs, so a warm rollout step performs zero heap
+/// allocations.
+struct Actor<E> {
+    env: E,
     mapper: KBestMapper,
     rng: StdRng,
     current: Assignment,
+    /// Base workload of the actor's scenario (never mutated).
     workload: Workload,
+    /// Schedule-scaled workload observed this epoch (reused buffer).
+    observed: Workload,
     /// Reused state-feature buffer (this step's `(X, w)`).
     features: Vec<Elem>,
     /// Reused next-state-feature buffer.
@@ -72,49 +110,45 @@ struct Actor {
 
 /// Steps N independent environments concurrently and pushes their
 /// transitions into a [`ShardedReplayBuffer`] (shard `i` ← actor `i`).
-pub struct ParallelCollector {
-    actors: Vec<Actor>,
-    replay: ShardedReplayBuffer<Vec<Elem>>,
+/// Generic over the backend `E` (see the module docs).
+pub struct ParallelCollector<E: Environment + Send = AnalyticEnv> {
+    actors: Vec<Actor<E>>,
+    replay: ShardedReplayBuffer<Elem>,
     rate_scale: f64,
     reward: RewardScale,
     n_machines: usize,
 }
 
-impl ParallelCollector {
-    /// Builds `n_actors` actors over private copies of the analytic
-    /// environment for `topology` on `cluster` under `workload`, plus an
-    /// `n_actors`-sharded replay of `shard_capacity` transitions each.
-    /// Actor `i`'s model noise stream and exploration RNG are seeded from
-    /// `cfg.seed` and `i`, so runs are reproducible (and actors decorrelated).
+impl<E: Environment + Send> ParallelCollector<E> {
+    /// Builds `n_actors` actors from an env factory: `factory(i)` returns
+    /// actor `i`'s private environment, base workload and starting
+    /// assignment. Exploration RNGs are seeded from `cfg.seed` and `i`, so
+    /// runs are reproducible (and actors decorrelated); the factory is
+    /// expected to seed its environments the same way (see
+    /// [`crate::scenario`] for ready-made factories).
     ///
     /// # Panics
-    /// Panics when `n_actors == 0` or the topology/cluster pair is invalid.
-    pub fn new(
-        topology: &Topology,
-        cluster: &ClusterSpec,
-        workload: &Workload,
+    /// Panics when `n_actors == 0`, or when the actors disagree on the
+    /// problem shape (executors, machines, data sources) — heterogeneous
+    /// fleets must still share one state/action space.
+    pub fn from_factory(
         cfg: &ControlConfig,
         n_actors: usize,
         shard_capacity: usize,
+        mut factory: impl FnMut(usize) -> ActorSetup<E>,
     ) -> Self {
         assert!(n_actors > 0, "need at least one actor");
-        let n = topology.n_executors();
-        let m = cluster.n_machines();
-        let actors = (0..n_actors)
+        let actors: Vec<Actor<E>> = (0..n_actors)
             .map(|i| {
-                let model = AnalyticModel::new(
-                    topology.clone(),
-                    cluster.clone(),
-                    SimConfig::steady_state(cfg.seed.wrapping_add(i as u64)),
-                )
-                .expect("valid topology/cluster")
-                .with_noise(cfg.measurement_noise);
+                let setup = factory(i);
+                let observed = setup.workload.clone();
                 Actor {
-                    env: AnalyticEnv::new(model),
-                    mapper: KBestMapper::new(n, m),
+                    mapper: KBestMapper::new(setup.env.n_executors(), setup.env.n_machines()),
                     rng: StdRng::seed_from_u64(cfg.seed ^ (0xAC70 + i as u64)),
-                    current: Assignment::round_robin(topology, cluster),
-                    workload: workload.clone(),
+                    current: setup.initial,
+                    env: setup.env,
+                    workload: setup.workload,
+                    observed,
                     features: Vec::new(),
                     next_features: Vec::new(),
                     act: ActScratch::default(),
@@ -122,9 +156,17 @@ impl ParallelCollector {
                 }
             })
             .collect();
+        let n = actors[0].env.n_executors();
+        let m = actors[0].env.n_machines();
+        let n_sources = actors[0].workload.rates().len();
+        for (i, a) in actors.iter().enumerate() {
+            assert_eq!(a.env.n_executors(), n, "actor {i}: executor count");
+            assert_eq!(a.env.n_machines(), m, "actor {i}: machine count");
+            assert_eq!(a.workload.rates().len(), n_sources, "actor {i}: sources");
+        }
         Self {
             actors,
-            replay: ShardedReplayBuffer::new(n_actors, shard_capacity),
+            replay: ShardedReplayBuffer::new(n_actors, shard_capacity, n * m + n_sources, n * m),
             rate_scale: cfg.rate_scale,
             reward: RewardScale {
                 per_ms: cfg.reward_per_ms,
@@ -140,8 +182,13 @@ impl ParallelCollector {
 
     /// The sharded replay the actors feed (hand this to
     /// [`DdpgAgent::train_step_from`]).
-    pub fn replay(&self) -> &ShardedReplayBuffer<Vec<Elem>> {
+    pub fn replay(&self) -> &ShardedReplayBuffer<Elem> {
         &self.replay
+    }
+
+    /// Read access to actor `i`'s environment (inspection in tests/benches).
+    pub fn env(&self, actor: usize) -> &E {
+        &self.actors[actor].env
     }
 
     /// One collection round: every actor runs `steps` decision epochs of
@@ -159,12 +206,17 @@ impl ParallelCollector {
                     s.spawn(move || {
                         actor.round_reward = 0.0;
                         for _ in 0..steps {
+                            // The workload the agent observes this epoch:
+                            // the scenario's base rates under the
+                            // backend's current schedule multiplier.
+                            let mult = actor.env.workload_multiplier();
+                            actor.observed.copy_scaled_from(&actor.workload, mult);
                             // Decision half — allocation-free once warm:
                             // featurize into the actor's buffer, then run
                             // the whole act path through its scratch.
                             featurize_into(
                                 &actor.current,
-                                &actor.workload,
+                                &actor.observed,
                                 rate_scale,
                                 &mut actor.features,
                             );
@@ -180,23 +232,28 @@ impl ParallelCollector {
                                 .expect("mapper candidates are feasible");
                             let latency = actor.env.deploy_and_measure(&action, &actor.workload);
                             let r = reward.reward(latency);
+                            // The epoch just advanced: s' carries the load
+                            // the next decision will see (re-read, not the
+                            // pre-epoch multiplier), so TD targets stay
+                            // consistent across schedule changes.
+                            let mult = actor.env.workload_multiplier();
+                            actor.observed.copy_scaled_from(&actor.workload, mult);
                             featurize_into(
                                 &action,
-                                &actor.workload,
+                                &actor.observed,
                                 rate_scale,
                                 &mut actor.next_features,
                             );
-                            // Storage half: the ring owns its rows, so
-                            // these clones are the transition's backing
-                            // buffers, not per-step waste.
-                            replay.push(
+                            // Storage half: three row copies straight into
+                            // the shard's structure-of-arrays slabs — the
+                            // ring owns flat storage, so nothing here
+                            // allocates.
+                            replay.push_rows(
                                 shard,
-                                Transition::new(
-                                    actor.features.clone(),
-                                    cand.onehot.clone(),
-                                    Elem::from_f64(r),
-                                    actor.next_features.clone(),
-                                ),
+                                &actor.features,
+                                &cand.onehot,
+                                Elem::from_f64(r),
+                                &actor.next_features,
                             );
                             actor.current = action;
                             actor.round_reward += r;
@@ -232,6 +289,41 @@ impl ParallelCollector {
     }
 }
 
+impl ParallelCollector<AnalyticEnv> {
+    /// Builds `n_actors` actors over private copies of the analytic
+    /// environment for `topology` on `cluster` under `workload`, plus an
+    /// `n_actors`-sharded replay of `shard_capacity` transitions each.
+    /// Actor `i`'s model noise stream and exploration RNG are seeded from
+    /// `cfg.seed` and `i`, so runs are reproducible (and actors
+    /// decorrelated).
+    ///
+    /// # Panics
+    /// Panics when `n_actors == 0` or the topology/cluster pair is invalid.
+    pub fn new(
+        topology: &Topology,
+        cluster: &ClusterSpec,
+        workload: &Workload,
+        cfg: &ControlConfig,
+        n_actors: usize,
+        shard_capacity: usize,
+    ) -> Self {
+        Self::from_factory(cfg, n_actors, shard_capacity, |i| {
+            let model = AnalyticModel::new(
+                topology.clone(),
+                cluster.clone(),
+                SimConfig::steady_state(cfg.seed.wrapping_add(i as u64)),
+            )
+            .expect("valid topology/cluster")
+            .with_noise(cfg.measurement_noise);
+            ActorSetup {
+                env: AnalyticEnv::new(model),
+                workload: workload.clone(),
+                initial: Assignment::round_robin(topology, cluster),
+            }
+        })
+    }
+}
+
 /// Shape of one [`ParallelCollector::run`] schedule.
 #[derive(Debug, Clone, Copy)]
 pub struct RoundPlan {
@@ -246,9 +338,10 @@ pub struct RoundPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::env::SimEnv;
     use crate::state::SchedState;
     use dss_rl::DdpgConfig;
-    use dss_sim::{Grouping, TopologyBuilder};
+    use dss_sim::{Grouping, RateSchedule, SimEngine, TopologyBuilder};
 
     fn topo() -> Topology {
         let mut b = TopologyBuilder::new("t");
@@ -278,6 +371,26 @@ mod tests {
         let cluster = ClusterSpec::homogeneous(2);
         let workload = Workload::uniform(&topology, 100.0);
         ParallelCollector::new(&topology, &cluster, &workload, cfg, n_actors, 256)
+    }
+
+    fn sim_collector(cfg: &ControlConfig, n_actors: usize) -> ParallelCollector<SimEnv> {
+        let topology = topo();
+        let cluster = ClusterSpec::homogeneous(2);
+        let workload = Workload::uniform(&topology, 100.0);
+        ParallelCollector::from_factory(cfg, n_actors, 256, |i| {
+            let engine = SimEngine::new(
+                topology.clone(),
+                cluster.clone(),
+                workload.clone(),
+                dss_sim::SimConfig::steady_state(cfg.seed.wrapping_add(i as u64)),
+            )
+            .expect("valid topology/cluster");
+            ActorSetup {
+                env: SimEnv::new(engine, 2.0),
+                workload: workload.clone(),
+                initial: Assignment::round_robin(&topology, &cluster),
+            }
+        })
     }
 
     #[test]
@@ -316,6 +429,92 @@ mod tests {
         assert_eq!(first, second, "re-run must reproduce rewards exactly");
         let serial = run(1);
         assert_eq!(first, serial, "thread count must not change results");
+    }
+
+    #[test]
+    fn sim_backend_collects_and_is_deterministic() {
+        // The tuple-level backend through the same generic collector:
+        // transitions land in every shard, and two same-seed runs trace
+        // bit-identical rewards under 1- and 4-thread pools (each actor
+        // owns its engine; thread scheduling cannot touch event order).
+        let cfg = ControlConfig::test();
+        let topology = topo();
+        let run = |threads: usize| {
+            let agent = agent_for(&topology, 2, &cfg);
+            let mut col = sim_collector(&cfg, 2);
+            workpool::with_pool(std::sync::Arc::new(workpool::Pool::new(threads)), || {
+                col.collect_round(&agent, 0.4, 6)
+            })
+        };
+        let first = run(4);
+        assert_eq!(first.len(), 2);
+        assert!(first.iter().all(|&r| r < 0.0));
+        assert_eq!(first, run(4), "re-run must reproduce rewards exactly");
+        assert_eq!(first, run(1), "thread count must not change results");
+    }
+
+    #[test]
+    fn schedule_aware_actor_observes_scaled_workload() {
+        // A step schedule on the sim backend: after the step time passes,
+        // the actor's stored state features carry the doubled rate.
+        let cfg = ControlConfig::test();
+        let topology = topo();
+        let cluster = ClusterSpec::homogeneous(2);
+        let workload = Workload::uniform(&topology, 100.0);
+        let agent = agent_for(&topology, 2, &cfg);
+        let mut col = ParallelCollector::from_factory(&cfg, 1, 256, |_| {
+            let mut engine = SimEngine::new(
+                topology.clone(),
+                cluster.clone(),
+                workload.clone(),
+                dss_sim::SimConfig::steady_state(cfg.seed),
+            )
+            .unwrap();
+            // Step to 2x after 4 s of simulated time (epoch_s = 2).
+            engine.set_rate_schedule(RateSchedule::step_at(4.0, 2.0));
+            ActorSetup {
+                env: SimEnv::new(engine, 2.0),
+                workload: workload.clone(),
+                initial: Assignment::round_robin(&topology, &cluster),
+            }
+        });
+        col.collect_round(&agent, 0.3, 6);
+        let n = topology.n_executors();
+        let m = 2;
+        // Workload feature is the last state entry; rate_scale from cfg.
+        let first_w = col.replay().with_rows((0, 0), |s, _, _, _| s[n * m]);
+        let late_w = col.replay().with_rows((0, 5), |s, _, _, _| s[n * m]);
+        let base = Elem::from_f64(100.0 / cfg.rate_scale);
+        assert!((first_w - base).abs() < 1e-6, "pre-step feature {first_w}");
+        assert!(
+            (late_w - base * 2.0).abs() < 1e-6,
+            "post-step feature {late_w} should be doubled"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_fleet_must_share_problem_shape() {
+        let cfg = ControlConfig::test();
+        let topology = topo();
+        let workload = Workload::uniform(&topology, 100.0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ParallelCollector::from_factory(&cfg, 2, 64, |i| {
+                // Actor 1 gets a different machine count: must panic.
+                let cluster = ClusterSpec::homogeneous(2 + i);
+                let model = AnalyticModel::new(
+                    topology.clone(),
+                    cluster.clone(),
+                    SimConfig::steady_state(cfg.seed),
+                )
+                .unwrap();
+                ActorSetup {
+                    env: AnalyticEnv::new(model),
+                    workload: workload.clone(),
+                    initial: Assignment::round_robin(&topology, &cluster),
+                }
+            })
+        }));
+        assert!(result.is_err(), "mismatched machine counts must panic");
     }
 
     #[test]

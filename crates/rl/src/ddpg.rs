@@ -356,13 +356,21 @@ impl<S: Scalar> DdpgAgent<S> {
     /// One training step sampling from an external [`ShardedReplayBuffer`]
     /// — the learner side of parallel-actor collection: N actors push into
     /// their shards while this consumes uniform cross-shard minibatches.
+    /// Minibatch assembly is a strided copy straight out of the buffer's
+    /// structure-of-arrays slabs into the training matrices.
     /// Returns `None` while the sharded buffer is empty.
+    ///
+    /// # Panics
+    /// Panics when the buffer's row widths do not match this agent's
+    /// state/action dimensions.
     pub fn train_step_from(
         &mut self,
-        replay: &ShardedReplayBuffer<Vec<S>, S>,
+        replay: &ShardedReplayBuffer<S>,
         mapper: &mut dyn ActionMapper<S>,
         rng: &mut StdRng,
     ) -> Option<f64> {
+        assert_eq!(replay.state_dim(), self.state_dim, "state width");
+        assert_eq!(replay.action_dim(), self.action_dim, "action width");
         let scratch = &mut self.scratch;
         replay.sample_indices_into(self.config.batch, rng, &mut scratch.shard_idx);
         let h = scratch.shard_idx.len();
@@ -375,18 +383,13 @@ impl<S: Scalar> DdpgAgent<S> {
         scratch.critic_in.resize(h, in_dim);
         scratch.rewards.clear();
         for (r, &slot) in scratch.shard_idx.iter().enumerate() {
-            replay.with(slot, |t| {
-                assert_eq!(t.state.len(), self.state_dim, "state width");
-                assert_eq!(t.action.len(), self.action_dim, "action width");
-                scratch.states.row_mut(r).copy_from_slice(&t.state);
-                scratch
-                    .next_states
-                    .row_mut(r)
-                    .copy_from_slice(&t.next_state);
+            replay.with_rows(slot, |state, action, reward, next_state| {
+                scratch.states.row_mut(r).copy_from_slice(state);
+                scratch.next_states.row_mut(r).copy_from_slice(next_state);
                 let row = scratch.critic_in.row_mut(r);
-                row[..self.state_dim].copy_from_slice(&t.state);
-                row[self.state_dim..].copy_from_slice(&t.action);
-                scratch.rewards.push(t.reward);
+                row[..self.state_dim].copy_from_slice(state);
+                row[self.state_dim..].copy_from_slice(action);
+                scratch.rewards.push(reward);
             });
         }
         Some(self.train_on_minibatch(mapper))
@@ -664,18 +667,10 @@ mod tests {
         let mut agent = DdpgAgent::new(2, 4, toy_config());
         let mut mapper = KBestMapper::new(2, 2);
         let mut rng = StdRng::seed_from_u64(11);
-        let replay: ShardedReplayBuffer<Vec<f64>, f64> = ShardedReplayBuffer::new(2, 64);
+        let replay: ShardedReplayBuffer<f64> = ShardedReplayBuffer::new(2, 64, 2, 4);
         assert_eq!(agent.train_step_from(&replay, &mut mapper, &mut rng), None);
         for i in 0..40 {
-            replay.push(
-                i % 2,
-                Transition::new(
-                    vec![0.5, 0.5],
-                    vec![1.0, 0.0, 1.0, 0.0],
-                    -2.0,
-                    vec![0.5, 0.5],
-                ),
-            );
+            replay.push_rows(i % 2, &[0.5, 0.5], &[1.0, 0.0, 1.0, 0.0], -2.0, &[0.5, 0.5]);
         }
         let first = agent
             .train_step_from(&replay, &mut mapper, &mut rng)

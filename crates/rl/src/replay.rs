@@ -11,11 +11,16 @@
 //! read transitions by reference while assembling its minibatch — zero
 //! transition clones per step.
 //!
-//! [`ShardedReplayBuffer`] scales the same ring to N parallel actors
-//! feeding one learner (Rapid-style): one mutex-striped ring per actor
-//! shard, so concurrent pushes contend only within a shard (never across
-//! actors writing their own shards), and uniform cross-shard index
-//! sampling on the learner side.
+//! [`ShardedReplayBuffer`] scales replay to N parallel actors feeding one
+//! learner (Rapid-style): one mutex-striped ring per actor shard, so
+//! concurrent pushes contend only within a shard (never across actors
+//! writing their own shards), and uniform cross-shard index sampling on
+//! the learner side. Its shard storage is **structure-of-arrays**: each
+//! shard owns four flat slabs (states, action one-hots, rewards,
+//! next-states) sized `capacity × dim`, so a push is three row `memcpy`s
+//! into preowned storage — no per-transition `Vec` allocations, ever —
+//! and minibatch assembly on the learner side is a strided copy from the
+//! slabs into the training matrices.
 
 use std::cell::RefCell;
 
@@ -125,34 +130,124 @@ impl<A: Clone, S: Scalar> ReplayBuffer<A, S> {
 /// A slot address in a [`ShardedReplayBuffer`]: `(shard, ring slot)`.
 pub type ShardSlot = (u32, u32);
 
-/// Mutex-striped sharded replay: one bounded FIFO ring per actor shard.
-///
-/// Writers push through `&self` (each actor to its own shard, so the
-/// common case is an uncontended lock); the learner samples uniformly over
-/// *all* stored transitions by weighting shards by their current lengths
-/// and reads minibatch rows in place via [`ShardedReplayBuffer::with`].
-/// Sampled slot addresses stay valid across concurrent pushes: a ring's
-/// length never shrinks and its slots are overwritten, never removed (a
-/// racing push can at worst make a sampled slot refer to a *newer*
-/// transition, which is indistinguishable from having sampled later).
+/// One shard of a [`ShardedReplayBuffer`]: a bounded FIFO ring whose
+/// storage is four flat structure-of-arrays slabs. Slot `i`'s state lives
+/// at `states[i·state_dim .. (i+1)·state_dim]` (and likewise for the other
+/// rows), so pushing copies rows into preowned storage and never allocates
+/// once the ring has wrapped (the slabs grow monotonically to
+/// `capacity × dim` while filling, then stay put — same growth discipline
+/// as [`ReplayBuffer`]'s `Vec<Transition>`, minus the per-transition row
+/// `Vec`s).
 #[derive(Debug)]
-pub struct ShardedReplayBuffer<A, S: Scalar = Elem> {
-    shards: Vec<Mutex<ReplayBuffer<A, S>>>,
-    shard_capacity: usize,
+struct SoaRing<S> {
+    states: Vec<S>,
+    actions: Vec<S>,
+    rewards: Vec<S>,
+    next_states: Vec<S>,
+    capacity: usize,
+    state_dim: usize,
+    action_dim: usize,
+    /// Stored transitions (`≤ capacity`).
+    len: usize,
+    /// Slot holding the oldest transition once full (0 before the wrap).
+    head: usize,
 }
 
-impl<A: Clone, S: Scalar> ShardedReplayBuffer<A, S> {
-    /// `n_shards` rings of `shard_capacity` transitions each.
+impl<S: Scalar> SoaRing<S> {
+    fn new(capacity: usize, state_dim: usize, action_dim: usize) -> Self {
+        Self {
+            states: Vec::new(),
+            actions: Vec::new(),
+            rewards: Vec::new(),
+            next_states: Vec::new(),
+            capacity,
+            state_dim,
+            action_dim,
+            len: 0,
+            head: 0,
+        }
+    }
+
+    fn push_rows(&mut self, state: &[S], action: &[S], reward: S, next_state: &[S]) {
+        assert_eq!(state.len(), self.state_dim, "state width");
+        assert_eq!(action.len(), self.action_dim, "action width");
+        assert_eq!(next_state.len(), self.state_dim, "next-state width");
+        if self.len < self.capacity {
+            self.states.extend_from_slice(state);
+            self.actions.extend_from_slice(action);
+            self.rewards.push(reward);
+            self.next_states.extend_from_slice(next_state);
+            self.len += 1;
+        } else {
+            let slot = self.head;
+            let sd = self.state_dim;
+            let ad = self.action_dim;
+            self.states[slot * sd..(slot + 1) * sd].copy_from_slice(state);
+            self.actions[slot * ad..(slot + 1) * ad].copy_from_slice(action);
+            self.rewards[slot] = reward;
+            self.next_states[slot * sd..(slot + 1) * sd].copy_from_slice(next_state);
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn rows(&self, slot: usize) -> (&[S], &[S], S, &[S]) {
+        let sd = self.state_dim;
+        let ad = self.action_dim;
+        (
+            &self.states[slot * sd..(slot + 1) * sd],
+            &self.actions[slot * ad..(slot + 1) * ad],
+            self.rewards[slot],
+            &self.next_states[slot * sd..(slot + 1) * sd],
+        )
+    }
+}
+
+/// Mutex-striped sharded replay over structure-of-arrays shard slabs: one
+/// bounded FIFO ring per actor shard.
+///
+/// Row widths are fixed at construction (`state_dim`, `action_dim` — the
+/// actor-critic's one-hot action encoding), which is what lets the
+/// storage be flat slabs instead of per-transition `Vec`s: a push is
+/// three row copies into the shard's slabs through an (almost always
+/// uncontended) shard lock, and the learner assembles minibatches by
+/// strided copies out of the slabs via [`ShardedReplayBuffer::with_rows`].
+///
+/// Writers push through `&self` (each actor to its own shard); the
+/// learner samples uniformly over *all* stored transitions by weighting
+/// shards by their current lengths. Sampled slot addresses stay valid
+/// across concurrent pushes: a ring's length never shrinks and its slots
+/// are overwritten, never removed (a racing push can at worst make a
+/// sampled slot refer to a *newer* transition, which is indistinguishable
+/// from having sampled later).
+#[derive(Debug)]
+pub struct ShardedReplayBuffer<S: Scalar = Elem> {
+    shards: Vec<Mutex<SoaRing<S>>>,
+    shard_capacity: usize,
+    state_dim: usize,
+    action_dim: usize,
+}
+
+impl<S: Scalar> ShardedReplayBuffer<S> {
+    /// `n_shards` rings of `shard_capacity` transitions each, storing
+    /// `state_dim`-wide state rows and `action_dim`-wide action rows.
     ///
     /// # Panics
     /// Panics when `n_shards == 0` or `shard_capacity == 0`.
-    pub fn new(n_shards: usize, shard_capacity: usize) -> Self {
+    pub fn new(
+        n_shards: usize,
+        shard_capacity: usize,
+        state_dim: usize,
+        action_dim: usize,
+    ) -> Self {
         assert!(n_shards > 0, "need at least one shard");
+        assert!(shard_capacity > 0, "shard capacity must be positive");
         Self {
             shards: (0..n_shards)
-                .map(|_| Mutex::new(ReplayBuffer::new(shard_capacity)))
+                .map(|_| Mutex::new(SoaRing::new(shard_capacity, state_dim, action_dim)))
                 .collect(),
             shard_capacity,
+            state_dim,
+            action_dim,
         }
     }
 
@@ -166,6 +261,16 @@ impl<A: Clone, S: Scalar> ShardedReplayBuffer<A, S> {
         self.shard_capacity
     }
 
+    /// Width of stored state rows.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Width of stored action rows.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
     /// Total capacity across shards.
     pub fn capacity(&self) -> usize {
         self.shards.len() * self.shard_capacity
@@ -173,23 +278,31 @@ impl<A: Clone, S: Scalar> ShardedReplayBuffer<A, S> {
 
     /// Total stored transitions (snapshot; other threads may be pushing).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().len).sum()
     }
 
     /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
+        self.shards.iter().all(|s| s.lock().len == 0)
     }
 
     /// Stored transitions in one shard.
     pub fn shard_len(&self, shard: usize) -> usize {
-        self.shards[shard % self.shards.len()].lock().len()
+        self.shards[shard % self.shards.len()].lock().len
     }
 
-    /// Stores `t` in `shard` (wrapped modulo the shard count), evicting
-    /// that ring's oldest transition when full.
-    pub fn push(&self, shard: usize, t: Transition<A, S>) {
-        self.shards[shard % self.shards.len()].lock().push(t);
+    /// Stores one transition's rows in `shard` (wrapped modulo the shard
+    /// count), evicting that ring's oldest transition when full. The rows
+    /// are copied into the shard's slabs — the caller keeps (and reuses)
+    /// its buffers, which is what makes a warm collector step
+    /// allocation-free end to end.
+    ///
+    /// # Panics
+    /// Panics when a row width does not match the buffer's dimensions.
+    pub fn push_rows(&self, shard: usize, state: &[S], action: &[S], reward: S, next_state: &[S]) {
+        self.shards[shard % self.shards.len()]
+            .lock()
+            .push_rows(state, action, reward, next_state);
     }
 
     /// Uniformly samples `h` slot addresses with replacement over all
@@ -200,7 +313,7 @@ impl<A: Clone, S: Scalar> ShardedReplayBuffer<A, S> {
         SHARD_LENS.with(|lens| {
             let mut lens = lens.borrow_mut();
             lens.clear();
-            lens.extend(self.shards.iter().map(|s| s.lock().len()));
+            lens.extend(self.shards.iter().map(|s| s.lock().len));
             let total: usize = lens.iter().sum();
             if total == 0 {
                 return;
@@ -223,10 +336,18 @@ impl<A: Clone, S: Scalar> ShardedReplayBuffer<A, S> {
         });
     }
 
-    /// Reads the transition at `slot` in place (the shard stays locked for
-    /// the duration of `f` — keep it short: copy the rows you need out).
-    pub fn with<R>(&self, (shard, slot): ShardSlot, f: impl FnOnce(&Transition<A, S>) -> R) -> R {
-        f(self.shards[shard as usize].lock().get(slot as usize))
+    /// Reads the transition at `slot` in place as
+    /// `(state, action, reward, next_state)` slab rows (the shard stays
+    /// locked for the duration of `f` — keep it short: copy the rows you
+    /// need out).
+    pub fn with_rows<R>(
+        &self,
+        (shard, slot): ShardSlot,
+        f: impl FnOnce(&[S], &[S], S, &[S]) -> R,
+    ) -> R {
+        let guard = self.shards[shard as usize].lock();
+        let (s, a, r, n) = guard.rows(slot as usize);
+        f(s, a, r, n)
     }
 }
 
@@ -355,6 +476,53 @@ mod tests {
         assert!(idx.iter().all(|&i| b.get(i).reward >= 6.0));
     }
 
+    /// Pushes one sharded row keyed by `id` (state/next carry the id too,
+    /// so slab-row integrity is checkable end to end).
+    fn push_id(buf: &ShardedReplayBuffer<f64>, shard: usize, id: f64) {
+        buf.push_rows(shard, &[id, -id], &[id], id, &[id + 0.5, id - 0.5]);
+    }
+
+    #[test]
+    fn sharded_rows_roundtrip_and_evict_fifo() {
+        let buf: ShardedReplayBuffer<f64> = ShardedReplayBuffer::new(1, 3, 2, 1);
+        assert_eq!((buf.state_dim(), buf.action_dim()), (2, 1));
+        for i in 0..5 {
+            push_id(&buf, 0, i as f64);
+        }
+        assert_eq!(buf.shard_len(0), 3);
+        // Ring of 3 after 5 pushes: slots hold {3, 4, 2} (head overwrote
+        // the two oldest in place); all rows stay consistent per slot.
+        let mut ids: Vec<f64> = (0..3)
+            .map(|slot| {
+                buf.with_rows((0, slot), |s, a, r, n| {
+                    assert_eq!(s, &[r, -r]);
+                    assert_eq!(a, &[r]);
+                    assert_eq!(n, &[r + 0.5, r - 0.5]);
+                    r
+                })
+            })
+            .collect();
+        ids.sort_by(f64::total_cmp);
+        assert_eq!(ids, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sharded_push_never_allocates_after_wrap() {
+        let buf: ShardedReplayBuffer<f64> = ShardedReplayBuffer::new(1, 8, 2, 1);
+        for i in 0..8 {
+            push_id(&buf, 0, i as f64);
+        }
+        let ptr = buf.shards[0].lock().states.as_ptr();
+        for i in 8..100 {
+            push_id(&buf, 0, i as f64);
+        }
+        assert_eq!(
+            buf.shards[0].lock().states.as_ptr(),
+            ptr,
+            "slab storage moved"
+        );
+    }
+
     #[test]
     fn sharded_concurrent_pushes_lose_and_duplicate_nothing() {
         // 4 writer tasks × 500 pushes of globally unique ids into their
@@ -362,14 +530,14 @@ mod tests {
         // Capacity is ample, so every id must be present exactly once.
         const WRITERS: usize = 4;
         const PER_WRITER: usize = 500;
-        let buf: ShardedReplayBuffer<usize, f64> = ShardedReplayBuffer::new(WRITERS, PER_WRITER);
+        let buf: ShardedReplayBuffer<f64> = ShardedReplayBuffer::new(WRITERS, PER_WRITER, 2, 1);
         let pool = workpool::Pool::new(WRITERS);
         pool.scope(|s| {
             let buf = &buf;
             for w in 0..WRITERS {
                 s.spawn(move || {
                     for i in 0..PER_WRITER {
-                        buf.push(w, t((w * PER_WRITER + i) as f64));
+                        push_id(buf, w, (w * PER_WRITER + i) as f64);
                     }
                 });
             }
@@ -379,7 +547,10 @@ mod tests {
         for shard in 0..WRITERS {
             assert_eq!(buf.shard_len(shard), PER_WRITER);
             for slot in 0..PER_WRITER {
-                let id = buf.with((shard as u32, slot as u32), |t| t.reward as usize);
+                let id = buf.with_rows((shard as u32, slot as u32), |s, _, r, _| {
+                    assert_eq!(s, &[r, -r], "torn row");
+                    r as usize
+                });
                 assert!(seen.insert(id), "duplicated transition {id}");
             }
         }
@@ -389,17 +560,18 @@ mod tests {
     #[test]
     fn sharded_concurrent_sampling_while_pushing_stays_valid() {
         // Readers sample while writers push: every address handed out must
-        // dereference without panicking (slots never disappear).
-        let buf: ShardedReplayBuffer<usize, f64> = ShardedReplayBuffer::new(2, 64);
-        buf.push(0, t(0.0));
-        buf.push(1, t(1.0));
+        // dereference without panicking (slots never disappear), and every
+        // row read must be internally consistent (no torn writes).
+        let buf: ShardedReplayBuffer<f64> = ShardedReplayBuffer::new(2, 64, 2, 1);
+        push_id(&buf, 0, 0.0);
+        push_id(&buf, 1, 1.0);
         let pool = workpool::Pool::new(4);
         pool.scope(|s| {
             let buf = &buf;
             for w in 0..2usize {
                 s.spawn(move || {
                     for i in 0..2000 {
-                        buf.push(w, t(i as f64));
+                        push_id(buf, w, i as f64);
                     }
                 });
             }
@@ -410,7 +582,10 @@ mod tests {
                     for _ in 0..200 {
                         buf.sample_indices_into(16, &mut rng, &mut idx);
                         for &slot in &idx {
-                            buf.with(slot, |t| assert!(t.reward >= 0.0));
+                            buf.with_rows(slot, |s, _, r, _| {
+                                assert!(r >= 0.0);
+                                assert_eq!(s, &[r, -r], "torn row");
+                            });
                         }
                     }
                 });
@@ -423,11 +598,11 @@ mod tests {
         // 3 shards with unequal fill (8 / 16 / 32): cross-shard sampling
         // must weight shards by length, and a χ² test per shard must not
         // reject within-shard uniformity.
-        let buf: ShardedReplayBuffer<usize, f64> = ShardedReplayBuffer::new(3, 32);
+        let buf: ShardedReplayBuffer<f64> = ShardedReplayBuffer::new(3, 32, 2, 1);
         let fills = [8usize, 16, 32];
         for (shard, &fill) in fills.iter().enumerate() {
             for i in 0..fill {
-                buf.push(shard, t(i as f64));
+                push_id(&buf, shard, i as f64);
             }
         }
         let total: usize = fills.iter().sum();
@@ -475,12 +650,19 @@ mod tests {
 
     #[test]
     fn sharded_empty_sample_is_noop() {
-        let buf: ShardedReplayBuffer<usize, f64> = ShardedReplayBuffer::new(2, 4);
+        let buf: ShardedReplayBuffer<f64> = ShardedReplayBuffer::new(2, 4, 2, 1);
         let mut rng = StdRng::seed_from_u64(1);
         let mut idx = vec![(7u32, 7u32)];
         buf.sample_indices_into(5, &mut rng, &mut idx);
         assert!(idx.is_empty(), "stale indices must be cleared");
         assert!(buf.is_empty());
         assert_eq!(buf.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "state width")]
+    fn sharded_rejects_mismatched_row_width() {
+        let buf: ShardedReplayBuffer<f64> = ShardedReplayBuffer::new(1, 4, 2, 1);
+        buf.push_rows(0, &[1.0], &[0.0], 0.0, &[0.0, 0.0]);
     }
 }

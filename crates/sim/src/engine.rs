@@ -168,15 +168,29 @@ impl SimEngine {
         })
     }
 
-    /// Sets the workload multiplier schedule (call before or between runs).
+    /// Sets the workload multiplier schedule. Safe to call before, between
+    /// or *during* runs: spout emissions re-read the schedule at every
+    /// event, so a new schedule takes effect within one inter-arrival gap.
     pub fn set_rate_schedule(&mut self, schedule: RateSchedule) {
         self.schedule = schedule;
     }
 
+    /// The workload multiplier schedule in effect.
+    pub fn rate_schedule(&self) -> &RateSchedule {
+        &self.schedule
+    }
+
     /// Replaces the base workload (rates take effect from the current
-    /// simulated time onward).
+    /// simulated time onward — the mid-run mutation an online controller
+    /// performs when the offered load changes between decision epochs).
     pub fn set_workload(&mut self, workload: Workload) {
         self.workload = workload;
+    }
+
+    /// The base workload currently driving the spouts (before the
+    /// [`RateSchedule`] multiplier).
+    pub fn workload(&self) -> &Workload {
+        &self.workload
     }
 
     /// Deploys a scheduling solution.
@@ -244,6 +258,26 @@ impl SimEngine {
             }
         }
         self.clock = t_end;
+    }
+
+    /// Incremental decision-epoch stepping: advances the event loop by
+    /// `epoch_s` simulated seconds from the current clock and returns the
+    /// sliding-window average tuple processing time at the new clock
+    /// (`None` while the window is still empty — e.g. right after the
+    /// first deploy, before any tuple tree has completed).
+    ///
+    /// This is the training-backend API: an RL environment deploys an
+    /// assignment ([`SimEngine::deploy`] — a minimal-impact re-deployment
+    /// when the topology is already running), steps one epoch, and reads
+    /// the latency it observed, without ever restarting the engine.
+    ///
+    /// # Panics
+    /// Panics when `epoch_s` is negative.
+    pub fn step_epoch(&mut self, epoch_s: f64) -> Option<f64> {
+        assert!(epoch_s >= 0.0, "epoch length must be non-negative");
+        let t = self.clock + epoch_s;
+        self.run_until(t);
+        self.window_avg_latency_ms()
     }
 
     /// Current simulated time (s).
@@ -665,6 +699,80 @@ mod tests {
             second_half / first_half > 1.7,
             "{first_half} -> {second_half}"
         );
+    }
+
+    #[test]
+    fn step_epoch_matches_run_until() {
+        // Stepping in epochs is exactly incremental: the trajectory is
+        // bit-identical to one long run_until over the same span.
+        let mut stepped = engine(11);
+        let mut straight = engine(11);
+        let rr = Assignment::round_robin(stepped.topology(), stepped.cluster());
+        stepped.deploy(rr.clone()).unwrap();
+        straight.deploy(rr).unwrap();
+        let mut last = None;
+        for _ in 0..15 {
+            last = stepped.step_epoch(2.0);
+        }
+        straight.run_until(30.0);
+        assert_eq!(stepped.now(), 30.0);
+        assert_eq!(stepped.tuple_counts(), straight.tuple_counts());
+        // The event trajectory is bit-identical; the window average may
+        // differ only by float-summation order of the sliding window.
+        let (a, b) = (last.unwrap(), straight.window_avg_latency_ms().unwrap());
+        assert!((a - b).abs() < 1e-9 * b.max(1.0), "{a} vs {b}");
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn step_epoch_before_completions_is_none() {
+        let mut eng = engine(12);
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        // An epoch far shorter than any service + transfer chain: no tree
+        // can have completed yet.
+        assert_eq!(eng.step_epoch(1e-7), None);
+        assert!(eng.step_epoch(10.0).is_some());
+    }
+
+    #[test]
+    fn mid_run_workload_mutation_shifts_emission() {
+        let mut eng = engine(13);
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        eng.run_until(25.0);
+        let (before, ..) = eng.tuple_counts();
+        let doubled = eng.workload().scaled(2.0);
+        eng.set_workload(doubled);
+        eng.run_until(50.0);
+        let (after, ..) = eng.tuple_counts();
+        let first_half = before as f64 / 25.0;
+        let second_half = (after - before) as f64 / 25.0;
+        assert!(
+            second_half / first_half > 1.7,
+            "{first_half} -> {second_half}"
+        );
+    }
+
+    #[test]
+    fn sinusoid_schedule_modulates_emission() {
+        // Peak quarter-period vs trough quarter-period of a ±60% wave:
+        // emission counts must differ strongly between the two windows.
+        let mut eng = engine(14);
+        eng.set_rate_schedule(RateSchedule::sinusoid(1.0, 0.6, 40.0));
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        eng.run_until(5.0);
+        let (t0, ..) = eng.tuple_counts();
+        eng.run_until(15.0); // around the t=10 peak
+        let (t1, ..) = eng.tuple_counts();
+        eng.run_until(25.0);
+        let (t2, ..) = eng.tuple_counts();
+        eng.run_until(35.0); // around the t=30 trough
+        let (t3, ..) = eng.tuple_counts();
+        let peak = (t1 - t0) as f64;
+        let trough = (t3 - t2) as f64;
+        assert!(peak > 2.0 * trough, "peak {peak} vs trough {trough}");
     }
 
     #[test]

@@ -28,6 +28,28 @@
 //! [`assignment::Assignment`] (the `N -> M` thread-to-machine map of the
 //! paper, with all of an application's threads on one machine sharing one
 //! worker process) and the measured average tuple processing time.
+//!
+//! # Driving either model as a training backend
+//!
+//! Both models plug into `dss-core`'s `Environment` seam (the abstraction
+//! every training/evaluation layer is generic over). The engine's side of
+//! that contract is three calls, all safe mid-run:
+//!
+//! * [`engine::SimEngine::deploy`] — minimal-impact re-deployment (only
+//!   moved executors pause and re-warm; the first call starts the
+//!   topology);
+//! * [`engine::SimEngine::step_epoch`] — incremental run-to-epoch
+//!   stepping: advance the event loop one decision epoch and read the
+//!   sliding-window average tuple processing time;
+//! * [`engine::SimEngine::set_workload`] /
+//!   [`engine::SimEngine::set_rate_schedule`] — mid-run workload
+//!   mutation; spout emissions re-read both within one inter-arrival gap.
+//!
+//! [`workload::RateSchedule`] models the offered-load evolution: the
+//! paper's Figure-12 step, plus diurnal sinusoid and periodic-burst
+//! shapes used by the scenario registry for training diversity. All
+//! schedules are pure functions of simulated time, so determinism is
+//! independent of when the multiplier is sampled.
 
 pub mod analytic;
 pub mod assignment;

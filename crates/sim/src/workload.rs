@@ -3,7 +3,10 @@
 //! The paper's state includes "the workload `w`, which includes the tuple
 //! arrival rate (i.e., the number of tuples per second) of each data
 //! source"; its Figure 12 experiment steps the workload up by 50% at the
-//! 20-minute mark.
+//! 20-minute mark. Beyond the paper, [`RateSchedule`] also models diurnal
+//! sinusoid and periodic-burst traffic so training can span the workload
+//! diversity real stream systems see (the scenario registry in `dss-core`
+//! composes these into named training/evaluation scenarios).
 
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +68,16 @@ impl Workload {
         }
     }
 
+    /// Overwrites this workload with `base` scaled by `factor`, reusing the
+    /// existing rate buffer — the allocation-free counterpart of
+    /// [`Workload::scaled`] used by schedule-aware training loops that
+    /// refresh an actor's observed workload every decision epoch.
+    pub fn copy_scaled_from(&mut self, base: &Workload, factor: f64) {
+        self.rates.clear();
+        self.rates
+            .extend(base.rates.iter().map(|&(c, r)| (c, r * factor)));
+    }
+
     /// The paper's state-vector workload features: one rate per data
     /// source, normalized by `rate_scale` so NN inputs stay O(1).
     pub fn feature_vector(&self, rate_scale: f64) -> Vec<f64> {
@@ -73,18 +86,55 @@ impl Workload {
     }
 }
 
-/// A piecewise-constant multiplier on a base workload over simulated time.
+/// A time-varying multiplier on a base workload over simulated time.
+///
+/// Three families cover the traffic shapes the scenario registry composes:
+///
+/// * [`Steps`](RateSchedule::Steps) — piecewise-constant (the paper's
+///   Figure 12 "+50% at 20 minutes" step);
+/// * [`Sinusoid`](RateSchedule::Sinusoid) — a diurnal-style smooth wave
+///   `mean + amplitude · sin(2π t / period)`;
+/// * [`Bursty`](RateSchedule::Bursty) — deterministic periodic bursts:
+///   `burst` for the first `burst_len_s` of every `period_s`, `base`
+///   otherwise.
+///
+/// All variants are pure functions of `t`, so simulation determinism is
+/// unaffected by when or how often the multiplier is sampled.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RateSchedule {
+pub enum RateSchedule {
     /// `(start time in seconds, multiplier)` steps, sorted by time; the
     /// multiplier before the first step is 1.
-    steps: Vec<(f64, f64)>,
+    Steps {
+        /// Sorted `(at_s, multiplier)` change points.
+        steps: Vec<(f64, f64)>,
+    },
+    /// `mean + amplitude · sin(2π t / period_s)`.
+    Sinusoid {
+        /// Mean multiplier (the level the wave oscillates around).
+        mean: f64,
+        /// Wave amplitude; the multiplier stays in `[mean − a, mean + a]`.
+        amplitude: f64,
+        /// Full wave period in seconds.
+        period_s: f64,
+    },
+    /// `burst` during the first `burst_len_s` of every period, `base`
+    /// otherwise (bursts start at t = 0, period boundaries thereafter).
+    Bursty {
+        /// Off-burst multiplier.
+        base: f64,
+        /// In-burst multiplier.
+        burst: f64,
+        /// Burst repetition period in seconds.
+        period_s: f64,
+        /// Burst duration in seconds (≤ `period_s`).
+        burst_len_s: f64,
+    },
 }
 
 impl RateSchedule {
     /// Constant workload (multiplier 1 forever).
     pub fn constant() -> Self {
-        Self { steps: Vec::new() }
+        Self::Steps { steps: Vec::new() }
     }
 
     /// A single step to `multiplier` at time `at_s` — Figure 12's
@@ -94,35 +144,150 @@ impl RateSchedule {
     /// Panics on negative time or multiplier.
     pub fn step_at(at_s: f64, multiplier: f64) -> Self {
         assert!(at_s >= 0.0 && multiplier >= 0.0);
-        Self {
+        Self::Steps {
             steps: vec![(at_s, multiplier)],
+        }
+    }
+
+    /// A diurnal-style sinusoid around `mean` with the given `amplitude`
+    /// and `period_s` (e.g. `sinusoid(1.0, 0.4, 3600.0)` swings the
+    /// workload ±40% over an hour).
+    ///
+    /// # Panics
+    /// Panics unless `period_s > 0` and `0 ≤ amplitude ≤ mean` (so the
+    /// multiplier can never go negative).
+    pub fn sinusoid(mean: f64, amplitude: f64, period_s: f64) -> Self {
+        assert!(period_s > 0.0, "sinusoid period must be positive");
+        assert!(
+            (0.0..=mean).contains(&amplitude),
+            "need 0 <= amplitude <= mean so the rate multiplier stays non-negative"
+        );
+        Self::Sinusoid {
+            mean,
+            amplitude,
+            period_s,
+        }
+    }
+
+    /// Deterministic periodic bursts: `burst` for the first `burst_len_s`
+    /// of every `period_s`, `base` otherwise (e.g.
+    /// `bursty(0.8, 2.5, 300.0, 30.0)` is a 2.5× spike for 30 s of every
+    /// 5 minutes over a 0.8× trough).
+    ///
+    /// # Panics
+    /// Panics unless `0 < burst_len_s ≤ period_s` and both multipliers are
+    /// non-negative.
+    pub fn bursty(base: f64, burst: f64, period_s: f64, burst_len_s: f64) -> Self {
+        assert!(base >= 0.0 && burst >= 0.0, "multipliers must be >= 0");
+        assert!(
+            burst_len_s > 0.0 && burst_len_s <= period_s,
+            "need 0 < burst_len_s <= period_s"
+        );
+        Self::Bursty {
+            base,
+            burst,
+            period_s,
+            burst_len_s,
         }
     }
 
     /// Adds a step, keeping the schedule sorted.
     ///
     /// # Panics
-    /// Panics on negative time or multiplier.
-    pub fn with_step(mut self, at_s: f64, multiplier: f64) -> Self {
+    /// Panics on negative time or multiplier, or when called on a
+    /// non-[`Steps`](RateSchedule::Steps) schedule (continuous schedules
+    /// have no step list to extend).
+    pub fn with_step(self, at_s: f64, multiplier: f64) -> Self {
         assert!(at_s >= 0.0 && multiplier >= 0.0);
-        self.steps.push((at_s, multiplier));
-        self.steps
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN time"));
-        self
+        let Self::Steps { mut steps } = self else {
+            panic!("with_step only applies to piecewise-constant schedules");
+        };
+        steps.push((at_s, multiplier));
+        steps.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN time"));
+        Self::Steps { steps }
     }
 
     /// Multiplier in effect at time `t`.
     pub fn multiplier_at(&self, t: f64) -> f64 {
-        self.steps
-            .iter()
-            .rev()
-            .find(|&&(at, _)| t >= at)
-            .map_or(1.0, |&(_, m)| m)
+        match self {
+            Self::Steps { steps } => steps
+                .iter()
+                .rev()
+                .find(|&&(at, _)| t >= at)
+                .map_or(1.0, |&(_, m)| m),
+            Self::Sinusoid {
+                mean,
+                amplitude,
+                period_s,
+            } => mean + amplitude * (std::f64::consts::TAU * t / period_s).sin(),
+            Self::Bursty {
+                base,
+                burst,
+                period_s,
+                burst_len_s,
+            } => {
+                if t.rem_euclid(*period_s) < *burst_len_s {
+                    *burst
+                } else {
+                    *base
+                }
+            }
+        }
     }
 
-    /// Times at which the multiplier changes.
+    /// The `[min, max]` envelope of the multiplier over all times
+    /// `t ≥ 0` — what a capacity planner (or a property test) needs to
+    /// bound the offered load of a scenario. Only attainable values
+    /// count: a step at `t = 0` hides the implicit leading 1.0.
+    pub fn bounds(&self) -> (f64, f64) {
+        match self {
+            Self::Steps { steps } => {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut fold = |m: f64| {
+                    lo = lo.min(m);
+                    hi = hi.max(m);
+                };
+                // Only attainable multipliers count: the implicit 1.0
+                // before the first step exists only if some t >= 0
+                // precedes that step, and a step shadowed by another at
+                // the same instant is never in effect.
+                if steps.first().is_none_or(|&(t, _)| t > 0.0) {
+                    fold(1.0);
+                }
+                for (i, &(t, m)) in steps.iter().enumerate() {
+                    if steps.get(i + 1).is_none_or(|&(t2, _)| t2 > t) {
+                        fold(m);
+                    }
+                }
+                (lo, hi)
+            }
+            Self::Sinusoid {
+                mean, amplitude, ..
+            } => (mean - amplitude, mean + amplitude),
+            Self::Bursty { base, burst, .. } => (base.min(*burst), base.max(*burst)),
+        }
+    }
+
+    /// The repetition period of a periodic schedule ([`Sinusoid`] or
+    /// [`Bursty`]); `None` for step schedules, which never repeat.
+    ///
+    /// [`Sinusoid`]: RateSchedule::Sinusoid
+    /// [`Bursty`]: RateSchedule::Bursty
+    pub fn period_s(&self) -> Option<f64> {
+        match self {
+            Self::Steps { .. } => None,
+            Self::Sinusoid { period_s, .. } | Self::Bursty { period_s, .. } => Some(*period_s),
+        }
+    }
+
+    /// Times at which a step schedule's multiplier changes (empty for the
+    /// continuous/periodic variants — they change everywhere).
     pub fn change_points(&self) -> Vec<f64> {
-        self.steps.iter().map(|&(t, _)| t).collect()
+        match self {
+            Self::Steps { steps } => steps.iter().map(|&(t, _)| t).collect(),
+            _ => Vec::new(),
+        }
     }
 }
 
@@ -186,5 +351,132 @@ mod tests {
             .with_step(50.0, 1.5);
         assert_eq!(s.multiplier_at(75.0), 1.5);
         assert_eq!(s.multiplier_at(150.0), 2.0);
+    }
+
+    #[test]
+    fn copy_scaled_from_reuses_buffer() {
+        let t = topo();
+        let base = Workload::uniform(&t, 100.0);
+        let mut w = Workload::uniform(&t, 1.0);
+        w.copy_scaled_from(&base, 1.5);
+        assert_eq!(w, base.scaled(1.5));
+        let ptr = w.rates.as_ptr();
+        w.copy_scaled_from(&base, 0.5);
+        assert_eq!(ptr, w.rates.as_ptr(), "rate buffer must be reused");
+        assert_eq!(w.total_rate(), 50.0);
+    }
+
+    #[test]
+    fn sinusoid_shape() {
+        let s = RateSchedule::sinusoid(1.0, 0.4, 3600.0);
+        assert!((s.multiplier_at(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.multiplier_at(900.0) - 1.4).abs() < 1e-12); // quarter period: peak
+        assert!((s.multiplier_at(2700.0) - 0.6).abs() < 1e-12); // trough
+        assert_eq!(s.bounds(), (0.6, 1.4));
+        assert_eq!(s.period_s(), Some(3600.0));
+        assert!(s.change_points().is_empty());
+    }
+
+    #[test]
+    fn bursty_shape() {
+        let s = RateSchedule::bursty(0.8, 2.5, 300.0, 30.0);
+        assert_eq!(s.multiplier_at(0.0), 2.5);
+        assert_eq!(s.multiplier_at(29.9), 2.5);
+        assert_eq!(s.multiplier_at(30.0), 0.8);
+        assert_eq!(s.multiplier_at(299.9), 0.8);
+        assert_eq!(s.multiplier_at(300.0), 2.5); // next burst
+        assert_eq!(s.bounds(), (0.8, 2.5));
+        assert_eq!(s.period_s(), Some(300.0));
+    }
+
+    #[test]
+    fn bounds_count_only_attainable_multipliers() {
+        // A step at t = 0 shadows the implicit leading 1.0 entirely.
+        assert_eq!(RateSchedule::step_at(0.0, 2.0).bounds(), (2.0, 2.0));
+        assert_eq!(RateSchedule::step_at(10.0, 2.0).bounds(), (1.0, 2.0));
+        // A step shadowed by another at the same instant never applies.
+        let s = RateSchedule::constant()
+            .with_step(5.0, 9.0)
+            .with_step(5.0, 2.0);
+        assert_eq!(s.multiplier_at(5.0), 2.0);
+        assert_eq!(s.bounds(), (1.0, 2.0));
+        assert_eq!(RateSchedule::constant().bounds(), (1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn sinusoid_rejects_negative_swing() {
+        let _ = RateSchedule::sinusoid(1.0, 1.5, 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst_len_s")]
+    fn bursty_rejects_burst_longer_than_period() {
+        let _ = RateSchedule::bursty(1.0, 2.0, 10.0, 20.0);
+    }
+
+    mod schedule_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn any_schedule() -> impl Strategy<Value = RateSchedule> {
+            prop_oneof![
+                // Steps: up to 4 sorted change points.
+                prop::collection::vec((0.0..5_000.0f64, 0.0..3.0f64), 0..4).prop_map(|steps| {
+                    steps
+                        .into_iter()
+                        .fold(RateSchedule::constant(), |s, (t, m)| s.with_step(t, m))
+                }),
+                (0.2..2.0f64, 0.0..1.0f64, 10.0..10_000.0f64).prop_map(|(mean, frac, period)| {
+                    RateSchedule::sinusoid(mean, mean * frac, period)
+                }),
+                (0.0..2.0f64, 0.0..4.0f64, 1.0..5_000.0f64, 0.01..1.0f64).prop_map(
+                    |(base, burst, period, frac)| {
+                        RateSchedule::bursty(base, burst, period, period * frac)
+                    }
+                ),
+            ]
+        }
+
+        proptest! {
+            /// The multiplier never leaves the [`RateSchedule::bounds`]
+            /// envelope and never goes negative, at any sample time.
+            #[test]
+            fn multiplier_stays_within_bounds(s in any_schedule(), t in 0.0..100_000.0f64) {
+                let (lo, hi) = s.bounds();
+                let m = s.multiplier_at(t);
+                prop_assert!(m >= 0.0, "negative multiplier {m}");
+                prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9, "{m} outside [{lo}, {hi}]");
+            }
+
+            /// Periodic schedules repeat exactly: shifting the sample time
+            /// by any whole number of periods never changes the multiplier.
+            #[test]
+            fn periodic_schedules_repeat(s in any_schedule(), t in 0.0..10_000.0f64, k in 1u32..8) {
+                if let Some(period) = s.period_s() {
+                    let a = s.multiplier_at(t);
+                    let b = s.multiplier_at(t + period * k as f64);
+                    prop_assert!((a - b).abs() < 1e-6, "{a} != {b} after {k} periods");
+                }
+            }
+
+            /// Step schedules are flat between change points: sampling
+            /// anywhere between two adjacent change points matches the
+            /// value right at the earlier one.
+            #[test]
+            fn steps_are_piecewise_constant(s in any_schedule(), frac in 0.0..1.0f64) {
+                if s.period_s().is_none() {
+                    let mut points = s.change_points();
+                    points.push(f64::INFINITY);
+                    let mut prev = 0.0;
+                    for &p in &points {
+                        let within = prev + (p.min(prev + 1e6) - prev) * frac;
+                        prop_assert_eq!(s.multiplier_at(within), s.multiplier_at(prev));
+                        if !p.is_finite() { break; }
+                        prev = p;
+                    }
+                }
+            }
+        }
     }
 }
