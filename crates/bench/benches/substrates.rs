@@ -85,6 +85,7 @@ fn state_report(n: usize, m: usize) -> Message {
         machine_of: (0..n).map(|i| i % m).collect(),
         n_machines: m,
         source_rates: vec![(0, 250.0), (1, 250.0)],
+        rate_multiplier: 1.0,
     }
 }
 

@@ -385,6 +385,29 @@ fn main() {
         );
     }
 
+    // ---- control-plane training backend: ClusterEnv step throughput -----
+    // The same decision epoch as `sim_env_step_cq_small`, but every step
+    // is a full Figure-1 round trip (framed codec, coord CAS, supervisor
+    // heartbeats). Ungated; the pair quantifies the control plane's
+    // per-epoch overhead on top of the bare engine.
+    {
+        let scenario = Scenario::by_name("cq-small-steady").expect("registry scenario");
+        let cfg = ControlConfig {
+            sim_epoch_s: 1.0,
+            ..ControlConfig::test()
+        };
+        let mut env = scenario.cluster_env(&cfg, 7);
+        let workload = scenario.app.workload.clone();
+        let solution = scenario.initial_assignment();
+        env.deploy_and_measure(&solution, &workload);
+        record(
+            "cluster_env_step_cq_small",
+            bench_ns(budget_ms, || {
+                std::hint::black_box(env.deploy_and_measure(&solution, &workload));
+            }),
+        );
+    }
+
     // ---- end-to-end rollout throughput at 1/2/4/8 actors ----------------
     // ns per collected transition of the parallel experience-collection
     // driver (tiny 4-executor topology, analytic environment, frozen

@@ -4,22 +4,28 @@
 //! specifies what must happen when one dies: *"The master monitors
 //! heartbeat signals from all worker processes periodically. It
 //! re-schedules them when it discovers a failure."* This experiment
-//! quantifies that path on the simulated cluster:
+//! quantifies that path through the full control-plane backend
+//! (`dss-core::env::ClusterEnv`): the machine crash is a scheduled
+//! [`FaultPlan`] event replayed by the master, every sample is a protocol
+//! epoch over the framed codec, and repair is the master's ordinary
+//! auto-repair — no hand-rolled nimbus driving loop.
 //!
 //! * a machine crashes at t = 120 s while the word-count topology runs;
 //! * **with repair**: Nimbus notices after the session timeout and moves
-//!   the stranded executors to live machines;
-//! * **without repair** (control): the executors stay assigned to the
-//!   dead machine and its share of tuples keeps failing.
+//!   the stranded executors to live machines (the agent holds the
+//!   reported assignment, cooperating with the repair);
+//! * **without repair** (control): auto-repair is disabled, the executors
+//!   stay assigned to the dead machine and its share of tuples keeps
+//!   failing.
 //!
 //! Reported: completed-tuple throughput and cumulative failed trees over
 //! time for both runs, plus the detection latency (crash -> repair).
 
 use dss_apps::word_count;
 use dss_bench::{emit_records, emit_series, RunOptions};
-use dss_coord::{CoordConfig, CoordService};
+use dss_core::env::{ClusterEnv, ClusterTransport, Environment};
 use dss_metrics::{ExperimentRecord, ShapeCheck, TimeSeries};
-use dss_nimbus::{Nimbus, NimbusConfig, SupervisorSet};
+use dss_nimbus::FaultPlan;
 use dss_sim::{Assignment, ClusterSpec, SimConfig, SimEngine};
 
 const CRASH_AT_S: f64 = 120.0;
@@ -37,56 +43,50 @@ struct RunResult {
 fn run(repair: bool) -> RunResult {
     let app = word_count();
     let cluster = ClusterSpec::homogeneous(10);
-    let coord = CoordService::new(CoordConfig {
-        session_timeout_ms: SESSION_TIMEOUT_MS,
-    });
     let initial = Assignment::round_robin(&app.topology, &cluster);
     let engine = SimEngine::new(
         app.topology.clone(),
-        cluster.clone(),
+        cluster,
         app.workload.clone(),
         SimConfig::steady_state(17),
     )
     .expect("engine");
-    let mut nimbus = Nimbus::launch(
-        engine,
-        app.workload.clone(),
-        initial,
-        &coord,
-        NimbusConfig {
-            stabilize_s: 0.0,
-            ident: "fault-recovery".into(),
-            heartbeat_interval_s: 5.0,
-        },
-    )
-    .expect("launch");
-    let supervisors = SupervisorSet::register(&coord, 10).expect("supervisors");
-    nimbus.attach_supervisors(supervisors);
+    // One decision epoch per sample: the control plane advances the
+    // cluster SAMPLE_S seconds per round trip, heartbeating supervisors
+    // and firing the scheduled crash on the way.
+    let mut env = ClusterEnv::new(engine, SAMPLE_S)
+        .with_transport(ClusterTransport::Channel)
+        .with_fault_plan(FaultPlan::crash_at(CRASH_MACHINE, CRASH_AT_S))
+        .with_session_timeout_ms(SESSION_TIMEOUT_MS)
+        .with_heartbeat_interval_s(5.0)
+        .with_auto_repair(repair)
+        .with_catchup_epochs(0);
 
     let mut throughput = TimeSeries::new();
     let mut cum_failed = TimeSeries::new();
-    let mut detection_s = None;
-    let mut crashed = false;
     let mut last_completed = 0u64;
 
     let mut t = 0.0;
     while t < END_S {
         t += SAMPLE_S;
-        if !crashed && t >= CRASH_AT_S {
-            nimbus.crash_machine(CRASH_MACHINE);
-            crashed = true;
-        }
-        nimbus.advance(t);
-        if repair && detection_s.is_none() {
-            if let Some(_outcome) = nimbus.detect_and_repair().expect("repair") {
-                detection_s = Some(nimbus.engine().now() - CRASH_AT_S);
-            }
-        }
+        // Hold policy: echo the master's reported assignment, so a repair
+        // sticks instead of being undone by the next solution.
+        let current = env
+            .reported_assignment()
+            .map(|m| Assignment::new(m.to_vec(), 10).expect("reported assignment valid"))
+            .unwrap_or_else(|| initial.clone());
+        env.deploy_and_measure(&current, &app.workload);
+        let nimbus = env.nimbus().expect("channel-mode master");
         let (_, completed, failed, _) = nimbus.engine().tuple_counts();
         throughput.push(t, (completed - last_completed) as f64 / SAMPLE_S);
         last_completed = completed;
         cum_failed.push(t, failed as f64);
     }
+    let detection_s = env
+        .nimbus()
+        .expect("channel-mode master")
+        .last_repair()
+        .map(|(at, _)| at - CRASH_AT_S);
     RunResult {
         throughput,
         cum_failed,
@@ -172,8 +172,19 @@ fn main() {
             "repair strictly reduces cumulative failures",
             final_failed_with < final_failed_without,
         ),
+        ShapeCheck::new(
+            "fault_recovery",
+            "control arm performed no repair",
+            without.detection_s.is_none(),
+        ),
     ];
     emit_records(&opts, "fault_recovery", &records, &checks);
+    // CI runs this bin as the fault-recovery smoke: a failed shape check
+    // must fail the job, not just print FAIL.
+    if checks.iter().any(|c| !c.passed) {
+        eprintln!("[fault_recovery] shape checks failed");
+        std::process::exit(1);
+    }
 }
 
 fn mean_tail(s: &TimeSeries, n: usize) -> f64 {

@@ -1,5 +1,5 @@
-//! Cross-backend end-to-end smoke: a tiny train + deploy on **both**
-//! environment backends across registry scenarios.
+//! Cross-backend end-to-end smoke: a tiny train + deploy on **all
+//! three** environment backends across registry scenarios.
 //!
 //! For every requested scenario × backend pair this runs the full
 //! pipeline at a tiny budget — offline random-action collection, DQN
@@ -7,27 +7,35 @@
 //! of the trained solution on a fresh tuple-level engine under the
 //! scenario's rate schedule — and asserts the run is sane (rewards
 //! recorded, deployment curve non-empty, latency finite and positive).
+//! The cluster leg additionally asserts backend-completeness of the seam:
+//! with no faults injected, the control-plane backend's reward series is
+//! **bit-identical** to the bare-engine backend's.
 //!
-//! CI runs this as the `backend-smoke` job, so a change that breaks the
-//! `Environment` seam for either backend (or any registry scenario it
-//! exercises) fails fast with a named scenario/backend in the log.
+//! CI runs this as the `backend-smoke` job (channel and TCP cluster
+//! transports), so a change that breaks the `Environment` seam for any
+//! backend (or any registry scenario it exercises) fails fast with a
+//! named scenario/backend in the log.
 //!
 //! ```text
-//! smoke_backends [--scenarios a,b,...] [--epochs N]
+//! smoke_backends [--scenarios a,b,...] [--epochs N] [--transport channel|tcp]
 //!
 //! --scenarios  comma-separated registry names
 //!              (default: cq-small-steady,cq-small-bursty)
 //! --epochs     online epochs per method (default: 6)
+//! --transport  how the cluster backend pairs agent and master
+//!              (default: channel)
 //! ```
 
 use dss_core::experiment::{
-    scenario_deployment_curve, stable_ms, train_method_on, Backend, Method,
+    scenario_deployment_curve, stable_ms, train_method_on, train_method_with, Backend, Method,
 };
-use dss_core::{ControlConfig, Scenario};
+use dss_core::{ClusterTransport, ControlConfig, Scenario};
+use dss_metrics::TimeSeries;
 
 fn main() {
     let mut scenarios = vec!["cq-small-steady".to_string(), "cq-small-bursty".to_string()];
     let mut epochs = 6usize;
+    let mut transport = ClusterTransport::Channel;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -46,7 +54,14 @@ fn main() {
                     .parse()
                     .expect("--epochs must be a number");
             }
-            other => panic!("unknown flag `{other}`; expected --scenarios/--epochs"),
+            "--transport" => {
+                transport = match args.next().expect("--transport needs a value").as_str() {
+                    "channel" => ClusterTransport::Channel,
+                    "tcp" => ClusterTransport::Tcp,
+                    other => panic!("unknown transport `{other}`; expected channel|tcp"),
+                };
+            }
+            other => panic!("unknown flag `{other}`; expected --scenarios/--epochs/--transport"),
         }
     }
 
@@ -62,9 +77,18 @@ fn main() {
     for name in &scenarios {
         let scenario = Scenario::by_name(name)
             .unwrap_or_else(|| panic!("`{name}` is not a registry scenario"));
+        let mut sim_rewards: Option<TimeSeries> = None;
         for backend in Backend::all() {
             let t0 = std::time::Instant::now();
-            let out = train_method_on(backend, Method::Dqn, &scenario, &cfg);
+            let out = match backend {
+                // The cluster leg honors --transport (CI runs both).
+                Backend::Cluster => {
+                    train_method_with(Method::Dqn, &scenario.app, &scenario.cluster, &cfg, || {
+                        scenario.cluster_env_with(&cfg, cfg.seed, transport)
+                    })
+                }
+                _ => train_method_on(backend, Method::Dqn, &scenario, &cfg),
+            };
             let rewards = out.rewards.as_ref().expect("DQN records rewards");
             assert_eq!(
                 rewards.len(),
@@ -77,6 +101,21 @@ fn main() {
                 "{name}/{}: rewards must be finite negative latencies",
                 backend.label()
             );
+            match backend {
+                Backend::Sim => sim_rewards = Some(rewards.clone()),
+                // Backend-completeness: the control plane adds protocol
+                // fidelity, not numeric drift (fault-free scenarios only —
+                // a replayed crash legitimately changes the trajectory).
+                Backend::Cluster if scenario.faults.is_none() => {
+                    let sim = sim_rewards.as_ref().expect("sim leg ran first");
+                    assert_eq!(
+                        sim.values(),
+                        rewards.values(),
+                        "{name}: cluster rewards drifted from sim rewards"
+                    );
+                }
+                _ => {}
+            }
             let curve = scenario_deployment_curve(&scenario, &cfg, &out.solution, 2.0, 10.0);
             assert!(!curve.is_empty(), "{name}/{}: empty curve", backend.label());
             let ms = stable_ms(&curve);

@@ -10,7 +10,7 @@
 //! assignment under a base workload, return the observed average tuple
 //! processing time for one decision epoch).
 //!
-//! Two backends ship today:
+//! Three backends ship today:
 //!
 //! * [`AnalyticEnv`] — `dss-sim`'s fast steady-state evaluator (with
 //!   optional measurement noise and an optional [`RateSchedule`]-driven
@@ -21,21 +21,47 @@
 //!   executors pause, exactly like the paper's custom Storm scheduler),
 //!   one decision epoch of simulated time, and a read of the
 //!   sliding-window average tuple processing time. This is the
-//!   high-fidelity backend: agents can now train against the same engine
+//!   high-fidelity backend: agents train against the same engine
 //!   the figures are measured on.
+//! * [`ClusterEnv`] — the Figure-1 control plane end to end: every
+//!   `deploy_and_measure` is a full round trip over the framed socket
+//!   protocol. The agent side ([`dss_nimbus::AgentClient`]) sends the
+//!   action through the `dss-proto` codec; `Nimbus` validates it, stores
+//!   the versioned assignment in the `dss-coord` coordination service,
+//!   applies the minimal-impact re-deploy to its embedded [`SimEngine`],
+//!   advances one decision epoch with supervisor daemons heartbeating,
+//!   and reports the measured latency back. Machine-crash fault injection
+//!   ([`FaultPlan`]) rides the same path: a crashed machine's supervisor
+//!   session expires and the master's detect-and-repair reschedules the
+//!   stranded executors, so recovery dynamics (paper Fig. 12-style
+//!   transients) become trainable. With no faults injected, same-seed
+//!   `ClusterEnv` and `SimEnv` trajectories are **bit-identical** — the
+//!   transport adds protocol fidelity, not numeric drift.
 //!
-//! **Adding a backend** (e.g. a live cluster through `dss-nimbus` /
-//! `dss-coord`) means implementing the four `Environment` methods —
-//! deploy the assignment, wait an epoch, return the measured latency —
-//! plus `workload_multiplier` if the backend's offered load varies on its
-//! own. Scenario-driven construction hooks live in [`crate::scenario`].
+//! **Adding a backend** means: (1) implement the four `Environment`
+//! methods — deploy the assignment, advance one decision epoch, return
+//! the measured latency (plus `workload_multiplier` if the backend's
+//! offered load varies on its own); (2) add a `Scenario::*_env`
+//! constructor and (when actors can own private instances) a `*_fleet`
+//! builder in [`crate::scenario`]; (3) add a `Backend` arm in
+//! [`crate::experiment`] so `train_method_on` reaches it; (4) extend the
+//! `smoke_backends` bench bin — CI's `backend-smoke` job then exercises
+//! the new backend end to end. `ClusterEnv` is the worked example of the
+//! recipe: it wires three whole crates behind the same four methods.
 //!
 //! [`Controller`]: crate::controller::Controller
 //! [`ParallelCollector`]: crate::parallel::ParallelCollector
 
 use parking_lot::RwLock;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
+use dss_coord::{CoordConfig, CoordService};
+use dss_nimbus::{
+    AgentClient, FaultPlan, MeasureProtocol, Nimbus, NimbusConfig, NimbusError, StateView,
+    StatsView, SupervisorSet,
+};
+use dss_proto::{ChannelTransport, TcpTransport};
 use dss_rl::Elem;
 use dss_sim::{AnalyticModel, Assignment, RateSchedule, RuntimeStats, SimEngine, Workload};
 
@@ -162,8 +188,10 @@ impl Environment for AnalyticEnv {
 /// the catch-up epochs — only reachable when the system is so stalled (or
 /// the workload so tiny) that *no* tuple tree completed in several epochs;
 /// a pessimistic constant keeps the reward signal well-defined and
-/// strongly negative there.
-const EMPTY_WINDOW_PENALTY_MS: f64 = 10_000.0;
+/// strongly negative there. Shared by [`SimEnv`] and [`ClusterEnv`] (the
+/// control plane reports an empty measurement set; the agent side maps it
+/// to this penalty), so the two backends stay reward-identical.
+pub const EMPTY_WINDOW_PENALTY_MS: f64 = 10_000.0;
 
 /// High-fidelity training environment over the tuple-level discrete-event
 /// engine ([`SimEngine`]).
@@ -301,6 +329,474 @@ impl Environment for SimEnv {
 
     fn workload_multiplier(&self) -> f64 {
         self.engine.rate_schedule().multiplier_at(self.engine.now())
+    }
+}
+
+/// How a [`ClusterEnv`] connects its agent half to its master half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterTransport {
+    /// Synchronous in-process pairing: master and agent share this thread
+    /// over a [`ChannelTransport`] pair. Frames are still encoded and
+    /// checksummed; nothing ever blocks (the env interleaves the two
+    /// sides' turns), so parallel-actor fleets can own one private
+    /// cluster each without spawning threads.
+    Channel,
+    /// True process separation: the master serves epochs from its own
+    /// thread behind a loopback TCP socket, exactly as the paper deploys
+    /// the agent outside the DSDPS.
+    Tcp,
+}
+
+/// Training environment over the full Figure-1 control plane: an
+/// in-process Storm-like cluster (`dss-nimbus` master + supervisor
+/// daemons + `dss-coord` coordination + embedded [`SimEngine`]) driven by
+/// the agent half of the socket protocol (`dss-proto` framed codec).
+///
+/// One [`Environment::deploy_and_measure`] is one protocol epoch:
+///
+/// 1. the agent receives the scheduler's `StateReport` (assignment, base
+///    rates, current schedule multiplier);
+/// 2. a changed base workload goes out as a `WorkloadUpdate`, then the
+///    assignment as a `SchedulingSolution` echoing the state's epoch;
+/// 3. Nimbus validates the solution, CAS-updates the versioned assignment
+///    znode, applies the minimal-impact re-deploy to the engine, advances
+///    one decision epoch of simulated time (supervisors heartbeating,
+///    scheduled [`FaultPlan`] events firing at their exact instants), and
+///    reports the sliding-window latency back as a `RewardReport`;
+/// 4. the agent maps an empty measurement set to
+///    [`EMPTY_WINDOW_PENALTY_MS`] — the same penalty [`SimEnv`] applies.
+///
+/// The cluster launches lazily on the first call (the first assignment
+/// *starts* the topology, exactly like [`SimEnv`]'s cold start), so with
+/// no faults injected a same-seed `ClusterEnv` and `SimEnv` trace
+/// bit-identical latency trajectories — asserted by the cross-backend
+/// tests. Failure handling is automatic by default: a crashed machine's
+/// supervisor session expires on the simulated clock and the master
+/// repairs the assignment before reporting the next state (a fully dead
+/// cluster keeps serving penalty-latency epochs until a restart event
+/// revives a machine).
+pub struct ClusterEnv {
+    n_executors: usize,
+    n_machines: usize,
+    epoch_s: f64,
+    catchup_epochs: usize,
+    heartbeat_interval_s: f64,
+    session_timeout_ms: u64,
+    /// Whether the session timeout was set explicitly (otherwise it
+    /// re-derives from the heartbeat interval when that changes).
+    session_timeout_overridden: bool,
+    auto_repair: bool,
+    transport: ClusterTransport,
+    fault_plan: Option<FaultPlan>,
+    /// Latest schedule multiplier reported by the master (pre-launch: the
+    /// engine's schedule at its current clock).
+    multiplier: f64,
+    /// Base workload last sent to the master.
+    base: Option<Workload>,
+    /// Prefetched state report for the next decision.
+    pending: Option<StateView>,
+    plant: Plant,
+}
+
+/// The master half of a [`ClusterEnv`], by lifecycle and transport.
+enum Plant {
+    /// Not yet launched: the engine waits for the first assignment.
+    Pending(Box<SimEngine>),
+    /// Synchronous in-process master + agent over a channel pair.
+    Channel {
+        nimbus: Box<Nimbus>,
+        server: ChannelTransport,
+        agent: AgentClient<ChannelTransport>,
+    },
+    /// Master thread behind a loopback TCP socket.
+    Tcp {
+        agent: AgentClient<TcpTransport>,
+        master: Option<JoinHandle<Result<(), NimbusError>>>,
+    },
+    /// Transient state during launch.
+    Poisoned,
+}
+
+impl ClusterEnv {
+    /// Wraps an engine behind the control plane; decisions advance it
+    /// `epoch_s` simulated seconds each, over the in-process
+    /// [`ClusterTransport::Channel`] by default. The cluster (master,
+    /// supervisors, coordination service) launches on the first
+    /// deploy-and-measure.
+    ///
+    /// # Panics
+    /// Panics when `epoch_s` is not positive.
+    pub fn new(engine: SimEngine, epoch_s: f64) -> Self {
+        assert!(epoch_s > 0.0, "epoch length must be positive");
+        let heartbeat = (epoch_s / 2.0).clamp(1e-3, 5.0);
+        Self {
+            n_executors: engine.topology().n_executors(),
+            n_machines: engine.cluster().n_machines(),
+            epoch_s,
+            catchup_epochs: 8,
+            heartbeat_interval_s: heartbeat,
+            session_timeout_ms: Self::derived_timeout_ms(heartbeat),
+            session_timeout_overridden: false,
+            auto_repair: true,
+            transport: ClusterTransport::Channel,
+            fault_plan: None,
+            multiplier: engine.rate_schedule().multiplier_at(engine.now()),
+            base: None,
+            pending: None,
+            plant: Plant::Pending(Box::new(engine)),
+        }
+    }
+
+    /// Selects the transport (channel pairing vs loopback TCP).
+    pub fn with_transport(mut self, transport: ClusterTransport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Installs a deterministic machine crash/restart schedule, fired
+    /// against the simulated clock as epochs advance.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    fn derived_timeout_ms(heartbeat_s: f64) -> u64 {
+        ((heartbeat_s * 6.0) * 1000.0).ceil() as u64
+    }
+
+    /// Overrides the coordination session timeout (defaults to six
+    /// heartbeat intervals) — the knob that sets failure-detection
+    /// latency.
+    pub fn with_session_timeout_ms(mut self, ms: u64) -> Self {
+        self.session_timeout_ms = ms;
+        self.session_timeout_overridden = true;
+        self
+    }
+
+    /// Overrides the daemon heartbeat cadence (defaults to half an epoch,
+    /// clamped to 5 s). Unless the session timeout was set explicitly, it
+    /// re-derives as six heartbeats — a heartbeat slower than the timeout
+    /// would make healthy supervisors look dead every epoch.
+    pub fn with_heartbeat_interval_s(mut self, s: f64) -> Self {
+        self.heartbeat_interval_s = s;
+        if !self.session_timeout_overridden {
+            self.session_timeout_ms = Self::derived_timeout_ms(s);
+        }
+        self
+    }
+
+    /// Enables/disables automatic failure repair before each epoch
+    /// (default on; off gives the "no recovery" control arm of fault
+    /// experiments).
+    pub fn with_auto_repair(mut self, on: bool) -> Self {
+        self.auto_repair = on;
+        self
+    }
+
+    /// Overrides the cold-start catch-up epoch budget (default 8; see
+    /// [`SimEnv::catchup_epochs`]).
+    pub fn with_catchup_epochs(mut self, epochs: usize) -> Self {
+        self.catchup_epochs = epochs;
+        self
+    }
+
+    /// The decision-epoch length in simulated seconds.
+    pub fn epoch_s(&self) -> f64 {
+        self.epoch_s
+    }
+
+    /// The in-process master, when launched over the channel transport
+    /// (`None` before launch or behind TCP — an out-of-process master is
+    /// exactly the thing you cannot reach into).
+    pub fn nimbus(&self) -> Option<&Nimbus> {
+        match &self.plant {
+            Plant::Channel { nimbus, .. } => Some(nimbus),
+            _ => None,
+        }
+    }
+
+    /// The assignment the master last reported (what a "hold" policy
+    /// echoes back — after a repair this differs from the last solution).
+    pub fn reported_assignment(&self) -> Option<&[usize]> {
+        self.pending.as_ref().map(|s| s.machine_of.as_slice())
+    }
+
+    /// Launch the cluster: master, supervisors, fault plan, handshake,
+    /// and the first state report. The first assignment starts the
+    /// topology cold, mirroring [`SimEnv`]'s first deploy.
+    fn launch(&mut self, assignment: &Assignment, workload: &Workload) {
+        let Plant::Pending(engine) = std::mem::replace(&mut self.plant, Plant::Poisoned) else {
+            unreachable!("launch called twice");
+        };
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: self.session_timeout_ms,
+        });
+        let config = NimbusConfig {
+            measure: MeasureProtocol::Epoch {
+                epoch_s: self.epoch_s,
+                catchup_epochs: self.catchup_epochs,
+            },
+            ident: "dss-cluster-env/0.1".into(),
+            heartbeat_interval_s: self.heartbeat_interval_s,
+            auto_repair: self.auto_repair,
+        };
+        let mut nimbus = Nimbus::launch(
+            *engine,
+            workload.clone(),
+            assignment.clone(),
+            &coord,
+            config,
+        )
+        .expect("cluster launch: assignment valid for this topology/cluster");
+        let supervisors = SupervisorSet::register(&coord, self.n_machines)
+            .expect("supervisor registration on a fresh coordination service");
+        nimbus.attach_supervisors(supervisors);
+        if let Some(plan) = self.fault_plan.take() {
+            nimbus.set_fault_plan(plan);
+        }
+        self.base = Some(workload.clone());
+        match self.transport {
+            ClusterTransport::Channel => {
+                let (agent_side, server) = ChannelTransport::pair();
+                let mut agent = AgentClient::new(agent_side, "dss-cluster-env-agent/0.1");
+                // Synchronous handshake: the agent announces first so the
+                // master's (send, recv) handshake never blocks.
+                agent.announce().expect("channel handshake");
+                nimbus.handshake(&server).expect("channel handshake");
+                agent.await_scheduler().expect("channel handshake");
+                assert!(
+                    nimbus.send_state(&server).expect("first state report"),
+                    "agent alive at launch"
+                );
+                self.pending = agent.poll_state().expect("first state report");
+                self.plant = Plant::Channel {
+                    nimbus: Box::new(nimbus),
+                    server,
+                    agent,
+                };
+            }
+            ClusterTransport::Tcp => {
+                let (listener, addr) = TcpTransport::listen_localhost().expect("loopback listener");
+                let master = std::thread::spawn(move || -> Result<(), NimbusError> {
+                    let transport = TcpTransport::accept(&listener)?;
+                    nimbus.handshake(&transport)?;
+                    while nimbus.serve_epoch(&transport)? {}
+                    Ok(())
+                });
+                let transport = TcpTransport::connect(addr).expect("loopback connect");
+                let mut agent = AgentClient::new(transport, "dss-cluster-env-agent/0.1");
+                agent.handshake().expect("tcp handshake");
+                self.pending = agent.poll_state().expect("first state report");
+                self.plant = Plant::Tcp {
+                    agent,
+                    master: Some(master),
+                };
+            }
+        }
+        if let Some(state) = &self.pending {
+            self.multiplier = state.rate_multiplier;
+        }
+    }
+
+    /// One full protocol epoch. Returns the measured latency and, when
+    /// requested, the runtime statistics snapshot.
+    fn step(
+        &mut self,
+        assignment: &Assignment,
+        workload: &Workload,
+        want_stats: bool,
+    ) -> (f64, Option<StatsView>) {
+        if matches!(self.plant, Plant::Pending(_)) {
+            self.launch(assignment, workload);
+        }
+        // A changed base workload goes out ahead of the solution, exactly
+        // where SimEnv forwards it to the engine (an unchanged one is
+        // never resent, so the engine state is untouched).
+        let new_base = match &self.base {
+            Some(base) if base == workload => None,
+            _ => Some(
+                workload
+                    .rates()
+                    .iter()
+                    .map(|&(c, r)| (c as u32, r))
+                    .collect::<Vec<(u32, f64)>>(),
+            ),
+        };
+        if new_base.is_some() {
+            self.base = Some(workload.clone());
+        }
+        let taken = self.pending.take();
+        let machine_of = assignment.as_slice().to_vec();
+        let (ms, stats, next) = match &mut self.plant {
+            // The agent-side sequence is shared; the channel pairing just
+            // hands the master its turn at each pump point.
+            Plant::Channel {
+                nimbus,
+                server,
+                agent,
+            } => drive_epoch(
+                agent,
+                taken,
+                new_base,
+                machine_of,
+                want_stats,
+                |turn| match turn {
+                    MasterTurn::SendState => assert!(
+                        nimbus.send_state(server).expect("state report"),
+                        "agent alive at state send"
+                    ),
+                    MasterTurn::ServeSolution => assert!(
+                        nimbus.serve_solution(server).expect(
+                            "cluster rejected the solution: \
+                             assignment invalid for this environment"
+                        ),
+                        "agent alive mid-epoch"
+                    ),
+                    MasterTurn::ServePending => {
+                        nimbus.serve_pending(server).expect("stats service")
+                    }
+                },
+            ),
+            // The TCP master serves from its own thread: every pump point
+            // is a no-op, the socket does the interleaving.
+            Plant::Tcp { agent, .. } => {
+                drive_epoch(agent, taken, new_base, machine_of, want_stats, |_| {})
+            }
+            Plant::Pending(_) | Plant::Poisoned => unreachable!("launched above"),
+        };
+        if let Some(state) = &next {
+            self.multiplier = state.rate_multiplier;
+        }
+        self.pending = next;
+        (ms, stats)
+    }
+}
+
+/// Points in the agent-side epoch where a *synchronous in-process* master
+/// must be given its turn. An out-of-process master (TCP mode) interleaves
+/// through the socket instead, so its pump is a no-op.
+enum MasterTurn {
+    /// The agent is about to wait for a state report.
+    SendState,
+    /// A solution (and any preceding workload update) is queued.
+    ServeSolution,
+    /// A stats request is queued.
+    ServePending,
+}
+
+/// The agent half of one protocol epoch, shared by both transports:
+/// consume/fetch the state, forward a changed base workload, send the
+/// solution, collect the reward (and stats when asked), and prefetch the
+/// next state so `workload_multiplier` tracks the post-epoch offered
+/// load.
+fn drive_epoch<T: dss_proto::Transport>(
+    agent: &mut AgentClient<T>,
+    taken: Option<StateView>,
+    new_base: Option<Vec<(u32, f64)>>,
+    machine_of: Vec<usize>,
+    want_stats: bool,
+    mut pump: impl FnMut(MasterTurn),
+) -> (f64, Option<StatsView>, Option<StateView>) {
+    let state = match taken {
+        Some(state) => state,
+        None => {
+            pump(MasterTurn::SendState);
+            agent
+                .poll_state()
+                .expect("state report")
+                .expect("master up")
+        }
+    };
+    if let Some(rates) = new_base {
+        agent.send_workload(rates).expect("workload update");
+    }
+    agent
+        .send_solution(state.epoch, machine_of, state.n_machines)
+        .expect("solution send");
+    pump(MasterTurn::ServeSolution);
+    let reward = agent
+        .recv_reward()
+        .expect("cluster rejected the solution: assignment invalid for this environment")
+        .expect("master up");
+    let stats = want_stats.then(|| {
+        agent.request_stats().expect("stats request");
+        pump(MasterTurn::ServePending);
+        agent
+            .recv_stats()
+            .expect("stats report")
+            .expect("master up")
+    });
+    pump(MasterTurn::SendState);
+    let next = agent.poll_state().expect("state report");
+    (reward_ms(&reward), stats, next)
+}
+
+/// Map a protocol reward to the backend's latency semantics: an empty
+/// measurement set is a stalled window and earns the shared penalty.
+fn reward_ms(reward: &dss_nimbus::RewardView) -> f64 {
+    if reward.measurements.is_empty() {
+        EMPTY_WINDOW_PENALTY_MS
+    } else {
+        reward.avg_tuple_ms
+    }
+}
+
+fn stats_from_view(view: StatsView) -> RuntimeStats {
+    RuntimeStats {
+        avg_latency_ms: view.avg_latency_ms,
+        executor_rates: view.executor_rates,
+        executor_sojourn_ms: view.executor_sojourn_ms,
+        machine_cpu_cores: view.machine_cpu_cores,
+        machine_cross_kib_s: view.machine_cross_kib_s,
+        edge_transfer_ms: view.edge_transfer_ms,
+        completed: view.completed,
+        failed: view.failed,
+    }
+}
+
+impl Drop for ClusterEnv {
+    fn drop(&mut self) {
+        match &mut self.plant {
+            Plant::Channel { agent, .. } => {
+                let _ = agent.bye();
+            }
+            Plant::Tcp { agent, master } => {
+                // The goodbye unblocks the master's receive; joining keeps
+                // the thread from outliving its environment.
+                let _ = agent.bye();
+                if let Some(handle) = master.take() {
+                    let _ = handle.join();
+                }
+            }
+            Plant::Pending(_) | Plant::Poisoned => {}
+        }
+    }
+}
+
+impl Environment for ClusterEnv {
+    fn n_executors(&self) -> usize {
+        self.n_executors
+    }
+
+    fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+
+    fn deploy_and_measure(&mut self, assignment: &Assignment, workload: &Workload) -> f64 {
+        self.step(assignment, workload, false).0
+    }
+
+    fn deploy_and_measure_stats(
+        &mut self,
+        assignment: &Assignment,
+        workload: &Workload,
+    ) -> (f64, RuntimeStats) {
+        let (ms, stats) = self.step(assignment, workload, true);
+        (ms, stats_from_view(stats.expect("stats requested")))
+    }
+
+    fn workload_multiplier(&self) -> f64 {
+        self.multiplier
     }
 }
 
@@ -518,6 +1014,140 @@ mod tests {
             .unwrap(),
         );
         assert_eq!(after, plain.deploy_and_measure(&a, &w.scaled(2.0)));
+    }
+
+    fn cluster_env(seed: u64, epoch_s: f64, transport: ClusterTransport) -> ClusterEnv {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.spout("s", 2, 0.05);
+        let x = b.bolt("x", 3, 0.3);
+        b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+        let topo = b.build().unwrap();
+        let workload = Workload::uniform(&topo, 200.0);
+        let engine = SimEngine::new(
+            topo,
+            ClusterSpec::homogeneous(4),
+            workload,
+            dss_sim::SimConfig::steady_state(seed),
+        )
+        .unwrap();
+        ClusterEnv::new(engine, epoch_s).with_transport(transport)
+    }
+
+    /// A deterministic assignment walk shared by the parity tests.
+    fn walk(env: &mut dyn Environment, w: &Workload, steps: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut a = Assignment::new(vec![0, 1, 2, 3, 0], 4).unwrap();
+        for step in 0..steps {
+            out.push(env.deploy_and_measure(&a, w));
+            out.push(env.workload_multiplier());
+            a = a.with_move(step % 5, (step + 1) % 4);
+        }
+        out
+    }
+
+    #[test]
+    fn cluster_env_matches_sim_env_bit_for_bit() {
+        // The control plane must add protocol fidelity, not numeric
+        // drift: same seed, same walk => identical trajectories, on both
+        // transports.
+        let mut sim = sim_env(11, 5.0);
+        sim.engine_mut()
+            .set_rate_schedule(dss_sim::RateSchedule::step_at(10.0, 2.0));
+        let w = Workload::new(vec![(0, 200.0)], sim.engine().topology()).unwrap();
+        let reference = walk(&mut sim, &w, 6);
+
+        for transport in [ClusterTransport::Channel, ClusterTransport::Tcp] {
+            let mut cluster = cluster_env(11, 5.0, transport);
+            if let Plant::Pending(engine) = &mut cluster.plant {
+                engine.set_rate_schedule(dss_sim::RateSchedule::step_at(10.0, 2.0));
+            }
+            let got = walk(&mut cluster, &w, 6);
+            assert_eq!(reference, got, "trajectory drift over {transport:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_env_stats_match_sim_env() {
+        let mut sim = sim_env(13, 5.0);
+        let mut cluster = cluster_env(13, 5.0, ClusterTransport::Channel);
+        let w = Workload::new(vec![(0, 200.0)], sim.engine().topology()).unwrap();
+        let a = Assignment::new(vec![0, 1, 2, 3, 0], 4).unwrap();
+        let (sim_ms, sim_stats) = sim.deploy_and_measure_stats(&a, &w);
+        let (cl_ms, cl_stats) = cluster.deploy_and_measure_stats(&a, &w);
+        assert_eq!(sim_ms, cl_ms);
+        assert_eq!(sim_stats.executor_rates, cl_stats.executor_rates);
+        assert_eq!(sim_stats.machine_cpu_cores, cl_stats.machine_cpu_cores);
+        assert_eq!(sim_stats.completed, cl_stats.completed);
+    }
+
+    #[test]
+    fn cluster_env_mid_run_workload_change_reaches_the_engine() {
+        let mut e = cluster_env(15, 10.0, ClusterTransport::Channel);
+        let a = Assignment::new(vec![0, 1, 2, 3, 0], 4).unwrap();
+        let base = {
+            let mut b = TopologyBuilder::new("t");
+            let s = b.spout("s", 2, 0.05);
+            let x = b.bolt("x", 3, 0.3);
+            b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+            Workload::new(vec![(0, 200.0)], &b.build().unwrap()).unwrap()
+        };
+        e.deploy_and_measure(&a, &base);
+        let heavy = base.scaled(3.0);
+        e.deploy_and_measure(&a, &heavy);
+        assert_eq!(e.nimbus().unwrap().engine().workload(), &heavy);
+    }
+
+    #[test]
+    fn cluster_env_total_outage_pays_penalty_then_recovers() {
+        // Crash EVERY machine at 4 s, restart one at 30 s: measurements
+        // degrade to the shared penalty while the cluster is dead, and
+        // auto-repair brings the system back once a machine returns.
+        let mut plan = FaultPlan::crash_at(0, 4.0);
+        for m in 1..4 {
+            plan = plan.and_crash(m, 4.0);
+        }
+        let mut e = cluster_env(17, 5.0, ClusterTransport::Channel)
+            .with_fault_plan(plan.and_restart(1, 42.0))
+            .with_session_timeout_ms(3_000)
+            .with_heartbeat_interval_s(1.0);
+        let a = Assignment::new(vec![0, 1, 2, 3, 0], 4).unwrap();
+        let topo = {
+            let mut b = TopologyBuilder::new("t");
+            let s = b.spout("s", 2, 0.05);
+            let x = b.bolt("x", 3, 0.3);
+            b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+            b.build().unwrap()
+        };
+        let w = Workload::new(vec![(0, 200.0)], &topo).unwrap();
+        let mut latencies = Vec::new();
+        for _ in 0..10 {
+            // Hold policy: echo the master's reported assignment, so the
+            // agent cooperates with (instead of undoing) auto-repair.
+            let current = e
+                .reported_assignment()
+                .map(|m| Assignment::new(m.to_vec(), 4).unwrap())
+                .unwrap_or_else(|| a.clone());
+            latencies.push(e.deploy_and_measure(&current, &w));
+        }
+        // The dead-cluster stretch hits the penalty at least once…
+        assert!(
+            latencies.contains(&EMPTY_WINDOW_PENALTY_MS),
+            "no penalty epoch in {latencies:?}"
+        );
+        // …and the tail (post-restart, post-repair) measures real latency.
+        assert!(
+            latencies.last().copied().unwrap() < EMPTY_WINDOW_PENALTY_MS,
+            "no recovery: {latencies:?}"
+        );
+        // Repair moved every executor onto the revived machine.
+        let nimbus = e.nimbus().unwrap();
+        assert!(nimbus.repair_count() >= 1);
+        assert!(nimbus
+            .engine()
+            .assignment()
+            .as_slice()
+            .iter()
+            .all(|&m| m == 1));
     }
 
     #[test]

@@ -80,6 +80,12 @@ pub enum Backend {
     /// dynamics (migration pauses, warm-up, queueing transients) the
     /// deployment figures measure.
     Sim,
+    /// The Figure-1 control plane: every decision is a full
+    /// `dss-proto`/`dss-nimbus`/`dss-coord` round trip against the same
+    /// engine (in-process channel transport; see
+    /// [`crate::scenario::Scenario::cluster_env_with`] for loopback TCP),
+    /// with scenario fault plans replayed by the master.
+    Cluster,
 }
 
 impl Backend {
@@ -88,12 +94,13 @@ impl Backend {
         match self {
             Backend::Analytic => "analytic",
             Backend::Sim => "sim",
+            Backend::Cluster => "cluster",
         }
     }
 
-    /// Both backends, analytic first.
-    pub fn all() -> [Backend; 2] {
-        [Backend::Analytic, Backend::Sim]
+    /// Every backend, analytic first.
+    pub fn all() -> [Backend; 3] {
+        [Backend::Analytic, Backend::Sim, Backend::Cluster]
     }
 }
 
@@ -160,6 +167,11 @@ pub fn train_method_on(
         Backend::Sim => train_method_with(method, &scenario.app, &scenario.cluster, cfg, || {
             scenario.sim_env(cfg, cfg.seed)
         }),
+        Backend::Cluster => {
+            train_method_with(method, &scenario.app, &scenario.cluster, cfg, || {
+                scenario.cluster_env(cfg, cfg.seed)
+            })
+        }
     }
 }
 
@@ -537,7 +549,39 @@ mod tests {
         // And the analytic arm of the same entry point still works.
         let out2 = train_method_on(Backend::Analytic, Method::Default, &sc, &cfg);
         assert_eq!(out2.solution, sc.initial_assignment());
-        assert_eq!(Backend::all().map(Backend::label), ["analytic", "sim"]);
+        assert_eq!(
+            Backend::all().map(Backend::label),
+            ["analytic", "sim", "cluster"]
+        );
+    }
+
+    #[test]
+    fn cluster_backend_trains_dqn_and_matches_sim_rewards() {
+        // The whole training pipeline (offline collection with stats,
+        // DQN pre-training, online learning) runs through the control
+        // plane — and with no faults in the scenario, the reward series
+        // is bit-identical to the bare-engine backend's (the transport
+        // adds no numeric drift anywhere in the pipeline).
+        let cfg = ControlConfig {
+            offline_samples: 20,
+            offline_steps: 15,
+            online_epochs: 6,
+            eps_decay_epochs: 3,
+            sim_epoch_s: 1.0,
+            ..ControlConfig::test()
+        };
+        let sc = Scenario::by_name("cq-small-steady").unwrap();
+        let cluster = train_method_on(Backend::Cluster, Method::Dqn, &sc, &cfg);
+        let sim = train_method_on(Backend::Sim, Method::Dqn, &sc, &cfg);
+        let cluster_rewards = cluster.rewards.as_ref().unwrap();
+        let sim_rewards = sim.rewards.as_ref().unwrap();
+        assert_eq!(cluster_rewards.len(), cfg.online_epochs);
+        assert_eq!(
+            cluster_rewards.values(),
+            sim_rewards.values(),
+            "control-plane round trips must not perturb training"
+        );
+        assert_eq!(cluster.solution, sim.solution);
     }
 
     #[test]

@@ -14,13 +14,15 @@
 //! * [`state`] / [`action`] / [`reward`] — the paper's §3.2 formulation;
 //! * [`env`](mod@env) — the [`env::Environment`] **backend seam**: every
 //!   training and evaluation layer ([`controller`], [`parallel`],
-//!   [`experiment`]) is generic over it. Two backends ship:
+//!   [`experiment`]) is generic over it. Three backends ship:
 //!   [`env::AnalyticEnv`] (the fast steady-state evaluator, optionally
-//!   schedule-driven) and [`env::SimEnv`] (the tuple-level engine — each
+//!   schedule-driven), [`env::SimEnv`] (the tuple-level engine — each
 //!   decision is a minimal-impact re-deployment plus one epoch of
 //!   simulated time, so agents train against the same dynamics the
-//!   figures measure). The module docs explain how to add a backend
-//!   (e.g. a live cluster via `dss-nimbus`/`dss-coord`);
+//!   figures measure), and [`env::ClusterEnv`] (the Figure-1 control
+//!   plane: every decision is a full `dss-proto` round trip through
+//!   `dss-nimbus` and `dss-coord`, with optional machine-crash fault
+//!   plans). The module docs spell out the add-a-backend recipe;
 //! * [`scenario`] — the registry of named scenarios (application × scale
 //!   × cluster × rate schedule) that experiments, benches and collector
 //!   fleets build environments from, on either backend — including
@@ -50,10 +52,10 @@ pub mod state;
 
 pub use config::ControlConfig;
 pub use controller::{Controller, OfflineDataset, RawSample};
-pub use env::{AnalyticEnv, Environment, SimEnv, TransitionStore};
+pub use env::{AnalyticEnv, ClusterEnv, ClusterTransport, Environment, SimEnv, TransitionStore};
 pub use parallel::{ActorSetup, ParallelCollector, RoundPlan};
 pub use reward::RewardScale;
-pub use scenario::{analytic_fleet, sim_fleet, Scenario};
+pub use scenario::{analytic_fleet, cluster_fleet, sim_fleet, Scenario};
 pub use scheduler::{
     ActorCriticScheduler, DqnScheduler, ModelBasedScheduler, RandomScheduler, RoundRobinScheduler,
     Scheduler,

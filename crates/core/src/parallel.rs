@@ -59,6 +59,7 @@ fn assert_thread_safe() {
     fn sync<T: Sync>() {}
     send::<AnalyticEnv>();
     send::<crate::env::SimEnv>();
+    send::<crate::env::ClusterEnv>();
     send::<dss_sim::SimEngine>();
     send::<KBestMapper>();
     send::<StdRng>();

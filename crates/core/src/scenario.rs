@@ -25,17 +25,19 @@
 //! [`compatible`](Scenario::compatible) and may share one agent/fleet.
 
 use dss_apps::{continuous_queries, log_stream, word_count, App, CqScale};
+use dss_nimbus::FaultPlan;
 use dss_sim::{
     AnalyticModel, Assignment, ClusterSpec, MachineSpec, NetworkParams, RateSchedule, SimConfig,
     SimEngine,
 };
 
 use crate::config::ControlConfig;
-use crate::env::{AnalyticEnv, SimEnv};
+use crate::env::{AnalyticEnv, ClusterEnv, ClusterTransport, SimEnv};
 use crate::parallel::{ActorSetup, ParallelCollector};
 use crate::state::SchedState;
 
-/// One named training/evaluation setup: application × cluster × schedule.
+/// One named training/evaluation setup: application × cluster × schedule,
+/// optionally with a scripted machine-fault trace.
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Registry name (`<app>-<scale>-<schedule>`).
@@ -46,6 +48,10 @@ pub struct Scenario {
     pub cluster: ClusterSpec,
     /// Workload multiplier schedule over (simulated) time.
     pub schedule: RateSchedule,
+    /// Deterministic machine crash/restart trace. Only the control-plane
+    /// backend ([`Scenario::cluster_env`]) replays it — the analytic and
+    /// bare-engine backends have no failure-detection path and ignore it.
+    pub faults: Option<FaultPlan>,
 }
 
 /// The Figure-12 step: +50% at 20 simulated minutes.
@@ -85,6 +91,7 @@ impl Scenario {
             app,
             cluster,
             schedule,
+            faults: None,
         };
         let small = || continuous_queries(CqScale::Small);
         let large = || continuous_queries(CqScale::Large);
@@ -167,6 +174,27 @@ impl Scenario {
                 ClusterSpec::homogeneous(10),
                 bursts(),
             ),
+            // Fault scenarios: a machine dies mid-run and (for the small
+            // variant) later returns — the paper-§2.1 recovery transient
+            // as a trainable scenario. Times are simulated seconds, sized
+            // so short training runs (1 s epochs) and figure-grade
+            // deployments both cross the crash. Shape-compatible with
+            // their fault-free siblings, so domain-randomized fleets can
+            // mix healthy and failing clusters.
+            Scenario {
+                name: "cq-small-crash",
+                app: continuous_queries(CqScale::Small),
+                cluster: ClusterSpec::homogeneous(4),
+                schedule: RateSchedule::constant(),
+                faults: Some(FaultPlan::crash_at(1, 20.0).and_restart(1, 120.0)),
+            },
+            Scenario {
+                name: "word-count-crash",
+                app: word_count(),
+                cluster: ClusterSpec::homogeneous(10),
+                schedule: RateSchedule::constant(),
+                faults: Some(FaultPlan::crash_at(3, 120.0)),
+            },
         ]
     }
 
@@ -285,6 +313,39 @@ impl Scenario {
         });
         SimEnv::new(engine, epoch)
     }
+
+    /// Control-plane-backend **training** environment for this scenario:
+    /// the same epoch-scaled engine as [`Scenario::sim_env`] (same seed ⇒
+    /// bit-identical dynamics when no faults fire), wrapped behind the
+    /// Figure-1 control plane over the synchronous in-process channel
+    /// transport, with the scenario's [`FaultPlan`] installed.
+    pub fn cluster_env(&self, cfg: &ControlConfig, seed: u64) -> ClusterEnv {
+        self.cluster_env_with(cfg, seed, ClusterTransport::Channel)
+    }
+
+    /// [`Scenario::cluster_env`] with an explicit transport (loopback TCP
+    /// gives true process separation, as the paper deploys the agent).
+    pub fn cluster_env_with(
+        &self,
+        cfg: &ControlConfig,
+        seed: u64,
+        transport: ClusterTransport,
+    ) -> ClusterEnv {
+        let epoch = cfg.sim_epoch_s;
+        let defaults = SimConfig::default();
+        let engine = self.sim_engine_with(SimConfig {
+            seed,
+            latency_window_s: epoch,
+            migration_pause_s: (0.05 * epoch).min(defaults.migration_pause_s),
+            warmup_tau_s: (0.25 * epoch).min(defaults.warmup_tau_s),
+            ..defaults
+        });
+        let mut env = ClusterEnv::new(engine, epoch).with_transport(transport);
+        if let Some(plan) = &self.faults {
+            env = env.with_fault_plan(plan.clone());
+        }
+        env
+    }
 }
 
 /// A parallel-actor fleet over the analytic backend, one scenario per
@@ -329,6 +390,33 @@ pub fn sim_fleet(
         let sc = &scenarios[i % scenarios.len()];
         ActorSetup {
             env: sc.sim_env(cfg, cfg.seed.wrapping_add(i as u64)),
+            workload: sc.app.workload.clone(),
+            initial: sc.initial_assignment(),
+        }
+    })
+}
+
+/// A parallel-actor fleet over the control-plane backend: each actor owns
+/// a complete private cluster (master + supervisors + coordination
+/// service + engine) paired in-process over the channel transport, so
+/// every transition an actor collects travels the full Figure-1 message
+/// path. Scenarios cycle as in [`analytic_fleet`]; fault-plan scenarios
+/// make recovery transients part of the training distribution.
+///
+/// # Panics
+/// Panics when `scenarios` is empty or its members are not mutually
+/// [`compatible`](Scenario::compatible).
+pub fn cluster_fleet(
+    scenarios: &[Scenario],
+    cfg: &ControlConfig,
+    n_actors: usize,
+    shard_capacity: usize,
+) -> ParallelCollector<ClusterEnv> {
+    assert_compatible(scenarios);
+    ParallelCollector::from_factory(cfg, n_actors, shard_capacity, |i| {
+        let sc = &scenarios[i % scenarios.len()];
+        ActorSetup {
+            env: sc.cluster_env(cfg, cfg.seed.wrapping_add(i as u64)),
             workload: sc.app.workload.clone(),
             initial: sc.initial_assignment(),
         }
@@ -412,6 +500,23 @@ mod tests {
         assert!(cq.compatible(&ls) && cq.compatible(&wc));
         // And small is not compatible with large.
         assert!(!cq.compatible(&Scenario::by_name("cq-small-steady").unwrap()));
+    }
+
+    #[test]
+    fn fault_scenarios_ride_the_registry() {
+        let crash = Scenario::by_name("cq-small-crash").expect("registered");
+        let plan = crash.faults.as_ref().expect("fault plan installed");
+        assert!(plan.max_machine().unwrap() < crash.n_machines());
+        // Shape-compatible with the healthy sibling: one fleet can mix
+        // failing and fault-free clusters.
+        assert!(crash.compatible(&Scenario::by_name("cq-small-steady").unwrap()));
+        let wc = Scenario::by_name("word-count-crash").expect("registered");
+        assert!(wc.compatible(&Scenario::by_name("word-count-steady").unwrap()));
+        // The healthy registry stays fault-free.
+        assert!(Scenario::by_name("cq-small-steady")
+            .unwrap()
+            .faults
+            .is_none());
     }
 
     #[test]

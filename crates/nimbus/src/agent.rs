@@ -20,8 +20,33 @@ pub struct StateView {
     pub machine_of: Vec<usize>,
     /// Cluster size.
     pub n_machines: usize,
-    /// Per-data-source arrival rates.
+    /// Per-data-source *base* arrival rates.
     pub source_rates: Vec<(u32, f64)>,
+    /// Schedule multiplier the cluster currently applies to the base
+    /// rates (the offered load is `source_rates × rate_multiplier`).
+    pub rate_multiplier: f64,
+}
+
+/// Runtime statistics reported by the scheduler (mirrors the simulator's
+/// `RuntimeStats`; what the model-based baseline trains on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsView {
+    /// Sliding-window average tuple processing time (ms; 0 when empty).
+    pub avg_latency_ms: f64,
+    /// Per-executor tuple arrival rates (tuples/s).
+    pub executor_rates: Vec<f64>,
+    /// Per-executor sojourn-time estimates (ms).
+    pub executor_sojourn_ms: Vec<f64>,
+    /// Per-machine CPU demand (cores).
+    pub machine_cpu_cores: Vec<f64>,
+    /// Per-machine cross-machine traffic (KiB/s).
+    pub machine_cross_kib_s: Vec<f64>,
+    /// Per-edge transfer-latency estimates (ms).
+    pub edge_transfer_ms: Vec<f64>,
+    /// Tuple trees completed since launch.
+    pub completed: u64,
+    /// Tuple trees failed since launch.
+    pub failed: u64,
 }
 
 /// The reward the scheduler measured for a deployed solution.
@@ -36,10 +61,22 @@ pub struct RewardView {
 }
 
 /// Agent-side protocol driver.
+///
+/// Beyond the one-call [`AgentClient::run_epoch`] loop, the exchange is
+/// decomposed into its primitive moves (`poll_state` / `send_solution` /
+/// `recv_reward` / `fetch_stats` / `send_workload`) so an environment
+/// backend can drive an epoch step-by-step — including the synchronous
+/// in-process pairing where master and agent share one thread over a
+/// `ChannelTransport`. An out-of-process master may push the *next*
+/// state report before the agent asks for it (it serves epochs in a
+/// loop); any state report arriving out of turn is stashed and returned
+/// by the next [`AgentClient::poll_state`].
 #[derive(Debug)]
 pub struct AgentClient<T: Transport> {
     transport: T,
     ident: String,
+    /// A state report that arrived while waiting for something else.
+    pending_state: Option<StateView>,
 }
 
 impl<T: Transport> AgentClient<T> {
@@ -48,15 +85,25 @@ impl<T: Transport> AgentClient<T> {
         AgentClient {
             transport,
             ident: ident.into(),
+            pending_state: None,
         }
     }
 
-    /// Perform the handshake; returns the scheduler's identification.
-    pub fn handshake(&self) -> Result<String, NimbusError> {
+    /// First half of the handshake: announce this agent.
+    ///
+    /// Split from [`AgentClient::await_scheduler`] so a synchronous
+    /// in-process pairing can order the sends (agent announces, master
+    /// handshakes, agent reads the answer) without either side blocking.
+    pub fn announce(&self) -> Result<(), NimbusError> {
         self.transport.send(&Message::Hello {
             role: dss_proto::message::Role::Agent,
             ident: self.ident.clone(),
         })?;
+        Ok(())
+    }
+
+    /// Second half of the handshake: read the scheduler's hello.
+    pub fn await_scheduler(&self) -> Result<String, NimbusError> {
         match self.transport.recv()? {
             Message::Hello {
                 role: dss_proto::message::Role::Scheduler,
@@ -66,36 +113,69 @@ impl<T: Transport> AgentClient<T> {
         }
     }
 
-    /// Run one decision epoch: receive the state, decide, send the
-    /// solution, and wait for the measured reward.
-    ///
-    /// Returns `Ok(None)` if the scheduler disconnected.
-    pub fn run_epoch<F>(&self, mut decide: F) -> Result<Option<RewardView>, NimbusError>
-    where
-        F: FnMut(&StateView) -> Vec<usize>,
-    {
-        let state = match self.transport.recv() {
-            Ok(Message::StateReport {
-                epoch,
-                machine_of,
-                n_machines,
-                source_rates,
-            }) => StateView {
-                epoch,
-                machine_of,
-                n_machines,
-                source_rates,
-            },
-            Ok(Message::Bye) | Err(ProtoError::Disconnected) => return Ok(None),
-            Ok(_) => return Err(NimbusError::UnexpectedMessage("awaiting state report")),
-            Err(e) => return Err(e.into()),
-        };
-        let solution = decide(&state);
+    /// Perform the handshake; returns the scheduler's identification.
+    pub fn handshake(&self) -> Result<String, NimbusError> {
+        self.announce()?;
+        self.await_scheduler()
+    }
+
+    /// Next state report: the stashed one if an earlier receive ran past
+    /// it, otherwise blocks until one arrives. `Ok(None)` when the
+    /// scheduler said goodbye or disconnected.
+    pub fn poll_state(&mut self) -> Result<Option<StateView>, NimbusError> {
+        if let Some(state) = self.pending_state.take() {
+            return Ok(Some(state));
+        }
+        loop {
+            match self.transport.recv() {
+                Ok(Message::StateReport {
+                    epoch,
+                    machine_of,
+                    n_machines,
+                    source_rates,
+                    rate_multiplier,
+                }) => {
+                    return Ok(Some(StateView {
+                        epoch,
+                        machine_of,
+                        n_machines,
+                        source_rates,
+                        rate_multiplier,
+                    }))
+                }
+                Ok(Message::Heartbeat { .. }) => continue,
+                Ok(Message::Bye) | Err(ProtoError::Disconnected) => return Ok(None),
+                Ok(_) => return Err(NimbusError::UnexpectedMessage("awaiting state report")),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Report a base-workload change to the scheduler.
+    pub fn send_workload(&self, source_rates: Vec<(u32, f64)>) -> Result<(), NimbusError> {
+        self.transport
+            .send(&Message::WorkloadUpdate { source_rates })?;
+        Ok(())
+    }
+
+    /// Send a scheduling solution answering `epoch`.
+    pub fn send_solution(
+        &self,
+        epoch: u64,
+        machine_of: Vec<usize>,
+        n_machines: usize,
+    ) -> Result<(), NimbusError> {
         self.transport.send(&Message::SchedulingSolution {
-            epoch: state.epoch,
-            machine_of: solution,
-            n_machines: state.n_machines,
+            epoch,
+            machine_of,
+            n_machines,
         })?;
+        Ok(())
+    }
+
+    /// Wait for the measured reward of the last solution. Stashes any
+    /// state report the scheduler pushed early. `Ok(None)` on goodbye.
+    pub fn recv_reward(&mut self) -> Result<Option<RewardView>, NimbusError> {
         loop {
             match self.transport.recv() {
                 Ok(Message::RewardReport {
@@ -115,11 +195,90 @@ impl<T: Transport> AgentClient<T> {
                     )))
                 }
                 Ok(Message::Heartbeat { .. }) => continue,
+                Ok(msg @ Message::StateReport { .. }) => self.stash_state(msg),
                 Ok(Message::Bye) | Err(ProtoError::Disconnected) => return Ok(None),
                 Ok(_) => return Err(NimbusError::UnexpectedMessage("awaiting reward")),
                 Err(e) => return Err(e.into()),
             }
         }
+    }
+
+    /// Request a statistics snapshot without waiting for the answer
+    /// (pair with [`AgentClient::recv_stats`]; split so a synchronous
+    /// in-process pairing can pump the master in between).
+    pub fn request_stats(&self) -> Result<(), NimbusError> {
+        self.transport.send(&Message::StatsRequest)?;
+        Ok(())
+    }
+
+    /// Wait for a statistics report. Stashes any state report pushed
+    /// ahead of it. `Ok(None)` on goodbye.
+    pub fn recv_stats(&mut self) -> Result<Option<StatsView>, NimbusError> {
+        loop {
+            match self.transport.recv() {
+                Ok(Message::StatsReport {
+                    avg_latency_ms,
+                    executor_rates,
+                    executor_sojourn_ms,
+                    machine_cpu_cores,
+                    machine_cross_kib_s,
+                    edge_transfer_ms,
+                    completed,
+                    failed,
+                }) => {
+                    return Ok(Some(StatsView {
+                        avg_latency_ms,
+                        executor_rates,
+                        executor_sojourn_ms,
+                        machine_cpu_cores,
+                        machine_cross_kib_s,
+                        edge_transfer_ms,
+                        completed,
+                        failed,
+                    }))
+                }
+                Ok(Message::Heartbeat { .. }) => continue,
+                Ok(msg @ Message::StateReport { .. }) => self.stash_state(msg),
+                Ok(Message::Bye) | Err(ProtoError::Disconnected) => return Ok(None),
+                Ok(_) => return Err(NimbusError::UnexpectedMessage("awaiting stats")),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn stash_state(&mut self, msg: Message) {
+        if let Message::StateReport {
+            epoch,
+            machine_of,
+            n_machines,
+            source_rates,
+            rate_multiplier,
+        } = msg
+        {
+            self.pending_state = Some(StateView {
+                epoch,
+                machine_of,
+                n_machines,
+                source_rates,
+                rate_multiplier,
+            });
+        }
+    }
+
+    /// Run one decision epoch: receive the state, decide, send the
+    /// solution, and wait for the measured reward.
+    ///
+    /// Returns `Ok(None)` if the scheduler disconnected.
+    pub fn run_epoch<F>(&mut self, mut decide: F) -> Result<Option<RewardView>, NimbusError>
+    where
+        F: FnMut(&StateView) -> Vec<usize>,
+    {
+        let Some(state) = self.poll_state()? else {
+            return Ok(None);
+        };
+        let solution = decide(&state);
+        self.send_solution(state.epoch, solution, state.n_machines)?;
+        self.recv_reward()
     }
 
     /// Orderly shutdown.
@@ -153,6 +312,7 @@ mod tests {
                     machine_of: vec![0, 0, 1],
                     n_machines: 2,
                     source_rates: vec![(0, 10.0)],
+                    rate_multiplier: 1.0,
                 })
                 .unwrap();
                 match peer.recv().unwrap() {
@@ -181,7 +341,7 @@ mod tests {
     fn agent_completes_handshake_and_epochs() {
         let (mine, theirs) = ChannelTransport::pair();
         let server = fake_scheduler(theirs, 3);
-        let agent = AgentClient::new(mine, "test-agent");
+        let mut agent = AgentClient::new(mine, "test-agent");
         assert_eq!(agent.handshake().unwrap(), "fake-nimbus");
         let mut rewards = Vec::new();
         while let Some(r) = agent
@@ -208,6 +368,7 @@ mod tests {
                     machine_of: vec![0],
                     n_machines: 1,
                     source_rates: vec![],
+                    rate_multiplier: 1.0,
                 })
                 .unwrap();
             let _ = theirs.recv().unwrap();
@@ -218,17 +379,64 @@ mod tests {
                 })
                 .unwrap();
         });
-        let agent = AgentClient::new(mine, "test-agent");
+        let mut agent = AgentClient::new(mine, "test-agent");
         let err = agent.run_epoch(|_| vec![0]).unwrap_err();
         assert!(matches!(err, NimbusError::InvalidSolution(_)));
         server.join().unwrap();
     }
 
     #[test]
+    fn early_state_report_is_stashed_for_next_poll() {
+        // An out-of-process master pushes the next epoch's state before
+        // the agent asks for it; the agent must not lose or reorder it.
+        let (mine, theirs) = ChannelTransport::pair();
+        theirs
+            .send(&Message::StateReport {
+                epoch: 1,
+                machine_of: vec![0, 1],
+                n_machines: 2,
+                source_rates: vec![(0, 10.0)],
+                rate_multiplier: 2.0,
+            })
+            .unwrap();
+        theirs
+            .send(&Message::RewardReport {
+                epoch: 0,
+                avg_tuple_ms: 2.0,
+                measurements: vec![2.0],
+            })
+            .unwrap();
+        theirs
+            .send(&Message::StatsReport {
+                avg_latency_ms: 2.0,
+                executor_rates: vec![5.0, 5.0],
+                executor_sojourn_ms: vec![0.0, 0.0],
+                machine_cpu_cores: vec![0.5, 0.5],
+                machine_cross_kib_s: vec![1.0, 1.0],
+                edge_transfer_ms: vec![0.1],
+                completed: 10,
+                failed: 0,
+            })
+            .unwrap();
+        let mut agent = AgentClient::new(mine, "test-agent");
+        // Reward first (stream carries the state ahead of it)…
+        let reward = agent.recv_reward().unwrap().unwrap();
+        assert_eq!(reward.epoch, 0);
+        // …then stats (state still stashed, not consumed)…
+        let stats = agent.recv_stats().unwrap().unwrap();
+        assert_eq!(stats.completed, 10);
+        assert_eq!(stats.executor_rates.len(), 2);
+        // …and the stashed state surfaces on the next poll.
+        let state = agent.poll_state().unwrap().unwrap();
+        assert_eq!(state.epoch, 1);
+        assert_eq!(state.rate_multiplier, 2.0);
+    }
+
+    #[test]
     fn disconnect_mid_epoch_returns_none() {
         let (mine, theirs) = ChannelTransport::pair();
         drop(theirs);
-        let agent = AgentClient::new(mine, "test-agent");
+        let mut agent = AgentClient::new(mine, "test-agent");
         assert!(agent.run_epoch(|_| vec![]).unwrap().is_none());
     }
 }

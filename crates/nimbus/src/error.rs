@@ -19,6 +19,8 @@ pub enum NimbusError {
     UnexpectedMessage(&'static str),
     /// A proposed scheduling solution is structurally invalid.
     InvalidSolution(String),
+    /// A reported workload update addresses invalid components.
+    InvalidWorkload(String),
     /// No live machine remains to host executors.
     NoLiveMachines,
 }
@@ -31,6 +33,7 @@ impl fmt::Display for NimbusError {
             NimbusError::Sim(e) => write!(f, "simulator error: {e}"),
             NimbusError::UnexpectedMessage(ctx) => write!(f, "unexpected message while {ctx}"),
             NimbusError::InvalidSolution(why) => write!(f, "invalid scheduling solution: {why}"),
+            NimbusError::InvalidWorkload(why) => write!(f, "invalid workload update: {why}"),
             NimbusError::NoLiveMachines => write!(f, "no live machines available"),
         }
     }

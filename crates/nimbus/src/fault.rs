@@ -1,0 +1,174 @@
+//! Scheduled machine-fault injection: deterministic crash/restart plans.
+//!
+//! The paper's evaluation never kills a machine, but its system model
+//! (§2.1) specifies the recovery path, and Figure-12-style transients are
+//! exactly what an agent must learn to ride out. A [`FaultPlan`] scripts
+//! machine crashes and restarts against the *simulated clock*, so a
+//! training scenario can replay the same failure trace on every run: the
+//! master applies due events while advancing time ([`crate::Nimbus`]
+//! interleaves them with its heartbeat cadence), the crashed machine's
+//! supervisor session expires, and the ordinary detect-and-repair path
+//! reschedules the stranded executors.
+
+/// What happens to a machine at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The machine's hardware stops and its supervisor daemon goes silent.
+    Crash,
+    /// The machine's hardware resumes and its supervisor re-registers.
+    Restart,
+}
+
+/// One scheduled fault event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated time (s) at which the event fires.
+    pub at_s: f64,
+    /// Affected machine index.
+    pub machine: usize,
+    /// Crash or restart.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// A crash of `machine` at `at_s` simulated seconds.
+    pub fn crash(machine: usize, at_s: f64) -> Self {
+        FaultEvent {
+            at_s,
+            machine,
+            kind: FaultKind::Crash,
+        }
+    }
+
+    /// A restart of `machine` at `at_s` simulated seconds.
+    pub fn restart(machine: usize, at_s: f64) -> Self {
+        FaultEvent {
+            at_s,
+            machine,
+            kind: FaultKind::Restart,
+        }
+    }
+}
+
+/// A deterministic schedule of machine crashes and restarts, ordered by
+/// time (construction sorts; ties keep insertion order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan over the given events (sorted by `at_s`, stable).
+    ///
+    /// # Panics
+    /// Panics when any event time is negative or non-finite.
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        assert!(
+            events.iter().all(|e| e.at_s.is_finite() && e.at_s >= 0.0),
+            "fault times must be finite and non-negative"
+        );
+        events.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite times"));
+        FaultPlan { events }
+    }
+
+    /// Builder: a single crash.
+    pub fn crash_at(machine: usize, at_s: f64) -> Self {
+        Self::new(vec![FaultEvent::crash(machine, at_s)])
+    }
+
+    /// Builder: append a restart (re-sorts).
+    pub fn and_restart(mut self, machine: usize, at_s: f64) -> Self {
+        self.events.push(FaultEvent::restart(machine, at_s));
+        Self::new(self.events)
+    }
+
+    /// Builder: append a crash (re-sorts).
+    pub fn and_crash(mut self, machine: usize, at_s: f64) -> Self {
+        self.events.push(FaultEvent::crash(machine, at_s));
+        Self::new(self.events)
+    }
+
+    /// The scheduled events, in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Largest machine index the plan touches.
+    pub fn max_machine(&self) -> Option<usize> {
+        self.events.iter().map(|e| e.machine).max()
+    }
+}
+
+/// Cursor over a [`FaultPlan`]: tracks which events already fired.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultCursor {
+    plan: FaultPlan,
+    next: usize,
+}
+
+impl FaultCursor {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultCursor { plan, next: 0 }
+    }
+
+    /// Time of the next unfired event, if any.
+    pub(crate) fn next_at(&self) -> Option<f64> {
+        self.plan.events.get(self.next).map(|e| e.at_s)
+    }
+
+    /// Pops every event due at or before `now`.
+    pub(crate) fn due(&mut self, now: f64) -> Vec<FaultEvent> {
+        let mut fired = Vec::new();
+        while let Some(e) = self.plan.events.get(self.next) {
+            if e.at_s > now {
+                break;
+            }
+            fired.push(*e);
+            self.next += 1;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_and_builders_compose() {
+        let plan = FaultPlan::crash_at(2, 50.0)
+            .and_restart(2, 120.0)
+            .and_crash(0, 10.0);
+        let times: Vec<f64> = plan.events().iter().map(|e| e.at_s).collect();
+        assert_eq!(times, vec![10.0, 50.0, 120.0]);
+        assert_eq!(plan.max_machine(), Some(2));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::default().is_empty());
+    }
+
+    #[test]
+    fn cursor_fires_each_event_once_in_order() {
+        let plan = FaultPlan::crash_at(1, 5.0).and_restart(1, 15.0);
+        let mut cur = FaultCursor::new(plan);
+        assert_eq!(cur.next_at(), Some(5.0));
+        assert!(cur.due(4.9).is_empty());
+        let fired = cur.due(10.0);
+        assert_eq!(fired, vec![FaultEvent::crash(1, 5.0)]);
+        assert_eq!(cur.next_at(), Some(15.0));
+        let fired = cur.due(100.0);
+        assert_eq!(fired, vec![FaultEvent::restart(1, 15.0)]);
+        assert!(cur.due(1e9).is_empty());
+        assert_eq!(cur.next_at(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_times_are_rejected() {
+        let _ = FaultPlan::crash_at(0, -1.0);
+    }
+}

@@ -29,10 +29,12 @@
 
 pub mod agent;
 pub mod error;
+pub mod fault;
 pub mod master;
 pub mod supervisor;
 
-pub use agent::AgentClient;
+pub use agent::{AgentClient, RewardView, StateView, StatsView};
 pub use error::NimbusError;
-pub use master::{DeployOutcome, Nimbus, NimbusConfig};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use master::{DeployOutcome, MeasureProtocol, Nimbus, NimbusConfig};
 pub use supervisor::SupervisorSet;

@@ -1,32 +1,90 @@
 //! The Nimbus master: assignment storage, deployment, measurement,
 //! failure detection and repair.
 
+use std::time::Duration;
+
 use dss_coord::{storm, CoordService, CreateMode, Session, StormPaths};
 use dss_proto::{Message, ProtoError, Transport};
 use dss_sim::{Assignment, SimEngine, Workload};
 
 use crate::error::NimbusError;
+use crate::fault::{FaultCursor, FaultKind, FaultPlan};
 use crate::supervisor::SupervisorSet;
+
+/// How the master measures the reward for a deployed solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MeasureProtocol {
+    /// The paper's §3.1 protocol: wait `stabilize_s` after the deployment
+    /// ("a few minutes"), then average `samples` consecutive window
+    /// measurements taken `interval_s` apart.
+    Paper {
+        /// Post-deployment stabilization wait (simulated seconds).
+        stabilize_s: f64,
+        /// Spacing between consecutive measurements (simulated seconds).
+        interval_s: f64,
+        /// Number of measurements averaged into the reward.
+        samples: usize,
+    },
+    /// Decision-epoch measurement, the training-backend mode: advance the
+    /// cluster exactly `epoch_s` simulated seconds and report the
+    /// sliding-window average at the new clock — the same semantics as
+    /// `dss-core`'s `SimEnv`, so an agent trained through the control
+    /// plane sees bit-identical dynamics to one trained on the bare
+    /// engine.
+    Epoch {
+        /// Length of one decision epoch (simulated seconds).
+        epoch_s: f64,
+        /// Extra epochs the *first* measurement may step while the
+        /// latency window is still empty after a cold start (a warm-run
+        /// empty window is reported immediately — it is the assignment's
+        /// fault).
+        catchup_epochs: usize,
+    },
+}
+
+impl MeasureProtocol {
+    /// The paper's defaults: 120 s stabilization, 5 × 10 s samples.
+    pub fn paper(stabilize_s: f64) -> Self {
+        MeasureProtocol::Paper {
+            stabilize_s,
+            interval_s: 10.0,
+            samples: 5,
+        }
+    }
+
+    /// Epoch mode with the standard cold-start catch-up (8 epochs).
+    pub fn epoch(epoch_s: f64) -> Self {
+        MeasureProtocol::Epoch {
+            epoch_s,
+            catchup_epochs: 8,
+        }
+    }
+}
 
 /// Master tuning knobs.
 #[derive(Debug, Clone)]
 pub struct NimbusConfig {
-    /// Wait after a deployment before measuring, so the system
-    /// re-stabilizes (paper §3.1 waits "a few minutes"; simulated seconds).
-    pub stabilize_s: f64,
+    /// Reward-measurement protocol (paper §3.1 vs decision epochs).
+    pub measure: MeasureProtocol,
     /// Identification string sent in the protocol handshake.
     pub ident: String,
     /// How often daemons heartbeat as simulated time advances (seconds).
     /// Must be well below the coordination session timeout.
     pub heartbeat_interval_s: f64,
+    /// Run failure detection + repair automatically before every served
+    /// state report (`serve_epoch`), tolerating a fully dead cluster
+    /// (repair resumes once a machine restarts). When off, the embedder
+    /// drives [`Nimbus::detect_and_repair`] itself.
+    pub auto_repair: bool,
 }
 
 impl Default for NimbusConfig {
     fn default() -> Self {
         NimbusConfig {
-            stabilize_s: 120.0,
+            measure: MeasureProtocol::paper(120.0),
             ident: "dss-nimbus/0.1".into(),
             heartbeat_interval_s: 5.0,
+            auto_repair: false,
         }
     }
 }
@@ -55,6 +113,14 @@ pub struct Nimbus {
     /// Supervisor daemons driven by this master's clock advancement
     /// (attach with [`Nimbus::attach_supervisors`]).
     supervisors: Option<SupervisorSet>,
+    /// Whether the first (catch-up-eligible) measurement has happened.
+    measured_once: bool,
+    /// Scheduled machine faults, fired as simulated time advances.
+    faults: Option<FaultCursor>,
+    /// Repairs performed by [`Nimbus::detect_and_repair`].
+    repairs: usize,
+    /// Simulated time and outcome of the latest repair.
+    last_repair: Option<(f64, DeployOutcome)>,
 }
 
 impl Nimbus {
@@ -91,7 +157,38 @@ impl Nimbus {
             epoch: 0,
             assignment_version: stat.version,
             supervisors: None,
+            measured_once: false,
+            faults: None,
+            repairs: 0,
+            last_repair: None,
         })
+    }
+
+    /// Install a deterministic machine-fault schedule: events fire at
+    /// their simulated times while the master advances the clock
+    /// ([`Nimbus::advance`]), so every run replays the same failure
+    /// trace. Requires supervisors to be attached before time advances
+    /// past the first event (crashes silence the daemon; restarts
+    /// re-register it).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if let Some(max) = plan.max_machine() {
+            assert!(
+                max < self.engine.cluster().n_machines(),
+                "fault plan touches machine {max}, cluster has {}",
+                self.engine.cluster().n_machines()
+            );
+        }
+        self.faults = Some(FaultCursor::new(plan));
+    }
+
+    /// Repairs performed so far by [`Nimbus::detect_and_repair`].
+    pub fn repair_count(&self) -> usize {
+        self.repairs
+    }
+
+    /// Simulated time and outcome of the latest repair, if any.
+    pub fn last_repair(&self) -> Option<(f64, DeployOutcome)> {
+        self.last_repair
     }
 
     /// Attach the supervisor daemons so they heartbeat whenever this
@@ -134,17 +231,54 @@ impl Nimbus {
 
     /// Advance simulated time to `t_end`, heartbeating the master session
     /// and any attached supervisors every `heartbeat_interval_s` — the
-    /// liveness cadence of a healthy cluster.
+    /// liveness cadence of a healthy cluster — and firing any scheduled
+    /// fault-plan events at their exact simulated times.
     pub fn advance(&mut self, t_end: f64) {
         let step = self.config.heartbeat_interval_s.max(1e-3);
         while self.engine.now() < t_end {
-            let next = (self.engine.now() + step).min(t_end);
+            let mut next = (self.engine.now() + step).min(t_end);
+            // Stop precisely at the next scheduled fault so the crash or
+            // restart lands at its planned instant, not a heartbeat later.
+            if let Some(at) = self.faults.as_ref().and_then(FaultCursor::next_at) {
+                if at <= next {
+                    next = at.max(self.engine.now());
+                }
+            }
             self.engine.run_until(next);
+            self.fire_due_faults();
             self.sync_clock();
             if let Some(sup) = &self.supervisors {
                 sup.heartbeat_all();
             }
             let _ = self.session.heartbeat();
+        }
+    }
+
+    /// Apply every fault-plan event due at the current clock.
+    fn fire_due_faults(&mut self) {
+        let Some(cursor) = &mut self.faults else {
+            return;
+        };
+        let due = cursor.due(self.engine.now());
+        for ev in due {
+            match ev.kind {
+                FaultKind::Crash => {
+                    self.engine.fail_machine(ev.machine);
+                    if let Some(sup) = &mut self.supervisors {
+                        sup.crash(ev.machine);
+                    }
+                }
+                FaultKind::Restart => {
+                    self.engine.recover_machine(ev.machine);
+                    if let Some(sup) = &mut self.supervisors {
+                        // A failed re-registration leaves the supervisor
+                        // down; the master keeps treating the machine as
+                        // dead, which is the conservative outcome.
+                        let coord = self.coord.clone();
+                        let _ = sup.restart(&coord, ev.machine);
+                    }
+                }
+            }
         }
     }
 
@@ -188,7 +322,10 @@ impl Nimbus {
         Ok(())
     }
 
-    /// The state message `s = (X, w)` for the current epoch.
+    /// The state message `s = (X, w)` for the current epoch: the current
+    /// assignment, the base source rates, and the rate-schedule multiplier
+    /// currently applied on top of them (so the agent knows the offered
+    /// load it is about to be measured under).
     pub fn state_message(&self) -> Message {
         Message::StateReport {
             epoch: self.epoch,
@@ -200,7 +337,36 @@ impl Nimbus {
                 .iter()
                 .map(|&(comp, rate)| (comp as u32, rate))
                 .collect(),
+            rate_multiplier: self.engine.rate_schedule().multiplier_at(self.engine.now()),
         }
+    }
+
+    /// Runtime statistics of the embedded cluster as a protocol message.
+    pub fn stats_message(&mut self) -> Message {
+        let stats = self.engine.stats();
+        Message::StatsReport {
+            avg_latency_ms: stats.avg_latency_ms,
+            executor_rates: stats.executor_rates,
+            executor_sojourn_ms: stats.executor_sojourn_ms,
+            machine_cpu_cores: stats.machine_cpu_cores,
+            machine_cross_kib_s: stats.machine_cross_kib_s,
+            edge_transfer_ms: stats.edge_transfer_ms,
+            completed: stats.completed,
+            failed: stats.failed,
+        }
+    }
+
+    /// Apply a base-workload update reported by the agent. Rates must
+    /// address valid components; an unchanged workload is a no-op (so a
+    /// redundant update cannot perturb the engine).
+    pub fn apply_workload_update(&mut self, rates: &[(u32, f64)]) -> Result<(), NimbusError> {
+        let rates: Vec<(usize, f64)> = rates.iter().map(|&(c, r)| (c as usize, r)).collect();
+        let next = Workload::new(rates, self.engine.topology())
+            .map_err(|e| NimbusError::InvalidWorkload(e.to_string()))?;
+        if self.workload != next {
+            self.set_workload(next);
+        }
+        Ok(())
     }
 
     /// Validate and deploy a scheduling solution, updating the assignment
@@ -248,39 +414,64 @@ impl Nimbus {
         Assignment::new(machine_of, m).map_err(|e| NimbusError::InvalidSolution(e.to_string()))
     }
 
-    /// The paper's measurement protocol: let the system re-stabilize, then
-    /// average 5 consecutive window measurements. Returns the individual
-    /// samples and their mean, or `None` if no tuple completed.
+    /// Measure the reward for the last deployment under the configured
+    /// [`MeasureProtocol`]. Returns the individual samples and their mean,
+    /// or `None` if the latency window stayed empty.
     pub fn measure_reward(&mut self) -> Option<(Vec<f64>, f64)> {
-        let t = self.engine.now() + self.config.stabilize_s;
-        self.advance(t);
-        // Mirror SimEngine::measure_avg_latency_ms but keep the samples,
-        // since the protocol's RewardReport carries them.
-        let mut samples = Vec::new();
-        let interval = self.engine_measure_interval();
-        let n_samples = self.engine_measure_samples();
-        for _ in 0..n_samples {
-            let t = self.engine.now() + interval;
-            self.advance(t);
-            if let Some(v) = self.engine.window_avg_latency_ms() {
-                samples.push(v);
+        match self.config.measure {
+            MeasureProtocol::Paper {
+                stabilize_s,
+                interval_s,
+                samples: n_samples,
+            } => {
+                let t = self.engine.now() + stabilize_s;
+                self.advance(t);
+                // Mirror SimEngine::measure_avg_latency_ms but keep the
+                // samples, since the protocol's RewardReport carries them.
+                let mut samples = Vec::new();
+                for _ in 0..n_samples {
+                    let t = self.engine.now() + interval_s;
+                    self.advance(t);
+                    if let Some(v) = self.engine.window_avg_latency_ms() {
+                        samples.push(v);
+                    }
+                }
+                self.measured_once = true;
+                if samples.is_empty() {
+                    return None;
+                }
+                let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+                Some((samples, mean))
+            }
+            MeasureProtocol::Epoch {
+                epoch_s,
+                catchup_epochs,
+            } => {
+                let mut ms = self.step_epoch(epoch_s);
+                // Catch-up applies to the COLD START only: before the
+                // first measurement nothing may have completed yet through
+                // no fault of the assignment. A warm-run empty window is a
+                // total stall and earns its empty report after one epoch —
+                // decision cadence never degrades mid-run.
+                if !self.measured_once {
+                    let mut catchup = 0;
+                    while ms.is_none() && catchup < catchup_epochs {
+                        ms = self.step_epoch(epoch_s);
+                        catchup += 1;
+                    }
+                }
+                self.measured_once = true;
+                ms.map(|v| (vec![v], v))
             }
         }
-        if samples.is_empty() {
-            return None;
-        }
-        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        Some((samples, mean))
     }
 
-    fn engine_measure_interval(&self) -> f64 {
-        // The paper: 10-second intervals.
-        10.0
-    }
-
-    fn engine_measure_samples(&self) -> usize {
-        // The paper: 5 consecutive measurements.
-        5
+    /// Advance one decision epoch (heartbeating and firing faults on the
+    /// way) and read the sliding-window average latency at the new clock.
+    fn step_epoch(&mut self, epoch_s: f64) -> Option<f64> {
+        let t = self.engine.now() + epoch_s;
+        self.advance(t);
+        self.engine.window_avg_latency_ms()
     }
 
     /// Server-side handshake: announce ourselves, expect the agent.
@@ -298,16 +489,47 @@ impl Nimbus {
         }
     }
 
-    /// Serve one decision epoch over the socket: send the state, apply the
-    /// returned solution, measure, and report the reward. Returns `false`
-    /// if the agent said goodbye.
+    /// Serve one decision epoch over the socket: (optionally) repair, send
+    /// the state, apply the returned solution, measure, and report the
+    /// reward. Returns `false` if the agent said goodbye.
     pub fn serve_epoch(&mut self, transport: &dyn Transport) -> Result<bool, NimbusError> {
-        match transport.send(&self.state_message()) {
-            Ok(()) => {}
-            // An agent that already left is an orderly end of service.
-            Err(ProtoError::Disconnected) => return Ok(false),
-            Err(e) => return Err(e.into()),
+        if !self.send_state(transport)? {
+            return Ok(false);
         }
+        self.serve_solution(transport)
+    }
+
+    /// First half of an epoch: run auto-repair (when configured) so the
+    /// reported assignment reflects any failure handling, then send the
+    /// state report. Returns `false` if the agent disconnected.
+    ///
+    /// Exposed separately so a *synchronous in-process* pairing (master
+    /// and agent in one thread over a `ChannelTransport`, as
+    /// `dss-core::env::ClusterEnv` runs it) can interleave the two halves
+    /// with the agent's sends without ever blocking.
+    pub fn send_state(&mut self, transport: &dyn Transport) -> Result<bool, NimbusError> {
+        if self.config.auto_repair {
+            match self.detect_and_repair() {
+                // A fully dead cluster has nothing to repair *onto*; keep
+                // serving (measurements will report an empty window) until
+                // a restart revives a machine and repair resumes.
+                Ok(_) | Err(NimbusError::NoLiveMachines) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        match transport.send(&self.state_message()) {
+            Ok(()) => Ok(true),
+            // An agent that already left is an orderly end of service.
+            Err(ProtoError::Disconnected) => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Second half of an epoch: wait for the agent's scheduling solution
+    /// (answering heartbeats, workload updates and stats requests on the
+    /// way), apply it, measure, and report the reward. Returns `false` if
+    /// the agent said goodbye.
+    pub fn serve_solution(&mut self, transport: &dyn Transport) -> Result<bool, NimbusError> {
         loop {
             match transport.recv() {
                 Ok(Message::SchedulingSolution {
@@ -347,16 +569,56 @@ impl Nimbus {
                     })?;
                     return Ok(true);
                 }
-                Ok(Message::Heartbeat { .. }) => {
-                    transport.send(&Message::Heartbeat {
-                        now_ms: (self.engine.now() * 1000.0) as u64,
-                    })?;
-                }
-                Ok(Message::Bye) => return Ok(false),
-                Ok(_) => return Err(NimbusError::UnexpectedMessage("awaiting solution")),
+                Ok(msg) => match self.serve_aux(msg, transport)? {
+                    AuxOutcome::Handled => {}
+                    AuxOutcome::Goodbye => return Ok(false),
+                },
                 Err(ProtoError::Disconnected) => return Ok(false),
                 Err(e) => return Err(e.into()),
             }
+        }
+    }
+
+    /// Drain and answer every already-queued auxiliary message (heartbeat,
+    /// workload update, stats request) without blocking — the pump a
+    /// synchronous in-process pairing calls between epoch halves.
+    pub fn serve_pending(&mut self, transport: &dyn Transport) -> Result<(), NimbusError> {
+        loop {
+            match transport.recv_timeout(Duration::ZERO) {
+                Ok(Some(msg)) => match self.serve_aux(msg, transport)? {
+                    AuxOutcome::Handled => {}
+                    AuxOutcome::Goodbye => return Ok(()),
+                },
+                Ok(None) => return Ok(()),
+                Err(ProtoError::Disconnected) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Handle one auxiliary (non-solution) message.
+    fn serve_aux(
+        &mut self,
+        msg: Message,
+        transport: &dyn Transport,
+    ) -> Result<AuxOutcome, NimbusError> {
+        match msg {
+            Message::Heartbeat { .. } => {
+                transport.send(&Message::Heartbeat {
+                    now_ms: (self.engine.now() * 1000.0) as u64,
+                })?;
+                Ok(AuxOutcome::Handled)
+            }
+            Message::WorkloadUpdate { source_rates } => {
+                self.apply_workload_update(&source_rates)?;
+                Ok(AuxOutcome::Handled)
+            }
+            Message::StatsRequest => {
+                transport.send(&self.stats_message())?;
+                Ok(AuxOutcome::Handled)
+            }
+            Message::Bye => Ok(AuxOutcome::Goodbye),
+            _ => Err(NimbusError::UnexpectedMessage("awaiting solution")),
         }
     }
 
@@ -412,15 +674,30 @@ impl Nimbus {
 
     /// Failure-handling tick: detect dead machines via the coordination
     /// service and redeploy their executors onto live machines. Returns
-    /// the deployment outcome if a repair was needed.
+    /// the deployment outcome if a repair was needed, and the typed
+    /// [`NimbusError::NoLiveMachines`] — never a panic or a hang — when
+    /// executors are stranded but zero machines remain live.
     pub fn detect_and_repair(&mut self) -> Result<Option<DeployOutcome>, NimbusError> {
         self.sync_clock();
         let live = self.live_machines()?;
         match self.repair_assignment(&live)? {
-            Some(repaired) => Ok(Some(self.apply_solution(&repaired)?)),
+            Some(repaired) => {
+                let outcome = self.apply_solution(&repaired)?;
+                self.repairs += 1;
+                self.last_repair = Some((self.engine.now(), outcome));
+                Ok(Some(outcome))
+            }
             None => Ok(None),
         }
     }
+}
+
+/// What [`Nimbus::serve_aux`] did with an auxiliary message.
+enum AuxOutcome {
+    /// Answered/applied; keep going.
+    Handled,
+    /// The agent said goodbye.
+    Goodbye,
 }
 
 #[cfg(test)]
@@ -454,9 +731,10 @@ mod tests {
             assignment,
             &coord,
             NimbusConfig {
-                stabilize_s: 5.0,
+                measure: MeasureProtocol::paper(5.0),
                 ident: "test".into(),
                 heartbeat_interval_s: 1.0,
+                auto_repair: false,
             },
         )
         .unwrap();
@@ -568,5 +846,132 @@ mod tests {
         );
         nimbus.restart_machine(1).unwrap();
         assert_eq!(nimbus.live_machines().unwrap(), vec![true; 4]);
+    }
+
+    #[test]
+    fn detect_and_repair_with_zero_live_machines_is_a_typed_error() {
+        // Crash EVERY machine: detection must surface the typed
+        // `NoLiveMachines` — no panic, no hang — and the master must keep
+        // functioning (state reports, clock advancement) afterwards.
+        let (mut nimbus, coord) = launch();
+        let sup = crate::supervisor::SupervisorSet::register(&coord, 4).unwrap();
+        nimbus.attach_supervisors(sup);
+        for m in 0..4 {
+            nimbus.crash_machine(m);
+        }
+        nimbus.advance(11.0); // all sessions expire (5 s timeout)
+        assert_eq!(nimbus.live_machines().unwrap(), vec![false; 4]);
+        assert!(matches!(
+            nimbus.detect_and_repair(),
+            Err(NimbusError::NoLiveMachines)
+        ));
+        assert_eq!(nimbus.repair_count(), 0);
+        // The master itself is still alive: time advances, state reports
+        // build, and once a machine restarts the repair goes through.
+        nimbus.advance(12.0);
+        let _ = nimbus.state_message();
+        nimbus.restart_machine(2).unwrap();
+        let outcome = nimbus.detect_and_repair().unwrap().unwrap();
+        assert!(outcome.moved > 0);
+        assert_eq!(nimbus.repair_count(), 1);
+        let (at, last) = nimbus.last_repair().unwrap();
+        assert_eq!(last, outcome);
+        assert!(at >= 12.0);
+        assert!(nimbus
+            .engine()
+            .assignment()
+            .as_slice()
+            .iter()
+            .all(|&m| m == 2));
+    }
+
+    #[test]
+    fn epoch_measure_steps_exactly_one_epoch_once_warm() {
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: 60_000,
+        });
+        let (engine, workload, assignment) = small_engine();
+        let mut nimbus = Nimbus::launch(
+            engine,
+            workload,
+            assignment,
+            &coord,
+            NimbusConfig {
+                measure: MeasureProtocol::epoch(2.0),
+                ident: "epoch-test".into(),
+                heartbeat_interval_s: 1.0,
+                auto_repair: false,
+            },
+        )
+        .unwrap();
+        // Cold start: catch-up may step extra epochs while the window is
+        // empty, but must produce a sample here (workload is healthy).
+        let (samples, mean) = nimbus.measure_reward().unwrap();
+        assert_eq!(samples, vec![mean]);
+        assert!(mean > 0.0);
+        // Warm: exactly one epoch per measurement.
+        let before = nimbus.engine().now();
+        let _ = nimbus.measure_reward().unwrap();
+        assert!((nimbus.engine().now() - before - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_plan_fires_at_exact_times_and_auto_repair_recovers() {
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: 3_000,
+        });
+        let (engine, workload, assignment) = small_engine();
+        let mut nimbus = Nimbus::launch(
+            engine,
+            workload,
+            assignment,
+            &coord,
+            NimbusConfig {
+                measure: MeasureProtocol::epoch(1.0),
+                ident: "fault-test".into(),
+                heartbeat_interval_s: 1.0,
+                auto_repair: true,
+            },
+        )
+        .unwrap();
+        let sup = crate::supervisor::SupervisorSet::register(&coord, 4).unwrap();
+        nimbus.attach_supervisors(sup);
+        nimbus.set_fault_plan(crate::fault::FaultPlan::crash_at(1, 2.5).and_restart(1, 20.0));
+
+        // Before the event: machine healthy.
+        nimbus.advance(2.0);
+        assert!(!nimbus.engine().machine_failed(1));
+        // Crossing 2.5 s fires the crash mid-stride.
+        nimbus.advance(3.0);
+        assert!(nimbus.engine().machine_failed(1));
+        // After the 3 s session timeout the repair happens.
+        nimbus.advance(7.0);
+        let outcome = nimbus.detect_and_repair().unwrap().unwrap();
+        assert!(outcome.moved > 0);
+        assert!(nimbus
+            .engine()
+            .assignment()
+            .as_slice()
+            .iter()
+            .all(|&m| m != 1));
+        // The restart event revives the machine and its supervisor.
+        nimbus.advance(21.0);
+        assert!(!nimbus.engine().machine_failed(1));
+        assert_eq!(nimbus.live_machines().unwrap(), vec![true; 4]);
+    }
+
+    #[test]
+    fn workload_update_changes_engine_rates() {
+        let (mut nimbus, _coord) = launch();
+        let before = nimbus.engine().workload().rates().to_vec();
+        nimbus.apply_workload_update(&[(0, 75.0)]).unwrap();
+        assert_eq!(nimbus.engine().workload().rates(), &[(0, 75.0)]);
+        assert_ne!(nimbus.engine().workload().rates(), &before[..]);
+        // Invalid component: typed error, workload untouched.
+        assert!(matches!(
+            nimbus.apply_workload_update(&[(99, 10.0)]),
+            Err(NimbusError::InvalidWorkload(_))
+        ));
+        assert_eq!(nimbus.engine().workload().rates(), &[(0, 75.0)]);
     }
 }

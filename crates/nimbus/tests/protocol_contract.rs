@@ -2,12 +2,12 @@
 //! `Nimbus::serve_epoch` against a scripted peer.
 
 use dss_coord::{CoordConfig, CoordService};
-use dss_nimbus::{Nimbus, NimbusConfig, NimbusError};
+use dss_nimbus::{MeasureProtocol, Nimbus, NimbusConfig, NimbusError};
 use dss_proto::message::Role;
 use dss_proto::{ChannelTransport, Message, Transport};
 use dss_sim::{Assignment, ClusterSpec, Grouping, SimConfig, SimEngine, TopologyBuilder, Workload};
 
-fn nimbus() -> Nimbus {
+fn nimbus_with(measure: MeasureProtocol) -> Nimbus {
     let mut b = TopologyBuilder::new("contract");
     let s = b.spout("s", 1, 0.05);
     let x = b.bolt("x", 3, 0.2);
@@ -24,12 +24,21 @@ fn nimbus() -> Nimbus {
         initial,
         &coord,
         NimbusConfig {
-            stabilize_s: 2.0,
+            measure,
             ident: "contract-nimbus".into(),
             heartbeat_interval_s: 5.0,
+            auto_repair: false,
         },
     )
     .unwrap()
+}
+
+fn nimbus() -> Nimbus {
+    nimbus_with(MeasureProtocol::Paper {
+        stabilize_s: 2.0,
+        interval_s: 10.0,
+        samples: 5,
+    })
 }
 
 #[test]
@@ -159,6 +168,58 @@ fn bye_and_disconnect_end_service_cleanly() {
     let (server_side, client_side) = ChannelTransport::pair();
     drop(client_side);
     assert!(!n2.serve_epoch(&server_side).unwrap());
+}
+
+#[test]
+fn workload_update_and_stats_request_are_served_mid_epoch() {
+    let mut nimbus = nimbus_with(MeasureProtocol::epoch(2.0));
+    let (server_side, client_side) = ChannelTransport::pair();
+    let n = nimbus.engine().topology().n_executors();
+    let peer = std::thread::spawn(move || {
+        let Message::StateReport {
+            epoch,
+            source_rates,
+            rate_multiplier,
+            ..
+        } = client_side.recv().unwrap()
+        else {
+            panic!("expected state report");
+        };
+        assert_eq!(source_rates, vec![(0, 30.0)]);
+        assert_eq!(rate_multiplier, 1.0);
+        // Report a base-workload change, ask for stats, then solve.
+        client_side
+            .send(&Message::WorkloadUpdate {
+                source_rates: vec![(0, 45.0)],
+            })
+            .unwrap();
+        client_side.send(&Message::StatsRequest).unwrap();
+        match client_side.recv().unwrap() {
+            Message::StatsReport {
+                executor_rates,
+                machine_cpu_cores,
+                ..
+            } => {
+                assert_eq!(executor_rates.len(), 4);
+                assert_eq!(machine_cpu_cores.len(), 3);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        client_side
+            .send(&Message::SchedulingSolution {
+                epoch,
+                machine_of: vec![0; n],
+                n_machines: 3,
+            })
+            .unwrap();
+        match client_side.recv().unwrap() {
+            Message::RewardReport { epoch: e, .. } => assert_eq!(e, epoch),
+            other => panic!("expected reward, got {other:?}"),
+        }
+    });
+    assert!(nimbus.serve_epoch(&server_side).unwrap());
+    assert_eq!(nimbus.engine().workload().rates(), &[(0, 45.0)]);
+    peer.join().unwrap();
 }
 
 #[test]

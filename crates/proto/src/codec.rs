@@ -135,6 +135,7 @@ mod tests {
             machine_of: vec![0, 1, 2, 2, 1],
             n_machines: 3,
             source_rates: vec![(0, 55.0)],
+            rate_multiplier: 1.0,
         }
     }
 

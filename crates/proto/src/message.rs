@@ -39,8 +39,14 @@ pub enum Message {
         machine_of: Vec<usize>,
         /// Number of machines in the cluster.
         n_machines: usize,
-        /// Per-data-source tuple arrival rates `(component id, tuples/s)`.
+        /// Per-data-source *base* tuple arrival rates
+        /// `(component id, tuples/s)`.
         source_rates: Vec<(u32, f64)>,
+        /// Multiplier the cluster's rate schedule currently applies on top
+        /// of the base rates (1.0 when load is steady): the offered load
+        /// the agent is about to be measured under is
+        /// `source_rates × rate_multiplier`.
+        rate_multiplier: f64,
     },
     /// Agent -> scheduler: the action translated to a deployable solution.
     SchedulingSolution {
@@ -74,6 +80,37 @@ pub enum Message {
         /// Human-readable detail.
         detail: String,
     },
+    /// Agent -> scheduler: the base workload changed (e.g. the Figure-12
+    /// +50% step observed by an operator); the scheduler forwards the new
+    /// rates to the running system before applying the next solution.
+    WorkloadUpdate {
+        /// Per-data-source base tuple arrival rates `(component id,
+        /// tuples/s)` replacing the current base workload.
+        source_rates: Vec<(u32, f64)>,
+    },
+    /// Agent -> scheduler: request a [`Message::StatsReport`] snapshot.
+    StatsRequest,
+    /// Scheduler -> agent: detailed runtime statistics at the current
+    /// cluster clock (what the model-based baseline trains on).
+    StatsReport {
+        /// Sliding-window average tuple processing time (ms; 0 when the
+        /// window is empty).
+        avg_latency_ms: f64,
+        /// Per-executor tuple arrival rates (tuples/s).
+        executor_rates: Vec<f64>,
+        /// Per-executor sojourn-time estimates (ms).
+        executor_sojourn_ms: Vec<f64>,
+        /// Per-machine CPU demand (cores).
+        machine_cpu_cores: Vec<f64>,
+        /// Per-machine cross-machine traffic (KiB/s).
+        machine_cross_kib_s: Vec<f64>,
+        /// Per-edge transfer-latency estimates (ms).
+        edge_transfer_ms: Vec<f64>,
+        /// Tuple trees completed since launch.
+        completed: u64,
+        /// Tuple trees failed since launch.
+        failed: u64,
+    },
     /// Orderly shutdown.
     Bye,
 }
@@ -89,8 +126,15 @@ impl Message {
             Message::Heartbeat { .. } => 5,
             Message::Error { .. } => 6,
             Message::Bye => 7,
+            Message::WorkloadUpdate { .. } => 8,
+            Message::StatsRequest => 9,
+            Message::StatsReport { .. } => 10,
         }
     }
+
+    /// Every wire tag this protocol version defines, in tag order (test
+    /// harnesses use it to prove coverage of the whole message set).
+    pub const ALL_TAGS: [u8; 10] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
 
     /// Encode the payload (everything after the frame header).
     pub fn encode_payload(&self, buf: &mut BytesMut) {
@@ -107,15 +151,13 @@ impl Message {
                 machine_of,
                 n_machines,
                 source_rates,
+                rate_multiplier,
             } => {
                 buf.put_u64_le(*epoch);
                 buf.put_u32_le(*n_machines as u32);
                 put_assign(buf, machine_of);
-                buf.put_u32_le(source_rates.len() as u32);
-                for (comp, rate) in source_rates {
-                    buf.put_u32_le(*comp);
-                    buf.put_f64_le(*rate);
-                }
+                put_rates(buf, source_rates);
+                buf.put_f64_le(*rate_multiplier);
             }
             Message::SchedulingSolution {
                 epoch,
@@ -143,6 +185,27 @@ impl Message {
                 buf.put_u16_le(*code);
                 put_str(buf, detail);
             }
+            Message::WorkloadUpdate { source_rates } => put_rates(buf, source_rates),
+            Message::StatsRequest => {}
+            Message::StatsReport {
+                avg_latency_ms,
+                executor_rates,
+                executor_sojourn_ms,
+                machine_cpu_cores,
+                machine_cross_kib_s,
+                edge_transfer_ms,
+                completed,
+                failed,
+            } => {
+                buf.put_f64_le(*avg_latency_ms);
+                put_f64s(buf, executor_rates);
+                put_f64s(buf, executor_sojourn_ms);
+                put_f64s(buf, machine_cpu_cores);
+                put_f64s(buf, machine_cross_kib_s);
+                put_f64s(buf, edge_transfer_ms);
+                buf.put_u64_le(*completed);
+                buf.put_u64_le(*failed);
+            }
             Message::Bye => {}
         }
     }
@@ -165,22 +228,17 @@ impl Message {
                 let epoch = get_u64(buf)?;
                 let n_machines = get_u32(buf)? as usize;
                 let machine_of = get_assign(buf, n_machines)?;
-                let n = get_u32(buf)? as usize;
-                check_remaining(buf, n.checked_mul(12).ok_or(ProtoError::Truncated)?)?;
-                let mut source_rates = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let comp = get_u32(buf)?;
-                    let rate = get_f64(buf)?;
-                    if !rate.is_finite() || rate < 0.0 {
-                        return Err(ProtoError::Malformed("source rate"));
-                    }
-                    source_rates.push((comp, rate));
+                let source_rates = get_rates(buf)?;
+                let rate_multiplier = get_f64(buf)?;
+                if !rate_multiplier.is_finite() || rate_multiplier < 0.0 {
+                    return Err(ProtoError::Malformed("rate multiplier"));
                 }
                 Message::StateReport {
                     epoch,
                     machine_of,
                     n_machines,
                     source_rates,
+                    rate_multiplier,
                 }
             }
             3 => {
@@ -219,6 +277,26 @@ impl Message {
                 detail: get_str(buf)?,
             },
             7 => Message::Bye,
+            8 => Message::WorkloadUpdate {
+                source_rates: get_rates(buf)?,
+            },
+            9 => Message::StatsRequest,
+            10 => {
+                let avg_latency_ms = get_f64(buf)?;
+                if !avg_latency_ms.is_finite() {
+                    return Err(ProtoError::Malformed("avg_latency_ms"));
+                }
+                Message::StatsReport {
+                    avg_latency_ms,
+                    executor_rates: get_f64s(buf)?,
+                    executor_sojourn_ms: get_f64s(buf)?,
+                    machine_cpu_cores: get_f64s(buf)?,
+                    machine_cross_kib_s: get_f64s(buf)?,
+                    edge_transfer_ms: get_f64s(buf)?,
+                    completed: get_u64(buf)?,
+                    failed: get_u64(buf)?,
+                }
+            }
             t => return Err(ProtoError::BadTag(t)),
         };
         if buf.has_remaining() {
@@ -231,6 +309,50 @@ impl Message {
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
+}
+
+fn put_rates(buf: &mut BytesMut, source_rates: &[(u32, f64)]) {
+    buf.put_u32_le(source_rates.len() as u32);
+    for (comp, rate) in source_rates {
+        buf.put_u32_le(*comp);
+        buf.put_f64_le(*rate);
+    }
+}
+
+fn get_rates(buf: &mut Bytes) -> Result<Vec<(u32, f64)>, ProtoError> {
+    let n = get_u32(buf)? as usize;
+    check_remaining(buf, n.checked_mul(12).ok_or(ProtoError::Truncated)?)?;
+    let mut source_rates = Vec::with_capacity(n);
+    for _ in 0..n {
+        let comp = get_u32(buf)?;
+        let rate = get_f64(buf)?;
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(ProtoError::Malformed("source rate"));
+        }
+        source_rates.push((comp, rate));
+    }
+    Ok(source_rates)
+}
+
+fn put_f64s(buf: &mut BytesMut, values: &[f64]) {
+    buf.put_u32_le(values.len() as u32);
+    for v in values {
+        buf.put_f64_le(*v);
+    }
+}
+
+fn get_f64s(buf: &mut Bytes) -> Result<Vec<f64>, ProtoError> {
+    let n = get_u32(buf)? as usize;
+    check_remaining(buf, n.checked_mul(8).ok_or(ProtoError::Truncated)?)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = get_f64(buf)?;
+        if !v.is_finite() {
+            return Err(ProtoError::Malformed("stats value"));
+        }
+        out.push(v);
+    }
+    Ok(out)
 }
 
 fn put_assign(buf: &mut BytesMut, machine_of: &[usize]) {
@@ -320,6 +442,7 @@ mod tests {
                 machine_of: vec![0, 9, 3, 3],
                 n_machines: 10,
                 source_rates: vec![(0, 120.5), (3, 0.0)],
+                rate_multiplier: 1.5,
             },
             Message::SchedulingSolution {
                 epoch: 43,
@@ -336,11 +459,30 @@ mod tests {
                 code: 7,
                 detail: "deploy failed".into(),
             },
+            Message::WorkloadUpdate {
+                source_rates: vec![(0, 180.75), (2, 40.0)],
+            },
+            Message::StatsRequest,
+            Message::StatsReport {
+                avg_latency_ms: 2.5,
+                executor_rates: vec![10.0, 12.5],
+                executor_sojourn_ms: vec![0.0, 0.0],
+                machine_cpu_cores: vec![1.25],
+                machine_cross_kib_s: vec![64.0],
+                edge_transfer_ms: vec![0.5],
+                completed: 1_000,
+                failed: 3,
+            },
             Message::Bye,
         ];
         for m in &msgs {
             assert_eq!(&roundtrip(m), m);
         }
+        // The sample set above covers the entire wire-tag space.
+        let mut tags: Vec<u8> = msgs.iter().map(Message::tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags, Message::ALL_TAGS);
     }
 
     #[test]
@@ -355,6 +497,7 @@ mod tests {
                 machine_of: vec![],
                 n_machines: 1,
                 source_rates: vec![],
+                rate_multiplier: 1.0,
             },
             Message::SchedulingSolution {
                 epoch: 0,
@@ -370,6 +513,20 @@ mod tests {
             Message::Error {
                 code: 0,
                 detail: String::new(),
+            },
+            Message::WorkloadUpdate {
+                source_rates: vec![],
+            },
+            Message::StatsRequest,
+            Message::StatsReport {
+                avg_latency_ms: 0.0,
+                executor_rates: vec![],
+                executor_sojourn_ms: vec![],
+                machine_cpu_cores: vec![],
+                machine_cross_kib_s: vec![],
+                edge_transfer_ms: vec![],
+                completed: 0,
+                failed: 0,
             },
             Message::Bye,
         ]
@@ -405,6 +562,7 @@ mod tests {
             machine_of: vec![0, 1, 2],
             n_machines: 4,
             source_rates: vec![(0, 10.0)],
+            rate_multiplier: 1.0,
         };
         let mut buf = BytesMut::new();
         msg.encode_payload(&mut buf);
@@ -437,6 +595,38 @@ mod tests {
         buf.put_u8(9); // invalid role
         buf.put_u32_le(0);
         assert!(Message::decode_payload(1, &mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_multiplier_rate_and_stats_values() {
+        // StateReport: NaN multiplier.
+        let msg = Message::StateReport {
+            epoch: 0,
+            machine_of: vec![],
+            n_machines: 1,
+            source_rates: vec![],
+            rate_multiplier: 1.0,
+        };
+        let mut buf = BytesMut::new();
+        msg.encode_payload(&mut buf);
+        let mut bytes = buf.freeze().to_vec();
+        let at = bytes.len() - 8;
+        bytes[at..].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(Message::decode_payload(2, &mut Bytes::from(bytes)).is_err());
+
+        // WorkloadUpdate: negative rate.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u32_le(0);
+        buf.put_f64_le(-5.0);
+        assert!(Message::decode_payload(8, &mut buf.freeze()).is_err());
+
+        // StatsReport: infinite vector entry.
+        let mut buf = BytesMut::new();
+        buf.put_f64_le(1.0); // avg_latency_ms
+        buf.put_u32_le(1); // executor_rates
+        buf.put_f64_le(f64::INFINITY);
+        assert!(Message::decode_payload(10, &mut buf.freeze()).is_err());
     }
 
     #[test]

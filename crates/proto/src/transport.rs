@@ -280,6 +280,7 @@ mod tests {
                 machine_of: machine_of.clone(),
                 n_machines: 10,
                 source_rates: vec![(0, 250.0)],
+                rate_multiplier: 1.0,
             })
             .unwrap();
         match client.recv().unwrap() {

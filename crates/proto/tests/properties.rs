@@ -9,6 +9,14 @@ fn assignment_strategy() -> impl Strategy<Value = (Vec<usize>, usize)> {
     (1usize..12).prop_flat_map(|m| (prop::collection::vec(0..m, 0..40), Just(m)))
 }
 
+fn rates_strategy() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    prop::collection::vec((any::<u32>(), 0.0..1e6f64), 0..6)
+}
+
+fn f64s_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 0..8)
+}
+
 fn message_strategy() -> impl Strategy<Value = Message> {
     prop_oneof![
         (any::<bool>(), ".{0,24}").prop_map(|(agent, ident)| Message::Hello {
@@ -18,16 +26,20 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         (
             any::<u64>(),
             assignment_strategy(),
-            prop::collection::vec((any::<u32>(), 0.0..1e6f64), 0..6),
+            rates_strategy(),
+            0.0..16.0f64,
         )
-            .prop_map(|(epoch, (machine_of, n_machines), source_rates)| {
-                Message::StateReport {
-                    epoch,
-                    machine_of,
-                    n_machines,
-                    source_rates,
+            .prop_map(
+                |(epoch, (machine_of, n_machines), source_rates, rate_multiplier)| {
+                    Message::StateReport {
+                        epoch,
+                        machine_of,
+                        n_machines,
+                        source_rates,
+                        rate_multiplier,
+                    }
                 }
-            }),
+            ),
         (any::<u64>(), assignment_strategy()).prop_map(|(epoch, (machine_of, n_machines))| {
             Message::SchedulingSolution {
                 epoch,
@@ -35,22 +47,67 @@ fn message_strategy() -> impl Strategy<Value = Message> {
                 n_machines,
             }
         }),
-        (
-            any::<u64>(),
-            0.0..1e4f64,
-            prop::collection::vec(-1e6..1e6f64, 0..8),
-        )
-            .prop_map(
-                |(epoch, avg_tuple_ms, measurements)| Message::RewardReport {
-                    epoch,
-                    avg_tuple_ms,
-                    measurements,
-                }
-            ),
+        (any::<u64>(), 0.0..1e4f64, f64s_strategy()).prop_map(
+            |(epoch, avg_tuple_ms, measurements)| Message::RewardReport {
+                epoch,
+                avg_tuple_ms,
+                measurements,
+            }
+        ),
         any::<u64>().prop_map(|now_ms| Message::Heartbeat { now_ms }),
         (any::<u16>(), ".{0,24}").prop_map(|(code, detail)| Message::Error { code, detail }),
+        rates_strategy().prop_map(|source_rates| Message::WorkloadUpdate { source_rates }),
+        Just(Message::StatsRequest),
+        (
+            0.0..1e5f64,
+            f64s_strategy(),
+            f64s_strategy(),
+            f64s_strategy(),
+            f64s_strategy(),
+            f64s_strategy(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(
+                |(
+                    avg_latency_ms,
+                    executor_rates,
+                    executor_sojourn_ms,
+                    machine_cpu_cores,
+                    machine_cross_kib_s,
+                    edge_transfer_ms,
+                    completed,
+                    failed,
+                )| Message::StatsReport {
+                    avg_latency_ms,
+                    executor_rates,
+                    executor_sojourn_ms,
+                    machine_cpu_cores,
+                    machine_cross_kib_s,
+                    edge_transfer_ms,
+                    completed,
+                    failed,
+                }
+            ),
         Just(Message::Bye),
     ]
+}
+
+/// The strategy above must generate every variant the protocol defines:
+/// if a new `Message` variant lands without a matching arm, this test
+/// fails instead of the property suite silently skipping the variant.
+#[test]
+fn strategy_covers_every_wire_tag() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    let strategy = message_strategy();
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..2048 {
+        seen.insert(strategy.sample(&mut rng).tag());
+    }
+    let all: Vec<u8> = seen.into_iter().collect();
+    assert_eq!(all, Message::ALL_TAGS.to_vec(), "strategy misses variants");
 }
 
 proptest! {

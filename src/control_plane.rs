@@ -32,7 +32,7 @@ use std::path::PathBuf;
 
 use dss_coord::{CoordConfig, CoordService};
 use dss_core::{RewardScale, SchedState, Scheduler};
-use dss_nimbus::{AgentClient, Nimbus, NimbusConfig, NimbusError, SupervisorSet};
+use dss_nimbus::{AgentClient, MeasureProtocol, Nimbus, NimbusConfig, NimbusError, SupervisorSet};
 use dss_proto::{ChannelTransport, Message, TcpTransport, Transport};
 use dss_sim::{Assignment, ClusterSpec, SimConfig, SimEngine, Topology, Workload};
 use dss_store::{StoreError, TransitionDb, TransitionRecord};
@@ -164,9 +164,10 @@ pub fn run_control_plane(
         initial,
         &coord,
         NimbusConfig {
-            stabilize_s: config.stabilize_s,
+            measure: MeasureProtocol::paper(config.stabilize_s),
             ident: "dss-nimbus/0.1".into(),
             heartbeat_interval_s: (config.session_timeout_ms as f64 / 1000.0 / 4.0).max(1.0),
+            auto_repair: false,
         },
     )?;
     let supervisors = SupervisorSet::register(&coord, cluster.n_machines())
@@ -260,7 +261,7 @@ fn drive_agent<T: Transport>(
     db_dir: PathBuf,
     cluster_thread: std::thread::JoinHandle<Result<ClusterOutcome, NimbusError>>,
 ) -> Result<ControlPlaneReport, ControlPlaneError> {
-    let agent = AgentClient::new(transport, "dss-agent/0.1");
+    let mut agent = AgentClient::new(transport, "dss-agent/0.1");
     let scheduler_ident = agent.handshake()?;
     let mut epoch_latency_ms = Vec::with_capacity(config.epochs);
 
