@@ -408,6 +408,31 @@ fn main() {
         );
     }
 
+    // ---- control-plane backend under chaos: reliable-protocol step ------
+    // The same decision epoch as `cluster_env_step_cq_small`, but over the
+    // registry's lossy link (15% drop + duplicates + delays + corruption
+    // each way): every step pays the sequence-numbered envelopes, the
+    // retransmits the chaos forces, and the master-side duplicate
+    // suppression. Ungated; the gap to the clean cluster probe is the
+    // price of riding an unreliable network.
+    {
+        let scenario = Scenario::by_name("cq-small-lossy").expect("registry scenario");
+        let cfg = ControlConfig {
+            sim_epoch_s: 1.0,
+            ..ControlConfig::test()
+        };
+        let mut env = scenario.cluster_env(&cfg, 7);
+        let workload = scenario.app.workload.clone();
+        let solution = scenario.initial_assignment();
+        env.deploy_and_measure(&solution, &workload);
+        record(
+            "cluster_env_step_cq_small_lossy",
+            bench_ns(budget_ms, || {
+                std::hint::black_box(env.deploy_and_measure(&solution, &workload));
+            }),
+        );
+    }
+
     // ---- end-to-end rollout throughput at 1/2/4/8 actors ----------------
     // ns per collected transition of the parallel experience-collection
     // driver (tiny 4-executor topology, analytic environment, frozen

@@ -18,12 +18,19 @@
 //!
 //! ```text
 //! smoke_backends [--scenarios a,b,...] [--epochs N] [--transport channel|tcp]
+//!                [--chaos-seed N]
 //!
-//! --scenarios  comma-separated registry names
-//!              (default: cq-small-steady,cq-small-bursty)
-//! --epochs     online epochs per method (default: 6)
-//! --transport  how the cluster backend pairs agent and master
-//!              (default: channel)
+//! --scenarios   comma-separated registry names
+//!               (default: cq-small-steady,cq-small-bursty)
+//! --epochs      online epochs per method (default: 6)
+//! --transport   how the cluster backend pairs agent and master
+//!               (default: channel)
+//! --chaos-seed  make the cluster backend's control-plane link lossy
+//!               under this fixed seed: scenarios with their own chaos
+//!               plan are re-seeded, all others get a 10%-drop plan. The
+//!               fault stream is deterministic per seed; the sim/cluster
+//!               bit-identical cross-check is skipped (the trajectories
+//!               legitimately diverge).
 //! ```
 
 use dss_core::experiment::{
@@ -31,11 +38,13 @@ use dss_core::experiment::{
 };
 use dss_core::{ClusterTransport, ControlConfig, Scenario};
 use dss_metrics::TimeSeries;
+use dss_proto::ChaosPlan;
 
 fn main() {
     let mut scenarios = vec!["cq-small-steady".to_string(), "cq-small-bursty".to_string()];
     let mut epochs = 6usize;
     let mut transport = ClusterTransport::Channel;
+    let mut chaos_seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -61,7 +70,17 @@ fn main() {
                     other => panic!("unknown transport `{other}`; expected channel|tcp"),
                 };
             }
-            other => panic!("unknown flag `{other}`; expected --scenarios/--epochs/--transport"),
+            "--chaos-seed" => {
+                chaos_seed = Some(
+                    args.next()
+                        .expect("--chaos-seed needs a value")
+                        .parse()
+                        .expect("--chaos-seed must be a number"),
+                );
+            }
+            other => panic!(
+                "unknown flag `{other}`; expected --scenarios/--epochs/--transport/--chaos-seed"
+            ),
         }
     }
 
@@ -75,8 +94,16 @@ fn main() {
     };
 
     for name in &scenarios {
-        let scenario = Scenario::by_name(name)
+        let mut scenario = Scenario::by_name(name)
             .unwrap_or_else(|| panic!("`{name}` is not a registry scenario"));
+        if let Some(seed) = chaos_seed {
+            scenario.chaos = Some(match scenario.chaos.take() {
+                Some(plan) => plan.with_seed(seed),
+                None => ChaosPlan::lossy(seed, 0.10)
+                    .with_duplicate(0.03)
+                    .with_delay(0.03),
+            });
+        }
         let mut sim_rewards: Option<TimeSeries> = None;
         for backend in Backend::all() {
             let t0 = std::time::Instant::now();
@@ -104,9 +131,10 @@ fn main() {
             match backend {
                 Backend::Sim => sim_rewards = Some(rewards.clone()),
                 // Backend-completeness: the control plane adds protocol
-                // fidelity, not numeric drift (fault-free scenarios only —
-                // a replayed crash legitimately changes the trajectory).
-                Backend::Cluster if scenario.faults.is_none() => {
+                // fidelity, not numeric drift (fault-free, chaos-free
+                // scenarios only — a replayed crash or a lossy link
+                // legitimately changes the trajectory).
+                Backend::Cluster if scenario.faults.is_none() && scenario.chaos.is_none() => {
                     let sim = sim_rewards.as_ref().expect("sim leg ran first");
                     assert_eq!(
                         sim.values(),

@@ -55,13 +55,14 @@
 use parking_lot::RwLock;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use dss_coord::{CoordConfig, CoordService};
 use dss_nimbus::{
-    AgentClient, FaultPlan, MeasureProtocol, Nimbus, NimbusConfig, NimbusError, StateView,
-    StatsView, SupervisorSet,
+    AgentClient, FaultPlan, MeasureProtocol, Nimbus, NimbusConfig, NimbusError, RetryPolicy,
+    ServeStep, StateView, StatsView, SupervisorSet,
 };
-use dss_proto::{ChannelTransport, TcpTransport};
+use dss_proto::{ChannelTransport, ChaosPlan, ChaosStats, MaybeChaos, TcpTransport};
 use dss_rl::Elem;
 use dss_sim::{AnalyticModel, Assignment, RateSchedule, RuntimeStats, SimEngine, Workload};
 
@@ -375,6 +376,26 @@ pub enum ClusterTransport {
 /// repairs the assignment before reporting the next state (a fully dead
 /// cluster keeps serving penalty-latency epochs until a restart event
 /// revives a machine).
+///
+/// # Failure model
+///
+/// The control-plane link itself can be made unreliable with
+/// [`ClusterEnv::with_chaos_plan`]: the agent's transport is wrapped in
+/// `dss-proto`'s `ChaosTransport`, which injects seeded, deterministic
+/// drop/corrupt/duplicate/delay faults (and optional epoch-windowed full
+/// partitions) into both directions. The env then switches from the plain
+/// exchange to the *reliable* protocol — sequence-numbered requests,
+/// retransmits under a [`RetryPolicy`], idempotent replay on the master —
+/// so ordinary fault rates are absorbed transparently. When a whole epoch's
+/// retry budget is exhausted (e.g. mid-partition), the env **degrades
+/// instead of hanging**: it reports the shared [`EMPTY_WINDOW_PENALTY_MS`]
+/// for that epoch, holds the last deployed assignment (the cluster keeps
+/// running it; simulated time does not advance, because no solution was
+/// delivered), and records a typed [`DegradedReason`] — see
+/// [`ClusterEnv::degraded_epochs`] / [`ClusterEnv::last_degraded`]. After
+/// the network heals, the next epoch re-syncs with a fresh state request.
+/// With no chaos plan the wrapper is a pure passthrough and every clean
+/// guarantee above (bit-identical parity with [`SimEnv`]) holds unchanged.
 pub struct ClusterEnv {
     n_executors: usize,
     n_machines: usize,
@@ -388,6 +409,18 @@ pub struct ClusterEnv {
     auto_repair: bool,
     transport: ClusterTransport,
     fault_plan: Option<FaultPlan>,
+    /// Network-fault injection plan; `Some` switches the env to the
+    /// reliable protocol (see the failure-model section above).
+    chaos: Option<ChaosPlan>,
+    /// Retry knobs for the reliable protocol (`None`: a transport-suited
+    /// default — synchronous for the channel pairing, timed for TCP).
+    retry: Option<RetryPolicy>,
+    /// Decision epochs attempted so far (indexes the partition window).
+    steps: u64,
+    /// Epochs that ended degraded (penalty reported, assignment held).
+    degraded: u64,
+    /// Why the most recent epoch degraded (`None`: it completed).
+    last_degraded: Option<DegradedReason>,
     /// Latest schedule multiplier reported by the master (pre-launch: the
     /// engine's schedule at its current clock).
     multiplier: f64,
@@ -395,22 +428,42 @@ pub struct ClusterEnv {
     base: Option<Workload>,
     /// Prefetched state report for the next decision.
     pending: Option<StateView>,
+    /// Last state successfully fetched (the reliable path has no prefetch;
+    /// this keeps [`ClusterEnv::reported_assignment`] meaningful).
+    last_state: Option<StateView>,
     plant: Plant,
+}
+
+/// Why a [`ClusterEnv`] decision epoch ended degraded (penalty latency,
+/// assignment held) instead of completing its protocol round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// The chaos plan's partition window was open: the master was
+    /// unreachable by design.
+    Partitioned,
+    /// The retry budget ran out without a matching response (severe loss
+    /// or a dead master).
+    Unreachable,
+    /// The master answered, but with a protocol-level rejection the env
+    /// could not apply (e.g. an invalid-solution reply).
+    Protocol,
 }
 
 /// The master half of a [`ClusterEnv`], by lifecycle and transport.
 enum Plant {
     /// Not yet launched: the engine waits for the first assignment.
     Pending(Box<SimEngine>),
-    /// Synchronous in-process master + agent over a channel pair.
+    /// Synchronous in-process master + agent over a channel pair. The
+    /// agent side is chaos-wrappable; with no plan the wrapper is a pure
+    /// passthrough.
     Channel {
         nimbus: Box<Nimbus>,
         server: ChannelTransport,
-        agent: AgentClient<ChannelTransport>,
+        agent: AgentClient<MaybeChaos<ChannelTransport>>,
     },
     /// Master thread behind a loopback TCP socket.
     Tcp {
-        agent: AgentClient<TcpTransport>,
+        agent: AgentClient<MaybeChaos<TcpTransport>>,
         master: Option<JoinHandle<Result<(), NimbusError>>>,
     },
     /// Transient state during launch.
@@ -440,9 +493,15 @@ impl ClusterEnv {
             auto_repair: true,
             transport: ClusterTransport::Channel,
             fault_plan: None,
+            chaos: None,
+            retry: None,
+            steps: 0,
+            degraded: 0,
+            last_degraded: None,
             multiplier: engine.rate_schedule().multiplier_at(engine.now()),
             base: None,
             pending: None,
+            last_state: None,
             plant: Plant::Pending(Box::new(engine)),
         }
     }
@@ -458,6 +517,49 @@ impl ClusterEnv {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
+    }
+
+    /// Makes the control-plane link unreliable under a seeded
+    /// [`ChaosPlan`] and switches the env to the reliable protocol (see
+    /// the failure-model section of the type docs). Must be set before
+    /// the first deploy-and-measure.
+    pub fn with_chaos_plan(mut self, plan: ChaosPlan) -> Self {
+        assert!(
+            matches!(self.plant, Plant::Pending(_)),
+            "chaos plan must be installed before the cluster launches"
+        );
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Overrides the reliable protocol's retry/timeout/backoff knobs
+    /// (defaults: [`RetryPolicy::synchronous`] over the channel pairing,
+    /// [`RetryPolicy::default`] over TCP). Only meaningful together with
+    /// [`ClusterEnv::with_chaos_plan`].
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// How many decision epochs ended degraded (penalty reported because
+    /// the master was unreachable within the retry budget).
+    pub fn degraded_epochs(&self) -> u64 {
+        self.degraded
+    }
+
+    /// Why the most recent epoch degraded (`None`: it completed).
+    pub fn last_degraded(&self) -> Option<DegradedReason> {
+        self.last_degraded
+    }
+
+    /// Fault counters from the chaos wrapper (`None` without a plan or
+    /// before launch).
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        match &self.plant {
+            Plant::Channel { agent, .. } => agent.transport().chaos_stats(),
+            Plant::Tcp { agent, .. } => agent.transport().chaos_stats(),
+            Plant::Pending(_) | Plant::Poisoned => None,
+        }
     }
 
     fn derived_timeout_ms(heartbeat_s: f64) -> u64 {
@@ -517,8 +619,14 @@ impl ClusterEnv {
 
     /// The assignment the master last reported (what a "hold" policy
     /// echoes back — after a repair this differs from the last solution).
+    /// Under chaos there is no prefetched state; the last successfully
+    /// fetched one stands in (it is exactly what the cluster still runs
+    /// through a degraded stretch).
     pub fn reported_assignment(&self) -> Option<&[usize]> {
-        self.pending.as_ref().map(|s| s.machine_of.as_slice())
+        self.pending
+            .as_ref()
+            .or(self.last_state.as_ref())
+            .map(|s| s.machine_of.as_slice())
     }
 
     /// Launch the cluster: master, supervisors, fault plan, handshake,
@@ -539,6 +647,7 @@ impl ClusterEnv {
             ident: "dss-cluster-env/0.1".into(),
             heartbeat_interval_s: self.heartbeat_interval_s,
             auto_repair: self.auto_repair,
+            retry: self.retry_policy(),
         };
         let mut nimbus = Nimbus::launch(
             *engine,
@@ -558,7 +667,12 @@ impl ClusterEnv {
         match self.transport {
             ClusterTransport::Channel => {
                 let (agent_side, server) = ChannelTransport::pair();
-                let mut agent = AgentClient::new(agent_side, "dss-cluster-env-agent/0.1");
+                // Chaos (when configured) starts DISARMED, so the
+                // handshake and the first state report below run clean —
+                // exactly the clean-path bytes. It is armed only once the
+                // plant is up.
+                let wrapped = MaybeChaos::wrap(agent_side, self.chaos.as_ref());
+                let mut agent = AgentClient::new(wrapped, "dss-cluster-env-agent/0.1");
                 // Synchronous handshake: the agent announces first so the
                 // master's (send, recv) handshake never blocks.
                 agent.announce().expect("channel handshake");
@@ -569,6 +683,7 @@ impl ClusterEnv {
                     "agent alive at launch"
                 );
                 self.pending = agent.poll_state().expect("first state report");
+                agent.transport().arm();
                 self.plant = Plant::Channel {
                     nimbus: Box::new(nimbus),
                     server,
@@ -577,16 +692,34 @@ impl ClusterEnv {
             }
             ClusterTransport::Tcp => {
                 let (listener, addr) = TcpTransport::listen_localhost().expect("loopback listener");
+                let reliable = self.chaos.is_some();
                 let master = std::thread::spawn(move || -> Result<(), NimbusError> {
                     let transport = TcpTransport::accept(&listener)?;
                     nimbus.handshake(&transport)?;
+                    if reliable {
+                        // Reliable mode: the agent initiates everything
+                        // (including state fetches), so the master first
+                        // pushes the launch state and then serves wrapped
+                        // requests with bounded waits until the goodbye.
+                        if !nimbus.send_state(&transport)? {
+                            return Ok(());
+                        }
+                        loop {
+                            match nimbus.serve_step(&transport, Duration::from_millis(20))? {
+                                ServeStep::Goodbye => return Ok(()),
+                                ServeStep::Idle | ServeStep::Served => {}
+                            }
+                        }
+                    }
                     while nimbus.serve_epoch(&transport)? {}
                     Ok(())
                 });
                 let transport = TcpTransport::connect(addr).expect("loopback connect");
-                let mut agent = AgentClient::new(transport, "dss-cluster-env-agent/0.1");
+                let wrapped = MaybeChaos::wrap(transport, self.chaos.as_ref());
+                let mut agent = AgentClient::new(wrapped, "dss-cluster-env-agent/0.1");
                 agent.handshake().expect("tcp handshake");
                 self.pending = agent.poll_state().expect("first state report");
+                agent.transport().arm();
                 self.plant = Plant::Tcp {
                     agent,
                     master: Some(master),
@@ -595,6 +728,16 @@ impl ClusterEnv {
         }
         if let Some(state) = &self.pending {
             self.multiplier = state.rate_multiplier;
+        }
+    }
+
+    /// The retry policy the reliable protocol runs under: an explicit
+    /// override, else a transport-suited default.
+    fn retry_policy(&self) -> RetryPolicy {
+        match (&self.retry, self.transport) {
+            (Some(p), _) => p.clone(),
+            (None, ClusterTransport::Channel) => RetryPolicy::synchronous(),
+            (None, ClusterTransport::Tcp) => RetryPolicy::default(),
         }
     }
 
@@ -608,6 +751,9 @@ impl ClusterEnv {
     ) -> (f64, Option<StatsView>) {
         if matches!(self.plant, Plant::Pending(_)) {
             self.launch(assignment, workload);
+        }
+        if self.chaos.is_some() {
+            return self.step_reliable(assignment, workload, want_stats);
         }
         // A changed base workload goes out ahead of the solution, exactly
         // where SimEnv forwards it to the engine (an unchanged one is
@@ -670,6 +816,161 @@ impl ClusterEnv {
         self.pending = next;
         (ms, stats)
     }
+
+    /// One decision epoch over the *reliable* protocol (chaos configured).
+    ///
+    /// Differences from the clean [`ClusterEnv::step`]: every exchange is
+    /// a sequence-numbered request with retransmits under the
+    /// [`RetryPolicy`]; there is no state prefetch (each epoch starts by
+    /// fetching state unless the launch report is still pending); and a
+    /// failed round trip **degrades** — penalty latency, assignment held,
+    /// typed [`DegradedReason`] — instead of panicking or hanging.
+    fn step_reliable(
+        &mut self,
+        assignment: &Assignment,
+        workload: &Workload,
+        want_stats: bool,
+    ) -> (f64, Option<StatsView>) {
+        let epoch_idx = self.steps;
+        self.steps += 1;
+        let partitioned = self
+            .chaos
+            .as_ref()
+            .is_some_and(|p| p.partitioned_at(epoch_idx));
+        let policy = self.retry_policy();
+        let new_base = match &self.base {
+            Some(base) if base == workload => None,
+            _ => Some(
+                workload
+                    .rates()
+                    .iter()
+                    .map(|&(c, r)| (c as u32, r))
+                    .collect::<Vec<(u32, f64)>>(),
+            ),
+        };
+        let sent_base = new_base.is_some();
+        let taken = self.pending.take();
+        let machine_of = assignment.as_slice().to_vec();
+        let result = match &mut self.plant {
+            Plant::Channel {
+                nimbus,
+                server,
+                agent,
+            } => {
+                agent.transport().set_partitioned(partitioned);
+                // The synchronous pump: give the master every queued
+                // message each time the agent yields. Chaos losses leave
+                // the master Idle; the agent's retransmit budget decides
+                // the epoch's fate, so the outcome depends only on
+                // message counts — deterministic across thread pools.
+                reliable_epoch(
+                    agent,
+                    taken,
+                    new_base,
+                    machine_of,
+                    want_stats,
+                    &policy,
+                    || {
+                        while let Ok(ServeStep::Served) = nimbus.serve_step(server, Duration::ZERO)
+                        {
+                        }
+                    },
+                )
+            }
+            Plant::Tcp { agent, .. } => {
+                agent.transport().set_partitioned(partitioned);
+                // The TCP master serves from its own thread on bounded
+                // waits; no pumping needed.
+                reliable_epoch(
+                    agent,
+                    taken,
+                    new_base,
+                    machine_of,
+                    want_stats,
+                    &policy,
+                    || {},
+                )
+            }
+            Plant::Pending(_) | Plant::Poisoned => unreachable!("launched above"),
+        };
+        match result {
+            Ok((ms, stats, state)) => {
+                self.multiplier = state.rate_multiplier;
+                if sent_base {
+                    self.base = Some(workload.clone());
+                }
+                self.last_state = Some(state);
+                self.last_degraded = None;
+                (ms, stats)
+            }
+            Err(e) => {
+                // Degraded epoch: the cluster keeps running the last
+                // deployed assignment, simulated time stays put (no
+                // solution was delivered), and the agent sees the shared
+                // stalled-window penalty. A stale cached state could
+                // carry a wrong epoch number, so it is dropped — the next
+                // attempt re-syncs with a fresh state request.
+                self.degraded += 1;
+                self.last_degraded = Some(match e {
+                    _ if partitioned => DegradedReason::Partitioned,
+                    NimbusError::Unreachable { .. } => DegradedReason::Unreachable,
+                    _ => DegradedReason::Protocol,
+                });
+                (
+                    EMPTY_WINDOW_PENALTY_MS,
+                    want_stats.then(|| self.degraded_stats()),
+                )
+            }
+        }
+    }
+
+    /// The stats snapshot reported for a degraded epoch: penalty latency,
+    /// zeroed per-entity loads — a well-shaped "nothing measurable" that
+    /// keeps model-based consumers total.
+    fn degraded_stats(&self) -> StatsView {
+        StatsView {
+            avg_latency_ms: EMPTY_WINDOW_PENALTY_MS,
+            executor_rates: vec![0.0; self.n_executors],
+            executor_sojourn_ms: vec![0.0; self.n_executors],
+            machine_cpu_cores: vec![0.0; self.n_machines],
+            machine_cross_kib_s: vec![0.0; self.n_machines],
+            edge_transfer_ms: Vec::new(),
+            completed: 0,
+            failed: 0,
+        }
+    }
+}
+
+/// The agent half of one *reliable* protocol epoch, shared by both
+/// transports: fetch state (unless the launch prefetch is still pending),
+/// forward a changed base workload, deliver the solution, and collect the
+/// reward (plus stats when asked). Any leg exhausting its retry budget
+/// aborts the epoch with the typed error.
+#[allow(clippy::type_complexity)]
+fn reliable_epoch<T: dss_proto::Transport>(
+    agent: &mut AgentClient<T>,
+    taken: Option<StateView>,
+    new_base: Option<Vec<(u32, f64)>>,
+    machine_of: Vec<usize>,
+    want_stats: bool,
+    policy: &RetryPolicy,
+    mut pump: impl FnMut(),
+) -> Result<(f64, Option<StatsView>, StateView), NimbusError> {
+    let state = match taken {
+        Some(state) => state,
+        None => agent.reliable_fetch_state(policy, &mut pump)?,
+    };
+    if let Some(rates) = new_base {
+        agent.reliable_send_workload(rates, policy, &mut pump)?;
+    }
+    let reward =
+        agent.reliable_solution(state.epoch, machine_of, state.n_machines, policy, &mut pump)?;
+    let stats = if want_stats {
+        Some(agent.reliable_fetch_stats(policy, &mut pump)?)
+    } else {
+        None
+    };
+    Ok((reward_ms(&reward), stats, state))
 }
 
 /// Points in the agent-side epoch where a *synchronous in-process* master
@@ -758,11 +1059,16 @@ impl Drop for ClusterEnv {
     fn drop(&mut self) {
         match &mut self.plant {
             Plant::Channel { agent, .. } => {
+                // Chaos (if any) is disarmed first so the goodbye always
+                // reaches the master.
+                agent.transport().disarm();
                 let _ = agent.bye();
             }
             Plant::Tcp { agent, master } => {
                 // The goodbye unblocks the master's receive; joining keeps
-                // the thread from outliving its environment.
+                // the thread from outliving its environment. Disarming
+                // chaos first guarantees it is delivered.
+                agent.transport().disarm();
                 let _ = agent.bye();
                 if let Some(handle) = master.take() {
                     let _ = handle.join();
@@ -1148,6 +1454,97 @@ mod tests {
             .as_slice()
             .iter()
             .all(|&m| m == 1));
+    }
+
+    #[test]
+    fn zero_rate_chaos_traces_the_clean_trajectory() {
+        // The reliable protocol under a zero-fault plan must reproduce
+        // the clean backend's measurements exactly: retransmits never
+        // trigger, so the engine sees the same deploys and epochs.
+        let mut sim = sim_env(19, 5.0);
+        let w = Workload::new(vec![(0, 200.0)], sim.engine().topology()).unwrap();
+        let reference = walk(&mut sim, &w, 5);
+        for transport in [ClusterTransport::Channel, ClusterTransport::Tcp] {
+            let mut cluster =
+                cluster_env(19, 5.0, transport).with_chaos_plan(ChaosPlan::new(0xC0FFEE));
+            let got = walk(&mut cluster, &w, 5);
+            assert_eq!(reference, got, "reliable-path drift over {transport:?}");
+            assert_eq!(cluster.degraded_epochs(), 0);
+            let stats = cluster.chaos_stats().unwrap();
+            assert_eq!(stats.dropped + stats.corrupted + stats.partition_dropped, 0);
+        }
+    }
+
+    #[test]
+    fn lossy_chaos_trains_through_and_counts_faults() {
+        // 20% drops each way: every epoch must still complete (the retry
+        // budget absorbs the losses) and the fault counters must show the
+        // chaos actually fired.
+        let plan = ChaosPlan::lossy(7, 0.20)
+            .with_duplicate(0.05)
+            .with_delay(0.05);
+        let mut e = cluster_env(21, 5.0, ClusterTransport::Channel).with_chaos_plan(plan);
+        let w = {
+            let mut b = TopologyBuilder::new("t");
+            let s = b.spout("s", 2, 0.05);
+            let x = b.bolt("x", 3, 0.3);
+            b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+            Workload::new(vec![(0, 200.0)], &b.build().unwrap()).unwrap()
+        };
+        let a = Assignment::new(vec![0, 1, 2, 3, 0], 4).unwrap();
+        let mut completed = 0;
+        for _ in 0..12 {
+            let ms = e.deploy_and_measure(&a, &w);
+            if ms < EMPTY_WINDOW_PENALTY_MS {
+                completed += 1;
+            }
+        }
+        assert!(
+            completed >= 10,
+            "retry budget should absorb 20% loss: {completed}/12 epochs completed"
+        );
+        let stats = e.chaos_stats().unwrap();
+        assert!(stats.dropped > 0, "chaos never fired: {stats:?}");
+        // Every epoch either completed or degraded — no third outcome.
+        assert_eq!(e.degraded_epochs() as usize, 12 - completed);
+    }
+
+    #[test]
+    fn partitioned_epochs_degrade_and_heal_without_hanging() {
+        // Epochs 2..4 are black-holed: they must degrade to the penalty
+        // with reason Partitioned — not hang, not panic — and the env
+        // must re-sync afterwards.
+        let plan = ChaosPlan::new(5).with_partition_epochs(2, 4);
+        let mut e = cluster_env(23, 5.0, ClusterTransport::Channel).with_chaos_plan(plan);
+        let w = {
+            let mut b = TopologyBuilder::new("t");
+            let s = b.spout("s", 2, 0.05);
+            let x = b.bolt("x", 3, 0.3);
+            b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+            Workload::new(vec![(0, 200.0)], &b.build().unwrap()).unwrap()
+        };
+        let a = Assignment::new(vec![0, 1, 2, 3, 0], 4).unwrap();
+        let mut ms = Vec::new();
+        for _ in 0..6 {
+            ms.push(e.deploy_and_measure(&a, &w));
+        }
+        assert_eq!(ms[2], EMPTY_WINDOW_PENALTY_MS);
+        assert_eq!(ms[3], EMPTY_WINDOW_PENALTY_MS);
+        assert_eq!(e.degraded_epochs(), 2);
+        assert!(
+            ms[4] < EMPTY_WINDOW_PENALTY_MS,
+            "no post-heal re-sync: {ms:?}"
+        );
+        assert!(ms[5] < EMPTY_WINDOW_PENALTY_MS);
+        assert_eq!(
+            e.last_degraded(),
+            None,
+            "healed epoch must clear the reason"
+        );
+        // The held assignment stayed visible through the partition.
+        assert!(e.reported_assignment().is_some());
+        let stats = e.chaos_stats().unwrap();
+        assert!(stats.partition_dropped > 0);
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub mod state;
 
 pub use config::ControlConfig;
 pub use controller::{Controller, OfflineDataset, RawSample};
-pub use env::{AnalyticEnv, ClusterEnv, ClusterTransport, Environment, SimEnv, TransitionStore};
+pub use env::{
+    AnalyticEnv, ClusterEnv, ClusterTransport, DegradedReason, Environment, SimEnv, TransitionStore,
+};
 pub use parallel::{ActorSetup, ParallelCollector, RoundPlan};
 pub use reward::RewardScale;
 pub use scenario::{analytic_fleet, cluster_fleet, sim_fleet, Scenario};

@@ -26,6 +26,7 @@
 
 use dss_apps::{continuous_queries, log_stream, word_count, App, CqScale};
 use dss_nimbus::FaultPlan;
+use dss_proto::ChaosPlan;
 use dss_sim::{
     AnalyticModel, Assignment, ClusterSpec, MachineSpec, NetworkParams, RateSchedule, SimConfig,
     SimEngine,
@@ -52,6 +53,13 @@ pub struct Scenario {
     /// backend ([`Scenario::cluster_env`]) replays it — the analytic and
     /// bare-engine backends have no failure-detection path and ignore it.
     pub faults: Option<FaultPlan>,
+    /// Seeded network-fault plan for the agent↔master link. Only the
+    /// control-plane backend has a network to break: it switches to the
+    /// reliable retry protocol and degrades (never hangs) through
+    /// partitions. Other backends ignore it. The plan's seed is XOR-mixed
+    /// with the env seed so parallel actors draw decorrelated fault
+    /// streams that stay reproducible run to run.
+    pub chaos: Option<ChaosPlan>,
 }
 
 /// The Figure-12 step: +50% at 20 simulated minutes.
@@ -92,6 +100,7 @@ impl Scenario {
             cluster,
             schedule,
             faults: None,
+            chaos: None,
         };
         let small = || continuous_queries(CqScale::Small);
         let large = || continuous_queries(CqScale::Large);
@@ -187,6 +196,7 @@ impl Scenario {
                 cluster: ClusterSpec::homogeneous(4),
                 schedule: RateSchedule::constant(),
                 faults: Some(FaultPlan::crash_at(1, 20.0).and_restart(1, 120.0)),
+                chaos: None,
             },
             Scenario {
                 name: "word-count-crash",
@@ -194,6 +204,44 @@ impl Scenario {
                 cluster: ClusterSpec::homogeneous(10),
                 schedule: RateSchedule::constant(),
                 faults: Some(FaultPlan::crash_at(3, 120.0)),
+                chaos: None,
+            },
+            // Chaos scenarios: the control-plane *link* is unreliable.
+            // `cq-small-lossy` drops/duplicates/delays/corrupts control
+            // messages at rates a retry budget must absorb;
+            // `word-count-partition` additionally black-holes the link for
+            // two decision epochs (the env degrades, holds the last
+            // assignment, then re-syncs); the crash+lossy combo stacks a
+            // machine failure on top of the lossy link. All are
+            // shape-compatible with their clean siblings.
+            Scenario {
+                name: "cq-small-lossy",
+                app: continuous_queries(CqScale::Small),
+                cluster: ClusterSpec::homogeneous(4),
+                schedule: RateSchedule::constant(),
+                faults: None,
+                chaos: Some(
+                    ChaosPlan::lossy(0x10551, 0.15)
+                        .with_duplicate(0.05)
+                        .with_delay(0.05)
+                        .with_corrupt(0.02),
+                ),
+            },
+            Scenario {
+                name: "word-count-partition",
+                app: word_count(),
+                cluster: ClusterSpec::homogeneous(10),
+                schedule: RateSchedule::constant(),
+                faults: None,
+                chaos: Some(ChaosPlan::lossy(0x9A47, 0.05).with_partition_epochs(4, 6)),
+            },
+            Scenario {
+                name: "cq-small-crash-lossy",
+                app: continuous_queries(CqScale::Small),
+                cluster: ClusterSpec::homogeneous(4),
+                schedule: RateSchedule::constant(),
+                faults: Some(FaultPlan::crash_at(1, 20.0).and_restart(1, 120.0)),
+                chaos: Some(ChaosPlan::lossy(0xC4A5, 0.10)),
             },
         ]
     }
@@ -343,6 +391,11 @@ impl Scenario {
         let mut env = ClusterEnv::new(engine, epoch).with_transport(transport);
         if let Some(plan) = &self.faults {
             env = env.with_fault_plan(plan.clone());
+        }
+        if let Some(plan) = &self.chaos {
+            // Mix the env seed in so each fleet actor draws its own fault
+            // stream, reproducibly.
+            env = env.with_chaos_plan(plan.clone().with_seed(plan.seed ^ seed));
         }
         env
     }
@@ -517,6 +570,30 @@ mod tests {
             .unwrap()
             .faults
             .is_none());
+    }
+
+    #[test]
+    fn chaos_scenarios_ride_the_registry() {
+        let lossy = Scenario::by_name("cq-small-lossy").expect("registered");
+        let plan = lossy.chaos.as_ref().expect("chaos plan installed");
+        assert!(plan.egress.drop > 0.0 && plan.ingress.drop > 0.0);
+        assert!(lossy.compatible(&Scenario::by_name("cq-small-steady").unwrap()));
+        let part = Scenario::by_name("word-count-partition").expect("registered");
+        assert_eq!(part.chaos.as_ref().unwrap().partition_epochs, Some((4, 6)));
+        assert!(part.compatible(&Scenario::by_name("word-count-steady").unwrap()));
+        // The combo scenario carries both fault kinds.
+        let combo = Scenario::by_name("cq-small-crash-lossy").expect("registered");
+        assert!(combo.faults.is_some() && combo.chaos.is_some());
+        // The healthy registry stays chaos-free.
+        assert!(Scenario::by_name("cq-small-steady")
+            .unwrap()
+            .chaos
+            .is_none());
+        // Env seeds decorrelate the installed plans deterministically.
+        let cfg = ControlConfig::test();
+        let e1 = lossy.cluster_env(&cfg, 1);
+        let e2 = lossy.cluster_env(&cfg, 2);
+        drop((e1, e2)); // unlaunched: construction alone must be cheap+valid
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! (`dss-core`'s actor-critic, DQN, or a baseline) can drive a remote
 //! Nimbus without knowing about sockets.
 
+use std::time::Duration;
+
 use dss_proto::{Message, ProtoError, Transport};
 
 use crate::error::NimbusError;
+use crate::retry::RetryPolicy;
 
 /// The state `s = (X, w)` as seen by the agent.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +80,8 @@ pub struct AgentClient<T: Transport> {
     ident: String,
     /// A state report that arrived while waiting for something else.
     pending_state: Option<StateView>,
+    /// Sequence number of the last reliable call issued.
+    seq: u64,
 }
 
 impl<T: Transport> AgentClient<T> {
@@ -86,7 +91,14 @@ impl<T: Transport> AgentClient<T> {
             transport,
             ident: ident.into(),
             pending_state: None,
+            seq: 0,
         }
+    }
+
+    /// The underlying transport (e.g. to reach a chaos wrapper's
+    /// controls).
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// First half of the handshake: announce this agent.
@@ -285,6 +297,187 @@ impl<T: Transport> AgentClient<T> {
     pub fn bye(&self) -> Result<(), NimbusError> {
         self.transport.send(&Message::Bye)?;
         Ok(())
+    }
+
+    /// One reliable request/response exchange over an unreliable link.
+    ///
+    /// The request is wrapped in a fresh sequence number and transmitted
+    /// up to `policy.max_attempts` times (same number each time, so the
+    /// master can deduplicate retransmits and replay the cached answer
+    /// idempotently). After each transmission `pump` runs — the hook a
+    /// synchronous in-process pairing uses to drive the master on this
+    /// same thread — and the receive side is drained: the matching
+    /// wrapped response or ack completes the call; stale envelopes are
+    /// discarded; an unsolicited state report is stashed for the next
+    /// [`AgentClient::poll_state`]. Exhausting the budget yields
+    /// [`NimbusError::Unreachable`] — never a hang.
+    pub fn reliable_call(
+        &mut self,
+        request: Message,
+        policy: &RetryPolicy,
+        mut pump: impl FnMut(),
+    ) -> Result<Message, NimbusError> {
+        self.seq += 1;
+        let seq = self.seq;
+        let wrapped = Message::Wrapped {
+            seq,
+            inner: Box::new(request),
+        };
+        let poll = Duration::from_millis(policy.io_timeout_ms);
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let backoff = policy.backoff_ms(seq, attempt);
+            if backoff > 0 {
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            match self.transport.send(&wrapped) {
+                Ok(()) => {}
+                Err(ProtoError::Disconnected) => {
+                    return Err(NimbusError::Unreachable {
+                        attempts: attempt + 1,
+                    })
+                }
+                // A send deadline expiring is just another transient.
+                Err(ProtoError::Timeout) => continue,
+                Err(e) => return Err(e.into()),
+            }
+            pump();
+            loop {
+                let got = match self.transport.recv_timeout(poll) {
+                    Ok(got) => got,
+                    Err(ProtoError::Timeout) => None,
+                    Err(ProtoError::Disconnected) => {
+                        return Err(NimbusError::Unreachable {
+                            attempts: attempt + 1,
+                        })
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                match got {
+                    None => break, // this attempt's window closed; retransmit
+                    Some(Message::Wrapped { seq: s, inner }) if s == seq => return Ok(*inner),
+                    Some(msg @ Message::Ack { seq: s }) if s == seq => return Ok(msg),
+                    // Stale envelopes from earlier calls (delayed or
+                    // duplicated by the network): discard.
+                    Some(Message::Wrapped { .. }) | Some(Message::Ack { .. }) => continue,
+                    Some(Message::Heartbeat { .. }) => continue,
+                    Some(msg @ Message::StateReport { .. }) => {
+                        self.stash_state(msg);
+                        continue;
+                    }
+                    Some(Message::Bye) => return Err(NimbusError::Unreachable { attempts }),
+                    // Any other plain message is a leftover from the
+                    // pre-reliable exchange: ignore it.
+                    Some(_) => continue,
+                }
+            }
+        }
+        Err(NimbusError::Unreachable { attempts })
+    }
+
+    /// Reliable state fetch: ask the scheduler for the current epoch's
+    /// state report.
+    pub fn reliable_fetch_state(
+        &mut self,
+        policy: &RetryPolicy,
+        pump: impl FnMut(),
+    ) -> Result<StateView, NimbusError> {
+        match self.reliable_call(Message::StateRequest, policy, pump)? {
+            Message::StateReport {
+                epoch,
+                machine_of,
+                n_machines,
+                source_rates,
+                rate_multiplier,
+            } => Ok(StateView {
+                epoch,
+                machine_of,
+                n_machines,
+                source_rates,
+                rate_multiplier,
+            }),
+            _ => Err(NimbusError::UnexpectedMessage("reliable state fetch")),
+        }
+    }
+
+    /// Reliable workload update: delivered at least once, applied at most
+    /// once (the scheduler deduplicates retransmits by sequence number).
+    pub fn reliable_send_workload(
+        &mut self,
+        source_rates: Vec<(u32, f64)>,
+        policy: &RetryPolicy,
+        pump: impl FnMut(),
+    ) -> Result<(), NimbusError> {
+        match self.reliable_call(Message::WorkloadUpdate { source_rates }, policy, pump)? {
+            Message::Ack { .. } => Ok(()),
+            Message::Error { code, detail } => Err(NimbusError::InvalidWorkload(format!(
+                "scheduler rejected workload (code {code}): {detail}"
+            ))),
+            _ => Err(NimbusError::UnexpectedMessage("reliable workload update")),
+        }
+    }
+
+    /// Reliable solution deployment: returns the measured reward. The
+    /// scheduler applies a given sequence number once, so a retransmitted
+    /// solution cannot double-deploy.
+    pub fn reliable_solution(
+        &mut self,
+        epoch: u64,
+        machine_of: Vec<usize>,
+        n_machines: usize,
+        policy: &RetryPolicy,
+        pump: impl FnMut(),
+    ) -> Result<RewardView, NimbusError> {
+        let request = Message::SchedulingSolution {
+            epoch,
+            machine_of,
+            n_machines,
+        };
+        match self.reliable_call(request, policy, pump)? {
+            Message::RewardReport {
+                epoch,
+                avg_tuple_ms,
+                measurements,
+            } => Ok(RewardView {
+                epoch,
+                avg_tuple_ms,
+                measurements,
+            }),
+            Message::Error { code, detail } => Err(NimbusError::InvalidSolution(format!(
+                "scheduler rejected solution (code {code}): {detail}"
+            ))),
+            _ => Err(NimbusError::UnexpectedMessage("reliable solution")),
+        }
+    }
+
+    /// Reliable statistics snapshot.
+    pub fn reliable_fetch_stats(
+        &mut self,
+        policy: &RetryPolicy,
+        pump: impl FnMut(),
+    ) -> Result<StatsView, NimbusError> {
+        match self.reliable_call(Message::StatsRequest, policy, pump)? {
+            Message::StatsReport {
+                avg_latency_ms,
+                executor_rates,
+                executor_sojourn_ms,
+                machine_cpu_cores,
+                machine_cross_kib_s,
+                edge_transfer_ms,
+                completed,
+                failed,
+            } => Ok(StatsView {
+                avg_latency_ms,
+                executor_rates,
+                executor_sojourn_ms,
+                machine_cpu_cores,
+                machine_cross_kib_s,
+                edge_transfer_ms,
+                completed,
+                failed,
+            }),
+            _ => Err(NimbusError::UnexpectedMessage("reliable stats fetch")),
+        }
     }
 }
 

@@ -23,6 +23,11 @@ pub enum NimbusError {
     InvalidWorkload(String),
     /// No live machine remains to host executors.
     NoLiveMachines,
+    /// The peer did not answer a reliable call within the retry budget.
+    Unreachable {
+        /// How many transmissions were attempted before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for NimbusError {
@@ -35,6 +40,9 @@ impl fmt::Display for NimbusError {
             NimbusError::InvalidSolution(why) => write!(f, "invalid scheduling solution: {why}"),
             NimbusError::InvalidWorkload(why) => write!(f, "invalid workload update: {why}"),
             NimbusError::NoLiveMachines => write!(f, "no live machines available"),
+            NimbusError::Unreachable { attempts } => {
+                write!(f, "peer unreachable after {attempts} attempts")
+            }
         }
     }
 }
@@ -78,5 +86,8 @@ mod tests {
         assert!(e.to_string().contains("/x"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(NimbusError::NoLiveMachines.to_string().contains("live"));
+        assert!(NimbusError::Unreachable { attempts: 5 }
+            .to_string()
+            .contains("5 attempts"));
     }
 }

@@ -50,6 +50,50 @@ impl FaultEvent {
     }
 }
 
+/// Why a [`FaultPlan`] could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// An event time was negative, NaN, or infinite.
+    NonFiniteTime,
+    /// A restart was scheduled with no earlier crash of the same machine
+    /// to recover from.
+    RestartBeforeCrash {
+        /// The machine the stray restart addresses.
+        machine: usize,
+        /// When the restart was scheduled (s).
+        at_s: f64,
+    },
+    /// Two events target the same machine at the same simulated instant,
+    /// so their firing order (and hence the machine's final state) would
+    /// be ambiguous.
+    DuplicateEvent {
+        /// The doubly-addressed machine.
+        machine: usize,
+        /// The contested instant (s).
+        at_s: f64,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::NonFiniteTime => {
+                write!(f, "fault times must be finite and non-negative")
+            }
+            FaultPlanError::RestartBeforeCrash { machine, at_s } => write!(
+                f,
+                "restart of machine {machine} at {at_s} s precedes any crash of it"
+            ),
+            FaultPlanError::DuplicateEvent { machine, at_s } => write!(
+                f,
+                "machine {machine} has two events at the same instant {at_s} s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A deterministic schedule of machine crashes and restarts, ordered by
 /// time (construction sorts; ties keep insertion order).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -61,14 +105,44 @@ impl FaultPlan {
     /// A plan over the given events (sorted by `at_s`, stable).
     ///
     /// # Panics
-    /// Panics when any event time is negative or non-finite.
-    pub fn new(mut events: Vec<FaultEvent>) -> Self {
-        assert!(
-            events.iter().all(|e| e.at_s.is_finite() && e.at_s >= 0.0),
-            "fault times must be finite and non-negative"
-        );
+    /// Panics when [`FaultPlan::try_new`] would reject the events.
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        Self::try_new(events).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating constructor: sorts the events by time (stable) and
+    /// rejects non-finite/negative times, a `Restart` with no preceding
+    /// `Crash` of the same machine, and two events addressing the same
+    /// machine at the same instant. Crashes of *different* machines at
+    /// the same time are legal (simultaneous rack failure), as is a
+    /// repeated crash without an intervening restart (idempotent).
+    pub fn try_new(mut events: Vec<FaultEvent>) -> Result<Self, FaultPlanError> {
+        if !events.iter().all(|e| e.at_s.is_finite() && e.at_s >= 0.0) {
+            return Err(FaultPlanError::NonFiniteTime);
+        }
         events.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite times"));
-        FaultPlan { events }
+        for (i, e) in events.iter().enumerate() {
+            if events[..i]
+                .iter()
+                .any(|prior| prior.machine == e.machine && prior.at_s == e.at_s)
+            {
+                return Err(FaultPlanError::DuplicateEvent {
+                    machine: e.machine,
+                    at_s: e.at_s,
+                });
+            }
+            if e.kind == FaultKind::Restart
+                && !events[..i]
+                    .iter()
+                    .any(|prior| prior.machine == e.machine && prior.kind == FaultKind::Crash)
+            {
+                return Err(FaultPlanError::RestartBeforeCrash {
+                    machine: e.machine,
+                    at_s: e.at_s,
+                });
+            }
+        }
+        Ok(FaultPlan { events })
     }
 
     /// Builder: a single crash.
@@ -170,5 +244,61 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn negative_times_are_rejected() {
         let _ = FaultPlan::crash_at(0, -1.0);
+    }
+
+    #[test]
+    fn restart_without_a_prior_crash_is_rejected() {
+        let err = FaultPlan::try_new(vec![FaultEvent::restart(2, 10.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::RestartBeforeCrash {
+                machine: 2,
+                at_s: 10.0
+            }
+        );
+        // Restart scheduled *before* the crash it would answer: same error.
+        let err = FaultPlan::try_new(vec![
+            FaultEvent::crash(2, 50.0),
+            FaultEvent::restart(2, 10.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, FaultPlanError::RestartBeforeCrash { .. }));
+        assert!(err.to_string().contains("precedes"));
+        // The well-ordered pair is fine.
+        assert!(FaultPlan::try_new(vec![
+            FaultEvent::crash(2, 10.0),
+            FaultEvent::restart(2, 50.0),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn same_instant_same_machine_is_rejected_but_other_machines_may_share_it() {
+        let err = FaultPlan::try_new(vec![FaultEvent::crash(1, 4.0), FaultEvent::restart(1, 4.0)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::DuplicateEvent {
+                machine: 1,
+                at_s: 4.0
+            }
+        );
+        // A simultaneous rack failure (several machines at one instant)
+        // stays legal, as does an idempotent double crash at two times.
+        assert!(FaultPlan::try_new(vec![
+            FaultEvent::crash(0, 4.0),
+            FaultEvent::crash(1, 4.0),
+            FaultEvent::crash(2, 4.0),
+        ])
+        .is_ok());
+        assert!(
+            FaultPlan::try_new(vec![FaultEvent::crash(0, 4.0), FaultEvent::crash(0, 9.0),]).is_ok()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same instant")]
+    fn panicking_constructor_reports_duplicates_too() {
+        let _ = FaultPlan::new(vec![FaultEvent::crash(3, 7.0), FaultEvent::crash(3, 7.0)]);
     }
 }

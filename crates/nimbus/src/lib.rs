@@ -26,15 +26,53 @@
 //! mechanism behind the paper's Figure 12 redeployment spikes. Mid-flight
 //! tuple loss on the dead machine is already covered by the simulator's
 //! tuple-failure path (Storm would replay those trees from the spout).
+//!
+//! # Failure model
+//!
+//! The control plane distinguishes three failure domains, each with its
+//! own detection and recovery path:
+//!
+//! * **Machine faults** (crash/restart of a worker). Scripted by a
+//!   [`FaultPlan`], detected through coordination-session expiry, repaired
+//!   by [`Nimbus::detect_and_repair`] moving stranded executors to live
+//!   machines. A fully dead cluster surfaces the typed
+//!   [`NimbusError::NoLiveMachines`] — never a hang.
+//! * **Network faults** (the agent↔master link drops, delays, duplicates,
+//!   reorders, corrupts, or partitions messages — `dss-proto`'s
+//!   `ChaosTransport`). Handled by the *reliable exchange*: the agent
+//!   wraps each call in a sequence-numbered envelope
+//!   ([`agent::AgentClient::reliable_call`]) and retransmits it under a
+//!   [`RetryPolicy`] (exponential backoff with deterministic jitter,
+//!   bounded attempts, per-poll I/O timeouts); the master answers each
+//!   request under the same sequence number ([`Nimbus::serve_step`]) and
+//!   replays cached responses for retransmits, so a duplicated
+//!   state-changing request (e.g. a scheduling solution) is applied
+//!   exactly once. Corrupted frames are rejected by the codec's CRC and
+//!   count as drops. An exhausted retry budget surfaces the typed
+//!   [`NimbusError::Unreachable`] so the embedder (see `dss-core`'s
+//!   `ClusterEnv`) can degrade gracefully instead of hanging.
+//! * **Protocol faults** (malformed or out-of-contract messages).
+//!   Recoverable ones — a stale-epoch solution, an invalid workload
+//!   update — draw a wrapped `Error` reply with a stable numeric code
+//!   (1 = stale epoch, 2 = invalid solution, 3 = machine-count mismatch,
+//!   4 = invalid workload) and leave the master serving; anything else is
+//!   a typed [`NimbusError`], never a panic.
+//!
+//! The plain `serve_epoch`/`drive_epoch` exchange is untouched by all of
+//! this: with no chaos configured, the wire traffic — and therefore every
+//! simulated trajectory — is bit-identical to the pre-reliability
+//! protocol.
 
 pub mod agent;
 pub mod error;
 pub mod fault;
 pub mod master;
+pub mod retry;
 pub mod supervisor;
 
 pub use agent::{AgentClient, RewardView, StateView, StatsView};
 pub use error::NimbusError;
-pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use master::{DeployOutcome, MeasureProtocol, Nimbus, NimbusConfig};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
+pub use master::{DeployOutcome, MeasureProtocol, Nimbus, NimbusConfig, ServeStep};
+pub use retry::RetryPolicy;
 pub use supervisor::SupervisorSet;

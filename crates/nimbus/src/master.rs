@@ -1,6 +1,7 @@
 //! The Nimbus master: assignment storage, deployment, measurement,
 //! failure detection and repair.
 
+use std::collections::VecDeque;
 use std::time::Duration;
 
 use dss_coord::{storm, CoordService, CreateMode, Session, StormPaths};
@@ -9,6 +10,7 @@ use dss_sim::{Assignment, SimEngine, Workload};
 
 use crate::error::NimbusError;
 use crate::fault::{FaultCursor, FaultKind, FaultPlan};
+use crate::retry::RetryPolicy;
 use crate::supervisor::SupervisorSet;
 
 /// How the master measures the reward for a deployed solution.
@@ -76,6 +78,11 @@ pub struct NimbusConfig {
     /// (repair resumes once a machine restarts). When off, the embedder
     /// drives [`Nimbus::detect_and_repair`] itself.
     pub auto_repair: bool,
+    /// Retry/timeout/backoff knobs for the reliable request/response
+    /// exchange ([`Nimbus::serve_step`] on this side,
+    /// `AgentClient::reliable_call` on the other). Unused by the plain
+    /// `serve_epoch` path.
+    pub retry: RetryPolicy,
 }
 
 impl Default for NimbusConfig {
@@ -85,6 +92,7 @@ impl Default for NimbusConfig {
             ident: "dss-nimbus/0.1".into(),
             heartbeat_interval_s: 5.0,
             auto_repair: false,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -121,6 +129,8 @@ pub struct Nimbus {
     repairs: usize,
     /// Simulated time and outcome of the latest repair.
     last_repair: Option<(f64, DeployOutcome)>,
+    /// Reliable-exchange state: duplicate suppression + response replay.
+    reliable: ReliableServer,
 }
 
 impl Nimbus {
@@ -161,6 +171,7 @@ impl Nimbus {
             faults: None,
             repairs: 0,
             last_repair: None,
+            reliable: ReliableServer::default(),
         })
     }
 
@@ -622,6 +633,160 @@ impl Nimbus {
         }
     }
 
+    /// Serve one message of the *reliable* request/response exchange,
+    /// waiting at most `wait` for one to arrive.
+    ///
+    /// This is the unreliable-network counterpart of
+    /// [`Nimbus::serve_epoch`]: the agent initiates every exchange with a
+    /// sequence-numbered [`Message::Wrapped`] request
+    /// (`AgentClient::reliable_call` on the other side), and the master
+    /// answers with a response wrapped in the same sequence number (or a
+    /// bare [`Message::Ack`] when the request has no payload to return).
+    /// A retransmitted request — same sequence number — is *not*
+    /// re-applied: the cached response is replayed, making retransmits
+    /// idempotent even for state-changing requests like scheduling
+    /// solutions. Recoverable problems (stale epoch, invalid solution,
+    /// invalid workload) are answered with a wrapped [`Message::Error`]
+    /// rather than killing the serve loop.
+    pub fn serve_step(
+        &mut self,
+        transport: &dyn Transport,
+        wait: Duration,
+    ) -> Result<ServeStep, NimbusError> {
+        let msg = match transport.recv_timeout(wait) {
+            Ok(Some(m)) => m,
+            Ok(None) | Err(ProtoError::Timeout) => return Ok(ServeStep::Idle),
+            Err(ProtoError::Disconnected) => return Ok(ServeStep::Goodbye),
+            Err(e) => return Err(e.into()),
+        };
+        match msg {
+            Message::Wrapped { seq, inner } => {
+                if seq <= self.reliable.last_seq {
+                    // Duplicate (a retransmit or a delayed copy of an
+                    // already-processed call): replay the cached answer;
+                    // if it aged out of the window, a bare ack lets the
+                    // caller at least stop retransmitting.
+                    let resp = self
+                        .reliable
+                        .cached(seq)
+                        .cloned()
+                        .unwrap_or(Message::Ack { seq });
+                    return self.reply(transport, &resp, ServeStep::Served);
+                }
+                if matches!(*inner, Message::Bye) {
+                    let resp = Message::Ack { seq };
+                    self.reliable.record(seq, resp.clone());
+                    return self.reply(transport, &resp, ServeStep::Goodbye);
+                }
+                let resp = match self.handle_request(*inner)? {
+                    Some(r) => Message::Wrapped {
+                        seq,
+                        inner: Box::new(r),
+                    },
+                    None => Message::Ack { seq },
+                };
+                self.reliable.record(seq, resp.clone());
+                self.reply(transport, &resp, ServeStep::Served)
+            }
+            // Plain (unwrapped) control traffic stays meaningful so the
+            // orderly-shutdown path and liveness checks need no envelope.
+            Message::Bye => Ok(ServeStep::Goodbye),
+            Message::Heartbeat { .. } => {
+                let beat = Message::Heartbeat {
+                    now_ms: (self.engine.now() * 1000.0) as u64,
+                };
+                self.reply(transport, &beat, ServeStep::Served)
+            }
+            _ => Err(NimbusError::UnexpectedMessage("reliable serve")),
+        }
+    }
+
+    /// Send a reliable-exchange response, treating a vanished agent as an
+    /// orderly goodbye.
+    fn reply(
+        &self,
+        transport: &dyn Transport,
+        resp: &Message,
+        then: ServeStep,
+    ) -> Result<ServeStep, NimbusError> {
+        match transport.send(resp) {
+            Ok(()) => Ok(then),
+            Err(ProtoError::Disconnected) => Ok(ServeStep::Goodbye),
+            // The response may be lost to a send deadline; the agent's
+            // retransmit will trigger a cached replay.
+            Err(ProtoError::Timeout) => Ok(then),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Apply one reliable request and build its response. `Ok(None)`
+    /// means "acknowledge without payload".
+    fn handle_request(&mut self, request: Message) -> Result<Option<Message>, NimbusError> {
+        match request {
+            Message::StateRequest => {
+                if self.config.auto_repair {
+                    match self.detect_and_repair() {
+                        // Same tolerance as `send_state`: a fully dead
+                        // cluster keeps serving until a restart.
+                        Ok(_) | Err(NimbusError::NoLiveMachines) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(Some(self.state_message()))
+            }
+            Message::SchedulingSolution {
+                epoch,
+                machine_of,
+                n_machines,
+            } => {
+                if epoch != self.epoch {
+                    return Ok(Some(Message::Error {
+                        code: 1,
+                        detail: format!("stale epoch {epoch}, expected {}", self.epoch),
+                    }));
+                }
+                if n_machines != self.engine.cluster().n_machines() {
+                    return Ok(Some(Message::Error {
+                        code: 3,
+                        detail: format!("agent believes cluster has {n_machines} machines"),
+                    }));
+                }
+                match self.apply_solution(&machine_of) {
+                    Ok(_) => {}
+                    Err(NimbusError::InvalidSolution(why)) => {
+                        return Ok(Some(Message::Error {
+                            code: 2,
+                            detail: why,
+                        }))
+                    }
+                    Err(e) => return Err(e),
+                }
+                let (measurements, mean) = self.measure_reward().unwrap_or((Vec::new(), 0.0));
+                Ok(Some(Message::RewardReport {
+                    // The reward answers the *previous* epoch's state.
+                    epoch: self.epoch - 1,
+                    avg_tuple_ms: mean,
+                    measurements,
+                }))
+            }
+            Message::WorkloadUpdate { source_rates } => {
+                match self.apply_workload_update(&source_rates) {
+                    Ok(()) => Ok(None),
+                    Err(NimbusError::InvalidWorkload(why)) => Ok(Some(Message::Error {
+                        code: 4,
+                        detail: why,
+                    })),
+                    Err(e) => Err(e),
+                }
+            }
+            Message::StatsRequest => Ok(Some(self.stats_message())),
+            Message::Heartbeat { .. } => Ok(Some(Message::Heartbeat {
+                now_ms: (self.engine.now() * 1000.0) as u64,
+            })),
+            _ => Err(NimbusError::UnexpectedMessage("reliable request")),
+        }
+    }
+
     /// Which machines currently have a live supervisor znode.
     pub fn live_machines(&self) -> Result<Vec<bool>, NimbusError> {
         let m = self.engine.cluster().n_machines();
@@ -700,6 +865,49 @@ enum AuxOutcome {
     Goodbye,
 }
 
+/// What one [`Nimbus::serve_step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeStep {
+    /// Nothing arrived within the wait.
+    Idle,
+    /// One request was answered (possibly a duplicate replay).
+    Served,
+    /// The agent said goodbye (or its transport vanished).
+    Goodbye,
+}
+
+/// How many `(seq, response)` pairs [`ReliableServer`] keeps for replay.
+/// Deep enough to cover a full retry burst plus a few delayed duplicates;
+/// older retransmits still get a bare ack so the caller stops resending.
+const RESPONSE_CACHE: usize = 32;
+
+/// Master-side state of the reliable exchange: the highest sequence
+/// number already applied (for duplicate suppression) and a bounded cache
+/// of recent responses (for idempotent retransmit replay).
+#[derive(Debug, Default)]
+struct ReliableServer {
+    /// Highest request sequence number applied so far.
+    last_seq: u64,
+    /// Recent `(seq, response)` pairs, oldest first.
+    cache: VecDeque<(u64, Message)>,
+}
+
+impl ReliableServer {
+    /// The cached response for `seq`, if it has not aged out.
+    fn cached(&self, seq: u64) -> Option<&Message> {
+        self.cache.iter().find(|(s, _)| *s == seq).map(|(_, m)| m)
+    }
+
+    /// Record the response for a newly applied request.
+    fn record(&mut self, seq: u64, response: Message) {
+        self.last_seq = self.last_seq.max(seq);
+        self.cache.push_back((seq, response));
+        while self.cache.len() > RESPONSE_CACHE {
+            self.cache.pop_front();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -735,6 +943,7 @@ mod tests {
                 ident: "test".into(),
                 heartbeat_interval_s: 1.0,
                 auto_repair: false,
+                retry: RetryPolicy::default(),
             },
         )
         .unwrap();
@@ -901,6 +1110,7 @@ mod tests {
                 ident: "epoch-test".into(),
                 heartbeat_interval_s: 1.0,
                 auto_repair: false,
+                retry: RetryPolicy::default(),
             },
         )
         .unwrap();
@@ -931,6 +1141,7 @@ mod tests {
                 ident: "fault-test".into(),
                 heartbeat_interval_s: 1.0,
                 auto_repair: true,
+                retry: RetryPolicy::default(),
             },
         )
         .unwrap();
@@ -958,6 +1169,155 @@ mod tests {
         nimbus.advance(21.0);
         assert!(!nimbus.engine().machine_failed(1));
         assert_eq!(nimbus.live_machines().unwrap(), vec![true; 4]);
+    }
+
+    #[test]
+    fn serve_step_answers_wrapped_requests_and_replays_duplicates() {
+        let (mut nimbus, _coord) = launch();
+        let (master_side, agent_side) = dss_proto::ChannelTransport::pair();
+
+        // Idle when nothing is queued.
+        assert_eq!(
+            nimbus.serve_step(&master_side, Duration::ZERO).unwrap(),
+            ServeStep::Idle
+        );
+
+        // A state request is answered under the same sequence number.
+        agent_side
+            .send(&Message::Wrapped {
+                seq: 1,
+                inner: Box::new(Message::StateRequest),
+            })
+            .unwrap();
+        assert_eq!(
+            nimbus.serve_step(&master_side, Duration::ZERO).unwrap(),
+            ServeStep::Served
+        );
+        match agent_side.recv_timeout(Duration::ZERO).unwrap().unwrap() {
+            Message::Wrapped { seq: 1, inner } => {
+                assert!(matches!(*inner, Message::StateReport { .. }))
+            }
+            other => panic!("expected wrapped state report, got {other:?}"),
+        }
+
+        // Apply a solution once...
+        let mut solution = nimbus.engine().assignment().as_slice().to_vec();
+        solution[0] = (solution[0] + 1) % 4;
+        let call = Message::Wrapped {
+            seq: 2,
+            inner: Box::new(Message::SchedulingSolution {
+                epoch: 0,
+                machine_of: solution.clone(),
+                n_machines: 4,
+            }),
+        };
+        agent_side.send(&call).unwrap();
+        nimbus.serve_step(&master_side, Duration::ZERO).unwrap();
+        let first = agent_side.recv_timeout(Duration::ZERO).unwrap().unwrap();
+        assert!(matches!(
+            &first,
+            Message::Wrapped { seq: 2, inner } if matches!(**inner, Message::RewardReport { epoch: 0, .. })
+        ));
+        assert_eq!(nimbus.epoch(), 1, "solution applied exactly once");
+
+        // ...then retransmit the identical call: the engine must NOT
+        // advance again, and the cached reward report is replayed.
+        agent_side.send(&call).unwrap();
+        nimbus.serve_step(&master_side, Duration::ZERO).unwrap();
+        let replay = agent_side.recv_timeout(Duration::ZERO).unwrap().unwrap();
+        assert_eq!(nimbus.epoch(), 1, "duplicate must not re-apply");
+        match (&first, &replay) {
+            (Message::Wrapped { inner: a, .. }, Message::Wrapped { inner: b, .. }) => {
+                match (&**a, &**b) {
+                    (
+                        Message::RewardReport {
+                            avg_tuple_ms: x, ..
+                        },
+                        Message::RewardReport {
+                            avg_tuple_ms: y, ..
+                        },
+                    ) => assert_eq!(x, y, "replay must be byte-for-byte the cached answer"),
+                    other => panic!("expected reward reports, got {other:?}"),
+                }
+            }
+            other => panic!("expected wrapped replays, got {other:?}"),
+        }
+
+        // A stale-epoch solution gets a typed code-1 error reply, not a
+        // dead master.
+        agent_side
+            .send(&Message::Wrapped {
+                seq: 3,
+                inner: Box::new(Message::SchedulingSolution {
+                    epoch: 0,
+                    machine_of: solution,
+                    n_machines: 4,
+                }),
+            })
+            .unwrap();
+        assert_eq!(
+            nimbus.serve_step(&master_side, Duration::ZERO).unwrap(),
+            ServeStep::Served
+        );
+        match agent_side.recv_timeout(Duration::ZERO).unwrap().unwrap() {
+            Message::Wrapped { seq: 3, inner } => {
+                assert!(matches!(*inner, Message::Error { code: 1, .. }))
+            }
+            other => panic!("expected wrapped stale-epoch error, got {other:?}"),
+        }
+
+        // A wrapped goodbye is acknowledged and ends the exchange.
+        agent_side
+            .send(&Message::Wrapped {
+                seq: 4,
+                inner: Box::new(Message::Bye),
+            })
+            .unwrap();
+        assert_eq!(
+            nimbus.serve_step(&master_side, Duration::ZERO).unwrap(),
+            ServeStep::Goodbye
+        );
+        assert!(matches!(
+            agent_side.recv_timeout(Duration::ZERO).unwrap().unwrap(),
+            Message::Ack { seq: 4 }
+        ));
+    }
+
+    #[test]
+    fn serve_step_acknowledges_workload_updates_and_rejects_bad_ones() {
+        let (mut nimbus, _coord) = launch();
+        let (master_side, agent_side) = dss_proto::ChannelTransport::pair();
+        agent_side
+            .send(&Message::Wrapped {
+                seq: 1,
+                inner: Box::new(Message::WorkloadUpdate {
+                    source_rates: vec![(0, 80.0)],
+                }),
+            })
+            .unwrap();
+        nimbus.serve_step(&master_side, Duration::ZERO).unwrap();
+        assert!(matches!(
+            agent_side.recv_timeout(Duration::ZERO).unwrap().unwrap(),
+            Message::Ack { seq: 1 }
+        ));
+        assert_eq!(nimbus.engine().workload().rates(), &[(0, 80.0)]);
+
+        // An invalid component id draws a wrapped code-4 error.
+        agent_side
+            .send(&Message::Wrapped {
+                seq: 2,
+                inner: Box::new(Message::WorkloadUpdate {
+                    source_rates: vec![(99, 10.0)],
+                }),
+            })
+            .unwrap();
+        nimbus.serve_step(&master_side, Duration::ZERO).unwrap();
+        match agent_side.recv_timeout(Duration::ZERO).unwrap().unwrap() {
+            Message::Wrapped { seq: 2, inner } => {
+                assert!(matches!(*inner, Message::Error { code: 4, .. }))
+            }
+            other => panic!("expected wrapped workload error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn nimbus_with(measure: MeasureProtocol) -> Nimbus {
             ident: "contract-nimbus".into(),
             heartbeat_interval_s: 5.0,
             auto_repair: false,
+            retry: dss_nimbus::RetryPolicy::default(),
         },
     )
     .unwrap()

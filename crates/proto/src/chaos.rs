@@ -1,0 +1,767 @@
+//! Deterministic network-fault injection for transport-level chaos tests.
+//!
+//! [`ChaosTransport`] wraps any [`Transport`] and mangles traffic in both
+//! directions according to a seeded [`ChaosPlan`]: messages can be
+//! dropped, bit-corrupted (through the *real* codec, so the CRC layer is
+//! what rejects them), duplicated, delayed (held back and released behind
+//! later traffic, which also reorders), or black-holed entirely during a
+//! temporary partition. All decisions come from per-direction
+//! counter-based SplitMix64 streams — never the clock — so a given seed
+//! produces the same fault pattern regardless of wall time or thread
+//! interleaving. The wrapper starts *disarmed* (fully transparent) so
+//! handshakes can run clean; [`ChaosTransport::arm`] turns faults on.
+//!
+//! [`MaybeChaos`] is the zero-cost composition point: `Plain` delegates
+//! untouched (the clean path stays bit-identical), `Chaos` injects.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::codec::{decode_frame, encode_frame};
+use crate::error::ProtoError;
+use crate::message::Message;
+use crate::transport::Transport;
+
+/// Per-direction fault probabilities, each in `[0, 1]`.
+///
+/// The four rates are cumulative slices of a single uniform draw per
+/// message, so `drop + corrupt + duplicate + delay` must stay ≤ 1; the
+/// remainder is clean delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// Probability the message silently vanishes.
+    pub drop: f64,
+    /// Probability a random payload bit is flipped (the CRC check then
+    /// rejects the frame, which counts as a detected-corruption drop).
+    pub corrupt: f64,
+    /// Probability the message is delivered twice.
+    pub duplicate: f64,
+    /// Probability the message is held back and released behind later
+    /// traffic (delay + reorder in one fault).
+    pub delay: f64,
+}
+
+impl FaultRates {
+    fn validate(&self) {
+        let rates = [self.drop, self.corrupt, self.duplicate, self.delay];
+        assert!(
+            rates
+                .iter()
+                .all(|r| r.is_finite() && (0.0..=1.0).contains(r)),
+            "fault rates must be in [0, 1]"
+        );
+        assert!(
+            rates.iter().sum::<f64>() <= 1.0 + 1e-9,
+            "fault rates must sum to at most 1"
+        );
+    }
+}
+
+/// A seeded, schedule-driven description of network misbehavior.
+///
+/// Like `FaultPlan` for machine crashes, a `ChaosPlan` is declarative and
+/// deterministic: the same plan over the same traffic produces the same
+/// faults. `partition_epochs = Some((a, b))` black-holes every message
+/// during decision epochs `a..b` (the driver toggles the window via
+/// [`ChaosTransport::set_partitioned`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed for the per-direction fault streams.
+    pub seed: u64,
+    /// Faults applied to outgoing messages.
+    pub egress: FaultRates,
+    /// Faults applied to incoming messages.
+    pub ingress: FaultRates,
+    /// Half-open epoch window `[start, end)` during which the link is
+    /// fully partitioned (no traffic either way).
+    pub partition_epochs: Option<(u64, u64)>,
+}
+
+impl ChaosPlan {
+    /// A plan with no faults (useful as a builder base).
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            egress: FaultRates::default(),
+            ingress: FaultRates::default(),
+            partition_epochs: None,
+        }
+    }
+
+    /// A symmetric lossy link: probability `p` of dropping each message in
+    /// each direction.
+    pub fn lossy(seed: u64, p: f64) -> Self {
+        Self::new(seed).with_drop(p)
+    }
+
+    /// Set the drop rate in both directions.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.egress.drop = p;
+        self.ingress.drop = p;
+        self.validated()
+    }
+
+    /// Set the corruption rate in both directions.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.egress.corrupt = p;
+        self.ingress.corrupt = p;
+        self.validated()
+    }
+
+    /// Set the duplication rate in both directions.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.egress.duplicate = p;
+        self.ingress.duplicate = p;
+        self.validated()
+    }
+
+    /// Set the delay/reorder rate in both directions.
+    pub fn with_delay(mut self, p: f64) -> Self {
+        self.egress.delay = p;
+        self.ingress.delay = p;
+        self.validated()
+    }
+
+    /// Replace the egress fault rates wholesale.
+    pub fn with_egress(mut self, rates: FaultRates) -> Self {
+        self.egress = rates;
+        self.validated()
+    }
+
+    /// Replace the ingress fault rates wholesale.
+    pub fn with_ingress(mut self, rates: FaultRates) -> Self {
+        self.ingress = rates;
+        self.validated()
+    }
+
+    /// Partition the link during decision epochs `start..end`.
+    pub fn with_partition_epochs(mut self, start: u64, end: u64) -> Self {
+        assert!(start < end, "partition window must be non-empty");
+        self.partition_epochs = Some((start, end));
+        self
+    }
+
+    /// Re-seed the plan (e.g. to vary a registry scenario's chaos stream).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether decision epoch `epoch` falls inside the partition window.
+    pub fn partitioned_at(&self, epoch: u64) -> bool {
+        matches!(self.partition_epochs, Some((a, b)) if (a..b).contains(&epoch))
+    }
+
+    fn validated(self) -> Self {
+        self.egress.validate();
+        self.ingress.validate();
+        self
+    }
+}
+
+/// Counters of what the chaos layer did, for assertions and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosStats {
+    /// Messages delivered unmangled (includes released held messages).
+    pub delivered: u64,
+    /// Messages silently dropped by the drop fault.
+    pub dropped: u64,
+    /// Messages dropped because the injected bit flip was caught by the
+    /// frame checksum.
+    pub corrupted: u64,
+    /// Extra copies delivered by the duplicate fault.
+    pub duplicated: u64,
+    /// Messages held back by the delay fault (later released).
+    pub delayed: u64,
+    /// Messages swallowed while the link was partitioned.
+    pub partition_dropped: u64,
+}
+
+impl ChaosStats {
+    /// Every message the fault layer considered.
+    pub fn total(&self) -> u64 {
+        self.delivered + self.dropped + self.corrupted + self.partition_dropped
+    }
+
+    /// Fraction of considered messages that never arrived (dropped,
+    /// corrupted, or partitioned away).
+    pub fn loss_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.dropped + self.corrupted + self.partition_dropped) as f64 / total as f64
+        }
+    }
+}
+
+/// What the fault stream decided for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Deliver,
+    Drop,
+    Corrupt,
+    Duplicate,
+    Delay,
+}
+
+/// Per-direction mutable fault state: a SplitMix64 stream and the
+/// held-back (delayed) messages awaiting release.
+#[derive(Debug)]
+struct DirState {
+    rng: u64,
+    held: VecDeque<Message>,
+}
+
+/// Held-back messages are released once the queue exceeds this depth, so
+/// a delayed message is reordered behind at most this many successors.
+const MAX_HELD: usize = 4;
+
+impl DirState {
+    fn new(seed: u64) -> Self {
+        DirState {
+            rng: seed,
+            held: VecDeque::new(),
+        }
+    }
+
+    /// Next uniform draw in `[0, 1)`.
+    fn uniform(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn fate(&mut self, rates: &FaultRates) -> Fate {
+        let u = self.uniform();
+        let mut edge = rates.drop;
+        if u < edge {
+            return Fate::Drop;
+        }
+        edge += rates.corrupt;
+        if u < edge {
+            return Fate::Corrupt;
+        }
+        edge += rates.duplicate;
+        if u < edge {
+            return Fate::Duplicate;
+        }
+        edge += rates.delay;
+        if u < edge {
+            return Fate::Delay;
+        }
+        Fate::Deliver
+    }
+
+    /// Which bit of an encoded frame the corrupt fault flips.
+    fn corrupt_bit(&mut self, frame_bits: usize) -> usize {
+        (self.uniform() * frame_bits as f64) as usize % frame_bits.max(1)
+    }
+}
+
+/// A fault-injecting wrapper around any [`Transport`].
+///
+/// See the module docs for the fault model. The wrapper is `Sync` to the
+/// same degree the inner transport is: fault state is behind mutexes and
+/// counters are atomic.
+#[derive(Debug)]
+pub struct ChaosTransport<T: Transport> {
+    inner: T,
+    plan: ChaosPlan,
+    armed: AtomicBool,
+    partitioned: AtomicBool,
+    egress: Mutex<DirState>,
+    ingress: Mutex<DirState>,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    corrupted: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    partition_dropped: AtomicU64,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wrap `inner` under `plan`. Starts disarmed (transparent).
+    pub fn new(inner: T, plan: ChaosPlan) -> Self {
+        plan.egress.validate();
+        plan.ingress.validate();
+        ChaosTransport {
+            inner,
+            // Distinct per-direction streams so egress and ingress fault
+            // patterns are independent.
+            egress: Mutex::new(DirState::new(plan.seed ^ 0xE6_0E55)),
+            ingress: Mutex::new(DirState::new(plan.seed ^ 0x16_0E55)),
+            plan,
+            armed: AtomicBool::new(false),
+            partitioned: AtomicBool::new(false),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            partition_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Start injecting faults.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop injecting faults (back to transparent passthrough).
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Toggle the full-partition black hole.
+    pub fn set_partitioned(&self, on: bool) {
+        self.partitioned.store(on, Ordering::SeqCst);
+    }
+
+    /// The plan this wrapper was built from.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Snapshot of the fault counters.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            delivered: self.delivered.load(Ordering::SeqCst),
+            dropped: self.dropped.load(Ordering::SeqCst),
+            corrupted: self.corrupted.load(Ordering::SeqCst),
+            duplicated: self.duplicated.load(Ordering::SeqCst),
+            delayed: self.delayed.load(Ordering::SeqCst),
+            partition_dropped: self.partition_dropped.load(Ordering::SeqCst),
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.armed.load(Ordering::SeqCst)
+    }
+
+    fn is_partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::SeqCst)
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Run a message through the real codec with one bit flipped. The CRC
+    /// check rejects the mangled frame with overwhelming probability, in
+    /// which case the message is lost as a *detected* corruption; if the
+    /// flip happens to survive decoding, the (possibly altered but still
+    /// well-formed) message is delivered.
+    fn corrupt(state: &mut DirState, msg: &Message) -> Option<Message> {
+        let mut frame = encode_frame(msg).to_vec();
+        let bit = state.corrupt_bit(frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+        decode_frame(&frame).ok()
+    }
+
+    fn lock(state: &Mutex<DirState>) -> std::sync::MutexGuard<'_, DirState> {
+        state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn send(&self, msg: &Message) -> Result<(), ProtoError> {
+        if !self.active() {
+            return self.inner.send(msg);
+        }
+        if self.is_partitioned() {
+            Self::bump(&self.partition_dropped);
+            return Ok(());
+        }
+        let mut state = Self::lock(&self.egress);
+        match state.fate(&self.plan.egress) {
+            Fate::Drop => {
+                Self::bump(&self.dropped);
+                Ok(())
+            }
+            Fate::Corrupt => match Self::corrupt(&mut state, msg) {
+                None => {
+                    Self::bump(&self.corrupted);
+                    Ok(())
+                }
+                Some(mangled) => {
+                    Self::bump(&self.delivered);
+                    self.inner.send(&mangled)
+                }
+            },
+            Fate::Duplicate => {
+                Self::bump(&self.delivered);
+                Self::bump(&self.duplicated);
+                self.inner.send(msg)?;
+                self.inner.send(msg)
+            }
+            Fate::Delay => {
+                Self::bump(&self.delayed);
+                state.held.push_back(msg.clone());
+                if state.held.len() > MAX_HELD {
+                    let release = state.held.pop_front().expect("non-empty");
+                    Self::bump(&self.delivered);
+                    self.inner.send(&release)?;
+                }
+                Ok(())
+            }
+            Fate::Deliver => {
+                Self::bump(&self.delivered);
+                self.inner.send(msg)?;
+                // A clean delivery flushes anything held back, behind it:
+                // the delayed messages arrive late and out of order.
+                while let Some(release) = state.held.pop_front() {
+                    Self::bump(&self.delivered);
+                    self.inner.send(&release)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn recv(&self) -> Result<Message, ProtoError> {
+        loop {
+            match self.recv_timeout(Duration::from_millis(20))? {
+                Some(msg) => return Ok(msg),
+                None => continue,
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, ProtoError> {
+        if !self.active() {
+            return self.inner.recv_timeout(timeout);
+        }
+        loop {
+            let msg = match self.inner.recv_timeout(timeout)? {
+                Some(m) => m,
+                None => {
+                    if self.is_partitioned() {
+                        return Ok(None);
+                    }
+                    // Nothing in flight: release one held-back message if
+                    // the sender has gone quiet, else report idle.
+                    let mut state = Self::lock(&self.ingress);
+                    return match state.held.pop_front() {
+                        Some(release) => {
+                            Self::bump(&self.delivered);
+                            Ok(Some(release))
+                        }
+                        None => Ok(None),
+                    };
+                }
+            };
+            if self.is_partitioned() {
+                // Black hole: drain and discard whatever arrives.
+                Self::bump(&self.partition_dropped);
+                continue;
+            }
+            let mut state = Self::lock(&self.ingress);
+            match state.fate(&self.plan.ingress) {
+                Fate::Drop => {
+                    Self::bump(&self.dropped);
+                    continue;
+                }
+                Fate::Corrupt => match Self::corrupt(&mut state, &msg) {
+                    None => {
+                        Self::bump(&self.corrupted);
+                        continue;
+                    }
+                    Some(mangled) => {
+                        Self::bump(&self.delivered);
+                        return Ok(Some(mangled));
+                    }
+                },
+                Fate::Duplicate => {
+                    Self::bump(&self.delivered);
+                    Self::bump(&self.duplicated);
+                    // Deliver now and once more on a later receive.
+                    state.held.push_back(msg.clone());
+                    return Ok(Some(msg));
+                }
+                Fate::Delay => {
+                    Self::bump(&self.delayed);
+                    state.held.push_back(msg);
+                    if state.held.len() > MAX_HELD {
+                        let release = state.held.pop_front().expect("non-empty");
+                        Self::bump(&self.delivered);
+                        return Ok(Some(release));
+                    }
+                    continue;
+                }
+                Fate::Deliver => {
+                    Self::bump(&self.delivered);
+                    return Ok(Some(msg));
+                }
+            }
+        }
+    }
+}
+
+/// Either a plain transport or a chaos-wrapped one, behind one type.
+///
+/// `Plain` is pure delegation — the clean control plane stays
+/// bit-identical — while `Chaos` injects faults. The chaos control
+/// surface (`arm`, `set_partitioned`, `stats`, …) is a no-op / `None` on
+/// `Plain`, so callers need no special-casing.
+// One MaybeChaos lives per environment for its whole lifetime; the size
+// asymmetry between the variants never matters.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum MaybeChaos<T: Transport> {
+    /// Transparent passthrough.
+    Plain(T),
+    /// Fault-injecting wrapper.
+    Chaos(ChaosTransport<T>),
+}
+
+impl<T: Transport> MaybeChaos<T> {
+    /// Wrap `inner` under `plan` if one is given, else passthrough.
+    pub fn wrap(inner: T, plan: Option<&ChaosPlan>) -> Self {
+        match plan {
+            Some(p) => MaybeChaos::Chaos(ChaosTransport::new(inner, p.clone())),
+            None => MaybeChaos::Plain(inner),
+        }
+    }
+
+    /// Start injecting faults (no-op on `Plain`).
+    pub fn arm(&self) {
+        if let MaybeChaos::Chaos(c) = self {
+            c.arm();
+        }
+    }
+
+    /// Stop injecting faults (no-op on `Plain`).
+    pub fn disarm(&self) {
+        if let MaybeChaos::Chaos(c) = self {
+            c.disarm();
+        }
+    }
+
+    /// Toggle the partition black hole (no-op on `Plain`).
+    pub fn set_partitioned(&self, on: bool) {
+        if let MaybeChaos::Chaos(c) = self {
+            c.set_partitioned(on);
+        }
+    }
+
+    /// Fault counters, when chaos is wrapped.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        match self {
+            MaybeChaos::Plain(_) => None,
+            MaybeChaos::Chaos(c) => Some(c.stats()),
+        }
+    }
+
+    /// The underlying transport, through either arm.
+    pub fn inner(&self) -> &T {
+        match self {
+            MaybeChaos::Plain(t) => t,
+            MaybeChaos::Chaos(c) => c.inner(),
+        }
+    }
+}
+
+impl<T: Transport> Transport for MaybeChaos<T> {
+    fn send(&self, msg: &Message) -> Result<(), ProtoError> {
+        match self {
+            MaybeChaos::Plain(t) => t.send(msg),
+            MaybeChaos::Chaos(c) => c.send(msg),
+        }
+    }
+
+    fn recv(&self) -> Result<Message, ProtoError> {
+        match self {
+            MaybeChaos::Plain(t) => t.recv(),
+            MaybeChaos::Chaos(c) => c.recv(),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, ProtoError> {
+        match self {
+            MaybeChaos::Plain(t) => t.recv_timeout(timeout),
+            MaybeChaos::Chaos(c) => c.recv_timeout(timeout),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+
+    fn beats(n: u64) -> Vec<Message> {
+        (0..n).map(|i| Message::Heartbeat { now_ms: i }).collect()
+    }
+
+    fn drain(t: &impl Transport) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Ok(Some(m)) = t.recv_timeout(Duration::ZERO) {
+            out.push(m);
+        }
+        out
+    }
+
+    #[test]
+    fn disarmed_wrapper_is_transparent() {
+        let (a, b) = ChannelTransport::pair();
+        let chaos = ChaosTransport::new(a, ChaosPlan::lossy(1, 0.9));
+        for m in beats(50) {
+            chaos.send(&m).unwrap();
+        }
+        assert_eq!(drain(&b), beats(50));
+        assert_eq!(chaos.stats(), ChaosStats::default());
+    }
+
+    #[test]
+    fn zero_rate_plan_changes_nothing_even_armed() {
+        let (a, b) = ChannelTransport::pair();
+        let chaos = ChaosTransport::new(a, ChaosPlan::new(7));
+        chaos.arm();
+        for m in beats(50) {
+            chaos.send(&m).unwrap();
+        }
+        assert_eq!(drain(&b), beats(50));
+        let stats = chaos.stats();
+        assert_eq!(stats.delivered, 50);
+        assert_eq!(stats.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_pattern() {
+        let run = |seed: u64| -> (Vec<Message>, ChaosStats) {
+            let (a, b) = ChannelTransport::pair();
+            let chaos = ChaosTransport::new(
+                a,
+                ChaosPlan::lossy(seed, 0.3)
+                    .with_duplicate(0.1)
+                    .with_delay(0.1)
+                    .with_corrupt(0.05),
+            );
+            chaos.arm();
+            for m in beats(200) {
+                chaos.send(&m).unwrap();
+            }
+            (drain(&b), chaos.stats())
+        };
+        let (first, stats) = run(42);
+        assert_eq!(run(42), (first.clone(), stats), "same seed must replay");
+        assert_ne!(run(43).0, first, "different seed must differ");
+        assert!(stats.dropped > 0, "losses expected at 30%: {stats:?}");
+        assert!(stats.loss_fraction() > 0.1);
+    }
+
+    #[test]
+    fn lossy_egress_drops_roughly_the_configured_fraction() {
+        let (a, b) = ChannelTransport::pair();
+        let chaos = ChaosTransport::new(a, ChaosPlan::lossy(9, 0.25));
+        chaos.arm();
+        for m in beats(1000) {
+            chaos.send(&m).unwrap();
+        }
+        let got = drain(&b).len() as f64;
+        assert!(
+            (600.0..900.0).contains(&got),
+            "~750 of 1000 should survive, got {got}"
+        );
+    }
+
+    #[test]
+    fn duplicates_arrive_twice_and_delays_reorder() {
+        let (a, b) = ChannelTransport::pair();
+        let chaos = ChaosTransport::new(a, ChaosPlan::new(5).with_duplicate(0.3).with_delay(0.3));
+        chaos.arm();
+        for m in beats(100) {
+            chaos.send(&m).unwrap();
+        }
+        let got = drain(&b);
+        let stats = chaos.stats();
+        assert!(stats.duplicated > 0 && stats.delayed > 0, "{stats:?}");
+        // Nothing is lost by duplication or delay (some may still be held).
+        let held = 100 + stats.duplicated as usize - got.len();
+        assert!(held <= MAX_HELD, "at most MAX_HELD still held, got {held}");
+        // Delays must have reordered at least one pair.
+        let ids: Vec<u64> = got
+            .iter()
+            .map(|m| match m {
+                Message::Heartbeat { now_ms } => *now_ms,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(ids.windows(2).any(|w| w[0] > w[1]), "no reorder observed");
+    }
+
+    #[test]
+    fn corruption_is_caught_by_the_crc_layer() {
+        let (a, b) = ChannelTransport::pair();
+        let chaos = ChaosTransport::new(a, ChaosPlan::new(3).with_corrupt(1.0));
+        chaos.arm();
+        for m in beats(100) {
+            chaos.send(&m).unwrap();
+        }
+        let got = drain(&b);
+        let stats = chaos.stats();
+        assert!(
+            stats.corrupted >= 80,
+            "nearly every bit flip should be CRC-caught: {stats:?}"
+        );
+        assert_eq!(got.len() as u64, stats.delivered);
+    }
+
+    #[test]
+    fn partition_black_holes_both_directions() {
+        let (a, b) = ChannelTransport::pair();
+        let chaos = ChaosTransport::new(a, ChaosPlan::new(11).with_partition_epochs(0, 1));
+        chaos.arm();
+        chaos.set_partitioned(true);
+        chaos.send(&Message::Bye).unwrap();
+        b.send(&Message::Bye).unwrap();
+        assert!(chaos.recv_timeout(Duration::ZERO).unwrap().is_none());
+        assert!(drain(&b).is_empty());
+        assert_eq!(chaos.stats().partition_dropped, 2);
+        // Heal: traffic flows again.
+        chaos.set_partitioned(false);
+        b.send(&Message::Bye).unwrap();
+        assert_eq!(
+            chaos.recv_timeout(Duration::ZERO).unwrap(),
+            Some(Message::Bye)
+        );
+    }
+
+    #[test]
+    fn partitioned_at_respects_the_window() {
+        let plan = ChaosPlan::new(0).with_partition_epochs(4, 6);
+        assert!(!plan.partitioned_at(3));
+        assert!(plan.partitioned_at(4));
+        assert!(plan.partitioned_at(5));
+        assert!(!plan.partitioned_at(6));
+        assert!(!ChaosPlan::new(0).partitioned_at(4));
+    }
+
+    #[test]
+    fn maybe_chaos_plain_is_pure_delegation() {
+        let (a, b) = ChannelTransport::pair();
+        let plain = MaybeChaos::wrap(a, None);
+        plain.arm();
+        plain.set_partitioned(true);
+        assert!(plain.chaos_stats().is_none());
+        plain.send(&Message::Bye).unwrap();
+        assert_eq!(b.recv().unwrap(), Message::Bye);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rates")]
+    fn oversubscribed_rates_are_rejected() {
+        let _ = ChaosPlan::lossy(0, 0.8).with_corrupt(0.8);
+    }
+}

@@ -26,6 +26,8 @@ pub enum ProtoError {
     Malformed(&'static str),
     /// The peer closed the connection.
     Disconnected,
+    /// An I/O deadline elapsed before the operation completed.
+    Timeout,
     /// Underlying socket error.
     Io(std::io::Error),
 }
@@ -46,6 +48,7 @@ impl fmt::Display for ProtoError {
             ProtoError::Truncated => write!(f, "payload truncated"),
             ProtoError::Malformed(what) => write!(f, "malformed payload: {what}"),
             ProtoError::Disconnected => write!(f, "peer disconnected"),
+            ProtoError::Timeout => write!(f, "operation timed out"),
             ProtoError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -81,6 +84,7 @@ mod tests {
             actual: 2,
         };
         assert!(e.to_string().contains("mismatch"));
+        assert!(ProtoError::Timeout.to_string().contains("timed out"));
     }
 
     #[test]

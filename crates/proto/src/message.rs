@@ -113,6 +113,28 @@ pub enum Message {
     },
     /// Orderly shutdown.
     Bye,
+    /// Reliability envelope: a sequence-numbered request or response.
+    ///
+    /// The retry layer wraps an inner message in a monotonically
+    /// increasing per-connection sequence number so retransmits of the
+    /// same call are recognizable (idempotent) and stale responses can be
+    /// discarded. The inner message may be any non-envelope variant.
+    Wrapped {
+        /// Per-connection call sequence number.
+        seq: u64,
+        /// The wrapped request or response.
+        inner: Box<Message>,
+    },
+    /// Reliability acknowledgement for a [`Message::Wrapped`] request that
+    /// produces no payload-bearing response (e.g. a workload update).
+    Ack {
+        /// Sequence number of the request being acknowledged.
+        seq: u64,
+    },
+    /// Agent -> scheduler: explicitly request a [`Message::StateReport`]
+    /// for the current epoch (the pull-based counterpart of the
+    /// scheduler-initiated state push, used by the retry layer).
+    StateRequest,
 }
 
 impl Message {
@@ -129,12 +151,15 @@ impl Message {
             Message::WorkloadUpdate { .. } => 8,
             Message::StatsRequest => 9,
             Message::StatsReport { .. } => 10,
+            Message::Wrapped { .. } => 11,
+            Message::Ack { .. } => 12,
+            Message::StateRequest => 13,
         }
     }
 
     /// Every wire tag this protocol version defines, in tag order (test
     /// harnesses use it to prove coverage of the whole message set).
-    pub const ALL_TAGS: [u8; 10] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+    pub const ALL_TAGS: [u8; 13] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13];
 
     /// Encode the payload (everything after the frame header).
     pub fn encode_payload(&self, buf: &mut BytesMut) {
@@ -207,6 +232,13 @@ impl Message {
                 buf.put_u64_le(*failed);
             }
             Message::Bye => {}
+            Message::Wrapped { seq, inner } => {
+                buf.put_u64_le(*seq);
+                buf.put_u8(inner.tag());
+                inner.encode_payload(buf);
+            }
+            Message::Ack { seq } => buf.put_u64_le(*seq),
+            Message::StateRequest => {}
         }
     }
 
@@ -297,6 +329,24 @@ impl Message {
                     failed: get_u64(buf)?,
                 }
             }
+            11 => {
+                let seq = get_u64(buf)?;
+                let inner_tag = get_u8(buf)?;
+                // One level of wrapping only: a nested envelope would make
+                // decode depth attacker-controlled.
+                if inner_tag == 11 || inner_tag == 12 {
+                    return Err(ProtoError::Malformed("nested wrap"));
+                }
+                // The inner decode enforces its own trailing-bytes check
+                // over the remainder of the buffer.
+                let inner = Message::decode_payload(inner_tag, buf)?;
+                return Ok(Message::Wrapped {
+                    seq,
+                    inner: Box::new(inner),
+                });
+            }
+            12 => Message::Ack { seq: get_u64(buf)? },
+            13 => Message::StateRequest,
             t => return Err(ProtoError::BadTag(t)),
         };
         if buf.has_remaining() {
@@ -474,6 +524,16 @@ mod tests {
                 failed: 3,
             },
             Message::Bye,
+            Message::Wrapped {
+                seq: 9,
+                inner: Box::new(Message::SchedulingSolution {
+                    epoch: 44,
+                    machine_of: vec![0, 1],
+                    n_machines: 2,
+                }),
+            },
+            Message::Ack { seq: 9 },
+            Message::StateRequest,
         ];
         for m in &msgs {
             assert_eq!(&roundtrip(m), m);
@@ -529,6 +589,12 @@ mod tests {
                 failed: 0,
             },
             Message::Bye,
+            Message::Wrapped {
+                seq: 0,
+                inner: Box::new(Message::Bye),
+            },
+            Message::Ack { seq: 0 },
+            Message::StateRequest,
         ]
         .iter()
         .map(Message::tag)
@@ -627,6 +693,39 @@ mod tests {
         buf.put_u32_le(1); // executor_rates
         buf.put_f64_le(f64::INFINITY);
         assert!(Message::decode_payload(10, &mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_nested_envelopes() {
+        // Wrapped-in-Wrapped and Ack-in-Wrapped are both refused: decode
+        // depth must not be attacker-controlled.
+        for inner_tag in [11u8, 12u8] {
+            let mut buf = BytesMut::new();
+            buf.put_u64_le(1); // seq
+            buf.put_u8(inner_tag);
+            buf.put_u64_le(2); // would-be inner seq
+            let err = Message::decode_payload(11, &mut buf.freeze()).unwrap_err();
+            assert!(matches!(err, ProtoError::Malformed("nested wrap")));
+        }
+        // A single level of wrapping round-trips any request variant.
+        let msg = Message::Wrapped {
+            seq: 3,
+            inner: Box::new(Message::StateRequest),
+        };
+        assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn wrapped_decode_rejects_inner_trailing_bytes() {
+        let mut buf = BytesMut::new();
+        Message::Wrapped {
+            seq: 1,
+            inner: Box::new(Message::Heartbeat { now_ms: 7 }),
+        }
+        .encode_payload(&mut buf);
+        buf.put_u8(0xEE);
+        let err = Message::decode_payload(11, &mut buf.freeze()).unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed("trailing bytes")));
     }
 
     #[test]

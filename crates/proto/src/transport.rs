@@ -82,6 +82,7 @@ impl Transport for ChannelTransport {
 pub struct TcpTransport {
     stream: parking_lot_stub::Mutex<TcpStream>,
     reader: parking_lot_stub::Mutex<ReadState>,
+    deadline: parking_lot_stub::Mutex<Option<Duration>>,
 }
 
 #[derive(Debug)]
@@ -124,7 +125,24 @@ impl TcpTransport {
                 stream: read_half,
                 decoder: FrameDecoder::new(),
             }),
+            deadline: parking_lot_stub::Mutex::new(None),
         })
+    }
+
+    /// Install (or clear) an I/O deadline: with a deadline set, a blocking
+    /// [`Transport::recv`] returns [`ProtoError::Timeout`] instead of
+    /// waiting on a dead peer forever, and a send that cannot drain within
+    /// the deadline fails the same way. `None` restores the default
+    /// block-forever behavior.
+    pub fn set_io_deadline(&self, deadline: Option<Duration>) -> Result<(), ProtoError> {
+        self.stream.lock().set_write_timeout(deadline)?;
+        *self.deadline.lock() = deadline;
+        Ok(())
+    }
+
+    /// The currently installed I/O deadline, if any.
+    pub fn io_deadline(&self) -> Option<Duration> {
+        *self.deadline.lock()
     }
 
     /// Connect to a listening peer.
@@ -176,15 +194,31 @@ impl Transport for TcpTransport {
     fn send(&self, msg: &Message) -> Result<(), ProtoError> {
         let frame = encode_frame(msg);
         let mut stream = self.stream.lock();
-        stream.write_all(&frame)?;
-        stream.flush()?;
-        Ok(())
+        stream
+            .write_all(&frame)
+            .and_then(|()| stream.flush())
+            .map_err(|e| {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    ProtoError::Timeout
+                } else {
+                    ProtoError::Io(e)
+                }
+            })
     }
 
     fn recv(&self) -> Result<Message, ProtoError> {
-        match self.recv_inner(None)? {
-            Some(m) => Ok(m),
-            None => Err(ProtoError::Disconnected),
+        match *self.deadline.lock() {
+            None => match self.recv_inner(None)? {
+                Some(m) => Ok(m),
+                None => Err(ProtoError::Disconnected),
+            },
+            Some(deadline) => match self.recv_inner(Some(deadline))? {
+                Some(m) => Ok(m),
+                None => Err(ProtoError::Timeout),
+            },
         }
     }
 
@@ -305,6 +339,27 @@ mod tests {
         let server = TcpTransport::accept(&listener).unwrap();
         let got = server.recv_timeout(Duration::from_millis(30)).unwrap();
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn tcp_recv_deadline_times_out_instead_of_hanging() {
+        let (listener, addr) = TcpTransport::listen_localhost().unwrap();
+        // The peer connects but never sends: without a deadline this
+        // `recv` would block forever.
+        let _silent = TcpTransport::connect(addr).unwrap();
+        let server = TcpTransport::accept(&listener).unwrap();
+        server
+            .set_io_deadline(Some(Duration::from_millis(30)))
+            .unwrap();
+        let start = std::time::Instant::now();
+        assert!(matches!(server.recv(), Err(ProtoError::Timeout)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        // Clearing the deadline restores `recv_timeout` behavior too.
+        server.set_io_deadline(None).unwrap();
+        assert!(server
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

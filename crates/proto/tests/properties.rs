@@ -17,6 +17,24 @@ fn f64s_strategy() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6..1e6f64, 0..8)
 }
 
+/// Envelope-free messages, used as the inner value of `Wrapped` (the
+/// codec forbids nested envelopes).
+fn inner_message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        any::<u64>().prop_map(|now_ms| Message::Heartbeat { now_ms }),
+        (any::<u64>(), assignment_strategy()).prop_map(|(epoch, (machine_of, n_machines))| {
+            Message::SchedulingSolution {
+                epoch,
+                machine_of,
+                n_machines,
+            }
+        }),
+        rates_strategy().prop_map(|source_rates| Message::WorkloadUpdate { source_rates }),
+        Just(Message::StateRequest),
+        Just(Message::Bye),
+    ]
+}
+
 fn message_strategy() -> impl Strategy<Value = Message> {
     prop_oneof![
         (any::<bool>(), ".{0,24}").prop_map(|(agent, ident)| Message::Hello {
@@ -90,6 +108,12 @@ fn message_strategy() -> impl Strategy<Value = Message> {
                 }
             ),
         Just(Message::Bye),
+        (any::<u64>(), inner_message_strategy()).prop_map(|(seq, inner)| Message::Wrapped {
+            seq,
+            inner: Box::new(inner),
+        }),
+        any::<u64>().prop_map(|seq| Message::Ack { seq }),
+        Just(Message::StateRequest),
     ]
 }
 
@@ -188,6 +212,59 @@ proptest! {
         let mut dec = FrameDecoder::new();
         dec.feed(&bytes);
         while let Ok(Some(_)) = dec.next() {}
+    }
+
+    /// A chaos-mangled byte stream — bit flips, truncations, duplicated
+    /// and dropped slices, byte swaps, arbitrary rechunking — either
+    /// decodes to valid frames or yields typed errors; it never panics.
+    #[test]
+    fn chaos_mangled_streams_decode_or_error(
+        msgs in prop::collection::vec(message_strategy(), 1..5),
+        ops in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..12),
+        cuts in prop::collection::vec(1usize..96, 0..12),
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        for (kind, a, b) in ops {
+            if stream.is_empty() {
+                break;
+            }
+            let i = a as usize % stream.len();
+            let j = b as usize % stream.len();
+            match kind % 5 {
+                0 => stream[i] ^= 1 << (b % 8),
+                1 => stream.truncate(i.max(1)),
+                2 => {
+                    let (lo, hi) = (i.min(j), i.max(j));
+                    let chunk: Vec<u8> = stream[lo..hi].to_vec();
+                    stream.extend_from_slice(&chunk);
+                }
+                3 => stream.swap(i, j),
+                4 => {
+                    stream.drain(i.min(j)..i.max(j));
+                }
+                _ => unreachable!(),
+            }
+        }
+        let mut dec = FrameDecoder::new();
+        let mut off = 0;
+        let mut cuts = cuts.into_iter();
+        while off < stream.len() {
+            let step = cuts.next().unwrap_or(23).min(stream.len() - off);
+            dec.feed(&stream[off..off + step]);
+            off += step;
+            loop {
+                match dec.next() {
+                    Ok(Some(_)) => {}      // a frame survived the mangling
+                    Ok(None) => break,     // needs more input
+                    Err(_) => break,       // typed error — also acceptable
+                }
+            }
+        }
+        // One more poll after everything is fed: still must not panic.
+        let _ = dec.next();
     }
 
     /// Payload decoding rejects any strict prefix of a valid payload.

@@ -7,15 +7,96 @@
 //! the master moving the stranded executors to live machines — with the
 //! latency spike and re-stabilization the redeployment causes.
 //!
+//! A second act covers *network* failure instead of machine failure: the
+//! agent↔master control link is made lossy and then fully partitioned for
+//! a two-epoch window. The reliable protocol rides out the loss, the
+//! partition degrades to bounded penalty epochs instead of hanging, and
+//! measurement resumes the moment the link heals. Each claim is shape-
+//! checked; any violation exits with status 1.
+//!
 //! ```sh
 //! cargo run --release --example fault_tolerance
 //! ```
 
+use dsdps_drl::control::env::Environment;
+use dsdps_drl::control::scenario::Scenario;
+use dsdps_drl::control::{ControlConfig, DegradedReason};
 use dsdps_drl::coord::{CoordConfig, CoordService};
 use dsdps_drl::nimbus::{Nimbus, NimbusConfig, SupervisorSet};
+use dsdps_drl::proto::ChaosPlan;
 use dsdps_drl::sim::{
     Assignment, ClusterSpec, Grouping, SimConfig, SimEngine, TopologyBuilder, Workload,
 };
+
+fn check(ok: bool, what: &str) {
+    if !ok {
+        eprintln!("fault_tolerance: shape check failed: {what}");
+        std::process::exit(1);
+    }
+}
+
+/// Act two: a lossy control link that black-holes entirely for epochs
+/// 2–3, against a live ClusterEnv.
+fn partition_then_heal() {
+    println!("\n--- partition-then-heal: the control link itself fails ---");
+    let cfg = ControlConfig {
+        sim_epoch_s: 1.0,
+        ..ControlConfig::test()
+    };
+    let mut sc = Scenario::by_name("cq-small-steady").expect("registry scenario");
+    sc.chaos = Some(
+        ChaosPlan::lossy(0xFA17, 0.10)
+            .with_duplicate(0.05)
+            .with_partition_epochs(2, 4),
+    );
+    let mut env = sc.cluster_env(&cfg, 11);
+    let workload = &sc.app.workload;
+    let mut current = sc.initial_assignment();
+
+    println!("epoch | latency (ms) | link");
+    let mut rewards = Vec::new();
+    for epoch in 0..8 {
+        let r = env.deploy_and_measure(&current, workload);
+        let link = match env.last_degraded() {
+            Some(DegradedReason::Partitioned) => "PARTITIONED (penalty epoch)",
+            Some(DegradedReason::Unreachable) => "unreachable (penalty epoch)",
+            Some(DegradedReason::Protocol) => "protocol fault (penalty epoch)",
+            None => "healthy (retries absorbed any loss)",
+        };
+        println!("{epoch:>5} | {r:>12.3} | {link}");
+        rewards.push(r);
+        current = current.with_move(epoch % current.n_executors(), (epoch + 1) % 4);
+    }
+
+    check(rewards.iter().all(|r| r.is_finite()), "rewards stay finite");
+    check(
+        env.degraded_epochs() == 2,
+        "exactly the two partition epochs degrade",
+    );
+    check(
+        rewards[2] == rewards[3] && rewards[2] >= 10_000.0,
+        "partition epochs report the bounded penalty",
+    );
+    check(
+        rewards[0].abs() < 100.0 && rewards[7].abs() < 100.0,
+        "epochs outside the window measure real latency",
+    );
+    check(
+        env.last_degraded().is_none(),
+        "the env re-syncs after the link heals",
+    );
+    let stats = env.chaos_stats().expect("chaos armed");
+    check(stats.dropped > 0, "the lossy link actually dropped frames");
+    check(stats.partition_dropped > 0, "the partition actually fired");
+    println!(
+        "healed: {} frames dropped by loss, {} black-holed by the partition, \
+         {} duplicated; {} retransmission-covered epochs measured fine",
+        stats.dropped,
+        stats.partition_dropped,
+        stats.duplicated,
+        8 - env.degraded_epochs()
+    );
+}
 
 fn main() {
     // A word-count-like pipeline on 6 machines.
@@ -110,4 +191,6 @@ fn main() {
         "\nstored assignment version in coordination service: {:?}",
         nimbus.stored_assignment().map(|a| a.machines_used())
     );
+
+    partition_then_heal();
 }

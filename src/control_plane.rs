@@ -168,6 +168,7 @@ pub fn run_control_plane(
             ident: "dss-nimbus/0.1".into(),
             heartbeat_interval_s: (config.session_timeout_ms as f64 / 1000.0 / 4.0).max(1.0),
             auto_repair: false,
+            retry: dss_nimbus::RetryPolicy::default(),
         },
     )?;
     let supervisors = SupervisorSet::register(&coord, cluster.n_machines())

@@ -1,0 +1,193 @@
+//! Chaos soak: the control-plane backend under an *unreliable network*.
+//!
+//! The link between agent and master drops, duplicates, delays and
+//! corrupts control messages (≥ 10% loss each way) and black-holes
+//! entirely for a two-epoch partition window — and the training stack
+//! must ride through it: the reliable retry protocol absorbs ordinary
+//! loss, partitions degrade to typed penalty epochs instead of hanging,
+//! the fault stream is deterministic for a fixed chaos seed across
+//! thread-pool sizes, and a DDPG agent still trains end-to-end and beats
+//! the ε = 1 random baseline.
+
+use std::sync::Arc;
+
+use dsdps_drl::control::env::Environment;
+use dsdps_drl::control::parallel::RoundPlan;
+use dsdps_drl::control::scenario::{cluster_fleet, Scenario};
+use dsdps_drl::control::ControlConfig;
+use dsdps_drl::proto::ChaosPlan;
+use dsdps_drl::rl::{DdpgAgent, DdpgConfig, KBestMapper};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workpool::{with_pool, Pool};
+
+fn cfg() -> ControlConfig {
+    ControlConfig {
+        sim_epoch_s: 1.0,
+        ..ControlConfig::test()
+    }
+}
+
+/// The soak scenario: the registry's lossy link (15% drop + duplicates +
+/// delays + corruption each way) with a two-epoch full partition on top.
+fn soak_scenario() -> Scenario {
+    let mut sc = Scenario::by_name("cq-small-lossy").expect("registry scenario");
+    let chaos = sc
+        .chaos
+        .take()
+        .expect("lossy scenario carries a chaos plan");
+    sc.chaos = Some(chaos.with_partition_epochs(4, 6));
+    sc
+}
+
+/// The chaos streams are seeded and counter-driven, never clocked: the
+/// same chaos seed must produce the same fault pattern — and therefore
+/// bit-identical collected rewards — regardless of the worker-pool size.
+#[test]
+fn chaos_collection_is_deterministic_across_thread_counts() {
+    let cfg = cfg();
+    let sc = soak_scenario();
+    let agent = DdpgAgent::new(
+        sc.state_dim(),
+        sc.action_dim(),
+        DdpgConfig {
+            k: 4,
+            seed: cfg.seed,
+            hidden: [16, 8],
+            ..DdpgConfig::default()
+        },
+    );
+    let run = |threads: usize| {
+        with_pool(Arc::new(Pool::new(threads)), || {
+            let mut col = cluster_fleet(std::slice::from_ref(&sc), &cfg, 2, 256);
+            col.collect_round(&agent, 0.4, 8)
+        })
+    };
+    let first = run(1);
+    assert_eq!(first.len(), 2);
+    assert!(first.iter().all(|r| r.is_finite()));
+    assert_eq!(first, run(1), "same-seed chaos re-run must be identical");
+    assert_eq!(
+        first,
+        run(4),
+        "thread count must not change the fault pattern"
+    );
+}
+
+/// A single lossy+partitioned env, stepped past the partition window:
+/// the partition epochs degrade (bounded penalty, no hang), the loss
+/// counters prove the chaos actually fired at soak rates, and the env
+/// re-syncs afterwards.
+#[test]
+fn partition_window_degrades_and_heals() {
+    let cfg = cfg();
+    let sc = soak_scenario();
+    let mut env = sc.cluster_env(&cfg, 42);
+    let w = &sc.app.workload;
+    let mut current = sc.initial_assignment();
+    let mut latencies = Vec::new();
+    for step in 0..10 {
+        latencies.push(env.deploy_and_measure(&current, w));
+        current = current.with_move(step % current.n_executors(), (step + 1) % 4);
+    }
+    assert!(latencies.iter().all(|v| v.is_finite()));
+    assert!(
+        env.degraded_epochs() >= 2,
+        "the two partition epochs must degrade: {latencies:?}"
+    );
+    assert!(
+        latencies[8].abs() < 10_000.0 && latencies[9].abs() < 10_000.0,
+        "post-heal epochs must measure real latency again: {latencies:?}"
+    );
+    let stats = env.chaos_stats().expect("chaos armed");
+    assert!(
+        stats.loss_fraction() >= 0.10,
+        "soak must actually lose ≥ 10% of traffic: {stats:?}"
+    );
+    assert!(
+        stats.partition_dropped > 0,
+        "partition never fired: {stats:?}"
+    );
+}
+
+/// The acceptance soak: DDPG trains end-to-end while every control
+/// message risks loss and a partition interrupts training — and the
+/// trained greedy policy still beats the ε = 1 random baseline (both
+/// evaluated under the *same* deterministic fault stream, so the chaos
+/// cancels out of the comparison).
+#[test]
+fn ddpg_trains_through_lossy_partitioned_control_plane() {
+    let cfg = cfg();
+    let sc = soak_scenario();
+    let mut agent = DdpgAgent::new(
+        sc.state_dim(),
+        sc.action_dim(),
+        DdpgConfig {
+            k: 6,
+            seed: cfg.seed,
+            gamma: cfg.gamma,
+            hidden: [32, 16],
+            ..DdpgConfig::default()
+        },
+    );
+
+    // Fresh fleet per policy: same seeds, same clusters, same chaos.
+    let eval = |agent: &DdpgAgent, eps: f64| -> f64 {
+        let mut fresh = cluster_fleet(std::slice::from_ref(&sc), &cfg, 2, 1024);
+        fresh.collect_round(agent, eps, 12).iter().sum::<f64>() / 24.0
+    };
+    let baseline = eval(&agent, 1.0);
+
+    let mut col = cluster_fleet(std::slice::from_ref(&sc), &cfg, 2, 1024);
+    let mut mapper = KBestMapper::new(sc.n_executors(), sc.n_machines());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let plan = RoundPlan {
+        rounds: 10,
+        steps_per_actor: 8,
+        train_per_round: 30,
+    };
+    col.run(&mut agent, &mut mapper, &mut rng, &plan, |round| {
+        (0.8 * (1.0 - round as f64 / 10.0)).max(0.1)
+    });
+    assert!(agent.train_steps() >= 300, "learner must actually train");
+
+    // The training fleet really soaked: lossy link, degraded partition
+    // epochs, no hang.
+    let stats = col.env(0).chaos_stats().expect("chaos armed");
+    assert!(
+        stats.loss_fraction() >= 0.10,
+        "training traffic must have soaked ≥ 10% loss: {stats:?}"
+    );
+    assert!(
+        col.env(0).degraded_epochs() >= 1,
+        "the partition window must have degraded at least one epoch"
+    );
+
+    let trained = eval(&agent, 0.0);
+    assert!(
+        trained > baseline,
+        "trained greedy reward {trained:.4} must beat the random baseline {baseline:.4}"
+    );
+}
+
+/// A zero-fault chaos plan is a pure passthrough: armed but rate-zero
+/// chaos must reproduce the chaos-free trajectory exactly, on the same
+/// seeds the clean parity tests use.
+#[test]
+fn zero_rate_chaos_is_transparent_end_to_end() {
+    let cfg = cfg();
+    let clean = Scenario::by_name("cq-small-steady").expect("registry scenario");
+    let mut wrapped = clean.clone();
+    wrapped.chaos = Some(ChaosPlan::new(0xD06F00D));
+    let walk = |sc: &Scenario| -> Vec<f64> {
+        let mut env = sc.cluster_env(&cfg, 7);
+        let mut current = sc.initial_assignment();
+        let mut out = Vec::new();
+        for step in 0..6 {
+            out.push(env.deploy_and_measure(&current, &sc.app.workload));
+            current = current.with_move(step % current.n_executors(), (step + 1) % 4);
+        }
+        out
+    };
+    assert_eq!(walk(&clean), walk(&wrapped), "zero-rate chaos drifted");
+}
