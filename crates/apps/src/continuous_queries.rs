@@ -17,7 +17,8 @@ use dss_sim::{Grouping, TopologyBuilder, Workload};
 
 use crate::App;
 
-/// The paper's three experimental scales for this topology.
+/// The paper's three experimental scales for this topology, plus the
+/// fleet scale that pushes past the paper's 16-core testbed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CqScale {
     /// 20 executors (2/9/9).
@@ -26,26 +27,34 @@ pub enum CqScale {
     Medium,
     /// 100 executors (10/45/45).
     Large,
+    /// 1152 executors (768/256/128): [`FLEET_SPOUT_LANES`] independent
+    /// ingest lanes of 96 spouts each, of which only the first carries
+    /// traffic — a mostly-idle fleet.
+    Fleet,
 }
 
 impl CqScale {
-    /// `(spout, query, file)` parallelism.
+    /// `(spout, query, file)` parallelism. The fleet spout total spans
+    /// [`FLEET_SPOUT_LANES`] separate spout components.
     pub fn parallelism(self) -> (usize, usize, usize) {
         match self {
             CqScale::Small => (2, 9, 9),
             CqScale::Medium => (5, 25, 20),
             CqScale::Large => (10, 45, 45),
+            CqScale::Fleet => (768, 256, 128),
         }
     }
 
     /// Nominal workload (queries/s). Scaled with the executor count so the
     /// cluster "undertakes heavier workload but has not been overloaded"
-    /// (§4.2's description of the large case).
+    /// (§4.2's description of the large case). At fleet scale the nominal
+    /// rate enters on lane 0 only.
     pub fn nominal_rate(self) -> f64 {
         match self {
             CqScale::Small => 1000.0,
             CqScale::Medium => 2200.0,
             CqScale::Large => 4200.0,
+            CqScale::Fleet => 6000.0,
         }
     }
 
@@ -55,9 +64,16 @@ impl CqScale {
             CqScale::Small => "small",
             CqScale::Medium => "medium",
             CqScale::Large => "large",
+            CqScale::Fleet => "fleet",
         }
     }
 }
+
+/// Spout lanes in the fleet-scale topology: independent ingest sources of
+/// which only the first carries traffic under the nominal workload. The
+/// other lanes are provisioned-but-idle capacity — the cluster shape that
+/// makes event-driven simulation (and grouped action mapping) pay off.
+pub const FLEET_SPOUT_LANES: usize = 8;
 
 /// Fraction of queried rows that match (speeders hit rate; see
 /// `datagen::VehicleDb::speeders`).
@@ -65,6 +81,9 @@ pub const QUERY_HIT_RATE: f64 = 0.2;
 
 /// Builds the topology and nominal workload at a given scale.
 pub fn continuous_queries(scale: CqScale) -> App {
+    if scale == CqScale::Fleet {
+        return continuous_queries_fleet();
+    }
     let (sp, qp, fp) = scale.parallelism();
     let mut b = TopologyBuilder::new(format!("continuous-queries-{}", scale.label()));
     // Spout: deserialize a query and emit it (~40 µs).
@@ -85,7 +104,48 @@ pub fn continuous_queries(scale: CqScale) -> App {
             CqScale::Small => "cq_small",
             CqScale::Medium => "cq_medium",
             CqScale::Large => "cq_large",
+            CqScale::Fleet => unreachable!("fleet handled above"),
         },
+        topology,
+        workload,
+    }
+}
+
+/// The fleet-scale variant: [`FLEET_SPOUT_LANES`] ingest lanes feeding one
+/// shared query/file pipeline, with traffic on lane 0 only — the other
+/// 672 spout executors are live but silent, so a sublinear engine should
+/// spend nothing on them.
+fn continuous_queries_fleet() -> App {
+    let (sp, qp, fp) = CqScale::Fleet.parallelism();
+    let lane_par = sp / FLEET_SPOUT_LANES;
+    let mut b = TopologyBuilder::new("continuous-queries-fleet");
+    let lanes: Vec<usize> = (0..FLEET_SPOUT_LANES)
+        .map(|lane| b.spout(format!("query-spout-{lane}"), lane_par, 0.04))
+        .collect();
+    let query = b.bolt("query-bolt", qp, 0.9);
+    let file = b.bolt("file-bolt", fp, 0.45);
+    b.service_cv(query, 0.6);
+    b.service_cv(file, 0.4);
+    for &lane in &lanes {
+        b.edge(lane, query, Grouping::Shuffle, 1.0, 96);
+    }
+    b.edge(query, file, Grouping::Shuffle, QUERY_HIT_RATE, 320);
+    let topology = b.build().expect("static topology is valid");
+    let rates = lanes
+        .iter()
+        .enumerate()
+        .map(|(i, &lane)| {
+            let rate = if i == 0 {
+                CqScale::Fleet.nominal_rate()
+            } else {
+                0.0
+            };
+            (lane, rate)
+        })
+        .collect();
+    let workload = Workload::new(rates, &topology).expect("spout rates are valid");
+    App {
+        name: "cq_fleet",
         topology,
         workload,
     }
@@ -122,6 +182,31 @@ mod tests {
         let rates = t.component_rates(app.workload.rates());
         assert!((rates[1] - 4200.0).abs() < 1e-9);
         assert!((rates[2] - 4200.0 * QUERY_HIT_RATE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_scale_is_mostly_idle() {
+        let app = continuous_queries(CqScale::Fleet);
+        let t = &app.topology;
+        assert_eq!(t.n_executors(), 1152);
+        assert_eq!(t.spouts().len(), FLEET_SPOUT_LANES);
+        assert_eq!(app.workload.rates().len(), FLEET_SPOUT_LANES);
+        // Only lane 0 carries traffic.
+        assert_eq!(app.workload.total_rate(), CqScale::Fleet.nominal_rate());
+        assert!(app.workload.rates()[1..].iter().all(|&(_, r)| r == 0.0));
+        // Busy core demand is a sliver of a 128 x 8-core fleet.
+        let rates = t.component_rates(app.workload.rates());
+        let cores_needed: f64 = t
+            .components()
+            .iter()
+            .enumerate()
+            .map(|(c, spec)| rates[c] * spec.service_mean_ms / 1000.0)
+            .sum();
+        assert!(cores_needed > 2.0, "demand {cores_needed} cores");
+        assert!(
+            cores_needed < 0.02 * 1024.0,
+            "fleet must be mostly idle: {cores_needed} cores"
+        );
     }
 
     #[test]

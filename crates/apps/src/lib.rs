@@ -19,9 +19,9 @@ pub mod datagen;
 pub mod log_stream;
 pub mod word_count;
 
-pub use continuous_queries::{continuous_queries, CqScale};
+pub use continuous_queries::{continuous_queries, CqScale, FLEET_SPOUT_LANES};
 pub use log_stream::log_stream;
-pub use word_count::word_count;
+pub use word_count::{word_count, word_count_fleet};
 
 use dss_sim::{Topology, Workload};
 

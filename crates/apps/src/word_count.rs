@@ -26,18 +26,51 @@ pub const WORD_SKEW: f64 = 1.0;
 pub const WORDS_PER_LINE: f64 = 10.0;
 /// Nominal input lines per second.
 pub const NOMINAL_RATE: f64 = 900.0;
+/// Nominal input lines per second at fleet scale: lighter per executor
+/// than the paper layout (3.1 lines/s per spout), so a 128-machine fleet
+/// stays far from saturation while word fan-out still exercises the
+/// fields-grouped hot path.
+pub const FLEET_RATE: f64 = 800.0;
 
 /// Builds the 100-executor word-count topology with its nominal workload.
 pub fn word_count() -> App {
-    let mut b = TopologyBuilder::new("word-count-stream");
+    word_count_sized(
+        "word-count-stream",
+        "word_count",
+        [10, 30, 30, 30],
+        NOMINAL_RATE,
+    )
+}
+
+/// The fleet-scale variant: the same four-stage pipeline at 1152 executors
+/// (256 spout / 384 split / 320 count / 192 database) under a light
+/// per-executor load — a thousand-thread assignment problem for the
+/// hierarchical mapper over a 128-machine cluster.
+pub fn word_count_fleet() -> App {
+    word_count_sized(
+        "word-count-fleet",
+        "word_count_fleet",
+        [256, 384, 320, 192],
+        FLEET_RATE,
+    )
+}
+
+fn word_count_sized(
+    topo_name: &str,
+    app_name: &'static str,
+    parallelism: [usize; 4],
+    rate: f64,
+) -> App {
+    let [sp, splitp, countp, dbp] = parallelism;
+    let mut b = TopologyBuilder::new(topo_name);
     // Spout: pull a text line from the Redis queue.
-    let spout = b.spout("line-spout", 10, 0.05);
+    let spout = b.spout("line-spout", sp, 0.05);
     // Split: tokenize the line (cheap per line, emits one tuple per word).
-    let split = b.bolt("split-bolt", 30, 0.35);
+    let split = b.bolt("split-bolt", splitp, 0.35);
     // Count: hash-map increment per word (cheap, but hot-key skewed).
-    let count = b.bolt("count-bolt", 30, 0.18);
+    let count = b.bolt("count-bolt", countp, 0.18);
     // Database: periodic count flushes to Mongo.
-    let db = b.bolt("db-bolt", 30, 1.1);
+    let db = b.bolt("db-bolt", dbp, 1.1);
     b.service_cv(split, 0.4);
     b.service_cv(count, 0.5);
     b.service_cv(db, 0.7);
@@ -56,9 +89,9 @@ pub fn word_count() -> App {
     // Counts are flushed periodically, not per word.
     b.edge(count, db, Grouping::Shuffle, 0.05, 64);
     let topology = b.build().expect("static topology is valid");
-    let workload = Workload::uniform(&topology, NOMINAL_RATE);
+    let workload = Workload::uniform(&topology, rate);
     App {
-        name: "word_count",
+        name: app_name,
         topology,
         workload,
     }
@@ -79,6 +112,27 @@ mod tests {
             .map(|c| c.parallelism)
             .collect();
         assert_eq!(p, vec![10, 30, 30, 30]);
+    }
+
+    #[test]
+    fn fleet_variant_scales_executors_not_structure() {
+        let app = word_count_fleet();
+        assert_eq!(app.topology.n_executors(), 1152);
+        let p: Vec<usize> = app
+            .topology
+            .components()
+            .iter()
+            .map(|c| c.parallelism)
+            .collect();
+        assert_eq!(p, vec![256, 384, 320, 192]);
+        // Same pipeline shape and groupings as the paper layout.
+        let base = word_count();
+        assert_eq!(app.topology.edges().len(), base.topology.edges().len());
+        for (a, b) in app.topology.edges().iter().zip(base.topology.edges()) {
+            assert_eq!(a.grouping, b.grouping);
+            assert_eq!(a.selectivity, b.selectivity);
+        }
+        assert_eq!(app.workload.total_rate(), FLEET_RATE);
     }
 
     #[test]

@@ -24,8 +24,10 @@
 //! generic-scalar refactor; every core probe also runs an explicit `f64`
 //! instantiation of the *same* code (`*_f64*` probes), and the
 //! `f32_over_f64_*` speedup keys record the single-precision win on the
-//! serial-pinned pairs. These are serial-gated by `bench_gate` (≥ 1.0×),
-//! so the f32 default can never silently regress below double precision.
+//! serial-pinned pairs. These are serial-gated by `bench_gate` (≥ 1.0×,
+//! except the sparsity-bound act pair, which gates at 0.8 — see the
+//! `bench_gate` threshold table), so the f32 default can never silently
+//! regress below double precision.
 //! The dispatched GEMM microkernel (`avx2_fma` / `scalar` — see
 //! `DSS_NO_SIMD`) is recorded in `config.microkernel`, and the measuring
 //! host's physical parallelism in `config.host_cores` (so a `par_* ≈ 1.0`
@@ -53,10 +55,10 @@ use dss_nn::{
     microkernel_name, mse_loss_grad, Activation, Adam, Elem, Matrix, Mlp, Optimizer, Scalar,
 };
 use dss_rl::{
-    ActScratch, DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, KBestMapper, ReplayBuffer,
-    ShardedReplayBuffer, Transition,
+    ActScratch, ActionMapper, DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, HierarchicalMapper,
+    KBestMapper, ReplayBuffer, ShardedReplayBuffer, Transition,
 };
-use dss_sim::{ClusterSpec, Grouping, TopologyBuilder, Workload};
+use dss_sim::{ClusterSpec, Grouping, SimConfig, TopologyBuilder, Workload};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use workpool::{with_pool, Pool};
@@ -433,6 +435,132 @@ fn main() {
         );
     }
 
+    // ---- fleet-scale engine step: event calendar vs dense oracle --------
+    // One 0.25 s decision epoch of the cq-fleet scenario (1152 executors,
+    // 128 machines, 7 of 8 ingest lanes silent). The dense oracle scans
+    // every pending event per pop and keeps idle spouts polling; the
+    // event-driven engine pops from a binary heap and parks silent spouts,
+    // so its cost follows the ~100 busy executors, not the cluster.
+    // Gated (`fleet_engine_step` >= 5x): sublinearity in idle capacity
+    // must not regress.
+    {
+        let scenario = Scenario::by_name("cq-fleet").expect("registry scenario");
+        let probe = |dense: bool| {
+            let mut engine = scenario.sim_engine_with(SimConfig::steady_state(7));
+            engine.set_dense_events(dense);
+            engine
+                .deploy(scenario.initial_assignment())
+                .expect("deployable");
+            engine.step_epoch(0.25); // warm past the cold start
+            bench_ns(budget_ms, || {
+                std::hint::black_box(engine.step_epoch(0.25));
+            })
+        };
+        record("fleet_engine_step_event", probe(false));
+        record("fleet_engine_step_dense", probe(true));
+    }
+
+    // ---- fleet-scale action mapping: flat K-NN vs hierarchical ----------
+    // One K = 8 mapper query on the 1152 x 128 fleet problem. The flat
+    // mapper enumerates k-best assignments over all 128 machine columns
+    // and materializes all 8 candidates; the hierarchical mapper solves
+    // over 16 core-class groups, refines the winners over one group's
+    // machines, and prunes to the top 2 candidates before materializing.
+    {
+        let (n, m) = (1152usize, 128usize);
+        let groups = ClusterSpec::fleet(128, 8, 12).machine_groups(16);
+        let mut flat: KBestMapper = KBestMapper::new(n, m);
+        let mut hier: HierarchicalMapper = HierarchicalMapper::new(n, m, groups, 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let proto: Vec<Elem> = (0..n * m).map(|_| rng.random_range(0.0..1.0)).collect();
+        let mut out = Vec::new();
+        record(
+            "fleet_mapper_query_flat",
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || {
+                    flat.nearest_into(&proto, 8, &mut out);
+                    std::hint::black_box(&out);
+                })
+            }),
+        );
+        record(
+            "fleet_mapper_query_hier",
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || {
+                    hier.nearest_into(&proto, 8, &mut out);
+                    std::hint::black_box(&out);
+                })
+            }),
+        );
+    }
+
+    // ---- fleet-scale rollout act path: flat vs hierarchical+pruned ------
+    // One full decision (actor infer -> noise -> mapping -> critic argmax)
+    // on the real cq-fleet problem: the state is the featurized one-hot
+    // assignment plus rate tail the act path actually sees, so the
+    // sparsity-aware scoring runs at its deployed cost. The hierarchical
+    // mapper's top-2 pruning also shrinks the critic argmax from 8
+    // candidates to 2. Gated (`fleet_rollout_act` >= 2x).
+    {
+        let scenario = Scenario::by_name("cq-fleet").expect("registry scenario");
+        let (n, m) = (scenario.n_executors(), scenario.n_machines());
+        let state_dim = scenario.state_dim();
+        let agent: DdpgAgent = DdpgAgent::new(
+            state_dim,
+            n * m,
+            DdpgConfig {
+                k: 8,
+                hidden: [16, 8],
+                replay_capacity: 64,
+                batch: BATCH_H,
+                seed: 13,
+                ..DdpgConfig::default()
+            },
+        );
+        let mut flat: KBestMapper = KBestMapper::new(n, m);
+        let mut hier: HierarchicalMapper =
+            HierarchicalMapper::new(n, m, ClusterSpec::fleet(128, 8, 12).machine_groups(16), 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut state = Vec::new();
+        dss_core::state::featurize_into(
+            &scenario.initial_assignment(),
+            &scenario.app.workload,
+            ControlConfig::paper().rate_scale,
+            &mut state,
+        );
+        assert_eq!(state.len(), state_dim, "featurized fleet state width");
+        let mut flat_scratch = ActScratch::default();
+        let mut hier_scratch = ActScratch::default();
+        record(
+            "fleet_rollout_act_flat",
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || {
+                    std::hint::black_box(agent.select_action_into(
+                        &state,
+                        &mut flat,
+                        0.3,
+                        &mut rng,
+                        &mut flat_scratch,
+                    ));
+                })
+            }),
+        );
+        record(
+            "fleet_rollout_act_hier",
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || {
+                    std::hint::black_box(agent.select_action_into(
+                        &state,
+                        &mut hier,
+                        0.3,
+                        &mut rng,
+                        &mut hier_scratch,
+                    ));
+                })
+            }),
+        );
+    }
+
     // ---- end-to-end rollout throughput at 1/2/4/8 actors ----------------
     // ns per collected transition of the parallel experience-collection
     // driver (tiny 4-executor topology, analytic environment, frozen
@@ -658,6 +786,26 @@ const PAIRS: &[(&str, &str, &str)] = &[
         "par_rollout_4x",
         "rollout_1actors_per_transition",
         "rollout_4actors_per_transition",
+    ),
+    // Fleet-scale pairs: event-driven/hierarchical implementations over
+    // their dense/flat counterparts on the 1152-executor, 128-machine
+    // cq-fleet shape. Gated with per-key thresholds in `bench_gate`
+    // (engine step >= 5x, rollout act >= 2x) — sublinear fleet control is
+    // a hard acceptance bar, not a best-effort speedup.
+    (
+        "fleet_engine_step",
+        "fleet_engine_step_dense",
+        "fleet_engine_step_event",
+    ),
+    (
+        "fleet_mapper_query",
+        "fleet_mapper_query_flat",
+        "fleet_mapper_query_hier",
+    ),
+    (
+        "fleet_rollout_act",
+        "fleet_rollout_act_flat",
+        "fleet_rollout_act_hier",
     ),
     // Precision pairs: f64 instantiation over the f32 default of the SAME
     // serial-pinned code. Gated (no par_ prefix): f32 must stay >= 1.0x.

@@ -26,6 +26,8 @@ fn main() {
             CqScale::Small => "fig6a",
             CqScale::Medium => "fig6b",
             CqScale::Large => "fig6c",
+            // PAPER_STABLE only lists the three paper scales.
+            CqScale::Fleet => unreachable!("fleet scale is not a Figure 6 subplot"),
         };
         eprintln!(
             "[{sub}] training 4 methods on continuous queries ({})",

@@ -18,13 +18,21 @@
 //!
 //! ```text
 //! smoke_backends [--scenarios a,b,...] [--epochs N] [--transport channel|tcp]
-//!                [--chaos-seed N]
+//!                [--method dqn|actor-critic] [--chaos-seed N]
 //!
 //! --scenarios   comma-separated registry names
 //!               (default: cq-small-steady,cq-small-bursty)
 //! --epochs      online epochs per method (default: 6)
 //! --transport   how the cluster backend pairs agent and master
 //!               (default: channel)
+//! --method      which DRL method carries the smoke (default: dqn).
+//!               `actor-critic` is the one that stays tractable at
+//!               fleet scale (cq-fleet): its per-epoch cost follows the
+//!               hierarchical mapper + sparsity-aware act path, while
+//!               DQN's single-move action head is O(N*M) wide. On
+//!               scenarios with >= 64 machines the actor-critic leg
+//!               turns on hierarchical mapping (machines/8 groups,
+//!               top-2 pruning), matching the gated fleet bench.
 //! --chaos-seed  make the cluster backend's control-plane link lossy
 //!               under this fixed seed: scenarios with their own chaos
 //!               plan are re-seeded, all others get a 10%-drop plan. The
@@ -44,6 +52,7 @@ fn main() {
     let mut scenarios = vec!["cq-small-steady".to_string(), "cq-small-bursty".to_string()];
     let mut epochs = 6usize;
     let mut transport = ClusterTransport::Channel;
+    let mut method = Method::Dqn;
     let mut chaos_seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -70,6 +79,13 @@ fn main() {
                     other => panic!("unknown transport `{other}`; expected channel|tcp"),
                 };
             }
+            "--method" => {
+                method = match args.next().expect("--method needs a value").as_str() {
+                    "dqn" => Method::Dqn,
+                    "actor-critic" => Method::ActorCritic,
+                    other => panic!("unknown method `{other}`; expected dqn|actor-critic"),
+                };
+            }
             "--chaos-seed" => {
                 chaos_seed = Some(
                     args.next()
@@ -79,12 +95,13 @@ fn main() {
                 );
             }
             other => panic!(
-                "unknown flag `{other}`; expected --scenarios/--epochs/--transport/--chaos-seed"
+                "unknown flag `{other}`; expected \
+                 --scenarios/--epochs/--transport/--method/--chaos-seed"
             ),
         }
     }
 
-    let cfg = ControlConfig {
+    let base_cfg = ControlConfig {
         offline_samples: 30,
         offline_steps: 25,
         online_epochs: epochs,
@@ -96,6 +113,14 @@ fn main() {
     for name in &scenarios {
         let mut scenario = Scenario::by_name(name)
             .unwrap_or_else(|| panic!("`{name}` is not a registry scenario"));
+        // Fleet-sized scenarios get the hierarchical mapper knobs the
+        // gated bench pair measures with; the paper-scale scenarios stay
+        // on the flat mapper.
+        let cfg = if method == Method::ActorCritic && scenario.n_machines() >= 64 {
+            base_cfg.with_mapper_knobs(scenario.n_machines() / 8, 2)
+        } else {
+            base_cfg
+        };
         if let Some(seed) = chaos_seed {
             scenario.chaos = Some(match scenario.chaos.take() {
                 Some(plan) => plan.with_seed(seed),
@@ -110,13 +135,13 @@ fn main() {
             let out = match backend {
                 // The cluster leg honors --transport (CI runs both).
                 Backend::Cluster => {
-                    train_method_with(Method::Dqn, &scenario.app, &scenario.cluster, &cfg, || {
+                    train_method_with(method, &scenario.app, &scenario.cluster, &cfg, || {
                         scenario.cluster_env_with(&cfg, cfg.seed, transport)
                     })
                 }
-                _ => train_method_on(backend, Method::Dqn, &scenario, &cfg),
+                _ => train_method_on(backend, method, &scenario, &cfg),
             };
-            let rewards = out.rewards.as_ref().expect("DQN records rewards");
+            let rewards = out.rewards.as_ref().expect("DRL methods record rewards");
             assert_eq!(
                 rewards.len(),
                 cfg.online_epochs,

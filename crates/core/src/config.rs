@@ -45,6 +45,16 @@ pub struct ControlConfig {
     pub eps_end: f64,
     /// Epochs over which ε decays.
     pub eps_decay_epochs: usize,
+    /// Machine groups `G` for hierarchical two-level action mapping
+    /// (`0` = flat K-NN over all machines, the paper's Algorithm 1). At
+    /// fleet scale (`M` in the hundreds), grouping makes each mapper query
+    /// enumerate `K` solutions over `G` columns then refine over one
+    /// group's machines instead of scanning all `K·M` flat candidates.
+    pub mapper_groups: usize,
+    /// Top-`P` candidate pruning before the batched critic argmax (`0` =
+    /// keep all `K` candidates). The critic then scores `H·P` instead of
+    /// `H·K` rows per decision.
+    pub mapper_prune: usize,
 }
 
 impl ControlConfig {
@@ -64,7 +74,18 @@ impl ControlConfig {
             eps_start: 0.8,
             eps_end: 0.05,
             eps_decay_epochs: 1_000,
+            mapper_groups: 0,
+            mapper_prune: 0,
         }
+    }
+
+    /// Fleet-scale preset: hierarchical mapping over `groups` machine
+    /// groups with top-`prune` candidate pruning, on top of the paper's
+    /// settings. `groups == 0` falls back to the flat mapper.
+    pub fn with_mapper_knobs(mut self, groups: usize, prune: usize) -> Self {
+        self.mapper_groups = groups;
+        self.mapper_prune = prune;
+        self
     }
 
     /// A scaled-down preset for figure regeneration in minutes instead of

@@ -41,7 +41,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dss_rl::{ActScratch, DdpgAgent, Elem, KBestMapper, Scalar, ShardedReplayBuffer};
+use dss_rl::{
+    ActScratch, ActionMapper, DdpgAgent, Elem, HierarchicalMapper, KBestMapper, ScalableMapper,
+    Scalar, ShardedReplayBuffer,
+};
 use dss_sim::{AnalyticModel, Assignment, ClusterSpec, SimConfig, Topology, Workload};
 
 use crate::action::choice_to_assignment;
@@ -62,6 +65,8 @@ fn assert_thread_safe() {
     send::<crate::env::ClusterEnv>();
     send::<dss_sim::SimEngine>();
     send::<KBestMapper>();
+    send::<HierarchicalMapper>();
+    send::<ScalableMapper>();
     send::<StdRng>();
     send::<ActScratch>();
     sync::<DdpgAgent>();
@@ -92,7 +97,7 @@ pub struct ActorSetup<E> {
 /// allocations.
 struct Actor<E> {
     env: E,
-    mapper: KBestMapper,
+    mapper: ScalableMapper,
     rng: StdRng,
     current: Assignment,
     /// Base workload of the actor's scenario (never mutated).
@@ -144,7 +149,12 @@ impl<E: Environment + Send> ParallelCollector<E> {
                 let setup = factory(i);
                 let observed = setup.workload.clone();
                 Actor {
-                    mapper: KBestMapper::new(setup.env.n_executors(), setup.env.n_machines()),
+                    mapper: ScalableMapper::from_knobs(
+                        setup.env.n_executors(),
+                        setup.env.n_machines(),
+                        cfg.mapper_groups,
+                        cfg.mapper_prune,
+                    ),
                     rng: StdRng::seed_from_u64(cfg.seed ^ (0xAC70 + i as u64)),
                     current: setup.initial,
                     env: setup.env,
@@ -272,7 +282,7 @@ impl<E: Environment + Send> ParallelCollector<E> {
     pub fn run(
         &mut self,
         agent: &mut DdpgAgent,
-        mapper: &mut KBestMapper,
+        mapper: &mut dyn ActionMapper<Elem>,
         rng: &mut StdRng,
         plan: &RoundPlan,
         eps_for_round: impl Fn(usize) -> f64,
@@ -491,6 +501,30 @@ mod tests {
             (late_w - base * 2.0).abs() < 1e-6,
             "post-step feature {late_w} should be doubled"
         );
+    }
+
+    #[test]
+    fn hierarchical_mapper_knobs_flow_through_the_collector() {
+        // Grouped-and-pruned action mapping rides the same loop: actors
+        // collect feasible transitions, and same-seed runs stay
+        // bit-reproducible across thread counts.
+        let cfg = ControlConfig {
+            mapper_groups: 2,
+            mapper_prune: 2,
+            ..ControlConfig::test()
+        };
+        let topology = topo();
+        let run = |threads: usize| {
+            let agent = agent_for(&topology, 2, &cfg);
+            let mut col = collector(&cfg, 2);
+            workpool::with_pool(std::sync::Arc::new(workpool::Pool::new(threads)), || {
+                col.collect_round(&agent, 0.4, 6)
+            })
+        };
+        let first = run(4);
+        assert_eq!(first.len(), 2);
+        assert!(first.iter().all(|&r| r < 0.0));
+        assert_eq!(first, run(1), "thread count must not change results");
     }
 
     #[test]

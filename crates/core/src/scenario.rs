@@ -24,7 +24,7 @@
 //! on the problem shape `(N executors, M machines, data sources)` are
 //! [`compatible`](Scenario::compatible) and may share one agent/fleet.
 
-use dss_apps::{continuous_queries, log_stream, word_count, App, CqScale};
+use dss_apps::{continuous_queries, log_stream, word_count, word_count_fleet, App, CqScale};
 use dss_nimbus::FaultPlan;
 use dss_proto::ChaosPlan;
 use dss_sim::{
@@ -182,6 +182,23 @@ impl Scenario {
                 word_count(),
                 ClusterSpec::homogeneous(10),
                 bursts(),
+            ),
+            // Fleet scale: hundreds of machines, ≥1000 executors, mostly
+            // idle — the shape where the event-driven engine and the
+            // hierarchical (group-then-machine) action mapper pay off.
+            // `cq-fleet` keeps 7 of its 8 ingest lanes silent;
+            // `word-count-fleet` spreads a light load over 1152 executors.
+            s(
+                "cq-fleet",
+                continuous_queries(CqScale::Fleet),
+                ClusterSpec::fleet(128, 8, 12),
+                RateSchedule::constant(),
+            ),
+            s(
+                "word-count-fleet",
+                word_count_fleet(),
+                ClusterSpec::fleet(128, 8, 12),
+                RateSchedule::constant(),
             ),
             // Fault scenarios: a machine dies mid-run and (for the small
             // variant) later returns — the paper-§2.1 recovery transient
@@ -594,6 +611,28 @@ mod tests {
         let e1 = lossy.cluster_env(&cfg, 1);
         let e2 = lossy.cluster_env(&cfg, 2);
         drop((e1, e2)); // unlaunched: construction alone must be cheap+valid
+    }
+
+    #[test]
+    fn fleet_scenarios_ride_the_registry() {
+        let cq = Scenario::by_name("cq-fleet").expect("registered");
+        assert_eq!(cq.n_executors(), 1152);
+        assert_eq!(cq.n_machines(), 128);
+        assert_eq!(cq.n_sources(), dss_apps::FLEET_SPOUT_LANES);
+        assert_eq!(cq.state_dim(), 1152 * 128 + 8);
+        let wc = Scenario::by_name("word-count-fleet").expect("registered");
+        assert_eq!(wc.n_executors(), 1152);
+        assert_eq!(wc.n_machines(), 128);
+        // Different source counts: the two fleet scenarios are NOT
+        // domain-randomization partners, by design.
+        assert!(!cq.compatible(&wc));
+        // The fleet cluster is uniform 8-core/12-slot and groups cleanly
+        // for the hierarchical mapper.
+        assert!(cq.cluster.machines.iter().all(|m| m.cores == 8));
+        assert_eq!(cq.cluster.machine_groups(16).len(), 16);
+        // Capacity dwarfs demand: round-robin must already be feasible.
+        let init = cq.initial_assignment();
+        assert_eq!(init.n_executors(), 1152);
     }
 
     #[test]

@@ -5,7 +5,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dss_rl::{
-    CandidateAction, DdpgAgent, DdpgConfig, Elem, EpsilonSchedule, KBestMapper, Scalar, Transition,
+    CandidateAction, DdpgAgent, DdpgConfig, Elem, EpsilonSchedule, ScalableMapper, Scalar,
+    Transition,
 };
 use dss_sim::Assignment;
 
@@ -35,7 +36,7 @@ const ELITE_SIZE: usize = 12;
 /// via [`DdpgAgent::select_action`].
 pub struct ActorCriticScheduler {
     agent: DdpgAgent,
-    mapper: KBestMapper,
+    mapper: ScalableMapper,
     eps: EpsilonSchedule,
     epoch: usize,
     rate_scale: f64,
@@ -70,7 +71,12 @@ impl ActorCriticScheduler {
         );
         Self {
             agent,
-            mapper: KBestMapper::new(n_executors, n_machines),
+            mapper: ScalableMapper::from_knobs(
+                n_executors,
+                n_machines,
+                config.mapper_groups,
+                config.mapper_prune,
+            ),
             eps: EpsilonSchedule::new(config.eps_start, config.eps_end, config.eps_decay_epochs),
             epoch: 0,
             rate_scale: config.rate_scale,

@@ -67,6 +67,23 @@ impl<S: Scalar> CostMatrix<S> {
         }
     }
 
+    /// Refills every entry from `f(row, col)`, reusing the cost buffer —
+    /// how derived matrices (e.g. the hierarchical mapper's group-reduced
+    /// costs, `gc_i(g) = min_{j ∈ g} c_i(j)`) are rebuilt per query
+    /// without allocating.
+    ///
+    /// # Panics
+    /// Panics when `f` produces a NaN cost.
+    pub fn fill_with(&mut self, mut f: impl FnMut(usize, usize) -> S) {
+        for i in 0..self.n {
+            for j in 0..self.m {
+                let c = f(i, j);
+                assert!(!c.is_nan(), "NaN cost at ({i}, {j})");
+                self.costs[i * self.m + j] = c;
+            }
+        }
+    }
+
     /// Number of threads (rows).
     pub fn n(&self) -> usize {
         self.n
@@ -188,6 +205,20 @@ mod tests {
         let mut reused = CostMatrix::from_proto_action(&first, 2, 2);
         reused.set_proto_action(&second);
         assert_eq!(reused, CostMatrix::from_proto_action(&second, 2, 2));
+    }
+
+    #[test]
+    fn fill_with_overwrites_in_place() {
+        let mut c = CostMatrix::new(2, 3, vec![0.0; 6]);
+        c.fill_with(|i, j| (i * 3 + j) as f64);
+        assert_eq!(c, CostMatrix::new(2, 3, (0..6).map(f64::from).collect()));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN cost")]
+    fn fill_with_rejects_nan() {
+        let mut c = CostMatrix::new(1, 2, vec![0.0; 2]);
+        c.fill_with(|_, _| f64::NAN);
     }
 
     #[test]

@@ -127,6 +127,13 @@ pub struct Nimbus {
     faults: Option<FaultCursor>,
     /// Repairs performed by [`Nimbus::detect_and_repair`].
     repairs: usize,
+    /// Whether a coordination session expired since the last completed
+    /// repair check. While false, [`Nimbus::detect_and_repair`] early-outs
+    /// without enumerating supervisors — healthy (or merely stalled)
+    /// epochs cost O(1), not O(cluster).
+    suspect: bool,
+    /// Full live-machine scans performed by [`Nimbus::detect_and_repair`].
+    repair_scans: usize,
     /// Simulated time and outcome of the latest repair.
     last_repair: Option<(f64, DeployOutcome)>,
     /// Reliable-exchange state: duplicate suppression + response replay.
@@ -170,6 +177,10 @@ impl Nimbus {
             measured_once: false,
             faults: None,
             repairs: 0,
+            // Conservative start: nothing is known about pre-launch
+            // supervisor state, so the first repair check does a full scan.
+            suspect: true,
+            repair_scans: 0,
             last_repair: None,
             reliable: ReliableServer::default(),
         })
@@ -195,6 +206,14 @@ impl Nimbus {
     /// Repairs performed so far by [`Nimbus::detect_and_repair`].
     pub fn repair_count(&self) -> usize {
         self.repairs
+    }
+
+    /// Full live-machine scans performed so far by
+    /// [`Nimbus::detect_and_repair`]. Healthy epochs (no session expiry
+    /// since the last completed check) skip the scan entirely, so on a
+    /// fleet this stays near zero instead of growing by `M` every epoch.
+    pub fn repair_scans(&self) -> usize {
+        self.repair_scans
     }
 
     /// Simulated time and outcome of the latest repair, if any.
@@ -257,7 +276,9 @@ impl Nimbus {
             }
             self.engine.run_until(next);
             self.fire_due_faults();
-            self.sync_clock();
+            if self.sync_clock() > 0 {
+                self.suspect = true;
+            }
             if let Some(sup) = &self.supervisors {
                 sup.heartbeat_all();
             }
@@ -842,18 +863,34 @@ impl Nimbus {
     /// the deployment outcome if a repair was needed, and the typed
     /// [`NimbusError::NoLiveMachines`] — never a panic or a hang — when
     /// executors are stranded but zero machines remain live.
+    ///
+    /// Scan cost follows *failures*, not cluster size: the full
+    /// live-machine enumeration only runs while a heartbeat session has
+    /// expired since the last completed check ([`Nimbus::repair_scans`]
+    /// counts them). A healthy fleet — or one merely stalled through
+    /// empty-window penalty epochs — pays O(1) per tick. A failed repair
+    /// (e.g. [`NimbusError::NoLiveMachines`]) leaves the suspicion armed,
+    /// so the next tick retries.
     pub fn detect_and_repair(&mut self) -> Result<Option<DeployOutcome>, NimbusError> {
-        self.sync_clock();
+        if self.sync_clock() > 0 {
+            self.suspect = true;
+        }
+        if !self.suspect {
+            return Ok(None);
+        }
+        self.repair_scans += 1;
         let live = self.live_machines()?;
-        match self.repair_assignment(&live)? {
+        let outcome = match self.repair_assignment(&live)? {
             Some(repaired) => {
                 let outcome = self.apply_solution(&repaired)?;
                 self.repairs += 1;
                 self.last_repair = Some((self.engine.now(), outcome));
-                Ok(Some(outcome))
+                Some(outcome)
             }
-            None => Ok(None),
-        }
+            None => None,
+        };
+        self.suspect = false;
+        Ok(outcome)
     }
 }
 
@@ -1040,6 +1077,37 @@ mod tests {
             .as_slice()
             .iter()
             .all(|&m| m != 2));
+    }
+
+    #[test]
+    fn healthy_epochs_skip_full_cluster_repair_scans() {
+        let (mut nimbus, coord) = launch();
+        let sup = crate::supervisor::SupervisorSet::register(&coord, 4).unwrap();
+        nimbus.attach_supervisors(sup);
+        // First check: conservative full scan (pre-launch state unknown).
+        assert!(nimbus.detect_and_repair().unwrap().is_none());
+        assert_eq!(nimbus.repair_scans(), 1);
+        // Healthy heartbeating epochs: no session expires, so repeated
+        // repair ticks never enumerate the cluster again.
+        for _ in 0..5 {
+            let t = nimbus.engine().now() + 1.0;
+            nimbus.advance(t);
+            assert!(nimbus.detect_and_repair().unwrap().is_none());
+        }
+        assert_eq!(nimbus.repair_scans(), 1, "healthy epochs must not rescan");
+        // A crash expires a session and re-arms the detector.
+        nimbus.crash_machine(3);
+        let t = nimbus.engine().now() + 10.0; // > the 5 s session timeout
+        nimbus.advance(t);
+        assert!(nimbus.detect_and_repair().unwrap().is_some());
+        assert_eq!(nimbus.repair_scans(), 2);
+        assert_eq!(nimbus.repair_count(), 1);
+        // Repaired: later healthy (post-expiry) epochs skip again, even
+        // though machine 3 is still down.
+        let t = nimbus.engine().now() + 3.0;
+        nimbus.advance(t);
+        assert!(nimbus.detect_and_repair().unwrap().is_none());
+        assert_eq!(nimbus.repair_scans(), 2);
     }
 
     #[test]

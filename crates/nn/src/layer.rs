@@ -180,6 +180,82 @@ impl<S: Scalar> Dense<S> {
         x.matmul_transpose_b_bias_act_into(&self.w, &self.b, self.activation, out);
     }
 
+    /// Single-row inference without the per-call `Wᵀ` pack:
+    /// `out = act(x·Wᵀ + b)`, streaming each output unit's contiguous
+    /// weight row exactly once. For 1-row batches this replaces
+    /// [`Dense::infer_into`]'s pack-then-GEMM (which reads *and* writes the
+    /// whole weight matrix per call) with a single read — the win that
+    /// makes wide fleet-scale act paths affordable.
+    ///
+    /// Bitwise identical to `infer_into` on the same row: every output
+    /// element accumulates over ascending input index through the same
+    /// `mul_add` chain, and the epilogue is the same `act(acc + b)`.
+    pub fn infer_row_into(&self, x: &[S], out: &mut Vec<S>) {
+        assert_eq!(x.len(), self.input_size(), "layer input width");
+        out.clear();
+        for o in 0..self.output_size() {
+            let row = self.w.row(o);
+            let mut acc = S::ZERO;
+            for (&xv, &wv) in x.iter().zip(row) {
+                acc = xv.mul_add(wv, acc);
+            }
+            out.push(self.activation.apply(acc + self.b[o]));
+        }
+    }
+
+    /// Partial pre-activation accumulate over a subset of input
+    /// coordinates: `acc[o] += Σ_{l ∈ nz} x[l]·w[o][l]`. With `nz` the
+    /// ascending support of `x`, this skips only exact-zero terms — which
+    /// leave the IEEE accumulator untouched — so composing it with
+    /// [`Dense::accumulate_hot_cols`] over a later block and
+    /// [`Dense::finish_row`] reproduces the dense forward bit for bit
+    /// while the work scales with the support, not the input width.
+    ///
+    /// # Panics
+    /// Panics when `acc` is not `output_size` wide.
+    pub fn accumulate_cols(&self, nz: &[usize], x: &[S], acc: &mut [S]) {
+        assert_eq!(acc.len(), self.output_size(), "accumulator width");
+        for (o, a) in acc.iter_mut().enumerate() {
+            let row = self.w.row(o);
+            let mut v = *a;
+            for &l in nz {
+                v = x[l].mul_add(row[l], v);
+            }
+            *a = v;
+        }
+    }
+
+    /// `acc[o] += Σ_{j ∈ hot} w[o][j]` — the exactly-one inputs of a
+    /// one-hot block. `fma(1, w, acc)` and `acc + w` round identically,
+    /// so this matches the dense chain over the hot columns.
+    ///
+    /// # Panics
+    /// Panics when `acc` is not `output_size` wide.
+    pub fn accumulate_hot_cols(&self, hot: &[usize], acc: &mut [S]) {
+        assert_eq!(acc.len(), self.output_size(), "accumulator width");
+        for (o, a) in acc.iter_mut().enumerate() {
+            let row = self.w.row(o);
+            let mut v = *a;
+            for &j in hot {
+                v += row[j];
+            }
+            *a = v;
+        }
+    }
+
+    /// Applies the layer epilogue to an accumulated pre-activation row in
+    /// place: `acc[o] = act(acc[o] + b[o])` — the same per-element form
+    /// the fused GEMM epilogue uses.
+    ///
+    /// # Panics
+    /// Panics when `acc` is not `output_size` wide.
+    pub fn finish_row(&self, acc: &mut [S]) {
+        assert_eq!(acc.len(), self.output_size(), "accumulator width");
+        for (a, &b) in acc.iter_mut().zip(&self.b) {
+            *a = self.activation.apply(*a + b);
+        }
+    }
+
     /// Backward pass: given `dL/da` (`batch × out`), accumulates `dL/dW`
     /// and `dL/db` into this layer's gradient buffers and returns `dL/dx`
     /// (borrowed from layer scratch; valid until the next `backward`).
@@ -363,5 +439,47 @@ mod tests {
         let mut rng = seeded_rng(2);
         let mut layer = Dense::new(2, 2, Activation::Tanh, &mut rng);
         layer.backward(&Matrix::row_vector(&[1.0, 1.0]));
+    }
+
+    fn bitwise_row_paths_match<S: Scalar>(seed: u64) {
+        let mut rng = seeded_rng(seed);
+        // Wide enough that the packed GEMM takes its real kernel path.
+        let (input, output) = (67usize, 5usize);
+        for act in [
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Relu,
+            Activation::Identity,
+        ] {
+            let layer: Dense<S> = Dense::new(input, output, act, &mut rng);
+            // A row with a dense prefix, an exact-zero stretch, and a
+            // one-hot tail — the featurized-control-state shape.
+            let mut x = vec![S::ZERO; input];
+            for (i, v) in x.iter_mut().enumerate().take(20) {
+                *v = S::from_f64(0.07 * i as f64 - 0.5);
+            }
+            let hot: Vec<usize> = vec![31, 44, 59];
+            for &j in &hot {
+                x[j] = S::ONE;
+            }
+            let dense = layer.infer(&Matrix::row_vector(&x));
+
+            let mut row = Vec::new();
+            layer.infer_row_into(&x, &mut row);
+            assert_eq!(row, dense.row(0), "infer_row_into must match bitwise");
+
+            let nz: Vec<usize> = (0..20).filter(|&l| x[l] != S::ZERO).collect();
+            let mut acc = vec![S::ZERO; output];
+            layer.accumulate_cols(&nz, &x, &mut acc);
+            layer.accumulate_hot_cols(&hot, &mut acc);
+            layer.finish_row(&mut acc);
+            assert_eq!(acc, dense.row(0), "sparse accumulate must match bitwise");
+        }
+    }
+
+    #[test]
+    fn row_and_sparse_paths_are_bitwise_identical_to_the_gemm() {
+        bitwise_row_paths_match::<f32>(11);
+        bitwise_row_paths_match::<f64>(12);
     }
 }

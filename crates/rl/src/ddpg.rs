@@ -19,7 +19,7 @@
 
 use rand::rngs::StdRng;
 
-use dss_nn::{Activation, Adam, Elem, InferScratch, Matrix, Mlp, Scalar};
+use dss_nn::{Activation, Adam, Elem, Matrix, Mlp, Scalar};
 
 use crate::explore::{perturb_proto, perturb_proto_into};
 use crate::mapper::{ActionMapper, CandidateAction};
@@ -105,17 +105,23 @@ struct TrainScratch<S: Scalar> {
 /// `tests/alloc_free.rs`).
 #[derive(Debug, Default)]
 pub struct ActScratch<S: Scalar = Elem> {
-    /// 1×state_dim staging row for the actor forward.
-    state_row: Matrix<S>,
-    /// Ping-pong layer scratch shared by the actor and critic inferences.
-    infer: InferScratch<S>,
+    /// Ascending support (nonzero coordinates) of the current state.
+    /// Featurized control states are a one-hot `X` block plus a short
+    /// rate tail, so at fleet scale this holds ~N entries, not N·M.
+    nz: Vec<usize>,
+    /// Row-form ping/pong buffers for the actor and critic layer stacks.
+    row_a: Vec<S>,
+    row_b: Vec<S>,
     /// Explored proto-action (`R(â) = â + εI`).
     proto: Vec<S>,
     /// Candidate set of the last query; [`DdpgAgent::select_action_into`]
     /// returns an index into this.
     pub cands: Vec<CandidateAction<S>>,
-    /// Batched `[state ‖ onehot]` rows for the critic argmax.
-    rows: Matrix<S>,
+    /// Critic layer-1 pre-activation over the state alone — shared by
+    /// every candidate in the argmax.
+    h_state: Vec<S>,
+    /// Hot action columns (`state_dim + i·m + cᵢ`) of one candidate.
+    hot: Vec<usize>,
 }
 
 /// The actor-critic agent, generic over the training element type
@@ -233,14 +239,27 @@ impl<S: Scalar> DdpgAgent<S> {
     }
 
     /// Allocation-free decision step over caller-owned [`ActScratch`]:
-    /// actor inference, exploration noise, K-NN mapping and the batched
-    /// critic argmax all run through reused buffers (zero allocations
-    /// once scratch is warm). Returns the index of the selected candidate
-    /// in `scratch.cands`. Consumes the RNG stream identically to
+    /// actor inference, exploration noise, K-NN mapping and the critic
+    /// argmax all run through reused buffers (zero allocations once
+    /// scratch is warm). Returns the index of the selected candidate in
+    /// `scratch.cands`. Consumes the RNG stream identically to
     /// [`DdpgAgent::select_action`] and selects the same candidate.
     ///
+    /// The whole path is sparsity-aware so its cost follows the problem's
+    /// *support*, not its width: the actor/critic first layers gather
+    /// only the state's nonzero coordinates (featurized control states
+    /// are a one-hot assignment block plus a short rate tail), each
+    /// candidate's critic score adds its N hot action columns instead of
+    /// streaming an `N·M`-wide one-hot row, and the tail layers run in
+    /// row form without the per-call `Wᵀ` GEMM pack. Every step is
+    /// bitwise identical to the dense batched forward (exact-zero terms
+    /// leave the IEEE accumulator chains untouched — see
+    /// `Dense::accumulate_cols`), so flat and hierarchical mappers, and
+    /// old and new act paths, stay on the same decision stream.
+    ///
     /// # Panics
-    /// Panics if the mapper returns no candidates.
+    /// Panics if the mapper returns no candidates or its shape disagrees
+    /// with the agent's action width.
     pub fn select_action_into(
         &self,
         state: &[S],
@@ -251,36 +270,73 @@ impl<S: Scalar> DdpgAgent<S> {
     ) -> usize {
         assert_eq!(state.len(), self.state_dim, "state width");
         let ActScratch {
-            state_row,
-            infer,
+            nz,
+            row_a,
+            row_b,
             proto,
             cands,
-            rows,
+            h_state,
+            hot,
         } = scratch;
-        state_row.resize(1, self.state_dim);
-        state_row.data_mut().copy_from_slice(state);
-        let proto_out = self.actor.infer_with(state_row, infer);
-        perturb_proto_into(proto_out.row(0), eps, rng, proto);
+        nz.clear();
+        nz.extend((0..state.len()).filter(|&l| state[l] != S::ZERO));
+
+        // Actor forward in row form: sparse first layer, streamed tail.
+        let layers = self.actor.layers();
+        row_a.clear();
+        row_a.resize(layers[0].output_size(), S::ZERO);
+        layers[0].accumulate_cols(nz, state, row_a);
+        layers[0].finish_row(row_a);
+        let mut in_a = true;
+        for layer in &layers[1..] {
+            if in_a {
+                layer.infer_row_into(row_a, row_b);
+            } else {
+                layer.infer_row_into(row_b, row_a);
+            }
+            in_a = !in_a;
+        }
+        let actor_out: &[S] = if in_a { row_a } else { row_b };
+        perturb_proto_into(actor_out, eps, rng, proto);
         mapper.nearest_into(proto, self.config.k, cands);
         assert!(!cands.is_empty(), "no candidates to select from");
-        // Score every candidate in one batched critic inference (the
-        // per-row results are bitwise identical to one-at-a-time scoring:
-        // the GEMM reduces each output element in the same FMA order
-        // regardless of batch height).
-        let in_dim = self.state_dim + self.action_dim;
-        rows.resize(cands.len(), in_dim);
-        for (r, cand) in cands.iter().enumerate() {
-            let row = rows.row_mut(r);
-            row[..self.state_dim].copy_from_slice(state);
-            row[self.state_dim..].copy_from_slice(&cand.onehot);
-        }
-        let q = self.critic.infer_with(rows, infer);
+
+        // Critic argmax: the layer-1 state part is accumulated once and
+        // shared; each candidate contributes its N hot action columns.
+        let (n, m) = mapper.shape();
+        assert_eq!(n * m, self.action_dim, "mapper/agent action shape");
+        let clayers = self.critic.layers();
+        h_state.clear();
+        h_state.resize(clayers[0].output_size(), S::ZERO);
+        clayers[0].accumulate_cols(nz, state, h_state);
         let mut best = 0;
         let mut best_q = S::NEG_INFINITY;
-        for r in 0..cands.len() {
-            if q[(r, 0)] > best_q {
-                best_q = q[(r, 0)];
-                best = r;
+        for (ci, cand) in cands.iter().enumerate() {
+            assert_eq!(cand.choice.len(), n, "candidate executor count");
+            hot.clear();
+            hot.extend(
+                cand.choice
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| self.state_dim + i * m + c),
+            );
+            row_a.clear();
+            row_a.extend_from_slice(h_state);
+            clayers[0].accumulate_hot_cols(hot, row_a);
+            clayers[0].finish_row(row_a);
+            let mut in_a = true;
+            for layer in &clayers[1..] {
+                if in_a {
+                    layer.infer_row_into(row_a, row_b);
+                } else {
+                    layer.infer_row_into(row_b, row_a);
+                }
+                in_a = !in_a;
+            }
+            let q = if in_a { row_a[0] } else { row_b[0] };
+            if q > best_q {
+                best_q = q;
+                best = ci;
             }
         }
         best

@@ -29,7 +29,9 @@ pub mod transition;
 pub use ddpg::{ActScratch, DdpgAgent, DdpgConfig};
 pub use dqn::{DqnAgent, DqnConfig};
 pub use explore::{EpsilonSchedule, OuNoise};
-pub use mapper::{ActionMapper, CandidateAction, KBestMapper, RelaxMapper};
+pub use mapper::{
+    ActionMapper, CandidateAction, HierarchicalMapper, KBestMapper, RelaxMapper, ScalableMapper,
+};
 pub use priority::{PrioritizedReplay, PrioritizedSample, PriorityConfig, SumTree};
 pub use replay::{ReplayBuffer, ShardSlot, ShardedReplayBuffer};
 pub use transition::Transition;

@@ -97,9 +97,67 @@ impl ClusterSpec {
         }
     }
 
+    /// A fleet-scale homogeneous cluster: `n` machines of `cores` cores
+    /// and `slots` slots each (the registry's fleet scenarios use
+    /// `ClusterSpec::fleet(128, 8, 12)`).
+    pub fn fleet(n: usize, cores: usize, slots: usize) -> Self {
+        Self {
+            machines: vec![MachineSpec { cores, slots }; n],
+            network: NetworkParams::default(),
+        }
+    }
+
     /// Number of machines (the paper's `M`).
     pub fn n_machines(&self) -> usize {
         self.machines.len()
+    }
+
+    /// Partitions the machines into at most `max_groups` groups for
+    /// two-level action mapping: machines are first grouped into maximal
+    /// contiguous runs of equal core count (core classes), then each run
+    /// is split into near-equal contiguous chunks so the total group count
+    /// approaches `max_groups` (never below one group per core class,
+    /// never above one group per machine). With `max_groups ≥ M` every
+    /// machine gets its own group, which makes hierarchical mapping
+    /// coincide with the flat enumeration.
+    ///
+    /// # Panics
+    /// Panics when `max_groups == 0` or the cluster is empty.
+    pub fn machine_groups(&self, max_groups: usize) -> Vec<Vec<usize>> {
+        assert!(max_groups > 0, "need at least one group");
+        assert!(!self.machines.is_empty(), "empty cluster");
+        // Maximal contiguous runs of equal core count.
+        let mut runs: Vec<(usize, usize)> = Vec::new(); // (start, len)
+        for (i, m) in self.machines.iter().enumerate() {
+            match runs.last_mut() {
+                Some((start, len)) if self.machines[*start].cores == m.cores => *len += 1,
+                _ => runs.push((i, 1)),
+            }
+        }
+        // Split the budget over runs proportionally to their length.
+        let total = self.machines.len();
+        let budget = max_groups.min(total).max(runs.len());
+        let mut groups = Vec::new();
+        let mut spent = 0usize;
+        let mut covered = 0usize;
+        for (ri, &(start, len)) in runs.iter().enumerate() {
+            covered += len;
+            // Largest-remainder style split keeps Σ chunks == budget.
+            let remaining_runs = runs.len() - ri - 1;
+            let chunks = ((budget * covered) / total)
+                .saturating_sub(spent)
+                .clamp(1, len)
+                .min(budget - spent - remaining_runs);
+            spent += chunks;
+            let (base, rem) = (len / chunks, len % chunks);
+            let mut at = start;
+            for c in 0..chunks {
+                let clen = base + usize::from(c < rem);
+                groups.push((at..at + clen).collect());
+                at += clen;
+            }
+        }
+        groups
     }
 
     /// Validates the specification.
@@ -177,6 +235,47 @@ mod tests {
             c.base_transfer_ms(0, 0, 10_000)
         );
         assert!(c.base_transfer_ms(0, 1, 10_240) > c.base_transfer_ms(0, 1, 1024));
+    }
+
+    #[test]
+    fn fleet_builds_large_uniform_clusters() {
+        let c = ClusterSpec::fleet(128, 8, 12);
+        assert_eq!(c.n_machines(), 128);
+        assert!(c.machines.iter().all(|m| m.cores == 8 && m.slots == 12));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn machine_groups_partition_and_respect_core_classes() {
+        // Heterogeneous: 4 quad-core then 4 octa-core machines.
+        let mut c = ClusterSpec::homogeneous(8);
+        for m in &mut c.machines[4..] {
+            m.cores = 8;
+        }
+        let groups = c.machine_groups(4);
+        assert_eq!(groups.len(), 4);
+        // Partition of 0..8, order-preserving.
+        let flat: Vec<usize> = groups.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..8).collect::<Vec<_>>());
+        // No group mixes core classes.
+        for g in &groups {
+            let cores = c.machines[g[0]].cores;
+            assert!(g.iter().all(|&j| c.machines[j].cores == cores));
+        }
+        // max_groups >= M degenerates to singletons.
+        let singles = c.machine_groups(100);
+        assert_eq!(singles.len(), 8);
+        assert!(singles.iter().all(|g| g.len() == 1));
+        // Budget below the class count is raised to one group per class.
+        let coarse = c.machine_groups(1);
+        assert_eq!(coarse.len(), 2);
+        assert_eq!(coarse[0], vec![0, 1, 2, 3]);
+        assert_eq!(coarse[1], vec![4, 5, 6, 7]);
+        // Homogeneous fleet splits near-equally.
+        let fleet = ClusterSpec::fleet(128, 8, 12);
+        let g16 = fleet.machine_groups(16);
+        assert_eq!(g16.len(), 16);
+        assert!(g16.iter().all(|g| g.len() == 8));
     }
 
     #[test]

@@ -51,6 +51,11 @@ struct ExecutorState {
     paused_until: f64,
     processed: u64,
     arrived: u64,
+    /// A spout executor whose emission rate is zero and which has no
+    /// pending emission event — it contributes no per-epoch work until a
+    /// workload/schedule mutation wakes it. Event-driven backend only; the
+    /// dense oracle polls instead.
+    parked: bool,
 }
 
 impl ExecutorState {
@@ -62,6 +67,7 @@ impl ExecutorState {
             paused_until: now,
             processed: 0,
             arrived: 0,
+            parked: false,
         }
     }
 
@@ -154,7 +160,11 @@ impl SimEngine {
             service_rng: rng::stream(config.seed, 2),
             routing_rng: rng::stream(config.seed, 3),
             fields_keys,
-            events: EventQueue::new(),
+            events: if dense_events_requested() {
+                EventQueue::new_dense()
+            } else {
+                EventQueue::new()
+            },
             clock: 0.0,
             events_processed: 0,
             started: false,
@@ -173,6 +183,41 @@ impl SimEngine {
     /// event, so a new schedule takes effect within one inter-arrival gap.
     pub fn set_rate_schedule(&mut self, schedule: RateSchedule) {
         self.schedule = schedule;
+        self.wake_parked_spouts();
+    }
+
+    /// Selects the dense linear-scan event backend — the correctness
+    /// oracle and bench baseline whose per-event cost is O(pending events)
+    /// instead of O(log) — or the default calendar heap. Also selectable
+    /// process-wide via the `DSS_DENSE_EVENTS` env var (any non-empty
+    /// value other than `0`).
+    ///
+    /// # Panics
+    /// Panics after the first deploy: the backend cannot change mid-run.
+    pub fn set_dense_events(&mut self, dense: bool) {
+        assert!(
+            !self.started,
+            "event backend must be chosen before the first deploy"
+        );
+        if dense != self.events.is_dense() {
+            self.events = if dense {
+                EventQueue::new_dense()
+            } else {
+                EventQueue::new()
+            };
+        }
+    }
+
+    /// Whether the dense linear-scan event backend is active.
+    pub fn dense_events(&self) -> bool {
+        self.events.is_dense()
+    }
+
+    /// Number of pending events — the quantity the event-driven backend
+    /// keeps proportional to *busy* executors while the dense oracle keeps
+    /// one permanent poll per idle spout.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
     }
 
     /// The workload multiplier schedule in effect.
@@ -185,6 +230,7 @@ impl SimEngine {
     /// performs when the offered load changes between decision epochs).
     pub fn set_workload(&mut self, workload: Workload) {
         self.workload = workload;
+        self.wake_parked_spouts();
     }
 
     /// The base workload currently driving the spouts (before the
@@ -421,6 +467,11 @@ impl SimEngine {
 
     /// Current per-executor emission rate (tuples/s) for a spout executor.
     fn current_rate(&self, executor: usize) -> f64 {
+        self.base_rate(executor) * self.schedule.multiplier_at(self.clock)
+    }
+
+    /// Per-executor base rate before the schedule multiplier (tuples/s).
+    fn base_rate(&self, executor: usize) -> f64 {
         let comp = self.topology.component_of(executor);
         let parallelism = self.topology.components()[comp].parallelism as f64;
         let base_rate: f64 = self
@@ -430,7 +481,7 @@ impl SimEngine {
             .filter(|&&(c, _)| c == comp)
             .map(|&(_, r)| r)
             .sum();
-        base_rate * self.schedule.multiplier_at(self.clock) / parallelism
+        base_rate / parallelism
     }
 
     fn enqueue_tuple(&mut self, executor: usize, root: u64, remote: bool) {
@@ -600,15 +651,64 @@ impl SimEngine {
 
     fn schedule_next_emit(&mut self, executor: usize) {
         let rate = self.current_rate(executor);
-        let gap = if rate > 1e-9 {
-            sample_exponential(&mut self.arrival_rng, 1.0 / rate)
-        } else {
-            // Idle spout: poll for a rate change once a second.
-            1.0
-        };
-        self.events
-            .push(self.clock + gap, EventKind::SpoutEmit { executor });
+        if rate > 1e-9 {
+            let gap = sample_exponential(&mut self.arrival_rng, 1.0 / rate);
+            self.events
+                .push(self.clock + gap, EventKind::SpoutEmit { executor });
+            return;
+        }
+        if self.events.is_dense() {
+            // Dense oracle: an idle spout polls for a rate change once a
+            // second forever — one permanently pending event per idle
+            // spout, exactly the O(cluster-size) per-epoch cost the
+            // calendar path avoids. Polls consume no randomness, so the
+            // two backends stay bit-identical wherever both emit.
+            self.events
+                .push(self.clock + 1.0, EventKind::SpoutEmit { executor });
+            return;
+        }
+        // Event-driven path: a silent spout contributes no events. When
+        // the silence comes from the schedule (positive base rate, zero
+        // multiplier), sleep until the multiplier next changes; a smooth
+        // schedule (sinusoid) has no discrete change point, so keep the
+        // 1 Hz poll there. A zero *base* rate can only change through
+        // set_workload / set_rate_schedule, which wake parked spouts.
+        if self.base_rate(executor) > 1e-9 {
+            match self.schedule.next_change_after(self.clock) {
+                Some(t) => self.events.push(t, EventKind::SpoutEmit { executor }),
+                None if self.schedule.period_s().is_some() => self
+                    .events
+                    .push(self.clock + 1.0, EventKind::SpoutEmit { executor }),
+                None => self.executors[executor].parked = true,
+            }
+            return;
+        }
+        self.executors[executor].parked = true;
     }
+
+    /// Re-kicks spout executors parked by a zero emission rate. Workload
+    /// and schedule mutations are the only ways a parked spout's rate can
+    /// become non-zero, so this runs after both. Spouts are visited in
+    /// executor-index order, keeping the wake-up event sequence (and thus
+    /// the whole trajectory) deterministic.
+    fn wake_parked_spouts(&mut self) {
+        if !self.started {
+            return;
+        }
+        for spout_comp in self.topology.spouts() {
+            for e in self.topology.executors_of(spout_comp) {
+                if self.executors[e].parked {
+                    self.executors[e].parked = false;
+                    self.schedule_next_emit(e);
+                }
+            }
+        }
+    }
+}
+
+/// Whether `DSS_DENSE_EVENTS` asks for the dense oracle backend.
+fn dense_events_requested() -> bool {
+    std::env::var("DSS_DENSE_EVENTS").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 #[cfg(test)]
@@ -990,5 +1090,139 @@ mod tests {
             emitted_after > emitted_during + 100,
             "emission must resume on recovery"
         );
+    }
+
+    /// Two spout lanes feeding one bolt, so per-lane rates can differ.
+    fn two_lane_topology() -> Topology {
+        let mut b = TopologyBuilder::new("lanes");
+        let a = b.spout("lane-a", 2, 0.05);
+        let z = b.spout("lane-z", 3, 0.05);
+        let x = b.bolt("worker", 2, 0.2);
+        b.edge(a, x, Grouping::Shuffle, 1.0, 64);
+        b.edge(z, x, Grouping::Shuffle, 1.0, 64);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dense_and_calendar_backends_are_bit_identical() {
+        // Mostly-idle fleet slice: one live lane, one zero-rate lane, plus
+        // a schedule step mid-run. The dense oracle polls the idle lane;
+        // the calendar backend parks it — trajectories must still match
+        // exactly, epoch by epoch.
+        let run = |dense: bool| {
+            let topo = two_lane_topology();
+            let cluster = ClusterSpec::homogeneous(4);
+            let workload = Workload::new(vec![(0, 150.0), (1, 0.0)], &topo).unwrap();
+            let mut eng =
+                SimEngine::new(topo, cluster, workload, SimConfig::steady_state(31)).unwrap();
+            eng.set_dense_events(dense);
+            assert_eq!(eng.dense_events(), dense);
+            eng.set_rate_schedule(RateSchedule::step_at(12.0, 1.5));
+            let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+            eng.deploy(rr).unwrap();
+            let mut trajectory = Vec::new();
+            for _ in 0..12 {
+                trajectory.push(eng.step_epoch(2.0));
+            }
+            (trajectory, eng.tuple_counts())
+        };
+        let (dense_traj, dense_counts) = run(true);
+        let (event_traj, event_counts) = run(false);
+        assert_eq!(
+            dense_traj, event_traj,
+            "latency trajectories must match bit-for-bit"
+        );
+        assert_eq!(dense_counts, event_counts);
+        assert!(dense_traj.iter().any(|l| l.is_some()));
+    }
+
+    #[test]
+    fn idle_spouts_park_instead_of_polling() {
+        let topo = two_lane_topology();
+        let cluster = ClusterSpec::homogeneous(4);
+        // Lane z (3 executors) is silent.
+        let workload = Workload::new(vec![(0, 50.0), (1, 0.0)], &topo).unwrap();
+        let mk = |dense: bool| {
+            let mut eng = SimEngine::new(
+                two_lane_topology(),
+                ClusterSpec::homogeneous(4),
+                Workload::new(vec![(0, 50.0), (1, 0.0)], &two_lane_topology()).unwrap(),
+                SimConfig::steady_state(32),
+            )
+            .unwrap();
+            eng.set_dense_events(dense);
+            let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+            eng.deploy(rr).unwrap();
+            eng.run_until(5.0);
+            eng
+        };
+        drop((topo, cluster, workload));
+        let dense = mk(true);
+        let event = mk(false);
+        // The dense oracle keeps one poll pending per idle spout executor;
+        // the event-driven backend has none of them.
+        assert!(
+            dense.pending_events() >= event.pending_events() + 3,
+            "dense {} vs event {}",
+            dense.pending_events(),
+            event.pending_events()
+        );
+    }
+
+    #[test]
+    fn parked_spouts_wake_on_workload_change() {
+        let topo = two_lane_topology();
+        let cluster = ClusterSpec::homogeneous(4);
+        let silent = Workload::new(vec![(0, 80.0), (1, 0.0)], &topo).unwrap();
+        let mut eng = SimEngine::new(topo, cluster, silent, SimConfig::steady_state(33)).unwrap();
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        eng.run_until(10.0);
+        let (before, ..) = eng.tuple_counts();
+        // Wake the silent lane mid-run: emission must resume even though
+        // its executors were parked with no pending events.
+        let topo = eng.topology().clone();
+        eng.set_workload(Workload::new(vec![(0, 80.0), (1, 120.0)], &topo).unwrap());
+        eng.run_until(30.0);
+        let (after, ..) = eng.tuple_counts();
+        let expected = (after - before) as f64 / 20.0;
+        assert!(
+            (expected - 200.0).abs() < 40.0,
+            "woken lane must emit: {expected} tuples/s"
+        );
+    }
+
+    #[test]
+    fn schedule_silenced_spouts_sleep_until_next_change() {
+        // Steps to zero at t=10, back to 1 at t=40: the event-driven
+        // backend sleeps the spouts across the silent span (no polls) and
+        // resumes exactly at the change point.
+        let topo = two_lane_topology();
+        let cluster = ClusterSpec::homogeneous(4);
+        let workload = Workload::new(vec![(0, 100.0), (1, 0.0)], &topo).unwrap();
+        let mut eng = SimEngine::new(topo, cluster, workload, SimConfig::steady_state(34)).unwrap();
+        eng.set_rate_schedule(
+            RateSchedule::constant()
+                .with_step(10.0, 0.0)
+                .with_step(40.0, 1.0),
+        );
+        let rr = Assignment::round_robin(eng.topology(), eng.cluster());
+        eng.deploy(rr).unwrap();
+        eng.run_until(12.0);
+        let (at_silence, ..) = eng.tuple_counts();
+        eng.run_until(39.9);
+        let (still_silent, ..) = eng.tuple_counts();
+        assert_eq!(at_silence, still_silent, "no emission while silenced");
+        // During the silent span only the sleep-until-change events remain
+        // for the live lane (the zero-base lane is parked outright).
+        assert!(
+            eng.pending_events() <= 4,
+            "silent span should hold only wake events, got {}",
+            eng.pending_events()
+        );
+        eng.run_until(70.0);
+        let (resumed, ..) = eng.tuple_counts();
+        let rate = (resumed - still_silent) as f64 / 30.0;
+        assert!((rate - 100.0).abs() < 25.0, "resume rate {rate}");
     }
 }

@@ -1,4 +1,14 @@
 //! The discrete-event core: timestamped events with deterministic ordering.
+//!
+//! Two interchangeable queue backends share one `(time, seq)` total order:
+//! the production **calendar** (a binary heap — `O(log E)` per operation in
+//! the number of *pending* events) and a **dense** linear-scan `Vec` that
+//! re-finds the minimum on every access (`O(E)` per event). The dense
+//! backend exists as the correctness oracle and performance baseline for
+//! the event-driven engine: because both backends draw from the same
+//! sequence counter and compare with the same ordering, swapping one for
+//! the other cannot change which event fires next — trajectories are
+//! bit-identical by construction, only the cost per event differs.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -70,17 +80,52 @@ impl Ord for Event {
     }
 }
 
+/// Storage behind an [`EventQueue`]: the production calendar heap or the
+/// dense linear-scan oracle. Both pop in identical `(time, seq)` order.
+#[derive(Debug)]
+enum Backend {
+    /// Binary heap — `O(log E)` push/pop, the event-driven production path.
+    Calendar(BinaryHeap<Event>),
+    /// Unordered vec — every peek/pop rescans all pending events (`O(E)`),
+    /// mimicking a dense per-executor sweep. Oracle + bench baseline only.
+    Dense(Vec<Event>),
+}
+
 /// Priority queue of events.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    backend: Backend,
     next_seq: u64,
 }
 
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl EventQueue {
-    /// An empty queue.
+    /// An empty calendar-backed (binary heap) queue — the production path.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            backend: Backend::Calendar(BinaryHeap::new()),
+            next_seq: 0,
+        }
+    }
+
+    /// An empty dense-backed queue that rescans all pending events on every
+    /// access. Same pop order as [`EventQueue::new`] by construction; used
+    /// as the correctness oracle and the bench baseline.
+    pub fn new_dense() -> Self {
+        Self {
+            backend: Backend::Dense(Vec::new()),
+            next_seq: 0,
+        }
+    }
+
+    /// Whether this queue uses the dense linear-scan backend.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.backend, Backend::Dense(_))
     }
 
     /// Schedules `kind` at `time`.
@@ -91,27 +136,50 @@ impl EventQueue {
         assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let ev = Event { time, seq, kind };
+        match &mut self.backend {
+            Backend::Calendar(heap) => heap.push(ev),
+            Backend::Dense(vec) => vec.push(ev),
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        match &mut self.backend {
+            Backend::Calendar(heap) => heap.pop(),
+            Backend::Dense(vec) => {
+                // Event's Ord is reversed for the max-heap, so the maximal
+                // element under it is the earliest (time, seq). Seqs are
+                // unique, so there are no ties and max_by is deterministic.
+                let idx = vec
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| a.cmp(b))
+                    .map(|(i, _)| i)?;
+                Some(vec.swap_remove(idx))
+            }
+        }
     }
 
     /// Timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.time)
+        match &self.backend {
+            Backend::Calendar(heap) => heap.peek().map(|e| e.time),
+            Backend::Dense(vec) => vec.iter().max().map(|e| e.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Calendar(heap) => heap.len(),
+            Backend::Dense(vec) => vec.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -156,5 +224,32 @@ mod tests {
     fn rejects_nan_time() {
         let mut q = EventQueue::new();
         q.push(f64::NAN, EventKind::MigrationDone { executor: 0 });
+    }
+
+    #[test]
+    fn dense_backend_pops_in_identical_order() {
+        let mut cal = EventQueue::new();
+        let mut dense = EventQueue::new_dense();
+        assert!(!cal.is_dense());
+        assert!(dense.is_dense());
+        // Interleave pushes and pops with duplicate timestamps so both the
+        // time order and the seq tie-break are exercised.
+        let times = [3.0, 1.0, 1.0, 2.5, 0.5, 2.5, 2.5, 4.0, 0.5, 1.0];
+        for (i, &t) in times.iter().enumerate() {
+            cal.push(t, EventKind::SpoutEmit { executor: i });
+            dense.push(t, EventKind::SpoutEmit { executor: i });
+            if i % 3 == 2 {
+                let (a, b) = (cal.pop().unwrap(), dense.pop().unwrap());
+                assert_eq!((a.time, a.seq), (b.time, b.seq));
+                assert_eq!(a.kind, b.kind);
+            }
+        }
+        while let Some(a) = cal.pop() {
+            assert_eq!(dense.peek_time(), Some(a.time));
+            let b = dense.pop().unwrap();
+            assert_eq!((a.time, a.seq), (b.time, b.seq));
+            assert_eq!(a.kind, b.kind);
+        }
+        assert!(dense.is_empty());
     }
 }

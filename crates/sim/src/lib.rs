@@ -50,6 +50,36 @@
 //! shapes used by the scenario registry for training diversity. All
 //! schedules are pure functions of simulated time, so determinism is
 //! independent of when the multiplier is sampled.
+//!
+//! # Event-driven scaling: cost follows the active set, not the cluster
+//!
+//! Fleet-scale scenarios (hundreds of machines, thousands of executors,
+//! most of them idle) must not pay per-epoch cost proportional to cluster
+//! size. The engine is organised around an **event calendar** (a binary
+//! heap of next-activity times, [`event::EventQueue`]) so each epoch only
+//! touches executors with pending work: idle machines schedule nothing and
+//! cost nothing. Spout executors whose emission rate is zero are **parked**
+//! — they hold no pending event at all. A spout silenced by its
+//! [`workload::RateSchedule`] (positive base rate, zero multiplier) sleeps
+//! until [`workload::RateSchedule::next_change_after`] says its rate can
+//! next become non-zero; a spout with a zero *base* rate parks outright and
+//! is re-kicked by [`engine::SimEngine::set_workload`] /
+//! [`engine::SimEngine::set_rate_schedule`], the only calls that can raise
+//! its rate.
+//!
+//! ## The dense-oracle escape hatch
+//!
+//! The pre-fleet dense behaviour — a `Vec`-backed queue that rescans every
+//! pending event per pop (O(pending) per event) and keeps a permanent 1 Hz
+//! poll per idle spout — is preserved as a correctness oracle and bench
+//! baseline. Select it per engine with
+//! [`engine::SimEngine::set_dense_events`] (before the first deploy) or
+//! process-wide with the `DSS_DENSE_EVENTS` env var. Both backends share
+//! one `(time, seq)` event order and polls consume no randomness, so dense
+//! and calendar runs produce **bit-identical latency trajectories** on
+//! every registry scenario — asserted by tests and the CI fleet-smoke job,
+//! and exploited by the `fleet_engine_step` bench pair that gates the
+//! dense-vs-event speedup under mostly-idle load.
 
 pub mod analytic;
 pub mod assignment;

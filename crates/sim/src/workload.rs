@@ -289,6 +289,35 @@ impl RateSchedule {
             _ => Vec::new(),
         }
     }
+
+    /// The next time strictly after `t` at which the multiplier changes
+    /// discontinuously — `None` when it never changes again ([`Steps`] past
+    /// the last change point) or varies continuously ([`Sinusoid`]; use
+    /// [`RateSchedule::period_s`] to tell the two `None` cases apart). The
+    /// event-driven engine uses this to sleep a schedule-silenced spout
+    /// until its rate can next become non-zero, instead of polling.
+    ///
+    /// [`Steps`]: RateSchedule::Steps
+    /// [`Sinusoid`]: RateSchedule::Sinusoid
+    pub fn next_change_after(&self, t: f64) -> Option<f64> {
+        match self {
+            Self::Steps { steps } => steps.iter().map(|&(at, _)| at).find(|&at| at > t),
+            Self::Sinusoid { .. } => None,
+            Self::Bursty {
+                period_s,
+                burst_len_s,
+                ..
+            } => {
+                let phase = t.rem_euclid(*period_s);
+                let cycle_start = t - phase;
+                if phase < *burst_len_s {
+                    Some(cycle_start + burst_len_s)
+                } else {
+                    Some(cycle_start + period_s)
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -401,6 +430,30 @@ mod tests {
         assert_eq!(s.multiplier_at(5.0), 2.0);
         assert_eq!(s.bounds(), (1.0, 2.0));
         assert_eq!(RateSchedule::constant().bounds(), (1.0, 1.0));
+    }
+
+    #[test]
+    fn next_change_after_finds_discontinuities() {
+        let s = RateSchedule::constant()
+            .with_step(100.0, 0.0)
+            .with_step(400.0, 1.0);
+        assert_eq!(s.next_change_after(0.0), Some(100.0));
+        assert_eq!(s.next_change_after(100.0), Some(400.0));
+        assert_eq!(s.next_change_after(400.0), None);
+        assert_eq!(RateSchedule::constant().next_change_after(0.0), None);
+
+        let b = RateSchedule::bursty(0.0, 2.0, 300.0, 30.0);
+        assert_eq!(b.next_change_after(0.0), Some(30.0)); // burst ends
+        assert_eq!(b.next_change_after(30.0), Some(300.0)); // next burst
+        assert_eq!(b.next_change_after(299.0), Some(300.0));
+        assert_eq!(b.next_change_after(310.0), Some(330.0));
+
+        let w = RateSchedule::sinusoid(1.0, 1.0, 60.0);
+        assert_eq!(w.next_change_after(0.0), None);
+        assert!(
+            w.period_s().is_some(),
+            "sinusoid None means continuous, not final"
+        );
     }
 
     #[test]

@@ -113,6 +113,73 @@ fn sim_env_trajectories_are_bit_identical_across_thread_counts() {
     assert!(single.iter().all(|v| v.is_finite()));
 }
 
+/// The event-driven engine against its dense oracle, on **every** registry
+/// scenario: same seed, same deploys, same epochs — the per-epoch latency
+/// trajectory and the processed-tuple counts must be bit-identical. The
+/// calendar only changes *how* the next event is found (binary heap vs
+/// full scan), never *which* event fires.
+#[test]
+fn event_engine_matches_dense_oracle_on_every_registry_scenario() {
+    for name in Scenario::names() {
+        let sc = Scenario::by_name(name).expect("registry name resolves");
+        let run = |dense: bool| -> (Vec<Option<f64>>, (u64, u64, u64, usize)) {
+            let mut engine = sc.sim_engine_with(dsdps_drl::sim::SimConfig::steady_state(7));
+            engine.set_dense_events(dense);
+            engine.set_rate_schedule(sc.schedule.clone());
+            engine.deploy(sc.initial_assignment()).expect("deployable");
+            let traj: Vec<Option<f64>> = (0..4).map(|_| engine.step_epoch(0.5)).collect();
+            (traj, engine.tuple_counts())
+        };
+        let event = run(false);
+        let dense = run(true);
+        assert_eq!(
+            event, dense,
+            "{name}: event engine diverged from dense oracle"
+        );
+        assert!(
+            event.0.iter().flatten().all(|l| l.is_finite() && *l > 0.0),
+            "{name}: latencies must be finite"
+        );
+    }
+}
+
+/// Fleet scenarios on the training backends, at a reduced epoch budget:
+/// the 1152-executor problems featurize, map and measure on both the
+/// analytic and tuple-level backends, and the sim trajectory is
+/// bit-identical across 1- and 4-thread pools (the DSS_THREADS=1/4
+/// guarantee at fleet scale).
+#[test]
+fn fleet_scenarios_reproduce_across_thread_counts() {
+    let cfg = cfg();
+    for name in ["cq-fleet", "word-count-fleet"] {
+        let sc = Scenario::by_name(name).expect("fleet scenario registered");
+        assert_eq!(sc.n_executors(), 1152, "{name}");
+        assert_eq!(sc.n_machines(), 128, "{name}");
+        let trajectory = |threads: usize| -> Vec<f64> {
+            with_pool(Arc::new(Pool::new(threads)), || {
+                let mut env = sc.sim_env(&cfg, 42);
+                let mut mapper = KBestMapper::new(sc.n_executors(), sc.n_machines());
+                let mut current = sc.initial_assignment();
+                let mut out = vec![env.deploy_and_measure(&current, &sc.app.workload)];
+                for step in 0..2 {
+                    let proto = vec![Elem::from_f64(0.2 * step as f64); sc.action_dim()];
+                    let cand = &mapper.nearest(&proto, 1)[0];
+                    current = Assignment::new(cand.choice.clone(), sc.n_machines()).unwrap();
+                    out.push(env.deploy_and_measure(&current, &sc.app.workload));
+                }
+                out
+            })
+        };
+        let single = trajectory(1);
+        assert!(single.iter().all(|v| v.is_finite() && *v > 0.0), "{name}");
+        assert_eq!(single, trajectory(4), "{name}: thread count leaked");
+        // The analytic backend accepts the same fleet actions.
+        let mut analytic = sc.analytic_env(&cfg, 7);
+        let ms = analytic.deploy_and_measure(&sc.initial_assignment(), &sc.app.workload);
+        assert!(ms.is_finite() && ms > 0.0, "{name}: analytic latency {ms}");
+    }
+}
+
 /// The acceptance demo: a DRL agent trains end-to-end against `SimEnv`
 /// through the generic `ParallelCollector` on a registry scenario, and
 /// the trained greedy policy beats the random (ε = 1) baseline reward.
