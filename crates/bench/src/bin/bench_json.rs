@@ -435,6 +435,108 @@ fn main() {
         );
     }
 
+    // ---- crash-safe training: durable checkpoint write ------------------
+    // ns per `TrainCheckpoint::save` of a paper-sized training image (a
+    // DDPG agent with its full 1000-transition replay ring) through the
+    // store crate's atomic blob swap — tmp write, fsync, rename, CRC.
+    // Ungated: the cost is dominated by payload size and fsync latency,
+    // not code quality; the artifact records what a checkpoint boundary
+    // costs so the `every` cadence can be chosen against real numbers.
+    {
+        use dss_core::experiment::Method;
+        use dss_core::TrainCheckpoint;
+        let mut agent: DdpgAgent = DdpgAgent::new(
+            STATE_DIM,
+            N_ACTIONS,
+            DdpgConfig {
+                replay_capacity: REPLAY_B,
+                batch: BATCH_H,
+                ..DdpgConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..REPLAY_B {
+            let t = random_transition::<Elem>(&mut rng);
+            let mut onehot = vec![0.0 as Elem; N_ACTIONS];
+            onehot[rng.random_range(0..N_ACTIONS)] = 1.0;
+            agent.store(Transition::new(t.state, onehot, t.reward, t.next_state));
+        }
+        let ckpt = TrainCheckpoint {
+            method: Method::ActorCritic,
+            seed: 7,
+            completed: 0,
+            rewards: dss_metrics::TimeSeries::new(),
+            actions: Vec::new(),
+            env_image: None,
+            scheduler_state: agent.save_state(),
+        };
+        let dir = std::env::temp_dir().join(format!("dss-bench-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("checkpoint bench dir");
+        let path = dir.join("bench.ckpt");
+        record(
+            "checkpoint_write",
+            bench_ns(budget_ms, || {
+                ckpt.save(&path).expect("checkpoint write");
+            }),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // ---- master failover: recovery-image load + rebuild -----------------
+    // ns per standby promotion's recovery half: load the newest committed
+    // RecoveryImage (coordination znode / WAL), rebuild the engine from
+    // its snapshot, and take over the assignment znode — the work between
+    // "election won" and "serving again" on the cq-small cluster, warmed
+    // 120 simulated seconds so the image carries real queues. Ungated,
+    // recorded so PRs can watch recovery time against session timeouts.
+    {
+        use dss_coord::{CoordConfig, CoordService};
+        use dss_nimbus::{Nimbus, NimbusConfig, RecoveryImage, RecoveryStore};
+        let scenario = Scenario::by_name("cq-small-steady").expect("registry scenario");
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: 30_000,
+        });
+        let engine = scenario.sim_engine(7);
+        let topology = engine.topology().clone();
+        let cluster = engine.cluster().clone();
+        let sim_config = *engine.config();
+        let mut nimbus = Nimbus::launch(
+            engine,
+            scenario.app.workload.clone(),
+            scenario.initial_assignment(),
+            &coord,
+            NimbusConfig::default(),
+        )
+        .expect("nimbus launch");
+        nimbus.advance(120.0);
+        let image = RecoveryImage::capture(&nimbus, 0);
+        let dir = std::env::temp_dir().join(format!("dss-bench-wal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = RecoveryStore::open(&dir).expect("wal dir");
+        let session = coord.connect();
+        store.commit(&session, &image).expect("image commit");
+        record(
+            "master_recover",
+            bench_ns(budget_ms, || {
+                let img = store
+                    .load(&session, topology.name())
+                    .expect("image load")
+                    .expect("image present");
+                std::hint::black_box(
+                    img.rebuild(
+                        topology.clone(),
+                        cluster.clone(),
+                        sim_config,
+                        &coord,
+                        NimbusConfig::default(),
+                    )
+                    .expect("master rebuild"),
+                );
+            }),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     // ---- fleet-scale engine step: event calendar vs dense oracle --------
     // One 0.25 s decision epoch of the cq-fleet scenario (1152 executors,
     // 128 machines, 7 of 8 ingest lanes silent). The dense oracle scans

@@ -66,6 +66,12 @@ impl LeaderElection {
         &self.me
     }
 
+    /// The session this candidacy lives on (heartbeat it to stay in the
+    /// race; drop it un-closed to simulate a crashed candidate).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
     /// Determine the current state: leader, or following a predecessor.
     pub fn check(&self) -> Result<ElectionState, CoordError> {
         let mut children = self.session.get_children(&self.parent)?;
@@ -207,6 +213,69 @@ mod tests {
     }
 
     #[test]
+    fn leader_expiry_in_a_pool_promotes_exactly_one_successor() {
+        // N candidates; the leader's process dies (session silently
+        // expires); after expiry EXACTLY one survivor sees itself leading
+        // and it is the lowest surviving sequence number.
+        let svc = svc(1_000);
+        let leader = LeaderElection::join(svc.connect(), "/election", b"m0").unwrap();
+        let pool: Vec<LeaderElection> = (1..5)
+            .map(|i| {
+                LeaderElection::join(svc.connect(), "/election", format!("m{i}").as_bytes())
+                    .unwrap()
+            })
+            .collect();
+        assert!(matches!(leader.check().unwrap(), ElectionState::Leader));
+        drop(leader); // crash: the session is never closed
+
+        for t in [400, 800, 1_200] {
+            svc.advance_to(t);
+            for e in &pool {
+                e.session().heartbeat().unwrap();
+            }
+        }
+        let leaders: Vec<usize> = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.check().unwrap(), ElectionState::Leader))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(leaders, vec![0], "only the lowest survivor leads");
+        assert_eq!(pool[0].leader_ident().unwrap().unwrap(), b"m1");
+    }
+
+    #[test]
+    fn mid_pool_expiry_rewires_the_watch_chain_without_stampede() {
+        // When a middle candidate dies, only its immediate successor's
+        // watch fires; the successor then watches the next survivor UP
+        // the chain, never the leader directly (no thundering herd).
+        let svc = svc(1_000);
+        let a = LeaderElection::join(svc.connect(), "/election", b"a").unwrap();
+        let b = LeaderElection::join(svc.connect(), "/election", b"b").unwrap();
+        let c = LeaderElection::join(svc.connect(), "/election", b"c").unwrap();
+        let ElectionState::Following { watch: c_watch, .. } = c.check().unwrap() else {
+            panic!("c must follow");
+        };
+        drop(b); // b crashes
+
+        for t in [400, 800, 1_200] {
+            svc.advance_to(t);
+            a.session().heartbeat().unwrap();
+            c.session().heartbeat().unwrap();
+        }
+        // c's predecessor watch fired; re-checking, c now follows a.
+        assert_eq!(c_watch.drain().len(), 1);
+        match c.check().unwrap() {
+            ElectionState::Following { predecessor, .. } => {
+                assert_eq!(join("/election", &predecessor), a.candidate_path());
+            }
+            other => panic!("c should follow a, got {other:?}"),
+        }
+        // The leader never noticed: it holds no watch and still leads.
+        assert!(matches!(a.check().unwrap(), ElectionState::Leader));
+    }
+
+    #[test]
     fn rejoining_after_resign_gets_a_fresh_sequence() {
         let svc = svc(30_000);
         let session = svc.connect();
@@ -219,5 +288,62 @@ mod tests {
             "sequence numbers never reuse"
         );
         assert!(matches!(e2.check().unwrap(), ElectionState::Leader));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// For any pool size and any crash pattern leaving at least
+            /// one survivor: after expiry, exactly one survivor leads,
+            /// and it is the earliest-joined survivor (election order is
+            /// sequential-znode order).
+            #[test]
+            fn earliest_surviving_candidate_leads(
+                n in 2usize..8,
+                mask in prop::collection::vec(any::<bool>(), 8),
+            ) {
+                let dead: Vec<bool> = mask.into_iter().take(n).collect();
+                prop_assume!(dead.iter().any(|&d| !d));
+                let svc = svc(1_000);
+                let mut pool = Vec::new();
+                for i in 0..n {
+                    let ident = format!("m{i}");
+                    pool.push(Some(
+                        LeaderElection::join(svc.connect(), "/election", ident.as_bytes())
+                            .unwrap(),
+                    ));
+                }
+                // Crash the masked candidates: sessions dropped un-closed.
+                for (slot, &d) in pool.iter_mut().zip(&dead) {
+                    if d {
+                        *slot = None;
+                    }
+                }
+                for t in [400, 800, 1_200] {
+                    svc.advance_to(t);
+                    for e in pool.iter().flatten() {
+                        e.session().heartbeat().unwrap();
+                    }
+                }
+                let leaders: Vec<usize> = pool
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+                    .filter(|(_, e)| matches!(e.check().unwrap(), ElectionState::Leader))
+                    .map(|(i, _)| i)
+                    .collect();
+                let first_survivor = dead.iter().position(|&d| !d).unwrap();
+                prop_assert_eq!(leaders, vec![first_survivor]);
+                let any = pool.iter().flatten().next().unwrap();
+                prop_assert_eq!(
+                    any.leader_ident().unwrap().unwrap(),
+                    format!("m{first_survivor}").into_bytes()
+                );
+            }
+        }
     }
 }

@@ -153,6 +153,12 @@ impl CoordService {
         self.inner.lock().now_ms
     }
 
+    /// The configured session timeout: how long a session survives without
+    /// a heartbeat (failover logic needs it to wait out a dead leader).
+    pub fn session_timeout_ms(&self) -> u64 {
+        self.config.session_timeout_ms
+    }
+
     /// Number of znodes, including the root.
     pub fn node_count(&self) -> usize {
         self.inner.lock().tree.len()

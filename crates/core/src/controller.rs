@@ -208,28 +208,46 @@ impl Controller {
         let mut rewards = TimeSeries::new();
         let mut current = initial;
         for t in 0..epochs {
-            let observed = workload.scaled(env.workload_multiplier());
-            let state = SchedState::new(current.clone(), observed);
-            let action = scheduler.schedule(&state);
-            let latency_ms = env.deploy_and_measure(&action, workload);
-            let r = self.reward.reward(latency_ms);
-            // Re-read the multiplier: the epoch just advanced, so s' must
-            // carry the load the *next* decision will be made under, or
-            // TD targets bootstrap at a stale workload exactly when the
-            // schedule moves.
-            let next_observed = workload.scaled(env.workload_multiplier());
-            let next_state = SchedState::new(action.clone(), next_observed);
-            scheduler.observe(&state, &action, r, &next_state);
-            self.store.push(StoredTransition {
-                state: state.features(self.config.rate_scale),
-                action: crate::state::onehot_elems(&action),
-                reward: r,
-                next_state: next_state.features(self.config.rate_scale),
-            });
-            rewards.push(t as f64, r);
-            current = action;
+            current = self.online_epoch(scheduler, env, workload, current, t, &mut rewards);
         }
         (rewards, current)
+    }
+
+    /// One decision epoch of [`Controller::online_learn`] — the shared
+    /// per-epoch body, factored out so the durable training driver
+    /// ([`crate::experiment::train_method_durable`]) can checkpoint
+    /// *between* epochs while running the byte-identical loop the
+    /// uninterrupted path runs. Returns the deployed action (the next
+    /// epoch's `current`).
+    pub fn online_epoch<E: Environment + ?Sized>(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        env: &mut E,
+        workload: &Workload,
+        current: Assignment,
+        t: usize,
+        rewards: &mut TimeSeries,
+    ) -> Assignment {
+        let observed = workload.scaled(env.workload_multiplier());
+        let state = SchedState::new(current, observed);
+        let action = scheduler.schedule(&state);
+        let latency_ms = env.deploy_and_measure(&action, workload);
+        let r = self.reward.reward(latency_ms);
+        // Re-read the multiplier: the epoch just advanced, so s' must
+        // carry the load the *next* decision will be made under, or
+        // TD targets bootstrap at a stale workload exactly when the
+        // schedule moves.
+        let next_observed = workload.scaled(env.workload_multiplier());
+        let next_state = SchedState::new(action.clone(), next_observed);
+        scheduler.observe(&state, &action, r, &next_state);
+        self.store.push(StoredTransition {
+            state: state.features(self.config.rate_scale),
+            action: crate::state::onehot_elems(&action),
+            reward: r,
+            next_state: next_state.features(self.config.rate_scale),
+        });
+        rewards.push(t as f64, r);
+        action
     }
 
     /// Greedy (no-learning) decision: what the trained scheduler deploys.

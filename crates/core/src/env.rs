@@ -53,14 +53,16 @@
 //! [`ParallelCollector`]: crate::parallel::ParallelCollector
 
 use parking_lot::RwLock;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dss_coord::{CoordConfig, CoordService};
 use dss_nimbus::{
-    AgentClient, FaultPlan, MeasureProtocol, Nimbus, NimbusConfig, NimbusError, RetryPolicy,
-    ServeStep, StateView, StatsView, SupervisorSet,
+    AgentClient, FaultPlan, HaConfig, MeasureProtocol, Nimbus, NimbusConfig, NimbusError,
+    NimbusSet, RetryPolicy, ServeStep, StateView, StatsView, SupervisorSet,
 };
 use dss_proto::{ChannelTransport, ChaosPlan, ChaosStats, MaybeChaos, TcpTransport};
 use dss_rl::Elem;
@@ -91,6 +93,25 @@ pub trait Environment {
     /// sees the load it is actually being measured under.
     fn workload_multiplier(&self) -> f64 {
         1.0
+    }
+
+    /// A bit-exact image of the backend's full mutable state, for durable
+    /// training checkpoints ([`crate::checkpoint`]). `None` means the
+    /// backend cannot be captured directly (the analytic evaluator is
+    /// cheap to replay; the control plane's engine lives behind the
+    /// protocol, possibly in another thread) — crash recovery then
+    /// *replays* the recorded trajectory against a same-seed environment
+    /// instead, which reproduces the identical state because every
+    /// backend is deterministic given its seeds.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores a [`Environment::save_state`] image onto an environment
+    /// built with the same topology, cluster and configuration. Backends
+    /// that return `None` from `save_state` reject this.
+    fn restore_state(&mut self, _image: &[u8]) -> Result<(), String> {
+        Err("backend does not support direct state restore".into())
     }
 }
 
@@ -331,6 +352,28 @@ impl Environment for SimEnv {
     fn workload_multiplier(&self) -> f64 {
         self.engine.rate_schedule().multiplier_at(self.engine.now())
     }
+
+    /// Direct capture: the engine's own bit-exact snapshot (clock, event
+    /// queue, RNG streams, latency window — see `dss_sim::snapshot`) plus
+    /// the env's two lifecycle flags.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut buf = vec![self.deployed_once as u8, self.measured_once as u8];
+        buf.extend_from_slice(&self.engine.save_state());
+        Some(buf)
+    }
+
+    fn restore_state(&mut self, image: &[u8]) -> Result<(), String> {
+        let [deployed, measured, rest @ ..] = image else {
+            return Err("truncated SimEnv image".into());
+        };
+        if *deployed > 1 || *measured > 1 {
+            return Err("invalid SimEnv lifecycle flags".into());
+        }
+        self.engine.restore_state(rest).map_err(|e| e.to_string())?;
+        self.deployed_once = *deployed != 0;
+        self.measured_once = *measured != 0;
+        Ok(())
+    }
 }
 
 /// How a [`ClusterEnv`] connects its agent half to its master half.
@@ -396,6 +439,29 @@ pub enum ClusterTransport {
 /// the network heals, the next epoch re-syncs with a fresh state request.
 /// With no chaos plan the wrapper is a pure passthrough and every clean
 /// guarantee above (bit-identical parity with [`SimEnv`]) holds unchanged.
+///
+/// **Master faults.** The master itself is a leader-elected pool
+/// ([`dss_nimbus::NimbusSet`]): the active Nimbus commits a durable
+/// recovery image (fsynced WAL → versioned coordination znode) after
+/// every state-changing reliable request, and scripted
+/// `FaultKind::MasterCrash` / `MasterRestart` events in the
+/// [`FaultPlan`] kill and revive it at exact simulated times. A crash
+/// with a standby configured ([`ClusterEnv::with_standbys`]) fails over
+/// *synchronously* at the request boundary: the standby wins the
+/// election after session expiry, rebuilds an identical master from the
+/// newest image (same engine clock/RNG, same reliable-protocol window),
+/// and the epoch completes with the same measurement the uninterrupted
+/// run would report — master death becomes invisible to the trajectory.
+/// With *no* standby the set goes leaderless: the failing epoch burns
+/// its retry budget into the dark window and degrades, the env then
+/// probes the link with a `Resume` frame, and when the probe reaches a
+/// revived master whose announced generation advanced, the epoch is
+/// recorded as [`DegradedReason::Failover`] (see
+/// [`ClusterEnv::failovers`] / [`ClusterEnv::master_generation`]).
+/// Master-fault plans require the reliable protocol (install a chaos
+/// plan — zero-rate is fine); persistence rides only the reliable serve
+/// path, so zero-fault and plain-transport trajectories stay
+/// bit-identical to the pre-failover control plane.
 pub struct ClusterEnv {
     n_executors: usize,
     n_machines: usize,
@@ -431,6 +497,19 @@ pub struct ClusterEnv {
     /// Last state successfully fetched (the reliable path has no prefetch;
     /// this keeps [`ClusterEnv::reported_assignment`] meaningful).
     last_state: Option<StateView>,
+    /// Standby masters launched alongside the leader (failover pool).
+    standbys: usize,
+    /// Whether the installed fault plan schedules master crash/restart
+    /// events (set at launch; gates the post-degraded resume probe).
+    master_faults: bool,
+    /// Last master generation observed through a `Resume` probe.
+    generation: u64,
+    /// Failovers observed through generation bumps (the TCP-side count;
+    /// over the channel transport [`ClusterEnv::failovers`] reads the
+    /// pool's own counter instead).
+    failovers_seen: u64,
+    /// Recovery-WAL directory (created at launch, removed on drop).
+    wal_dir: Option<PathBuf>,
     plant: Plant,
 }
 
@@ -447,17 +526,22 @@ pub enum DegradedReason {
     /// The master answered, but with a protocol-level rejection the env
     /// could not apply (e.g. an invalid-solution reply).
     Protocol,
+    /// The epoch failed because the master crashed, and the post-epoch
+    /// `Resume` probe reached a recovered master announcing a higher
+    /// generation — the failure was a failover window, not the network.
+    Failover,
 }
 
 /// The master half of a [`ClusterEnv`], by lifecycle and transport.
 enum Plant {
     /// Not yet launched: the engine waits for the first assignment.
     Pending(Box<SimEngine>),
-    /// Synchronous in-process master + agent over a channel pair. The
-    /// agent side is chaos-wrappable; with no plan the wrapper is a pure
-    /// passthrough.
+    /// Synchronous in-process master pool + agent over a channel pair.
+    /// The agent side is chaos-wrappable; with no plan the wrapper is a
+    /// pure passthrough (and the plain path delegates straight to the
+    /// active master, bypassing the pool's persistence entirely).
     Channel {
-        nimbus: Box<Nimbus>,
+        set: Box<NimbusSet>,
         server: ChannelTransport,
         agent: AgentClient<MaybeChaos<ChannelTransport>>,
     },
@@ -502,6 +586,11 @@ impl ClusterEnv {
             base: None,
             pending: None,
             last_state: None,
+            standbys: 0,
+            master_faults: false,
+            generation: 0,
+            failovers_seen: 0,
+            wal_dir: None,
             plant: Plant::Pending(Box::new(engine)),
         }
     }
@@ -539,6 +628,41 @@ impl ClusterEnv {
     pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.retry = Some(policy);
         self
+    }
+
+    /// Launches `n` standby masters alongside the leader. With at least
+    /// one standby a scripted master crash fails over *synchronously* at
+    /// the request boundary (no degraded epoch, bit-identical
+    /// trajectory); with none the set goes leaderless until the plan's
+    /// `MasterRestart` refills the pool, and the crash surfaces as a
+    /// [`DegradedReason::Failover`] epoch. Must be set before launch.
+    pub fn with_standbys(mut self, n: usize) -> Self {
+        assert!(
+            matches!(self.plant, Plant::Pending(_)),
+            "standbys must be configured before the cluster launches"
+        );
+        self.standbys = n;
+        self
+    }
+
+    /// Master failovers this env's cluster has completed: the pool's own
+    /// counter over the channel transport; generation bumps observed
+    /// through `Resume` probes over TCP (an out-of-process master can
+    /// only be asked, not inspected).
+    pub fn failovers(&self) -> u64 {
+        match &self.plant {
+            Plant::Channel { set, .. } => set.failovers() as u64,
+            _ => self.failovers_seen,
+        }
+    }
+
+    /// Current master incarnation (0 until the first failover), sourced
+    /// like [`ClusterEnv::failovers`].
+    pub fn master_generation(&self) -> u64 {
+        match &self.plant {
+            Plant::Channel { set, .. } => set.generation(),
+            _ => self.generation,
+        }
     }
 
     /// How many decision epochs ended degraded (penalty reported because
@@ -612,7 +736,7 @@ impl ClusterEnv {
     /// exactly the thing you cannot reach into).
     pub fn nimbus(&self) -> Option<&Nimbus> {
         match &self.plant {
-            Plant::Channel { nimbus, .. } => Some(nimbus),
+            Plant::Channel { set, .. } => set.active(),
             _ => None,
         }
     }
@@ -649,20 +773,40 @@ impl ClusterEnv {
             auto_repair: self.auto_repair,
             retry: self.retry_policy(),
         };
-        let mut nimbus = Nimbus::launch(
+        self.master_faults = self
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.has_master_events());
+        assert!(
+            !self.master_faults || self.chaos.is_some(),
+            "master-fault plans need the reliable protocol: install a chaos \
+             plan (a zero-rate `ChaosPlan::new(seed)` keeps the link clean)"
+        );
+        let wal_dir = unique_wal_dir();
+        let mut set = NimbusSet::launch(
             *engine,
             workload.clone(),
             assignment.clone(),
             &coord,
             config,
+            &HaConfig {
+                standbys: self.standbys,
+                wal_dir: wal_dir.clone(),
+            },
         )
         .expect("cluster launch: assignment valid for this topology/cluster");
+        self.wal_dir = Some(wal_dir);
         let supervisors = SupervisorSet::register(&coord, self.n_machines)
             .expect("supervisor registration on a fresh coordination service");
-        nimbus.attach_supervisors(supervisors);
+        set.attach_supervisors(supervisors);
         if let Some(plan) = self.fault_plan.take() {
-            nimbus.set_fault_plan(plan);
+            set.set_fault_plan(plan);
         }
+        // A standby-less crash should cost exactly one degraded epoch:
+        // the failing call's whole retry budget lands in the dark window,
+        // and the next transmission (the env's resume probe) revives the
+        // pool through the scripted restart.
+        set.set_leaderless_grace(u64::from(self.retry_policy().max_attempts));
         self.base = Some(workload.clone());
         match self.transport {
             ClusterTransport::Channel => {
@@ -676,6 +820,7 @@ impl ClusterEnv {
                 // Synchronous handshake: the agent announces first so the
                 // master's (send, recv) handshake never blocks.
                 agent.announce().expect("channel handshake");
+                let nimbus = set.active_mut().expect("master up at launch");
                 nimbus.handshake(&server).expect("channel handshake");
                 agent.await_scheduler().expect("channel handshake");
                 assert!(
@@ -685,7 +830,7 @@ impl ClusterEnv {
                 self.pending = agent.poll_state().expect("first state report");
                 agent.transport().arm();
                 self.plant = Plant::Channel {
-                    nimbus: Box::new(nimbus),
+                    set: Box::new(set),
                     server,
                     agent,
                 };
@@ -695,22 +840,34 @@ impl ClusterEnv {
                 let reliable = self.chaos.is_some();
                 let master = std::thread::spawn(move || -> Result<(), NimbusError> {
                     let transport = TcpTransport::accept(&listener)?;
-                    nimbus.handshake(&transport)?;
+                    set.active_mut()
+                        .expect("master up at launch")
+                        .handshake(&transport)?;
                     if reliable {
                         // Reliable mode: the agent initiates everything
                         // (including state fetches), so the master first
                         // pushes the launch state and then serves wrapped
                         // requests with bounded waits until the goodbye.
-                        if !nimbus.send_state(&transport)? {
+                        // Serving through the pool fires scripted master
+                        // faults and persists the recovery image.
+                        if !set
+                            .active_mut()
+                            .expect("master up at launch")
+                            .send_state(&transport)?
+                        {
                             return Ok(());
                         }
                         loop {
-                            match nimbus.serve_step(&transport, Duration::from_millis(20))? {
+                            match set.serve_step(&transport, Duration::from_millis(20))? {
                                 ServeStep::Goodbye => return Ok(()),
                                 ServeStep::Idle | ServeStep::Served => {}
                             }
                         }
                     }
+                    // Plain path: master faults are gated to reliable
+                    // mode, so the leader never changes — delegate to it
+                    // directly (no persistence, bit-identical bytes).
+                    let nimbus = set.active_mut().expect("plain path keeps its master");
                     while nimbus.serve_epoch(&transport)? {}
                     Ok(())
                 });
@@ -775,34 +932,31 @@ impl ClusterEnv {
         let machine_of = assignment.as_slice().to_vec();
         let (ms, stats, next) = match &mut self.plant {
             // The agent-side sequence is shared; the channel pairing just
-            // hands the master its turn at each pump point.
-            Plant::Channel {
-                nimbus,
-                server,
-                agent,
-            } => drive_epoch(
-                agent,
-                taken,
-                new_base,
-                machine_of,
-                want_stats,
-                |turn| match turn {
-                    MasterTurn::SendState => assert!(
-                        nimbus.send_state(server).expect("state report"),
-                        "agent alive at state send"
-                    ),
-                    MasterTurn::ServeSolution => assert!(
-                        nimbus.serve_solution(server).expect(
-                            "cluster rejected the solution: \
-                             assignment invalid for this environment"
+            // hands the master its turn at each pump point. Master faults
+            // are gated to reliable mode, so the plain path reaches the
+            // (only) leader directly — no pool bookkeeping, no
+            // persistence, bytes identical to a bare master.
+            Plant::Channel { set, server, agent } => {
+                drive_epoch(agent, taken, new_base, machine_of, want_stats, |turn| {
+                    let nimbus = set.active_mut().expect("plain path keeps its master");
+                    match turn {
+                        MasterTurn::SendState => assert!(
+                            nimbus.send_state(server).expect("state report"),
+                            "agent alive at state send"
                         ),
-                        "agent alive mid-epoch"
-                    ),
-                    MasterTurn::ServePending => {
-                        nimbus.serve_pending(server).expect("stats service")
+                        MasterTurn::ServeSolution => assert!(
+                            nimbus.serve_solution(server).expect(
+                                "cluster rejected the solution: \
+                                 assignment invalid for this environment"
+                            ),
+                            "agent alive mid-epoch"
+                        ),
+                        MasterTurn::ServePending => {
+                            nimbus.serve_pending(server).expect("stats service")
+                        }
                     }
-                },
-            ),
+                })
+            }
             // The TCP master serves from its own thread: every pump point
             // is a no-op, the socket does the interleaving.
             Plant::Tcp { agent, .. } => {
@@ -852,17 +1006,15 @@ impl ClusterEnv {
         let taken = self.pending.take();
         let machine_of = assignment.as_slice().to_vec();
         let result = match &mut self.plant {
-            Plant::Channel {
-                nimbus,
-                server,
-                agent,
-            } => {
+            Plant::Channel { set, server, agent } => {
                 agent.transport().set_partitioned(partitioned);
                 // The synchronous pump: give the master every queued
                 // message each time the agent yields. Chaos losses leave
                 // the master Idle; the agent's retransmit budget decides
                 // the epoch's fate, so the outcome depends only on
                 // message counts — deterministic across thread pools.
+                // Serving through the pool fires scripted master faults
+                // and durably commits the recovery image per request.
                 reliable_epoch(
                     agent,
                     taken,
@@ -870,11 +1022,7 @@ impl ClusterEnv {
                     machine_of,
                     want_stats,
                     &policy,
-                    || {
-                        while let Ok(ServeStep::Served) = nimbus.serve_step(server, Duration::ZERO)
-                        {
-                        }
-                    },
+                    || while let Ok(ServeStep::Served) = set.serve_step(server, Duration::ZERO) {},
                 )
             }
             Plant::Tcp { agent, .. } => {
@@ -911,16 +1059,53 @@ impl ClusterEnv {
                 // carry a wrong epoch number, so it is dropped — the next
                 // attempt re-syncs with a fresh state request.
                 self.degraded += 1;
-                self.last_degraded = Some(match e {
+                let mut reason = match e {
                     _ if partitioned => DegradedReason::Partitioned,
                     NimbusError::Unreachable { .. } => DegradedReason::Unreachable,
                     _ => DegradedReason::Protocol,
-                });
+                };
+                // With master faults in play, an unreachable master may be
+                // a failover window rather than the network: probe with a
+                // Resume frame (over the channel pairing the probe's own
+                // transmissions are what trip the scripted restart). A
+                // generation bump reclassifies the epoch as a failover.
+                if self.master_faults && reason == DegradedReason::Unreachable {
+                    if let Some(generation) = self.probe_master() {
+                        if generation > self.generation {
+                            self.generation = generation;
+                            self.failovers_seen += 1;
+                            reason = DegradedReason::Failover;
+                        }
+                    }
+                }
+                self.last_degraded = Some(reason);
                 (
                     EMPTY_WINDOW_PENALTY_MS,
                     want_stats.then(|| self.degraded_stats()),
                 )
             }
+        }
+    }
+
+    /// Ask the (possibly recovered) master who it is: a reliable `Resume`
+    /// round trip returning the announced generation, `None` when the
+    /// probe's retry budget dies in the dark too. Advances no engine
+    /// state — safe to fire after any failed epoch.
+    fn probe_master(&mut self) -> Option<u64> {
+        let policy = self.retry_policy();
+        let epoch = self.last_state.as_ref().map_or(0, |s| s.epoch);
+        match &mut self.plant {
+            Plant::Channel { set, server, agent } => agent
+                .reliable_resume(epoch, &policy, || {
+                    while let Ok(ServeStep::Served) = set.serve_step(server, Duration::ZERO) {}
+                })
+                .ok()
+                .map(|(generation, _)| generation),
+            Plant::Tcp { agent, .. } => agent
+                .reliable_resume(epoch, &policy, || {})
+                .ok()
+                .map(|(generation, _)| generation),
+            Plant::Pending(_) | Plant::Poisoned => None,
         }
     }
 
@@ -1042,6 +1227,14 @@ fn reward_ms(reward: &dss_nimbus::RewardView) -> f64 {
     }
 }
 
+/// Process-unique recovery-WAL directory for one [`ClusterEnv`] cluster
+/// (parallel actors each own a private cluster, so each gets its own).
+fn unique_wal_dir() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("dss-cluster-env-wal-{}-{n}", std::process::id()))
+}
+
 fn stats_from_view(view: StatsView) -> RuntimeStats {
     RuntimeStats {
         avg_latency_ms: view.avg_latency_ms,
@@ -1075,6 +1268,9 @@ impl Drop for ClusterEnv {
                 }
             }
             Plant::Pending(_) | Plant::Poisoned => {}
+        }
+        if let Some(dir) = self.wal_dir.take() {
+            let _ = std::fs::remove_dir_all(dir);
         }
     }
 }
@@ -1545,6 +1741,95 @@ mod tests {
         assert!(e.reported_assignment().is_some());
         let stats = e.chaos_stats().unwrap();
         assert!(stats.partition_dropped > 0);
+    }
+
+    #[test]
+    fn standby_failover_is_invisible_and_bit_identical() {
+        // Two master crashes with a standby pool: each fails over
+        // synchronously at the request boundary, so the trajectory —
+        // including the epochs the crashes land in — must equal the
+        // fault-free run bit for bit, on both transports.
+        use dss_nimbus::FaultEvent;
+        let w = {
+            let mut b = TopologyBuilder::new("t");
+            let s = b.spout("s", 2, 0.05);
+            let x = b.bolt("x", 3, 0.3);
+            b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+            Workload::new(vec![(0, 200.0)], &b.build().unwrap()).unwrap()
+        };
+        for transport in [ClusterTransport::Channel, ClusterTransport::Tcp] {
+            let mut clean = cluster_env(27, 5.0, transport).with_chaos_plan(ChaosPlan::new(0xFA11));
+            let reference = walk(&mut clean, &w, 6);
+            let mut crashed = cluster_env(27, 5.0, transport)
+                .with_chaos_plan(ChaosPlan::new(0xFA11))
+                .with_standbys(1)
+                .with_fault_plan(FaultPlan::new(vec![
+                    FaultEvent::master_crash(10.0),
+                    FaultEvent::master_restart(15.0),
+                    FaultEvent::master_crash(20.0),
+                ]));
+            let got = walk(&mut crashed, &w, 6);
+            assert_eq!(
+                reference, got,
+                "failover perturbed the run over {transport:?}"
+            );
+            assert_eq!(
+                crashed.degraded_epochs(),
+                0,
+                "standby failover degrades nothing"
+            );
+            if transport == ClusterTransport::Channel {
+                assert_eq!(crashed.failovers(), 2);
+                assert_eq!(crashed.master_generation(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn standbyless_crash_degrades_one_epoch_as_failover() {
+        // No standby: the crash epoch burns its retry budget into the
+        // leaderless window and degrades; the resume probe then trips the
+        // scripted restart, sees the bumped generation, and the epoch is
+        // classified Failover. Everything after measures real latency.
+        use dss_nimbus::FaultEvent;
+        let w = {
+            let mut b = TopologyBuilder::new("t");
+            let s = b.spout("s", 2, 0.05);
+            let x = b.bolt("x", 3, 0.3);
+            b.edge(s, x, Grouping::Shuffle, 1.0, 128);
+            Workload::new(vec![(0, 200.0)], &b.build().unwrap()).unwrap()
+        };
+        let a = Assignment::new(vec![0, 1, 2, 3, 0], 4).unwrap();
+        for transport in [ClusterTransport::Channel, ClusterTransport::Tcp] {
+            let mut e = cluster_env(29, 5.0, transport)
+                .with_chaos_plan(ChaosPlan::new(0xDEAD))
+                .with_fault_plan(FaultPlan::new(vec![
+                    FaultEvent::master_crash(10.0),
+                    FaultEvent::master_restart(30.0),
+                ]));
+            let mut reasons = Vec::new();
+            let mut ms = Vec::new();
+            for _ in 0..6 {
+                ms.push(e.deploy_and_measure(&a, &w));
+                reasons.push(e.last_degraded());
+            }
+            let failed: Vec<usize> = reasons
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.is_some().then_some(i))
+                .collect();
+            assert_eq!(failed.len(), 1, "exactly one failover epoch: {reasons:?}");
+            let k = failed[0];
+            assert_eq!(reasons[k], Some(DegradedReason::Failover));
+            assert_eq!(ms[k], EMPTY_WINDOW_PENALTY_MS);
+            assert_eq!(e.degraded_epochs(), 1);
+            assert_eq!(e.failovers(), 1, "over {transport:?}");
+            assert_eq!(e.master_generation(), 1);
+            assert!(
+                ms[k + 1..].iter().all(|&v| v < EMPTY_WINDOW_PENALTY_MS),
+                "post-failover epochs must heal: {ms:?}"
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!    minute 20; the deployed agent reacts to the observed workload change
 //!    by re-scheduling (the spike, then restabilization).
 
+use std::path::{Path, PathBuf};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,6 +27,7 @@ use dss_sim::{
     AnalyticModel, Assignment, ClusterSpec, RateSchedule, SimConfig, SimEngine, Workload,
 };
 
+use crate::checkpoint::{CheckpointError, TrainCheckpoint};
 use crate::config::ControlConfig;
 use crate::controller::Controller;
 use crate::env::{AnalyticEnv, Environment};
@@ -296,6 +299,349 @@ pub fn train_method_with<E: Environment>(
             }
         }
     }
+}
+
+/// Options for crash-safe training ([`train_method_durable`]).
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Directory checkpoints are written into (created if absent).
+    pub dir: PathBuf,
+    /// Checkpoint every `every` online epochs (a final checkpoint is
+    /// always written when the online phase completes). Must be ≥ 1.
+    pub every: usize,
+    /// Test hook: simulate a process crash by returning
+    /// [`DurableRun::Killed`] right after online epoch `k` completes.
+    /// Unlike a checkpoint boundary, the kill point writes nothing —
+    /// resume restarts from the last durable checkpoint and re-derives
+    /// the lost epochs bit-identically.
+    pub kill_after: Option<usize>,
+}
+
+impl DurableOptions {
+    /// Checkpoint into `dir` every `every` epochs, no scripted kill.
+    pub fn new(dir: impl Into<PathBuf>, every: usize) -> Self {
+        Self {
+            dir: dir.into(),
+            every,
+            kill_after: None,
+        }
+    }
+
+    /// Adds a scripted kill after epoch `k` (test hook).
+    pub fn kill_after(mut self, k: usize) -> Self {
+        self.kill_after = Some(k);
+        self
+    }
+}
+
+/// Outcome of a [`train_method_durable`] call.
+pub enum DurableRun {
+    /// Training ran to completion (possibly resumed from a checkpoint).
+    Completed(TrainOutcome),
+    /// The scripted kill fired: the process "crashed" after this online
+    /// epoch. Call [`train_method_durable`] again with the same options
+    /// to resume from the last checkpoint.
+    Killed {
+        /// Online epochs completed when the kill fired.
+        at_epoch: usize,
+    },
+}
+
+impl DurableRun {
+    /// Unwraps the completed outcome.
+    ///
+    /// # Panics
+    /// Panics when the run was killed.
+    pub fn into_outcome(self) -> TrainOutcome {
+        match self {
+            DurableRun::Completed(out) => out,
+            DurableRun::Killed { at_epoch } => {
+                panic!("training was killed after epoch {at_epoch}")
+            }
+        }
+    }
+}
+
+/// The checkpoint file a durable run reads and writes: one per
+/// method × seed, so runs of different methods share a directory.
+pub fn checkpoint_path(dir: &Path, method: Method, cfg: &ControlConfig) -> PathBuf {
+    dir.join(format!("{}-{}.ckpt", method.label(), cfg.seed))
+}
+
+/// Crash-safe [`train_method_on`]: trains with durable checkpoints every
+/// `opts.every` online epochs, resuming automatically when a checkpoint
+/// from the same run (method + seed) already exists in `opts.dir`.
+///
+/// The kill-at-epoch-k-then-resume trajectory is **bit-identical** to the
+/// uninterrupted same-seed run — rewards, trained networks, and the
+/// deployed solution (asserted by the `kill_resume_*` tests on both the
+/// engine and control-plane backends): the checkpoint carries the
+/// scheduler's complete state (networks, optimizer moments, replay ring,
+/// exploration RNG) and the environment either restores from a direct
+/// image ([`crate::env::SimEnv`]) or is re-derived by deterministic
+/// replay of the recorded action history (analytic and cluster
+/// backends — see [`crate::checkpoint`] for why replay is exact).
+///
+/// Methods without training state ([`Method::Default`],
+/// [`Method::ModelBased`]) have nothing to checkpoint and delegate to the
+/// plain path.
+pub fn train_method_durable(
+    backend: Backend,
+    method: Method,
+    scenario: &Scenario,
+    cfg: &ControlConfig,
+    opts: &DurableOptions,
+) -> Result<DurableRun, CheckpointError> {
+    match backend {
+        Backend::Analytic => {
+            train_method_durable_with(method, &scenario.app, &scenario.cluster, cfg, opts, || {
+                scenario.analytic_env(cfg, cfg.seed)
+            })
+        }
+        Backend::Sim => {
+            train_method_durable_with(method, &scenario.app, &scenario.cluster, cfg, opts, || {
+                scenario.sim_env(cfg, cfg.seed)
+            })
+        }
+        Backend::Cluster => {
+            train_method_durable_with(method, &scenario.app, &scenario.cluster, cfg, opts, || {
+                scenario.cluster_env(cfg, cfg.seed)
+            })
+        }
+    }
+}
+
+/// The trainable-method state a durable run checkpoints and restores,
+/// kept as the concrete scheduler type so `save_state`/`restore_state`
+/// stay reachable while the epoch loop borrows it as a `dyn Scheduler`.
+// One instance exists per training run, on the stack — the variant size
+// gap is irrelevant here.
+#[allow(clippy::large_enum_variant)]
+enum DrlSched {
+    Dqn(DqnScheduler),
+    ActorCritic(ActorCriticScheduler),
+}
+
+impl DrlSched {
+    fn build(method: Method, n: usize, m: usize, n_sources: usize, cfg: &ControlConfig) -> Self {
+        match method {
+            Method::Dqn => DrlSched::Dqn(DqnScheduler::new(n, m, n_sources, cfg)),
+            Method::ActorCritic => {
+                DrlSched::ActorCritic(ActorCriticScheduler::new(n, m, n_sources, cfg))
+            }
+            _ => unreachable!("only DRL methods carry training state"),
+        }
+    }
+
+    fn restore(
+        method: Method,
+        n: usize,
+        m: usize,
+        n_sources: usize,
+        cfg: &ControlConfig,
+        bytes: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        Ok(match method {
+            Method::Dqn => DrlSched::Dqn(DqnScheduler::restore_state(n, m, n_sources, cfg, bytes)?),
+            Method::ActorCritic => DrlSched::ActorCritic(ActorCriticScheduler::restore_state(
+                n, m, n_sources, cfg, bytes,
+            )?),
+            _ => unreachable!("only DRL methods carry training state"),
+        })
+    }
+
+    /// The offline collector this method trains from (mirrors
+    /// [`train_method_with`]).
+    fn collector(method: Method, cfg: &ControlConfig) -> RandomScheduler {
+        let mode = match method {
+            Method::Dqn => RandomMode::RandomWalk,
+            _ => RandomMode::FullRandom,
+        };
+        RandomScheduler::new(mode, StdRng::seed_from_u64(cfg.seed))
+    }
+
+    fn as_scheduler(&mut self) -> &mut dyn Scheduler {
+        match self {
+            DrlSched::Dqn(s) => s,
+            DrlSched::ActorCritic(s) => s,
+        }
+    }
+
+    fn pretrain(&mut self, data: &crate::controller::OfflineDataset) {
+        self.as_scheduler().pretrain(data);
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        match self {
+            DrlSched::Dqn(s) => s.save_state(),
+            DrlSched::ActorCritic(s) => s.save_state(),
+        }
+    }
+
+    fn freeze(&mut self) {
+        match self {
+            DrlSched::Dqn(s) => s.freeze(),
+            DrlSched::ActorCritic(s) => s.freeze(),
+        }
+    }
+
+    /// Post-training solution extraction (mirrors [`train_method_with`]):
+    /// a greedy single-move rollout for DQN, one greedy decision for the
+    /// actor-critic.
+    fn finalize(
+        &mut self,
+        controller: &Controller,
+        last: Assignment,
+        workload: &Workload,
+        n: usize,
+    ) -> Assignment {
+        match self {
+            DrlSched::Dqn(s) => {
+                let mut current = last;
+                for _ in 0..(2 * n) {
+                    current = controller.decide(s, &current, workload);
+                }
+                current
+            }
+            DrlSched::ActorCritic(s) => controller.decide(s, &last, workload),
+        }
+    }
+
+    fn into_box(self) -> Box<dyn Scheduler> {
+        match self {
+            DrlSched::Dqn(s) => Box::new(s),
+            DrlSched::ActorCritic(s) => Box::new(s),
+        }
+    }
+}
+
+/// [`train_method_durable`] over an explicit environment factory — the
+/// backend-generic core (and the entry point tests use to pick a cluster
+/// transport). `make_env` must build the *same* environment on every
+/// call (same seeds, same fault plans): resume relies on it for the
+/// deterministic-replay recovery path.
+pub fn train_method_durable_with<E: Environment>(
+    method: Method,
+    app: &App,
+    cluster: &ClusterSpec,
+    cfg: &ControlConfig,
+    opts: &DurableOptions,
+    make_env: impl Fn() -> E,
+) -> Result<DurableRun, CheckpointError> {
+    assert!(opts.every >= 1, "checkpoint cadence must be >= 1");
+    if !matches!(method, Method::Dqn | Method::ActorCritic) {
+        // No training state to lose: the plain path is already crash-safe
+        // (re-running it from scratch is the recovery).
+        return Ok(DurableRun::Completed(train_method_with(
+            method, app, cluster, cfg, make_env,
+        )));
+    }
+    std::fs::create_dir_all(&opts.dir)
+        .map_err(|e| CheckpointError::Env(format!("checkpoint dir: {e}")))?;
+    let path = checkpoint_path(&opts.dir, method, cfg);
+    let resume = if path.exists() {
+        let ckpt = TrainCheckpoint::load(&path)?;
+        ckpt.validate_run(method, cfg.seed)?;
+        Some(ckpt)
+    } else {
+        None
+    };
+
+    let controller = Controller::new(*cfg);
+    let n = app.topology.n_executors();
+    let m = cluster.n_machines();
+    let n_sources = app.workload.rates().len();
+    let rr = Assignment::round_robin(&app.topology, cluster);
+    let mut env = make_env();
+
+    let (mut sched, mut rewards, mut actions, start) = match resume {
+        None => {
+            // Fresh start: byte-for-byte the [`train_method_with`] offline
+            // phase, so a zero-fault durable run stays bit-identical to
+            // the plain path.
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0);
+            let mut collector = DrlSched::collector(method, cfg);
+            let data = controller.collect_offline(
+                &mut env,
+                &app.workload,
+                &mut collector,
+                rr.clone(),
+                &mut rng,
+            );
+            let mut sched = DrlSched::build(method, n, m, n_sources, cfg);
+            sched.pretrain(&data);
+            (sched, TimeSeries::new(), Vec::new(), 0)
+        }
+        Some(ckpt) => {
+            match &ckpt.env_image {
+                // Direct restore: the backend hands back the exact state
+                // it checkpointed.
+                Some(img) => env.restore_state(img).map_err(CheckpointError::Env)?,
+                // Deterministic replay: re-run the offline collection
+                // (identical RNG streams advance the env identically —
+                // the dataset itself is discarded, the restored scheduler
+                // already learned from it), then replay the recorded
+                // online actions through the same call pattern the epoch
+                // loop uses.
+                None => {
+                    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0);
+                    let mut collector = DrlSched::collector(method, cfg);
+                    let _ = controller.collect_offline(
+                        &mut env,
+                        &app.workload,
+                        &mut collector,
+                        rr.clone(),
+                        &mut rng,
+                    );
+                    for a in &ckpt.actions {
+                        let _ = env.workload_multiplier();
+                        let _ = env.deploy_and_measure(a, &app.workload);
+                        let _ = env.workload_multiplier();
+                    }
+                }
+            }
+            let sched = DrlSched::restore(method, n, m, n_sources, cfg, &ckpt.scheduler_state)?;
+            (sched, ckpt.rewards, ckpt.actions, ckpt.completed)
+        }
+    };
+
+    let mut current = actions.last().cloned().unwrap_or_else(|| rr.clone());
+    for t in start..cfg.online_epochs {
+        current = controller.online_epoch(
+            sched.as_scheduler(),
+            &mut env,
+            &app.workload,
+            current,
+            t,
+            &mut rewards,
+        );
+        actions.push(current.clone());
+        let done = t + 1;
+        if done % opts.every == 0 || done == cfg.online_epochs {
+            TrainCheckpoint {
+                method,
+                seed: cfg.seed,
+                completed: done,
+                rewards: rewards.clone(),
+                actions: actions.clone(),
+                env_image: env.save_state(),
+                scheduler_state: sched.save_state(),
+            }
+            .save(&path)?;
+        }
+        if opts.kill_after == Some(done) {
+            return Ok(DurableRun::Killed { at_epoch: done });
+        }
+    }
+
+    sched.freeze();
+    let solution = sched.finalize(&controller, current, &app.workload, n);
+    Ok(DurableRun::Completed(TrainOutcome {
+        method,
+        scheduler: sched.into_box(),
+        rewards: Some(rewards),
+        solution,
+    }))
 }
 
 /// Runs a deployed solution on a fresh tuple-level engine for
@@ -599,5 +945,260 @@ mod tests {
         let n = normalize_rewards(&raw);
         assert_eq!(n.len(), 5);
         assert!(n.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// A process-unique, test-unique checkpoint directory (removed by the
+    /// tests that use it).
+    fn ckpt_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dss-durable-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn durable_cfg() -> ControlConfig {
+        ControlConfig {
+            offline_samples: 25,
+            offline_steps: 20,
+            online_epochs: 8,
+            eps_decay_epochs: 4,
+            sim_epoch_s: 1.0,
+            ..ControlConfig::test()
+        }
+    }
+
+    fn assert_same_outcome(a: &TrainOutcome, b: &TrainOutcome) {
+        assert_eq!(
+            a.rewards.as_ref().unwrap().values(),
+            b.rewards.as_ref().unwrap().values(),
+            "reward series diverged"
+        );
+        assert_eq!(a.solution, b.solution, "deployed solution diverged");
+    }
+
+    #[test]
+    fn durable_zero_fault_run_matches_plain_path() {
+        // With no kill, the durable driver must be invisible: same reward
+        // series, same solution as the pre-existing plain path.
+        let cfg = durable_cfg();
+        let sc = Scenario::by_name("cq-small-steady").unwrap();
+        let plain = train_method_on(Backend::Sim, Method::Dqn, &sc, &cfg);
+        let dir = ckpt_dir("zero-fault");
+        let out = train_method_durable(
+            Backend::Sim,
+            Method::Dqn,
+            &sc,
+            &cfg,
+            &DurableOptions::new(&dir, 3),
+        )
+        .unwrap()
+        .into_outcome();
+        assert_same_outcome(&out, &plain);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_resume_is_bit_identical_on_sim() {
+        // Kill between checkpoint boundaries (every=2, kill after 3): the
+        // resume restarts from epoch 2's checkpoint, re-derives epoch 3,
+        // and the completed trajectory is bit-identical to the
+        // uninterrupted run. SimEnv recovery goes through the direct
+        // engine image.
+        let cfg = durable_cfg();
+        let sc = Scenario::by_name("cq-small-steady").unwrap();
+        let plain = train_method_on(Backend::Sim, Method::Dqn, &sc, &cfg);
+        let dir = ckpt_dir("kill-sim");
+        let opts = DurableOptions::new(&dir, 2);
+        let killed = train_method_durable(
+            Backend::Sim,
+            Method::Dqn,
+            &sc,
+            &cfg,
+            &opts.clone().kill_after(3),
+        )
+        .unwrap();
+        assert!(matches!(killed, DurableRun::Killed { at_epoch: 3 }));
+        let resumed = train_method_durable(Backend::Sim, Method::Dqn, &sc, &cfg, &opts)
+            .unwrap()
+            .into_outcome();
+        assert_same_outcome(&resumed, &plain);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_resume_is_bit_identical_on_cluster_transports() {
+        // The control-plane backend has no direct image (its engine lives
+        // behind the protocol, behind a thread over TCP): recovery replays
+        // the recorded trajectory against a same-seed cluster. Both
+        // transports must reproduce the uninterrupted run exactly.
+        use crate::env::ClusterTransport;
+        let cfg = durable_cfg();
+        let sc = Scenario::by_name("cq-small-steady").unwrap();
+        for (transport, tag) in [
+            (ClusterTransport::Channel, "kill-cluster-channel"),
+            (ClusterTransport::Tcp, "kill-cluster-tcp"),
+        ] {
+            let make = || sc.cluster_env_with(&cfg, cfg.seed, transport);
+            let plain = train_method_with(Method::Dqn, &sc.app, &sc.cluster, &cfg, make);
+            let dir = ckpt_dir(tag);
+            let opts = DurableOptions::new(&dir, 2);
+            let killed = train_method_durable_with(
+                Method::Dqn,
+                &sc.app,
+                &sc.cluster,
+                &cfg,
+                &opts.clone().kill_after(3),
+                make,
+            )
+            .unwrap();
+            assert!(matches!(killed, DurableRun::Killed { at_epoch: 3 }));
+            let resumed =
+                train_method_durable_with(Method::Dqn, &sc.app, &sc.cluster, &cfg, &opts, make)
+                    .unwrap()
+                    .into_outcome();
+            assert_same_outcome(&resumed, &plain);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn actor_critic_kill_resume_on_analytic_replay_path() {
+        // The actor-critic scheduler checkpoints more state (four nets,
+        // two optimizers, elite memory); the analytic backend exercises
+        // the replay-recovery path cheaply.
+        let cfg = ControlConfig {
+            offline_samples: 20,
+            offline_steps: 10,
+            online_epochs: 6,
+            eps_decay_epochs: 3,
+            ..ControlConfig::test()
+        };
+        let sc = Scenario::by_name("cq-small-steady").unwrap();
+        let plain = train_method_on(Backend::Analytic, Method::ActorCritic, &sc, &cfg);
+        let dir = ckpt_dir("kill-ac");
+        let opts = DurableOptions::new(&dir, 2);
+        let killed = train_method_durable(
+            Backend::Analytic,
+            Method::ActorCritic,
+            &sc,
+            &cfg,
+            &opts.clone().kill_after(3),
+        )
+        .unwrap();
+        assert!(matches!(killed, DurableRun::Killed { at_epoch: 3 }));
+        let resumed =
+            train_method_durable(Backend::Analytic, Method::ActorCritic, &sc, &cfg, &opts)
+                .unwrap()
+                .into_outcome();
+        assert_same_outcome(&resumed, &plain);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_resume_rejects_foreign_checkpoints() {
+        use crate::checkpoint::CheckpointError;
+        let cfg = durable_cfg();
+        let sc = Scenario::by_name("cq-small-steady").unwrap();
+        let dir = ckpt_dir("reject");
+        let opts = DurableOptions::new(&dir, 2);
+        let killed = train_method_durable(
+            Backend::Analytic,
+            Method::Dqn,
+            &sc,
+            &cfg,
+            &opts.clone().kill_after(2),
+        )
+        .unwrap();
+        assert!(matches!(killed, DurableRun::Killed { at_epoch: 2 }));
+        let dqn_path = checkpoint_path(&dir, Method::Dqn, &cfg);
+        // A checkpoint renamed onto another method's slot is refused.
+        std::fs::copy(&dqn_path, checkpoint_path(&dir, Method::ActorCritic, &cfg)).unwrap();
+        assert!(matches!(
+            train_method_durable(Backend::Analytic, Method::ActorCritic, &sc, &cfg, &opts),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+        // A flipped byte is caught by the blob CRC, never silently resumed.
+        let mut raw = std::fs::read(&dqn_path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&dqn_path, &raw).unwrap();
+        assert!(matches!(
+            train_method_durable(Backend::Analytic, Method::Dqn, &sc, &cfg, &opts),
+            Err(CheckpointError::Store(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ddpg_trains_through_master_crashes_and_beats_random() {
+        // The full DDPG pipeline rides the leader-elected control plane
+        // while the scenario's fault plan kills the master twice (operator
+        // restarts follow) on top of a 10% lossy link: training completes
+        // (never hangs), both crashes surface as failovers, and the
+        // trained solution still beats a random placement.
+        let sc = Scenario::by_name("cq-small-master-crash").unwrap();
+        let cfg = ControlConfig {
+            offline_samples: 20,
+            offline_steps: 15,
+            online_epochs: 24,
+            eps_decay_epochs: 12,
+            sim_epoch_s: 5.0,
+            ..ControlConfig::test()
+        };
+        let mut env = sc.cluster_env(&cfg, cfg.seed);
+        let controller = Controller::new(cfg);
+        let rr = sc.initial_assignment();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0);
+        let mut collector =
+            RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(cfg.seed));
+        let data = controller.collect_offline(
+            &mut env,
+            &sc.app.workload,
+            &mut collector,
+            rr.clone(),
+            &mut rng,
+        );
+        let mut sched =
+            ActorCriticScheduler::new(sc.n_executors(), sc.n_machines(), sc.n_sources(), &cfg);
+        sched.pretrain(&data);
+        let (rewards, last) = controller.online_learn(
+            &mut sched,
+            &mut env,
+            &sc.app.workload,
+            rr.clone(),
+            cfg.online_epochs,
+        );
+        assert_eq!(rewards.len(), cfg.online_epochs);
+        sched.freeze();
+        let solution = controller.decide(&mut sched, &last, &sc.app.workload);
+
+        // Both scripted crashes completed as failovers (generation bumps
+        // observed through resume probes), and the typed counters agree.
+        assert!(
+            env.failovers() >= 2,
+            "expected both master crashes to surface, saw {}",
+            env.failovers()
+        );
+        assert!(env.master_generation() >= 2);
+        assert!(env.degraded_epochs() >= env.failovers());
+
+        // The trained solution beats a seeded random placement on the
+        // scenario's own (master-less, fault-free) deployment engine.
+        let mut random = RandomScheduler::new(
+            RandomMode::FullRandom,
+            StdRng::seed_from_u64(cfg.seed ^ 0x5EED),
+        );
+        let random_solution = random.schedule(&SchedState::new(rr, sc.app.workload.clone()));
+        let trained = stable_ms(&scenario_deployment_curve(&sc, &cfg, &solution, 6.0, 15.0));
+        let baseline = stable_ms(&scenario_deployment_curve(
+            &sc,
+            &cfg,
+            &random_solution,
+            6.0,
+            15.0,
+        ));
+        assert!(
+            trained < baseline,
+            "trained {trained:.1} ms must beat random {baseline:.1} ms"
+        );
     }
 }

@@ -40,6 +40,7 @@
 //!   training ([`experiment::Backend`]).
 
 pub mod action;
+pub mod checkpoint;
 pub mod config;
 pub mod controller;
 pub mod env;
@@ -50,11 +51,13 @@ pub mod scenario;
 pub mod scheduler;
 pub mod state;
 
+pub use checkpoint::{CheckpointError, TrainCheckpoint};
 pub use config::ControlConfig;
 pub use controller::{Controller, OfflineDataset, RawSample};
 pub use env::{
     AnalyticEnv, ClusterEnv, ClusterTransport, DegradedReason, Environment, SimEnv, TransitionStore,
 };
+pub use experiment::{train_method_durable, DurableOptions, DurableRun};
 pub use parallel::{ActorSetup, ParallelCollector, RoundPlan};
 pub use reward::RewardScale;
 pub use scenario::{analytic_fleet, cluster_fleet, sim_fleet, Scenario};

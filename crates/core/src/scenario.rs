@@ -25,7 +25,7 @@
 //! [`compatible`](Scenario::compatible) and may share one agent/fleet.
 
 use dss_apps::{continuous_queries, log_stream, word_count, word_count_fleet, App, CqScale};
-use dss_nimbus::FaultPlan;
+use dss_nimbus::{FaultEvent, FaultPlan};
 use dss_proto::ChaosPlan;
 use dss_sim::{
     AnalyticModel, Assignment, ClusterSpec, MachineSpec, NetworkParams, RateSchedule, SimConfig,
@@ -259,6 +259,28 @@ impl Scenario {
                 schedule: RateSchedule::constant(),
                 faults: Some(FaultPlan::crash_at(1, 20.0).and_restart(1, 120.0)),
                 chaos: Some(ChaosPlan::lossy(0xC4A5, 0.10)),
+            },
+            // Master-fault scenario: the *scheduler's own master* dies
+            // twice mid-run (operator restarts follow), on top of a lossy
+            // control link. The env runs the leader-elected master pool
+            // with durable recovery images: each crash costs a penalty
+            // epoch surfaced as `DegradedReason::Failover`, the promoted
+            // master resumes from the committed image, and training rides
+            // through. Shape-compatible with the cq-small family. No
+            // delay/duplicate chaos here: a delayed copy of a solution
+            // from an abandoned epoch must not outlive a failover.
+            Scenario {
+                name: "cq-small-master-crash",
+                app: continuous_queries(CqScale::Small),
+                cluster: ClusterSpec::homogeneous(4),
+                schedule: RateSchedule::constant(),
+                faults: Some(FaultPlan::new(vec![
+                    FaultEvent::master_crash(20.0),
+                    FaultEvent::master_restart(60.0),
+                    FaultEvent::master_crash(100.0),
+                    FaultEvent::master_restart(140.0),
+                ])),
+                chaos: Some(ChaosPlan::lossy(0x3A57E6, 0.10)),
             },
         ]
     }
@@ -611,6 +633,21 @@ mod tests {
         let e1 = lossy.cluster_env(&cfg, 1);
         let e2 = lossy.cluster_env(&cfg, 2);
         drop((e1, e2)); // unlaunched: construction alone must be cheap+valid
+    }
+
+    #[test]
+    fn master_crash_scenario_rides_the_registry() {
+        let sc = Scenario::by_name("cq-small-master-crash").expect("registered");
+        let plan = sc.faults.as_ref().expect("master-fault plan installed");
+        assert!(plan.has_master_events());
+        // Master faults require the reliable protocol, so the scenario
+        // must ship a chaos plan alongside.
+        assert!(sc.chaos.is_some());
+        // Two crashes, each followed by an operator restart.
+        assert!(sc.compatible(&Scenario::by_name("cq-small-steady").unwrap()));
+        let cfg = ControlConfig::test();
+        let e = sc.cluster_env(&cfg, 1);
+        drop(e); // construction is valid; the env asserts the gating
     }
 
     #[test]

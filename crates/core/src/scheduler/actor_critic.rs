@@ -11,6 +11,7 @@ use dss_rl::{
 use dss_sim::Assignment;
 
 use crate::action::choice_to_assignment;
+use crate::checkpoint::{CheckpointError, Dec, Enc};
 use crate::config::ControlConfig;
 use crate::controller::OfflineDataset;
 use crate::reward::RewardScale;
@@ -122,6 +123,63 @@ impl ActorCriticScheduler {
     /// The wrapped agent (inspection / serialization).
     pub fn agent(&self) -> &DdpgAgent {
         &self.agent
+    }
+
+    /// Serializes every mutable field — the agent image (all four
+    /// networks, both optimizers' moments, the replay ring), the epoch
+    /// counter, the exploration RNG stream, the frozen flag, and the
+    /// elite memory in rank order — so a
+    /// [`ActorCriticScheduler::restore_state`]d scheduler continues the
+    /// training trajectory bit-for-bit.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.bytes(&self.agent.save_state());
+        e.usize(self.epoch);
+        e.rng(self.rng.state());
+        e.u8(self.frozen as u8);
+        e.usize(self.elite.len());
+        for (reward, a) in &self.elite {
+            e.f64(*reward);
+            e.assignment(a);
+        }
+        e.buf
+    }
+
+    /// Rebuilds a scheduler from a [`ActorCriticScheduler::save_state`]
+    /// image. The problem shape and config must match the run that saved
+    /// it (config-derived fields are reconstructed, not serialized).
+    pub fn restore_state(
+        n_executors: usize,
+        n_machines: usize,
+        n_sources: usize,
+        config: &ControlConfig,
+        bytes: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let mut base = Self::new(n_executors, n_machines, n_sources, config);
+        let mut d = Dec::new(bytes);
+        let agent = DdpgAgent::restore_state(d.bytes()?)
+            .map_err(|e| CheckpointError::Scheduler(e.to_string()))?;
+        base.agent = agent;
+        base.epoch = d.usize()?;
+        base.rng = StdRng::from_state(d.rng()?);
+        base.frozen = match d.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CheckpointError::BadStructure("frozen flag")),
+        };
+        let n_elite = d.len("elite memory")?;
+        let mut elite = Vec::with_capacity(n_elite);
+        for _ in 0..n_elite {
+            let reward = d.f64()?;
+            let a = d.assignment()?;
+            if a.n_executors() != n_executors || a.n_machines() != n_machines {
+                return Err(CheckpointError::BadStructure("elite assignment shape"));
+            }
+            elite.push((reward, a));
+        }
+        base.elite = elite;
+        d.done()?;
+        Ok(base)
     }
 }
 

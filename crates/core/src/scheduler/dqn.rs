@@ -9,6 +9,7 @@ use dss_rl::{DqnAgent, DqnConfig, Elem, EpsilonSchedule, Scalar, Transition};
 use dss_sim::Assignment;
 
 use crate::action::{apply_move, encode_move};
+use crate::checkpoint::{CheckpointError, Dec, Enc};
 use crate::config::ControlConfig;
 use crate::controller::OfflineDataset;
 use crate::reward::RewardScale;
@@ -73,6 +74,64 @@ impl DqnScheduler {
     /// The wrapped agent (inspection).
     pub fn agent(&self) -> &DqnAgent {
         &self.agent
+    }
+
+    /// Serializes every mutable field — the agent image (networks,
+    /// optimizer moments, replay ring), the epoch counter, the
+    /// exploration RNG stream, the pending move index, and the frozen
+    /// flag — so a [`DqnScheduler::restore_state`]d scheduler continues
+    /// the training trajectory bit-for-bit.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.bytes(&self.agent.save_state());
+        e.usize(self.epoch);
+        e.rng(self.rng.state());
+        match self.last_action {
+            None => e.u8(0),
+            Some(idx) => {
+                e.u8(1);
+                e.usize(idx);
+            }
+        }
+        e.u8(self.frozen as u8);
+        e.buf
+    }
+
+    /// Rebuilds a scheduler from a [`DqnScheduler::save_state`] image.
+    /// The problem shape and config must match the run that saved it
+    /// (config-derived fields are reconstructed, not serialized).
+    pub fn restore_state(
+        n_executors: usize,
+        n_machines: usize,
+        n_sources: usize,
+        config: &ControlConfig,
+        bytes: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let mut base = Self::new(n_executors, n_machines, n_sources, config);
+        let mut d = Dec::new(bytes);
+        let agent = DqnAgent::restore_state(d.bytes()?)
+            .map_err(|e| CheckpointError::Scheduler(e.to_string()))?;
+        if agent.n_actions() != n_executors * n_machines {
+            return Err(CheckpointError::Scheduler(format!(
+                "agent action space {} does not fit {n_executors}x{n_machines}",
+                agent.n_actions()
+            )));
+        }
+        base.agent = agent;
+        base.epoch = d.usize()?;
+        base.rng = StdRng::from_state(d.rng()?);
+        base.last_action = match d.u8()? {
+            0 => None,
+            1 => Some(d.usize()?),
+            _ => return Err(CheckpointError::BadStructure("last-action flag")),
+        };
+        base.frozen = match d.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CheckpointError::BadStructure("frozen flag")),
+        };
+        d.done()?;
+        Ok(base)
     }
 }
 

@@ -450,6 +450,34 @@ impl<T: Transport> AgentClient<T> {
         }
     }
 
+    /// Sequence number of the last reliable call issued (what a
+    /// [`Message::Resume`] reports to a recovered master).
+    pub fn last_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Re-discover the master after a suspected failover: send a
+    /// [`Message::Resume`] carrying the agent's view of the exchange
+    /// (`epoch` reached, last sequence number issued) and return the
+    /// serving master's `(generation, ident)` from its
+    /// [`Message::MasterAnnounce`]. A generation above the last one seen
+    /// tells the agent its previous call may have died with the old
+    /// master; the seq-numbered exchange then resumes safely because the
+    /// recovered master restored its duplicate-suppression window from
+    /// the durable image.
+    pub fn reliable_resume(
+        &mut self,
+        epoch: u64,
+        policy: &RetryPolicy,
+        pump: impl FnMut(),
+    ) -> Result<(u64, String), NimbusError> {
+        let last_seq = self.seq;
+        match self.reliable_call(Message::Resume { epoch, last_seq }, policy, pump)? {
+            Message::MasterAnnounce { generation, ident } => Ok((generation, ident)),
+            _ => Err(NimbusError::UnexpectedMessage("reliable resume")),
+        }
+    }
+
     /// Reliable statistics snapshot.
     pub fn reliable_fetch_stats(
         &mut self,

@@ -28,6 +28,11 @@ pub enum NimbusError {
         /// How many transmissions were attempted before giving up.
         attempts: u32,
     },
+    /// The durable recovery image (WAL or coordination znode) is missing
+    /// or unusable.
+    Recovery(String),
+    /// A master crash left no standby to promote.
+    NoStandbyMaster,
 }
 
 impl fmt::Display for NimbusError {
@@ -43,6 +48,8 @@ impl fmt::Display for NimbusError {
             NimbusError::Unreachable { attempts } => {
                 write!(f, "peer unreachable after {attempts} attempts")
             }
+            NimbusError::Recovery(why) => write!(f, "recovery image unusable: {why}"),
+            NimbusError::NoStandbyMaster => write!(f, "master down with no standby to promote"),
         }
     }
 }

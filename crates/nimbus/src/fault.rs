@@ -10,13 +10,20 @@
 //! supervisor session expires, and the ordinary detect-and-repair path
 //! reschedules the stranded executors.
 
-/// What happens to a machine at a scheduled instant.
+/// What happens to a machine (or the master) at a scheduled instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
     /// The machine's hardware stops and its supervisor daemon goes silent.
     Crash,
     /// The machine's hardware resumes and its supervisor re-registers.
     Restart,
+    /// The *master* process dies: its coordination session expires and a
+    /// standby must win the leader election. The event's `machine` field
+    /// is ignored. Fired by `NimbusSet`, never by a bare `Nimbus`.
+    MasterCrash,
+    /// A fresh standby master process starts and joins the election pool
+    /// (replacing capacity lost to a [`FaultKind::MasterCrash`]).
+    MasterRestart,
 }
 
 /// One scheduled fault event.
@@ -48,6 +55,29 @@ impl FaultEvent {
             kind: FaultKind::Restart,
         }
     }
+
+    /// A master crash at `at_s` simulated seconds.
+    pub fn master_crash(at_s: f64) -> Self {
+        FaultEvent {
+            at_s,
+            machine: 0,
+            kind: FaultKind::MasterCrash,
+        }
+    }
+
+    /// A standby master (re)start at `at_s` simulated seconds.
+    pub fn master_restart(at_s: f64) -> Self {
+        FaultEvent {
+            at_s,
+            machine: 0,
+            kind: FaultKind::MasterRestart,
+        }
+    }
+
+    /// Whether this event targets the master rather than a machine.
+    pub fn is_master(&self) -> bool {
+        matches!(self.kind, FaultKind::MasterCrash | FaultKind::MasterRestart)
+    }
 }
 
 /// Why a [`FaultPlan`] could not be built.
@@ -72,6 +102,29 @@ pub enum FaultPlanError {
         /// The contested instant (s).
         at_s: f64,
     },
+    /// Two master events share one simulated instant, so the leader's
+    /// final state at that instant would be ambiguous.
+    DuplicateMasterEvent {
+        /// The contested instant (s).
+        at_s: f64,
+    },
+    /// A [`FaultKind::MasterRestart`] was scheduled while no master was
+    /// down (no unanswered [`FaultKind::MasterCrash`] precedes it).
+    MasterRestartBeforeCrash {
+        /// When the stray restart was scheduled (s).
+        at_s: f64,
+    },
+    /// A machine crash/restart was scheduled inside a master-down window
+    /// (between a [`FaultKind::MasterCrash`] and the next
+    /// [`FaultKind::MasterRestart`], boundaries included). With no leader
+    /// alive there is no scheduler to observe the fault, so the recovery
+    /// order after failover would be ambiguous.
+    MachineEventDuringMasterDown {
+        /// The machine whose event overlaps the outage.
+        machine: usize,
+        /// When the overlapping event was scheduled (s).
+        at_s: f64,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -87,6 +140,17 @@ impl std::fmt::Display for FaultPlanError {
             FaultPlanError::DuplicateEvent { machine, at_s } => write!(
                 f,
                 "machine {machine} has two events at the same instant {at_s} s"
+            ),
+            FaultPlanError::DuplicateMasterEvent { at_s } => {
+                write!(f, "the master has two events at the same instant {at_s} s")
+            }
+            FaultPlanError::MasterRestartBeforeCrash { at_s } => write!(
+                f,
+                "master restart at {at_s} s has no master crash to recover from"
+            ),
+            FaultPlanError::MachineEventDuringMasterDown { machine, at_s } => write!(
+                f,
+                "machine {machine} event at {at_s} s falls inside a master-down window"
             ),
         }
     }
@@ -116,16 +180,55 @@ impl FaultPlan {
     /// machine at the same instant. Crashes of *different* machines at
     /// the same time are legal (simultaneous rack failure), as is a
     /// repeated crash without an intervening restart (idempotent).
+    ///
+    /// Master events obey their own rules: a [`FaultKind::MasterRestart`]
+    /// needs an unanswered [`FaultKind::MasterCrash`] before it, two
+    /// master events must not share an instant, and no machine event may
+    /// fall inside a master-down window (crash-to-restart, boundaries
+    /// included) — with no leader alive there is no scheduler to observe
+    /// it. A repeated `MasterCrash` while already down stays legal (a
+    /// no-op, mirroring idempotent machine crashes).
     pub fn try_new(mut events: Vec<FaultEvent>) -> Result<Self, FaultPlanError> {
         if !events.iter().all(|e| e.at_s.is_finite() && e.at_s >= 0.0) {
             return Err(FaultPlanError::NonFiniteTime);
         }
         events.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite times"));
-        for (i, e) in events.iter().enumerate() {
+
+        // Master alternation; collect the inclusive down windows.
+        let mut windows: Vec<(f64, f64)> = Vec::new();
+        let mut down_since: Option<f64> = None;
+        for (i, e) in events.iter().enumerate().filter(|(_, e)| e.is_master()) {
             if events[..i]
                 .iter()
-                .any(|prior| prior.machine == e.machine && prior.at_s == e.at_s)
+                .any(|prior| prior.is_master() && prior.at_s == e.at_s)
             {
+                return Err(FaultPlanError::DuplicateMasterEvent { at_s: e.at_s });
+            }
+            match e.kind {
+                FaultKind::MasterCrash => {
+                    down_since.get_or_insert(e.at_s);
+                }
+                FaultKind::MasterRestart => match down_since.take() {
+                    Some(start) => windows.push((start, e.at_s)),
+                    None => return Err(FaultPlanError::MasterRestartBeforeCrash { at_s: e.at_s }),
+                },
+                _ => unreachable!(),
+            }
+        }
+        if let Some(start) = down_since {
+            windows.push((start, f64::INFINITY));
+        }
+
+        for (i, e) in events.iter().enumerate().filter(|(_, e)| !e.is_master()) {
+            if windows.iter().any(|&(lo, hi)| lo <= e.at_s && e.at_s <= hi) {
+                return Err(FaultPlanError::MachineEventDuringMasterDown {
+                    machine: e.machine,
+                    at_s: e.at_s,
+                });
+            }
+            if events[..i].iter().any(|prior| {
+                !prior.is_master() && prior.machine == e.machine && prior.at_s == e.at_s
+            }) {
                 return Err(FaultPlanError::DuplicateEvent {
                     machine: e.machine,
                     at_s: e.at_s,
@@ -162,6 +265,23 @@ impl FaultPlan {
         Self::new(self.events)
     }
 
+    /// Builder: a single master crash.
+    pub fn master_crash_at(at_s: f64) -> Self {
+        Self::new(vec![FaultEvent::master_crash(at_s)])
+    }
+
+    /// Builder: append a master crash (re-sorts).
+    pub fn and_master_crash(mut self, at_s: f64) -> Self {
+        self.events.push(FaultEvent::master_crash(at_s));
+        Self::new(self.events)
+    }
+
+    /// Builder: append a standby master (re)start (re-sorts).
+    pub fn and_master_restart(mut self, at_s: f64) -> Self {
+        self.events.push(FaultEvent::master_restart(at_s));
+        Self::new(self.events)
+    }
+
     /// The scheduled events, in firing order.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -172,9 +292,28 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
-    /// Largest machine index the plan touches.
+    /// Whether the plan schedules any master crash/restart.
+    pub fn has_master_events(&self) -> bool {
+        self.events.iter().any(FaultEvent::is_master)
+    }
+
+    /// Largest machine index the plan touches; master events (whose
+    /// `machine` field is meaningless) are excluded.
     pub fn max_machine(&self) -> Option<usize> {
-        self.events.iter().map(|e| e.machine).max()
+        self.events
+            .iter()
+            .filter(|e| !e.is_master())
+            .map(|e| e.machine)
+            .max()
+    }
+
+    /// The machine-only sub-plan (what a `Nimbus` instance executes) and
+    /// the master events (what `NimbusSet` executes), both in firing
+    /// order. Each side is independently valid by construction.
+    pub fn split_master(&self) -> (FaultPlan, Vec<FaultEvent>) {
+        let (master, machine): (Vec<FaultEvent>, Vec<FaultEvent>) =
+            self.events.iter().copied().partition(FaultEvent::is_master);
+        (FaultPlan { events: machine }, master)
     }
 }
 
@@ -188,6 +327,19 @@ pub(crate) struct FaultCursor {
 impl FaultCursor {
     pub(crate) fn new(plan: FaultPlan) -> Self {
         FaultCursor { plan, next: 0 }
+    }
+
+    /// Resume a cursor mid-plan: the first `fired` events are treated as
+    /// already executed (a recovered master restores its position from
+    /// the persisted image, so no fault fires twice or gets skipped).
+    pub(crate) fn with_fired(plan: FaultPlan, fired: usize) -> Self {
+        let next = fired.min(plan.events.len());
+        FaultCursor { plan, next }
+    }
+
+    /// How many events have fired so far.
+    pub(crate) fn fired(&self) -> usize {
+        self.next
     }
 
     /// Time of the next unfired event, if any.
@@ -300,5 +452,124 @@ mod tests {
     #[should_panic(expected = "same instant")]
     fn panicking_constructor_reports_duplicates_too() {
         let _ = FaultPlan::new(vec![FaultEvent::crash(3, 7.0), FaultEvent::crash(3, 7.0)]);
+    }
+
+    #[test]
+    fn master_events_validate_and_split() {
+        let plan = FaultPlan::master_crash_at(20.0)
+            .and_master_restart(60.0)
+            .and_crash(1, 80.0)
+            .and_restart(1, 95.0);
+        assert!(plan.has_master_events());
+        // Master events don't count toward the machine-index bound.
+        assert_eq!(plan.max_machine(), Some(1));
+        let (machines, masters) = plan.split_master();
+        assert_eq!(machines.events().len(), 2);
+        assert!(!machines.has_master_events());
+        assert_eq!(
+            masters,
+            vec![
+                FaultEvent::master_crash(20.0),
+                FaultEvent::master_restart(60.0)
+            ]
+        );
+        // A master-only plan reports no machine at all.
+        assert_eq!(FaultPlan::master_crash_at(5.0).max_machine(), None);
+    }
+
+    #[test]
+    fn master_restart_without_a_prior_master_crash_is_rejected() {
+        let err = FaultPlan::try_new(vec![FaultEvent::master_restart(10.0)]).unwrap_err();
+        assert_eq!(err, FaultPlanError::MasterRestartBeforeCrash { at_s: 10.0 });
+        // A machine crash does not answer a master restart.
+        let err = FaultPlan::try_new(vec![
+            FaultEvent::crash(0, 5.0),
+            FaultEvent::master_restart(10.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::MasterRestartBeforeCrash { .. }
+        ));
+        assert!(err.to_string().contains("no master crash"));
+    }
+
+    #[test]
+    fn machine_events_inside_a_master_down_window_are_rejected() {
+        // Strictly inside the window.
+        let err = FaultPlan::try_new(vec![
+            FaultEvent::master_crash(20.0),
+            FaultEvent::crash(1, 30.0),
+            FaultEvent::master_restart(60.0),
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::MachineEventDuringMasterDown {
+                machine: 1,
+                at_s: 30.0
+            }
+        );
+        // Window boundaries are included.
+        for at in [20.0, 60.0] {
+            let err = FaultPlan::try_new(vec![
+                FaultEvent::master_crash(20.0),
+                FaultEvent::crash(2, at),
+                FaultEvent::master_restart(60.0),
+            ])
+            .unwrap_err();
+            assert!(matches!(
+                err,
+                FaultPlanError::MachineEventDuringMasterDown { machine: 2, .. }
+            ));
+        }
+        // An unanswered master crash opens an unbounded window.
+        let err = FaultPlan::try_new(vec![
+            FaultEvent::master_crash(20.0),
+            FaultEvent::crash(0, 1e6),
+        ])
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::MachineEventDuringMasterDown { .. }
+        ));
+        // Machine events before the crash and after the restart are fine.
+        assert!(FaultPlan::try_new(vec![
+            FaultEvent::crash(0, 5.0),
+            FaultEvent::master_crash(20.0),
+            FaultEvent::master_restart(60.0),
+            FaultEvent::restart(0, 70.0),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn duplicate_master_instants_are_rejected_but_machine_overlap_is_not_a_dup() {
+        let err = FaultPlan::try_new(vec![
+            FaultEvent::master_crash(4.0),
+            FaultEvent::master_restart(4.0),
+        ])
+        .unwrap_err();
+        assert_eq!(err, FaultPlanError::DuplicateMasterEvent { at_s: 4.0 });
+        assert!(err.to_string().contains("master"));
+        // A machine-0 event at the same instant as a master event is not a
+        // machine duplicate (the master's `machine` field is meaningless)
+        // — it is rejected for the right reason: the down window.
+        let err = FaultPlan::try_new(vec![
+            FaultEvent::master_crash(4.0),
+            FaultEvent::crash(0, 4.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::MachineEventDuringMasterDown { machine: 0, .. }
+        ));
+        // Repeated master crash while already down stays legal (no-op).
+        assert!(FaultPlan::try_new(vec![
+            FaultEvent::master_crash(4.0),
+            FaultEvent::master_crash(9.0),
+            FaultEvent::master_restart(12.0),
+        ])
+        .is_ok());
     }
 }

@@ -51,6 +51,22 @@
 //!   count as drops. An exhausted retry budget surfaces the typed
 //!   [`NimbusError::Unreachable`] so the embedder (see `dss-core`'s
 //!   `ClusterEnv`) can degrade gracefully instead of hanging.
+//! * **Master faults** (the Nimbus process itself dies). The active
+//!   master commits a durable recovery image — epoch, assignment version,
+//!   workload, fault-plan position, reliable-exchange window, and a full
+//!   engine snapshot — after every state-changing request
+//!   ([`persist::RecoveryStore`]: fsynced local WAL, then a versioned
+//!   coordination znode). [`failover::NimbusSet`] runs standby masters
+//!   behind [`dss_coord::LeaderElection`]; a scripted
+//!   [`FaultKind::MasterCrash`] drops the leader's sessions un-closed,
+//!   the survivor wins the election after session expiry, rebuilds an
+//!   identical master from the newest image, and resumes the reliable
+//!   exchange without double-applying any request. With no standby the
+//!   set goes leaderless (requests dropped, agents degrade via
+//!   [`NimbusError::Unreachable`]) until a [`FaultKind::MasterRestart`]
+//!   refills the pool. Because images commit at request boundaries, a
+//!   failover loses no committed epoch and the recovered trajectory is
+//!   bit-identical to an uninterrupted run.
 //! * **Protocol faults** (malformed or out-of-contract messages).
 //!   Recoverable ones — a stale-epoch solution, an invalid workload
 //!   update — draw a wrapped `Error` reply with a stable numeric code
@@ -65,14 +81,18 @@
 
 pub mod agent;
 pub mod error;
+pub mod failover;
 pub mod fault;
 pub mod master;
+pub mod persist;
 pub mod retry;
 pub mod supervisor;
 
 pub use agent::{AgentClient, RewardView, StateView, StatsView};
 pub use error::NimbusError;
+pub use failover::{HaConfig, NimbusSet};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use master::{DeployOutcome, MeasureProtocol, Nimbus, NimbusConfig, ServeStep};
+pub use persist::{RecoveryImage, RecoveryStore};
 pub use retry::RetryPolicy;
 pub use supervisor::SupervisorSet;

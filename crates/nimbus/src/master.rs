@@ -111,33 +111,36 @@ pub struct DeployOutcome {
 /// scheduling solution in the coordination service, and serves the
 /// external DRL agent over the socket protocol.
 pub struct Nimbus {
-    coord: CoordService,
-    session: Session,
-    engine: SimEngine,
-    workload: Workload,
-    config: NimbusConfig,
-    epoch: u64,
-    assignment_version: u64,
+    pub(crate) coord: CoordService,
+    pub(crate) session: Session,
+    pub(crate) engine: SimEngine,
+    pub(crate) workload: Workload,
+    pub(crate) config: NimbusConfig,
+    pub(crate) epoch: u64,
+    pub(crate) assignment_version: u64,
+    /// Which master incarnation this is: 0 for the original, bumped by
+    /// every failover promotion ([`crate::failover::NimbusSet`]).
+    pub(crate) generation: u64,
     /// Supervisor daemons driven by this master's clock advancement
     /// (attach with [`Nimbus::attach_supervisors`]).
-    supervisors: Option<SupervisorSet>,
+    pub(crate) supervisors: Option<SupervisorSet>,
     /// Whether the first (catch-up-eligible) measurement has happened.
-    measured_once: bool,
+    pub(crate) measured_once: bool,
     /// Scheduled machine faults, fired as simulated time advances.
-    faults: Option<FaultCursor>,
+    pub(crate) faults: Option<FaultCursor>,
     /// Repairs performed by [`Nimbus::detect_and_repair`].
-    repairs: usize,
+    pub(crate) repairs: usize,
     /// Whether a coordination session expired since the last completed
     /// repair check. While false, [`Nimbus::detect_and_repair`] early-outs
     /// without enumerating supervisors — healthy (or merely stalled)
     /// epochs cost O(1), not O(cluster).
-    suspect: bool,
+    pub(crate) suspect: bool,
     /// Full live-machine scans performed by [`Nimbus::detect_and_repair`].
-    repair_scans: usize,
+    pub(crate) repair_scans: usize,
     /// Simulated time and outcome of the latest repair.
-    last_repair: Option<(f64, DeployOutcome)>,
+    pub(crate) last_repair: Option<(f64, DeployOutcome)>,
     /// Reliable-exchange state: duplicate suppression + response replay.
-    reliable: ReliableServer,
+    pub(crate) reliable: ReliableServer,
 }
 
 impl Nimbus {
@@ -173,6 +176,7 @@ impl Nimbus {
             config,
             epoch: 0,
             assignment_version: stat.version,
+            generation: 0,
             supervisors: None,
             measured_once: false,
             faults: None,
@@ -227,6 +231,18 @@ impl Nimbus {
     /// timer).
     pub fn attach_supervisors(&mut self, supervisors: SupervisorSet) {
         self.supervisors = Some(supervisors);
+    }
+
+    /// Take the supervisor daemons back (they outlive a crashed master:
+    /// worker processes keep running while the control plane fails over).
+    pub fn detach_supervisors(&mut self) -> Option<SupervisorSet> {
+        self.supervisors.take()
+    }
+
+    /// Which master incarnation this is (0 until a failover promotes a
+    /// standby).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Crash a machine: the simulated hardware stops processing (queues
@@ -310,6 +326,10 @@ impl Nimbus {
                         let _ = sup.restart(&coord, ev.machine);
                     }
                 }
+                // A master cannot execute its own death: `NimbusSet`
+                // splits master events out of the plan before handing the
+                // machine sub-plan to `Nimbus`.
+                FaultKind::MasterCrash | FaultKind::MasterRestart => {}
             }
         }
     }
@@ -804,6 +824,14 @@ impl Nimbus {
             Message::Heartbeat { .. } => Ok(Some(Message::Heartbeat {
                 now_ms: (self.engine.now() * 1000.0) as u64,
             })),
+            // An agent re-discovering its master after a failover: announce
+            // which incarnation is serving. The agent compares the
+            // generation against the one it last saw to learn whether its
+            // in-flight call may have been lost with the old master.
+            Message::Resume { .. } => Ok(Some(Message::MasterAnnounce {
+                generation: self.generation,
+                ident: self.config.ident.clone(),
+            })),
             _ => Err(NimbusError::UnexpectedMessage("reliable request")),
         }
     }
@@ -922,11 +950,11 @@ const RESPONSE_CACHE: usize = 32;
 /// number already applied (for duplicate suppression) and a bounded cache
 /// of recent responses (for idempotent retransmit replay).
 #[derive(Debug, Default)]
-struct ReliableServer {
+pub(crate) struct ReliableServer {
     /// Highest request sequence number applied so far.
-    last_seq: u64,
+    pub(crate) last_seq: u64,
     /// Recent `(seq, response)` pairs, oldest first.
-    cache: VecDeque<(u64, Message)>,
+    pub(crate) cache: VecDeque<(u64, Message)>,
 }
 
 impl ReliableServer {

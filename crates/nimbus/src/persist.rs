@@ -1,0 +1,723 @@
+//! Durable master state: the recovery image a standby Nimbus promotes
+//! from.
+//!
+//! On every committed decision epoch the active master serializes its full
+//! control-plane state — epoch, assignment version, workload, fault-plan
+//! position, reliable-exchange window, and the engine snapshot — into a
+//! [`RecoveryImage`]. [`RecoveryStore`] makes the image durable with a
+//! two-stage commit:
+//!
+//! 1. append the image to a local CRC'd write-ahead log (`dss-store`'s
+//!    segment log) and fsync it;
+//! 2. swap it into a versioned coordination znode with a conditional
+//!    write (the ZooKeeper pattern real Storm uses for nimbus HA state);
+//! 3. truncate the WAL — the znode now holds the authoritative copy.
+//!
+//! A writer that dies between (1) and (2) leaves the newer image in the
+//! WAL; [`RecoveryStore::load`] reads both and keeps whichever is newest
+//! by `(generation, epoch, last_seq)`, so the committed epoch is never
+//! lost and a torn WAL tail (CRC failure) falls back to the znode copy.
+
+use std::path::Path;
+
+use dss_coord::{storm, CoordService, CreateMode, Session, StormPaths};
+use dss_proto::{decode_frame, encode_frame};
+use dss_sim::{ClusterSpec, SimConfig, SimEngine, Topology, Workload};
+use dss_store::{Log, LogConfig, StoreError};
+
+use crate::error::NimbusError;
+use crate::master::{DeployOutcome, Nimbus, NimbusConfig, ReliableServer};
+
+/// Serialization format magic: "DSSR" (dss recovery).
+const MAGIC: [u8; 4] = *b"DSSR";
+/// Format version.
+const VERSION: u32 = 1;
+
+/// Znode holding the authoritative recovery image for a topology.
+pub fn recovery_path(topology: &str) -> String {
+    format!("/storm/nimbus-recovery/{topology}")
+}
+
+/// Everything a standby needs to impersonate the dead master exactly:
+/// the committed control-plane state plus a full engine snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryImage {
+    /// Master incarnation that wrote the image (0 = original launch).
+    pub generation: u64,
+    /// Topology name (sanity-checked against the rebuild inputs).
+    pub topology: String,
+    /// Committed decision epoch.
+    pub epoch: u64,
+    /// Assignment-znode version at commit time (informational: a rebuild
+    /// rewrites the znode and adopts the fresh version).
+    pub assignment_version: u64,
+    /// Whether the first (catch-up-eligible) measurement happened.
+    pub measured_once: bool,
+    /// Repairs performed so far.
+    pub repairs: u64,
+    /// Full live-machine scans performed so far.
+    pub repair_scans: u64,
+    /// Simulated time and outcome of the latest repair.
+    pub last_repair: Option<(f64, DeployOutcome)>,
+    /// Base workload rates `(component, tuples/s)`.
+    pub workload: Vec<(u64, f64)>,
+    /// How many machine-fault-plan events have already fired.
+    pub faults_fired: u64,
+    /// Reliable exchange: highest request sequence number applied.
+    pub last_seq: u64,
+    /// Reliable exchange: recent `(seq, response)` pairs, oldest first,
+    /// each response stored as an encoded wire frame.
+    pub cache: Vec<(u64, Vec<u8>)>,
+    /// Full engine snapshot (`SimEngine::save_state`).
+    pub engine: Vec<u8>,
+}
+
+impl RecoveryImage {
+    /// Photograph the master's committed state. Non-perturbing: the
+    /// engine snapshot is a pure read (`save_does_not_perturb_the_engine`
+    /// in `dss-sim` proves it), so capturing an image between epochs
+    /// cannot change any trajectory.
+    pub fn capture(nimbus: &Nimbus, generation: u64) -> RecoveryImage {
+        RecoveryImage {
+            generation,
+            topology: nimbus.topology_name().to_string(),
+            epoch: nimbus.epoch,
+            assignment_version: nimbus.assignment_version,
+            measured_once: nimbus.measured_once,
+            repairs: nimbus.repairs as u64,
+            repair_scans: nimbus.repair_scans as u64,
+            last_repair: nimbus.last_repair,
+            workload: nimbus
+                .workload
+                .rates()
+                .iter()
+                .map(|&(c, r)| (c as u64, r))
+                .collect(),
+            faults_fired: nimbus.faults.as_ref().map_or(0, |c| c.fired()) as u64,
+            last_seq: nimbus.reliable.last_seq,
+            cache: nimbus
+                .reliable
+                .cache
+                .iter()
+                .map(|(seq, msg)| (*seq, encode_frame(msg).to_vec()))
+                .collect(),
+            engine: nimbus.engine.save_state(),
+        }
+    }
+
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes_raw(&MAGIC);
+        w.u32(VERSION);
+        w.u64(self.generation);
+        w.str(&self.topology);
+        w.u64(self.epoch);
+        w.u64(self.assignment_version);
+        w.bool(self.measured_once);
+        w.u64(self.repairs);
+        w.u64(self.repair_scans);
+        match self.last_repair {
+            Some((at, outcome)) => {
+                w.bool(true);
+                w.f64(at);
+                w.u64(outcome.moved as u64);
+                w.u64(outcome.assignment_version);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.workload.len() as u64);
+        for &(c, r) in &self.workload {
+            w.u64(c);
+            w.f64(r);
+        }
+        w.u64(self.faults_fired);
+        w.u64(self.last_seq);
+        w.u64(self.cache.len() as u64);
+        for (seq, frame) in &self.cache {
+            w.u64(*seq);
+            w.bytes(frame);
+        }
+        w.bytes(&self.engine);
+        w.into_vec()
+    }
+
+    /// Deserialize, validating structure end to end.
+    pub fn decode(data: &[u8]) -> Result<RecoveryImage, NimbusError> {
+        let mut r = Reader::new(data);
+        if r.take(4)? != MAGIC {
+            return Err(NimbusError::Recovery("bad recovery magic".into()));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(NimbusError::Recovery(format!(
+                "unsupported recovery version {version}"
+            )));
+        }
+        let generation = r.u64()?;
+        let topology = r.str()?;
+        let epoch = r.u64()?;
+        let assignment_version = r.u64()?;
+        let measured_once = r.bool()?;
+        let repairs = r.u64()?;
+        let repair_scans = r.u64()?;
+        let last_repair = if r.bool()? {
+            let at = r.f64()?;
+            let moved = r.u64()? as usize;
+            let version = r.u64()?;
+            Some((
+                at,
+                DeployOutcome {
+                    moved,
+                    assignment_version: version,
+                },
+            ))
+        } else {
+            None
+        };
+        let n_rates = r.u64()? as usize;
+        let mut workload = Vec::with_capacity(n_rates.min(1 << 16));
+        for _ in 0..n_rates {
+            let c = r.u64()?;
+            let rate = r.f64()?;
+            workload.push((c, rate));
+        }
+        let faults_fired = r.u64()?;
+        let last_seq = r.u64()?;
+        let n_cache = r.u64()? as usize;
+        let mut cache = Vec::with_capacity(n_cache.min(1 << 16));
+        for _ in 0..n_cache {
+            let seq = r.u64()?;
+            let frame = r.bytes()?;
+            cache.push((seq, frame));
+        }
+        let engine = r.bytes()?;
+        r.done()?;
+        Ok(RecoveryImage {
+            generation,
+            topology,
+            epoch,
+            assignment_version,
+            measured_once,
+            repairs,
+            repair_scans,
+            last_repair,
+            workload,
+            faults_fired,
+            last_seq,
+            cache,
+            engine,
+        })
+    }
+
+    /// Resurrect a master from this image: build a fresh engine from the
+    /// same inputs, restore the snapshot into it, take over the
+    /// assignment znode on a new session, and resume the reliable window.
+    ///
+    /// The rebuilt master deliberately does NOT re-deploy: the snapshot
+    /// already contains the committed assignment with all warm-up state,
+    /// so a failover that loses no epoch perturbs no trajectory.
+    pub fn rebuild(
+        &self,
+        topology: Topology,
+        cluster: ClusterSpec,
+        sim_config: SimConfig,
+        coord: &CoordService,
+        config: NimbusConfig,
+    ) -> Result<Nimbus, NimbusError> {
+        if topology.name() != self.topology {
+            return Err(NimbusError::Recovery(format!(
+                "image is for topology '{}', rebuilding '{}'",
+                self.topology,
+                topology.name()
+            )));
+        }
+        let rates: Vec<(usize, f64)> = self
+            .workload
+            .iter()
+            .map(|&(c, r)| (c as usize, r))
+            .collect();
+        let workload = Workload::new(rates, &topology)
+            .map_err(|e| NimbusError::Recovery(format!("image workload invalid: {e}")))?;
+        let mut engine = SimEngine::new(topology, cluster, workload.clone(), sim_config)
+            .map_err(|e| NimbusError::Recovery(format!("engine rebuild failed: {e}")))?;
+        engine
+            .restore_state(&self.engine)
+            .map_err(|e| NimbusError::Recovery(format!("engine snapshot rejected: {e}")))?;
+
+        let session = coord.connect();
+        StormPaths::bootstrap(&session)?;
+        let name = self.topology.clone();
+        session.ensure_path(&StormPaths::storm(&name), name.as_bytes())?;
+        // The dead master's conditional-write chain is broken: rewrite the
+        // assignment znode unconditionally (we ARE the authority now — the
+        // engine snapshot carries the committed assignment) and adopt the
+        // fresh version for subsequent CAS updates.
+        let payload = storm::encode_assignment(
+            engine.assignment().as_slice(),
+            engine.cluster().n_machines(),
+        );
+        let assign_path = StormPaths::assignment(&name);
+        let stat = match session.create(&assign_path, &payload, CreateMode::Persistent) {
+            Ok(stat) => stat,
+            Err(dss_coord::CoordError::NodeExists(_)) => {
+                session.set_data(&assign_path, &payload, None)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        session.ensure_path(&StormPaths::workerbeats(&name), b"")?;
+
+        let mut cache = std::collections::VecDeque::with_capacity(self.cache.len());
+        for (seq, frame) in &self.cache {
+            let msg = decode_frame(frame)
+                .map_err(|e| NimbusError::Recovery(format!("cached response corrupt: {e}")))?;
+            cache.push_back((*seq, msg));
+        }
+
+        Ok(Nimbus {
+            coord: coord.clone(),
+            session,
+            engine,
+            workload,
+            config,
+            epoch: self.epoch,
+            assignment_version: stat.version,
+            generation: self.generation,
+            supervisors: None,
+            measured_once: self.measured_once,
+            faults: None,
+            repairs: self.repairs as usize,
+            // Conservative: supervisor sessions may have expired during
+            // the leaderless window, so the first repair check must scan.
+            suspect: true,
+            repair_scans: self.repair_scans as usize,
+            last_repair: self.last_repair,
+            reliable: ReliableServer {
+                last_seq: self.last_seq,
+                cache,
+            },
+        })
+    }
+
+    /// Recency order for choosing between competing copies of the image.
+    fn recency(&self) -> (u64, u64, u64) {
+        (self.generation, self.epoch, self.last_seq)
+    }
+}
+
+/// Durable home of the recovery image: local WAL + coordination znode.
+#[derive(Debug)]
+pub struct RecoveryStore {
+    wal: Log,
+    /// Version of the recovery znode from our last read/write, for CAS.
+    znode_version: Option<u64>,
+}
+
+impl RecoveryStore {
+    /// Open (or create) the WAL in `dir`.
+    pub fn open(dir: &Path) -> Result<Self, NimbusError> {
+        let wal = Log::open(
+            dir,
+            LogConfig {
+                // Images are snapshots, not samples: one per segment is
+                // plenty, and every append fsyncs (it IS the commit).
+                max_segment_bytes: 1 << 20,
+                sync_every_append: true,
+            },
+        )
+        .map_err(store_err)?;
+        Ok(RecoveryStore {
+            wal,
+            znode_version: None,
+        })
+    }
+
+    /// Durably commit an image: WAL append (fsynced) → conditional znode
+    /// swap → WAL truncate. Crash-safe at every boundary: dying before the
+    /// znode swap leaves the image in the WAL, dying after leaves it in
+    /// the znode; `load` prefers whichever is newest.
+    pub fn commit(&mut self, session: &Session, image: &RecoveryImage) -> Result<(), NimbusError> {
+        let bytes = image.encode();
+        self.wal.append(&bytes).map_err(store_err)?;
+        let path = recovery_path(&image.topology);
+        let stat = match self.znode_version {
+            Some(v) => session.set_data(&path, &bytes, Some(v))?,
+            None => {
+                session.ensure_path("/storm/nimbus-recovery", b"")?;
+                match session.create(&path, &bytes, CreateMode::Persistent) {
+                    Ok(stat) => stat,
+                    Err(dss_coord::CoordError::NodeExists(_)) => {
+                        session.set_data(&path, &bytes, None)?
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        };
+        self.znode_version = Some(stat.version);
+        self.wal.rewrite(&[]).map_err(store_err)?;
+        Ok(())
+    }
+
+    /// Load the newest available image for `topology`: the recovery znode
+    /// if present, superseded by any newer image stranded in the WAL by a
+    /// writer that died mid-commit. Returns `None` when neither exists.
+    pub fn load(
+        &mut self,
+        session: &Session,
+        topology: &str,
+    ) -> Result<Option<RecoveryImage>, NimbusError> {
+        let mut newest: Option<RecoveryImage> = None;
+        match session.get_data(&recovery_path(topology)) {
+            Ok((data, stat)) => {
+                self.znode_version = Some(stat.version);
+                newest = Some(RecoveryImage::decode(&data)?);
+            }
+            Err(dss_coord::CoordError::NoNode(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+        for payload in self.wal.iter().map_err(store_err)? {
+            // A torn WAL tail decodes to an error — skip it, the znode
+            // copy (or an earlier WAL record) still holds a committed
+            // image.
+            if let Ok(img) = RecoveryImage::decode(&payload) {
+                if img.topology == topology
+                    && newest.as_ref().is_none_or(|b| img.recency() >= b.recency())
+                {
+                    newest = Some(img);
+                }
+            }
+        }
+        Ok(newest)
+    }
+}
+
+fn store_err(e: StoreError) -> NimbusError {
+    NimbusError::Recovery(format!("recovery WAL: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian byte codec (same idiom as dss-sim's snapshot module).
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    fn bytes_raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.bytes_raw(b);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NimbusError> {
+        if self.data.len() - self.pos < n {
+            return Err(NimbusError::Recovery("image truncated".into()));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, NimbusError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, NimbusError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, NimbusError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, NimbusError> {
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(NimbusError::Recovery(format!("bad bool byte {b}"))),
+        }
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, NimbusError> {
+        let n = self.u64()? as usize;
+        if self.data.len() - self.pos < n {
+            return Err(NimbusError::Recovery("image truncated".into()));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn str(&mut self) -> Result<String, NimbusError> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| NimbusError::Recovery("image string not utf-8".into()))
+    }
+
+    fn done(&self) -> Result<(), NimbusError> {
+        if self.pos != self.data.len() {
+            return Err(NimbusError::Recovery(format!(
+                "{} trailing bytes after image",
+                self.data.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::MeasureProtocol;
+    use crate::retry::RetryPolicy;
+    use dss_coord::CoordConfig;
+    use dss_sim::{Assignment, TopologyBuilder};
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "dss-recovery-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn parts() -> (Topology, ClusterSpec, Workload, Assignment) {
+        let mut b = TopologyBuilder::new("persist-topo");
+        let spout = b.spout("spout", 2, 0.05);
+        let bolt = b.bolt("bolt", 4, 0.2);
+        b.edge(spout, bolt, dss_sim::Grouping::Shuffle, 1.0, 64);
+        let topology = b.build().unwrap();
+        let cluster = ClusterSpec::homogeneous(4);
+        let workload = Workload::uniform(&topology, 50.0);
+        let assignment = Assignment::round_robin(&topology, &cluster);
+        (topology, cluster, workload, assignment)
+    }
+
+    fn config() -> NimbusConfig {
+        NimbusConfig {
+            measure: MeasureProtocol::epoch(2.0),
+            ident: "persist-test".into(),
+            heartbeat_interval_s: 1.0,
+            auto_repair: false,
+            retry: RetryPolicy::synchronous(),
+        }
+    }
+
+    fn launch(coord: &CoordService) -> Nimbus {
+        let (topology, cluster, workload, assignment) = parts();
+        let engine =
+            SimEngine::new(topology, cluster, workload.clone(), SimConfig::default()).unwrap();
+        Nimbus::launch(engine, workload, assignment, coord, config()).unwrap()
+    }
+
+    #[test]
+    fn image_roundtrips_through_bytes() {
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: 30_000,
+        });
+        let mut nimbus = launch(&coord);
+        let _ = nimbus.measure_reward();
+        let image = RecoveryImage::capture(&nimbus, 3);
+        let decoded = RecoveryImage::decode(&image.encode()).unwrap();
+        assert_eq!(decoded, image);
+        assert_eq!(decoded.generation, 3);
+        assert_eq!(decoded.topology, "persist-topo");
+    }
+
+    #[test]
+    fn decode_rejects_corruption_and_truncation() {
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: 30_000,
+        });
+        let nimbus = launch(&coord);
+        let bytes = RecoveryImage::capture(&nimbus, 0).encode();
+        assert!(RecoveryImage::decode(&bytes[..bytes.len() - 3]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF; // magic
+        assert!(RecoveryImage::decode(&bad).is_err());
+        let mut extra = bytes;
+        extra.push(0);
+        assert!(RecoveryImage::decode(&extra).is_err());
+    }
+
+    #[test]
+    fn rebuild_resurrects_an_identical_master() {
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: 30_000,
+        });
+        let mut original = launch(&coord);
+        // Give it history: an epoch of measurement and a deployment.
+        let _ = original.measure_reward();
+        let mut solution = original.engine().assignment().as_slice().to_vec();
+        solution[0] = (solution[0] + 1) % 4;
+        original.apply_solution(&solution).unwrap();
+        let image = RecoveryImage::capture(&original, 0);
+
+        let (topology, cluster, _, _) = parts();
+        let mut rebuilt = image
+            .rebuild(
+                topology,
+                cluster,
+                *original.engine().config(),
+                &coord,
+                config(),
+            )
+            .unwrap();
+        assert_eq!(rebuilt.epoch(), original.epoch());
+        assert_eq!(rebuilt.engine().now(), original.engine().now());
+        assert_eq!(
+            rebuilt.engine().assignment().as_slice(),
+            original.engine().assignment().as_slice()
+        );
+        assert_eq!(
+            rebuilt.stored_assignment().unwrap().as_slice(),
+            original.engine().assignment().as_slice()
+        );
+        // Future dynamics are bit-identical: advance both one epoch.
+        let (_, a) = original.measure_reward().unwrap();
+        let (_, b) = rebuilt.measure_reward().unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn rebuild_rejects_mismatched_topology() {
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: 30_000,
+        });
+        let nimbus = launch(&coord);
+        let image = RecoveryImage::capture(&nimbus, 0);
+        let mut b = TopologyBuilder::new("other-topo");
+        let s = b.spout("spout", 2, 0.05);
+        let t = b.bolt("bolt", 4, 0.2);
+        b.edge(s, t, dss_sim::Grouping::Shuffle, 1.0, 64);
+        let other = b.build().unwrap();
+        assert!(matches!(
+            image.rebuild(
+                other,
+                ClusterSpec::homogeneous(4),
+                SimConfig::default(),
+                &coord,
+                config(),
+            ),
+            Err(NimbusError::Recovery(_))
+        ));
+    }
+
+    #[test]
+    fn store_commit_truncates_wal_and_load_prefers_newest() {
+        let dir = tmpdir("commit");
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: 30_000,
+        });
+        let mut nimbus = launch(&coord);
+        let mut store = RecoveryStore::open(&dir).unwrap();
+
+        let img0 = RecoveryImage::capture(&nimbus, 0);
+        store.commit(&nimbus.session, &img0).unwrap();
+        // Committed: the WAL is truncated, the znode holds the image.
+        assert!(store.wal.is_empty());
+        let loaded = store
+            .load(&nimbus.session, "persist-topo")
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded, img0);
+
+        // A newer epoch supersedes the old image.
+        let _ = nimbus.measure_reward();
+        let mut solution = nimbus.engine().assignment().as_slice().to_vec();
+        solution[0] = (solution[0] + 1) % 4;
+        nimbus.apply_solution(&solution).unwrap();
+        let img1 = RecoveryImage::capture(&nimbus, 0);
+        store.commit(&nimbus.session, &img1).unwrap();
+        let loaded = store
+            .load(&nimbus.session, "persist-topo")
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded.epoch, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_recovers_a_wal_stranded_image() {
+        // Simulate a writer that died between the WAL append and the
+        // znode swap: the WAL holds a newer image than the znode.
+        let dir = tmpdir("stranded");
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: 30_000,
+        });
+        let mut nimbus = launch(&coord);
+        let mut store = RecoveryStore::open(&dir).unwrap();
+        let img0 = RecoveryImage::capture(&nimbus, 0);
+        store.commit(&nimbus.session, &img0).unwrap();
+
+        let _ = nimbus.measure_reward();
+        let img1 = RecoveryImage::capture(&nimbus, 0);
+        // Crash mid-commit: only the WAL append happened.
+        store.wal.append(&img1.encode()).unwrap();
+        store.wal.sync().unwrap();
+
+        // A fresh store (the successor process) sees the stranded image.
+        let mut successor = RecoveryStore::open(&dir).unwrap();
+        let loaded = successor
+            .load(&nimbus.session, "persist-topo")
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded, img1);
+        assert!(loaded.engine.len() > img0.engine.len() / 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_returns_none_when_nothing_was_committed() {
+        let dir = tmpdir("empty");
+        let coord = CoordService::new(CoordConfig {
+            session_timeout_ms: 30_000,
+        });
+        let session = coord.connect();
+        let mut store = RecoveryStore::open(&dir).unwrap();
+        assert!(store.load(&session, "persist-topo").unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

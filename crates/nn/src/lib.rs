@@ -77,3 +77,4 @@ pub use matrix::Matrix;
 pub use mlp::{InferScratch, Mlp};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use scalar::{microkernel_name, Elem, Microkernel, Scalar};
+pub use serialize::{decode_mlp, encode_mlp, DecodeError};

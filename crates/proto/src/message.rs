@@ -135,6 +135,28 @@ pub enum Message {
     /// for the current epoch (the pull-based counterpart of the
     /// scheduler-initiated state push, used by the retry layer).
     StateRequest,
+    /// Scheduler -> agent: the master answering a [`Message::Resume`] (or
+    /// announcing itself after winning a leader election) identifies which
+    /// incarnation of the master the agent is now talking to.
+    MasterAnnounce {
+        /// Monotonic master generation: 0 for the initial leader, +1 per
+        /// failover. Lets the agent detect that a takeover happened even
+        /// when the reliable-call state looks continuous.
+        generation: u64,
+        /// Free-form identity of the serving master (election candidate
+        /// ident).
+        ident: String,
+    },
+    /// Agent -> scheduler: reconnection probe after the link went dark.
+    /// Tells the (possibly new) master where the agent believes the
+    /// conversation stands so the recovered response cache can replay any
+    /// in-flight reply instead of double-advancing the cluster.
+    Resume {
+        /// Last decision epoch the agent completed.
+        epoch: u64,
+        /// Highest reliable-protocol sequence number the agent has used.
+        last_seq: u64,
+    },
 }
 
 impl Message {
@@ -154,12 +176,14 @@ impl Message {
             Message::Wrapped { .. } => 11,
             Message::Ack { .. } => 12,
             Message::StateRequest => 13,
+            Message::MasterAnnounce { .. } => 14,
+            Message::Resume { .. } => 15,
         }
     }
 
     /// Every wire tag this protocol version defines, in tag order (test
     /// harnesses use it to prove coverage of the whole message set).
-    pub const ALL_TAGS: [u8; 13] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13];
+    pub const ALL_TAGS: [u8; 15] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
 
     /// Encode the payload (everything after the frame header).
     pub fn encode_payload(&self, buf: &mut BytesMut) {
@@ -239,6 +263,14 @@ impl Message {
             }
             Message::Ack { seq } => buf.put_u64_le(*seq),
             Message::StateRequest => {}
+            Message::MasterAnnounce { generation, ident } => {
+                buf.put_u64_le(*generation);
+                put_str(buf, ident);
+            }
+            Message::Resume { epoch, last_seq } => {
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*last_seq);
+            }
         }
     }
 
@@ -347,6 +379,14 @@ impl Message {
             }
             12 => Message::Ack { seq: get_u64(buf)? },
             13 => Message::StateRequest,
+            14 => Message::MasterAnnounce {
+                generation: get_u64(buf)?,
+                ident: get_str(buf)?,
+            },
+            15 => Message::Resume {
+                epoch: get_u64(buf)?,
+                last_seq: get_u64(buf)?,
+            },
             t => return Err(ProtoError::BadTag(t)),
         };
         if buf.has_remaining() {
@@ -534,6 +574,14 @@ mod tests {
             },
             Message::Ack { seq: 9 },
             Message::StateRequest,
+            Message::MasterAnnounce {
+                generation: 2,
+                ident: "nimbus-standby-1".into(),
+            },
+            Message::Resume {
+                epoch: 17,
+                last_seq: 41,
+            },
         ];
         for m in &msgs {
             assert_eq!(&roundtrip(m), m);
@@ -595,6 +643,14 @@ mod tests {
             },
             Message::Ack { seq: 0 },
             Message::StateRequest,
+            Message::MasterAnnounce {
+                generation: 0,
+                ident: String::new(),
+            },
+            Message::Resume {
+                epoch: 0,
+                last_seq: 0,
+            },
         ]
         .iter()
         .map(Message::tag)

@@ -32,6 +32,10 @@ fn inner_message_strategy() -> impl Strategy<Value = Message> {
         rates_strategy().prop_map(|source_rates| Message::WorkloadUpdate { source_rates }),
         Just(Message::StateRequest),
         Just(Message::Bye),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(epoch, last_seq)| Message::Resume { epoch, last_seq }),
+        (any::<u64>(), ".{0,24}")
+            .prop_map(|(generation, ident)| Message::MasterAnnounce { generation, ident }),
     ]
 }
 
@@ -114,6 +118,10 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         }),
         any::<u64>().prop_map(|seq| Message::Ack { seq }),
         Just(Message::StateRequest),
+        (any::<u64>(), ".{0,24}")
+            .prop_map(|(generation, ident)| Message::MasterAnnounce { generation, ident }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(epoch, last_seq)| Message::Resume { epoch, last_seq }),
     ]
 }
 

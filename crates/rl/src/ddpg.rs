@@ -24,6 +24,7 @@ use dss_nn::{Activation, Adam, Elem, Matrix, Mlp, Scalar};
 use crate::explore::{perturb_proto, perturb_proto_into};
 use crate::mapper::{ActionMapper, CandidateAction};
 use crate::replay::{ReplayBuffer, ShardSlot, ShardedReplayBuffer};
+use crate::snapshot::{self, Reader, SnapshotError, Writer};
 use crate::transition::Transition;
 
 /// Hyperparameters (defaults are the paper's where it states them).
@@ -185,6 +186,104 @@ impl<S: Scalar> DdpgAgent<S> {
     /// The configuration in force.
     pub fn config(&self) -> &DdpgConfig {
         &self.config
+    }
+
+    /// Serializes every mutable field of the agent — all four networks,
+    /// both optimizers' Adam moments, the replay ring in slot order, and
+    /// the train-step counter — into a versioned byte image (see
+    /// [`crate::snapshot`]). Together with the caller's RNG state this is
+    /// a complete training checkpoint: a [`DdpgAgent::restore_state`]d
+    /// agent continues the training trajectory bit-for-bit.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = Writer::header(snapshot::KIND_DDPG);
+        w.usize(self.state_dim);
+        w.usize(self.action_dim);
+        w.f64(self.config.gamma);
+        w.f64(self.config.tau);
+        w.usize(self.config.replay_capacity);
+        w.usize(self.config.batch);
+        w.usize(self.config.k);
+        w.f64(self.config.actor_lr);
+        w.f64(self.config.critic_lr);
+        w.usize(self.config.hidden[0]);
+        w.usize(self.config.hidden[1]);
+        w.u64(self.config.seed);
+        w.u64(self.train_steps);
+        w.net(&self.actor);
+        w.net(&self.critic);
+        w.net(&self.target_actor);
+        w.net(&self.target_critic);
+        w.adam(&self.actor_opt);
+        w.adam(&self.critic_opt);
+        let action_dim = self.action_dim;
+        snapshot::put_replay(&mut w, &self.replay, |w, a: &Vec<S>| {
+            debug_assert_eq!(a.len(), action_dim, "stored action width");
+            w.row(a);
+        });
+        w.buf
+    }
+
+    /// Rebuilds an agent from an image captured by
+    /// [`DdpgAgent::save_state`]. The restored agent's decisions and
+    /// training updates continue the original's bit-for-bit given the
+    /// same RNG stream; foreign or corrupt bytes fail with a typed
+    /// [`SnapshotError`], never a panic.
+    pub fn restore_state(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::open(bytes, snapshot::KIND_DDPG)?;
+        let state_dim = r.usize()?;
+        let action_dim = r.usize()?;
+        if state_dim == 0 || action_dim == 0 {
+            return Err(SnapshotError::BadStructure("degenerate dimensions"));
+        }
+        let config = DdpgConfig {
+            gamma: r.f64()?,
+            tau: r.f64()?,
+            replay_capacity: r.usize()?,
+            batch: r.usize()?,
+            k: r.usize()?,
+            actor_lr: r.f64()?,
+            critic_lr: r.f64()?,
+            hidden: [r.usize()?, r.usize()?],
+            seed: r.u64()?,
+        };
+        let lr_ok = |lr: f64| lr.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if config.replay_capacity == 0 || !lr_ok(config.actor_lr) || !lr_ok(config.critic_lr) {
+            return Err(SnapshotError::BadStructure("invalid hyperparameters"));
+        }
+        let train_steps = r.u64()?;
+        let actor: Mlp<S> = r.net()?;
+        let critic: Mlp<S> = r.net()?;
+        let target_actor: Mlp<S> = r.net()?;
+        let target_critic: Mlp<S> = r.net()?;
+        let shapes_ok = actor.layers().first().map(|l| l.input_size()) == Some(state_dim)
+            && actor.layers().last().map(|l| l.output_size()) == Some(action_dim)
+            && critic.layers().first().map(|l| l.input_size()) == Some(state_dim + action_dim)
+            && target_actor.param_count() == actor.param_count()
+            && target_critic.param_count() == critic.param_count();
+        if !shapes_ok {
+            return Err(SnapshotError::BadStructure("network shape mismatch"));
+        }
+        let actor_opt = r.adam(config.actor_lr)?;
+        let critic_opt = r.adam(config.critic_lr)?;
+        let replay = snapshot::get_replay(&mut r, state_dim, |r| {
+            let a: Vec<S> = r.row(action_dim)?;
+            Ok(a)
+        })?;
+        r.done()?;
+        Ok(Self {
+            actor,
+            critic,
+            target_actor,
+            target_critic,
+            actor_opt,
+            critic_opt,
+            replay,
+            config,
+            state_dim,
+            action_dim,
+            train_steps,
+            scratch: TrainScratch::default(),
+        })
     }
 
     /// Number of stored transitions.
@@ -763,5 +862,70 @@ mod tests {
         let mut mapper = KBestMapper::new(2, 2);
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(agent.train_step(&mut mapper, &mut rng), None);
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_training_bit_identically() {
+        use dss_nn::Elem;
+        let e = Elem::from_f64;
+        let cfg = DdpgConfig {
+            replay_capacity: 24, // small enough to wrap during warm-up
+            batch: 8,
+            k: 2,
+            hidden: [8, 4],
+            seed: 11,
+            ..DdpgConfig::default()
+        };
+        let mut agent: DdpgAgent = DdpgAgent::new(4, 4, cfg);
+        let mut mapper = KBestMapper::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(77);
+        for i in 0..40 {
+            let mut state = vec![e(0.0); 4];
+            state[i % 4] = e(1.0);
+            let c = agent.select_action(&state, &mut mapper, 0.5, &mut rng);
+            let r = e(toy_reward(&c.choice));
+            let mut next = vec![e(0.0); 4];
+            next[(i + 1) % 4] = e(1.0);
+            agent.store(Transition::new(state, c.onehot.clone(), r, next));
+            agent.train_step(&mut mapper, &mut rng);
+        }
+
+        let image = agent.save_state();
+        let mut restored: DdpgAgent = DdpgAgent::restore_state(&image).unwrap();
+        assert_eq!(restored.train_steps(), agent.train_steps());
+        assert_eq!(restored.replay_len(), agent.replay_len());
+
+        // Continue both agents in lockstep from the same RNG state.
+        let mut rng_b = StdRng::from_state(rng.state());
+        let mut mapper_b = KBestMapper::new(2, 2);
+        for i in 0..20 {
+            let mut state = vec![e(0.0); 4];
+            state[(3 * i) % 4] = e(1.0);
+            let ca = agent.select_action(&state, &mut mapper, 0.3, &mut rng);
+            let cb = restored.select_action(&state, &mut mapper_b, 0.3, &mut rng_b);
+            assert_eq!(ca, cb, "step {i} diverged");
+            let r = e(toy_reward(&ca.choice));
+            let next = state.clone();
+            agent.store(Transition::new(
+                state.clone(),
+                ca.onehot.clone(),
+                r,
+                next.clone(),
+            ));
+            restored.store(Transition::new(state, cb.onehot.clone(), r, next));
+            let la = agent.train_step(&mut mapper, &mut rng);
+            let lb = restored.train_step(&mut mapper_b, &mut rng_b);
+            assert_eq!(
+                la.map(f64::to_bits),
+                lb.map(f64::to_bits),
+                "loss diverged at step {i}"
+            );
+        }
+        let s = [e(0.25), e(0.5), e(0.75), e(1.0)];
+        let pa = agent.proto_action(&s);
+        let pb = restored.proto_action(&s);
+        for (a, b) in pa.iter().zip(&pb) {
+            assert_eq!(a.to_f64().to_bits(), b.to_f64().to_bits());
+        }
     }
 }

@@ -24,6 +24,7 @@ pub mod explore;
 pub mod mapper;
 pub mod priority;
 pub mod replay;
+pub mod snapshot;
 pub mod transition;
 
 pub use ddpg::{ActScratch, DdpgAgent, DdpgConfig};
@@ -34,6 +35,7 @@ pub use mapper::{
 };
 pub use priority::{PrioritizedReplay, PrioritizedSample, PriorityConfig, SumTree};
 pub use replay::{ReplayBuffer, ShardSlot, ShardedReplayBuffer};
+pub use snapshot::SnapshotError;
 pub use transition::Transition;
 
 /// The workspace training element type (re-exported from `dss-nn`): every

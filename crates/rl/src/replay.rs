@@ -125,6 +125,41 @@ impl<A: Clone, S: Scalar> ReplayBuffer<A, S> {
         let (older, newer) = self.buf.split_at(self.head);
         newer.iter().chain(older)
     }
+
+    /// Ring internals for checkpointing: the stored transitions in **slot
+    /// order** (not age order) plus the head index. Slot order matters:
+    /// [`ReplayBuffer::sample_indices_into`] addresses storage slots, so a
+    /// bit-identical restore must reproduce the exact slot layout — merely
+    /// re-pushing the FIFO contents would rotate a wrapped ring and remap
+    /// every sampled index.
+    pub fn ring(&self) -> (&[Transition<A, S>], usize) {
+        (&self.buf, self.head)
+    }
+
+    /// Rebuilds a buffer from ring internals captured by
+    /// [`ReplayBuffer::ring`]. The restored buffer's sampling and eviction
+    /// behaviour continues the original's bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics on an inconsistent image: zero capacity, more slots than
+    /// capacity, a nonzero head before the ring has wrapped, or a head
+    /// outside the ring.
+    pub fn from_ring(capacity: usize, slots: Vec<Transition<A, S>>, head: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(slots.len() <= capacity, "more slots than capacity");
+        if slots.len() < capacity {
+            assert_eq!(head, 0, "head must be 0 before the ring wraps");
+        } else {
+            assert!(head < capacity, "head outside the ring");
+        }
+        let mut buf = Vec::with_capacity(capacity);
+        buf.extend(slots);
+        Self {
+            buf,
+            capacity,
+            head,
+        }
+    }
 }
 
 /// A slot address in a [`ShardedReplayBuffer`]: `(shard, ring slot)`.
@@ -474,6 +509,42 @@ mod tests {
         }
         // Every sampled slot dereferences to a live transition.
         assert!(idx.iter().all(|&i| b.get(i).reward >= 6.0));
+    }
+
+    #[test]
+    fn ring_round_trip_preserves_slot_layout_and_sampling() {
+        // Wrap the ring so head sits mid-buffer, snapshot, rebuild, and
+        // check both representations sample identically and keep evicting
+        // in the same order.
+        let mut b = ReplayBuffer::new(4);
+        for i in 0..10 {
+            b.push(t(i as f64));
+        }
+        let (slots, head) = b.ring();
+        assert_eq!(head, 2, "10 pushes into 4 slots leave head at 2");
+        let mut restored = ReplayBuffer::from_ring(4, slots.to_vec(), head);
+        // Identical slot layout → identical index-sampled transitions.
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let (mut ia, mut ib) = (Vec::new(), Vec::new());
+        b.sample_indices_into(64, &mut rng_a, &mut ia);
+        restored.sample_indices_into(64, &mut rng_b, &mut ib);
+        assert_eq!(ia, ib);
+        for &i in &ia {
+            assert_eq!(b.get(i).reward, restored.get(i).reward);
+        }
+        // Continued pushes evict the same slots in both.
+        b.push(t(99.0));
+        restored.push(t(99.0));
+        let got: Vec<f64> = restored.iter().map(|x| x.reward).collect();
+        let want: Vec<f64> = b.iter().map(|x| x.reward).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "head must be 0")]
+    fn from_ring_rejects_head_before_wrap() {
+        let _ = ReplayBuffer::from_ring(4, vec![t(0.0)], 1);
     }
 
     /// Pushes one sharded row keyed by `id` (state/next carry the id too,

@@ -40,22 +40,22 @@ use crate::workload::{RateSchedule, Workload};
 const TRAFFIC_TAU_S: f64 = 5.0;
 
 #[derive(Debug)]
-struct ExecutorState {
+pub(crate) struct ExecutorState {
     /// Queued tuples: `(root id, arrived-remote)`.
-    queue: VecDeque<(u64, bool)>,
+    pub(crate) queue: VecDeque<(u64, bool)>,
     /// `(root id, machine service started on)` — the machine is recorded
     /// because a re-deployment may move the executor mid-service, and the
     /// busy count must be released on the machine that acquired it.
-    in_service: Option<(u64, usize)>,
-    started_at: f64,
-    paused_until: f64,
-    processed: u64,
-    arrived: u64,
+    pub(crate) in_service: Option<(u64, usize)>,
+    pub(crate) started_at: f64,
+    pub(crate) paused_until: f64,
+    pub(crate) processed: u64,
+    pub(crate) arrived: u64,
     /// A spout executor whose emission rate is zero and which has no
     /// pending emission event — it contributes no per-epoch work until a
     /// workload/schedule mutation wakes it. Event-driven backend only; the
     /// dense oracle polls instead.
-    parked: bool,
+    pub(crate) parked: bool,
 }
 
 impl ExecutorState {
@@ -81,13 +81,13 @@ impl ExecutorState {
 }
 
 #[derive(Debug, Default, Clone, Copy)]
-struct MachineState {
-    busy_executors: usize,
-    cross_kib_rate: f64,
-    last_traffic_at: f64,
+pub(crate) struct MachineState {
+    pub(crate) busy_executors: usize,
+    pub(crate) cross_kib_rate: f64,
+    pub(crate) last_traffic_at: f64,
     /// A failed machine stops emitting and serving; tuples routed to its
     /// executors queue up and overflow (Storm's timeout/replay path).
-    failed: bool,
+    pub(crate) failed: bool,
 }
 
 impl MachineState {
@@ -112,25 +112,30 @@ impl MachineState {
 }
 
 /// The discrete-event DSDPS engine. See the module docs for the model.
+///
+/// Every mutable field below is captured bit-exactly by
+/// [`SimEngine::save_state`] (the `crate::snapshot` codec) so a recovered
+/// master can resume the simulation mid-run without perturbing the
+/// trajectory.
 pub struct SimEngine {
-    topology: Topology,
-    cluster: ClusterSpec,
-    config: SimConfig,
-    workload: Workload,
-    schedule: RateSchedule,
-    assignment: Assignment,
-    clock: f64,
-    events: EventQueue,
-    executors: Vec<ExecutorState>,
-    machines: Vec<MachineState>,
-    tracker: TupleTracker,
-    latency: LatencyTracker,
-    arrival_rng: StdRng,
-    service_rng: StdRng,
-    routing_rng: StdRng,
-    fields_keys: Vec<Option<Zipf>>,
-    events_processed: u64,
-    started: bool,
+    pub(crate) topology: Topology,
+    pub(crate) cluster: ClusterSpec,
+    pub(crate) config: SimConfig,
+    pub(crate) workload: Workload,
+    pub(crate) schedule: RateSchedule,
+    pub(crate) assignment: Assignment,
+    pub(crate) clock: f64,
+    pub(crate) events: EventQueue,
+    pub(crate) executors: Vec<ExecutorState>,
+    pub(crate) machines: Vec<MachineState>,
+    pub(crate) tracker: TupleTracker,
+    pub(crate) latency: LatencyTracker,
+    pub(crate) arrival_rng: StdRng,
+    pub(crate) service_rng: StdRng,
+    pub(crate) routing_rng: StdRng,
+    pub(crate) fields_keys: Vec<Option<Zipf>>,
+    pub(crate) events_processed: u64,
+    pub(crate) started: bool,
 }
 
 impl SimEngine {
@@ -344,6 +349,12 @@ impl SimEngine {
     /// The cluster spec.
     pub fn cluster(&self) -> &ClusterSpec {
         &self.cluster
+    }
+
+    /// The simulation configuration (a recovering master clones it to
+    /// rebuild an identical engine before restoring a snapshot).
+    pub fn config(&self) -> &SimConfig {
+        &self.config
     }
 
     /// Events processed since construction (throughput metric for benches).

@@ -15,6 +15,9 @@ pub enum SimError {
     InvalidWorkload(String),
     /// A cluster specification is unusable (no machines, zero cores, ...).
     InvalidCluster(String),
+    /// An engine state snapshot failed to decode or does not match the
+    /// topology/cluster of the engine it is being restored into.
+    InvalidSnapshot(String),
 }
 
 impl fmt::Display for SimError {
@@ -24,6 +27,7 @@ impl fmt::Display for SimError {
             SimError::InvalidAssignment(msg) => write!(f, "invalid assignment: {msg}"),
             SimError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
             SimError::InvalidCluster(msg) => write!(f, "invalid cluster: {msg}"),
+            SimError::InvalidSnapshot(msg) => write!(f, "invalid snapshot: {msg}"),
         }
     }
 }

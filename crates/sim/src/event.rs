@@ -181,6 +181,33 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// All pending events in pop order plus the tie-break counter —
+    /// everything a snapshot needs to rebuild an identical queue.
+    pub(crate) fn snapshot(&self) -> (Vec<Event>, u64) {
+        let mut evs: Vec<Event> = match &self.backend {
+            Backend::Calendar(heap) => heap.iter().copied().collect(),
+            Backend::Dense(vec) => vec.clone(),
+        };
+        // Event's Ord is reversed for the max-heap; reverse the comparison
+        // again to sort ascending by (time, seq) — the pop order.
+        evs.sort_by(|a, b| b.cmp(a));
+        (evs, self.next_seq)
+    }
+
+    /// Rebuilds a queue from a snapshot. Seqs are preserved verbatim, so
+    /// the restored queue pops — and tie-breaks against future pushes —
+    /// exactly like the original.
+    pub(crate) fn restore(dense: bool, events: Vec<Event>, next_seq: u64) -> Self {
+        Self {
+            backend: if dense {
+                Backend::Dense(events)
+            } else {
+                Backend::Calendar(events.into_iter().collect())
+            },
+            next_seq,
+        }
+    }
 }
 
 #[cfg(test)]

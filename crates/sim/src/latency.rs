@@ -72,6 +72,35 @@ impl LatencyTracker {
         self.total_count
     }
 
+    /// `(samples, window_sum, total_count, total_sum)` — the accumulators
+    /// are captured verbatim (not recomputed) so a restored tracker's
+    /// float-summation state matches the original bit-for-bit.
+    pub(crate) fn snapshot(&self) -> (Vec<(f64, f64)>, f64, u64, f64) {
+        (
+            self.samples.iter().copied().collect(),
+            self.window_sum,
+            self.total_count,
+            self.total_sum,
+        )
+    }
+
+    /// Rebuilds a tracker from a snapshot.
+    pub(crate) fn restore(
+        window_s: f64,
+        samples: Vec<(f64, f64)>,
+        window_sum: f64,
+        total_count: u64,
+        total_sum: f64,
+    ) -> Self {
+        Self {
+            window_s,
+            samples: samples.into(),
+            window_sum,
+            total_count,
+            total_sum,
+        }
+    }
+
     fn evict(&mut self, now: f64) {
         while let Some(&(t, v)) = self.samples.front() {
             if now - t > self.window_s {

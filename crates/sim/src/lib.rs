@@ -90,6 +90,7 @@ pub mod error;
 pub mod event;
 pub mod latency;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod topology;
 pub mod tuple;

@@ -102,6 +102,45 @@ impl TupleTracker {
     pub fn failed(&self) -> u64 {
         self.failed
     }
+
+    /// Pending trees as `(root, emitted_at, outstanding)` sorted by root,
+    /// plus the counters — a deterministic serialization order for
+    /// snapshots (HashMap iteration order is not stable across processes).
+    pub(crate) fn snapshot(&self) -> (Vec<(u64, f64, u64)>, u64, u64, u64) {
+        let mut pending: Vec<(u64, f64, u64)> = self
+            .pending
+            .iter()
+            .map(|(&root, s)| (root, s.emitted_at, s.outstanding))
+            .collect();
+        pending.sort_unstable_by_key(|&(root, _, _)| root);
+        (pending, self.next_root, self.completed, self.failed)
+    }
+
+    /// Rebuilds a tracker from a snapshot.
+    pub(crate) fn restore(
+        pending: Vec<(u64, f64, u64)>,
+        next_root: u64,
+        completed: u64,
+        failed: u64,
+    ) -> Self {
+        Self {
+            pending: pending
+                .into_iter()
+                .map(|(root, emitted_at, outstanding)| {
+                    (
+                        root,
+                        TreeState {
+                            emitted_at,
+                            outstanding,
+                        },
+                    )
+                })
+                .collect(),
+            next_root,
+            completed,
+            failed,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,202 @@
+//! Atomic single-file blobs — the checkpoint write primitive.
+//!
+//! Training checkpoints and master recovery images are single opaque
+//! payloads that must be replaced *atomically*: a crash mid-write must
+//! leave either the previous checkpoint or the new one, never a torn
+//! hybrid. The classic recipe is used — write the full payload to a
+//! sibling `*.tmp` file, fsync it, then `rename(2)` over the destination
+//! (atomic on POSIX filesystems).
+//!
+//! Every blob carries a CRC32 over the payload, so a corrupted file is a
+//! typed [`StoreError::Corrupt`] on read, never silently bad data.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+use crate::segment::crc32;
+
+/// Blob file magic.
+const MAGIC: &[u8; 4] = b"DSSB";
+/// Blob format version.
+const VERSION: u32 = 1;
+/// magic + version + crc + payload length.
+const HEADER_LEN: usize = 4 + 4 + 4 + 8;
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically write `payload` to `path`: full payload + checksum to a
+/// sibling temp file, fsync, rename over the destination. Concurrent
+/// readers of `path` see either the old blob or the new one.
+pub fn write_atomic(path: &Path, payload: &[u8]) -> Result<(), StoreError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| StoreError::io(format!("mkdir {}", parent.display()), e))?;
+        }
+    }
+    let tmp = tmp_path(path);
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+    {
+        let mut f = std::fs::File::create(&tmp)
+            .map_err(|e| StoreError::io(format!("create {}", tmp.display()), e))?;
+        f.write_all(&buf)
+            .map_err(|e| StoreError::io(format!("write {}", tmp.display()), e))?;
+        f.sync_all()
+            .map_err(|e| StoreError::io(format!("fsync {}", tmp.display()), e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        StoreError::io(format!("rename {} -> {}", tmp.display(), path.display()), e)
+    })?;
+    // Make the rename itself durable; failure here only costs durability
+    // of the directory entry, not atomicity, so it is best-effort.
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = std::fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Read and validate a blob previously written by [`write_atomic`].
+/// Checksum or structure failures are typed [`StoreError::Corrupt`]
+/// errors, never panics.
+pub fn read(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let data =
+        std::fs::read(path).map_err(|e| StoreError::io(format!("read {}", path.display()), e))?;
+    let corrupt = |offset: u64, detail: &'static str| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        offset,
+        detail,
+    };
+    if data.len() < HEADER_LEN {
+        return Err(corrupt(data.len() as u64, "blob shorter than header"));
+    }
+    if &data[..4] != MAGIC {
+        return Err(corrupt(0, "bad blob magic"));
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(corrupt(4, "unsupported blob version"));
+    }
+    let crc = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    let len = u64::from_le_bytes(data[12..20].try_into().unwrap());
+    let payload = &data[HEADER_LEN..];
+    if payload.len() as u64 != len {
+        return Err(corrupt(12, "payload length mismatch"));
+    }
+    if crc32(payload) != crc {
+        return Err(corrupt(8, "payload checksum mismatch"));
+    }
+    Ok(payload.to_vec())
+}
+
+/// Whether a readable, valid blob exists at `path`.
+pub fn exists_valid(path: &Path) -> bool {
+    read(path).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "dss-blob-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d.join("blob.bin")
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = tmpfile("rt");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        write_atomic(&p, &payload).unwrap();
+        assert_eq!(read(&p).unwrap(), payload);
+        assert!(exists_valid(&p));
+        std::fs::remove_dir_all(p.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn overwrite_replaces_whole_blob() {
+        let p = tmpfile("over");
+        write_atomic(&p, b"generation-1-which-is-longer").unwrap();
+        write_atomic(&p, b"gen2").unwrap();
+        assert_eq!(read(&p).unwrap(), b"gen2");
+        // No temp file lingers after a successful swap.
+        assert!(!tmp_path(&p).exists());
+        std::fs::remove_dir_all(p.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let p = tmpfile("empty");
+        write_atomic(&p, b"").unwrap();
+        assert_eq!(read(&p).unwrap(), b"");
+        std::fs::remove_dir_all(p.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error() {
+        let p = tmpfile("corrupt");
+        write_atomic(&p, b"precious bytes").unwrap();
+        let mut data = std::fs::read(&p).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x40;
+        std::fs::write(&p, &data).unwrap();
+        assert!(matches!(read(&p), Err(StoreError::Corrupt { .. })));
+        assert!(!exists_valid(&p));
+        std::fs::remove_dir_all(p.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let p = tmpfile("trunc");
+        write_atomic(&p, b"will be torn").unwrap();
+        let data = std::fs::read(&p).unwrap();
+        for cut in 0..data.len() {
+            std::fs::write(&p, &data[..cut]).unwrap();
+            assert!(
+                matches!(read(&p), Err(StoreError::Corrupt { .. })),
+                "cut at {cut} must be corrupt"
+            );
+        }
+        std::fs::remove_dir_all(p.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn crash_between_tmp_write_and_rename_keeps_the_old_blob() {
+        let p = tmpfile("crash");
+        write_atomic(&p, b"committed").unwrap();
+        // Simulate a crash mid-swap: a torn temp file next to a good blob.
+        std::fs::write(tmp_path(&p), b"torn garbage").unwrap();
+        assert_eq!(read(&p).unwrap(), b"committed");
+        // The next successful write cleans the temp up.
+        write_atomic(&p, b"committed-2").unwrap();
+        assert!(!tmp_path(&p).exists());
+        assert_eq!(read(&p).unwrap(), b"committed-2");
+        std::fs::remove_dir_all(p.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn missing_blob_is_io_not_corrupt() {
+        let p = tmpfile("missing");
+        assert!(matches!(read(&p), Err(StoreError::Io { .. })));
+        assert!(!exists_valid(&p));
+    }
+}

@@ -76,6 +76,42 @@ impl TransitionDb {
         self.log.lock().compact_to(keep_segments)
     }
 
+    /// Drop superseded records: when several samples share a decision
+    /// epoch (a retransmitted solution replayed across a master failover,
+    /// or a re-measured epoch), only the newest survives. The log is
+    /// rewritten in one atomic segment swap; append order of the
+    /// survivors is preserved. Returns the number of records dropped.
+    pub fn compact(&self) -> Result<u64, StoreError> {
+        let mut log = self.log.lock();
+        let dir = log.dir().to_path_buf();
+        let records: Vec<TransitionRecord> = log
+            .iter()?
+            .enumerate()
+            .map(|(i, payload)| {
+                TransitionRecord::decode(payload.into()).ok_or(StoreError::Corrupt {
+                    path: dir.clone(),
+                    offset: i as u64,
+                    detail: "record payload failed to decode",
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let mut seen = std::collections::HashSet::new();
+        let mut keep: Vec<&TransitionRecord> = Vec::with_capacity(records.len());
+        // Walk newest-first so the last write for an epoch wins.
+        for r in records.iter().rev() {
+            if seen.insert(r.epoch) {
+                keep.push(r);
+            }
+        }
+        keep.reverse();
+        let dropped = records.len() as u64 - keep.len() as u64;
+        if dropped > 0 {
+            let payloads: Vec<Vec<u8>> = keep.iter().map(|r| r.encode().to_vec()).collect();
+            log.rewrite(&payloads)?;
+        }
+        Ok(dropped)
+    }
+
     /// Number of on-disk segment files.
     pub fn n_segments(&self) -> usize {
         self.log.lock().n_segments()
@@ -186,6 +222,35 @@ mod tests {
             remaining.iter().map(|r| r.epoch).collect::<Vec<_>>(),
             (first..=99).collect::<Vec<_>>()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_drops_superseded_records() {
+        let dir = tmpdir("supersede");
+        let db = TransitionDb::open(&dir).unwrap();
+        // Epochs 0..10, then epochs 3 and 7 re-recorded (a failover replay).
+        for i in 0..10 {
+            db.append(&rec(i, -(i as f64))).unwrap();
+        }
+        db.append(&rec(3, -30.0)).unwrap();
+        db.append(&rec(7, -70.0)).unwrap();
+        let dropped = db.compact().unwrap();
+        assert_eq!(dropped, 2);
+        let all = db.scan().unwrap();
+        assert_eq!(all.len(), 10);
+        // Order preserved; the superseded epochs carry their newest reward.
+        assert_eq!(
+            all.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![0, 1, 2, 4, 5, 6, 8, 9, 3, 7]
+        );
+        assert_eq!(all[8].reward, -30.0);
+        assert_eq!(all[9].reward, -70.0);
+        // A second compact is a no-op and survives reopen.
+        assert_eq!(db.compact().unwrap(), 0);
+        drop(db);
+        let db = TransitionDb::open(&dir).unwrap();
+        assert_eq!(db.scan().unwrap().len(), 10);
         std::fs::remove_dir_all(&dir).ok();
     }
 

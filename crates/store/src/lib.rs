@@ -21,7 +21,10 @@
 //! * [`db::TransitionDb`] — the typed, thread-safe API the control
 //!   framework uses: append, scan, tail, and compaction (drop the oldest
 //!   segments once the history exceeds a budget — the durable analogue of
-//!   the replay buffer's eviction).
+//!   the replay buffer's eviction);
+//! * [`blob`] — atomic single-file blobs (write-temp + fsync + rename,
+//!   CRC-validated on read), the write primitive behind training
+//!   checkpoints and master recovery images.
 //!
 //! ```
 //! use dss_store::{TransitionDb, TransitionRecord};
@@ -42,6 +45,7 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod blob;
 pub mod db;
 pub mod error;
 pub mod log;

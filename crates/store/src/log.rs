@@ -70,6 +70,13 @@ impl Log {
         for entry in entries {
             let entry = entry.map_err(|e| StoreError::io("readdir entry", e))?;
             let path = entry.path();
+            // A `*.tmp` file is the residue of a rewrite interrupted before
+            // its rename — the swap never committed, so the file is dead.
+            if path.extension().is_some_and(|e| e == "tmp") {
+                std::fs::remove_file(&path)
+                    .map_err(|e| StoreError::io(format!("remove {}", path.display()), e))?;
+                continue;
+            }
             match parse_segment_name(&path) {
                 Some(idx) => indexes.push(idx),
                 None => return Err(StoreError::BadSegmentName(path)),
@@ -162,6 +169,51 @@ impl Log {
         Ok(dropped)
     }
 
+    /// Atomically replace the log's entire contents with `payloads`.
+    ///
+    /// The new records are written to a temp file which is fsynced and
+    /// then renamed into place as a fresh top segment (the atomic segment
+    /// swap); only after the rename commits are the superseded segment
+    /// files deleted. A crash at any point leaves either the old contents
+    /// (rename not reached — [`Log::open`] discards the dead temp) or the
+    /// new ones.
+    pub fn rewrite(&mut self, payloads: &[Vec<u8>]) -> Result<(), StoreError> {
+        self.active.sync()?;
+        let new_index = self.active_index + 1;
+        let final_path = segment_path(&self.dir, new_index);
+        let mut tmp = final_path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut seg = Segment::open(&tmp)?;
+            for p in payloads {
+                seg.append(p)?;
+            }
+            seg.sync()?;
+        }
+        std::fs::rename(&tmp, &final_path).map_err(|e| {
+            StoreError::io(
+                format!("rename {} -> {}", tmp.display(), final_path.display()),
+                e,
+            )
+        })?;
+        // Committed: everything before the new segment is superseded.
+        let old: Vec<u64> = self
+            .sealed
+            .drain(..)
+            .chain(std::iter::once(self.active_index))
+            .collect();
+        self.active = Segment::open(&final_path)?;
+        self.active_index = new_index;
+        self.n_records = payloads.len() as u64;
+        for idx in old {
+            let path = segment_path(&self.dir, idx);
+            std::fs::remove_file(&path)
+                .map_err(|e| StoreError::io(format!("remove {}", path.display()), e))?;
+        }
+        Ok(())
+    }
+
     /// Flush and fsync the active segment.
     pub fn sync(&mut self) -> Result<(), StoreError> {
         self.active.sync()
@@ -250,6 +302,45 @@ mod tests {
             .map(|r| String::from_utf8(r).unwrap())
             .unwrap();
         assert!(first_kept.as_str() > "r00000");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rewrite_swaps_contents_atomically() {
+        let dir = tmpdir("rewrite");
+        let mut log = Log::open(&dir, small_cfg()).unwrap();
+        for i in 0..20u32 {
+            log.append(format!("old-{i:04}").as_bytes()).unwrap();
+        }
+        let segments_before = log.n_segments();
+        assert!(segments_before > 1);
+        log.rewrite(&[b"new-a".to_vec(), b"new-b".to_vec()])
+            .unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.n_segments(), 1);
+        let all: Vec<Vec<u8>> = log.iter().unwrap().collect();
+        assert_eq!(all, vec![b"new-a".to_vec(), b"new-b".to_vec()]);
+        // Appends continue on the new segment; a reopen sees the same view.
+        log.append(b"new-c").unwrap();
+        drop(log);
+        let mut log = Log::open(&dir, small_cfg()).unwrap();
+        assert_eq!(log.iter().unwrap().count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leftover_rewrite_temp_is_discarded_on_open() {
+        let dir = tmpdir("tmpfile");
+        {
+            let mut log = Log::open(&dir, small_cfg()).unwrap();
+            log.append(b"committed").unwrap();
+        }
+        // A crash between temp write and rename leaves this behind.
+        let dead = dir.join("segment-00000099.log.tmp");
+        std::fs::write(&dead, b"torn rewrite").unwrap();
+        let mut log = Log::open(&dir, small_cfg()).unwrap();
+        assert!(!dead.exists(), "dead temp must be cleaned up");
+        assert_eq!(log.iter().unwrap().count(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -19,6 +19,22 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// The raw xoshiro256++ state word vector — everything the generator
+    /// is. Captured by checkpoint/recovery code so a restored process can
+    /// resume the exact random stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state previously captured with
+    /// [`StdRng::state`]. The restored generator continues the original
+    /// stream bit-for-bit.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
