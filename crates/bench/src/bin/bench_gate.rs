@@ -37,7 +37,16 @@ const KEY_THRESHOLDS: &[(&str, f64)] = &[
     ("fleet_engine_step", 5.0),
     ("fleet_rollout_act", 2.0),
     ("f32_over_f64_rollout_act", 0.8),
+    ("t_b_pack_gate_32x2001x64", 0.9),
+    ("async_over_lockstep_throughput", 1.0),
 ];
+
+/// Keys whose contender only wins with real parallelism: gated normally
+/// on multi-core hosts, waived (like the `par_*` prefix) when the
+/// artifact was measured on a 1-core host — there a 2-thread pool shards
+/// without any cores to pay for it, so the ratio is meaningless.
+const MULTICORE_ONLY_KEYS: &[&str] =
+    &["t_b_pack_gate_32x2001x64", "async_over_lockstep_throughput"];
 
 fn main() -> ExitCode {
     let mut path = "BENCH_nn.json".to_string();
@@ -73,7 +82,7 @@ fn main() -> ExitCode {
     let host_cores = parse_host_cores(&text);
     let mut failures: Vec<String> = Vec::new();
     for (name, ratio) in &speedups {
-        let gated = !name.starts_with("par_");
+        let gated = is_gated(name, host_cores);
         let threshold = threshold_for(name, min);
         let ok = !gated || *ratio >= threshold;
         let tag = match (gated, ok) {
@@ -101,6 +110,13 @@ fn main() -> ExitCode {
     }
     println!("bench_gate: all gated speedups met their thresholds (floor {min:.2}x)");
     ExitCode::SUCCESS
+}
+
+/// Whether a speedup key is gated at all: `par_*` keys never are, and
+/// [`MULTICORE_ONLY_KEYS`] are waived on a 1-core measuring host.
+fn is_gated(name: &str, host_cores: usize) -> bool {
+    let waived_on_one_core = host_cores == 1 && MULTICORE_ONLY_KEYS.contains(&name);
+    !(name.starts_with("par_") || waived_on_one_core)
 }
 
 /// The gate threshold for one speedup key: its [`KEY_THRESHOLDS`] entry
@@ -156,7 +172,7 @@ fn parse_speedups(text: &str) -> Vec<(String, f64)> {
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_host_cores, parse_speedups, threshold_for};
+    use super::{is_gated, parse_host_cores, parse_speedups, threshold_for};
 
     #[test]
     fn parses_the_emitted_format() {
@@ -196,6 +212,27 @@ mod tests {
         // f32-vs-f64 act pair stays soft under the default.
         assert_eq!(threshold_for("fleet_engine_step", 0.5), 5.0);
         assert_eq!(threshold_for("f32_over_f64_rollout_act", 1.0), 0.8);
+    }
+
+    #[test]
+    fn trainer_keys_carry_their_own_thresholds() {
+        assert_eq!(threshold_for("t_b_pack_gate_32x2001x64", 1.0), 0.9);
+        assert_eq!(threshold_for("async_over_lockstep_throughput", 0.5), 1.0);
+    }
+
+    #[test]
+    fn multicore_only_keys_are_waived_on_one_core_hosts() {
+        // Normally gated like any other key...
+        assert!(is_gated("t_b_pack_gate_32x2001x64", 16));
+        assert!(is_gated("async_over_lockstep_throughput", 16));
+        // ...but a 1-core artifact cannot measure a parallel win, so the
+        // pair is reported without failing the gate.
+        assert!(!is_gated("t_b_pack_gate_32x2001x64", 1));
+        assert!(!is_gated("async_over_lockstep_throughput", 1));
+        // The waiver is scoped: serial-baseline kernels stay gated on
+        // 1-core hosts, and par_* keys stay ungated everywhere.
+        assert!(is_gated("matmul_128x128x128", 1));
+        assert!(!is_gated("par_rollout_4x", 16));
     }
 
     #[test]

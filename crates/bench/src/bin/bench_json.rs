@@ -702,6 +702,120 @@ fn main() {
         }
     }
 
+    // ---- async training service: parameter server, batch framing, and
+    // the async-vs-lockstep collection throughput pair ------------------
+    {
+        use dss_core::experiment::Backend;
+        use dss_trainer::{
+            train_service_on, ParameterServer, SyncMode, TrainerConfig, TransitionRows, WorkerLink,
+        };
+
+        // Weight publish/pull round trip at the probe agent shape:
+        // publish serializes the policy nets and swaps the versioned
+        // slot; pull is the copy-on-read Arc handoff workers see.
+        let agent: DdpgAgent = DdpgAgent::new(
+            STATE_DIM,
+            N_ACTIONS,
+            DdpgConfig {
+                seed: 7,
+                ..DdpgConfig::default()
+            },
+        );
+        let ps = ParameterServer::new();
+        record(
+            "ps_publish",
+            bench_ns(budget_ms, || {
+                ps.publish(agent.save_policy());
+            }),
+        );
+        record(
+            "ps_pull",
+            bench_ns(budget_ms, || {
+                std::hint::black_box(ps.pull());
+            }),
+        );
+
+        // Encode+decode of a 256-row worker batch through the frame codec
+        // — the per-push wire cost of a remote rollout worker.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut batch = TransitionRows::new(3, STATE_DIM, N_ACTIONS);
+        for _ in 0..256 {
+            let state: Vec<Elem> = (0..STATE_DIM)
+                .map(|_| <Elem as Scalar>::from_f64(rng.random_range(-1.0..1.0)))
+                .collect();
+            let next: Vec<Elem> = (0..STATE_DIM)
+                .map(|_| <Elem as Scalar>::from_f64(rng.random_range(-1.0..1.0)))
+                .collect();
+            let mut action = vec![<Elem as Scalar>::ZERO; N_ACTIONS];
+            action[rng.random_range(0..N_ACTIONS)] = <Elem as Scalar>::from_f64(1.0);
+            batch.push_row(&state, &action, rng.random_range(-4.0..0.0), &next);
+        }
+        record(
+            "transition_batch_framing",
+            bench_ns(budget_ms, || {
+                let frame = dss_proto::encode_frame(&batch.to_message());
+                std::hint::black_box(dss_proto::decode_frame(&frame).expect("round trip"));
+            }),
+        );
+
+        // Collection throughput, async service vs deterministic lockstep:
+        // one full (small) training run each, normalized to ns per
+        // transition accepted by the learner. The async side overlaps
+        // collection with optimization across 4 workers, so multi-core
+        // hosts must come out ≥ 1.0 (`bench_gate` waives the pair on
+        // 1-core hosts, like the `par_*` keys).
+        let cfg = ControlConfig {
+            offline_samples: 6,
+            offline_steps: 8,
+            online_epochs: 32,
+            eps_decay_epochs: 8,
+            sim_epoch_s: 5.0,
+            ..ControlConfig::test()
+        };
+        let sc = Scenario::by_name("cq-small-steady").expect("registry scenario");
+        let lockstep_tc = TrainerConfig {
+            mode: SyncMode::Lockstep,
+            ..TrainerConfig::default()
+        };
+        let t0 = Instant::now();
+        let out = with_pool(par.clone(), || {
+            train_service_on(
+                Backend::Analytic,
+                &sc,
+                &cfg,
+                &lockstep_tc,
+                &WorkerLink::InProcess,
+            )
+        });
+        record(
+            "lockstep_ns_per_transition",
+            t0.elapsed().as_nanos() as f64 / out.stats.transitions.max(1) as f64,
+        );
+        let async_tc = TrainerConfig {
+            mode: SyncMode::Async,
+            n_workers: 4,
+            rounds: 8,
+            steps_per_round: 4,
+            train_per_batch: 4,
+            publish_every: 4,
+            ..TrainerConfig::default()
+        };
+        let t0 = Instant::now();
+        let out = with_pool(par.clone(), || {
+            train_service_on(
+                Backend::Analytic,
+                &sc,
+                &cfg,
+                &async_tc,
+                &WorkerLink::InProcess,
+            )
+        });
+        record(
+            "async_ns_per_transition",
+            t0.elapsed().as_nanos() as f64 / out.stats.transitions.max(1) as f64,
+        );
+    }
+
     // ---- emit -----------------------------------------------------------
     let json = to_json(&results, quick, par_threads);
     std::fs::write(&out_path, &json).expect("write BENCH_nn.json");
@@ -940,6 +1054,26 @@ const PAIRS: &[(&str, &str, &str)] = &[
         "f32_over_f64_rollout_act",
         "rollout_act_f64",
         "rollout_act_f32",
+    ),
+    // The transposed-RHS pack-amortization gate: with the pack-aware
+    // sharding bar the wide-k short-m shape runs the same serial kernel
+    // under both pools, so this must sit at ≈ 1.0 — it collapsed to ~0.5
+    // when the pool-blind heuristic sharded the product but paid the
+    // serial 128k-element `Wᵀ` pack per call. Gated at 0.9 (1-core
+    // waived: a 2-thread pool on one core shards without the parallelism
+    // to pay for it).
+    (
+        "t_b_pack_gate_32x2001x64",
+        "matmul_t_b_32x2001x64_blocked",
+        "matmul_t_b_32x2001x64_par",
+    ),
+    // Async service vs lockstep, ns per learner-accepted transition:
+    // 4 overlapped workers must collect at least as fast as the
+    // deterministic sequential mode on a multi-core host (1-core waived).
+    (
+        "async_over_lockstep_throughput",
+        "lockstep_ns_per_transition",
+        "async_ns_per_transition",
     ),
 ];
 

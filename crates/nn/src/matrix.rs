@@ -76,6 +76,17 @@ pub use crate::scalar::{avx2_available, microkernel_name, with_microkernel};
 /// and the CQ-large input layer (32·2001·64 ≈ 4M) shard profitably.
 const PAR_MIN_FLOPS: usize = 128 * 1024;
 
+/// Extra sharding bar for the transposed-RHS kernels, which pay a
+/// *serial* `Wᵀ` pack of `k·n` elements on the calling thread before any
+/// band runs. Each thread's band does `(m/threads)·k·n` multiply-adds,
+/// so the parallel-work-to-serial-pack ratio is exactly `m / threads` —
+/// independent of `k` and `n`. Sharding only pays once every worker's
+/// band dwarfs the pack, i.e. `m ≥ threads · this`: the CQ-large critic
+/// input gradient (32×2001×64, 16 threads) stays serial — its 128k-element
+/// pack used to cost more than the whole fused product — while the square
+/// stress shape (128³) keeps sharding on pools up to 32 threads.
+const T_B_PACK_AMORTIZE_ROWS: usize = 4;
+
 /// A dense row-major matrix over scalar type `S` (default: the
 /// workspace-wide training element [`Elem`]).
 #[derive(Clone, PartialEq)]
@@ -314,7 +325,7 @@ impl<S: Scalar> Matrix<S> {
         // scope would make that re-entry panic.
         let mut pack = S::take_pack();
         pack_transpose(other, &mut pack);
-        gemm_dispatch(
+        gemm_dispatch_gated(
             &self.data,
             self.rows,
             self.cols,
@@ -323,6 +334,7 @@ impl<S: Scalar> Matrix<S> {
             &mut out.data,
             false,
             epilogue,
+            true,
         );
         S::put_pack(pack);
     }
@@ -512,6 +524,13 @@ fn worth_sharding(threads: usize, rows: usize, flops: usize) -> bool {
     threads > 1 && rows >= 2 * MR && flops >= PAR_MIN_FLOPS
 }
 
+/// [`worth_sharding`] for the transposed-RHS kernels: additionally
+/// requires enough output rows to amortize the serial `Wᵀ` pack across
+/// the pool (see [`T_B_PACK_AMORTIZE_ROWS`]).
+fn worth_sharding_packed(threads: usize, rows: usize, flops: usize) -> bool {
+    worth_sharding(threads, rows, flops) && rows >= threads * T_B_PACK_AMORTIZE_ROWS
+}
+
 /// Untransposed-kernel entry point: routes to [`gemm_parallel`] when the
 /// current pool and the product size justify it, else runs the serial
 /// kernel (plus epilogue) inline.
@@ -526,9 +545,33 @@ fn gemm_dispatch<S: Scalar>(
     accumulate: bool,
     epilogue: Epilogue<'_, S>,
 ) {
+    gemm_dispatch_gated(a, m, k, b, n, out, accumulate, epilogue, false)
+}
+
+/// [`gemm_dispatch`] with the gate made explicit: `packed_rhs` marks
+/// products whose RHS was packed serially on the calling thread (the
+/// transposed-B kernels), which must clear the stricter
+/// [`worth_sharding_packed`] bar before paying for a pool dispatch.
+#[allow(clippy::too_many_arguments)]
+fn gemm_dispatch_gated<S: Scalar>(
+    a: &[S],
+    m: usize,
+    k: usize,
+    b: &[S],
+    n: usize,
+    out: &mut [S],
+    accumulate: bool,
+    epilogue: Epilogue<'_, S>,
+    packed_rhs: bool,
+) {
     let flops = m.saturating_mul(k).saturating_mul(n);
     workpool::with_current(|pool| {
-        if worth_sharding(pool.threads(), m, flops) {
+        let shard = if packed_rhs {
+            worth_sharding_packed(pool.threads(), m, flops)
+        } else {
+            worth_sharding(pool.threads(), m, flops)
+        };
+        if shard {
             gemm_parallel(pool, a, m, k, b, n, out, accumulate, epilogue);
         } else {
             gemm_stream(a, m, k, b, n, out, accumulate);
@@ -1187,6 +1230,27 @@ mod parallel_tests {
         assert!(!worth_sharding(4, 32, 32 * 64 * 32), "paper layer shape");
         assert!(!worth_sharding(1, 128, 128 * 128 * 128), "serial pool");
         assert!(!worth_sharding(4, 4, 4 * 4096 * 4096), "too few rows");
+    }
+
+    /// The transposed-RHS gate must additionally amortize the serial
+    /// `Wᵀ` pack: the CQ-large critic gradient (32×2001×64) used to shard
+    /// on wide pools and run ~2x *slower* than the serial kernel because
+    /// its 128k-element pack dominated the four-row-tile bands.
+    #[test]
+    fn packed_heuristic_keeps_wide_k_short_m_serial() {
+        assert!(
+            !worth_sharding_packed(16, 32, 32 * 2001 * 64),
+            "regression shape: pack dwarfs per-band work on wide pools"
+        );
+        assert!(
+            worth_sharding_packed(4, 32, 32 * 2001 * 64),
+            "small pools still amortize (m/threads = 8 bands per pack)"
+        );
+        assert!(
+            worth_sharding_packed(16, 128, 128 * 128 * 128),
+            "square stress shape keeps sharding"
+        );
+        assert!(!worth_sharding_packed(16, 64, 32 * 64 * 32), "small flops");
     }
 
     /// Regression: a sharded `x · Wᵀ` product's helping caller may pop a

@@ -157,6 +157,59 @@ pub enum Message {
         /// Highest reliable-protocol sequence number the agent has used.
         last_seq: u64,
     },
+    /// Rollout worker -> parameter server: request the current policy
+    /// weights. Carries the version the worker already holds so an
+    /// up-to-date worker can be answered with an empty
+    /// [`Message::WeightsReport`] instead of the full blob.
+    WeightsRequest {
+        /// Weight version the requester currently runs (0 = none).
+        have_version: u64,
+    },
+    /// Parameter server -> rollout worker: a versioned policy snapshot.
+    WeightsReport {
+        /// Monotonic version of the published weights.
+        version: u64,
+        /// Opaque policy image (the `rl::snapshot` policy codec); empty
+        /// when the requester's `have_version` is already current.
+        blob: Vec<u8>,
+    },
+    /// Rollout worker -> learner: a batch of transitions in
+    /// structure-of-arrays row form (matching the sharded replay buffer's
+    /// `push_rows` layout), stamped with the weight version the policy
+    /// that collected them was running.
+    TransitionBatch {
+        /// Weight version the collecting policy ran under.
+        version: u64,
+        /// State-row width.
+        state_dim: u32,
+        /// Action-row (one-hot) width.
+        action_dim: u32,
+        /// `rows × state_dim` state coordinates, row-major.
+        states: Vec<f64>,
+        /// `rows × action_dim` one-hot action coordinates, row-major.
+        actions: Vec<f64>,
+        /// `rows` rewards (one per transition; defines the row count).
+        rewards: Vec<f64>,
+        /// `rows × state_dim` next-state coordinates, row-major.
+        next_states: Vec<f64>,
+    },
+    /// Learner/parameter server -> observer: training-service counters
+    /// (the answer to a [`Message::StatsRequest`] on a trainer link).
+    LearnerStats {
+        /// Currently published weight version.
+        weight_version: u64,
+        /// Gradient steps taken by the learner.
+        train_steps: u64,
+        /// Transitions accepted into the replay path.
+        transitions: u64,
+        /// Transitions dropped by the staleness knob.
+        dropped_stale: u64,
+        /// Batch pushes that landed while a learner train step was
+        /// in flight (the rollout/optimization overlap witness).
+        pushes_during_train: u64,
+        /// Mean weight-version lag over accepted batches.
+        mean_version_lag: f64,
+    },
 }
 
 impl Message {
@@ -178,12 +231,18 @@ impl Message {
             Message::StateRequest => 13,
             Message::MasterAnnounce { .. } => 14,
             Message::Resume { .. } => 15,
+            Message::WeightsRequest { .. } => 16,
+            Message::WeightsReport { .. } => 17,
+            Message::TransitionBatch { .. } => 18,
+            Message::LearnerStats { .. } => 19,
         }
     }
 
     /// Every wire tag this protocol version defines, in tag order (test
     /// harnesses use it to prove coverage of the whole message set).
-    pub const ALL_TAGS: [u8; 15] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+    pub const ALL_TAGS: [u8; 19] = [
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+    ];
 
     /// Encode the payload (everything after the frame header).
     pub fn encode_payload(&self, buf: &mut BytesMut) {
@@ -270,6 +329,44 @@ impl Message {
             Message::Resume { epoch, last_seq } => {
                 buf.put_u64_le(*epoch);
                 buf.put_u64_le(*last_seq);
+            }
+            Message::WeightsRequest { have_version } => buf.put_u64_le(*have_version),
+            Message::WeightsReport { version, blob } => {
+                buf.put_u64_le(*version);
+                buf.put_u32_le(blob.len() as u32);
+                buf.put_slice(blob);
+            }
+            Message::TransitionBatch {
+                version,
+                state_dim,
+                action_dim,
+                states,
+                actions,
+                rewards,
+                next_states,
+            } => {
+                buf.put_u64_le(*version);
+                buf.put_u32_le(*state_dim);
+                buf.put_u32_le(*action_dim);
+                put_f64s(buf, states);
+                put_f64s(buf, actions);
+                put_f64s(buf, rewards);
+                put_f64s(buf, next_states);
+            }
+            Message::LearnerStats {
+                weight_version,
+                train_steps,
+                transitions,
+                dropped_stale,
+                pushes_during_train,
+                mean_version_lag,
+            } => {
+                buf.put_u64_le(*weight_version);
+                buf.put_u64_le(*train_steps);
+                buf.put_u64_le(*transitions);
+                buf.put_u64_le(*dropped_stale);
+                buf.put_u64_le(*pushes_during_train);
+                buf.put_f64_le(*mean_version_lag);
             }
         }
     }
@@ -387,6 +484,68 @@ impl Message {
                 epoch: get_u64(buf)?,
                 last_seq: get_u64(buf)?,
             },
+            16 => Message::WeightsRequest {
+                have_version: get_u64(buf)?,
+            },
+            17 => {
+                let version = get_u64(buf)?;
+                let len = get_u32(buf)? as usize;
+                check_remaining(buf, len)?;
+                Message::WeightsReport {
+                    version,
+                    blob: buf.split_to(len).to_vec(),
+                }
+            }
+            18 => {
+                let version = get_u64(buf)?;
+                let state_dim = get_u32(buf)?;
+                let action_dim = get_u32(buf)?;
+                if state_dim == 0 || action_dim == 0 {
+                    return Err(ProtoError::Malformed("transition batch dims"));
+                }
+                let states = get_f64s(buf)?;
+                let actions = get_f64s(buf)?;
+                let rewards = get_f64s(buf)?;
+                let next_states = get_f64s(buf)?;
+                // Row count is defined by `rewards`; every slab must agree.
+                let rows = rewards.len();
+                let state_elems = rows.checked_mul(state_dim as usize);
+                let action_elems = rows.checked_mul(action_dim as usize);
+                if state_elems != Some(states.len())
+                    || state_elems != Some(next_states.len())
+                    || action_elems != Some(actions.len())
+                {
+                    return Err(ProtoError::Malformed("transition batch shape"));
+                }
+                Message::TransitionBatch {
+                    version,
+                    state_dim,
+                    action_dim,
+                    states,
+                    actions,
+                    rewards,
+                    next_states,
+                }
+            }
+            19 => {
+                let weight_version = get_u64(buf)?;
+                let train_steps = get_u64(buf)?;
+                let transitions = get_u64(buf)?;
+                let dropped_stale = get_u64(buf)?;
+                let pushes_during_train = get_u64(buf)?;
+                let mean_version_lag = get_f64(buf)?;
+                if !mean_version_lag.is_finite() || mean_version_lag < 0.0 {
+                    return Err(ProtoError::Malformed("mean version lag"));
+                }
+                Message::LearnerStats {
+                    weight_version,
+                    train_steps,
+                    transitions,
+                    dropped_stale,
+                    pushes_during_train,
+                    mean_version_lag,
+                }
+            }
             t => return Err(ProtoError::BadTag(t)),
         };
         if buf.has_remaining() {
@@ -582,6 +741,32 @@ mod tests {
                 epoch: 17,
                 last_seq: 41,
             },
+            Message::WeightsRequest { have_version: 6 },
+            Message::WeightsReport {
+                version: 7,
+                blob: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            },
+            Message::WeightsReport {
+                version: 7,
+                blob: Vec::new(),
+            },
+            Message::TransitionBatch {
+                version: 7,
+                state_dim: 3,
+                action_dim: 2,
+                states: vec![0.0, 1.0, 0.5, 1.0, 0.0, 0.25],
+                actions: vec![1.0, 0.0, 0.0, 1.0],
+                rewards: vec![-1.5, -0.25],
+                next_states: vec![1.0, 0.0, 0.5, 0.0, 1.0, 0.75],
+            },
+            Message::LearnerStats {
+                weight_version: 9,
+                train_steps: 120,
+                transitions: 4_096,
+                dropped_stale: 32,
+                pushes_during_train: 11,
+                mean_version_lag: 1.75,
+            },
         ];
         for m in &msgs {
             assert_eq!(&roundtrip(m), m);
@@ -650,6 +835,28 @@ mod tests {
             Message::Resume {
                 epoch: 0,
                 last_seq: 0,
+            },
+            Message::WeightsRequest { have_version: 0 },
+            Message::WeightsReport {
+                version: 0,
+                blob: vec![],
+            },
+            Message::TransitionBatch {
+                version: 0,
+                state_dim: 1,
+                action_dim: 1,
+                states: vec![],
+                actions: vec![],
+                rewards: vec![],
+                next_states: vec![],
+            },
+            Message::LearnerStats {
+                weight_version: 0,
+                train_steps: 0,
+                transitions: 0,
+                dropped_stale: 0,
+                pushes_during_train: 0,
+                mean_version_lag: 0.0,
             },
         ]
         .iter()
@@ -782,6 +989,75 @@ mod tests {
         buf.put_u8(0xEE);
         let err = Message::decode_payload(11, &mut buf.freeze()).unwrap_err();
         assert!(matches!(err, ProtoError::Malformed("trailing bytes")));
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_transition_batch() {
+        // A well-formed 2-row batch, then break each invariant in turn.
+        let good = Message::TransitionBatch {
+            version: 1,
+            state_dim: 2,
+            action_dim: 1,
+            states: vec![0.0, 1.0, 1.0, 0.0],
+            actions: vec![1.0, 0.0],
+            rewards: vec![-1.0, -2.0],
+            next_states: vec![1.0, 0.0, 0.0, 1.0],
+        };
+        assert_eq!(roundtrip(&good), good);
+
+        // Zero state_dim.
+        let mut buf = BytesMut::new();
+        good.encode_payload(&mut buf);
+        let mut bytes = buf.freeze().to_vec();
+        bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Message::decode_payload(18, &mut Bytes::from(bytes)).is_err());
+
+        // Slab lengths disagreeing with the row count.
+        let bad = Message::TransitionBatch {
+            version: 1,
+            state_dim: 2,
+            action_dim: 1,
+            states: vec![0.0, 1.0], // 1 row's worth for 2 rewards
+            actions: vec![1.0, 0.0],
+            rewards: vec![-1.0, -2.0],
+            next_states: vec![1.0, 0.0, 0.0, 1.0],
+        };
+        let mut buf = BytesMut::new();
+        bad.encode_payload(&mut buf);
+        assert!(matches!(
+            Message::decode_payload(18, &mut buf.freeze()),
+            Err(ProtoError::Malformed("transition batch shape"))
+        ));
+
+        // Non-finite reward entry (shared f64-vector validation).
+        let bad = Message::TransitionBatch {
+            version: 1,
+            state_dim: 2,
+            action_dim: 1,
+            states: vec![0.0, 1.0, 1.0, 0.0],
+            actions: vec![1.0, 0.0],
+            rewards: vec![-1.0, f64::NAN],
+            next_states: vec![1.0, 0.0, 0.0, 1.0],
+        };
+        let mut buf = BytesMut::new();
+        bad.encode_payload(&mut buf);
+        assert!(Message::decode_payload(18, &mut buf.freeze()).is_err());
+
+        // LearnerStats: negative mean lag.
+        let mut buf = BytesMut::new();
+        Message::LearnerStats {
+            weight_version: 0,
+            train_steps: 0,
+            transitions: 0,
+            dropped_stale: 0,
+            pushes_during_train: 0,
+            mean_version_lag: 0.0,
+        }
+        .encode_payload(&mut buf);
+        let mut bytes = buf.freeze().to_vec();
+        let at = bytes.len() - 8;
+        bytes[at..].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert!(Message::decode_payload(19, &mut Bytes::from(bytes)).is_err());
     }
 
     #[test]

@@ -17,6 +17,61 @@ fn f64s_strategy() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6..1e6f64, 0..8)
 }
 
+/// Shape-consistent `TransitionBatch` frames: the decoder cross-checks
+/// every slab length against the reward-defined row count, so the
+/// generator must honour the same invariant.
+fn transition_batch_strategy() -> impl Strategy<Value = Message> {
+    (1u32..5, 1u32..4, 0usize..4).prop_flat_map(|(state_dim, action_dim, rows)| {
+        let coord = -1e3..1e3f64;
+        (
+            any::<u64>(),
+            prop::collection::vec(coord.clone(), rows * state_dim as usize),
+            prop::collection::vec(coord.clone(), rows * action_dim as usize),
+            prop::collection::vec(coord.clone(), rows),
+            prop::collection::vec(coord, rows * state_dim as usize),
+        )
+            .prop_map(move |(version, states, actions, rewards, next_states)| {
+                Message::TransitionBatch {
+                    version,
+                    state_dim,
+                    action_dim,
+                    states,
+                    actions,
+                    rewards,
+                    next_states,
+                }
+            })
+    })
+}
+
+fn learner_stats_strategy() -> impl Strategy<Value = Message> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        0.0..1e6f64,
+    )
+        .prop_map(
+            |(
+                weight_version,
+                train_steps,
+                transitions,
+                dropped_stale,
+                pushes_during_train,
+                mean_version_lag,
+            )| Message::LearnerStats {
+                weight_version,
+                train_steps,
+                transitions,
+                dropped_stale,
+                pushes_during_train,
+                mean_version_lag,
+            },
+        )
+}
+
 /// Envelope-free messages, used as the inner value of `Wrapped` (the
 /// codec forbids nested envelopes).
 fn inner_message_strategy() -> impl Strategy<Value = Message> {
@@ -36,6 +91,8 @@ fn inner_message_strategy() -> impl Strategy<Value = Message> {
             .prop_map(|(epoch, last_seq)| Message::Resume { epoch, last_seq }),
         (any::<u64>(), ".{0,24}")
             .prop_map(|(generation, ident)| Message::MasterAnnounce { generation, ident }),
+        any::<u64>().prop_map(|have_version| Message::WeightsRequest { have_version }),
+        transition_batch_strategy(),
     ]
 }
 
@@ -122,6 +179,11 @@ fn message_strategy() -> impl Strategy<Value = Message> {
             .prop_map(|(generation, ident)| Message::MasterAnnounce { generation, ident }),
         (any::<u64>(), any::<u64>())
             .prop_map(|(epoch, last_seq)| Message::Resume { epoch, last_seq }),
+        any::<u64>().prop_map(|have_version| Message::WeightsRequest { have_version }),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(version, blob)| Message::WeightsReport { version, blob }),
+        transition_batch_strategy(),
+        learner_stats_strategy(),
     ]
 }
 

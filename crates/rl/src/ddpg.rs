@@ -286,6 +286,51 @@ impl<S: Scalar> DdpgAgent<S> {
         })
     }
 
+    /// Serializes the *policy alone* — dimensions, the train-step counter,
+    /// and the online actor + critic networks — into a versioned byte
+    /// image. This is the blob a parameter server publishes: everything a
+    /// rollout worker needs to run [`DdpgAgent::select_action_into`], at a
+    /// fraction of the full [`DdpgAgent::save_state`] checkpoint (no
+    /// target nets, no optimizer moments, no replay ring).
+    pub fn save_policy(&self) -> Vec<u8> {
+        let mut w = Writer::header(snapshot::KIND_POLICY);
+        w.usize(self.state_dim);
+        w.usize(self.action_dim);
+        w.u64(self.train_steps);
+        w.net(&self.actor);
+        w.net(&self.critic);
+        w.buf
+    }
+
+    /// Installs a [`DdpgAgent::save_policy`] image into this agent's
+    /// online actor and critic in place (targets, optimizers and replay
+    /// are untouched — a worker replica never trains). Returns the
+    /// publishing agent's train-step counter. Foreign bytes, a wrong
+    /// snapshot kind, or a shape mismatch against this agent fail typed;
+    /// the agent is unmodified on any error.
+    pub fn apply_policy(&mut self, bytes: &[u8]) -> Result<u64, SnapshotError> {
+        let mut r = Reader::open(bytes, snapshot::KIND_POLICY)?;
+        let state_dim = r.usize()?;
+        let action_dim = r.usize()?;
+        if state_dim != self.state_dim || action_dim != self.action_dim {
+            return Err(SnapshotError::BadStructure("policy dimension mismatch"));
+        }
+        let train_steps = r.u64()?;
+        let actor: Mlp<S> = r.net()?;
+        let critic: Mlp<S> = r.net()?;
+        r.done()?;
+        if actor.param_count() != self.actor.param_count()
+            || critic.param_count() != self.critic.param_count()
+            || actor.layers().len() != self.actor.layers().len()
+            || critic.layers().len() != self.critic.layers().len()
+        {
+            return Err(SnapshotError::BadStructure("policy network shape"));
+        }
+        self.actor.copy_params_from(&actor);
+        self.critic.copy_params_from(&critic);
+        Ok(train_steps)
+    }
+
     /// Number of stored transitions.
     pub fn replay_len(&self) -> usize {
         self.replay.len()
@@ -862,6 +907,67 @@ mod tests {
         let mut mapper = KBestMapper::new(2, 2);
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(agent.train_step(&mut mapper, &mut rng), None);
+    }
+
+    #[test]
+    fn policy_blob_transfers_decisions_bit_identically() {
+        use dss_nn::Elem;
+        let e = Elem::from_f64;
+        let mut donor: DdpgAgent = DdpgAgent::new(4, 4, toy_config());
+        let mut mapper = KBestMapper::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..30 {
+            let mut state = vec![e(0.0); 4];
+            state[i % 4] = e(1.0);
+            let c = donor.select_action(&state, &mut mapper, 0.5, &mut rng);
+            let r = e(toy_reward(&c.choice));
+            donor.store(Transition::new(state.clone(), c.onehot.clone(), r, state));
+            donor.train_step(&mut mapper, &mut rng);
+        }
+
+        // A fresh same-shape replica with a different seed starts on a
+        // different policy; applying the blob puts it on the donor's.
+        let blob = donor.save_policy();
+        assert!(
+            blob.len() < donor.save_state().len() / 2,
+            "policy blob should be much smaller than a full checkpoint"
+        );
+        let mut replica: DdpgAgent = DdpgAgent::new(
+            4,
+            4,
+            DdpgConfig {
+                seed: 999,
+                ..toy_config()
+            },
+        );
+        let steps = replica.apply_policy(&blob).unwrap();
+        assert_eq!(steps, donor.train_steps());
+        let state = [e(0.0), e(1.0), e(1.0), e(0.0)];
+        let pa = donor.proto_action(&state);
+        let pb = replica.proto_action(&state);
+        for (a, b) in pa.iter().zip(&pb) {
+            assert_eq!(a.to_f64().to_bits(), b.to_f64().to_bits());
+        }
+        let qa = donor.q_value(&state, &[e(1.0), e(0.0), e(0.0), e(1.0)]);
+        let qb = replica.q_value(&state, &[e(1.0), e(0.0), e(0.0), e(1.0)]);
+        assert_eq!(qa.to_f64().to_bits(), qb.to_f64().to_bits());
+
+        // Typed failures: wrong kind, wrong shape, trailing bytes.
+        assert!(matches!(
+            replica.apply_policy(&donor.save_state()),
+            Err(SnapshotError::WrongKind(_))
+        ));
+        let mut narrow: DdpgAgent = DdpgAgent::new(2, 4, toy_config());
+        assert!(matches!(
+            narrow.apply_policy(&blob),
+            Err(SnapshotError::BadStructure(_))
+        ));
+        let mut trailing = blob.clone();
+        trailing.push(0);
+        assert!(matches!(
+            replica.apply_policy(&trailing),
+            Err(SnapshotError::BadStructure(_))
+        ));
     }
 
     #[test]

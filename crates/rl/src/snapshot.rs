@@ -67,6 +67,12 @@ pub(crate) const VERSION: u16 = 1;
 /// Agent kind tags.
 pub(crate) const KIND_DDPG: u8 = 1;
 pub(crate) const KIND_DQN: u8 = 2;
+/// A *policy-only* DDPG image ([`crate::DdpgAgent::save_policy`]): just the
+/// online actor and critic — what a rollout worker needs to act. Target
+/// nets, optimizer moments and the replay ring stay learner-side, so the
+/// blob a parameter server republishes every few train steps is a fraction
+/// of the full [`crate::DdpgAgent::save_state`] checkpoint.
+pub(crate) const KIND_POLICY: u8 = 3;
 
 /// Little-endian append-only writer.
 #[derive(Default)]

@@ -1,0 +1,137 @@
+//! The unit of experience transfer: a version-stamped block of
+//! transitions in the replay's structure-of-arrays row layout.
+
+use dss_proto::Message;
+use dss_rl::{Elem, Scalar};
+
+/// A batch of transitions collected under one policy version — the
+/// in-memory twin of the [`Message::TransitionBatch`] frame (floats
+/// travel as `f64`; widening from [`Elem`] and back is exact, so the
+/// wire preserves bit-identity for every element type).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionRows {
+    /// Weight version the collecting worker was acting under.
+    pub version: u64,
+    /// State-row width.
+    pub state_dim: usize,
+    /// Action-row width.
+    pub action_dim: usize,
+    /// Row-major states, `rows × state_dim`.
+    pub states: Vec<f64>,
+    /// Row-major one-hot actions, `rows × action_dim`.
+    pub actions: Vec<f64>,
+    /// One reward per row.
+    pub rewards: Vec<f64>,
+    /// Row-major successor states, `rows × state_dim`.
+    pub next_states: Vec<f64>,
+}
+
+impl TransitionRows {
+    /// An empty batch stamped with `version`.
+    pub fn new(version: u64, state_dim: usize, action_dim: usize) -> Self {
+        assert!(state_dim > 0 && action_dim > 0, "zero batch dimension");
+        Self {
+            version,
+            state_dim,
+            action_dim,
+            states: Vec::new(),
+            actions: Vec::new(),
+            rewards: Vec::new(),
+            next_states: Vec::new(),
+        }
+    }
+
+    /// Number of transitions in the batch.
+    pub fn rows(&self) -> usize {
+        self.rewards.len()
+    }
+
+    /// Whether the batch holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.rewards.is_empty()
+    }
+
+    /// Appends one transition (widening scalars to `f64`, which is exact).
+    pub fn push_row(&mut self, state: &[Elem], action: &[Elem], reward: f64, next_state: &[Elem]) {
+        assert_eq!(state.len(), self.state_dim, "state width");
+        assert_eq!(action.len(), self.action_dim, "action width");
+        assert_eq!(next_state.len(), self.state_dim, "next-state width");
+        self.states.extend(state.iter().map(|x| x.to_f64()));
+        self.actions.extend(action.iter().map(|x| x.to_f64()));
+        self.rewards.push(reward);
+        self.next_states
+            .extend(next_state.iter().map(|x| x.to_f64()));
+    }
+
+    /// The wire form of this batch.
+    pub fn to_message(&self) -> Message {
+        Message::TransitionBatch {
+            version: self.version,
+            state_dim: self.state_dim as u32,
+            action_dim: self.action_dim as u32,
+            states: self.states.clone(),
+            actions: self.actions.clone(),
+            rewards: self.rewards.clone(),
+            next_states: self.next_states.clone(),
+        }
+    }
+
+    /// Rebuilds a batch from its wire form; `None` for any other frame
+    /// (the decoder already validated the slab shapes).
+    pub fn from_message(msg: Message) -> Option<Self> {
+        match msg {
+            Message::TransitionBatch {
+                version,
+                state_dim,
+                action_dim,
+                states,
+                actions,
+                rewards,
+                next_states,
+            } => Some(Self {
+                version,
+                state_dim: state_dim as usize,
+                action_dim: action_dim as usize,
+                states,
+                actions,
+                rewards,
+                next_states,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_proto::{decode_frame, encode_frame};
+
+    #[test]
+    fn rows_round_trip_through_the_frame_codec() {
+        let mut batch = TransitionRows::new(5, 3, 2);
+        let s = [
+            Elem::from_f64(0.1),
+            Elem::from_f64(0.2),
+            Elem::from_f64(0.3),
+        ];
+        let a = [Elem::from_f64(1.0), Elem::from_f64(0.0)];
+        let ns = [
+            Elem::from_f64(0.4),
+            Elem::from_f64(0.5),
+            Elem::from_f64(0.6),
+        ];
+        batch.push_row(&s, &a, -2.5, &ns);
+        batch.push_row(&ns, &a, -1.25, &s);
+        assert_eq!(batch.rows(), 2);
+
+        let frame = encode_frame(&batch.to_message());
+        let back = TransitionRows::from_message(decode_frame(&frame).unwrap()).unwrap();
+        assert_eq!(back, batch, "wire round trip must be bit-exact");
+    }
+
+    #[test]
+    fn foreign_frames_are_rejected() {
+        assert!(TransitionRows::from_message(Message::Bye).is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! The parameter server: one atomically published, versioned policy blob.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Owns the current policy snapshot ([`dss_rl::DdpgAgent::save_policy`]
+/// bytes) under a monotonically increasing `weight_version`. Publish
+/// swaps the blob atomically; pull is copy-on-read — an [`Arc`] clone,
+/// never a byte copy — so a fleet of pullers costs the learner nothing.
+pub struct ParameterServer {
+    slot: Mutex<Slot>,
+}
+
+struct Slot {
+    version: u64,
+    blob: Arc<Vec<u8>>,
+}
+
+impl ParameterServer {
+    /// An empty server: version 0, no blob published yet.
+    pub fn new() -> Self {
+        Self {
+            slot: Mutex::new(Slot {
+                version: 0,
+                blob: Arc::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Atomically installs `blob` as the current policy and returns its
+    /// freshly minted version (strictly greater than every prior one).
+    pub fn publish(&self, blob: Vec<u8>) -> u64 {
+        let mut slot = self.slot.lock();
+        slot.version += 1;
+        slot.blob = Arc::new(blob);
+        slot.version
+    }
+
+    /// The current `(version, blob)` pair.
+    pub fn pull(&self) -> (u64, Arc<Vec<u8>>) {
+        let slot = self.slot.lock();
+        (slot.version, Arc::clone(&slot.blob))
+    }
+
+    /// [`ParameterServer::pull`] only if something newer than
+    /// `have_version` has been published — the worker-side fast path that
+    /// skips the blob entirely when the puller is already current.
+    pub fn pull_newer(&self, have_version: u64) -> Option<(u64, Arc<Vec<u8>>)> {
+        let slot = self.slot.lock();
+        (slot.version > have_version).then(|| (slot.version, Arc::clone(&slot.blob)))
+    }
+
+    /// The latest published version (0 before the first publish).
+    pub fn version(&self) -> u64 {
+        self.slot.lock().version
+    }
+}
+
+impl Default for ParameterServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_bumps_version_monotonically() {
+        let ps = ParameterServer::new();
+        assert_eq!(ps.version(), 0);
+        assert_eq!(ps.publish(vec![1]), 1);
+        assert_eq!(ps.publish(vec![2]), 2);
+        let (v, blob) = ps.pull();
+        assert_eq!((v, blob.as_slice()), (2, &[2u8][..]));
+    }
+
+    #[test]
+    fn pull_newer_skips_when_current() {
+        let ps = ParameterServer::new();
+        ps.publish(vec![7]);
+        assert!(ps.pull_newer(0).is_some());
+        assert!(ps.pull_newer(1).is_none());
+    }
+
+    #[test]
+    fn pull_is_copy_on_read() {
+        let ps = ParameterServer::new();
+        ps.publish(vec![0; 1024]);
+        let (_, a) = ps.pull();
+        let (_, b) = ps.pull();
+        assert!(Arc::ptr_eq(&a, &b), "pulls must share one allocation");
+    }
+}

@@ -1,0 +1,154 @@
+//! Bounded MPSC queue between workers and the learner — the backpressure
+//! seam: a slow learner blocks producers instead of buffering without
+//! limit, so the replay path can never OOM under a worker flood.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Mutex+condvar bounded queue. `push` blocks while full; `pop_timeout`
+/// waits at most the given duration. `close` wakes everything: blocked
+/// pushers give up (`false`), poppers drain what is left and then get
+/// `None`.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Blocks until there is room (backpressure), then enqueues. Returns
+    /// `false` without enqueuing if the queue is (or becomes) closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if inner.closed {
+                return false;
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                self.not_empty.notify_one();
+                return true;
+            }
+            inner = self.not_full.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Waits up to `timeout` for an item. Items still queued at close time
+    /// are drained; `None` means timeout, or closed-and-empty.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let (guard, result) = self
+                .not_empty
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(|p| p.into_inner());
+            inner = guard;
+            if result.timed_out() && inner.items.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Closes the queue and wakes every waiter.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).closed
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .items
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn full_queue_blocks_producer_until_pop() {
+        let q = Arc::new(BoundedQueue::new(1));
+        assert!(q.push(1));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2));
+        // The producer is stuck on the full queue until we pop.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!producer.is_finished(), "push must block while full");
+        assert_eq!(q.pop_timeout(Duration::from_millis(100)), Some(1));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop_timeout(Duration::from_millis(100)), Some(2));
+    }
+
+    #[test]
+    fn close_unblocks_and_drains() {
+        let q = Arc::new(BoundedQueue::new(1));
+        assert!(q.push(1));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(!producer.join().unwrap(), "closed push must fail");
+        assert!(!q.push(3), "push after close must fail");
+        // The item enqueued before close still drains.
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+}

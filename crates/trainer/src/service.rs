@@ -1,0 +1,492 @@
+//! Service assembly: lockstep/async training entry points, the PS-side
+//! serving loop for remote workers, and the separate-process worker
+//! runner.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dss_apps::App;
+use dss_core::config::ControlConfig;
+use dss_core::controller::Controller;
+use dss_core::env::Environment;
+use dss_core::experiment::Backend;
+use dss_core::parallel::ActorSetup;
+use dss_core::scenario::Scenario;
+use dss_core::scheduler::{ActorCriticScheduler, RandomMode, RandomScheduler, Scheduler};
+use dss_core::state::SchedState;
+use dss_metrics::TimeSeries;
+use dss_proto::{
+    ChannelTransport, ChaosPlan, MaybeChaos, Message, ProtoError, TcpTransport, Transport,
+};
+use dss_rl::{Elem, ShardedReplayBuffer};
+use dss_sim::{Assignment, ClusterSpec};
+
+use crate::batch::TransitionRows;
+use crate::learner::Learner;
+use crate::ps::ParameterServer;
+use crate::queue::BoundedQueue;
+use crate::stats::{SharedStats, StatsSnapshot};
+use crate::worker::{LocalClient, RemoteClient, RolloutWorker, WeightsClient};
+
+/// How the service schedules collection against optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Deterministic CI mode: the exact call sequence of
+    /// [`dss_core::experiment::train_method`]'s actor-critic arm with
+    /// policy publishes interleaved — bit-identical rewards and solution.
+    Lockstep,
+    /// Rapid mode: N workers collect continuously while the learner
+    /// trains and republishes concurrently.
+    Async,
+}
+
+/// Service knobs (see the crate docs for the staleness discussion).
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Lockstep (deterministic) or async (overlapped) training.
+    pub mode: SyncMode,
+    /// Rollout workers to spawn (async mode).
+    pub n_workers: usize,
+    /// Collection rounds per worker (async mode).
+    pub rounds: usize,
+    /// Decision epochs per round — the pushed batch size.
+    pub steps_per_round: usize,
+    /// Learner minibatch updates per ingested batch.
+    pub train_per_batch: usize,
+    /// Publish the policy every this many train steps.
+    pub publish_every: u64,
+    /// Staleness knob: drop batches whose `version_lag` exceeds this.
+    pub max_version_lag: u64,
+    /// Bounded worker→learner queue capacity (backpressure depth).
+    pub queue_capacity: usize,
+    /// Replay capacity per worker shard.
+    pub shard_capacity: usize,
+    /// Remote pull reply timeout in milliseconds.
+    pub reply_timeout_ms: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            mode: SyncMode::Async,
+            n_workers: 4,
+            rounds: 16,
+            steps_per_round: 4,
+            train_per_batch: 4,
+            publish_every: 4,
+            max_version_lag: u64::MAX,
+            queue_capacity: 64,
+            shard_capacity: 4096,
+            reply_timeout_ms: 200,
+        }
+    }
+}
+
+/// How async workers reach the service.
+#[derive(Debug, Clone)]
+pub enum WorkerLink {
+    /// Direct in-process clients (no frames on the path).
+    InProcess,
+    /// Framed loopback channel pairs, optionally chaos-wrapped.
+    Channel(Option<ChaosPlan>),
+    /// Loopback TCP sockets, optionally chaos-wrapped on the worker side.
+    Tcp(Option<ChaosPlan>),
+}
+
+/// What a service run produces.
+pub struct ServiceOutcome {
+    /// The mode that ran.
+    pub mode: SyncMode,
+    /// Reward series: per online epoch (lockstep) or per accepted batch
+    /// (async).
+    pub rewards: TimeSeries,
+    /// The greedy trained solution.
+    pub solution: Assignment,
+    /// Final service telemetry.
+    pub stats: StatsSnapshot,
+}
+
+/// Trains on a named scenario against the chosen backend in the
+/// configured mode — the service twin of
+/// [`dss_core::experiment::train_method_on`].
+pub fn train_service_on(
+    backend: Backend,
+    scenario: &Scenario,
+    cfg: &ControlConfig,
+    tc: &TrainerConfig,
+    link: &WorkerLink,
+) -> ServiceOutcome {
+    match tc.mode {
+        SyncMode::Lockstep => match backend {
+            Backend::Analytic => train_lockstep_with(&scenario.app, &scenario.cluster, cfg, || {
+                scenario.analytic_env(cfg, cfg.seed)
+            }),
+            Backend::Sim => train_lockstep_with(&scenario.app, &scenario.cluster, cfg, || {
+                scenario.sim_env(cfg, cfg.seed)
+            }),
+            Backend::Cluster => train_lockstep_with(&scenario.app, &scenario.cluster, cfg, || {
+                scenario.cluster_env(cfg, cfg.seed)
+            }),
+        },
+        SyncMode::Async => match backend {
+            Backend::Analytic => train_async_with(scenario, cfg, tc, link, |i| ActorSetup {
+                env: scenario.analytic_env(cfg, cfg.seed.wrapping_add(i as u64)),
+                workload: scenario.app.workload.clone(),
+                initial: scenario.initial_assignment(),
+            }),
+            Backend::Sim => train_async_with(scenario, cfg, tc, link, |i| ActorSetup {
+                env: scenario.sim_env(cfg, cfg.seed.wrapping_add(i as u64)),
+                workload: scenario.app.workload.clone(),
+                initial: scenario.initial_assignment(),
+            }),
+            Backend::Cluster => train_async_with(scenario, cfg, tc, link, |i| ActorSetup {
+                env: scenario.cluster_env(cfg, cfg.seed.wrapping_add(i as u64)),
+                workload: scenario.app.workload.clone(),
+                initial: scenario.initial_assignment(),
+            }),
+        },
+    }
+}
+
+/// Lockstep training over any backend: runs byte-for-byte the sequence
+/// of [`dss_core::experiment::train_method_with`]'s actor-critic arm
+/// (same controller calls, same RNG streams — `online_learn` is mirrored
+/// as its own `online_epoch` loop), publishing the policy to a
+/// [`ParameterServer`] after pretraining and after every epoch.
+/// Publishing only reads the networks, so the reward series and trained
+/// solution stay bit-identical to the classic path — the equivalence CI
+/// pins.
+pub fn train_lockstep_with<E: Environment>(
+    app: &App,
+    cluster: &ClusterSpec,
+    cfg: &ControlConfig,
+    make_env: impl Fn() -> E,
+) -> ServiceOutcome {
+    let controller = Controller::new(*cfg);
+    let n = app.topology.n_executors();
+    let m = cluster.n_machines();
+    let n_sources = app.workload.rates().len();
+    let rr = Assignment::round_robin(&app.topology, cluster);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0);
+    let ps = ParameterServer::new();
+    let stats = SharedStats::new();
+
+    let mut env = make_env();
+    let mut collector =
+        RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(cfg.seed));
+    let data = controller.collect_offline(
+        &mut env,
+        &app.workload,
+        &mut collector,
+        rr.clone(),
+        &mut rng,
+    );
+    let mut sched = ActorCriticScheduler::new(n, m, n_sources, cfg);
+    sched.pretrain(&data);
+    stats.set_weight_version(ps.publish(sched.agent().save_policy()));
+
+    let mut rewards = TimeSeries::new();
+    let mut current = rr;
+    for t in 0..cfg.online_epochs {
+        current = controller.online_epoch(
+            &mut sched,
+            &mut env,
+            &app.workload,
+            current,
+            t,
+            &mut rewards,
+        );
+        stats.set_weight_version(ps.publish(sched.agent().save_policy()));
+        stats.record_accepted(0, 1);
+    }
+    sched.freeze();
+    let solution = controller.decide(&mut sched, &current, &app.workload);
+
+    for _ in 0..sched.agent().train_steps() {
+        stats.add_train_step();
+    }
+    ServiceOutcome {
+        mode: SyncMode::Lockstep,
+        rewards,
+        solution,
+        stats: stats.snapshot(),
+    }
+}
+
+/// Async training: spawns `tc.n_workers` rollout workers over the chosen
+/// link, drives the learner on the calling thread until every worker
+/// finishes and the queue drains, then extracts the greedy solution.
+pub fn train_async_with<E>(
+    scenario: &Scenario,
+    cfg: &ControlConfig,
+    tc: &TrainerConfig,
+    link: &WorkerLink,
+    mut factory: impl FnMut(usize) -> ActorSetup<E>,
+) -> ServiceOutcome
+where
+    E: Environment + Send + 'static,
+{
+    assert!(tc.n_workers > 0, "need at least one worker");
+    let (n, m, n_sources) = (
+        scenario.n_executors(),
+        scenario.n_machines(),
+        scenario.n_sources(),
+    );
+    let state_dim = SchedState::feature_dim(n, m, n_sources);
+    let ps = Arc::new(ParameterServer::new());
+    let queue = Arc::new(BoundedQueue::new(tc.queue_capacity));
+    let stats = Arc::new(SharedStats::new());
+    let replay = Arc::new(ShardedReplayBuffer::<Elem>::new(
+        tc.n_workers,
+        tc.shard_capacity,
+        state_dim,
+        n * m,
+    ));
+    let mut learner = Learner::new(
+        cfg,
+        n,
+        m,
+        n_sources,
+        Arc::clone(&replay),
+        Arc::clone(&ps),
+        Arc::clone(&stats),
+        tc.max_version_lag,
+        tc.publish_every,
+    );
+    // Offline phase first (Algorithm 1's pretraining): collect a random
+    // chain on a private env — same seeds as the classic path — and seed
+    // the learner before any worker pulls. Version 1 is the offline
+    // policy, not random networks.
+    {
+        let setup = factory(0);
+        let mut env = setup.env;
+        let controller = Controller::new(*cfg);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0);
+        let mut collector =
+            RandomScheduler::new(RandomMode::FullRandom, StdRng::seed_from_u64(cfg.seed));
+        let data = controller.collect_offline(
+            &mut env,
+            &setup.workload,
+            &mut collector,
+            setup.initial,
+            &mut rng,
+        );
+        learner.pretrain(&data);
+    }
+    learner.publish();
+
+    let live = Arc::new(AtomicUsize::new(tc.n_workers));
+    let reply_timeout = Duration::from_millis(tc.reply_timeout_ms);
+    let mut workers = Vec::new();
+    let mut servers = Vec::new();
+    for i in 0..tc.n_workers {
+        let setup = factory(i);
+        let live = Arc::clone(&live);
+        match link {
+            WorkerLink::InProcess => {
+                let client = LocalClient {
+                    ps: Arc::clone(&ps),
+                    queue: Arc::clone(&queue),
+                    stats: Arc::clone(&stats),
+                };
+                workers.push(spawn_worker(i, setup, cfg, client, tc, live));
+            }
+            WorkerLink::Channel(chaos) => {
+                let (worker_side, server_side) = ChannelTransport::pair();
+                servers.push(spawn_server(server_side, &ps, &queue, &stats));
+                let transport = chaosify(worker_side, chaos, i);
+                let client = RemoteClient::new(transport, reply_timeout);
+                workers.push(spawn_worker(i, setup, cfg, client, tc, live));
+            }
+            WorkerLink::Tcp(chaos) => {
+                let (listener, addr) = TcpTransport::listen_localhost().expect("loopback listener");
+                let (ps2, queue2, stats2) =
+                    (Arc::clone(&ps), Arc::clone(&queue), Arc::clone(&stats));
+                servers.push(std::thread::spawn(move || {
+                    let transport = TcpTransport::accept(&listener).expect("accept worker");
+                    transport
+                        .set_io_deadline(Some(Duration::from_millis(500)))
+                        .expect("serve deadline");
+                    serve_worker(transport, ps2, queue2, stats2);
+                }));
+                let transport = TcpTransport::connect(addr).expect("connect to service");
+                transport
+                    .set_io_deadline(Some(Duration::from_millis(500)))
+                    .expect("worker deadline");
+                let client = RemoteClient::new(chaosify(transport, chaos, i), reply_timeout);
+                workers.push(spawn_worker(i, setup, cfg, client, tc, live));
+            }
+        }
+    }
+
+    learner.drive(&queue, &live, tc.train_per_batch);
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    queue.close();
+    for s in servers {
+        s.join().expect("server thread");
+    }
+
+    // Final decision with a measured validation sweep on a fresh env.
+    let mut validation = factory(0);
+    let solution = learner.finalize_measured(
+        &mut validation.env,
+        &scenario.initial_assignment(),
+        &scenario.app.workload,
+    );
+    let mut rewards = TimeSeries::new();
+    for (i, &r) in learner.rewards().values().iter().enumerate() {
+        rewards.push(i as f64, r);
+    }
+    ServiceOutcome {
+        mode: SyncMode::Async,
+        rewards,
+        solution,
+        stats: stats.snapshot(),
+    }
+}
+
+fn chaosify<T: Transport>(transport: T, chaos: &Option<ChaosPlan>, worker: usize) -> MaybeChaos<T> {
+    // Re-seed per worker so fault streams are decorrelated, reproducibly.
+    let plan = chaos
+        .as_ref()
+        .map(|p| p.clone().with_seed(p.seed ^ (0xD15 + worker as u64)));
+    let wrapped = MaybeChaos::wrap(transport, plan.as_ref());
+    wrapped.arm();
+    wrapped
+}
+
+fn spawn_worker<E, C>(
+    id: usize,
+    setup: ActorSetup<E>,
+    cfg: &ControlConfig,
+    client: C,
+    tc: &TrainerConfig,
+    live: Arc<AtomicUsize>,
+) -> std::thread::JoinHandle<()>
+where
+    E: Environment + Send + 'static,
+    C: WeightsClient + 'static,
+{
+    let mut worker = RolloutWorker::new(id, setup, cfg, client);
+    let (rounds, steps) = (tc.rounds, tc.steps_per_round);
+    std::thread::spawn(move || {
+        worker.run(rounds, steps);
+        live.fetch_sub(1, Ordering::Release);
+    })
+}
+
+fn spawn_server(
+    transport: ChannelTransport,
+    ps: &Arc<ParameterServer>,
+    queue: &Arc<BoundedQueue<TransitionRows>>,
+    stats: &Arc<SharedStats>,
+) -> std::thread::JoinHandle<()> {
+    let (ps, queue, stats) = (Arc::clone(ps), Arc::clone(queue), Arc::clone(stats));
+    std::thread::spawn(move || serve_worker(transport, ps, queue, stats))
+}
+
+/// PS-side serving loop for one remote worker connection: answers
+/// `WeightsRequest` with the current (or empty, when the worker is
+/// already current) `WeightsReport`, enqueues `TransitionBatch` frames —
+/// blocking on the bounded queue, which propagates learner backpressure
+/// onto the link — and reports [`SharedStats`] on demand. Corrupt frames
+/// (chaos links) surface as typed errors and are skipped; `Bye`, a dead
+/// peer, or a closed queue end the loop. Never hangs: every receive is
+/// bounded.
+pub fn serve_worker<T: Transport>(
+    transport: T,
+    ps: Arc<ParameterServer>,
+    queue: Arc<BoundedQueue<TransitionRows>>,
+    stats: Arc<SharedStats>,
+) {
+    loop {
+        match transport.recv_timeout(Duration::from_millis(50)) {
+            Ok(Some(Message::WeightsRequest { have_version })) => {
+                let reply = match ps.pull_newer(have_version) {
+                    Some((version, blob)) => Message::WeightsReport {
+                        version,
+                        blob: (*blob).clone(),
+                    },
+                    None => Message::WeightsReport {
+                        version: ps.version(),
+                        blob: Vec::new(),
+                    },
+                };
+                // A lost reply only costs freshness; the worker retries
+                // next round.
+                let _ = transport.send(&reply);
+            }
+            Ok(Some(msg @ Message::TransitionBatch { .. })) => {
+                if let Some(batch) = TransitionRows::from_message(msg) {
+                    stats.note_push();
+                    if !queue.push(batch) {
+                        break;
+                    }
+                }
+            }
+            Ok(Some(Message::Bye)) => break,
+            Ok(Some(_)) => {} // stray frame: ignore
+            Ok(None) => {
+                if queue.is_closed() {
+                    break;
+                }
+            }
+            Err(ProtoError::Disconnected) => break,
+            Err(_) => {} // chaos-mangled frame: typed error, skip
+        }
+    }
+}
+
+/// Entry point for a **separate-process** rollout worker: connects to a
+/// service's TCP listener, rebuilds the scenario environment locally
+/// (seeded exactly like in-process worker `worker_id`, so process
+/// placement does not change what is collected), runs the rollout loop
+/// and says `Bye`. Returns the number of rows pushed.
+pub fn run_remote_worker(
+    addr: SocketAddr,
+    backend: Backend,
+    scenario_name: &str,
+    cfg: &ControlConfig,
+    worker_id: usize,
+    rounds: usize,
+    steps_per_round: usize,
+) -> Result<u64, String> {
+    let scenario = Scenario::by_name(scenario_name)
+        .ok_or_else(|| format!("unknown scenario `{scenario_name}`"))?;
+    let transport = TcpTransport::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    transport
+        .set_io_deadline(Some(Duration::from_millis(2000)))
+        .map_err(|e| format!("deadline: {e}"))?;
+    let client = RemoteClient::new(transport, Duration::from_millis(500));
+    let seed = cfg.seed.wrapping_add(worker_id as u64);
+    let setup_workload = scenario.app.workload.clone();
+    let initial = scenario.initial_assignment();
+    macro_rules! run {
+        ($env:expr) => {{
+            let mut worker = RolloutWorker::new(
+                worker_id,
+                ActorSetup {
+                    env: $env,
+                    workload: setup_workload,
+                    initial,
+                },
+                cfg,
+                client,
+            );
+            worker.run(rounds, steps_per_round);
+            Ok(worker.pushed_rows())
+        }};
+    }
+    match backend {
+        Backend::Analytic => run!(scenario.analytic_env(cfg, seed)),
+        Backend::Sim => run!(scenario.sim_env(cfg, seed)),
+        Backend::Cluster => run!(scenario.cluster_env(cfg, seed)),
+    }
+}

@@ -1,0 +1,285 @@
+//! Rollout workers: private environments stepping the act half of
+//! Algorithm 1 under a pulled policy replica, pushing version-stamped
+//! batches back to the service.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dss_core::action::choice_to_assignment;
+use dss_core::config::ControlConfig;
+use dss_core::env::Environment;
+use dss_core::parallel::ActorSetup;
+use dss_core::reward::RewardScale;
+use dss_core::state::{featurize_into, SchedState};
+use dss_proto::{Message, ProtoError, Transport};
+use dss_rl::{
+    ActScratch, DdpgAgent, DdpgConfig, Elem, EpsilonSchedule, ScalableMapper, ShardedReplayBuffer,
+};
+use dss_sim::{Assignment, Workload};
+
+use crate::batch::TransitionRows;
+use crate::ps::ParameterServer;
+use crate::queue::BoundedQueue;
+use crate::stats::SharedStats;
+
+/// How a worker reaches the service: pull fresh weights, push collected
+/// batches. In-process workers talk to the [`ParameterServer`] and
+/// [`BoundedQueue`] directly; remote workers speak `dss-proto` frames.
+pub trait WeightsClient: Send {
+    /// Weights newer than `have_version`, if the service has any (and the
+    /// link delivered them — a lossy link may return `None`; the worker
+    /// keeps acting on its current replica).
+    fn pull_weights(&mut self, have_version: u64) -> Option<(u64, Arc<Vec<u8>>)>;
+
+    /// Pushes one batch. Blocking here is the service's backpressure.
+    /// `false` means the service is gone and the worker should stop.
+    fn push_batch(&mut self, batch: TransitionRows) -> bool;
+
+    /// Parting handshake (remote clients say goodbye; local ones no-op).
+    fn finish(&mut self) {}
+}
+
+/// Direct in-process client: an [`Arc`] away from the PS and the queue.
+pub struct LocalClient {
+    /// The parameter server weights come from.
+    pub ps: Arc<ParameterServer>,
+    /// The bounded worker→learner queue.
+    pub queue: Arc<BoundedQueue<TransitionRows>>,
+    /// Shared telemetry (overlap accounting happens at enqueue time).
+    pub stats: Arc<SharedStats>,
+}
+
+impl WeightsClient for LocalClient {
+    fn pull_weights(&mut self, have_version: u64) -> Option<(u64, Arc<Vec<u8>>)> {
+        self.ps.pull_newer(have_version)
+    }
+
+    fn push_batch(&mut self, batch: TransitionRows) -> bool {
+        self.stats.note_push();
+        self.queue.push(batch)
+    }
+}
+
+/// Remote client over any [`Transport`]: `WeightsRequest`/`WeightsReport`
+/// for pulls, fire-and-forget `TransitionBatch` frames for pushes. Built
+/// for lossy links: a dropped request, reply or batch only costs
+/// freshness or throughput — every receive is bounded by `reply_timeout`
+/// and corrupt frames surface as typed errors that are simply skipped.
+pub struct RemoteClient<T: Transport> {
+    transport: T,
+    reply_timeout: Duration,
+}
+
+impl<T: Transport> RemoteClient<T> {
+    /// Wraps `transport`, waiting at most `reply_timeout` per pull.
+    pub fn new(transport: T, reply_timeout: Duration) -> Self {
+        Self {
+            transport,
+            reply_timeout,
+        }
+    }
+}
+
+impl<T: Transport + Send> WeightsClient for RemoteClient<T> {
+    fn pull_weights(&mut self, have_version: u64) -> Option<(u64, Arc<Vec<u8>>)> {
+        if self
+            .transport
+            .send(&Message::WeightsRequest { have_version })
+            .is_err()
+        {
+            return None;
+        }
+        let deadline = Instant::now() + self.reply_timeout;
+        loop {
+            let left = deadline.checked_duration_since(Instant::now())?;
+            match self.transport.recv_timeout(left) {
+                Ok(Some(Message::WeightsReport { version, blob })) => {
+                    // An empty blob is the server's "you are current".
+                    return (version > have_version && !blob.is_empty())
+                        .then(|| (version, Arc::new(blob)));
+                }
+                Ok(Some(_)) => continue, // stray frame (duplicate etc.)
+                Ok(None) => return None, // reply lost on the link
+                Err(ProtoError::Disconnected) => return None,
+                Err(_) => continue, // corrupt frame: typed error, skip
+            }
+        }
+    }
+
+    fn push_batch(&mut self, batch: TransitionRows) -> bool {
+        // Fire-and-forget: a drop on a chaos link costs the batch, not
+        // the worker. Only a dead peer stops the rollout loop.
+        !matches!(
+            self.transport.send(&batch.to_message()),
+            Err(ProtoError::Disconnected)
+        )
+    }
+
+    fn finish(&mut self) {
+        let _ = self.transport.send(&Message::Bye);
+    }
+}
+
+/// One rollout worker: a private environment, exploration RNG, K-NN
+/// mapper and **policy replica** (updated via
+/// [`DdpgAgent::apply_policy`], never trained). Each round it pulls
+/// fresh weights, steps the act half of Algorithm 1 — the identical
+/// per-step body [`dss_core::parallel::ParallelCollector`] runs, same
+/// seed derivation, so a worker fleet is reproducible — and pushes the
+/// collected rows stamped with the weight version they were acted under.
+pub struct RolloutWorker<E: Environment, C: WeightsClient> {
+    client: C,
+    env: E,
+    agent: DdpgAgent,
+    mapper: ScalableMapper,
+    eps: EpsilonSchedule,
+    rng: StdRng,
+    current: Assignment,
+    workload: Workload,
+    observed: Workload,
+    features: Vec<Elem>,
+    next_features: Vec<Elem>,
+    act: ActScratch,
+    version: u64,
+    pushed_rows: u64,
+    state_dim: usize,
+    action_dim: usize,
+    rate_scale: f64,
+    reward: RewardScale,
+    n_machines: usize,
+}
+
+impl<E: Environment, C: WeightsClient> RolloutWorker<E, C> {
+    /// Builds worker `worker_id` from an env setup (see
+    /// [`dss_core::scenario`] for factories). The exploration RNG uses
+    /// the same `cfg.seed ^ (0xAC70 + id)` derivation as the fleet
+    /// collector's actors; the replica agent is shaped exactly like the
+    /// learner's so published policies apply bit-for-bit.
+    pub fn new(worker_id: usize, setup: ActorSetup<E>, cfg: &ControlConfig, client: C) -> Self {
+        let n = setup.env.n_executors();
+        let m = setup.env.n_machines();
+        let n_sources = setup.workload.rates().len();
+        let state_dim = SchedState::feature_dim(n, m, n_sources);
+        let action_dim = n * m;
+        let agent = DdpgAgent::new(
+            state_dim,
+            action_dim,
+            DdpgConfig {
+                k: cfg.k,
+                seed: cfg.seed,
+                gamma: cfg.gamma,
+                // Replicas never train: keep the (unused) replay tiny.
+                replay_capacity: 1,
+                ..DdpgConfig::default()
+            },
+        );
+        let observed = setup.workload.clone();
+        Self {
+            client,
+            agent,
+            mapper: ScalableMapper::from_knobs(n, m, cfg.mapper_groups, cfg.mapper_prune),
+            eps: EpsilonSchedule::new(cfg.eps_start, cfg.eps_end, cfg.eps_decay_epochs),
+            rng: StdRng::seed_from_u64(cfg.seed ^ (0xAC70 + worker_id as u64)),
+            current: setup.initial,
+            env: setup.env,
+            workload: setup.workload,
+            observed,
+            features: Vec::new(),
+            next_features: Vec::new(),
+            act: ActScratch::default(),
+            version: 0,
+            pushed_rows: 0,
+            state_dim,
+            action_dim,
+            rate_scale: cfg.rate_scale,
+            reward: RewardScale {
+                per_ms: cfg.reward_per_ms,
+            },
+            n_machines: m,
+        }
+    }
+
+    /// The weight version the worker currently acts under.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Rows pushed so far (accepted by the client, not necessarily by a
+    /// lossy link's far side).
+    pub fn pushed_rows(&self) -> u64 {
+        self.pushed_rows
+    }
+
+    fn sync_weights(&mut self) {
+        if let Some((version, blob)) = self.client.pull_weights(self.version) {
+            if self.agent.apply_policy(&blob).is_ok() {
+                self.version = version;
+            }
+        }
+    }
+
+    /// Runs `rounds` rounds of `steps_per_round` decision epochs each:
+    /// pull weights, collect, push the stamped batch. Stops early only
+    /// when the service is gone.
+    pub fn run(&mut self, rounds: usize, steps_per_round: usize) {
+        for round in 0..rounds {
+            self.sync_weights();
+            let eps = self.eps.value(round);
+            let mut batch = TransitionRows::new(self.version, self.state_dim, self.action_dim);
+            for _ in 0..steps_per_round {
+                let mult = self.env.workload_multiplier();
+                self.observed.copy_scaled_from(&self.workload, mult);
+                featurize_into(
+                    &self.current,
+                    &self.observed,
+                    self.rate_scale,
+                    &mut self.features,
+                );
+                let best = self.agent.select_action_into(
+                    &self.features,
+                    &mut self.mapper,
+                    eps,
+                    &mut self.rng,
+                    &mut self.act,
+                );
+                let cand = &self.act.cands[best];
+                let action = choice_to_assignment(&cand.choice, self.n_machines)
+                    .expect("mapper candidates are feasible");
+                let latency = self.env.deploy_and_measure(&action, &self.workload);
+                let r = self.reward.reward(latency);
+                let mult = self.env.workload_multiplier();
+                self.observed.copy_scaled_from(&self.workload, mult);
+                featurize_into(
+                    &action,
+                    &self.observed,
+                    self.rate_scale,
+                    &mut self.next_features,
+                );
+                batch.push_row(&self.features, &cand.onehot, r, &self.next_features);
+                self.current = action;
+            }
+            let rows = batch.rows() as u64;
+            if !self.client.push_batch(batch) {
+                return;
+            }
+            self.pushed_rows += rows;
+        }
+        self.client.finish();
+    }
+}
+
+/// Compile-time proof the worker fleet crosses threads.
+#[allow(dead_code)]
+fn assert_thread_safe() {
+    fn send<T: Send>() {}
+    fn sync<T: Sync>() {}
+    send::<LocalClient>();
+    send::<RolloutWorker<dss_core::env::AnalyticEnv, LocalClient>>();
+    sync::<ParameterServer>();
+    sync::<BoundedQueue<TransitionRows>>();
+    sync::<SharedStats>();
+    sync::<ShardedReplayBuffer<Elem>>();
+}

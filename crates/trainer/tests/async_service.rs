@@ -1,0 +1,159 @@
+//! Async-mode acceptance: the overlapped service must actually learn
+//! (beat the eps=1 random baseline on `cq-small`), actually overlap
+//! (worker pushes landing inside learner train steps), and degrade —
+//! never deadlock or corrupt — on a lossy link.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dss_core::config::ControlConfig;
+use dss_core::experiment::{scenario_deployment_curve, stable_ms, Backend};
+use dss_core::scenario::Scenario;
+use dss_core::scheduler::{RandomMode, RandomScheduler, Scheduler};
+use dss_core::state::SchedState;
+use dss_proto::ChaosPlan;
+use dss_trainer::{train_service_on, ServiceOutcome, SyncMode, TrainerConfig, WorkerLink};
+
+fn cfg() -> ControlConfig {
+    ControlConfig {
+        offline_samples: 20,
+        offline_steps: 15,
+        online_epochs: 24,
+        eps_decay_epochs: 12,
+        sim_epoch_s: 5.0,
+        ..ControlConfig::test()
+    }
+}
+
+fn async_tc() -> TrainerConfig {
+    TrainerConfig {
+        mode: SyncMode::Async,
+        n_workers: 4,
+        rounds: 12,
+        steps_per_round: 4,
+        train_per_batch: 4,
+        publish_every: 4,
+        ..TrainerConfig::default()
+    }
+}
+
+fn check_shape(sc: &Scenario, out: &ServiceOutcome) {
+    assert_eq!(out.solution.as_slice().len(), sc.n_executors());
+    assert!(
+        out.solution.as_slice().iter().all(|&m| m < sc.n_machines()),
+        "solution must map onto real machines"
+    );
+    assert!(out.stats.transitions > 0, "workers must land transitions");
+    assert!(out.stats.train_steps > 0, "learner must train");
+    assert!(out.stats.weight_version > 1, "policy must be republished");
+}
+
+#[test]
+fn async_training_beats_the_random_baseline_on_cq_small() {
+    // The heterogeneous cq-small variant: machine speeds differ, so
+    // placement genuinely matters and the learned solution separates
+    // from a random draw (the homogeneous variants are near-flat
+    // landscapes where even the classic path ties with random).
+    let sc = Scenario::by_name("cq-small-hetero-steady").unwrap();
+    let cfg = cfg();
+    let out = train_service_on(Backend::Sim, &sc, &cfg, &async_tc(), &WorkerLink::InProcess);
+    check_shape(&sc, &out);
+    assert!(
+        out.stats.pushes_during_train > 0,
+        "workers must sustain pushes while the learner trains (overlap)"
+    );
+
+    let mut random = RandomScheduler::new(
+        RandomMode::FullRandom,
+        StdRng::seed_from_u64(cfg.seed ^ 0x5EED),
+    );
+    let baseline = random.schedule(&SchedState::new(
+        sc.initial_assignment(),
+        sc.app.workload.clone(),
+    ));
+    let trained_ms = stable_ms(&scenario_deployment_curve(
+        &sc,
+        &cfg,
+        &out.solution,
+        6.0,
+        15.0,
+    ));
+    let random_ms = stable_ms(&scenario_deployment_curve(&sc, &cfg, &baseline, 6.0, 15.0));
+    assert!(
+        trained_ms < random_ms,
+        "async DDPG ({trained_ms:.1} ms) must beat random ({random_ms:.1} ms)"
+    );
+}
+
+#[test]
+fn ten_percent_loss_chaos_degrades_but_completes_over_channel() {
+    let sc = Scenario::by_name("cq-small-steady").unwrap();
+    let chaos = ChaosPlan::lossy(0xC4A0_5001, 0.10);
+    let out = train_service_on(
+        Backend::Analytic,
+        &sc,
+        &cfg(),
+        &async_tc(),
+        &WorkerLink::Channel(Some(chaos)),
+    );
+    check_shape(&sc, &out);
+}
+
+#[test]
+fn ten_percent_loss_chaos_degrades_but_completes_over_tcp() {
+    let sc = Scenario::by_name("cq-small-steady").unwrap();
+    let chaos = ChaosPlan::lossy(0xC4A0_5002, 0.10);
+    let out = train_service_on(
+        Backend::Analytic,
+        &sc,
+        &cfg(),
+        &async_tc(),
+        &WorkerLink::Tcp(Some(chaos)),
+    );
+    check_shape(&sc, &out);
+}
+
+#[test]
+fn clean_remote_links_match_local_collection_volume() {
+    // Without chaos, a framed link must not lose batches: every worker
+    // pushes rounds × steps_per_round rows.
+    let sc = Scenario::by_name("cq-small-steady").unwrap();
+    let tc = TrainerConfig {
+        rounds: 4,
+        ..async_tc()
+    };
+    let expected = (tc.n_workers * tc.rounds * tc.steps_per_round) as u64;
+    for link in [
+        WorkerLink::InProcess,
+        WorkerLink::Channel(None),
+        WorkerLink::Tcp(None),
+    ] {
+        let out = train_service_on(Backend::Analytic, &sc, &cfg(), &tc, &link);
+        assert_eq!(
+            out.stats.transitions, expected,
+            "{link:?}: lossless links must deliver every batch"
+        );
+    }
+}
+
+#[test]
+fn strict_staleness_knob_drops_lagged_batches_without_hanging() {
+    // max_version_lag = 0 only accepts batches collected at the exact
+    // published version; with frequent republishing some batches must
+    // lag and be dropped — the run still completes and still trains.
+    let sc = Scenario::by_name("cq-small-steady").unwrap();
+    let tc = TrainerConfig {
+        max_version_lag: 0,
+        publish_every: 1,
+        ..async_tc()
+    };
+    let out = train_service_on(Backend::Analytic, &sc, &cfg(), &tc, &WorkerLink::InProcess);
+    assert!(
+        out.stats.transitions + out.stats.dropped_stale > 0,
+        "workers must push batches"
+    );
+    assert!(
+        out.stats.lag_histogram.iter().sum::<u64>() > 0 || out.stats.dropped_stale > 0,
+        "staleness accounting must see traffic"
+    );
+}

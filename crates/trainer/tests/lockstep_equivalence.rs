@@ -1,0 +1,71 @@
+//! CI equivalence pin: `SyncMode::Lockstep` must be **bit-identical** to
+//! the classic `experiment::train_method` actor-critic path — same
+//! reward series (to the bit) and same trained solution — on every
+//! backend. This is what lets the async service share a test oracle with
+//! the sequential trainer.
+
+use dss_core::config::ControlConfig;
+use dss_core::experiment::{train_method_on, Backend, Method};
+use dss_core::scenario::Scenario;
+use dss_trainer::{train_service_on, SyncMode, TrainerConfig, WorkerLink};
+
+fn small_cfg() -> ControlConfig {
+    ControlConfig {
+        offline_samples: 20,
+        offline_steps: 15,
+        online_epochs: 24,
+        eps_decay_epochs: 12,
+        sim_epoch_s: 5.0,
+        ..ControlConfig::test()
+    }
+}
+
+fn assert_lockstep_matches(backend: Backend) {
+    let sc = Scenario::by_name("cq-small-steady").unwrap();
+    let cfg = small_cfg();
+    let classic = train_method_on(backend, Method::ActorCritic, &sc, &cfg);
+    let tc = TrainerConfig {
+        mode: SyncMode::Lockstep,
+        ..TrainerConfig::default()
+    };
+    let service = train_service_on(backend, &sc, &cfg, &tc, &WorkerLink::InProcess);
+
+    let classic_rewards = classic.rewards.as_ref().expect("actor-critic rewards");
+    let a: Vec<u64> = classic_rewards
+        .values()
+        .iter()
+        .map(|r| r.to_bits())
+        .collect();
+    let b: Vec<u64> = service
+        .rewards
+        .values()
+        .iter()
+        .map(|r| r.to_bits())
+        .collect();
+    assert_eq!(a, b, "{backend:?}: reward series must be bit-identical");
+    assert_eq!(
+        classic.solution, service.solution,
+        "{backend:?}: trained solution must match"
+    );
+    assert_eq!(
+        service.stats.weight_version,
+        cfg.online_epochs as u64 + 1,
+        "one publish after pretrain plus one per epoch"
+    );
+    assert!(service.stats.train_steps > 0, "learner must have trained");
+}
+
+#[test]
+fn lockstep_is_bit_identical_to_train_method_on_analytic() {
+    assert_lockstep_matches(Backend::Analytic);
+}
+
+#[test]
+fn lockstep_is_bit_identical_to_train_method_on_sim() {
+    assert_lockstep_matches(Backend::Sim);
+}
+
+#[test]
+fn lockstep_is_bit_identical_to_train_method_on_cluster() {
+    assert_lockstep_matches(Backend::Cluster);
+}

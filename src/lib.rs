@@ -21,6 +21,8 @@
 //! * [`store`] — the durable transition-sample database,
 //! * [`nimbus`] — the Nimbus-like master (custom scheduler endpoint,
 //!   heartbeat monitoring, failure repair),
+//! * [`trainer`] — the Rapid-style async training service: parameter
+//!   server, continuous learner, and rollout workers over `dss-proto`,
 //! * [`control_plane`] — the integrated Figure-1 deployment: agent thread
 //!   and cluster thread connected by the real substrates.
 //!
@@ -43,6 +45,7 @@ pub use dss_rl as rl;
 pub use dss_sim as sim;
 pub use dss_store as store;
 pub use dss_svr as svr;
+pub use dss_trainer as trainer;
 
 pub use control_plane::{
     run_control_plane, ControlPlaneConfig, ControlPlaneError, ControlPlaneReport,
