@@ -52,11 +52,12 @@ use std::time::Instant;
 
 use dss_core::{ControlConfig, Environment, ParallelCollector, Scenario, SchedState};
 use dss_nn::{
-    microkernel_name, mse_loss_grad, Activation, Adam, Elem, Matrix, Mlp, Optimizer, Scalar,
+    microkernel_name, mse_loss_grad, with_band_pinning, Activation, Adam, Elem, Matrix, Mlp,
+    Optimizer, Scalar,
 };
 use dss_rl::{
     ActScratch, ActionMapper, DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, HierarchicalMapper,
-    KBestMapper, ReplayBuffer, ShardedReplayBuffer, Transition,
+    KBestMapper, QuantActScratch, ReplayBuffer, ShardedReplayBuffer, Transition,
 };
 use dss_sim::{ClusterSpec, Grouping, SimConfig, TopologyBuilder, Workload};
 use rand::rngs::StdRng;
@@ -135,6 +136,19 @@ fn main() {
             &format!("matmul_{m}x{k}x{n}_par"),
             with_pool(par.clone(), || {
                 bench_ns(budget_ms, || a.matmul_into(&b, &mut out))
+            }),
+        );
+        // Same parallel run with the stable band→worker pinning hint off:
+        // every band goes to whichever worker grabs it first, so a
+        // repeated same-shape product keeps migrating output rows across
+        // worker caches. The `band_pinned_over_unpinned` pair (128³ shape)
+        // gates the hint at ≥ 1.0× on multi-core hosts.
+        record(
+            &format!("matmul_{m}x{k}x{n}_par_unpinned"),
+            with_pool(par.clone(), || {
+                with_band_pinning(false, || {
+                    bench_ns(budget_ms, || a.matmul_into(&b, &mut out))
+                })
             }),
         );
         record(
@@ -257,6 +271,51 @@ fn main() {
         "rollout_act_f64",
         with_pool(serial.clone(), || act_path_probe::<f64>(budget_ms)),
     );
+
+    // ---- quantized rollout act path + policy frame bytes ----------------
+    // The same decision as `rollout_act_f32`, run through the rollout
+    // quantization profile (`DdpgAgent::rollout_quant_policy`): exact-f32
+    // actor, i8 critic bulk, bf16 critic action block and tail. Gated
+    // (`quant_rollout_act_over_f32` >= 1.2x): the i8 kernels must keep
+    // beating the f32 act path. The two `policy_frame_bytes_*` records
+    // hold **bytes** (not ns) — their ratio is the wire-size win a
+    // `rollout_quant` worker pull sees, gated at f32/quant >= 2.857x
+    // (quant frame <= 0.35x of the full-precision image).
+    {
+        let (n, m) = (10usize, 10usize);
+        let agent: DdpgAgent = DdpgAgent::new(
+            STATE_DIM,
+            n * m,
+            DdpgConfig {
+                replay_capacity: 64,
+                batch: BATCH_H,
+                ..DdpgConfig::default()
+            },
+        );
+        let policy = agent.rollout_quant_policy();
+        let mut mapper: KBestMapper = KBestMapper::new(n, m);
+        let mut scratch: QuantActScratch<Elem> = QuantActScratch::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let state: Vec<Elem> = (0..STATE_DIM)
+            .map(|_| <Elem as Scalar>::from_f64(rng.random_range(0.0..1.0)))
+            .collect();
+        record(
+            "quant_rollout_act",
+            with_pool(serial.clone(), || {
+                bench_ns(budget_ms, || {
+                    std::hint::black_box(policy.select_action_into(
+                        &state,
+                        &mut mapper,
+                        0.3,
+                        &mut rng,
+                        &mut scratch,
+                    ));
+                })
+            }),
+        );
+        record("policy_frame_bytes_f32", agent.save_policy().len() as f64);
+        record("policy_frame_bytes_quant", policy.encode().len() as f64);
+    }
 
     // ---- DDPG train step (batched candidate scoring) -------------------
     {
@@ -415,8 +474,14 @@ fn main() {
     // registry's lossy link (15% drop + duplicates + delays + corruption
     // each way): every step pays the sequence-numbered envelopes, the
     // retransmits the chaos forces, and the master-side duplicate
-    // suppression. Ungated; the gap to the clean cluster probe is the
-    // price of riding an unreliable network.
+    // suppression. Since the failover PR it also pays *durability*: a
+    // chaos plan routes serving through the master pool, which commits an
+    // fsynced recovery image (WAL append + coord CAS) after every
+    // state-changing reliable request — the clean probe's plain transport
+    // bypasses persistence entirely, so the ~3-4x gap to it is almost all
+    // commit cost, not retry cost (see the bench README's drift note).
+    // Ungated; the gap to the clean cluster probe is the price of riding
+    // an unreliable network with a crash-safe master.
     {
         let scenario = Scenario::by_name("cq-small-lossy").expect("registry scenario");
         let cfg = ControlConfig {
@@ -442,6 +507,11 @@ fn main() {
     // Ungated: the cost is dominated by payload size and fsync latency,
     // not code quality; the artifact records what a checkpoint boundary
     // costs so the `every` cadence can be chosen against real numbers.
+    // Probe note: the probe now encodes through `save_with` with a reused
+    // scratch, matching the durable loop — the 16.7ms → 20.4ms creep was
+    // part grow-from-empty realloc of the multi-MB image per save (fixed
+    // by scratch reuse) and part fsync jitter on the runner, which still
+    // moves the number between artifacts and is why this stays ungated.
     {
         use dss_core::experiment::Method;
         use dss_core::TrainCheckpoint;
@@ -473,10 +543,12 @@ fn main() {
         let dir = std::env::temp_dir().join(format!("dss-bench-ckpt-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("checkpoint bench dir");
         let path = dir.join("bench.ckpt");
+        let mut scratch = Vec::new();
         record(
             "checkpoint_write",
             bench_ns(budget_ms, || {
-                ckpt.save(&path).expect("checkpoint write");
+                ckpt.save_with(&path, &mut scratch)
+                    .expect("checkpoint write");
             }),
         );
         std::fs::remove_dir_all(&dir).ok();
@@ -1074,6 +1146,32 @@ const PAIRS: &[(&str, &str, &str)] = &[
         "async_over_lockstep_throughput",
         "lockstep_ns_per_transition",
         "async_ns_per_transition",
+    ),
+    // Quantized rollout pairs. The act pair runs the identical decision
+    // (same seed, state, mapper, eps) through the rollout quantization
+    // profile vs the f32 agent — gated >= 1.2x. The frame pair divides
+    // the full-precision policy image's bytes by the quant frame's bytes
+    // (both recorded in the ns field) — gated >= 2.857x, i.e. the quant
+    // frame a worker pulls must stay <= 0.35x of the f32 image.
+    (
+        "quant_rollout_act_over_f32",
+        "rollout_act_f32",
+        "quant_rollout_act",
+    ),
+    (
+        "quant_weights_frame_bytes",
+        "policy_frame_bytes_f32",
+        "policy_frame_bytes_quant",
+    ),
+    // Band pinning: the same parallel 128^3 product with the stable
+    // band→worker affinity hint on (default) vs off. Pinning keeps each
+    // output band's rows in one worker's cache across repetitions; it is
+    // a hint only (idle workers still steal), so the gate is >= 1.0x on
+    // multi-core hosts (1-core waived, like the other par-dependent keys).
+    (
+        "band_pinned_over_unpinned",
+        "matmul_128x128x128_par_unpinned",
+        "matmul_128x128x128_par",
     ),
 ];
 

@@ -1,0 +1,247 @@
+//! Quantized-rollout argmax-agreement harness.
+//!
+//! For **every** registry scenario this builds the actor-critic agent at
+//! the scenario's real problem shape (hierarchical mapper knobs at fleet
+//! scale, matching `smoke_backends` and the gated fleet bench), snapshots
+//! the shipped rollout quant profile
+//! ([`DdpgAgent::rollout_quant_policy`]: exact-f32 actor, i8 critic
+//! bulk, bf16 action block and tail), and drives the f32 agent and the
+//! quantized
+//! policy through the same decision stream — identical featurized states
+//! walked from the scenario's initial assignment, identical RNG streams,
+//! the same decaying exploration schedule. The two paths must select the
+//! same assignment on **at least 99% of decisions per scenario**, the
+//! tentpole acceptance bar for acting on quantized frames.
+//!
+//! The agent is **briefly trained first** (a load-balance reward over
+//! the same trajectory machinery), because that is the operating point
+//! the quant frame actually ships at: rollout workers pull
+//! learner-published weights, never the random init. The init is also
+//! the one point where the bar is unreachable *in principle* — a fresh
+//! critic scores all K candidates identically to within rounding, so
+//! ties flip on any lossy weight encoding (measured at 100×10: ~1.5% of
+//! init decisions flip even with an exact-f32 action block and tail,
+//! purely from i8 bulk error shifting near-zero ReLU gates). Training
+//! separates the Q surface and the i8 profile then agrees at 100%. The
+//! *pre*-warm-up rounds still execute the full comparison: the
+//! exact-f32 actor must keep candidate sets bit-identical at every
+//! operating point, trained or not, and this harness asserts that
+//! outright on every decision of both phases.
+//!
+//! CI runs this as half of the `quant-smoke` job (the other half is a
+//! tiny `rollout_quant` train + deploy over both transports).
+//!
+//! ```text
+//! quant_smoke [--rounds N] [--fleet-rounds N] [--warmup N]
+//!
+//! --rounds        decisions per paper-scale scenario (default: 200)
+//! --fleet-rounds  decisions per fleet-scale scenario (default: 100)
+//! --warmup        warm-up train steps per scenario (default: 64;
+//!                 fleet-scale scenarios use 1/4 of it)
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dss_core::action::choice_to_assignment;
+use dss_core::config::ControlConfig;
+use dss_core::scenario::Scenario;
+use dss_core::state::{featurize_into, SchedState};
+use dss_rl::Scalar;
+use dss_rl::{
+    ActScratch, DdpgAgent, DdpgConfig, Elem, QuantActScratch, ScalableMapper, Transition,
+};
+
+/// Per-scenario agreement bar (percent).
+const AGREEMENT_BAR: usize = 99;
+
+fn main() {
+    let mut rounds = 200usize;
+    let mut fleet_rounds = 100usize;
+    let mut warmup = 64usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| -> usize {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+                .parse()
+                .unwrap_or_else(|_| panic!("{what} needs a number"))
+        };
+        match arg.as_str() {
+            "--rounds" => rounds = num("--rounds").max(1),
+            "--fleet-rounds" => fleet_rounds = num("--fleet-rounds").max(1),
+            "--warmup" => warmup = num("--warmup"),
+            other => panic!("unknown flag `{other}`; expected --rounds/--fleet-rounds/--warmup"),
+        }
+    }
+
+    let mut failed = false;
+    for sc in Scenario::all() {
+        let (n, m) = (sc.n_executors(), sc.n_machines());
+        // Fleet-sized scenarios get the hierarchical mapper, like every
+        // other fleet entry point; paper-scale stays flat (Algorithm 1).
+        let cfg = if m >= 64 {
+            ControlConfig::test().with_mapper_knobs(m / 8, 2)
+        } else {
+            ControlConfig::test()
+        };
+        let (r, w) = if m >= 64 {
+            // Fleet shapes train ~200x slower per step; a handful of
+            // steps already leaves the degenerate init.
+            (fleet_rounds, warmup / 4)
+        } else {
+            (rounds, warmup)
+        };
+        let t = run_scenario(&sc, &cfg, r, w);
+        let pct = 100.0 * t.agree as f64 / t.rounds as f64;
+        let ok = t.agree * 100 >= t.rounds * AGREEMENT_BAR;
+        println!(
+            "{:<28} {:>4}x{:<3} agree {:>4}/{:<4} ({pct:6.2}%) frame {:>8}B vs {:>8}B  {}",
+            sc.name,
+            n,
+            m,
+            t.agree,
+            t.rounds,
+            t.quant_bytes,
+            t.f32_bytes,
+            if ok { "ok" } else { "FAIL" },
+        );
+        if !ok {
+            eprintln!(
+                "quant_smoke: FAIL: `{}` agreement {pct:.2}% is below the {AGREEMENT_BAR}% bar",
+                sc.name
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "quant_smoke: every registry scenario holds the >= {AGREEMENT_BAR}% argmax-agreement bar"
+    );
+}
+
+struct Tally {
+    agree: usize,
+    rounds: usize,
+    quant_bytes: usize,
+    f32_bytes: usize,
+}
+
+fn run_scenario(sc: &Scenario, cfg: &ControlConfig, rounds: usize, warmup: usize) -> Tally {
+    let (n, m, srcs) = (sc.n_executors(), sc.n_machines(), sc.n_sources());
+    let state_dim = SchedState::feature_dim(n, m, srcs);
+    let mut agent: DdpgAgent = DdpgAgent::new(
+        state_dim,
+        n * m,
+        DdpgConfig {
+            k: cfg.k,
+            seed: cfg.seed,
+            gamma: cfg.gamma,
+            replay_capacity: 64,
+            ..DdpgConfig::default()
+        },
+    );
+
+    let mut mapper_f = ScalableMapper::from_knobs(n, m, cfg.mapper_groups, cfg.mapper_prune);
+    let mut mapper_q = ScalableMapper::from_knobs(n, m, cfg.mapper_groups, cfg.mapper_prune);
+    let mut rng_f = StdRng::seed_from_u64(cfg.seed ^ 0x0A);
+    let mut rng_q = StdRng::seed_from_u64(cfg.seed ^ 0x0A);
+    // Training draws from its own stream so the twinned decision streams
+    // stay in lockstep across the warm-up boundary.
+    let mut rng_t = StdRng::seed_from_u64(cfg.seed ^ 0x7A1);
+    let mut sf = ActScratch::default();
+    let mut sq = QuantActScratch::default();
+    let mut state = Vec::new();
+    let mut next_state = Vec::new();
+
+    // Walk a live assignment trajectory: each step acts on the state the
+    // f32 agent's pick produced, so both paths see realistic, evolving
+    // one-hot blocks — not one frozen state replayed `rounds` times.
+    let mut assignment = sc.initial_assignment();
+    let workload = sc.app.workload.clone();
+
+    // Warm-up: train the agent toward balanced assignments so the
+    // agreement phase below measures the frame workers actually pull — a
+    // learner-published policy — instead of the degenerate all-ties init
+    // (see the module docs). Each step still snapshots and twin-runs the
+    // quant path so candidate-set bit-identity is asserted at *every*
+    // training stage, not just the final one.
+    for t in 0..warmup {
+        featurize_into(&assignment, &workload, cfg.rate_scale, &mut state);
+        let bf =
+            agent.select_action_into(&state, &mut mapper_f, cfg.eps_start, &mut rng_f, &mut sf);
+        let snap = agent.rollout_quant_policy();
+        snap.select_action_into(&state, &mut mapper_q, cfg.eps_start, &mut rng_q, &mut sq);
+        assert_candidate_identity(sc, t, &sf, &sq);
+        let reward = balance_reward(&sf.cands[bf].choice, m);
+        let next = choice_to_assignment(&sf.cands[bf].choice, m).expect("mapped assignment");
+        featurize_into(&next, &workload, cfg.rate_scale, &mut next_state);
+        agent.store(Transition::new(
+            state.clone(),
+            sf.cands[bf].onehot.clone(),
+            reward,
+            next_state.clone(),
+        ));
+        agent.train_step(&mut mapper_f, &mut rng_t);
+        assignment = next;
+    }
+
+    let policy = agent.rollout_quant_policy();
+    let f32_bytes = agent.save_policy().len();
+    let quant_bytes = policy.encode().len();
+
+    let mut agree = 0usize;
+    for t in 0..rounds {
+        // Decay exploration across the run so both noisy and near-greedy
+        // decisions are covered (noise is drawn from the shared RNG
+        // stream, so it perturbs both paths identically).
+        let eps = cfg.eps_start + (cfg.eps_end - cfg.eps_start) * t as f64 / rounds.max(2) as f64;
+        featurize_into(&assignment, &workload, cfg.rate_scale, &mut state);
+        let bf = agent.select_action_into(&state, &mut mapper_f, eps, &mut rng_f, &mut sf);
+        let bq = policy.select_action_into(&state, &mut mapper_q, eps, &mut rng_q, &mut sq);
+        assert_candidate_identity(sc, warmup + t, &sf, &sq);
+        if sf.cands[bf].choice == sq.cands[bq].choice {
+            agree += 1;
+        }
+        assignment = choice_to_assignment(&sf.cands[bf].choice, m).expect("mapped assignment");
+    }
+    Tally {
+        agree,
+        rounds,
+        quant_bytes,
+        f32_bytes,
+    }
+}
+
+/// The exact-f32 actor makes candidate sets bit-identical; any
+/// divergence here is a codec or act-path bug, not quantization.
+fn assert_candidate_identity(sc: &Scenario, t: usize, sf: &ActScratch, sq: &QuantActScratch) {
+    assert_eq!(
+        sf.cands.len(),
+        sq.cands.len(),
+        "{}: candidate count diverged at t={t}",
+        sc.name
+    );
+    for (cf, cq) in sf.cands.iter().zip(&sq.cands) {
+        assert_eq!(
+            cf.choice, cq.choice,
+            "{}: candidate set diverged at t={t}",
+            sc.name
+        );
+    }
+}
+
+/// Warm-up reward: negative normalized variance of per-machine executor
+/// counts. Any consistent signal works here — the point is a Q surface
+/// with real separations, not a good placement policy.
+fn balance_reward(choice: &[usize], m: usize) -> Elem {
+    let mut counts = vec![0.0f64; m];
+    for &machine in choice {
+        counts[machine] += 1.0;
+    }
+    let mean = choice.len() as f64 / m as f64;
+    let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / m as f64;
+    <Elem as Scalar>::from_f64(-var / (mean * mean))
+}

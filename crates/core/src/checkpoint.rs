@@ -281,7 +281,21 @@ pub struct TrainCheckpoint {
 impl TrainCheckpoint {
     /// Serializes the checkpoint into its versioned byte image.
     pub fn encode(&self) -> Vec<u8> {
-        let mut e = Enc::default();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// [`TrainCheckpoint::encode`] into a caller-owned scratch buffer:
+    /// clears `out` and fills it, reusing its capacity. The durable
+    /// training loop re-encodes a multi-megabyte image every few epochs;
+    /// handing the same scratch back each time drops the per-save
+    /// grow-from-empty reallocation churn.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let mut e = Enc {
+            buf: std::mem::take(out),
+        };
         e.buf.extend_from_slice(MAGIC);
         e.u16(VERSION);
         e.u8(method_tag(self.method));
@@ -301,7 +315,7 @@ impl TrainCheckpoint {
             }
         }
         e.bytes(&self.scheduler_state);
-        e.buf
+        *out = e.buf;
     }
 
     /// Decodes a checkpoint image, validating structure end to end.
@@ -350,7 +364,16 @@ impl TrainCheckpoint {
 
     /// Writes the checkpoint atomically (temp + fsync + rename + CRC).
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        Ok(dss_store::blob::write_atomic(path, &self.encode())?)
+        let mut scratch = Vec::new();
+        self.save_with(path, &mut scratch)
+    }
+
+    /// [`TrainCheckpoint::save`] with a caller-owned encode scratch, for
+    /// loops that checkpoint repeatedly: the serialized image is built in
+    /// `scratch` (capacity reused across calls) before the atomic write.
+    pub fn save_with(&self, path: &Path, scratch: &mut Vec<u8>) -> Result<(), CheckpointError> {
+        self.encode_into(scratch);
+        Ok(dss_store::blob::write_atomic(path, scratch)?)
     }
 
     /// Reads and decodes a checkpoint written by [`TrainCheckpoint::save`].

@@ -55,6 +55,16 @@ pub struct ControlConfig {
     /// keep all `K` candidates). The critic then scores `H·P` instead of
     /// `H·K` rows per decision.
     pub mapper_prune: usize,
+    /// Publish **quantized** policy snapshots for rollout workers. When
+    /// set, the async training service's learner publishes a compressed
+    /// [`dss_rl::QuantPolicy`] rollout frame (exact-f32 actor, i8 critic
+    /// bulk with a bf16 action block and tail — see `dss_rl::quant`)
+    /// alongside every
+    /// full-precision policy, and workers pull and act on the small frame
+    /// while the learner keeps training in full precision. Entry points
+    /// without a parameter server on the weights path (the classic
+    /// lockstep controller) ignore it.
+    pub rollout_quant: bool,
 }
 
 impl ControlConfig {
@@ -76,6 +86,7 @@ impl ControlConfig {
             eps_decay_epochs: 1_000,
             mapper_groups: 0,
             mapper_prune: 0,
+            rollout_quant: false,
         }
     }
 
@@ -85,6 +96,13 @@ impl ControlConfig {
     pub fn with_mapper_knobs(mut self, groups: usize, prune: usize) -> Self {
         self.mapper_groups = groups;
         self.mapper_prune = prune;
+        self
+    }
+
+    /// The same config with quantized rollout snapshots switched on or
+    /// off (see [`ControlConfig::rollout_quant`]).
+    pub fn with_rollout_quant(mut self, on: bool) -> Self {
+        self.rollout_quant = on;
         self
     }
 

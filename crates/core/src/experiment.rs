@@ -471,10 +471,10 @@ impl DrlSched {
         self.as_scheduler().pretrain(data);
     }
 
-    fn save_state(&self) -> Vec<u8> {
+    fn save_state_into(&self, out: &mut Vec<u8>) {
         match self {
-            DrlSched::Dqn(s) => s.save_state(),
-            DrlSched::ActorCritic(s) => s.save_state(),
+            DrlSched::Dqn(s) => s.save_state_into(out),
+            DrlSched::ActorCritic(s) => s.save_state_into(out),
         }
     }
 
@@ -606,6 +606,12 @@ pub fn train_method_durable_with<E: Environment>(
     };
 
     let mut current = actions.last().cloned().unwrap_or_else(|| rr.clone());
+    // Serialization scratches reused across checkpoints: the scheduler
+    // image and the encoded checkpoint are both multi-megabyte (the
+    // agent's replay ring dominates), so growing fresh `Vec`s every
+    // `opts.every` epochs was pure realloc+memcpy churn.
+    let mut sched_scratch: Vec<u8> = Vec::new();
+    let mut ckpt_scratch: Vec<u8> = Vec::new();
     for t in start..cfg.online_epochs {
         current = controller.online_epoch(
             sched.as_scheduler(),
@@ -618,16 +624,18 @@ pub fn train_method_durable_with<E: Environment>(
         actions.push(current.clone());
         let done = t + 1;
         if done % opts.every == 0 || done == cfg.online_epochs {
-            TrainCheckpoint {
+            sched.save_state_into(&mut sched_scratch);
+            let ckpt = TrainCheckpoint {
                 method,
                 seed: cfg.seed,
                 completed: done,
                 rewards: rewards.clone(),
                 actions: actions.clone(),
                 env_image: env.save_state(),
-                scheduler_state: sched.save_state(),
-            }
-            .save(&path)?;
+                scheduler_state: std::mem::take(&mut sched_scratch),
+            };
+            ckpt.save_with(&path, &mut ckpt_scratch)?;
+            sched_scratch = ckpt.scheduler_state;
         }
         if opts.kill_after == Some(done) {
             return Ok(DurableRun::Killed { at_epoch: done });

@@ -132,8 +132,26 @@ impl ActorCriticScheduler {
     /// [`ActorCriticScheduler::restore_state`]d scheduler continues the
     /// training trajectory bit-for-bit.
     pub fn save_state(&self) -> Vec<u8> {
-        let mut e = Enc::default();
-        e.bytes(&self.agent.save_state());
+        let mut out = Vec::new();
+        self.save_state_into(&mut out);
+        out
+    }
+
+    /// [`ActorCriticScheduler::save_state`] into a caller-owned scratch:
+    /// clears `out` and fills it, reusing its capacity. The embedded agent
+    /// image (the bulk of the bytes — its replay ring dominates) is
+    /// appended in place behind a backfilled length prefix, so no
+    /// intermediate `Vec` is allocated either.
+    pub fn save_state_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let mut e = Enc {
+            buf: std::mem::take(out),
+        };
+        let len_at = e.buf.len();
+        e.usize(0); // agent-image length, backfilled below
+        self.agent.save_state_append(&mut e.buf);
+        let img_len = (e.buf.len() - len_at - 8) as u64;
+        e.buf[len_at..len_at + 8].copy_from_slice(&img_len.to_le_bytes());
         e.usize(self.epoch);
         e.rng(self.rng.state());
         e.u8(self.frozen as u8);
@@ -142,7 +160,7 @@ impl ActorCriticScheduler {
             e.f64(*reward);
             e.assignment(a);
         }
-        e.buf
+        *out = e.buf;
     }
 
     /// Rebuilds a scheduler from a [`ActorCriticScheduler::save_state`]

@@ -82,8 +82,25 @@ impl DqnScheduler {
     /// flag — so a [`DqnScheduler::restore_state`]d scheduler continues
     /// the training trajectory bit-for-bit.
     pub fn save_state(&self) -> Vec<u8> {
-        let mut e = Enc::default();
-        e.bytes(&self.agent.save_state());
+        let mut out = Vec::new();
+        self.save_state_into(&mut out);
+        out
+    }
+
+    /// [`DqnScheduler::save_state`] into a caller-owned scratch buffer —
+    /// same allocation-reuse seam as
+    /// [`crate::scheduler::ActorCriticScheduler::save_state_into`]: the
+    /// agent image is appended in place behind a backfilled length prefix.
+    pub fn save_state_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let mut e = Enc {
+            buf: std::mem::take(out),
+        };
+        let len_at = e.buf.len();
+        e.usize(0); // agent-image length, backfilled below
+        self.agent.save_state_append(&mut e.buf);
+        let img_len = (e.buf.len() - len_at - 8) as u64;
+        e.buf[len_at..len_at + 8].copy_from_slice(&img_len.to_le_bytes());
         e.usize(self.epoch);
         e.rng(self.rng.state());
         match self.last_action {
@@ -94,7 +111,7 @@ impl DqnScheduler {
             }
         }
         e.u8(self.frozen as u8);
-        e.buf
+        *out = e.buf;
     }
 
     /// Rebuilds a scheduler from a [`DqnScheduler::save_state`] image.

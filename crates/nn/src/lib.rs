@@ -19,6 +19,13 @@
 //! deterministic policy gradient), numerical gradient checking, and
 //! compact binary serialization.
 //!
+//! Training is full-precision only; the *inference* side additionally
+//! ships compressed weights for rollout replicas — per-output-row
+//! affine **i8** (integer-SIMD dots, bit-identical across kernels),
+//! truncated **bf16**, and exact **f32** rows. See [`quant`] for the
+//! scheme, the scale/zero-point layout, and when to pick i8 vs bf16
+//! per layer.
+//!
 //! # Element types: the [`Scalar`] trait and [`Elem`]
 //!
 //! Every numeric type in this crate — and in the agents, solvers and
@@ -67,14 +74,16 @@ pub mod loss;
 pub mod matrix;
 pub mod mlp;
 pub mod optimizer;
+pub mod quant;
 pub mod scalar;
 pub mod serialize;
 
 pub use activation::Activation;
 pub use layer::Dense;
 pub use loss::{mse_loss, mse_loss_grad};
-pub use matrix::Matrix;
+pub use matrix::{with_band_pinning, Matrix};
 pub use mlp::{InferScratch, Mlp};
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use quant::{QuantLinear, QuantMode, QuantVecMeta, QuantWeights};
 pub use scalar::{microkernel_name, Elem, Microkernel, Scalar};
 pub use serialize::{decode_mlp, encode_mlp, DecodeError};

@@ -62,13 +62,40 @@
 //! cutoff, and check the AVX2 and scalar microkernels against each other
 //! bit for bit.
 
+use std::cell::Cell;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
 use crate::activation::Activation;
-use crate::scalar::{active_microkernel, Elem, Scalar, MR};
+use crate::scalar::{active_microkernel, Elem, Microkernel, Scalar, MR, WMR};
 
 pub use crate::scalar::{avx2_available, microkernel_name, with_microkernel};
+
+thread_local! {
+    /// Whether the parallel GEMM paths pin output bands to stable worker
+    /// slots (see [`with_band_pinning`]). Defaults to on.
+    static BAND_PINNING: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Runs `f` with thread-affine band pinning in the parallel GEMM paths
+/// toggled for the current thread (restored on exit). Pinning is on by
+/// default: band `i` of a sharded product is queued on worker slot `i`
+/// every time, so repeated same-shape products within a training step
+/// land the same output rows on the same worker and reuse its cache
+/// lines. The bench harness runs its "before" leg with pinning off; the
+/// toggle is an affinity hint only — results are bit-identical either
+/// way, and idle workers still steal.
+pub fn with_band_pinning<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    let prev = BAND_PINNING.with(|c| c.replace(on));
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BAND_PINNING.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
 
 /// Products below this many multiply-adds (`m·k·n`) stay on the serial
 /// path: the paper's per-layer products at `H = 32` (32·64·32 ≈ 65k) are
@@ -601,22 +628,32 @@ fn gemm_parallel<S: Scalar>(
 ) {
     let bands = pool.threads().min(m.div_ceil(MR)).max(1);
     let rows_per = m.div_ceil(bands).div_ceil(MR) * MR;
+    let pin = BAND_PINNING.with(Cell::get);
     pool.scope(|s| {
         let mut a_rest = a;
         let mut out_rest = &mut *out;
         let mut i = 0;
+        let mut band = 0;
         while i < m {
             let take = rows_per.min(m - i);
             let (a_band, a_tail) = a_rest.split_at(take * k);
             let (o_band, o_tail) = out_rest.split_at_mut(take * n);
             a_rest = a_tail;
             out_rest = o_tail;
-            s.spawn(move || {
+            let job = move || {
                 gemm_stream(a_band, take, k, b, n, o_band, accumulate);
                 if let Some((bias, act)) = epilogue {
                     apply_epilogue(o_band, n, bias, act);
                 }
-            });
+            };
+            if pin {
+                // Stable band→worker slot: same output rows, same worker
+                // cache, every repetition of this shape.
+                s.spawn_at(band, job);
+            } else {
+                s.spawn(job);
+            }
+            band += 1;
             i += take;
         }
     });
@@ -659,14 +696,22 @@ fn gemm_at_parallel<S: Scalar>(
 ) {
     let bands = pool.threads().min(p.div_ceil(MR)).max(1);
     let rows_per = p.div_ceil(bands).div_ceil(MR) * MR;
+    let pin = BAND_PINNING.with(Cell::get);
     pool.scope(|s| {
         let mut out_rest = &mut *out;
         let mut q = 0;
+        let mut band = 0;
         while q < p {
             let take = rows_per.min(p - q);
             let (o_band, o_tail) = out_rest.split_at_mut(take * n);
             out_rest = o_tail;
-            s.spawn(move || gemm_stream_at_range(a, m, p, b, n, q, q + take, o_band, accumulate));
+            let job = move || gemm_stream_at_range(a, m, p, b, n, q, q + take, o_band, accumulate);
+            if pin {
+                s.spawn_at(band, job);
+            } else {
+                s.spawn(job);
+            }
+            band += 1;
             q += take;
         }
     });
@@ -696,27 +741,28 @@ fn gemm_stream<S: Scalar>(
         return;
     }
     let kernel = active_microkernel();
-    let tj = S::TJ;
+    let wtj = 2 * S::TJ;
     let mut i = 0;
     while i + MR <= m {
-        let mut jt = 0;
-        while jt + tj <= n {
-            S::gemm_tile(kernel, &a[i * k..], k, b, n, jt, &mut out[i * n..]);
-            jt += tj;
-        }
-        while jt < n {
-            let mut acc = [S::ZERO; MR];
-            for l in 0..k {
-                let bv = b[l * n + jt];
-                for (r, av) in acc.iter_mut().enumerate() {
-                    *av = a[(i + r) * k + l].mul_add(bv, *av);
-                }
+        // AVX-512 wide path: 8-row × 2·TJ-column zmm tiles while both
+        // dimensions have room; the column remainder of each wide band
+        // and every narrower band fall through to the MR-row kernel
+        // (bit-identical — the tile shape never regroups an output
+        // element's FMA chain).
+        if kernel == Microkernel::Avx512 && i + WMR <= m && wtj <= n {
+            let mut jt = 0;
+            while jt + wtj <= n {
+                S::gemm_tile_wide(kernel, &a[i * k..], k, b, n, jt, &mut out[i * n..]);
+                jt += wtj;
             }
-            for (r, &av) in acc.iter().enumerate() {
-                out[(i + r) * n + jt] += av;
+            for h in 0..WMR / MR {
+                let row = i + h * MR;
+                gemm_rows_mr(kernel, &a[row * k..], k, b, n, jt, &mut out[row * n..]);
             }
-            jt += 1;
+            i += WMR;
+            continue;
         }
+        gemm_rows_mr(kernel, &a[i * k..], k, b, n, 0, &mut out[i * n..]);
         i += MR;
     }
     while i < m {
@@ -729,6 +775,40 @@ fn gemm_stream<S: Scalar>(
             }
         }
         i += 1;
+    }
+}
+
+/// One `MR`-row band of the streaming kernel starting at column `jt0`:
+/// full-`TJ` tiles through the dispatched microkernel, then a scalar
+/// column tail. `a` is pre-sliced at the band's first row, `out` at its
+/// first output row.
+fn gemm_rows_mr<S: Scalar>(
+    kernel: Microkernel,
+    a: &[S],
+    k: usize,
+    b: &[S],
+    n: usize,
+    jt0: usize,
+    out: &mut [S],
+) {
+    let tj = S::TJ;
+    let mut jt = jt0;
+    while jt + tj <= n {
+        S::gemm_tile(kernel, a, k, b, n, jt, out);
+        jt += tj;
+    }
+    while jt < n {
+        let mut acc = [S::ZERO; MR];
+        for l in 0..k {
+            let bv = b[l * n + jt];
+            for (r, av) in acc.iter_mut().enumerate() {
+                *av = a[r * k + l].mul_add(bv, *av);
+            }
+        }
+        for (r, &av) in acc.iter().enumerate() {
+            out[r * n + jt] += av;
+        }
+        jt += 1;
     }
 }
 

@@ -26,10 +26,23 @@
 //!   /`__m256d` registers, one broadcast + two fused multiply-adds per
 //!   `A`-row per reduction step. f32 runs 8 lanes per vector (`TJ = 16`),
 //!   f64 runs 4 (`TJ = 8`).
+//! * **`avx512f`** (`x86_64` with AVX-512F, detected at runtime): the
+//!   `MR × TJ` tiles above stay on the AVX2 kernel (they are already
+//!   register-bound), and the serial streaming GEMM additionally gets a
+//!   **wide** `WMR × 2·TJ` tile ([`Scalar::gemm_tile_wide`]: 8×32 f32,
+//!   8×16 f64) holding 16 zmm accumulators — twice the rows *and* twice
+//!   the columns in flight per `B`-stripe pass.
+//! * **`neon`** (aarch64, where NEON is baseline): the same `MR × TJ`
+//!   tile walked as `MR × 8` (f32) / `MR × 4` (f64) sub-tiles of 128-bit
+//!   `vfmaq` accumulators.
 //! * **`scalar`** (every other arch, or `DSS_NO_SIMD=1`): the same tile
-//!   walked with `mul_add` in the same association order, so the two
+//!   walked with `mul_add` in the same association order, so all
 //!   kernels produce **bit-identical** results — asserted by tests, which
 //!   is what lets CI exercise the fallback without separate tolerances.
+//!   Every output element is one ascending-`l` FMA chain added into `out`
+//!   exactly once, and none of the tile shapes regroup *within* an output
+//!   element, which is why even the wide AVX-512 tile matches the scalar
+//!   kernel bit for bit.
 //!
 //! The kernel is picked once per process (first GEMM call) from CPU
 //! features and the `DSS_NO_SIMD` environment variable; tests and
@@ -42,6 +55,11 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// Register tile height shared by every kernel: `A` rows advanced
 /// together, each broadcast against the same `B` stripe.
 pub(crate) const MR: usize = 4;
+
+/// Wide register tile height used by the AVX-512 streaming path
+/// ([`Scalar::gemm_tile_wide`]): two [`MR`] row groups advanced together
+/// against a double-width (`2·TJ`) `B` stripe.
+pub(crate) const WMR: usize = 8;
 
 /// The workspace-wide default training element type. See the module docs
 /// for why this is `f32` and how to rebuild in `f64`.
@@ -58,21 +76,30 @@ mod sealed {
 pub enum Microkernel {
     /// Explicit AVX2 + FMA intrinsics (x86_64, detected at runtime).
     Avx2Fma,
-    /// Portable `mul_add` tile, bit-identical to the AVX2 kernel.
+    /// AVX2 tiles plus the wide AVX-512F streaming tile (x86_64,
+    /// detected at runtime; implies AVX2+FMA).
+    Avx512,
+    /// 128-bit NEON `vfmaq` tiles (aarch64 baseline).
+    Neon,
+    /// Portable `mul_add` tile, bit-identical to every SIMD kernel.
     Scalar,
 }
 
 impl Microkernel {
-    /// Stable name recorded in bench artifacts (`avx2_fma` / `scalar`).
+    /// Stable name recorded in bench artifacts
+    /// (`avx2_fma` / `avx512f` / `neon` / `scalar`).
     pub fn name(self) -> &'static str {
         match self {
             Microkernel::Avx2Fma => "avx2_fma",
+            Microkernel::Avx512 => "avx512f",
+            Microkernel::Neon => "neon",
             Microkernel::Scalar => "scalar",
         }
     }
 }
 
-/// Process-wide kernel choice: 0 = undetected, 1 = AVX2+FMA, 2 = scalar.
+/// Process-wide kernel choice: 0 = undetected, 1 = AVX2+FMA, 2 = scalar,
+/// 3 = AVX-512, 4 = NEON.
 static KERNEL: AtomicU8 = AtomicU8::new(0);
 
 thread_local! {
@@ -87,8 +114,14 @@ fn detect() -> Microkernel {
     }
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return Microkernel::Avx512;
+        }
         return Microkernel::Avx2Fma;
     }
+    #[cfg(target_arch = "aarch64")]
+    return Microkernel::Neon;
+    #[cfg(not(target_arch = "aarch64"))]
     Microkernel::Scalar
 }
 
@@ -102,12 +135,16 @@ pub fn active_microkernel() -> Microkernel {
     match KERNEL.load(Ordering::Relaxed) {
         1 => Microkernel::Avx2Fma,
         2 => Microkernel::Scalar,
+        3 => Microkernel::Avx512,
+        4 => Microkernel::Neon,
         _ => {
             let k = detect();
             KERNEL.store(
                 match k {
                     Microkernel::Avx2Fma => 1,
                     Microkernel::Scalar => 2,
+                    Microkernel::Avx512 => 3,
+                    Microkernel::Neon => 4,
                 },
                 Ordering::Relaxed,
             );
@@ -135,18 +172,40 @@ pub fn avx2_available() -> bool {
     }
 }
 
+/// Whether this build/host can run the AVX-512 kernel (the wide tile
+/// needs AVX-512F; the narrow tiles it shares with `avx2_fma` need
+/// AVX2+FMA).
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        avx2_available() && std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether this build can run the NEON kernel (NEON is baseline on
+/// aarch64, so this is a compile-time fact).
+pub fn neon_available() -> bool {
+    cfg!(target_arch = "aarch64")
+}
+
 /// Runs `f` with every GEMM on the *current thread* pinned to kernel `k`
 /// (pool workers are unaffected — pin shapes below the sharding cutoff or
 /// run under a 1-thread pool when exact kernel control matters).
 ///
 /// # Panics
-/// Panics when `k` is [`Microkernel::Avx2Fma`] on hardware without
-/// AVX2+FMA.
+/// Panics when `k` is a SIMD kernel this host cannot run.
 pub fn with_microkernel<R>(k: Microkernel, f: impl FnOnce() -> R) -> R {
-    assert!(
-        k != Microkernel::Avx2Fma || avx2_available(),
-        "AVX2+FMA kernel unavailable on this host"
-    );
+    let available = match k {
+        Microkernel::Avx2Fma => avx2_available(),
+        Microkernel::Avx512 => avx512_available(),
+        Microkernel::Neon => neon_available(),
+        Microkernel::Scalar => true,
+    };
+    assert!(available, "{} kernel unavailable on this host", k.name());
     let prev = KERNEL_OVERRIDE.with(|c| c.replace(Some(k)));
     struct Restore(Option<Microkernel>);
     impl Drop for Restore {
@@ -265,21 +324,39 @@ pub trait Scalar:
         jt: usize,
         out: &mut [Self],
     );
+
+    /// Wide broadcast-A register tile — [`WMR`]` = 8` rows × `2·TJ`
+    /// output columns per call (8×32 f32, 8×16 f64). Under
+    /// [`Microkernel::Avx512`] this runs a single zmm-register kernel;
+    /// every other kernel composes four narrow [`Scalar::gemm_tile`]
+    /// calls, which is bit-identical because each output element's
+    /// ascending-`l` FMA chain is unchanged by the tile grouping.
+    fn gemm_tile_wide(
+        kernel: Microkernel,
+        a: &[Self],
+        k: usize,
+        b: &[Self],
+        n: usize,
+        jt: usize,
+        out: &mut [Self],
+    );
 }
 
 macro_rules! impl_scalar {
     (
         $t:ty, $name:literal, $tj:literal, $pack:ident, $kern:ident,
-        $vec:ident, $lanes:literal, $loadu:ident, $storeu:ident, $set1:ident, $fmadd:ident, $add:ident, $setzero:ident
+        $vec:ident, $lanes:literal, $loadu:ident, $storeu:ident, $set1:ident, $fmadd:ident, $add:ident, $setzero:ident,
+        $loadu512:ident, $storeu512:ident, $set1512:ident, $fmadd512:ident, $add512:ident, $setzero512:ident,
+        $nlanes:literal, $nload:ident, $nstore:ident, $ndup:ident, $nfma:ident, $nadd:ident
     ) => {
         thread_local! {
             static $pack: RefCell<Vec<$t>> = const { RefCell::new(Vec::new()) };
         }
 
-        /// Per-type tile kernels (scalar fallback + AVX2, same association
-        /// order so their results are bit-identical).
+        /// Per-type tile kernels (scalar fallback + AVX2/AVX-512/NEON,
+        /// same association order so their results are bit-identical).
         mod $kern {
-            use super::MR;
+            use super::{MR, WMR};
             const TJ: usize = $tj;
 
             /// Portable tile: `mul_add` per lane in the exact order the
@@ -424,6 +501,164 @@ macro_rules! impl_scalar {
                     $storeu(o1, $add($loadu(o1), acc_row[1]));
                 }
             }
+
+            /// Portable wide tile (`WMR × 2·TJ`): four narrow tiles.
+            /// Per-output-element FMA chains are identical to the fused
+            /// AVX-512 kernel, so this is its bit oracle (and the
+            /// fallback every non-AVX-512 kernel dispatches to).
+            pub fn tile_wide(a: &[$t], k: usize, b: &[$t], n: usize, jt: usize, out: &mut [$t]) {
+                for h in 0..WMR / MR {
+                    for half in 0..2 {
+                        tile(
+                            &a[h * MR * k..],
+                            k,
+                            b,
+                            n,
+                            jt + half * TJ,
+                            &mut out[h * MR * n..],
+                        );
+                    }
+                }
+            }
+
+            /// AVX-512F wide tile: WMR rows × 2 zmm vectors (16
+            /// accumulators) live in registers across the whole
+            /// reduction; one broadcast and two fused multiply-adds per
+            /// row per step; added into `out` exactly once.
+            ///
+            /// # Safety
+            /// Caller must ensure AVX-512F is available; slice extents as
+            /// debug-asserted.
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx512f")]
+            pub unsafe fn tile_wide_avx512(
+                a: &[$t],
+                k: usize,
+                b: &[$t],
+                n: usize,
+                jt: usize,
+                out: &mut [$t],
+            ) {
+                use std::arch::x86_64::*;
+                debug_assert!(a.len() >= WMR * k);
+                debug_assert!(b.len() >= (k - 1) * n + jt + 2 * TJ);
+                debug_assert!(out.len() >= (WMR - 1) * n + jt + 2 * TJ);
+                let mut acc = [[$setzero512(); 2]; WMR];
+                let ap = a.as_ptr();
+                let bp = b.as_ptr();
+                for l in 0..k {
+                    let b0 = $loadu512(bp.add(l * n + jt));
+                    let b1 = $loadu512(bp.add(l * n + jt + TJ));
+                    for r in 0..WMR {
+                        let ar = $set1512(*ap.add(r * k + l));
+                        acc[r][0] = $fmadd512(ar, b0, acc[r][0]);
+                        acc[r][1] = $fmadd512(ar, b1, acc[r][1]);
+                    }
+                }
+                let op = out.as_mut_ptr();
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let o = op.add(r * n + jt);
+                    $storeu512(o, $add512($loadu512(o), acc_row[0]));
+                    let o1 = o.add(TJ);
+                    $storeu512(o1, $add512($loadu512(o1), acc_row[1]));
+                }
+            }
+
+            /// NEON tile: the `MR × TJ` stripe walked as four 128-bit
+            /// vectors per row (`MR × 2·lanes` sub-tiles), `vfmaq`
+            /// accumulators in registers, added into `out` once.
+            ///
+            /// # Safety
+            /// NEON is baseline on aarch64; slice extents as
+            /// debug-asserted in [`tile`].
+            #[cfg(target_arch = "aarch64")]
+            #[target_feature(enable = "neon")]
+            pub unsafe fn tile_neon(
+                a: &[$t],
+                k: usize,
+                b: &[$t],
+                n: usize,
+                jt: usize,
+                out: &mut [$t],
+            ) {
+                use std::arch::aarch64::*;
+                debug_assert!(a.len() >= MR * k);
+                debug_assert!(b.len() >= (k - 1) * n + jt + TJ);
+                debug_assert!(out.len() >= (MR - 1) * n + jt + TJ);
+                let mut acc = [[$ndup(0.0 as $t); TJ / $nlanes]; MR];
+                let ap = a.as_ptr();
+                let bp = b.as_ptr();
+                for l in 0..k {
+                    let bq = bp.add(l * n + jt);
+                    let mut bv = [$ndup(0.0 as $t); TJ / $nlanes];
+                    for (v, bvv) in bv.iter_mut().enumerate() {
+                        *bvv = $nload(bq.add(v * $nlanes));
+                    }
+                    for r in 0..MR {
+                        let ar = $ndup(*ap.add(r * k + l));
+                        for (accv, &bvv) in acc[r].iter_mut().zip(&bv) {
+                            // vfmaq(acc, b, c) = acc + b·c (acc first).
+                            *accv = $nfma(*accv, bvv, ar);
+                        }
+                    }
+                }
+                let op = out.as_mut_ptr();
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let o = op.add(r * n + jt);
+                    for (v, &av) in acc_row.iter().enumerate() {
+                        let ov = o.add(v * $nlanes);
+                        $nstore(ov, $nadd($nload(ov), av));
+                    }
+                }
+            }
+
+            /// NEON transposed-A tile (contiguous 4-column `A` loads).
+            ///
+            /// # Safety
+            /// Same contract as [`tile_neon`].
+            #[cfg(target_arch = "aarch64")]
+            #[target_feature(enable = "neon")]
+            #[allow(clippy::too_many_arguments)]
+            pub unsafe fn tile_at_neon(
+                a: &[$t],
+                m: usize,
+                p: usize,
+                q: usize,
+                b: &[$t],
+                n: usize,
+                jt: usize,
+                out: &mut [$t],
+            ) {
+                use std::arch::aarch64::*;
+                debug_assert!(a.len() >= (m - 1) * p + q + MR);
+                debug_assert!(b.len() >= (m - 1) * n + jt + TJ);
+                debug_assert!(out.len() >= (MR - 1) * n + jt + TJ);
+                let mut acc = [[$ndup(0.0 as $t); TJ / $nlanes]; MR];
+                let ap = a.as_ptr();
+                let bp = b.as_ptr();
+                for l in 0..m {
+                    let bq = bp.add(l * n + jt);
+                    let mut bv = [$ndup(0.0 as $t); TJ / $nlanes];
+                    for (v, bvv) in bv.iter_mut().enumerate() {
+                        *bvv = $nload(bq.add(v * $nlanes));
+                    }
+                    let arp = ap.add(l * p + q);
+                    for r in 0..MR {
+                        let ar = $ndup(*arp.add(r));
+                        for (accv, &bvv) in acc[r].iter_mut().zip(&bv) {
+                            *accv = $nfma(*accv, bvv, ar);
+                        }
+                    }
+                }
+                let op = out.as_mut_ptr();
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let o = op.add(r * n + jt);
+                    for (v, &av) in acc_row.iter().enumerate() {
+                        let ov = o.add(v * $nlanes);
+                        $nstore(ov, $nadd($nload(ov), av));
+                    }
+                }
+            }
         }
 
         impl Scalar for $t {
@@ -498,10 +733,13 @@ macro_rules! impl_scalar {
             ) {
                 match kernel {
                     #[cfg(target_arch = "x86_64")]
-                    Microkernel::Avx2Fma => unsafe { $kern::tile_avx2(a, k, b, n, jt, out) },
-                    #[cfg(not(target_arch = "x86_64"))]
-                    Microkernel::Avx2Fma => unreachable!("AVX2 kernel selected off x86_64"),
+                    Microkernel::Avx2Fma | Microkernel::Avx512 => unsafe {
+                        $kern::tile_avx2(a, k, b, n, jt, out)
+                    },
+                    #[cfg(target_arch = "aarch64")]
+                    Microkernel::Neon => unsafe { $kern::tile_neon(a, k, b, n, jt, out) },
                     Microkernel::Scalar => $kern::tile(a, k, b, n, jt, out),
+                    _ => unreachable!("SIMD kernel selected off its architecture"),
                 }
             }
 
@@ -519,12 +757,30 @@ macro_rules! impl_scalar {
             ) {
                 match kernel {
                     #[cfg(target_arch = "x86_64")]
-                    Microkernel::Avx2Fma => unsafe {
+                    Microkernel::Avx2Fma | Microkernel::Avx512 => unsafe {
                         $kern::tile_at_avx2(a, m, p, q, b, n, jt, out)
                     },
-                    #[cfg(not(target_arch = "x86_64"))]
-                    Microkernel::Avx2Fma => unreachable!("AVX2 kernel selected off x86_64"),
+                    #[cfg(target_arch = "aarch64")]
+                    Microkernel::Neon => unsafe { $kern::tile_at_neon(a, m, p, q, b, n, jt, out) },
                     Microkernel::Scalar => $kern::tile_at(a, m, p, q, b, n, jt, out),
+                    _ => unreachable!("SIMD kernel selected off its architecture"),
+                }
+            }
+
+            #[inline]
+            fn gemm_tile_wide(
+                kernel: Microkernel,
+                a: &[Self],
+                k: usize,
+                b: &[Self],
+                n: usize,
+                jt: usize,
+                out: &mut [Self],
+            ) {
+                match kernel {
+                    #[cfg(target_arch = "x86_64")]
+                    Microkernel::Avx512 => unsafe { $kern::tile_wide_avx512(a, k, b, n, jt, out) },
+                    _ => $kern::tile_wide(a, k, b, n, jt, out),
                 }
             }
         }
@@ -544,7 +800,19 @@ impl_scalar!(
     _mm256_set1_ps,
     _mm256_fmadd_ps,
     _mm256_add_ps,
-    _mm256_setzero_ps
+    _mm256_setzero_ps,
+    _mm512_loadu_ps,
+    _mm512_storeu_ps,
+    _mm512_set1_ps,
+    _mm512_fmadd_ps,
+    _mm512_add_ps,
+    _mm512_setzero_ps,
+    4,
+    vld1q_f32,
+    vst1q_f32,
+    vdupq_n_f32,
+    vfmaq_f32,
+    vaddq_f32
 );
 impl_scalar!(
     f64,
@@ -559,7 +827,19 @@ impl_scalar!(
     _mm256_set1_pd,
     _mm256_fmadd_pd,
     _mm256_add_pd,
-    _mm256_setzero_pd
+    _mm256_setzero_pd,
+    _mm512_loadu_pd,
+    _mm512_storeu_pd,
+    _mm512_set1_pd,
+    _mm512_fmadd_pd,
+    _mm512_add_pd,
+    _mm512_setzero_pd,
+    2,
+    vld1q_f64,
+    vst1q_f64,
+    vdupq_n_f64,
+    vfmaq_f64,
+    vaddq_f64
 );
 
 #[cfg(test)]
@@ -569,6 +849,8 @@ mod tests {
     #[test]
     fn kernel_names_are_stable() {
         assert_eq!(Microkernel::Avx2Fma.name(), "avx2_fma");
+        assert_eq!(Microkernel::Avx512.name(), "avx512f");
+        assert_eq!(Microkernel::Neon.name(), "neon");
         assert_eq!(Microkernel::Scalar.name(), "scalar");
         assert_eq!(<f32 as Scalar>::NAME, "f32");
         assert_eq!(<f64 as Scalar>::NAME, "f64");
@@ -631,5 +913,89 @@ mod tests {
         }
         case::<f32>();
         case::<f64>();
+    }
+
+    /// The wide AVX-512 tile must agree bit for bit with its portable
+    /// oracle (four narrow scalar tiles over the same 8×2TJ region) —
+    /// same per-element FMA chains, so exact equality, not tolerance.
+    #[test]
+    fn wide_tile_bit_identical_to_narrow_composition() {
+        fn case<S: Scalar>() {
+            let k = 29;
+            let n = 2 * S::TJ + 5;
+            let mk = |seed: u64, len: usize| -> Vec<S> {
+                (0..len)
+                    .map(|i| {
+                        let x = ((i as u64)
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(seed)
+                            >> 33) as f64;
+                        S::from_f64(x / (1u64 << 31) as f64 - 0.5)
+                    })
+                    .collect()
+            };
+            let a = mk(5, WMR * k);
+            let b = mk(6, k * n);
+
+            // The portable wide tile is exactly four narrow scalar tiles.
+            let mut wide = vec![S::ZERO; WMR * n];
+            let mut narrow = vec![S::ZERO; WMR * n];
+            S::gemm_tile_wide(Microkernel::Scalar, &a, k, &b, n, 0, &mut wide);
+            for h in 0..WMR / MR {
+                for half in 0..2 {
+                    S::gemm_tile(
+                        Microkernel::Scalar,
+                        &a[h * MR * k..],
+                        k,
+                        &b,
+                        n,
+                        half * S::TJ,
+                        &mut narrow[h * MR * n..],
+                    );
+                }
+            }
+            assert_eq!(wide, narrow, "{} portable wide tile diverged", S::NAME);
+
+            if avx512_available() {
+                let mut zmm = vec![S::ZERO; WMR * n];
+                S::gemm_tile_wide(Microkernel::Avx512, &a, k, &b, n, 0, &mut zmm);
+                assert_eq!(wide, zmm, "{} AVX-512 wide tile diverged", S::NAME);
+            } else {
+                eprintln!("skipping AVX-512 leg: unavailable on this host");
+            }
+        }
+        case::<f32>();
+        case::<f64>();
+    }
+
+    /// Under the `avx512f` kernel the narrow tiles dispatch to the AVX2
+    /// implementation — the remainder path of the wide GEMM stays
+    /// bit-identical to the pure-AVX2 kernel by construction.
+    #[test]
+    fn avx512_narrow_tiles_are_the_avx2_tiles() {
+        if !avx512_available() {
+            eprintln!("skipping: no AVX-512 on this host");
+            return;
+        }
+        let k = 19;
+        let n = 16 + 3;
+        let mk = |seed: u64, len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    let x = ((i as u64)
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(seed)
+                        >> 33) as f64;
+                    (x / (1u64 << 31) as f64 - 0.5) as f32
+                })
+                .collect()
+        };
+        let a = mk(7, MR * k);
+        let b = mk(8, k * n);
+        let mut via_avx2 = vec![0.0f32; MR * n];
+        let mut via_avx512 = vec![0.0f32; MR * n];
+        f32::gemm_tile(Microkernel::Avx2Fma, &a, k, &b, n, 0, &mut via_avx2);
+        f32::gemm_tile(Microkernel::Avx512, &a, k, &b, n, 0, &mut via_avx512);
+        assert_eq!(via_avx2, via_avx512);
     }
 }

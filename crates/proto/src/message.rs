@@ -193,6 +193,19 @@ pub enum Message {
         /// `rows × state_dim` next-state coordinates, row-major.
         next_states: Vec<f64>,
     },
+    /// Parameter server -> rollout worker: a versioned **quantized**
+    /// policy snapshot (the `rl::quant` rollout codec: exact-f32 actor,
+    /// compressed critic). Served in place of [`Message::WeightsReport`]
+    /// when the training service publishes quantized rollout frames —
+    /// same version sequence, a fraction of the bytes on the wire.
+    QuantWeightsReport {
+        /// Monotonic version of the published weights (shared with the
+        /// full-precision sequence; a pair publish mints one version).
+        version: u64,
+        /// Opaque quantized policy image (`rl::QuantPolicy::encode`);
+        /// empty when the requester's `have_version` is already current.
+        blob: Vec<u8>,
+    },
     /// Learner/parameter server -> observer: training-service counters
     /// (the answer to a [`Message::StatsRequest`] on a trainer link).
     LearnerStats {
@@ -235,13 +248,14 @@ impl Message {
             Message::WeightsReport { .. } => 17,
             Message::TransitionBatch { .. } => 18,
             Message::LearnerStats { .. } => 19,
+            Message::QuantWeightsReport { .. } => 20,
         }
     }
 
     /// Every wire tag this protocol version defines, in tag order (test
     /// harnesses use it to prove coverage of the whole message set).
-    pub const ALL_TAGS: [u8; 19] = [
-        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+    pub const ALL_TAGS: [u8; 20] = [
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
     ];
 
     /// Encode the payload (everything after the frame header).
@@ -331,7 +345,8 @@ impl Message {
                 buf.put_u64_le(*last_seq);
             }
             Message::WeightsRequest { have_version } => buf.put_u64_le(*have_version),
-            Message::WeightsReport { version, blob } => {
+            Message::WeightsReport { version, blob }
+            | Message::QuantWeightsReport { version, blob } => {
                 buf.put_u64_le(*version);
                 buf.put_u32_le(blob.len() as u32);
                 buf.put_slice(blob);
@@ -487,13 +502,15 @@ impl Message {
             16 => Message::WeightsRequest {
                 have_version: get_u64(buf)?,
             },
-            17 => {
+            17 | 20 => {
                 let version = get_u64(buf)?;
                 let len = get_u32(buf)? as usize;
                 check_remaining(buf, len)?;
-                Message::WeightsReport {
-                    version,
-                    blob: buf.split_to(len).to_vec(),
+                let blob = buf.split_to(len).to_vec();
+                if tag == 17 {
+                    Message::WeightsReport { version, blob }
+                } else {
+                    Message::QuantWeightsReport { version, blob }
                 }
             }
             18 => {
@@ -759,6 +776,14 @@ mod tests {
                 rewards: vec![-1.5, -0.25],
                 next_states: vec![1.0, 0.0, 0.5, 0.0, 1.0, 0.75],
             },
+            Message::QuantWeightsReport {
+                version: 8,
+                blob: vec![0x51, 0x42, 0x00],
+            },
+            Message::QuantWeightsReport {
+                version: 8,
+                blob: Vec::new(),
+            },
             Message::LearnerStats {
                 weight_version: 9,
                 train_steps: 120,
@@ -849,6 +874,10 @@ mod tests {
                 actions: vec![],
                 rewards: vec![],
                 next_states: vec![],
+            },
+            Message::QuantWeightsReport {
+                version: 0,
+                blob: vec![],
             },
             Message::LearnerStats {
                 weight_version: 0,

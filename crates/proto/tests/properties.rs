@@ -182,6 +182,8 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         any::<u64>().prop_map(|have_version| Message::WeightsRequest { have_version }),
         (any::<u64>(), prop::collection::vec(any::<u8>(), 0..64))
             .prop_map(|(version, blob)| Message::WeightsReport { version, blob }),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(version, blob)| Message::QuantWeightsReport { version, blob }),
         transition_batch_strategy(),
         learner_stats_strategy(),
     ]

@@ -188,6 +188,16 @@ impl<S: Scalar> DdpgAgent<S> {
         &self.config
     }
 
+    /// State width the agent acts on.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// One-hot action width (`N·M`).
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
     /// Serializes every mutable field of the agent — all four networks,
     /// both optimizers' Adam moments, the replay ring in slot order, and
     /// the train-step counter — into a versioned byte image (see
@@ -195,7 +205,17 @@ impl<S: Scalar> DdpgAgent<S> {
     /// a complete training checkpoint: a [`DdpgAgent::restore_state`]d
     /// agent continues the training trajectory bit-for-bit.
     pub fn save_state(&self) -> Vec<u8> {
-        let mut w = Writer::header(snapshot::KIND_DDPG);
+        let mut out = Vec::new();
+        self.save_state_append(&mut out);
+        out
+    }
+
+    /// [`DdpgAgent::save_state`], appended to a caller-owned buffer. A
+    /// periodic checkpoint loop clears and re-passes the same scratch so
+    /// the multi-megabyte image (the replay ring dominates) reuses one
+    /// allocation instead of growing a fresh `Vec` every save.
+    pub fn save_state_append(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::header_in(std::mem::take(out), snapshot::KIND_DDPG);
         w.usize(self.state_dim);
         w.usize(self.action_dim);
         w.f64(self.config.gamma);
@@ -220,7 +240,7 @@ impl<S: Scalar> DdpgAgent<S> {
             debug_assert_eq!(a.len(), action_dim, "stored action width");
             w.row(a);
         });
-        w.buf
+        *out = w.buf;
     }
 
     /// Rebuilds an agent from an image captured by

@@ -144,7 +144,16 @@ impl<S: Scalar> DqnAgent<S> {
     /// [`crate::snapshot`]). Together with the caller's RNG state this is
     /// a complete training checkpoint.
     pub fn save_state(&self) -> Vec<u8> {
-        let mut w = Writer::header(snapshot::KIND_DQN);
+        let mut out = Vec::new();
+        self.save_state_append(&mut out);
+        out
+    }
+
+    /// [`DqnAgent::save_state`], appended to a caller-owned buffer so a
+    /// periodic checkpoint loop can reuse one scratch allocation for the
+    /// replay-ring-dominated image (see [`crate::DdpgAgent::save_state_append`]).
+    pub fn save_state_append(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::header_in(std::mem::take(out), snapshot::KIND_DQN);
         w.usize(self.state_dim);
         w.usize(self.n_actions);
         w.f64(self.config.gamma);
@@ -161,7 +170,7 @@ impl<S: Scalar> DqnAgent<S> {
         w.net(&self.target_q);
         w.adam(&self.opt);
         snapshot::put_replay(&mut w, &self.replay, |w, &a: &usize| w.usize(a));
-        w.buf
+        *out = w.buf;
     }
 
     /// Rebuilds an agent from an image captured by

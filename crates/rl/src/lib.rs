@@ -23,6 +23,7 @@ pub mod dqn;
 pub mod explore;
 pub mod mapper;
 pub mod priority;
+pub mod quant;
 pub mod replay;
 pub mod snapshot;
 pub mod transition;
@@ -34,6 +35,7 @@ pub use mapper::{
     ActionMapper, CandidateAction, HierarchicalMapper, KBestMapper, RelaxMapper, ScalableMapper,
 };
 pub use priority::{PrioritizedReplay, PrioritizedSample, PriorityConfig, SumTree};
+pub use quant::{QuantActScratch, QuantPolicy};
 pub use replay::{ReplayBuffer, ShardSlot, ShardedReplayBuffer};
 pub use snapshot::SnapshotError;
 pub use transition::Transition;
@@ -41,4 +43,4 @@ pub use transition::Transition;
 /// The workspace training element type (re-exported from `dss-nn`): every
 /// agent, mapper and buffer here defaults to it. Instantiate the generic
 /// types with `f64` explicitly for double-precision debugging.
-pub use dss_nn::{Elem, Scalar};
+pub use dss_nn::{Elem, QuantMode, Scalar};

@@ -73,6 +73,12 @@ pub(crate) const KIND_DQN: u8 = 2;
 /// blob a parameter server republishes every few train steps is a fraction
 /// of the full [`crate::DdpgAgent::save_state`] checkpoint.
 pub(crate) const KIND_POLICY: u8 = 3;
+/// A *quantized* policy image ([`crate::QuantPolicy`]): the online actor
+/// and critic compressed to i8 or bf16 weights (see `dss_nn::quant` for
+/// the scheme). Same role as [`KIND_POLICY`] — what a rollout worker
+/// pulls from the parameter server — at a fraction of the bytes; floats
+/// that are natively f32 travel as f32 bits here, not widened f64.
+pub(crate) const KIND_QUANT_POLICY: u8 = 4;
 
 /// Little-endian append-only writer.
 #[derive(Default)]
@@ -82,7 +88,16 @@ pub(crate) struct Writer {
 
 impl Writer {
     pub fn header(kind: u8) -> Self {
-        let mut w = Writer::default();
+        Self::header_in(Vec::new(), kind)
+    }
+
+    /// A writer that appends to `buf` without discarding its capacity (or
+    /// its existing contents — callers reusing a scratch clear it first).
+    /// This is the allocation-reuse seam: a periodic checkpoint loop hands
+    /// the same multi-megabyte buffer back every save instead of growing a
+    /// fresh one from empty each time.
+    pub fn header_in(buf: Vec<u8>, kind: u8) -> Self {
+        let mut w = Writer { buf };
         w.buf.extend_from_slice(MAGIC);
         w.u16(VERSION);
         w.u8(kind);
@@ -97,6 +112,10 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -107,6 +126,13 @@ impl Writer {
 
     pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
+    }
+
+    /// An f32 as its own 4-byte bits — used by the quantized policy
+    /// image, where the whole point is byte economy (the full-precision
+    /// formats keep widening to f64).
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
     }
 
     pub fn bytes(&mut self, b: &[u8]) {
@@ -185,6 +211,10 @@ impl<'a> Reader<'a> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
     pub fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
@@ -208,6 +238,10 @@ impl<'a> Reader<'a> {
 
     pub fn f64(&mut self) -> Result<f64, SnapshotError> {
         Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, SnapshotError> {
+        Ok(f32::from_bits(self.u32()?))
     }
 
     pub fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {

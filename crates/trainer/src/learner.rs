@@ -44,6 +44,7 @@ pub struct Learner {
     stats: Arc<SharedStats>,
     max_version_lag: u64,
     publish_every: u64,
+    rollout_quant: bool,
     next_shard: usize,
     n_machines: usize,
     rate_scale: f64,
@@ -107,6 +108,7 @@ impl Learner {
             stats,
             max_version_lag,
             publish_every,
+            rollout_quant: cfg.rollout_quant,
             next_shard: 0,
             n_machines,
             rate_scale: cfg.rate_scale,
@@ -133,9 +135,19 @@ impl Learner {
     }
 
     /// Serializes the current policy and installs it on the parameter
-    /// server; returns the new version.
+    /// server; returns the new version. Under `rollout_quant` it also
+    /// derives and installs the quantized rollout companion (the learner
+    /// itself keeps training in full precision — quantization happens
+    /// only at the publish boundary).
     pub fn publish(&mut self) -> u64 {
-        let version = self.ps.publish(self.agent.save_policy());
+        let version = if self.rollout_quant {
+            self.ps.publish_pair(
+                self.agent.save_policy(),
+                self.agent.rollout_quant_policy().encode(),
+            )
+        } else {
+            self.ps.publish(self.agent.save_policy())
+        };
         self.stats.set_weight_version(version);
         version
     }

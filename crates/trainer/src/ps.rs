@@ -14,6 +14,11 @@ pub struct ParameterServer {
 struct Slot {
     version: u64,
     blob: Arc<Vec<u8>>,
+    /// Companion quantized rollout frame (`rl::QuantPolicy::encode`
+    /// bytes); empty unless the learner publishes pairs. Always swapped
+    /// in the same lock as `blob`, so the two images of one version can
+    /// never be observed mixed.
+    quant_blob: Arc<Vec<u8>>,
 }
 
 impl ParameterServer {
@@ -23,16 +28,32 @@ impl ParameterServer {
             slot: Mutex::new(Slot {
                 version: 0,
                 blob: Arc::new(Vec::new()),
+                quant_blob: Arc::new(Vec::new()),
             }),
         }
     }
 
     /// Atomically installs `blob` as the current policy and returns its
     /// freshly minted version (strictly greater than every prior one).
+    /// Clears any quantized companion: a plain publish means this version
+    /// has no quant image.
     pub fn publish(&self, blob: Vec<u8>) -> u64 {
+        self.install(blob, Vec::new())
+    }
+
+    /// Atomically installs a full-precision policy **and** its quantized
+    /// rollout companion under one freshly minted version. Workers that
+    /// pull quantized frames and workers that pull full frames both see
+    /// the same version sequence.
+    pub fn publish_pair(&self, blob: Vec<u8>, quant_blob: Vec<u8>) -> u64 {
+        self.install(blob, quant_blob)
+    }
+
+    fn install(&self, blob: Vec<u8>, quant_blob: Vec<u8>) -> u64 {
         let mut slot = self.slot.lock();
         slot.version += 1;
         slot.blob = Arc::new(blob);
+        slot.quant_blob = Arc::new(quant_blob);
         slot.version
     }
 
@@ -48,6 +69,17 @@ impl ParameterServer {
     pub fn pull_newer(&self, have_version: u64) -> Option<(u64, Arc<Vec<u8>>)> {
         let slot = self.slot.lock();
         (slot.version > have_version).then(|| (slot.version, Arc::clone(&slot.blob)))
+    }
+
+    /// The quantized companion of [`ParameterServer::pull_newer`]: the
+    /// current `(version, quant_blob)` pair when something newer than
+    /// `have_version` exists **and** that version was published with a
+    /// quantized image ([`ParameterServer::publish_pair`]). `None` on a
+    /// plain-published version, so callers fall back to the full frame.
+    pub fn pull_quant_newer(&self, have_version: u64) -> Option<(u64, Arc<Vec<u8>>)> {
+        let slot = self.slot.lock();
+        (slot.version > have_version && !slot.quant_blob.is_empty())
+            .then(|| (slot.version, Arc::clone(&slot.quant_blob)))
     }
 
     /// The latest published version (0 before the first publish).
@@ -82,6 +114,24 @@ mod tests {
         ps.publish(vec![7]);
         assert!(ps.pull_newer(0).is_some());
         assert!(ps.pull_newer(1).is_none());
+    }
+
+    #[test]
+    fn pair_publish_serves_both_frames_under_one_version() {
+        let ps = ParameterServer::new();
+        assert_eq!(ps.publish_pair(vec![1, 2, 3], vec![9]), 1);
+        let (v, full) = ps.pull_newer(0).unwrap();
+        let (qv, quant) = ps.pull_quant_newer(0).unwrap();
+        assert_eq!((v, qv), (1, 1));
+        assert_eq!(
+            (full.as_slice(), quant.as_slice()),
+            (&[1u8, 2, 3][..], &[9u8][..])
+        );
+        assert!(ps.pull_quant_newer(1).is_none(), "current puller skips");
+        // A plain publish retires the quant image with its version.
+        ps.publish(vec![4]);
+        assert!(ps.pull_quant_newer(0).is_none());
+        assert!(ps.pull_newer(1).is_some());
     }
 
     #[test]

@@ -409,15 +409,23 @@ pub fn serve_worker<T: Transport>(
     loop {
         match transport.recv_timeout(Duration::from_millis(50)) {
             Ok(Some(Message::WeightsRequest { have_version })) => {
-                let reply = match ps.pull_newer(have_version) {
-                    Some((version, blob)) => Message::WeightsReport {
+                // A version published as a pair is served quantized —
+                // that is the whole point of publishing the pair.
+                let reply = if let Some((version, blob)) = ps.pull_quant_newer(have_version) {
+                    Message::QuantWeightsReport {
                         version,
                         blob: (*blob).clone(),
-                    },
-                    None => Message::WeightsReport {
+                    }
+                } else if let Some((version, blob)) = ps.pull_newer(have_version) {
+                    Message::WeightsReport {
+                        version,
+                        blob: (*blob).clone(),
+                    }
+                } else {
+                    Message::WeightsReport {
                         version: ps.version(),
                         blob: Vec::new(),
-                    },
+                    }
                 };
                 // A lost reply only costs freshness; the worker retries
                 // next round.

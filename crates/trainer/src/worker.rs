@@ -16,7 +16,8 @@ use dss_core::reward::RewardScale;
 use dss_core::state::{featurize_into, SchedState};
 use dss_proto::{Message, ProtoError, Transport};
 use dss_rl::{
-    ActScratch, DdpgAgent, DdpgConfig, Elem, EpsilonSchedule, ScalableMapper, ShardedReplayBuffer,
+    ActScratch, DdpgAgent, DdpgConfig, Elem, EpsilonSchedule, QuantActScratch, QuantPolicy,
+    ScalableMapper, ShardedReplayBuffer,
 };
 use dss_sim::{Assignment, Workload};
 
@@ -25,6 +26,16 @@ use crate::ps::ParameterServer;
 use crate::queue::BoundedQueue;
 use crate::stats::SharedStats;
 
+/// A pulled policy image, tagged with the codec its bytes speak. The
+/// service decides which to serve (the `rollout_quant` knob); workers
+/// apply whichever arrives, so one worker binary handles both regimes.
+pub enum PolicyFrame {
+    /// Full-precision policy ([`DdpgAgent::save_policy`] bytes).
+    Full(Arc<Vec<u8>>),
+    /// Quantized rollout policy ([`QuantPolicy::encode`] bytes).
+    Quant(Arc<Vec<u8>>),
+}
+
 /// How a worker reaches the service: pull fresh weights, push collected
 /// batches. In-process workers talk to the [`ParameterServer`] and
 /// [`BoundedQueue`] directly; remote workers speak `dss-proto` frames.
@@ -32,7 +43,7 @@ pub trait WeightsClient: Send {
     /// Weights newer than `have_version`, if the service has any (and the
     /// link delivered them — a lossy link may return `None`; the worker
     /// keeps acting on its current replica).
-    fn pull_weights(&mut self, have_version: u64) -> Option<(u64, Arc<Vec<u8>>)>;
+    fn pull_weights(&mut self, have_version: u64) -> Option<(u64, PolicyFrame)>;
 
     /// Pushes one batch. Blocking here is the service's backpressure.
     /// `false` means the service is gone and the worker should stop.
@@ -53,8 +64,15 @@ pub struct LocalClient {
 }
 
 impl WeightsClient for LocalClient {
-    fn pull_weights(&mut self, have_version: u64) -> Option<(u64, Arc<Vec<u8>>)> {
-        self.ps.pull_newer(have_version)
+    fn pull_weights(&mut self, have_version: u64) -> Option<(u64, PolicyFrame)> {
+        // Prefer the quantized companion when the learner publishes one;
+        // otherwise the full-precision frame.
+        if let Some((v, blob)) = self.ps.pull_quant_newer(have_version) {
+            return Some((v, PolicyFrame::Quant(blob)));
+        }
+        self.ps
+            .pull_newer(have_version)
+            .map(|(v, blob)| (v, PolicyFrame::Full(blob)))
     }
 
     fn push_batch(&mut self, batch: TransitionRows) -> bool {
@@ -84,7 +102,7 @@ impl<T: Transport> RemoteClient<T> {
 }
 
 impl<T: Transport + Send> WeightsClient for RemoteClient<T> {
-    fn pull_weights(&mut self, have_version: u64) -> Option<(u64, Arc<Vec<u8>>)> {
+    fn pull_weights(&mut self, have_version: u64) -> Option<(u64, PolicyFrame)> {
         if self
             .transport
             .send(&Message::WeightsRequest { have_version })
@@ -99,7 +117,11 @@ impl<T: Transport + Send> WeightsClient for RemoteClient<T> {
                 Ok(Some(Message::WeightsReport { version, blob })) => {
                     // An empty blob is the server's "you are current".
                     return (version > have_version && !blob.is_empty())
-                        .then(|| (version, Arc::new(blob)));
+                        .then(|| (version, PolicyFrame::Full(Arc::new(blob))));
+                }
+                Ok(Some(Message::QuantWeightsReport { version, blob })) => {
+                    return (version > have_version && !blob.is_empty())
+                        .then(|| (version, PolicyFrame::Quant(Arc::new(blob))));
                 }
                 Ok(Some(_)) => continue, // stray frame (duplicate etc.)
                 Ok(None) => return None, // reply lost on the link
@@ -143,6 +165,10 @@ pub struct RolloutWorker<E: Environment, C: WeightsClient> {
     features: Vec<Elem>,
     next_features: Vec<Elem>,
     act: ActScratch,
+    /// The quantized replica when the service serves quant frames; the
+    /// worker acts on it instead of `agent` until a full frame arrives.
+    quant: Option<QuantPolicy>,
+    qact: QuantActScratch<Elem>,
     version: u64,
     pushed_rows: u64,
     state_dim: usize,
@@ -190,6 +216,8 @@ impl<E: Environment, C: WeightsClient> RolloutWorker<E, C> {
             features: Vec::new(),
             next_features: Vec::new(),
             act: ActScratch::default(),
+            quant: None,
+            qact: QuantActScratch::default(),
             version: 0,
             pushed_rows: 0,
             state_dim,
@@ -214,10 +242,25 @@ impl<E: Environment, C: WeightsClient> RolloutWorker<E, C> {
     }
 
     fn sync_weights(&mut self) {
-        if let Some((version, blob)) = self.client.pull_weights(self.version) {
-            if self.agent.apply_policy(&blob).is_ok() {
+        match self.client.pull_weights(self.version) {
+            Some((version, PolicyFrame::Full(blob))) => {
+                if self.agent.apply_policy(&blob).is_err() {
+                    return;
+                }
+                self.quant = None;
                 self.version = version;
             }
+            Some((version, PolicyFrame::Quant(blob))) => {
+                if let Ok(policy) = QuantPolicy::decode(&blob) {
+                    if policy.state_dim() == self.state_dim
+                        && policy.action_dim() == self.action_dim
+                    {
+                        self.quant = Some(policy);
+                        self.version = version;
+                    }
+                }
+            }
+            None => {}
         }
     }
 
@@ -238,14 +281,28 @@ impl<E: Environment, C: WeightsClient> RolloutWorker<E, C> {
                     self.rate_scale,
                     &mut self.features,
                 );
-                let best = self.agent.select_action_into(
-                    &self.features,
-                    &mut self.mapper,
-                    eps,
-                    &mut self.rng,
-                    &mut self.act,
-                );
-                let cand = &self.act.cands[best];
+                let cand = match &self.quant {
+                    Some(policy) => {
+                        let best = policy.select_action_into(
+                            &self.features,
+                            &mut self.mapper,
+                            eps,
+                            &mut self.rng,
+                            &mut self.qact,
+                        );
+                        &self.qact.cands[best]
+                    }
+                    None => {
+                        let best = self.agent.select_action_into(
+                            &self.features,
+                            &mut self.mapper,
+                            eps,
+                            &mut self.rng,
+                            &mut self.act,
+                        );
+                        &self.act.cands[best]
+                    }
+                };
                 let action = choice_to_assignment(&cand.choice, self.n_machines)
                     .expect("mapper candidates are feasible");
                 let latency = self.env.deploy_and_measure(&action, &self.workload);

@@ -86,6 +86,62 @@ fn async_training_beats_the_random_baseline_on_cq_small() {
 }
 
 #[test]
+fn quantized_rollout_training_beats_the_random_baseline_on_cq_small_hetero() {
+    // The tentpole acceptance run: workers act on quantized policy
+    // frames (exact-f32 actor, i8 critic bulk, bf16 differential slice)
+    // pulled from the parameter server while the learner trains in full
+    // precision — and the trained solution must still beat the eps=1
+    // random baseline on the heterogeneous landscape.
+    let sc = Scenario::by_name("cq-small-hetero-steady").unwrap();
+    let cfg = cfg().with_rollout_quant(true);
+    let out = train_service_on(Backend::Sim, &sc, &cfg, &async_tc(), &WorkerLink::InProcess);
+    check_shape(&sc, &out);
+
+    let mut random = RandomScheduler::new(
+        RandomMode::FullRandom,
+        StdRng::seed_from_u64(cfg.seed ^ 0x5EED),
+    );
+    let baseline = random.schedule(&SchedState::new(
+        sc.initial_assignment(),
+        sc.app.workload.clone(),
+    ));
+    let trained_ms = stable_ms(&scenario_deployment_curve(
+        &sc,
+        &cfg,
+        &out.solution,
+        6.0,
+        15.0,
+    ));
+    let random_ms = stable_ms(&scenario_deployment_curve(&sc, &cfg, &baseline, 6.0, 15.0));
+    assert!(
+        trained_ms < random_ms,
+        "quantized-rollout DDPG ({trained_ms:.1} ms) must beat random ({random_ms:.1} ms)"
+    );
+}
+
+#[test]
+fn quantized_rollout_completes_over_both_framed_transports() {
+    // Quantized frames must survive the wire: tag-20 QuantWeightsReport
+    // over framed channel and TCP links, lossless, with every batch
+    // delivered — the same volume invariant the full-precision path pins.
+    let sc = Scenario::by_name("cq-small-steady").unwrap();
+    let cfg = cfg().with_rollout_quant(true);
+    let tc = TrainerConfig {
+        rounds: 4,
+        ..async_tc()
+    };
+    let expected = (tc.n_workers * tc.rounds * tc.steps_per_round) as u64;
+    for link in [WorkerLink::Channel(None), WorkerLink::Tcp(None)] {
+        let out = train_service_on(Backend::Analytic, &sc, &cfg, &tc, &link);
+        check_shape(&sc, &out);
+        assert_eq!(
+            out.stats.transitions, expected,
+            "{link:?}: lossless quant links must deliver every batch"
+        );
+    }
+}
+
+#[test]
 fn ten_percent_loss_chaos_degrades_but_completes_over_channel() {
     let sc = Scenario::by_name("cq-small-steady").unwrap();
     let chaos = ChaosPlan::lossy(0xC4A0_5001, 0.10);

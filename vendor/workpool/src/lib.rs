@@ -298,6 +298,19 @@ impl<'s> Scope<'s> {
     /// Queues `f` for execution on the pool. Panics in `f` are caught and
     /// re-thrown by the enclosing [`Pool::scope`] after all tasks finish.
     pub fn spawn(&self, f: impl FnOnce() + Send + 's) {
+        let slot = self.pool.spawn_cursor.fetch_add(1, Ordering::Relaxed);
+        self.spawn_at(slot, f);
+    }
+
+    /// [`Scope::spawn`] with an explicit home slot: the task is queued on
+    /// worker queue `slot % threads` instead of the round-robin cursor,
+    /// so callers that re-submit the same work unit across scopes (e.g.
+    /// GEMM output bands within a training step) land it on the same
+    /// worker every time — keeping that band's output rows resident in
+    /// that worker's cache. The assignment is an *affinity hint*: an idle
+    /// worker may still steal the task, so pinning never costs
+    /// utilization, it only biases placement.
+    pub fn spawn_at(&self, slot: usize, f: impl FnOnce() + Send + 's) {
         self.state.pending.fetch_add(1, Ordering::SeqCst);
         let state = Arc::clone(&self.state);
         let task: Box<dyn FnOnce() + Send + 's> = Box::new(move || {
@@ -320,7 +333,6 @@ impl<'s> Scope<'s> {
                 task,
             )
         };
-        let slot = self.pool.spawn_cursor.fetch_add(1, Ordering::Relaxed);
         self.pool.shared.push(slot, task);
     }
 }
@@ -395,6 +407,25 @@ mod tests {
         });
         for (i, &v) in results.iter().enumerate() {
             assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn spawn_at_runs_all_tasks_on_any_slot() {
+        // The pinned-slot spawn is an affinity hint; correctness-wise it
+        // must behave exactly like `spawn` for every slot value,
+        // including slots far beyond the worker count.
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let mut results = vec![0usize; 48];
+            pool.scope(|s| {
+                for (i, slot) in results.iter_mut().enumerate() {
+                    s.spawn_at(i % 3 + usize::MAX / 2, move || *slot = i + 1);
+                }
+            });
+            for (i, &v) in results.iter().enumerate() {
+                assert_eq!(v, i + 1, "threads={threads}");
+            }
         }
     }
 
